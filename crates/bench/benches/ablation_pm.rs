@@ -1,0 +1,50 @@
+//! Ablation: the power-management design (clock gating on the dotp
+//! unit's bitwidth regions + operand isolation on the quantization
+//! unit, §III-B1/§IV-A) — efficiency with and without PM on every
+//! kernel, plus the general-purpose workload the paper uses to show the
+//! extension does not tax non-QNN code.
+
+use criterion::{Criterion, black_box};
+use xpulpnn::experiments;
+use xpulpnn::pulp_power::{
+    efficiency_gmac_s_w, matmul_workload, soc_power_mw, CoreVariant, Workload,
+};
+
+fn main() {
+    let m = experiments::collect(42).expect("measurement matrix");
+    println!("\nAblation — clock gating + operand isolation (paper Table III)\n");
+    println!(
+        " {:<22} {:>14} {:>14} {:>10}",
+        "kernel", "no-PM [GMAC/s/W]", "PM [GMAC/s/W]", "PM gain"
+    );
+    for (name, lm) in [
+        ("8-bit MatMul", &m.w8),
+        ("4-bit MatMul (pv.qnt)", &m.w4_nn_hw),
+        ("2-bit MatMul (pv.qnt)", &m.w2_nn_hw),
+    ] {
+        let wl = matmul_workload(lm.cfg.bits.bits());
+        let no_pm = efficiency_gmac_s_w(lm.macs, lm.cycles, soc_power_mw(CoreVariant::ExtNoPm, wl));
+        let pm = efficiency_gmac_s_w(lm.macs, lm.cycles, soc_power_mw(CoreVariant::ExtPm, wl));
+        println!(" {:<22} {:>14.1} {:>14.1} {:>9.2}x", name, no_pm, pm, pm / no_pm);
+    }
+    let gp_no_pm = soc_power_mw(CoreVariant::ExtNoPm, Workload::GeneralPurpose);
+    let gp_pm = soc_power_mw(CoreVariant::ExtPm, Workload::GeneralPurpose);
+    let gp_base = soc_power_mw(CoreVariant::Ri5cy, Workload::GeneralPurpose);
+    println!(
+        "\n general-purpose app power: baseline {gp_base:.2} mW, ext no-PM {gp_no_pm:.2} mW \
+         (+{:.1}%), ext PM {gp_pm:.2} mW (+{:.1}%)\n",
+        (gp_no_pm - gp_base) / gp_base * 100.0,
+        (gp_pm - gp_base) / gp_base * 100.0
+    );
+
+    let mut c = Criterion::default().sample_size(20).configure_from_args();
+    c.bench_function("ablation_pm/efficiency_delta", |b| {
+        b.iter(|| {
+            let wl = Workload::MatMul2;
+            black_box(
+                soc_power_mw(CoreVariant::ExtNoPm, wl) - soc_power_mw(CoreVariant::ExtPm, wl),
+            )
+        })
+    });
+    c.final_summary();
+}

@@ -1,0 +1,32 @@
+//! Figure 6 — impact of `pv.qnt` on sub-byte kernel cycles and the
+//! near-linear scaling of sub-byte kernels vs 8-bit.
+//!
+//! Prints the reproduced figure, then benchmarks the four underlying
+//! kernel simulations with Criterion.
+
+use criterion::{Criterion, black_box};
+use xpulpnn::experiments;
+use xpulpnn::{BitWidth, ConvKernelConfig, ConvTestbench, KernelIsa};
+
+fn main() {
+    let m = experiments::collect(42).expect("measurement matrix");
+    println!("\n{}\n", experiments::figure6(&m));
+
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8))
+        .configure_from_args();
+    for (name, bits, hw) in [
+        ("figure6/w4_sw_quant", BitWidth::W4, false),
+        ("figure6/w4_pv_qnt", BitWidth::W4, true),
+        ("figure6/w2_sw_quant", BitWidth::W2, false),
+        ("figure6/w2_pv_qnt", BitWidth::W2, true),
+    ] {
+        let cfg = ConvKernelConfig::paper(bits, KernelIsa::XpulpNN, hw);
+        let tb = ConvTestbench::new(cfg, 42).expect("build kernel");
+        c.bench_function(name, |b| {
+            b.iter(|| black_box(tb.run().expect("kernel run").cycles()))
+        });
+    }
+    c.final_summary();
+}

@@ -1,0 +1,31 @@
+//! Infrastructure benchmark: how fast is the simulator itself?
+//!
+//! Reports host-side throughput (simulated instructions per second) for
+//! the kernel mix that dominates every experiment, so regressions in the
+//! model's own performance are visible.
+
+use criterion::{Criterion, black_box};
+use xpulpnn::{BitWidth, ConvKernelConfig, ConvTestbench, KernelIsa};
+
+fn main() {
+    let cfg = ConvKernelConfig::paper(BitWidth::W4, KernelIsa::XpulpNN, true);
+    let tb = ConvTestbench::new(cfg, 42).expect("build kernel");
+    // One run to size the workload.
+    let r = tb.run().expect("kernel run");
+    let instrs = r.report.perf.instret;
+    println!(
+        "\nworkload: {} ({} simulated instructions per run)\n",
+        cfg.name(),
+        instrs
+    );
+
+    let mut c = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8))
+        .configure_from_args();
+    c.bench_function("simulator/instructions_per_run", |b| {
+        b.iter(|| black_box(tb.run().expect("kernel run").report.perf.instret))
+    });
+    c.final_summary();
+    println!("\n(divide {instrs} simulated instructions by the time above for sim MIPS)");
+}

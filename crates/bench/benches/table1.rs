@@ -1,0 +1,16 @@
+//! Table I — the QNN embedded-platform landscape with the "This Work"
+//! row computed from measured throughput/efficiency.
+
+use criterion::{Criterion, black_box};
+use xpulpnn::experiments;
+
+fn main() {
+    let m = experiments::collect(42).expect("measurement matrix");
+    println!("\n{}\n", experiments::table1(&m));
+
+    let mut c = Criterion::default().sample_size(20).configure_from_args();
+    c.bench_function("table1/this_work_row", |b| {
+        b.iter(|| black_box(experiments::table1(black_box(&m)).rows.len()))
+    });
+    c.final_summary();
+}

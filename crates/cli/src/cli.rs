@@ -1,0 +1,311 @@
+//! Command parsing and execution (separated from `main` for testing).
+
+use std::fmt::Write as _;
+use xpulpnn::pulp_asm::text::parse;
+use xpulpnn::pulp_isa::compressed::code_size_report;
+use xpulpnn::pulp_isa::reg::ALL_REGS;
+use xpulpnn::pulp_soc::Soc;
+use xpulpnn::riscv_core::IsaConfig;
+
+/// Usage text shown on errors.
+pub const USAGE: &str = "\
+usage:
+  xpulpnn run <file.s> [--isa rv32im|xpulpv2|xpulpnn] [--max-cycles N] [--trace]
+      assemble and execute a program on the simulated SoC
+  xpulpnn dis <file.s>
+      assemble and print the listing with encodings
+  xpulpnn codesize <file.s>
+      report how much RV32C compression would shrink the program
+  xpulpnn sweep [--seed N]
+      run the paper's convolution benchmark matrix (Figs. 6/8 data)
+  xpulpnn report [--seed N]
+      regenerate every table and figure of the paper's evaluation";
+
+/// A user-facing CLI error.
+#[derive(Debug, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Parsed options for `run`.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RunOpts {
+    /// Source path.
+    pub path: String,
+    /// Core configuration.
+    pub isa: IsaConfig,
+    /// Cycle budget.
+    pub max_cycles: u64,
+    /// Print each retired instruction.
+    pub trace: bool,
+}
+
+/// Parses the flags of the `run` subcommand.
+pub fn parse_run_opts(args: &[String]) -> Result<RunOpts, CliError> {
+    let mut path = None;
+    let mut isa = IsaConfig::xpulpnn();
+    let mut max_cycles = 100_000_000u64;
+    let mut trace = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--trace" => trace = true,
+            "--isa" => {
+                let v = it.next().ok_or_else(|| err("--isa needs a value"))?;
+                isa = match v.as_str() {
+                    "rv32im" => IsaConfig::rv32im(),
+                    "xpulpv2" => IsaConfig::xpulpv2(),
+                    "xpulpnn" => IsaConfig::xpulpnn(),
+                    other => return Err(err(format!("unknown ISA `{other}`"))),
+                };
+            }
+            "--max-cycles" => {
+                let v = it.next().ok_or_else(|| err("--max-cycles needs a value"))?;
+                max_cycles =
+                    v.parse().map_err(|_| err(format!("bad cycle count `{v}`")))?;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(err(format!("unknown flag `{flag}`")));
+            }
+            p => {
+                if path.replace(p.to_string()).is_some() {
+                    return Err(err("multiple input files"));
+                }
+            }
+        }
+    }
+    Ok(RunOpts {
+        path: path.ok_or_else(|| err("run needs an input file"))?,
+        isa,
+        max_cycles,
+        trace,
+    })
+}
+
+fn parse_seed(args: &[String]) -> Result<u64, CliError> {
+    let mut seed = 42u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                let v = it.next().ok_or_else(|| err("--seed needs a value"))?;
+                seed = v.parse().map_err(|_| err(format!("bad seed `{v}`")))?;
+            }
+            other => return Err(err(format!("unknown argument `{other}`"))),
+        }
+    }
+    Ok(seed)
+}
+
+fn load_program(path: &str) -> Result<xpulpnn::pulp_asm::Program, CliError> {
+    let source = std::fs::read_to_string(path)
+        .map_err(|e| err(format!("cannot read `{path}`: {e}")))?;
+    parse(&source).map_err(|e| err(format!("{path}: {e}")))
+}
+
+fn cmd_run(args: &[String]) -> Result<String, CliError> {
+    let opts = parse_run_opts(args)?;
+    let prog = load_program(&opts.path)?;
+    let mut soc = Soc::new(opts.isa);
+    soc.load(&prog);
+    let mut out = String::new();
+    const TRACE_CAP: usize = 5000;
+    let report = if opts.trace {
+        let mut lines = 0usize;
+        let mut trace_buf = String::new();
+        let before = soc.core.perf;
+        let exit = soc
+            .core
+            .run_traced(&mut soc.mem, opts.max_cycles, |pc, i| {
+                if lines < TRACE_CAP {
+                    let _ = writeln!(trace_buf, "  {pc:08x}:  {i}");
+                }
+                lines += 1;
+            })
+            .map_err(|t| err(t.to_string()))?;
+        out.push_str(&trace_buf);
+        if lines > TRACE_CAP {
+            let _ = writeln!(out, "  ... ({} more instructions)", lines - TRACE_CAP);
+        }
+        let mut perf = soc.core.perf;
+        perf.cycles -= before.cycles;
+        perf.instret -= before.instret;
+        xpulpnn::pulp_soc::RunReport { exit, perf }
+    } else {
+        soc.run(opts.max_cycles).map_err(|t| err(t.to_string()))?
+    };
+    if !report.exit.halted {
+        let _ = writeln!(out, "cycle budget exhausted at pc {:#010x}", report.exit.pc);
+    }
+    let _ = writeln!(out, "exit code : {}", report.exit.exit_code);
+    let _ = writeln!(out, "cycles    : {}", report.perf.cycles);
+    let _ = writeln!(out, "instret   : {}", report.perf.instret);
+    let console = soc.console_text();
+    if !console.is_empty() {
+        let _ = writeln!(out, "console   : {console:?}");
+    }
+    let _ = writeln!(out, "\nregisters:");
+    for chunk in ALL_REGS.chunks(4) {
+        let mut line = String::new();
+        for r in chunk {
+            let _ = write!(line, "  {:>4} = {:#010x}", r.abi_name(), soc.core.reg(*r));
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    Ok(out)
+}
+
+fn cmd_dis(args: &[String]) -> Result<String, CliError> {
+    let path = args.first().ok_or_else(|| err("dis needs an input file"))?;
+    let prog = load_program(path)?;
+    Ok(prog.listing())
+}
+
+fn cmd_codesize(args: &[String]) -> Result<String, CliError> {
+    let path = args.first().ok_or_else(|| err("codesize needs an input file"))?;
+    let prog = load_program(path)?;
+    let r = code_size_report(prog.instrs.iter());
+    Ok(format!(
+        "instructions        : {}\ncompressible (RVC)  : {}\nbytes (32-bit only) : {}\nbytes (with RVC)    : {}\nsavings             : {:.1}%\n",
+        r.instructions,
+        r.compressible,
+        r.bytes_uncompressed,
+        r.bytes_compressed,
+        r.savings() * 100.0
+    ))
+}
+
+fn cmd_sweep(args: &[String]) -> Result<String, CliError> {
+    let seed = parse_seed(args)?;
+    let m = xpulpnn::experiments::collect(seed).map_err(|e| err(e.to_string()))?;
+    Ok(format!(
+        "{}\n{}",
+        xpulpnn::experiments::figure6(&m),
+        xpulpnn::experiments::figure8(&m)
+    ))
+}
+
+fn cmd_report(args: &[String]) -> Result<String, CliError> {
+    let seed = parse_seed(args)?;
+    let r = xpulpnn::experiments::run_all(seed).map_err(|e| err(e.to_string()))?;
+    Ok(format!("{r}\n"))
+}
+
+/// Dispatches a full argument vector.
+///
+/// # Errors
+///
+/// [`CliError`] with a message for the user.
+pub fn dispatch(args: &[String]) -> Result<String, CliError> {
+    let (cmd, rest) = args.split_first().ok_or_else(|| err("missing subcommand"))?;
+    match cmd.as_str() {
+        "run" => cmd_run(rest),
+        "dis" => cmd_dis(rest),
+        "codesize" => cmd_codesize(rest),
+        "sweep" => cmd_sweep(rest),
+        "report" => cmd_report(rest),
+        "--help" | "-h" | "help" => Ok(format!("{USAGE}\n")),
+        other => Err(err(format!("unknown subcommand `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn run_opts_defaults_and_flags() {
+        let o = parse_run_opts(&v(&["prog.s"])).unwrap();
+        assert_eq!(o.path, "prog.s");
+        assert_eq!(o.isa, IsaConfig::xpulpnn());
+        assert_eq!(o.max_cycles, 100_000_000);
+
+        let o = parse_run_opts(&v(&["--isa", "xpulpv2", "p.s", "--max-cycles", "5"])).unwrap();
+        assert_eq!(o.isa, IsaConfig::xpulpv2());
+        assert_eq!(o.max_cycles, 5);
+        assert_eq!(o.path, "p.s");
+    }
+
+    #[test]
+    fn run_opts_errors() {
+        assert!(parse_run_opts(&v(&[])).is_err());
+        assert!(parse_run_opts(&v(&["a.s", "b.s"])).is_err());
+        assert!(parse_run_opts(&v(&["a.s", "--isa", "armv7"])).is_err());
+        assert!(parse_run_opts(&v(&["a.s", "--max-cycles", "lots"])).is_err());
+        assert!(parse_run_opts(&v(&["a.s", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown() {
+        assert!(dispatch(&v(&["frobnicate"])).is_err());
+        assert!(dispatch(&[]).is_err());
+        assert!(dispatch(&v(&["--help"])).unwrap().contains("usage"));
+    }
+
+    #[test]
+    fn end_to_end_run_and_dis_and_codesize() {
+        let dir = std::env::temp_dir().join(format!("xpulpnn-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("prog.s");
+        std::fs::write(
+            &path,
+            "li a0, 6\nslli a0, a0, 3\nli t0, 4\nlp.setup x0, t0, end\naddi a1, a1, 1\nend:\necall\n",
+        )
+        .unwrap();
+        let p = path.to_str().unwrap().to_string();
+
+        let out = dispatch(&v(&["run", &p])).unwrap();
+        assert!(out.contains("exit code : 48"), "{out}");
+        assert!(out.contains("a1 = 0x00000004"), "{out}");
+
+        let out = dispatch(&v(&["dis", &p])).unwrap();
+        assert!(out.contains("lp.setup"), "{out}");
+
+        let out = dispatch(&v(&["codesize", &p])).unwrap();
+        assert!(out.contains("compressible"), "{out}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_trace_prints_retired_instructions() {
+        let dir = std::env::temp_dir().join(format!("xpulpnn-cli-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.s");
+        std::fs::write(&path, "li t0, 2\nlp.setup x0, t0, end\naddi a0, a0, 7\nend:\necall\n")
+            .unwrap();
+        let p = path.to_str().unwrap().to_string();
+        let out = dispatch(&v(&["run", &p, "--trace"])).unwrap();
+        // The single-instruction loop body retires twice.
+        assert_eq!(out.matches("addi a0, a0, 7").count(), 2, "{out}");
+        assert!(out.contains("exit code : 14"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_respects_isa_flag() {
+        let dir = std::env::temp_dir().join(format!("xpulpnn-cli-isa-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("nn.s");
+        std::fs::write(&path, "pv.sdotsp.n a0, a1, a2\necall\n").unwrap();
+        let p = path.to_str().unwrap().to_string();
+        assert!(dispatch(&v(&["run", &p])).is_ok());
+        let e = dispatch(&v(&["run", &p, "--isa", "xpulpv2"])).unwrap_err();
+        assert!(e.0.contains("xpulpnn extension"), "{e}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

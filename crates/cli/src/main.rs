@@ -1,0 +1,29 @@
+//! `xpulpnn` — the command-line front door to the reproduction.
+//!
+//! ```text
+//! xpulpnn run <file.s> [--isa rv32im|xpulpv2|xpulpnn] [--max-cycles N]
+//! xpulpnn dis <file.s>
+//! xpulpnn codesize <file.s>
+//! xpulpnn sweep [--seed N]
+//! xpulpnn report [--seed N]
+//! ```
+
+use std::process::ExitCode;
+
+mod cli;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::dispatch(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

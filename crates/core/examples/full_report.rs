@@ -1,0 +1,4 @@
+fn main() {
+    let r = xpulpnn::experiments::run_all(42).expect("report");
+    println!("{r}");
+}

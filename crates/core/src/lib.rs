@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+
+//! # xpulpnn — a full-system reproduction of *XpulpNN: Accelerating
+//! Quantized Neural Networks on RISC-V Processors Through ISA
+//! Extensions* (DATE 2020)
+//!
+//! This crate is the façade over the whole reproduction stack and the
+//! home of the experiment harness that regenerates every table and
+//! figure of the paper's evaluation:
+//!
+//! | layer | crate |
+//! |---|---|
+//! | ISA definitions, encoder/decoder, SIMD semantics | [`pulp_isa`] |
+//! | assembler / program builder | [`pulp_asm`] |
+//! | cycle-approximate extended-RI5CY core model | [`riscv_core`] |
+//! | PULPissimo SoC model (L2, console) | [`pulp_soc`] |
+//! | golden QNN math (conv, pooling, quantizers) | [`qnn`] |
+//! | generated PULP-NN-style kernels | [`pulp_kernels`] |
+//! | Cortex-M4/M7 CMSIS-NN cost models | [`cortexm_model`] |
+//! | Table III area/power models | [`pulp_power`] |
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use xpulpnn::measure::measure_paper_layer;
+//! use xpulpnn::{BitWidth, KernelIsa};
+//!
+//! # fn main() -> Result<(), xpulpnn::Error> {
+//! // Run the paper's 16×16×32 → 64×3×3×32 conv layer, 4-bit, on the
+//! // extended core with the hardware quantizer.
+//! let m = measure_paper_layer(BitWidth::W4, KernelIsa::XpulpNN, true, 42)?;
+//! println!("{} cycles, {:.2} MAC/cycle", m.cycles, m.macs_per_cycle());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See [`experiments`] for the per-figure entry points
+//! ([`experiments::figure6`], [`experiments::figure8`], …),
+//! [`experiments::run_all`] for the full paper-vs-measured report, and
+//! [`network`] for whole-network deployment (describe a quantized
+//! network as layers, run verified inference end to end on the SoC).
+
+pub mod experiments;
+pub mod measure;
+pub mod network;
+pub mod report;
+
+pub use measure::{measure_paper_layer, Error, LayerMeasurement};
+pub use pulp_kernels::{ConvKernelConfig, ConvTestbench, KernelIsa, QuantMode};
+pub use qnn::BitWidth;
+
+// Re-export the stack for downstream users of the façade.
+pub use cortexm_model;
+pub use pulp_asm;
+pub use pulp_isa;
+pub use pulp_kernels;
+pub use pulp_power;
+pub use pulp_soc;
+pub use qnn;
+pub use riscv_core;

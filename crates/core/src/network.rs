@@ -1,0 +1,506 @@
+//! Whole-network deployment: describe a quantized network as a sequence
+//! of layers, compile every layer to a simulator kernel, and run
+//! inference end to end on the simulated SoC — each layer verified
+//! against its golden model on the way.
+//!
+//! This is the downstream-user API the kernel library exists for: the
+//! `cnn_inference` and `mobilenet_block` examples are hand-rolled
+//! versions of what [`Network::run`] automates.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use xpulpnn::network::{Layer, Network};
+//! use xpulpnn::qnn::conv::ConvShape;
+//! use xpulpnn::qnn::pool::PoolShape;
+//! use xpulpnn::BitWidth;
+//!
+//! # fn main() -> Result<(), xpulpnn::network::NetworkError> {
+//! let net = Network::new(vec![
+//!     Layer::conv(
+//!         ConvShape { in_h: 8, in_w: 8, in_c: 8, out_c: 16, k_h: 3, k_w: 3, stride: 1, pad: 1 },
+//!         BitWidth::W8,
+//!         BitWidth::W4,
+//!     ),
+//!     Layer::maxpool(PoolShape { in_h: 8, in_w: 8, c: 16, k: 2, stride: 2 }, BitWidth::W4),
+//! ])?;
+//! let result = net.run(42)?;
+//! println!("{} cycles total", result.total_cycles());
+//! # Ok(())
+//! # }
+//! ```
+
+use pulp_kernels::depthwise::{DepthwiseKernelConfig, DepthwiseTestbench};
+use pulp_kernels::linear::{LinearKernelConfig, LinearTestbench};
+use pulp_kernels::pool::{PoolKernelConfig, PoolOp, PoolTestbench};
+use pulp_kernels::runner::BuildError;
+use pulp_kernels::{ConvKernelConfig, ConvTestbench, QuantMode};
+use qnn::conv::ConvShape;
+use qnn::depthwise::DepthwiseShape;
+use qnn::linear::LinearShape;
+use qnn::pool::PoolShape;
+use qnn::rng::TensorRng;
+use qnn::tensor::QuantTensor;
+use qnn::BitWidth;
+use riscv_core::Trap;
+use std::fmt;
+
+/// One layer of a network description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layer {
+    /// Standard convolution (`bits`-wide operands, `out_bits`-wide
+    /// outputs; `pv.qnt` / shift+clip on the extended core).
+    Conv {
+        /// Geometry.
+        shape: ConvShape,
+        /// Operand width.
+        bits: BitWidth,
+        /// Output width.
+        out_bits: BitWidth,
+    },
+    /// Depthwise convolution (8-bit only; see
+    /// [`pulp_kernels::depthwise`]).
+    Depthwise {
+        /// Geometry.
+        shape: DepthwiseShape,
+        /// Re-quantization shift.
+        shift: u32,
+    },
+    /// Max pooling (packed SIMD).
+    MaxPool {
+        /// Geometry.
+        shape: PoolShape,
+        /// Activation width.
+        bits: BitWidth,
+    },
+    /// Fully connected layer.
+    Linear {
+        /// Geometry.
+        shape: LinearShape,
+        /// Operand (and output) width.
+        bits: BitWidth,
+    },
+}
+
+impl Layer {
+    /// Convolution layer shorthand.
+    pub fn conv(shape: ConvShape, bits: BitWidth, out_bits: BitWidth) -> Layer {
+        Layer::Conv { shape, bits, out_bits }
+    }
+
+    /// Depthwise layer shorthand (8-bit, shift 7).
+    pub fn depthwise(shape: DepthwiseShape) -> Layer {
+        Layer::Depthwise { shape, shift: 7 }
+    }
+
+    /// Max-pooling layer shorthand.
+    pub fn maxpool(shape: PoolShape, bits: BitWidth) -> Layer {
+        Layer::MaxPool { shape, bits }
+    }
+
+    /// Linear layer shorthand.
+    pub fn linear(shape: LinearShape, bits: BitWidth) -> Layer {
+        Layer::Linear { shape, bits }
+    }
+
+    /// `(input elements, input width)` this layer consumes.
+    pub fn input_spec(&self) -> (usize, BitWidth) {
+        match *self {
+            Layer::Conv { shape, bits, .. } => (shape.input_len(), bits),
+            Layer::Depthwise { shape, .. } => (shape.input_len(), BitWidth::W8),
+            Layer::MaxPool { shape, bits } => (shape.input_len(), bits),
+            Layer::Linear { shape, bits } => (shape.in_features, bits),
+        }
+    }
+
+    /// `(output elements, output width)` this layer produces.
+    pub fn output_spec(&self) -> (usize, BitWidth) {
+        match *self {
+            Layer::Conv { shape, out_bits, .. } => (shape.output_len(), out_bits),
+            Layer::Depthwise { shape, .. } => (shape.output_len(), BitWidth::W8),
+            Layer::MaxPool { shape, bits } => (shape.output_len(), bits),
+            Layer::Linear { shape, bits } => (shape.out_features, bits),
+        }
+    }
+
+    /// MACs (pooling counts zero).
+    pub fn macs(&self) -> u64 {
+        match *self {
+            Layer::Conv { shape, .. } => shape.macs(),
+            Layer::Depthwise { shape, .. } => shape.macs(),
+            Layer::MaxPool { .. } => 0,
+            Layer::Linear { shape, .. } => shape.macs(),
+        }
+    }
+
+    /// Short description.
+    pub fn describe(&self) -> String {
+        match *self {
+            Layer::Conv { shape, bits, out_bits } => format!(
+                "conv {}x{} {}ch->{}ch {}->{}",
+                shape.k_h, shape.k_w, shape.in_c, shape.out_c, bits, out_bits
+            ),
+            Layer::Depthwise { shape, .. } => {
+                format!("depthwise {}x{} {}ch 8-bit", shape.k, shape.k, shape.c)
+            }
+            Layer::MaxPool { shape, bits } => {
+                format!("maxpool {}x{}/s{} {}", shape.k, shape.k, shape.stride, bits)
+            }
+            Layer::Linear { shape, bits } => {
+                format!("linear {}->{} {}", shape.in_features, shape.out_features, bits)
+            }
+        }
+    }
+}
+
+/// A network whose layer interfaces have been checked for consistency.
+#[derive(Debug, Clone)]
+pub struct Network {
+    layers: Vec<Layer>,
+}
+
+/// A broken network description or a failed layer run.
+#[derive(Debug)]
+pub enum NetworkError {
+    /// The network has no layers.
+    Empty,
+    /// Layer `index`'s input does not match the previous layer's output.
+    InterfaceMismatch {
+        /// 0-based layer index.
+        index: usize,
+        /// What the previous layer produces.
+        produced: (usize, BitWidth),
+        /// What this layer expects.
+        expected: (usize, BitWidth),
+    },
+    /// A layer kernel failed to build.
+    Build {
+        /// 0-based layer index.
+        index: usize,
+        /// Underlying error.
+        source: BuildError,
+    },
+    /// The simulator trapped inside a layer.
+    Trap {
+        /// 0-based layer index.
+        index: usize,
+        /// The trap.
+        source: Trap,
+    },
+    /// A layer's device output diverged from its golden model.
+    Diverged {
+        /// 0-based layer index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::Empty => f.write_str("network has no layers"),
+            NetworkError::InterfaceMismatch { index, produced, expected } => write!(
+                f,
+                "layer {index}: expects {} × {}, previous layer produces {} × {}",
+                expected.0, expected.1, produced.0, produced.1
+            ),
+            NetworkError::Build { index, source } => write!(f, "layer {index}: {source}"),
+            NetworkError::Trap { index, source } => write!(f, "layer {index}: {source}"),
+            NetworkError::Diverged { index } => {
+                write!(f, "layer {index}: device output diverged from the golden model")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// Per-layer outcome of a network run.
+#[derive(Debug, Clone)]
+pub struct LayerRun {
+    /// The layer.
+    pub layer: Layer,
+    /// Kernel cycles.
+    pub cycles: u64,
+    /// MACs.
+    pub macs: u64,
+}
+
+/// Outcome of a full network inference.
+#[derive(Debug, Clone)]
+pub struct NetworkRun {
+    /// One entry per layer, in order.
+    pub layers: Vec<LayerRun>,
+    /// The final activation tensor.
+    pub output: QuantTensor,
+}
+
+impl NetworkRun {
+    /// Total cycles over all layers.
+    pub fn total_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.cycles).sum()
+    }
+
+    /// Total MACs over all layers.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs).sum()
+    }
+
+    /// Inference latency in milliseconds at the 250 MHz operating point.
+    pub fn latency_ms(&self) -> f64 {
+        self.total_cycles() as f64 / 250e3
+    }
+}
+
+impl fmt::Display for NetworkRun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, l) in self.layers.iter().enumerate() {
+            let rate = if l.macs > 0 {
+                format!("{:5.2} MAC/cycle", l.macs as f64 / l.cycles as f64)
+            } else {
+                "     —       ".to_string()
+            };
+            writeln!(f, "layer {:>2}: {:<36} {:>9} cycles  {rate}", i + 1, l.layer.describe(), l.cycles)?;
+        }
+        write!(
+            f,
+            "total: {} cycles, {} MACs, {:.2} ms @ 250 MHz",
+            self.total_cycles(),
+            self.total_macs(),
+            self.latency_ms()
+        )
+    }
+}
+
+impl Network {
+    /// Builds a network, checking that every layer's input interface
+    /// matches the previous layer's output.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::Empty`] or [`NetworkError::InterfaceMismatch`].
+    pub fn new(layers: Vec<Layer>) -> Result<Network, NetworkError> {
+        if layers.is_empty() {
+            return Err(NetworkError::Empty);
+        }
+        for i in 1..layers.len() {
+            let produced = layers[i - 1].output_spec();
+            let expected = layers[i].input_spec();
+            if produced != expected {
+                return Err(NetworkError::InterfaceMismatch { index: i, produced, expected });
+            }
+        }
+        Ok(Network { layers })
+    }
+
+    /// The layers.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Runs inference over deterministic synthetic weights and input
+    /// (derived from `seed`), verifying every layer against its golden
+    /// model.
+    ///
+    /// # Errors
+    ///
+    /// Any [`NetworkError`]; divergence from a golden model is an error,
+    /// never a silent result.
+    pub fn run(&self, seed: u64) -> Result<NetworkRun, NetworkError> {
+        let mut rng = TensorRng::new(seed);
+        let (in_len, in_bits) = self.layers[0].input_spec();
+        let mut activations = rng.activations(in_bits, in_len);
+        let mut runs = Vec::with_capacity(self.layers.len());
+
+        for (index, layer) in self.layers.iter().enumerate() {
+            let build = |e| NetworkError::Build { index, source: e };
+            let trap = |e| NetworkError::Trap { index, source: e };
+            let (cycles, output, matches): (u64, Vec<i16>, bool) = match *layer {
+                Layer::Conv { shape, bits, out_bits } => {
+                    let cfg = ConvKernelConfig::mixed(shape, bits, out_bits);
+                    let weights = rng.weights(bits, shape.weight_len());
+                    let thresholds = if out_bits.is_sub_byte() {
+                        Some(rng.thresholds(out_bits, shape.out_c, -1800, 1800))
+                    } else {
+                        None
+                    };
+                    let tb = ConvTestbench::from_parts(cfg, activations, weights, thresholds)
+                        .map_err(build)?;
+                    let r = tb.run().map_err(trap)?;
+                    (r.cycles(), r.output.clone(), r.matches())
+                }
+                Layer::Depthwise { shape, shift } => {
+                    let cfg = DepthwiseKernelConfig { shape, shift };
+                    // Depthwise testbenches own their tensors; rebuild a
+                    // bench around the incoming activations by seeding a
+                    // dedicated generator is not possible, so use the
+                    // lower-level pieces directly.
+                    let r = run_depthwise_with_input(&cfg, &activations, &mut rng)
+                        .map_err(|e| match e {
+                            DwError::Build(b) => build(b),
+                            DwError::Trap(t) => trap(t),
+                        })?;
+                    (r.0, r.1, r.2)
+                }
+                Layer::MaxPool { shape, bits } => {
+                    let cfg = PoolKernelConfig { shape, bits, op: PoolOp::Max, simd: true };
+                    let r = run_pool_with_input(&cfg, &activations).map_err(|e| match e {
+                        DwError::Build(b) => build(b),
+                        DwError::Trap(t) => trap(t),
+                    })?;
+                    (r.0, r.1, r.2)
+                }
+                Layer::Linear { shape, bits } => {
+                    let quant = match bits {
+                        BitWidth::W8 => QuantMode::Shift8 { shift: 8 },
+                        _ => QuantMode::HardwareQnt,
+                    };
+                    let cfg = LinearKernelConfig { shape, bits, quant };
+                    let r = run_linear_with_input(&cfg, &activations, &mut rng)
+                        .map_err(|e| match e {
+                            DwError::Build(b) => build(b),
+                            DwError::Trap(t) => trap(t),
+                        })?;
+                    (r.0, r.1, r.2)
+                }
+            };
+            if !matches {
+                return Err(NetworkError::Diverged { index });
+            }
+            runs.push(LayerRun { layer: *layer, cycles, macs: layer.macs() });
+            let (_, out_bits) = layer.output_spec();
+            activations = QuantTensor::activations(out_bits, output)
+                .expect("verified layer outputs are in range");
+        }
+        Ok(NetworkRun { layers: runs, output: activations })
+    }
+}
+
+enum DwError {
+    Build(BuildError),
+    Trap(Trap),
+}
+
+type LayerOutcome = (u64, Vec<i16>, bool);
+
+fn run_depthwise_with_input(
+    cfg: &DepthwiseKernelConfig,
+    input: &QuantTensor,
+    _rng: &mut TensorRng,
+) -> Result<LayerOutcome, DwError> {
+    // The testbench generates its own weights from a seed; feed the
+    // activations through its staging by rebuilding with identical
+    // config but replacing the input via the public run-on-soc path.
+    let tb = DepthwiseTestbench::new(*cfg, 1234).map_err(DwError::Build)?;
+    let r = tb
+        .run_with_input(input.values())
+        .map_err(DwError::Trap)?;
+    Ok((r.cycles(), r.output.clone(), r.matches()))
+}
+
+fn run_pool_with_input(
+    cfg: &PoolKernelConfig,
+    input: &QuantTensor,
+) -> Result<LayerOutcome, DwError> {
+    let tb = PoolTestbench::new(*cfg, 1234).map_err(DwError::Build)?;
+    let r = tb.run_with_input(input.values()).map_err(DwError::Trap)?;
+    Ok((r.cycles(), r.output.clone(), r.matches()))
+}
+
+fn run_linear_with_input(
+    cfg: &LinearKernelConfig,
+    input: &QuantTensor,
+    _rng: &mut TensorRng,
+) -> Result<LayerOutcome, DwError> {
+    let tb = LinearTestbench::new(*cfg, 1234).map_err(DwError::Build)?;
+    let r = tb.run_with_input(input.values()).map_err(DwError::Trap)?;
+    Ok((r.cycles(), r.output.clone(), r.matches()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interface_checking() {
+        assert!(matches!(Network::new(vec![]), Err(NetworkError::Empty)));
+        let bad = Network::new(vec![
+            Layer::conv(
+                ConvShape { in_h: 4, in_w: 4, in_c: 8, out_c: 8, k_h: 3, k_w: 3, stride: 1, pad: 1 },
+                BitWidth::W4,
+                BitWidth::W4,
+            ),
+            // expects 16 channels, gets 8
+            Layer::maxpool(PoolShape { in_h: 4, in_w: 4, c: 16, k: 2, stride: 2 }, BitWidth::W4),
+        ]);
+        assert!(matches!(bad, Err(NetworkError::InterfaceMismatch { index: 1, .. })));
+        // Width mismatch is also caught.
+        let bad = Network::new(vec![
+            Layer::conv(
+                ConvShape { in_h: 4, in_w: 4, in_c: 8, out_c: 8, k_h: 3, k_w: 3, stride: 1, pad: 1 },
+                BitWidth::W4,
+                BitWidth::W4,
+            ),
+            Layer::maxpool(PoolShape { in_h: 4, in_w: 4, c: 8, k: 2, stride: 2 }, BitWidth::W8),
+        ]);
+        assert!(matches!(bad, Err(NetworkError::InterfaceMismatch { .. })));
+    }
+
+    #[test]
+    fn small_network_runs_verified() {
+        let net = Network::new(vec![
+            Layer::conv(
+                ConvShape { in_h: 8, in_w: 8, in_c: 8, out_c: 16, k_h: 3, k_w: 3, stride: 1, pad: 1 },
+                BitWidth::W8,
+                BitWidth::W4,
+            ),
+            Layer::maxpool(PoolShape { in_h: 8, in_w: 8, c: 16, k: 2, stride: 2 }, BitWidth::W4),
+            Layer::conv(
+                ConvShape { in_h: 4, in_w: 4, in_c: 16, out_c: 16, k_h: 3, k_w: 3, stride: 1, pad: 1 },
+                BitWidth::W4,
+                BitWidth::W4,
+            ),
+            Layer::linear(LinearShape { in_features: 4 * 4 * 16, out_features: 10 * 2 }, BitWidth::W4),
+        ])
+        .expect("consistent network");
+        let run = net.run(42).expect("verified inference");
+        assert_eq!(run.layers.len(), 4);
+        assert!(run.total_cycles() > 0);
+        assert_eq!(run.output.len(), 20);
+        let text = run.to_string();
+        assert!(text.contains("maxpool"));
+        assert!(text.contains("linear"));
+    }
+
+    #[test]
+    fn depthwise_separable_network() {
+        let net = Network::new(vec![
+            Layer::depthwise(DepthwiseShape { in_h: 8, in_w: 8, c: 16, k: 3, stride: 1, pad: 1 }),
+            Layer::conv(
+                ConvShape { in_h: 8, in_w: 8, in_c: 16, out_c: 16, k_h: 1, k_w: 1, stride: 1, pad: 0 },
+                BitWidth::W8,
+                BitWidth::W8,
+            ),
+        ])
+        .expect("consistent network");
+        let run = net.run(9).expect("verified inference");
+        assert_eq!(run.layers.len(), 2);
+        // Depthwise contributes far fewer MACs per cycle.
+        let dw_rate = run.layers[0].macs as f64 / run.layers[0].cycles as f64;
+        let pw_rate = run.layers[1].macs as f64 / run.layers[1].cycles as f64;
+        assert!(pw_rate > dw_rate);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let net = Network::new(vec![Layer::conv(
+            ConvShape { in_h: 4, in_w: 4, in_c: 8, out_c: 8, k_h: 3, k_w: 3, stride: 1, pad: 1 },
+            BitWidth::W4,
+            BitWidth::W4,
+        )])
+        .unwrap();
+        let a = net.run(7).unwrap();
+        let b = net.run(7).unwrap();
+        assert_eq!(a.total_cycles(), b.total_cycles());
+        assert_eq!(a.output.values(), b.output.values());
+    }
+}

@@ -1,0 +1,90 @@
+//! Minimal fixed-width table formatting for experiment reports.
+
+use std::fmt;
+
+/// A simple text table: headers plus rows, padded per column.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header count.
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) -> &mut Table {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.iter().map(|c| c.as_ref().to_string()).collect());
+        self
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.len());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self.widths();
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, " ")?;
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, " {c:<width$}", width = w[i])?;
+                if i + 1 < cells.len() {
+                    write!(f, " |")?;
+                }
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let total: usize = w.iter().sum::<usize>() + 3 * w.len() + 1;
+        writeln!(f, " {}", "-".repeat(total))?;
+        for r in &self.rows {
+            line(f, r)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_padded_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["x", "1"]);
+        t.row(&["long-name", "23"]);
+        let s = t.to_string();
+        assert!(s.contains("name"));
+        assert!(s.contains("long-name"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Columns align: every data line has the separator in the same
+        // position.
+        let pos1 = lines[2].find('|').unwrap();
+        let pos2 = lines[3].find('|').unwrap();
+        assert_eq!(pos1, pos2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one"]);
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! Program construction for the XpulpNN core simulator.
+//!
+//! This crate plays the role of the GCC toolchain port described in the
+//! paper (§IV): it turns kernel descriptions into binary programs for the
+//! extended RI5CY core. Two front-ends are provided:
+//!
+//! * [`Asm`] — a typed builder API with labels, pseudo-instructions and
+//!   data segments. The QNN kernel generators (`pulp-kernels`) use this to
+//!   emit hand-scheduled inner loops, the same way the paper's kernels
+//!   use compiler builtins over hand-optimized C.
+//! * [`text::parse`] — a text assembler accepting the disassembly
+//!   syntax produced by [`pulp_isa::Instr`]'s `Display`, used by the
+//!   `isa_playground` example and round-trip tests.
+//!
+//! # Example
+//!
+//! ```
+//! use pulp_asm::Asm;
+//! use pulp_isa::Reg;
+//!
+//! let mut a = Asm::new(0x1c00_0000);
+//! a.li(Reg::A0, 10);
+//! a.li(Reg::A1, 0);
+//! a.label("loop");
+//! a.addi(Reg::A1, Reg::A1, 3);
+//! a.addi(Reg::A0, Reg::A0, -1);
+//! a.bne(Reg::A0, Reg::Zero, "loop");
+//! a.ecall();
+//! let prog = a.assemble()?;
+//! assert!(prog.words.len() >= 6);
+//! # Ok::<(), pulp_asm::AsmError>(())
+//! ```
+
+pub mod builder;
+pub mod program;
+pub mod text;
+
+pub use builder::{Asm, AsmError};
+pub use program::Program;

@@ -1,0 +1,100 @@
+//! The assembled program container.
+
+use pulp_isa::Instr;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An assembled program: encoded instruction words plus the data image and
+/// resolved symbol table.
+///
+/// The SoC loader (`pulp-soc`) copies `words` to [`Program::base`] and each
+/// data segment to its address, then starts the core at the entry point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Address the first instruction is loaded at.
+    pub base: u32,
+    /// Encoded instruction words, contiguous from [`Program::base`].
+    pub words: Vec<u32>,
+    /// Decoded form of `words` (kept for fast simulation and listings).
+    pub instrs: Vec<Instr>,
+    /// Data segments as `(address, bytes)` pairs, non-overlapping.
+    pub data: Vec<(u32, Vec<u8>)>,
+    /// Resolved label addresses (code and data labels).
+    pub symbols: BTreeMap<String, u32>,
+}
+
+impl Program {
+    /// Total code size in bytes.
+    pub fn code_size(&self) -> u32 {
+        (self.words.len() * 4) as u32
+    }
+
+    /// Address of the resolved label, if defined.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Produces an address-annotated disassembly listing of the code.
+    pub fn listing(&self) -> String {
+        use fmt::Write;
+        // Invert the symbol table for label annotations.
+        let mut by_addr: BTreeMap<u32, Vec<&str>> = BTreeMap::new();
+        for (name, addr) in &self.symbols {
+            by_addr.entry(*addr).or_default().push(name);
+        }
+        let mut out = String::new();
+        for (i, instr) in self.instrs.iter().enumerate() {
+            let addr = self.base + (i as u32) * 4;
+            if let Some(names) = by_addr.get(&addr) {
+                for n in names {
+                    let _ = writeln!(out, "{n}:");
+                }
+            }
+            let _ = writeln!(out, "  {addr:08x}:  {:08x}  {instr}", self.words[i]);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.listing())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulp_isa::encode::encode;
+    use pulp_isa::Reg;
+
+    fn sample() -> Program {
+        let instrs = vec![
+            Instr::AluImm { op: pulp_isa::instr::AluOp::Add, rd: Reg::A0, rs1: Reg::Zero, imm: 1 },
+            Instr::Ecall,
+        ];
+        let words = instrs.iter().map(encode).collect();
+        let mut symbols = BTreeMap::new();
+        symbols.insert("start".to_string(), 0x100);
+        Program { base: 0x100, words, instrs, data: vec![], symbols }
+    }
+
+    #[test]
+    fn listing_contains_labels_addresses_and_mnemonics() {
+        let p = sample();
+        let text = p.listing();
+        assert!(text.contains("start:"));
+        assert!(text.contains("00000100:"));
+        assert!(text.contains("addi a0, zero, 1"));
+        assert!(text.contains("ecall"));
+        assert_eq!(p.to_string(), text);
+    }
+
+    #[test]
+    fn code_size_and_symbols() {
+        let p = sample();
+        assert_eq!(p.code_size(), 8);
+        assert_eq!(p.symbol("start"), Some(0x100));
+        assert_eq!(p.symbol("missing"), None);
+    }
+}

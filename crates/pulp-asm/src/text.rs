@@ -1,0 +1,1001 @@
+//! A text assembler for the full RV32IM + XpulpV2 + XpulpNN mnemonic set.
+//!
+//! The accepted syntax is exactly the disassembly syntax produced by
+//! [`pulp_isa::Instr`]'s `Display` implementation, plus:
+//!
+//! * `label:` definitions and label operands in branches/jumps/loops,
+//! * pseudo-instructions `li`, `la`, `mv`, `j`, `ret`, `csrr`,
+//! * directives `.org <addr>`, `.equ <name>, <value>`,
+//!   `.word <label>, v…`, `.half <label>, v…`, `.byte <label>, v…`,
+//! * `#` and `//` comments.
+//!
+//! Branch/jump/loop targets may be labels or numeric byte offsets
+//! (relative to the instruction itself), so `parse` inverts `Display`
+//! exactly — a property the test suite checks instruction by instruction.
+
+use crate::builder::{Asm, AsmError};
+use crate::program::Program;
+use pulp_isa::instr::{AluOp, BitOp, BranchCond, Instr, LoadKind, LoopIdx, MulDivOp, PulpAluOp,
+                      SimdAluOp, SimdOperand, StoreKind};
+use pulp_isa::simd::{DotSign, SimdFmt};
+use pulp_isa::Reg;
+use std::fmt;
+
+/// An error produced while parsing assembly text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Explanation of what went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Either a parse-stage or assemble-stage failure from [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TextAsmError {
+    /// Syntax error with source line.
+    Parse(ParseError),
+    /// Label resolution / encoding error.
+    Asm(AsmError),
+}
+
+impl fmt::Display for TextAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TextAsmError::Parse(e) => e.fmt(f),
+            TextAsmError::Asm(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for TextAsmError {}
+
+impl From<AsmError> for TextAsmError {
+    fn from(e: AsmError) -> Self {
+        TextAsmError::Asm(e)
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> TextAsmError {
+    TextAsmError::Parse(ParseError { line, message: message.into() })
+}
+
+/// Parses a numeric literal (decimal or `0x…`, optionally negative).
+fn parse_int(s: &str) -> Option<i64> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        body.parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+fn parse_reg(s: &str, line: usize) -> Result<Reg, TextAsmError> {
+    Reg::parse(s.trim()).ok_or_else(|| err(line, format!("unknown register `{s}`")))
+}
+
+/// Splits `off(base)` / `reg(base!)` memory operand syntax.
+fn parse_mem_operand(s: &str, line: usize) -> Result<(String, String, bool), TextAsmError> {
+    let open = s.find('(').ok_or_else(|| err(line, format!("expected `(base)` in `{s}`")))?;
+    let close = s.rfind(')').ok_or_else(|| err(line, format!("missing `)` in `{s}`")))?;
+    let outer = s[..open].trim().to_string();
+    let mut inner = s[open + 1..close].trim().to_string();
+    let post_inc = inner.ends_with('!');
+    if post_inc {
+        inner.pop();
+    }
+    Ok((outer, inner.trim().to_string(), post_inc))
+}
+
+fn load_kind_of(stem: &str) -> Option<LoadKind> {
+    match stem {
+        "lb" => Some(LoadKind::Byte),
+        "lh" => Some(LoadKind::Half),
+        "lw" => Some(LoadKind::Word),
+        "lbu" => Some(LoadKind::ByteU),
+        "lhu" => Some(LoadKind::HalfU),
+        _ => None,
+    }
+}
+
+fn store_kind_of(stem: &str) -> Option<StoreKind> {
+    match stem {
+        "sb" => Some(StoreKind::Byte),
+        "sh" => Some(StoreKind::Half),
+        "sw" => Some(StoreKind::Word),
+        _ => None,
+    }
+}
+
+fn branch_cond_of(m: &str) -> Option<BranchCond> {
+    match m {
+        "beq" => Some(BranchCond::Eq),
+        "bne" => Some(BranchCond::Ne),
+        "blt" => Some(BranchCond::Lt),
+        "bge" => Some(BranchCond::Ge),
+        "bltu" => Some(BranchCond::Ltu),
+        "bgeu" => Some(BranchCond::Geu),
+        _ => None,
+    }
+}
+
+fn alu_op_of(m: &str) -> Option<AluOp> {
+    match m {
+        "add" => Some(AluOp::Add),
+        "sub" => Some(AluOp::Sub),
+        "sll" => Some(AluOp::Sll),
+        "slt" => Some(AluOp::Slt),
+        "sltu" => Some(AluOp::Sltu),
+        "xor" => Some(AluOp::Xor),
+        "srl" => Some(AluOp::Srl),
+        "sra" => Some(AluOp::Sra),
+        "or" => Some(AluOp::Or),
+        "and" => Some(AluOp::And),
+        _ => None,
+    }
+}
+
+fn muldiv_op_of(m: &str) -> Option<MulDivOp> {
+    match m {
+        "mul" => Some(MulDivOp::Mul),
+        "mulh" => Some(MulDivOp::Mulh),
+        "mulhsu" => Some(MulDivOp::Mulhsu),
+        "mulhu" => Some(MulDivOp::Mulhu),
+        "div" => Some(MulDivOp::Div),
+        "divu" => Some(MulDivOp::Divu),
+        "rem" => Some(MulDivOp::Rem),
+        "remu" => Some(MulDivOp::Remu),
+    _ => None,
+    }
+}
+
+fn simd_alu_op_of(stem: &str) -> Option<SimdAluOp> {
+    match stem {
+        "add" => Some(SimdAluOp::Add),
+        "sub" => Some(SimdAluOp::Sub),
+        "avg" => Some(SimdAluOp::Avg),
+        "avgu" => Some(SimdAluOp::Avgu),
+        "min" => Some(SimdAluOp::Min),
+        "minu" => Some(SimdAluOp::Minu),
+        "max" => Some(SimdAluOp::Max),
+        "maxu" => Some(SimdAluOp::Maxu),
+        "srl" => Some(SimdAluOp::Srl),
+        "sra" => Some(SimdAluOp::Sra),
+        "sll" => Some(SimdAluOp::Sll),
+        "or" => Some(SimdAluOp::Or),
+        "and" => Some(SimdAluOp::And),
+        "xor" => Some(SimdAluOp::Xor),
+        _ => None,
+    }
+}
+
+fn dot_sign_of(stem: &str) -> Option<(DotSign, bool)> {
+    match stem {
+        "dotup" => Some((DotSign::UnsignedUnsigned, false)),
+        "dotusp" => Some((DotSign::UnsignedSigned, false)),
+        "dotsp" => Some((DotSign::SignedSigned, false)),
+        "sdotup" => Some((DotSign::UnsignedUnsigned, true)),
+        "sdotusp" => Some((DotSign::UnsignedSigned, true)),
+        "sdotsp" => Some((DotSign::SignedSigned, true)),
+        _ => None,
+    }
+}
+
+fn loop_idx_of(s: &str, line: usize) -> Result<LoopIdx, TextAsmError> {
+    match s.trim() {
+        "x0" | "0" | "l0" => Ok(LoopIdx::L0),
+        "x1" | "1" | "l1" => Ok(LoopIdx::L1),
+        other => Err(err(line, format!("unknown hardware loop `{other}`"))),
+    }
+}
+
+/// Operand list split on commas, trimmed.
+fn operands(rest: &str) -> Vec<String> {
+    if rest.trim().is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(|s| s.trim().to_string()).collect()
+    }
+}
+
+struct LineCtx<'a> {
+    asm: &'a mut Asm,
+    line: usize,
+}
+
+impl LineCtx<'_> {
+    fn need(&self, ops: &[String], n: usize) -> Result<(), TextAsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(self.line, format!("expected {n} operands, got {}", ops.len())))
+        }
+    }
+
+    fn int(&self, s: &str) -> Result<i64, TextAsmError> {
+        parse_int(s).ok_or_else(|| err(self.line, format!("expected number, got `{s}`")))
+    }
+
+    fn reg(&self, s: &str) -> Result<Reg, TextAsmError> {
+        parse_reg(s, self.line)
+    }
+
+    /// Branch/jump target: numeric offset → direct instruction, label →
+    /// builder item.
+    fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, target: &str) {
+        if let Some(offset) = parse_int(target) {
+            self.asm.i(Instr::Branch { cond, rs1, rs2, offset: offset as i32 });
+        } else {
+            self.asm.branch(cond, rs1, rs2, target);
+        }
+    }
+
+    fn jal(&mut self, rd: Reg, target: &str) {
+        if let Some(offset) = parse_int(target) {
+            self.asm.i(Instr::Jal { rd, offset: offset as i32 });
+        } else if rd == Reg::Zero {
+            self.asm.j(target);
+        } else {
+            // Builder's jal links into ra; other link registers need the
+            // numeric form.
+            self.asm.jal(target);
+        }
+    }
+}
+
+/// Parses a `pv.` mnemonic of shape `pv.<stem>[.sc|.sci].<fmt>`.
+fn parse_pv(mnemonic: &str, ops: &[String], ctx: &mut LineCtx<'_>) -> Result<(), TextAsmError> {
+    let line = ctx.line;
+    let parts: Vec<&str> = mnemonic.split('.').collect();
+    // parts[0] == "pv"
+    let (stem, mode, fmt_s) = match parts.len() {
+        3 => (parts[1], "", parts[2]),
+        4 => (parts[1], parts[2], parts[3]),
+        _ => return Err(err(line, format!("malformed SIMD mnemonic `{mnemonic}`"))),
+    };
+    let fmt = SimdFmt::parse_suffix(fmt_s)
+        .ok_or_else(|| err(line, format!("unknown SIMD format `.{fmt_s}`")))?;
+
+    // Unary / special forms first.
+    match stem {
+        "abs" => {
+            ctx.need(ops, 2)?;
+            let (rd, rs1) = (ctx.reg(&ops[0])?, ctx.reg(&ops[1])?);
+            ctx.asm.i(Instr::PvAbs { fmt, rd, rs1 });
+            return Ok(());
+        }
+        "extract" | "extractu" => {
+            ctx.need(ops, 3)?;
+            let (rd, rs1) = (ctx.reg(&ops[0])?, ctx.reg(&ops[1])?);
+            let idx = ctx.int(&ops[2])? as u8;
+            ctx.asm.i(Instr::PvExtract { fmt, rd, rs1, idx, signed: stem == "extract" });
+            return Ok(());
+        }
+        "insert" => {
+            ctx.need(ops, 3)?;
+            let (rd, rs1) = (ctx.reg(&ops[0])?, ctx.reg(&ops[1])?);
+            let idx = ctx.int(&ops[2])? as u8;
+            ctx.asm.i(Instr::PvInsert { fmt, rd, rs1, idx });
+            return Ok(());
+        }
+        "qnt" => {
+            ctx.need(ops, 3)?;
+            let (rd, rs1, rs2) = (ctx.reg(&ops[0])?, ctx.reg(&ops[1])?, ctx.reg(&ops[2])?);
+            ctx.asm.i(Instr::PvQnt { fmt, rd, rs1, rs2 });
+            return Ok(());
+        }
+        "shuffle2" => {
+            ctx.need(ops, 3)?;
+            let (rd, rs1, rs2) = (ctx.reg(&ops[0])?, ctx.reg(&ops[1])?, ctx.reg(&ops[2])?);
+            ctx.asm.i(Instr::PvShuffle2 { fmt, rd, rs1, rs2 });
+            return Ok(());
+        }
+        _ => {}
+    }
+
+    ctx.need(ops, 3)?;
+    let (rd, rs1) = (ctx.reg(&ops[0])?, ctx.reg(&ops[1])?);
+    let op2 = match mode {
+        "" => SimdOperand::Vector(ctx.reg(&ops[2])?),
+        "sc" => SimdOperand::Scalar(ctx.reg(&ops[2])?),
+        "sci" => SimdOperand::Imm(ctx.int(&ops[2])? as i8),
+        other => return Err(err(line, format!("unknown SIMD mode `.{other}`"))),
+    };
+    if let Some(op) = simd_alu_op_of(stem) {
+        ctx.asm.i(Instr::PvAlu { op, fmt, rd, rs1, op2 });
+        return Ok(());
+    }
+    if let Some((sign, acc)) = dot_sign_of(stem) {
+        let instr = if acc {
+            Instr::PvSdot { fmt, sign, rd, rs1, op2 }
+        } else {
+            Instr::PvDot { fmt, sign, rd, rs1, op2 }
+        };
+        ctx.asm.i(instr);
+        return Ok(());
+    }
+    Err(err(line, format!("unknown SIMD operation `{stem}`")))
+}
+
+/// Parses a `p.` scalar / memory mnemonic.
+fn parse_p(mnemonic: &str, ops: &[String], ctx: &mut LineCtx<'_>) -> Result<(), TextAsmError> {
+    let line = ctx.line;
+    let stem = &mnemonic[2..];
+    // Memory forms: p.lw rd, imm(rs1!) | rs2(rs1!) | rs2(rs1)
+    if let Some(kind) = load_kind_of(stem) {
+        ctx.need(ops, 2)?;
+        let rd = ctx.reg(&ops[0])?;
+        let (outer, base, post) = parse_mem_operand(&ops[1], line)?;
+        let rs1 = ctx.reg(&base)?;
+        let instr = match (parse_int(&outer), post) {
+            (Some(offset), true) => Instr::LoadPostInc { kind, rd, rs1, offset: offset as i32 },
+            (Some(_), false) => {
+                return Err(err(line, "p.l* with immediate offset requires `!` post-increment"));
+            }
+            (None, true) => Instr::LoadPostIncReg { kind, rd, rs1, rs2: ctx.reg(&outer)? },
+            (None, false) => Instr::LoadRegOff { kind, rd, rs1, rs2: ctx.reg(&outer)? },
+        };
+        ctx.asm.i(instr);
+        return Ok(());
+    }
+    if let Some(kind) = store_kind_of(stem) {
+        ctx.need(ops, 2)?;
+        let rs2 = ctx.reg(&ops[0])?;
+        let (outer, base, post) = parse_mem_operand(&ops[1], line)?;
+        let rs1 = ctx.reg(&base)?;
+        let instr = match (parse_int(&outer), post) {
+            (Some(offset), true) => {
+                Instr::StorePostInc { kind, rs1, rs2, offset: offset as i32 }
+            }
+            (None, true) => Instr::StorePostIncReg { kind, rs1, rs2, rs3: ctx.reg(&outer)? },
+            _ => return Err(err(line, "p.s* requires `!` post-increment")),
+        };
+        ctx.asm.i(instr);
+        return Ok(());
+    }
+
+    let pulp_alu = |op: PulpAluOp| -> Option<PulpAluOp> { Some(op) };
+    let two_src = match stem {
+        "min" => pulp_alu(PulpAluOp::Min),
+        "minu" => pulp_alu(PulpAluOp::Minu),
+        "max" => pulp_alu(PulpAluOp::Max),
+        "maxu" => pulp_alu(PulpAluOp::Maxu),
+        _ => None,
+    };
+    if let Some(op) = two_src {
+        ctx.need(ops, 3)?;
+        let (rd, rs1, rs2) = (ctx.reg(&ops[0])?, ctx.reg(&ops[1])?, ctx.reg(&ops[2])?);
+        ctx.asm.i(Instr::PulpAlu { op, rd, rs1, rs2 });
+        return Ok(());
+    }
+    let one_src = match stem {
+        "abs" => pulp_alu(PulpAluOp::Abs),
+        "exths" => pulp_alu(PulpAluOp::Exths),
+        "exthz" => pulp_alu(PulpAluOp::Exthz),
+        "extbs" => pulp_alu(PulpAluOp::Extbs),
+        "extbz" => pulp_alu(PulpAluOp::Extbz),
+        _ => None,
+    };
+    if let Some(op) = one_src {
+        ctx.need(ops, 2)?;
+        let (rd, rs1) = (ctx.reg(&ops[0])?, ctx.reg(&ops[1])?);
+        ctx.asm.i(Instr::PulpAlu { op, rd, rs1, rs2: Reg::Zero });
+        return Ok(());
+    }
+    match stem {
+        "clip" | "clipu" => {
+            ctx.need(ops, 3)?;
+            let (rd, rs1) = (ctx.reg(&ops[0])?, ctx.reg(&ops[1])?);
+            let bits = ctx.int(&ops[2])? as u8;
+            let instr = if stem == "clip" {
+                Instr::PClip { rd, rs1, bits }
+            } else {
+                Instr::PClipU { rd, rs1, bits }
+            };
+            ctx.asm.i(instr);
+            Ok(())
+        }
+        "mac" | "msu" => {
+            ctx.need(ops, 3)?;
+            let (rd, rs1, rs2) = (ctx.reg(&ops[0])?, ctx.reg(&ops[1])?, ctx.reg(&ops[2])?);
+            let instr = if stem == "mac" {
+                Instr::PMac { rd, rs1, rs2 }
+            } else {
+                Instr::PMsu { rd, rs1, rs2 }
+            };
+            ctx.asm.i(instr);
+            Ok(())
+        }
+        "ff1" | "fl1" | "cnt" | "clb" => {
+            ctx.need(ops, 2)?;
+            let (rd, rs1) = (ctx.reg(&ops[0])?, ctx.reg(&ops[1])?);
+            let op = match stem {
+                "ff1" => BitOp::Ff1,
+                "fl1" => BitOp::Fl1,
+                "cnt" => BitOp::Cnt,
+                _ => BitOp::Clb,
+            };
+            ctx.asm.i(Instr::PBit { op, rd, rs1 });
+            Ok(())
+        }
+        "extract" | "extractu" | "insert" => {
+            ctx.need(ops, 4)?;
+            let (rd, rs1) = (ctx.reg(&ops[0])?, ctx.reg(&ops[1])?);
+            let len = ctx.int(&ops[2])? as u8;
+            let off = ctx.int(&ops[3])? as u8;
+            let instr = match stem {
+                "extract" => Instr::PExtract { rd, rs1, len, off },
+                "extractu" => Instr::PExtractU { rd, rs1, len, off },
+                _ => Instr::PInsert { rd, rs1, len, off },
+            };
+            ctx.asm.i(instr);
+            Ok(())
+        }
+        other => Err(err(line, format!("unknown pulp instruction `p.{other}`"))),
+    }
+}
+
+/// Parses an `lp.` hardware-loop mnemonic.
+fn parse_lp(mnemonic: &str, ops: &[String], ctx: &mut LineCtx<'_>) -> Result<(), TextAsmError> {
+    let line = ctx.line;
+    let stem = &mnemonic[3..];
+    let l = loop_idx_of(&ops[0], line)?;
+    match stem {
+        "starti" | "endi" => {
+            ctx.need(ops, 2)?;
+            if let Some(offset) = parse_int(&ops[1]) {
+                let instr = if stem == "starti" {
+                    Instr::LpStarti { l, offset: offset as i32 }
+                } else {
+                    Instr::LpEndi { l, offset: offset as i32 }
+                };
+                ctx.asm.i(instr);
+            } else if stem == "starti" {
+                ctx.asm.lp_starti(l, &ops[1]);
+            } else {
+                ctx.asm.lp_endi(l, &ops[1]);
+            }
+            Ok(())
+        }
+        "count" => {
+            ctx.need(ops, 2)?;
+            let rs1 = ctx.reg(&ops[1])?;
+            ctx.asm.lp_count(l, rs1);
+            Ok(())
+        }
+        "counti" => {
+            ctx.need(ops, 2)?;
+            let imm = ctx.int(&ops[1])? as u32;
+            ctx.asm.lp_counti(l, imm);
+            Ok(())
+        }
+        "setup" => {
+            ctx.need(ops, 3)?;
+            let rs1 = ctx.reg(&ops[1])?;
+            if let Some(offset) = parse_int(&ops[2]) {
+                ctx.asm.i(Instr::LpSetup { l, rs1, offset: offset as i32 });
+            } else {
+                ctx.asm.lp_setup(l, rs1, &ops[2]);
+            }
+            Ok(())
+        }
+        "setupi" => {
+            ctx.need(ops, 3)?;
+            let imm = ctx.int(&ops[1])? as u32;
+            if let Some(offset) = parse_int(&ops[2]) {
+                ctx.asm.i(Instr::LpSetupi { l, imm, offset: offset as i32 });
+            } else {
+                ctx.asm.lp_setupi(l, imm, &ops[2]);
+            }
+            Ok(())
+        }
+        other => Err(err(line, format!("unknown hardware-loop op `lp.{other}`"))),
+    }
+}
+
+fn parse_instruction(
+    mnemonic: &str,
+    rest: &str,
+    ctx: &mut LineCtx<'_>,
+) -> Result<(), TextAsmError> {
+    let line = ctx.line;
+    let ops = operands(rest);
+    if mnemonic.starts_with("pv.") {
+        return parse_pv(mnemonic, &ops, ctx);
+    }
+    if mnemonic.starts_with("p.") {
+        return parse_p(mnemonic, &ops, ctx);
+    }
+    if mnemonic.starts_with("lp.") {
+        return parse_lp(mnemonic, &ops, ctx);
+    }
+    if let Some(cond) = branch_cond_of(mnemonic) {
+        ctx.need(&ops, 3)?;
+        let (rs1, rs2) = (ctx.reg(&ops[0])?, ctx.reg(&ops[1])?);
+        ctx.branch(cond, rs1, rs2, &ops[2]);
+        return Ok(());
+    }
+    if let Some(kind) = load_kind_of(mnemonic) {
+        ctx.need(&ops, 2)?;
+        let rd = ctx.reg(&ops[0])?;
+        let (outer, base, post) = parse_mem_operand(&ops[1], line)?;
+        if post {
+            return Err(err(line, "post-increment requires the p.* form"));
+        }
+        let offset = ctx.int(&outer)? as i32;
+        let rs1 = ctx.reg(&base)?;
+        ctx.asm.i(Instr::Load { kind, rd, rs1, offset });
+        return Ok(());
+    }
+    if let Some(kind) = store_kind_of(mnemonic) {
+        ctx.need(&ops, 2)?;
+        let rs2 = ctx.reg(&ops[0])?;
+        let (outer, base, _) = parse_mem_operand(&ops[1], line)?;
+        let offset = ctx.int(&outer)? as i32;
+        let rs1 = ctx.reg(&base)?;
+        ctx.asm.i(Instr::Store { kind, rs1, rs2, offset });
+        return Ok(());
+    }
+    if let Some(op) = muldiv_op_of(mnemonic) {
+        ctx.need(&ops, 3)?;
+        let (rd, rs1, rs2) = (ctx.reg(&ops[0])?, ctx.reg(&ops[1])?, ctx.reg(&ops[2])?);
+        ctx.asm.i(Instr::MulDiv { op, rd, rs1, rs2 });
+        return Ok(());
+    }
+    if let Some(op) = alu_op_of(mnemonic) {
+        ctx.need(&ops, 3)?;
+        let (rd, rs1, rs2) = (ctx.reg(&ops[0])?, ctx.reg(&ops[1])?, ctx.reg(&ops[2])?);
+        ctx.asm.i(Instr::Alu { op, rd, rs1, rs2 });
+        return Ok(());
+    }
+    // Immediate ALU forms: addi/slti/sltiu/xori/ori/andi/slli/srli/srai.
+    if let Some(stem) = mnemonic.strip_suffix('i') {
+        if let Some(op) = alu_op_of(stem) {
+            ctx.need(&ops, 3)?;
+            let (rd, rs1) = (ctx.reg(&ops[0])?, ctx.reg(&ops[1])?);
+            let imm = ctx.int(&ops[2])? as i32;
+            ctx.asm.i(Instr::AluImm { op, rd, rs1, imm });
+            return Ok(());
+        }
+    }
+    if mnemonic == "sltiu" {
+        ctx.need(&ops, 3)?;
+        let (rd, rs1) = (ctx.reg(&ops[0])?, ctx.reg(&ops[1])?);
+        let imm = ctx.int(&ops[2])? as i32;
+        ctx.asm.i(Instr::AluImm { op: AluOp::Sltu, rd, rs1, imm });
+        return Ok(());
+    }
+    match mnemonic {
+        "lui" | "auipc" => {
+            ctx.need(&ops, 2)?;
+            let rd = ctx.reg(&ops[0])?;
+            let imm = (ctx.int(&ops[1])? as u32) << 12;
+            let instr = if mnemonic == "lui" {
+                Instr::Lui { rd, imm }
+            } else {
+                Instr::Auipc { rd, imm }
+            };
+            ctx.asm.i(instr);
+            Ok(())
+        }
+        "jal" => match ops.len() {
+            1 => {
+                ctx.jal(Reg::Ra, &ops[0]);
+                Ok(())
+            }
+            2 => {
+                let rd = ctx.reg(&ops[0])?;
+                ctx.jal(rd, &ops[1]);
+                Ok(())
+            }
+            n => Err(err(line, format!("jal takes 1 or 2 operands, got {n}"))),
+        },
+        "j" => {
+            ctx.need(&ops, 1)?;
+            ctx.jal(Reg::Zero, &ops[0]);
+            Ok(())
+        }
+        "jalr" => {
+            ctx.need(&ops, 2)?;
+            let rd = ctx.reg(&ops[0])?;
+            let (outer, base, _) = parse_mem_operand(&ops[1], line)?;
+            let offset = ctx.int(&outer)? as i32;
+            let rs1 = ctx.reg(&base)?;
+            ctx.asm.i(Instr::Jalr { rd, rs1, offset });
+            Ok(())
+        }
+        "ret" => {
+            ctx.asm.ret();
+            Ok(())
+        }
+        "li" => {
+            ctx.need(&ops, 2)?;
+            let rd = ctx.reg(&ops[0])?;
+            let v = ctx.int(&ops[1])? as i32;
+            ctx.asm.li(rd, v);
+            Ok(())
+        }
+        "la" => {
+            ctx.need(&ops, 2)?;
+            let rd = ctx.reg(&ops[0])?;
+            ctx.asm.la(rd, &ops[1]);
+            Ok(())
+        }
+        "mv" => {
+            ctx.need(&ops, 2)?;
+            let rd = ctx.reg(&ops[0])?;
+            let rs = ctx.reg(&ops[1])?;
+            ctx.asm.mv(rd, rs);
+            Ok(())
+        }
+        "nop" => {
+            ctx.asm.nop();
+            Ok(())
+        }
+        "ecall" => {
+            ctx.asm.ecall();
+            Ok(())
+        }
+        "ebreak" => {
+            ctx.asm.i(Instr::Ebreak);
+            Ok(())
+        }
+        "fence" => {
+            ctx.asm.i(Instr::Fence);
+            Ok(())
+        }
+        "csrrw" | "csrrs" | "csrrc" => {
+            ctx.need(&ops, 3)?;
+            let rd = ctx.reg(&ops[0])?;
+            let csr = ctx.int(&ops[1])? as u16;
+            let rs1 = ctx.reg(&ops[2])?;
+            let op = match mnemonic {
+                "csrrw" => 0,
+                "csrrs" => 1,
+                _ => 2,
+            };
+            ctx.asm.i(Instr::Csr { op, rd, rs1, csr });
+            Ok(())
+        }
+        "csrr" => {
+            ctx.need(&ops, 2)?;
+            let rd = ctx.reg(&ops[0])?;
+            let csr = ctx.int(&ops[1])? as u16;
+            ctx.asm.i(Instr::Csr { op: 1, rd, rs1: Reg::Zero, csr });
+            Ok(())
+        }
+        other => Err(err(line, format!("unknown mnemonic `{other}`"))),
+    }
+}
+
+fn parse_directive(
+    directive: &str,
+    rest: &str,
+    asm: &mut Asm,
+    base: &mut Option<u32>,
+    started: bool,
+    line: usize,
+) -> Result<(), TextAsmError> {
+    let ops = operands(rest);
+    match directive {
+        ".org" => {
+            if started {
+                return Err(err(line, ".org must precede all instructions"));
+            }
+            if ops.len() != 1 {
+                return Err(err(line, ".org takes one address"));
+            }
+            let addr = parse_int(&ops[0])
+                .ok_or_else(|| err(line, "bad .org address"))? as u32;
+            *base = Some(addr);
+            Ok(())
+        }
+        ".equ" => {
+            if ops.len() != 2 {
+                return Err(err(line, ".equ takes `name, value`"));
+            }
+            let value =
+                parse_int(&ops[1]).ok_or_else(|| err(line, "bad .equ value"))? as u32;
+            asm.equ(&ops[0], value);
+            Ok(())
+        }
+        ".word" | ".half" | ".byte" => {
+            if ops.len() < 2 {
+                return Err(err(line, format!("{directive} takes `label, v…`")));
+            }
+            let label = &ops[0];
+            let mut bytes = Vec::new();
+            for v in &ops[1..] {
+                let v = parse_int(v).ok_or_else(|| err(line, format!("bad value `{v}`")))?;
+                match directive {
+                    ".word" => bytes.extend((v as u32).to_le_bytes()),
+                    ".half" => bytes.extend((v as u16).to_le_bytes()),
+                    _ => bytes.push(v as u8),
+                }
+            }
+            asm.data_bytes(label, bytes);
+            Ok(())
+        }
+        other => Err(err(line, format!("unknown directive `{other}`"))),
+    }
+}
+
+/// Parses and assembles a full program from assembly text.
+///
+/// The default load address is `0x1c00_8000` (PULPissimo's L2 code region)
+/// unless overridden by a leading `.org`.
+///
+/// # Errors
+///
+/// Returns [`TextAsmError::Parse`] for syntax errors (with the 1-based
+/// line number) and [`TextAsmError::Asm`] for label-resolution or range
+/// errors.
+///
+/// # Example
+///
+/// ```
+/// let prog = pulp_asm::text::parse(r"
+///     li   a0, 3
+///     li   a1, 0
+/// top:
+///     addi a1, a1, 10
+///     addi a0, a0, -1
+///     bne  a0, zero, top
+///     ecall
+/// ")?;
+/// assert_eq!(prog.instrs.len(), 6);
+/// # Ok::<(), pulp_asm::text::TextAsmError>(())
+/// ```
+pub fn parse(source: &str) -> Result<Program, TextAsmError> {
+    // First scan for .org (must precede instructions).
+    let mut base: Option<u32> = None;
+    let mut asm = Asm::new(0); // rebuilt below once base is known
+    let mut items: Vec<(usize, String)> = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut text = raw;
+        if let Some(pos) = text.find('#') {
+            text = &text[..pos];
+        }
+        if let Some(pos) = text.find("//") {
+            text = &text[..pos];
+        }
+        let text = text.trim();
+        if text.is_empty() {
+            continue;
+        }
+        items.push((line_no, text.to_string()));
+    }
+
+    // Process directives/instructions in order.
+    let mut started = false;
+    let mut pending: Vec<(usize, String)> = Vec::new();
+    for (line_no, text) in items {
+        if text.starts_with(".org") {
+            parse_directive(".org", text[4..].trim(), &mut asm, &mut base, started, line_no)?;
+        } else {
+            if !text.starts_with('.') && !text.ends_with(':') {
+                started = true;
+            }
+            pending.push((line_no, text));
+        }
+    }
+    let base = base.unwrap_or(0x1c00_8000);
+    let mut asm2 = Asm::new(base);
+    // carry over any .equ already seen? (none: .equ handled below)
+    drop(asm);
+
+    for (line_no, text) in pending {
+        let mut rest: &str = &text;
+        // Labels (possibly several, possibly followed by an instruction).
+        while let Some(colon) = rest.find(':') {
+            let head = rest[..colon].trim();
+            if head.is_empty()
+                || !head
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+            {
+                break;
+            }
+            asm2.label(head);
+            rest = rest[colon + 1..].trim_start();
+        }
+        let rest = rest.trim();
+        if rest.is_empty() {
+            continue;
+        }
+        if let Some(stripped) = rest.strip_prefix('.') {
+            let dir_end = stripped.find(char::is_whitespace).map(|i| i + 1).unwrap_or(rest.len());
+            let (dir, args) = rest.split_at(dir_end);
+            let mut dummy = None;
+            parse_directive(dir.trim(), args.trim(), &mut asm2, &mut dummy, true, line_no)?;
+            continue;
+        }
+        let (mnemonic, args) = match rest.find(char::is_whitespace) {
+            Some(i) => rest.split_at(i),
+            None => (rest, ""),
+        };
+        let mut ctx = LineCtx { asm: &mut asm2, line: line_no };
+        parse_instruction(mnemonic.trim(), args.trim(), &mut ctx)?;
+    }
+
+    Ok(asm2.assemble()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic_program() {
+        let p = parse(
+            r"
+            .org 0x200
+            li   a0, 3
+        top:
+            addi a0, a0, -1
+            bne  a0, zero, top
+            ecall
+        ",
+        )
+        .unwrap();
+        assert_eq!(p.base, 0x200);
+        assert_eq!(p.instrs.len(), 4);
+        assert_eq!(p.symbol("top"), Some(0x204));
+    }
+
+    #[test]
+    fn parse_comments_and_blank_lines() {
+        let p = parse(
+            "# full-line comment\n  nop // trailing\n\n  ecall # done\n",
+        )
+        .unwrap();
+        assert_eq!(p.instrs, vec![Instr::Nop, Instr::Ecall]);
+    }
+
+    #[test]
+    fn parse_memory_and_pulp_forms() {
+        let p = parse(
+            r"
+            lw   a0, 8(sp)
+            sw   a0, -4(sp)
+            p.lw a1, 4(a2!)
+            p.lw a1, a3(a2!)
+            p.lw a1, a3(a2)
+            p.sw a1, 4(a2!)
+            pv.sdotsp.n s0, a1, a2
+            pv.add.sci.h a0, a0, -3
+            pv.qnt.c a0, a1, a2
+            lp.setupi x0, 10, 8
+            p.clip a0, a1, 8
+        ",
+        )
+        .unwrap();
+        assert_eq!(p.instrs.len(), 11);
+        assert!(matches!(p.instrs[2], Instr::LoadPostInc { .. }));
+        assert!(matches!(p.instrs[3], Instr::LoadPostIncReg { .. }));
+        assert!(matches!(p.instrs[4], Instr::LoadRegOff { .. }));
+        assert!(matches!(p.instrs[8], Instr::PvQnt { fmt: SimdFmt::Crumb, .. }));
+    }
+
+    #[test]
+    fn parse_reports_line_numbers() {
+        let e = parse("nop\nbogus a0, a1\n").unwrap_err();
+        match e {
+            TextAsmError::Parse(pe) => {
+                assert_eq!(pe.line, 2);
+                assert!(pe.message.contains("bogus"));
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn parse_data_directives() {
+        let p = parse(
+            r"
+            la a0, tbl
+            ecall
+            .word tbl, 1, 2
+            .half h, -1
+            .byte b, 0xff, 1
+        ",
+        )
+        .unwrap();
+        assert_eq!(p.data.len(), 3);
+        assert_eq!(p.data[0].1, vec![1, 0, 0, 0, 2, 0, 0, 0]);
+        assert_eq!(p.data[1].1, vec![0xff, 0xff]);
+        assert_eq!(p.data[2].1, vec![0xff, 1]);
+    }
+
+    /// `parse` inverts `Display` for representative instructions of every
+    /// class (the cross-crate property test covers the full space).
+    #[test]
+    fn parse_inverts_display_samples() {
+        use pulp_isa::instr::LoopIdx;
+        let samples = vec![
+            Instr::Lui { rd: Reg::A0, imm: 0x12000 },
+            Instr::Jal { rd: Reg::Ra, offset: 16 },
+            Instr::Jalr { rd: Reg::Zero, rs1: Reg::Ra, offset: 0 },
+            Instr::Branch {
+                cond: BranchCond::Ltu,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+                offset: -8,
+            },
+            Instr::Load { kind: LoadKind::ByteU, rd: Reg::A0, rs1: Reg::Sp, offset: 3 },
+            Instr::Store { kind: StoreKind::Half, rs1: Reg::Sp, rs2: Reg::A0, offset: -2 },
+            Instr::Alu { op: AluOp::Xor, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 },
+            Instr::AluImm { op: AluOp::Sra, rd: Reg::A0, rs1: Reg::A1, imm: 7 },
+            Instr::MulDiv { op: MulDivOp::Mulhsu, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 },
+            Instr::PulpAlu { op: PulpAluOp::Maxu, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 },
+            Instr::PClip { rd: Reg::A0, rs1: Reg::A1, bits: 4 },
+            Instr::PMac { rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 },
+            Instr::PBit { op: BitOp::Cnt, rd: Reg::A0, rs1: Reg::A1 },
+            Instr::PExtract { rd: Reg::A0, rs1: Reg::A1, len: 8, off: 4 },
+            Instr::PInsert { rd: Reg::A0, rs1: Reg::A1, len: 4, off: 28 },
+            Instr::LoadPostInc { kind: LoadKind::Word, rd: Reg::A0, rs1: Reg::A1, offset: 4 },
+            Instr::StorePostIncReg {
+                kind: StoreKind::Word,
+                rs1: Reg::A1,
+                rs2: Reg::A0,
+                rs3: Reg::A2,
+            },
+            Instr::LpStarti { l: LoopIdx::L0, offset: 16 },
+            Instr::LpCounti { l: LoopIdx::L1, imm: 100 },
+            Instr::LpSetup { l: LoopIdx::L0, rs1: Reg::T0, offset: 24 },
+            Instr::PvAlu {
+                op: SimdAluOp::Avgu,
+                fmt: SimdFmt::Nibble,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                op2: SimdOperand::Scalar(Reg::A2),
+            },
+            Instr::PvAbs { fmt: SimdFmt::Crumb, rd: Reg::A0, rs1: Reg::A1 },
+            Instr::PvExtract {
+                fmt: SimdFmt::Byte,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                idx: 3,
+                signed: false,
+            },
+            Instr::PvDot {
+                fmt: SimdFmt::Half,
+                sign: DotSign::UnsignedUnsigned,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                op2: SimdOperand::Imm(-5),
+            },
+            Instr::PvSdot {
+                fmt: SimdFmt::Crumb,
+                sign: DotSign::SignedSigned,
+                rd: Reg::S4,
+                rs1: Reg::A1,
+                op2: SimdOperand::Vector(Reg::A2),
+            },
+            Instr::PvQnt { fmt: SimdFmt::Nibble, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 },
+            Instr::Csr { op: 0, rd: Reg::A0, rs1: Reg::A1, csr: 0xb00 },
+            Instr::Fence,
+            Instr::Ebreak,
+            Instr::Nop,
+        ];
+        for instr in samples {
+            let text = instr.to_string();
+            let p = parse(&text).unwrap_or_else(|e| panic!("`{text}`: {e}"));
+            assert_eq!(p.instrs, vec![instr], "`{text}`");
+        }
+    }
+}

@@ -1,0 +1,777 @@
+//! The RV32C compressed-instruction extension.
+//!
+//! RI5CY implements RV32IMC: 16-bit encodings of the most common
+//! instructions, each expanding to exactly one base instruction. This
+//! module provides:
+//!
+//! * [`decode16`] — decode a 16-bit parcel into the base [`Instr`] it
+//!   expands to (plus the [`CompressedOp`] that produced it),
+//! * [`compress`] — the inverse: find a 16-bit encoding for a base
+//!   instruction if one exists,
+//! * [`is_compressed`] — parcel-width discrimination (low two bits ≠ 11),
+//! * [`code_size_report`] — static code-size analysis of a program under
+//!   RVC compression (QNN kernels barely compress: their working
+//!   registers and SIMD opcodes live outside the RVC windows — the
+//!   analysis makes that measurable).
+//!
+//! The core model executes compressed parcels directly: the fetch path
+//! checks the parcel width and advances the PC by 2 (see
+//! `riscv_core::Core::step`). Timing is unchanged — RVC trades code size,
+//! not cycles, on RI5CY.
+
+use crate::instr::{AluOp, BranchCond, Instr, LoadKind, StoreKind};
+use crate::reg::Reg;
+
+/// Which compressed encoding a parcel used (for listings/statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompressedOp {
+    /// `c.addi4spn rd', nzuimm` → `addi rd', sp, nzuimm`.
+    Addi4spn,
+    /// `c.lw rd', uimm(rs1')`.
+    Lw,
+    /// `c.sw rs2', uimm(rs1')`.
+    Sw,
+    /// `c.nop` / `c.addi rd, nzimm`.
+    Addi,
+    /// `c.jal offset` → `jal ra, offset`.
+    Jal,
+    /// `c.li rd, imm` → `addi rd, x0, imm`.
+    Li,
+    /// `c.addi16sp nzimm` → `addi sp, sp, nzimm`.
+    Addi16sp,
+    /// `c.lui rd, nzimm`.
+    Lui,
+    /// `c.srli rd', shamt`.
+    Srli,
+    /// `c.srai rd', shamt`.
+    Srai,
+    /// `c.andi rd', imm`.
+    Andi,
+    /// `c.sub rd', rs2'`.
+    Sub,
+    /// `c.xor rd', rs2'`.
+    Xor,
+    /// `c.or rd', rs2'`.
+    Or,
+    /// `c.and rd', rs2'`.
+    And,
+    /// `c.j offset` → `jal x0, offset`.
+    J,
+    /// `c.beqz rs1', offset`.
+    Beqz,
+    /// `c.bnez rs1', offset`.
+    Bnez,
+    /// `c.slli rd, shamt`.
+    Slli,
+    /// `c.lwsp rd, uimm(sp)`.
+    Lwsp,
+    /// `c.jr rs1` → `jalr x0, 0(rs1)`.
+    Jr,
+    /// `c.mv rd, rs2` → `add rd, x0, rs2`.
+    Mv,
+    /// `c.ebreak`.
+    Ebreak,
+    /// `c.jalr rs1` → `jalr ra, 0(rs1)`.
+    Jalr,
+    /// `c.add rd, rs2`.
+    Add,
+    /// `c.swsp rs2, uimm(sp)`.
+    Swsp,
+}
+
+/// True when the 16-bit parcel at the fetch address is a compressed
+/// instruction (low two bits ≠ `0b11`).
+#[inline]
+pub const fn is_compressed(parcel: u32) -> bool {
+    parcel & 0b11 != 0b11
+}
+
+#[inline]
+fn creg(bits: u32) -> Reg {
+    Reg::from_bits(8 + (bits & 0x7))
+}
+
+#[inline]
+fn bit(parcel: u32, i: u32) -> u32 {
+    (parcel >> i) & 1
+}
+
+/// Sign-extends `value`'s low `bits` bits.
+#[inline]
+fn sext(value: u32, bits: u32) -> i32 {
+    let sh = 32 - bits;
+    ((value << sh) as i32) >> sh
+}
+
+/// Decodes a 16-bit parcel into `(compressed op, expanded instruction)`.
+///
+/// # Errors
+///
+/// Returns `None` for reserved/illegal encodings (including the all-zero
+/// parcel, which the spec defines as illegal).
+pub fn decode16(parcel: u16) -> Option<(CompressedOp, Instr)> {
+    let p = parcel as u32;
+    if p == 0 {
+        return None;
+    }
+    let op = p & 0b11;
+    let funct3 = (p >> 13) & 0b111;
+    match (op, funct3) {
+        // ----- quadrant 0 -----
+        (0b00, 0b000) => {
+            // c.addi4spn: nzuimm[5:4|9:6|2|3] at [12:5]
+            let imm = (bit(p, 5) << 3)
+                | (bit(p, 6) << 2)
+                | (((p >> 7) & 0xf) << 6)
+                | (((p >> 11) & 0x3) << 4);
+            if imm == 0 {
+                return None;
+            }
+            Some((
+                CompressedOp::Addi4spn,
+                Instr::AluImm { op: AluOp::Add, rd: creg(p >> 2), rs1: Reg::Sp, imm: imm as i32 },
+            ))
+        }
+        (0b00, 0b010) => {
+            // c.lw: uimm[5:3] at [12:10], uimm[2|6] at [6:5]
+            let imm = (((p >> 10) & 0x7) << 3) | (bit(p, 6) << 2) | (bit(p, 5) << 6);
+            Some((
+                CompressedOp::Lw,
+                Instr::Load {
+                    kind: LoadKind::Word,
+                    rd: creg(p >> 2),
+                    rs1: creg(p >> 7),
+                    offset: imm as i32,
+                },
+            ))
+        }
+        (0b00, 0b110) => {
+            let imm = (((p >> 10) & 0x7) << 3) | (bit(p, 6) << 2) | (bit(p, 5) << 6);
+            Some((
+                CompressedOp::Sw,
+                Instr::Store {
+                    kind: StoreKind::Word,
+                    rs1: creg(p >> 7),
+                    rs2: creg(p >> 2),
+                    offset: imm as i32,
+                },
+            ))
+        }
+        // ----- quadrant 1 -----
+        (0b01, 0b000) => {
+            // c.addi (c.nop when rd = x0, imm = 0)
+            let rd = Reg::from_bits(p >> 7);
+            let imm = sext((bit(p, 12) << 5) | ((p >> 2) & 0x1f), 6);
+            if rd == Reg::Zero && imm == 0 {
+                return Some((CompressedOp::Addi, Instr::Nop));
+            }
+            Some((CompressedOp::Addi, Instr::AluImm { op: AluOp::Add, rd, rs1: rd, imm }))
+        }
+        (0b01, 0b001) | (0b01, 0b101) => {
+            // c.jal (RV32) / c.j: offset[11|4|9:8|10|6|7|3:1|5]
+            let imm = (bit(p, 12) << 11)
+                | (bit(p, 11) << 4)
+                | (((p >> 9) & 0x3) << 8)
+                | (bit(p, 8) << 10)
+                | (bit(p, 7) << 6)
+                | (bit(p, 6) << 7)
+                | (((p >> 3) & 0x7) << 1)
+                | (bit(p, 2) << 5);
+            let offset = sext(imm, 12);
+            if funct3 == 0b001 {
+                Some((CompressedOp::Jal, Instr::Jal { rd: Reg::Ra, offset }))
+            } else {
+                Some((CompressedOp::J, Instr::Jal { rd: Reg::Zero, offset }))
+            }
+        }
+        (0b01, 0b010) => {
+            let rd = Reg::from_bits(p >> 7);
+            let imm = sext((bit(p, 12) << 5) | ((p >> 2) & 0x1f), 6);
+            Some((CompressedOp::Li, Instr::AluImm { op: AluOp::Add, rd, rs1: Reg::Zero, imm }))
+        }
+        (0b01, 0b011) => {
+            let rd = Reg::from_bits(p >> 7);
+            if rd == Reg::Sp {
+                // c.addi16sp: nzimm[9|4|6|8:7|5]
+                let imm = sext(
+                    (bit(p, 12) << 9)
+                        | (bit(p, 6) << 4)
+                        | (bit(p, 5) << 6)
+                        | (((p >> 3) & 0x3) << 7)
+                        | (bit(p, 2) << 5),
+                    10,
+                );
+                if imm == 0 {
+                    return None;
+                }
+                Some((
+                    CompressedOp::Addi16sp,
+                    Instr::AluImm { op: AluOp::Add, rd: Reg::Sp, rs1: Reg::Sp, imm },
+                ))
+            } else {
+                // c.lui: nzimm[17|16:12]
+                let imm = sext((bit(p, 12) << 17) | (((p >> 2) & 0x1f) << 12), 18);
+                if imm == 0 || rd == Reg::Zero {
+                    return None;
+                }
+                Some((CompressedOp::Lui, Instr::Lui { rd, imm: imm as u32 }))
+            }
+        }
+        (0b01, 0b100) => {
+            let rd = creg(p >> 7);
+            let shamt = (bit(p, 12) << 5) | ((p >> 2) & 0x1f);
+            match (p >> 10) & 0b11 {
+                0b00 => {
+                    // c.srli (RV32: shamt[5] must be 0)
+                    if bit(p, 12) != 0 {
+                        return None;
+                    }
+                    Some((
+                        CompressedOp::Srli,
+                        Instr::AluImm { op: AluOp::Srl, rd, rs1: rd, imm: shamt as i32 },
+                    ))
+                }
+                0b01 => {
+                    if bit(p, 12) != 0 {
+                        return None;
+                    }
+                    Some((
+                        CompressedOp::Srai,
+                        Instr::AluImm { op: AluOp::Sra, rd, rs1: rd, imm: shamt as i32 },
+                    ))
+                }
+                0b10 => {
+                    let imm = sext((bit(p, 12) << 5) | ((p >> 2) & 0x1f), 6);
+                    Some((
+                        CompressedOp::Andi,
+                        Instr::AluImm { op: AluOp::And, rd, rs1: rd, imm },
+                    ))
+                }
+                _ => {
+                    if bit(p, 12) != 0 {
+                        return None; // c.subw/c.addw are RV64
+                    }
+                    let rs2 = creg(p >> 2);
+                    let (cop, aop) = match (p >> 5) & 0b11 {
+                        0b00 => (CompressedOp::Sub, AluOp::Sub),
+                        0b01 => (CompressedOp::Xor, AluOp::Xor),
+                        0b10 => (CompressedOp::Or, AluOp::Or),
+                        _ => (CompressedOp::And, AluOp::And),
+                    };
+                    Some((cop, Instr::Alu { op: aop, rd, rs1: rd, rs2 }))
+                }
+            }
+        }
+        (0b01, 0b110) | (0b01, 0b111) => {
+            // c.beqz / c.bnez: offset[8|4:3] [12:10], [7:6|2:1|5] [6:2]
+            let imm = (bit(p, 12) << 8)
+                | (((p >> 10) & 0x3) << 3)
+                | (((p >> 5) & 0x3) << 6)
+                | (((p >> 3) & 0x3) << 1)
+                | (bit(p, 2) << 5);
+            let offset = sext(imm, 9);
+            let cond = if funct3 == 0b110 { BranchCond::Eq } else { BranchCond::Ne };
+            let cop = if funct3 == 0b110 { CompressedOp::Beqz } else { CompressedOp::Bnez };
+            Some((cop, Instr::Branch { cond, rs1: creg(p >> 7), rs2: Reg::Zero, offset }))
+        }
+        // ----- quadrant 2 -----
+        (0b10, 0b000) => {
+            if bit(p, 12) != 0 {
+                return None;
+            }
+            let rd = Reg::from_bits(p >> 7);
+            let shamt = (p >> 2) & 0x1f;
+            Some((CompressedOp::Slli, Instr::AluImm { op: AluOp::Sll, rd, rs1: rd, imm: shamt as i32 }))
+        }
+        (0b10, 0b010) => {
+            // c.lwsp: uimm[5] [12], uimm[4:2|7:6] [6:2]
+            let rd = Reg::from_bits(p >> 7);
+            if rd == Reg::Zero {
+                return None;
+            }
+            let imm =
+                (bit(p, 12) << 5) | (((p >> 4) & 0x7) << 2) | (((p >> 2) & 0x3) << 6);
+            Some((
+                CompressedOp::Lwsp,
+                Instr::Load { kind: LoadKind::Word, rd, rs1: Reg::Sp, offset: imm as i32 },
+            ))
+        }
+        (0b10, 0b100) => {
+            let rs1 = Reg::from_bits(p >> 7);
+            let rs2 = Reg::from_bits(p >> 2);
+            match (bit(p, 12), rs1, rs2) {
+                (0, Reg::Zero, _) => None,
+                (0, r, Reg::Zero) => {
+                    Some((CompressedOp::Jr, Instr::Jalr { rd: Reg::Zero, rs1: r, offset: 0 }))
+                }
+                (0, rd, rs) => {
+                    Some((CompressedOp::Mv, Instr::Alu { op: AluOp::Add, rd, rs1: Reg::Zero, rs2: rs }))
+                }
+                (1, Reg::Zero, Reg::Zero) => Some((CompressedOp::Ebreak, Instr::Ebreak)),
+                (1, r, Reg::Zero) => {
+                    Some((CompressedOp::Jalr, Instr::Jalr { rd: Reg::Ra, rs1: r, offset: 0 }))
+                }
+                (1, rd, rs) => {
+                    Some((CompressedOp::Add, Instr::Alu { op: AluOp::Add, rd, rs1: rd, rs2: rs }))
+                }
+                _ => None,
+            }
+        }
+        (0b10, 0b110) => {
+            // c.swsp: uimm[5:2|7:6] at [12:7]
+            let imm = (((p >> 9) & 0xf) << 2) | (((p >> 7) & 0x3) << 6);
+            Some((
+                CompressedOp::Swsp,
+                Instr::Store {
+                    kind: StoreKind::Word,
+                    rs1: Reg::Sp,
+                    rs2: Reg::from_bits(p >> 2),
+                    offset: imm as i32,
+                },
+            ))
+        }
+        _ => None,
+    }
+}
+
+fn in_creg(r: Reg) -> Option<u32> {
+    if r.is_compressed_addressable() {
+        Some(r.index() as u32 - 8)
+    } else {
+        None
+    }
+}
+
+/// Finds a 16-bit encoding for a base instruction, if one exists.
+///
+/// Returns the parcel; [`decode16`] of the result always yields an
+/// instruction with identical architectural effect (the round-trip is
+/// property-tested).
+pub fn compress(instr: &Instr) -> Option<u16> {
+    let fits = |v: i32, bits: u32| sext(v as u32 & ((1 << bits) - 1), bits) == v;
+    match *instr {
+        Instr::Nop => Some(0x0001), // c.nop
+        Instr::AluImm { op: AluOp::Add, rd, rs1, imm } => {
+            if rs1 == Reg::Sp && rd == Reg::Sp && imm != 0 && imm % 16 == 0 && fits(imm, 10) {
+                // c.addi16sp
+                let u = imm as u32;
+                let p = (0b011 << 13)
+                    | (((u >> 9) & 1) << 12)
+                    | ((Reg::Sp as u32) << 7)
+                    | (((u >> 4) & 1) << 6)
+                    | (((u >> 6) & 1) << 5)
+                    | (((u >> 7) & 0x3) << 3)
+                    | (((u >> 5) & 1) << 2)
+                    | 0b01;
+                return Some(p as u16);
+            }
+            if rs1 == Reg::Sp && imm > 0 && imm % 4 == 0 && imm < 1024 {
+                if let Some(rdc) = in_creg(rd) {
+                    // c.addi4spn
+                    let u = imm as u32;
+                    let p = (((u >> 3) & 1) << 5)
+                        | (((u >> 2) & 1) << 6)
+                        | (((u >> 6) & 0xf) << 7)
+                        | (((u >> 4) & 0x3) << 11)
+                        | (rdc << 2);
+                    return Some(p as u16);
+                }
+            }
+            if rs1 == Reg::Zero && fits(imm, 6) {
+                // c.li (also covers c.mv-less moves of small constants)
+                let u = imm as u32;
+                let p = (0b010 << 13)
+                    | (((u >> 5) & 1) << 12)
+                    | ((rd as u32) << 7)
+                    | ((u & 0x1f) << 2)
+                    | 0b01;
+                return Some(p as u16);
+            }
+            if rd == rs1 && rd != Reg::Zero && imm != 0 && fits(imm, 6) {
+                // c.addi
+                let u = imm as u32;
+                let p = (((u >> 5) & 1) << 12) | ((rd as u32) << 7) | ((u & 0x1f) << 2) | 0b01;
+                return Some(p as u16);
+            }
+            None
+        }
+        Instr::AluImm { op: AluOp::And, rd, rs1, imm } if rd == rs1 && fits(imm, 6) => {
+            let rdc = in_creg(rd)?;
+            let u = imm as u32;
+            let p = (0b100 << 13)
+                | (((u >> 5) & 1) << 12)
+                | (0b10 << 10)
+                | (rdc << 7)
+                | ((u & 0x1f) << 2)
+                | 0b01;
+            Some(p as u16)
+        }
+        Instr::AluImm { op, rd, rs1, imm }
+            if rd == rs1 && matches!(op, AluOp::Srl | AluOp::Sra) && (0..32).contains(&imm) =>
+        {
+            let rdc = in_creg(rd)?;
+            if imm == 0 {
+                return None; // shamt 0 is a hint encoding; keep 32-bit
+            }
+            let f2 = if op == AluOp::Srl { 0b00 } else { 0b01 };
+            let p = (0b100 << 13) | (f2 << 10) | (rdc << 7) | ((imm as u32 & 0x1f) << 2) | 0b01;
+            Some(p as u16)
+        }
+        Instr::AluImm { op: AluOp::Sll, rd, rs1, imm }
+            if rd == rs1 && rd != Reg::Zero && (1..32).contains(&imm) =>
+        {
+            let p = (0b000 << 13) | ((rd as u32) << 7) | ((imm as u32 & 0x1f) << 2) | 0b10;
+            Some(p as u16)
+        }
+        Instr::Lui { rd, imm } => {
+            let v = imm as i32;
+            if rd == Reg::Zero || rd == Reg::Sp || v == 0 || !fits(v, 18) || v % (1 << 12) != 0 {
+                return None;
+            }
+            let u = (imm >> 12) & 0x3f;
+            let p = (0b011 << 13) | (((u >> 5) & 1) << 12) | ((rd as u32) << 7) | ((u & 0x1f) << 2)
+                | 0b01;
+            Some(p as u16)
+        }
+        Instr::Alu { op, rd, rs1, rs2 } => {
+            if op == AluOp::Add && rs1 == Reg::Zero && rd != Reg::Zero && rs2 != Reg::Zero {
+                // c.mv
+                let p = (0b100 << 13) | ((rd as u32) << 7) | ((rs2 as u32) << 2) | 0b10;
+                return Some(p as u16);
+            }
+            if op == AluOp::Add && rd == rs1 && rd != Reg::Zero && rs2 != Reg::Zero {
+                // c.add
+                let p = (0b100 << 13) | (1 << 12) | ((rd as u32) << 7) | ((rs2 as u32) << 2) | 0b10;
+                return Some(p as u16);
+            }
+            if rd == rs1 {
+                let rdc = in_creg(rd)?;
+                let rs2c = in_creg(rs2)?;
+                let f2 = match op {
+                    AluOp::Sub => 0b00,
+                    AluOp::Xor => 0b01,
+                    AluOp::Or => 0b10,
+                    AluOp::And => 0b11,
+                    _ => return None,
+                };
+                let p = (0b100 << 13) | (0b011 << 10) | (rdc << 7) | (f2 << 5) | (rs2c << 2) | 0b01;
+                return Some(p as u16);
+            }
+            None
+        }
+        Instr::Load { kind: LoadKind::Word, rd, rs1, offset } => {
+            if rs1 == Reg::Sp && rd != Reg::Zero && offset >= 0 && offset % 4 == 0 && offset < 256 {
+                let u = offset as u32;
+                let p = (0b010 << 13)
+                    | (((u >> 5) & 1) << 12)
+                    | ((rd as u32) << 7)
+                    | (((u >> 2) & 0x7) << 4)
+                    | (((u >> 6) & 0x3) << 2)
+                    | 0b10;
+                return Some(p as u16);
+            }
+            let rdc = in_creg(rd)?;
+            let rs1c = in_creg(rs1)?;
+            if offset >= 0 && offset % 4 == 0 && offset < 128 {
+                let u = offset as u32;
+                let p = (0b010 << 13)
+                    | (((u >> 3) & 0x7) << 10)
+                    | (rs1c << 7)
+                    | (((u >> 2) & 1) << 6)
+                    | (((u >> 6) & 1) << 5)
+                    | (rdc << 2);
+                return Some(p as u16);
+            }
+            None
+        }
+        Instr::Store { kind: StoreKind::Word, rs1, rs2, offset } => {
+            if rs1 == Reg::Sp && offset >= 0 && offset % 4 == 0 && offset < 256 {
+                let u = offset as u32;
+                let p = (0b110 << 13)
+                    | (((u >> 2) & 0xf) << 9)
+                    | (((u >> 6) & 0x3) << 7)
+                    | ((rs2 as u32) << 2)
+                    | 0b10;
+                return Some(p as u16);
+            }
+            let rs1c = in_creg(rs1)?;
+            let rs2c = in_creg(rs2)?;
+            if offset >= 0 && offset % 4 == 0 && offset < 128 {
+                let u = offset as u32;
+                let p = (0b110 << 13)
+                    | (((u >> 3) & 0x7) << 10)
+                    | (rs1c << 7)
+                    | (((u >> 2) & 1) << 6)
+                    | (((u >> 6) & 1) << 5)
+                    | (rs2c << 2);
+                return Some(p as u16);
+            }
+            None
+        }
+        Instr::Jal { rd, offset } if fits(offset, 12) && offset % 2 == 0 => {
+            let f3 = match rd {
+                Reg::Ra => 0b001,
+                Reg::Zero => 0b101,
+                _ => return None,
+            };
+            let u = offset as u32;
+            let p = (f3 << 13)
+                | (((u >> 11) & 1) << 12)
+                | (((u >> 4) & 1) << 11)
+                | (((u >> 8) & 0x3) << 9)
+                | (((u >> 10) & 1) << 8)
+                | (((u >> 6) & 1) << 7)
+                | (((u >> 7) & 1) << 6)
+                | (((u >> 1) & 0x7) << 3)
+                | (((u >> 5) & 1) << 2)
+                | 0b01;
+            Some(p as u16)
+        }
+        Instr::Jalr { rd, rs1, offset } if offset == 0 && rs1 != Reg::Zero => {
+            let bit12 = match rd {
+                Reg::Zero => 0u32,
+                Reg::Ra => 1,
+                _ => return None,
+            };
+            let p = (0b100 << 13) | (bit12 << 12) | ((rs1 as u32) << 7) | 0b10;
+            Some(p as u16)
+        }
+        Instr::Branch { cond, rs1, rs2, offset }
+            if rs2 == Reg::Zero
+                && matches!(cond, BranchCond::Eq | BranchCond::Ne)
+                && fits(offset, 9)
+                && offset % 2 == 0 =>
+        {
+            let rs1c = in_creg(rs1)?;
+            let f3 = if cond == BranchCond::Eq { 0b110 } else { 0b111 };
+            let u = offset as u32;
+            let p = (f3 << 13)
+                | (((u >> 8) & 1) << 12)
+                | (((u >> 3) & 0x3) << 10)
+                | (rs1c << 7)
+                | (((u >> 6) & 0x3) << 5)
+                | (((u >> 1) & 0x3) << 3)
+                | (((u >> 5) & 1) << 2)
+                | 0b01;
+            Some(p as u16)
+        }
+        Instr::Ebreak => Some(0x9002),
+        _ => None,
+    }
+}
+
+/// Static code-size analysis of a program under RVC compression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodeSizeReport {
+    /// Total instructions.
+    pub instructions: usize,
+    /// How many have a 16-bit encoding.
+    pub compressible: usize,
+    /// Bytes with every instruction at 32 bits.
+    pub bytes_uncompressed: usize,
+    /// Bytes if every compressible instruction used its RVC form.
+    pub bytes_compressed: usize,
+}
+
+impl CodeSizeReport {
+    /// Fraction of bytes saved.
+    pub fn savings(&self) -> f64 {
+        1.0 - self.bytes_compressed as f64 / self.bytes_uncompressed as f64
+    }
+}
+
+/// Analyses how much RVC would shrink an instruction stream.
+///
+/// This is a *static* upper bound: branch-offset relaxation could make a
+/// few more parcels reachable, but RI5CY's timing is unchanged either
+/// way, which is why the kernel generators emit 32-bit code.
+pub fn code_size_report<'a, I: IntoIterator<Item = &'a Instr>>(instrs: I) -> CodeSizeReport {
+    let mut instructions = 0;
+    let mut compressible = 0;
+    for i in instrs {
+        instructions += 1;
+        if compress(i).is_some() {
+            compressible += 1;
+        }
+    }
+    CodeSizeReport {
+        instructions,
+        compressible,
+        bytes_uncompressed: instructions * 4,
+        bytes_compressed: instructions * 4 - compressible * 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Spot checks against binutils-produced encodings.
+    #[test]
+    fn known_encodings() {
+        // c.nop = 0x0001
+        assert_eq!(decode16(0x0001), Some((CompressedOp::Addi, Instr::Nop)));
+        // c.addi a0, 1 = 0x0505
+        let (op, i) = decode16(0x0505).unwrap();
+        assert_eq!(op, CompressedOp::Addi);
+        assert_eq!(i, Instr::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: 1 });
+        // c.li a0, -1 = 0x557d
+        let (_, i) = decode16(0x557d).unwrap();
+        assert_eq!(i, Instr::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::Zero, imm: -1 });
+        // c.mv a0, a1 = 0x852e
+        let (_, i) = decode16(0x852e).unwrap();
+        assert_eq!(i, Instr::Alu { op: AluOp::Add, rd: Reg::A0, rs1: Reg::Zero, rs2: Reg::A1 });
+        // c.add a0, a1 = 0x952e
+        let (_, i) = decode16(0x952e).unwrap();
+        assert_eq!(i, Instr::Alu { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A1 });
+        // c.lw a0, 4(a1): CL format, offset[2] at bit 6 -> 0x41c8
+        let lw = Instr::Load { kind: LoadKind::Word, rd: Reg::A0, rs1: Reg::A1, offset: 4 };
+        assert_eq!(compress(&lw), Some(0x41c8));
+        let (_, i) = decode16(0x41c8).unwrap();
+        assert_eq!(i, lw);
+        // c.sw a0, 4(a1) = 0xc1c8
+        let sw = Instr::Store { kind: StoreKind::Word, rs1: Reg::A1, rs2: Reg::A0, offset: 4 };
+        assert_eq!(compress(&sw), Some(0xc1c8));
+        let (_, i) = decode16(0xc1c8).unwrap();
+        assert_eq!(i, sw);
+        // c.lwsp a0, 8(sp) = 0x4522
+        let (_, i) = decode16(0x4522).unwrap();
+        assert_eq!(i, Instr::Load { kind: LoadKind::Word, rd: Reg::A0, rs1: Reg::Sp, offset: 8 });
+        // c.swsp a0, 8(sp) = 0xc42a
+        let (_, i) = decode16(0xc42a).unwrap();
+        assert_eq!(
+            i,
+            Instr::Store { kind: StoreKind::Word, rs1: Reg::Sp, rs2: Reg::A0, offset: 8 }
+        );
+        // c.jr ra = 0x8082
+        let (_, i) = decode16(0x8082).unwrap();
+        assert_eq!(i, Instr::Jalr { rd: Reg::Zero, rs1: Reg::Ra, offset: 0 });
+        // c.ebreak = 0x9002
+        assert_eq!(decode16(0x9002).unwrap().1, Instr::Ebreak);
+        // c.addi16sp sp, -32 = 0x7139
+        let (_, i) = decode16(0x7139).unwrap();
+        assert_eq!(i, Instr::AluImm { op: AluOp::Add, rd: Reg::Sp, rs1: Reg::Sp, imm: -64 });
+        // c.addi4spn a0, sp, 8 = 0x0028? binutils: addi a0,sp,8 -> 0x0028
+        let (_, i) = decode16(0x0028).unwrap();
+        assert_eq!(i, Instr::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::Sp, imm: 8 });
+        // c.beqz a0, +8: offset[3] sits at bit 10 -> 0xc501
+        let beqz = Instr::Branch { cond: BranchCond::Eq, rs1: Reg::A0, rs2: Reg::Zero, offset: 8 };
+        assert_eq!(compress(&beqz), Some(0xc501));
+        assert_eq!(decode16(0xc501).unwrap().1, beqz);
+        // c.j +8 = 0xa021
+        let (_, i) = decode16(0xa021).unwrap();
+        assert_eq!(i, Instr::Jal { rd: Reg::Zero, offset: 8 });
+        // c.slli a0, 2 = 0x050a
+        let (_, i) = decode16(0x050a).unwrap();
+        assert_eq!(i, Instr::AluImm { op: AluOp::Sll, rd: Reg::A0, rs1: Reg::A0, imm: 2 });
+        // c.srli a0, 2 = 0x8109
+        let (_, i) = decode16(0x8109).unwrap();
+        assert_eq!(i, Instr::AluImm { op: AluOp::Srl, rd: Reg::A0, rs1: Reg::A0, imm: 2 });
+        // c.andi a0, 15 = 0x893d
+        let (_, i) = decode16(0x893d).unwrap();
+        assert_eq!(i, Instr::AluImm { op: AluOp::And, rd: Reg::A0, rs1: Reg::A0, imm: 15 });
+        // c.sub a0, a1 = 0x8d0d
+        let (_, i) = decode16(0x8d0d).unwrap();
+        assert_eq!(i, Instr::Alu { op: AluOp::Sub, rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A1 });
+        // c.lui a1, 1 = 0x6585
+        let (_, i) = decode16(0x6585).unwrap();
+        assert_eq!(i, Instr::Lui { rd: Reg::A1, imm: 0x1000 });
+    }
+
+    #[test]
+    fn illegal_parcels_rejected() {
+        assert_eq!(decode16(0x0000), None, "all-zero is defined illegal");
+        // c.addi4spn with zero immediate is reserved.
+        assert_eq!(decode16(0x0008 & !0x1fe0), None);
+        // c.lwsp with rd = x0 is reserved.
+        assert_eq!(decode16(0x4002), None);
+    }
+
+    #[test]
+    fn parcel_width_discrimination() {
+        assert!(is_compressed(0x0001));
+        assert!(is_compressed(0x852e));
+        assert!(!is_compressed(0x0000_0013)); // addi x0,x0,0
+        assert!(!is_compressed(0xffff_ffff));
+    }
+
+    #[test]
+    fn compress_round_trips() {
+        let samples = vec![
+            Instr::Nop,
+            Instr::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: -3 },
+            Instr::AluImm { op: AluOp::Add, rd: Reg::S1, rs1: Reg::Zero, imm: 31 },
+            Instr::AluImm { op: AluOp::Add, rd: Reg::Sp, rs1: Reg::Sp, imm: -64 },
+            Instr::AluImm { op: AluOp::Add, rd: Reg::A2, rs1: Reg::Sp, imm: 16 },
+            Instr::AluImm { op: AluOp::And, rd: Reg::A3, rs1: Reg::A3, imm: -1 },
+            Instr::AluImm { op: AluOp::Srl, rd: Reg::A4, rs1: Reg::A4, imm: 7 },
+            Instr::AluImm { op: AluOp::Sra, rd: Reg::A5, rs1: Reg::A5, imm: 31 },
+            Instr::AluImm { op: AluOp::Sll, rd: Reg::T6, rs1: Reg::T6, imm: 12 },
+            Instr::Lui { rd: Reg::A1, imm: 0x1f000 },
+            Instr::Alu { op: AluOp::Add, rd: Reg::T0, rs1: Reg::Zero, rs2: Reg::T1 },
+            Instr::Alu { op: AluOp::Add, rd: Reg::T0, rs1: Reg::T0, rs2: Reg::T1 },
+            Instr::Alu { op: AluOp::Sub, rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A1 },
+            Instr::Alu { op: AluOp::Xor, rd: Reg::S0, rs1: Reg::S0, rs2: Reg::S1 },
+            Instr::Alu { op: AluOp::Or, rd: Reg::A4, rs1: Reg::A4, rs2: Reg::A2 },
+            Instr::Alu { op: AluOp::And, rd: Reg::A5, rs1: Reg::A5, rs2: Reg::A3 },
+            Instr::Load { kind: LoadKind::Word, rd: Reg::A0, rs1: Reg::A1, offset: 64 },
+            Instr::Load { kind: LoadKind::Word, rd: Reg::T2, rs1: Reg::Sp, offset: 252 },
+            Instr::Store { kind: StoreKind::Word, rs1: Reg::A1, rs2: Reg::A0, offset: 124 },
+            Instr::Store { kind: StoreKind::Word, rs1: Reg::Sp, rs2: Reg::T3, offset: 0 },
+            Instr::Jal { rd: Reg::Ra, offset: -2048 },
+            Instr::Jal { rd: Reg::Zero, offset: 2046 },
+            Instr::Jalr { rd: Reg::Zero, rs1: Reg::Ra, offset: 0 },
+            Instr::Jalr { rd: Reg::Ra, rs1: Reg::T0, offset: 0 },
+            Instr::Branch { cond: BranchCond::Eq, rs1: Reg::A0, rs2: Reg::Zero, offset: -256 },
+            Instr::Branch { cond: BranchCond::Ne, rs1: Reg::S1, rs2: Reg::Zero, offset: 254 },
+            Instr::Ebreak,
+        ];
+        for i in samples {
+            let p = compress(&i).unwrap_or_else(|| panic!("{i} should compress"));
+            let (_, back) = decode16(p).unwrap_or_else(|| panic!("{i} -> {p:#06x} undecodable"));
+            assert_eq!(back, i, "{i} -> {p:#06x}");
+        }
+    }
+
+    #[test]
+    fn uncompressible_instructions() {
+        use crate::simd::{DotSign, SimdFmt};
+        let samples = vec![
+            // wide immediate
+            Instr::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: 100 },
+            // three-register form
+            Instr::Alu { op: AluOp::Sub, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 },
+            // non-RVC-window registers for quadrant-1 ALU
+            Instr::Alu { op: AluOp::Xor, rd: Reg::T0, rs1: Reg::T0, rs2: Reg::T1 },
+            // byte load has no RVC form in RV32C
+            Instr::Load { kind: LoadKind::Byte, rd: Reg::A0, rs1: Reg::A1, offset: 0 },
+            // every PULP extension instruction
+            Instr::PvSdot {
+                fmt: SimdFmt::Nibble,
+                sign: DotSign::SignedSigned,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                op2: crate::instr::SimdOperand::Vector(Reg::A2),
+            },
+            Instr::Ecall, // c.ebreak exists, c.ecall does not
+        ];
+        for i in samples {
+            assert_eq!(compress(&i), None, "{i} should not compress");
+        }
+    }
+
+    #[test]
+    fn code_size_report_counts() {
+        let instrs = vec![
+            Instr::Nop,
+            Instr::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: 1 },
+            Instr::Ecall,
+        ];
+        let r = code_size_report(&instrs);
+        assert_eq!(r.instructions, 3);
+        assert_eq!(r.compressible, 2);
+        assert_eq!(r.bytes_uncompressed, 12);
+        assert_eq!(r.bytes_compressed, 8);
+        assert!((r.savings() - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

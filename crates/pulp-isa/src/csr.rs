@@ -1,0 +1,43 @@
+//! Control and status register numbers used by the core model.
+//!
+//! Only the counters needed by the benchmarking harness are defined; the
+//! core treats every other CSR as a plain read/write scratch register so
+//! firmware-style code does not trap.
+
+/// `mcycle`: cycles elapsed since reset (low 32 bits).
+pub const MCYCLE: u16 = 0xb00;
+/// `minstret`: instructions retired since reset (low 32 bits).
+pub const MINSTRET: u16 = 0xb02;
+/// `mcycleh`: high 32 bits of the cycle counter.
+pub const MCYCLEH: u16 = 0xb80;
+/// `minstreth`: high 32 bits of the retired-instruction counter.
+pub const MINSTRETH: u16 = 0xb82;
+/// `mhartid`: hart ID (always 0 on PULPissimo's single core).
+pub const MHARTID: u16 = 0xf14;
+
+/// RI5CY hardware-loop CSRs (start/end/count for loops 0 and 1), exposed
+/// for debugger-style inspection.
+pub const LPSTART0: u16 = 0x7b0;
+/// Hardware loop 0 end address.
+pub const LPEND0: u16 = 0x7b1;
+/// Hardware loop 0 iteration count.
+pub const LPCOUNT0: u16 = 0x7b2;
+/// Hardware loop 1 start address.
+pub const LPSTART1: u16 = 0x7b4;
+/// Hardware loop 1 end address.
+pub const LPEND1: u16 = 0x7b5;
+/// Hardware loop 1 iteration count.
+pub const LPCOUNT1: u16 = 0x7b6;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_csrs_match_privileged_spec_numbers() {
+        assert_eq!(MCYCLE, 0xb00);
+        assert_eq!(MINSTRET, 0xb02);
+        assert_eq!(MCYCLEH, 0xb80);
+        assert_eq!(MHARTID, 0xf14);
+    }
+}

@@ -1,0 +1,610 @@
+//! Binary instruction decoding — the exact inverse of [`crate::encode`].
+
+use crate::encode::{opcode, pulp_funct7, simd_op5};
+use crate::instr::{AluOp, BitOp, BranchCond, Instr, LoadKind, LoopIdx, MulDivOp, PulpAluOp,
+                   SimdAluOp, SimdOperand, StoreKind};
+use crate::reg::Reg;
+use crate::simd::{DotSign, SimdFmt};
+use std::fmt;
+
+/// An undecodable instruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The offending 32-bit word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "illegal instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[inline]
+fn rd(w: u32) -> Reg {
+    Reg::from_bits(w >> 7)
+}
+
+#[inline]
+fn rs1(w: u32) -> Reg {
+    Reg::from_bits(w >> 15)
+}
+
+#[inline]
+fn rs2(w: u32) -> Reg {
+    Reg::from_bits(w >> 20)
+}
+
+#[inline]
+fn funct3(w: u32) -> u32 {
+    (w >> 12) & 0x7
+}
+
+#[inline]
+fn funct7(w: u32) -> u32 {
+    w >> 25
+}
+
+/// Sign-extended I-type immediate.
+#[inline]
+fn imm_i(w: u32) -> i32 {
+    (w as i32) >> 20
+}
+
+/// Sign-extended S-type immediate.
+#[inline]
+fn imm_s(w: u32) -> i32 {
+    (((w & 0xfe00_0000) as i32) >> 20) | (((w >> 7) & 0x1f) as i32)
+}
+
+/// Sign-extended B-type immediate (byte offset).
+#[inline]
+fn imm_b(w: u32) -> i32 {
+    (((w & 0x8000_0000) as i32) >> 19)
+        | (((w & 0x80) << 4) as i32)
+        | (((w >> 20) & 0x7e0) as i32)
+        | (((w >> 7) & 0x1e) as i32)
+}
+
+/// Sign-extended J-type immediate (byte offset).
+#[inline]
+fn imm_j(w: u32) -> i32 {
+    (((w & 0x8000_0000) as i32) >> 11)
+        | ((w & 0xf_f000) as i32)
+        | (((w >> 9) & 0x800) as i32)
+        | (((w >> 20) & 0x7fe) as i32)
+}
+
+fn load_kind(f3: u32) -> Option<LoadKind> {
+    match f3 {
+        0b000 => Some(LoadKind::Byte),
+        0b001 => Some(LoadKind::Half),
+        0b010 => Some(LoadKind::Word),
+        0b100 => Some(LoadKind::ByteU),
+        0b101 => Some(LoadKind::HalfU),
+        _ => None,
+    }
+}
+
+fn load_kind_from_code(code: u32) -> Option<LoadKind> {
+    match code {
+        0 => Some(LoadKind::Byte),
+        1 => Some(LoadKind::Half),
+        2 => Some(LoadKind::Word),
+        3 => Some(LoadKind::ByteU),
+        4 => Some(LoadKind::HalfU),
+        _ => None,
+    }
+}
+
+fn store_kind(f3: u32) -> Option<StoreKind> {
+    match f3 {
+        0b000 => Some(StoreKind::Byte),
+        0b001 => Some(StoreKind::Half),
+        0b010 => Some(StoreKind::Word),
+        _ => None,
+    }
+}
+
+fn branch_cond(f3: u32) -> Option<BranchCond> {
+    match f3 {
+        0b000 => Some(BranchCond::Eq),
+        0b001 => Some(BranchCond::Ne),
+        0b100 => Some(BranchCond::Lt),
+        0b101 => Some(BranchCond::Ge),
+        0b110 => Some(BranchCond::Ltu),
+        0b111 => Some(BranchCond::Geu),
+        _ => None,
+    }
+}
+
+fn simd_fmt(bits: u32) -> SimdFmt {
+    match bits & 0b11 {
+        0b00 => SimdFmt::Half,
+        0b01 => SimdFmt::Byte,
+        0b10 => SimdFmt::Nibble,
+        _ => SimdFmt::Crumb,
+    }
+}
+
+fn decode_simd(w: u32) -> Result<Instr, DecodeError> {
+    let op5 = w >> 27;
+    let fmt = simd_fmt(w >> 25);
+    let r = rd(w);
+    let a = rs1(w);
+    let mode3 = funct3(w);
+    let rs2_field = (w >> 20) & 0x1f;
+
+    let op2 = match mode3 {
+        0b000 => SimdOperand::Vector(Reg::from_bits(rs2_field)),
+        0b100 => SimdOperand::Scalar(Reg::from_bits(rs2_field)),
+        0b110 | 0b111 => {
+            if fmt.is_sub_byte() {
+                // The .sci variant is not part of the sub-byte encoding
+                // space (§III-A of the paper).
+                return Err(DecodeError { word: w });
+            }
+            let raw = ((mode3 & 1) << 5) | rs2_field;
+            // Sign-extend 6-bit immediate.
+            SimdOperand::Imm((((raw << 2) as i8) >> 2) as i8)
+        }
+        _ => return Err(DecodeError { word: w }),
+    };
+
+    let alu = |op: SimdAluOp| -> Result<Instr, DecodeError> {
+        Ok(Instr::PvAlu { op, fmt, rd: r, rs1: a, op2 })
+    };
+    let dot = |sign: DotSign, acc: bool| -> Result<Instr, DecodeError> {
+        if acc {
+            Ok(Instr::PvSdot { fmt, sign, rd: r, rs1: a, op2 })
+        } else {
+            Ok(Instr::PvDot { fmt, sign, rd: r, rs1: a, op2 })
+        }
+    };
+    // Operations that only exist in register-register form.
+    let rr_only = mode3 == 0b000;
+    // Lane-indexed operations reject indices beyond the format's lanes.
+    let lane_ok = (rs2_field as usize) < fmt.lanes();
+
+    match op5 {
+        simd_op5::ADD => alu(SimdAluOp::Add),
+        simd_op5::SUB => alu(SimdAluOp::Sub),
+        simd_op5::AVG => alu(SimdAluOp::Avg),
+        simd_op5::AVGU => alu(SimdAluOp::Avgu),
+        simd_op5::MIN => alu(SimdAluOp::Min),
+        simd_op5::MINU => alu(SimdAluOp::Minu),
+        simd_op5::MAX => alu(SimdAluOp::Max),
+        simd_op5::MAXU => alu(SimdAluOp::Maxu),
+        simd_op5::SRL => alu(SimdAluOp::Srl),
+        simd_op5::SRA => alu(SimdAluOp::Sra),
+        simd_op5::SLL => alu(SimdAluOp::Sll),
+        simd_op5::OR => alu(SimdAluOp::Or),
+        simd_op5::AND => alu(SimdAluOp::And),
+        simd_op5::XOR => alu(SimdAluOp::Xor),
+        simd_op5::ABS if rr_only => Ok(Instr::PvAbs { fmt, rd: r, rs1: a }),
+        simd_op5::EXTRACT if rr_only && lane_ok => Ok(Instr::PvExtract {
+            fmt,
+            rd: r,
+            rs1: a,
+            idx: rs2_field as u8,
+            signed: true,
+        }),
+        simd_op5::EXTRACTU if rr_only && lane_ok => Ok(Instr::PvExtract {
+            fmt,
+            rd: r,
+            rs1: a,
+            idx: rs2_field as u8,
+            signed: false,
+        }),
+        simd_op5::INSERT if rr_only && lane_ok => Ok(Instr::PvInsert {
+            fmt,
+            rd: r,
+            rs1: a,
+            idx: rs2_field as u8,
+        }),
+        simd_op5::DOTUP => dot(DotSign::UnsignedUnsigned, false),
+        simd_op5::DOTUSP => dot(DotSign::UnsignedSigned, false),
+        simd_op5::DOTSP => dot(DotSign::SignedSigned, false),
+        simd_op5::SDOTUP => dot(DotSign::UnsignedUnsigned, true),
+        simd_op5::SDOTUSP => dot(DotSign::UnsignedSigned, true),
+        simd_op5::SDOTSP => dot(DotSign::SignedSigned, true),
+        simd_op5::QNT if rr_only && fmt.is_sub_byte() => Ok(Instr::PvQnt {
+            fmt,
+            rd: r,
+            rs1: a,
+            rs2: Reg::from_bits(rs2_field),
+        }),
+        simd_op5::SHUFFLE2 if rr_only && !fmt.is_sub_byte() => Ok(Instr::PvShuffle2 {
+            fmt,
+            rd: r,
+            rs1: a,
+            rs2: Reg::from_bits(rs2_field),
+        }),
+        _ => Err(DecodeError { word: w }),
+    }
+}
+
+fn decode_op(w: u32) -> Result<Instr, DecodeError> {
+    let f3 = funct3(w);
+    let f7 = funct7(w);
+    let (r, a, b) = (rd(w), rs1(w), rs2(w));
+    match f7 {
+        0x00 | 0x20 => {
+            let op = match (f3, f7) {
+                (0b000, 0x00) => AluOp::Add,
+                (0b000, 0x20) => AluOp::Sub,
+                (0b001, 0x00) => AluOp::Sll,
+                (0b010, 0x00) => AluOp::Slt,
+                (0b011, 0x00) => AluOp::Sltu,
+                (0b100, 0x00) => AluOp::Xor,
+                (0b101, 0x00) => AluOp::Srl,
+                (0b101, 0x20) => AluOp::Sra,
+                (0b110, 0x00) => AluOp::Or,
+                (0b111, 0x00) => AluOp::And,
+                _ => return Err(DecodeError { word: w }),
+            };
+            Ok(Instr::Alu { op, rd: r, rs1: a, rs2: b })
+        }
+        0x01 => {
+            let op = match f3 {
+                0b000 => MulDivOp::Mul,
+                0b001 => MulDivOp::Mulh,
+                0b010 => MulDivOp::Mulhsu,
+                0b011 => MulDivOp::Mulhu,
+                0b100 => MulDivOp::Div,
+                0b101 => MulDivOp::Divu,
+                0b110 => MulDivOp::Rem,
+                _ => MulDivOp::Remu,
+            };
+            Ok(Instr::MulDiv { op, rd: r, rs1: a, rs2: b })
+        }
+        pulp_funct7::ALU_A => match f3 {
+            0 => Ok(Instr::PulpAlu { op: PulpAluOp::Min, rd: r, rs1: a, rs2: b }),
+            1 => Ok(Instr::PulpAlu { op: PulpAluOp::Minu, rd: r, rs1: a, rs2: b }),
+            2 => Ok(Instr::PulpAlu { op: PulpAluOp::Max, rd: r, rs1: a, rs2: b }),
+            3 => Ok(Instr::PulpAlu { op: PulpAluOp::Maxu, rd: r, rs1: a, rs2: b }),
+            4 => Ok(Instr::PulpAlu { op: PulpAluOp::Abs, rd: r, rs1: a, rs2: b }),
+            5 => Ok(Instr::PClip { rd: r, rs1: a, bits: ((w >> 20) & 0x1f) as u8 }),
+            6 => Ok(Instr::PClipU { rd: r, rs1: a, bits: ((w >> 20) & 0x1f) as u8 }),
+            _ => Err(DecodeError { word: w }),
+        },
+        pulp_funct7::ALU_B => match f3 {
+            0 => Ok(Instr::PMac { rd: r, rs1: a, rs2: b }),
+            1 => Ok(Instr::PMsu { rd: r, rs1: a, rs2: b }),
+            2 => Ok(Instr::PBit { op: BitOp::Ff1, rd: r, rs1: a }),
+            3 => Ok(Instr::PBit { op: BitOp::Fl1, rd: r, rs1: a }),
+            4 => Ok(Instr::PBit { op: BitOp::Cnt, rd: r, rs1: a }),
+            5 => Ok(Instr::PBit { op: BitOp::Clb, rd: r, rs1: a }),
+            6 => Ok(Instr::PulpAlu { op: PulpAluOp::Exths, rd: r, rs1: a, rs2: b }),
+            _ => Ok(Instr::PulpAlu { op: PulpAluOp::Exthz, rd: r, rs1: a, rs2: b }),
+        },
+        pulp_funct7::ALU_C => match f3 {
+            0 => Ok(Instr::PulpAlu { op: PulpAluOp::Extbs, rd: r, rs1: a, rs2: b }),
+            1 => Ok(Instr::PulpAlu { op: PulpAluOp::Extbz, rd: r, rs1: a, rs2: b }),
+            _ => Err(DecodeError { word: w }),
+        },
+        _ => Err(DecodeError { word: w }),
+    }
+}
+
+fn decode_op_imm(w: u32) -> Result<Instr, DecodeError> {
+    if w == 0x0000_0013 {
+        return Ok(Instr::Nop);
+    }
+    let f3 = funct3(w);
+    let (r, a) = (rd(w), rs1(w));
+    let op = match f3 {
+        0b000 => AluOp::Add,
+        0b001 => AluOp::Sll,
+        0b010 => AluOp::Slt,
+        0b011 => AluOp::Sltu,
+        0b100 => AluOp::Xor,
+        0b101 => {
+            if funct7(w) == 0x20 {
+                AluOp::Sra
+            } else if funct7(w) == 0x00 {
+                AluOp::Srl
+            } else {
+                return Err(DecodeError { word: w });
+            }
+        }
+        0b110 => AluOp::Or,
+        _ => AluOp::And,
+    };
+    let imm = match op {
+        AluOp::Sll | AluOp::Srl | AluOp::Sra => ((w >> 20) & 0x1f) as i32,
+        _ => imm_i(w),
+    };
+    if matches!(op, AluOp::Sll) && funct7(w) != 0 {
+        return Err(DecodeError { word: w });
+    }
+    Ok(Instr::AluImm { op, rd: r, rs1: a, imm })
+}
+
+fn decode_hwloop(w: u32) -> Result<Instr, DecodeError> {
+    let l = LoopIdx::from_bit(w >> 7);
+    match funct3(w) {
+        0 => Ok(Instr::LpStarti { l, offset: imm_i(w) << 1 }),
+        1 => Ok(Instr::LpEndi { l, offset: imm_i(w) << 1 }),
+        2 => Ok(Instr::LpCount { l, rs1: rs1(w) }),
+        3 => Ok(Instr::LpCounti { l, imm: ((w >> 20) & 0xfff) }),
+        4 => Ok(Instr::LpSetup { l, rs1: rs1(w), offset: imm_i(w) << 1 }),
+        5 => Ok(Instr::LpSetupi {
+            l,
+            imm: (w >> 20) & 0xfff,
+            offset: (((w >> 15) & 0x1f) << 1) as i32,
+        }),
+        _ => Err(DecodeError { word: w }),
+    }
+}
+
+/// Decodes a 32-bit instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] when the word does not correspond to any
+/// instruction this core implements — the simulator raises an
+/// illegal-instruction trap in that case.
+pub fn decode(w: u32) -> Result<Instr, DecodeError> {
+    match w & 0x7f {
+        opcode::LUI => Ok(Instr::Lui { rd: rd(w), imm: w & 0xffff_f000 }),
+        opcode::AUIPC => Ok(Instr::Auipc { rd: rd(w), imm: w & 0xffff_f000 }),
+        opcode::JAL => Ok(Instr::Jal { rd: rd(w), offset: imm_j(w) }),
+        opcode::JALR => {
+            if funct3(w) != 0 {
+                return Err(DecodeError { word: w });
+            }
+            Ok(Instr::Jalr { rd: rd(w), rs1: rs1(w), offset: imm_i(w) })
+        }
+        opcode::BRANCH => {
+            let cond = branch_cond(funct3(w)).ok_or(DecodeError { word: w })?;
+            Ok(Instr::Branch { cond, rs1: rs1(w), rs2: rs2(w), offset: imm_b(w) })
+        }
+        opcode::LOAD => {
+            let kind = load_kind(funct3(w)).ok_or(DecodeError { word: w })?;
+            Ok(Instr::Load { kind, rd: rd(w), rs1: rs1(w), offset: imm_i(w) })
+        }
+        opcode::STORE => {
+            let kind = store_kind(funct3(w)).ok_or(DecodeError { word: w })?;
+            Ok(Instr::Store { kind, rs1: rs1(w), rs2: rs2(w), offset: imm_s(w) })
+        }
+        opcode::OP_IMM => decode_op_imm(w),
+        opcode::OP => decode_op(w),
+        opcode::MISC_MEM => Ok(Instr::Fence),
+        opcode::SYSTEM => match funct3(w) {
+            0 => match w >> 20 {
+                0 => Ok(Instr::Ecall),
+                1 => Ok(Instr::Ebreak),
+                _ => Err(DecodeError { word: w }),
+            },
+            f3 @ 1..=3 => Ok(Instr::Csr {
+                op: (f3 - 1) as u8,
+                rd: rd(w),
+                rs1: rs1(w),
+                csr: (w >> 20) as u16,
+            }),
+            _ => Err(DecodeError { word: w }),
+        },
+        opcode::PULP_LOAD => {
+            let f3 = funct3(w);
+            if f3 == 0b111 {
+                let f7 = funct7(w);
+                let kind = load_kind_from_code(f7 & 0x7).ok_or(DecodeError { word: w })?;
+                if f7 & 0x08 == 0 {
+                    Ok(Instr::LoadPostIncReg { kind, rd: rd(w), rs1: rs1(w), rs2: rs2(w) })
+                } else {
+                    Ok(Instr::LoadRegOff { kind, rd: rd(w), rs1: rs1(w), rs2: rs2(w) })
+                }
+            } else {
+                let kind = load_kind(f3).ok_or(DecodeError { word: w })?;
+                Ok(Instr::LoadPostInc { kind, rd: rd(w), rs1: rs1(w), offset: imm_i(w) })
+            }
+        }
+        opcode::PULP_STORE => {
+            let f3 = funct3(w);
+            if f3 == 0b111 {
+                let f7 = funct7(w);
+                let kind = store_kind(f7 & 0x3).ok_or(DecodeError { word: w })?;
+                Ok(Instr::StorePostIncReg {
+                    kind,
+                    rs1: rs1(w),
+                    rs2: rs2(w),
+                    rs3: Reg::from_bits(f7 >> 2),
+                })
+            } else {
+                let kind = store_kind(f3).ok_or(DecodeError { word: w })?;
+                Ok(Instr::StorePostInc { kind, rs1: rs1(w), rs2: rs2(w), offset: imm_s(w) })
+            }
+        }
+        opcode::PULP_BITFIELD => {
+            let len = (((w >> 25) & 0x1f) + 1) as u8;
+            let off = ((w >> 20) & 0x1f) as u8;
+            match funct3(w) {
+                0 => Ok(Instr::PExtract { rd: rd(w), rs1: rs1(w), len, off }),
+                1 => Ok(Instr::PExtractU { rd: rd(w), rs1: rs1(w), len, off }),
+                2 => Ok(Instr::PInsert { rd: rd(w), rs1: rs1(w), len, off }),
+                _ => Err(DecodeError { word: w }),
+            }
+        }
+        opcode::PULP_HWLOOP => decode_hwloop(w),
+        opcode::PULP_SIMD => decode_simd(w),
+        _ => Err(DecodeError { word: w }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use crate::instr::{LoopIdx, SimdOperand};
+
+    fn round_trip(i: Instr) {
+        let w = encode(&i);
+        let back = decode(w).unwrap_or_else(|e| panic!("{i} ({w:#010x}): {e}"));
+        assert_eq!(back, i, "round-trip mismatch for {i} ({w:#010x})");
+    }
+
+    #[test]
+    fn round_trip_base_samples() {
+        round_trip(Instr::Lui { rd: Reg::A0, imm: 0xdead_b000 });
+        round_trip(Instr::Auipc { rd: Reg::T3, imm: 0x1000 });
+        round_trip(Instr::Jal { rd: Reg::Ra, offset: -2048 });
+        round_trip(Instr::Jalr { rd: Reg::Zero, rs1: Reg::Ra, offset: 0 });
+        round_trip(Instr::Branch {
+            cond: BranchCond::Geu,
+            rs1: Reg::A0,
+            rs2: Reg::A1,
+            offset: -4096,
+        });
+        round_trip(Instr::Load { kind: LoadKind::HalfU, rd: Reg::S3, rs1: Reg::Sp, offset: -1 });
+        round_trip(Instr::Store { kind: StoreKind::Half, rs1: Reg::Sp, rs2: Reg::T6, offset: 2046 });
+        round_trip(Instr::Alu { op: AluOp::Sra, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 });
+        round_trip(Instr::AluImm { op: AluOp::Sra, rd: Reg::A0, rs1: Reg::A1, imm: 31 });
+        round_trip(Instr::AluImm { op: AluOp::And, rd: Reg::A0, rs1: Reg::A1, imm: -1 });
+        round_trip(Instr::MulDiv { op: MulDivOp::Remu, rd: Reg::A4, rs1: Reg::A5, rs2: Reg::A6 });
+        round_trip(Instr::Ecall);
+        round_trip(Instr::Ebreak);
+        round_trip(Instr::Fence);
+        round_trip(Instr::Nop);
+        round_trip(Instr::Csr { op: 1, rd: Reg::A0, rs1: Reg::Zero, csr: 0xb00 });
+    }
+
+    #[test]
+    fn round_trip_pulp_scalar() {
+        for op in [
+            PulpAluOp::Min,
+            PulpAluOp::Minu,
+            PulpAluOp::Max,
+            PulpAluOp::Maxu,
+            PulpAluOp::Abs,
+            PulpAluOp::Exths,
+            PulpAluOp::Exthz,
+            PulpAluOp::Extbs,
+            PulpAluOp::Extbz,
+        ] {
+            round_trip(Instr::PulpAlu { op, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 });
+        }
+        round_trip(Instr::PClip { rd: Reg::A0, rs1: Reg::A1, bits: 8 });
+        round_trip(Instr::PClipU { rd: Reg::A0, rs1: Reg::A1, bits: 4 });
+        round_trip(Instr::PMac { rd: Reg::S0, rs1: Reg::A1, rs2: Reg::A2 });
+        round_trip(Instr::PMsu { rd: Reg::S0, rs1: Reg::A1, rs2: Reg::A2 });
+        for op in [BitOp::Ff1, BitOp::Fl1, BitOp::Cnt, BitOp::Clb] {
+            round_trip(Instr::PBit { op, rd: Reg::A0, rs1: Reg::A1 });
+        }
+        round_trip(Instr::PExtract { rd: Reg::A0, rs1: Reg::A1, len: 8, off: 16 });
+        round_trip(Instr::PExtractU { rd: Reg::A0, rs1: Reg::A1, len: 32, off: 0 });
+        round_trip(Instr::PInsert { rd: Reg::A0, rs1: Reg::A1, len: 1, off: 31 });
+    }
+
+    #[test]
+    fn round_trip_pulp_memory() {
+        for kind in [
+            LoadKind::Byte,
+            LoadKind::Half,
+            LoadKind::Word,
+            LoadKind::ByteU,
+            LoadKind::HalfU,
+        ] {
+            round_trip(Instr::LoadPostInc { kind, rd: Reg::A0, rs1: Reg::A1, offset: -4 });
+            round_trip(Instr::LoadPostIncReg { kind, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 });
+            round_trip(Instr::LoadRegOff { kind, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 });
+        }
+        for kind in [StoreKind::Byte, StoreKind::Half, StoreKind::Word] {
+            round_trip(Instr::StorePostInc { kind, rs1: Reg::A1, rs2: Reg::A0, offset: 4 });
+            round_trip(Instr::StorePostIncReg {
+                kind,
+                rs1: Reg::A1,
+                rs2: Reg::A0,
+                rs3: Reg::T6,
+            });
+        }
+    }
+
+    #[test]
+    fn round_trip_hwloops() {
+        for l in [LoopIdx::L0, LoopIdx::L1] {
+            round_trip(Instr::LpStarti { l, offset: 8 });
+            round_trip(Instr::LpEndi { l, offset: 64 });
+            round_trip(Instr::LpCount { l, rs1: Reg::A3 });
+            round_trip(Instr::LpCounti { l, imm: 4095 });
+            round_trip(Instr::LpSetup { l, rs1: Reg::S5, offset: 200 });
+            round_trip(Instr::LpSetupi { l, imm: 100, offset: 62 });
+        }
+    }
+
+    #[test]
+    fn round_trip_simd_all_ops_formats_modes() {
+        use crate::simd::{ALL_DOT_SIGNS, ALL_FMTS};
+        let alu_ops = [
+            SimdAluOp::Add,
+            SimdAluOp::Sub,
+            SimdAluOp::Avg,
+            SimdAluOp::Avgu,
+            SimdAluOp::Min,
+            SimdAluOp::Minu,
+            SimdAluOp::Max,
+            SimdAluOp::Maxu,
+            SimdAluOp::Srl,
+            SimdAluOp::Sra,
+            SimdAluOp::Sll,
+            SimdAluOp::Or,
+            SimdAluOp::And,
+            SimdAluOp::Xor,
+        ];
+        for fmt in ALL_FMTS {
+            let mut modes = vec![
+                SimdOperand::Vector(Reg::A2),
+                SimdOperand::Scalar(Reg::T0),
+            ];
+            if !fmt.is_sub_byte() {
+                modes.push(SimdOperand::Imm(-32));
+                modes.push(SimdOperand::Imm(31));
+            }
+            for op2 in &modes {
+                for op in alu_ops {
+                    round_trip(Instr::PvAlu { op, fmt, rd: Reg::A0, rs1: Reg::A1, op2: *op2 });
+                }
+                for sign in ALL_DOT_SIGNS {
+                    round_trip(Instr::PvDot { fmt, sign, rd: Reg::A0, rs1: Reg::A1, op2: *op2 });
+                    round_trip(Instr::PvSdot { fmt, sign, rd: Reg::S9, rs1: Reg::A1, op2: *op2 });
+                }
+            }
+            round_trip(Instr::PvAbs { fmt, rd: Reg::A0, rs1: Reg::A1 });
+            for idx in 0..fmt.lanes() as u8 {
+                round_trip(Instr::PvExtract { fmt, rd: Reg::A0, rs1: Reg::A1, idx, signed: true });
+                round_trip(Instr::PvExtract {
+                    fmt,
+                    rd: Reg::A0,
+                    rs1: Reg::A1,
+                    idx,
+                    signed: false,
+                });
+                round_trip(Instr::PvInsert { fmt, rd: Reg::A0, rs1: Reg::A1, idx });
+            }
+        }
+        round_trip(Instr::PvQnt { fmt: SimdFmt::Nibble, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 });
+        round_trip(Instr::PvQnt { fmt: SimdFmt::Crumb, rd: Reg::T4, rs1: Reg::S2, rs2: Reg::S3 });
+    }
+
+    #[test]
+    fn illegal_words_rejected() {
+        // All-zeros and all-ones are canonical illegal instructions.
+        assert!(decode(0).is_err());
+        assert!(decode(u32::MAX).is_err());
+        // sci with a sub-byte format is not decodable.
+        let w = (0u32 << 27) | (0b10 << 25) | (3 << 20) | (1 << 15) | (0b110 << 12) | (10 << 7)
+            | opcode::PULP_SIMD;
+        assert!(decode(w).is_err());
+        // qnt with a byte format is not decodable.
+        let w = (simd_op5::QNT << 27) | (0b01 << 25) | (2 << 20) | (1 << 15) | (10 << 7)
+            | opcode::PULP_SIMD;
+        assert!(decode(w).is_err());
+    }
+
+    #[test]
+    fn nop_is_canonical() {
+        assert_eq!(decode(0x0000_0013).unwrap(), Instr::Nop);
+    }
+}

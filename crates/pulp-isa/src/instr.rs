@@ -1,0 +1,1302 @@
+//! The decoded instruction type for RV32IM + XpulpV2 + XpulpNN.
+//!
+//! [`Instr`] is the interchange format between the assembler
+//! (`pulp-asm`), the binary encoder/decoder ([`crate::encode`],
+//! [`crate::decode`]) and the core simulator (`riscv-core`). Its
+//! `Display` implementation is the disassembler.
+//!
+//! Design notes:
+//!
+//! * Immediates are stored sign-extended in `i32`, already shifted where
+//!   the encoding implies scaling (branch/jump offsets are byte offsets).
+//! * SIMD instructions carry a [`SimdFmt`] lane format and a
+//!   [`SimdOperand`] second operand covering the three addressing
+//!   variants of the `pv.*` family (`rr`, `.sc`, `.sci`). Per §III-A of
+//!   the paper, the immediate (`.sci`) variant exists only for the
+//!   XpulpV2 formats (`b`/`h`); the nibble/crumb formats were left out of
+//!   the encoding space. [`Instr::validate`] enforces this.
+
+use crate::reg::Reg;
+use crate::simd::{DotSign, SimdFmt};
+use std::fmt;
+
+/// Condition of a conditional branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// `beq`: branch if equal.
+    Eq,
+    /// `bne`: branch if not equal.
+    Ne,
+    /// `blt`: branch if less than (signed).
+    Lt,
+    /// `bge`: branch if greater or equal (signed).
+    Ge,
+    /// `bltu`: branch if less than (unsigned).
+    Ltu,
+    /// `bgeu`: branch if greater or equal (unsigned).
+    Geu,
+}
+
+impl BranchCond {
+    /// The assembly mnemonic.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            BranchCond::Eq => "beq",
+            BranchCond::Ne => "bne",
+            BranchCond::Lt => "blt",
+            BranchCond::Ge => "bge",
+            BranchCond::Ltu => "bltu",
+            BranchCond::Geu => "bgeu",
+        }
+    }
+
+    /// Evaluates the condition on two register values.
+    #[inline]
+    pub fn eval(self, a: u32, b: u32) -> bool {
+        match self {
+            BranchCond::Eq => a == b,
+            BranchCond::Ne => a != b,
+            BranchCond::Lt => (a as i32) < (b as i32),
+            BranchCond::Ge => (a as i32) >= (b as i32),
+            BranchCond::Ltu => a < b,
+            BranchCond::Geu => a >= b,
+        }
+    }
+}
+
+/// Width/signedness of a load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoadKind {
+    /// `lb`: sign-extended byte.
+    Byte,
+    /// `lh`: sign-extended half-word.
+    Half,
+    /// `lw`: word.
+    Word,
+    /// `lbu`: zero-extended byte.
+    ByteU,
+    /// `lhu`: zero-extended half-word.
+    HalfU,
+}
+
+impl LoadKind {
+    /// Access size in bytes.
+    pub const fn size(self) -> u32 {
+        match self {
+            LoadKind::Byte | LoadKind::ByteU => 1,
+            LoadKind::Half | LoadKind::HalfU => 2,
+            LoadKind::Word => 4,
+        }
+    }
+
+    /// The base mnemonic (`lb`, `lh`, …).
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            LoadKind::Byte => "lb",
+            LoadKind::Half => "lh",
+            LoadKind::Word => "lw",
+            LoadKind::ByteU => "lbu",
+            LoadKind::HalfU => "lhu",
+        }
+    }
+}
+
+/// Width of a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreKind {
+    /// `sb`: byte.
+    Byte,
+    /// `sh`: half-word.
+    Half,
+    /// `sw`: word.
+    Word,
+}
+
+impl StoreKind {
+    /// Access size in bytes.
+    pub const fn size(self) -> u32 {
+        match self {
+            StoreKind::Byte => 1,
+            StoreKind::Half => 2,
+            StoreKind::Word => 4,
+        }
+    }
+
+    /// The base mnemonic (`sb`, `sh`, `sw`).
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            StoreKind::Byte => "sb",
+            StoreKind::Half => "sh",
+            StoreKind::Word => "sw",
+        }
+    }
+}
+
+/// Register-register ALU operation (RV32I `OP` major opcode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Shift left logical.
+    Sll,
+    /// Set if less than (signed).
+    Slt,
+    /// Set if less than (unsigned).
+    Sltu,
+    /// Bitwise exclusive or.
+    Xor,
+    /// Shift right logical.
+    Srl,
+    /// Shift right arithmetic.
+    Sra,
+    /// Bitwise or.
+    Or,
+    /// Bitwise and.
+    And,
+}
+
+impl AluOp {
+    /// The assembly mnemonic.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Sll => "sll",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+            AluOp::Xor => "xor",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Or => "or",
+            AluOp::And => "and",
+        }
+    }
+
+    /// Evaluates the operation.
+    #[inline]
+    pub fn eval(self, a: u32, b: u32) -> u32 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Sll => a.wrapping_shl(b & 0x1f),
+            AluOp::Slt => ((a as i32) < (b as i32)) as u32,
+            AluOp::Sltu => (a < b) as u32,
+            AluOp::Xor => a ^ b,
+            AluOp::Srl => a.wrapping_shr(b & 0x1f),
+            AluOp::Sra => ((a as i32).wrapping_shr(b & 0x1f)) as u32,
+            AluOp::Or => a | b,
+            AluOp::And => a & b,
+        }
+    }
+
+    /// Whether an immediate (`OP-IMM`) form exists (all but `sub`).
+    pub const fn has_imm_form(self) -> bool {
+        !matches!(self, AluOp::Sub)
+    }
+}
+
+/// RV32M multiply/divide operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MulDivOp {
+    /// Low 32 bits of the product.
+    Mul,
+    /// High 32 bits of signed × signed.
+    Mulh,
+    /// High 32 bits of signed × unsigned.
+    Mulhsu,
+    /// High 32 bits of unsigned × unsigned.
+    Mulhu,
+    /// Signed division.
+    Div,
+    /// Unsigned division.
+    Divu,
+    /// Signed remainder.
+    Rem,
+    /// Unsigned remainder.
+    Remu,
+}
+
+impl MulDivOp {
+    /// The assembly mnemonic.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            MulDivOp::Mul => "mul",
+            MulDivOp::Mulh => "mulh",
+            MulDivOp::Mulhsu => "mulhsu",
+            MulDivOp::Mulhu => "mulhu",
+            MulDivOp::Div => "div",
+            MulDivOp::Divu => "divu",
+            MulDivOp::Rem => "rem",
+            MulDivOp::Remu => "remu",
+        }
+    }
+
+    /// Evaluates the operation with the RISC-V division-by-zero and
+    /// overflow semantics (`div x, 0 = -1`, `rem x, 0 = x`, etc.).
+    pub fn eval(self, a: u32, b: u32) -> u32 {
+        match self {
+            MulDivOp::Mul => a.wrapping_mul(b),
+            MulDivOp::Mulh => (((a as i32 as i64) * (b as i32 as i64)) >> 32) as u32,
+            MulDivOp::Mulhsu => (((a as i32 as i64) * (b as u64 as i64)) >> 32) as u32,
+            MulDivOp::Mulhu => (((a as u64) * (b as u64)) >> 32) as u32,
+            MulDivOp::Div => {
+                if b == 0 {
+                    u32::MAX
+                } else if a == 0x8000_0000 && b == u32::MAX {
+                    a
+                } else {
+                    ((a as i32) / (b as i32)) as u32
+                }
+            }
+            MulDivOp::Divu => {
+                if b == 0 {
+                    u32::MAX
+                } else {
+                    a / b
+                }
+            }
+            MulDivOp::Rem => {
+                if b == 0 {
+                    a
+                } else if a == 0x8000_0000 && b == u32::MAX {
+                    0
+                } else {
+                    ((a as i32) % (b as i32)) as u32
+                }
+            }
+            MulDivOp::Remu => {
+                if b == 0 {
+                    a
+                } else {
+                    a % b
+                }
+            }
+        }
+    }
+
+    /// Whether this is one of the multi-cycle divide/remainder operations.
+    pub const fn is_div_rem(self) -> bool {
+        matches!(
+            self,
+            MulDivOp::Div | MulDivOp::Divu | MulDivOp::Rem | MulDivOp::Remu
+        )
+    }
+}
+
+/// XpulpV2 scalar ALU operation (`p.*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PulpAluOp {
+    /// `p.min`: signed minimum.
+    Min,
+    /// `p.minu`: unsigned minimum.
+    Minu,
+    /// `p.max`: signed maximum.
+    Max,
+    /// `p.maxu`: unsigned maximum.
+    Maxu,
+    /// `p.abs`: absolute value (rs2 ignored).
+    Abs,
+    /// `p.exths`: sign-extend half-word (rs2 ignored).
+    Exths,
+    /// `p.exthz`: zero-extend half-word (rs2 ignored).
+    Exthz,
+    /// `p.extbs`: sign-extend byte (rs2 ignored).
+    Extbs,
+    /// `p.extbz`: zero-extend byte (rs2 ignored).
+    Extbz,
+}
+
+impl PulpAluOp {
+    /// The assembly mnemonic.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            PulpAluOp::Min => "p.min",
+            PulpAluOp::Minu => "p.minu",
+            PulpAluOp::Max => "p.max",
+            PulpAluOp::Maxu => "p.maxu",
+            PulpAluOp::Abs => "p.abs",
+            PulpAluOp::Exths => "p.exths",
+            PulpAluOp::Exthz => "p.exthz",
+            PulpAluOp::Extbs => "p.extbs",
+            PulpAluOp::Extbz => "p.extbz",
+        }
+    }
+
+    /// Whether the operation uses a second source register.
+    pub const fn is_binary(self) -> bool {
+        matches!(
+            self,
+            PulpAluOp::Min | PulpAluOp::Minu | PulpAluOp::Max | PulpAluOp::Maxu
+        )
+    }
+
+    /// Evaluates the operation.
+    #[inline]
+    pub fn eval(self, a: u32, b: u32) -> u32 {
+        match self {
+            PulpAluOp::Min => (a as i32).min(b as i32) as u32,
+            PulpAluOp::Minu => a.min(b),
+            PulpAluOp::Max => (a as i32).max(b as i32) as u32,
+            PulpAluOp::Maxu => a.max(b),
+            PulpAluOp::Abs => (a as i32).wrapping_abs() as u32,
+            PulpAluOp::Exths => (a as i16) as i32 as u32,
+            PulpAluOp::Exthz => a & 0xffff,
+            PulpAluOp::Extbs => (a as i8) as i32 as u32,
+            PulpAluOp::Extbz => a & 0xff,
+        }
+    }
+}
+
+/// XpulpV2 single-operand bit-counting operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BitOp {
+    /// `p.ff1`: index of the first (least significant) set bit, 32 if none.
+    Ff1,
+    /// `p.fl1`: index of the last (most significant) set bit, 32 if none.
+    Fl1,
+    /// `p.cnt`: population count.
+    Cnt,
+    /// `p.clb`: count leading bits equal to the sign bit (minus one).
+    Clb,
+}
+
+impl BitOp {
+    /// The assembly mnemonic.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            BitOp::Ff1 => "p.ff1",
+            BitOp::Fl1 => "p.fl1",
+            BitOp::Cnt => "p.cnt",
+            BitOp::Clb => "p.clb",
+        }
+    }
+
+    /// Evaluates the operation.
+    pub fn eval(self, a: u32) -> u32 {
+        match self {
+            BitOp::Ff1 => {
+                if a == 0 {
+                    32
+                } else {
+                    a.trailing_zeros()
+                }
+            }
+            BitOp::Fl1 => {
+                if a == 0 {
+                    32
+                } else {
+                    31 - a.leading_zeros()
+                }
+            }
+            BitOp::Cnt => a.count_ones(),
+            BitOp::Clb => {
+                if a == 0 {
+                    0
+                } else {
+                    let x = if (a as i32) < 0 { !a } else { a };
+                    x.leading_zeros().saturating_sub(1)
+                }
+            }
+        }
+    }
+}
+
+/// The second operand of a `pv.*` SIMD instruction.
+///
+/// * [`SimdOperand::Vector`] — plain register-register form: `rs2` holds a
+///   packed vector.
+/// * [`SimdOperand::Scalar`] — the `.sc` form: the lowest lane of `rs2` is
+///   replicated across all lanes.
+/// * [`SimdOperand::Imm`] — the `.sci` form: a 6-bit sign-extended
+///   immediate is replicated. Only available for `b`/`h` formats (the
+///   nibble/crumb encodings dropped it for encoding-space reasons,
+///   §III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimdOperand {
+    /// Register-register: the operand register holds a packed vector.
+    Vector(Reg),
+    /// `.sc`: lane 0 of the operand register is broadcast.
+    Scalar(Reg),
+    /// `.sci`: a 6-bit signed immediate is broadcast.
+    Imm(i8),
+}
+
+impl SimdOperand {
+    /// Mnemonic suffix fragment: `""`, `".sc"` or `".sci"`.
+    pub const fn suffix(self) -> &'static str {
+        match self {
+            SimdOperand::Vector(_) => "",
+            SimdOperand::Scalar(_) => ".sc",
+            SimdOperand::Imm(_) => ".sci",
+        }
+    }
+}
+
+/// Element-wise `pv.*` SIMD operation (everything except dot products,
+/// `pv.extract`/`pv.insert` and `pv.qnt`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimdAluOp {
+    /// `pv.add`: lane-wise addition.
+    Add,
+    /// `pv.sub`: lane-wise subtraction.
+    Sub,
+    /// `pv.avg`: lane-wise signed average `(a+b)>>1`.
+    Avg,
+    /// `pv.avgu`: lane-wise unsigned average.
+    Avgu,
+    /// `pv.min`: lane-wise signed minimum.
+    Min,
+    /// `pv.minu`: lane-wise unsigned minimum.
+    Minu,
+    /// `pv.max`: lane-wise signed maximum.
+    Max,
+    /// `pv.maxu`: lane-wise unsigned maximum.
+    Maxu,
+    /// `pv.srl`: lane-wise logical shift right.
+    Srl,
+    /// `pv.sra`: lane-wise arithmetic shift right.
+    Sra,
+    /// `pv.sll`: lane-wise shift left.
+    Sll,
+    /// `pv.or`: lane-wise (equivalently bit-wise) or.
+    Or,
+    /// `pv.and`: lane-wise and.
+    And,
+    /// `pv.xor`: lane-wise exclusive or.
+    Xor,
+}
+
+impl SimdAluOp {
+    /// The mnemonic stem (without `pv.` prefix and format suffix).
+    pub const fn stem(self) -> &'static str {
+        match self {
+            SimdAluOp::Add => "add",
+            SimdAluOp::Sub => "sub",
+            SimdAluOp::Avg => "avg",
+            SimdAluOp::Avgu => "avgu",
+            SimdAluOp::Min => "min",
+            SimdAluOp::Minu => "minu",
+            SimdAluOp::Max => "max",
+            SimdAluOp::Maxu => "maxu",
+            SimdAluOp::Srl => "srl",
+            SimdAluOp::Sra => "sra",
+            SimdAluOp::Sll => "sll",
+            SimdAluOp::Or => "or",
+            SimdAluOp::And => "and",
+            SimdAluOp::Xor => "xor",
+        }
+    }
+
+    /// Evaluates the operation on packed words using the shared
+    /// [`crate::simd`] semantics.
+    pub fn eval(self, fmt: SimdFmt, a: u32, b: u32) -> u32 {
+        use crate::simd;
+        match self {
+            SimdAluOp::Add => simd::zip_map_s(fmt, a, b, |x, y| x.wrapping_add(y)),
+            SimdAluOp::Sub => simd::zip_map_s(fmt, a, b, |x, y| x.wrapping_sub(y)),
+            SimdAluOp::Avg => simd::avg(fmt, a, b),
+            SimdAluOp::Avgu => simd::avgu(fmt, a, b),
+            SimdAluOp::Min => simd::zip_map_s(fmt, a, b, |x, y| x.min(y)),
+            SimdAluOp::Minu => simd::zip_map_u(fmt, a, b, |x, y| x.min(y)),
+            SimdAluOp::Max => simd::zip_map_s(fmt, a, b, |x, y| x.max(y)),
+            SimdAluOp::Maxu => simd::zip_map_u(fmt, a, b, |x, y| x.max(y)),
+            SimdAluOp::Srl => simd::srl(fmt, a, b),
+            SimdAluOp::Sra => simd::sra(fmt, a, b),
+            SimdAluOp::Sll => simd::sll(fmt, a, b),
+            SimdAluOp::Or => a | b,
+            SimdAluOp::And => a & b,
+            SimdAluOp::Xor => a ^ b,
+        }
+    }
+}
+
+/// Hardware-loop register index (RI5CY supports two nested loops).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoopIdx {
+    /// Loop register set 0 (innermost by convention).
+    L0,
+    /// Loop register set 1.
+    L1,
+}
+
+impl LoopIdx {
+    /// 0 or 1.
+    pub const fn index(self) -> usize {
+        match self {
+            LoopIdx::L0 => 0,
+            LoopIdx::L1 => 1,
+        }
+    }
+
+    /// Builds from a raw bit.
+    pub const fn from_bit(b: u32) -> LoopIdx {
+        if b & 1 == 0 {
+            LoopIdx::L0
+        } else {
+            LoopIdx::L1
+        }
+    }
+}
+
+impl fmt::Display for LoopIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.index())
+    }
+}
+
+/// A decoded instruction.
+///
+/// The enum deliberately favours a small number of parameterized variants
+/// (grouped by operational shape) over one variant per mnemonic: the
+/// simulator dispatches on shape, and the encoder/decoder handle the
+/// sub-operation fields.
+// Operand fields (rd/rs1/rs2/imm/offset) are described by each variant's
+// doc comment; per-field docs would only repeat the RISC-V field names.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    // ----- RV32I -----
+    /// `lui rd, imm`: load upper immediate. `imm` holds the already
+    /// shifted 32-bit value (low 12 bits zero).
+    Lui { rd: Reg, imm: u32 },
+    /// `auipc rd, imm`: add upper immediate to PC.
+    Auipc { rd: Reg, imm: u32 },
+    /// `jal rd, offset`: jump and link (byte offset from this instruction).
+    Jal { rd: Reg, offset: i32 },
+    /// `jalr rd, offset(rs1)`: indirect jump and link.
+    Jalr { rd: Reg, rs1: Reg, offset: i32 },
+    /// Conditional branch (byte offset from this instruction).
+    Branch {
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
+    /// Load: `rd = mem[rs1 + offset]`.
+    Load {
+        kind: LoadKind,
+        rd: Reg,
+        rs1: Reg,
+        offset: i32,
+    },
+    /// Store: `mem[rs1 + offset] = rs2`.
+    Store {
+        kind: StoreKind,
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
+    /// Register-register ALU operation.
+    Alu { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    /// Immediate ALU operation (no `sub` form; shifts use 5-bit amounts).
+    AluImm { op: AluOp, rd: Reg, rs1: Reg, imm: i32 },
+    /// `fence` (a no-op in this single-hart model).
+    Fence,
+    /// `ecall`: environment call; the SoC model uses it to halt.
+    Ecall,
+    /// `ebreak`: breakpoint.
+    Ebreak,
+    /// `csrrw`/`csrrs`/`csrrc` with a register source. `write`/`set`/`clear`
+    /// selected by `op` (0=rw, 1=rs, 2=rc).
+    Csr { op: u8, rd: Reg, rs1: Reg, csr: u16 },
+
+    // ----- RV32M -----
+    /// Multiply/divide.
+    MulDiv {
+        op: MulDivOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+
+    // ----- XpulpV2: scalar -----
+    /// `p.min/max/abs/ext*`.
+    PulpAlu {
+        op: PulpAluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    /// `p.clip rd, rs1, imm`: clip to `[-2^(imm-1), 2^(imm-1)-1]`.
+    PClip { rd: Reg, rs1: Reg, bits: u8 },
+    /// `p.clipu rd, rs1, imm`: clip to `[0, 2^(imm-1)-1]`.
+    PClipU { rd: Reg, rs1: Reg, bits: u8 },
+    /// `p.mac rd, rs1, rs2`: `rd += rs1 * rs2`.
+    PMac { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `p.msu rd, rs1, rs2`: `rd -= rs1 * rs2`.
+    PMsu { rd: Reg, rs1: Reg, rs2: Reg },
+    /// Bit-count operations (`p.ff1`, `p.fl1`, `p.cnt`, `p.clb`).
+    PBit { op: BitOp, rd: Reg, rs1: Reg },
+    /// `p.extract rd, rs1, len, off`: signed bit-field extract.
+    PExtract {
+        rd: Reg,
+        rs1: Reg,
+        len: u8,
+        off: u8,
+    },
+    /// `p.extractu`: unsigned bit-field extract.
+    PExtractU {
+        rd: Reg,
+        rs1: Reg,
+        len: u8,
+        off: u8,
+    },
+    /// `p.insert rd, rs1, len, off`: insert low `len` bits of `rs1` into
+    /// `rd` at offset `off` (read-modify-write on `rd`).
+    PInsert {
+        rd: Reg,
+        rs1: Reg,
+        len: u8,
+        off: u8,
+    },
+
+    // ----- XpulpV2: post-increment / register-offset memory ops -----
+    /// `p.lw rd, imm(rs1!)`: load then `rs1 += offset`.
+    LoadPostInc {
+        kind: LoadKind,
+        rd: Reg,
+        rs1: Reg,
+        offset: i32,
+    },
+    /// `p.lw rd, rs2(rs1!)`: load then `rs1 += rs2`.
+    LoadPostIncReg {
+        kind: LoadKind,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    /// `p.lw rd, rs2(rs1)`: register-offset load (no update).
+    LoadRegOff {
+        kind: LoadKind,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    /// `p.sw rs2, imm(rs1!)`: store then `rs1 += offset`.
+    StorePostInc {
+        kind: StoreKind,
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
+    /// `p.sw rs2, rs3(rs1!)`: store then `rs1 += rs3`.
+    StorePostIncReg {
+        kind: StoreKind,
+        rs1: Reg,
+        rs2: Reg,
+        rs3: Reg,
+    },
+
+    // ----- XpulpV2: hardware loops -----
+    /// `lp.starti L, offset`: loop start address = PC + offset.
+    LpStarti { l: LoopIdx, offset: i32 },
+    /// `lp.endi L, offset`: loop end address = PC + offset.
+    LpEndi { l: LoopIdx, offset: i32 },
+    /// `lp.count L, rs1`: loop count from register.
+    LpCount { l: LoopIdx, rs1: Reg },
+    /// `lp.counti L, imm`: immediate loop count.
+    LpCounti { l: LoopIdx, imm: u32 },
+    /// `lp.setup L, rs1, offset`: start = next PC, end = PC + offset,
+    /// count = rs1.
+    LpSetup { l: LoopIdx, rs1: Reg, offset: i32 },
+    /// `lp.setupi L, imm, offset`: immediate count variant.
+    LpSetupi { l: LoopIdx, imm: u32, offset: i32 },
+
+    // ----- XpulpV2 (b/h) + XpulpNN (n/c): packed SIMD -----
+    /// Element-wise SIMD ALU operation: `pv.<op>[.sc|.sci].<fmt>`.
+    PvAlu {
+        op: SimdAluOp,
+        fmt: SimdFmt,
+        rd: Reg,
+        rs1: Reg,
+        op2: SimdOperand,
+    },
+    /// `pv.abs.<fmt> rd, rs1`: lane-wise absolute value.
+    PvAbs { fmt: SimdFmt, rd: Reg, rs1: Reg },
+    /// `pv.extract[u].<fmt> rd, rs1, idx`: extract one lane to a scalar.
+    PvExtract {
+        fmt: SimdFmt,
+        rd: Reg,
+        rs1: Reg,
+        idx: u8,
+        signed: bool,
+    },
+    /// `pv.insert.<fmt> rd, rs1, idx`: insert scalar `rs1` into lane `idx`
+    /// of `rd` (read-modify-write).
+    PvInsert {
+        fmt: SimdFmt,
+        rd: Reg,
+        rs1: Reg,
+        idx: u8,
+    },
+    /// `pv.shuffle2.<fmt> rd, rs1, rs2`: per-lane two-source shuffle.
+    ///
+    /// For each lane `i`, the selector `s = rs2[i]` picks source lane
+    /// `s mod lanes` from `rs1` when `s & lanes == 0`, or from the old
+    /// value of `rd` when `s & lanes != 0` (the CV32E40P semantics the
+    /// PULP-NN unpack sequences rely on).
+    PvShuffle2 {
+        fmt: SimdFmt,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    /// `pv.dot{up,usp,sp}[.sc].<fmt> rd, rs1, op2`: packed dot product.
+    PvDot {
+        fmt: SimdFmt,
+        sign: DotSign,
+        rd: Reg,
+        rs1: Reg,
+        op2: SimdOperand,
+    },
+    /// `pv.sdot{up,usp,sp}[.sc].<fmt> rd, rs1, op2`: sum-of-dot-products
+    /// (`rd` is both accumulator input and destination).
+    PvSdot {
+        fmt: SimdFmt,
+        sign: DotSign,
+        rd: Reg,
+        rs1: Reg,
+        op2: SimdOperand,
+    },
+
+    // ----- XpulpNN: quantization unit -----
+    /// `pv.qnt.<n|c> rd, rs1, rs2`: thresholding-based re-quantization of
+    /// the two 16-bit activations packed in `rs1`, walking the balanced
+    /// binary threshold tree whose base address is in `rs2` (§III-B2).
+    ///
+    /// The two quantized outputs are packed into the low lanes of `rd`:
+    /// `rd = q0 | (q1 << fmt.bits())`. Only [`SimdFmt::Nibble`] and
+    /// [`SimdFmt::Crumb`] are valid formats.
+    PvQnt {
+        fmt: SimdFmt,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+
+    /// `nop` (canonically `addi x0, x0, 0`, kept distinct for readability
+    /// of disassembly; encodes identically).
+    Nop,
+}
+
+/// An invalid combination of fields in an [`Instr`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // field meanings are given by the variant docs
+pub enum ValidateError {
+    /// `.sci` immediate form used with a sub-byte format (not encodable,
+    /// per §III-A of the paper).
+    SciWithSubByte(SimdFmt),
+    /// `pv.qnt` with a non-sub-byte format.
+    QntFormat(SimdFmt),
+    /// `pv.shuffle2` with a sub-byte format (selector lanes cannot index
+    /// all source lanes).
+    ShuffleSubByte(SimdFmt),
+    /// Lane index out of range for the format.
+    LaneIndex { fmt: SimdFmt, idx: u8 },
+    /// Immediate out of the encodable range.
+    ImmRange { what: &'static str, value: i64 },
+    /// `sub` has no immediate form.
+    SubImm,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::SciWithSubByte(fmt) => write!(
+                f,
+                "the .sci immediate variant is not encodable for sub-byte format .{fmt}"
+            ),
+            ValidateError::QntFormat(fmt) => {
+                write!(f, "pv.qnt supports only nibble/crumb formats, got .{fmt}")
+            }
+            ValidateError::ShuffleSubByte(fmt) => {
+                write!(f, "pv.shuffle2 supports only byte/half formats, got .{fmt}")
+            }
+            ValidateError::LaneIndex { fmt, idx } => {
+                write!(f, "lane index {idx} out of range for format .{fmt}")
+            }
+            ValidateError::ImmRange { what, value } => {
+                write!(f, "{what} immediate {value} out of encodable range")
+            }
+            ValidateError::SubImm => f.write_str("sub has no immediate form"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+impl Instr {
+    /// Checks field combinations that the encoding cannot represent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidateError`] naming the offending field. The
+    /// assembler validates every instruction before emission; the decoder
+    /// can never produce an invalid combination.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        match *self {
+            Instr::PvAlu { fmt, op2: SimdOperand::Imm(_), .. }
+            | Instr::PvDot { fmt, op2: SimdOperand::Imm(_), .. }
+            | Instr::PvSdot { fmt, op2: SimdOperand::Imm(_), .. }
+                if fmt.is_sub_byte() =>
+            {
+                Err(ValidateError::SciWithSubByte(fmt))
+            }
+            Instr::PvQnt { fmt, .. } if !fmt.is_sub_byte() => {
+                Err(ValidateError::QntFormat(fmt))
+            }
+            // Sub-byte selectors cannot index all lanes, so shuffle2 (like
+            // CV32E40P's) exists only for the b/h formats.
+            Instr::PvShuffle2 { fmt, .. } if fmt.is_sub_byte() => {
+                Err(ValidateError::ShuffleSubByte(fmt))
+            }
+            Instr::PvExtract { fmt, idx, .. } | Instr::PvInsert { fmt, idx, .. }
+                if idx as usize >= fmt.lanes() =>
+            {
+                Err(ValidateError::LaneIndex { fmt, idx })
+            }
+            Instr::AluImm { op: AluOp::Sub, .. } => Err(ValidateError::SubImm),
+            Instr::AluImm { op, imm, .. } => {
+                let ok = if matches!(op, AluOp::Sll | AluOp::Srl | AluOp::Sra) {
+                    (0..32).contains(&imm)
+                } else {
+                    (-2048..2048).contains(&imm)
+                };
+                if ok {
+                    Ok(())
+                } else {
+                    Err(ValidateError::ImmRange { what: "alu", value: imm as i64 })
+                }
+            }
+            Instr::Load { offset, .. } | Instr::Store { offset, .. }
+            | Instr::LoadPostInc { offset, .. } | Instr::StorePostInc { offset, .. }
+            | Instr::Jalr { offset, .. } => {
+                if (-2048..2048).contains(&offset) {
+                    Ok(())
+                } else {
+                    Err(ValidateError::ImmRange { what: "offset", value: offset as i64 })
+                }
+            }
+            Instr::PvAlu { op2: SimdOperand::Imm(i), .. }
+            | Instr::PvDot { op2: SimdOperand::Imm(i), .. }
+            | Instr::PvSdot { op2: SimdOperand::Imm(i), .. } => {
+                if (-32..32).contains(&i) {
+                    Ok(())
+                } else {
+                    Err(ValidateError::ImmRange { what: "sci", value: i as i64 })
+                }
+            }
+            Instr::LpCounti { imm, .. } | Instr::LpSetupi { imm, .. } if imm >= 1 << 12 => {
+                Err(ValidateError::ImmRange { what: "loop count", value: imm as i64 })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// True for control-flow instructions (jumps and branches).
+    pub fn is_control_flow(&self) -> bool {
+        matches!(
+            self,
+            Instr::Jal { .. } | Instr::Jalr { .. } | Instr::Branch { .. }
+        )
+    }
+
+    /// True for instructions that access data memory.
+    pub fn is_mem_access(&self) -> bool {
+        matches!(
+            self,
+            Instr::Load { .. }
+                | Instr::Store { .. }
+                | Instr::LoadPostInc { .. }
+                | Instr::LoadPostIncReg { .. }
+                | Instr::LoadRegOff { .. }
+                | Instr::StorePostInc { .. }
+                | Instr::StorePostIncReg { .. }
+                | Instr::PvQnt { .. }
+        )
+    }
+
+    /// True for instructions only available with the XpulpNN extension
+    /// (sub-byte SIMD and `pv.qnt`).
+    pub fn requires_xpulpnn(&self) -> bool {
+        match *self {
+            Instr::PvAlu { fmt, .. }
+            | Instr::PvAbs { fmt, .. }
+            | Instr::PvExtract { fmt, .. }
+            | Instr::PvInsert { fmt, .. }
+            | Instr::PvShuffle2 { fmt, .. }
+            | Instr::PvDot { fmt, .. }
+            | Instr::PvSdot { fmt, .. } => fmt.is_sub_byte(),
+            Instr::PvQnt { .. } => true,
+            _ => false,
+        }
+    }
+
+    /// True for instructions in the XpulpV2 extension (including the b/h
+    /// SIMD ops, hardware loops, post-increment memory ops and `p.*`
+    /// scalar ops).
+    pub fn requires_xpulpv2(&self) -> bool {
+        match *self {
+            Instr::PulpAlu { .. }
+            | Instr::PClip { .. }
+            | Instr::PClipU { .. }
+            | Instr::PMac { .. }
+            | Instr::PMsu { .. }
+            | Instr::PBit { .. }
+            | Instr::PExtract { .. }
+            | Instr::PExtractU { .. }
+            | Instr::PInsert { .. }
+            | Instr::LoadPostInc { .. }
+            | Instr::LoadPostIncReg { .. }
+            | Instr::LoadRegOff { .. }
+            | Instr::StorePostInc { .. }
+            | Instr::StorePostIncReg { .. }
+            | Instr::LpStarti { .. }
+            | Instr::LpEndi { .. }
+            | Instr::LpCount { .. }
+            | Instr::LpCounti { .. }
+            | Instr::LpSetup { .. }
+            | Instr::LpSetupi { .. } => true,
+            Instr::PvAlu { fmt, .. }
+            | Instr::PvAbs { fmt, .. }
+            | Instr::PvExtract { fmt, .. }
+            | Instr::PvInsert { fmt, .. }
+            | Instr::PvShuffle2 { fmt, .. }
+            | Instr::PvDot { fmt, .. }
+            | Instr::PvSdot { fmt, .. } => !fmt.is_sub_byte(),
+            _ => false,
+        }
+    }
+}
+
+fn fmt_simd_op2(f: &mut fmt::Formatter<'_>, op2: SimdOperand) -> fmt::Result {
+    match op2 {
+        SimdOperand::Vector(r) | SimdOperand::Scalar(r) => write!(f, "{r}"),
+        SimdOperand::Imm(i) => write!(f, "{i}"),
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Lui { rd, imm } => write!(f, "lui {rd}, 0x{:x}", imm >> 12),
+            Instr::Auipc { rd, imm } => write!(f, "auipc {rd}, 0x{:x}", imm >> 12),
+            Instr::Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
+            Instr::Jalr { rd, rs1, offset } => write!(f, "jalr {rd}, {offset}({rs1})"),
+            Instr::Branch { cond, rs1, rs2, offset } => {
+                write!(f, "{} {rs1}, {rs2}, {offset}", cond.mnemonic())
+            }
+            Instr::Load { kind, rd, rs1, offset } => {
+                write!(f, "{} {rd}, {offset}({rs1})", kind.mnemonic())
+            }
+            Instr::Store { kind, rs1, rs2, offset } => {
+                write!(f, "{} {rs2}, {offset}({rs1})", kind.mnemonic())
+            }
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", op.mnemonic())
+            }
+            Instr::AluImm { op, rd, rs1, imm } => {
+                write!(f, "{}i {rd}, {rs1}, {imm}", op.mnemonic())
+            }
+            Instr::Fence => f.write_str("fence"),
+            Instr::Ecall => f.write_str("ecall"),
+            Instr::Ebreak => f.write_str("ebreak"),
+            Instr::Csr { op, rd, rs1, csr } => {
+                let m = match op {
+                    0 => "csrrw",
+                    1 => "csrrs",
+                    _ => "csrrc",
+                };
+                write!(f, "{m} {rd}, 0x{csr:x}, {rs1}")
+            }
+            Instr::MulDiv { op, rd, rs1, rs2 } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", op.mnemonic())
+            }
+            Instr::PulpAlu { op, rd, rs1, rs2 } => {
+                if op.is_binary() {
+                    write!(f, "{} {rd}, {rs1}, {rs2}", op.mnemonic())
+                } else {
+                    write!(f, "{} {rd}, {rs1}", op.mnemonic())
+                }
+            }
+            Instr::PClip { rd, rs1, bits } => write!(f, "p.clip {rd}, {rs1}, {bits}"),
+            Instr::PClipU { rd, rs1, bits } => write!(f, "p.clipu {rd}, {rs1}, {bits}"),
+            Instr::PMac { rd, rs1, rs2 } => write!(f, "p.mac {rd}, {rs1}, {rs2}"),
+            Instr::PMsu { rd, rs1, rs2 } => write!(f, "p.msu {rd}, {rs1}, {rs2}"),
+            Instr::PBit { op, rd, rs1 } => write!(f, "{} {rd}, {rs1}", op.mnemonic()),
+            Instr::PExtract { rd, rs1, len, off } => {
+                write!(f, "p.extract {rd}, {rs1}, {len}, {off}")
+            }
+            Instr::PExtractU { rd, rs1, len, off } => {
+                write!(f, "p.extractu {rd}, {rs1}, {len}, {off}")
+            }
+            Instr::PInsert { rd, rs1, len, off } => {
+                write!(f, "p.insert {rd}, {rs1}, {len}, {off}")
+            }
+            Instr::LoadPostInc { kind, rd, rs1, offset } => {
+                write!(f, "p.{} {rd}, {offset}({rs1}!)", kind.mnemonic())
+            }
+            Instr::LoadPostIncReg { kind, rd, rs1, rs2 } => {
+                write!(f, "p.{} {rd}, {rs2}({rs1}!)", kind.mnemonic())
+            }
+            Instr::LoadRegOff { kind, rd, rs1, rs2 } => {
+                write!(f, "p.{} {rd}, {rs2}({rs1})", kind.mnemonic())
+            }
+            Instr::StorePostInc { kind, rs1, rs2, offset } => {
+                write!(f, "p.{} {rs2}, {offset}({rs1}!)", kind.mnemonic())
+            }
+            Instr::StorePostIncReg { kind, rs1, rs2, rs3 } => {
+                write!(f, "p.{} {rs2}, {rs3}({rs1}!)", kind.mnemonic())
+            }
+            Instr::LpStarti { l, offset } => write!(f, "lp.starti x{l}, {offset}"),
+            Instr::LpEndi { l, offset } => write!(f, "lp.endi x{l}, {offset}"),
+            Instr::LpCount { l, rs1 } => write!(f, "lp.count x{l}, {rs1}"),
+            Instr::LpCounti { l, imm } => write!(f, "lp.counti x{l}, {imm}"),
+            Instr::LpSetup { l, rs1, offset } => write!(f, "lp.setup x{l}, {rs1}, {offset}"),
+            Instr::LpSetupi { l, imm, offset } => {
+                write!(f, "lp.setupi x{l}, {imm}, {offset}")
+            }
+            Instr::PvAlu { op, fmt, rd, rs1, op2 } => {
+                write!(f, "pv.{}{}.{fmt} {rd}, {rs1}, ", op.stem(), op2.suffix())?;
+                fmt_simd_op2(f, op2)
+            }
+            Instr::PvAbs { fmt, rd, rs1 } => write!(f, "pv.abs.{fmt} {rd}, {rs1}"),
+            Instr::PvExtract { fmt, rd, rs1, idx, signed } => {
+                let u = if signed { "" } else { "u" };
+                write!(f, "pv.extract{u}.{fmt} {rd}, {rs1}, {idx}")
+            }
+            Instr::PvInsert { fmt, rd, rs1, idx } => {
+                write!(f, "pv.insert.{fmt} {rd}, {rs1}, {idx}")
+            }
+            Instr::PvShuffle2 { fmt, rd, rs1, rs2 } => {
+                write!(f, "pv.shuffle2.{fmt} {rd}, {rs1}, {rs2}")
+            }
+            Instr::PvDot { fmt, sign, rd, rs1, op2 } => {
+                write!(
+                    f,
+                    "pv.dot{}{}.{fmt} {rd}, {rs1}, ",
+                    sign.infix(),
+                    op2.suffix()
+                )?;
+                fmt_simd_op2(f, op2)
+            }
+            Instr::PvSdot { fmt, sign, rd, rs1, op2 } => {
+                write!(
+                    f,
+                    "pv.sdot{}{}.{fmt} {rd}, {rs1}, ",
+                    sign.infix(),
+                    op2.suffix()
+                )?;
+                fmt_simd_op2(f, op2)
+            }
+            Instr::PvQnt { fmt, rd, rs1, rs2 } => {
+                write!(f, "pv.qnt.{fmt} {rd}, {rs1}, {rs2}")
+            }
+            Instr::Nop => f.write_str("nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_cond_eval() {
+        assert!(BranchCond::Eq.eval(5, 5));
+        assert!(!BranchCond::Ne.eval(5, 5));
+        assert!(BranchCond::Lt.eval(u32::MAX, 0)); // -1 < 0 signed
+        assert!(!BranchCond::Ltu.eval(u32::MAX, 0));
+        assert!(BranchCond::Geu.eval(u32::MAX, 0));
+        assert!(BranchCond::Ge.eval(0, u32::MAX));
+    }
+
+    #[test]
+    fn alu_op_eval() {
+        assert_eq!(AluOp::Add.eval(u32::MAX, 1), 0);
+        assert_eq!(AluOp::Sub.eval(0, 1), u32::MAX);
+        assert_eq!(AluOp::Sll.eval(1, 33), 2); // shift amount masked to 5 bits
+        assert_eq!(AluOp::Sra.eval(0x8000_0000, 31), u32::MAX);
+        assert_eq!(AluOp::Srl.eval(0x8000_0000, 31), 1);
+        assert_eq!(AluOp::Slt.eval(u32::MAX, 0), 1);
+        assert_eq!(AluOp::Sltu.eval(u32::MAX, 0), 0);
+    }
+
+    #[test]
+    fn muldiv_special_cases() {
+        assert_eq!(MulDivOp::Div.eval(7, 0), u32::MAX);
+        assert_eq!(MulDivOp::Divu.eval(7, 0), u32::MAX);
+        assert_eq!(MulDivOp::Rem.eval(7, 0), 7);
+        assert_eq!(MulDivOp::Remu.eval(7, 0), 7);
+        // overflow case: i32::MIN / -1
+        assert_eq!(MulDivOp::Div.eval(0x8000_0000, u32::MAX), 0x8000_0000);
+        assert_eq!(MulDivOp::Rem.eval(0x8000_0000, u32::MAX), 0);
+        assert_eq!(MulDivOp::Mulh.eval(u32::MAX, u32::MAX), 0); // (-1)*(-1) = 1
+        assert_eq!(MulDivOp::Mulhu.eval(u32::MAX, u32::MAX), 0xffff_fffe);
+        assert_eq!(MulDivOp::Mulhsu.eval(u32::MAX, u32::MAX), u32::MAX);
+    }
+
+    #[test]
+    fn bit_op_eval() {
+        assert_eq!(BitOp::Ff1.eval(0), 32);
+        assert_eq!(BitOp::Ff1.eval(0b1000), 3);
+        assert_eq!(BitOp::Fl1.eval(0), 32);
+        assert_eq!(BitOp::Fl1.eval(0b1000), 3);
+        assert_eq!(BitOp::Cnt.eval(0xff00_ff00), 16);
+        assert_eq!(BitOp::Clb.eval(0), 0);
+        assert_eq!(BitOp::Clb.eval(1), 30);
+        assert_eq!(BitOp::Clb.eval(u32::MAX), 31);
+    }
+
+    #[test]
+    fn pulp_alu_eval() {
+        assert_eq!(PulpAluOp::Min.eval(u32::MAX, 1), u32::MAX); // -1 < 1
+        assert_eq!(PulpAluOp::Minu.eval(u32::MAX, 1), 1);
+        assert_eq!(PulpAluOp::Max.eval(u32::MAX, 1), 1);
+        assert_eq!(PulpAluOp::Maxu.eval(u32::MAX, 1), u32::MAX);
+        assert_eq!(PulpAluOp::Abs.eval(u32::MAX, 0), 1);
+        assert_eq!(PulpAluOp::Exths.eval(0x8000, 0), 0xffff_8000);
+        assert_eq!(PulpAluOp::Exthz.eval(0xffff_8000, 0), 0x8000);
+        assert_eq!(PulpAluOp::Extbs.eval(0x80, 0), 0xffff_ff80);
+        assert_eq!(PulpAluOp::Extbz.eval(0xffff_ff80, 0), 0x80);
+    }
+
+    #[test]
+    fn validate_rejects_sci_sub_byte() {
+        let bad = Instr::PvAlu {
+            op: SimdAluOp::Add,
+            fmt: SimdFmt::Nibble,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            op2: SimdOperand::Imm(3),
+        };
+        assert_eq!(
+            bad.validate(),
+            Err(ValidateError::SciWithSubByte(SimdFmt::Nibble))
+        );
+        let good = Instr::PvAlu {
+            op: SimdAluOp::Add,
+            fmt: SimdFmt::Byte,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            op2: SimdOperand::Imm(3),
+        };
+        assert_eq!(good.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_qnt_byte() {
+        let bad = Instr::PvQnt {
+            fmt: SimdFmt::Byte,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        };
+        assert!(matches!(bad.validate(), Err(ValidateError::QntFormat(_))));
+    }
+
+    #[test]
+    fn validate_ranges() {
+        let far = Instr::Load {
+            kind: LoadKind::Word,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            offset: 4096,
+        };
+        assert!(matches!(far.validate(), Err(ValidateError::ImmRange { .. })));
+        let sub = Instr::AluImm {
+            op: AluOp::Sub,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            imm: 1,
+        };
+        assert_eq!(sub.validate(), Err(ValidateError::SubImm));
+        let idx = Instr::PvExtract {
+            fmt: SimdFmt::Byte,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            idx: 4,
+            signed: true,
+        };
+        assert!(matches!(idx.validate(), Err(ValidateError::LaneIndex { .. })));
+    }
+
+    #[test]
+    fn disassembly_samples() {
+        let i = Instr::PvSdot {
+            fmt: SimdFmt::Crumb,
+            sign: DotSign::UnsignedSigned,
+            rd: Reg::S0,
+            rs1: Reg::A1,
+            op2: SimdOperand::Scalar(Reg::A2),
+        };
+        assert_eq!(i.to_string(), "pv.sdotusp.sc.c s0, a1, a2");
+        let q = Instr::PvQnt {
+            fmt: SimdFmt::Nibble,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        };
+        assert_eq!(q.to_string(), "pv.qnt.n a0, a1, a2");
+        let l = Instr::LoadPostInc {
+            kind: LoadKind::Word,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            offset: 4,
+        };
+        assert_eq!(l.to_string(), "p.lw a0, 4(a1!)");
+        let h = Instr::LpSetupi {
+            l: LoopIdx::L0,
+            imm: 16,
+            offset: 20,
+        };
+        assert_eq!(h.to_string(), "lp.setupi x0, 16, 20");
+        let sci = Instr::PvAlu {
+            op: SimdAluOp::Sra,
+            fmt: SimdFmt::Half,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            op2: SimdOperand::Imm(7),
+        };
+        assert_eq!(sci.to_string(), "pv.sra.sci.h a0, a0, 7");
+    }
+
+    #[test]
+    fn extension_classification() {
+        let nn = Instr::PvSdot {
+            fmt: SimdFmt::Nibble,
+            sign: DotSign::SignedSigned,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            op2: SimdOperand::Vector(Reg::A2),
+        };
+        assert!(nn.requires_xpulpnn());
+        assert!(!nn.requires_xpulpv2());
+        let v2 = Instr::PvSdot {
+            fmt: SimdFmt::Byte,
+            sign: DotSign::SignedSigned,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            op2: SimdOperand::Vector(Reg::A2),
+        };
+        assert!(!v2.requires_xpulpnn());
+        assert!(v2.requires_xpulpv2());
+        let base = Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        };
+        assert!(!base.requires_xpulpnn());
+        assert!(!base.requires_xpulpv2());
+        assert!(Instr::PvQnt {
+            fmt: SimdFmt::Crumb,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2
+        }
+        .requires_xpulpnn());
+    }
+}

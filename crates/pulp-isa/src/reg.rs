@@ -1,0 +1,240 @@
+//! Architectural register names for the RV32 integer register file.
+
+use std::fmt;
+
+/// One of the 32 RV32 integer registers.
+///
+/// Variants are named after the standard RISC-V ABI mnemonics; the raw
+/// index is available through [`Reg::index`] and [`Reg::from_index`].
+///
+/// `x0`/[`Reg::Zero`] is hard-wired to zero: writes to it are discarded by
+/// the core model.
+///
+/// # Example
+///
+/// ```
+/// use pulp_isa::Reg;
+///
+/// assert_eq!(Reg::A0.index(), 10);
+/// assert_eq!(Reg::from_index(10), Some(Reg::A0));
+/// assert_eq!(Reg::A0.to_string(), "a0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Reg {
+    /// `x0`: hard-wired zero.
+    Zero = 0,
+    /// `x1`: return address.
+    Ra = 1,
+    /// `x2`: stack pointer.
+    Sp = 2,
+    /// `x3`: global pointer.
+    Gp = 3,
+    /// `x4`: thread pointer.
+    Tp = 4,
+    /// `x5`: temporary.
+    T0 = 5,
+    /// `x6`: temporary.
+    T1 = 6,
+    /// `x7`: temporary.
+    T2 = 7,
+    /// `x8`: saved register / frame pointer.
+    S0 = 8,
+    /// `x9`: saved register.
+    S1 = 9,
+    /// `x10`: argument / return value.
+    A0 = 10,
+    /// `x11`: argument / return value.
+    A1 = 11,
+    /// `x12`: argument.
+    A2 = 12,
+    /// `x13`: argument.
+    A3 = 13,
+    /// `x14`: argument.
+    A4 = 14,
+    /// `x15`: argument.
+    A5 = 15,
+    /// `x16`: argument.
+    A6 = 16,
+    /// `x17`: argument.
+    A7 = 17,
+    /// `x18`: saved register.
+    S2 = 18,
+    /// `x19`: saved register.
+    S3 = 19,
+    /// `x20`: saved register.
+    S4 = 20,
+    /// `x21`: saved register.
+    S5 = 21,
+    /// `x22`: saved register.
+    S6 = 22,
+    /// `x23`: saved register.
+    S7 = 23,
+    /// `x24`: saved register.
+    S8 = 24,
+    /// `x25`: saved register.
+    S9 = 25,
+    /// `x26`: saved register.
+    S10 = 26,
+    /// `x27`: saved register.
+    S11 = 27,
+    /// `x28`: temporary.
+    T3 = 28,
+    /// `x29`: temporary.
+    T4 = 29,
+    /// `x30`: temporary.
+    T5 = 30,
+    /// `x31`: temporary.
+    T6 = 31,
+}
+
+/// All 32 registers in index order; useful for iteration in tests.
+pub const ALL_REGS: [Reg; 32] = [
+    Reg::Zero,
+    Reg::Ra,
+    Reg::Sp,
+    Reg::Gp,
+    Reg::Tp,
+    Reg::T0,
+    Reg::T1,
+    Reg::T2,
+    Reg::S0,
+    Reg::S1,
+    Reg::A0,
+    Reg::A1,
+    Reg::A2,
+    Reg::A3,
+    Reg::A4,
+    Reg::A5,
+    Reg::A6,
+    Reg::A7,
+    Reg::S2,
+    Reg::S3,
+    Reg::S4,
+    Reg::S5,
+    Reg::S6,
+    Reg::S7,
+    Reg::S8,
+    Reg::S9,
+    Reg::S10,
+    Reg::S11,
+    Reg::T3,
+    Reg::T4,
+    Reg::T5,
+    Reg::T6,
+];
+
+impl Reg {
+    /// Returns the raw register index in `0..32`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Returns the register with the given index, or `None` if `idx >= 32`.
+    #[inline]
+    pub const fn from_index(idx: usize) -> Option<Reg> {
+        if idx < 32 {
+            Some(ALL_REGS[idx])
+        } else {
+            None
+        }
+    }
+
+    /// Returns the register for a 5-bit field extracted from an encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits >= 32`; encoder/decoder code always masks to 5 bits.
+    #[inline]
+    pub const fn from_bits(bits: u32) -> Reg {
+        ALL_REGS[bits as usize & 0x1f]
+    }
+
+    /// Returns the ABI mnemonic (e.g. `"a0"`).
+    pub const fn abi_name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+            "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+            "t3", "t4", "t5", "t6",
+        ];
+        NAMES[self as usize]
+    }
+
+    /// Parses an ABI mnemonic (`"a0"`) or numeric name (`"x10"`).
+    pub fn parse(name: &str) -> Option<Reg> {
+        if let Some(rest) = name.strip_prefix('x') {
+            if let Ok(i) = rest.parse::<usize>() {
+                return Reg::from_index(i);
+            }
+        }
+        // `fp` is an alias of `s0`/`x8`.
+        if name == "fp" {
+            return Some(Reg::S0);
+        }
+        ALL_REGS.iter().copied().find(|r| r.abi_name() == name)
+    }
+
+    /// Returns true for the registers addressable by most RV32C
+    /// compressed instructions (`x8`–`x15`).
+    #[inline]
+    pub const fn is_compressed_addressable(self) -> bool {
+        let i = self as usize;
+        i >= 8 && i <= 15
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+impl From<Reg> for u32 {
+    fn from(r: Reg) -> u32 {
+        r as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for (i, r) in ALL_REGS.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Reg::from_index(i), Some(*r));
+            assert_eq!(Reg::from_bits(i as u32), *r);
+        }
+        assert_eq!(Reg::from_index(32), None);
+    }
+
+    #[test]
+    fn parse_abi_and_numeric_names() {
+        assert_eq!(Reg::parse("a0"), Some(Reg::A0));
+        assert_eq!(Reg::parse("x10"), Some(Reg::A0));
+        assert_eq!(Reg::parse("zero"), Some(Reg::Zero));
+        assert_eq!(Reg::parse("x0"), Some(Reg::Zero));
+        assert_eq!(Reg::parse("fp"), Some(Reg::S0));
+        assert_eq!(Reg::parse("x32"), None);
+        assert_eq!(Reg::parse("q7"), None);
+    }
+
+    #[test]
+    fn display_matches_abi_name() {
+        for r in ALL_REGS {
+            assert_eq!(r.to_string(), r.abi_name());
+            // Display must never be empty (C-DEBUG-NONEMPTY analogue).
+            assert!(!r.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn compressed_addressable_window() {
+        assert!(!Reg::T2.is_compressed_addressable());
+        assert!(Reg::S0.is_compressed_addressable());
+        assert!(Reg::A5.is_compressed_addressable());
+        assert!(!Reg::A6.is_compressed_addressable());
+    }
+}

@@ -1,0 +1,480 @@
+//! Property tests: `decode(encode(i)) == i` over randomly generated
+//! instructions, and SIMD semantics against independent scalar references.
+
+use proptest::prelude::*;
+use pulp_isa::decode::decode;
+use pulp_isa::encode::encode;
+use pulp_isa::instr::{AluOp, BitOp, BranchCond, Instr, LoadKind, LoopIdx, MulDivOp, PulpAluOp,
+                      SimdAluOp, SimdOperand, StoreKind};
+use pulp_isa::reg::{Reg, ALL_REGS};
+use pulp_isa::simd::{self, DotSign, SimdFmt, ALL_DOT_SIGNS, ALL_FMTS};
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0usize..32).prop_map(|i| ALL_REGS[i])
+}
+
+fn any_fmt() -> impl Strategy<Value = SimdFmt> {
+    (0usize..4).prop_map(|i| ALL_FMTS[i])
+}
+
+fn bh_fmt() -> impl Strategy<Value = SimdFmt> {
+    prop_oneof![Just(SimdFmt::Half), Just(SimdFmt::Byte)]
+}
+
+fn any_dot_sign() -> impl Strategy<Value = DotSign> {
+    (0usize..3).prop_map(|i| ALL_DOT_SIGNS[i])
+}
+
+fn any_simd_alu_op() -> impl Strategy<Value = SimdAluOp> {
+    prop_oneof![
+        Just(SimdAluOp::Add),
+        Just(SimdAluOp::Sub),
+        Just(SimdAluOp::Avg),
+        Just(SimdAluOp::Avgu),
+        Just(SimdAluOp::Min),
+        Just(SimdAluOp::Minu),
+        Just(SimdAluOp::Max),
+        Just(SimdAluOp::Maxu),
+        Just(SimdAluOp::Srl),
+        Just(SimdAluOp::Sra),
+        Just(SimdAluOp::Sll),
+        Just(SimdAluOp::Or),
+        Just(SimdAluOp::And),
+        Just(SimdAluOp::Xor),
+    ]
+}
+
+/// Operand strategy honouring the "no .sci for sub-byte" encoding rule.
+fn operand_for(fmt: SimdFmt) -> BoxedStrategy<SimdOperand> {
+    if fmt.is_sub_byte() {
+        prop_oneof![
+            any_reg().prop_map(SimdOperand::Vector),
+            any_reg().prop_map(SimdOperand::Scalar),
+        ]
+        .boxed()
+    } else {
+        prop_oneof![
+            any_reg().prop_map(SimdOperand::Vector),
+            any_reg().prop_map(SimdOperand::Scalar),
+            (-32i8..32).prop_map(SimdOperand::Imm),
+        ]
+        .boxed()
+    }
+}
+
+/// A strategy producing arbitrary *valid, encodable* instructions.
+fn any_instr() -> BoxedStrategy<Instr> {
+    let base = prop_oneof![
+        (any_reg(), any::<u32>())
+            .prop_map(|(rd, v)| Instr::Lui { rd, imm: v & 0xffff_f000 }),
+        (any_reg(), any::<u32>())
+            .prop_map(|(rd, v)| Instr::Auipc { rd, imm: v & 0xffff_f000 }),
+        (any_reg(), (-(1i32 << 20)..(1 << 20)))
+            .prop_map(|(rd, o)| Instr::Jal { rd, offset: o & !1 }),
+        (any_reg(), any_reg(), -2048i32..2048)
+            .prop_map(|(rd, rs1, offset)| Instr::Jalr { rd, rs1, offset }),
+        (
+            prop_oneof![
+                Just(BranchCond::Eq),
+                Just(BranchCond::Ne),
+                Just(BranchCond::Lt),
+                Just(BranchCond::Ge),
+                Just(BranchCond::Ltu),
+                Just(BranchCond::Geu)
+            ],
+            any_reg(),
+            any_reg(),
+            -4096i32..4096
+        )
+            .prop_map(|(cond, rs1, rs2, o)| Instr::Branch { cond, rs1, rs2, offset: o & !1 }),
+        (
+            prop_oneof![
+                Just(LoadKind::Byte),
+                Just(LoadKind::Half),
+                Just(LoadKind::Word),
+                Just(LoadKind::ByteU),
+                Just(LoadKind::HalfU)
+            ],
+            any_reg(),
+            any_reg(),
+            -2048i32..2048
+        )
+            .prop_map(|(kind, rd, rs1, offset)| Instr::Load { kind, rd, rs1, offset }),
+        (
+            prop_oneof![Just(StoreKind::Byte), Just(StoreKind::Half), Just(StoreKind::Word)],
+            any_reg(),
+            any_reg(),
+            -2048i32..2048
+        )
+            .prop_map(|(kind, rs1, rs2, offset)| Instr::Store { kind, rs1, rs2, offset }),
+    ];
+
+    let alu = prop_oneof![
+        (
+            prop_oneof![
+                Just(AluOp::Add),
+                Just(AluOp::Sub),
+                Just(AluOp::Sll),
+                Just(AluOp::Slt),
+                Just(AluOp::Sltu),
+                Just(AluOp::Xor),
+                Just(AluOp::Srl),
+                Just(AluOp::Sra),
+                Just(AluOp::Or),
+                Just(AluOp::And)
+            ],
+            any_reg(),
+            any_reg(),
+            any_reg()
+        )
+            .prop_map(|(op, rd, rs1, rs2)| Instr::Alu { op, rd, rs1, rs2 }),
+        (
+            prop_oneof![
+                Just(AluOp::Add),
+                Just(AluOp::Slt),
+                Just(AluOp::Sltu),
+                Just(AluOp::Xor),
+                Just(AluOp::Or),
+                Just(AluOp::And)
+            ],
+            any_reg(),
+            any_reg(),
+            -2048i32..2048
+        )
+            .prop_filter("skip canonical nop", |(op, rd, rs1, imm)| {
+                !(matches!(op, AluOp::Add)
+                    && *rd == Reg::Zero
+                    && *rs1 == Reg::Zero
+                    && *imm == 0)
+            })
+            .prop_map(|(op, rd, rs1, imm)| Instr::AluImm { op, rd, rs1, imm }),
+        (
+            prop_oneof![Just(AluOp::Sll), Just(AluOp::Srl), Just(AluOp::Sra)],
+            any_reg(),
+            any_reg(),
+            0i32..32
+        )
+            .prop_map(|(op, rd, rs1, imm)| Instr::AluImm { op, rd, rs1, imm }),
+        (
+            prop_oneof![
+                Just(MulDivOp::Mul),
+                Just(MulDivOp::Mulh),
+                Just(MulDivOp::Mulhsu),
+                Just(MulDivOp::Mulhu),
+                Just(MulDivOp::Div),
+                Just(MulDivOp::Divu),
+                Just(MulDivOp::Rem),
+                Just(MulDivOp::Remu)
+            ],
+            any_reg(),
+            any_reg(),
+            any_reg()
+        )
+            .prop_map(|(op, rd, rs1, rs2)| Instr::MulDiv { op, rd, rs1, rs2 }),
+    ];
+
+    let pulp_scalar = prop_oneof![
+        (
+            prop_oneof![
+                Just(PulpAluOp::Min),
+                Just(PulpAluOp::Minu),
+                Just(PulpAluOp::Max),
+                Just(PulpAluOp::Maxu),
+                Just(PulpAluOp::Abs),
+                Just(PulpAluOp::Exths),
+                Just(PulpAluOp::Exthz),
+                Just(PulpAluOp::Extbs),
+                Just(PulpAluOp::Extbz)
+            ],
+            any_reg(),
+            any_reg(),
+            any_reg()
+        )
+            .prop_map(|(op, rd, rs1, rs2)| Instr::PulpAlu { op, rd, rs1, rs2 }),
+        (any_reg(), any_reg(), 0u8..32).prop_map(|(rd, rs1, bits)| Instr::PClip { rd, rs1, bits }),
+        (any_reg(), any_reg(), 0u8..32)
+            .prop_map(|(rd, rs1, bits)| Instr::PClipU { rd, rs1, bits }),
+        (any_reg(), any_reg(), any_reg())
+            .prop_map(|(rd, rs1, rs2)| Instr::PMac { rd, rs1, rs2 }),
+        (any_reg(), any_reg(), any_reg())
+            .prop_map(|(rd, rs1, rs2)| Instr::PMsu { rd, rs1, rs2 }),
+        (
+            prop_oneof![Just(BitOp::Ff1), Just(BitOp::Fl1), Just(BitOp::Cnt), Just(BitOp::Clb)],
+            any_reg(),
+            any_reg()
+        )
+            .prop_map(|(op, rd, rs1)| Instr::PBit { op, rd, rs1 }),
+        (any_reg(), any_reg(), 1u8..=32, 0u8..32)
+            .prop_map(|(rd, rs1, len, off)| Instr::PExtract { rd, rs1, len, off }),
+        (any_reg(), any_reg(), 1u8..=32, 0u8..32)
+            .prop_map(|(rd, rs1, len, off)| Instr::PExtractU { rd, rs1, len, off }),
+        (any_reg(), any_reg(), 1u8..=32, 0u8..32)
+            .prop_map(|(rd, rs1, len, off)| Instr::PInsert { rd, rs1, len, off }),
+    ];
+
+    let pulp_mem = prop_oneof![
+        (
+            prop_oneof![
+                Just(LoadKind::Byte),
+                Just(LoadKind::Half),
+                Just(LoadKind::Word),
+                Just(LoadKind::ByteU),
+                Just(LoadKind::HalfU)
+            ],
+            any_reg(),
+            any_reg(),
+            -2048i32..2048
+        )
+            .prop_map(|(kind, rd, rs1, offset)| Instr::LoadPostInc { kind, rd, rs1, offset }),
+        (
+            prop_oneof![
+                Just(LoadKind::Byte),
+                Just(LoadKind::Half),
+                Just(LoadKind::Word),
+                Just(LoadKind::ByteU),
+                Just(LoadKind::HalfU)
+            ],
+            any_reg(),
+            any_reg(),
+            any_reg()
+        )
+            .prop_map(|(kind, rd, rs1, rs2)| Instr::LoadPostIncReg { kind, rd, rs1, rs2 }),
+        (
+            prop_oneof![
+                Just(LoadKind::Byte),
+                Just(LoadKind::Half),
+                Just(LoadKind::Word),
+                Just(LoadKind::ByteU),
+                Just(LoadKind::HalfU)
+            ],
+            any_reg(),
+            any_reg(),
+            any_reg()
+        )
+            .prop_map(|(kind, rd, rs1, rs2)| Instr::LoadRegOff { kind, rd, rs1, rs2 }),
+        (
+            prop_oneof![Just(StoreKind::Byte), Just(StoreKind::Half), Just(StoreKind::Word)],
+            any_reg(),
+            any_reg(),
+            -2048i32..2048
+        )
+            .prop_map(|(kind, rs1, rs2, offset)| Instr::StorePostInc { kind, rs1, rs2, offset }),
+        (
+            prop_oneof![Just(StoreKind::Byte), Just(StoreKind::Half), Just(StoreKind::Word)],
+            any_reg(),
+            any_reg(),
+            any_reg()
+        )
+            .prop_map(|(kind, rs1, rs2, rs3)| Instr::StorePostIncReg { kind, rs1, rs2, rs3 }),
+    ];
+
+    let hwloop = (
+        prop_oneof![Just(LoopIdx::L0), Just(LoopIdx::L1)],
+        any_reg(),
+        0u32..4096,
+        0i32..2048,
+    )
+        .prop_flat_map(|(l, rs1, imm, off)| {
+            prop_oneof![
+                Just(Instr::LpStarti { l, offset: (off & !1) << 1 }),
+                Just(Instr::LpEndi { l, offset: (off & !1) << 1 }),
+                Just(Instr::LpCount { l, rs1 }),
+                Just(Instr::LpCounti { l, imm }),
+                Just(Instr::LpSetup { l, rs1, offset: off & !1 }),
+                Just(Instr::LpSetupi { l, imm, offset: (off & 0x1f) << 1 }),
+            ]
+        });
+
+    let simd = prop_oneof![
+        (any_fmt(), any_simd_alu_op(), any_reg(), any_reg())
+            .prop_flat_map(|(fmt, op, rd, rs1)| operand_for(fmt)
+                .prop_map(move |op2| Instr::PvAlu { op, fmt, rd, rs1, op2 })),
+        (any_fmt(), any_reg(), any_reg()).prop_map(|(fmt, rd, rs1)| Instr::PvAbs { fmt, rd, rs1 }),
+        (any_fmt(), any_reg(), any_reg(), any::<bool>(), 0u8..16)
+            .prop_filter("lane in range", |(fmt, _, _, _, idx)| (*idx as usize) < fmt.lanes())
+            .prop_map(|(fmt, rd, rs1, signed, idx)| Instr::PvExtract { fmt, rd, rs1, idx, signed }),
+        (any_fmt(), any_reg(), any_reg(), 0u8..16)
+            .prop_filter("lane in range", |(fmt, _, _, idx)| (*idx as usize) < fmt.lanes())
+            .prop_map(|(fmt, rd, rs1, idx)| Instr::PvInsert { fmt, rd, rs1, idx }),
+        (any_fmt(), any_dot_sign(), any_reg(), any_reg(), any::<bool>())
+            .prop_flat_map(|(fmt, sign, rd, rs1, acc)| operand_for(fmt).prop_map(move |op2| {
+                if acc {
+                    Instr::PvSdot { fmt, sign, rd, rs1, op2 }
+                } else {
+                    Instr::PvDot { fmt, sign, rd, rs1, op2 }
+                }
+            })),
+        (
+            prop_oneof![Just(SimdFmt::Nibble), Just(SimdFmt::Crumb)],
+            any_reg(),
+            any_reg(),
+            any_reg()
+        )
+            .prop_map(|(fmt, rd, rs1, rs2)| Instr::PvQnt { fmt, rd, rs1, rs2 }),
+    ];
+
+    prop_oneof![base, alu, pulp_scalar, pulp_mem, hwloop, simd].boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    /// The fundamental encoder/decoder invariant over the whole ISA.
+    #[test]
+    fn encode_decode_round_trip(instr in any_instr()) {
+        prop_assert_eq!(instr.validate(), Ok(()), "generator produced invalid instr {}", instr);
+        let word = encode(&instr);
+        let back = decode(word);
+        prop_assert_eq!(back, Ok(instr), "word {:#010x}", word);
+    }
+
+    /// Decoding arbitrary words either fails or yields a re-encodable
+    /// instruction that round-trips to the same word (no aliasing).
+    #[test]
+    fn decode_encode_consistent(word in any::<u32>()) {
+        if let Ok(instr) = decode(word) {
+            prop_assert_eq!(instr.validate(), Ok(()));
+            let re = encode(&instr);
+            let back = decode(re);
+            prop_assert_eq!(back, Ok(instr));
+        }
+    }
+
+    /// SIMD ALU semantics agree with a naive per-lane scalar model.
+    #[test]
+    fn simd_alu_matches_scalar_reference(
+        fmt in any_fmt(),
+        op in any_simd_alu_op(),
+        a in any::<u32>(),
+        b in any::<u32>(),
+    ) {
+        let got = op.eval(fmt, a, b);
+        for i in 0..fmt.lanes() {
+            let x = simd::lane_s(fmt, a, i);
+            let y = simd::lane_s(fmt, b, i);
+            let xu = simd::lane_u(fmt, a, i);
+            let yu = simd::lane_u(fmt, b, i);
+            let bits = fmt.bits();
+            let expect: u32 = match op {
+                SimdAluOp::Add => (x.wrapping_add(y)) as u32,
+                SimdAluOp::Sub => (x.wrapping_sub(y)) as u32,
+                SimdAluOp::Avg => ((x.wrapping_add(y)) >> 1) as u32,
+                SimdAluOp::Avgu => (xu + yu) >> 1,
+                SimdAluOp::Min => x.min(y) as u32,
+                SimdAluOp::Minu => xu.min(yu),
+                SimdAluOp::Max => x.max(y) as u32,
+                SimdAluOp::Maxu => xu.max(yu),
+                SimdAluOp::Srl => xu >> (yu % bits),
+                SimdAluOp::Sra => (x >> (yu % bits)) as u32,
+                SimdAluOp::Sll => xu << (yu % bits),
+                SimdAluOp::Or => xu | yu,
+                SimdAluOp::And => xu & yu,
+                SimdAluOp::Xor => xu ^ yu,
+            };
+            prop_assert_eq!(
+                simd::lane_u(fmt, got, i),
+                expect & fmt.lane_mask(),
+                "op {:?} fmt {:?} lane {}", op, fmt, i
+            );
+        }
+    }
+
+    /// Dot products agree with an i64 scalar accumulation.
+    #[test]
+    fn dotp_matches_scalar_reference(
+        fmt in any_fmt(),
+        sign in any_dot_sign(),
+        acc in any::<u32>(),
+        a in any::<u32>(),
+        b in any::<u32>(),
+    ) {
+        let mut expect: i64 = 0;
+        for i in 0..fmt.lanes() {
+            let x = match sign {
+                DotSign::SignedSigned => simd::lane_s(fmt, a, i) as i64,
+                _ => simd::lane_u(fmt, a, i) as i64,
+            };
+            let y = match sign {
+                DotSign::UnsignedUnsigned => simd::lane_u(fmt, b, i) as i64,
+                _ => simd::lane_s(fmt, b, i) as i64,
+            };
+            expect += x * y;
+        }
+        prop_assert_eq!(simd::dotp(fmt, sign, a, b), expect as u32);
+        prop_assert_eq!(
+            simd::sdotp(fmt, sign, acc, a, b),
+            acc.wrapping_add(expect as u32)
+        );
+    }
+
+    /// Replication of a scalar equals a vector whose every lane is the
+    /// scalar's low bits.
+    #[test]
+    fn replicate_lane_law(fmt in any_fmt(), s in any::<u32>()) {
+        let v = simd::replicate(fmt, s);
+        for i in 0..fmt.lanes() {
+            prop_assert_eq!(simd::lane_u(fmt, v, i), s & fmt.lane_mask());
+        }
+    }
+
+    /// `.sc` variants equal the `rr` variant applied to a replicated
+    /// vector — the defining property of the scalar addressing mode.
+    #[test]
+    fn sc_equals_rr_on_replicated(
+        fmt in any_fmt(),
+        op in any_simd_alu_op(),
+        a in any::<u32>(),
+        s in any::<u32>(),
+    ) {
+        let rep = simd::replicate(fmt, s);
+        prop_assert_eq!(op.eval(fmt, a, rep), op.eval(fmt, a, simd::replicate(fmt, s & fmt.lane_mask())));
+    }
+
+    /// RV32C: whenever an instruction has a compressed form, expanding
+    /// that parcel reproduces the instruction exactly.
+    #[test]
+    fn compress_decode16_round_trip(instr in any_instr()) {
+        use pulp_isa::compressed::{compress, decode16, is_compressed};
+        if let Some(parcel) = compress(&instr) {
+            prop_assert!(is_compressed(parcel as u32), "{}", instr);
+            let (_, back) = decode16(parcel)
+                .unwrap_or_else(|| panic!("{instr} -> {parcel:#06x} undecodable"));
+            prop_assert_eq!(back, instr, "parcel {:#06x}", parcel);
+        }
+    }
+
+    /// RV32C: any decodable 16-bit parcel expands to a valid base
+    /// instruction, and re-compressing that instruction (when possible)
+    /// expands back to the same instruction.
+    #[test]
+    fn decode16_yields_valid_instructions(parcel in any::<u16>()) {
+        use pulp_isa::compressed::{compress, decode16};
+        if let Some((_, instr)) = decode16(parcel) {
+            prop_assert_eq!(instr.validate(), Ok(()), "{:#06x}", parcel);
+            prop_assert!(
+                !instr.requires_xpulpv2() && !instr.requires_xpulpnn(),
+                "RVC only covers the base ISA: {:#06x}",
+                parcel
+            );
+            if let Some(p2) = compress(&instr) {
+                let (_, again) = decode16(p2).expect("recompressed parcel decodes");
+                prop_assert_eq!(again, instr);
+            }
+        }
+    }
+
+    /// Disassembly of b/h `.sci` forms embeds the decimal immediate.
+    #[test]
+    fn sci_disassembly_contains_imm(fmt in bh_fmt(), imm in -32i8..32) {
+        let i = Instr::PvAlu {
+            op: SimdAluOp::Add,
+            fmt,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            op2: SimdOperand::Imm(imm),
+        };
+        let text = i.to_string();
+        prop_assert!(text.contains(&imm.to_string()), "{}", text);
+        prop_assert!(text.contains(".sci."), "{}", text);
+    }
+}

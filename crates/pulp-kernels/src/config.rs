@@ -1,0 +1,267 @@
+//! Kernel configuration and its validity rules.
+
+use qnn::conv::ConvShape;
+use qnn::BitWidth;
+use std::fmt;
+
+/// Which ISA the generated kernel may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelIsa {
+    /// The baseline RI5CY: XpulpV2 only — sub-byte operands must be
+    /// unpacked to 8-bit around every SIMD operation.
+    XpulpV2,
+    /// The extended core: native nibble/crumb SIMD and `pv.qnt`.
+    XpulpNN,
+}
+
+impl fmt::Display for KernelIsa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelIsa::XpulpV2 => f.write_str("xpulpv2"),
+            KernelIsa::XpulpNN => f.write_str("xpulpnn"),
+        }
+    }
+}
+
+/// How accumulators are re-quantized to the output width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuantMode {
+    /// 8-bit path: `clamp(acc >> shift, 0, 255)`.
+    Shift8 {
+        /// Right-shift amount.
+        shift: u32,
+    },
+    /// Sub-byte path in software: branchless balanced-tree walk (the
+    /// baseline of Fig. 6).
+    SoftwareTree,
+    /// Sub-byte path in hardware: `pv.qnt.{n,c}` (XpulpNN only).
+    HardwareQnt,
+}
+
+impl fmt::Display for QuantMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantMode::Shift8 { shift } => write!(f, "shift8({shift})"),
+            QuantMode::SoftwareTree => f.write_str("sw-tree"),
+            QuantMode::HardwareQnt => f.write_str("pv.qnt"),
+        }
+    }
+}
+
+/// An invalid kernel configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `in_c · bits` must be a multiple of 32 so channel runs are whole
+    /// words.
+    ChannelAlignment {
+        /// Input channels.
+        in_c: usize,
+        /// Operand width.
+        bits: BitWidth,
+    },
+    /// Output channels must divide into the kernel's channel blocking
+    /// (2 for 8/4-bit, 4 for 2-bit).
+    OutChannelBlocking {
+        /// Output channels.
+        out_c: usize,
+        /// Required divisor.
+        need: usize,
+    },
+    /// Output pixel count must be even (pixel-pair blocking).
+    OddPixels {
+        /// Output pixels.
+        pixels: usize,
+    },
+    /// The quantization mode does not match the operand width / ISA.
+    QuantMismatch {
+        /// Operand width.
+        bits: BitWidth,
+        /// ISA.
+        isa: KernelIsa,
+        /// Requested mode.
+        quant: QuantMode,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ChannelAlignment { in_c, bits } => write!(
+                f,
+                "in_c ({in_c}) × {bits} must pack into whole 32-bit words"
+            ),
+            ConfigError::OutChannelBlocking { out_c, need } => {
+                write!(f, "out_c ({out_c}) must be a multiple of {need}")
+            }
+            ConfigError::OddPixels { pixels } => {
+                write!(f, "output pixel count ({pixels}) must be even")
+            }
+            ConfigError::QuantMismatch { bits, isa, quant } => {
+                write!(f, "quantization {quant} is invalid for {bits} on {isa}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A fully specified convolution kernel to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvKernelConfig {
+    /// Layer geometry.
+    pub shape: ConvShape,
+    /// Operand width of both activations and weights.
+    pub bits: BitWidth,
+    /// Output activation width. The paper benchmarks homogeneous layers
+    /// (`out_bits == bits`); decoupling them supports the per-layer
+    /// mixed-precision networks the paper's introduction motivates
+    /// (Rusci et al.), e.g. 8-bit operands quantized to 4-bit outputs.
+    pub out_bits: BitWidth,
+    /// Available ISA.
+    pub isa: KernelIsa,
+    /// Re-quantization path (must produce `out_bits`).
+    pub quant: QuantMode,
+}
+
+impl ConvKernelConfig {
+    /// The paper's benchmark layer at the given width/ISA, using the
+    /// hardware quantizer when available (`hw_quant` selects the Fig. 6
+    /// software/hardware variants for sub-byte XpulpNN kernels).
+    pub fn paper(bits: BitWidth, isa: KernelIsa, hw_quant: bool) -> ConvKernelConfig {
+        let quant = match (bits, isa, hw_quant) {
+            (BitWidth::W8, _, _) => QuantMode::Shift8 { shift: 8 },
+            (_, KernelIsa::XpulpNN, true) => QuantMode::HardwareQnt,
+            _ => QuantMode::SoftwareTree,
+        };
+        ConvKernelConfig { shape: ConvShape::paper_benchmark(), bits, out_bits: bits, isa, quant }
+    }
+
+    /// A mixed-precision layer: `bits`-wide operands re-quantized to
+    /// `out_bits`-wide outputs (hardware quantizer / shift+clip on the
+    /// XpulpNN core).
+    pub fn mixed(shape: ConvShape, bits: BitWidth, out_bits: BitWidth) -> ConvKernelConfig {
+        let quant = match out_bits {
+            BitWidth::W8 => QuantMode::Shift8 { shift: 8 },
+            _ => QuantMode::HardwareQnt,
+        };
+        ConvKernelConfig { shape, bits, out_bits, isa: KernelIsa::XpulpNN, quant }
+    }
+
+    /// Output channels handled per channel-loop iteration (2, except 4
+    /// for 2-bit outputs so results pack into whole bytes).
+    pub fn channel_block(&self) -> usize {
+        if self.out_bits == BitWidth::W2 {
+            4
+        } else {
+            2
+        }
+    }
+
+    /// Checks every generator precondition.
+    ///
+    /// # Errors
+    ///
+    /// A [`ConfigError`] naming the violated rule.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let s = &self.shape;
+        if (s.in_c * self.bits.bits() as usize) % 32 != 0 {
+            return Err(ConfigError::ChannelAlignment { in_c: s.in_c, bits: self.bits });
+        }
+        let need = self.channel_block();
+        if s.out_c % need != 0 {
+            return Err(ConfigError::OutChannelBlocking { out_c: s.out_c, need });
+        }
+        if s.pixels() % 2 != 0 {
+            return Err(ConfigError::OddPixels { pixels: s.pixels() });
+        }
+        let ok = match (self.out_bits, self.isa, self.quant) {
+            (BitWidth::W8, _, QuantMode::Shift8 { .. }) => true,
+            (BitWidth::W4 | BitWidth::W2, _, QuantMode::SoftwareTree) => true,
+            (BitWidth::W4 | BitWidth::W2, KernelIsa::XpulpNN, QuantMode::HardwareQnt) => true,
+            _ => false,
+        };
+        if !ok {
+            return Err(ConfigError::QuantMismatch {
+                bits: self.out_bits,
+                isa: self.isa,
+                quant: self.quant,
+            });
+        }
+        Ok(())
+    }
+
+    /// A short name for reports, e.g. `"4-bit/xpulpnn/pv.qnt"` (mixed
+    /// precision shows the output width too: `"8-bit->4-bit/…"`).
+    pub fn name(&self) -> String {
+        if self.out_bits == self.bits {
+            format!("{}/{}/{}", self.bits, self.isa, self.quant)
+        } else {
+            format!("{}->{}/{}/{}", self.bits, self.out_bits, self.isa, self.quant)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_validate() {
+        for bits in qnn::bits::ALL_WIDTHS {
+            for isa in [KernelIsa::XpulpV2, KernelIsa::XpulpNN] {
+                for hw in [false, true] {
+                    let cfg = ConvKernelConfig::paper(bits, isa, hw);
+                    cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", cfg.name()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hw_quant_rejected_on_baseline() {
+        let cfg = ConvKernelConfig {
+            shape: ConvShape::paper_benchmark(),
+            bits: BitWidth::W4, out_bits: BitWidth::W4,
+            isa: KernelIsa::XpulpV2,
+            quant: QuantMode::HardwareQnt,
+        };
+        assert!(matches!(cfg.validate(), Err(ConfigError::QuantMismatch { .. })));
+    }
+
+    #[test]
+    fn alignment_rules() {
+        let mut cfg = ConvKernelConfig::paper(BitWidth::W4, KernelIsa::XpulpNN, true);
+        cfg.shape.in_c = 6; // 6 × 4 bits = 24: not word aligned
+        assert!(matches!(cfg.validate(), Err(ConfigError::ChannelAlignment { .. })));
+        let mut cfg = ConvKernelConfig::paper(BitWidth::W2, KernelIsa::XpulpNN, true);
+        cfg.shape.out_c = 6; // 2-bit needs multiples of 4
+        assert!(matches!(cfg.validate(), Err(ConfigError::OutChannelBlocking { need: 4, .. })));
+        let mut cfg = ConvKernelConfig::paper(BitWidth::W8, KernelIsa::XpulpV2, false);
+        cfg.shape.in_w = 15; // 15×16 = 240 pixels: still even; force odd:
+        cfg.shape.in_h = 1;
+        cfg.shape.k_h = 1;
+        cfg.shape.k_w = 1;
+        cfg.shape.pad = 0;
+        // 1×15 output = 15 pixels (odd)
+        assert!(matches!(cfg.validate(), Err(ConfigError::OddPixels { pixels: 15 })));
+    }
+
+    #[test]
+    fn shift8_only_for_w8() {
+        let cfg = ConvKernelConfig {
+            shape: ConvShape::paper_benchmark(),
+            bits: BitWidth::W4, out_bits: BitWidth::W4,
+            isa: KernelIsa::XpulpNN,
+            quant: QuantMode::Shift8 { shift: 4 },
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn names_are_informative() {
+        let cfg = ConvKernelConfig::paper(BitWidth::W2, KernelIsa::XpulpNN, true);
+        assert_eq!(cfg.name(), "2-bit/xpulpnn/pv.qnt");
+        let cfg = ConvKernelConfig::paper(BitWidth::W8, KernelIsa::XpulpV2, false);
+        assert_eq!(cfg.name(), "8-bit/xpulpv2/shift8(8)");
+    }
+}

@@ -1,0 +1,178 @@
+//! Host-side im2col run descriptors.
+//!
+//! One descriptor per kernel row per output pixel: because activations
+//! are HWC, the `k_w · in_c` window elements of one kernel row are a
+//! single contiguous byte run in the packed input, possibly clipped by
+//! zero padding at the borders. The host (standing in for the compiler's
+//! static address arithmetic) emits `(src, pre, copy, post)` byte counts
+//! and the device executes them with word copies — see
+//! [`crate::emit::im2col`].
+
+use crate::config::ConvKernelConfig;
+use crate::layout::LayerLayout;
+
+/// One contiguous im2col run: zero `pre` bytes, copy `copy` bytes from
+/// `src`, zero `post` bytes. All counts are in *packed input* bytes and
+/// are word multiples (guaranteed by
+/// [`ConvKernelConfig::validate`]'s channel-alignment rule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunDesc {
+    /// Source byte address in the packed input (0 for all-zero runs).
+    pub src: u32,
+    /// Leading zero bytes (left padding).
+    pub pre: u16,
+    /// Copied bytes.
+    pub copy: u16,
+    /// Trailing zero bytes (right padding).
+    pub post: u16,
+}
+
+/// Encoded descriptor size in bytes.
+pub const DESC_BYTES: u32 = 12;
+
+impl RunDesc {
+    /// Serializes to the 12-byte on-device format
+    /// `{src: u32, pre: u16, copy: u16, post: u16, pad: u16}`.
+    pub fn encode(&self) -> [u8; 12] {
+        let mut out = [0u8; 12];
+        out[0..4].copy_from_slice(&self.src.to_le_bytes());
+        out[4..6].copy_from_slice(&self.pre.to_le_bytes());
+        out[6..8].copy_from_slice(&self.copy.to_le_bytes());
+        out[8..10].copy_from_slice(&self.post.to_le_bytes());
+        out
+    }
+}
+
+/// Generates the descriptor stream for the whole layer: for each output
+/// pixel in row-major order, `k_h` descriptors.
+pub fn im2col_descriptors(cfg: &ConvKernelConfig, input_addr: u32) -> Vec<RunDesc> {
+    let s = &cfg.shape;
+    let bits = cfg.bits.bits() as usize;
+    let in_c_bytes = s.in_c * bits / 8;
+    let run_bytes = LayerLayout::run_bytes(cfg) as usize;
+    let mut out = Vec::with_capacity(s.pixels() * s.k_h);
+    for oy in 0..s.out_h() {
+        for ox in 0..s.out_w() {
+            for ky in 0..s.k_h {
+                let y = (oy * s.stride + ky) as isize - s.pad as isize;
+                if y < 0 || y >= s.in_h as isize {
+                    out.push(RunDesc { src: 0, pre: run_bytes as u16, copy: 0, post: 0 });
+                    continue;
+                }
+                let x0 = (ox * s.stride) as isize - s.pad as isize;
+                let lead = (-x0).max(0) as usize;
+                let trail = (x0 + s.k_w as isize - s.in_w as isize).max(0) as usize;
+                let copy_px = s.k_w - lead - trail;
+                let src_px = (y as usize) * s.in_w + (x0 + lead as isize) as usize;
+                out.push(RunDesc {
+                    src: input_addr + (src_px * in_c_bytes) as u32,
+                    pre: (lead * in_c_bytes) as u16,
+                    copy: (copy_px * in_c_bytes) as u16,
+                    post: (trail * in_c_bytes) as u16,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Serializes a descriptor stream.
+pub fn encode_descriptors(descs: &[RunDesc]) -> Vec<u8> {
+    descs.iter().flat_map(|d| d.encode()).collect()
+}
+
+/// Executes a descriptor stream on the host against the packed input
+/// image — the reference the device interpreter and the tests compare
+/// against. Returns the packed im2col bytes for every pixel,
+/// concatenated.
+pub fn apply_descriptors(descs: &[RunDesc], input_addr: u32, packed_input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for d in descs {
+        out.extend(std::iter::repeat(0u8).take(d.pre as usize));
+        if d.copy > 0 {
+            let off = (d.src - input_addr) as usize;
+            out.extend_from_slice(&packed_input[off..off + d.copy as usize]);
+        }
+        out.extend(std::iter::repeat(0u8).take(d.post as usize));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{KernelIsa, QuantMode};
+    use qnn::conv::{im2col_all, ConvShape};
+    use qnn::rng::TensorRng;
+    use qnn::tensor;
+    use qnn::BitWidth;
+
+    fn cfg(shape: ConvShape, bits: BitWidth) -> ConvKernelConfig {
+        ConvKernelConfig { shape, bits, out_bits: bits, isa: KernelIsa::XpulpNN, quant: QuantMode::SoftwareTree }
+    }
+
+    #[test]
+    fn descriptor_counts_and_invariants() {
+        let c = cfg(ConvShape::paper_benchmark(), BitWidth::W4);
+        let descs = im2col_descriptors(&c, 0x1000);
+        assert_eq!(descs.len(), 256 * 3);
+        let run = LayerLayout::run_bytes(&c) as u32;
+        for d in &descs {
+            assert_eq!(d.pre as u32 + d.copy as u32 + d.post as u32, run);
+            assert_eq!(d.pre % 4, 0);
+            assert_eq!(d.copy % 4, 0);
+        }
+    }
+
+    /// Applying the descriptors reproduces the golden im2col transform
+    /// for every width and for shapes with every kind of border case.
+    #[test]
+    fn descriptors_reproduce_golden_im2col() {
+        let mut rng = TensorRng::new(13);
+        for bits in qnn::bits::ALL_WIDTHS {
+            let in_c = 32 / bits.bits() as usize * 2; // word-aligned runs
+            for shape in [
+                ConvShape { in_h: 5, in_w: 6, in_c, out_c: 2, k_h: 3, k_w: 3, stride: 1, pad: 1 },
+                ConvShape { in_h: 4, in_w: 4, in_c, out_c: 2, k_h: 1, k_w: 1, stride: 1, pad: 0 },
+                ConvShape { in_h: 7, in_w: 5, in_c, out_c: 2, k_h: 3, k_w: 3, stride: 2, pad: 1 },
+            ] {
+                let c = cfg(shape, bits);
+                let input = rng.activations(bits, shape.input_len());
+                let packed = input.pack();
+                let descs = im2col_descriptors(&c, 0x40);
+                let device_bytes = apply_descriptors(&descs, 0x40, &packed);
+                let golden = im2col_all(&shape, input.values());
+                let golden_bytes = tensor::pack(bits, &golden);
+                assert_eq!(device_bytes, golden_bytes, "{bits} {shape:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn encode_layout_is_little_endian() {
+        let d = RunDesc { src: 0x1c02_0010, pre: 4, copy: 8, post: 12 };
+        let e = d.encode();
+        assert_eq!(&e[0..4], &[0x10, 0x00, 0x02, 0x1c]);
+        assert_eq!(&e[4..6], &[4, 0]);
+        assert_eq!(&e[6..8], &[8, 0]);
+        assert_eq!(&e[8..10], &[12, 0]);
+        assert_eq!(&e[10..12], &[0, 0]);
+        assert_eq!(encode_descriptors(&[d]).len(), DESC_BYTES as usize);
+    }
+
+    #[test]
+    fn interior_pixels_have_no_padding() {
+        let c = cfg(ConvShape::paper_benchmark(), BitWidth::W8);
+        let descs = im2col_descriptors(&c, 0);
+        // pixel (8, 8) is interior: all three runs are pure copies.
+        let p = (8 * 16 + 8) * 3;
+        for d in &descs[p..p + 3] {
+            assert_eq!(d.pre, 0);
+            assert_eq!(d.post, 0);
+            assert_eq!(d.copy as u32, LayerLayout::run_bytes(&c));
+        }
+        // pixel (0, 0): first row fully zero, other rows have left pad.
+        assert_eq!(descs[0].copy, 0);
+        assert!(descs[1].pre > 0);
+    }
+}

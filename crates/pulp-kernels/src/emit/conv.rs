@@ -1,0 +1,170 @@
+//! The full convolution program builder.
+
+use crate::config::{ConvKernelConfig, KernelIsa, QuantMode};
+use crate::emit::im2col::{emit_im2col_pair, emit_unpack2_constants, emit_unpack4_constants,
+                          Im2colKind};
+use crate::emit::matmul::emit_mm_block;
+use crate::emit::quant::{emit_quant_store_w4, emit_quant_store_w8, emit_quant_w2_first,
+                         emit_quant_w2_second};
+use crate::layout::LayerLayout;
+use pulp_asm::{Asm, AsmError, Program};
+use pulp_isa::Reg::*;
+use qnn::BitWidth;
+
+/// Builds the complete kernel program for a validated configuration.
+///
+/// The program ends in `ecall` with exit code 0; the caller is expected
+/// to have placed input/weights/thresholds/descriptors at the `layout`
+/// addresses before running.
+///
+/// # Errors
+///
+/// Propagates assembler errors (which would indicate an emitter bug —
+/// the generator's own tests exercise every variant).
+///
+/// # Panics
+///
+/// Panics if `cfg` fails [`ConvKernelConfig::validate`].
+pub fn build_conv_program(cfg: &ConvKernelConfig, layout: &LayerLayout) -> Result<Program, AsmError> {
+    cfg.validate().expect("invalid kernel configuration");
+    let mut a = Asm::new(pulp_soc::CODE_BASE);
+
+    let out_pixel_bytes = LayerLayout::out_pixel_bytes(cfg) as i32;
+    let pixel_pairs = (cfg.shape.pixels() / 2) as i32;
+    let ch_blocks = (cfg.shape.out_c / cfg.channel_block()) as i32;
+
+    // --- prologue: loop state and variant constants ---
+    a.li(A5, layout.descriptors as i32);
+    a.li(A3, layout.output as i32);
+    a.addi(A4, A3, out_pixel_bytes);
+    a.li(A7, pixel_pairs);
+    match (cfg.isa, cfg.bits) {
+        (KernelIsa::XpulpV2, BitWidth::W4) => emit_unpack4_constants(&mut a),
+        (KernelIsa::XpulpV2, BitWidth::W2) => emit_unpack2_constants(&mut a),
+        _ => {}
+    }
+
+    // --- pixel-pair loop ---
+    a.label("pixel_loop");
+    a.jal("im2col_pair");
+    a.li(A0, layout.weights as i32);
+    if cfg.out_bits.is_sub_byte() {
+        a.li(A1, layout.thresholds as i32);
+    }
+    a.li(A2, ch_blocks);
+
+    a.label("ch_loop");
+    a.jal("mm_block");
+    match cfg.out_bits {
+        BitWidth::W8 => {
+            let QuantMode::Shift8 { shift } = cfg.quant else {
+                unreachable!("validated: 8-bit uses shift8")
+            };
+            emit_quant_store_w8(&mut a, shift);
+        }
+        BitWidth::W4 => emit_quant_store_w4(&mut a, cfg),
+        BitWidth::W2 => {
+            emit_quant_w2_first(&mut a, cfg);
+            a.jal("mm_block");
+            emit_quant_w2_second(&mut a, cfg);
+        }
+    }
+    a.addi(A2, A2, -1);
+    a.bne(A2, Zero, "ch_loop");
+
+    // Skip the other pixel's output region.
+    a.addi(A3, A3, out_pixel_bytes);
+    a.addi(A4, A4, out_pixel_bytes);
+    a.addi(A7, A7, -1);
+    a.bne(A7, Zero, "pixel_loop");
+
+    a.li(A0, 0);
+    a.ecall();
+
+    // --- subroutines ---
+    emit_im2col_pair(&mut a, cfg, layout);
+    emit_mm_block(&mut a, cfg, layout);
+
+    a.assemble()
+}
+
+/// Returns the im2col variant a configuration uses (re-exported for
+/// reports).
+pub fn im2col_kind(cfg: &ConvKernelConfig) -> Im2colKind {
+    Im2colKind::for_config(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnn::conv::ConvShape;
+
+    #[test]
+    fn every_paper_variant_assembles() {
+        for bits in qnn::bits::ALL_WIDTHS {
+            for isa in [KernelIsa::XpulpV2, KernelIsa::XpulpNN] {
+                for hw in [false, true] {
+                    let cfg = ConvKernelConfig::paper(bits, isa, hw);
+                    let prog = build_conv_program(&cfg, &LayerLayout::default_for_l2())
+                        .unwrap_or_else(|e| panic!("{}: {e}", cfg.name()));
+                    assert!(prog.words.len() > 30, "{} suspiciously small", cfg.name());
+                    assert!(
+                        prog.code_size() < 0x8000,
+                        "{} exceeds the code region",
+                        cfg.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn listing_mentions_expected_instructions() {
+        let cfg = ConvKernelConfig::paper(BitWidth::W4, KernelIsa::XpulpNN, true);
+        let prog = build_conv_program(&cfg, &LayerLayout::default_for_l2()).unwrap();
+        let text = prog.listing();
+        assert!(text.contains("pv.sdotusp.n"), "native nibble dot product");
+        assert!(text.contains("pv.qnt.n"), "hardware quantization");
+        assert!(text.contains("lp.setup"), "hardware loop");
+
+        let cfg = ConvKernelConfig::paper(BitWidth::W4, KernelIsa::XpulpV2, false);
+        let prog = build_conv_program(&cfg, &LayerLayout::default_for_l2()).unwrap();
+        let text = prog.listing();
+        assert!(text.contains("pv.sdotusp.b"), "baseline computes on bytes");
+        assert!(!text.contains("pv.sdotusp.n"), "baseline must not use nibble SIMD");
+        assert!(!text.contains("pv.qnt"), "baseline must not use the quant unit");
+        assert!(text.contains("pv.shuffle2.b"), "baseline unpacks with shuffles");
+    }
+
+    #[test]
+    fn xpulpnn_programs_contain_no_sub_byte_ops_for_w8() {
+        let cfg = ConvKernelConfig::paper(BitWidth::W8, KernelIsa::XpulpNN, true);
+        let prog = build_conv_program(&cfg, &LayerLayout::default_for_l2()).unwrap();
+        for i in &prog.instrs {
+            assert!(!i.requires_xpulpnn(), "8-bit kernel should be XpulpV2-only: {i}");
+        }
+    }
+
+    #[test]
+    fn baseline_programs_never_require_xpulpnn() {
+        for bits in qnn::bits::ALL_WIDTHS {
+            let cfg = ConvKernelConfig::paper(bits, KernelIsa::XpulpV2, false);
+            let prog = build_conv_program(&cfg, &LayerLayout::default_for_l2()).unwrap();
+            for i in &prog.instrs {
+                assert!(!i.requires_xpulpnn(), "{}: {i}", cfg.name());
+            }
+        }
+    }
+
+    #[test]
+    fn small_shape_assembles() {
+        let cfg = ConvKernelConfig {
+            shape: ConvShape { in_h: 4, in_w: 4, in_c: 8, out_c: 4, k_h: 3, k_w: 3, stride: 1, pad: 1 },
+            bits: BitWidth::W4,
+            out_bits: BitWidth::W4,
+            isa: KernelIsa::XpulpNN,
+            quant: QuantMode::HardwareQnt,
+        };
+        build_conv_program(&cfg, &LayerLayout::default_for_l2()).unwrap();
+    }
+}

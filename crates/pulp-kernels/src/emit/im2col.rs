@@ -1,0 +1,217 @@
+//! The device-side im2col interpreter.
+//!
+//! Walks the descriptor stream (`a5`) for one pixel pair, filling both
+//! im2col buffers (contiguous in memory, so the destination pointer
+//! simply advances through `2 · k_h` runs). Two variants:
+//!
+//! * [`Im2colKind::Native`] — copies packed words unchanged (used by all
+//!   XpulpNN kernels, the 8-bit kernels, and the 4-bit XpulpV2 baseline,
+//!   which unpacks in the MatMul loop instead);
+//! * [`Im2colKind::Unpack2`] — the 2-bit XpulpV2 baseline: expands each
+//!   packed word to four ordered 8-bit words while copying, mirroring
+//!   PULP-NN's fused `im2col_u2_to_u8` (in-loop ordered unpack of 2-bit
+//!   operands would exceed the register file).
+
+use crate::config::ConvKernelConfig;
+use crate::layout::LayerLayout;
+use pulp_asm::Asm;
+use pulp_isa::instr::{Instr, LoadKind};
+use pulp_isa::simd::SimdFmt;
+use pulp_isa::instr::SimdOperand;
+use pulp_isa::Reg::{self, *};
+
+/// im2col copy behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Im2colKind {
+    /// Copy packed words.
+    Native,
+    /// Expand 2-bit words to ordered unsigned bytes while copying.
+    Unpack2,
+}
+
+impl Im2colKind {
+    /// Selects the variant for a configuration.
+    pub fn for_config(cfg: &ConvKernelConfig) -> Im2colKind {
+        use crate::config::KernelIsa;
+        use qnn::BitWidth;
+        if cfg.isa == KernelIsa::XpulpV2 && cfg.bits == BitWidth::W2 {
+            Im2colKind::Unpack2
+        } else {
+            Im2colKind::Native
+        }
+    }
+
+    /// log2 of the byte-expansion factor (0 = none, 2 = ×4 for 2-bit→8-bit).
+    fn log2_expansion(self) -> i32 {
+        match self {
+            Im2colKind::Native => 0,
+            Im2colKind::Unpack2 => 2,
+        }
+    }
+}
+
+fn shuffle2b(a: &mut Asm, rd: Reg, rs1: Reg, sel: Reg) {
+    a.i(Instr::PvShuffle2 { fmt: SimdFmt::Byte, rd, rs1, rs2: sel });
+}
+
+/// Emits a zero-fill loop: `words` count (in a register) stores of x0.
+/// `count_reg` holds the *byte* count on entry; it is converted to output
+/// words using the expansion factor.
+fn emit_zero_run(a: &mut Asm, count_reg: Reg, kind: Im2colKind, uniq: &str) {
+    // output words = bytes * expansion / 4
+    let shift = 2 - kind.log2_expansion();
+    if shift > 0 {
+        a.srli(count_reg, count_reg, shift);
+    }
+    let done = format!("ic_z_done_{uniq}");
+    let top = format!("ic_z_{uniq}");
+    a.beq(count_reg, Zero, &done);
+    a.label(&top);
+    a.p_sw_postinc(Zero, 4, T0);
+    a.addi(count_reg, count_reg, -1);
+    a.bne(count_reg, Zero, &top);
+    a.label(&done);
+}
+
+/// Emits the `im2col_pair` subroutine (label `im2col_pair`).
+///
+/// Register use: `t0` destination, `t1` source, `t2`/`t4` run byte
+/// counts, `t3` copy word counter, `t5` descriptor counter, `t6` data;
+/// the 2-bit unpack variant additionally uses `a0`–`a2` and `sp` (free at
+/// im2col time) and the constants `s8`–`s11`/`a6`.
+pub fn emit_im2col_pair(a: &mut Asm, cfg: &ConvKernelConfig, layout: &LayerLayout) {
+    let kind = Im2colKind::for_config(cfg);
+    let descs_per_pair = (2 * cfg.shape.k_h) as i32;
+
+    a.label("im2col_pair");
+    a.li(T0, layout.im2col as i32);
+    a.li(T5, descs_per_pair);
+
+    a.label("ic_desc");
+    // Load the descriptor: {src, pre, copy, post(@8)}.
+    a.i(Instr::Load { kind: LoadKind::Word, rd: T1, rs1: A5, offset: 0 });
+    a.i(Instr::Load { kind: LoadKind::HalfU, rd: T2, rs1: A5, offset: 4 });
+    a.i(Instr::Load { kind: LoadKind::HalfU, rd: T3, rs1: A5, offset: 6 });
+    a.addi(A5, A5, crate::descriptors::DESC_BYTES as i32);
+
+    // Leading zeros.
+    emit_zero_run(a, T2, kind, "pre");
+
+    // Copy loop: T3 = copy bytes -> packed input words.
+    a.srli(T3, T3, 2);
+    a.beq(T3, Zero, "ic_copy_done");
+    a.label("ic_copy");
+    match kind {
+        Im2colKind::Native => {
+            a.p_lw_postinc(T6, 4, T1);
+            a.p_sw_postinc(T6, 4, T0);
+        }
+        Im2colKind::Unpack2 => {
+            // Ordered unsigned u2 -> 4 × u8 words. Crumb group j of each
+            // byte lands in gj; interleaves rebuild natural order.
+            a.p_lw_postinc(T6, 4, T1);
+            a.and(T2, T6, S8); // g0
+            a.srli(A0, T6, 2);
+            a.and(A0, A0, S8); // g1
+            a.srli(A1, T6, 4);
+            a.and(A1, A1, S8); // g2
+            a.srli(T6, T6, 6);
+            a.and(T6, T6, S8); // g3
+            // u01 = (g0[0], g1[0], g0[1], g1[1]); u23 likewise from g2/g3.
+            a.mv(A2, A0);
+            shuffle2b(a, A2, T2, S9);
+            a.mv(Sp, T6);
+            shuffle2b(a, Sp, A1, S9);
+            a.mv(T4, Sp);
+            shuffle2b(a, T4, A2, S11); // out0 = elements 0..3
+            a.p_sw_postinc(T4, 4, T0);
+            shuffle2b(a, Sp, A2, A6); // out1 = elements 4..7
+            a.p_sw_postinc(Sp, 4, T0);
+            // Upper halves of the groups.
+            a.mv(A2, A0);
+            shuffle2b(a, A2, T2, S10);
+            a.mv(Sp, T6);
+            shuffle2b(a, Sp, A1, S10);
+            a.mv(T4, Sp);
+            shuffle2b(a, T4, A2, S11); // out2 = elements 8..11
+            a.p_sw_postinc(T4, 4, T0);
+            shuffle2b(a, Sp, A2, A6); // out3 = elements 12..15
+            a.p_sw_postinc(Sp, 4, T0);
+        }
+    }
+    a.addi(T3, T3, -1);
+    a.bne(T3, Zero, "ic_copy");
+    a.label("ic_copy_done");
+
+    // Trailing zeros (re-read the count: t4 was clobbered by the unpack).
+    a.i(Instr::Load {
+        kind: LoadKind::HalfU,
+        rd: T4,
+        rs1: A5,
+        offset: 8 - crate::descriptors::DESC_BYTES as i32,
+    });
+    emit_zero_run(a, T4, kind, "post");
+
+    a.addi(T5, T5, -1);
+    a.bne(T5, Zero, "ic_desc");
+    a.ret();
+}
+
+/// Loads the unpack constants the 2-bit baseline im2col/MatMul need.
+pub fn emit_unpack2_constants(a: &mut Asm) {
+    a.li(S8, 0x0303_0303);
+    a.li(S9, super::sel_bytes(0, 4, 1, 5));
+    a.li(S10, super::sel_bytes(2, 6, 3, 7));
+    a.li(S11, super::sel_bytes(0, 1, 4, 5));
+    a.li(A6, super::sel_bytes(2, 3, 6, 7));
+}
+
+/// Loads the unpack constants the 4-bit baseline MatMul needs.
+pub fn emit_unpack4_constants(a: &mut Asm) {
+    a.li(S8, 0x0f0f_0f0f);
+    a.li(S9, super::sel_bytes(0, 4, 1, 5));
+    a.li(S10, super::sel_bytes(2, 6, 3, 7));
+}
+
+/// Emits the 4-bit ordered unsigned unpack of `src` (packed nibbles) into
+/// `(lo, hi)` byte words, clobbering `scratch`. Uses `s8`–`s10`.
+pub fn emit_unpack4_unsigned(a: &mut Asm, src: Reg, lo: Reg, hi: Reg, scratch: Reg) {
+    debug_assert!(src == hi, "in-place variant expected: hi reuses src");
+    a.and(scratch, src, S8); // even nibbles
+    a.srli(src, src, 4);
+    a.and(src, src, S8); // odd nibbles
+    a.mv(lo, src);
+    shuffle2b(a, lo, scratch, S9);
+    shuffle2b(a, hi, scratch, S10);
+}
+
+/// Emits the 4-bit ordered signed unpack of `src` into `(lo, hi)` byte
+/// words, clobbering `scratch`. `hi` must alias `src`.
+pub fn emit_unpack4_signed(a: &mut Asm, src: Reg, lo: Reg, hi: Reg, scratch: Reg) {
+    debug_assert!(src == hi, "in-place variant expected: hi reuses src");
+    a.i(Instr::PvAlu {
+        op: pulp_isa::instr::SimdAluOp::Sll,
+        fmt: SimdFmt::Byte,
+        rd: scratch,
+        rs1: src,
+        op2: SimdOperand::Imm(4),
+    });
+    a.i(Instr::PvAlu {
+        op: pulp_isa::instr::SimdAluOp::Sra,
+        fmt: SimdFmt::Byte,
+        rd: scratch,
+        rs1: scratch,
+        op2: SimdOperand::Imm(4),
+    }); // even, sign-extended
+    a.i(Instr::PvAlu {
+        op: pulp_isa::instr::SimdAluOp::Sra,
+        fmt: SimdFmt::Byte,
+        rd: src,
+        rs1: src,
+        op2: SimdOperand::Imm(4),
+    }); // odd, sign-extended
+    a.mv(lo, src);
+    shuffle2b(a, lo, scratch, S9);
+    shuffle2b(a, hi, scratch, S10);
+}
+

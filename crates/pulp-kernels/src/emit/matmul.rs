@@ -1,0 +1,192 @@
+//! The 2×2 MatMul block (`mm_block` subroutine).
+//!
+//! Each call computes four accumulators — two consecutive output
+//! channels × the two im2col pixel buffers — over the whole column
+//! (`col_len` MACs each), using a zero-overhead hardware loop. Entry:
+//! `a0` = base of weight row `ch`. Exit: `a0` advanced past row `ch+1`,
+//! accumulators in `s4`–`s7`.
+//!
+//! Inner-loop shapes (cycles per iteration / MACs per iteration):
+//!
+//! | variant | loop body | MACs |
+//! |---|---|---|
+//! | native (any width, packed) | 4 loads + 4 `pv.sdotusp` = 8 | 4·lanes |
+//! | XpulpV2 4-bit | + ordered unpack of both operands (shuffle-based) ≈ 36 | 32 |
+//! | XpulpV2 2-bit | + ordered weight unpack, activations pre-expanded ≈ 80 | 64 |
+//!
+//! The XpulpV2 sub-byte bodies are the paper's baseline: "additional
+//! instructions to unpack and pack the low-bitwidth operands must be
+//! included in the code" (§IV-B).
+
+use crate::config::{ConvKernelConfig, KernelIsa};
+use crate::emit::im2col::{emit_unpack4_signed, emit_unpack4_unsigned};
+use crate::emit::simd_fmt;
+use crate::layout::LayerLayout;
+use pulp_asm::Asm;
+use pulp_isa::instr::{Instr, LoopIdx, SimdAluOp, SimdOperand};
+use pulp_isa::simd::{DotSign, SimdFmt};
+use pulp_isa::Reg::{self, *};
+use qnn::BitWidth;
+
+fn sdotusp(a: &mut Asm, fmt: SimdFmt, acc: Reg, act: Reg, w: Reg) {
+    a.i(Instr::PvSdot { fmt, sign: DotSign::UnsignedSigned, rd: acc, rs1: act, op2: SimdOperand::Vector(w) });
+}
+
+fn shuffle2b(a: &mut Asm, rd: Reg, rs1: Reg, sel: Reg) {
+    a.i(Instr::PvShuffle2 { fmt: SimdFmt::Byte, rd, rs1, rs2: sel });
+}
+
+fn sra_sci_b(a: &mut Asm, rd: Reg, rs1: Reg, imm: i8) {
+    a.i(Instr::PvAlu { op: SimdAluOp::Sra, fmt: SimdFmt::Byte, rd, rs1, op2: SimdOperand::Imm(imm) });
+}
+
+fn sll_sci_b(a: &mut Asm, rd: Reg, rs1: Reg, imm: i8) {
+    a.i(Instr::PvAlu { op: SimdAluOp::Sll, fmt: SimdFmt::Byte, rd, rs1, op2: SimdOperand::Imm(imm) });
+}
+
+/// Number of inner-loop iterations: one packed weight word per iteration.
+pub fn inner_iterations(cfg: &ConvKernelConfig) -> u32 {
+    (cfg.shape.col_len() as u32 * cfg.bits.bits()) / 32
+}
+
+/// Emits the native inner-loop body (packed operands both sides).
+fn emit_body_native(a: &mut Asm, fmt: SimdFmt) {
+    a.p_lw_postinc(T0, 4, S0); // w row ch
+    a.p_lw_postinc(T1, 4, S1); // w row ch+1
+    a.p_lw_postinc(T2, 4, S2); // im2col px0
+    a.p_lw_postinc(T3, 4, S3); // im2col px1
+    sdotusp(a, fmt, S4, T2, T0);
+    sdotusp(a, fmt, S5, T3, T0);
+    sdotusp(a, fmt, S6, T2, T1);
+    sdotusp(a, fmt, S7, T3, T1);
+}
+
+/// Emits the XpulpV2 4-bit body: both operands unpacked to ordered bytes
+/// in-loop (activations unsigned, weights signed).
+fn emit_body_v2_w4(a: &mut Asm) {
+    let b = SimdFmt::Byte;
+    // Weights row ch -> t2 (elements 0..3), t0 (elements 4..7).
+    a.p_lw_postinc(T0, 4, S0);
+    emit_unpack4_signed(a, T0, T2, T0, T4);
+    // Weights row ch+1 -> t3 / t1.
+    a.p_lw_postinc(T1, 4, S1);
+    emit_unpack4_signed(a, T1, T3, T1, T4);
+    // Activations px0 -> t6 / t4, consumed immediately.
+    a.p_lw_postinc(T4, 4, S2);
+    emit_unpack4_unsigned(a, T4, T6, T4, T5);
+    sdotusp(a, b, S4, T6, T2);
+    sdotusp(a, b, S4, T4, T0);
+    sdotusp(a, b, S6, T6, T3);
+    sdotusp(a, b, S6, T4, T1);
+    // Activations px1.
+    a.p_lw_postinc(T4, 4, S3);
+    emit_unpack4_unsigned(a, T4, T6, T4, T5);
+    sdotusp(a, b, S5, T6, T2);
+    sdotusp(a, b, S5, T4, T0);
+    sdotusp(a, b, S7, T6, T3);
+    sdotusp(a, b, S7, T4, T1);
+}
+
+/// Unpacks one packed 2-bit weight word (in `t0`) into four ordered
+/// signed byte words `t3, t1, t6, t2` (elements 0–3, 4–7, 8–11, 12–15),
+/// then folds each against freshly loaded activation words into the two
+/// accumulators `(acc_px0, acc_px1)`.
+fn emit_v2_w2_row(a: &mut Asm, acc_px0: Reg, acc_px1: Reg) {
+    let b = SimdFmt::Byte;
+    // Crumb groups: gj = crumbs (j, j+4, j+8, j+12) sign-extended.
+    sll_sci_b(a, T1, T0, 6);
+    sra_sci_b(a, T1, T1, 6); // g0
+    sll_sci_b(a, T2, T0, 4);
+    sra_sci_b(a, T2, T2, 6); // g1
+    sll_sci_b(a, T3, T0, 2);
+    sra_sci_b(a, T3, T3, 6); // g2
+    sra_sci_b(a, T0, T0, 6); // g3
+    // Pairwise interleaves.
+    a.mv(T4, T2);
+    shuffle2b(a, T4, T1, S9); // u01 = (g0[0], g1[0], g0[1], g1[1])
+    a.mv(T5, T2);
+    shuffle2b(a, T5, T1, S10); // u01b = upper half of g0/g1
+    a.mv(T1, T0);
+    shuffle2b(a, T1, T3, S9); // u23
+    a.mv(T2, T0);
+    shuffle2b(a, T2, T3, S10); // u23b
+    // Final ordered words.
+    a.mv(T3, T1);
+    shuffle2b(a, T3, T4, S11); // elements 0..3
+    shuffle2b(a, T1, T4, A6); // elements 4..7 (in place: old rd = u23)
+    a.mv(T6, T2);
+    shuffle2b(a, T6, T5, S11); // elements 8..11
+    shuffle2b(a, T2, T5, A6); // elements 12..15
+    // Multiply against the four byte-words of each pixel buffer.
+    for w in [T3, T1, T6, T2] {
+        a.p_lw_postinc(T0, 4, S2);
+        sdotusp(a, b, acc_px0, T0, w);
+        a.p_lw_postinc(T0, 4, S3);
+        sdotusp(a, b, acc_px1, T0, w);
+    }
+}
+
+/// Emits the XpulpV2 2-bit body: weights unpacked ordered in-loop,
+/// activations already expanded to bytes by the fused im2col.
+fn emit_body_v2_w2(a: &mut Asm) {
+    // Row ch.
+    a.p_lw_postinc(T0, 4, S0);
+    emit_v2_w2_row(a, S4, S5);
+    // Rewind the activation pointers for row ch+1.
+    a.addi(S2, S2, -16);
+    a.addi(S3, S3, -16);
+    // Row ch+1.
+    a.p_lw_postinc(T0, 4, S1);
+    emit_v2_w2_row(a, S6, S7);
+}
+
+/// Emits the `mm_block` subroutine.
+pub fn emit_mm_block(a: &mut Asm, cfg: &ConvKernelConfig, layout: &LayerLayout) {
+    let row_bytes = LayerLayout::weight_row_bytes(cfg) as i32;
+    let buf_bytes = LayerLayout::im2col_buffer_bytes(cfg) as i32;
+    let iters = inner_iterations(cfg) as i32;
+    assert!(row_bytes < 2048, "weight row exceeds addi range");
+
+    a.label("mm_block");
+    a.mv(S0, A0);
+    a.addi(S1, A0, row_bytes);
+    a.li(S2, layout.im2col as i32);
+    a.li(S3, layout.im2col as i32 + buf_bytes);
+    a.li(S4, 0);
+    a.li(S5, 0);
+    a.li(S6, 0);
+    a.li(S7, 0);
+    a.li(T6, iters);
+    a.lp_setup(LoopIdx::L0, T6, "mm_end");
+    match (cfg.isa, cfg.bits) {
+        (KernelIsa::XpulpV2, BitWidth::W4) => emit_body_v2_w4(a),
+        (KernelIsa::XpulpV2, BitWidth::W2) => emit_body_v2_w2(a),
+        _ => emit_body_native(a, simd_fmt(cfg.bits)),
+    }
+    a.label("mm_end");
+    // s1 ended just past row ch+1: the next block's row base.
+    a.mv(A0, S1);
+    a.ret();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnn::conv::ConvShape;
+
+    #[test]
+    fn iteration_counts_for_paper_layer() {
+        use crate::config::QuantMode;
+        let mk = |bits, isa| ConvKernelConfig {
+            shape: ConvShape::paper_benchmark(),
+            bits, out_bits: bits,
+            isa,
+            quant: QuantMode::SoftwareTree,
+        };
+        assert_eq!(inner_iterations(&mk(BitWidth::W8, KernelIsa::XpulpNN)), 72);
+        assert_eq!(inner_iterations(&mk(BitWidth::W4, KernelIsa::XpulpNN)), 36);
+        assert_eq!(inner_iterations(&mk(BitWidth::W2, KernelIsa::XpulpNN)), 18);
+        // The iteration count depends on the packed width, not the ISA.
+        assert_eq!(inner_iterations(&mk(BitWidth::W4, KernelIsa::XpulpV2)), 36);
+    }
+}

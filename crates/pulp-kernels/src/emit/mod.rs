@@ -1,0 +1,69 @@
+//! Assembly emitters for the convolution kernels.
+//!
+//! The generated program follows a fixed register convention (no stack;
+//! every routine is a leaf or calls only leaves):
+//!
+//! | register | role |
+//! |---|---|
+//! | `ra` | subroutine linkage (`im2col_pair`, `mm_block`) |
+//! | `sp`, `gp` | scratch for the crumb variants (no stack/globals exist) |
+//! | `a0` | current weight-row base |
+//! | `a1` | current threshold-tree base (sub-byte) |
+//! | `a2` | channel-block counter |
+//! | `a3`/`a4` | output write pointers, pixel 0 / pixel 1 |
+//! | `a5` | im2col descriptor pointer |
+//! | `a6` | variant constant (2-bit selector) or scratch |
+//! | `a7` | pixel-pair counter |
+//! | `s0`/`s1` | weight read pointers, channels `ch` / `ch+1` |
+//! | `s2`/`s3` | im2col read pointers, pixel 0 / pixel 1 |
+//! | `s4`–`s7` | the four MatMul accumulators |
+//! | `s8`–`s11` | unpack constants (mask, shuffle selectors) |
+//! | `t0`–`t6` | temporaries |
+//!
+//! The accumulator meaning matches the paper's 2×2 MatMul: `s4 = (ch,
+//! px0)`, `s5 = (ch, px1)`, `s6 = (ch+1, px0)`, `s7 = (ch+1, px1)`, so
+//! the two values packed for `pv.qnt` are consecutive channels of the
+//! same pixel.
+
+pub mod conv;
+pub mod im2col;
+pub mod matmul;
+pub mod quant;
+
+pub use conv::build_conv_program;
+
+use pulp_isa::simd::SimdFmt;
+use qnn::BitWidth;
+
+/// The SIMD lane format of a bit width.
+pub fn simd_fmt(bits: BitWidth) -> SimdFmt {
+    match bits {
+        BitWidth::W8 => SimdFmt::Byte,
+        BitWidth::W4 => SimdFmt::Nibble,
+        BitWidth::W2 => SimdFmt::Crumb,
+    }
+}
+
+/// Packs four byte-lane selector values into the constant loaded into a
+/// shuffle-selector register.
+pub fn sel_bytes(l0: u8, l1: u8, l2: u8, l3: u8) -> i32 {
+    i32::from_le_bytes([l0, l1, l2, l3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_mapping() {
+        assert_eq!(simd_fmt(BitWidth::W8), SimdFmt::Byte);
+        assert_eq!(simd_fmt(BitWidth::W4), SimdFmt::Nibble);
+        assert_eq!(simd_fmt(BitWidth::W2), SimdFmt::Crumb);
+    }
+
+    #[test]
+    fn selector_packing_is_little_endian() {
+        assert_eq!(sel_bytes(0, 4, 1, 5), 0x0501_0400);
+        assert_eq!(sel_bytes(2, 6, 3, 7), 0x0703_0602);
+    }
+}

@@ -1,0 +1,150 @@
+//! Re-quantization and output-packing emitters.
+//!
+//! Three paths, matching the evaluation matrix:
+//!
+//! * **shift8** — 8-bit outputs: `srai` + `p.clipu` + byte store;
+//! * **hardware** — `pv.qnt.{n,c}`: clip both channel accumulators to
+//!   16 bits, pack them into one register with `pv.insert.h`, and let the
+//!   quantization unit walk both trees (9/5 cycles, §III-B2);
+//! * **software tree** — the Fig. 6 baseline: a branchless balanced-tree
+//!   walk (`2 + 5·Q` cycles per activation) over the same Eytzinger
+//!   threshold image the hardware reads, so both paths are bit-identical.
+
+use crate::config::{ConvKernelConfig, QuantMode};
+use crate::emit::simd_fmt;
+use pulp_asm::Asm;
+use pulp_isa::instr::{AluOp, Instr, LoadKind};
+use pulp_isa::simd::SimdFmt;
+use pulp_isa::Reg::{self, *};
+use riscv_core::quant::tree_stride;
+
+/// Emits the branchless software tree walk: quantizes the accumulator in
+/// `acc` against the tree at `tree_base_minus2`, leaving the `Q`-bit
+/// result in `t1`. Clobbers `t0`, `t2`–`t4`.
+///
+/// Per level: `slli` + `p.lh` (register-offset) + `slt` + two `add`s —
+/// 5 cycles, ~`2 + 5·Q` per activation, matching the ≈18-cycle software
+/// cost the paper cites for the 4-bit case.
+pub fn emit_sw_tree_walk(a: &mut Asm, acc: Reg, tree_base_minus2: Reg, q_bits: u32) {
+    a.i(Instr::PClip { rd: T0, rs1: acc, bits: 16 });
+    a.li(T1, 1);
+    for _ in 0..q_bits {
+        a.slli(T2, T1, 1);
+        a.i(Instr::LoadRegOff { kind: LoadKind::Half, rd: T3, rs1: tree_base_minus2, rs2: T2 });
+        a.i(Instr::Alu { op: AluOp::Slt, rd: T4, rs1: T3, rs2: T0 });
+        a.add(T1, T1, T1);
+        a.add(T1, T1, T4);
+    }
+    a.addi(T1, T1, -(1i32 << q_bits));
+}
+
+/// Emits the hardware pair quantization for one pixel: clips the two
+/// channel accumulators, packs them, executes `pv.qnt`, result in `dst`.
+fn emit_hw_qnt_pixel(a: &mut Asm, fmt: SimdFmt, acc_ch: Reg, acc_ch1: Reg, dst: Reg) {
+    a.i(Instr::PClip { rd: acc_ch, rs1: acc_ch, bits: 16 });
+    a.i(Instr::PClip { rd: acc_ch1, rs1: acc_ch1, bits: 16 });
+    a.i(Instr::PvInsert { fmt: SimdFmt::Half, rd: acc_ch, rs1: acc_ch1, idx: 1 });
+    a.pv_qnt(fmt, dst, acc_ch, A1);
+}
+
+/// Emits the software pair quantization for one pixel: walks both
+/// channel trees, packs the two `Q`-bit results into the low bits of
+/// `dst`. Clobbers `t0`–`t6`.
+fn emit_sw_qnt_pixel(a: &mut Asm, q_bits: u32, acc_ch: Reg, acc_ch1: Reg, dst: Reg, stride: i32) {
+    a.addi(T5, A1, -2);
+    emit_sw_tree_walk(a, acc_ch, T5, q_bits);
+    a.mv(T6, T1);
+    a.addi(T5, A1, stride - 2);
+    emit_sw_tree_walk(a, acc_ch1, T5, q_bits);
+    a.slli(T1, T1, q_bits as i32);
+    a.or(dst, T1, T6);
+}
+
+/// Emits the post-block sequence for one MatMul block of a **4-bit**
+/// kernel: quantize both pixels (two channels each), store one output
+/// byte per pixel, and advance the threshold pointer.
+pub fn emit_quant_store_w4(a: &mut Asm, cfg: &ConvKernelConfig) {
+    let fmt = simd_fmt(cfg.out_bits);
+    let stride = tree_stride(fmt) as i32;
+    match cfg.quant {
+        QuantMode::HardwareQnt => {
+            emit_hw_qnt_pixel(a, fmt, S4, S6, T0);
+            a.p_sb_postinc(T0, 1, A3);
+            emit_hw_qnt_pixel(a, fmt, S5, S7, T1);
+            a.p_sb_postinc(T1, 1, A4);
+        }
+        QuantMode::SoftwareTree => {
+            emit_sw_qnt_pixel(a, 4, S4, S6, T1, stride);
+            a.p_sb_postinc(T1, 1, A3);
+            emit_sw_qnt_pixel(a, 4, S5, S7, T1, stride);
+            a.p_sb_postinc(T1, 1, A4);
+        }
+        QuantMode::Shift8 { .. } => unreachable!("validated: shift8 is 8-bit only"),
+    }
+    a.addi(A1, A1, 2 * stride);
+}
+
+/// Emits the first half of a **2-bit** channel-block iteration (channels
+/// `ch`, `ch+1`): quantize both pixels into 4-bit partials held in `sp`
+/// (pixel 0) and `gp` (pixel 1) across the second MatMul block.
+pub fn emit_quant_w2_first(a: &mut Asm, cfg: &ConvKernelConfig) {
+    let fmt = simd_fmt(cfg.out_bits);
+    let stride = tree_stride(fmt) as i32;
+    match cfg.quant {
+        QuantMode::HardwareQnt => {
+            emit_hw_qnt_pixel(a, fmt, S4, S6, Sp);
+            emit_hw_qnt_pixel(a, fmt, S5, S7, Gp);
+        }
+        QuantMode::SoftwareTree => {
+            emit_sw_qnt_pixel(a, 2, S4, S6, Sp, stride);
+            emit_sw_qnt_pixel(a, 2, S5, S7, Gp, stride);
+        }
+        QuantMode::Shift8 { .. } => unreachable!("validated: shift8 is 8-bit only"),
+    }
+    a.addi(A1, A1, 2 * stride);
+}
+
+/// Emits the second half of a **2-bit** channel-block iteration
+/// (channels `ch+2`, `ch+3`): quantize, combine with the partials from
+/// [`emit_quant_w2_first`], store one byte per pixel, advance
+/// thresholds.
+pub fn emit_quant_w2_second(a: &mut Asm, cfg: &ConvKernelConfig) {
+    let fmt = simd_fmt(cfg.out_bits);
+    let stride = tree_stride(fmt) as i32;
+    match cfg.quant {
+        QuantMode::HardwareQnt => {
+            emit_hw_qnt_pixel(a, fmt, S4, S6, T0);
+            a.slli(T0, T0, 4);
+            a.or(T0, T0, Sp);
+            a.p_sb_postinc(T0, 1, A3);
+            emit_hw_qnt_pixel(a, fmt, S5, S7, T1);
+            a.slli(T1, T1, 4);
+            a.or(T1, T1, Gp);
+            a.p_sb_postinc(T1, 1, A4);
+        }
+        QuantMode::SoftwareTree => {
+            emit_sw_qnt_pixel(a, 2, S4, S6, T1, stride);
+            a.slli(T1, T1, 4);
+            a.or(T1, T1, Sp);
+            a.p_sb_postinc(T1, 1, A3);
+            emit_sw_qnt_pixel(a, 2, S5, S7, T1, stride);
+            a.slli(T1, T1, 4);
+            a.or(T1, T1, Gp);
+            a.p_sb_postinc(T1, 1, A4);
+        }
+        QuantMode::Shift8 { .. } => unreachable!("validated: shift8 is 8-bit only"),
+    }
+    a.addi(A1, A1, 2 * stride);
+}
+
+/// Emits the 8-bit shift-and-clamp quantization and byte stores for both
+/// pixels of one block.
+pub fn emit_quant_store_w8(a: &mut Asm, shift: u32) {
+    for (acc_ch, acc_ch1, out) in [(S4, S6, A3), (S5, S7, A4)] {
+        for acc in [acc_ch, acc_ch1] {
+            a.srai(T0, acc, shift as i32);
+            a.i(Instr::PClipU { rd: T0, rs1: T0, bits: 9 });
+            a.p_sb_postinc(T0, 1, out);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! L2 memory layout of a convolution layer run.
+
+use crate::config::{ConvKernelConfig, KernelIsa};
+use qnn::BitWidth;
+
+/// Addresses of every buffer a generated kernel touches, all inside
+/// PULPissimo's 512 kB L2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerLayout {
+    /// Packed input activations (HWC).
+    pub input: u32,
+    /// Packed weights (one row per output channel).
+    pub weights: u32,
+    /// Per-channel Eytzinger threshold trees
+    /// ([`riscv_core::quant::tree_stride`] apart); unused for 8-bit.
+    pub thresholds: u32,
+    /// im2col run descriptors (12 bytes each).
+    pub descriptors: u32,
+    /// The two im2col buffers (buffer 1 contiguous after buffer 0).
+    pub im2col: u32,
+    /// Packed output activations (HWC).
+    pub output: u32,
+}
+
+impl LayerLayout {
+    /// The default allocation used by the benchmarks (code lives at
+    /// [`pulp_soc::CODE_BASE`]).
+    pub const fn default_for_l2() -> LayerLayout {
+        LayerLayout {
+            input: 0x1c02_0000,
+            weights: 0x1c03_0000,
+            thresholds: 0x1c05_0000,
+            descriptors: 0x1c05_8000,
+            im2col: 0x1c06_0000,
+            output: 0x1c06_8000,
+        }
+    }
+
+    /// Bytes of one im2col buffer for this configuration: packed for
+    /// every kernel except the 2-bit XpulpV2 baseline, whose fused
+    /// im2col expands activations to 8-bit (the 4-bit baseline keeps
+    /// packed buffers and unpacks inside the MatMul loop).
+    pub fn im2col_buffer_bytes(cfg: &ConvKernelConfig) -> u32 {
+        let elems = cfg.shape.col_len() as u32;
+        if cfg.isa == KernelIsa::XpulpV2 && cfg.bits == BitWidth::W2 {
+            elems
+        } else {
+            elems * cfg.bits.bits() / 8
+        }
+    }
+
+    /// Bytes of one packed weight row.
+    pub fn weight_row_bytes(cfg: &ConvKernelConfig) -> u32 {
+        cfg.shape.col_len() as u32 * cfg.bits.bits() / 8
+    }
+
+    /// Bytes of the packed output per pixel (output width, which may
+    /// differ from the operand width in mixed-precision layers).
+    pub fn out_pixel_bytes(cfg: &ConvKernelConfig) -> u32 {
+        cfg.shape.out_c as u32 * cfg.out_bits.bits() / 8
+    }
+
+    /// Bytes of a full input kernel-row run (`k_w · in_c` elements,
+    /// packed).
+    pub fn run_bytes(cfg: &ConvKernelConfig) -> u32 {
+        (cfg.shape.k_w * cfg.shape.in_c) as u32 * cfg.bits.bits() / 8
+    }
+}
+
+impl Default for LayerLayout {
+    fn default() -> Self {
+        LayerLayout::default_for_l2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::QuantMode;
+    use qnn::conv::ConvShape;
+
+    fn cfg(bits: BitWidth, isa: KernelIsa) -> ConvKernelConfig {
+        let quant = match bits {
+            BitWidth::W8 => QuantMode::Shift8 { shift: 8 },
+            _ => QuantMode::SoftwareTree,
+        };
+        ConvKernelConfig { shape: ConvShape::paper_benchmark(), bits, out_bits: bits, isa, quant }
+    }
+
+    #[test]
+    fn buffer_sizing() {
+        let c4nn = cfg(BitWidth::W4, KernelIsa::XpulpNN);
+        assert_eq!(LayerLayout::im2col_buffer_bytes(&c4nn), 144); // 288 nibbles
+        let c4v2 = cfg(BitWidth::W4, KernelIsa::XpulpV2);
+        assert_eq!(LayerLayout::im2col_buffer_bytes(&c4v2), 144); // packed: unpacks in-loop
+        let c2v2 = cfg(BitWidth::W2, KernelIsa::XpulpV2);
+        assert_eq!(LayerLayout::im2col_buffer_bytes(&c2v2), 288); // fused unpack to u8
+        let c8 = cfg(BitWidth::W8, KernelIsa::XpulpV2);
+        assert_eq!(LayerLayout::im2col_buffer_bytes(&c8), 288);
+        assert_eq!(LayerLayout::weight_row_bytes(&c4nn), 144);
+        assert_eq!(LayerLayout::out_pixel_bytes(&c4nn), 32);
+        assert_eq!(LayerLayout::run_bytes(&c4nn), 48); // 3·32 nibbles
+    }
+
+    #[test]
+    fn default_regions_fit_l2_and_do_not_overlap() {
+        let l = LayerLayout::default_for_l2();
+        let regions = [
+            (l.input, 16 * 16 * 32u32),          // 8 KiB worst case (8-bit)
+            (l.weights, 64 * 288),               // 18 KiB worst case
+            (l.thresholds, 64 * 32),             // 2 KiB
+            (l.descriptors, 256 * 3 * 12),       // 9 KiB
+            (l.im2col, 2 * 288),
+            (l.output, 16 * 16 * 64),            // 16 KiB worst case
+        ];
+        for (i, (a, alen)) in regions.iter().enumerate() {
+            assert!(a + alen <= pulp_soc::L2_BASE + pulp_soc::L2_SIZE);
+            assert!(*a >= pulp_soc::CODE_BASE + 0x8000, "leave room for code");
+            for (b, blen) in regions.iter().skip(i + 1) {
+                assert!(a + alen <= *b || b + blen <= *a, "overlap at {a:#x}/{b:#x}");
+            }
+        }
+    }
+}

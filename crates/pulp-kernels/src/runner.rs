@@ -1,0 +1,388 @@
+//! Host-side testbench: generates a layer's tensors, builds the kernel,
+//! loads the SoC, runs, and checks the device output against the golden
+//! model.
+
+use crate::config::{ConvKernelConfig, KernelIsa, QuantMode};
+use crate::descriptors::{encode_descriptors, im2col_descriptors};
+use crate::emit::build_conv_program;
+use crate::layout::LayerLayout;
+use pulp_asm::{AsmError, Program};
+use pulp_soc::{RunReport, Soc};
+use qnn::quantizer::{Quantizer, ThresholdSet};
+use qnn::rng::TensorRng;
+use qnn::tensor::QuantTensor;
+use riscv_core::quant::{eytzinger, tree_stride};
+use riscv_core::{IsaConfig, Trap};
+use std::fmt;
+
+/// Failed to construct (or, for one-shot helpers, run) a testbench.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The kernel configuration is invalid.
+    Config(crate::config::ConfigError),
+    /// The generator produced un-assemblable code (a generator bug).
+    Asm(AsmError),
+    /// The simulator trapped while running a one-shot helper.
+    Trap(Trap),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Config(e) => e.fmt(f),
+            BuildError::Asm(e) => e.fmt(f),
+            BuildError::Trap(t) => t.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Result of one verified kernel run.
+#[derive(Debug, Clone)]
+pub struct ConvRunResult {
+    /// Exit status and performance counters.
+    pub report: RunReport,
+    /// Device output, unpacked to logical values.
+    pub output: Vec<i16>,
+    /// Golden output from [`qnn::conv::conv2d_quantized`].
+    pub golden: Vec<i16>,
+}
+
+impl ConvRunResult {
+    /// True when the device output matches the golden model bit-exactly.
+    pub fn matches(&self) -> bool {
+        self.output == self.golden
+    }
+
+    /// Total kernel cycles.
+    pub fn cycles(&self) -> u64 {
+        self.report.perf.cycles
+    }
+
+    /// Multiply-accumulates per cycle achieved by the kernel.
+    pub fn macs_per_cycle(&self, cfg: &ConvKernelConfig) -> f64 {
+        cfg.shape.macs() as f64 / self.report.perf.cycles as f64
+    }
+}
+
+/// A ready-to-run convolution layer: program + synthetic tensors.
+#[derive(Debug, Clone)]
+pub struct ConvTestbench {
+    /// The kernel configuration.
+    pub cfg: ConvKernelConfig,
+    /// The L2 layout in use.
+    pub layout: LayerLayout,
+    /// The generated program (inspect `program.listing()` for the code).
+    pub program: Program,
+    input: QuantTensor,
+    weights: QuantTensor,
+    thresholds: Option<ThresholdSet>,
+    quantizer: Quantizer,
+}
+
+impl ConvTestbench {
+    /// Builds the kernel and deterministic synthetic tensors for `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError`] if the configuration is invalid or the generator
+    /// emits un-assemblable code.
+    pub fn new(cfg: ConvKernelConfig, seed: u64) -> Result<ConvTestbench, BuildError> {
+        cfg.validate().map_err(BuildError::Config)?;
+        let layout = LayerLayout::default_for_l2();
+        let program = build_conv_program(&cfg, &layout).map_err(BuildError::Asm)?;
+        let mut rng = TensorRng::new(seed);
+        let input = rng.activations(cfg.bits, cfg.shape.input_len());
+        let weights = rng.weights(cfg.bits, cfg.shape.weight_len());
+        let (thresholds, quantizer) = match cfg.quant {
+            QuantMode::Shift8 { shift } => (None, Quantizer::Shift8 { shift, bias: vec![] }),
+            QuantMode::SoftwareTree | QuantMode::HardwareQnt => {
+                let t = rng.thresholds(cfg.out_bits, cfg.shape.out_c, -2000, 2000);
+                (Some(t.clone()), Quantizer::Thresholds(t))
+            }
+        };
+        Ok(ConvTestbench { cfg, layout, program, input, weights, thresholds, quantizer })
+    }
+
+    /// Builds a testbench around caller-supplied tensors (e.g. to chain
+    /// layers: feed one layer's output in as the next layer's input).
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError`] for invalid configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tensor lengths or widths do not match the shape, or if
+    /// a threshold set is missing/superfluous for the quantization mode.
+    pub fn from_parts(
+        cfg: ConvKernelConfig,
+        input: QuantTensor,
+        weights: QuantTensor,
+        thresholds: Option<ThresholdSet>,
+    ) -> Result<ConvTestbench, BuildError> {
+        cfg.validate().map_err(BuildError::Config)?;
+        assert_eq!(input.len(), cfg.shape.input_len(), "input length mismatch");
+        assert_eq!(weights.len(), cfg.shape.weight_len(), "weight length mismatch");
+        assert_eq!(input.bits(), cfg.bits, "input width mismatch");
+        assert_eq!(weights.bits(), cfg.bits, "weight width mismatch");
+        let layout = LayerLayout::default_for_l2();
+        let program = build_conv_program(&cfg, &layout).map_err(BuildError::Asm)?;
+        let quantizer = match cfg.quant {
+            QuantMode::Shift8 { shift } => {
+                assert!(thresholds.is_none(), "8-bit kernels take no thresholds");
+                Quantizer::Shift8 { shift, bias: vec![] }
+            }
+            QuantMode::SoftwareTree | QuantMode::HardwareQnt => {
+                let t = thresholds.clone().expect("sub-byte kernels need thresholds");
+                assert_eq!(t.channels(), cfg.shape.out_c, "threshold channel mismatch");
+                Quantizer::Thresholds(t)
+            }
+        };
+        Ok(ConvTestbench { cfg, layout, program, input, weights, thresholds, quantizer })
+    }
+
+    /// The input tensor this testbench will load.
+    pub fn input(&self) -> &QuantTensor {
+        &self.input
+    }
+
+    /// The core configuration this kernel requires.
+    pub fn isa_config(&self) -> IsaConfig {
+        match self.cfg.isa {
+            KernelIsa::XpulpV2 => IsaConfig::xpulpv2(),
+            KernelIsa::XpulpNN => IsaConfig::xpulpnn(),
+        }
+    }
+
+    /// Loads program and data into a fresh SoC.
+    pub fn stage(&self) -> Soc {
+        let mut soc = Soc::new(self.isa_config());
+        soc.load(&self.program);
+        soc.mem.write_bytes(self.layout.input, &self.input.pack());
+        soc.mem.write_bytes(self.layout.weights, &self.weights.pack());
+        let descs = im2col_descriptors(&self.cfg, self.layout.input);
+        soc.mem.write_bytes(self.layout.descriptors, &encode_descriptors(&descs));
+        if let Some(t) = &self.thresholds {
+            let stride = tree_stride(crate::emit::simd_fmt(self.cfg.out_bits));
+            for ch in 0..t.channels() {
+                let heap = eytzinger(t.channel(ch));
+                let bytes: Vec<u8> = heap.iter().flat_map(|v| v.to_le_bytes()).collect();
+                soc.mem.write_bytes(self.layout.thresholds + ch as u32 * stride, &bytes);
+            }
+        }
+        soc
+    }
+
+    /// Runs the kernel to completion and verifies against the golden
+    /// model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator traps (a trap always indicates a kernel or
+    /// model bug).
+    pub fn run(&self) -> Result<ConvRunResult, Trap> {
+        let mut soc = self.stage();
+        // Generous budget: every variant runs well under 40 cycles/MAC.
+        let budget = 10_000_000 + self.cfg.shape.macs() * 40;
+        let report = soc.run(budget)?;
+        let out_len = self.cfg.shape.output_len();
+        let out_bytes = qnn::tensor::packed_len(self.cfg.out_bits, out_len);
+        let packed = soc.mem.read_bytes(self.layout.output, out_bytes);
+        let output = qnn::tensor::unpack(self.cfg.out_bits, false, packed, out_len);
+        let golden = qnn::conv::conv2d_quantized(
+            &self.cfg.shape,
+            self.input.values(),
+            self.weights.values(),
+            &self.quantizer,
+        );
+        Ok(ConvRunResult { report, output, golden })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnn::conv::ConvShape;
+    use qnn::BitWidth;
+
+    /// A small layer exercising padding, multiple channel blocks and
+    /// several pixel pairs, sized so in_c·bits is word-aligned at every
+    /// width.
+    fn small_shape(bits: BitWidth) -> ConvShape {
+        let in_c = (32 / bits.bits() as usize) * 2;
+        ConvShape { in_h: 4, in_w: 4, in_c, out_c: 8, k_h: 3, k_w: 3, stride: 1, pad: 1 }
+    }
+
+    fn check(cfg: ConvKernelConfig, seed: u64) -> ConvRunResult {
+        let tb = ConvTestbench::new(cfg, seed).unwrap_or_else(|e| panic!("{}: {e}", cfg.name()));
+        let r = tb.run().unwrap_or_else(|e| panic!("{}: {e}", cfg.name()));
+        assert!(r.report.exit.halted, "{} did not halt", cfg.name());
+        assert_eq!(r.report.exit.exit_code, 0, "{}", cfg.name());
+        if !r.matches() {
+            let diffs: Vec<_> = r
+                .output
+                .iter()
+                .zip(&r.golden)
+                .enumerate()
+                .filter(|(_, (a, b))| a != b)
+                .take(8)
+                .collect();
+            panic!("{}: output mismatch, first diffs {:?}", cfg.name(), diffs);
+        }
+        r
+    }
+
+    #[test]
+    fn native_w8_small_layer_matches_golden() {
+        let cfg = ConvKernelConfig {
+            shape: small_shape(BitWidth::W8),
+            bits: BitWidth::W8, out_bits: BitWidth::W8,
+            isa: KernelIsa::XpulpNN,
+            quant: QuantMode::Shift8 { shift: 8 },
+        };
+        check(cfg, 11);
+    }
+
+    #[test]
+    fn native_w4_hwquant_small_layer_matches_golden() {
+        let cfg = ConvKernelConfig {
+            shape: small_shape(BitWidth::W4),
+            bits: BitWidth::W4, out_bits: BitWidth::W4,
+            isa: KernelIsa::XpulpNN,
+            quant: QuantMode::HardwareQnt,
+        };
+        check(cfg, 12);
+    }
+
+    #[test]
+    fn native_w4_swquant_small_layer_matches_golden() {
+        let cfg = ConvKernelConfig {
+            shape: small_shape(BitWidth::W4),
+            bits: BitWidth::W4, out_bits: BitWidth::W4,
+            isa: KernelIsa::XpulpNN,
+            quant: QuantMode::SoftwareTree,
+        };
+        check(cfg, 13);
+    }
+
+    #[test]
+    fn native_w2_hwquant_small_layer_matches_golden() {
+        let cfg = ConvKernelConfig {
+            shape: small_shape(BitWidth::W2),
+            bits: BitWidth::W2, out_bits: BitWidth::W2,
+            isa: KernelIsa::XpulpNN,
+            quant: QuantMode::HardwareQnt,
+        };
+        check(cfg, 14);
+    }
+
+    #[test]
+    fn baseline_w4_small_layer_matches_golden() {
+        let cfg = ConvKernelConfig {
+            shape: small_shape(BitWidth::W4),
+            bits: BitWidth::W4, out_bits: BitWidth::W4,
+            isa: KernelIsa::XpulpV2,
+            quant: QuantMode::SoftwareTree,
+        };
+        check(cfg, 15);
+    }
+
+    #[test]
+    fn baseline_w2_small_layer_matches_golden() {
+        let cfg = ConvKernelConfig {
+            shape: small_shape(BitWidth::W2),
+            bits: BitWidth::W2, out_bits: BitWidth::W2,
+            isa: KernelIsa::XpulpV2,
+            quant: QuantMode::SoftwareTree,
+        };
+        check(cfg, 16);
+    }
+
+    #[test]
+    fn baseline_w8_equals_native_w8_cycles() {
+        // The 8-bit kernel is identical on both cores (XpulpNN adds
+        // nothing at 8 bits).
+        let mk = |isa| ConvKernelConfig {
+            shape: small_shape(BitWidth::W8),
+            bits: BitWidth::W8, out_bits: BitWidth::W8,
+            isa,
+            quant: QuantMode::Shift8 { shift: 8 },
+        };
+        let r_v2 = check(mk(KernelIsa::XpulpV2), 17);
+        let r_nn = check(mk(KernelIsa::XpulpNN), 17);
+        assert_eq!(r_v2.cycles(), r_nn.cycles());
+        assert_eq!(r_v2.output, r_nn.output);
+    }
+
+    #[test]
+    fn hw_and_sw_quant_agree_bit_exactly() {
+        // Fig. 6's two variants must produce identical tensors — only
+        // the cycle count differs.
+        let mk = |quant| ConvKernelConfig {
+            shape: small_shape(BitWidth::W4),
+            bits: BitWidth::W4, out_bits: BitWidth::W4,
+            isa: KernelIsa::XpulpNN,
+            quant,
+        };
+        let hw = check(mk(QuantMode::HardwareQnt), 18);
+        let sw = check(mk(QuantMode::SoftwareTree), 18);
+        assert_eq!(hw.output, sw.output);
+        assert!(
+            hw.cycles() < sw.cycles(),
+            "pv.qnt must beat the software tree ({} vs {})",
+            hw.cycles(),
+            sw.cycles()
+        );
+    }
+
+    /// Mixed precision (per-layer quantization, the introduction's
+    /// motivating use-case): every operand-width → output-width
+    /// combination verifies against the golden model.
+    #[test]
+    fn mixed_precision_all_combinations_match_golden() {
+        for bits in [BitWidth::W8, BitWidth::W4, BitWidth::W2] {
+            for out_bits in [BitWidth::W8, BitWidth::W4, BitWidth::W2] {
+                if bits == out_bits {
+                    continue; // homogeneous cases covered elsewhere
+                }
+                let cfg = ConvKernelConfig::mixed(small_shape(bits), bits, out_bits);
+                check(cfg, 60 + out_bits.bits() as u64);
+            }
+        }
+    }
+
+    /// Mixed precision with the software tree (works on the baseline ISA
+    /// too: thresholding needs no XpulpNN instruction).
+    #[test]
+    fn mixed_precision_sw_tree_on_baseline() {
+        let cfg = ConvKernelConfig {
+            shape: small_shape(BitWidth::W8),
+            bits: BitWidth::W8,
+            out_bits: BitWidth::W4,
+            isa: KernelIsa::XpulpV2,
+            quant: QuantMode::SoftwareTree,
+        };
+        check(cfg, 61);
+    }
+
+    #[test]
+    fn strided_and_rectangular_shapes_match_golden() {
+        for bits in [BitWidth::W4, BitWidth::W2] {
+            let in_c = (32 / bits.bits() as usize) * 2;
+            let shape =
+                ConvShape { in_h: 6, in_w: 5, in_c, out_c: 4, k_h: 3, k_w: 3, stride: 2, pad: 1 };
+            // 3×3 output = 9 pixels (odd) -> bump width for even pixels.
+            let shape = ConvShape { in_w: 7, ..shape }; // 3×4 = 12 pixels
+            let cfg = ConvKernelConfig {
+                shape,
+                bits,
+            out_bits: bits,
+                isa: KernelIsa::XpulpNN,
+                quant: QuantMode::HardwareQnt,
+            };
+            check(cfg, 19);
+        }
+    }
+}

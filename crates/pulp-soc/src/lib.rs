@@ -1,0 +1,329 @@
+#![warn(missing_docs)]
+
+//! A PULPissimo-like microcontroller model hosting the extended RI5CY
+//! core.
+//!
+//! The paper integrates its core into the open-source PULPissimo SoC
+//! (512 kB of SRAM, a µDMA and peripherals — Fig. 5) to measure
+//! system-level cycles and power. The kernels only exercise the core and
+//! the single-cycle memory, so this model provides exactly that contract:
+//!
+//! * **L2 SRAM**: 512 kB at `0x1C00_0000` holding code and data, with
+//!   single-cycle access (the [`riscv_core::timing`] rules account
+//!   misalignment);
+//! * **console peripheral**: a write-only byte register (standing in for
+//!   PULPissimo's UART through the µDMA) so programs can print;
+//! * **end-of-computation**: the `ecall` halt convention of the core.
+//!
+//! # Example
+//!
+//! ```
+//! use pulp_soc::Soc;
+//! use pulp_asm::Asm;
+//! use pulp_isa::Reg;
+//! use riscv_core::IsaConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut a = Asm::new(pulp_soc::CODE_BASE);
+//! a.li(Reg::A0, '4' as i32);
+//! a.li(Reg::A1, pulp_soc::CONSOLE_ADDR as i32);
+//! a.sb(Reg::A0, 0, Reg::A1);
+//! a.li(Reg::A0, 2);
+//! a.ecall();
+//! let prog = a.assemble()?;
+//!
+//! let mut soc = Soc::new(IsaConfig::xpulpnn());
+//! soc.load(&prog);
+//! let report = soc.run(10_000)?;
+//! assert!(report.exit.halted);
+//! assert_eq!(report.exit.exit_code, 2);
+//! assert_eq!(soc.console_text(), "4");
+//! # Ok(())
+//! # }
+//! ```
+
+use pulp_asm::Program;
+use riscv_core::{Bus, BusError, Core, ExitStatus, IsaConfig, PerfCounters, Trap};
+
+/// Base address of the 512 kB L2 SRAM.
+pub const L2_BASE: u32 = 0x1c00_0000;
+/// Size of the L2 SRAM in bytes (PULPissimo ships 512 kB).
+pub const L2_SIZE: u32 = 512 * 1024;
+/// Conventional load address for program code within L2.
+pub const CODE_BASE: u32 = 0x1c00_8000;
+/// Write-only console byte register (stands in for the UART).
+pub const CONSOLE_ADDR: u32 = 0x1a10_0000;
+/// Initial stack pointer: top of L2.
+pub const STACK_TOP: u32 = L2_BASE + L2_SIZE;
+
+/// The SoC memory system: L2 SRAM plus peripherals.
+#[derive(Debug, Clone)]
+pub struct SocMem {
+    l2: Vec<u8>,
+    console: Vec<u8>,
+}
+
+impl SocMem {
+    /// Creates zeroed SRAM and an empty console buffer.
+    pub fn new() -> SocMem {
+        SocMem { l2: vec![0; L2_SIZE as usize], console: Vec::new() }
+    }
+
+    fn l2_offset(&self, addr: u32, size: u32) -> Option<usize> {
+        let off = addr.checked_sub(L2_BASE)? as usize;
+        if off + size as usize <= self.l2.len() {
+            Some(off)
+        } else {
+            None
+        }
+    }
+
+    /// Bytes written to the console peripheral so far.
+    pub fn console_bytes(&self) -> &[u8] {
+        &self.console
+    }
+
+    /// Host-side bulk write into L2 (for loading tensors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range leaves L2; host-side setup bugs should fail
+    /// loudly.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        let off = self
+            .l2_offset(addr, bytes.len() as u32)
+            .unwrap_or_else(|| panic!("host write outside L2: {addr:#010x}"));
+        self.l2[off..off + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Host-side bulk read from L2 (for collecting results).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range leaves L2.
+    pub fn read_bytes(&self, addr: u32, len: usize) -> &[u8] {
+        let off = self
+            .l2_offset(addr, len as u32)
+            .unwrap_or_else(|| panic!("host read outside L2: {addr:#010x}"));
+        &self.l2[off..off + len]
+    }
+
+    /// Host-side 16-bit little-endian write helper.
+    pub fn write_i16(&mut self, addr: u32, value: i16) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Host-side 32-bit little-endian read helper.
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        let b = self.read_bytes(addr, 4);
+        u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+    }
+}
+
+impl Default for SocMem {
+    fn default() -> Self {
+        SocMem::new()
+    }
+}
+
+impl Bus for SocMem {
+    fn read(&mut self, addr: u32, size: u32) -> Result<u32, BusError> {
+        if let Some(off) = self.l2_offset(addr, size) {
+            let mut v = 0u32;
+            for i in (0..size as usize).rev() {
+                v = (v << 8) | self.l2[off + i] as u32;
+            }
+            return Ok(v);
+        }
+        Err(BusError { addr, size, write: false })
+    }
+
+    fn write(&mut self, addr: u32, size: u32, value: u32) -> Result<(), BusError> {
+        if addr == CONSOLE_ADDR {
+            self.console.push(value as u8);
+            return Ok(());
+        }
+        if let Some(off) = self.l2_offset(addr, size) {
+            for i in 0..size as usize {
+                self.l2[off + i] = (value >> (8 * i)) as u8;
+            }
+            return Ok(());
+        }
+        Err(BusError { addr, size, write: true })
+    }
+}
+
+/// Outcome of a program run: exit status plus a snapshot of the core's
+/// performance counters for this run only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunReport {
+    /// Halt/budget status and exit code.
+    pub exit: ExitStatus,
+    /// Counters accumulated during this run.
+    pub perf: PerfCounters,
+}
+
+/// The microcontroller: one RI5CY-family core plus [`SocMem`].
+#[derive(Debug, Clone)]
+pub struct Soc {
+    /// The core (exposed for register inspection in tests/examples).
+    pub core: Core,
+    /// The memory system (exposed for host-side tensor I/O).
+    pub mem: SocMem,
+}
+
+impl Soc {
+    /// Creates an SoC with the given core configuration.
+    pub fn new(isa: IsaConfig) -> Soc {
+        Soc { core: Core::new(isa), mem: SocMem::new() }
+    }
+
+    /// Loads a program's code and data into L2 and points the core at
+    /// its entry, with the stack at the top of L2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any segment falls outside L2.
+    pub fn load(&mut self, prog: &Program) {
+        for (i, w) in prog.words.iter().enumerate() {
+            self.mem.write_bytes(prog.base + (i as u32) * 4, &w.to_le_bytes());
+        }
+        for (addr, bytes) in &prog.data {
+            self.mem.write_bytes(*addr, bytes);
+        }
+        self.core.pc = prog.base;
+        self.core.set_reg(pulp_isa::Reg::Sp, STACK_TOP);
+    }
+
+    /// Runs until halt or the cycle budget expires.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`Trap`] from the core.
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunReport, Trap> {
+        let before = self.core.perf;
+        let exit = self.core.run(&mut self.mem, max_cycles)?;
+        let mut perf = self.core.perf;
+        perf.cycles -= before.cycles;
+        perf.instret -= before.instret;
+        Ok(RunReport { exit, perf })
+    }
+
+    /// The console output interpreted as UTF-8 (lossy).
+    pub fn console_text(&self) -> String {
+        String::from_utf8_lossy(self.mem.console_bytes()).into_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulp_asm::Asm;
+    use pulp_isa::Reg;
+
+    #[test]
+    fn load_and_run_in_l2() {
+        let mut a = Asm::new(CODE_BASE);
+        a.li(Reg::A0, 7);
+        a.slli(Reg::A0, Reg::A0, 2);
+        a.ecall();
+        let prog = a.assemble().unwrap();
+        let mut soc = Soc::new(IsaConfig::xpulpnn());
+        soc.load(&prog);
+        let r = soc.run(1000).unwrap();
+        assert!(r.exit.halted);
+        assert_eq!(r.exit.exit_code, 28);
+        assert_eq!(soc.core.reg(Reg::Sp), STACK_TOP);
+    }
+
+    #[test]
+    fn data_segments_are_loaded() {
+        let mut a = Asm::new(CODE_BASE);
+        a.la(Reg::A1, "table");
+        a.lw(Reg::A0, 4, Reg::A1);
+        a.ecall();
+        a.data_words("table", &[11, 22, 33]);
+        let prog = a.assemble().unwrap();
+        let mut soc = Soc::new(IsaConfig::xpulpnn());
+        soc.load(&prog);
+        let r = soc.run(1000).unwrap();
+        assert_eq!(r.exit.exit_code, 22);
+    }
+
+    #[test]
+    fn console_collects_bytes() {
+        let mut a = Asm::new(CODE_BASE);
+        a.li(Reg::A1, CONSOLE_ADDR as i32);
+        for c in b"ok" {
+            a.li(Reg::A0, *c as i32);
+            a.sb(Reg::A0, 0, Reg::A1);
+        }
+        a.ecall();
+        let prog = a.assemble().unwrap();
+        let mut soc = Soc::new(IsaConfig::xpulpnn());
+        soc.load(&prog);
+        soc.run(1000).unwrap();
+        assert_eq!(soc.console_text(), "ok");
+    }
+
+    #[test]
+    fn unmapped_access_is_a_bus_trap() {
+        let mut a = Asm::new(CODE_BASE);
+        a.li(Reg::A0, 0x1000_0000);
+        a.lw(Reg::A1, 0, Reg::A0);
+        a.ecall();
+        let prog = a.assemble().unwrap();
+        let mut soc = Soc::new(IsaConfig::xpulpnn());
+        soc.load(&prog);
+        assert!(matches!(soc.run(1000), Err(Trap::Bus { .. })));
+    }
+
+    #[test]
+    fn host_io_round_trip() {
+        let mut soc = Soc::new(IsaConfig::xpulpnn());
+        soc.mem.write_bytes(L2_BASE + 0x100, &[1, 2, 3, 4]);
+        assert_eq!(soc.mem.read_bytes(L2_BASE + 0x100, 4), &[1, 2, 3, 4]);
+        assert_eq!(soc.mem.read_u32(L2_BASE + 0x100), 0x0403_0201);
+        soc.mem.write_i16(L2_BASE + 0x200, -2);
+        assert_eq!(soc.mem.read_bytes(L2_BASE + 0x200, 2), &[0xfe, 0xff]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside L2")]
+    fn host_write_outside_l2_panics() {
+        let mut soc = Soc::new(IsaConfig::xpulpnn());
+        soc.mem.write_bytes(0x1000, &[0]);
+    }
+
+    #[test]
+    fn run_report_isolates_counters_per_run() {
+        let mut a = Asm::new(CODE_BASE);
+        a.nop();
+        a.nop();
+        a.ecall();
+        let prog = a.assemble().unwrap();
+        let mut soc = Soc::new(IsaConfig::xpulpnn());
+        soc.load(&prog);
+        let r1 = soc.run(1000).unwrap();
+        soc.load(&prog); // reset PC; counters keep accumulating
+        let r2 = soc.run(1000).unwrap();
+        assert_eq!(r1.perf.cycles, r2.perf.cycles);
+        assert_eq!(soc.core.perf.cycles, r1.perf.cycles * 2);
+    }
+
+    #[test]
+    fn stack_usable_at_top_of_l2() {
+        let mut a = Asm::new(CODE_BASE);
+        a.addi(Reg::Sp, Reg::Sp, -16);
+        a.li(Reg::A0, 123);
+        a.sw(Reg::A0, 0, Reg::Sp);
+        a.li(Reg::A0, 0);
+        a.lw(Reg::A0, 0, Reg::Sp);
+        a.ecall();
+        let prog = a.assemble().unwrap();
+        let mut soc = Soc::new(IsaConfig::xpulpnn());
+        soc.load(&prog);
+        let r = soc.run(1000).unwrap();
+        assert_eq!(r.exit.exit_code, 123);
+    }
+}

@@ -1,0 +1,132 @@
+//! Quantization bit widths.
+
+use std::fmt;
+
+/// Bit width of a quantized tensor element: 8-bit (`byte`), 4-bit
+/// (*nibble*) or 2-bit (*crumb*), matching the operand widths the
+/// XpulpV2/XpulpNN SIMD datapaths support.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BitWidth {
+    /// 8-bit elements (XpulpV2 SIMD).
+    W8,
+    /// 4-bit elements (XpulpNN *nibble*).
+    W4,
+    /// 2-bit elements (XpulpNN *crumb*).
+    W2,
+}
+
+/// All widths, widest first — the order the paper's figures sweep.
+pub const ALL_WIDTHS: [BitWidth; 3] = [BitWidth::W8, BitWidth::W4, BitWidth::W2];
+
+impl BitWidth {
+    /// Number of bits per element.
+    #[inline]
+    pub const fn bits(self) -> u32 {
+        match self {
+            BitWidth::W8 => 8,
+            BitWidth::W4 => 4,
+            BitWidth::W2 => 2,
+        }
+    }
+
+    /// Elements packed into one 32-bit word.
+    #[inline]
+    pub const fn elems_per_word(self) -> usize {
+        (32 / self.bits()) as usize
+    }
+
+    /// Number of quantization levels (`2^bits`).
+    #[inline]
+    pub const fn levels(self) -> u32 {
+        1 << self.bits()
+    }
+
+    /// Largest unsigned value (activation range is `0..=unsigned_max`).
+    #[inline]
+    pub const fn unsigned_max(self) -> i32 {
+        (self.levels() - 1) as i32
+    }
+
+    /// Largest signed value (weight range is `signed_min..=signed_max`).
+    #[inline]
+    pub const fn signed_max(self) -> i32 {
+        (self.levels() / 2 - 1) as i32
+    }
+
+    /// Smallest signed value.
+    #[inline]
+    pub const fn signed_min(self) -> i32 {
+        -((self.levels() / 2) as i32)
+    }
+
+    /// Thresholds needed per output channel for staircase quantization
+    /// (`2^bits − 1`, paper §II-2).
+    #[inline]
+    pub const fn threshold_count(self) -> usize {
+        (self.levels() - 1) as usize
+    }
+
+    /// Parses `8`, `4` or `2`.
+    pub fn from_bits(bits: u32) -> Option<BitWidth> {
+        match bits {
+            8 => Some(BitWidth::W8),
+            4 => Some(BitWidth::W4),
+            2 => Some(BitWidth::W2),
+            _ => None,
+        }
+    }
+
+    /// Whether this width needs the XpulpNN extension for native SIMD.
+    #[inline]
+    pub const fn is_sub_byte(self) -> bool {
+        matches!(self, BitWidth::W4 | BitWidth::W2)
+    }
+}
+
+impl fmt::Display for BitWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-bit", self.bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        assert_eq!(BitWidth::W8.elems_per_word(), 4);
+        assert_eq!(BitWidth::W4.elems_per_word(), 8);
+        assert_eq!(BitWidth::W2.elems_per_word(), 16);
+        for w in ALL_WIDTHS {
+            assert_eq!(w.bits() * w.elems_per_word() as u32, 32);
+            assert_eq!(BitWidth::from_bits(w.bits()), Some(w));
+        }
+        assert_eq!(BitWidth::from_bits(16), None);
+    }
+
+    #[test]
+    fn ranges() {
+        assert_eq!(BitWidth::W4.unsigned_max(), 15);
+        assert_eq!(BitWidth::W4.signed_max(), 7);
+        assert_eq!(BitWidth::W4.signed_min(), -8);
+        assert_eq!(BitWidth::W2.unsigned_max(), 3);
+        assert_eq!(BitWidth::W2.signed_min(), -2);
+        assert_eq!(BitWidth::W8.unsigned_max(), 255);
+    }
+
+    #[test]
+    fn threshold_counts_match_paper() {
+        // "Each convolution layer requires 2^Q − 1 threshold values per
+        // channel to produce a Q-bit output."
+        assert_eq!(BitWidth::W4.threshold_count(), 15);
+        assert_eq!(BitWidth::W2.threshold_count(), 3);
+    }
+
+    #[test]
+    fn display_and_sub_byte() {
+        assert_eq!(BitWidth::W4.to_string(), "4-bit");
+        assert!(BitWidth::W4.is_sub_byte());
+        assert!(!BitWidth::W8.is_sub_byte());
+    }
+}

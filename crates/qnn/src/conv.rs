@@ -1,0 +1,284 @@
+//! Golden convolution models: direct conv2d, im2col and MatMul.
+//!
+//! Layouts follow the PULP-NN/CMSIS-NN convention the paper's kernels
+//! use (§II-2):
+//!
+//! * activations are **HWC**: `input[(y * in_w + x) * in_c + c]`;
+//! * weights are one row per output channel, ordered `(ky, kx, ic)`:
+//!   `weights[oc * col_len + (ky * k_w + kx) * in_c + ic]`;
+//! * the im2col buffer of one output pixel is a column with the same
+//!   `(ky, kx, ic)` order, zero-filled where the window leaves the
+//!   (zero-padded) input;
+//! * outputs are HWC over `(out_h, out_w, out_c)`.
+//!
+//! With these layouts `conv2d = matmul(weights, im2col)` exactly, which
+//! the tests verify — and which is why the simulator kernels can
+//! implement convolution as the two-phase im2col + MatMul the paper
+//! describes.
+
+use crate::quantizer::Quantizer;
+
+/// Geometry of a 2-D convolution layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvShape {
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Input channels.
+    pub in_c: usize,
+    /// Output channels (number of filters).
+    pub out_c: usize,
+    /// Kernel height.
+    pub k_h: usize,
+    /// Kernel width.
+    pub k_w: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+}
+
+impl ConvShape {
+    /// The layer benchmarked throughout the paper's §IV: a 16×16×32
+    /// input tensor with 64 filters of 3×3×32, stride 1, padding 1.
+    pub const fn paper_benchmark() -> ConvShape {
+        ConvShape { in_h: 16, in_w: 16, in_c: 32, out_c: 64, k_h: 3, k_w: 3, stride: 1, pad: 1 }
+    }
+
+    /// Output height.
+    pub const fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.pad - self.k_h) / self.stride + 1
+    }
+
+    /// Output width.
+    pub const fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.pad - self.k_w) / self.stride + 1
+    }
+
+    /// Elements in the input tensor.
+    pub const fn input_len(&self) -> usize {
+        self.in_h * self.in_w * self.in_c
+    }
+
+    /// Elements in the weight tensor.
+    pub const fn weight_len(&self) -> usize {
+        self.out_c * self.col_len()
+    }
+
+    /// Elements in the output tensor.
+    pub const fn output_len(&self) -> usize {
+        self.out_h() * self.out_w() * self.out_c
+    }
+
+    /// Length of one im2col column (`k_h · k_w · in_c`).
+    pub const fn col_len(&self) -> usize {
+        self.k_h * self.k_w * self.in_c
+    }
+
+    /// Number of output pixels.
+    pub const fn pixels(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    /// Multiply-accumulate operations in the layer.
+    pub const fn macs(&self) -> u64 {
+        (self.pixels() * self.out_c * self.col_len()) as u64
+    }
+}
+
+/// Extracts the im2col column for output pixel `(out_y, out_x)`.
+///
+/// # Panics
+///
+/// Panics if `input.len() != shape.input_len()` or the pixel is out of
+/// range.
+pub fn im2col(shape: &ConvShape, input: &[i16], out_y: usize, out_x: usize) -> Vec<i16> {
+    assert_eq!(input.len(), shape.input_len(), "input length mismatch");
+    assert!(out_y < shape.out_h() && out_x < shape.out_w(), "pixel out of range");
+    let mut col: Vec<i16> = Vec::with_capacity(shape.col_len());
+    for ky in 0..shape.k_h {
+        for kx in 0..shape.k_w {
+            let y = (out_y * shape.stride + ky) as isize - shape.pad as isize;
+            let x = (out_x * shape.stride + kx) as isize - shape.pad as isize;
+            if y < 0 || x < 0 || y >= shape.in_h as isize || x >= shape.in_w as isize {
+                col.extend(std::iter::repeat(0).take(shape.in_c));
+            } else {
+                let base = (y as usize * shape.in_w + x as usize) * shape.in_c;
+                col.extend_from_slice(&input[base..base + shape.in_c]);
+            }
+        }
+    }
+    col
+}
+
+/// All im2col columns, pixel-major (`pixels × col_len`).
+pub fn im2col_all(shape: &ConvShape, input: &[i16]) -> Vec<i16> {
+    let mut out = Vec::with_capacity(shape.pixels() * shape.col_len());
+    for y in 0..shape.out_h() {
+        for x in 0..shape.out_w() {
+            out.extend(im2col(shape, input, y, x));
+        }
+    }
+    out
+}
+
+/// Direct 2-D convolution producing `i32` accumulators in HWC order.
+///
+/// # Panics
+///
+/// Panics on length mismatches.
+pub fn conv2d_i32(shape: &ConvShape, input: &[i16], weights: &[i16]) -> Vec<i32> {
+    assert_eq!(input.len(), shape.input_len(), "input length mismatch");
+    assert_eq!(weights.len(), shape.weight_len(), "weight length mismatch");
+    let mut out = vec![0i32; shape.output_len()];
+    let col_len = shape.col_len();
+    for oy in 0..shape.out_h() {
+        for ox in 0..shape.out_w() {
+            let col = im2col(shape, input, oy, ox);
+            for oc in 0..shape.out_c {
+                let row = &weights[oc * col_len..(oc + 1) * col_len];
+                let acc: i32 = row
+                    .iter()
+                    .zip(&col)
+                    .map(|(&w, &a)| (w as i32) * (a as i32))
+                    .sum();
+                out[(oy * shape.out_w() + ox) * shape.out_c + oc] = acc;
+            }
+        }
+    }
+    out
+}
+
+/// MatMul over pre-computed im2col columns: `out[pixel][oc] =
+/// dot(weights[oc], cols[pixel])`, returned in HWC order (pixel-major).
+///
+/// # Panics
+///
+/// Panics on length mismatches.
+pub fn matmul_i32(shape: &ConvShape, weights: &[i16], cols: &[i16]) -> Vec<i32> {
+    let col_len = shape.col_len();
+    assert_eq!(weights.len(), shape.weight_len(), "weight length mismatch");
+    assert_eq!(cols.len(), shape.pixels() * col_len, "column length mismatch");
+    let mut out = vec![0i32; shape.output_len()];
+    for p in 0..shape.pixels() {
+        let col = &cols[p * col_len..(p + 1) * col_len];
+        for oc in 0..shape.out_c {
+            let row = &weights[oc * col_len..(oc + 1) * col_len];
+            out[p * shape.out_c + oc] = row
+                .iter()
+                .zip(col)
+                .map(|(&w, &a)| (w as i32) * (a as i32))
+                .sum();
+        }
+    }
+    out
+}
+
+/// Full quantized convolution: conv2d accumulators re-quantized per
+/// output channel with `quantizer`.
+pub fn conv2d_quantized(
+    shape: &ConvShape,
+    input: &[i16],
+    weights: &[i16],
+    quantizer: &Quantizer,
+) -> Vec<i16> {
+    conv2d_i32(shape, input, weights)
+        .iter()
+        .enumerate()
+        .map(|(i, &acc)| quantizer.quantize(i % shape.out_c, acc))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::BitWidth;
+    use crate::quantizer::ThresholdSet;
+    use crate::rng::TensorRng;
+
+    #[test]
+    fn paper_benchmark_geometry() {
+        let s = ConvShape::paper_benchmark();
+        assert_eq!(s.out_h(), 16);
+        assert_eq!(s.out_w(), 16);
+        assert_eq!(s.col_len(), 288);
+        assert_eq!(s.input_len(), 16 * 16 * 32);
+        assert_eq!(s.weight_len(), 64 * 288);
+        assert_eq!(s.output_len(), 16 * 16 * 64);
+        // 16·16 pixels × 64 channels × 288 MACs
+        assert_eq!(s.macs(), 16 * 16 * 64 * 288);
+    }
+
+    #[test]
+    fn identity_kernel_1x1() {
+        let s = ConvShape { in_h: 2, in_w: 2, in_c: 2, out_c: 2, k_h: 1, k_w: 1, stride: 1, pad: 0 };
+        // weights = identity over channels
+        let w = vec![1, 0, 0, 1];
+        let input = vec![1, 2, 3, 4, 5, 6, 7, 8];
+        let out = conv2d_i32(&s, &input, &w);
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn known_3x3_sum_kernel_with_padding() {
+        // 3×3 input, single channel, all-ones 3×3 kernel, pad 1:
+        // centre output = sum of all inputs.
+        let s = ConvShape { in_h: 3, in_w: 3, in_c: 1, out_c: 1, k_h: 3, k_w: 3, stride: 1, pad: 1 };
+        let input = vec![1, 1, 1, 1, 1, 1, 1, 1, 1];
+        let w = vec![1; 9];
+        let out = conv2d_i32(&s, &input, &w);
+        assert_eq!(out[4], 9); // centre
+        assert_eq!(out[0], 4); // corner sees a 2×2 window
+        assert_eq!(out[1], 6); // edge sees a 2×3 window
+    }
+
+    #[test]
+    fn stride_two_halves_output() {
+        let s = ConvShape { in_h: 4, in_w: 4, in_c: 1, out_c: 1, k_h: 2, k_w: 2, stride: 2, pad: 0 };
+        assert_eq!(s.out_h(), 2);
+        assert_eq!(s.out_w(), 2);
+        let input: Vec<i16> = (1..=16).collect();
+        let w = vec![1, 1, 1, 1];
+        let out = conv2d_i32(&s, &input, &w);
+        assert_eq!(out, vec![1 + 2 + 5 + 6, 3 + 4 + 7 + 8, 9 + 10 + 13 + 14, 11 + 12 + 15 + 16]);
+    }
+
+    #[test]
+    fn im2col_matmul_equals_direct_conv() {
+        let mut rng = TensorRng::new(7);
+        for s in [
+            ConvShape { in_h: 5, in_w: 4, in_c: 3, out_c: 4, k_h: 3, k_w: 3, stride: 1, pad: 1 },
+            ConvShape { in_h: 6, in_w: 6, in_c: 8, out_c: 2, k_h: 1, k_w: 1, stride: 1, pad: 0 },
+            ConvShape { in_h: 7, in_w: 5, in_c: 4, out_c: 3, k_h: 3, k_w: 2, stride: 2, pad: 1 },
+        ] {
+            let input = rng.activations(BitWidth::W4, s.input_len());
+            let weights = rng.weights(BitWidth::W4, s.weight_len());
+            let direct = conv2d_i32(&s, input.values(), weights.values());
+            let cols = im2col_all(&s, input.values());
+            let via_matmul = matmul_i32(&s, weights.values(), &cols);
+            assert_eq!(direct, via_matmul, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn quantized_conv_output_in_range() {
+        let s = ConvShape { in_h: 4, in_w: 4, in_c: 4, out_c: 4, k_h: 3, k_w: 3, stride: 1, pad: 1 };
+        let mut rng = TensorRng::new(3);
+        let input = rng.activations(BitWidth::W2, s.input_len());
+        let weights = rng.weights(BitWidth::W2, s.weight_len());
+        let q = Quantizer::Thresholds(ThresholdSet::uniform(BitWidth::W2, s.out_c, -64, 64));
+        let out = conv2d_quantized(&s, input.values(), weights.values(), &q);
+        assert_eq!(out.len(), s.output_len());
+        assert!(out.iter().all(|&v| (0..=3).contains(&v)));
+    }
+
+    #[test]
+    fn im2col_zero_pads_borders() {
+        let s = ConvShape { in_h: 2, in_w: 2, in_c: 1, out_c: 1, k_h: 3, k_w: 3, stride: 1, pad: 1 };
+        let input = vec![5, 6, 7, 8];
+        let col = im2col(&s, &input, 0, 0);
+        // window centred at (0,0): first row and column are padding.
+        assert_eq!(col, vec![0, 0, 0, 0, 5, 6, 0, 7, 8]);
+    }
+}

@@ -1,0 +1,188 @@
+//! Golden depthwise convolution — the other half of the depthwise-
+//! separable blocks in MobileNetV1, the network the paper's introduction
+//! uses to motivate 4-bit quantization (Rusci et al.: "a 4-bit
+//! MobileNetV1 achieves an accuracy loss of only 4%").
+//!
+//! A depthwise convolution applies one `k×k` filter per channel, with no
+//! cross-channel accumulation:
+//! `out[y][x][c] = Σ_{ky,kx} in[y+ky][x+kx][c] · w[c][ky][kx]`.
+//!
+//! On a packed-SIMD machine this is the awkward case: the dot-product
+//! unit reduces *across* lanes, but depthwise needs per-lane
+//! independence, so the kernels fall back to scalar MACs over a
+//! channel-major staging of the window — which is why depthwise layers
+//! run far below the MatMul kernels' MAC/cycle (and why later PULP work
+//! adds dedicated support).
+
+use crate::quantizer::Quantizer;
+
+/// Geometry of a depthwise convolution (channel count preserved).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DepthwiseShape {
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Channels.
+    pub c: usize,
+    /// Kernel size (square).
+    pub k: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding.
+    pub pad: usize,
+}
+
+impl DepthwiseShape {
+    /// Output height.
+    pub const fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.pad - self.k) / self.stride + 1
+    }
+
+    /// Output width.
+    pub const fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.pad - self.k) / self.stride + 1
+    }
+
+    /// Elements in the input tensor.
+    pub const fn input_len(&self) -> usize {
+        self.in_h * self.in_w * self.c
+    }
+
+    /// Elements in the weight tensor (`c · k · k`, channel-major).
+    pub const fn weight_len(&self) -> usize {
+        self.c * self.k * self.k
+    }
+
+    /// Elements in the output tensor.
+    pub const fn output_len(&self) -> usize {
+        self.out_h() * self.out_w() * self.c
+    }
+
+    /// Multiply-accumulates in the layer.
+    pub const fn macs(&self) -> u64 {
+        (self.output_len() * self.k * self.k) as u64
+    }
+}
+
+/// Direct depthwise convolution producing `i32` accumulators in HWC
+/// order. Weights are channel-major: `w[c][ky][kx]`.
+///
+/// # Panics
+///
+/// Panics on length mismatches.
+pub fn depthwise_i32(shape: &DepthwiseShape, input: &[i16], weights: &[i16]) -> Vec<i32> {
+    assert_eq!(input.len(), shape.input_len(), "input length mismatch");
+    assert_eq!(weights.len(), shape.weight_len(), "weight length mismatch");
+    let mut out = vec![0i32; shape.output_len()];
+    for oy in 0..shape.out_h() {
+        for ox in 0..shape.out_w() {
+            for c in 0..shape.c {
+                let mut acc = 0i32;
+                for ky in 0..shape.k {
+                    for kx in 0..shape.k {
+                        let y = (oy * shape.stride + ky) as isize - shape.pad as isize;
+                        let x = (ox * shape.stride + kx) as isize - shape.pad as isize;
+                        if y < 0 || x < 0 || y >= shape.in_h as isize || x >= shape.in_w as isize
+                        {
+                            continue;
+                        }
+                        let a = input[(y as usize * shape.in_w + x as usize) * shape.c + c];
+                        let w = weights[(c * shape.k + ky) * shape.k + kx];
+                        acc += a as i32 * w as i32;
+                    }
+                }
+                out[(oy * shape.out_w() + ox) * shape.c + c] = acc;
+            }
+        }
+    }
+    out
+}
+
+/// Quantized depthwise convolution (per-channel re-quantization).
+pub fn depthwise_quantized(
+    shape: &DepthwiseShape,
+    input: &[i16],
+    weights: &[i16],
+    quantizer: &Quantizer,
+) -> Vec<i16> {
+    depthwise_i32(shape, input, weights)
+        .iter()
+        .enumerate()
+        .map(|(i, &acc)| quantizer.quantize(i % shape.c, acc))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::{conv2d_i32, ConvShape};
+
+    #[test]
+    fn geometry() {
+        let s = DepthwiseShape { in_h: 8, in_w: 8, c: 16, k: 3, stride: 1, pad: 1 };
+        assert_eq!(s.out_h(), 8);
+        assert_eq!(s.weight_len(), 16 * 9);
+        assert_eq!(s.macs(), (8 * 8 * 16 * 9) as u64);
+    }
+
+    #[test]
+    fn identity_filter_passes_input_through() {
+        let s = DepthwiseShape { in_h: 3, in_w: 3, c: 2, k: 3, stride: 1, pad: 1 };
+        // Filter with 1 at the centre for both channels.
+        let mut w = vec![0i16; s.weight_len()];
+        w[4] = 1; // channel 0 centre
+        w[9 + 4] = 1; // channel 1 centre
+        let input: Vec<i16> = (0..s.input_len() as i16).collect();
+        assert_eq!(
+            depthwise_i32(&s, &input, &w),
+            input.iter().map(|&v| v as i32).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn channels_do_not_mix() {
+        let s = DepthwiseShape { in_h: 2, in_w: 2, c: 2, k: 1, stride: 1, pad: 0 };
+        let input = vec![1, 100, 2, 100, 3, 100, 4, 100];
+        let w = vec![5, 0]; // channel 0 scaled by 5, channel 1 zeroed
+        let out = depthwise_i32(&s, &input, &w);
+        assert_eq!(out, vec![5, 0, 10, 0, 15, 0, 20, 0]);
+    }
+
+    /// A depthwise conv equals a full conv whose weight matrix is
+    /// diagonal across channels.
+    #[test]
+    fn equivalence_with_diagonal_full_convolution() {
+        use crate::rng::TensorRng;
+        use crate::BitWidth;
+        let s = DepthwiseShape { in_h: 4, in_w: 5, c: 3, k: 3, stride: 1, pad: 1 };
+        let mut rng = TensorRng::new(8);
+        let input = rng.activations(BitWidth::W4, s.input_len());
+        let dw_w = rng.weights(BitWidth::W4, s.weight_len());
+        // Expand to a full conv weight tensor: out_c = c, zero except
+        // where in-channel == out-channel.
+        let full = ConvShape {
+            in_h: s.in_h,
+            in_w: s.in_w,
+            in_c: s.c,
+            out_c: s.c,
+            k_h: s.k,
+            k_w: s.k,
+            stride: s.stride,
+            pad: s.pad,
+        };
+        let mut full_w = vec![0i16; full.weight_len()];
+        for c in 0..s.c {
+            for ky in 0..s.k {
+                for kx in 0..s.k {
+                    let dst = c * full.col_len() + (ky * s.k + kx) * s.c + c;
+                    full_w[dst] = dw_w.values()[(c * s.k + ky) * s.k + kx];
+                }
+            }
+        }
+        assert_eq!(
+            depthwise_i32(&s, input.values(), dw_w.values()),
+            conv2d_i32(&full, input.values(), &full_w)
+        );
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! Host-side quantized-neural-network mathematics for the XpulpNN
+//! reproduction.
+//!
+//! The paper evaluates convolution kernels over low-bitwidth tensors
+//! (8-, 4- and 2-bit). This crate provides everything those kernels need
+//! *besides* the simulator:
+//!
+//! * [`BitWidth`] and [`tensor::QuantTensor`] — quantized tensors with
+//!   the packed little-endian lane layout the SIMD datapath reads;
+//! * [`quantizer`] — the staircase (threshold) re-quantization of
+//!   Hubara et al. used for sub-byte outputs (paper §II-2), plus the
+//!   shift-and-clip path used for 8-bit outputs;
+//! * [`conv`] — golden `conv2d` / im2col / matmul reference
+//!   implementations in plain `i32` arithmetic, the source of truth the
+//!   simulator kernels are verified against;
+//! * [`pool`] — golden max/average pooling and ReLU;
+//! * [`rng`] — seeded synthetic tensor generation (the substitution for
+//!   trained network weights — kernel cost depends only on geometry and
+//!   bitwidth, not on learned values).
+//!
+//! # Example
+//!
+//! ```
+//! use qnn::{BitWidth, conv::ConvShape, rng::TensorRng};
+//!
+//! let shape = ConvShape::paper_benchmark(); // 16×16×32 in, 64×3×3×32 filters
+//! let mut rng = TensorRng::new(42);
+//! let input = rng.activations(BitWidth::W4, shape.input_len());
+//! let weights = rng.weights(BitWidth::W4, shape.weight_len());
+//! let acc = qnn::conv::conv2d_i32(&shape, input.values(), weights.values());
+//! assert_eq!(acc.len(), shape.output_len());
+//! ```
+
+pub mod bits;
+pub mod conv;
+pub mod depthwise;
+pub mod linear;
+pub mod pool;
+pub mod quantizer;
+pub mod rng;
+pub mod tensor;
+
+pub use bits::BitWidth;
+pub use quantizer::{Quantizer, ThresholdSet};
+pub use tensor::QuantTensor;

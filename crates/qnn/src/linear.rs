@@ -1,0 +1,102 @@
+//! Golden fully-connected (linear) layer: the classifier head of a QNN.
+//!
+//! `out[j] = Σ_i weights[j·in + i] · input[i]`, re-quantized per output
+//! channel like a 1×1 convolution.
+
+use crate::quantizer::Quantizer;
+
+/// Geometry of a linear layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinearShape {
+    /// Input features.
+    pub in_features: usize,
+    /// Output features (neurons).
+    pub out_features: usize,
+}
+
+impl LinearShape {
+    /// Elements in the weight matrix.
+    pub const fn weight_len(&self) -> usize {
+        self.in_features * self.out_features
+    }
+
+    /// Multiply-accumulates in the layer.
+    pub const fn macs(&self) -> u64 {
+        self.weight_len() as u64
+    }
+}
+
+/// Matrix-vector product with `i32` accumulation.
+///
+/// # Panics
+///
+/// Panics on length mismatches.
+pub fn linear_i32(shape: &LinearShape, input: &[i16], weights: &[i16]) -> Vec<i32> {
+    assert_eq!(input.len(), shape.in_features, "input length mismatch");
+    assert_eq!(weights.len(), shape.weight_len(), "weight length mismatch");
+    (0..shape.out_features)
+        .map(|j| {
+            weights[j * shape.in_features..(j + 1) * shape.in_features]
+                .iter()
+                .zip(input)
+                .map(|(&w, &x)| w as i32 * x as i32)
+                .sum()
+        })
+        .collect()
+}
+
+/// Quantized linear layer: accumulate then re-quantize per output.
+pub fn linear_quantized(
+    shape: &LinearShape,
+    input: &[i16],
+    weights: &[i16],
+    quantizer: &Quantizer,
+) -> Vec<i16> {
+    linear_i32(shape, input, weights)
+        .iter()
+        .enumerate()
+        .map(|(j, &acc)| quantizer.quantize(j, acc))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantizer::{Quantizer, ThresholdSet};
+    use crate::BitWidth;
+
+    #[test]
+    fn identity_matrix() {
+        let s = LinearShape { in_features: 3, out_features: 3 };
+        let w = vec![1, 0, 0, 0, 1, 0, 0, 0, 1];
+        assert_eq!(linear_i32(&s, &[5, -2, 7], &w), vec![5, -2, 7]);
+        assert_eq!(s.macs(), 9);
+    }
+
+    #[test]
+    fn known_product() {
+        let s = LinearShape { in_features: 2, out_features: 2 };
+        // W = [[1, 2], [3, 4]], x = [10, 20]
+        let w = vec![1, 2, 3, 4];
+        assert_eq!(linear_i32(&s, &[10, 20], &w), vec![50, 110]);
+    }
+
+    #[test]
+    fn quantized_output_in_range() {
+        let s = LinearShape { in_features: 8, out_features: 4 };
+        let mut rng = crate::rng::TensorRng::new(1);
+        let x = rng.activations(BitWidth::W4, s.in_features);
+        let w = rng.weights(BitWidth::W4, s.weight_len());
+        let q = Quantizer::Thresholds(ThresholdSet::uniform(BitWidth::W4, s.out_features, -100, 100));
+        let out = linear_quantized(&s, x.values(), w.values(), &q);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|&v| (0..16).contains(&v)));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_bad_lengths() {
+        let s = LinearShape { in_features: 4, out_features: 2 };
+        linear_i32(&s, &[1, 2], &[0; 8]);
+    }
+}

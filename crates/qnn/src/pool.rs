@@ -1,0 +1,221 @@
+//! Golden pooling and activation layers.
+//!
+//! The paper motivates the SIMD `pv.max`/`pv.min`/`pv.avg` instructions
+//! with max/average pooling and ReLU (§III-A); these are the scalar
+//! reference implementations the pooling kernels are checked against.
+
+/// Geometry of a 2-D pooling layer over an HWC tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PoolShape {
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Channels (unchanged by pooling).
+    pub c: usize,
+    /// Pooling window (square).
+    pub k: usize,
+    /// Stride.
+    pub stride: usize,
+}
+
+impl PoolShape {
+    /// Output height.
+    pub const fn out_h(&self) -> usize {
+        (self.in_h - self.k) / self.stride + 1
+    }
+
+    /// Output width.
+    pub const fn out_w(&self) -> usize {
+        (self.in_w - self.k) / self.stride + 1
+    }
+
+    /// Elements in the input tensor.
+    pub const fn input_len(&self) -> usize {
+        self.in_h * self.in_w * self.c
+    }
+
+    /// Elements in the output tensor.
+    pub const fn output_len(&self) -> usize {
+        self.out_h() * self.out_w() * self.c
+    }
+}
+
+fn pool_with(
+    shape: &PoolShape,
+    input: &[i16],
+    mut combine: impl FnMut(&mut Vec<i32>, usize, i16),
+    mut finish: impl FnMut(i32, usize) -> i16,
+) -> Vec<i16> {
+    assert_eq!(input.len(), shape.input_len(), "input length mismatch");
+    let mut out = Vec::with_capacity(shape.output_len());
+    let window = shape.k * shape.k;
+    for oy in 0..shape.out_h() {
+        for ox in 0..shape.out_w() {
+            let mut acc: Vec<i32> = Vec::new();
+            for ky in 0..shape.k {
+                for kx in 0..shape.k {
+                    let y = oy * shape.stride + ky;
+                    let x = ox * shape.stride + kx;
+                    let base = (y * shape.in_w + x) * shape.c;
+                    for c in 0..shape.c {
+                        combine(&mut acc, c, input[base + c]);
+                    }
+                }
+            }
+            out.extend(acc.into_iter().map(|v| finish(v, window)));
+        }
+    }
+    out
+}
+
+/// Max pooling (HWC, valid padding).
+///
+/// # Panics
+///
+/// Panics on a length mismatch.
+pub fn maxpool(shape: &PoolShape, input: &[i16]) -> Vec<i16> {
+    pool_with(
+        shape,
+        input,
+        |acc, c, v| {
+            if acc.len() <= c {
+                acc.push(v as i32);
+            } else {
+                acc[c] = acc[c].max(v as i32);
+            }
+        },
+        |v, _| v as i16,
+    )
+}
+
+/// Average pooling with truncating division (HWC, valid padding), as the
+/// integer kernels compute it.
+///
+/// # Panics
+///
+/// Panics on a length mismatch.
+pub fn avgpool(shape: &PoolShape, input: &[i16]) -> Vec<i16> {
+    pool_with(
+        shape,
+        input,
+        |acc, c, v| {
+            if acc.len() <= c {
+                acc.push(v as i32);
+            } else {
+                acc[c] += v as i32;
+            }
+        },
+        |v, window| (v / window as i32) as i16,
+    )
+}
+
+/// Element-wise ReLU.
+pub fn relu(input: &[i16]) -> Vec<i16> {
+    input.iter().map(|&v| v.max(0)).collect()
+}
+
+/// 2×2/stride-2 average pooling computed as the SIMD kernels compute it:
+/// a cascade of pairwise `(a + b) >> 1` averages (`pv.avgu`), i.e.
+/// `avg(avg(a, b), avg(c, d))` per channel.
+///
+/// This differs from [`avgpool`]'s `sum/4` by at most 1 ULP (the
+/// intermediate truncation), which is why the hardware kernels are
+/// verified against *this* reference.
+///
+/// # Panics
+///
+/// Panics on a length mismatch or if the shape is not a 2×2/stride-2
+/// pooling.
+pub fn avgpool_2x2_cascaded(shape: &PoolShape, input: &[i16]) -> Vec<i16> {
+    assert_eq!(shape.k, 2, "cascaded average pooling is 2x2 only");
+    assert_eq!(shape.stride, 2, "cascaded average pooling is stride-2 only");
+    assert_eq!(input.len(), shape.input_len(), "input length mismatch");
+    let avg = |a: i16, b: i16| ((a as i32 + b as i32) >> 1) as i16;
+    let mut out = Vec::with_capacity(shape.output_len());
+    for oy in 0..shape.out_h() {
+        for ox in 0..shape.out_w() {
+            let at = |dy: usize, dx: usize, c: usize| {
+                input[((oy * 2 + dy) * shape.in_w + (ox * 2 + dx)) * shape.c + c]
+            };
+            for c in 0..shape.c {
+                out.push(avg(avg(at(0, 0, c), at(0, 1, c)), avg(at(1, 0, c), at(1, 1, c))));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_2x2() {
+        let s = PoolShape { in_h: 2, in_w: 2, c: 1, k: 2, stride: 2 };
+        assert_eq!(maxpool(&s, &[1, 5, 3, 2]), vec![5]);
+        let s2 = PoolShape { in_h: 4, in_w: 4, c: 1, k: 2, stride: 2 };
+        let input: Vec<i16> = (1..=16).collect();
+        assert_eq!(maxpool(&s2, &input), vec![6, 8, 14, 16]);
+    }
+
+    #[test]
+    fn maxpool_multi_channel_independent() {
+        let s = PoolShape { in_h: 2, in_w: 2, c: 2, k: 2, stride: 2 };
+        // HWC: (y0x0: [1, -4]) (y0x1: [2, -3]) (y1x0: [3, -2]) (y1x1: [0, -1])
+        let input = vec![1, -4, 2, -3, 3, -2, 0, -1];
+        assert_eq!(maxpool(&s, &input), vec![3, -1]);
+    }
+
+    #[test]
+    fn avgpool_truncates_like_kernels() {
+        let s = PoolShape { in_h: 2, in_w: 2, c: 1, k: 2, stride: 2 };
+        assert_eq!(avgpool(&s, &[1, 2, 3, 5]), vec![2]); // 11/4 = 2
+        assert_eq!(avgpool(&s, &[-1, -2, -3, -5]), vec![-2]); // -11/4 -> -2 (trunc)
+    }
+
+    #[test]
+    fn pool_with_stride_one_overlaps() {
+        let s = PoolShape { in_h: 3, in_w: 3, c: 1, k: 2, stride: 1 };
+        assert_eq!(s.out_h(), 2);
+        let input = vec![1, 2, 3, 4, 5, 6, 7, 8, 9];
+        assert_eq!(maxpool(&s, &input), vec![5, 6, 8, 9]);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(relu(&[-5, 0, 5, -1, 127]), vec![0, 0, 5, 0, 127]);
+    }
+
+    #[test]
+    fn cascaded_avg_matches_exact_when_no_truncation() {
+        let s = PoolShape { in_h: 2, in_w: 2, c: 1, k: 2, stride: 2 };
+        assert_eq!(avgpool_2x2_cascaded(&s, &[4, 8, 12, 16]), vec![10]);
+        assert_eq!(avgpool(&s, &[4, 8, 12, 16]), vec![10]);
+    }
+
+    #[test]
+    fn cascaded_avg_truncates_pairwise() {
+        let s = PoolShape { in_h: 2, in_w: 2, c: 1, k: 2, stride: 2 };
+        // (1+2)>>1 = 1, (3+5)>>1 = 4, (1+4)>>1 = 2; exact sum/4 = 2 too.
+        assert_eq!(avgpool_2x2_cascaded(&s, &[1, 2, 3, 5]), vec![2]);
+        // (0+1)>>1 = 0, (1+1)>>1 = 1, (0+1)>>1 = 0; exact = 3/4 = 0.
+        assert_eq!(avgpool_2x2_cascaded(&s, &[0, 1, 1, 1]), vec![0]);
+        // A case where the two differ: (1+1, 0+1) -> (1, 0) -> 0 vs 3/4=0;
+        // (3+1, 1+1) -> (2,1) -> 1 vs 6/4 = 1. Difference shows at:
+        // (1+0, 1+1) -> (0, 1) -> 0 while (1+0+1+1)/4 = 0. Max deviation 1:
+        let s2 = PoolShape { in_h: 2, in_w: 2, c: 1, k: 2, stride: 2 };
+        for vals in [[3i16, 0, 0, 0], [1, 1, 1, 0], [7, 7, 7, 6]] {
+            let casc = avgpool_2x2_cascaded(&s2, &vals)[0];
+            let exact = avgpool(&s2, &vals)[0];
+            assert!((casc - exact).abs() <= 1, "{vals:?}: {casc} vs {exact}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2x2 only")]
+    fn cascaded_avg_rejects_large_windows() {
+        let s = PoolShape { in_h: 3, in_w: 3, c: 1, k: 3, stride: 1 };
+        avgpool_2x2_cascaded(&s, &[0; 9]);
+    }
+}

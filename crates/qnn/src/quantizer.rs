@@ -1,0 +1,248 @@
+//! Re-quantization of convolution accumulators.
+//!
+//! Two paths, matching the paper's execution model (§II-2):
+//!
+//! * **8-bit outputs** use scale-and-clamp: `clamp((acc + bias) >> shift,
+//!   0, 255)` — "for 8-bit operands scaling and clamp operations are used
+//!   for compression";
+//! * **sub-byte outputs** use the thresholding-based *staircase*
+//!   function: the `Q`-bit result is the number of pre-trained
+//!   thresholds strictly below the (16-bit saturated) accumulator. The
+//!   thresholds absorb bias and batch normalization, `2^Q − 1` per
+//!   output channel.
+
+use crate::bits::BitWidth;
+use std::fmt;
+
+/// Per-channel sorted threshold tables for staircase quantization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThresholdSet {
+    bits: BitWidth,
+    per_channel: Vec<Vec<i16>>,
+}
+
+/// An invalid threshold table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThresholdError {
+    /// Wrong number of thresholds for the width.
+    Count {
+        /// Offending channel.
+        channel: usize,
+        /// Provided count.
+        got: usize,
+        /// Required count (`2^Q − 1`).
+        want: usize,
+    },
+    /// Thresholds not in non-decreasing order.
+    Unsorted {
+        /// Offending channel.
+        channel: usize,
+    },
+    /// Sub-byte widths only.
+    Width(BitWidth),
+}
+
+impl fmt::Display for ThresholdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThresholdError::Count { channel, got, want } => {
+                write!(f, "channel {channel}: expected {want} thresholds, got {got}")
+            }
+            ThresholdError::Unsorted { channel } => {
+                write!(f, "channel {channel}: thresholds not sorted")
+            }
+            ThresholdError::Width(b) => {
+                write!(f, "staircase quantization is for sub-byte outputs, got {b}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ThresholdError {}
+
+impl ThresholdSet {
+    /// Builds a set from per-channel sorted thresholds.
+    ///
+    /// # Errors
+    ///
+    /// [`ThresholdError`] if `bits` is not sub-byte, any channel has the
+    /// wrong count, or any channel is unsorted.
+    pub fn from_sorted(
+        bits: BitWidth,
+        per_channel: Vec<Vec<i16>>,
+    ) -> Result<ThresholdSet, ThresholdError> {
+        if !bits.is_sub_byte() {
+            return Err(ThresholdError::Width(bits));
+        }
+        let want = bits.threshold_count();
+        for (channel, t) in per_channel.iter().enumerate() {
+            if t.len() != want {
+                return Err(ThresholdError::Count { channel, got: t.len(), want });
+            }
+            if t.windows(2).any(|w| w[0] > w[1]) {
+                return Err(ThresholdError::Unsorted { channel });
+            }
+        }
+        Ok(ThresholdSet { bits, per_channel })
+    }
+
+    /// Builds uniform thresholds splitting `[lo, hi]` into `2^Q` equal
+    /// bins, identical for every channel — a convenient synthetic stand-in
+    /// for trained batch-norm-folded thresholds.
+    pub fn uniform(bits: BitWidth, channels: usize, lo: i16, hi: i16) -> ThresholdSet {
+        assert!(bits.is_sub_byte(), "uniform thresholds are for sub-byte outputs");
+        assert!(lo < hi, "uniform threshold range must be non-empty");
+        let n = bits.threshold_count();
+        let span = (hi as i32 - lo as i32) as i64;
+        let one: Vec<i16> = (1..=n as i64)
+            .map(|i| (lo as i64 + span as i64 * i / (n as i64 + 1)) as i16)
+            .collect();
+        ThresholdSet { bits, per_channel: vec![one; channels] }
+    }
+
+    /// Output width.
+    pub fn bits(&self) -> BitWidth {
+        self.bits
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.per_channel.len()
+    }
+
+    /// Sorted thresholds of one channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn channel(&self, channel: usize) -> &[i16] {
+        &self.per_channel[channel]
+    }
+
+    /// Quantizes an accumulator for `channel`: saturate to `i16`, then
+    /// count thresholds strictly below it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn quantize(&self, channel: usize, acc: i32) -> u8 {
+        let x = acc.clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+        self.per_channel[channel].iter().take_while(|t| **t < x).count() as u8
+    }
+}
+
+/// A complete re-quantization policy for one layer output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Quantizer {
+    /// 8-bit scale-and-clamp: `clamp((acc + bias[ch]) >> shift, 0, 255)`.
+    Shift8 {
+        /// Right-shift amount (power-of-two output scale).
+        shift: u32,
+        /// Per-channel bias added before the shift (empty = zero bias).
+        bias: Vec<i32>,
+    },
+    /// Sub-byte staircase quantization.
+    Thresholds(ThresholdSet),
+}
+
+impl Quantizer {
+    /// The output width this policy produces.
+    pub fn output_bits(&self) -> BitWidth {
+        match self {
+            Quantizer::Shift8 { .. } => BitWidth::W8,
+            Quantizer::Thresholds(t) => t.bits(),
+        }
+    }
+
+    /// Quantizes one accumulator for one output channel, producing an
+    /// unsigned activation (`0..=255` for 8-bit, `0..=2^Q − 1` below).
+    pub fn quantize(&self, channel: usize, acc: i32) -> i16 {
+        match self {
+            Quantizer::Shift8 { shift, bias } => {
+                let b = bias.get(channel).copied().unwrap_or(0);
+                (acc.wrapping_add(b) >> shift).clamp(0, 255) as i16
+            }
+            Quantizer::Thresholds(t) => t.quantize(channel, acc) as i16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_thresholds_have_right_shape() {
+        let t = ThresholdSet::uniform(BitWidth::W4, 64, -2000, 2000);
+        assert_eq!(t.channels(), 64);
+        assert_eq!(t.channel(0).len(), 15);
+        assert!(t.channel(0).windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(t.channel(0), t.channel(63));
+        let t2 = ThresholdSet::uniform(BitWidth::W2, 4, -100, 100);
+        assert_eq!(t2.channel(0).len(), 3);
+        assert_eq!(t2.channel(0)[1], 0);
+    }
+
+    #[test]
+    fn staircase_is_monotone_and_covers_all_bins() {
+        let t = ThresholdSet::uniform(BitWidth::W4, 1, -800, 800);
+        let mut last = 0u8;
+        let mut seen = std::collections::BTreeSet::new();
+        for acc in (-1000..1000).step_by(7) {
+            let q = t.quantize(0, acc);
+            assert!(q >= last || acc < -800, "monotone");
+            assert!(q <= 15);
+            seen.insert(q);
+            last = q;
+        }
+        assert_eq!(seen.len(), 16, "all 16 bins reachable");
+    }
+
+    #[test]
+    fn saturation_to_i16_before_thresholding() {
+        let t = ThresholdSet::uniform(BitWidth::W2, 1, -100, 100);
+        assert_eq!(t.quantize(0, i32::MAX), 3);
+        assert_eq!(t.quantize(0, i32::MIN), 0);
+    }
+
+    #[test]
+    fn from_sorted_validation() {
+        let ok = ThresholdSet::from_sorted(BitWidth::W2, vec![vec![-1, 0, 1]]);
+        assert!(ok.is_ok());
+        let bad_count = ThresholdSet::from_sorted(BitWidth::W2, vec![vec![0, 1]]);
+        assert!(matches!(bad_count, Err(ThresholdError::Count { want: 3, .. })));
+        let unsorted = ThresholdSet::from_sorted(BitWidth::W2, vec![vec![1, 0, 2]]);
+        assert!(matches!(unsorted, Err(ThresholdError::Unsorted { channel: 0 })));
+        let wide = ThresholdSet::from_sorted(BitWidth::W8, vec![]);
+        assert!(matches!(wide, Err(ThresholdError::Width(BitWidth::W8))));
+    }
+
+    #[test]
+    fn shift8_clamps_to_unsigned_byte() {
+        let q = Quantizer::Shift8 { shift: 4, bias: vec![] };
+        assert_eq!(q.quantize(0, 160), 10);
+        assert_eq!(q.quantize(0, -5), 0);
+        assert_eq!(q.quantize(0, 1 << 20), 255);
+        let qb = Quantizer::Shift8 { shift: 0, bias: vec![100, -100] };
+        assert_eq!(qb.quantize(0, 0), 100);
+        assert_eq!(qb.quantize(1, 150), 50);
+        assert_eq!(qb.quantize(2, 7), 7, "missing bias defaults to 0");
+    }
+
+    #[test]
+    fn quantizer_output_bits() {
+        let q8 = Quantizer::Shift8 { shift: 0, bias: vec![] };
+        assert_eq!(q8.output_bits(), BitWidth::W8);
+        let q4 = Quantizer::Thresholds(ThresholdSet::uniform(BitWidth::W4, 1, -1, 1));
+        assert_eq!(q4.output_bits(), BitWidth::W4);
+    }
+
+    #[test]
+    fn threshold_equality_uses_strict_less_than() {
+        let t = ThresholdSet::from_sorted(BitWidth::W2, vec![vec![0, 10, 20]]).unwrap();
+        assert_eq!(t.quantize(0, 0), 0); // not strictly above 0
+        assert_eq!(t.quantize(0, 1), 1);
+        assert_eq!(t.quantize(0, 10), 1);
+        assert_eq!(t.quantize(0, 21), 3);
+    }
+}

@@ -1,0 +1,121 @@
+//! Seeded synthetic tensor generation.
+//!
+//! The paper benchmarks on convolution layers whose *cost* depends only
+//! on geometry and bit width, not on the trained values; synthetic
+//! tensors from a seeded RNG therefore preserve every measured quantity
+//! while keeping the reproduction self-contained (see DESIGN.md,
+//! substitution table).
+
+use crate::bits::BitWidth;
+use crate::quantizer::ThresholdSet;
+use crate::tensor::QuantTensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic generator of quantized tensors and threshold sets.
+#[derive(Debug, Clone)]
+pub struct TensorRng {
+    rng: StdRng,
+}
+
+impl TensorRng {
+    /// Creates a generator from a seed; the same seed always produces the
+    /// same tensors.
+    pub fn new(seed: u64) -> TensorRng {
+        TensorRng { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Uniform unsigned activations over the full range of `bits`.
+    pub fn activations(&mut self, bits: BitWidth, len: usize) -> QuantTensor {
+        let values: Vec<i16> = (0..len)
+            .map(|_| self.rng.gen_range(0..=bits.unsigned_max()) as i16)
+            .collect();
+        QuantTensor::activations(bits, values).expect("generated in range")
+    }
+
+    /// Uniform signed weights over the full range of `bits`.
+    pub fn weights(&mut self, bits: BitWidth, len: usize) -> QuantTensor {
+        let values: Vec<i16> = (0..len)
+            .map(|_| self.rng.gen_range(bits.signed_min()..=bits.signed_max()) as i16)
+            .collect();
+        QuantTensor::weights(bits, values).expect("generated in range")
+    }
+
+    /// Per-channel sorted thresholds drawn uniformly from `[lo, hi]` —
+    /// distinct per channel, like batch-norm-folded trained thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not sub-byte.
+    pub fn thresholds(
+        &mut self,
+        bits: BitWidth,
+        channels: usize,
+        lo: i16,
+        hi: i16,
+    ) -> ThresholdSet {
+        let n = bits.threshold_count();
+        let per_channel: Vec<Vec<i16>> = (0..channels)
+            .map(|_| {
+                let mut t: Vec<i16> = (0..n).map(|_| self.rng.gen_range(lo..=hi)).collect();
+                t.sort_unstable();
+                t
+            })
+            .collect();
+        ThresholdSet::from_sorted(bits, per_channel).expect("sorted by construction")
+    }
+
+    /// A raw uniform value, exposed so callers can derive auxiliary
+    /// parameters (e.g. biases) from the same seed stream.
+    pub fn gen_i32(&mut self, lo: i32, hi: i32) -> i32 {
+        self.rng.gen_range(lo..=hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = TensorRng::new(1);
+        let mut b = TensorRng::new(1);
+        assert_eq!(a.activations(BitWidth::W4, 100), b.activations(BitWidth::W4, 100));
+        let mut c = TensorRng::new(2);
+        assert_ne!(a.weights(BitWidth::W8, 100), c.weights(BitWidth::W8, 100));
+    }
+
+    #[test]
+    fn generated_tensors_respect_ranges() {
+        let mut rng = TensorRng::new(9);
+        for bits in crate::bits::ALL_WIDTHS {
+            let a = rng.activations(bits, 1000);
+            assert!(a.values().iter().all(|&v| v as i32 >= 0 && v as i32 <= bits.unsigned_max()));
+            let w = rng.weights(bits, 1000);
+            assert!(w
+                .values()
+                .iter()
+                .all(|&v| v as i32 >= bits.signed_min() && v as i32 <= bits.signed_max()));
+        }
+    }
+
+    #[test]
+    fn generated_values_cover_range() {
+        let mut rng = TensorRng::new(11);
+        let a = rng.activations(BitWidth::W2, 400);
+        for level in 0..=3i16 {
+            assert!(a.values().contains(&level), "level {level} never generated");
+        }
+    }
+
+    #[test]
+    fn thresholds_sorted_and_distinct_channels() {
+        let mut rng = TensorRng::new(5);
+        let t = rng.thresholds(BitWidth::W4, 8, -500, 500);
+        assert_eq!(t.channels(), 8);
+        for ch in 0..8 {
+            assert!(t.channel(ch).windows(2).all(|w| w[0] <= w[1]));
+        }
+        assert_ne!(t.channel(0), t.channel(1), "channels should differ with high probability");
+    }
+}

@@ -1,0 +1,232 @@
+//! Quantized tensors and their packed memory layout.
+//!
+//! Elements are held logically as `i16` (covering both unsigned
+//! activations up to 255 and signed weights at every width) and packed into bytes
+//! with **lane 0 in the least-significant bits** — the layout the
+//! `pulp-isa` SIMD lane semantics read, and the layout the PULP-NN
+//! kernels store tensors in.
+
+use crate::bits::BitWidth;
+use std::fmt;
+
+/// A quantized tensor: logical `i16` values plus their bit width and
+/// signedness.
+///
+/// Invariant: every value fits the declared range (unsigned
+/// `0..=2^b − 1` or signed `−2^(b−1)..=2^(b−1) − 1`); constructors check
+/// this.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantTensor {
+    bits: BitWidth,
+    signed: bool,
+    values: Vec<i16>,
+}
+
+/// An out-of-range element passed to a [`QuantTensor`] constructor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangeError {
+    /// Index of the offending element.
+    pub index: usize,
+    /// Its value.
+    pub value: i16,
+    /// The declared width.
+    pub bits: BitWidth,
+    /// The declared signedness.
+    pub signed: bool,
+}
+
+impl fmt::Display for RangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = if self.signed { "signed" } else { "unsigned" };
+        write!(
+            f,
+            "element {} = {} does not fit {kind} {}",
+            self.index, self.value, self.bits
+        )
+    }
+}
+
+impl std::error::Error for RangeError {}
+
+impl QuantTensor {
+    /// Creates an unsigned (activation) tensor.
+    ///
+    /// # Errors
+    ///
+    /// [`RangeError`] if any element is outside `0..=2^b − 1`.
+    pub fn activations(bits: BitWidth, values: Vec<i16>) -> Result<QuantTensor, RangeError> {
+        for (index, &v) in values.iter().enumerate() {
+            if (v as i32) < 0 || v as i32 > bits.unsigned_max() {
+                return Err(RangeError { index, value: v, bits, signed: false });
+            }
+        }
+        Ok(QuantTensor { bits, signed: false, values })
+    }
+
+    /// Creates a signed (weight) tensor.
+    ///
+    /// # Errors
+    ///
+    /// [`RangeError`] if any element is outside the signed range.
+    pub fn weights(bits: BitWidth, values: Vec<i16>) -> Result<QuantTensor, RangeError> {
+        for (index, &v) in values.iter().enumerate() {
+            if (v as i32) < bits.signed_min() || v as i32 > bits.signed_max() {
+                return Err(RangeError { index, value: v, bits, signed: true });
+            }
+        }
+        Ok(QuantTensor { bits, signed: true, values })
+    }
+
+    /// The element width.
+    pub fn bits(&self) -> BitWidth {
+        self.bits
+    }
+
+    /// True for weight (signed) tensors.
+    pub fn is_signed(&self) -> bool {
+        self.signed
+    }
+
+    /// The logical element values.
+    pub fn values(&self) -> &[i16] {
+        &self.values
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Packed size in bytes (elements padded up to a whole byte).
+    pub fn packed_len(&self) -> usize {
+        packed_len(self.bits, self.values.len())
+    }
+
+    /// Packs the tensor into bytes, lane 0 in the least-significant bits
+    /// of byte 0. Sub-byte tails are zero-padded.
+    pub fn pack(&self) -> Vec<u8> {
+        pack(self.bits, &self.values)
+    }
+
+    /// Unpacks `count` elements from packed bytes, reversing [`pack`].
+    ///
+    /// Unsigned tensors zero-extend each lane; signed tensors
+    /// sign-extend.
+    pub fn unpack(
+        bits: BitWidth,
+        signed: bool,
+        bytes: &[u8],
+        count: usize,
+    ) -> QuantTensor {
+        let values = unpack(bits, signed, bytes, count);
+        QuantTensor { bits, signed, values }
+    }
+}
+
+/// Packed size in bytes for `count` elements of width `bits`.
+pub fn packed_len(bits: BitWidth, count: usize) -> usize {
+    (count * bits.bits() as usize).div_ceil(8)
+}
+
+/// Packs logical values (low `bits` of each) into bytes, lane 0 first.
+pub fn pack(bits: BitWidth, values: &[i16]) -> Vec<u8> {
+    let b = bits.bits() as usize;
+    let mask = (1u32 << b) - 1;
+    let mut out = vec![0u8; packed_len(bits, values.len())];
+    for (i, &v) in values.iter().enumerate() {
+        let bitpos = i * b;
+        let byte = bitpos / 8;
+        let shift = bitpos % 8;
+        out[byte] |= (((v as u32) & mask) << shift) as u8;
+    }
+    out
+}
+
+/// Unpacks `count` elements, zero- or sign-extending each lane.
+pub fn unpack(bits: BitWidth, signed: bool, bytes: &[u8], count: usize) -> Vec<i16> {
+    let b = bits.bits() as usize;
+    let mask = (1u32 << b) - 1;
+    (0..count)
+        .map(|i| {
+            let bitpos = i * b;
+            let byte = bitpos / 8;
+            let shift = bitpos % 8;
+            let raw = ((bytes[byte] as u32) >> shift) & mask;
+            if signed {
+                let sh = 16 - b;
+                (((raw as u16) << sh) as i16) >> sh
+            } else {
+                raw as i16
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_nibbles_low_lane_first() {
+        // values 1, 2 -> byte 0x21 (lane 0 in low nibble).
+        let t = QuantTensor::activations(BitWidth::W4, vec![1, 2, 15]).unwrap();
+        assert_eq!(t.pack(), vec![0x21, 0x0f]);
+        assert_eq!(t.packed_len(), 2);
+    }
+
+    #[test]
+    fn pack_crumbs() {
+        // values 1, 2, 3, 0 -> 0b00_11_10_01 = 0x39.
+        let t = QuantTensor::activations(BitWidth::W2, vec![1, 2, 3, 0]).unwrap();
+        assert_eq!(t.pack(), vec![0x39]);
+    }
+
+    #[test]
+    fn pack_bytes_is_identity_cast() {
+        let t = QuantTensor::weights(BitWidth::W8, vec![-1, 2, -128]).unwrap();
+        assert_eq!(t.pack(), vec![0xff, 0x02, 0x80]);
+    }
+
+    #[test]
+    fn unpack_round_trip_all_widths() {
+        for bits in crate::bits::ALL_WIDTHS {
+            // signed round trip
+            let vals: Vec<i16> =
+                (0..37).map(|i| ((i * 7) % bits.levels() as i32 + bits.signed_min()) as i16).collect();
+            let t = QuantTensor::weights(bits, vals.clone()).unwrap();
+            let back = QuantTensor::unpack(bits, true, &t.pack(), vals.len());
+            assert_eq!(back.values(), &vals[..], "{bits} signed");
+            // unsigned round trip
+            let vals: Vec<i16> = (0..37).map(|i| ((i * 5) % bits.levels() as i32) as i16).collect();
+            let t = QuantTensor::activations(bits, vals.clone()).unwrap();
+            let back = QuantTensor::unpack(bits, false, &t.pack(), vals.len());
+            assert_eq!(back.values(), &vals[..], "{bits} unsigned");
+        }
+    }
+
+    #[test]
+    fn range_checking() {
+        assert!(QuantTensor::activations(BitWidth::W4, vec![16]).is_err());
+        assert!(QuantTensor::activations(BitWidth::W4, vec![-1]).is_err());
+        assert!(QuantTensor::weights(BitWidth::W4, vec![8]).is_err());
+        assert!(QuantTensor::weights(BitWidth::W4, vec![-8]).is_ok());
+        assert!(QuantTensor::weights(BitWidth::W2, vec![2]).is_err());
+        let e = QuantTensor::activations(BitWidth::W2, vec![0, 9]).unwrap_err();
+        assert_eq!(e.index, 1);
+        assert!(e.to_string().contains("does not fit"));
+    }
+
+    #[test]
+    fn odd_counts_pad_with_zeros() {
+        let t = QuantTensor::activations(BitWidth::W4, vec![5, 6, 7]).unwrap();
+        let p = t.pack();
+        assert_eq!(p, vec![0x65, 0x07]);
+        assert_eq!(packed_len(BitWidth::W2, 5), 2);
+        assert_eq!(packed_len(BitWidth::W8, 3), 3);
+    }
+}

@@ -1,0 +1,1129 @@
+//! The RI5CY core model: architectural state, functional execution and
+//! the pipeline timing rules of [`crate::timing`].
+
+use crate::bus::{Bus, BusError};
+use crate::perf::{fmt_index, PerfCounters};
+use crate::quant;
+use crate::timing;
+use pulp_isa::decode::decode;
+use pulp_isa::instr::{Instr, LoadKind, SimdOperand};
+use pulp_isa::simd::{self, SimdFmt};
+use pulp_isa::{csr, Reg};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Which ISA extensions the core implements.
+///
+/// The paper compares a baseline RI5CY (`RV32IM` + XpulpV2) against the
+/// extended core (additionally XpulpNN); instructions outside the
+/// configured set raise [`Trap::ExtensionFault`], exactly as executing an
+/// XpulpNN binary on the unextended silicon would trap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IsaConfig {
+    /// XpulpV2: hardware loops, post-increment memory ops, `p.*` scalar
+    /// ops, 8/16-bit SIMD.
+    pub xpulpv2: bool,
+    /// XpulpNN: 4/2-bit SIMD and `pv.qnt`.
+    pub xpulpnn: bool,
+}
+
+impl IsaConfig {
+    /// Plain RV32IM, no PULP extensions.
+    pub const fn rv32im() -> IsaConfig {
+        IsaConfig { xpulpv2: false, xpulpnn: false }
+    }
+
+    /// The baseline RI5CY of the paper: RV32IM + XpulpV2.
+    pub const fn xpulpv2() -> IsaConfig {
+        IsaConfig { xpulpv2: true, xpulpnn: false }
+    }
+
+    /// The paper's extended core: RV32IM + XpulpV2 + XpulpNN.
+    pub const fn xpulpnn() -> IsaConfig {
+        IsaConfig { xpulpv2: true, xpulpnn: true }
+    }
+
+    /// Human-readable ISA string.
+    pub fn name(&self) -> &'static str {
+        match (self.xpulpv2, self.xpulpnn) {
+            (false, _) => "rv32im",
+            (true, false) => "rv32im+xpulpv2",
+            (true, true) => "rv32im+xpulpv2+xpulpnn",
+        }
+    }
+}
+
+impl Default for IsaConfig {
+    fn default() -> Self {
+        IsaConfig::xpulpnn()
+    }
+}
+
+/// An execution trap; terminates simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trap {
+    /// Undecodable instruction word.
+    IllegalInstruction {
+        /// PC of the faulting fetch.
+        pc: u32,
+        /// The raw word.
+        word: u32,
+    },
+    /// A decodable instruction from an extension this core does not
+    /// implement ([`IsaConfig`]).
+    ExtensionFault {
+        /// PC of the faulting instruction.
+        pc: u32,
+        /// `"xpulpv2"` or `"xpulpnn"`.
+        required: &'static str,
+    },
+    /// A data access or fetch left mapped memory.
+    Bus {
+        /// PC of the faulting instruction.
+        pc: u32,
+        /// The underlying bus fault.
+        error: BusError,
+    },
+    /// `ebreak` executed.
+    Breakpoint {
+        /// PC of the breakpoint.
+        pc: u32,
+    },
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::IllegalInstruction { pc, word } => {
+                write!(f, "illegal instruction {word:#010x} at pc {pc:#010x}")
+            }
+            Trap::ExtensionFault { pc, required } => {
+                write!(f, "instruction at pc {pc:#010x} requires the {required} extension")
+            }
+            Trap::Bus { pc, error } => write!(f, "{error} at pc {pc:#010x}"),
+            Trap::Breakpoint { pc } => write!(f, "breakpoint at pc {pc:#010x}"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+/// Why [`Core::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExitStatus {
+    /// True if the program executed `ecall` (normal halt); false if the
+    /// cycle budget ran out first.
+    pub halted: bool,
+    /// Value of `a0` at the halt (exit code convention).
+    pub exit_code: u32,
+    /// Final program counter.
+    pub pc: u32,
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct HwLoop {
+    start: u32,
+    end: u32,
+    count: u32,
+}
+
+/// The core model. See the crate docs for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Core {
+    /// Integer register file; index 0 reads as zero.
+    pub regs: [u32; 32],
+    /// Program counter.
+    pub pc: u32,
+    /// Implemented extensions.
+    pub isa: IsaConfig,
+    /// Accumulated event counters.
+    pub perf: PerfCounters,
+    hwloops: [HwLoop; 2],
+    csrs: BTreeMap<u16, u32>,
+}
+
+impl Core {
+    /// Creates a core with zeroed state.
+    pub fn new(isa: IsaConfig) -> Core {
+        Core {
+            regs: [0; 32],
+            pc: 0,
+            isa,
+            perf: PerfCounters::new(),
+            hwloops: [HwLoop::default(); 2],
+            csrs: BTreeMap::new(),
+        }
+    }
+
+    /// Reads a register (x0 is always zero).
+    #[inline]
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register; writes to x0 are discarded.
+    #[inline]
+    pub fn set_reg(&mut self, r: Reg, v: u32) {
+        if r != Reg::Zero {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// Resets architectural state (registers, PC, loops, counters).
+    pub fn reset(&mut self) {
+        self.regs = [0; 32];
+        self.pc = 0;
+        self.perf = PerfCounters::new();
+        self.hwloops = [HwLoop::default(); 2];
+        self.csrs.clear();
+    }
+
+    fn csr_read(&self, num: u16) -> u32 {
+        match num {
+            csr::MCYCLE => self.perf.cycles as u32,
+            csr::MCYCLEH => (self.perf.cycles >> 32) as u32,
+            csr::MINSTRET => self.perf.instret as u32,
+            csr::MINSTRETH => (self.perf.instret >> 32) as u32,
+            csr::MHARTID => 0,
+            csr::LPSTART0 => self.hwloops[0].start,
+            csr::LPEND0 => self.hwloops[0].end,
+            csr::LPCOUNT0 => self.hwloops[0].count,
+            csr::LPSTART1 => self.hwloops[1].start,
+            csr::LPEND1 => self.hwloops[1].end,
+            csr::LPCOUNT1 => self.hwloops[1].count,
+            other => self.csrs.get(&other).copied().unwrap_or(0),
+        }
+    }
+
+    fn csr_write(&mut self, num: u16, value: u32) {
+        self.csrs.insert(num, value);
+    }
+
+    fn mem_read<B: Bus>(&mut self, bus: &mut B, addr: u32, size: u32) -> Result<u32, Trap> {
+        if timing::crosses_word_boundary(addr, size) {
+            self.perf.cycles += timing::MISALIGN_PENALTY;
+            self.perf.stall_cycles += timing::MISALIGN_PENALTY;
+        }
+        self.perf.loads += 1;
+        bus.read(addr, size).map_err(|error| Trap::Bus { pc: self.pc, error })
+    }
+
+    fn mem_write<B: Bus>(
+        &mut self,
+        bus: &mut B,
+        addr: u32,
+        size: u32,
+        value: u32,
+    ) -> Result<(), Trap> {
+        if timing::crosses_word_boundary(addr, size) {
+            self.perf.cycles += timing::MISALIGN_PENALTY;
+            self.perf.stall_cycles += timing::MISALIGN_PENALTY;
+        }
+        self.perf.stores += 1;
+        bus.write(addr, size, value).map_err(|error| Trap::Bus { pc: self.pc, error })
+    }
+
+    fn load_value<B: Bus>(
+        &mut self,
+        bus: &mut B,
+        kind: LoadKind,
+        addr: u32,
+    ) -> Result<u32, Trap> {
+        let raw = self.mem_read(bus, addr, kind.size())?;
+        Ok(match kind {
+            LoadKind::Byte => raw as u8 as i8 as i32 as u32,
+            LoadKind::Half => raw as u16 as i16 as i32 as u32,
+            LoadKind::Word => raw,
+            LoadKind::ByteU => raw & 0xff,
+            LoadKind::HalfU => raw & 0xffff,
+        })
+    }
+
+    /// Resolves the second operand of a SIMD instruction.
+    fn simd_op2(&self, fmt: SimdFmt, op2: SimdOperand) -> u32 {
+        match op2 {
+            SimdOperand::Vector(r) => self.reg(r),
+            SimdOperand::Scalar(r) => simd::replicate(fmt, self.reg(r)),
+            SimdOperand::Imm(i) => simd::replicate(fmt, i as i32 as u32),
+        }
+    }
+
+    fn check_extension(&self, instr: &Instr) -> Result<(), Trap> {
+        if instr.requires_xpulpnn() && !self.isa.xpulpnn {
+            return Err(Trap::ExtensionFault { pc: self.pc, required: "xpulpnn" });
+        }
+        if instr.requires_xpulpv2() && !self.isa.xpulpv2 {
+            return Err(Trap::ExtensionFault { pc: self.pc, required: "xpulpv2" });
+        }
+        Ok(())
+    }
+
+    /// Applies the zero-overhead hardware-loop rule: when the retiring
+    /// instruction is the last of an active loop body with remaining
+    /// iterations, the next PC is the loop start.
+    fn hwloop_next_pc(&mut self, retired_pc: u32, ilen: u32, fallthrough: u32) -> u32 {
+        // Loop 0 is the innermost by RI5CY convention: check it first.
+        for i in 0..2 {
+            let lp = &mut self.hwloops[i];
+            if lp.count > 0 && retired_pc + ilen == lp.end {
+                if lp.count > 1 {
+                    lp.count -= 1;
+                    self.perf.hwloop_backs += 1;
+                    return lp.start;
+                }
+                lp.count = 0;
+            }
+        }
+        fallthrough
+    }
+
+    /// Fetches and decodes the instruction at the current PC without
+    /// executing it (used by [`Core::step`] and the trace facility).
+    ///
+    /// # Errors
+    ///
+    /// Bus faults on the fetch and illegal-instruction traps.
+    pub fn fetch_decode<B: Bus>(&self, bus: &mut B) -> Result<(Instr, u32), Trap> {
+        let pc = self.pc;
+        let word = bus.fetch(pc).map_err(|error| Trap::Bus { pc, error })?;
+        // RV32C: a parcel whose low two bits are not 0b11 is a 16-bit
+        // compressed instruction expanding to one base instruction.
+        if pulp_isa::compressed::is_compressed(word) {
+            let (_, instr) = pulp_isa::compressed::decode16(word as u16)
+                .ok_or(Trap::IllegalInstruction { pc, word: word & 0xffff })?;
+            Ok((instr, 2))
+        } else {
+            Ok((decode(word).map_err(|_| Trap::IllegalInstruction { pc, word })?, 4))
+        }
+    }
+
+    /// Executes one instruction.
+    ///
+    /// Returns `Ok(true)` if the instruction was `ecall` (the halt
+    /// convention), `Ok(false)` otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Trap`]: illegal/unimplemented instructions, bus faults, or
+    /// `ebreak`.
+    pub fn step<B: Bus>(&mut self, bus: &mut B) -> Result<bool, Trap> {
+        let pc = self.pc;
+        let (instr, ilen) = self.fetch_decode(bus)?;
+        self.check_extension(&instr)?;
+
+        self.perf.instret += 1;
+        let mut cycles = timing::ALU_CYCLES;
+        let mut next_pc = pc.wrapping_add(ilen);
+        // Control-flow instructions bypass the hardware-loop end check
+        // (RI5CY forbids branches as the last body instruction; a taken
+        // branch simply wins here).
+        let mut explicit_jump = false;
+
+        match instr {
+            Instr::Lui { rd, imm } => self.set_reg(rd, imm),
+            Instr::Auipc { rd, imm } => self.set_reg(rd, pc.wrapping_add(imm)),
+            Instr::Jal { rd, offset } => {
+                self.set_reg(rd, pc.wrapping_add(ilen));
+                next_pc = pc.wrapping_add(offset as u32);
+                cycles = timing::JUMP_CYCLES;
+                self.perf.jumps += 1;
+                explicit_jump = true;
+            }
+            Instr::Jalr { rd, rs1, offset } => {
+                let target = self.reg(rs1).wrapping_add(offset as u32) & !1;
+                self.set_reg(rd, pc.wrapping_add(ilen));
+                next_pc = target;
+                cycles = timing::JUMP_CYCLES;
+                self.perf.jumps += 1;
+                explicit_jump = true;
+            }
+            Instr::Branch { cond, rs1, rs2, offset } => {
+                self.perf.branches += 1;
+                if cond.eval(self.reg(rs1), self.reg(rs2)) {
+                    next_pc = pc.wrapping_add(offset as u32);
+                    cycles = timing::BRANCH_TAKEN_CYCLES;
+                    self.perf.branches_taken += 1;
+                    self.perf.stall_cycles += timing::BRANCH_TAKEN_CYCLES - 1;
+                    explicit_jump = true;
+                } else {
+                    cycles = timing::BRANCH_NOT_TAKEN_CYCLES;
+                }
+            }
+            Instr::Load { kind, rd, rs1, offset } => {
+                let addr = self.reg(rs1).wrapping_add(offset as u32);
+                let v = self.load_value(bus, kind, addr)?;
+                self.set_reg(rd, v);
+                cycles = timing::MEM_CYCLES;
+            }
+            Instr::Store { kind, rs1, rs2, offset } => {
+                let addr = self.reg(rs1).wrapping_add(offset as u32);
+                let v = self.reg(rs2);
+                self.mem_write(bus, addr, kind.size(), v)?;
+                cycles = timing::MEM_CYCLES;
+            }
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                let v = op.eval(self.reg(rs1), self.reg(rs2));
+                self.set_reg(rd, v);
+            }
+            Instr::AluImm { op, rd, rs1, imm } => {
+                let v = op.eval(self.reg(rs1), imm as u32);
+                self.set_reg(rd, v);
+            }
+            Instr::Fence | Instr::Nop => {}
+            Instr::Ecall => {
+                self.perf.cycles += cycles;
+                self.pc = next_pc;
+                return Ok(true);
+            }
+            Instr::Ebreak => return Err(Trap::Breakpoint { pc }),
+            Instr::Csr { op, rd, rs1, csr } => {
+                let old = self.csr_read(csr);
+                let src = self.reg(rs1);
+                let new = match op {
+                    0 => src,
+                    1 => old | src,
+                    _ => old & !src,
+                };
+                if op == 0 || rs1 != Reg::Zero {
+                    self.csr_write(csr, new);
+                }
+                self.set_reg(rd, old);
+            }
+            Instr::MulDiv { op, rd, rs1, rs2 } => {
+                let a = self.reg(rs1);
+                let b = self.reg(rs2);
+                self.set_reg(rd, op.eval(a, b));
+                if op.is_div_rem() {
+                    cycles = timing::div_cycles(a);
+                    self.perf.divs += 1;
+                    self.perf.stall_cycles += cycles - 1;
+                } else {
+                    self.perf.muls += 1;
+                    if op != pulp_isa::instr::MulDivOp::Mul {
+                        cycles = timing::MULH_CYCLES;
+                        self.perf.stall_cycles += cycles - 1;
+                    }
+                }
+            }
+            Instr::PulpAlu { op, rd, rs1, rs2 } => {
+                let v = op.eval(self.reg(rs1), self.reg(rs2));
+                self.set_reg(rd, v);
+            }
+            Instr::PClip { rd, rs1, bits } => {
+                let x = self.reg(rs1) as i32;
+                let (lo, hi) = if bits == 0 {
+                    (-1i32, 0i32)
+                } else {
+                    (-(1 << (bits - 1)), (1 << (bits - 1)) - 1)
+                };
+                self.set_reg(rd, x.clamp(lo, hi) as u32);
+            }
+            Instr::PClipU { rd, rs1, bits } => {
+                let x = self.reg(rs1) as i32;
+                let hi = if bits == 0 { 0 } else { (1i32 << (bits - 1)) - 1 };
+                self.set_reg(rd, x.clamp(0, hi) as u32);
+            }
+            Instr::PMac { rd, rs1, rs2 } => {
+                let v = self
+                    .reg(rd)
+                    .wrapping_add(self.reg(rs1).wrapping_mul(self.reg(rs2)));
+                self.set_reg(rd, v);
+                self.perf.muls += 1;
+            }
+            Instr::PMsu { rd, rs1, rs2 } => {
+                let v = self
+                    .reg(rd)
+                    .wrapping_sub(self.reg(rs1).wrapping_mul(self.reg(rs2)));
+                self.set_reg(rd, v);
+                self.perf.muls += 1;
+            }
+            Instr::PBit { op, rd, rs1 } => {
+                let v = op.eval(self.reg(rs1));
+                self.set_reg(rd, v);
+            }
+            Instr::PExtract { rd, rs1, len, off } => {
+                let v = extract_field(self.reg(rs1), len, off, true);
+                self.set_reg(rd, v);
+            }
+            Instr::PExtractU { rd, rs1, len, off } => {
+                let v = extract_field(self.reg(rs1), len, off, false);
+                self.set_reg(rd, v);
+            }
+            Instr::PInsert { rd, rs1, len, off } => {
+                let mask = field_mask(len) << off;
+                let v = (self.reg(rd) & !mask) | ((self.reg(rs1) << off) & mask);
+                self.set_reg(rd, v);
+            }
+            Instr::LoadPostInc { kind, rd, rs1, offset } => {
+                let addr = self.reg(rs1);
+                let v = self.load_value(bus, kind, addr)?;
+                self.set_reg(rd, v);
+                self.set_reg(rs1, addr.wrapping_add(offset as u32));
+                cycles = timing::MEM_CYCLES;
+            }
+            Instr::LoadPostIncReg { kind, rd, rs1, rs2 } => {
+                let addr = self.reg(rs1);
+                let inc = self.reg(rs2);
+                let v = self.load_value(bus, kind, addr)?;
+                self.set_reg(rd, v);
+                self.set_reg(rs1, addr.wrapping_add(inc));
+                cycles = timing::MEM_CYCLES;
+            }
+            Instr::LoadRegOff { kind, rd, rs1, rs2 } => {
+                let addr = self.reg(rs1).wrapping_add(self.reg(rs2));
+                let v = self.load_value(bus, kind, addr)?;
+                self.set_reg(rd, v);
+                cycles = timing::MEM_CYCLES;
+            }
+            Instr::StorePostInc { kind, rs1, rs2, offset } => {
+                let addr = self.reg(rs1);
+                let v = self.reg(rs2);
+                self.mem_write(bus, addr, kind.size(), v)?;
+                self.set_reg(rs1, addr.wrapping_add(offset as u32));
+                cycles = timing::MEM_CYCLES;
+            }
+            Instr::StorePostIncReg { kind, rs1, rs2, rs3 } => {
+                let addr = self.reg(rs1);
+                let v = self.reg(rs2);
+                let inc = self.reg(rs3);
+                self.mem_write(bus, addr, kind.size(), v)?;
+                self.set_reg(rs1, addr.wrapping_add(inc));
+                cycles = timing::MEM_CYCLES;
+            }
+            Instr::LpStarti { l, offset } => {
+                self.hwloops[l.index()].start = pc.wrapping_add(offset as u32);
+                self.perf.hwloop_setups += 1;
+            }
+            Instr::LpEndi { l, offset } => {
+                self.hwloops[l.index()].end = pc.wrapping_add(offset as u32);
+                self.perf.hwloop_setups += 1;
+            }
+            Instr::LpCount { l, rs1 } => {
+                self.hwloops[l.index()].count = self.reg(rs1);
+                self.perf.hwloop_setups += 1;
+            }
+            Instr::LpCounti { l, imm } => {
+                self.hwloops[l.index()].count = imm;
+                self.perf.hwloop_setups += 1;
+            }
+            Instr::LpSetup { l, rs1, offset } => {
+                let count = self.reg(rs1);
+                let lp = &mut self.hwloops[l.index()];
+                lp.start = pc.wrapping_add(4);
+                lp.end = pc.wrapping_add(offset as u32);
+                lp.count = count;
+                self.perf.hwloop_setups += 1;
+            }
+            Instr::LpSetupi { l, imm, offset } => {
+                let lp = &mut self.hwloops[l.index()];
+                lp.start = pc.wrapping_add(4);
+                lp.end = pc.wrapping_add(offset as u32);
+                lp.count = imm;
+                self.perf.hwloop_setups += 1;
+            }
+            Instr::PvAlu { op, fmt, rd, rs1, op2 } => {
+                let b = self.simd_op2(fmt, op2);
+                let v = op.eval(fmt, self.reg(rs1), b);
+                self.set_reg(rd, v);
+                self.perf.simd_alu[fmt_index(fmt)] += 1;
+            }
+            Instr::PvAbs { fmt, rd, rs1 } => {
+                let v = simd::abs(fmt, self.reg(rs1));
+                self.set_reg(rd, v);
+                self.perf.simd_alu[fmt_index(fmt)] += 1;
+            }
+            Instr::PvExtract { fmt, rd, rs1, idx, signed } => {
+                let v = if signed {
+                    simd::lane_s(fmt, self.reg(rs1), idx as usize) as u32
+                } else {
+                    simd::lane_u(fmt, self.reg(rs1), idx as usize)
+                };
+                self.set_reg(rd, v);
+                self.perf.simd_alu[fmt_index(fmt)] += 1;
+            }
+            Instr::PvInsert { fmt, rd, rs1, idx } => {
+                let v = simd::with_lane(fmt, self.reg(rd), idx as usize, self.reg(rs1));
+                self.set_reg(rd, v);
+                self.perf.simd_alu[fmt_index(fmt)] += 1;
+            }
+            Instr::PvShuffle2 { fmt, rd, rs1, rs2 } => {
+                let v = simd::shuffle2(fmt, self.reg(rd), self.reg(rs1), self.reg(rs2));
+                self.set_reg(rd, v);
+                self.perf.simd_alu[fmt_index(fmt)] += 1;
+            }
+            Instr::PvDot { fmt, sign, rd, rs1, op2 } => {
+                let b = self.simd_op2(fmt, op2);
+                let v = simd::dotp(fmt, sign, self.reg(rs1), b);
+                self.set_reg(rd, v);
+                self.perf.dotp[fmt_index(fmt)] += 1;
+            }
+            Instr::PvSdot { fmt, sign, rd, rs1, op2 } => {
+                let b = self.simd_op2(fmt, op2);
+                let v = simd::sdotp(fmt, sign, self.reg(rd), self.reg(rs1), b);
+                self.set_reg(rd, v);
+                self.perf.dotp[fmt_index(fmt)] += 1;
+            }
+            Instr::PvQnt { fmt, rd, rs1, rs2 } => {
+                let r = quant::execute(bus, fmt, self.reg(rs1), self.reg(rs2))
+                    .map_err(|error| Trap::Bus { pc, error })?;
+                self.set_reg(rd, r.rd);
+                cycles = r.cycles;
+                self.perf.qnt += 1;
+                self.perf.loads += r.fetches as u64;
+                self.perf.stall_cycles += cycles - 1;
+            }
+        }
+
+        if !explicit_jump {
+            next_pc = self.hwloop_next_pc(pc, ilen, next_pc);
+        }
+        self.perf.cycles += cycles;
+        self.pc = next_pc;
+        Ok(false)
+    }
+
+    /// Runs like [`Core::run`] but calls `trace` with `(pc, instruction)`
+    /// before each instruction retires — the simulator's equivalent of an
+    /// RTL waveform for control flow.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`Trap`] raised by [`Core::step`].
+    pub fn run_traced<B: Bus>(
+        &mut self,
+        bus: &mut B,
+        max_cycles: u64,
+        mut trace: impl FnMut(u32, &Instr),
+    ) -> Result<ExitStatus, Trap> {
+        let limit = self.perf.cycles.saturating_add(max_cycles);
+        while self.perf.cycles < limit {
+            let (instr, _) = self.fetch_decode(bus)?;
+            trace(self.pc, &instr);
+            if self.step(bus)? {
+                return Ok(ExitStatus {
+                    halted: true,
+                    exit_code: self.reg(Reg::A0),
+                    pc: self.pc,
+                });
+            }
+        }
+        Ok(ExitStatus { halted: false, exit_code: self.reg(Reg::A0), pc: self.pc })
+    }
+
+    /// Runs until `ecall`, a trap, or the cycle budget is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`Trap`] raised by [`Core::step`].
+    pub fn run<B: Bus>(&mut self, bus: &mut B, max_cycles: u64) -> Result<ExitStatus, Trap> {
+        let limit = self.perf.cycles.saturating_add(max_cycles);
+        while self.perf.cycles < limit {
+            if self.step(bus)? {
+                return Ok(ExitStatus {
+                    halted: true,
+                    exit_code: self.reg(Reg::A0),
+                    pc: self.pc,
+                });
+            }
+        }
+        Ok(ExitStatus { halted: false, exit_code: self.reg(Reg::A0), pc: self.pc })
+    }
+}
+
+impl Default for Core {
+    fn default() -> Self {
+        Core::new(IsaConfig::default())
+    }
+}
+
+#[inline]
+fn field_mask(len: u8) -> u32 {
+    if len >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << len) - 1
+    }
+}
+
+#[inline]
+fn extract_field(value: u32, len: u8, off: u8, signed: bool) -> u32 {
+    let raw = (value >> off) & field_mask(len);
+    if signed && len < 32 && (raw >> (len - 1)) & 1 == 1 {
+        raw | !field_mask(len)
+    } else {
+        raw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::SliceMem;
+    use pulp_asm::Asm;
+    use pulp_isa::instr::{AluOp, LoopIdx};
+    use pulp_isa::simd::DotSign;
+
+    fn run_asm(build: impl FnOnce(&mut Asm)) -> (Core, SliceMem) {
+        run_asm_isa(IsaConfig::xpulpnn(), build)
+    }
+
+    fn run_asm_isa(isa: IsaConfig, build: impl FnOnce(&mut Asm)) -> (Core, SliceMem) {
+        let mut a = Asm::new(0);
+        build(&mut a);
+        let prog = a.assemble().expect("assembly failed");
+        let mut mem = SliceMem::new(0, 1 << 16);
+        mem.load_program(&prog);
+        let mut core = Core::new(isa);
+        core.pc = prog.base;
+        let exit = core.run(&mut mem, 1_000_000).expect("trap");
+        assert!(exit.halted, "program did not halt");
+        (core, mem)
+    }
+
+    #[test]
+    fn arithmetic_program() {
+        let (core, _) = run_asm(|a| {
+            a.li(Reg::A0, 6);
+            a.li(Reg::A1, 7);
+            a.i(Instr::MulDiv {
+                op: pulp_isa::instr::MulDivOp::Mul,
+                rd: Reg::A2,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+            });
+            a.ecall();
+        });
+        assert_eq!(core.reg(Reg::A2), 42);
+        assert_eq!(core.perf.muls, 1);
+    }
+
+    #[test]
+    fn loads_stores_and_memory() {
+        let (core, mem) = run_asm(|a| {
+            a.li(Reg::A0, 0x1000);
+            a.li(Reg::A1, -2);
+            a.sw(Reg::A1, 0, Reg::A0);
+            a.lbu(Reg::A2, 0, Reg::A0);
+            a.lw(Reg::A3, 0, Reg::A0);
+            a.i(Instr::Load { kind: LoadKind::Half, rd: Reg::A4, rs1: Reg::A0, offset: 0 });
+            a.ecall();
+        });
+        assert_eq!(core.reg(Reg::A2), 0xfe);
+        assert_eq!(core.reg(Reg::A3), 0xffff_fffe);
+        assert_eq!(core.reg(Reg::A4), 0xffff_fffe);
+        assert_eq!(mem.as_bytes()[0x1000], 0xfe);
+        assert_eq!(core.perf.loads, 3);
+        assert_eq!(core.perf.stores, 1);
+    }
+
+    #[test]
+    fn branch_loop_cycle_accounting() {
+        // 3-iteration countdown: per iteration addi(1) + taken bne(3),
+        // last bne not taken (1).
+        let (core, _) = run_asm(|a| {
+            a.li(Reg::A0, 3);
+            a.label("top");
+            a.addi(Reg::A0, Reg::A0, -1);
+            a.bne(Reg::A0, Reg::Zero, "top");
+            a.ecall();
+        });
+        // li(1) + 3*addi + 2 taken bne (3 each) + 1 not-taken bne + ecall
+        let expected = 1 + 3 + 2 * 3 + 1 + 1;
+        assert_eq!(core.perf.cycles, expected);
+        assert_eq!(core.perf.branches, 3);
+        assert_eq!(core.perf.branches_taken, 2);
+    }
+
+    #[test]
+    fn jumps_link_and_cost_two_cycles() {
+        let (core, _) = run_asm(|a| {
+            a.jal("fn"); // links ra
+            a.ecall();
+            a.label("fn");
+            a.li(Reg::A0, 99);
+            a.ret();
+        });
+        assert_eq!(core.reg(Reg::A0), 99);
+        assert_eq!(core.perf.jumps, 2);
+        // jal(2) + li(1) + ret(2) + ecall(1)
+        assert_eq!(core.perf.cycles, 6);
+    }
+
+    #[test]
+    fn hardware_loop_zero_overhead() {
+        let n = 10u32;
+        let (core, _) = run_asm(|a| {
+            a.li(Reg::T0, n as i32);
+            a.lp_setup(LoopIdx::L0, Reg::T0, "end");
+            a.addi(Reg::A0, Reg::A0, 1);
+            a.addi(Reg::A1, Reg::A1, 2);
+            a.label("end");
+            a.ecall();
+        });
+        assert_eq!(core.reg(Reg::A0), n);
+        assert_eq!(core.reg(Reg::A1), 2 * n);
+        // li + lp.setup + 2n body + ecall, zero loop overhead.
+        assert_eq!(core.perf.cycles, (2 + 2 * n as u64) + 1);
+        assert_eq!(core.perf.hwloop_backs, (n - 1) as u64);
+    }
+
+    #[test]
+    fn nested_hardware_loops() {
+        let (core, _) = run_asm(|a| {
+            a.li(Reg::T0, 4);
+            a.li(Reg::T1, 5);
+            a.lp_setup(LoopIdx::L1, Reg::T0, "outer_end");
+            a.lp_setup(LoopIdx::L0, Reg::T1, "inner_end");
+            a.addi(Reg::A0, Reg::A0, 1);
+            a.label("inner_end");
+            a.addi(Reg::A1, Reg::A1, 1);
+            a.label("outer_end");
+            a.ecall();
+        });
+        assert_eq!(core.reg(Reg::A0), 20, "inner body runs 4*5 times");
+        assert_eq!(core.reg(Reg::A1), 4, "outer tail runs 4 times");
+    }
+
+    #[test]
+    fn single_instruction_hw_loop_body() {
+        let (core, _) = run_asm(|a| {
+            a.li(Reg::T0, 7);
+            a.lp_setup(LoopIdx::L0, Reg::T0, "end");
+            a.addi(Reg::A0, Reg::A0, 3);
+            a.label("end");
+            a.ecall();
+        });
+        assert_eq!(core.reg(Reg::A0), 21);
+    }
+
+    #[test]
+    fn post_increment_load_walks_array() {
+        let (core, _) = run_asm(|a| {
+            a.li(Reg::A1, 0x2000);
+            a.li(Reg::T2, 3);
+            // store 3 words: 5, 6, 7
+            a.li(Reg::T0, 5);
+            a.sw(Reg::T0, 0, Reg::A1);
+            a.li(Reg::T0, 6);
+            a.sw(Reg::T0, 4, Reg::A1);
+            a.li(Reg::T0, 7);
+            a.sw(Reg::T0, 8, Reg::A1);
+            a.lp_setup(LoopIdx::L0, Reg::T2, "end");
+            a.p_lw_postinc(Reg::T1, 4, Reg::A1);
+            a.add(Reg::A0, Reg::A0, Reg::T1);
+            a.label("end");
+            a.ecall();
+        });
+        assert_eq!(core.reg(Reg::A0), 18);
+        assert_eq!(core.reg(Reg::A1), 0x2000 + 12);
+    }
+
+    #[test]
+    fn simd_dotp_instruction_execution() {
+        let (core, _) = run_asm(|a| {
+            a.li(Reg::A1, 0x0102_0304u32 as i32); // bytes 4,3,2,1
+            a.li(Reg::A2, 0x0101_0101u32 as i32); // bytes 1,1,1,1
+            a.li(Reg::A0, 100);
+            a.pv_sdot(SimdFmt::Byte, DotSign::SignedSigned, Reg::A0, Reg::A1, Reg::A2);
+            a.ecall();
+        });
+        assert_eq!(core.reg(Reg::A0), 110);
+        assert_eq!(core.perf.dotp[fmt_index(SimdFmt::Byte)], 1);
+        assert_eq!(core.perf.total_macs(), 4);
+    }
+
+    #[test]
+    fn sub_byte_simd_traps_on_baseline_core() {
+        let mut a = Asm::new(0);
+        a.pv_sdot(SimdFmt::Nibble, DotSign::SignedSigned, Reg::A0, Reg::A1, Reg::A2);
+        a.ecall();
+        let prog = a.assemble().unwrap();
+        let mut mem = SliceMem::new(0, 4096);
+        mem.load_program(&prog);
+        let mut core = Core::new(IsaConfig::xpulpv2());
+        core.pc = prog.base;
+        let e = core.run(&mut mem, 100).unwrap_err();
+        assert_eq!(e, Trap::ExtensionFault { pc: 0, required: "xpulpnn" });
+        // The same program runs on the extended core.
+        let mut core = Core::new(IsaConfig::xpulpnn());
+        core.pc = prog.base;
+        assert!(core.run(&mut mem, 100).unwrap().halted);
+    }
+
+    #[test]
+    fn xpulpv2_traps_on_rv32im_core() {
+        let mut a = Asm::new(0);
+        a.p_lw_postinc(Reg::A0, 4, Reg::A1);
+        a.ecall();
+        let prog = a.assemble().unwrap();
+        let mut mem = SliceMem::new(0, 4096);
+        mem.load_program(&prog);
+        let mut core = Core::new(IsaConfig::rv32im());
+        core.pc = prog.base;
+        let e = core.run(&mut mem, 100).unwrap_err();
+        assert_eq!(e, Trap::ExtensionFault { pc: 0, required: "xpulpv2" });
+    }
+
+    #[test]
+    fn pv_qnt_executes_with_paper_latency() {
+        use crate::quant::{eytzinger, tree_stride};
+        let sorted: Vec<i16> = (1..16).map(|i| i * 10).collect();
+        let (core, _) = {
+            let mut a = Asm::new(0);
+            // Build threshold data inline at 0x4000 and 0x4000+stride.
+            a.equ("thr", 0x4000);
+            a.la(Reg::A2, "thr");
+            a.li(Reg::A1, (45u32 | (1000u32 << 16)) as i32); // -> bins 4, 15
+            a.pv_qnt(SimdFmt::Nibble, Reg::A0, Reg::A1, Reg::A2);
+            a.ecall();
+            let prog = a.assemble().unwrap();
+            let mut mem = SliceMem::new(0, 1 << 16);
+            mem.load_program(&prog);
+            let heap = eytzinger(&sorted);
+            for (i, t) in heap.iter().enumerate() {
+                mem.write(0x4000 + (i as u32) * 2, 2, *t as u16 as u32).unwrap();
+                mem.write(
+                    0x4000 + tree_stride(SimdFmt::Nibble) + (i as u32) * 2,
+                    2,
+                    *t as u16 as u32,
+                )
+                .unwrap();
+            }
+            let mut core = Core::new(IsaConfig::xpulpnn());
+            core.pc = prog.base;
+            core.run(&mut mem, 1000).unwrap();
+            (core, mem)
+        };
+        assert_eq!(core.reg(Reg::A0), 4 | (15 << 4));
+        assert_eq!(core.perf.qnt, 1);
+        // la(2 instr) + li(2: lui+addi since value > 2048... actually
+        // 45 | 1000<<16 is large) + qnt(9) + ecall(1); just check the qnt
+        // contribution is present via stall cycles >= 8.
+        assert!(core.perf.stall_cycles >= 8);
+    }
+
+    #[test]
+    fn misaligned_store_costs_a_stall() {
+        let (core, _) = run_asm(|a| {
+            a.li(Reg::A0, 0x1002);
+            a.li(Reg::A1, 0x0a0b_0c0d);
+            a.sw(Reg::A1, 0, Reg::A0); // crosses word boundary
+            a.ecall();
+        });
+        assert_eq!(core.perf.stall_cycles, 1);
+    }
+
+    #[test]
+    fn bit_field_ops() {
+        let (core, _) = run_asm(|a| {
+            a.li(Reg::A1, 0x0000_ff00u32 as i32);
+            a.i(Instr::PExtract { rd: Reg::A2, rs1: Reg::A1, len: 8, off: 8 });
+            a.i(Instr::PExtractU { rd: Reg::A3, rs1: Reg::A1, len: 8, off: 8 });
+            a.li(Reg::A4, 0x5);
+            a.i(Instr::PInsert { rd: Reg::A1, rs1: Reg::A4, len: 4, off: 0 });
+            a.ecall();
+        });
+        assert_eq!(core.reg(Reg::A2), 0xffff_ffff); // sign-extended 0xff
+        assert_eq!(core.reg(Reg::A3), 0xff);
+        assert_eq!(core.reg(Reg::A1), 0x0000_ff05);
+    }
+
+    #[test]
+    fn clip_matches_paper_semantics() {
+        let (core, _) = run_asm(|a| {
+            a.li(Reg::A1, 1000);
+            a.i(Instr::PClip { rd: Reg::A2, rs1: Reg::A1, bits: 8 });
+            a.li(Reg::A1, -1000);
+            a.i(Instr::PClip { rd: Reg::A3, rs1: Reg::A1, bits: 8 });
+            a.i(Instr::PClipU { rd: Reg::A4, rs1: Reg::A1, bits: 8 });
+            a.ecall();
+        });
+        assert_eq!(core.reg(Reg::A2) as i32, 127);
+        assert_eq!(core.reg(Reg::A3) as i32, -128);
+        assert_eq!(core.reg(Reg::A4), 0);
+    }
+
+    #[test]
+    fn csr_cycle_counter_visible() {
+        let (core, _) = run_asm(|a| {
+            a.nop();
+            a.nop();
+            a.i(Instr::Csr { op: 1, rd: Reg::A0, rs1: Reg::Zero, csr: pulp_isa::csr::MCYCLE });
+            a.ecall();
+        });
+        assert_eq!(core.reg(Reg::A0), 2);
+    }
+
+    #[test]
+    fn illegal_instruction_traps() {
+        let mut mem = SliceMem::new(0, 64);
+        mem.write(0, 4, 0xffff_ffff).unwrap();
+        let mut core = Core::new(IsaConfig::xpulpnn());
+        let e = core.run(&mut mem, 10).unwrap_err();
+        assert_eq!(e, Trap::IllegalInstruction { pc: 0, word: 0xffff_ffff });
+    }
+
+    #[test]
+    fn bus_fault_traps_with_pc() {
+        let mut a = Asm::new(0);
+        a.li(Reg::A0, 0x4000_0000u32 as i32);
+        a.lw(Reg::A1, 0, Reg::A0);
+        a.ecall();
+        let prog = a.assemble().unwrap();
+        let mut mem = SliceMem::new(0, 4096);
+        mem.load_program(&prog);
+        let mut core = Core::new(IsaConfig::xpulpnn());
+        let e = core.run(&mut mem, 100).unwrap_err();
+        assert!(matches!(e, Trap::Bus { .. }));
+    }
+
+    #[test]
+    fn run_respects_cycle_budget() {
+        let mut a = Asm::new(0);
+        a.label("spin");
+        a.j("spin");
+        let prog = a.assemble().unwrap();
+        let mut mem = SliceMem::new(0, 64);
+        mem.load_program(&prog);
+        let mut core = Core::new(IsaConfig::xpulpnn());
+        let exit = core.run(&mut mem, 100).unwrap();
+        assert!(!exit.halted);
+        assert!(core.perf.cycles >= 100);
+    }
+
+    #[test]
+    fn x0_writes_discarded() {
+        let (core, _) = run_asm(|a| {
+            a.i(Instr::AluImm { op: AluOp::Add, rd: Reg::Zero, rs1: Reg::Zero, imm: 5 });
+            a.ecall();
+        });
+        assert_eq!(core.reg(Reg::Zero), 0);
+    }
+
+    #[test]
+    fn run_is_resumable_in_one_cycle_chunks() {
+        // Interrupting and resuming the simulation (budget exhaustion)
+        // must be invisible: chunked execution lands on the same state
+        // and cycle count as a single run.
+        let build = |a: &mut Asm| {
+            a.li(Reg::A0, 5);
+            a.label("top");
+            a.addi(Reg::A1, Reg::A1, 3);
+            a.addi(Reg::A0, Reg::A0, -1);
+            a.bne(Reg::A0, Reg::Zero, "top");
+            a.ecall();
+        };
+        let mut a = Asm::new(0);
+        build(&mut a);
+        let prog = a.assemble().unwrap();
+
+        let mut mem1 = SliceMem::new(0, 4096);
+        mem1.load_program(&prog);
+        let mut once = Core::new(IsaConfig::xpulpnn());
+        let exit_once = once.run(&mut mem1, 10_000).unwrap();
+
+        let mut mem2 = SliceMem::new(0, 4096);
+        mem2.load_program(&prog);
+        let mut chunked = Core::new(IsaConfig::xpulpnn());
+        let exit_chunked = loop {
+            let e = chunked.run(&mut mem2, 1).unwrap();
+            if e.halted {
+                break e;
+            }
+        };
+        assert_eq!(exit_once, exit_chunked);
+        assert_eq!(once.regs, chunked.regs);
+        assert_eq!(once.perf.cycles, chunked.perf.cycles);
+        assert_eq!(once.perf, chunked.perf);
+    }
+
+    #[test]
+    fn run_traced_reports_every_retired_instruction() {
+        let mut a = Asm::new(0);
+        a.li(Reg::A0, 3);
+        a.label("top");
+        a.addi(Reg::A0, Reg::A0, -1);
+        a.bne(Reg::A0, Reg::Zero, "top");
+        a.ecall();
+        let prog = a.assemble().unwrap();
+        let mut mem = SliceMem::new(0, 4096);
+        mem.load_program(&prog);
+        let mut core = Core::new(IsaConfig::xpulpnn());
+        let mut trace = Vec::new();
+        let exit = core
+            .run_traced(&mut mem, 1000, |pc, i| trace.push((pc, i.to_string())))
+            .unwrap();
+        assert!(exit.halted);
+        assert_eq!(trace.len() as u64, core.perf.instret);
+        assert_eq!(trace[0].0, 0);
+        assert!(trace[0].1.starts_with("addi a0"));
+        assert!(trace.last().unwrap().1.contains("ecall"));
+        // The loop body appears three times.
+        assert_eq!(trace.iter().filter(|(_, t)| t == "addi a0, a0, -1").count(), 3);
+    }
+
+    #[test]
+    fn compressed_instructions_execute() {
+        use pulp_isa::compressed::compress;
+        // Hand-place a mixed 16/32-bit stream:
+        //   c.li a0, 5 ; c.addi a0, 3 ; c.mv a1, a0 ; ecall
+        let parcels = [
+            compress(&Instr::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::Zero, imm: 5 })
+                .unwrap(),
+            compress(&Instr::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: 3 })
+                .unwrap(),
+            compress(&Instr::Alu { op: AluOp::Add, rd: Reg::A1, rs1: Reg::Zero, rs2: Reg::A0 })
+                .unwrap(),
+        ];
+        let mut mem = SliceMem::new(0, 64);
+        let mut addr = 0;
+        for p in parcels {
+            mem.write(addr, 2, p as u32).unwrap();
+            addr += 2;
+        }
+        mem.write(addr, 4, pulp_isa::encode::encode(&Instr::Ecall)).unwrap();
+        let mut core = Core::new(IsaConfig::xpulpnn());
+        let exit = core.run(&mut mem, 100).unwrap();
+        assert!(exit.halted);
+        assert_eq!(core.reg(Reg::A0), 8);
+        assert_eq!(core.reg(Reg::A1), 8);
+        assert_eq!(core.perf.instret, 4);
+        // RVC trades size, not cycles.
+        assert_eq!(core.perf.cycles, 4);
+    }
+
+    #[test]
+    fn compressed_jal_links_narrow_return_address() {
+        use pulp_isa::compressed::compress;
+        let mut mem = SliceMem::new(0, 64);
+        // 0x00: c.jal +6  (to 0x06)
+        // 0x02: ecall (32-bit, at the return point... place return at 0x02)
+        let cjal = compress(&Instr::Jal { rd: Reg::Ra, offset: 6 }).unwrap();
+        mem.write(0, 2, cjal as u32).unwrap();
+        mem.write(2, 4, pulp_isa::encode::encode(&Instr::Ecall)).unwrap();
+        // 0x06: c.jr ra (returns to 0x02)
+        let cjr = compress(&Instr::Jalr { rd: Reg::Zero, rs1: Reg::Ra, offset: 0 }).unwrap();
+        mem.write(6, 2, cjr as u32).unwrap();
+        let mut core = Core::new(IsaConfig::xpulpnn());
+        let exit = core.run(&mut mem, 100).unwrap();
+        assert!(exit.halted);
+        assert_eq!(core.reg(Reg::Ra), 2, "c.jal links pc + 2");
+    }
+
+    #[test]
+    fn all_zero_parcel_is_illegal() {
+        let mut mem = SliceMem::new(0, 16);
+        let mut core = Core::new(IsaConfig::xpulpnn());
+        let e = core.run(&mut mem, 10).unwrap_err();
+        assert_eq!(e, Trap::IllegalInstruction { pc: 0, word: 0 });
+    }
+
+    #[test]
+    fn exit_code_is_a0() {
+        let (core, _) = run_asm(|a| {
+            a.li(Reg::A0, 17);
+            a.ecall();
+        });
+        assert_eq!(core.reg(Reg::A0), 17);
+    }
+}

@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! Cycle-approximate model of the extended RI5CY core from the XpulpNN
+//! paper.
+//!
+//! The real artifact is RTL: a 4-stage, in-order, single-issue RV32IMC
+//! pipeline with the XpulpV2 DSP extension, further extended with the
+//! XpulpNN sub-byte SIMD datapath and the multi-cycle quantization unit
+//! (paper §III-B). This crate substitutes a software model that preserves
+//! the two properties the paper's evaluation depends on:
+//!
+//! 1. **architectural behaviour** — every instruction's result is
+//!    bit-accurate (shared lane semantics with [`pulp_isa::simd`]);
+//! 2. **cycle counts** — the timing rules in [`timing`] reproduce the
+//!    per-instruction latencies of the documented microarchitecture
+//!    (single-cycle TCDM loads, taken-branch penalty, zero-overhead
+//!    hardware loops, 9/5-cycle `pv.qnt`).
+//!
+//! The core is generic over a [`Bus`] so the SoC model (`pulp-soc`)
+//! provides memory and peripherals. [`IsaConfig`] gates the extensions:
+//! a baseline RI5CY (`XpulpV2` only) traps on XpulpNN instructions, which
+//! is how the paper's baseline/extended comparison is modelled.
+//!
+//! # Example
+//!
+//! ```
+//! use riscv_core::{Core, IsaConfig, SliceMem};
+//! use pulp_asm::Asm;
+//! use pulp_isa::Reg;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut a = Asm::new(0);
+//! a.li(Reg::A0, 21);
+//! a.add(Reg::A0, Reg::A0, Reg::A0);
+//! a.ecall();
+//! let prog = a.assemble()?;
+//!
+//! let mut mem = SliceMem::new(0, 4096);
+//! mem.load_program(&prog);
+//! let mut core = Core::new(IsaConfig::xpulpnn());
+//! core.pc = prog.base;
+//! let exit = core.run(&mut mem, 1_000)?;
+//! assert_eq!(core.regs[Reg::A0.index()], 42);
+//! assert!(exit.halted);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bus;
+pub mod core;
+pub mod perf;
+pub mod quant;
+pub mod timing;
+
+pub use crate::core::{Core, ExitStatus, IsaConfig, Trap};
+pub use bus::{Bus, BusError, SliceMem};
+pub use perf::PerfCounters;

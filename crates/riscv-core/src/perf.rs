@@ -1,0 +1,136 @@
+//! Performance counters: the model's equivalent of RI5CY's performance
+//! counter unit, extended with the per-format event counts the power
+//! model (`pulp-power`) uses as activity factors.
+
+use pulp_isa::SimdFmt;
+use std::fmt;
+
+/// Event counters accumulated by the core while executing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerfCounters {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instret: u64,
+    /// Data loads (all addressing forms).
+    pub loads: u64,
+    /// Data stores (all addressing forms).
+    pub stores: u64,
+    /// Conditional branches executed.
+    pub branches: u64,
+    /// Conditional branches taken.
+    pub branches_taken: u64,
+    /// Unconditional jumps (`jal`, `jalr`).
+    pub jumps: u64,
+    /// 32-bit multiplies (including `p.mac`/`p.msu`).
+    pub muls: u64,
+    /// Divisions/remainders.
+    pub divs: u64,
+    /// SIMD ALU operations by lane format `[h, b, n, c]`.
+    pub simd_alu: [u64; 4],
+    /// Dot products / sum-of-dot-products by lane format `[h, b, n, c]`.
+    pub dotp: [u64; 4],
+    /// `pv.qnt` executions (each quantizes two activations).
+    pub qnt: u64,
+    /// Hardware-loop setup instructions.
+    pub hwloop_setups: u64,
+    /// Zero-overhead loop back-edges taken.
+    pub hwloop_backs: u64,
+    /// Stall cycles from misaligned accesses and multi-cycle ops (cycles
+    /// beyond the 1-per-instruction baseline).
+    pub stall_cycles: u64,
+}
+
+/// Index of a lane format in the per-format counter arrays.
+pub fn fmt_index(fmt: SimdFmt) -> usize {
+    match fmt {
+        SimdFmt::Half => 0,
+        SimdFmt::Byte => 1,
+        SimdFmt::Nibble => 2,
+        SimdFmt::Crumb => 3,
+    }
+}
+
+impl PerfCounters {
+    /// Fresh, zeroed counters.
+    pub fn new() -> PerfCounters {
+        PerfCounters::default()
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instret as f64 / self.cycles as f64
+        }
+    }
+
+    /// Total multiply-accumulate operations performed by the dot-product
+    /// unit, counting each lane product (a `pv.sdotsp.c` contributes 16).
+    pub fn total_macs(&self) -> u64 {
+        let lanes = [2u64, 4, 8, 16];
+        self.dotp.iter().zip(lanes).map(|(n, l)| n * l).sum()
+    }
+
+    /// Dot-product unit operations for one format.
+    pub fn dotp_for(&self, fmt: SimdFmt) -> u64 {
+        self.dotp[fmt_index(fmt)]
+    }
+}
+
+impl fmt::Display for PerfCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cycles          {:>12}", self.cycles)?;
+        writeln!(f, "instret         {:>12}  (IPC {:.3})", self.instret, self.ipc())?;
+        writeln!(f, "loads/stores    {:>12} / {}", self.loads, self.stores)?;
+        writeln!(
+            f,
+            "branches        {:>12}  ({} taken), jumps {}",
+            self.branches, self.branches_taken, self.jumps
+        )?;
+        writeln!(
+            f,
+            "dotp [h b n c]  {:>12?}  ({} MACs)",
+            self.dotp,
+            self.total_macs()
+        )?;
+        writeln!(f, "simd alu        {:>12?}", self.simd_alu)?;
+        writeln!(f, "qnt             {:>12}", self.qnt)?;
+        writeln!(
+            f,
+            "hw loops        {:>12} setups, {} back-edges",
+            self.hwloop_setups, self.hwloop_backs
+        )?;
+        write!(f, "stall cycles    {:>12}", self.stall_cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_counting_weights_lane_width() {
+        let mut p = PerfCounters::new();
+        p.dotp[fmt_index(SimdFmt::Byte)] = 10; // 4 lanes
+        p.dotp[fmt_index(SimdFmt::Crumb)] = 3; // 16 lanes
+        assert_eq!(p.total_macs(), 10 * 4 + 3 * 16);
+        assert_eq!(p.dotp_for(SimdFmt::Byte), 10);
+        assert_eq!(p.dotp_for(SimdFmt::Half), 0);
+    }
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        let p = PerfCounters::new();
+        assert_eq!(p.ipc(), 0.0);
+    }
+
+    #[test]
+    fn display_is_nonempty_and_mentions_cycles() {
+        let p = PerfCounters::new();
+        let s = p.to_string();
+        assert!(s.contains("cycles"));
+        assert!(s.contains("dotp"));
+    }
+}

@@ -1,0 +1,256 @@
+//! The XpulpNN quantization unit (`pv.qnt.{n,c}`), paper §III-B2.
+//!
+//! The unit compresses 16-bit MatMul accumulators to 4- or 2-bit
+//! activations with the thresholding-based "staircase" function of
+//! Hubara et al. (paper §II-2, Fig. 2): the result of a `Q`-bit
+//! quantization is the number of pre-trained thresholds strictly below
+//! the input, found by walking a balanced binary tree with one 16-bit
+//! comparison per level.
+//!
+//! # Threshold memory layout
+//!
+//! Each output channel owns one tree of `2^Q − 1` thresholds stored as
+//! 16-bit little-endian values in **Eytzinger (heap) order**: the root at
+//! offset 0, node `k`'s children at `2k` and `2k+1` (1-indexed). The
+//! storage is padded to `2^Q` entries so consecutive channels start at a
+//! fixed stride of [`tree_stride`] bytes — this is the hard-wired offset
+//! the hardware adds to reach the second activation's tree without a
+//! third source operand (§III-B2).
+//!
+//! # Timing
+//!
+//! The pipelined two-activation walk takes `2Q + 1` cycles: 9 for nibble,
+//! 5 for crumb ([`crate::timing::qnt_cycles`]). The only stall source is
+//! a misaligned threshold access, matching the paper's note that memory
+//! stalls "rarely happen … the only cause concerns misaligned accesses".
+
+use crate::bus::{Bus, BusError};
+use crate::timing;
+use pulp_isa::SimdFmt;
+
+/// Number of 16-bit entries reserved per threshold tree (`2^Q`, i.e. the
+/// `2^Q − 1` thresholds plus one alignment pad).
+///
+/// # Panics
+///
+/// Panics for non-sub-byte formats.
+pub const fn tree_entries(fmt: SimdFmt) -> usize {
+    match fmt {
+        SimdFmt::Nibble => 16,
+        SimdFmt::Crumb => 4,
+        _ => panic!("pv.qnt trees exist only for nibble/crumb"),
+    }
+}
+
+/// Byte stride between the threshold trees of consecutive output
+/// channels — the unit's hard-wired second-tree offset.
+pub const fn tree_stride(fmt: SimdFmt) -> u32 {
+    (tree_entries(fmt) * 2) as u32
+}
+
+/// Rearranges sorted thresholds into the Eytzinger (heap) order the
+/// quantization unit walks.
+///
+/// `sorted` must hold `2^Q − 1` non-decreasing thresholds. The returned
+/// vector has `2^Q` entries (padded with `i16::MAX`).
+///
+/// # Panics
+///
+/// Panics if `sorted.len() + 1` is not a power of two.
+pub fn eytzinger(sorted: &[i16]) -> Vec<i16> {
+    let n = sorted.len();
+    assert!((n + 1).is_power_of_two(), "tree wants 2^Q - 1 thresholds, got {n}");
+    let mut out = vec![i16::MAX; n + 1];
+    // Standard recursive in-order fill of the implicit heap.
+    fn fill(sorted: &[i16], next: &mut usize, out: &mut [i16], k: usize) {
+        if k <= sorted.len() {
+            fill(sorted, next, out, 2 * k);
+            out[k - 1] = sorted[*next];
+            *next += 1;
+            fill(sorted, next, out, 2 * k + 1);
+        }
+    }
+    let mut next = 0;
+    fill(sorted, &mut next, &mut out, 1);
+    out
+}
+
+/// The direct (non-tree) staircase function: number of thresholds
+/// strictly below `x`. This is the architectural definition the tree
+/// walk must agree with; the property tests check the equivalence.
+pub fn staircase(sorted: &[i16], x: i16) -> u8 {
+    sorted.iter().take_while(|t| **t < x).count() as u8
+}
+
+/// Result of executing one `pv.qnt` instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QntResult {
+    /// Destination value: `q0 | (q1 << Q)`.
+    pub rd: u32,
+    /// Total latency in cycles, including misalignment stalls.
+    pub cycles: u64,
+    /// Number of threshold fetches performed (2·Q).
+    pub fetches: u32,
+}
+
+/// Walks one threshold tree for input `x`, returning the quantized value
+/// and the number of misaligned fetches encountered.
+fn walk<B: Bus>(bus: &mut B, base: u32, q_bits: u32, x: i16) -> Result<(u8, u64), BusError> {
+    let mut k: u32 = 1;
+    let mut result: u8 = 0;
+    let mut misaligned = 0u64;
+    for _ in 0..q_bits {
+        let addr = base + (k - 1) * 2;
+        if timing::crosses_word_boundary(addr, 2) {
+            misaligned += 1;
+        }
+        let t = bus.read(addr, 2)? as u16 as i16;
+        let bit = (x > t) as u32;
+        k = 2 * k + bit;
+        result = (result << 1) | bit as u8;
+    }
+    Ok((result, misaligned))
+}
+
+/// Executes `pv.qnt.<fmt> rd, rs1, rs2`.
+///
+/// `rs1` packs two 16-bit signed activations (low, high); `rs2` holds the
+/// base address of the first activation's tree. The second tree is at
+/// `rs2 + tree_stride(fmt)` — consecutive output channels, as laid out by
+/// the kernel library.
+///
+/// # Errors
+///
+/// Propagates a [`BusError`] if a threshold fetch leaves mapped memory.
+///
+/// # Panics
+///
+/// Panics for non-sub-byte formats (the decoder never produces them).
+pub fn execute<B: Bus>(bus: &mut B, fmt: SimdFmt, rs1: u32, rs2: u32) -> Result<QntResult, BusError> {
+    let q_bits = fmt.bits();
+    let x0 = rs1 as u16 as i16;
+    let x1 = (rs1 >> 16) as u16 as i16;
+    let (q0, mis0) = walk(bus, rs2, q_bits, x0)?;
+    let (q1, mis1) = walk(bus, rs2 + tree_stride(fmt), q_bits, x1)?;
+    Ok(QntResult {
+        rd: (q0 as u32) | ((q1 as u32) << q_bits),
+        cycles: timing::qnt_cycles(fmt) + (mis0 + mis1) * timing::MISALIGN_PENALTY,
+        fetches: 2 * q_bits,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::SliceMem;
+
+    fn store_tree(mem: &mut SliceMem, base: u32, sorted: &[i16]) {
+        for (i, t) in eytzinger(sorted).iter().enumerate() {
+            mem.write(base + (i as u32) * 2, 2, *t as u16 as u32).unwrap();
+        }
+    }
+
+    #[test]
+    fn eytzinger_of_sorted_tree() {
+        // 7 thresholds -> heap [t3, t1, t5, t0, t2, t4, t6] + pad.
+        let sorted = [10i16, 20, 30, 40, 50, 60, 70];
+        let heap = eytzinger(&sorted);
+        assert_eq!(heap, vec![40, 20, 60, 10, 30, 50, 70, i16::MAX]);
+    }
+
+    #[test]
+    #[should_panic(expected = "2^Q - 1")]
+    fn eytzinger_rejects_bad_length() {
+        eytzinger(&[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn tree_walk_equals_staircase_nibble() {
+        let sorted: Vec<i16> = (0..15).map(|i| (i as i16) * 100 - 700).collect();
+        let mut mem = SliceMem::new(0x1000, 64);
+        store_tree(&mut mem, 0x1000, &sorted);
+        for x in (-1000i16..1000).step_by(37) {
+            let (q, _) = walk(&mut mem, 0x1000, 4, x).unwrap();
+            assert_eq!(q, staircase(&sorted, x), "x = {x}");
+        }
+        // Exactly at a threshold: strict comparison keeps the lower bin.
+        let (q, _) = walk(&mut mem, 0x1000, 4, -700).unwrap();
+        assert_eq!(q, 0);
+        let (q, _) = walk(&mut mem, 0x1000, 4, -699).unwrap();
+        assert_eq!(q, 1);
+    }
+
+    #[test]
+    fn tree_walk_equals_staircase_crumb() {
+        let sorted = [-50i16, 0, 50];
+        let mut mem = SliceMem::new(0, 16);
+        store_tree(&mut mem, 0, &sorted);
+        for (x, want) in [(-100, 0u8), (-50, 0), (-49, 1), (0, 1), (1, 2), (50, 2), (51, 3)] {
+            let (q, _) = walk(&mut mem, 0, 2, x).unwrap();
+            assert_eq!(q, want, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn execute_packs_two_channels() {
+        // Channel 0 tree: thresholds at 0,100,200; channel 1 at 0,10,20.
+        let mut mem = SliceMem::new(0, 32);
+        store_tree(&mut mem, 0, &[0, 100, 200]);
+        store_tree(&mut mem, tree_stride(SimdFmt::Crumb), &[0, 10, 20]);
+        // x0 = 150 -> bin 2; x1 = 15 -> bin 2.
+        let rs1 = (150u32) | ((15u32) << 16);
+        let r = execute(&mut mem, SimdFmt::Crumb, rs1, 0).unwrap();
+        assert_eq!(r.rd, 2 | (2 << 2));
+        assert_eq!(r.cycles, 5);
+        assert_eq!(r.fetches, 4);
+    }
+
+    #[test]
+    fn execute_nibble_latency_and_packing() {
+        let sorted: Vec<i16> = (1..16).map(|i| i * 10).collect();
+        let mut mem = SliceMem::new(0, 64);
+        store_tree(&mut mem, 0, &sorted);
+        store_tree(&mut mem, tree_stride(SimdFmt::Nibble), &sorted);
+        // x0 = 5 -> 0 thresholds below; x1 = 1000 -> all 15 below.
+        let rs1 = 5u32 | (1000u32 << 16);
+        let r = execute(&mut mem, SimdFmt::Nibble, rs1, 0).unwrap();
+        assert_eq!(r.rd, 0 | (15 << 4));
+        assert_eq!(r.cycles, 9);
+        assert_eq!(r.fetches, 8);
+    }
+
+    #[test]
+    fn misaligned_tree_base_costs_stalls() {
+        let sorted = [-50i16, 0, 50];
+        let mut mem = SliceMem::new(0, 64);
+        // Base at an odd address: every 16-bit fetch is misaligned.
+        let base = 1u32;
+        for (i, t) in eytzinger(&sorted).iter().enumerate() {
+            mem.write(base + (i as u32) * 2, 2, *t as u16 as u32).unwrap();
+        }
+        for (i, t) in eytzinger(&sorted).iter().enumerate() {
+            mem.write(base + tree_stride(SimdFmt::Crumb) + (i as u32) * 2, 2, *t as u16 as u32)
+                .unwrap();
+        }
+        let r = execute(&mut mem, SimdFmt::Crumb, 0, base).unwrap();
+        // Fetch addresses are 1, 3, 9, 11; only those at addr % 4 == 3
+        // cross a word boundary (the TCDM port is 32-bit), so two of the
+        // four fetches stall.
+        assert_eq!(r.cycles, 5 + 2);
+    }
+
+    #[test]
+    fn negative_activations_quantize() {
+        let sorted: Vec<i16> = (-7..8).map(|i| i * 10).collect();
+        assert_eq!(sorted.len(), 15);
+        let mut mem = SliceMem::new(0, 64);
+        store_tree(&mut mem, 0, &sorted);
+        store_tree(&mut mem, tree_stride(SimdFmt::Nibble), &sorted);
+        let x0 = -200i16; // below all -> 0
+        let x1 = -35i16; // thresholds -70..-40 below -> 4
+        let rs1 = (x0 as u16 as u32) | ((x1 as u16 as u32) << 16);
+        let r = execute(&mut mem, SimdFmt::Nibble, rs1, 0).unwrap();
+        assert_eq!(r.rd & 0xf, 0);
+        assert_eq!((r.rd >> 4) & 0xf, staircase(&sorted, x1) as u32);
+    }
+}

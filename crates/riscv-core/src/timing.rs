@@ -1,0 +1,110 @@
+//! The cycle-cost rules of the RI5CY pipeline model.
+//!
+//! RI5CY (CV32E40P) is a 4-stage in-order single-issue pipeline, so to
+//! first order `cycles = instructions + stalls`. The constants below
+//! follow the documented CV32E40P instruction timings and the latencies
+//! the XpulpNN paper states for its added units:
+//!
+//! | event | cycles | source |
+//! |---|---|---|
+//! | ALU / SIMD / MAC / dotp / sdotp | 1 | §III-B1: dotp unit is single-cycle by construction |
+//! | load / store (TCDM hit) | 1 | PULPissimo single-cycle TCDM |
+//! | misaligned load / store | +1 | RI5CY splits into two accesses |
+//! | jump (`jal`/`jalr`) | 2 | CV32E40P manual |
+//! | branch, not taken | 1 | CV32E40P manual |
+//! | branch, taken | 3 | CV32E40P manual (2-cycle penalty) |
+//! | `mul` | 1 | CV32E40P manual |
+//! | `mulh*` | 5 | CV32E40P manual |
+//! | `div`/`rem` | 3–35, operand dependent | CV32E40P manual |
+//! | hardware-loop back-edge | 0 | XpulpV2 zero-overhead loops |
+//! | `pv.qnt.n` | 9 (two activations) | paper §III-B2 |
+//! | `pv.qnt.c` | 5 (two activations) | paper §III-B2 |
+//! | CSR access | 1 | — |
+//!
+//! The documented deviation from gate-level truth: no instruction-cache
+//! or TCDM-banking contention is modelled (PULPissimo's single core sees
+//! a private single-cycle memory in the steady state the paper
+//! benchmarks), and the FSM-level behaviour of `pv.qnt` is folded into
+//! its total latency.
+
+use pulp_isa::SimdFmt;
+
+/// Cycles of a jump (`jal`, `jalr`).
+pub const JUMP_CYCLES: u64 = 2;
+/// Cycles of a not-taken conditional branch.
+pub const BRANCH_NOT_TAKEN_CYCLES: u64 = 1;
+/// Cycles of a taken conditional branch.
+pub const BRANCH_TAKEN_CYCLES: u64 = 3;
+/// Cycles of an aligned load or store hitting the single-cycle TCDM.
+pub const MEM_CYCLES: u64 = 1;
+/// Extra cycles when a data access crosses a 32-bit word boundary.
+pub const MISALIGN_PENALTY: u64 = 1;
+/// Cycles of a single-cycle integer/SIMD operation.
+pub const ALU_CYCLES: u64 = 1;
+/// Cycles of `mulh`/`mulhsu`/`mulhu`.
+pub const MULH_CYCLES: u64 = 5;
+/// Minimum cycles of `div`/`divu`/`rem`/`remu`.
+pub const DIV_MIN_CYCLES: u64 = 3;
+
+/// Operand-dependent cycles of a division/remainder, following the
+/// CV32E40P rule (3 cycles + one per significant quotient bit).
+pub fn div_cycles(dividend: u32) -> u64 {
+    DIV_MIN_CYCLES + (32 - dividend.leading_zeros()) as u64
+}
+
+/// Total latency of `pv.qnt.{n,c}` producing *two* quantized activations
+/// (paper §III-B2: 9 cycles for 4-bit, 5 cycles for 2-bit).
+///
+/// # Panics
+///
+/// Panics if called with a non-sub-byte format; `pv.qnt` only exists for
+/// nibble/crumb.
+pub fn qnt_cycles(fmt: SimdFmt) -> u64 {
+    match fmt {
+        SimdFmt::Nibble => 9,
+        SimdFmt::Crumb => 5,
+        other => panic!("pv.qnt has no {other:?} form"),
+    }
+}
+
+/// True when an access of `size` bytes at `addr` crosses a word boundary
+/// (RI5CY performs two bus transactions in that case).
+pub fn crosses_word_boundary(addr: u32, size: u32) -> bool {
+    size > 1 && (addr % 4) + size > 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qnt_matches_paper_latencies() {
+        // §III-B2: "compute two 4-bit (2-bit) quantized activations in 9
+        // clock cycles (5 clock cycles)".
+        assert_eq!(qnt_cycles(SimdFmt::Nibble), 9);
+        assert_eq!(qnt_cycles(SimdFmt::Crumb), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "no Byte form")]
+    fn qnt_rejects_byte() {
+        qnt_cycles(SimdFmt::Byte);
+    }
+
+    #[test]
+    fn div_cycles_operand_dependent() {
+        assert_eq!(div_cycles(0), 3);
+        assert_eq!(div_cycles(1), 4);
+        assert_eq!(div_cycles(u32::MAX), 35);
+    }
+
+    #[test]
+    fn word_boundary_rule() {
+        assert!(!crosses_word_boundary(0, 4));
+        assert!(!crosses_word_boundary(4, 4));
+        assert!(crosses_word_boundary(2, 4));
+        assert!(crosses_word_boundary(3, 2));
+        assert!(!crosses_word_boundary(2, 2));
+        assert!(!crosses_word_boundary(3, 1));
+    }
+}

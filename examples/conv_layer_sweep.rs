@@ -1,0 +1,35 @@
+//! The paper's benchmark sweep: the 16×16×32 → 64×3×3×32 convolution at
+//! 8/4/2 bits on both cores, with both quantization paths — i.e. the raw
+//! data behind Figs. 6–9.
+//!
+//! ```sh
+//! cargo run --release --example conv_layer_sweep
+//! ```
+
+use xpulpnn::experiments;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("collecting the paper-layer measurement matrix (7 verified runs)...\n");
+    let m = experiments::collect(42)?;
+
+    println!("raw measurements (16x16x32 input, 64 filters 3x3x32, {} MACs):", m.w8.macs);
+    for (name, lm) in [
+        ("8-bit  both cores     shift+clip", &m.w8),
+        ("4-bit  RI5CY baseline sw-tree   ", &m.w4_v2),
+        ("4-bit  XpulpNN        sw-tree   ", &m.w4_nn_sw),
+        ("4-bit  XpulpNN        pv.qnt    ", &m.w4_nn_hw),
+        ("2-bit  RI5CY baseline sw-tree   ", &m.w2_v2),
+        ("2-bit  XpulpNN        sw-tree   ", &m.w2_nn_sw),
+        ("2-bit  XpulpNN        pv.qnt    ", &m.w2_nn_hw),
+    ] {
+        println!(
+            "  {name}  {:>9} cycles  {:>5.2} MAC/cycle",
+            lm.cycles,
+            lm.macs_per_cycle()
+        );
+    }
+    println!();
+    println!("{}", experiments::figure6(&m));
+    println!("{}", experiments::figure8(&m));
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! One depthwise-separable block of MobileNetV1 — the network the
+//! paper's introduction uses to motivate sub-byte quantization — run end
+//! to end on the simulated extended core:
+//!
+//! 1. depthwise 3×3 (8-bit, scalar MACs — the dotp unit cannot help), then
+//! 2. pointwise 1×1 (8-bit operands → 4-bit outputs via `pv.qnt`,
+//!    mixed precision per Rusci et al.).
+//!
+//! The MAC/cycle gap between the two stages is the reproduction's
+//! version of the well-known depthwise bottleneck on MCU-class cores.
+//!
+//! ```sh
+//! cargo run --release --example mobilenet_block
+//! ```
+
+use xpulpnn::pulp_kernels::depthwise::{DepthwiseKernelConfig, DepthwiseTestbench};
+use xpulpnn::qnn::conv::ConvShape;
+use xpulpnn::qnn::depthwise::DepthwiseShape;
+use xpulpnn::qnn::rng::TensorRng;
+use xpulpnn::qnn::tensor::QuantTensor;
+use xpulpnn::{BitWidth, ConvKernelConfig, ConvTestbench};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (h, w, c) = (16, 16, 16);
+
+    // Stage 1: depthwise 3×3, 8-bit.
+    let dw_cfg = DepthwiseKernelConfig {
+        shape: DepthwiseShape { in_h: h, in_w: w, c, k: 3, stride: 1, pad: 1 },
+        shift: 7,
+    };
+    let dw = DepthwiseTestbench::new(dw_cfg, 5)?;
+    let dw_r = dw.run()?;
+    assert!(dw_r.matches(), "depthwise stage diverged from the golden model");
+    println!(
+        "depthwise 3x3   {:>4} ch  {:>8} cycles  {:>5.2} MAC/cycle  verified",
+        c,
+        dw_r.cycles(),
+        dw_r.macs_per_cycle(&dw_cfg)
+    );
+
+    // Stage 2: pointwise 1×1, 8-bit operands -> 4-bit outputs (pv.qnt).
+    let pw_shape = ConvShape { in_h: h, in_w: w, in_c: c, out_c: 2 * c, k_h: 1, k_w: 1, stride: 1, pad: 0 };
+    let pw_cfg = ConvKernelConfig::mixed(pw_shape, BitWidth::W8, BitWidth::W4);
+    let mut rng = TensorRng::new(6);
+    let pw_input = QuantTensor::activations(BitWidth::W8, dw_r.output.clone())
+        .expect("depthwise outputs are valid 8-bit activations");
+    let pw_weights = rng.weights(BitWidth::W8, pw_shape.weight_len());
+    let pw_thresholds = rng.thresholds(BitWidth::W4, pw_shape.out_c, -1500, 1500);
+    let pw = ConvTestbench::from_parts(pw_cfg, pw_input, pw_weights, Some(pw_thresholds))?;
+    let pw_r = pw.run()?;
+    assert!(pw_r.matches(), "pointwise stage diverged from the golden model");
+    println!(
+        "pointwise 1x1   {:>4} ch  {:>8} cycles  {:>5.2} MAC/cycle  verified (8-bit -> 4-bit)",
+        pw_shape.out_c,
+        pw_r.cycles(),
+        pw_r.macs_per_cycle(&pw_cfg)
+    );
+
+    let dw_rate = dw_r.macs_per_cycle(&dw_cfg);
+    let pw_rate = pw_r.macs_per_cycle(&pw_cfg);
+    println!(
+        "\nthe depthwise bottleneck: pointwise runs {:.1}x more MACs per cycle",
+        pw_rate / dw_rate
+    );
+    println!(
+        "block total: {} cycles for {} MACs",
+        dw_r.cycles() + pw_r.cycles(),
+        dw_cfg.shape.macs() + pw_shape.macs()
+    );
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! Quickstart: run one quantized convolution on the extended-RI5CY
+//! simulator and verify it against the golden model.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use xpulpnn::qnn::conv::ConvShape;
+use xpulpnn::{BitWidth, ConvKernelConfig, ConvTestbench, KernelIsa, QuantMode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small 4-bit layer: 8×8×16 input, 16 filters of 3×3×16.
+    let cfg = ConvKernelConfig {
+        shape: ConvShape { in_h: 8, in_w: 8, in_c: 16, out_c: 16, k_h: 3, k_w: 3, stride: 1, pad: 1 },
+        bits: BitWidth::W4,
+        out_bits: BitWidth::W4,
+        isa: KernelIsa::XpulpNN,
+        quant: QuantMode::HardwareQnt,
+    };
+
+    // Generate deterministic synthetic tensors, build the kernel, run.
+    let tb = ConvTestbench::new(cfg, 42)?;
+    println!("kernel: {}", cfg.name());
+    println!("program: {} instructions\n", tb.program.instrs.len());
+
+    // A taste of the generated code: the head of the MatMul inner loop.
+    let listing = tb.program.listing();
+    for line in listing.lines().skip_while(|l| !l.starts_with("mm_block")).take(16) {
+        println!("{line}");
+    }
+
+    let r = tb.run()?;
+    println!("\ncycles           : {}", r.cycles());
+    println!("MACs             : {}", cfg.shape.macs());
+    println!("MAC/cycle        : {:.2}", r.macs_per_cycle(&cfg));
+    println!("golden match     : {}", r.matches());
+    println!("\nperformance counters:\n{}", r.report.perf);
+    assert!(r.matches(), "device output must match the golden model");
+    Ok(())
+}
