@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# CI gate: formatting, lints, and the tier-1 build+test suite, all
+# against the committed Cargo.lock (--locked) so an offline or
+# registry-less environment builds exactly what was committed.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets --locked -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release --locked
+
+echo "==> tier-1: cargo test -q"
+cargo test -q --locked
+
+echo "==> ci: all green"

@@ -4,7 +4,8 @@
 //! kernel, plus the general-purpose workload the paper uses to show the
 //! extension does not tax non-QNN code.
 
-use criterion::{Criterion, black_box};
+use bench::Bench;
+use std::hint::black_box;
 use xpulpnn::experiments;
 use xpulpnn::pulp_power::{
     efficiency_gmac_s_w, matmul_workload, soc_power_mw, CoreVariant, Workload,
@@ -25,7 +26,13 @@ fn main() {
         let wl = matmul_workload(lm.cfg.bits.bits());
         let no_pm = efficiency_gmac_s_w(lm.macs, lm.cycles, soc_power_mw(CoreVariant::ExtNoPm, wl));
         let pm = efficiency_gmac_s_w(lm.macs, lm.cycles, soc_power_mw(CoreVariant::ExtPm, wl));
-        println!(" {:<22} {:>14.1} {:>14.1} {:>9.2}x", name, no_pm, pm, pm / no_pm);
+        println!(
+            " {:<22} {:>14.1} {:>14.1} {:>9.2}x",
+            name,
+            no_pm,
+            pm,
+            pm / no_pm
+        );
     }
     let gp_no_pm = soc_power_mw(CoreVariant::ExtNoPm, Workload::GeneralPurpose);
     let gp_pm = soc_power_mw(CoreVariant::ExtPm, Workload::GeneralPurpose);
@@ -37,14 +44,10 @@ fn main() {
         (gp_pm - gp_base) / gp_base * 100.0
     );
 
-    let mut c = Criterion::default().sample_size(20).configure_from_args();
-    c.bench_function("ablation_pm/efficiency_delta", |b| {
-        b.iter(|| {
+    Bench::new()
+        .samples(20)
+        .run("ablation_pm/efficiency_delta", || {
             let wl = Workload::MatMul2;
-            black_box(
-                soc_power_mw(CoreVariant::ExtNoPm, wl) - soc_power_mw(CoreVariant::ExtPm, wl),
-            )
-        })
-    });
-    c.final_summary();
+            black_box(soc_power_mw(CoreVariant::ExtNoPm, wl) - soc_power_mw(CoreVariant::ExtPm, wl))
+        });
 }

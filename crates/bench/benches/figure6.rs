@@ -2,9 +2,11 @@
 //! near-linear scaling of sub-byte kernels vs 8-bit.
 //!
 //! Prints the reproduced figure, then benchmarks the four underlying
-//! kernel simulations with Criterion.
+//! kernel simulations.
 
-use criterion::{Criterion, black_box};
+use bench::Bench;
+use std::hint::black_box;
+use std::time::Duration;
 use xpulpnn::experiments;
 use xpulpnn::{BitWidth, ConvKernelConfig, ConvTestbench, KernelIsa};
 
@@ -12,10 +14,7 @@ fn main() {
     let m = experiments::collect(42).expect("measurement matrix");
     println!("\n{}\n", experiments::figure6(&m));
 
-    let mut c = Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(8))
-        .configure_from_args();
+    let b = Bench::new().samples(10).max_time(Duration::from_secs(8));
     for (name, bits, hw) in [
         ("figure6/w4_sw_quant", BitWidth::W4, false),
         ("figure6/w4_pv_qnt", BitWidth::W4, true),
@@ -24,9 +23,6 @@ fn main() {
     ] {
         let cfg = ConvKernelConfig::paper(bits, KernelIsa::XpulpNN, hw);
         let tb = ConvTestbench::new(cfg, 42).expect("build kernel");
-        c.bench_function(name, |b| {
-            b.iter(|| black_box(tb.run().expect("kernel run").cycles()))
-        });
+        b.run(name, || black_box(tb.run().expect("kernel run").cycles()));
     }
-    c.final_summary();
 }

@@ -1,7 +1,8 @@
 //! Figure 7 — energy-efficiency gain of the extended core over the
 //! baseline RI5CY (paper: up to 9×, without hurting 8-bit kernels).
 
-use criterion::{Criterion, black_box};
+use bench::Bench;
+use std::hint::black_box;
 use xpulpnn::experiments;
 
 fn main() {
@@ -9,9 +10,9 @@ fn main() {
     let fig = experiments::figure7(&m);
     println!("\n{fig}\n");
 
-    let mut c = Criterion::default().sample_size(20).configure_from_args();
-    c.bench_function("figure7/efficiency_model", |b| {
-        b.iter(|| black_box(experiments::figure7(black_box(&m)).rows[2].gain))
-    });
-    c.final_summary();
+    Bench::new()
+        .samples(20)
+        .run("figure7/efficiency_model", || {
+            black_box(experiments::figure7(black_box(&m)).rows[2].gain)
+        });
 }

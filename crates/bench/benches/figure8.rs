@@ -2,7 +2,9 @@
 //! core, the baseline RI5CY, and the STM32L4/STM32H7 models (paper:
 //! 5.3×/8.9× over the baseline, an order of magnitude over the MCUs).
 
-use criterion::{Criterion, black_box};
+use bench::Bench;
+use std::hint::black_box;
+use std::time::Duration;
 use xpulpnn::cortexm_model::{STM32H743, STM32L476};
 use xpulpnn::experiments;
 use xpulpnn::qnn::conv::ConvShape;
@@ -12,30 +14,26 @@ fn main() {
     let m = experiments::collect(42).expect("measurement matrix");
     println!("\n{}\n", experiments::figure8(&m));
 
-    let mut c = Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(8))
-        .configure_from_args();
+    let b = Bench::new().samples(10).max_time(Duration::from_secs(8));
     // The two headline kernels end to end.
     for (name, bits, isa) in [
         ("figure8/w4_xpulpnn", BitWidth::W4, KernelIsa::XpulpNN),
-        ("figure8/w4_ri5cy_baseline", BitWidth::W4, KernelIsa::XpulpV2),
+        (
+            "figure8/w4_ri5cy_baseline",
+            BitWidth::W4,
+            KernelIsa::XpulpV2,
+        ),
     ] {
         let cfg = ConvKernelConfig::paper(bits, isa, isa == KernelIsa::XpulpNN);
         let tb = ConvTestbench::new(cfg, 42).expect("build kernel");
-        c.bench_function(name, |b| {
-            b.iter(|| black_box(tb.run().expect("kernel run").cycles()))
-        });
+        b.run(name, || black_box(tb.run().expect("kernel run").cycles()));
     }
     // The Cortex-M analytic models (cheap, but part of the figure).
     let shape = ConvShape::paper_benchmark();
-    c.bench_function("figure8/cortexm_models", |b| {
-        b.iter(|| {
-            black_box(
-                STM32L476.conv_cycles(&shape, BitWidth::W2)
-                    + STM32H743.conv_cycles(&shape, BitWidth::W2),
-            )
-        })
+    b.run("figure8/cortexm_models", || {
+        black_box(
+            STM32L476.conv_cycles(&shape, BitWidth::W2)
+                + STM32H743.conv_cycles(&shape, BitWidth::W2),
+        )
     });
-    c.final_summary();
 }

@@ -1,7 +1,8 @@
 //! Figure 9 — energy efficiency across the four platforms (paper: 103×
 //! vs STM32L4 and 354× vs STM32H7 on the 2-bit kernel).
 
-use criterion::{Criterion, black_box};
+use bench::Bench;
+use std::hint::black_box;
 use xpulpnn::experiments;
 
 fn main() {
@@ -9,9 +10,9 @@ fn main() {
     let fig = experiments::figure9(&m);
     println!("\n{fig}\n");
 
-    let mut c = Criterion::default().sample_size(20).configure_from_args();
-    c.bench_function("figure9/efficiency_matrix", |b| {
-        b.iter(|| black_box(experiments::figure9(black_box(&m)).ratio_vs_h7_w2))
-    });
-    c.final_summary();
+    Bench::new()
+        .samples(20)
+        .run("figure9/efficiency_matrix", || {
+            black_box(experiments::figure9(black_box(&m)).ratio_vs_h7_w2)
+        });
 }

@@ -1,16 +1,21 @@
 //! The quantization unit in isolation (§III-A/§III-B2): `pv.qnt`
 //! latency vs the software balanced-tree walk.
 
-use criterion::{Criterion, black_box};
+use bench::Bench;
+use std::hint::black_box;
 use xpulpnn::experiments;
 
 fn main() {
     let q = experiments::quant_microbench().expect("microbench");
     println!("\n{q}\n");
 
-    let mut c = Criterion::default().sample_size(20).configure_from_args();
-    c.bench_function("quant_unit/microbench_programs", |b| {
-        b.iter(|| black_box(experiments::quant_microbench().expect("microbench").hw_nibble_pair))
-    });
-    c.final_summary();
+    Bench::new()
+        .samples(20)
+        .run("quant_unit/microbench_programs", || {
+            black_box(
+                experiments::quant_microbench()
+                    .expect("microbench")
+                    .hw_nibble_pair,
+            )
+        });
 }

@@ -4,7 +4,9 @@
 //! the kernel mix that dominates every experiment, so regressions in the
 //! model's own performance are visible.
 
-use criterion::{Criterion, black_box};
+use bench::Bench;
+use std::hint::black_box;
+use std::time::Duration;
 use xpulpnn::{BitWidth, ConvKernelConfig, ConvTestbench, KernelIsa};
 
 fn main() {
@@ -19,13 +21,11 @@ fn main() {
         instrs
     );
 
-    let mut c = Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(8))
-        .configure_from_args();
-    c.bench_function("simulator/instructions_per_run", |b| {
-        b.iter(|| black_box(tb.run().expect("kernel run").report.perf.instret))
-    });
-    c.final_summary();
+    Bench::new()
+        .samples(10)
+        .max_time(Duration::from_secs(8))
+        .run("simulator/instructions_per_run", || {
+            black_box(tb.run().expect("kernel run").report.perf.instret)
+        });
     println!("\n(divide {instrs} simulated instructions by the time above for sim MIPS)");
 }

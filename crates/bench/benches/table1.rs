@@ -1,16 +1,15 @@
 //! Table I — the QNN embedded-platform landscape with the "This Work"
 //! row computed from measured throughput/efficiency.
 
-use criterion::{Criterion, black_box};
+use bench::Bench;
+use std::hint::black_box;
 use xpulpnn::experiments;
 
 fn main() {
     let m = experiments::collect(42).expect("measurement matrix");
     println!("\n{}\n", experiments::table1(&m));
 
-    let mut c = Criterion::default().sample_size(20).configure_from_args();
-    c.bench_function("table1/this_work_row", |b| {
-        b.iter(|| black_box(experiments::table1(black_box(&m)).rows.len()))
+    Bench::new().samples(20).run("table1/this_work_row", || {
+        black_box(experiments::table1(black_box(&m)).rows.len())
     });
-    c.final_summary();
 }

@@ -2,20 +2,15 @@
 //! (calibrated model; the tests re-derive every percentage the paper
 //! quotes).
 
-use criterion::{Criterion, black_box};
+use bench::Bench;
+use std::hint::black_box;
 use xpulpnn::experiments::Table3;
 use xpulpnn::pulp_power::{AreaBreakdown, CoreVariant};
 
 fn main() {
     println!("\n{}\n", Table3);
 
-    let mut c = Criterion::default().sample_size(20).configure_from_args();
-    c.bench_function("table3/area_model", |b| {
-        b.iter(|| {
-            black_box(
-                AreaBreakdown::of(black_box(CoreVariant::ExtPm)).overhead_vs_baseline(),
-            )
-        })
+    Bench::new().samples(20).run("table3/area_model", || {
+        black_box(AreaBreakdown::of(black_box(CoreVariant::ExtPm)).overhead_vs_baseline())
     });
-    c.final_summary();
 }

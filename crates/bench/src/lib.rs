@@ -1,1 +1,127 @@
-//! Benchmark-only crate; see the `benches/` directory.
+#![warn(missing_docs)]
+
+//! Benchmark harness for the reproduction's figure/table binaries.
+//!
+//! The benches need only "run this closure N times and report wall-clock
+//! statistics"; a full statistical framework would pull registry
+//! dependencies the offline build cannot resolve, so this crate carries
+//! its own minimal stopwatch harness. Each `benches/*.rs` binary prints
+//! the reproduced figure or table first, then times the underlying
+//! computation with [`Bench`].
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// A minimal wall-clock benchmark runner.
+///
+/// Samples are whole-closure timings; fast closures are batched so each
+/// sample spans at least ~1 ms of work, which keeps timer granularity
+/// out of the numbers without criterion-style analysis.
+#[derive(Debug, Clone)]
+pub struct Bench {
+    samples: usize,
+    max_time: Duration,
+}
+
+impl Default for Bench {
+    fn default() -> Bench {
+        Bench {
+            samples: 20,
+            max_time: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Bench {
+    /// A runner with default settings (20 samples, 5 s budget).
+    pub fn new() -> Bench {
+        Bench::default()
+    }
+
+    /// Sets the number of samples to collect.
+    pub fn samples(mut self, n: usize) -> Bench {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Caps the total measurement time; sampling stops early when the
+    /// budget is spent (at least one sample is always taken).
+    pub fn max_time(mut self, d: Duration) -> Bench {
+        self.max_time = d;
+        self
+    }
+
+    /// Times `f`, printing mean / min / max per call.
+    pub fn run<T, F: FnMut() -> T>(&self, name: &str, mut f: F) {
+        // Warm up and calibrate the batch size to ~1 ms per sample.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed();
+        let batch = if once >= Duration::from_millis(1) {
+            1
+        } else {
+            (Duration::from_millis(1).as_nanos() / once.as_nanos().max(1) + 1) as usize
+        };
+
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        let budget = Instant::now();
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            times.push(t.elapsed() / batch as u32);
+            if budget.elapsed() > self.max_time {
+                break;
+            }
+        }
+        let total: Duration = times.iter().sum();
+        let mean = total / times.len() as u32;
+        let min = times.iter().min().copied().unwrap_or_default();
+        let max = times.iter().max().copied().unwrap_or_default();
+        println!(
+            " {name:<40} {:>12} mean {:>12} min {:>12} max  ({} samples × {batch})",
+            fmt_duration(mean),
+            fmt_duration(min),
+            fmt_duration(max),
+            times.len(),
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_fast_and_slow_closures() {
+        let b = Bench::new().samples(3).max_time(Duration::from_millis(100));
+        let mut calls = 0u64;
+        b.run("fast", || {
+            calls += 1;
+            calls
+        });
+        assert!(calls > 3, "fast closures are batched");
+        b.run("slow", || std::thread::sleep(Duration::from_millis(2)));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.500 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

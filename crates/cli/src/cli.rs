@@ -6,6 +6,7 @@ use xpulpnn::pulp_isa::compressed::code_size_report;
 use xpulpnn::pulp_isa::reg::ALL_REGS;
 use xpulpnn::pulp_soc::Soc;
 use xpulpnn::riscv_core::IsaConfig;
+use xpulpnn::{BitWidth, KernelIsa};
 
 /// Usage text shown on errors.
 pub const USAGE: &str = "\
@@ -19,7 +20,12 @@ usage:
   xpulpnn sweep [--seed N]
       run the paper's convolution benchmark matrix (Figs. 6/8 data)
   xpulpnn report [--seed N]
-      regenerate every table and figure of the paper's evaluation";
+      regenerate every table and figure of the paper's evaluation
+  xpulpnn profile [--bits 8|4|2] [--isa xpulpv2|xpulpnn] [--sw-quant]
+                  [--seed N] [--top N]
+      run one paper-layer kernel with the execution tracer attached and
+      print a JSON cycle-attribution profile (per-class ledger + hottest
+      instructions); defaults to the 4-bit XpulpNN kernel with pv.qnt";
 
 /// A user-facing CLI error.
 #[derive(Debug, PartialEq, Eq)]
@@ -71,8 +77,9 @@ pub fn parse_run_opts(args: &[String]) -> Result<RunOpts, CliError> {
             }
             "--max-cycles" => {
                 let v = it.next().ok_or_else(|| err("--max-cycles needs a value"))?;
-                max_cycles =
-                    v.parse().map_err(|_| err(format!("bad cycle count `{v}`")))?;
+                max_cycles = v
+                    .parse()
+                    .map_err(|_| err(format!("bad cycle count `{v}`")))?;
             }
             flag if flag.starts_with("--") => {
                 return Err(err(format!("unknown flag `{flag}`")));
@@ -108,8 +115,8 @@ fn parse_seed(args: &[String]) -> Result<u64, CliError> {
 }
 
 fn load_program(path: &str) -> Result<xpulpnn::pulp_asm::Program, CliError> {
-    let source = std::fs::read_to_string(path)
-        .map_err(|e| err(format!("cannot read `{path}`: {e}")))?;
+    let source =
+        std::fs::read_to_string(path).map_err(|e| err(format!("cannot read `{path}`: {e}")))?;
     parse(&source).map_err(|e| err(format!("{path}: {e}")))
 }
 
@@ -137,9 +144,7 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
         if lines > TRACE_CAP {
             let _ = writeln!(out, "  ... ({} more instructions)", lines - TRACE_CAP);
         }
-        let mut perf = soc.core.perf;
-        perf.cycles -= before.cycles;
-        perf.instret -= before.instret;
+        let perf = soc.core.perf.delta_since(&before);
         xpulpnn::pulp_soc::RunReport { exit, perf }
     } else {
         soc.run(opts.max_cycles).map_err(|t| err(t.to_string()))?
@@ -172,7 +177,9 @@ fn cmd_dis(args: &[String]) -> Result<String, CliError> {
 }
 
 fn cmd_codesize(args: &[String]) -> Result<String, CliError> {
-    let path = args.first().ok_or_else(|| err("codesize needs an input file"))?;
+    let path = args
+        .first()
+        .ok_or_else(|| err("codesize needs an input file"))?;
     let prog = load_program(path)?;
     let r = code_size_report(prog.instrs.iter());
     Ok(format!(
@@ -201,19 +208,91 @@ fn cmd_report(args: &[String]) -> Result<String, CliError> {
     Ok(format!("{r}\n"))
 }
 
+/// Parsed options for `profile`.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ProfileOpts {
+    /// Operand width of the paper-layer kernel.
+    pub bits: BitWidth,
+    /// Kernel ISA.
+    pub isa: KernelIsa,
+    /// Use `pv.qnt` (sub-byte XpulpNN kernels only).
+    pub hw_quant: bool,
+    /// Tensor seed.
+    pub seed: u64,
+    /// Number of hotspots to report.
+    pub top: usize,
+}
+
+/// Parses the flags of the `profile` subcommand.
+pub fn parse_profile_opts(args: &[String]) -> Result<ProfileOpts, CliError> {
+    let mut o = ProfileOpts {
+        bits: BitWidth::W4,
+        isa: KernelIsa::XpulpNN,
+        hw_quant: true,
+        seed: 42,
+        top: 10,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--bits" => {
+                let v = it.next().ok_or_else(|| err("--bits needs a value"))?;
+                o.bits = match v.as_str() {
+                    "8" => BitWidth::W8,
+                    "4" => BitWidth::W4,
+                    "2" => BitWidth::W2,
+                    other => return Err(err(format!("unknown width `{other}`"))),
+                };
+            }
+            "--isa" => {
+                let v = it.next().ok_or_else(|| err("--isa needs a value"))?;
+                o.isa = match v.as_str() {
+                    "xpulpv2" => KernelIsa::XpulpV2,
+                    "xpulpnn" => KernelIsa::XpulpNN,
+                    other => return Err(err(format!("unknown ISA `{other}`"))),
+                };
+            }
+            "--sw-quant" => o.hw_quant = false,
+            "--seed" => {
+                let v = it.next().ok_or_else(|| err("--seed needs a value"))?;
+                o.seed = v.parse().map_err(|_| err(format!("bad seed `{v}`")))?;
+            }
+            "--top" => {
+                let v = it.next().ok_or_else(|| err("--top needs a value"))?;
+                o.top = v.parse().map_err(|_| err(format!("bad count `{v}`")))?;
+            }
+            other => return Err(err(format!("unknown argument `{other}`"))),
+        }
+    }
+    if o.isa == KernelIsa::XpulpV2 || o.bits == BitWidth::W8 {
+        o.hw_quant = false; // pv.qnt exists only on sub-byte XpulpNN kernels
+    }
+    Ok(o)
+}
+
+fn cmd_profile(args: &[String]) -> Result<String, CliError> {
+    let o = parse_profile_opts(args)?;
+    let p = xpulpnn::measure::profile_paper_layer(o.bits, o.isa, o.hw_quant, o.seed, o.top)
+        .map_err(|e| err(e.to_string()))?;
+    Ok(format!("{}\n", p.to_json()))
+}
+
 /// Dispatches a full argument vector.
 ///
 /// # Errors
 ///
 /// [`CliError`] with a message for the user.
 pub fn dispatch(args: &[String]) -> Result<String, CliError> {
-    let (cmd, rest) = args.split_first().ok_or_else(|| err("missing subcommand"))?;
+    let (cmd, rest) = args
+        .split_first()
+        .ok_or_else(|| err("missing subcommand"))?;
     match cmd.as_str() {
         "run" => cmd_run(rest),
         "dis" => cmd_dis(rest),
         "codesize" => cmd_codesize(rest),
         "sweep" => cmd_sweep(rest),
         "report" => cmd_report(rest),
+        "profile" => cmd_profile(rest),
         "--help" | "-h" | "help" => Ok(format!("{USAGE}\n")),
         other => Err(err(format!("unknown subcommand `{other}`"))),
     }
@@ -286,14 +365,66 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("xpulpnn-cli-trace-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("t.s");
-        std::fs::write(&path, "li t0, 2\nlp.setup x0, t0, end\naddi a0, a0, 7\nend:\necall\n")
-            .unwrap();
+        std::fs::write(
+            &path,
+            "li t0, 2\nlp.setup x0, t0, end\naddi a0, a0, 7\nend:\necall\n",
+        )
+        .unwrap();
         let p = path.to_str().unwrap().to_string();
         let out = dispatch(&v(&["run", &p, "--trace"])).unwrap();
         // The single-instruction loop body retires twice.
         assert_eq!(out.matches("addi a0, a0, 7").count(), 2, "{out}");
         assert!(out.contains("exit code : 14"), "{out}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn profile_opts_defaults_and_flags() {
+        let o = parse_profile_opts(&v(&[])).unwrap();
+        assert_eq!(o.bits, BitWidth::W4);
+        assert_eq!(o.isa, KernelIsa::XpulpNN);
+        assert!(o.hw_quant);
+        assert_eq!(o.top, 10);
+
+        let o = parse_profile_opts(&v(&["--bits", "2", "--sw-quant", "--top", "3"])).unwrap();
+        assert_eq!(o.bits, BitWidth::W2);
+        assert!(!o.hw_quant);
+        assert_eq!(o.top, 3);
+
+        // pv.qnt silently drops where it cannot exist.
+        let o = parse_profile_opts(&v(&["--isa", "xpulpv2"])).unwrap();
+        assert!(!o.hw_quant);
+        let o = parse_profile_opts(&v(&["--bits", "8"])).unwrap();
+        assert!(!o.hw_quant);
+
+        assert!(parse_profile_opts(&v(&["--bits", "3"])).is_err());
+        assert!(parse_profile_opts(&v(&["--frob"])).is_err());
+    }
+
+    #[test]
+    fn profile_emits_balanced_json() {
+        let out = dispatch(&v(&["profile", "--top", "5"])).unwrap();
+        assert!(
+            out.contains("\"kernel\": \"4-bit/xpulpnn/pv.qnt\""),
+            "{out}"
+        );
+        assert!(out.contains("\"ledger\""), "{out}");
+        assert!(out.contains("\"hotspots\""), "{out}");
+        // The ledger's total equals the cycle counter (the core's retire
+        // invariant, re-checked here on the emitted JSON).
+        let grab = |key: &str| -> u64 {
+            let i = out.find(key).unwrap_or_else(|| panic!("no {key} in {out}"));
+            out[i + key.len()..]
+                .chars()
+                .skip_while(|c| !c.is_ascii_digit())
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+                .parse()
+                .unwrap()
+        };
+        assert_eq!(grab("\"cycles\":"), grab("\"total\":"));
+        // The 4-bit XpulpNN kernel's hottest class is the dotp unit.
+        assert!(out.contains("\"dotp.n\""), "{out}");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! xpulpnn codesize <file.s>
 //! xpulpnn sweep [--seed N]
 //! xpulpnn report [--seed N]
+//! xpulpnn profile [--bits 8|4|2] [--isa xpulpv2|xpulpnn] [--sw-quant] [--seed N] [--top N]
 //! ```
 
 use std::process::ExitCode;

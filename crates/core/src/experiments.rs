@@ -15,6 +15,7 @@ use pulp_power::{
 };
 use qnn::conv::ConvShape;
 use qnn::BitWidth;
+use riscv_core::perf::ALL_CYCLE_CLASSES;
 use std::fmt;
 
 /// Paper-stated speedup of the 4-bit kernel, extended vs baseline core.
@@ -196,7 +197,12 @@ pub fn figure7(m: &Measurements) -> Figure7 {
             efficiency_gmac_s_w(ext.macs, ext.cycles, soc_power_mw(CoreVariant::ExtPm, wl));
         let eff_base =
             efficiency_gmac_s_w(base.macs, base.cycles, soc_power_mw(CoreVariant::Ri5cy, wl));
-        Fig7Row { bits, eff_ext, eff_base, gain: eff_ext / eff_base }
+        Fig7Row {
+            bits,
+            eff_ext,
+            eff_base,
+            gain: eff_ext / eff_base,
+        }
     };
     Figure7 {
         rows: [
@@ -341,8 +347,16 @@ pub fn figure9(m: &Measurements) -> Figure9 {
         let wl = matmul_workload(bits.bits());
         Fig9Row {
             bits,
-            xpulpnn: efficiency_gmac_s_w(ext.macs, ext.cycles, soc_power_mw(CoreVariant::ExtPm, wl)),
-            ri5cy: efficiency_gmac_s_w(base.macs, base.cycles, soc_power_mw(CoreVariant::Ri5cy, wl)),
+            xpulpnn: efficiency_gmac_s_w(
+                ext.macs,
+                ext.cycles,
+                soc_power_mw(CoreVariant::ExtPm, wl),
+            ),
+            ri5cy: efficiency_gmac_s_w(
+                base.macs,
+                base.cycles,
+                soc_power_mw(CoreVariant::Ri5cy, wl),
+            ),
             stm32l4: STM32L476.conv_gmac_per_s_per_w(&shape, bits),
             stm32h7: STM32H743.conv_gmac_per_s_per_w(&shape, bits),
         }
@@ -400,14 +414,22 @@ pub fn table1(m: &Measurements) -> Table1 {
     let min_eff = f9.rows[0].xpulpnn.min(f9.rows[0].ri5cy);
     let max_eff = f9.rows[2].xpulpnn;
     let mut rows = pulp_power::TABLE1_LITERATURE.to_vec();
-    rows.push(pulp_power::this_work_row(min_gmacs, max_gmacs, min_eff, max_eff));
+    rows.push(pulp_power::this_work_row(
+        min_gmacs, max_gmacs, min_eff, max_eff,
+    ));
     Table1 { rows }
 }
 
 impl fmt::Display for Table1 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Table I — QNN embedded computing platforms")?;
-        let mut t = Table::new(&["platform", "perf [Gop/s]", "eff [Gop/s/W]", "budget [mW]", "flexibility"]);
+        let mut t = Table::new(&[
+            "platform",
+            "perf [Gop/s]",
+            "eff [Gop/s/W]",
+            "budget [mW]",
+            "flexibility",
+        ]);
         for r in &self.rows {
             t.row(&[
                 r.name.to_string(),
@@ -430,8 +452,17 @@ pub struct Table3;
 
 impl fmt::Display for Table3 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Table III — area and power (22 nm FDX model, calibrated)")?;
-        let mut t = Table::new(&["unit", "RI5CY [um2]", "ext no-PM [um2]", "ext PM [um2]", "PM overhead"]);
+        writeln!(
+            f,
+            "Table III — area and power (22 nm FDX model, calibrated)"
+        )?;
+        let mut t = Table::new(&[
+            "unit",
+            "RI5CY [um2]",
+            "ext no-PM [um2]",
+            "ext PM [um2]",
+            "PM overhead",
+        ]);
         let b = AreaBreakdown::of(CoreVariant::Ri5cy);
         let n = AreaBreakdown::of(CoreVariant::ExtNoPm);
         let p = AreaBreakdown::of(CoreVariant::ExtPm);
@@ -453,7 +484,12 @@ impl fmt::Display for Table3 {
         }
         t.fmt(f)?;
         writeln!(f)?;
-        let mut t = Table::new(&["SoC power @0.75V/250MHz", "RI5CY [mW]", "ext no-PM [mW]", "ext PM [mW]"]);
+        let mut t = Table::new(&[
+            "SoC power @0.75V/250MHz",
+            "RI5CY [mW]",
+            "ext no-PM [mW]",
+            "ext PM [mW]",
+        ]);
         for (name, wl) in [
             ("8-bit MatMul", Workload::MatMul8),
             ("4-bit MatMul", Workload::MatMul4),
@@ -632,7 +668,13 @@ pub fn pooling_speedup() -> Result<PoolingSpeedup, Error> {
     let run = |bits: BitWidth, simd: bool| -> Result<u64, Error> {
         let c = (32 / bits.bits() as usize) * 4;
         let cfg = PoolKernelConfig {
-            shape: PoolShape { in_h: 16, in_w: 16, c, k: 2, stride: 2 },
+            shape: PoolShape {
+                in_h: 16,
+                in_w: 16,
+                c,
+                k: 2,
+                stride: 2,
+            },
             bits,
             op: PoolOp::Max,
             simd,
@@ -655,7 +697,9 @@ pub fn pooling_speedup() -> Result<PoolingSpeedup, Error> {
             speedup: scalar_cycles as f64 / simd_cycles as f64,
         });
     }
-    Ok(PoolingSpeedup { rows: [rows[0], rows[1], rows[2]] })
+    Ok(PoolingSpeedup {
+        rows: [rows[0], rows[1], rows[2]],
+    })
 }
 
 impl fmt::Display for PoolingSpeedup {
@@ -673,6 +717,91 @@ impl fmt::Display for PoolingSpeedup {
                 format!("{:.2}x", r.speedup),
             ]);
         }
+        t.fmt(f)
+    }
+}
+
+// ------------------------------------------------------- cycle attribution
+
+/// Per-class cycle comparison of a baseline/extended kernel pair, from
+/// the core's cycle ledger. This is the instrument behind deviation D1:
+/// it shows *where* the baseline spends the cycles the extended core
+/// eliminates, and which costs remain to cap the speedup.
+#[derive(Debug, Clone)]
+pub struct CycleAttribution {
+    /// Operand width of the pair.
+    pub bits: BitWidth,
+    /// The baseline (XpulpV2, software everything) measurement.
+    pub baseline: LayerMeasurement,
+    /// The extended (XpulpNN + `pv.qnt`) measurement.
+    pub extended: LayerMeasurement,
+}
+
+impl CycleAttribution {
+    /// Measured speedup of the extended kernel over the baseline.
+    pub fn speedup(&self) -> f64 {
+        self.baseline.cycles as f64 / self.extended.cycles as f64
+    }
+
+    /// Cycles the extended kernel spends outside the dot-product unit —
+    /// the serial remainder that limits the speedup (Amdahl's bound).
+    pub fn ext_non_dotp_cycles(&self) -> u64 {
+        let dotp: u64 = ALL_CYCLE_CLASSES
+            .iter()
+            .filter(|c| matches!(c, riscv_core::CycleClass::Dotp(_)))
+            .map(|c| self.extended.perf.ledger.get(*c))
+            .sum();
+        self.extended.cycles - dotp
+    }
+}
+
+/// Builds the 4- and 2-bit attribution pairs from the measurement
+/// matrix.
+pub fn cycle_attribution(m: &Measurements) -> [CycleAttribution; 2] {
+    [
+        CycleAttribution {
+            bits: BitWidth::W4,
+            baseline: m.w4_v2.clone(),
+            extended: m.w4_nn_hw.clone(),
+        },
+        CycleAttribution {
+            bits: BitWidth::W2,
+            baseline: m.w2_v2.clone(),
+            extended: m.w2_nn_hw.clone(),
+        },
+    ]
+}
+
+impl fmt::Display for CycleAttribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Cycle attribution, {} kernels (speedup {:.2}x):",
+            self.bits,
+            self.speedup()
+        )?;
+        let mut t = Table::new(&["class", "baseline", "extended", "base share", "ext share"]);
+        for class in ALL_CYCLE_CLASSES {
+            let b = self.baseline.perf.ledger.get(class);
+            let e = self.extended.perf.ledger.get(class);
+            if b == 0 && e == 0 {
+                continue;
+            }
+            t.row(&[
+                class.name().to_string(),
+                b.to_string(),
+                e.to_string(),
+                format!("{:.1}%", b as f64 / self.baseline.cycles as f64 * 100.0),
+                format!("{:.1}%", e as f64 / self.extended.cycles as f64 * 100.0),
+            ]);
+        }
+        t.row(&[
+            "total".to_string(),
+            self.baseline.cycles.to_string(),
+            self.extended.cycles.to_string(),
+            "100.0%".to_string(),
+            "100.0%".to_string(),
+        ]);
         t.fmt(f)
     }
 }
@@ -698,6 +827,9 @@ pub struct FullReport {
     pub quant: QuantMicrobench,
     /// Pooling SIMD-vs-scalar comparison.
     pub pooling: PoolingSpeedup,
+    /// Attributed cycle breakdown of the sub-byte baseline/extended
+    /// pairs (the deviation-D1 instrument).
+    pub attribution: [CycleAttribution; 2],
 }
 
 /// Runs every experiment.
@@ -715,6 +847,7 @@ pub fn run_all(seed: u64) -> Result<FullReport, Error> {
         table1: table1(&measurements),
         quant: quant_microbench()?,
         pooling: pooling_speedup()?,
+        attribution: cycle_attribution(&measurements),
         measurements,
     })
 }
@@ -729,7 +862,10 @@ impl fmt::Display for FullReport {
         writeln!(f, "{}", self.figure9)?;
         writeln!(f, "{}", self.quant)?;
         writeln!(f)?;
-        write!(f, "{}", self.pooling)
+        writeln!(f, "{}", self.pooling)?;
+        writeln!(f)?;
+        writeln!(f, "{}", self.attribution[0])?;
+        write!(f, "{}", self.attribution[1])
     }
 }
 
@@ -748,8 +884,14 @@ mod tests {
     #[test]
     fn quant_microbench_matches_paper_latencies() {
         let q = quant_microbench().unwrap();
-        assert_eq!(q.hw_nibble_pair, 9, "paper: 9 cycles for two 4-bit activations");
-        assert_eq!(q.hw_crumb_pair, 5, "paper: 5 cycles for two 2-bit activations");
+        assert_eq!(
+            q.hw_nibble_pair, 9,
+            "paper: 9 cycles for two 4-bit activations"
+        );
+        assert_eq!(
+            q.hw_crumb_pair, 5,
+            "paper: 5 cycles for two 2-bit activations"
+        );
         // "favorably comparing to the 18 clock cycles needed on average
         // to compress only one activation ... in software"
         assert!(

@@ -45,9 +45,10 @@ pub mod measure;
 pub mod network;
 pub mod report;
 
-pub use measure::{measure_paper_layer, Error, LayerMeasurement};
+pub use measure::{measure_paper_layer, profile_paper_layer, Error, LayerMeasurement};
 pub use pulp_kernels::{ConvKernelConfig, ConvTestbench, KernelIsa, QuantMode};
 pub use qnn::BitWidth;
+pub use report::HotspotProfile;
 
 // Re-export the stack for downstream users of the façade.
 pub use cortexm_model;

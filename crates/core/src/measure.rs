@@ -1,5 +1,6 @@
 //! Verified cycle measurements of the paper's benchmark layer.
 
+use crate::report::HotspotProfile;
 use pulp_kernels::runner::BuildError;
 use pulp_kernels::{ConvKernelConfig, ConvTestbench, KernelIsa};
 use qnn::BitWidth;
@@ -62,9 +63,14 @@ pub struct LayerMeasurement {
 }
 
 impl LayerMeasurement {
-    /// Multiply-accumulates per cycle.
+    /// Multiply-accumulates per cycle; 0 when no cycles were recorded
+    /// (guards the inf/NaN a bare division would produce).
     pub fn macs_per_cycle(&self) -> f64 {
-        self.macs as f64 / self.cycles as f64
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.macs as f64 / self.cycles as f64
+        }
     }
 
     /// GMAC/s at the PULPissimo operating point (250 MHz).
@@ -108,6 +114,43 @@ pub fn measure_paper_layer(
     measure(ConvKernelConfig::paper(bits, isa, hw_quant), seed)
 }
 
+/// Runs a kernel with the execution tracer attached and returns its
+/// attributed cycle profile: the per-class cycle ledger plus the `top`
+/// hottest static instructions. The output is verified against the
+/// golden model first — profiles of broken kernels are worthless.
+///
+/// # Errors
+///
+/// [`Error`] on build failure, trap, or output mismatch.
+pub fn profile(cfg: ConvKernelConfig, seed: u64, top: usize) -> Result<HotspotProfile, Error> {
+    const RING: usize = 64;
+    let tb = ConvTestbench::new(cfg, seed)?;
+    let (r, tracer) = tb.run_profiled(RING)?;
+    if !r.matches() {
+        return Err(Error::Mismatch { config: cfg.name() });
+    }
+    Ok(HotspotProfile {
+        kernel: cfg.name(),
+        perf: r.report.perf,
+        hotspots: tracer.hotspots(top),
+    })
+}
+
+/// [`profile`] for the paper's benchmark layer at a width/ISA point.
+///
+/// # Errors
+///
+/// See [`profile`].
+pub fn profile_paper_layer(
+    bits: BitWidth,
+    isa: KernelIsa,
+    hw_quant: bool,
+    seed: u64,
+    top: usize,
+) -> Result<HotspotProfile, Error> {
+    profile(ConvKernelConfig::paper(bits, isa, hw_quant), seed, top)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,5 +165,17 @@ mod tests {
         };
         assert!((m.macs_per_cycle() - 2.0).abs() < 1e-12);
         assert!((m.gmacs() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycle_measurement_has_finite_rates() {
+        let m = LayerMeasurement {
+            cfg: ConvKernelConfig::paper(BitWidth::W8, KernelIsa::XpulpNN, false),
+            cycles: 0,
+            macs: 2_000_000,
+            perf: PerfCounters::new(),
+        };
+        assert_eq!(m.macs_per_cycle(), 0.0);
+        assert_eq!(m.gmacs(), 0.0);
     }
 }

@@ -85,7 +85,11 @@ pub enum Layer {
 impl Layer {
     /// Convolution layer shorthand.
     pub fn conv(shape: ConvShape, bits: BitWidth, out_bits: BitWidth) -> Layer {
-        Layer::Conv { shape, bits, out_bits }
+        Layer::Conv {
+            shape,
+            bits,
+            out_bits,
+        }
     }
 
     /// Depthwise layer shorthand (8-bit, shift 7).
@@ -116,7 +120,9 @@ impl Layer {
     /// `(output elements, output width)` this layer produces.
     pub fn output_spec(&self) -> (usize, BitWidth) {
         match *self {
-            Layer::Conv { shape, out_bits, .. } => (shape.output_len(), out_bits),
+            Layer::Conv {
+                shape, out_bits, ..
+            } => (shape.output_len(), out_bits),
             Layer::Depthwise { shape, .. } => (shape.output_len(), BitWidth::W8),
             Layer::MaxPool { shape, bits } => (shape.output_len(), bits),
             Layer::Linear { shape, bits } => (shape.out_features, bits),
@@ -136,7 +142,11 @@ impl Layer {
     /// Short description.
     pub fn describe(&self) -> String {
         match *self {
-            Layer::Conv { shape, bits, out_bits } => format!(
+            Layer::Conv {
+                shape,
+                bits,
+                out_bits,
+            } => format!(
                 "conv {}x{} {}ch->{}ch {}->{}",
                 shape.k_h, shape.k_w, shape.in_c, shape.out_c, bits, out_bits
             ),
@@ -147,7 +157,10 @@ impl Layer {
                 format!("maxpool {}x{}/s{} {}", shape.k, shape.k, shape.stride, bits)
             }
             Layer::Linear { shape, bits } => {
-                format!("linear {}->{} {}", shape.in_features, shape.out_features, bits)
+                format!(
+                    "linear {}->{} {}",
+                    shape.in_features, shape.out_features, bits
+                )
             }
         }
     }
@@ -198,7 +211,11 @@ impl fmt::Display for NetworkError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetworkError::Empty => f.write_str("network has no layers"),
-            NetworkError::InterfaceMismatch { index, produced, expected } => write!(
+            NetworkError::InterfaceMismatch {
+                index,
+                produced,
+                expected,
+            } => write!(
                 f,
                 "layer {index}: expects {} × {}, previous layer produces {} × {}",
                 expected.0, expected.1, produced.0, produced.1
@@ -206,7 +223,10 @@ impl fmt::Display for NetworkError {
             NetworkError::Build { index, source } => write!(f, "layer {index}: {source}"),
             NetworkError::Trap { index, source } => write!(f, "layer {index}: {source}"),
             NetworkError::Diverged { index } => {
-                write!(f, "layer {index}: device output diverged from the golden model")
+                write!(
+                    f,
+                    "layer {index}: device output diverged from the golden model"
+                )
             }
         }
     }
@@ -259,7 +279,13 @@ impl fmt::Display for NetworkRun {
             } else {
                 "     —       ".to_string()
             };
-            writeln!(f, "layer {:>2}: {:<36} {:>9} cycles  {rate}", i + 1, l.layer.describe(), l.cycles)?;
+            writeln!(
+                f,
+                "layer {:>2}: {:<36} {:>9} cycles  {rate}",
+                i + 1,
+                l.layer.describe(),
+                l.cycles
+            )?;
         }
         write!(
             f,
@@ -286,7 +312,11 @@ impl Network {
             let produced = layers[i - 1].output_spec();
             let expected = layers[i].input_spec();
             if produced != expected {
-                return Err(NetworkError::InterfaceMismatch { index: i, produced, expected });
+                return Err(NetworkError::InterfaceMismatch {
+                    index: i,
+                    produced,
+                    expected,
+                });
             }
         }
         Ok(Network { layers })
@@ -315,7 +345,11 @@ impl Network {
             let build = |e| NetworkError::Build { index, source: e };
             let trap = |e| NetworkError::Trap { index, source: e };
             let (cycles, output, matches): (u64, Vec<i16>, bool) = match *layer {
-                Layer::Conv { shape, bits, out_bits } => {
+                Layer::Conv {
+                    shape,
+                    bits,
+                    out_bits,
+                } => {
                     let cfg = ConvKernelConfig::mixed(shape, bits, out_bits);
                     let weights = rng.weights(bits, shape.weight_len());
                     let thresholds = if out_bits.is_sub_byte() {
@@ -334,15 +368,21 @@ impl Network {
                     // bench around the incoming activations by seeding a
                     // dedicated generator is not possible, so use the
                     // lower-level pieces directly.
-                    let r = run_depthwise_with_input(&cfg, &activations, &mut rng)
-                        .map_err(|e| match e {
+                    let r = run_depthwise_with_input(&cfg, &activations, &mut rng).map_err(
+                        |e| match e {
                             DwError::Build(b) => build(b),
                             DwError::Trap(t) => trap(t),
-                        })?;
+                        },
+                    )?;
                     (r.0, r.1, r.2)
                 }
                 Layer::MaxPool { shape, bits } => {
-                    let cfg = PoolKernelConfig { shape, bits, op: PoolOp::Max, simd: true };
+                    let cfg = PoolKernelConfig {
+                        shape,
+                        bits,
+                        op: PoolOp::Max,
+                        simd: true,
+                    };
                     let r = run_pool_with_input(&cfg, &activations).map_err(|e| match e {
                         DwError::Build(b) => build(b),
                         DwError::Trap(t) => trap(t),
@@ -355,23 +395,31 @@ impl Network {
                         _ => QuantMode::HardwareQnt,
                     };
                     let cfg = LinearKernelConfig { shape, bits, quant };
-                    let r = run_linear_with_input(&cfg, &activations, &mut rng)
-                        .map_err(|e| match e {
+                    let r = run_linear_with_input(&cfg, &activations, &mut rng).map_err(
+                        |e| match e {
                             DwError::Build(b) => build(b),
                             DwError::Trap(t) => trap(t),
-                        })?;
+                        },
+                    )?;
                     (r.0, r.1, r.2)
                 }
             };
             if !matches {
                 return Err(NetworkError::Diverged { index });
             }
-            runs.push(LayerRun { layer: *layer, cycles, macs: layer.macs() });
+            runs.push(LayerRun {
+                layer: *layer,
+                cycles,
+                macs: layer.macs(),
+            });
             let (_, out_bits) = layer.output_spec();
             activations = QuantTensor::activations(out_bits, output)
                 .expect("verified layer outputs are in range");
         }
-        Ok(NetworkRun { layers: runs, output: activations })
+        Ok(NetworkRun {
+            layers: runs,
+            output: activations,
+        })
     }
 }
 
@@ -391,9 +439,7 @@ fn run_depthwise_with_input(
     // activations through its staging by rebuilding with identical
     // config but replacing the input via the public run-on-soc path.
     let tb = DepthwiseTestbench::new(*cfg, 1234).map_err(DwError::Build)?;
-    let r = tb
-        .run_with_input(input.values())
-        .map_err(DwError::Trap)?;
+    let r = tb.run_with_input(input.values()).map_err(DwError::Trap)?;
     Ok((r.cycles(), r.output.clone(), r.matches()))
 }
 
@@ -425,22 +471,61 @@ mod tests {
         assert!(matches!(Network::new(vec![]), Err(NetworkError::Empty)));
         let bad = Network::new(vec![
             Layer::conv(
-                ConvShape { in_h: 4, in_w: 4, in_c: 8, out_c: 8, k_h: 3, k_w: 3, stride: 1, pad: 1 },
+                ConvShape {
+                    in_h: 4,
+                    in_w: 4,
+                    in_c: 8,
+                    out_c: 8,
+                    k_h: 3,
+                    k_w: 3,
+                    stride: 1,
+                    pad: 1,
+                },
                 BitWidth::W4,
                 BitWidth::W4,
             ),
             // expects 16 channels, gets 8
-            Layer::maxpool(PoolShape { in_h: 4, in_w: 4, c: 16, k: 2, stride: 2 }, BitWidth::W4),
+            Layer::maxpool(
+                PoolShape {
+                    in_h: 4,
+                    in_w: 4,
+                    c: 16,
+                    k: 2,
+                    stride: 2,
+                },
+                BitWidth::W4,
+            ),
         ]);
-        assert!(matches!(bad, Err(NetworkError::InterfaceMismatch { index: 1, .. })));
+        assert!(matches!(
+            bad,
+            Err(NetworkError::InterfaceMismatch { index: 1, .. })
+        ));
         // Width mismatch is also caught.
         let bad = Network::new(vec![
             Layer::conv(
-                ConvShape { in_h: 4, in_w: 4, in_c: 8, out_c: 8, k_h: 3, k_w: 3, stride: 1, pad: 1 },
+                ConvShape {
+                    in_h: 4,
+                    in_w: 4,
+                    in_c: 8,
+                    out_c: 8,
+                    k_h: 3,
+                    k_w: 3,
+                    stride: 1,
+                    pad: 1,
+                },
                 BitWidth::W4,
                 BitWidth::W4,
             ),
-            Layer::maxpool(PoolShape { in_h: 4, in_w: 4, c: 8, k: 2, stride: 2 }, BitWidth::W8),
+            Layer::maxpool(
+                PoolShape {
+                    in_h: 4,
+                    in_w: 4,
+                    c: 8,
+                    k: 2,
+                    stride: 2,
+                },
+                BitWidth::W8,
+            ),
         ]);
         assert!(matches!(bad, Err(NetworkError::InterfaceMismatch { .. })));
     }
@@ -449,17 +534,50 @@ mod tests {
     fn small_network_runs_verified() {
         let net = Network::new(vec![
             Layer::conv(
-                ConvShape { in_h: 8, in_w: 8, in_c: 8, out_c: 16, k_h: 3, k_w: 3, stride: 1, pad: 1 },
+                ConvShape {
+                    in_h: 8,
+                    in_w: 8,
+                    in_c: 8,
+                    out_c: 16,
+                    k_h: 3,
+                    k_w: 3,
+                    stride: 1,
+                    pad: 1,
+                },
                 BitWidth::W8,
                 BitWidth::W4,
             ),
-            Layer::maxpool(PoolShape { in_h: 8, in_w: 8, c: 16, k: 2, stride: 2 }, BitWidth::W4),
+            Layer::maxpool(
+                PoolShape {
+                    in_h: 8,
+                    in_w: 8,
+                    c: 16,
+                    k: 2,
+                    stride: 2,
+                },
+                BitWidth::W4,
+            ),
             Layer::conv(
-                ConvShape { in_h: 4, in_w: 4, in_c: 16, out_c: 16, k_h: 3, k_w: 3, stride: 1, pad: 1 },
+                ConvShape {
+                    in_h: 4,
+                    in_w: 4,
+                    in_c: 16,
+                    out_c: 16,
+                    k_h: 3,
+                    k_w: 3,
+                    stride: 1,
+                    pad: 1,
+                },
                 BitWidth::W4,
                 BitWidth::W4,
             ),
-            Layer::linear(LinearShape { in_features: 4 * 4 * 16, out_features: 10 * 2 }, BitWidth::W4),
+            Layer::linear(
+                LinearShape {
+                    in_features: 4 * 4 * 16,
+                    out_features: 10 * 2,
+                },
+                BitWidth::W4,
+            ),
         ])
         .expect("consistent network");
         let run = net.run(42).expect("verified inference");
@@ -474,9 +592,25 @@ mod tests {
     #[test]
     fn depthwise_separable_network() {
         let net = Network::new(vec![
-            Layer::depthwise(DepthwiseShape { in_h: 8, in_w: 8, c: 16, k: 3, stride: 1, pad: 1 }),
+            Layer::depthwise(DepthwiseShape {
+                in_h: 8,
+                in_w: 8,
+                c: 16,
+                k: 3,
+                stride: 1,
+                pad: 1,
+            }),
             Layer::conv(
-                ConvShape { in_h: 8, in_w: 8, in_c: 16, out_c: 16, k_h: 1, k_w: 1, stride: 1, pad: 0 },
+                ConvShape {
+                    in_h: 8,
+                    in_w: 8,
+                    in_c: 16,
+                    out_c: 16,
+                    k_h: 1,
+                    k_w: 1,
+                    stride: 1,
+                    pad: 0,
+                },
                 BitWidth::W8,
                 BitWidth::W8,
             ),
@@ -493,7 +627,16 @@ mod tests {
     #[test]
     fn deterministic_across_runs() {
         let net = Network::new(vec![Layer::conv(
-            ConvShape { in_h: 4, in_w: 4, in_c: 8, out_c: 8, k_h: 3, k_w: 3, stride: 1, pad: 1 },
+            ConvShape {
+                in_h: 4,
+                in_w: 4,
+                in_c: 8,
+                out_c: 8,
+                k_h: 3,
+                k_w: 3,
+                stride: 1,
+                pad: 1,
+            },
             BitWidth::W4,
             BitWidth::W4,
         )])

@@ -1,6 +1,74 @@
-//! Minimal fixed-width table formatting for experiment reports.
+//! Minimal fixed-width table formatting for experiment reports, plus the
+//! JSON hotspot profile emitted by `cli profile`.
+//!
+//! JSON is emitted by hand: the offline build carries no serde, and the
+//! profile is a small, flat structure.
 
+use riscv_core::{Hotspot, PerfCounters};
 use std::fmt;
+
+/// A kernel's attributed cycle profile: full performance counters
+/// (including the per-class cycle ledger) plus the hot-PC histogram from
+/// a traced run.
+#[derive(Debug, Clone)]
+pub struct HotspotProfile {
+    /// Name of the profiled kernel configuration.
+    pub kernel: String,
+    /// Per-run performance counters; `perf.ledger` carries the per-class
+    /// cycle attribution.
+    pub perf: PerfCounters,
+    /// Hottest static instructions, descending by attributed cycles.
+    pub hotspots: Vec<Hotspot>,
+}
+
+impl HotspotProfile {
+    /// Serializes the profile as a self-contained JSON object.
+    ///
+    /// The `ledger` object maps each cycle-class name to its cycle
+    /// count and includes the sum under `"total"`; by the core's retire
+    /// invariant that total equals `"cycles"`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!(
+            "  \"kernel\": \"{}\",\n",
+            escape_json(&self.kernel)
+        ));
+        s.push_str(&format!("  \"cycles\": {},\n", self.perf.cycles));
+        s.push_str(&format!("  \"instret\": {},\n", self.perf.instret));
+        s.push_str(&format!("  \"macs\": {},\n", self.perf.total_macs()));
+        s.push_str("  \"ledger\": {\n");
+        for (class, cycles) in self.perf.ledger.entries() {
+            s.push_str(&format!("    \"{}\": {},\n", class.name(), cycles));
+        }
+        s.push_str(&format!("    \"total\": {}\n", self.perf.ledger.total()));
+        s.push_str("  },\n");
+        s.push_str("  \"hotspots\": [\n");
+        for (i, h) in self.hotspots.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"pc\": \"{:#010x}\", \"disasm\": \"{}\", \"cycles\": {}, \"count\": {}}}{}\n",
+                h.pc,
+                escape_json(&h.instr.to_string()),
+                h.cycles,
+                h.count,
+                if i + 1 < self.hotspots.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}");
+        s
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
 
 /// A simple text table: headers plus rows, padded per column.
 #[derive(Debug, Clone)]
@@ -12,7 +80,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(headers: &[&str]) -> Table {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -22,7 +93,8 @@ impl Table {
     /// Panics if the row width differs from the header count.
     pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) -> &mut Table {
         assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
-        self.rows.push(cells.iter().map(|c| c.as_ref().to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.as_ref().to_string()).collect());
         self
     }
 
@@ -86,5 +158,44 @@ mod tests {
     fn rejects_ragged_rows() {
         let mut t = Table::new(&["a", "b"]);
         t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn profile_json_is_well_formed() {
+        use pulp_isa::instr::{AluOp, Instr};
+        use pulp_isa::Reg;
+        use riscv_core::CycleClass;
+
+        let mut perf = PerfCounters::new();
+        perf.cycles = 12;
+        perf.instret = 10;
+        perf.ledger.charge(CycleClass::Alu, 9);
+        perf.ledger.charge(CycleClass::Load, 3);
+        let profile = HotspotProfile {
+            kernel: "conv-test\"quoted\"".to_string(),
+            perf,
+            hotspots: vec![Hotspot {
+                pc: 0x1c00_8000,
+                cycles: 7,
+                count: 7,
+                instr: Instr::AluImm {
+                    op: AluOp::Add,
+                    rd: Reg::A0,
+                    rs1: Reg::A0,
+                    imm: 1,
+                },
+            }],
+        };
+        let json = profile.to_json();
+        assert!(json.contains("\"cycles\": 12"));
+        assert!(json.contains("\"alu\": 9"));
+        assert!(json.contains("\"total\": 12"));
+        assert!(json.contains("\"pc\": \"0x1c008000\""));
+        assert!(json.contains("conv-test\\\"quoted\\\""));
+        // Balanced braces/brackets and no trailing commas before closers.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains(",\n  }"));
+        assert!(!json.contains(",\n  ]"));
     }
 }

@@ -100,13 +100,29 @@ pub struct CostModel {
 impl CostModel {
     /// The Cortex-M4 model (ARMv7E-M single-issue timings).
     pub const fn m4() -> CostModel {
-        CostModel { ldr: 2, strs: 1, mac: 1, dsp: 1, alu: 1, branch: 3, issue_factor: 1.0 }
+        CostModel {
+            ldr: 2,
+            strs: 1,
+            mac: 1,
+            dsp: 1,
+            alu: 1,
+            branch: 3,
+            issue_factor: 1.0,
+        }
     }
 
     /// The Cortex-M7 model (dual-issue, single-cycle loads, predicted
     /// branches).
     pub const fn m7() -> CostModel {
-        CostModel { ldr: 1, strs: 1, mac: 1, dsp: 1, alu: 1, branch: 1, issue_factor: 0.65 }
+        CostModel {
+            ldr: 1,
+            strs: 1,
+            mac: 1,
+            dsp: 1,
+            alu: 1,
+            branch: 1,
+            issue_factor: 0.65,
+        }
     }
 
     /// For a core.
@@ -190,8 +206,8 @@ fn im2col_counts(shape: &ConvShape, bits: BitWidth) -> OpCounts {
 fn matmul_counts(shape: &ConvShape, bits: BitWidth) -> OpCounts {
     // Inner iterations: 2 pixels × 2 filters per block, 4 elements per
     // iteration (one SMLAD pair per accumulator).
-    let iters = (shape.pixels() / 2) as u64 * (shape.out_c / 2) as u64
-        * (shape.col_len() / 4) as u64;
+    let iters =
+        (shape.pixels() / 2) as u64 * (shape.out_c / 2) as u64 * (shape.col_len() / 4) as u64;
     // Per iteration: 4 activation LDR (2 q15-words per pixel) + weight
     // fetch + expansion + 8 SMLAD + bookkeeping + loop branch. Weight
     // expansion: q7 uses SXTB16/ROR (3 ops per 4 weights); q4/q2 have no
@@ -206,8 +222,17 @@ fn matmul_counts(shape: &ConvShape, bits: BitWidth) -> OpCounts {
     OpCounts {
         ldr: iters * 4 + iters * w_ldr_num / w_ldr_den,
         mac: iters * 8,
-        dsp: if bits == BitWidth::W8 { iters * w_expand } else { 0 },
-        alu: iters * 3 + if bits == BitWidth::W8 { 0 } else { iters * w_expand },
+        dsp: if bits == BitWidth::W8 {
+            iters * w_expand
+        } else {
+            0
+        },
+        alu: iters * 3
+            + if bits == BitWidth::W8 {
+                0
+            } else {
+                iters * w_expand
+            },
         branch: iters,
         ..OpCounts::default()
     }
@@ -246,7 +271,11 @@ fn requant_counts(shape: &ConvShape, bits: BitWidth) -> OpCounts {
 /// Per-pixel outer-loop bookkeeping (pointer setup, bias reload, …).
 fn outer_counts(shape: &ConvShape) -> OpCounts {
     let pixels = shape.pixels() as u64;
-    OpCounts { alu: pixels * 30, branch: pixels * 2, ..OpCounts::default() }
+    OpCounts {
+        alu: pixels * 30,
+        branch: pixels * 2,
+        ..OpCounts::default()
+    }
 }
 
 /// Cycle breakdown of one CMSIS-NN(-extended) convolution layer.
@@ -274,12 +303,20 @@ pub struct Mcu {
 }
 
 /// STM32L476 (Cortex-M4 @ 80 MHz, ≈112 µA/MHz at 3.0 V).
-pub const STM32L476: Mcu =
-    Mcu { name: "STM32L4 (Cortex-M4)", core: ArmCore::M4, freq_mhz: 80, mw_per_mhz: 0.36 };
+pub const STM32L476: Mcu = Mcu {
+    name: "STM32L4 (Cortex-M4)",
+    core: ArmCore::M4,
+    freq_mhz: 80,
+    mw_per_mhz: 0.36,
+};
 
 /// STM32H743 (Cortex-M7 @ 400 MHz, ≈280 µA/MHz at 3.0 V).
-pub const STM32H743: Mcu =
-    Mcu { name: "STM32H7 (Cortex-M7)", core: ArmCore::M7, freq_mhz: 400, mw_per_mhz: 0.84 };
+pub const STM32H743: Mcu = Mcu {
+    name: "STM32H7 (Cortex-M7)",
+    core: ArmCore::M7,
+    freq_mhz: 400,
+    mw_per_mhz: 0.84,
+};
 
 impl Mcu {
     /// Active power at the operating point, in mW.
@@ -373,7 +410,14 @@ mod tests {
 
     #[test]
     fn op_counts_add_and_total() {
-        let a = OpCounts { ldr: 1, strs: 2, mac: 3, dsp: 4, alu: 5, branch: 6 };
+        let a = OpCounts {
+            ldr: 1,
+            strs: 2,
+            mac: 3,
+            dsp: 4,
+            alu: 5,
+            branch: 6,
+        };
         let b = a.add(&a);
         assert_eq!(b.instructions(), 2 * a.instructions());
         assert_eq!(CostModel::m4().cycles(&a), 2 + 2 + 3 + 4 + 5 + 18);

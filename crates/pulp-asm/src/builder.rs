@@ -3,8 +3,9 @@
 
 use crate::program::Program;
 use pulp_isa::encode::encode;
-use pulp_isa::instr::{AluOp, BranchCond, Instr, LoadKind, LoopIdx, SimdOperand, StoreKind,
-                      ValidateError};
+use pulp_isa::instr::{
+    AluOp, BranchCond, Instr, LoadKind, LoopIdx, SimdOperand, StoreKind, ValidateError,
+};
 use pulp_isa::simd::{DotSign, SimdFmt};
 use pulp_isa::Reg;
 use std::collections::BTreeMap;
@@ -43,7 +44,10 @@ impl fmt::Display for AsmError {
                 write!(f, "jump to `{label}` out of range ({offset} bytes)")
             }
             AsmError::LoopRange { label, offset } => {
-                write!(f, "hardware-loop bound `{label}` not encodable ({offset} bytes)")
+                write!(
+                    f,
+                    "hardware-loop bound `{label}` not encodable ({offset} bytes)"
+                )
             }
             AsmError::Validate(e) => write!(f, "invalid instruction: {e}"),
             AsmError::DataOverlap { label, addr } => {
@@ -65,14 +69,39 @@ impl From<ValidateError> for AsmError {
 enum Item {
     Label(String),
     Fixed(Instr),
-    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, target: String },
-    Jal { rd: Reg, target: String },
-    LpStarti { l: LoopIdx, target: String },
-    LpEndi { l: LoopIdx, target: String },
-    LpSetup { l: LoopIdx, rs1: Reg, target: String },
-    LpSetupi { l: LoopIdx, imm: u32, target: String },
+    Branch {
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        target: String,
+    },
+    Jal {
+        rd: Reg,
+        target: String,
+    },
+    LpStarti {
+        l: LoopIdx,
+        target: String,
+    },
+    LpEndi {
+        l: LoopIdx,
+        target: String,
+    },
+    LpSetup {
+        l: LoopIdx,
+        rs1: Reg,
+        target: String,
+    },
+    LpSetupi {
+        l: LoopIdx,
+        imm: u32,
+        target: String,
+    },
     /// Load the 32-bit address of a label: `lui` + `addi`.
-    La { rd: Reg, target: String },
+    La {
+        rd: Reg,
+        target: String,
+    },
 }
 
 impl Item {
@@ -111,7 +140,12 @@ pub struct Asm {
 impl Asm {
     /// Creates a builder whose first instruction will live at `base`.
     pub fn new(base: u32) -> Asm {
-        Asm { base, items: Vec::new(), data: Vec::new(), equs: BTreeMap::new() }
+        Asm {
+            base,
+            items: Vec::new(),
+            data: Vec::new(),
+            equs: BTreeMap::new(),
+        }
     }
 
     /// Appends a raw instruction.
@@ -140,8 +174,14 @@ impl Asm {
     }
 
     /// Appends a data segment at a fixed address.
-    pub fn data_bytes_at(&mut self, label: &str, addr: u32, bytes: impl Into<Vec<u8>>) -> &mut Self {
-        self.data.push((label.to_string(), Some(addr), bytes.into()));
+    pub fn data_bytes_at(
+        &mut self,
+        label: &str,
+        addr: u32,
+        bytes: impl Into<Vec<u8>>,
+    ) -> &mut Self {
+        self.data
+            .push((label.to_string(), Some(addr), bytes.into()));
         self
     }
 
@@ -162,12 +202,22 @@ impl Asm {
     /// `li rd, value`: loads a 32-bit constant (1 or 2 instructions).
     pub fn li(&mut self, rd: Reg, value: i32) -> &mut Self {
         if (-2048..2048).contains(&value) {
-            self.i(Instr::AluImm { op: AluOp::Add, rd, rs1: Reg::Zero, imm: value })
+            self.i(Instr::AluImm {
+                op: AluOp::Add,
+                rd,
+                rs1: Reg::Zero,
+                imm: value,
+            })
         } else {
             let (hi, lo) = hi_lo(value as u32);
             self.i(Instr::Lui { rd, imm: hi });
             if lo != 0 {
-                self.i(Instr::AluImm { op: AluOp::Add, rd, rs1: rd, imm: lo });
+                self.i(Instr::AluImm {
+                    op: AluOp::Add,
+                    rd,
+                    rs1: rd,
+                    imm: lo,
+                });
             }
             self
         }
@@ -176,13 +226,21 @@ impl Asm {
     /// `la rd, label`: loads the address of a code/data label or `equ`
     /// symbol (always 2 instructions for deterministic layout).
     pub fn la(&mut self, rd: Reg, label: &str) -> &mut Self {
-        self.items.push(Item::La { rd, target: label.to_string() });
+        self.items.push(Item::La {
+            rd,
+            target: label.to_string(),
+        });
         self
     }
 
     /// `mv rd, rs`: register copy.
     pub fn mv(&mut self, rd: Reg, rs: Reg) -> &mut Self {
-        self.i(Instr::AluImm { op: AluOp::Add, rd, rs1: rs, imm: 0 })
+        self.i(Instr::AluImm {
+            op: AluOp::Add,
+            rd,
+            rs1: rs,
+            imm: 0,
+        })
     }
 
     /// `nop`.
@@ -192,92 +250,190 @@ impl Asm {
 
     /// `addi rd, rs1, imm`.
     pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
-        self.i(Instr::AluImm { op: AluOp::Add, rd, rs1, imm })
+        self.i(Instr::AluImm {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm,
+        })
     }
 
     /// `add rd, rs1, rs2`.
     pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.i(Instr::Alu { op: AluOp::Add, rd, rs1, rs2 })
+        self.i(Instr::Alu {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     /// `sub rd, rs1, rs2`.
     pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.i(Instr::Alu { op: AluOp::Sub, rd, rs1, rs2 })
+        self.i(Instr::Alu {
+            op: AluOp::Sub,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     /// `slli rd, rs1, sh`.
     pub fn slli(&mut self, rd: Reg, rs1: Reg, sh: i32) -> &mut Self {
-        self.i(Instr::AluImm { op: AluOp::Sll, rd, rs1, imm: sh })
+        self.i(Instr::AluImm {
+            op: AluOp::Sll,
+            rd,
+            rs1,
+            imm: sh,
+        })
     }
 
     /// `srli rd, rs1, sh`.
     pub fn srli(&mut self, rd: Reg, rs1: Reg, sh: i32) -> &mut Self {
-        self.i(Instr::AluImm { op: AluOp::Srl, rd, rs1, imm: sh })
+        self.i(Instr::AluImm {
+            op: AluOp::Srl,
+            rd,
+            rs1,
+            imm: sh,
+        })
     }
 
     /// `srai rd, rs1, sh`.
     pub fn srai(&mut self, rd: Reg, rs1: Reg, sh: i32) -> &mut Self {
-        self.i(Instr::AluImm { op: AluOp::Sra, rd, rs1, imm: sh })
+        self.i(Instr::AluImm {
+            op: AluOp::Sra,
+            rd,
+            rs1,
+            imm: sh,
+        })
     }
 
     /// `andi rd, rs1, imm`.
     pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
-        self.i(Instr::AluImm { op: AluOp::And, rd, rs1, imm })
+        self.i(Instr::AluImm {
+            op: AluOp::And,
+            rd,
+            rs1,
+            imm,
+        })
     }
 
     /// `ori rd, rs1, imm`.
     pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
-        self.i(Instr::AluImm { op: AluOp::Or, rd, rs1, imm })
+        self.i(Instr::AluImm {
+            op: AluOp::Or,
+            rd,
+            rs1,
+            imm,
+        })
     }
 
     /// `or rd, rs1, rs2`.
     pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.i(Instr::Alu { op: AluOp::Or, rd, rs1, rs2 })
+        self.i(Instr::Alu {
+            op: AluOp::Or,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     /// `and rd, rs1, rs2`.
     pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.i(Instr::Alu { op: AluOp::And, rd, rs1, rs2 })
+        self.i(Instr::Alu {
+            op: AluOp::And,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     /// `lw rd, offset(rs1)`.
     pub fn lw(&mut self, rd: Reg, offset: i32, rs1: Reg) -> &mut Self {
-        self.i(Instr::Load { kind: LoadKind::Word, rd, rs1, offset })
+        self.i(Instr::Load {
+            kind: LoadKind::Word,
+            rd,
+            rs1,
+            offset,
+        })
     }
 
     /// `sw rs2, offset(rs1)`.
     pub fn sw(&mut self, rs2: Reg, offset: i32, rs1: Reg) -> &mut Self {
-        self.i(Instr::Store { kind: StoreKind::Word, rs1, rs2, offset })
+        self.i(Instr::Store {
+            kind: StoreKind::Word,
+            rs1,
+            rs2,
+            offset,
+        })
     }
 
     /// `lbu rd, offset(rs1)`.
     pub fn lbu(&mut self, rd: Reg, offset: i32, rs1: Reg) -> &mut Self {
-        self.i(Instr::Load { kind: LoadKind::ByteU, rd, rs1, offset })
+        self.i(Instr::Load {
+            kind: LoadKind::ByteU,
+            rd,
+            rs1,
+            offset,
+        })
     }
 
     /// `sb rs2, offset(rs1)`.
     pub fn sb(&mut self, rs2: Reg, offset: i32, rs1: Reg) -> &mut Self {
-        self.i(Instr::Store { kind: StoreKind::Byte, rs1, rs2, offset })
+        self.i(Instr::Store {
+            kind: StoreKind::Byte,
+            rs1,
+            rs2,
+            offset,
+        })
     }
 
     /// `p.lw rd, offset(rs1!)`: post-increment word load (XpulpV2).
     pub fn p_lw_postinc(&mut self, rd: Reg, offset: i32, rs1: Reg) -> &mut Self {
-        self.i(Instr::LoadPostInc { kind: LoadKind::Word, rd, rs1, offset })
+        self.i(Instr::LoadPostInc {
+            kind: LoadKind::Word,
+            rd,
+            rs1,
+            offset,
+        })
     }
 
     /// `p.sw rs2, offset(rs1!)`: post-increment word store (XpulpV2).
     pub fn p_sw_postinc(&mut self, rs2: Reg, offset: i32, rs1: Reg) -> &mut Self {
-        self.i(Instr::StorePostInc { kind: StoreKind::Word, rs1, rs2, offset })
+        self.i(Instr::StorePostInc {
+            kind: StoreKind::Word,
+            rs1,
+            rs2,
+            offset,
+        })
     }
 
     /// `p.sb rs2, offset(rs1!)`: post-increment byte store (XpulpV2).
     pub fn p_sb_postinc(&mut self, rs2: Reg, offset: i32, rs1: Reg) -> &mut Self {
-        self.i(Instr::StorePostInc { kind: StoreKind::Byte, rs1, rs2, offset })
+        self.i(Instr::StorePostInc {
+            kind: StoreKind::Byte,
+            rs1,
+            rs2,
+            offset,
+        })
     }
 
     /// `pv.sdot<sign>.<fmt> rd, rs1, rs2`: sum-of-dot-products.
-    pub fn pv_sdot(&mut self, fmt: SimdFmt, sign: DotSign, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.i(Instr::PvSdot { fmt, sign, rd, rs1, op2: SimdOperand::Vector(rs2) })
+    pub fn pv_sdot(
+        &mut self,
+        fmt: SimdFmt,
+        sign: DotSign,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    ) -> &mut Self {
+        self.i(Instr::PvSdot {
+            fmt,
+            sign,
+            rd,
+            rs1,
+            op2: SimdOperand::Vector(rs2),
+        })
     }
 
     /// `pv.qnt.<fmt> rd, rs1, rs2`: hardware quantization (XpulpNN).
@@ -289,7 +445,12 @@ impl Asm {
 
     /// Conditional branch to a label.
     pub fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, target: &str) -> &mut Self {
-        self.items.push(Item::Branch { cond, rs1, rs2, target: target.to_string() });
+        self.items.push(Item::Branch {
+            cond,
+            rs1,
+            rs2,
+            target: target.to_string(),
+        });
         self
     }
 
@@ -320,19 +481,29 @@ impl Asm {
 
     /// `j label`: unconditional jump.
     pub fn j(&mut self, target: &str) -> &mut Self {
-        self.items.push(Item::Jal { rd: Reg::Zero, target: target.to_string() });
+        self.items.push(Item::Jal {
+            rd: Reg::Zero,
+            target: target.to_string(),
+        });
         self
     }
 
     /// `jal label`: call, linking into `ra`.
     pub fn jal(&mut self, target: &str) -> &mut Self {
-        self.items.push(Item::Jal { rd: Reg::Ra, target: target.to_string() });
+        self.items.push(Item::Jal {
+            rd: Reg::Ra,
+            target: target.to_string(),
+        });
         self
     }
 
     /// `ret` (`jalr zero, 0(ra)`).
     pub fn ret(&mut self) -> &mut Self {
-        self.i(Instr::Jalr { rd: Reg::Zero, rs1: Reg::Ra, offset: 0 })
+        self.i(Instr::Jalr {
+            rd: Reg::Zero,
+            rs1: Reg::Ra,
+            offset: 0,
+        })
     }
 
     /// `ecall` — the SoC halt convention.
@@ -344,14 +515,20 @@ impl Asm {
 
     /// `lp.starti l, label`.
     pub fn lp_starti(&mut self, l: LoopIdx, target: &str) -> &mut Self {
-        self.items.push(Item::LpStarti { l, target: target.to_string() });
+        self.items.push(Item::LpStarti {
+            l,
+            target: target.to_string(),
+        });
         self
     }
 
     /// `lp.endi l, label` (the label marks the first instruction *after*
     /// the loop body, matching RI5CY's end-exclusive semantics).
     pub fn lp_endi(&mut self, l: LoopIdx, target: &str) -> &mut Self {
-        self.items.push(Item::LpEndi { l, target: target.to_string() });
+        self.items.push(Item::LpEndi {
+            l,
+            target: target.to_string(),
+        });
         self
     }
 
@@ -368,14 +545,22 @@ impl Asm {
     /// `lp.setup l, rs1, label`: one-instruction loop setup with a
     /// register trip count.
     pub fn lp_setup(&mut self, l: LoopIdx, rs1: Reg, target: &str) -> &mut Self {
-        self.items.push(Item::LpSetup { l, rs1, target: target.to_string() });
+        self.items.push(Item::LpSetup {
+            l,
+            rs1,
+            target: target.to_string(),
+        });
         self
     }
 
     /// `lp.setupi l, imm, label`: one-instruction loop setup with an
     /// immediate trip count (body limited to 62 bytes by the encoding).
     pub fn lp_setupi(&mut self, l: LoopIdx, imm: u32, target: &str) -> &mut Self {
-        self.items.push(Item::LpSetupi { l, imm, target: target.to_string() });
+        self.items.push(Item::LpSetupi {
+            l,
+            imm,
+            target: target.to_string(),
+        });
         self
     }
 
@@ -413,7 +598,10 @@ impl Asm {
             let at = match fixed {
                 Some(a) => {
                     if *a < code_end && a + bytes.len() as u32 > self.base {
-                        return Err(AsmError::DataOverlap { label: label.clone(), addr: *a });
+                        return Err(AsmError::DataOverlap {
+                            label: label.clone(),
+                            addr: *a,
+                        });
                     }
                     *a
                 }
@@ -430,7 +618,10 @@ impl Asm {
         }
 
         let lookup = |name: &str| -> Result<u32, AsmError> {
-            symbols.get(name).copied().ok_or_else(|| AsmError::UndefinedLabel(name.to_string()))
+            symbols
+                .get(name)
+                .copied()
+                .ok_or_else(|| AsmError::UndefinedLabel(name.to_string()))
         };
 
         // Pass 2: emit instructions with resolved offsets.
@@ -443,10 +634,18 @@ impl Asm {
                     instr.validate()?;
                     instrs.push(*instr);
                 }
-                Item::Branch { cond, rs1, rs2, target } => {
+                Item::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target,
+                } => {
                     let offset = lookup(target)? as i64 - addr as i64;
                     if !(-4096..4096).contains(&offset) || offset & 1 != 0 {
-                        return Err(AsmError::BranchRange { label: target.clone(), offset });
+                        return Err(AsmError::BranchRange {
+                            label: target.clone(),
+                            offset,
+                        });
                     }
                     instrs.push(Instr::Branch {
                         cond: *cond,
@@ -458,50 +657,93 @@ impl Asm {
                 Item::Jal { rd, target } => {
                     let offset = lookup(target)? as i64 - addr as i64;
                     if !(-(1 << 20)..(1 << 20)).contains(&offset) || offset & 1 != 0 {
-                        return Err(AsmError::JumpRange { label: target.clone(), offset });
+                        return Err(AsmError::JumpRange {
+                            label: target.clone(),
+                            offset,
+                        });
                     }
-                    instrs.push(Instr::Jal { rd: *rd, offset: offset as i32 });
+                    instrs.push(Instr::Jal {
+                        rd: *rd,
+                        offset: offset as i32,
+                    });
                 }
                 Item::LpStarti { l, target } => {
                     let offset = lookup(target)? as i64 - addr as i64;
                     if !(0..8192).contains(&offset) || offset & 3 != 0 {
-                        return Err(AsmError::LoopRange { label: target.clone(), offset });
+                        return Err(AsmError::LoopRange {
+                            label: target.clone(),
+                            offset,
+                        });
                     }
-                    instrs.push(Instr::LpStarti { l: *l, offset: offset as i32 });
+                    instrs.push(Instr::LpStarti {
+                        l: *l,
+                        offset: offset as i32,
+                    });
                 }
                 Item::LpEndi { l, target } => {
                     let offset = lookup(target)? as i64 - addr as i64;
                     if !(0..8192).contains(&offset) || offset & 3 != 0 {
-                        return Err(AsmError::LoopRange { label: target.clone(), offset });
+                        return Err(AsmError::LoopRange {
+                            label: target.clone(),
+                            offset,
+                        });
                     }
-                    instrs.push(Instr::LpEndi { l: *l, offset: offset as i32 });
+                    instrs.push(Instr::LpEndi {
+                        l: *l,
+                        offset: offset as i32,
+                    });
                 }
                 Item::LpSetup { l, rs1, target } => {
                     let offset = lookup(target)? as i64 - addr as i64;
                     if !(0..8192).contains(&offset) || offset & 3 != 0 {
-                        return Err(AsmError::LoopRange { label: target.clone(), offset });
+                        return Err(AsmError::LoopRange {
+                            label: target.clone(),
+                            offset,
+                        });
                     }
-                    instrs.push(Instr::LpSetup { l: *l, rs1: *rs1, offset: offset as i32 });
+                    instrs.push(Instr::LpSetup {
+                        l: *l,
+                        rs1: *rs1,
+                        offset: offset as i32,
+                    });
                 }
                 Item::LpSetupi { l, imm, target } => {
                     let offset = lookup(target)? as i64 - addr as i64;
                     if !(0..64).contains(&offset) || offset & 3 != 0 {
-                        return Err(AsmError::LoopRange { label: target.clone(), offset });
+                        return Err(AsmError::LoopRange {
+                            label: target.clone(),
+                            offset,
+                        });
                     }
-                    instrs.push(Instr::LpSetupi { l: *l, imm: *imm, offset: offset as i32 });
+                    instrs.push(Instr::LpSetupi {
+                        l: *l,
+                        imm: *imm,
+                        offset: offset as i32,
+                    });
                 }
                 Item::La { rd, target } => {
                     let value = lookup(target)?;
                     let (hi, lo) = hi_lo(value);
                     instrs.push(Instr::Lui { rd: *rd, imm: hi });
-                    instrs.push(Instr::AluImm { op: AluOp::Add, rd: *rd, rs1: *rd, imm: lo });
+                    instrs.push(Instr::AluImm {
+                        op: AluOp::Add,
+                        rd: *rd,
+                        rs1: *rd,
+                        imm: lo,
+                    });
                 }
             }
             addr += item.size() * 4;
         }
 
         let words = instrs.iter().map(encode).collect();
-        Ok(Program { base: self.base, words, instrs, data, symbols })
+        Ok(Program {
+            base: self.base,
+            words,
+            instrs,
+            data,
+            symbols,
+        })
     }
 }
 
@@ -520,14 +762,33 @@ mod tests {
         let p = a.assemble().unwrap();
         // 1 + 2 + 1 + 1 + 1 words (0x80000000 has lo 0 -> lui only).
         assert_eq!(p.instrs.len(), 6);
-        assert_eq!(p.instrs[0], Instr::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::Zero, imm: 5 });
+        assert_eq!(
+            p.instrs[0],
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::Zero,
+                imm: 5
+            }
+        );
     }
 
     /// Runs `li` through a tiny interpreter to confirm the hi/lo split.
     #[test]
     fn li_reconstructs_value() {
-        for v in [0i32, 5, -5, 0x7ff, 0x800, -2048, -2049, 0x1234_5678,
-                  0x7fff_ffff, -0x8000_0000, 0xdead_beefu32 as i32] {
+        for v in [
+            0i32,
+            5,
+            -5,
+            0x7ff,
+            0x800,
+            -2048,
+            -2049,
+            0x1234_5678,
+            0x7fff_ffff,
+            -0x8000_0000,
+            0xdead_beefu32 as i32,
+        ] {
             let mut a = Asm::new(0);
             a.li(Reg::A0, v);
             let p = a.assemble().unwrap();
@@ -571,7 +832,10 @@ mod tests {
     fn undefined_and_duplicate_labels_error() {
         let mut a = Asm::new(0);
         a.j("nowhere");
-        assert_eq!(a.assemble(), Err(AsmError::UndefinedLabel("nowhere".into())));
+        assert_eq!(
+            a.assemble(),
+            Err(AsmError::UndefinedLabel("nowhere".into()))
+        );
 
         let mut a = Asm::new(0);
         a.label("x");
@@ -645,7 +909,12 @@ mod tests {
     #[test]
     fn validate_errors_propagate() {
         let mut a = Asm::new(0);
-        a.i(Instr::PvQnt { fmt: SimdFmt::Byte, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 });
+        a.i(Instr::PvQnt {
+            fmt: SimdFmt::Byte,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        });
         assert!(matches!(a.assemble(), Err(AsmError::Validate(_))));
     }
 

@@ -70,13 +70,24 @@ mod tests {
 
     fn sample() -> Program {
         let instrs = vec![
-            Instr::AluImm { op: pulp_isa::instr::AluOp::Add, rd: Reg::A0, rs1: Reg::Zero, imm: 1 },
+            Instr::AluImm {
+                op: pulp_isa::instr::AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::Zero,
+                imm: 1,
+            },
             Instr::Ecall,
         ];
         let words = instrs.iter().map(encode).collect();
         let mut symbols = BTreeMap::new();
         symbols.insert("start".to_string(), 0x100);
-        Program { base: 0x100, words, instrs, data: vec![], symbols }
+        Program {
+            base: 0x100,
+            words,
+            instrs,
+            data: vec![],
+            symbols,
+        }
     }
 
     #[test]

@@ -15,8 +15,10 @@
 
 use crate::builder::{Asm, AsmError};
 use crate::program::Program;
-use pulp_isa::instr::{AluOp, BitOp, BranchCond, Instr, LoadKind, LoopIdx, MulDivOp, PulpAluOp,
-                      SimdAluOp, SimdOperand, StoreKind};
+use pulp_isa::instr::{
+    AluOp, BitOp, BranchCond, Instr, LoadKind, LoopIdx, MulDivOp, PulpAluOp, SimdAluOp,
+    SimdOperand, StoreKind,
+};
 use pulp_isa::simd::{DotSign, SimdFmt};
 use pulp_isa::Reg;
 use std::fmt;
@@ -65,7 +67,10 @@ impl From<AsmError> for TextAsmError {
 }
 
 fn err(line: usize, message: impl Into<String>) -> TextAsmError {
-    TextAsmError::Parse(ParseError { line, message: message.into() })
+    TextAsmError::Parse(ParseError {
+        line,
+        message: message.into(),
+    })
 }
 
 /// Parses a numeric literal (decimal or `0x…`, optionally negative).
@@ -89,8 +94,12 @@ fn parse_reg(s: &str, line: usize) -> Result<Reg, TextAsmError> {
 
 /// Splits `off(base)` / `reg(base!)` memory operand syntax.
 fn parse_mem_operand(s: &str, line: usize) -> Result<(String, String, bool), TextAsmError> {
-    let open = s.find('(').ok_or_else(|| err(line, format!("expected `(base)` in `{s}`")))?;
-    let close = s.rfind(')').ok_or_else(|| err(line, format!("missing `)` in `{s}`")))?;
+    let open = s
+        .find('(')
+        .ok_or_else(|| err(line, format!("expected `(base)` in `{s}`")))?;
+    let close = s
+        .rfind(')')
+        .ok_or_else(|| err(line, format!("missing `)` in `{s}`")))?;
     let outer = s[..open].trim().to_string();
     let mut inner = s[open + 1..close].trim().to_string();
     let post_inc = inner.ends_with('!');
@@ -158,7 +167,7 @@ fn muldiv_op_of(m: &str) -> Option<MulDivOp> {
         "divu" => Some(MulDivOp::Divu),
         "rem" => Some(MulDivOp::Rem),
         "remu" => Some(MulDivOp::Remu),
-    _ => None,
+        _ => None,
     }
 }
 
@@ -221,7 +230,10 @@ impl LineCtx<'_> {
         if ops.len() == n {
             Ok(())
         } else {
-            Err(err(self.line, format!("expected {n} operands, got {}", ops.len())))
+            Err(err(
+                self.line,
+                format!("expected {n} operands, got {}", ops.len()),
+            ))
         }
     }
 
@@ -237,7 +249,12 @@ impl LineCtx<'_> {
     /// builder item.
     fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, target: &str) {
         if let Some(offset) = parse_int(target) {
-            self.asm.i(Instr::Branch { cond, rs1, rs2, offset: offset as i32 });
+            self.asm.i(Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset: offset as i32,
+            });
         } else {
             self.asm.branch(cond, rs1, rs2, target);
         }
@@ -245,7 +262,10 @@ impl LineCtx<'_> {
 
     fn jal(&mut self, rd: Reg, target: &str) {
         if let Some(offset) = parse_int(target) {
-            self.asm.i(Instr::Jal { rd, offset: offset as i32 });
+            self.asm.i(Instr::Jal {
+                rd,
+                offset: offset as i32,
+            });
         } else if rd == Reg::Zero {
             self.asm.j(target);
         } else {
@@ -281,7 +301,13 @@ fn parse_pv(mnemonic: &str, ops: &[String], ctx: &mut LineCtx<'_>) -> Result<(),
             ctx.need(ops, 3)?;
             let (rd, rs1) = (ctx.reg(&ops[0])?, ctx.reg(&ops[1])?);
             let idx = ctx.int(&ops[2])? as u8;
-            ctx.asm.i(Instr::PvExtract { fmt, rd, rs1, idx, signed: stem == "extract" });
+            ctx.asm.i(Instr::PvExtract {
+                fmt,
+                rd,
+                rs1,
+                idx,
+                signed: stem == "extract",
+            });
             return Ok(());
         }
         "insert" => {
@@ -315,14 +341,32 @@ fn parse_pv(mnemonic: &str, ops: &[String], ctx: &mut LineCtx<'_>) -> Result<(),
         other => return Err(err(line, format!("unknown SIMD mode `.{other}`"))),
     };
     if let Some(op) = simd_alu_op_of(stem) {
-        ctx.asm.i(Instr::PvAlu { op, fmt, rd, rs1, op2 });
+        ctx.asm.i(Instr::PvAlu {
+            op,
+            fmt,
+            rd,
+            rs1,
+            op2,
+        });
         return Ok(());
     }
     if let Some((sign, acc)) = dot_sign_of(stem) {
         let instr = if acc {
-            Instr::PvSdot { fmt, sign, rd, rs1, op2 }
+            Instr::PvSdot {
+                fmt,
+                sign,
+                rd,
+                rs1,
+                op2,
+            }
         } else {
-            Instr::PvDot { fmt, sign, rd, rs1, op2 }
+            Instr::PvDot {
+                fmt,
+                sign,
+                rd,
+                rs1,
+                op2,
+            }
         };
         ctx.asm.i(instr);
         return Ok(());
@@ -341,12 +385,30 @@ fn parse_p(mnemonic: &str, ops: &[String], ctx: &mut LineCtx<'_>) -> Result<(), 
         let (outer, base, post) = parse_mem_operand(&ops[1], line)?;
         let rs1 = ctx.reg(&base)?;
         let instr = match (parse_int(&outer), post) {
-            (Some(offset), true) => Instr::LoadPostInc { kind, rd, rs1, offset: offset as i32 },
+            (Some(offset), true) => Instr::LoadPostInc {
+                kind,
+                rd,
+                rs1,
+                offset: offset as i32,
+            },
             (Some(_), false) => {
-                return Err(err(line, "p.l* with immediate offset requires `!` post-increment"));
+                return Err(err(
+                    line,
+                    "p.l* with immediate offset requires `!` post-increment",
+                ));
             }
-            (None, true) => Instr::LoadPostIncReg { kind, rd, rs1, rs2: ctx.reg(&outer)? },
-            (None, false) => Instr::LoadRegOff { kind, rd, rs1, rs2: ctx.reg(&outer)? },
+            (None, true) => Instr::LoadPostIncReg {
+                kind,
+                rd,
+                rs1,
+                rs2: ctx.reg(&outer)?,
+            },
+            (None, false) => Instr::LoadRegOff {
+                kind,
+                rd,
+                rs1,
+                rs2: ctx.reg(&outer)?,
+            },
         };
         ctx.asm.i(instr);
         return Ok(());
@@ -357,10 +419,18 @@ fn parse_p(mnemonic: &str, ops: &[String], ctx: &mut LineCtx<'_>) -> Result<(), 
         let (outer, base, post) = parse_mem_operand(&ops[1], line)?;
         let rs1 = ctx.reg(&base)?;
         let instr = match (parse_int(&outer), post) {
-            (Some(offset), true) => {
-                Instr::StorePostInc { kind, rs1, rs2, offset: offset as i32 }
-            }
-            (None, true) => Instr::StorePostIncReg { kind, rs1, rs2, rs3: ctx.reg(&outer)? },
+            (Some(offset), true) => Instr::StorePostInc {
+                kind,
+                rs1,
+                rs2,
+                offset: offset as i32,
+            },
+            (None, true) => Instr::StorePostIncReg {
+                kind,
+                rs1,
+                rs2,
+                rs3: ctx.reg(&outer)?,
+            },
             _ => return Err(err(line, "p.s* requires `!` post-increment")),
         };
         ctx.asm.i(instr);
@@ -392,7 +462,12 @@ fn parse_p(mnemonic: &str, ops: &[String], ctx: &mut LineCtx<'_>) -> Result<(), 
     if let Some(op) = one_src {
         ctx.need(ops, 2)?;
         let (rd, rs1) = (ctx.reg(&ops[0])?, ctx.reg(&ops[1])?);
-        ctx.asm.i(Instr::PulpAlu { op, rd, rs1, rs2: Reg::Zero });
+        ctx.asm.i(Instr::PulpAlu {
+            op,
+            rd,
+            rs1,
+            rs2: Reg::Zero,
+        });
         return Ok(());
     }
     match stem {
@@ -458,9 +533,15 @@ fn parse_lp(mnemonic: &str, ops: &[String], ctx: &mut LineCtx<'_>) -> Result<(),
             ctx.need(ops, 2)?;
             if let Some(offset) = parse_int(&ops[1]) {
                 let instr = if stem == "starti" {
-                    Instr::LpStarti { l, offset: offset as i32 }
+                    Instr::LpStarti {
+                        l,
+                        offset: offset as i32,
+                    }
                 } else {
-                    Instr::LpEndi { l, offset: offset as i32 }
+                    Instr::LpEndi {
+                        l,
+                        offset: offset as i32,
+                    }
                 };
                 ctx.asm.i(instr);
             } else if stem == "starti" {
@@ -486,7 +567,11 @@ fn parse_lp(mnemonic: &str, ops: &[String], ctx: &mut LineCtx<'_>) -> Result<(),
             ctx.need(ops, 3)?;
             let rs1 = ctx.reg(&ops[1])?;
             if let Some(offset) = parse_int(&ops[2]) {
-                ctx.asm.i(Instr::LpSetup { l, rs1, offset: offset as i32 });
+                ctx.asm.i(Instr::LpSetup {
+                    l,
+                    rs1,
+                    offset: offset as i32,
+                });
             } else {
                 ctx.asm.lp_setup(l, rs1, &ops[2]);
             }
@@ -496,7 +581,11 @@ fn parse_lp(mnemonic: &str, ops: &[String], ctx: &mut LineCtx<'_>) -> Result<(),
             ctx.need(ops, 3)?;
             let imm = ctx.int(&ops[1])? as u32;
             if let Some(offset) = parse_int(&ops[2]) {
-                ctx.asm.i(Instr::LpSetupi { l, imm, offset: offset as i32 });
+                ctx.asm.i(Instr::LpSetupi {
+                    l,
+                    imm,
+                    offset: offset as i32,
+                });
             } else {
                 ctx.asm.lp_setupi(l, imm, &ops[2]);
             }
@@ -537,7 +626,12 @@ fn parse_instruction(
         }
         let offset = ctx.int(&outer)? as i32;
         let rs1 = ctx.reg(&base)?;
-        ctx.asm.i(Instr::Load { kind, rd, rs1, offset });
+        ctx.asm.i(Instr::Load {
+            kind,
+            rd,
+            rs1,
+            offset,
+        });
         return Ok(());
     }
     if let Some(kind) = store_kind_of(mnemonic) {
@@ -546,7 +640,12 @@ fn parse_instruction(
         let (outer, base, _) = parse_mem_operand(&ops[1], line)?;
         let offset = ctx.int(&outer)? as i32;
         let rs1 = ctx.reg(&base)?;
-        ctx.asm.i(Instr::Store { kind, rs1, rs2, offset });
+        ctx.asm.i(Instr::Store {
+            kind,
+            rs1,
+            rs2,
+            offset,
+        });
         return Ok(());
     }
     if let Some(op) = muldiv_op_of(mnemonic) {
@@ -575,7 +674,12 @@ fn parse_instruction(
         ctx.need(&ops, 3)?;
         let (rd, rs1) = (ctx.reg(&ops[0])?, ctx.reg(&ops[1])?);
         let imm = ctx.int(&ops[2])? as i32;
-        ctx.asm.i(Instr::AluImm { op: AluOp::Sltu, rd, rs1, imm });
+        ctx.asm.i(Instr::AluImm {
+            op: AluOp::Sltu,
+            rd,
+            rs1,
+            imm,
+        });
         return Ok(());
     }
     match mnemonic {
@@ -674,7 +778,12 @@ fn parse_instruction(
             ctx.need(&ops, 2)?;
             let rd = ctx.reg(&ops[0])?;
             let csr = ctx.int(&ops[1])? as u16;
-            ctx.asm.i(Instr::Csr { op: 1, rd, rs1: Reg::Zero, csr });
+            ctx.asm.i(Instr::Csr {
+                op: 1,
+                rd,
+                rs1: Reg::Zero,
+                csr,
+            });
             Ok(())
         }
         other => Err(err(line, format!("unknown mnemonic `{other}`"))),
@@ -698,8 +807,7 @@ fn parse_directive(
             if ops.len() != 1 {
                 return Err(err(line, ".org takes one address"));
             }
-            let addr = parse_int(&ops[0])
-                .ok_or_else(|| err(line, "bad .org address"))? as u32;
+            let addr = parse_int(&ops[0]).ok_or_else(|| err(line, "bad .org address"))? as u32;
             *base = Some(addr);
             Ok(())
         }
@@ -707,8 +815,7 @@ fn parse_directive(
             if ops.len() != 2 {
                 return Err(err(line, ".equ takes `name, value`"));
             }
-            let value =
-                parse_int(&ops[1]).ok_or_else(|| err(line, "bad .equ value"))? as u32;
+            let value = parse_int(&ops[1]).ok_or_else(|| err(line, "bad .equ value"))? as u32;
             asm.equ(&ops[0], value);
             Ok(())
         }
@@ -784,8 +891,8 @@ pub fn parse(source: &str) -> Result<Program, TextAsmError> {
     let mut started = false;
     let mut pending: Vec<(usize, String)> = Vec::new();
     for (line_no, text) in items {
-        if text.starts_with(".org") {
-            parse_directive(".org", text[4..].trim(), &mut asm, &mut base, started, line_no)?;
+        if let Some(rest) = text.strip_prefix(".org") {
+            parse_directive(".org", rest.trim(), &mut asm, &mut base, started, line_no)?;
         } else {
             if !text.starts_with('.') && !text.ends_with(':') {
                 started = true;
@@ -818,17 +925,30 @@ pub fn parse(source: &str) -> Result<Program, TextAsmError> {
             continue;
         }
         if let Some(stripped) = rest.strip_prefix('.') {
-            let dir_end = stripped.find(char::is_whitespace).map(|i| i + 1).unwrap_or(rest.len());
+            let dir_end = stripped
+                .find(char::is_whitespace)
+                .map(|i| i + 1)
+                .unwrap_or(rest.len());
             let (dir, args) = rest.split_at(dir_end);
             let mut dummy = None;
-            parse_directive(dir.trim(), args.trim(), &mut asm2, &mut dummy, true, line_no)?;
+            parse_directive(
+                dir.trim(),
+                args.trim(),
+                &mut asm2,
+                &mut dummy,
+                true,
+                line_no,
+            )?;
             continue;
         }
         let (mnemonic, args) = match rest.find(char::is_whitespace) {
             Some(i) => rest.split_at(i),
             None => (rest, ""),
         };
-        let mut ctx = LineCtx { asm: &mut asm2, line: line_no };
+        let mut ctx = LineCtx {
+            asm: &mut asm2,
+            line: line_no,
+        };
         parse_instruction(mnemonic.trim(), args.trim(), &mut ctx)?;
     }
 
@@ -859,10 +979,7 @@ mod tests {
 
     #[test]
     fn parse_comments_and_blank_lines() {
-        let p = parse(
-            "# full-line comment\n  nop // trailing\n\n  ecall # done\n",
-        )
-        .unwrap();
+        let p = parse("# full-line comment\n  nop // trailing\n\n  ecall # done\n").unwrap();
         assert_eq!(p.instrs, vec![Instr::Nop, Instr::Ecall]);
     }
 
@@ -888,7 +1005,13 @@ mod tests {
         assert!(matches!(p.instrs[2], Instr::LoadPostInc { .. }));
         assert!(matches!(p.instrs[3], Instr::LoadPostIncReg { .. }));
         assert!(matches!(p.instrs[4], Instr::LoadRegOff { .. }));
-        assert!(matches!(p.instrs[8], Instr::PvQnt { fmt: SimdFmt::Crumb, .. }));
+        assert!(matches!(
+            p.instrs[8],
+            Instr::PvQnt {
+                fmt: SimdFmt::Crumb,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -927,36 +1050,113 @@ mod tests {
     fn parse_inverts_display_samples() {
         use pulp_isa::instr::LoopIdx;
         let samples = vec![
-            Instr::Lui { rd: Reg::A0, imm: 0x12000 },
-            Instr::Jal { rd: Reg::Ra, offset: 16 },
-            Instr::Jalr { rd: Reg::Zero, rs1: Reg::Ra, offset: 0 },
+            Instr::Lui {
+                rd: Reg::A0,
+                imm: 0x12000,
+            },
+            Instr::Jal {
+                rd: Reg::Ra,
+                offset: 16,
+            },
+            Instr::Jalr {
+                rd: Reg::Zero,
+                rs1: Reg::Ra,
+                offset: 0,
+            },
             Instr::Branch {
                 cond: BranchCond::Ltu,
                 rs1: Reg::A0,
                 rs2: Reg::A1,
                 offset: -8,
             },
-            Instr::Load { kind: LoadKind::ByteU, rd: Reg::A0, rs1: Reg::Sp, offset: 3 },
-            Instr::Store { kind: StoreKind::Half, rs1: Reg::Sp, rs2: Reg::A0, offset: -2 },
-            Instr::Alu { op: AluOp::Xor, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 },
-            Instr::AluImm { op: AluOp::Sra, rd: Reg::A0, rs1: Reg::A1, imm: 7 },
-            Instr::MulDiv { op: MulDivOp::Mulhsu, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 },
-            Instr::PulpAlu { op: PulpAluOp::Maxu, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 },
-            Instr::PClip { rd: Reg::A0, rs1: Reg::A1, bits: 4 },
-            Instr::PMac { rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 },
-            Instr::PBit { op: BitOp::Cnt, rd: Reg::A0, rs1: Reg::A1 },
-            Instr::PExtract { rd: Reg::A0, rs1: Reg::A1, len: 8, off: 4 },
-            Instr::PInsert { rd: Reg::A0, rs1: Reg::A1, len: 4, off: 28 },
-            Instr::LoadPostInc { kind: LoadKind::Word, rd: Reg::A0, rs1: Reg::A1, offset: 4 },
+            Instr::Load {
+                kind: LoadKind::ByteU,
+                rd: Reg::A0,
+                rs1: Reg::Sp,
+                offset: 3,
+            },
+            Instr::Store {
+                kind: StoreKind::Half,
+                rs1: Reg::Sp,
+                rs2: Reg::A0,
+                offset: -2,
+            },
+            Instr::Alu {
+                op: AluOp::Xor,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+            },
+            Instr::AluImm {
+                op: AluOp::Sra,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                imm: 7,
+            },
+            Instr::MulDiv {
+                op: MulDivOp::Mulhsu,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+            },
+            Instr::PulpAlu {
+                op: PulpAluOp::Maxu,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+            },
+            Instr::PClip {
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                bits: 4,
+            },
+            Instr::PMac {
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+            },
+            Instr::PBit {
+                op: BitOp::Cnt,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+            },
+            Instr::PExtract {
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                len: 8,
+                off: 4,
+            },
+            Instr::PInsert {
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                len: 4,
+                off: 28,
+            },
+            Instr::LoadPostInc {
+                kind: LoadKind::Word,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                offset: 4,
+            },
             Instr::StorePostIncReg {
                 kind: StoreKind::Word,
                 rs1: Reg::A1,
                 rs2: Reg::A0,
                 rs3: Reg::A2,
             },
-            Instr::LpStarti { l: LoopIdx::L0, offset: 16 },
-            Instr::LpCounti { l: LoopIdx::L1, imm: 100 },
-            Instr::LpSetup { l: LoopIdx::L0, rs1: Reg::T0, offset: 24 },
+            Instr::LpStarti {
+                l: LoopIdx::L0,
+                offset: 16,
+            },
+            Instr::LpCounti {
+                l: LoopIdx::L1,
+                imm: 100,
+            },
+            Instr::LpSetup {
+                l: LoopIdx::L0,
+                rs1: Reg::T0,
+                offset: 24,
+            },
             Instr::PvAlu {
                 op: SimdAluOp::Avgu,
                 fmt: SimdFmt::Nibble,
@@ -964,7 +1164,11 @@ mod tests {
                 rs1: Reg::A1,
                 op2: SimdOperand::Scalar(Reg::A2),
             },
-            Instr::PvAbs { fmt: SimdFmt::Crumb, rd: Reg::A0, rs1: Reg::A1 },
+            Instr::PvAbs {
+                fmt: SimdFmt::Crumb,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+            },
             Instr::PvExtract {
                 fmt: SimdFmt::Byte,
                 rd: Reg::A0,
@@ -986,8 +1190,18 @@ mod tests {
                 rs1: Reg::A1,
                 op2: SimdOperand::Vector(Reg::A2),
             },
-            Instr::PvQnt { fmt: SimdFmt::Nibble, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 },
-            Instr::Csr { op: 0, rd: Reg::A0, rs1: Reg::A1, csr: 0xb00 },
+            Instr::PvQnt {
+                fmt: SimdFmt::Nibble,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+            },
+            Instr::Csr {
+                op: 0,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                csr: 0xb00,
+            },
             Instr::Fence,
             Instr::Ebreak,
             Instr::Nop,

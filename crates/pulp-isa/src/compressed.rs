@@ -129,7 +129,12 @@ pub fn decode16(parcel: u16) -> Option<(CompressedOp, Instr)> {
             }
             Some((
                 CompressedOp::Addi4spn,
-                Instr::AluImm { op: AluOp::Add, rd: creg(p >> 2), rs1: Reg::Sp, imm: imm as i32 },
+                Instr::AluImm {
+                    op: AluOp::Add,
+                    rd: creg(p >> 2),
+                    rs1: Reg::Sp,
+                    imm: imm as i32,
+                },
             ))
         }
         (0b00, 0b010) => {
@@ -165,7 +170,15 @@ pub fn decode16(parcel: u16) -> Option<(CompressedOp, Instr)> {
             if rd == Reg::Zero && imm == 0 {
                 return Some((CompressedOp::Addi, Instr::Nop));
             }
-            Some((CompressedOp::Addi, Instr::AluImm { op: AluOp::Add, rd, rs1: rd, imm }))
+            Some((
+                CompressedOp::Addi,
+                Instr::AluImm {
+                    op: AluOp::Add,
+                    rd,
+                    rs1: rd,
+                    imm,
+                },
+            ))
         }
         (0b01, 0b001) | (0b01, 0b101) => {
             // c.jal (RV32) / c.j: offset[11|4|9:8|10|6|7|3:1|5]
@@ -179,15 +192,35 @@ pub fn decode16(parcel: u16) -> Option<(CompressedOp, Instr)> {
                 | (bit(p, 2) << 5);
             let offset = sext(imm, 12);
             if funct3 == 0b001 {
-                Some((CompressedOp::Jal, Instr::Jal { rd: Reg::Ra, offset }))
+                Some((
+                    CompressedOp::Jal,
+                    Instr::Jal {
+                        rd: Reg::Ra,
+                        offset,
+                    },
+                ))
             } else {
-                Some((CompressedOp::J, Instr::Jal { rd: Reg::Zero, offset }))
+                Some((
+                    CompressedOp::J,
+                    Instr::Jal {
+                        rd: Reg::Zero,
+                        offset,
+                    },
+                ))
             }
         }
         (0b01, 0b010) => {
             let rd = Reg::from_bits(p >> 7);
             let imm = sext((bit(p, 12) << 5) | ((p >> 2) & 0x1f), 6);
-            Some((CompressedOp::Li, Instr::AluImm { op: AluOp::Add, rd, rs1: Reg::Zero, imm }))
+            Some((
+                CompressedOp::Li,
+                Instr::AluImm {
+                    op: AluOp::Add,
+                    rd,
+                    rs1: Reg::Zero,
+                    imm,
+                },
+            ))
         }
         (0b01, 0b011) => {
             let rd = Reg::from_bits(p >> 7);
@@ -206,7 +239,12 @@ pub fn decode16(parcel: u16) -> Option<(CompressedOp, Instr)> {
                 }
                 Some((
                     CompressedOp::Addi16sp,
-                    Instr::AluImm { op: AluOp::Add, rd: Reg::Sp, rs1: Reg::Sp, imm },
+                    Instr::AluImm {
+                        op: AluOp::Add,
+                        rd: Reg::Sp,
+                        rs1: Reg::Sp,
+                        imm,
+                    },
                 ))
             } else {
                 // c.lui: nzimm[17|16:12]
@@ -214,7 +252,13 @@ pub fn decode16(parcel: u16) -> Option<(CompressedOp, Instr)> {
                 if imm == 0 || rd == Reg::Zero {
                     return None;
                 }
-                Some((CompressedOp::Lui, Instr::Lui { rd, imm: imm as u32 }))
+                Some((
+                    CompressedOp::Lui,
+                    Instr::Lui {
+                        rd,
+                        imm: imm as u32,
+                    },
+                ))
             }
         }
         (0b01, 0b100) => {
@@ -228,7 +272,12 @@ pub fn decode16(parcel: u16) -> Option<(CompressedOp, Instr)> {
                     }
                     Some((
                         CompressedOp::Srli,
-                        Instr::AluImm { op: AluOp::Srl, rd, rs1: rd, imm: shamt as i32 },
+                        Instr::AluImm {
+                            op: AluOp::Srl,
+                            rd,
+                            rs1: rd,
+                            imm: shamt as i32,
+                        },
                     ))
                 }
                 0b01 => {
@@ -237,14 +286,24 @@ pub fn decode16(parcel: u16) -> Option<(CompressedOp, Instr)> {
                     }
                     Some((
                         CompressedOp::Srai,
-                        Instr::AluImm { op: AluOp::Sra, rd, rs1: rd, imm: shamt as i32 },
+                        Instr::AluImm {
+                            op: AluOp::Sra,
+                            rd,
+                            rs1: rd,
+                            imm: shamt as i32,
+                        },
                     ))
                 }
                 0b10 => {
                     let imm = sext((bit(p, 12) << 5) | ((p >> 2) & 0x1f), 6);
                     Some((
                         CompressedOp::Andi,
-                        Instr::AluImm { op: AluOp::And, rd, rs1: rd, imm },
+                        Instr::AluImm {
+                            op: AluOp::And,
+                            rd,
+                            rs1: rd,
+                            imm,
+                        },
                     ))
                 }
                 _ => {
@@ -258,7 +317,15 @@ pub fn decode16(parcel: u16) -> Option<(CompressedOp, Instr)> {
                         0b10 => (CompressedOp::Or, AluOp::Or),
                         _ => (CompressedOp::And, AluOp::And),
                     };
-                    Some((cop, Instr::Alu { op: aop, rd, rs1: rd, rs2 }))
+                    Some((
+                        cop,
+                        Instr::Alu {
+                            op: aop,
+                            rd,
+                            rs1: rd,
+                            rs2,
+                        },
+                    ))
                 }
             }
         }
@@ -270,9 +337,25 @@ pub fn decode16(parcel: u16) -> Option<(CompressedOp, Instr)> {
                 | (((p >> 3) & 0x3) << 1)
                 | (bit(p, 2) << 5);
             let offset = sext(imm, 9);
-            let cond = if funct3 == 0b110 { BranchCond::Eq } else { BranchCond::Ne };
-            let cop = if funct3 == 0b110 { CompressedOp::Beqz } else { CompressedOp::Bnez };
-            Some((cop, Instr::Branch { cond, rs1: creg(p >> 7), rs2: Reg::Zero, offset }))
+            let cond = if funct3 == 0b110 {
+                BranchCond::Eq
+            } else {
+                BranchCond::Ne
+            };
+            let cop = if funct3 == 0b110 {
+                CompressedOp::Beqz
+            } else {
+                CompressedOp::Bnez
+            };
+            Some((
+                cop,
+                Instr::Branch {
+                    cond,
+                    rs1: creg(p >> 7),
+                    rs2: Reg::Zero,
+                    offset,
+                },
+            ))
         }
         // ----- quadrant 2 -----
         (0b10, 0b000) => {
@@ -281,7 +364,15 @@ pub fn decode16(parcel: u16) -> Option<(CompressedOp, Instr)> {
             }
             let rd = Reg::from_bits(p >> 7);
             let shamt = (p >> 2) & 0x1f;
-            Some((CompressedOp::Slli, Instr::AluImm { op: AluOp::Sll, rd, rs1: rd, imm: shamt as i32 }))
+            Some((
+                CompressedOp::Slli,
+                Instr::AluImm {
+                    op: AluOp::Sll,
+                    rd,
+                    rs1: rd,
+                    imm: shamt as i32,
+                },
+            ))
         }
         (0b10, 0b010) => {
             // c.lwsp: uimm[5] [12], uimm[4:2|7:6] [6:2]
@@ -289,11 +380,15 @@ pub fn decode16(parcel: u16) -> Option<(CompressedOp, Instr)> {
             if rd == Reg::Zero {
                 return None;
             }
-            let imm =
-                (bit(p, 12) << 5) | (((p >> 4) & 0x7) << 2) | (((p >> 2) & 0x3) << 6);
+            let imm = (bit(p, 12) << 5) | (((p >> 4) & 0x7) << 2) | (((p >> 2) & 0x3) << 6);
             Some((
                 CompressedOp::Lwsp,
-                Instr::Load { kind: LoadKind::Word, rd, rs1: Reg::Sp, offset: imm as i32 },
+                Instr::Load {
+                    kind: LoadKind::Word,
+                    rd,
+                    rs1: Reg::Sp,
+                    offset: imm as i32,
+                },
             ))
         }
         (0b10, 0b100) => {
@@ -301,19 +396,41 @@ pub fn decode16(parcel: u16) -> Option<(CompressedOp, Instr)> {
             let rs2 = Reg::from_bits(p >> 2);
             match (bit(p, 12), rs1, rs2) {
                 (0, Reg::Zero, _) => None,
-                (0, r, Reg::Zero) => {
-                    Some((CompressedOp::Jr, Instr::Jalr { rd: Reg::Zero, rs1: r, offset: 0 }))
-                }
-                (0, rd, rs) => {
-                    Some((CompressedOp::Mv, Instr::Alu { op: AluOp::Add, rd, rs1: Reg::Zero, rs2: rs }))
-                }
+                (0, r, Reg::Zero) => Some((
+                    CompressedOp::Jr,
+                    Instr::Jalr {
+                        rd: Reg::Zero,
+                        rs1: r,
+                        offset: 0,
+                    },
+                )),
+                (0, rd, rs) => Some((
+                    CompressedOp::Mv,
+                    Instr::Alu {
+                        op: AluOp::Add,
+                        rd,
+                        rs1: Reg::Zero,
+                        rs2: rs,
+                    },
+                )),
                 (1, Reg::Zero, Reg::Zero) => Some((CompressedOp::Ebreak, Instr::Ebreak)),
-                (1, r, Reg::Zero) => {
-                    Some((CompressedOp::Jalr, Instr::Jalr { rd: Reg::Ra, rs1: r, offset: 0 }))
-                }
-                (1, rd, rs) => {
-                    Some((CompressedOp::Add, Instr::Alu { op: AluOp::Add, rd, rs1: rd, rs2: rs }))
-                }
+                (1, r, Reg::Zero) => Some((
+                    CompressedOp::Jalr,
+                    Instr::Jalr {
+                        rd: Reg::Ra,
+                        rs1: r,
+                        offset: 0,
+                    },
+                )),
+                (1, rd, rs) => Some((
+                    CompressedOp::Add,
+                    Instr::Alu {
+                        op: AluOp::Add,
+                        rd,
+                        rs1: rd,
+                        rs2: rs,
+                    },
+                )),
                 _ => None,
             }
         }
@@ -351,7 +468,12 @@ pub fn compress(instr: &Instr) -> Option<u16> {
     let fits = |v: i32, bits: u32| sext(v as u32 & ((1 << bits) - 1), bits) == v;
     match *instr {
         Instr::Nop => Some(0x0001), // c.nop
-        Instr::AluImm { op: AluOp::Add, rd, rs1, imm } => {
+        Instr::AluImm {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm,
+        } => {
             if rs1 == Reg::Sp && rd == Reg::Sp && imm != 0 && imm % 16 == 0 && fits(imm, 10) {
                 // c.addi16sp
                 let u = imm as u32;
@@ -395,7 +517,12 @@ pub fn compress(instr: &Instr) -> Option<u16> {
             }
             None
         }
-        Instr::AluImm { op: AluOp::And, rd, rs1, imm } if rd == rs1 && fits(imm, 6) => {
+        Instr::AluImm {
+            op: AluOp::And,
+            rd,
+            rs1,
+            imm,
+        } if rd == rs1 && fits(imm, 6) => {
             let rdc = in_creg(rd)?;
             let u = imm as u32;
             let p = (0b100 << 13)
@@ -417,10 +544,13 @@ pub fn compress(instr: &Instr) -> Option<u16> {
             let p = (0b100 << 13) | (f2 << 10) | (rdc << 7) | ((imm as u32 & 0x1f) << 2) | 0b01;
             Some(p as u16)
         }
-        Instr::AluImm { op: AluOp::Sll, rd, rs1, imm }
-            if rd == rs1 && rd != Reg::Zero && (1..32).contains(&imm) =>
-        {
-            let p = (0b000 << 13) | ((rd as u32) << 7) | ((imm as u32 & 0x1f) << 2) | 0b10;
+        Instr::AluImm {
+            op: AluOp::Sll,
+            rd,
+            rs1,
+            imm,
+        } if rd == rs1 && rd != Reg::Zero && (1..32).contains(&imm) => {
+            let p = ((rd as u32) << 7) | ((imm as u32 & 0x1f) << 2) | 0b10;
             Some(p as u16)
         }
         Instr::Lui { rd, imm } => {
@@ -429,7 +559,10 @@ pub fn compress(instr: &Instr) -> Option<u16> {
                 return None;
             }
             let u = (imm >> 12) & 0x3f;
-            let p = (0b011 << 13) | (((u >> 5) & 1) << 12) | ((rd as u32) << 7) | ((u & 0x1f) << 2)
+            let p = (0b011 << 13)
+                | (((u >> 5) & 1) << 12)
+                | ((rd as u32) << 7)
+                | ((u & 0x1f) << 2)
                 | 0b01;
             Some(p as u16)
         }
@@ -459,7 +592,12 @@ pub fn compress(instr: &Instr) -> Option<u16> {
             }
             None
         }
-        Instr::Load { kind: LoadKind::Word, rd, rs1, offset } => {
+        Instr::Load {
+            kind: LoadKind::Word,
+            rd,
+            rs1,
+            offset,
+        } => {
             if rs1 == Reg::Sp && rd != Reg::Zero && offset >= 0 && offset % 4 == 0 && offset < 256 {
                 let u = offset as u32;
                 let p = (0b010 << 13)
@@ -484,7 +622,12 @@ pub fn compress(instr: &Instr) -> Option<u16> {
             }
             None
         }
-        Instr::Store { kind: StoreKind::Word, rs1, rs2, offset } => {
+        Instr::Store {
+            kind: StoreKind::Word,
+            rs1,
+            rs2,
+            offset,
+        } => {
             if rs1 == Reg::Sp && offset >= 0 && offset % 4 == 0 && offset < 256 {
                 let u = offset as u32;
                 let p = (0b110 << 13)
@@ -536,11 +679,15 @@ pub fn compress(instr: &Instr) -> Option<u16> {
             let p = (0b100 << 13) | (bit12 << 12) | ((rs1 as u32) << 7) | 0b10;
             Some(p as u16)
         }
-        Instr::Branch { cond, rs1, rs2, offset }
-            if rs2 == Reg::Zero
-                && matches!(cond, BranchCond::Eq | BranchCond::Ne)
-                && fits(offset, 9)
-                && offset % 2 == 0 =>
+        Instr::Branch {
+            cond,
+            rs1,
+            rs2,
+            offset,
+        } if rs2 == Reg::Zero
+            && matches!(cond, BranchCond::Eq | BranchCond::Ne)
+            && fits(offset, 9)
+            && offset % 2 == 0 =>
         {
             let rs1c = in_creg(rs1)?;
             let f3 = if cond == BranchCond::Eq { 0b110 } else { 0b111 };
@@ -614,68 +761,195 @@ mod tests {
         // c.addi a0, 1 = 0x0505
         let (op, i) = decode16(0x0505).unwrap();
         assert_eq!(op, CompressedOp::Addi);
-        assert_eq!(i, Instr::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: 1 });
+        assert_eq!(
+            i,
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                imm: 1
+            }
+        );
         // c.li a0, -1 = 0x557d
         let (_, i) = decode16(0x557d).unwrap();
-        assert_eq!(i, Instr::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::Zero, imm: -1 });
+        assert_eq!(
+            i,
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::Zero,
+                imm: -1
+            }
+        );
         // c.mv a0, a1 = 0x852e
         let (_, i) = decode16(0x852e).unwrap();
-        assert_eq!(i, Instr::Alu { op: AluOp::Add, rd: Reg::A0, rs1: Reg::Zero, rs2: Reg::A1 });
+        assert_eq!(
+            i,
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::Zero,
+                rs2: Reg::A1
+            }
+        );
         // c.add a0, a1 = 0x952e
         let (_, i) = decode16(0x952e).unwrap();
-        assert_eq!(i, Instr::Alu { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A1 });
+        assert_eq!(
+            i,
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                rs2: Reg::A1
+            }
+        );
         // c.lw a0, 4(a1): CL format, offset[2] at bit 6 -> 0x41c8
-        let lw = Instr::Load { kind: LoadKind::Word, rd: Reg::A0, rs1: Reg::A1, offset: 4 };
+        let lw = Instr::Load {
+            kind: LoadKind::Word,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            offset: 4,
+        };
         assert_eq!(compress(&lw), Some(0x41c8));
         let (_, i) = decode16(0x41c8).unwrap();
         assert_eq!(i, lw);
         // c.sw a0, 4(a1) = 0xc1c8
-        let sw = Instr::Store { kind: StoreKind::Word, rs1: Reg::A1, rs2: Reg::A0, offset: 4 };
+        let sw = Instr::Store {
+            kind: StoreKind::Word,
+            rs1: Reg::A1,
+            rs2: Reg::A0,
+            offset: 4,
+        };
         assert_eq!(compress(&sw), Some(0xc1c8));
         let (_, i) = decode16(0xc1c8).unwrap();
         assert_eq!(i, sw);
         // c.lwsp a0, 8(sp) = 0x4522
         let (_, i) = decode16(0x4522).unwrap();
-        assert_eq!(i, Instr::Load { kind: LoadKind::Word, rd: Reg::A0, rs1: Reg::Sp, offset: 8 });
+        assert_eq!(
+            i,
+            Instr::Load {
+                kind: LoadKind::Word,
+                rd: Reg::A0,
+                rs1: Reg::Sp,
+                offset: 8
+            }
+        );
         // c.swsp a0, 8(sp) = 0xc42a
         let (_, i) = decode16(0xc42a).unwrap();
         assert_eq!(
             i,
-            Instr::Store { kind: StoreKind::Word, rs1: Reg::Sp, rs2: Reg::A0, offset: 8 }
+            Instr::Store {
+                kind: StoreKind::Word,
+                rs1: Reg::Sp,
+                rs2: Reg::A0,
+                offset: 8
+            }
         );
         // c.jr ra = 0x8082
         let (_, i) = decode16(0x8082).unwrap();
-        assert_eq!(i, Instr::Jalr { rd: Reg::Zero, rs1: Reg::Ra, offset: 0 });
+        assert_eq!(
+            i,
+            Instr::Jalr {
+                rd: Reg::Zero,
+                rs1: Reg::Ra,
+                offset: 0
+            }
+        );
         // c.ebreak = 0x9002
         assert_eq!(decode16(0x9002).unwrap().1, Instr::Ebreak);
         // c.addi16sp sp, -32 = 0x7139
         let (_, i) = decode16(0x7139).unwrap();
-        assert_eq!(i, Instr::AluImm { op: AluOp::Add, rd: Reg::Sp, rs1: Reg::Sp, imm: -64 });
+        assert_eq!(
+            i,
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg::Sp,
+                rs1: Reg::Sp,
+                imm: -64
+            }
+        );
         // c.addi4spn a0, sp, 8 = 0x0028? binutils: addi a0,sp,8 -> 0x0028
         let (_, i) = decode16(0x0028).unwrap();
-        assert_eq!(i, Instr::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::Sp, imm: 8 });
+        assert_eq!(
+            i,
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::Sp,
+                imm: 8
+            }
+        );
         // c.beqz a0, +8: offset[3] sits at bit 10 -> 0xc501
-        let beqz = Instr::Branch { cond: BranchCond::Eq, rs1: Reg::A0, rs2: Reg::Zero, offset: 8 };
+        let beqz = Instr::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg::A0,
+            rs2: Reg::Zero,
+            offset: 8,
+        };
         assert_eq!(compress(&beqz), Some(0xc501));
         assert_eq!(decode16(0xc501).unwrap().1, beqz);
         // c.j +8 = 0xa021
         let (_, i) = decode16(0xa021).unwrap();
-        assert_eq!(i, Instr::Jal { rd: Reg::Zero, offset: 8 });
+        assert_eq!(
+            i,
+            Instr::Jal {
+                rd: Reg::Zero,
+                offset: 8
+            }
+        );
         // c.slli a0, 2 = 0x050a
         let (_, i) = decode16(0x050a).unwrap();
-        assert_eq!(i, Instr::AluImm { op: AluOp::Sll, rd: Reg::A0, rs1: Reg::A0, imm: 2 });
+        assert_eq!(
+            i,
+            Instr::AluImm {
+                op: AluOp::Sll,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                imm: 2
+            }
+        );
         // c.srli a0, 2 = 0x8109
         let (_, i) = decode16(0x8109).unwrap();
-        assert_eq!(i, Instr::AluImm { op: AluOp::Srl, rd: Reg::A0, rs1: Reg::A0, imm: 2 });
+        assert_eq!(
+            i,
+            Instr::AluImm {
+                op: AluOp::Srl,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                imm: 2
+            }
+        );
         // c.andi a0, 15 = 0x893d
         let (_, i) = decode16(0x893d).unwrap();
-        assert_eq!(i, Instr::AluImm { op: AluOp::And, rd: Reg::A0, rs1: Reg::A0, imm: 15 });
+        assert_eq!(
+            i,
+            Instr::AluImm {
+                op: AluOp::And,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                imm: 15
+            }
+        );
         // c.sub a0, a1 = 0x8d0d
         let (_, i) = decode16(0x8d0d).unwrap();
-        assert_eq!(i, Instr::Alu { op: AluOp::Sub, rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A1 });
+        assert_eq!(
+            i,
+            Instr::Alu {
+                op: AluOp::Sub,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                rs2: Reg::A1
+            }
+        );
         // c.lui a1, 1 = 0x6585
         let (_, i) = decode16(0x6585).unwrap();
-        assert_eq!(i, Instr::Lui { rd: Reg::A1, imm: 0x1000 });
+        assert_eq!(
+            i,
+            Instr::Lui {
+                rd: Reg::A1,
+                imm: 0x1000
+            }
+        );
     }
 
     #[test]
@@ -699,31 +973,148 @@ mod tests {
     fn compress_round_trips() {
         let samples = vec![
             Instr::Nop,
-            Instr::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: -3 },
-            Instr::AluImm { op: AluOp::Add, rd: Reg::S1, rs1: Reg::Zero, imm: 31 },
-            Instr::AluImm { op: AluOp::Add, rd: Reg::Sp, rs1: Reg::Sp, imm: -64 },
-            Instr::AluImm { op: AluOp::Add, rd: Reg::A2, rs1: Reg::Sp, imm: 16 },
-            Instr::AluImm { op: AluOp::And, rd: Reg::A3, rs1: Reg::A3, imm: -1 },
-            Instr::AluImm { op: AluOp::Srl, rd: Reg::A4, rs1: Reg::A4, imm: 7 },
-            Instr::AluImm { op: AluOp::Sra, rd: Reg::A5, rs1: Reg::A5, imm: 31 },
-            Instr::AluImm { op: AluOp::Sll, rd: Reg::T6, rs1: Reg::T6, imm: 12 },
-            Instr::Lui { rd: Reg::A1, imm: 0x1f000 },
-            Instr::Alu { op: AluOp::Add, rd: Reg::T0, rs1: Reg::Zero, rs2: Reg::T1 },
-            Instr::Alu { op: AluOp::Add, rd: Reg::T0, rs1: Reg::T0, rs2: Reg::T1 },
-            Instr::Alu { op: AluOp::Sub, rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A1 },
-            Instr::Alu { op: AluOp::Xor, rd: Reg::S0, rs1: Reg::S0, rs2: Reg::S1 },
-            Instr::Alu { op: AluOp::Or, rd: Reg::A4, rs1: Reg::A4, rs2: Reg::A2 },
-            Instr::Alu { op: AluOp::And, rd: Reg::A5, rs1: Reg::A5, rs2: Reg::A3 },
-            Instr::Load { kind: LoadKind::Word, rd: Reg::A0, rs1: Reg::A1, offset: 64 },
-            Instr::Load { kind: LoadKind::Word, rd: Reg::T2, rs1: Reg::Sp, offset: 252 },
-            Instr::Store { kind: StoreKind::Word, rs1: Reg::A1, rs2: Reg::A0, offset: 124 },
-            Instr::Store { kind: StoreKind::Word, rs1: Reg::Sp, rs2: Reg::T3, offset: 0 },
-            Instr::Jal { rd: Reg::Ra, offset: -2048 },
-            Instr::Jal { rd: Reg::Zero, offset: 2046 },
-            Instr::Jalr { rd: Reg::Zero, rs1: Reg::Ra, offset: 0 },
-            Instr::Jalr { rd: Reg::Ra, rs1: Reg::T0, offset: 0 },
-            Instr::Branch { cond: BranchCond::Eq, rs1: Reg::A0, rs2: Reg::Zero, offset: -256 },
-            Instr::Branch { cond: BranchCond::Ne, rs1: Reg::S1, rs2: Reg::Zero, offset: 254 },
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                imm: -3,
+            },
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg::S1,
+                rs1: Reg::Zero,
+                imm: 31,
+            },
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg::Sp,
+                rs1: Reg::Sp,
+                imm: -64,
+            },
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg::A2,
+                rs1: Reg::Sp,
+                imm: 16,
+            },
+            Instr::AluImm {
+                op: AluOp::And,
+                rd: Reg::A3,
+                rs1: Reg::A3,
+                imm: -1,
+            },
+            Instr::AluImm {
+                op: AluOp::Srl,
+                rd: Reg::A4,
+                rs1: Reg::A4,
+                imm: 7,
+            },
+            Instr::AluImm {
+                op: AluOp::Sra,
+                rd: Reg::A5,
+                rs1: Reg::A5,
+                imm: 31,
+            },
+            Instr::AluImm {
+                op: AluOp::Sll,
+                rd: Reg::T6,
+                rs1: Reg::T6,
+                imm: 12,
+            },
+            Instr::Lui {
+                rd: Reg::A1,
+                imm: 0x1f000,
+            },
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg::T0,
+                rs1: Reg::Zero,
+                rs2: Reg::T1,
+            },
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg::T0,
+                rs1: Reg::T0,
+                rs2: Reg::T1,
+            },
+            Instr::Alu {
+                op: AluOp::Sub,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+            },
+            Instr::Alu {
+                op: AluOp::Xor,
+                rd: Reg::S0,
+                rs1: Reg::S0,
+                rs2: Reg::S1,
+            },
+            Instr::Alu {
+                op: AluOp::Or,
+                rd: Reg::A4,
+                rs1: Reg::A4,
+                rs2: Reg::A2,
+            },
+            Instr::Alu {
+                op: AluOp::And,
+                rd: Reg::A5,
+                rs1: Reg::A5,
+                rs2: Reg::A3,
+            },
+            Instr::Load {
+                kind: LoadKind::Word,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                offset: 64,
+            },
+            Instr::Load {
+                kind: LoadKind::Word,
+                rd: Reg::T2,
+                rs1: Reg::Sp,
+                offset: 252,
+            },
+            Instr::Store {
+                kind: StoreKind::Word,
+                rs1: Reg::A1,
+                rs2: Reg::A0,
+                offset: 124,
+            },
+            Instr::Store {
+                kind: StoreKind::Word,
+                rs1: Reg::Sp,
+                rs2: Reg::T3,
+                offset: 0,
+            },
+            Instr::Jal {
+                rd: Reg::Ra,
+                offset: -2048,
+            },
+            Instr::Jal {
+                rd: Reg::Zero,
+                offset: 2046,
+            },
+            Instr::Jalr {
+                rd: Reg::Zero,
+                rs1: Reg::Ra,
+                offset: 0,
+            },
+            Instr::Jalr {
+                rd: Reg::Ra,
+                rs1: Reg::T0,
+                offset: 0,
+            },
+            Instr::Branch {
+                cond: BranchCond::Eq,
+                rs1: Reg::A0,
+                rs2: Reg::Zero,
+                offset: -256,
+            },
+            Instr::Branch {
+                cond: BranchCond::Ne,
+                rs1: Reg::S1,
+                rs2: Reg::Zero,
+                offset: 254,
+            },
             Instr::Ebreak,
         ];
         for i in samples {
@@ -738,13 +1129,33 @@ mod tests {
         use crate::simd::{DotSign, SimdFmt};
         let samples = vec![
             // wide immediate
-            Instr::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: 100 },
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                imm: 100,
+            },
             // three-register form
-            Instr::Alu { op: AluOp::Sub, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 },
+            Instr::Alu {
+                op: AluOp::Sub,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+            },
             // non-RVC-window registers for quadrant-1 ALU
-            Instr::Alu { op: AluOp::Xor, rd: Reg::T0, rs1: Reg::T0, rs2: Reg::T1 },
+            Instr::Alu {
+                op: AluOp::Xor,
+                rd: Reg::T0,
+                rs1: Reg::T0,
+                rs2: Reg::T1,
+            },
             // byte load has no RVC form in RV32C
-            Instr::Load { kind: LoadKind::Byte, rd: Reg::A0, rs1: Reg::A1, offset: 0 },
+            Instr::Load {
+                kind: LoadKind::Byte,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                offset: 0,
+            },
             // every PULP extension instruction
             Instr::PvSdot {
                 fmt: SimdFmt::Nibble,
@@ -764,7 +1175,12 @@ mod tests {
     fn code_size_report_counts() {
         let instrs = vec![
             Instr::Nop,
-            Instr::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: 1 },
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                imm: 1,
+            },
             Instr::Ecall,
         ];
         let r = code_size_report(&instrs);

@@ -1,8 +1,10 @@
 //! Binary instruction decoding — the exact inverse of [`crate::encode`].
 
 use crate::encode::{opcode, pulp_funct7, simd_op5};
-use crate::instr::{AluOp, BitOp, BranchCond, Instr, LoadKind, LoopIdx, MulDivOp, PulpAluOp,
-                   SimdAluOp, SimdOperand, StoreKind};
+use crate::instr::{
+    AluOp, BitOp, BranchCond, Instr, LoadKind, LoopIdx, MulDivOp, PulpAluOp, SimdAluOp,
+    SimdOperand, StoreKind,
+};
 use crate::reg::Reg;
 use crate::simd::{DotSign, SimdFmt};
 use std::fmt;
@@ -148,19 +150,37 @@ fn decode_simd(w: u32) -> Result<Instr, DecodeError> {
             }
             let raw = ((mode3 & 1) << 5) | rs2_field;
             // Sign-extend 6-bit immediate.
-            SimdOperand::Imm((((raw << 2) as i8) >> 2) as i8)
+            SimdOperand::Imm(((raw << 2) as i8) >> 2)
         }
         _ => return Err(DecodeError { word: w }),
     };
 
     let alu = |op: SimdAluOp| -> Result<Instr, DecodeError> {
-        Ok(Instr::PvAlu { op, fmt, rd: r, rs1: a, op2 })
+        Ok(Instr::PvAlu {
+            op,
+            fmt,
+            rd: r,
+            rs1: a,
+            op2,
+        })
     };
     let dot = |sign: DotSign, acc: bool| -> Result<Instr, DecodeError> {
         if acc {
-            Ok(Instr::PvSdot { fmt, sign, rd: r, rs1: a, op2 })
+            Ok(Instr::PvSdot {
+                fmt,
+                sign,
+                rd: r,
+                rs1: a,
+                op2,
+            })
         } else {
-            Ok(Instr::PvDot { fmt, sign, rd: r, rs1: a, op2 })
+            Ok(Instr::PvDot {
+                fmt,
+                sign,
+                rd: r,
+                rs1: a,
+                op2,
+            })
         }
     };
     // Operations that only exist in register-register form.
@@ -245,7 +265,12 @@ fn decode_op(w: u32) -> Result<Instr, DecodeError> {
                 (0b111, 0x00) => AluOp::And,
                 _ => return Err(DecodeError { word: w }),
             };
-            Ok(Instr::Alu { op, rd: r, rs1: a, rs2: b })
+            Ok(Instr::Alu {
+                op,
+                rd: r,
+                rs1: a,
+                rs2: b,
+            })
         }
         0x01 => {
             let op = match f3 {
@@ -258,31 +283,113 @@ fn decode_op(w: u32) -> Result<Instr, DecodeError> {
                 0b110 => MulDivOp::Rem,
                 _ => MulDivOp::Remu,
             };
-            Ok(Instr::MulDiv { op, rd: r, rs1: a, rs2: b })
+            Ok(Instr::MulDiv {
+                op,
+                rd: r,
+                rs1: a,
+                rs2: b,
+            })
         }
         pulp_funct7::ALU_A => match f3 {
-            0 => Ok(Instr::PulpAlu { op: PulpAluOp::Min, rd: r, rs1: a, rs2: b }),
-            1 => Ok(Instr::PulpAlu { op: PulpAluOp::Minu, rd: r, rs1: a, rs2: b }),
-            2 => Ok(Instr::PulpAlu { op: PulpAluOp::Max, rd: r, rs1: a, rs2: b }),
-            3 => Ok(Instr::PulpAlu { op: PulpAluOp::Maxu, rd: r, rs1: a, rs2: b }),
-            4 => Ok(Instr::PulpAlu { op: PulpAluOp::Abs, rd: r, rs1: a, rs2: b }),
-            5 => Ok(Instr::PClip { rd: r, rs1: a, bits: ((w >> 20) & 0x1f) as u8 }),
-            6 => Ok(Instr::PClipU { rd: r, rs1: a, bits: ((w >> 20) & 0x1f) as u8 }),
+            0 => Ok(Instr::PulpAlu {
+                op: PulpAluOp::Min,
+                rd: r,
+                rs1: a,
+                rs2: b,
+            }),
+            1 => Ok(Instr::PulpAlu {
+                op: PulpAluOp::Minu,
+                rd: r,
+                rs1: a,
+                rs2: b,
+            }),
+            2 => Ok(Instr::PulpAlu {
+                op: PulpAluOp::Max,
+                rd: r,
+                rs1: a,
+                rs2: b,
+            }),
+            3 => Ok(Instr::PulpAlu {
+                op: PulpAluOp::Maxu,
+                rd: r,
+                rs1: a,
+                rs2: b,
+            }),
+            4 => Ok(Instr::PulpAlu {
+                op: PulpAluOp::Abs,
+                rd: r,
+                rs1: a,
+                rs2: b,
+            }),
+            5 => Ok(Instr::PClip {
+                rd: r,
+                rs1: a,
+                bits: ((w >> 20) & 0x1f) as u8,
+            }),
+            6 => Ok(Instr::PClipU {
+                rd: r,
+                rs1: a,
+                bits: ((w >> 20) & 0x1f) as u8,
+            }),
             _ => Err(DecodeError { word: w }),
         },
         pulp_funct7::ALU_B => match f3 {
-            0 => Ok(Instr::PMac { rd: r, rs1: a, rs2: b }),
-            1 => Ok(Instr::PMsu { rd: r, rs1: a, rs2: b }),
-            2 => Ok(Instr::PBit { op: BitOp::Ff1, rd: r, rs1: a }),
-            3 => Ok(Instr::PBit { op: BitOp::Fl1, rd: r, rs1: a }),
-            4 => Ok(Instr::PBit { op: BitOp::Cnt, rd: r, rs1: a }),
-            5 => Ok(Instr::PBit { op: BitOp::Clb, rd: r, rs1: a }),
-            6 => Ok(Instr::PulpAlu { op: PulpAluOp::Exths, rd: r, rs1: a, rs2: b }),
-            _ => Ok(Instr::PulpAlu { op: PulpAluOp::Exthz, rd: r, rs1: a, rs2: b }),
+            0 => Ok(Instr::PMac {
+                rd: r,
+                rs1: a,
+                rs2: b,
+            }),
+            1 => Ok(Instr::PMsu {
+                rd: r,
+                rs1: a,
+                rs2: b,
+            }),
+            2 => Ok(Instr::PBit {
+                op: BitOp::Ff1,
+                rd: r,
+                rs1: a,
+            }),
+            3 => Ok(Instr::PBit {
+                op: BitOp::Fl1,
+                rd: r,
+                rs1: a,
+            }),
+            4 => Ok(Instr::PBit {
+                op: BitOp::Cnt,
+                rd: r,
+                rs1: a,
+            }),
+            5 => Ok(Instr::PBit {
+                op: BitOp::Clb,
+                rd: r,
+                rs1: a,
+            }),
+            6 => Ok(Instr::PulpAlu {
+                op: PulpAluOp::Exths,
+                rd: r,
+                rs1: a,
+                rs2: b,
+            }),
+            _ => Ok(Instr::PulpAlu {
+                op: PulpAluOp::Exthz,
+                rd: r,
+                rs1: a,
+                rs2: b,
+            }),
         },
         pulp_funct7::ALU_C => match f3 {
-            0 => Ok(Instr::PulpAlu { op: PulpAluOp::Extbs, rd: r, rs1: a, rs2: b }),
-            1 => Ok(Instr::PulpAlu { op: PulpAluOp::Extbz, rd: r, rs1: a, rs2: b }),
+            0 => Ok(Instr::PulpAlu {
+                op: PulpAluOp::Extbs,
+                rd: r,
+                rs1: a,
+                rs2: b,
+            }),
+            1 => Ok(Instr::PulpAlu {
+                op: PulpAluOp::Extbz,
+                rd: r,
+                rs1: a,
+                rs2: b,
+            }),
             _ => Err(DecodeError { word: w }),
         },
         _ => Err(DecodeError { word: w }),
@@ -320,17 +427,35 @@ fn decode_op_imm(w: u32) -> Result<Instr, DecodeError> {
     if matches!(op, AluOp::Sll) && funct7(w) != 0 {
         return Err(DecodeError { word: w });
     }
-    Ok(Instr::AluImm { op, rd: r, rs1: a, imm })
+    Ok(Instr::AluImm {
+        op,
+        rd: r,
+        rs1: a,
+        imm,
+    })
 }
 
 fn decode_hwloop(w: u32) -> Result<Instr, DecodeError> {
     let l = LoopIdx::from_bit(w >> 7);
     match funct3(w) {
-        0 => Ok(Instr::LpStarti { l, offset: imm_i(w) << 1 }),
-        1 => Ok(Instr::LpEndi { l, offset: imm_i(w) << 1 }),
+        0 => Ok(Instr::LpStarti {
+            l,
+            offset: imm_i(w) << 1,
+        }),
+        1 => Ok(Instr::LpEndi {
+            l,
+            offset: imm_i(w) << 1,
+        }),
         2 => Ok(Instr::LpCount { l, rs1: rs1(w) }),
-        3 => Ok(Instr::LpCounti { l, imm: ((w >> 20) & 0xfff) }),
-        4 => Ok(Instr::LpSetup { l, rs1: rs1(w), offset: imm_i(w) << 1 }),
+        3 => Ok(Instr::LpCounti {
+            l,
+            imm: ((w >> 20) & 0xfff),
+        }),
+        4 => Ok(Instr::LpSetup {
+            l,
+            rs1: rs1(w),
+            offset: imm_i(w) << 1,
+        }),
         5 => Ok(Instr::LpSetupi {
             l,
             imm: (w >> 20) & 0xfff,
@@ -349,26 +474,54 @@ fn decode_hwloop(w: u32) -> Result<Instr, DecodeError> {
 /// illegal-instruction trap in that case.
 pub fn decode(w: u32) -> Result<Instr, DecodeError> {
     match w & 0x7f {
-        opcode::LUI => Ok(Instr::Lui { rd: rd(w), imm: w & 0xffff_f000 }),
-        opcode::AUIPC => Ok(Instr::Auipc { rd: rd(w), imm: w & 0xffff_f000 }),
-        opcode::JAL => Ok(Instr::Jal { rd: rd(w), offset: imm_j(w) }),
+        opcode::LUI => Ok(Instr::Lui {
+            rd: rd(w),
+            imm: w & 0xffff_f000,
+        }),
+        opcode::AUIPC => Ok(Instr::Auipc {
+            rd: rd(w),
+            imm: w & 0xffff_f000,
+        }),
+        opcode::JAL => Ok(Instr::Jal {
+            rd: rd(w),
+            offset: imm_j(w),
+        }),
         opcode::JALR => {
             if funct3(w) != 0 {
                 return Err(DecodeError { word: w });
             }
-            Ok(Instr::Jalr { rd: rd(w), rs1: rs1(w), offset: imm_i(w) })
+            Ok(Instr::Jalr {
+                rd: rd(w),
+                rs1: rs1(w),
+                offset: imm_i(w),
+            })
         }
         opcode::BRANCH => {
             let cond = branch_cond(funct3(w)).ok_or(DecodeError { word: w })?;
-            Ok(Instr::Branch { cond, rs1: rs1(w), rs2: rs2(w), offset: imm_b(w) })
+            Ok(Instr::Branch {
+                cond,
+                rs1: rs1(w),
+                rs2: rs2(w),
+                offset: imm_b(w),
+            })
         }
         opcode::LOAD => {
             let kind = load_kind(funct3(w)).ok_or(DecodeError { word: w })?;
-            Ok(Instr::Load { kind, rd: rd(w), rs1: rs1(w), offset: imm_i(w) })
+            Ok(Instr::Load {
+                kind,
+                rd: rd(w),
+                rs1: rs1(w),
+                offset: imm_i(w),
+            })
         }
         opcode::STORE => {
             let kind = store_kind(funct3(w)).ok_or(DecodeError { word: w })?;
-            Ok(Instr::Store { kind, rs1: rs1(w), rs2: rs2(w), offset: imm_s(w) })
+            Ok(Instr::Store {
+                kind,
+                rs1: rs1(w),
+                rs2: rs2(w),
+                offset: imm_s(w),
+            })
         }
         opcode::OP_IMM => decode_op_imm(w),
         opcode::OP => decode_op(w),
@@ -393,13 +546,28 @@ pub fn decode(w: u32) -> Result<Instr, DecodeError> {
                 let f7 = funct7(w);
                 let kind = load_kind_from_code(f7 & 0x7).ok_or(DecodeError { word: w })?;
                 if f7 & 0x08 == 0 {
-                    Ok(Instr::LoadPostIncReg { kind, rd: rd(w), rs1: rs1(w), rs2: rs2(w) })
+                    Ok(Instr::LoadPostIncReg {
+                        kind,
+                        rd: rd(w),
+                        rs1: rs1(w),
+                        rs2: rs2(w),
+                    })
                 } else {
-                    Ok(Instr::LoadRegOff { kind, rd: rd(w), rs1: rs1(w), rs2: rs2(w) })
+                    Ok(Instr::LoadRegOff {
+                        kind,
+                        rd: rd(w),
+                        rs1: rs1(w),
+                        rs2: rs2(w),
+                    })
                 }
             } else {
                 let kind = load_kind(f3).ok_or(DecodeError { word: w })?;
-                Ok(Instr::LoadPostInc { kind, rd: rd(w), rs1: rs1(w), offset: imm_i(w) })
+                Ok(Instr::LoadPostInc {
+                    kind,
+                    rd: rd(w),
+                    rs1: rs1(w),
+                    offset: imm_i(w),
+                })
             }
         }
         opcode::PULP_STORE => {
@@ -415,16 +583,36 @@ pub fn decode(w: u32) -> Result<Instr, DecodeError> {
                 })
             } else {
                 let kind = store_kind(f3).ok_or(DecodeError { word: w })?;
-                Ok(Instr::StorePostInc { kind, rs1: rs1(w), rs2: rs2(w), offset: imm_s(w) })
+                Ok(Instr::StorePostInc {
+                    kind,
+                    rs1: rs1(w),
+                    rs2: rs2(w),
+                    offset: imm_s(w),
+                })
             }
         }
         opcode::PULP_BITFIELD => {
             let len = (((w >> 25) & 0x1f) + 1) as u8;
             let off = ((w >> 20) & 0x1f) as u8;
             match funct3(w) {
-                0 => Ok(Instr::PExtract { rd: rd(w), rs1: rs1(w), len, off }),
-                1 => Ok(Instr::PExtractU { rd: rd(w), rs1: rs1(w), len, off }),
-                2 => Ok(Instr::PInsert { rd: rd(w), rs1: rs1(w), len, off }),
+                0 => Ok(Instr::PExtract {
+                    rd: rd(w),
+                    rs1: rs1(w),
+                    len,
+                    off,
+                }),
+                1 => Ok(Instr::PExtractU {
+                    rd: rd(w),
+                    rs1: rs1(w),
+                    len,
+                    off,
+                }),
+                2 => Ok(Instr::PInsert {
+                    rd: rd(w),
+                    rs1: rs1(w),
+                    len,
+                    off,
+                }),
                 _ => Err(DecodeError { word: w }),
             }
         }
@@ -448,27 +636,75 @@ mod tests {
 
     #[test]
     fn round_trip_base_samples() {
-        round_trip(Instr::Lui { rd: Reg::A0, imm: 0xdead_b000 });
-        round_trip(Instr::Auipc { rd: Reg::T3, imm: 0x1000 });
-        round_trip(Instr::Jal { rd: Reg::Ra, offset: -2048 });
-        round_trip(Instr::Jalr { rd: Reg::Zero, rs1: Reg::Ra, offset: 0 });
+        round_trip(Instr::Lui {
+            rd: Reg::A0,
+            imm: 0xdead_b000,
+        });
+        round_trip(Instr::Auipc {
+            rd: Reg::T3,
+            imm: 0x1000,
+        });
+        round_trip(Instr::Jal {
+            rd: Reg::Ra,
+            offset: -2048,
+        });
+        round_trip(Instr::Jalr {
+            rd: Reg::Zero,
+            rs1: Reg::Ra,
+            offset: 0,
+        });
         round_trip(Instr::Branch {
             cond: BranchCond::Geu,
             rs1: Reg::A0,
             rs2: Reg::A1,
             offset: -4096,
         });
-        round_trip(Instr::Load { kind: LoadKind::HalfU, rd: Reg::S3, rs1: Reg::Sp, offset: -1 });
-        round_trip(Instr::Store { kind: StoreKind::Half, rs1: Reg::Sp, rs2: Reg::T6, offset: 2046 });
-        round_trip(Instr::Alu { op: AluOp::Sra, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 });
-        round_trip(Instr::AluImm { op: AluOp::Sra, rd: Reg::A0, rs1: Reg::A1, imm: 31 });
-        round_trip(Instr::AluImm { op: AluOp::And, rd: Reg::A0, rs1: Reg::A1, imm: -1 });
-        round_trip(Instr::MulDiv { op: MulDivOp::Remu, rd: Reg::A4, rs1: Reg::A5, rs2: Reg::A6 });
+        round_trip(Instr::Load {
+            kind: LoadKind::HalfU,
+            rd: Reg::S3,
+            rs1: Reg::Sp,
+            offset: -1,
+        });
+        round_trip(Instr::Store {
+            kind: StoreKind::Half,
+            rs1: Reg::Sp,
+            rs2: Reg::T6,
+            offset: 2046,
+        });
+        round_trip(Instr::Alu {
+            op: AluOp::Sra,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        });
+        round_trip(Instr::AluImm {
+            op: AluOp::Sra,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            imm: 31,
+        });
+        round_trip(Instr::AluImm {
+            op: AluOp::And,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            imm: -1,
+        });
+        round_trip(Instr::MulDiv {
+            op: MulDivOp::Remu,
+            rd: Reg::A4,
+            rs1: Reg::A5,
+            rs2: Reg::A6,
+        });
         round_trip(Instr::Ecall);
         round_trip(Instr::Ebreak);
         round_trip(Instr::Fence);
         round_trip(Instr::Nop);
-        round_trip(Instr::Csr { op: 1, rd: Reg::A0, rs1: Reg::Zero, csr: 0xb00 });
+        round_trip(Instr::Csr {
+            op: 1,
+            rd: Reg::A0,
+            rs1: Reg::Zero,
+            csr: 0xb00,
+        });
     }
 
     #[test]
@@ -484,18 +720,58 @@ mod tests {
             PulpAluOp::Extbs,
             PulpAluOp::Extbz,
         ] {
-            round_trip(Instr::PulpAlu { op, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 });
+            round_trip(Instr::PulpAlu {
+                op,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+            });
         }
-        round_trip(Instr::PClip { rd: Reg::A0, rs1: Reg::A1, bits: 8 });
-        round_trip(Instr::PClipU { rd: Reg::A0, rs1: Reg::A1, bits: 4 });
-        round_trip(Instr::PMac { rd: Reg::S0, rs1: Reg::A1, rs2: Reg::A2 });
-        round_trip(Instr::PMsu { rd: Reg::S0, rs1: Reg::A1, rs2: Reg::A2 });
+        round_trip(Instr::PClip {
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            bits: 8,
+        });
+        round_trip(Instr::PClipU {
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            bits: 4,
+        });
+        round_trip(Instr::PMac {
+            rd: Reg::S0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        });
+        round_trip(Instr::PMsu {
+            rd: Reg::S0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        });
         for op in [BitOp::Ff1, BitOp::Fl1, BitOp::Cnt, BitOp::Clb] {
-            round_trip(Instr::PBit { op, rd: Reg::A0, rs1: Reg::A1 });
+            round_trip(Instr::PBit {
+                op,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+            });
         }
-        round_trip(Instr::PExtract { rd: Reg::A0, rs1: Reg::A1, len: 8, off: 16 });
-        round_trip(Instr::PExtractU { rd: Reg::A0, rs1: Reg::A1, len: 32, off: 0 });
-        round_trip(Instr::PInsert { rd: Reg::A0, rs1: Reg::A1, len: 1, off: 31 });
+        round_trip(Instr::PExtract {
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            len: 8,
+            off: 16,
+        });
+        round_trip(Instr::PExtractU {
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            len: 32,
+            off: 0,
+        });
+        round_trip(Instr::PInsert {
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            len: 1,
+            off: 31,
+        });
     }
 
     #[test]
@@ -507,12 +783,32 @@ mod tests {
             LoadKind::ByteU,
             LoadKind::HalfU,
         ] {
-            round_trip(Instr::LoadPostInc { kind, rd: Reg::A0, rs1: Reg::A1, offset: -4 });
-            round_trip(Instr::LoadPostIncReg { kind, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 });
-            round_trip(Instr::LoadRegOff { kind, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 });
+            round_trip(Instr::LoadPostInc {
+                kind,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                offset: -4,
+            });
+            round_trip(Instr::LoadPostIncReg {
+                kind,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+            });
+            round_trip(Instr::LoadRegOff {
+                kind,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+            });
         }
         for kind in [StoreKind::Byte, StoreKind::Half, StoreKind::Word] {
-            round_trip(Instr::StorePostInc { kind, rs1: Reg::A1, rs2: Reg::A0, offset: 4 });
+            round_trip(Instr::StorePostInc {
+                kind,
+                rs1: Reg::A1,
+                rs2: Reg::A0,
+                offset: 4,
+            });
             round_trip(Instr::StorePostIncReg {
                 kind,
                 rs1: Reg::A1,
@@ -529,8 +825,16 @@ mod tests {
             round_trip(Instr::LpEndi { l, offset: 64 });
             round_trip(Instr::LpCount { l, rs1: Reg::A3 });
             round_trip(Instr::LpCounti { l, imm: 4095 });
-            round_trip(Instr::LpSetup { l, rs1: Reg::S5, offset: 200 });
-            round_trip(Instr::LpSetupi { l, imm: 100, offset: 62 });
+            round_trip(Instr::LpSetup {
+                l,
+                rs1: Reg::S5,
+                offset: 200,
+            });
+            round_trip(Instr::LpSetupi {
+                l,
+                imm: 100,
+                offset: 62,
+            });
         }
     }
 
@@ -554,26 +858,51 @@ mod tests {
             SimdAluOp::Xor,
         ];
         for fmt in ALL_FMTS {
-            let mut modes = vec![
-                SimdOperand::Vector(Reg::A2),
-                SimdOperand::Scalar(Reg::T0),
-            ];
+            let mut modes = vec![SimdOperand::Vector(Reg::A2), SimdOperand::Scalar(Reg::T0)];
             if !fmt.is_sub_byte() {
                 modes.push(SimdOperand::Imm(-32));
                 modes.push(SimdOperand::Imm(31));
             }
             for op2 in &modes {
                 for op in alu_ops {
-                    round_trip(Instr::PvAlu { op, fmt, rd: Reg::A0, rs1: Reg::A1, op2: *op2 });
+                    round_trip(Instr::PvAlu {
+                        op,
+                        fmt,
+                        rd: Reg::A0,
+                        rs1: Reg::A1,
+                        op2: *op2,
+                    });
                 }
                 for sign in ALL_DOT_SIGNS {
-                    round_trip(Instr::PvDot { fmt, sign, rd: Reg::A0, rs1: Reg::A1, op2: *op2 });
-                    round_trip(Instr::PvSdot { fmt, sign, rd: Reg::S9, rs1: Reg::A1, op2: *op2 });
+                    round_trip(Instr::PvDot {
+                        fmt,
+                        sign,
+                        rd: Reg::A0,
+                        rs1: Reg::A1,
+                        op2: *op2,
+                    });
+                    round_trip(Instr::PvSdot {
+                        fmt,
+                        sign,
+                        rd: Reg::S9,
+                        rs1: Reg::A1,
+                        op2: *op2,
+                    });
                 }
             }
-            round_trip(Instr::PvAbs { fmt, rd: Reg::A0, rs1: Reg::A1 });
+            round_trip(Instr::PvAbs {
+                fmt,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+            });
             for idx in 0..fmt.lanes() as u8 {
-                round_trip(Instr::PvExtract { fmt, rd: Reg::A0, rs1: Reg::A1, idx, signed: true });
+                round_trip(Instr::PvExtract {
+                    fmt,
+                    rd: Reg::A0,
+                    rs1: Reg::A1,
+                    idx,
+                    signed: true,
+                });
                 round_trip(Instr::PvExtract {
                     fmt,
                     rd: Reg::A0,
@@ -581,11 +910,26 @@ mod tests {
                     idx,
                     signed: false,
                 });
-                round_trip(Instr::PvInsert { fmt, rd: Reg::A0, rs1: Reg::A1, idx });
+                round_trip(Instr::PvInsert {
+                    fmt,
+                    rd: Reg::A0,
+                    rs1: Reg::A1,
+                    idx,
+                });
             }
         }
-        round_trip(Instr::PvQnt { fmt: SimdFmt::Nibble, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 });
-        round_trip(Instr::PvQnt { fmt: SimdFmt::Crumb, rd: Reg::T4, rs1: Reg::S2, rs2: Reg::S3 });
+        round_trip(Instr::PvQnt {
+            fmt: SimdFmt::Nibble,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        });
+        round_trip(Instr::PvQnt {
+            fmt: SimdFmt::Crumb,
+            rd: Reg::T4,
+            rs1: Reg::S2,
+            rs2: Reg::S3,
+        });
     }
 
     #[test]
@@ -594,11 +938,15 @@ mod tests {
         assert!(decode(0).is_err());
         assert!(decode(u32::MAX).is_err());
         // sci with a sub-byte format is not decodable.
-        let w = (0u32 << 27) | (0b10 << 25) | (3 << 20) | (1 << 15) | (0b110 << 12) | (10 << 7)
-            | opcode::PULP_SIMD;
+        let w =
+            (0b10 << 25) | (3 << 20) | (1 << 15) | (0b110 << 12) | (10 << 7) | opcode::PULP_SIMD;
         assert!(decode(w).is_err());
         // qnt with a byte format is not decodable.
-        let w = (simd_op5::QNT << 27) | (0b01 << 25) | (2 << 20) | (1 << 15) | (10 << 7)
+        let w = (simd_op5::QNT << 27)
+            | (0b01 << 25)
+            | (2 << 20)
+            | (1 << 15)
+            | (10 << 7)
             | opcode::PULP_SIMD;
         assert!(decode(w).is_err());
     }

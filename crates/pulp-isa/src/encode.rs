@@ -31,8 +31,10 @@
 //! paper's observation (§III-A) that the immediate variant was dropped
 //! for nibble/crumb operands.
 
-use crate::instr::{AluOp, BitOp, BranchCond, Instr, LoadKind, MulDivOp, PulpAluOp, SimdAluOp,
-                   SimdOperand, StoreKind};
+use crate::instr::{
+    AluOp, BitOp, BranchCond, Instr, LoadKind, MulDivOp, PulpAluOp, SimdAluOp, SimdOperand,
+    StoreKind,
+};
 use crate::reg::Reg;
 use crate::simd::{DotSign, SimdFmt};
 
@@ -313,24 +315,47 @@ pub fn encode(instr: &Instr) -> u32 {
         Instr::Lui { rd: r, imm } => (imm & 0xffff_f000) | rd(r) | LUI,
         Instr::Auipc { rd: r, imm } => (imm & 0xffff_f000) | rd(r) | AUIPC,
         Instr::Jal { rd: r, offset } => imm_j(offset) | rd(r) | JAL,
-        Instr::Jalr { rd: r, rs1: a, offset } => imm_i(offset) | rs1(a) | rd(r) | JALR,
-        Instr::Branch { cond, rs1: a, rs2: b, offset } => {
-            imm_b(offset) | rs2(b) | rs1(a) | funct3(branch_funct3(cond)) | BRANCH
-        }
-        Instr::Load { kind, rd: r, rs1: a, offset } => {
-            imm_i(offset) | rs1(a) | funct3(load_funct3(kind)) | rd(r) | LOAD
-        }
-        Instr::Store { kind, rs1: a, rs2: b, offset } => {
-            imm_s(offset) | rs2(b) | rs1(a) | funct3(store_funct3(kind)) | STORE
-        }
-        Instr::Alu { op, rd: r, rs1: a, rs2: b } => {
+        Instr::Jalr {
+            rd: r,
+            rs1: a,
+            offset,
+        } => imm_i(offset) | rs1(a) | rd(r) | JALR,
+        Instr::Branch {
+            cond,
+            rs1: a,
+            rs2: b,
+            offset,
+        } => imm_b(offset) | rs2(b) | rs1(a) | funct3(branch_funct3(cond)) | BRANCH,
+        Instr::Load {
+            kind,
+            rd: r,
+            rs1: a,
+            offset,
+        } => imm_i(offset) | rs1(a) | funct3(load_funct3(kind)) | rd(r) | LOAD,
+        Instr::Store {
+            kind,
+            rs1: a,
+            rs2: b,
+            offset,
+        } => imm_s(offset) | rs2(b) | rs1(a) | funct3(store_funct3(kind)) | STORE,
+        Instr::Alu {
+            op,
+            rd: r,
+            rs1: a,
+            rs2: b,
+        } => {
             let f7 = match op {
                 AluOp::Sub | AluOp::Sra => 0x20,
                 _ => 0x00,
             };
             funct7(f7) | rs2(b) | rs1(a) | funct3(alu_funct3(op)) | rd(r) | OP
         }
-        Instr::AluImm { op, rd: r, rs1: a, imm } => {
+        Instr::AluImm {
+            op,
+            rd: r,
+            rs1: a,
+            imm,
+        } => {
             let base = rs1(a) | funct3(alu_funct3(op)) | rd(r) | OP_IMM;
             match op {
                 AluOp::Sll | AluOp::Srl => base | imm_i(imm & 0x1f),
@@ -341,13 +366,24 @@ pub fn encode(instr: &Instr) -> u32 {
         Instr::Fence => funct3(0b000) | MISC_MEM,
         Instr::Ecall => SYSTEM,
         Instr::Ebreak => imm_i(1) | SYSTEM,
-        Instr::Csr { op, rd: r, rs1: a, csr } => {
-            imm_i(csr as i32) | rs1(a) | funct3(1 + op as u32) | rd(r) | SYSTEM
-        }
-        Instr::MulDiv { op, rd: r, rs1: a, rs2: b } => {
-            funct7(0x01) | rs2(b) | rs1(a) | funct3(muldiv_funct3(op)) | rd(r) | OP
-        }
-        Instr::PulpAlu { op, rd: r, rs1: a, rs2: b } => {
+        Instr::Csr {
+            op,
+            rd: r,
+            rs1: a,
+            csr,
+        } => imm_i(csr as i32) | rs1(a) | funct3(1 + op as u32) | rd(r) | SYSTEM,
+        Instr::MulDiv {
+            op,
+            rd: r,
+            rs1: a,
+            rs2: b,
+        } => funct7(0x01) | rs2(b) | rs1(a) | funct3(muldiv_funct3(op)) | rd(r) | OP,
+        Instr::PulpAlu {
+            op,
+            rd: r,
+            rs1: a,
+            rs2: b,
+        } => {
             let (f7, f3) = match op {
                 PulpAluOp::Min => (pulp_funct7::ALU_A, 0),
                 PulpAluOp::Minu => (pulp_funct7::ALU_A, 1),
@@ -361,7 +397,11 @@ pub fn encode(instr: &Instr) -> u32 {
             };
             funct7(f7) | rs2(b) | rs1(a) | funct3(f3) | rd(r) | OP
         }
-        Instr::PClip { rd: r, rs1: a, bits } => {
+        Instr::PClip {
+            rd: r,
+            rs1: a,
+            bits,
+        } => {
             funct7(pulp_funct7::ALU_A)
                 | ((bits as u32 & 0x1f) << 20)
                 | rs1(a)
@@ -369,7 +409,11 @@ pub fn encode(instr: &Instr) -> u32 {
                 | rd(r)
                 | OP
         }
-        Instr::PClipU { rd: r, rs1: a, bits } => {
+        Instr::PClipU {
+            rd: r,
+            rs1: a,
+            bits,
+        } => {
             funct7(pulp_funct7::ALU_A)
                 | ((bits as u32 & 0x1f) << 20)
                 | rs1(a)
@@ -377,12 +421,16 @@ pub fn encode(instr: &Instr) -> u32 {
                 | rd(r)
                 | OP
         }
-        Instr::PMac { rd: r, rs1: a, rs2: b } => {
-            funct7(pulp_funct7::ALU_B) | rs2(b) | rs1(a) | funct3(0) | rd(r) | OP
-        }
-        Instr::PMsu { rd: r, rs1: a, rs2: b } => {
-            funct7(pulp_funct7::ALU_B) | rs2(b) | rs1(a) | funct3(1) | rd(r) | OP
-        }
+        Instr::PMac {
+            rd: r,
+            rs1: a,
+            rs2: b,
+        } => funct7(pulp_funct7::ALU_B) | rs2(b) | rs1(a) | funct3(0) | rd(r) | OP,
+        Instr::PMsu {
+            rd: r,
+            rs1: a,
+            rs2: b,
+        } => funct7(pulp_funct7::ALU_B) | rs2(b) | rs1(a) | funct3(1) | rd(r) | OP,
         Instr::PBit { op, rd: r, rs1: a } => {
             let f3 = match op {
                 BitOp::Ff1 => 2,
@@ -392,32 +440,70 @@ pub fn encode(instr: &Instr) -> u32 {
             };
             funct7(pulp_funct7::ALU_B) | rs1(a) | funct3(f3) | rd(r) | OP
         }
-        Instr::PExtract { rd: r, rs1: a, len, off } => {
+        Instr::PExtract {
+            rd: r,
+            rs1: a,
+            len,
+            off,
+        } => {
             let imm = ((((len as i32) - 1) & 0x1f) << 5) | (off as i32 & 0x1f);
             imm_i(imm) | rs1(a) | funct3(0) | rd(r) | PULP_BITFIELD
         }
-        Instr::PExtractU { rd: r, rs1: a, len, off } => {
+        Instr::PExtractU {
+            rd: r,
+            rs1: a,
+            len,
+            off,
+        } => {
             let imm = ((((len as i32) - 1) & 0x1f) << 5) | (off as i32 & 0x1f);
             imm_i(imm) | rs1(a) | funct3(1) | rd(r) | PULP_BITFIELD
         }
-        Instr::PInsert { rd: r, rs1: a, len, off } => {
+        Instr::PInsert {
+            rd: r,
+            rs1: a,
+            len,
+            off,
+        } => {
             let imm = ((((len as i32) - 1) & 0x1f) << 5) | (off as i32 & 0x1f);
             imm_i(imm) | rs1(a) | funct3(2) | rd(r) | PULP_BITFIELD
         }
-        Instr::LoadPostInc { kind, rd: r, rs1: a, offset } => {
-            imm_i(offset) | rs1(a) | funct3(load_funct3(kind)) | rd(r) | PULP_LOAD
-        }
-        Instr::LoadPostIncReg { kind, rd: r, rs1: a, rs2: b } => {
-            funct7(load_kind_code(kind)) | rs2(b) | rs1(a) | funct3(0b111) | rd(r) | PULP_LOAD
-        }
-        Instr::LoadRegOff { kind, rd: r, rs1: a, rs2: b } => {
-            funct7(0x08 | load_kind_code(kind)) | rs2(b) | rs1(a) | funct3(0b111) | rd(r)
+        Instr::LoadPostInc {
+            kind,
+            rd: r,
+            rs1: a,
+            offset,
+        } => imm_i(offset) | rs1(a) | funct3(load_funct3(kind)) | rd(r) | PULP_LOAD,
+        Instr::LoadPostIncReg {
+            kind,
+            rd: r,
+            rs1: a,
+            rs2: b,
+        } => funct7(load_kind_code(kind)) | rs2(b) | rs1(a) | funct3(0b111) | rd(r) | PULP_LOAD,
+        Instr::LoadRegOff {
+            kind,
+            rd: r,
+            rs1: a,
+            rs2: b,
+        } => {
+            funct7(0x08 | load_kind_code(kind))
+                | rs2(b)
+                | rs1(a)
+                | funct3(0b111)
+                | rd(r)
                 | PULP_LOAD
         }
-        Instr::StorePostInc { kind, rs1: a, rs2: b, offset } => {
-            imm_s(offset) | rs2(b) | rs1(a) | funct3(store_funct3(kind)) | PULP_STORE
-        }
-        Instr::StorePostIncReg { kind, rs1: a, rs2: b, rs3 } => {
+        Instr::StorePostInc {
+            kind,
+            rs1: a,
+            rs2: b,
+            offset,
+        } => imm_s(offset) | rs2(b) | rs1(a) | funct3(store_funct3(kind)) | PULP_STORE,
+        Instr::StorePostIncReg {
+            kind,
+            rs1: a,
+            rs2: b,
+            rs3,
+        } => {
             funct7(((rs3 as u32) << 2) | store_kind_code(kind))
                 | rs2(b)
                 | rs1(a)
@@ -448,32 +534,69 @@ pub fn encode(instr: &Instr) -> u32 {
                 | ((l.index() as u32) << 7)
                 | PULP_HWLOOP
         }
-        Instr::PvAlu { op, fmt, rd: r, rs1: a, op2 } => {
+        Instr::PvAlu {
+            op,
+            fmt,
+            rd: r,
+            rs1: a,
+            op2,
+        } => {
             let (mode3, f) = simd_operand_fields(op2);
             simd(simd_alu_op5(op), fmt, r, a, mode3, f)
         }
         Instr::PvAbs { fmt, rd: r, rs1: a } => simd(simd_op5::ABS, fmt, r, a, 0, 0),
-        Instr::PvExtract { fmt, rd: r, rs1: a, idx, signed } => {
-            let op5 = if signed { simd_op5::EXTRACT } else { simd_op5::EXTRACTU };
+        Instr::PvExtract {
+            fmt,
+            rd: r,
+            rs1: a,
+            idx,
+            signed,
+        } => {
+            let op5 = if signed {
+                simd_op5::EXTRACT
+            } else {
+                simd_op5::EXTRACTU
+            };
             simd(op5, fmt, r, a, 0, idx as u32)
         }
-        Instr::PvInsert { fmt, rd: r, rs1: a, idx } => {
-            simd(simd_op5::INSERT, fmt, r, a, 0, idx as u32)
-        }
-        Instr::PvDot { fmt, sign, rd: r, rs1: a, op2 } => {
+        Instr::PvInsert {
+            fmt,
+            rd: r,
+            rs1: a,
+            idx,
+        } => simd(simd_op5::INSERT, fmt, r, a, 0, idx as u32),
+        Instr::PvDot {
+            fmt,
+            sign,
+            rd: r,
+            rs1: a,
+            op2,
+        } => {
             let (mode3, f) = simd_operand_fields(op2);
             simd(dot_op5(sign, false), fmt, r, a, mode3, f)
         }
-        Instr::PvSdot { fmt, sign, rd: r, rs1: a, op2 } => {
+        Instr::PvSdot {
+            fmt,
+            sign,
+            rd: r,
+            rs1: a,
+            op2,
+        } => {
             let (mode3, f) = simd_operand_fields(op2);
             simd(dot_op5(sign, true), fmt, r, a, mode3, f)
         }
-        Instr::PvQnt { fmt, rd: r, rs1: a, rs2: b } => {
-            simd(simd_op5::QNT, fmt, r, a, 0, b as u32)
-        }
-        Instr::PvShuffle2 { fmt, rd: r, rs1: a, rs2: b } => {
-            simd(simd_op5::SHUFFLE2, fmt, r, a, 0, b as u32)
-        }
+        Instr::PvQnt {
+            fmt,
+            rd: r,
+            rs1: a,
+            rs2: b,
+        } => simd(simd_op5::QNT, fmt, r, a, 0, b as u32),
+        Instr::PvShuffle2 {
+            fmt,
+            rd: r,
+            rs1: a,
+            rs2: b,
+        } => simd(simd_op5::SHUFFLE2, fmt, r, a, 0, b as u32),
         Instr::Nop => {
             // Canonical nop: addi x0, x0, 0.
             OP_IMM
@@ -490,34 +613,80 @@ mod tests {
     fn standard_encodings_match_riscv_spec() {
         // Cross-checked against riscv-tests / GNU as output.
         // addi a0, a1, -1  -> 0xfff58513
-        let addi = Instr::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, imm: -1 };
+        let addi = Instr::AluImm {
+            op: AluOp::Add,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            imm: -1,
+        };
         assert_eq!(encode(&addi), 0xfff5_8513);
         // lw a0, 8(sp) -> 0x00812503
-        let lw = Instr::Load { kind: LoadKind::Word, rd: Reg::A0, rs1: Reg::Sp, offset: 8 };
+        let lw = Instr::Load {
+            kind: LoadKind::Word,
+            rd: Reg::A0,
+            rs1: Reg::Sp,
+            offset: 8,
+        };
         assert_eq!(encode(&lw), 0x0081_2503);
         // sw a0, 12(sp) -> 0x00a12623
-        let sw = Instr::Store { kind: StoreKind::Word, rs1: Reg::Sp, rs2: Reg::A0, offset: 12 };
+        let sw = Instr::Store {
+            kind: StoreKind::Word,
+            rs1: Reg::Sp,
+            rs2: Reg::A0,
+            offset: 12,
+        };
         assert_eq!(encode(&sw), 0x00a1_2623);
         // add a0, a1, a2 -> 0x00c58533
-        let add = Instr::Alu { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+        let add = Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        };
         assert_eq!(encode(&add), 0x00c5_8533);
         // sub a0, a1, a2 -> 0x40c58533
-        let sub = Instr::Alu { op: AluOp::Sub, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+        let sub = Instr::Alu {
+            op: AluOp::Sub,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        };
         assert_eq!(encode(&sub), 0x40c5_8533);
         // mul a0, a1, a2 -> 0x02c58533
-        let mul = Instr::MulDiv { op: MulDivOp::Mul, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+        let mul = Instr::MulDiv {
+            op: MulDivOp::Mul,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        };
         assert_eq!(encode(&mul), 0x02c5_8533);
         // jal ra, 16 -> 0x010000ef
-        let jal = Instr::Jal { rd: Reg::Ra, offset: 16 };
+        let jal = Instr::Jal {
+            rd: Reg::Ra,
+            offset: 16,
+        };
         assert_eq!(encode(&jal), 0x0100_00ef);
         // beq a0, a1, -4 -> 0xfeb50ee3
-        let beq = Instr::Branch { cond: BranchCond::Eq, rs1: Reg::A0, rs2: Reg::A1, offset: -4 };
+        let beq = Instr::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg::A0,
+            rs2: Reg::A1,
+            offset: -4,
+        };
         assert_eq!(encode(&beq), 0xfeb5_0ee3);
         // lui a0, 0x12345 -> 0x12345537
-        let lui = Instr::Lui { rd: Reg::A0, imm: 0x1234_5000 };
+        let lui = Instr::Lui {
+            rd: Reg::A0,
+            imm: 0x1234_5000,
+        };
         assert_eq!(encode(&lui), 0x1234_5537);
         // srai a0, a1, 3 -> 0x4035d513
-        let srai = Instr::AluImm { op: AluOp::Sra, rd: Reg::A0, rs1: Reg::A1, imm: 3 };
+        let srai = Instr::AluImm {
+            op: AluOp::Sra,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            imm: 3,
+        };
         assert_eq!(encode(&srai), 0x4035_d513);
         // ecall -> 0x00000073
         assert_eq!(encode(&Instr::Ecall), 0x0000_0073);
@@ -528,15 +697,29 @@ mod tests {
     #[test]
     fn custom_opcodes_do_not_collide_with_standard_space() {
         let samples = [
-            Instr::LoadPostInc { kind: LoadKind::Word, rd: Reg::A0, rs1: Reg::A1, offset: 4 },
+            Instr::LoadPostInc {
+                kind: LoadKind::Word,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                offset: 4,
+            },
             Instr::StorePostInc {
                 kind: StoreKind::Byte,
                 rs1: Reg::A1,
                 rs2: Reg::A0,
                 offset: 1,
             },
-            Instr::LpSetup { l: crate::instr::LoopIdx::L0, rs1: Reg::A0, offset: 16 },
-            Instr::PvQnt { fmt: SimdFmt::Nibble, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 },
+            Instr::LpSetup {
+                l: crate::instr::LoopIdx::L0,
+                rs1: Reg::A0,
+                offset: 16,
+            },
+            Instr::PvQnt {
+                fmt: SimdFmt::Nibble,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+            },
         ];
         for i in &samples {
             let op = encode(i) & 0x7f;

@@ -250,13 +250,7 @@ impl MulDivOp {
                     ((a as i32) / (b as i32)) as u32
                 }
             }
-            MulDivOp::Divu => {
-                if b == 0 {
-                    u32::MAX
-                } else {
-                    a / b
-                }
-            }
+            MulDivOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
             MulDivOp::Rem => {
                 if b == 0 {
                     a
@@ -589,9 +583,19 @@ pub enum Instr {
         offset: i32,
     },
     /// Register-register ALU operation.
-    Alu { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    Alu {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// Immediate ALU operation (no `sub` form; shifts use 5-bit amounts).
-    AluImm { op: AluOp, rd: Reg, rs1: Reg, imm: i32 },
+    AluImm {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
     /// `fence` (a no-op in this single-hart model).
     Fence,
     /// `ecall`: environment call; the SoC model uses it to halt.
@@ -630,27 +634,12 @@ pub enum Instr {
     /// Bit-count operations (`p.ff1`, `p.fl1`, `p.cnt`, `p.clb`).
     PBit { op: BitOp, rd: Reg, rs1: Reg },
     /// `p.extract rd, rs1, len, off`: signed bit-field extract.
-    PExtract {
-        rd: Reg,
-        rs1: Reg,
-        len: u8,
-        off: u8,
-    },
+    PExtract { rd: Reg, rs1: Reg, len: u8, off: u8 },
     /// `p.extractu`: unsigned bit-field extract.
-    PExtractU {
-        rd: Reg,
-        rs1: Reg,
-        len: u8,
-        off: u8,
-    },
+    PExtractU { rd: Reg, rs1: Reg, len: u8, off: u8 },
     /// `p.insert rd, rs1, len, off`: insert low `len` bits of `rs1` into
     /// `rd` at offset `off` (read-modify-write on `rd`).
-    PInsert {
-        rd: Reg,
-        rs1: Reg,
-        len: u8,
-        off: u8,
-    },
+    PInsert { rd: Reg, rs1: Reg, len: u8, off: u8 },
 
     // ----- XpulpV2: post-increment / register-offset memory ops -----
     /// `p.lw rd, imm(rs1!)`: load then `rs1 += offset`.
@@ -837,16 +826,22 @@ impl Instr {
     /// can never produce an invalid combination.
     pub fn validate(&self) -> Result<(), ValidateError> {
         match *self {
-            Instr::PvAlu { fmt, op2: SimdOperand::Imm(_), .. }
-            | Instr::PvDot { fmt, op2: SimdOperand::Imm(_), .. }
-            | Instr::PvSdot { fmt, op2: SimdOperand::Imm(_), .. }
-                if fmt.is_sub_byte() =>
-            {
-                Err(ValidateError::SciWithSubByte(fmt))
+            Instr::PvAlu {
+                fmt,
+                op2: SimdOperand::Imm(_),
+                ..
             }
-            Instr::PvQnt { fmt, .. } if !fmt.is_sub_byte() => {
-                Err(ValidateError::QntFormat(fmt))
+            | Instr::PvDot {
+                fmt,
+                op2: SimdOperand::Imm(_),
+                ..
             }
+            | Instr::PvSdot {
+                fmt,
+                op2: SimdOperand::Imm(_),
+                ..
+            } if fmt.is_sub_byte() => Err(ValidateError::SciWithSubByte(fmt)),
+            Instr::PvQnt { fmt, .. } if !fmt.is_sub_byte() => Err(ValidateError::QntFormat(fmt)),
             // Sub-byte selectors cannot index all lanes, so shuffle2 (like
             // CV32E40P's) exists only for the b/h formats.
             Instr::PvShuffle2 { fmt, .. } if fmt.is_sub_byte() => {
@@ -867,29 +862,52 @@ impl Instr {
                 if ok {
                     Ok(())
                 } else {
-                    Err(ValidateError::ImmRange { what: "alu", value: imm as i64 })
+                    Err(ValidateError::ImmRange {
+                        what: "alu",
+                        value: imm as i64,
+                    })
                 }
             }
-            Instr::Load { offset, .. } | Instr::Store { offset, .. }
-            | Instr::LoadPostInc { offset, .. } | Instr::StorePostInc { offset, .. }
+            Instr::Load { offset, .. }
+            | Instr::Store { offset, .. }
+            | Instr::LoadPostInc { offset, .. }
+            | Instr::StorePostInc { offset, .. }
             | Instr::Jalr { offset, .. } => {
                 if (-2048..2048).contains(&offset) {
                     Ok(())
                 } else {
-                    Err(ValidateError::ImmRange { what: "offset", value: offset as i64 })
+                    Err(ValidateError::ImmRange {
+                        what: "offset",
+                        value: offset as i64,
+                    })
                 }
             }
-            Instr::PvAlu { op2: SimdOperand::Imm(i), .. }
-            | Instr::PvDot { op2: SimdOperand::Imm(i), .. }
-            | Instr::PvSdot { op2: SimdOperand::Imm(i), .. } => {
+            Instr::PvAlu {
+                op2: SimdOperand::Imm(i),
+                ..
+            }
+            | Instr::PvDot {
+                op2: SimdOperand::Imm(i),
+                ..
+            }
+            | Instr::PvSdot {
+                op2: SimdOperand::Imm(i),
+                ..
+            } => {
                 if (-32..32).contains(&i) {
                     Ok(())
                 } else {
-                    Err(ValidateError::ImmRange { what: "sci", value: i as i64 })
+                    Err(ValidateError::ImmRange {
+                        what: "sci",
+                        value: i as i64,
+                    })
                 }
             }
             Instr::LpCounti { imm, .. } | Instr::LpSetupi { imm, .. } if imm >= 1 << 12 => {
-                Err(ValidateError::ImmRange { what: "loop count", value: imm as i64 })
+                Err(ValidateError::ImmRange {
+                    what: "loop count",
+                    value: imm as i64,
+                })
             }
             _ => Ok(()),
         }
@@ -985,13 +1003,28 @@ impl fmt::Display for Instr {
             Instr::Auipc { rd, imm } => write!(f, "auipc {rd}, 0x{:x}", imm >> 12),
             Instr::Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
             Instr::Jalr { rd, rs1, offset } => write!(f, "jalr {rd}, {offset}({rs1})"),
-            Instr::Branch { cond, rs1, rs2, offset } => {
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 write!(f, "{} {rs1}, {rs2}, {offset}", cond.mnemonic())
             }
-            Instr::Load { kind, rd, rs1, offset } => {
+            Instr::Load {
+                kind,
+                rd,
+                rs1,
+                offset,
+            } => {
                 write!(f, "{} {rd}, {offset}({rs1})", kind.mnemonic())
             }
-            Instr::Store { kind, rs1, rs2, offset } => {
+            Instr::Store {
+                kind,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 write!(f, "{} {rs2}, {offset}({rs1})", kind.mnemonic())
             }
             Instr::Alu { op, rd, rs1, rs2 } => {
@@ -1035,7 +1068,12 @@ impl fmt::Display for Instr {
             Instr::PInsert { rd, rs1, len, off } => {
                 write!(f, "p.insert {rd}, {rs1}, {len}, {off}")
             }
-            Instr::LoadPostInc { kind, rd, rs1, offset } => {
+            Instr::LoadPostInc {
+                kind,
+                rd,
+                rs1,
+                offset,
+            } => {
                 write!(f, "p.{} {rd}, {offset}({rs1}!)", kind.mnemonic())
             }
             Instr::LoadPostIncReg { kind, rd, rs1, rs2 } => {
@@ -1044,10 +1082,20 @@ impl fmt::Display for Instr {
             Instr::LoadRegOff { kind, rd, rs1, rs2 } => {
                 write!(f, "p.{} {rd}, {rs2}({rs1})", kind.mnemonic())
             }
-            Instr::StorePostInc { kind, rs1, rs2, offset } => {
+            Instr::StorePostInc {
+                kind,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 write!(f, "p.{} {rs2}, {offset}({rs1}!)", kind.mnemonic())
             }
-            Instr::StorePostIncReg { kind, rs1, rs2, rs3 } => {
+            Instr::StorePostIncReg {
+                kind,
+                rs1,
+                rs2,
+                rs3,
+            } => {
                 write!(f, "p.{} {rs2}, {rs3}({rs1}!)", kind.mnemonic())
             }
             Instr::LpStarti { l, offset } => write!(f, "lp.starti x{l}, {offset}"),
@@ -1058,12 +1106,24 @@ impl fmt::Display for Instr {
             Instr::LpSetupi { l, imm, offset } => {
                 write!(f, "lp.setupi x{l}, {imm}, {offset}")
             }
-            Instr::PvAlu { op, fmt, rd, rs1, op2 } => {
+            Instr::PvAlu {
+                op,
+                fmt,
+                rd,
+                rs1,
+                op2,
+            } => {
                 write!(f, "pv.{}{}.{fmt} {rd}, {rs1}, ", op.stem(), op2.suffix())?;
                 fmt_simd_op2(f, op2)
             }
             Instr::PvAbs { fmt, rd, rs1 } => write!(f, "pv.abs.{fmt} {rd}, {rs1}"),
-            Instr::PvExtract { fmt, rd, rs1, idx, signed } => {
+            Instr::PvExtract {
+                fmt,
+                rd,
+                rs1,
+                idx,
+                signed,
+            } => {
                 let u = if signed { "" } else { "u" };
                 write!(f, "pv.extract{u}.{fmt} {rd}, {rs1}, {idx}")
             }
@@ -1073,7 +1133,13 @@ impl fmt::Display for Instr {
             Instr::PvShuffle2 { fmt, rd, rs1, rs2 } => {
                 write!(f, "pv.shuffle2.{fmt} {rd}, {rs1}, {rs2}")
             }
-            Instr::PvDot { fmt, sign, rd, rs1, op2 } => {
+            Instr::PvDot {
+                fmt,
+                sign,
+                rd,
+                rs1,
+                op2,
+            } => {
                 write!(
                     f,
                     "pv.dot{}{}.{fmt} {rd}, {rs1}, ",
@@ -1082,7 +1148,13 @@ impl fmt::Display for Instr {
                 )?;
                 fmt_simd_op2(f, op2)
             }
-            Instr::PvSdot { fmt, sign, rd, rs1, op2 } => {
+            Instr::PvSdot {
+                fmt,
+                sign,
+                rd,
+                rs1,
+                op2,
+            } => {
                 write!(
                     f,
                     "pv.sdot{}{}.{fmt} {rd}, {rs1}, ",
@@ -1205,7 +1277,10 @@ mod tests {
             rs1: Reg::A1,
             offset: 4096,
         };
-        assert!(matches!(far.validate(), Err(ValidateError::ImmRange { .. })));
+        assert!(matches!(
+            far.validate(),
+            Err(ValidateError::ImmRange { .. })
+        ));
         let sub = Instr::AluImm {
             op: AluOp::Sub,
             rd: Reg::A0,
@@ -1220,7 +1295,10 @@ mod tests {
             idx: 4,
             signed: true,
         };
-        assert!(matches!(idx.validate(), Err(ValidateError::LaneIndex { .. })));
+        assert!(matches!(
+            idx.validate(),
+            Err(ValidateError::LaneIndex { .. })
+        ));
     }
 
     #[test]

@@ -35,7 +35,12 @@ pub enum SimdFmt {
 }
 
 /// All formats, narrowest last; useful for sweeps in tests and benches.
-pub const ALL_FMTS: [SimdFmt; 4] = [SimdFmt::Half, SimdFmt::Byte, SimdFmt::Nibble, SimdFmt::Crumb];
+pub const ALL_FMTS: [SimdFmt; 4] = [
+    SimdFmt::Half,
+    SimdFmt::Byte,
+    SimdFmt::Nibble,
+    SimdFmt::Crumb,
+];
 
 /// The sub-byte formats introduced by XpulpNN.
 pub const SUB_BYTE_FMTS: [SimdFmt; 2] = [SimdFmt::Nibble, SimdFmt::Crumb];
@@ -332,7 +337,9 @@ pub fn avg(fmt: SimdFmt, a: u32, b: u32) -> u32 {
 
 /// Lane-wise unsigned average `(a + b) >> 1` with logical shift.
 pub fn avgu(fmt: SimdFmt, a: u32, b: u32) -> u32 {
-    zip_map_u(fmt, a, b, |x, y| (x.wrapping_add(y) & ((fmt.lane_mask() << 1) | 1)) >> 1)
+    zip_map_u(fmt, a, b, |x, y| {
+        (x.wrapping_add(y) & ((fmt.lane_mask() << 1) | 1)) >> 1
+    })
 }
 
 #[cfg(test)]
@@ -393,7 +400,10 @@ mod tests {
         let a = pack_lanes(SimdFmt::Nibble, [1, 0xf, 0, 0, 0, 0, 0, 0]);
         let b = pack_lanes(SimdFmt::Nibble, [2, 3, 0, 0, 0, 0, 0, 0]);
         // signed × signed: 1*2 + (-1)*3 = -1
-        assert_eq!(dotp(SimdFmt::Nibble, DotSign::SignedSigned, a, b) as i32, -1);
+        assert_eq!(
+            dotp(SimdFmt::Nibble, DotSign::SignedSigned, a, b) as i32,
+            -1
+        );
         // unsigned × unsigned: 1*2 + 15*3 = 47
         assert_eq!(dotp(SimdFmt::Nibble, DotSign::UnsignedUnsigned, a, b), 47);
         // unsigned × signed: 1*2 + 15*3 = 47 (b lanes are positive)
@@ -413,7 +423,10 @@ mod tests {
         // each nibble product = 1, eight lanes -> dotp = 8
         let d = dotp(SimdFmt::Nibble, DotSign::SignedSigned, a, b);
         assert_eq!(d, 8);
-        assert_eq!(sdotp(SimdFmt::Nibble, DotSign::SignedSigned, 100, a, b), 108);
+        assert_eq!(
+            sdotp(SimdFmt::Nibble, DotSign::SignedSigned, 100, a, b),
+            108
+        );
         // wrap-around accumulation
         assert_eq!(
             sdotp(SimdFmt::Nibble, DotSign::SignedSigned, u32::MAX - 3, a, b),
@@ -428,7 +441,10 @@ mod tests {
         assert_eq!(dotp(SimdFmt::Crumb, DotSign::SignedSigned, ones, ones), 16);
         // All lanes = -1 (0b11) squared = 16 as well.
         let minus = 0xffff_ffff;
-        assert_eq!(dotp(SimdFmt::Crumb, DotSign::SignedSigned, minus, minus), 16);
+        assert_eq!(
+            dotp(SimdFmt::Crumb, DotSign::SignedSigned, minus, minus),
+            16
+        );
         // unsigned: 3*3 per lane = 144
         assert_eq!(
             dotp(SimdFmt::Crumb, DotSign::UnsignedUnsigned, minus, minus),
@@ -444,19 +460,13 @@ mod tests {
         let s1 = replicate(SimdFmt::Nibble, 1);
         assert_eq!(srl(SimdFmt::Nibble, a, s5), srl(SimdFmt::Nibble, a, s1));
         // arithmetic shift right keeps the sign.
-        assert_eq!(
-            lane_s(SimdFmt::Nibble, sra(SimdFmt::Nibble, a, s1), 0),
-            -4
-        );
+        assert_eq!(lane_s(SimdFmt::Nibble, sra(SimdFmt::Nibble, a, s1), 0), -4);
         assert_eq!(
             lane_u(SimdFmt::Nibble, srl(SimdFmt::Nibble, a, s1), 0),
             0b100
         );
         // shift left drops bits out of the lane.
-        assert_eq!(
-            lane_u(SimdFmt::Nibble, sll(SimdFmt::Nibble, a, s1), 0),
-            0
-        );
+        assert_eq!(lane_u(SimdFmt::Nibble, sll(SimdFmt::Nibble, a, s1), 0), 0);
     }
 
     #[test]

@@ -1,353 +1,459 @@
 //! Property tests: `decode(encode(i)) == i` over randomly generated
 //! instructions, and SIMD semantics against independent scalar references.
+//!
+//! These were originally `proptest` properties; the tree must build with
+//! no registry access, so they are now seeded generator loops over
+//! `xrand` (failures print the seed-derived case so they reproduce
+//! exactly). The 16-bit parcel space is small enough to check
+//! exhaustively instead of sampling.
 
-use proptest::prelude::*;
 use pulp_isa::decode::decode;
 use pulp_isa::encode::encode;
-use pulp_isa::instr::{AluOp, BitOp, BranchCond, Instr, LoadKind, LoopIdx, MulDivOp, PulpAluOp,
-                      SimdAluOp, SimdOperand, StoreKind};
+use pulp_isa::instr::{
+    AluOp, BitOp, BranchCond, Instr, LoadKind, LoopIdx, MulDivOp, PulpAluOp, SimdAluOp,
+    SimdOperand, StoreKind,
+};
 use pulp_isa::reg::{Reg, ALL_REGS};
 use pulp_isa::simd::{self, DotSign, SimdFmt, ALL_DOT_SIGNS, ALL_FMTS};
+use xrand::Rng;
 
-fn any_reg() -> impl Strategy<Value = Reg> {
-    (0usize..32).prop_map(|i| ALL_REGS[i])
+const CASES: usize = 2048;
+
+fn any_reg(r: &mut Rng) -> Reg {
+    ALL_REGS[r.below(32) as usize]
 }
 
-fn any_fmt() -> impl Strategy<Value = SimdFmt> {
-    (0usize..4).prop_map(|i| ALL_FMTS[i])
+fn any_fmt(r: &mut Rng) -> SimdFmt {
+    ALL_FMTS[r.below(4) as usize]
 }
 
-fn bh_fmt() -> impl Strategy<Value = SimdFmt> {
-    prop_oneof![Just(SimdFmt::Half), Just(SimdFmt::Byte)]
+fn any_dot_sign(r: &mut Rng) -> DotSign {
+    ALL_DOT_SIGNS[r.below(3) as usize]
 }
 
-fn any_dot_sign() -> impl Strategy<Value = DotSign> {
-    (0usize..3).prop_map(|i| ALL_DOT_SIGNS[i])
-}
+const SIMD_ALU_OPS: [SimdAluOp; 14] = [
+    SimdAluOp::Add,
+    SimdAluOp::Sub,
+    SimdAluOp::Avg,
+    SimdAluOp::Avgu,
+    SimdAluOp::Min,
+    SimdAluOp::Minu,
+    SimdAluOp::Max,
+    SimdAluOp::Maxu,
+    SimdAluOp::Srl,
+    SimdAluOp::Sra,
+    SimdAluOp::Sll,
+    SimdAluOp::Or,
+    SimdAluOp::And,
+    SimdAluOp::Xor,
+];
 
-fn any_simd_alu_op() -> impl Strategy<Value = SimdAluOp> {
-    prop_oneof![
-        Just(SimdAluOp::Add),
-        Just(SimdAluOp::Sub),
-        Just(SimdAluOp::Avg),
-        Just(SimdAluOp::Avgu),
-        Just(SimdAluOp::Min),
-        Just(SimdAluOp::Minu),
-        Just(SimdAluOp::Max),
-        Just(SimdAluOp::Maxu),
-        Just(SimdAluOp::Srl),
-        Just(SimdAluOp::Sra),
-        Just(SimdAluOp::Sll),
-        Just(SimdAluOp::Or),
-        Just(SimdAluOp::And),
-        Just(SimdAluOp::Xor),
-    ]
-}
+const LOAD_KINDS: [LoadKind; 5] = [
+    LoadKind::Byte,
+    LoadKind::Half,
+    LoadKind::Word,
+    LoadKind::ByteU,
+    LoadKind::HalfU,
+];
+const STORE_KINDS: [StoreKind; 3] = [StoreKind::Byte, StoreKind::Half, StoreKind::Word];
 
-/// Operand strategy honouring the "no .sci for sub-byte" encoding rule.
-fn operand_for(fmt: SimdFmt) -> BoxedStrategy<SimdOperand> {
-    if fmt.is_sub_byte() {
-        prop_oneof![
-            any_reg().prop_map(SimdOperand::Vector),
-            any_reg().prop_map(SimdOperand::Scalar),
-        ]
-        .boxed()
-    } else {
-        prop_oneof![
-            any_reg().prop_map(SimdOperand::Vector),
-            any_reg().prop_map(SimdOperand::Scalar),
-            (-32i8..32).prop_map(SimdOperand::Imm),
-        ]
-        .boxed()
+/// Operand generator honouring the "no .sci for sub-byte" encoding rule.
+fn operand_for(r: &mut Rng, fmt: SimdFmt) -> SimdOperand {
+    let variants = if fmt.is_sub_byte() { 2 } else { 3 };
+    match r.below(variants) {
+        0 => SimdOperand::Vector(any_reg(r)),
+        1 => SimdOperand::Scalar(any_reg(r)),
+        _ => SimdOperand::Imm(r.range_i32(-32, 31) as i8),
     }
 }
 
-/// A strategy producing arbitrary *valid, encodable* instructions.
-fn any_instr() -> BoxedStrategy<Instr> {
-    let base = prop_oneof![
-        (any_reg(), any::<u32>())
-            .prop_map(|(rd, v)| Instr::Lui { rd, imm: v & 0xffff_f000 }),
-        (any_reg(), any::<u32>())
-            .prop_map(|(rd, v)| Instr::Auipc { rd, imm: v & 0xffff_f000 }),
-        (any_reg(), (-(1i32 << 20)..(1 << 20)))
-            .prop_map(|(rd, o)| Instr::Jal { rd, offset: o & !1 }),
-        (any_reg(), any_reg(), -2048i32..2048)
-            .prop_map(|(rd, rs1, offset)| Instr::Jalr { rd, rs1, offset }),
-        (
-            prop_oneof![
-                Just(BranchCond::Eq),
-                Just(BranchCond::Ne),
-                Just(BranchCond::Lt),
-                Just(BranchCond::Ge),
-                Just(BranchCond::Ltu),
-                Just(BranchCond::Geu)
-            ],
-            any_reg(),
-            any_reg(),
-            -4096i32..4096
-        )
-            .prop_map(|(cond, rs1, rs2, o)| Instr::Branch { cond, rs1, rs2, offset: o & !1 }),
-        (
-            prop_oneof![
-                Just(LoadKind::Byte),
-                Just(LoadKind::Half),
-                Just(LoadKind::Word),
-                Just(LoadKind::ByteU),
-                Just(LoadKind::HalfU)
-            ],
-            any_reg(),
-            any_reg(),
-            -2048i32..2048
-        )
-            .prop_map(|(kind, rd, rs1, offset)| Instr::Load { kind, rd, rs1, offset }),
-        (
-            prop_oneof![Just(StoreKind::Byte), Just(StoreKind::Half), Just(StoreKind::Word)],
-            any_reg(),
-            any_reg(),
-            -2048i32..2048
-        )
-            .prop_map(|(kind, rs1, rs2, offset)| Instr::Store { kind, rs1, rs2, offset }),
-    ];
+fn any_base(r: &mut Rng) -> Instr {
+    match r.below(7) {
+        0 => Instr::Lui {
+            rd: any_reg(r),
+            imm: r.next_u32() & 0xffff_f000,
+        },
+        1 => Instr::Auipc {
+            rd: any_reg(r),
+            imm: r.next_u32() & 0xffff_f000,
+        },
+        2 => Instr::Jal {
+            rd: any_reg(r),
+            offset: r.range_i32(-(1 << 20), (1 << 20) - 1) & !1,
+        },
+        3 => Instr::Jalr {
+            rd: any_reg(r),
+            rs1: any_reg(r),
+            offset: r.range_i32(-2048, 2047),
+        },
+        4 => {
+            const CONDS: [BranchCond; 6] = [
+                BranchCond::Eq,
+                BranchCond::Ne,
+                BranchCond::Lt,
+                BranchCond::Ge,
+                BranchCond::Ltu,
+                BranchCond::Geu,
+            ];
+            Instr::Branch {
+                cond: *r.choose(&CONDS),
+                rs1: any_reg(r),
+                rs2: any_reg(r),
+                offset: r.range_i32(-4096, 4095) & !1,
+            }
+        }
+        5 => Instr::Load {
+            kind: *r.choose(&LOAD_KINDS),
+            rd: any_reg(r),
+            rs1: any_reg(r),
+            offset: r.range_i32(-2048, 2047),
+        },
+        _ => Instr::Store {
+            kind: *r.choose(&STORE_KINDS),
+            rs1: any_reg(r),
+            rs2: any_reg(r),
+            offset: r.range_i32(-2048, 2047),
+        },
+    }
+}
 
-    let alu = prop_oneof![
-        (
-            prop_oneof![
-                Just(AluOp::Add),
-                Just(AluOp::Sub),
-                Just(AluOp::Sll),
-                Just(AluOp::Slt),
-                Just(AluOp::Sltu),
-                Just(AluOp::Xor),
-                Just(AluOp::Srl),
-                Just(AluOp::Sra),
-                Just(AluOp::Or),
-                Just(AluOp::And)
-            ],
-            any_reg(),
-            any_reg(),
-            any_reg()
-        )
-            .prop_map(|(op, rd, rs1, rs2)| Instr::Alu { op, rd, rs1, rs2 }),
-        (
-            prop_oneof![
-                Just(AluOp::Add),
-                Just(AluOp::Slt),
-                Just(AluOp::Sltu),
-                Just(AluOp::Xor),
-                Just(AluOp::Or),
-                Just(AluOp::And)
-            ],
-            any_reg(),
-            any_reg(),
-            -2048i32..2048
-        )
-            .prop_filter("skip canonical nop", |(op, rd, rs1, imm)| {
-                !(matches!(op, AluOp::Add)
-                    && *rd == Reg::Zero
-                    && *rs1 == Reg::Zero
-                    && *imm == 0)
-            })
-            .prop_map(|(op, rd, rs1, imm)| Instr::AluImm { op, rd, rs1, imm }),
-        (
-            prop_oneof![Just(AluOp::Sll), Just(AluOp::Srl), Just(AluOp::Sra)],
-            any_reg(),
-            any_reg(),
-            0i32..32
-        )
-            .prop_map(|(op, rd, rs1, imm)| Instr::AluImm { op, rd, rs1, imm }),
-        (
-            prop_oneof![
-                Just(MulDivOp::Mul),
-                Just(MulDivOp::Mulh),
-                Just(MulDivOp::Mulhsu),
-                Just(MulDivOp::Mulhu),
-                Just(MulDivOp::Div),
-                Just(MulDivOp::Divu),
-                Just(MulDivOp::Rem),
-                Just(MulDivOp::Remu)
-            ],
-            any_reg(),
-            any_reg(),
-            any_reg()
-        )
-            .prop_map(|(op, rd, rs1, rs2)| Instr::MulDiv { op, rd, rs1, rs2 }),
-    ];
-
-    let pulp_scalar = prop_oneof![
-        (
-            prop_oneof![
-                Just(PulpAluOp::Min),
-                Just(PulpAluOp::Minu),
-                Just(PulpAluOp::Max),
-                Just(PulpAluOp::Maxu),
-                Just(PulpAluOp::Abs),
-                Just(PulpAluOp::Exths),
-                Just(PulpAluOp::Exthz),
-                Just(PulpAluOp::Extbs),
-                Just(PulpAluOp::Extbz)
-            ],
-            any_reg(),
-            any_reg(),
-            any_reg()
-        )
-            .prop_map(|(op, rd, rs1, rs2)| Instr::PulpAlu { op, rd, rs1, rs2 }),
-        (any_reg(), any_reg(), 0u8..32).prop_map(|(rd, rs1, bits)| Instr::PClip { rd, rs1, bits }),
-        (any_reg(), any_reg(), 0u8..32)
-            .prop_map(|(rd, rs1, bits)| Instr::PClipU { rd, rs1, bits }),
-        (any_reg(), any_reg(), any_reg())
-            .prop_map(|(rd, rs1, rs2)| Instr::PMac { rd, rs1, rs2 }),
-        (any_reg(), any_reg(), any_reg())
-            .prop_map(|(rd, rs1, rs2)| Instr::PMsu { rd, rs1, rs2 }),
-        (
-            prop_oneof![Just(BitOp::Ff1), Just(BitOp::Fl1), Just(BitOp::Cnt), Just(BitOp::Clb)],
-            any_reg(),
-            any_reg()
-        )
-            .prop_map(|(op, rd, rs1)| Instr::PBit { op, rd, rs1 }),
-        (any_reg(), any_reg(), 1u8..=32, 0u8..32)
-            .prop_map(|(rd, rs1, len, off)| Instr::PExtract { rd, rs1, len, off }),
-        (any_reg(), any_reg(), 1u8..=32, 0u8..32)
-            .prop_map(|(rd, rs1, len, off)| Instr::PExtractU { rd, rs1, len, off }),
-        (any_reg(), any_reg(), 1u8..=32, 0u8..32)
-            .prop_map(|(rd, rs1, len, off)| Instr::PInsert { rd, rs1, len, off }),
-    ];
-
-    let pulp_mem = prop_oneof![
-        (
-            prop_oneof![
-                Just(LoadKind::Byte),
-                Just(LoadKind::Half),
-                Just(LoadKind::Word),
-                Just(LoadKind::ByteU),
-                Just(LoadKind::HalfU)
-            ],
-            any_reg(),
-            any_reg(),
-            -2048i32..2048
-        )
-            .prop_map(|(kind, rd, rs1, offset)| Instr::LoadPostInc { kind, rd, rs1, offset }),
-        (
-            prop_oneof![
-                Just(LoadKind::Byte),
-                Just(LoadKind::Half),
-                Just(LoadKind::Word),
-                Just(LoadKind::ByteU),
-                Just(LoadKind::HalfU)
-            ],
-            any_reg(),
-            any_reg(),
-            any_reg()
-        )
-            .prop_map(|(kind, rd, rs1, rs2)| Instr::LoadPostIncReg { kind, rd, rs1, rs2 }),
-        (
-            prop_oneof![
-                Just(LoadKind::Byte),
-                Just(LoadKind::Half),
-                Just(LoadKind::Word),
-                Just(LoadKind::ByteU),
-                Just(LoadKind::HalfU)
-            ],
-            any_reg(),
-            any_reg(),
-            any_reg()
-        )
-            .prop_map(|(kind, rd, rs1, rs2)| Instr::LoadRegOff { kind, rd, rs1, rs2 }),
-        (
-            prop_oneof![Just(StoreKind::Byte), Just(StoreKind::Half), Just(StoreKind::Word)],
-            any_reg(),
-            any_reg(),
-            -2048i32..2048
-        )
-            .prop_map(|(kind, rs1, rs2, offset)| Instr::StorePostInc { kind, rs1, rs2, offset }),
-        (
-            prop_oneof![Just(StoreKind::Byte), Just(StoreKind::Half), Just(StoreKind::Word)],
-            any_reg(),
-            any_reg(),
-            any_reg()
-        )
-            .prop_map(|(kind, rs1, rs2, rs3)| Instr::StorePostIncReg { kind, rs1, rs2, rs3 }),
-    ];
-
-    let hwloop = (
-        prop_oneof![Just(LoopIdx::L0), Just(LoopIdx::L1)],
-        any_reg(),
-        0u32..4096,
-        0i32..2048,
-    )
-        .prop_flat_map(|(l, rs1, imm, off)| {
-            prop_oneof![
-                Just(Instr::LpStarti { l, offset: (off & !1) << 1 }),
-                Just(Instr::LpEndi { l, offset: (off & !1) << 1 }),
-                Just(Instr::LpCount { l, rs1 }),
-                Just(Instr::LpCounti { l, imm }),
-                Just(Instr::LpSetup { l, rs1, offset: off & !1 }),
-                Just(Instr::LpSetupi { l, imm, offset: (off & 0x1f) << 1 }),
-            ]
-        });
-
-    let simd = prop_oneof![
-        (any_fmt(), any_simd_alu_op(), any_reg(), any_reg())
-            .prop_flat_map(|(fmt, op, rd, rs1)| operand_for(fmt)
-                .prop_map(move |op2| Instr::PvAlu { op, fmt, rd, rs1, op2 })),
-        (any_fmt(), any_reg(), any_reg()).prop_map(|(fmt, rd, rs1)| Instr::PvAbs { fmt, rd, rs1 }),
-        (any_fmt(), any_reg(), any_reg(), any::<bool>(), 0u8..16)
-            .prop_filter("lane in range", |(fmt, _, _, _, idx)| (*idx as usize) < fmt.lanes())
-            .prop_map(|(fmt, rd, rs1, signed, idx)| Instr::PvExtract { fmt, rd, rs1, idx, signed }),
-        (any_fmt(), any_reg(), any_reg(), 0u8..16)
-            .prop_filter("lane in range", |(fmt, _, _, idx)| (*idx as usize) < fmt.lanes())
-            .prop_map(|(fmt, rd, rs1, idx)| Instr::PvInsert { fmt, rd, rs1, idx }),
-        (any_fmt(), any_dot_sign(), any_reg(), any_reg(), any::<bool>())
-            .prop_flat_map(|(fmt, sign, rd, rs1, acc)| operand_for(fmt).prop_map(move |op2| {
-                if acc {
-                    Instr::PvSdot { fmt, sign, rd, rs1, op2 }
-                } else {
-                    Instr::PvDot { fmt, sign, rd, rs1, op2 }
+fn any_alu(r: &mut Rng) -> Instr {
+    match r.below(4) {
+        0 => {
+            const OPS: [AluOp; 10] = [
+                AluOp::Add,
+                AluOp::Sub,
+                AluOp::Sll,
+                AluOp::Slt,
+                AluOp::Sltu,
+                AluOp::Xor,
+                AluOp::Srl,
+                AluOp::Sra,
+                AluOp::Or,
+                AluOp::And,
+            ];
+            Instr::Alu {
+                op: *r.choose(&OPS),
+                rd: any_reg(r),
+                rs1: any_reg(r),
+                rs2: any_reg(r),
+            }
+        }
+        1 => {
+            const OPS: [AluOp; 6] = [
+                AluOp::Add,
+                AluOp::Slt,
+                AluOp::Sltu,
+                AluOp::Xor,
+                AluOp::Or,
+                AluOp::And,
+            ];
+            loop {
+                let op = *r.choose(&OPS);
+                let (rd, rs1) = (any_reg(r), any_reg(r));
+                let imm = r.range_i32(-2048, 2047);
+                // Skip the canonical nop: it decodes specially.
+                if matches!(op, AluOp::Add) && rd == Reg::Zero && rs1 == Reg::Zero && imm == 0 {
+                    continue;
                 }
-            })),
-        (
-            prop_oneof![Just(SimdFmt::Nibble), Just(SimdFmt::Crumb)],
-            any_reg(),
-            any_reg(),
-            any_reg()
-        )
-            .prop_map(|(fmt, rd, rs1, rs2)| Instr::PvQnt { fmt, rd, rs1, rs2 }),
-    ];
-
-    prop_oneof![base, alu, pulp_scalar, pulp_mem, hwloop, simd].boxed()
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(2048))]
-
-    /// The fundamental encoder/decoder invariant over the whole ISA.
-    #[test]
-    fn encode_decode_round_trip(instr in any_instr()) {
-        prop_assert_eq!(instr.validate(), Ok(()), "generator produced invalid instr {}", instr);
-        let word = encode(&instr);
-        let back = decode(word);
-        prop_assert_eq!(back, Ok(instr), "word {:#010x}", word);
-    }
-
-    /// Decoding arbitrary words either fails or yields a re-encodable
-    /// instruction that round-trips to the same word (no aliasing).
-    #[test]
-    fn decode_encode_consistent(word in any::<u32>()) {
-        if let Ok(instr) = decode(word) {
-            prop_assert_eq!(instr.validate(), Ok(()));
-            let re = encode(&instr);
-            let back = decode(re);
-            prop_assert_eq!(back, Ok(instr));
+                return Instr::AluImm { op, rd, rs1, imm };
+            }
+        }
+        2 => {
+            const OPS: [AluOp; 3] = [AluOp::Sll, AluOp::Srl, AluOp::Sra];
+            Instr::AluImm {
+                op: *r.choose(&OPS),
+                rd: any_reg(r),
+                rs1: any_reg(r),
+                imm: r.range_i32(0, 31),
+            }
+        }
+        _ => {
+            const OPS: [MulDivOp; 8] = [
+                MulDivOp::Mul,
+                MulDivOp::Mulh,
+                MulDivOp::Mulhsu,
+                MulDivOp::Mulhu,
+                MulDivOp::Div,
+                MulDivOp::Divu,
+                MulDivOp::Rem,
+                MulDivOp::Remu,
+            ];
+            Instr::MulDiv {
+                op: *r.choose(&OPS),
+                rd: any_reg(r),
+                rs1: any_reg(r),
+                rs2: any_reg(r),
+            }
         }
     }
+}
 
-    /// SIMD ALU semantics agree with a naive per-lane scalar model.
-    #[test]
-    fn simd_alu_matches_scalar_reference(
-        fmt in any_fmt(),
-        op in any_simd_alu_op(),
-        a in any::<u32>(),
-        b in any::<u32>(),
-    ) {
+fn any_pulp_scalar(r: &mut Rng) -> Instr {
+    match r.below(9) {
+        0 => {
+            const OPS: [PulpAluOp; 9] = [
+                PulpAluOp::Min,
+                PulpAluOp::Minu,
+                PulpAluOp::Max,
+                PulpAluOp::Maxu,
+                PulpAluOp::Abs,
+                PulpAluOp::Exths,
+                PulpAluOp::Exthz,
+                PulpAluOp::Extbs,
+                PulpAluOp::Extbz,
+            ];
+            Instr::PulpAlu {
+                op: *r.choose(&OPS),
+                rd: any_reg(r),
+                rs1: any_reg(r),
+                rs2: any_reg(r),
+            }
+        }
+        1 => Instr::PClip {
+            rd: any_reg(r),
+            rs1: any_reg(r),
+            bits: r.below(32) as u8,
+        },
+        2 => Instr::PClipU {
+            rd: any_reg(r),
+            rs1: any_reg(r),
+            bits: r.below(32) as u8,
+        },
+        3 => Instr::PMac {
+            rd: any_reg(r),
+            rs1: any_reg(r),
+            rs2: any_reg(r),
+        },
+        4 => Instr::PMsu {
+            rd: any_reg(r),
+            rs1: any_reg(r),
+            rs2: any_reg(r),
+        },
+        5 => {
+            const OPS: [BitOp; 4] = [BitOp::Ff1, BitOp::Fl1, BitOp::Cnt, BitOp::Clb];
+            Instr::PBit {
+                op: *r.choose(&OPS),
+                rd: any_reg(r),
+                rs1: any_reg(r),
+            }
+        }
+        6 => Instr::PExtract {
+            rd: any_reg(r),
+            rs1: any_reg(r),
+            len: r.range_i32(1, 32) as u8,
+            off: r.below(32) as u8,
+        },
+        7 => Instr::PExtractU {
+            rd: any_reg(r),
+            rs1: any_reg(r),
+            len: r.range_i32(1, 32) as u8,
+            off: r.below(32) as u8,
+        },
+        _ => Instr::PInsert {
+            rd: any_reg(r),
+            rs1: any_reg(r),
+            len: r.range_i32(1, 32) as u8,
+            off: r.below(32) as u8,
+        },
+    }
+}
+
+fn any_pulp_mem(r: &mut Rng) -> Instr {
+    match r.below(5) {
+        0 => Instr::LoadPostInc {
+            kind: *r.choose(&LOAD_KINDS),
+            rd: any_reg(r),
+            rs1: any_reg(r),
+            offset: r.range_i32(-2048, 2047),
+        },
+        1 => Instr::LoadPostIncReg {
+            kind: *r.choose(&LOAD_KINDS),
+            rd: any_reg(r),
+            rs1: any_reg(r),
+            rs2: any_reg(r),
+        },
+        2 => Instr::LoadRegOff {
+            kind: *r.choose(&LOAD_KINDS),
+            rd: any_reg(r),
+            rs1: any_reg(r),
+            rs2: any_reg(r),
+        },
+        3 => Instr::StorePostInc {
+            kind: *r.choose(&STORE_KINDS),
+            rs1: any_reg(r),
+            rs2: any_reg(r),
+            offset: r.range_i32(-2048, 2047),
+        },
+        _ => Instr::StorePostIncReg {
+            kind: *r.choose(&STORE_KINDS),
+            rs1: any_reg(r),
+            rs2: any_reg(r),
+            rs3: any_reg(r),
+        },
+    }
+}
+
+fn any_hwloop(r: &mut Rng) -> Instr {
+    let l = if r.flip() { LoopIdx::L0 } else { LoopIdx::L1 };
+    let rs1 = any_reg(r);
+    let imm = r.below(4096) as u32;
+    let off = r.range_i32(0, 2047);
+    match r.below(6) {
+        0 => Instr::LpStarti {
+            l,
+            offset: (off & !1) << 1,
+        },
+        1 => Instr::LpEndi {
+            l,
+            offset: (off & !1) << 1,
+        },
+        2 => Instr::LpCount { l, rs1 },
+        3 => Instr::LpCounti { l, imm },
+        4 => Instr::LpSetup {
+            l,
+            rs1,
+            offset: off & !1,
+        },
+        _ => Instr::LpSetupi {
+            l,
+            imm,
+            offset: (off & 0x1f) << 1,
+        },
+    }
+}
+
+fn any_simd(r: &mut Rng) -> Instr {
+    match r.below(5) {
+        0 => {
+            let fmt = any_fmt(r);
+            Instr::PvAlu {
+                op: *r.choose(&SIMD_ALU_OPS),
+                fmt,
+                rd: any_reg(r),
+                rs1: any_reg(r),
+                op2: operand_for(r, fmt),
+            }
+        }
+        1 => Instr::PvAbs {
+            fmt: any_fmt(r),
+            rd: any_reg(r),
+            rs1: any_reg(r),
+        },
+        2 => {
+            let fmt = any_fmt(r);
+            let idx = r.below(fmt.lanes() as u64) as u8;
+            if r.flip() {
+                Instr::PvExtract {
+                    fmt,
+                    rd: any_reg(r),
+                    rs1: any_reg(r),
+                    idx,
+                    signed: r.flip(),
+                }
+            } else {
+                Instr::PvInsert {
+                    fmt,
+                    rd: any_reg(r),
+                    rs1: any_reg(r),
+                    idx,
+                }
+            }
+        }
+        3 => {
+            let fmt = any_fmt(r);
+            let sign = any_dot_sign(r);
+            let (rd, rs1) = (any_reg(r), any_reg(r));
+            let op2 = operand_for(r, fmt);
+            if r.flip() {
+                Instr::PvSdot {
+                    fmt,
+                    sign,
+                    rd,
+                    rs1,
+                    op2,
+                }
+            } else {
+                Instr::PvDot {
+                    fmt,
+                    sign,
+                    rd,
+                    rs1,
+                    op2,
+                }
+            }
+        }
+        _ => {
+            let fmt = if r.flip() {
+                SimdFmt::Nibble
+            } else {
+                SimdFmt::Crumb
+            };
+            Instr::PvQnt {
+                fmt,
+                rd: any_reg(r),
+                rs1: any_reg(r),
+                rs2: any_reg(r),
+            }
+        }
+    }
+}
+
+/// An arbitrary *valid, encodable* instruction, uniform over the six
+/// encoding groups.
+fn any_instr(r: &mut Rng) -> Instr {
+    match r.below(6) {
+        0 => any_base(r),
+        1 => any_alu(r),
+        2 => any_pulp_scalar(r),
+        3 => any_pulp_mem(r),
+        4 => any_hwloop(r),
+        _ => any_simd(r),
+    }
+}
+
+/// The fundamental encoder/decoder invariant over the whole ISA.
+#[test]
+fn encode_decode_round_trip() {
+    let mut r = Rng::new(0x5eed_0001);
+    for case in 0..CASES {
+        let instr = any_instr(&mut r);
+        assert_eq!(
+            instr.validate(),
+            Ok(()),
+            "case {case}: generator produced invalid {instr}"
+        );
+        let word = encode(&instr);
+        let back = decode(word);
+        assert_eq!(back, Ok(instr), "case {case}: word {word:#010x}");
+    }
+}
+
+/// Decoding arbitrary words either fails or yields a re-encodable
+/// instruction that round-trips to the same word (no aliasing).
+#[test]
+fn decode_encode_consistent() {
+    let mut r = Rng::new(0x5eed_0002);
+    for case in 0..CASES * 4 {
+        let word = r.next_u32();
+        if let Ok(instr) = decode(word) {
+            assert_eq!(instr.validate(), Ok(()), "case {case}: {word:#010x}");
+            let re = encode(&instr);
+            let back = decode(re);
+            assert_eq!(back, Ok(instr), "case {case}: {word:#010x} -> {re:#010x}");
+        }
+    }
+}
+
+/// SIMD ALU semantics agree with a naive per-lane scalar model.
+#[test]
+fn simd_alu_matches_scalar_reference() {
+    let mut r = Rng::new(0x5eed_0003);
+    for _ in 0..CASES {
+        let fmt = any_fmt(&mut r);
+        let op = *r.choose(&SIMD_ALU_OPS);
+        let a = r.next_u32();
+        let b = r.next_u32();
         let got = op.eval(fmt, a, b);
         for i in 0..fmt.lanes() {
             let x = simd::lane_s(fmt, a, i);
@@ -371,23 +477,25 @@ proptest! {
                 SimdAluOp::And => xu & yu,
                 SimdAluOp::Xor => xu ^ yu,
             };
-            prop_assert_eq!(
+            assert_eq!(
                 simd::lane_u(fmt, got, i),
                 expect & fmt.lane_mask(),
-                "op {:?} fmt {:?} lane {}", op, fmt, i
+                "op {op:?} fmt {fmt:?} lane {i} a={a:#010x} b={b:#010x}"
             );
         }
     }
+}
 
-    /// Dot products agree with an i64 scalar accumulation.
-    #[test]
-    fn dotp_matches_scalar_reference(
-        fmt in any_fmt(),
-        sign in any_dot_sign(),
-        acc in any::<u32>(),
-        a in any::<u32>(),
-        b in any::<u32>(),
-    ) {
+/// Dot products agree with an i64 scalar accumulation.
+#[test]
+fn dotp_matches_scalar_reference() {
+    let mut r = Rng::new(0x5eed_0004);
+    for _ in 0..CASES {
+        let fmt = any_fmt(&mut r);
+        let sign = any_dot_sign(&mut r);
+        let acc = r.next_u32();
+        let a = r.next_u32();
+        let b = r.next_u32();
         let mut expect: i64 = 0;
         for i in 0..fmt.lanes() {
             let x = match sign {
@@ -400,81 +508,110 @@ proptest! {
             };
             expect += x * y;
         }
-        prop_assert_eq!(simd::dotp(fmt, sign, a, b), expect as u32);
-        prop_assert_eq!(
+        assert_eq!(
+            simd::dotp(fmt, sign, a, b),
+            expect as u32,
+            "fmt {fmt:?} sign {sign:?} a={a:#010x} b={b:#010x}"
+        );
+        assert_eq!(
             simd::sdotp(fmt, sign, acc, a, b),
             acc.wrapping_add(expect as u32)
         );
     }
+}
 
-    /// Replication of a scalar equals a vector whose every lane is the
-    /// scalar's low bits.
-    #[test]
-    fn replicate_lane_law(fmt in any_fmt(), s in any::<u32>()) {
+/// Replication of a scalar equals a vector whose every lane is the
+/// scalar's low bits.
+#[test]
+fn replicate_lane_law() {
+    let mut r = Rng::new(0x5eed_0005);
+    for _ in 0..CASES {
+        let fmt = any_fmt(&mut r);
+        let s = r.next_u32();
         let v = simd::replicate(fmt, s);
         for i in 0..fmt.lanes() {
-            prop_assert_eq!(simd::lane_u(fmt, v, i), s & fmt.lane_mask());
+            assert_eq!(
+                simd::lane_u(fmt, v, i),
+                s & fmt.lane_mask(),
+                "fmt {fmt:?} s={s:#010x}"
+            );
         }
     }
+}
 
-    /// `.sc` variants equal the `rr` variant applied to a replicated
-    /// vector — the defining property of the scalar addressing mode.
-    #[test]
-    fn sc_equals_rr_on_replicated(
-        fmt in any_fmt(),
-        op in any_simd_alu_op(),
-        a in any::<u32>(),
-        s in any::<u32>(),
-    ) {
+/// `.sc` variants equal the `rr` variant applied to a replicated
+/// vector — the defining property of the scalar addressing mode.
+#[test]
+fn sc_equals_rr_on_replicated() {
+    let mut r = Rng::new(0x5eed_0006);
+    for _ in 0..CASES {
+        let fmt = any_fmt(&mut r);
+        let op = *r.choose(&SIMD_ALU_OPS);
+        let a = r.next_u32();
+        let s = r.next_u32();
         let rep = simd::replicate(fmt, s);
-        prop_assert_eq!(op.eval(fmt, a, rep), op.eval(fmt, a, simd::replicate(fmt, s & fmt.lane_mask())));
+        assert_eq!(
+            op.eval(fmt, a, rep),
+            op.eval(fmt, a, simd::replicate(fmt, s & fmt.lane_mask())),
+            "op {op:?} fmt {fmt:?} a={a:#010x} s={s:#010x}"
+        );
     }
+}
 
-    /// RV32C: whenever an instruction has a compressed form, expanding
-    /// that parcel reproduces the instruction exactly.
-    #[test]
-    fn compress_decode16_round_trip(instr in any_instr()) {
-        use pulp_isa::compressed::{compress, decode16, is_compressed};
+/// RV32C: whenever an instruction has a compressed form, expanding
+/// that parcel reproduces the instruction exactly.
+#[test]
+fn compress_decode16_round_trip() {
+    use pulp_isa::compressed::{compress, decode16, is_compressed};
+    let mut r = Rng::new(0x5eed_0007);
+    for _ in 0..CASES {
+        let instr = any_instr(&mut r);
         if let Some(parcel) = compress(&instr) {
-            prop_assert!(is_compressed(parcel as u32), "{}", instr);
-            let (_, back) = decode16(parcel)
-                .unwrap_or_else(|| panic!("{instr} -> {parcel:#06x} undecodable"));
-            prop_assert_eq!(back, instr, "parcel {:#06x}", parcel);
+            assert!(is_compressed(parcel as u32), "{instr}");
+            let (_, back) =
+                decode16(parcel).unwrap_or_else(|| panic!("{instr} -> {parcel:#06x} undecodable"));
+            assert_eq!(back, instr, "parcel {parcel:#06x}");
         }
     }
+}
 
-    /// RV32C: any decodable 16-bit parcel expands to a valid base
-    /// instruction, and re-compressing that instruction (when possible)
-    /// expands back to the same instruction.
-    #[test]
-    fn decode16_yields_valid_instructions(parcel in any::<u16>()) {
-        use pulp_isa::compressed::{compress, decode16};
+/// RV32C: any decodable 16-bit parcel expands to a valid base
+/// instruction, and re-compressing that instruction (when possible)
+/// expands back to the same instruction. The parcel space is small, so
+/// check it exhaustively rather than by sampling.
+#[test]
+fn decode16_yields_valid_instructions() {
+    use pulp_isa::compressed::{compress, decode16};
+    for parcel in 0..=u16::MAX {
         if let Some((_, instr)) = decode16(parcel) {
-            prop_assert_eq!(instr.validate(), Ok(()), "{:#06x}", parcel);
-            prop_assert!(
+            assert_eq!(instr.validate(), Ok(()), "{parcel:#06x}");
+            assert!(
                 !instr.requires_xpulpv2() && !instr.requires_xpulpnn(),
-                "RVC only covers the base ISA: {:#06x}",
-                parcel
+                "RVC only covers the base ISA: {parcel:#06x}"
             );
             if let Some(p2) = compress(&instr) {
                 let (_, again) = decode16(p2).expect("recompressed parcel decodes");
-                prop_assert_eq!(again, instr);
+                assert_eq!(again, instr);
             }
         }
     }
+}
 
-    /// Disassembly of b/h `.sci` forms embeds the decimal immediate.
-    #[test]
-    fn sci_disassembly_contains_imm(fmt in bh_fmt(), imm in -32i8..32) {
-        let i = Instr::PvAlu {
-            op: SimdAluOp::Add,
-            fmt,
-            rd: Reg::A0,
-            rs1: Reg::A1,
-            op2: SimdOperand::Imm(imm),
-        };
-        let text = i.to_string();
-        prop_assert!(text.contains(&imm.to_string()), "{}", text);
-        prop_assert!(text.contains(".sci."), "{}", text);
+/// Disassembly of b/h `.sci` forms embeds the decimal immediate.
+#[test]
+fn sci_disassembly_contains_imm() {
+    for fmt in [SimdFmt::Half, SimdFmt::Byte] {
+        for imm in -32i8..32 {
+            let i = Instr::PvAlu {
+                op: SimdAluOp::Add,
+                fmt,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                op2: SimdOperand::Imm(imm),
+            };
+            let text = i.to_string();
+            assert!(text.contains(&imm.to_string()), "{text}");
+            assert!(text.contains(".sci."), "{text}");
+        }
     }
 }

@@ -133,7 +133,13 @@ impl ConvKernelConfig {
             (_, KernelIsa::XpulpNN, true) => QuantMode::HardwareQnt,
             _ => QuantMode::SoftwareTree,
         };
-        ConvKernelConfig { shape: ConvShape::paper_benchmark(), bits, out_bits: bits, isa, quant }
+        ConvKernelConfig {
+            shape: ConvShape::paper_benchmark(),
+            bits,
+            out_bits: bits,
+            isa,
+            quant,
+        }
     }
 
     /// A mixed-precision layer: `bits`-wide operands re-quantized to
@@ -144,7 +150,13 @@ impl ConvKernelConfig {
             BitWidth::W8 => QuantMode::Shift8 { shift: 8 },
             _ => QuantMode::HardwareQnt,
         };
-        ConvKernelConfig { shape, bits, out_bits, isa: KernelIsa::XpulpNN, quant }
+        ConvKernelConfig {
+            shape,
+            bits,
+            out_bits,
+            isa: KernelIsa::XpulpNN,
+            quant,
+        }
     }
 
     /// Output channels handled per channel-loop iteration (2, except 4
@@ -164,22 +176,32 @@ impl ConvKernelConfig {
     /// A [`ConfigError`] naming the violated rule.
     pub fn validate(&self) -> Result<(), ConfigError> {
         let s = &self.shape;
-        if (s.in_c * self.bits.bits() as usize) % 32 != 0 {
-            return Err(ConfigError::ChannelAlignment { in_c: s.in_c, bits: self.bits });
+        if !(s.in_c * self.bits.bits() as usize).is_multiple_of(32) {
+            return Err(ConfigError::ChannelAlignment {
+                in_c: s.in_c,
+                bits: self.bits,
+            });
         }
         let need = self.channel_block();
-        if s.out_c % need != 0 {
-            return Err(ConfigError::OutChannelBlocking { out_c: s.out_c, need });
+        if !s.out_c.is_multiple_of(need) {
+            return Err(ConfigError::OutChannelBlocking {
+                out_c: s.out_c,
+                need,
+            });
         }
-        if s.pixels() % 2 != 0 {
+        if !s.pixels().is_multiple_of(2) {
             return Err(ConfigError::OddPixels { pixels: s.pixels() });
         }
-        let ok = match (self.out_bits, self.isa, self.quant) {
-            (BitWidth::W8, _, QuantMode::Shift8 { .. }) => true,
-            (BitWidth::W4 | BitWidth::W2, _, QuantMode::SoftwareTree) => true,
-            (BitWidth::W4 | BitWidth::W2, KernelIsa::XpulpNN, QuantMode::HardwareQnt) => true,
-            _ => false,
-        };
+        let ok = matches!(
+            (self.out_bits, self.isa, self.quant),
+            (BitWidth::W8, _, QuantMode::Shift8 { .. })
+                | (BitWidth::W4 | BitWidth::W2, _, QuantMode::SoftwareTree)
+                | (
+                    BitWidth::W4 | BitWidth::W2,
+                    KernelIsa::XpulpNN,
+                    QuantMode::HardwareQnt
+                )
+        );
         if !ok {
             return Err(ConfigError::QuantMismatch {
                 bits: self.out_bits,
@@ -196,7 +218,10 @@ impl ConvKernelConfig {
         if self.out_bits == self.bits {
             format!("{}/{}/{}", self.bits, self.isa, self.quant)
         } else {
-            format!("{}->{}/{}/{}", self.bits, self.out_bits, self.isa, self.quant)
+            format!(
+                "{}->{}/{}/{}",
+                self.bits, self.out_bits, self.isa, self.quant
+            )
         }
     }
 }
@@ -211,7 +236,8 @@ mod tests {
             for isa in [KernelIsa::XpulpV2, KernelIsa::XpulpNN] {
                 for hw in [false, true] {
                     let cfg = ConvKernelConfig::paper(bits, isa, hw);
-                    cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", cfg.name()));
+                    cfg.validate()
+                        .unwrap_or_else(|e| panic!("{}: {e}", cfg.name()));
                 }
             }
         }
@@ -221,21 +247,31 @@ mod tests {
     fn hw_quant_rejected_on_baseline() {
         let cfg = ConvKernelConfig {
             shape: ConvShape::paper_benchmark(),
-            bits: BitWidth::W4, out_bits: BitWidth::W4,
+            bits: BitWidth::W4,
+            out_bits: BitWidth::W4,
             isa: KernelIsa::XpulpV2,
             quant: QuantMode::HardwareQnt,
         };
-        assert!(matches!(cfg.validate(), Err(ConfigError::QuantMismatch { .. })));
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::QuantMismatch { .. })
+        ));
     }
 
     #[test]
     fn alignment_rules() {
         let mut cfg = ConvKernelConfig::paper(BitWidth::W4, KernelIsa::XpulpNN, true);
         cfg.shape.in_c = 6; // 6 × 4 bits = 24: not word aligned
-        assert!(matches!(cfg.validate(), Err(ConfigError::ChannelAlignment { .. })));
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::ChannelAlignment { .. })
+        ));
         let mut cfg = ConvKernelConfig::paper(BitWidth::W2, KernelIsa::XpulpNN, true);
         cfg.shape.out_c = 6; // 2-bit needs multiples of 4
-        assert!(matches!(cfg.validate(), Err(ConfigError::OutChannelBlocking { need: 4, .. })));
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::OutChannelBlocking { need: 4, .. })
+        ));
         let mut cfg = ConvKernelConfig::paper(BitWidth::W8, KernelIsa::XpulpV2, false);
         cfg.shape.in_w = 15; // 15×16 = 240 pixels: still even; force odd:
         cfg.shape.in_h = 1;
@@ -243,14 +279,18 @@ mod tests {
         cfg.shape.k_w = 1;
         cfg.shape.pad = 0;
         // 1×15 output = 15 pixels (odd)
-        assert!(matches!(cfg.validate(), Err(ConfigError::OddPixels { pixels: 15 })));
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::OddPixels { pixels: 15 })
+        ));
     }
 
     #[test]
     fn shift8_only_for_w8() {
         let cfg = ConvKernelConfig {
             shape: ConvShape::paper_benchmark(),
-            bits: BitWidth::W4, out_bits: BitWidth::W4,
+            bits: BitWidth::W4,
+            out_bits: BitWidth::W4,
             isa: KernelIsa::XpulpNN,
             quant: QuantMode::Shift8 { shift: 4 },
         };

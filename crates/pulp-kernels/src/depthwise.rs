@@ -51,18 +51,27 @@ impl DepthwiseKernelConfig {
     /// existing error kind: the remedy is fewer channels).
     pub fn validate(&self) -> Result<(), ConfigError> {
         let s = self.shape;
-        assert!(matches!(s.k, 1 | 3), "depthwise kernels support 1x1 and 3x3 windows");
+        assert!(
+            matches!(s.k, 1 | 3),
+            "depthwise kernels support 1x1 and 3x3 windows"
+        );
         let padded_w = s.in_w + 2 * s.pad;
         let max_off = ((s.k - 1) * padded_w + (s.k - 1)) * s.c;
         if max_off >= 2048 {
-            return Err(ConfigError::ChannelAlignment { in_c: s.c, bits: BitWidth::W8 });
+            return Err(ConfigError::ChannelAlignment {
+                in_c: s.c,
+                bits: BitWidth::W8,
+            });
         }
         Ok(())
     }
 
     /// Short name for reports.
     pub fn name(&self) -> String {
-        format!("depthwise/{}x{}/c{}", self.shape.k, self.shape.k, self.shape.c)
+        format!(
+            "depthwise/{}x{}/c{}",
+            self.shape.k, self.shape.k, self.shape.c
+        )
     }
 }
 
@@ -103,18 +112,31 @@ pub fn build_depthwise_program(
     for ky in 0..s.k {
         for kx in 0..s.k {
             let off = ((ky as i32) * padded_w + kx as i32) * c;
-            a.i(Instr::Load { kind: LoadKind::ByteU, rd: T0, rs1: T5, offset: off });
+            a.i(Instr::Load {
+                kind: LoadKind::ByteU,
+                rd: T0,
+                rs1: T5,
+                offset: off,
+            });
             a.i(Instr::Load {
                 kind: LoadKind::Byte,
                 rd: T1,
                 rs1: T4,
                 offset: (ky * s.k + kx) as i32,
             });
-            a.i(Instr::PMac { rd: S4, rs1: T0, rs2: T1 });
+            a.i(Instr::PMac {
+                rd: S4,
+                rs1: T0,
+                rs2: T1,
+            });
         }
     }
     a.srai(T0, S4, cfg.shift as i32);
-    a.i(Instr::PClipU { rd: T0, rs1: T0, bits: 9 });
+    a.i(Instr::PClipU {
+        rd: T0,
+        rs1: T0,
+        bits: 9,
+    });
     a.p_sb_postinc(T0, 1, A3);
     a.addi(T5, T5, 1);
     a.addi(T4, T4, taps as i32);
@@ -202,7 +224,13 @@ impl DepthwiseTestbench {
         let mut rng = TensorRng::new(seed);
         let input = rng.activations(BitWidth::W8, cfg.shape.input_len());
         let weights = rng.weights(BitWidth::W8, cfg.shape.weight_len());
-        Ok(DepthwiseTestbench { cfg, program, layout, input, weights })
+        Ok(DepthwiseTestbench {
+            cfg,
+            program,
+            layout,
+            input,
+            weights,
+        })
     }
 
     /// Runs and verifies against [`qnn::depthwise::depthwise_quantized`].
@@ -225,7 +253,11 @@ impl DepthwiseTestbench {
     ///
     /// Panics if `input` has the wrong length or out-of-range values.
     pub fn run_with_input(&self, input: &[i16]) -> Result<DepthwiseRunResult, Trap> {
-        assert_eq!(input.len(), self.cfg.shape.input_len(), "input length mismatch");
+        assert_eq!(
+            input.len(),
+            self.cfg.shape.input_len(),
+            "input length mismatch"
+        );
         assert!(
             input.iter().all(|&v| (0..=255).contains(&v)),
             "depthwise inputs are unsigned 8-bit"
@@ -235,19 +267,31 @@ impl DepthwiseTestbench {
         let padded = pad_input(&self.cfg.shape, input);
         let padded_bytes: Vec<u8> = padded.iter().map(|&v| v as u8).collect();
         soc.mem.write_bytes(self.layout.input, &padded_bytes);
-        soc.mem.write_bytes(self.layout.weights, &self.weights.pack());
+        soc.mem
+            .write_bytes(self.layout.weights, &self.weights.pack());
         let report = soc.run(100_000_000)?;
         let out_len = self.cfg.shape.output_len();
-        let output: Vec<i16> =
-            soc.mem.read_bytes(self.layout.output, out_len).iter().map(|&b| b as i16).collect();
-        let quantizer = Quantizer::Shift8 { shift: self.cfg.shift, bias: vec![] };
+        let output: Vec<i16> = soc
+            .mem
+            .read_bytes(self.layout.output, out_len)
+            .iter()
+            .map(|&b| b as i16)
+            .collect();
+        let quantizer = Quantizer::Shift8 {
+            shift: self.cfg.shift,
+            bias: vec![],
+        };
         let golden = qnn::depthwise::depthwise_quantized(
             &self.cfg.shape,
             input,
             self.weights.values(),
             &quantizer,
         );
-        Ok(DepthwiseRunResult { report, output, golden })
+        Ok(DepthwiseRunResult {
+            report,
+            output,
+            golden,
+        })
     }
 }
 
@@ -284,7 +328,14 @@ mod tests {
     #[test]
     fn depthwise_3x3_matches_golden() {
         let cfg = DepthwiseKernelConfig {
-            shape: DepthwiseShape { in_h: 8, in_w: 8, c: 16, k: 3, stride: 1, pad: 1 },
+            shape: DepthwiseShape {
+                in_h: 8,
+                in_w: 8,
+                c: 16,
+                k: 3,
+                stride: 1,
+                pad: 1,
+            },
             shift: 7,
         };
         let r = check(cfg, 51);
@@ -297,14 +348,28 @@ mod tests {
     fn depthwise_strided_and_1x1() {
         check(
             DepthwiseKernelConfig {
-                shape: DepthwiseShape { in_h: 8, in_w: 8, c: 8, k: 3, stride: 2, pad: 1 },
+                shape: DepthwiseShape {
+                    in_h: 8,
+                    in_w: 8,
+                    c: 8,
+                    k: 3,
+                    stride: 2,
+                    pad: 1,
+                },
                 shift: 6,
             },
             52,
         );
         check(
             DepthwiseKernelConfig {
-                shape: DepthwiseShape { in_h: 5, in_w: 7, c: 4, k: 1, stride: 1, pad: 0 },
+                shape: DepthwiseShape {
+                    in_h: 5,
+                    in_w: 7,
+                    c: 4,
+                    k: 1,
+                    stride: 1,
+                    pad: 0,
+                },
                 shift: 4,
             },
             53,
@@ -317,21 +382,45 @@ mod tests {
         // compare MAC rates of a depthwise 3x3 and the 8-bit MatMul conv.
         let dw = check(
             DepthwiseKernelConfig {
-                shape: DepthwiseShape { in_h: 8, in_w: 8, c: 16, k: 3, stride: 1, pad: 1 },
+                shape: DepthwiseShape {
+                    in_h: 8,
+                    in_w: 8,
+                    c: 16,
+                    k: 3,
+                    stride: 1,
+                    pad: 1,
+                },
                 shift: 7,
             },
             54,
         );
         let dw_rate = dw.macs_per_cycle(&DepthwiseKernelConfig {
-            shape: DepthwiseShape { in_h: 8, in_w: 8, c: 16, k: 3, stride: 1, pad: 1 },
+            shape: DepthwiseShape {
+                in_h: 8,
+                in_w: 8,
+                c: 16,
+                k: 3,
+                stride: 1,
+                pad: 1,
+            },
             shift: 7,
         });
-        assert!(dw_rate < 1.0, "depthwise cannot use the dotp unit ({dw_rate:.2})");
+        assert!(
+            dw_rate < 1.0,
+            "depthwise cannot use the dotp unit ({dw_rate:.2})"
+        );
     }
 
     #[test]
     fn pad_input_places_halo() {
-        let s = DepthwiseShape { in_h: 2, in_w: 2, c: 1, k: 3, stride: 1, pad: 1 };
+        let s = DepthwiseShape {
+            in_h: 2,
+            in_w: 2,
+            c: 1,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        };
         let p = pad_input(&s, &[1, 2, 3, 4]);
         assert_eq!(p.len(), 16);
         assert_eq!(p[5], 1);
@@ -344,9 +433,19 @@ mod tests {
     #[test]
     fn too_many_channels_rejected() {
         let cfg = DepthwiseKernelConfig {
-            shape: DepthwiseShape { in_h: 16, in_w: 16, c: 64, k: 3, stride: 1, pad: 1 },
+            shape: DepthwiseShape {
+                in_h: 16,
+                in_w: 16,
+                c: 64,
+                k: 3,
+                stride: 1,
+                pad: 1,
+            },
             shift: 7,
         };
-        assert!(cfg.validate().is_err(), "tap offsets exceed the load immediate");
+        assert!(
+            cfg.validate().is_err(),
+            "tap offsets exceed the load immediate"
+        );
     }
 }

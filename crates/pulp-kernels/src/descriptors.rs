@@ -56,7 +56,12 @@ pub fn im2col_descriptors(cfg: &ConvKernelConfig, input_addr: u32) -> Vec<RunDes
             for ky in 0..s.k_h {
                 let y = (oy * s.stride + ky) as isize - s.pad as isize;
                 if y < 0 || y >= s.in_h as isize {
-                    out.push(RunDesc { src: 0, pre: run_bytes as u16, copy: 0, post: 0 });
+                    out.push(RunDesc {
+                        src: 0,
+                        pre: run_bytes as u16,
+                        copy: 0,
+                        post: 0,
+                    });
                     continue;
                 }
                 let x0 = (ox * s.stride) as isize - s.pad as isize;
@@ -88,12 +93,12 @@ pub fn encode_descriptors(descs: &[RunDesc]) -> Vec<u8> {
 pub fn apply_descriptors(descs: &[RunDesc], input_addr: u32, packed_input: &[u8]) -> Vec<u8> {
     let mut out = Vec::new();
     for d in descs {
-        out.extend(std::iter::repeat(0u8).take(d.pre as usize));
+        out.extend(std::iter::repeat_n(0u8, d.pre as usize));
         if d.copy > 0 {
             let off = (d.src - input_addr) as usize;
             out.extend_from_slice(&packed_input[off..off + d.copy as usize]);
         }
-        out.extend(std::iter::repeat(0u8).take(d.post as usize));
+        out.extend(std::iter::repeat_n(0u8, d.post as usize));
     }
     out
 }
@@ -108,7 +113,13 @@ mod tests {
     use qnn::BitWidth;
 
     fn cfg(shape: ConvShape, bits: BitWidth) -> ConvKernelConfig {
-        ConvKernelConfig { shape, bits, out_bits: bits, isa: KernelIsa::XpulpNN, quant: QuantMode::SoftwareTree }
+        ConvKernelConfig {
+            shape,
+            bits,
+            out_bits: bits,
+            isa: KernelIsa::XpulpNN,
+            quant: QuantMode::SoftwareTree,
+        }
     }
 
     #[test]
@@ -116,7 +127,7 @@ mod tests {
         let c = cfg(ConvShape::paper_benchmark(), BitWidth::W4);
         let descs = im2col_descriptors(&c, 0x1000);
         assert_eq!(descs.len(), 256 * 3);
-        let run = LayerLayout::run_bytes(&c) as u32;
+        let run = LayerLayout::run_bytes(&c);
         for d in &descs {
             assert_eq!(d.pre as u32 + d.copy as u32 + d.post as u32, run);
             assert_eq!(d.pre % 4, 0);
@@ -132,9 +143,36 @@ mod tests {
         for bits in qnn::bits::ALL_WIDTHS {
             let in_c = 32 / bits.bits() as usize * 2; // word-aligned runs
             for shape in [
-                ConvShape { in_h: 5, in_w: 6, in_c, out_c: 2, k_h: 3, k_w: 3, stride: 1, pad: 1 },
-                ConvShape { in_h: 4, in_w: 4, in_c, out_c: 2, k_h: 1, k_w: 1, stride: 1, pad: 0 },
-                ConvShape { in_h: 7, in_w: 5, in_c, out_c: 2, k_h: 3, k_w: 3, stride: 2, pad: 1 },
+                ConvShape {
+                    in_h: 5,
+                    in_w: 6,
+                    in_c,
+                    out_c: 2,
+                    k_h: 3,
+                    k_w: 3,
+                    stride: 1,
+                    pad: 1,
+                },
+                ConvShape {
+                    in_h: 4,
+                    in_w: 4,
+                    in_c,
+                    out_c: 2,
+                    k_h: 1,
+                    k_w: 1,
+                    stride: 1,
+                    pad: 0,
+                },
+                ConvShape {
+                    in_h: 7,
+                    in_w: 5,
+                    in_c,
+                    out_c: 2,
+                    k_h: 3,
+                    k_w: 3,
+                    stride: 2,
+                    pad: 1,
+                },
             ] {
                 let c = cfg(shape, bits);
                 let input = rng.activations(bits, shape.input_len());
@@ -150,7 +188,12 @@ mod tests {
 
     #[test]
     fn encode_layout_is_little_endian() {
-        let d = RunDesc { src: 0x1c02_0010, pre: 4, copy: 8, post: 12 };
+        let d = RunDesc {
+            src: 0x1c02_0010,
+            pre: 4,
+            copy: 8,
+            post: 12,
+        };
         let e = d.encode();
         assert_eq!(&e[0..4], &[0x10, 0x00, 0x02, 0x1c]);
         assert_eq!(&e[4..6], &[4, 0]);

@@ -1,11 +1,13 @@
 //! The full convolution program builder.
 
 use crate::config::{ConvKernelConfig, KernelIsa, QuantMode};
-use crate::emit::im2col::{emit_im2col_pair, emit_unpack2_constants, emit_unpack4_constants,
-                          Im2colKind};
+use crate::emit::im2col::{
+    emit_im2col_pair, emit_unpack2_constants, emit_unpack4_constants, Im2colKind,
+};
 use crate::emit::matmul::emit_mm_block;
-use crate::emit::quant::{emit_quant_store_w4, emit_quant_store_w8, emit_quant_w2_first,
-                         emit_quant_w2_second};
+use crate::emit::quant::{
+    emit_quant_store_w4, emit_quant_store_w8, emit_quant_w2_first, emit_quant_w2_second,
+};
 use crate::layout::LayerLayout;
 use pulp_asm::{Asm, AsmError, Program};
 use pulp_isa::Reg::*;
@@ -25,7 +27,10 @@ use qnn::BitWidth;
 /// # Panics
 ///
 /// Panics if `cfg` fails [`ConvKernelConfig::validate`].
-pub fn build_conv_program(cfg: &ConvKernelConfig, layout: &LayerLayout) -> Result<Program, AsmError> {
+pub fn build_conv_program(
+    cfg: &ConvKernelConfig,
+    layout: &LayerLayout,
+) -> Result<Program, AsmError> {
     cfg.validate().expect("invalid kernel configuration");
     let mut a = Asm::new(pulp_soc::CODE_BASE);
 
@@ -131,9 +136,18 @@ mod tests {
         let prog = build_conv_program(&cfg, &LayerLayout::default_for_l2()).unwrap();
         let text = prog.listing();
         assert!(text.contains("pv.sdotusp.b"), "baseline computes on bytes");
-        assert!(!text.contains("pv.sdotusp.n"), "baseline must not use nibble SIMD");
-        assert!(!text.contains("pv.qnt"), "baseline must not use the quant unit");
-        assert!(text.contains("pv.shuffle2.b"), "baseline unpacks with shuffles");
+        assert!(
+            !text.contains("pv.sdotusp.n"),
+            "baseline must not use nibble SIMD"
+        );
+        assert!(
+            !text.contains("pv.qnt"),
+            "baseline must not use the quant unit"
+        );
+        assert!(
+            text.contains("pv.shuffle2.b"),
+            "baseline unpacks with shuffles"
+        );
     }
 
     #[test]
@@ -141,7 +155,10 @@ mod tests {
         let cfg = ConvKernelConfig::paper(BitWidth::W8, KernelIsa::XpulpNN, true);
         let prog = build_conv_program(&cfg, &LayerLayout::default_for_l2()).unwrap();
         for i in &prog.instrs {
-            assert!(!i.requires_xpulpnn(), "8-bit kernel should be XpulpV2-only: {i}");
+            assert!(
+                !i.requires_xpulpnn(),
+                "8-bit kernel should be XpulpV2-only: {i}"
+            );
         }
     }
 
@@ -159,7 +176,16 @@ mod tests {
     #[test]
     fn small_shape_assembles() {
         let cfg = ConvKernelConfig {
-            shape: ConvShape { in_h: 4, in_w: 4, in_c: 8, out_c: 4, k_h: 3, k_w: 3, stride: 1, pad: 1 },
+            shape: ConvShape {
+                in_h: 4,
+                in_w: 4,
+                in_c: 8,
+                out_c: 4,
+                k_h: 3,
+                k_w: 3,
+                stride: 1,
+                pad: 1,
+            },
             bits: BitWidth::W4,
             out_bits: BitWidth::W4,
             isa: KernelIsa::XpulpNN,

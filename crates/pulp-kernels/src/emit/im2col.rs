@@ -15,9 +15,9 @@
 use crate::config::ConvKernelConfig;
 use crate::layout::LayerLayout;
 use pulp_asm::Asm;
+use pulp_isa::instr::SimdOperand;
 use pulp_isa::instr::{Instr, LoadKind};
 use pulp_isa::simd::SimdFmt;
-use pulp_isa::instr::SimdOperand;
 use pulp_isa::Reg::{self, *};
 
 /// im2col copy behaviour.
@@ -51,7 +51,12 @@ impl Im2colKind {
 }
 
 fn shuffle2b(a: &mut Asm, rd: Reg, rs1: Reg, sel: Reg) {
-    a.i(Instr::PvShuffle2 { fmt: SimdFmt::Byte, rd, rs1, rs2: sel });
+    a.i(Instr::PvShuffle2 {
+        fmt: SimdFmt::Byte,
+        rd,
+        rs1,
+        rs2: sel,
+    });
 }
 
 /// Emits a zero-fill loop: `words` count (in a register) stores of x0.
@@ -89,9 +94,24 @@ pub fn emit_im2col_pair(a: &mut Asm, cfg: &ConvKernelConfig, layout: &LayerLayou
 
     a.label("ic_desc");
     // Load the descriptor: {src, pre, copy, post(@8)}.
-    a.i(Instr::Load { kind: LoadKind::Word, rd: T1, rs1: A5, offset: 0 });
-    a.i(Instr::Load { kind: LoadKind::HalfU, rd: T2, rs1: A5, offset: 4 });
-    a.i(Instr::Load { kind: LoadKind::HalfU, rd: T3, rs1: A5, offset: 6 });
+    a.i(Instr::Load {
+        kind: LoadKind::Word,
+        rd: T1,
+        rs1: A5,
+        offset: 0,
+    });
+    a.i(Instr::Load {
+        kind: LoadKind::HalfU,
+        rd: T2,
+        rs1: A5,
+        offset: 4,
+    });
+    a.i(Instr::Load {
+        kind: LoadKind::HalfU,
+        rd: T3,
+        rs1: A5,
+        offset: 6,
+    });
     a.addi(A5, A5, crate::descriptors::DESC_BYTES as i32);
 
     // Leading zeros.
@@ -117,7 +137,7 @@ pub fn emit_im2col_pair(a: &mut Asm, cfg: &ConvKernelConfig, layout: &LayerLayou
             a.and(A1, A1, S8); // g2
             a.srli(T6, T6, 6);
             a.and(T6, T6, S8); // g3
-            // u01 = (g0[0], g1[0], g0[1], g1[1]); u23 likewise from g2/g3.
+                               // u01 = (g0[0], g1[0], g0[1], g1[1]); u23 likewise from g2/g3.
             a.mv(A2, A0);
             shuffle2b(a, A2, T2, S9);
             a.mv(Sp, T6);
@@ -214,4 +234,3 @@ pub fn emit_unpack4_signed(a: &mut Asm, src: Reg, lo: Reg, hi: Reg, scratch: Reg
     shuffle2b(a, lo, scratch, S9);
     shuffle2b(a, hi, scratch, S10);
 }
-

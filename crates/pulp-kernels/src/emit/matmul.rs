@@ -29,19 +29,42 @@ use pulp_isa::Reg::{self, *};
 use qnn::BitWidth;
 
 fn sdotusp(a: &mut Asm, fmt: SimdFmt, acc: Reg, act: Reg, w: Reg) {
-    a.i(Instr::PvSdot { fmt, sign: DotSign::UnsignedSigned, rd: acc, rs1: act, op2: SimdOperand::Vector(w) });
+    a.i(Instr::PvSdot {
+        fmt,
+        sign: DotSign::UnsignedSigned,
+        rd: acc,
+        rs1: act,
+        op2: SimdOperand::Vector(w),
+    });
 }
 
 fn shuffle2b(a: &mut Asm, rd: Reg, rs1: Reg, sel: Reg) {
-    a.i(Instr::PvShuffle2 { fmt: SimdFmt::Byte, rd, rs1, rs2: sel });
+    a.i(Instr::PvShuffle2 {
+        fmt: SimdFmt::Byte,
+        rd,
+        rs1,
+        rs2: sel,
+    });
 }
 
 fn sra_sci_b(a: &mut Asm, rd: Reg, rs1: Reg, imm: i8) {
-    a.i(Instr::PvAlu { op: SimdAluOp::Sra, fmt: SimdFmt::Byte, rd, rs1, op2: SimdOperand::Imm(imm) });
+    a.i(Instr::PvAlu {
+        op: SimdAluOp::Sra,
+        fmt: SimdFmt::Byte,
+        rd,
+        rs1,
+        op2: SimdOperand::Imm(imm),
+    });
 }
 
 fn sll_sci_b(a: &mut Asm, rd: Reg, rs1: Reg, imm: i8) {
-    a.i(Instr::PvAlu { op: SimdAluOp::Sll, fmt: SimdFmt::Byte, rd, rs1, op2: SimdOperand::Imm(imm) });
+    a.i(Instr::PvAlu {
+        op: SimdAluOp::Sll,
+        fmt: SimdFmt::Byte,
+        rd,
+        rs1,
+        op2: SimdOperand::Imm(imm),
+    });
 }
 
 /// Number of inner-loop iterations: one packed weight word per iteration.
@@ -101,7 +124,7 @@ fn emit_v2_w2_row(a: &mut Asm, acc_px0: Reg, acc_px1: Reg) {
     sll_sci_b(a, T3, T0, 2);
     sra_sci_b(a, T3, T3, 6); // g2
     sra_sci_b(a, T0, T0, 6); // g3
-    // Pairwise interleaves.
+                             // Pairwise interleaves.
     a.mv(T4, T2);
     shuffle2b(a, T4, T1, S9); // u01 = (g0[0], g1[0], g0[1], g1[1])
     a.mv(T5, T2);
@@ -110,14 +133,14 @@ fn emit_v2_w2_row(a: &mut Asm, acc_px0: Reg, acc_px1: Reg) {
     shuffle2b(a, T1, T3, S9); // u23
     a.mv(T2, T0);
     shuffle2b(a, T2, T3, S10); // u23b
-    // Final ordered words.
+                               // Final ordered words.
     a.mv(T3, T1);
     shuffle2b(a, T3, T4, S11); // elements 0..3
     shuffle2b(a, T1, T4, A6); // elements 4..7 (in place: old rd = u23)
     a.mv(T6, T2);
     shuffle2b(a, T6, T5, S11); // elements 8..11
     shuffle2b(a, T2, T5, A6); // elements 12..15
-    // Multiply against the four byte-words of each pixel buffer.
+                              // Multiply against the four byte-words of each pixel buffer.
     for w in [T3, T1, T6, T2] {
         a.p_lw_postinc(T0, 4, S2);
         sdotusp(a, b, acc_px0, T0, w);
@@ -179,7 +202,8 @@ mod tests {
         use crate::config::QuantMode;
         let mk = |bits, isa| ConvKernelConfig {
             shape: ConvShape::paper_benchmark(),
-            bits, out_bits: bits,
+            bits,
+            out_bits: bits,
             isa,
             quant: QuantMode::SoftwareTree,
         };

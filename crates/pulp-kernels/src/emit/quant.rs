@@ -26,12 +26,26 @@ use riscv_core::quant::tree_stride;
 /// 5 cycles, ~`2 + 5·Q` per activation, matching the ≈18-cycle software
 /// cost the paper cites for the 4-bit case.
 pub fn emit_sw_tree_walk(a: &mut Asm, acc: Reg, tree_base_minus2: Reg, q_bits: u32) {
-    a.i(Instr::PClip { rd: T0, rs1: acc, bits: 16 });
+    a.i(Instr::PClip {
+        rd: T0,
+        rs1: acc,
+        bits: 16,
+    });
     a.li(T1, 1);
     for _ in 0..q_bits {
         a.slli(T2, T1, 1);
-        a.i(Instr::LoadRegOff { kind: LoadKind::Half, rd: T3, rs1: tree_base_minus2, rs2: T2 });
-        a.i(Instr::Alu { op: AluOp::Slt, rd: T4, rs1: T3, rs2: T0 });
+        a.i(Instr::LoadRegOff {
+            kind: LoadKind::Half,
+            rd: T3,
+            rs1: tree_base_minus2,
+            rs2: T2,
+        });
+        a.i(Instr::Alu {
+            op: AluOp::Slt,
+            rd: T4,
+            rs1: T3,
+            rs2: T0,
+        });
         a.add(T1, T1, T1);
         a.add(T1, T1, T4);
     }
@@ -41,9 +55,22 @@ pub fn emit_sw_tree_walk(a: &mut Asm, acc: Reg, tree_base_minus2: Reg, q_bits: u
 /// Emits the hardware pair quantization for one pixel: clips the two
 /// channel accumulators, packs them, executes `pv.qnt`, result in `dst`.
 fn emit_hw_qnt_pixel(a: &mut Asm, fmt: SimdFmt, acc_ch: Reg, acc_ch1: Reg, dst: Reg) {
-    a.i(Instr::PClip { rd: acc_ch, rs1: acc_ch, bits: 16 });
-    a.i(Instr::PClip { rd: acc_ch1, rs1: acc_ch1, bits: 16 });
-    a.i(Instr::PvInsert { fmt: SimdFmt::Half, rd: acc_ch, rs1: acc_ch1, idx: 1 });
+    a.i(Instr::PClip {
+        rd: acc_ch,
+        rs1: acc_ch,
+        bits: 16,
+    });
+    a.i(Instr::PClip {
+        rd: acc_ch1,
+        rs1: acc_ch1,
+        bits: 16,
+    });
+    a.i(Instr::PvInsert {
+        fmt: SimdFmt::Half,
+        rd: acc_ch,
+        rs1: acc_ch1,
+        idx: 1,
+    });
     a.pv_qnt(fmt, dst, acc_ch, A1);
 }
 
@@ -143,7 +170,11 @@ pub fn emit_quant_store_w8(a: &mut Asm, shift: u32) {
     for (acc_ch, acc_ch1, out) in [(S4, S6, A3), (S5, S7, A4)] {
         for acc in [acc_ch, acc_ch1] {
             a.srai(T0, acc, shift as i32);
-            a.i(Instr::PClipU { rd: T0, rs1: T0, bits: 9 });
+            a.i(Instr::PClipU {
+                rd: T0,
+                rs1: T0,
+                bits: 9,
+            });
             a.p_sb_postinc(T0, 1, out);
         }
     }

@@ -84,7 +84,13 @@ mod tests {
             BitWidth::W8 => QuantMode::Shift8 { shift: 8 },
             _ => QuantMode::SoftwareTree,
         };
-        ConvKernelConfig { shape: ConvShape::paper_benchmark(), bits, out_bits: bits, isa, quant }
+        ConvKernelConfig {
+            shape: ConvShape::paper_benchmark(),
+            bits,
+            out_bits: bits,
+            isa,
+            quant,
+        }
     }
 
     #[test]
@@ -106,12 +112,12 @@ mod tests {
     fn default_regions_fit_l2_and_do_not_overlap() {
         let l = LayerLayout::default_for_l2();
         let regions = [
-            (l.input, 16 * 16 * 32u32),          // 8 KiB worst case (8-bit)
-            (l.weights, 64 * 288),               // 18 KiB worst case
-            (l.thresholds, 64 * 32),             // 2 KiB
-            (l.descriptors, 256 * 3 * 12),       // 9 KiB
+            (l.input, 16 * 16 * 32u32),    // 8 KiB worst case (8-bit)
+            (l.weights, 64 * 288),         // 18 KiB worst case
+            (l.thresholds, 64 * 32),       // 2 KiB
+            (l.descriptors, 256 * 3 * 12), // 9 KiB
             (l.im2col, 2 * 288),
-            (l.output, 16 * 16 * 64),            // 16 KiB worst case
+            (l.output, 16 * 16 * 64), // 16 KiB worst case
         ];
         for (i, (a, alen)) in regions.iter().enumerate() {
             assert!(a + alen <= pulp_soc::L2_BASE + pulp_soc::L2_SIZE);

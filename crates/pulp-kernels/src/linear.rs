@@ -50,14 +50,14 @@ impl LinearKernelConfig {
     ///
     /// [`ConfigError`] naming the violated rule.
     pub fn validate(&self) -> Result<(), ConfigError> {
-        if (self.shape.in_features * self.bits.bits() as usize) % 32 != 0 {
+        if !(self.shape.in_features * self.bits.bits() as usize).is_multiple_of(32) {
             return Err(ConfigError::ChannelAlignment {
                 in_c: self.shape.in_features,
                 bits: self.bits,
             });
         }
         let need = self.channel_block();
-        if self.shape.out_features % need != 0 {
+        if !self.shape.out_features.is_multiple_of(need) {
             return Err(ConfigError::OutChannelBlocking {
                 out_c: self.shape.out_features,
                 need,
@@ -92,9 +92,22 @@ fn emit_quant_pair(a: &mut Asm, cfg: &LinearKernelConfig, dst: pulp_isa::Reg) {
     let stride = tree_stride(fmt) as i32;
     match cfg.quant {
         QuantMode::HardwareQnt => {
-            a.i(Instr::PClip { rd: S4, rs1: S4, bits: 16 });
-            a.i(Instr::PClip { rd: S6, rs1: S6, bits: 16 });
-            a.i(Instr::PvInsert { fmt: pulp_isa::SimdFmt::Half, rd: S4, rs1: S6, idx: 1 });
+            a.i(Instr::PClip {
+                rd: S4,
+                rs1: S4,
+                bits: 16,
+            });
+            a.i(Instr::PClip {
+                rd: S6,
+                rs1: S6,
+                bits: 16,
+            });
+            a.i(Instr::PvInsert {
+                fmt: pulp_isa::SimdFmt::Half,
+                rd: S4,
+                rs1: S6,
+                idx: 1,
+            });
             a.pv_qnt(fmt, dst, S4, A1);
         }
         QuantMode::SoftwareTree => {
@@ -143,10 +156,16 @@ pub fn build_linear_program(
     a.jal("mm_block");
     match cfg.bits {
         BitWidth::W8 => {
-            let QuantMode::Shift8 { shift } = cfg.quant else { unreachable!() };
+            let QuantMode::Shift8 { shift } = cfg.quant else {
+                unreachable!()
+            };
             for acc in [S4, S6] {
                 a.srai(T0, acc, shift as i32);
-                a.i(Instr::PClipU { rd: T0, rs1: T0, bits: 9 });
+                a.i(Instr::PClipU {
+                    rd: T0,
+                    rs1: T0,
+                    bits: 9,
+                });
                 a.p_sb_postinc(T0, 1, A3);
             }
         }
@@ -240,13 +259,27 @@ impl LinearTestbench {
         let input = rng.activations(cfg.bits, cfg.shape.in_features);
         let weights = rng.weights(cfg.bits, cfg.shape.weight_len());
         let (thresholds, quantizer) = match cfg.quant {
-            QuantMode::Shift8 { shift } => (None, Quantizer::Shift8 { shift, bias: vec![] }),
+            QuantMode::Shift8 { shift } => (
+                None,
+                Quantizer::Shift8 {
+                    shift,
+                    bias: vec![],
+                },
+            ),
             _ => {
                 let t = rng.thresholds(cfg.bits, cfg.shape.out_features, -1200, 1200);
                 (Some(t.clone()), Quantizer::Thresholds(t))
             }
         };
-        Ok(LinearTestbench { cfg, program, layout, input, weights, thresholds, quantizer })
+        Ok(LinearTestbench {
+            cfg,
+            program,
+            layout,
+            input,
+            weights,
+            thresholds,
+            quantizer,
+        })
     }
 
     /// Runs and verifies against [`qnn::linear::linear_quantized`].
@@ -268,25 +301,35 @@ impl LinearTestbench {
     ///
     /// Panics if `input` has the wrong length or out-of-range values.
     pub fn run_with_input(&self, input: &[i16]) -> Result<LinearRunResult, Trap> {
-        assert_eq!(input.len(), self.cfg.shape.in_features, "input length mismatch");
+        assert_eq!(
+            input.len(),
+            self.cfg.shape.in_features,
+            "input length mismatch"
+        );
         let tensor = QuantTensor::activations(self.cfg.bits, input.to_vec())
             .expect("linear inputs must fit the activation range");
         let mut soc = Soc::new(IsaConfig::xpulpnn());
         soc.load(&self.program);
         soc.mem.write_bytes(self.layout.input, &tensor.pack());
-        soc.mem.write_bytes(self.layout.weights, &self.weights.pack());
+        soc.mem
+            .write_bytes(self.layout.weights, &self.weights.pack());
         if let Some(t) = &self.thresholds {
             let stride = tree_stride(simd_fmt(self.cfg.bits));
             for ch in 0..t.channels() {
-                let bytes: Vec<u8> =
-                    eytzinger(t.channel(ch)).iter().flat_map(|v| v.to_le_bytes()).collect();
-                soc.mem.write_bytes(self.layout.thresholds + ch as u32 * stride, &bytes);
+                let bytes: Vec<u8> = eytzinger(t.channel(ch))
+                    .iter()
+                    .flat_map(|v| v.to_le_bytes())
+                    .collect();
+                soc.mem
+                    .write_bytes(self.layout.thresholds + ch as u32 * stride, &bytes);
             }
         }
         let report = soc.run(50_000_000)?;
         let out_len = self.cfg.shape.out_features;
-        let packed =
-            soc.mem.read_bytes(self.layout.output, qnn::tensor::packed_len(self.cfg.bits, out_len));
+        let packed = soc.mem.read_bytes(
+            self.layout.output,
+            qnn::tensor::packed_len(self.cfg.bits, out_len),
+        );
         let output = qnn::tensor::unpack(self.cfg.bits, false, packed, out_len);
         let golden = qnn::linear::linear_quantized(
             &self.cfg.shape,
@@ -294,7 +337,11 @@ impl LinearTestbench {
             self.weights.values(),
             &self.quantizer,
         );
-        Ok(LinearRunResult { report, output, golden })
+        Ok(LinearRunResult {
+            report,
+            output,
+            golden,
+        })
     }
 }
 
@@ -306,14 +353,23 @@ mod tests {
         let tb = LinearTestbench::new(cfg, seed).unwrap_or_else(|e| panic!("{}: {e}", cfg.name()));
         let r = tb.run().unwrap_or_else(|e| panic!("{}: {e}", cfg.name()));
         assert!(r.report.exit.halted);
-        assert!(r.matches(), "{}: {:?} vs {:?}", cfg.name(), &r.output[..4], &r.golden[..4]);
+        assert!(
+            r.matches(),
+            "{}: {:?} vs {:?}",
+            cfg.name(),
+            &r.output[..4],
+            &r.golden[..4]
+        );
         r
     }
 
     #[test]
     fn linear_w8() {
         let cfg = LinearKernelConfig {
-            shape: LinearShape { in_features: 64, out_features: 10 * 2 },
+            shape: LinearShape {
+                in_features: 64,
+                out_features: 10 * 2,
+            },
             bits: BitWidth::W8,
             quant: QuantMode::Shift8 { shift: 8 },
         };
@@ -322,13 +378,24 @@ mod tests {
 
     #[test]
     fn linear_w4_both_quant_paths_agree() {
-        let shape = LinearShape { in_features: 128, out_features: 16 };
+        let shape = LinearShape {
+            in_features: 128,
+            out_features: 16,
+        };
         let hw = check(
-            LinearKernelConfig { shape, bits: BitWidth::W4, quant: QuantMode::HardwareQnt },
+            LinearKernelConfig {
+                shape,
+                bits: BitWidth::W4,
+                quant: QuantMode::HardwareQnt,
+            },
             42,
         );
         let sw = check(
-            LinearKernelConfig { shape, bits: BitWidth::W4, quant: QuantMode::SoftwareTree },
+            LinearKernelConfig {
+                shape,
+                bits: BitWidth::W4,
+                quant: QuantMode::SoftwareTree,
+            },
             42,
         );
         assert_eq!(hw.output, sw.output);
@@ -338,7 +405,10 @@ mod tests {
     #[test]
     fn linear_w2() {
         let cfg = LinearKernelConfig {
-            shape: LinearShape { in_features: 256, out_features: 8 },
+            shape: LinearShape {
+                in_features: 256,
+                out_features: 8,
+            },
             bits: BitWidth::W2,
             quant: QuantMode::HardwareQnt,
         };
@@ -350,23 +420,38 @@ mod tests {
     #[test]
     fn linear_validation() {
         let bad = LinearKernelConfig {
-            shape: LinearShape { in_features: 6, out_features: 4 },
+            shape: LinearShape {
+                in_features: 6,
+                out_features: 4,
+            },
             bits: BitWidth::W4,
             quant: QuantMode::HardwareQnt,
         };
-        assert!(matches!(bad.validate(), Err(ConfigError::ChannelAlignment { .. })));
+        assert!(matches!(
+            bad.validate(),
+            Err(ConfigError::ChannelAlignment { .. })
+        ));
         let odd = LinearKernelConfig {
-            shape: LinearShape { in_features: 8, out_features: 3 },
+            shape: LinearShape {
+                in_features: 8,
+                out_features: 3,
+            },
             bits: BitWidth::W8,
             quant: QuantMode::Shift8 { shift: 8 },
         };
-        assert!(matches!(odd.validate(), Err(ConfigError::OutChannelBlocking { .. })));
+        assert!(matches!(
+            odd.validate(),
+            Err(ConfigError::OutChannelBlocking { .. })
+        ));
     }
 
     #[test]
     fn linear_throughput_scales_with_width() {
         let mk = |bits, quant| LinearKernelConfig {
-            shape: LinearShape { in_features: 512, out_features: 32 },
+            shape: LinearShape {
+                in_features: 512,
+                out_features: 32,
+            },
             bits,
             quant,
         };

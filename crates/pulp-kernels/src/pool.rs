@@ -72,10 +72,16 @@ impl PoolKernelConfig {
             "pooling kernels support 2x2 and 3x3 windows"
         );
         if self.op == PoolOp::Avg2x2 {
-            assert!(self.shape.k == 2 && self.shape.stride == 2, "avg kernel is 2x2/s2");
+            assert!(
+                self.shape.k == 2 && self.shape.stride == 2,
+                "avg kernel is 2x2/s2"
+            );
         }
-        if self.simd && (self.shape.c * self.bits.bits() as usize) % 32 != 0 {
-            return Err(ConfigError::ChannelAlignment { in_c: self.shape.c, bits: self.bits });
+        if self.simd && !(self.shape.c * self.bits.bits() as usize).is_multiple_of(32) {
+            return Err(ConfigError::ChannelAlignment {
+                in_c: self.shape.c,
+                bits: self.bits,
+            });
         }
         Ok(())
     }
@@ -88,11 +94,23 @@ impl PoolKernelConfig {
 }
 
 fn maxu(a: &mut Asm, fmt: pulp_isa::SimdFmt, rd: Reg, rs1: Reg, rs2: Reg) {
-    a.i(Instr::PvAlu { op: SimdAluOp::Maxu, fmt, rd, rs1, op2: SimdOperand::Vector(rs2) });
+    a.i(Instr::PvAlu {
+        op: SimdAluOp::Maxu,
+        fmt,
+        rd,
+        rs1,
+        op2: SimdOperand::Vector(rs2),
+    });
 }
 
 fn avgu(a: &mut Asm, fmt: pulp_isa::SimdFmt, rd: Reg, rs1: Reg, rs2: Reg) {
-    a.i(Instr::PvAlu { op: SimdAluOp::Avgu, fmt, rd, rs1, op2: SimdOperand::Vector(rs2) });
+    a.i(Instr::PvAlu {
+        op: SimdAluOp::Avgu,
+        fmt,
+        rd,
+        rs1,
+        op2: SimdOperand::Vector(rs2),
+    });
 }
 
 /// Emits the SIMD pooling kernel over the packed tensor.
@@ -100,7 +118,10 @@ fn avgu(a: &mut Asm, fmt: pulp_isa::SimdFmt, rd: Reg, rs1: Reg, rs2: Reg) {
 /// Register plan: `a3` current-output-row input base, `a7` input row
 /// stride constant, `a1`/`a2` oy/ox counters, `a5` output pointer,
 /// `s2`–`s4` window row pointers, `t0`/`t1` data.
-fn build_simd_pool(cfg: &PoolKernelConfig, layout: &LayerLayout) -> Result<Program, pulp_asm::AsmError> {
+fn build_simd_pool(
+    cfg: &PoolKernelConfig,
+    layout: &LayerLayout,
+) -> Result<Program, pulp_asm::AsmError> {
     let s = cfg.shape;
     let fmt = crate::emit::simd_fmt(cfg.bits);
     let c_bytes = (s.c * cfg.bits.bits() as usize / 8) as i32;
@@ -172,7 +193,10 @@ fn build_simd_pool(cfg: &PoolKernelConfig, layout: &LayerLayout) -> Result<Progr
 
 /// Emits the scalar-baseline pooling kernel over the 8-bit-unpacked
 /// tensor: `lbu` + `p.maxu` per element (average baseline: add + shift).
-fn build_scalar_pool(cfg: &PoolKernelConfig, layout: &LayerLayout) -> Result<Program, pulp_asm::AsmError> {
+fn build_scalar_pool(
+    cfg: &PoolKernelConfig,
+    layout: &LayerLayout,
+) -> Result<Program, pulp_asm::AsmError> {
     let s = cfg.shape;
     let c_bytes = s.c as i32; // one byte per channel, unpacked
     let row_bytes = (s.in_w as i32) * c_bytes;
@@ -195,10 +219,20 @@ fn build_scalar_pool(cfg: &PoolKernelConfig, layout: &LayerLayout) -> Result<Pro
     a.li(T6, c_bytes);
     a.lp_setup(LoopIdx::L0, T6, "ch_end");
     {
-        a.i(Instr::LoadPostInc { kind: pulp_isa::LoadKind::ByteU, rd: T0, rs1: S2, offset: 1 });
+        a.i(Instr::LoadPostInc {
+            kind: pulp_isa::LoadKind::ByteU,
+            rd: T0,
+            rs1: S2,
+            offset: 1,
+        });
         let combine = |a: &mut Asm, dst: Reg, src: Reg| {
             if cfg.op == PoolOp::Max {
-                a.i(Instr::PulpAlu { op: pulp_isa::instr::PulpAluOp::Maxu, rd: dst, rs1: dst, rs2: src });
+                a.i(Instr::PulpAlu {
+                    op: pulp_isa::instr::PulpAluOp::Maxu,
+                    rd: dst,
+                    rs1: dst,
+                    rs2: src,
+                });
             } else {
                 a.add(dst, dst, src);
             }
@@ -208,7 +242,12 @@ fn build_scalar_pool(cfg: &PoolKernelConfig, layout: &LayerLayout) -> Result<Pro
             combine(&mut a, T0, T1);
         }
         for row in rows.iter().skip(1) {
-            a.i(Instr::LoadPostInc { kind: pulp_isa::LoadKind::ByteU, rd: T1, rs1: *row, offset: 1 });
+            a.i(Instr::LoadPostInc {
+                kind: pulp_isa::LoadKind::ByteU,
+                rd: T1,
+                rs1: *row,
+                offset: 1,
+            });
             combine(&mut a, T0, T1);
             for dx in 1..s.k {
                 a.lbu(T2, (dx as i32) * c_bytes - 1, *row);
@@ -285,7 +324,11 @@ pub fn run_relu(len: usize, seed: u64) -> Result<PoolRunResult, BuildError> {
     let packed = soc.mem.read_bytes(layout.output, len);
     let output: Vec<i16> = packed.iter().map(|&b| b as i8 as i16).collect();
     let golden = qnn::pool::relu(input.values());
-    Ok(PoolRunResult { report, output, golden })
+    Ok(PoolRunResult {
+        report,
+        output,
+        golden,
+    })
 }
 
 /// Result of a verified pooling run.
@@ -339,7 +382,12 @@ impl PoolTestbench {
         .map_err(BuildError::Asm)?;
         let mut rng = TensorRng::new(seed);
         let input = rng.activations(cfg.bits, cfg.shape.input_len());
-        Ok(PoolTestbench { cfg, program, layout, input })
+        Ok(PoolTestbench {
+            cfg,
+            program,
+            layout,
+            input,
+        })
     }
 
     /// Runs the kernel and verifies against the golden model.
@@ -361,7 +409,11 @@ impl PoolTestbench {
     ///
     /// Panics if `input` has the wrong length or out-of-range values.
     pub fn run_with_input(&self, input: &[i16]) -> Result<PoolRunResult, Trap> {
-        assert_eq!(input.len(), self.cfg.shape.input_len(), "input length mismatch");
+        assert_eq!(
+            input.len(),
+            self.cfg.shape.input_len(),
+            "input length mismatch"
+        );
         let tensor = QuantTensor::activations(self.cfg.bits, input.to_vec())
             .expect("pool inputs must fit the activation range");
         let mut soc = Soc::new(IsaConfig::xpulpnn());
@@ -377,22 +429,30 @@ impl PoolTestbench {
         let report = soc.run(50_000_000)?;
         let out_len = self.cfg.shape.output_len();
         let output = if self.cfg.simd {
-            let packed =
-                soc.mem.read_bytes(self.layout.output, qnn::tensor::packed_len(self.cfg.bits, out_len));
+            let packed = soc.mem.read_bytes(
+                self.layout.output,
+                qnn::tensor::packed_len(self.cfg.bits, out_len),
+            );
             qnn::tensor::unpack(self.cfg.bits, false, packed, out_len)
         } else {
-            soc.mem.read_bytes(self.layout.output, out_len).iter().map(|&b| b as i16).collect()
+            soc.mem
+                .read_bytes(self.layout.output, out_len)
+                .iter()
+                .map(|&b| b as i16)
+                .collect()
         };
         let golden = match (self.cfg.op, self.cfg.simd) {
             (PoolOp::Max, _) => qnn::pool::maxpool(&self.cfg.shape, input),
             // The SIMD kernel averages pairwise (pv.avgu cascade); the
             // scalar baseline accumulates and shifts (exact sum/4).
-            (PoolOp::Avg2x2, true) => {
-                qnn::pool::avgpool_2x2_cascaded(&self.cfg.shape, input)
-            }
+            (PoolOp::Avg2x2, true) => qnn::pool::avgpool_2x2_cascaded(&self.cfg.shape, input),
             (PoolOp::Avg2x2, false) => qnn::pool::avgpool(&self.cfg.shape, input),
         };
-        Ok(PoolRunResult { report, output, golden })
+        Ok(PoolRunResult {
+            report,
+            output,
+            golden,
+        })
     }
 }
 
@@ -401,7 +461,13 @@ mod tests {
     use super::*;
 
     fn shape(c: usize) -> PoolShape {
-        PoolShape { in_h: 8, in_w: 8, c, k: 2, stride: 2 }
+        PoolShape {
+            in_h: 8,
+            in_w: 8,
+            c,
+            k: 2,
+            stride: 2,
+        }
     }
 
     fn check(cfg: PoolKernelConfig, seed: u64) -> PoolRunResult {
@@ -427,7 +493,12 @@ mod tests {
         for bits in qnn::bits::ALL_WIDTHS {
             let c = (32 / bits.bits() as usize) * 2;
             check(
-                PoolKernelConfig { shape: shape(c), bits, op: PoolOp::Max, simd: true },
+                PoolKernelConfig {
+                    shape: shape(c),
+                    bits,
+                    op: PoolOp::Max,
+                    simd: true,
+                },
                 21,
             );
         }
@@ -435,14 +506,36 @@ mod tests {
 
     #[test]
     fn simd_maxpool_3x3_window() {
-        let s = PoolShape { in_h: 9, in_w: 9, c: 8, k: 3, stride: 3 };
+        let s = PoolShape {
+            in_h: 9,
+            in_w: 9,
+            c: 8,
+            k: 3,
+            stride: 3,
+        };
         check(
-            PoolKernelConfig { shape: s, bits: BitWidth::W4, op: PoolOp::Max, simd: true },
+            PoolKernelConfig {
+                shape: s,
+                bits: BitWidth::W4,
+                op: PoolOp::Max,
+                simd: true,
+            },
             22,
         );
-        let s = PoolShape { in_h: 7, in_w: 7, c: 4, k: 3, stride: 1 };
+        let s = PoolShape {
+            in_h: 7,
+            in_w: 7,
+            c: 4,
+            k: 3,
+            stride: 1,
+        };
         check(
-            PoolKernelConfig { shape: s, bits: BitWidth::W8, op: PoolOp::Max, simd: true },
+            PoolKernelConfig {
+                shape: s,
+                bits: BitWidth::W8,
+                op: PoolOp::Max,
+                simd: true,
+            },
             23,
         );
     }
@@ -452,7 +545,12 @@ mod tests {
         for bits in qnn::bits::ALL_WIDTHS {
             let c = (32 / bits.bits() as usize) * 2;
             check(
-                PoolKernelConfig { shape: shape(c), bits, op: PoolOp::Avg2x2, simd: true },
+                PoolKernelConfig {
+                    shape: shape(c),
+                    bits,
+                    op: PoolOp::Avg2x2,
+                    simd: true,
+                },
                 24,
             );
         }
@@ -462,7 +560,12 @@ mod tests {
     fn scalar_baseline_matches_golden() {
         for op in [PoolOp::Max, PoolOp::Avg2x2] {
             check(
-                PoolKernelConfig { shape: shape(16), bits: BitWidth::W8, op, simd: false },
+                PoolKernelConfig {
+                    shape: shape(16),
+                    bits: BitWidth::W8,
+                    op,
+                    simd: false,
+                },
                 25,
             );
         }
@@ -476,7 +579,12 @@ mod tests {
         // Here we only check it runs for sub-byte logical widths too
         // (data range 0..=3 keeps sum>>2 == cascade).
         check(
-            PoolKernelConfig { shape: shape(16), bits: BitWidth::W2, op: PoolOp::Max, simd: false },
+            PoolKernelConfig {
+                shape: shape(16),
+                bits: BitWidth::W2,
+                op: PoolOp::Max,
+                simd: false,
+            },
             26,
         );
     }

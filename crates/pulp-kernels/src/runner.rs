@@ -47,6 +47,10 @@ pub struct ConvRunResult {
     pub output: Vec<i16>,
     /// Golden output from [`qnn::conv::conv2d_quantized`].
     pub golden: Vec<i16>,
+    /// Forensic tail of the instruction stream, captured by a traced
+    /// re-run when the output mismatches the golden model (`None` on a
+    /// clean run).
+    pub trace: Option<String>,
 }
 
 impl ConvRunResult {
@@ -60,9 +64,14 @@ impl ConvRunResult {
         self.report.perf.cycles
     }
 
-    /// Multiply-accumulates per cycle achieved by the kernel.
+    /// Multiply-accumulates per cycle achieved by the kernel; 0 when no
+    /// cycles were recorded (e.g. an immediately-trapping run).
     pub fn macs_per_cycle(&self, cfg: &ConvKernelConfig) -> f64 {
-        cfg.shape.macs() as f64 / self.report.perf.cycles as f64
+        if self.report.perf.cycles == 0 {
+            0.0
+        } else {
+            cfg.shape.macs() as f64 / self.report.perf.cycles as f64
+        }
     }
 }
 
@@ -96,13 +105,27 @@ impl ConvTestbench {
         let input = rng.activations(cfg.bits, cfg.shape.input_len());
         let weights = rng.weights(cfg.bits, cfg.shape.weight_len());
         let (thresholds, quantizer) = match cfg.quant {
-            QuantMode::Shift8 { shift } => (None, Quantizer::Shift8 { shift, bias: vec![] }),
+            QuantMode::Shift8 { shift } => (
+                None,
+                Quantizer::Shift8 {
+                    shift,
+                    bias: vec![],
+                },
+            ),
             QuantMode::SoftwareTree | QuantMode::HardwareQnt => {
                 let t = rng.thresholds(cfg.out_bits, cfg.shape.out_c, -2000, 2000);
                 (Some(t.clone()), Quantizer::Thresholds(t))
             }
         };
-        Ok(ConvTestbench { cfg, layout, program, input, weights, thresholds, quantizer })
+        Ok(ConvTestbench {
+            cfg,
+            layout,
+            program,
+            input,
+            weights,
+            thresholds,
+            quantizer,
+        })
     }
 
     /// Builds a testbench around caller-supplied tensors (e.g. to chain
@@ -124,7 +147,11 @@ impl ConvTestbench {
     ) -> Result<ConvTestbench, BuildError> {
         cfg.validate().map_err(BuildError::Config)?;
         assert_eq!(input.len(), cfg.shape.input_len(), "input length mismatch");
-        assert_eq!(weights.len(), cfg.shape.weight_len(), "weight length mismatch");
+        assert_eq!(
+            weights.len(),
+            cfg.shape.weight_len(),
+            "weight length mismatch"
+        );
         assert_eq!(input.bits(), cfg.bits, "input width mismatch");
         assert_eq!(weights.bits(), cfg.bits, "weight width mismatch");
         let layout = LayerLayout::default_for_l2();
@@ -132,15 +159,28 @@ impl ConvTestbench {
         let quantizer = match cfg.quant {
             QuantMode::Shift8 { shift } => {
                 assert!(thresholds.is_none(), "8-bit kernels take no thresholds");
-                Quantizer::Shift8 { shift, bias: vec![] }
+                Quantizer::Shift8 {
+                    shift,
+                    bias: vec![],
+                }
             }
             QuantMode::SoftwareTree | QuantMode::HardwareQnt => {
-                let t = thresholds.clone().expect("sub-byte kernels need thresholds");
+                let t = thresholds
+                    .clone()
+                    .expect("sub-byte kernels need thresholds");
                 assert_eq!(t.channels(), cfg.shape.out_c, "threshold channel mismatch");
                 Quantizer::Thresholds(t)
             }
         };
-        Ok(ConvTestbench { cfg, layout, program, input, weights, thresholds, quantizer })
+        Ok(ConvTestbench {
+            cfg,
+            layout,
+            program,
+            input,
+            weights,
+            thresholds,
+            quantizer,
+        })
     }
 
     /// The input tensor this testbench will load.
@@ -161,22 +201,36 @@ impl ConvTestbench {
         let mut soc = Soc::new(self.isa_config());
         soc.load(&self.program);
         soc.mem.write_bytes(self.layout.input, &self.input.pack());
-        soc.mem.write_bytes(self.layout.weights, &self.weights.pack());
+        soc.mem
+            .write_bytes(self.layout.weights, &self.weights.pack());
         let descs = im2col_descriptors(&self.cfg, self.layout.input);
-        soc.mem.write_bytes(self.layout.descriptors, &encode_descriptors(&descs));
+        soc.mem
+            .write_bytes(self.layout.descriptors, &encode_descriptors(&descs));
         if let Some(t) = &self.thresholds {
             let stride = tree_stride(crate::emit::simd_fmt(self.cfg.out_bits));
             for ch in 0..t.channels() {
                 let heap = eytzinger(t.channel(ch));
                 let bytes: Vec<u8> = heap.iter().flat_map(|v| v.to_le_bytes()).collect();
-                soc.mem.write_bytes(self.layout.thresholds + ch as u32 * stride, &bytes);
+                soc.mem
+                    .write_bytes(self.layout.thresholds + ch as u32 * stride, &bytes);
             }
         }
         soc
     }
 
+    fn cycle_budget(&self) -> u64 {
+        // Generous budget: every variant runs well under 40 cycles/MAC.
+        10_000_000 + self.cfg.shape.macs() * 40
+    }
+
     /// Runs the kernel to completion and verifies against the golden
     /// model.
+    ///
+    /// Failures come with forensics: the simulation is deterministic, so
+    /// on a trap or a golden-model mismatch the kernel is re-run with an
+    /// execution tracer attached and the tail of the instruction stream
+    /// is reported — on stderr for a trap, in [`ConvRunResult::trace`]
+    /// for a mismatch. The first (hot) run itself is never traced.
     ///
     /// # Errors
     ///
@@ -184,9 +238,52 @@ impl ConvTestbench {
     /// model bug).
     pub fn run(&self) -> Result<ConvRunResult, Trap> {
         let mut soc = self.stage();
-        // Generous budget: every variant runs well under 40 cycles/MAC.
-        let budget = 10_000_000 + self.cfg.shape.macs() * 40;
-        let report = soc.run(budget)?;
+        let report = match soc.run(self.cycle_budget()) {
+            Ok(r) => r,
+            Err(trap) => {
+                eprintln!(
+                    "kernel {} trapped: {trap}\n{}",
+                    self.cfg.name(),
+                    self.trace_tail()
+                );
+                return Err(trap);
+            }
+        };
+        Ok(self.collect(&soc, report))
+    }
+
+    /// Runs like [`ConvTestbench::run`] but with an execution tracer
+    /// attached for the whole run, returning the tracer alongside the
+    /// verified result — the input to hotspot profiling.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator traps, after dumping the trace tail to
+    /// stderr.
+    pub fn run_profiled(
+        &self,
+        ring: usize,
+    ) -> Result<(ConvRunResult, Box<riscv_core::ExecTracer>), Trap> {
+        let mut soc = self.stage();
+        soc.core.attach_tracer(ring);
+        let outcome = soc.run(self.cycle_budget());
+        let tracer = soc.core.take_tracer().expect("tracer was attached");
+        match outcome {
+            Ok(report) => Ok((self.collect(&soc, report), tracer)),
+            Err(trap) => {
+                eprintln!(
+                    "kernel {} trapped: {trap}\n{}",
+                    self.cfg.name(),
+                    tracer.dump_tail()
+                );
+                Err(trap)
+            }
+        }
+    }
+
+    /// Unpacks the device output, runs the golden model, and flags a
+    /// mismatch with a forensic re-run.
+    fn collect(&self, soc: &Soc, report: RunReport) -> ConvRunResult {
         let out_len = self.cfg.shape.output_len();
         let out_bytes = qnn::tensor::packed_len(self.cfg.out_bits, out_len);
         let packed = soc.mem.read_bytes(self.layout.output, out_bytes);
@@ -197,7 +294,33 @@ impl ConvTestbench {
             self.weights.values(),
             &self.quantizer,
         );
-        Ok(ConvRunResult { report, output, golden })
+        let mut result = ConvRunResult {
+            report,
+            output,
+            golden,
+            trace: None,
+        };
+        if !result.matches() {
+            result.trace = Some(self.trace_tail());
+        }
+        result
+    }
+
+    /// Re-runs the kernel with an execution tracer attached and returns
+    /// the dump of the last retired instructions (plus the trap, if the
+    /// run ends in one). The simulator is deterministic, so this
+    /// reproduces a failing run exactly.
+    pub fn trace_tail(&self) -> String {
+        const RING: usize = 64;
+        let mut soc = self.stage();
+        soc.core.attach_tracer(RING);
+        let outcome = soc.run(self.cycle_budget());
+        let tracer = soc.core.take_tracer().expect("tracer was attached");
+        let mut s = tracer.dump_tail();
+        if let Err(trap) = outcome {
+            s.push_str(&format!("run ended in trap: {trap}\n"));
+        }
+        s
     }
 }
 
@@ -212,7 +335,16 @@ mod tests {
     /// width.
     fn small_shape(bits: BitWidth) -> ConvShape {
         let in_c = (32 / bits.bits() as usize) * 2;
-        ConvShape { in_h: 4, in_w: 4, in_c, out_c: 8, k_h: 3, k_w: 3, stride: 1, pad: 1 }
+        ConvShape {
+            in_h: 4,
+            in_w: 4,
+            in_c,
+            out_c: 8,
+            k_h: 3,
+            k_w: 3,
+            stride: 1,
+            pad: 1,
+        }
     }
 
     fn check(cfg: ConvKernelConfig, seed: u64) -> ConvRunResult {
@@ -229,16 +361,44 @@ mod tests {
                 .filter(|(_, (a, b))| a != b)
                 .take(8)
                 .collect();
-            panic!("{}: output mismatch, first diffs {:?}", cfg.name(), diffs);
+            panic!(
+                "{}: output mismatch, first diffs {:?}\n{}",
+                cfg.name(),
+                diffs,
+                r.trace.as_deref().unwrap_or("")
+            );
         }
         r
+    }
+
+    #[test]
+    fn trace_tail_reproduces_the_run() {
+        let cfg = ConvKernelConfig {
+            shape: small_shape(BitWidth::W4),
+            bits: BitWidth::W4,
+            out_bits: BitWidth::W4,
+            isa: KernelIsa::XpulpNN,
+            quant: QuantMode::HardwareQnt,
+        };
+        let tb = ConvTestbench::new(cfg, 12).unwrap();
+        let tail = tb.trace_tail();
+        // The dump ends at the halt and carries disassembly + pc columns.
+        assert!(tail.contains("ecall"), "missing halt in:\n{tail}");
+        assert!(tail.contains("retired instructions"));
+        // A clean run attaches no trace to the result.
+        let r = tb.run().unwrap();
+        assert!(r.matches());
+        assert!(r.trace.is_none());
+        // And the per-run ledger balances.
+        assert_eq!(r.report.perf.ledger.total(), r.report.perf.cycles);
     }
 
     #[test]
     fn native_w8_small_layer_matches_golden() {
         let cfg = ConvKernelConfig {
             shape: small_shape(BitWidth::W8),
-            bits: BitWidth::W8, out_bits: BitWidth::W8,
+            bits: BitWidth::W8,
+            out_bits: BitWidth::W8,
             isa: KernelIsa::XpulpNN,
             quant: QuantMode::Shift8 { shift: 8 },
         };
@@ -249,7 +409,8 @@ mod tests {
     fn native_w4_hwquant_small_layer_matches_golden() {
         let cfg = ConvKernelConfig {
             shape: small_shape(BitWidth::W4),
-            bits: BitWidth::W4, out_bits: BitWidth::W4,
+            bits: BitWidth::W4,
+            out_bits: BitWidth::W4,
             isa: KernelIsa::XpulpNN,
             quant: QuantMode::HardwareQnt,
         };
@@ -260,7 +421,8 @@ mod tests {
     fn native_w4_swquant_small_layer_matches_golden() {
         let cfg = ConvKernelConfig {
             shape: small_shape(BitWidth::W4),
-            bits: BitWidth::W4, out_bits: BitWidth::W4,
+            bits: BitWidth::W4,
+            out_bits: BitWidth::W4,
             isa: KernelIsa::XpulpNN,
             quant: QuantMode::SoftwareTree,
         };
@@ -271,7 +433,8 @@ mod tests {
     fn native_w2_hwquant_small_layer_matches_golden() {
         let cfg = ConvKernelConfig {
             shape: small_shape(BitWidth::W2),
-            bits: BitWidth::W2, out_bits: BitWidth::W2,
+            bits: BitWidth::W2,
+            out_bits: BitWidth::W2,
             isa: KernelIsa::XpulpNN,
             quant: QuantMode::HardwareQnt,
         };
@@ -282,7 +445,8 @@ mod tests {
     fn baseline_w4_small_layer_matches_golden() {
         let cfg = ConvKernelConfig {
             shape: small_shape(BitWidth::W4),
-            bits: BitWidth::W4, out_bits: BitWidth::W4,
+            bits: BitWidth::W4,
+            out_bits: BitWidth::W4,
             isa: KernelIsa::XpulpV2,
             quant: QuantMode::SoftwareTree,
         };
@@ -293,7 +457,8 @@ mod tests {
     fn baseline_w2_small_layer_matches_golden() {
         let cfg = ConvKernelConfig {
             shape: small_shape(BitWidth::W2),
-            bits: BitWidth::W2, out_bits: BitWidth::W2,
+            bits: BitWidth::W2,
+            out_bits: BitWidth::W2,
             isa: KernelIsa::XpulpV2,
             quant: QuantMode::SoftwareTree,
         };
@@ -306,7 +471,8 @@ mod tests {
         // nothing at 8 bits).
         let mk = |isa| ConvKernelConfig {
             shape: small_shape(BitWidth::W8),
-            bits: BitWidth::W8, out_bits: BitWidth::W8,
+            bits: BitWidth::W8,
+            out_bits: BitWidth::W8,
             isa,
             quant: QuantMode::Shift8 { shift: 8 },
         };
@@ -322,7 +488,8 @@ mod tests {
         // the cycle count differs.
         let mk = |quant| ConvKernelConfig {
             shape: small_shape(BitWidth::W4),
-            bits: BitWidth::W4, out_bits: BitWidth::W4,
+            bits: BitWidth::W4,
+            out_bits: BitWidth::W4,
             isa: KernelIsa::XpulpNN,
             quant,
         };
@@ -371,14 +538,22 @@ mod tests {
     fn strided_and_rectangular_shapes_match_golden() {
         for bits in [BitWidth::W4, BitWidth::W2] {
             let in_c = (32 / bits.bits() as usize) * 2;
-            let shape =
-                ConvShape { in_h: 6, in_w: 5, in_c, out_c: 4, k_h: 3, k_w: 3, stride: 2, pad: 1 };
+            let shape = ConvShape {
+                in_h: 6,
+                in_w: 5,
+                in_c,
+                out_c: 4,
+                k_h: 3,
+                k_w: 3,
+                stride: 2,
+                pad: 1,
+            };
             // 3×3 output = 9 pixels (odd) -> bump width for even pixels.
             let shape = ConvShape { in_w: 7, ..shape }; // 3×4 = 12 pixels
             let cfg = ConvKernelConfig {
                 shape,
                 bits,
-            out_bits: bits,
+                out_bits: bits,
                 isa: KernelIsa::XpulpNN,
                 quant: QuantMode::HardwareQnt,
             };

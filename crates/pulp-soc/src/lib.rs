@@ -66,7 +66,10 @@ pub struct SocMem {
 impl SocMem {
     /// Creates zeroed SRAM and an empty console buffer.
     pub fn new() -> SocMem {
-        SocMem { l2: vec![0; L2_SIZE as usize], console: Vec::new() }
+        SocMem {
+            l2: vec![0; L2_SIZE as usize],
+            console: Vec::new(),
+        }
     }
 
     fn l2_offset(&self, addr: u32, size: u32) -> Option<usize> {
@@ -135,7 +138,11 @@ impl Bus for SocMem {
             }
             return Ok(v);
         }
-        Err(BusError { addr, size, write: false })
+        Err(BusError {
+            addr,
+            size,
+            write: false,
+        })
     }
 
     fn write(&mut self, addr: u32, size: u32, value: u32) -> Result<(), BusError> {
@@ -149,7 +156,11 @@ impl Bus for SocMem {
             }
             return Ok(());
         }
-        Err(BusError { addr, size, write: true })
+        Err(BusError {
+            addr,
+            size,
+            write: true,
+        })
     }
 }
 
@@ -175,7 +186,10 @@ pub struct Soc {
 impl Soc {
     /// Creates an SoC with the given core configuration.
     pub fn new(isa: IsaConfig) -> Soc {
-        Soc { core: Core::new(isa), mem: SocMem::new() }
+        Soc {
+            core: Core::new(isa),
+            mem: SocMem::new(),
+        }
     }
 
     /// Loads a program's code and data into L2 and points the core at
@@ -186,7 +200,8 @@ impl Soc {
     /// Panics if any segment falls outside L2.
     pub fn load(&mut self, prog: &Program) {
         for (i, w) in prog.words.iter().enumerate() {
-            self.mem.write_bytes(prog.base + (i as u32) * 4, &w.to_le_bytes());
+            self.mem
+                .write_bytes(prog.base + (i as u32) * 4, &w.to_le_bytes());
         }
         for (addr, bytes) in &prog.data {
             self.mem.write_bytes(*addr, bytes);
@@ -203,9 +218,7 @@ impl Soc {
     pub fn run(&mut self, max_cycles: u64) -> Result<RunReport, Trap> {
         let before = self.core.perf;
         let exit = self.core.run(&mut self.mem, max_cycles)?;
-        let mut perf = self.core.perf;
-        perf.cycles -= before.cycles;
-        perf.instret -= before.instret;
+        let perf = self.core.perf.delta_since(&before);
         Ok(RunReport { exit, perf })
     }
 
@@ -307,8 +320,12 @@ mod tests {
         let r1 = soc.run(1000).unwrap();
         soc.load(&prog); // reset PC; counters keep accumulating
         let r2 = soc.run(1000).unwrap();
-        assert_eq!(r1.perf.cycles, r2.perf.cycles);
+        // Reports are full per-run deltas: every counter matches, not
+        // just cycles/instret, and each run's ledger balances on its own.
+        assert_eq!(r1.perf, r2.perf);
         assert_eq!(soc.core.perf.cycles, r1.perf.cycles * 2);
+        assert_eq!(r1.perf.ledger.total(), r1.perf.cycles);
+        assert_eq!(r2.perf.ledger.total(), r2.perf.cycles);
     }
 
     #[test]

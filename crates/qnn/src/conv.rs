@@ -43,7 +43,16 @@ impl ConvShape {
     /// The layer benchmarked throughout the paper's §IV: a 16×16×32
     /// input tensor with 64 filters of 3×3×32, stride 1, padding 1.
     pub const fn paper_benchmark() -> ConvShape {
-        ConvShape { in_h: 16, in_w: 16, in_c: 32, out_c: 64, k_h: 3, k_w: 3, stride: 1, pad: 1 }
+        ConvShape {
+            in_h: 16,
+            in_w: 16,
+            in_c: 32,
+            out_c: 64,
+            k_h: 3,
+            k_w: 3,
+            stride: 1,
+            pad: 1,
+        }
     }
 
     /// Output height.
@@ -95,14 +104,17 @@ impl ConvShape {
 /// range.
 pub fn im2col(shape: &ConvShape, input: &[i16], out_y: usize, out_x: usize) -> Vec<i16> {
     assert_eq!(input.len(), shape.input_len(), "input length mismatch");
-    assert!(out_y < shape.out_h() && out_x < shape.out_w(), "pixel out of range");
+    assert!(
+        out_y < shape.out_h() && out_x < shape.out_w(),
+        "pixel out of range"
+    );
     let mut col: Vec<i16> = Vec::with_capacity(shape.col_len());
     for ky in 0..shape.k_h {
         for kx in 0..shape.k_w {
             let y = (out_y * shape.stride + ky) as isize - shape.pad as isize;
             let x = (out_x * shape.stride + kx) as isize - shape.pad as isize;
             if y < 0 || x < 0 || y >= shape.in_h as isize || x >= shape.in_w as isize {
-                col.extend(std::iter::repeat(0).take(shape.in_c));
+                col.extend(std::iter::repeat_n(0, shape.in_c));
             } else {
                 let base = (y as usize * shape.in_w + x as usize) * shape.in_c;
                 col.extend_from_slice(&input[base..base + shape.in_c]);
@@ -159,7 +171,11 @@ pub fn conv2d_i32(shape: &ConvShape, input: &[i16], weights: &[i16]) -> Vec<i32>
 pub fn matmul_i32(shape: &ConvShape, weights: &[i16], cols: &[i16]) -> Vec<i32> {
     let col_len = shape.col_len();
     assert_eq!(weights.len(), shape.weight_len(), "weight length mismatch");
-    assert_eq!(cols.len(), shape.pixels() * col_len, "column length mismatch");
+    assert_eq!(
+        cols.len(),
+        shape.pixels() * col_len,
+        "column length mismatch"
+    );
     let mut out = vec![0i32; shape.output_len()];
     for p in 0..shape.pixels() {
         let col = &cols[p * col_len..(p + 1) * col_len];
@@ -212,7 +228,16 @@ mod tests {
 
     #[test]
     fn identity_kernel_1x1() {
-        let s = ConvShape { in_h: 2, in_w: 2, in_c: 2, out_c: 2, k_h: 1, k_w: 1, stride: 1, pad: 0 };
+        let s = ConvShape {
+            in_h: 2,
+            in_w: 2,
+            in_c: 2,
+            out_c: 2,
+            k_h: 1,
+            k_w: 1,
+            stride: 1,
+            pad: 0,
+        };
         // weights = identity over channels
         let w = vec![1, 0, 0, 1];
         let input = vec![1, 2, 3, 4, 5, 6, 7, 8];
@@ -224,7 +249,16 @@ mod tests {
     fn known_3x3_sum_kernel_with_padding() {
         // 3×3 input, single channel, all-ones 3×3 kernel, pad 1:
         // centre output = sum of all inputs.
-        let s = ConvShape { in_h: 3, in_w: 3, in_c: 1, out_c: 1, k_h: 3, k_w: 3, stride: 1, pad: 1 };
+        let s = ConvShape {
+            in_h: 3,
+            in_w: 3,
+            in_c: 1,
+            out_c: 1,
+            k_h: 3,
+            k_w: 3,
+            stride: 1,
+            pad: 1,
+        };
         let input = vec![1, 1, 1, 1, 1, 1, 1, 1, 1];
         let w = vec![1; 9];
         let out = conv2d_i32(&s, &input, &w);
@@ -235,22 +269,66 @@ mod tests {
 
     #[test]
     fn stride_two_halves_output() {
-        let s = ConvShape { in_h: 4, in_w: 4, in_c: 1, out_c: 1, k_h: 2, k_w: 2, stride: 2, pad: 0 };
+        let s = ConvShape {
+            in_h: 4,
+            in_w: 4,
+            in_c: 1,
+            out_c: 1,
+            k_h: 2,
+            k_w: 2,
+            stride: 2,
+            pad: 0,
+        };
         assert_eq!(s.out_h(), 2);
         assert_eq!(s.out_w(), 2);
         let input: Vec<i16> = (1..=16).collect();
         let w = vec![1, 1, 1, 1];
         let out = conv2d_i32(&s, &input, &w);
-        assert_eq!(out, vec![1 + 2 + 5 + 6, 3 + 4 + 7 + 8, 9 + 10 + 13 + 14, 11 + 12 + 15 + 16]);
+        assert_eq!(
+            out,
+            vec![
+                1 + 2 + 5 + 6,
+                3 + 4 + 7 + 8,
+                9 + 10 + 13 + 14,
+                11 + 12 + 15 + 16
+            ]
+        );
     }
 
     #[test]
     fn im2col_matmul_equals_direct_conv() {
         let mut rng = TensorRng::new(7);
         for s in [
-            ConvShape { in_h: 5, in_w: 4, in_c: 3, out_c: 4, k_h: 3, k_w: 3, stride: 1, pad: 1 },
-            ConvShape { in_h: 6, in_w: 6, in_c: 8, out_c: 2, k_h: 1, k_w: 1, stride: 1, pad: 0 },
-            ConvShape { in_h: 7, in_w: 5, in_c: 4, out_c: 3, k_h: 3, k_w: 2, stride: 2, pad: 1 },
+            ConvShape {
+                in_h: 5,
+                in_w: 4,
+                in_c: 3,
+                out_c: 4,
+                k_h: 3,
+                k_w: 3,
+                stride: 1,
+                pad: 1,
+            },
+            ConvShape {
+                in_h: 6,
+                in_w: 6,
+                in_c: 8,
+                out_c: 2,
+                k_h: 1,
+                k_w: 1,
+                stride: 1,
+                pad: 0,
+            },
+            ConvShape {
+                in_h: 7,
+                in_w: 5,
+                in_c: 4,
+                out_c: 3,
+                k_h: 3,
+                k_w: 2,
+                stride: 2,
+                pad: 1,
+            },
         ] {
             let input = rng.activations(BitWidth::W4, s.input_len());
             let weights = rng.weights(BitWidth::W4, s.weight_len());
@@ -263,7 +341,16 @@ mod tests {
 
     #[test]
     fn quantized_conv_output_in_range() {
-        let s = ConvShape { in_h: 4, in_w: 4, in_c: 4, out_c: 4, k_h: 3, k_w: 3, stride: 1, pad: 1 };
+        let s = ConvShape {
+            in_h: 4,
+            in_w: 4,
+            in_c: 4,
+            out_c: 4,
+            k_h: 3,
+            k_w: 3,
+            stride: 1,
+            pad: 1,
+        };
         let mut rng = TensorRng::new(3);
         let input = rng.activations(BitWidth::W2, s.input_len());
         let weights = rng.weights(BitWidth::W2, s.weight_len());
@@ -275,7 +362,16 @@ mod tests {
 
     #[test]
     fn im2col_zero_pads_borders() {
-        let s = ConvShape { in_h: 2, in_w: 2, in_c: 1, out_c: 1, k_h: 3, k_w: 3, stride: 1, pad: 1 };
+        let s = ConvShape {
+            in_h: 2,
+            in_w: 2,
+            in_c: 1,
+            out_c: 1,
+            k_h: 3,
+            k_w: 3,
+            stride: 1,
+            pad: 1,
+        };
         let input = vec![5, 6, 7, 8];
         let col = im2col(&s, &input, 0, 0);
         // window centred at (0,0): first row and column are padding.

@@ -83,8 +83,7 @@ pub fn depthwise_i32(shape: &DepthwiseShape, input: &[i16], weights: &[i16]) -> 
                     for kx in 0..shape.k {
                         let y = (oy * shape.stride + ky) as isize - shape.pad as isize;
                         let x = (ox * shape.stride + kx) as isize - shape.pad as isize;
-                        if y < 0 || x < 0 || y >= shape.in_h as isize || x >= shape.in_w as isize
-                        {
+                        if y < 0 || x < 0 || y >= shape.in_h as isize || x >= shape.in_w as isize {
                             continue;
                         }
                         let a = input[(y as usize * shape.in_w + x as usize) * shape.c + c];
@@ -120,7 +119,14 @@ mod tests {
 
     #[test]
     fn geometry() {
-        let s = DepthwiseShape { in_h: 8, in_w: 8, c: 16, k: 3, stride: 1, pad: 1 };
+        let s = DepthwiseShape {
+            in_h: 8,
+            in_w: 8,
+            c: 16,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        };
         assert_eq!(s.out_h(), 8);
         assert_eq!(s.weight_len(), 16 * 9);
         assert_eq!(s.macs(), (8 * 8 * 16 * 9) as u64);
@@ -128,7 +134,14 @@ mod tests {
 
     #[test]
     fn identity_filter_passes_input_through() {
-        let s = DepthwiseShape { in_h: 3, in_w: 3, c: 2, k: 3, stride: 1, pad: 1 };
+        let s = DepthwiseShape {
+            in_h: 3,
+            in_w: 3,
+            c: 2,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        };
         // Filter with 1 at the centre for both channels.
         let mut w = vec![0i16; s.weight_len()];
         w[4] = 1; // channel 0 centre
@@ -142,7 +155,14 @@ mod tests {
 
     #[test]
     fn channels_do_not_mix() {
-        let s = DepthwiseShape { in_h: 2, in_w: 2, c: 2, k: 1, stride: 1, pad: 0 };
+        let s = DepthwiseShape {
+            in_h: 2,
+            in_w: 2,
+            c: 2,
+            k: 1,
+            stride: 1,
+            pad: 0,
+        };
         let input = vec![1, 100, 2, 100, 3, 100, 4, 100];
         let w = vec![5, 0]; // channel 0 scaled by 5, channel 1 zeroed
         let out = depthwise_i32(&s, &input, &w);
@@ -155,7 +175,14 @@ mod tests {
     fn equivalence_with_diagonal_full_convolution() {
         use crate::rng::TensorRng;
         use crate::BitWidth;
-        let s = DepthwiseShape { in_h: 4, in_w: 5, c: 3, k: 3, stride: 1, pad: 1 };
+        let s = DepthwiseShape {
+            in_h: 4,
+            in_w: 5,
+            c: 3,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        };
         let mut rng = TensorRng::new(8);
         let input = rng.activations(BitWidth::W4, s.input_len());
         let dw_w = rng.weights(BitWidth::W4, s.weight_len());

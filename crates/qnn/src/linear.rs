@@ -67,7 +67,10 @@ mod tests {
 
     #[test]
     fn identity_matrix() {
-        let s = LinearShape { in_features: 3, out_features: 3 };
+        let s = LinearShape {
+            in_features: 3,
+            out_features: 3,
+        };
         let w = vec![1, 0, 0, 0, 1, 0, 0, 0, 1];
         assert_eq!(linear_i32(&s, &[5, -2, 7], &w), vec![5, -2, 7]);
         assert_eq!(s.macs(), 9);
@@ -75,7 +78,10 @@ mod tests {
 
     #[test]
     fn known_product() {
-        let s = LinearShape { in_features: 2, out_features: 2 };
+        let s = LinearShape {
+            in_features: 2,
+            out_features: 2,
+        };
         // W = [[1, 2], [3, 4]], x = [10, 20]
         let w = vec![1, 2, 3, 4];
         assert_eq!(linear_i32(&s, &[10, 20], &w), vec![50, 110]);
@@ -83,11 +89,19 @@ mod tests {
 
     #[test]
     fn quantized_output_in_range() {
-        let s = LinearShape { in_features: 8, out_features: 4 };
+        let s = LinearShape {
+            in_features: 8,
+            out_features: 4,
+        };
         let mut rng = crate::rng::TensorRng::new(1);
         let x = rng.activations(BitWidth::W4, s.in_features);
         let w = rng.weights(BitWidth::W4, s.weight_len());
-        let q = Quantizer::Thresholds(ThresholdSet::uniform(BitWidth::W4, s.out_features, -100, 100));
+        let q = Quantizer::Thresholds(ThresholdSet::uniform(
+            BitWidth::W4,
+            s.out_features,
+            -100,
+            100,
+        ));
         let out = linear_quantized(&s, x.values(), w.values(), &q);
         assert_eq!(out.len(), 4);
         assert!(out.iter().all(|&v| (0..16).contains(&v)));
@@ -96,7 +110,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "length mismatch")]
     fn rejects_bad_lengths() {
-        let s = LinearShape { in_features: 4, out_features: 2 };
+        let s = LinearShape {
+            in_features: 4,
+            out_features: 2,
+        };
         linear_i32(&s, &[1, 2], &[0; 8]);
     }
 }

@@ -139,7 +139,10 @@ pub fn avgpool_2x2_cascaded(shape: &PoolShape, input: &[i16]) -> Vec<i16> {
                 input[((oy * 2 + dy) * shape.in_w + (ox * 2 + dx)) * shape.c + c]
             };
             for c in 0..shape.c {
-                out.push(avg(avg(at(0, 0, c), at(0, 1, c)), avg(at(1, 0, c), at(1, 1, c))));
+                out.push(avg(
+                    avg(at(0, 0, c), at(0, 1, c)),
+                    avg(at(1, 0, c), at(1, 1, c)),
+                ));
             }
         }
     }
@@ -152,16 +155,34 @@ mod tests {
 
     #[test]
     fn maxpool_2x2() {
-        let s = PoolShape { in_h: 2, in_w: 2, c: 1, k: 2, stride: 2 };
+        let s = PoolShape {
+            in_h: 2,
+            in_w: 2,
+            c: 1,
+            k: 2,
+            stride: 2,
+        };
         assert_eq!(maxpool(&s, &[1, 5, 3, 2]), vec![5]);
-        let s2 = PoolShape { in_h: 4, in_w: 4, c: 1, k: 2, stride: 2 };
+        let s2 = PoolShape {
+            in_h: 4,
+            in_w: 4,
+            c: 1,
+            k: 2,
+            stride: 2,
+        };
         let input: Vec<i16> = (1..=16).collect();
         assert_eq!(maxpool(&s2, &input), vec![6, 8, 14, 16]);
     }
 
     #[test]
     fn maxpool_multi_channel_independent() {
-        let s = PoolShape { in_h: 2, in_w: 2, c: 2, k: 2, stride: 2 };
+        let s = PoolShape {
+            in_h: 2,
+            in_w: 2,
+            c: 2,
+            k: 2,
+            stride: 2,
+        };
         // HWC: (y0x0: [1, -4]) (y0x1: [2, -3]) (y1x0: [3, -2]) (y1x1: [0, -1])
         let input = vec![1, -4, 2, -3, 3, -2, 0, -1];
         assert_eq!(maxpool(&s, &input), vec![3, -1]);
@@ -169,14 +190,26 @@ mod tests {
 
     #[test]
     fn avgpool_truncates_like_kernels() {
-        let s = PoolShape { in_h: 2, in_w: 2, c: 1, k: 2, stride: 2 };
+        let s = PoolShape {
+            in_h: 2,
+            in_w: 2,
+            c: 1,
+            k: 2,
+            stride: 2,
+        };
         assert_eq!(avgpool(&s, &[1, 2, 3, 5]), vec![2]); // 11/4 = 2
         assert_eq!(avgpool(&s, &[-1, -2, -3, -5]), vec![-2]); // -11/4 -> -2 (trunc)
     }
 
     #[test]
     fn pool_with_stride_one_overlaps() {
-        let s = PoolShape { in_h: 3, in_w: 3, c: 1, k: 2, stride: 1 };
+        let s = PoolShape {
+            in_h: 3,
+            in_w: 3,
+            c: 1,
+            k: 2,
+            stride: 1,
+        };
         assert_eq!(s.out_h(), 2);
         let input = vec![1, 2, 3, 4, 5, 6, 7, 8, 9];
         assert_eq!(maxpool(&s, &input), vec![5, 6, 8, 9]);
@@ -189,14 +222,26 @@ mod tests {
 
     #[test]
     fn cascaded_avg_matches_exact_when_no_truncation() {
-        let s = PoolShape { in_h: 2, in_w: 2, c: 1, k: 2, stride: 2 };
+        let s = PoolShape {
+            in_h: 2,
+            in_w: 2,
+            c: 1,
+            k: 2,
+            stride: 2,
+        };
         assert_eq!(avgpool_2x2_cascaded(&s, &[4, 8, 12, 16]), vec![10]);
         assert_eq!(avgpool(&s, &[4, 8, 12, 16]), vec![10]);
     }
 
     #[test]
     fn cascaded_avg_truncates_pairwise() {
-        let s = PoolShape { in_h: 2, in_w: 2, c: 1, k: 2, stride: 2 };
+        let s = PoolShape {
+            in_h: 2,
+            in_w: 2,
+            c: 1,
+            k: 2,
+            stride: 2,
+        };
         // (1+2)>>1 = 1, (3+5)>>1 = 4, (1+4)>>1 = 2; exact sum/4 = 2 too.
         assert_eq!(avgpool_2x2_cascaded(&s, &[1, 2, 3, 5]), vec![2]);
         // (0+1)>>1 = 0, (1+1)>>1 = 1, (0+1)>>1 = 0; exact = 3/4 = 0.
@@ -204,7 +249,13 @@ mod tests {
         // A case where the two differ: (1+1, 0+1) -> (1, 0) -> 0 vs 3/4=0;
         // (3+1, 1+1) -> (2,1) -> 1 vs 6/4 = 1. Difference shows at:
         // (1+0, 1+1) -> (0, 1) -> 0 while (1+0+1+1)/4 = 0. Max deviation 1:
-        let s2 = PoolShape { in_h: 2, in_w: 2, c: 1, k: 2, stride: 2 };
+        let s2 = PoolShape {
+            in_h: 2,
+            in_w: 2,
+            c: 1,
+            k: 2,
+            stride: 2,
+        };
         for vals in [[3i16, 0, 0, 0], [1, 1, 1, 0], [7, 7, 7, 6]] {
             let casc = avgpool_2x2_cascaded(&s2, &vals)[0];
             let exact = avgpool(&s2, &vals)[0];
@@ -215,7 +266,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "2x2 only")]
     fn cascaded_avg_rejects_large_windows() {
-        let s = PoolShape { in_h: 3, in_w: 3, c: 1, k: 3, stride: 1 };
+        let s = PoolShape {
+            in_h: 3,
+            in_w: 3,
+            c: 1,
+            k: 3,
+            stride: 1,
+        };
         avgpool_2x2_cascaded(&s, &[0; 9]);
     }
 }

@@ -46,7 +46,10 @@ impl fmt::Display for ThresholdError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ThresholdError::Count { channel, got, want } => {
-                write!(f, "channel {channel}: expected {want} thresholds, got {got}")
+                write!(
+                    f,
+                    "channel {channel}: expected {want} thresholds, got {got}"
+                )
             }
             ThresholdError::Unsorted { channel } => {
                 write!(f, "channel {channel}: thresholds not sorted")
@@ -77,7 +80,11 @@ impl ThresholdSet {
         let want = bits.threshold_count();
         for (channel, t) in per_channel.iter().enumerate() {
             if t.len() != want {
-                return Err(ThresholdError::Count { channel, got: t.len(), want });
+                return Err(ThresholdError::Count {
+                    channel,
+                    got: t.len(),
+                    want,
+                });
             }
             if t.windows(2).any(|w| w[0] > w[1]) {
                 return Err(ThresholdError::Unsorted { channel });
@@ -90,14 +97,20 @@ impl ThresholdSet {
     /// bins, identical for every channel — a convenient synthetic stand-in
     /// for trained batch-norm-folded thresholds.
     pub fn uniform(bits: BitWidth, channels: usize, lo: i16, hi: i16) -> ThresholdSet {
-        assert!(bits.is_sub_byte(), "uniform thresholds are for sub-byte outputs");
+        assert!(
+            bits.is_sub_byte(),
+            "uniform thresholds are for sub-byte outputs"
+        );
         assert!(lo < hi, "uniform threshold range must be non-empty");
         let n = bits.threshold_count();
         let span = (hi as i32 - lo as i32) as i64;
         let one: Vec<i16> = (1..=n as i64)
-            .map(|i| (lo as i64 + span as i64 * i / (n as i64 + 1)) as i16)
+            .map(|i| (lo as i64 + span * i / (n as i64 + 1)) as i16)
             .collect();
-        ThresholdSet { bits, per_channel: vec![one; channels] }
+        ThresholdSet {
+            bits,
+            per_channel: vec![one; channels],
+        }
     }
 
     /// Output width.
@@ -127,7 +140,10 @@ impl ThresholdSet {
     /// Panics if `channel` is out of range.
     pub fn quantize(&self, channel: usize, acc: i32) -> u8 {
         let x = acc.clamp(i16::MIN as i32, i16::MAX as i32) as i16;
-        self.per_channel[channel].iter().take_while(|t| **t < x).count() as u8
+        self.per_channel[channel]
+            .iter()
+            .take_while(|t| **t < x)
+            .count() as u8
     }
 }
 
@@ -210,20 +226,32 @@ mod tests {
         let ok = ThresholdSet::from_sorted(BitWidth::W2, vec![vec![-1, 0, 1]]);
         assert!(ok.is_ok());
         let bad_count = ThresholdSet::from_sorted(BitWidth::W2, vec![vec![0, 1]]);
-        assert!(matches!(bad_count, Err(ThresholdError::Count { want: 3, .. })));
+        assert!(matches!(
+            bad_count,
+            Err(ThresholdError::Count { want: 3, .. })
+        ));
         let unsorted = ThresholdSet::from_sorted(BitWidth::W2, vec![vec![1, 0, 2]]);
-        assert!(matches!(unsorted, Err(ThresholdError::Unsorted { channel: 0 })));
+        assert!(matches!(
+            unsorted,
+            Err(ThresholdError::Unsorted { channel: 0 })
+        ));
         let wide = ThresholdSet::from_sorted(BitWidth::W8, vec![]);
         assert!(matches!(wide, Err(ThresholdError::Width(BitWidth::W8))));
     }
 
     #[test]
     fn shift8_clamps_to_unsigned_byte() {
-        let q = Quantizer::Shift8 { shift: 4, bias: vec![] };
+        let q = Quantizer::Shift8 {
+            shift: 4,
+            bias: vec![],
+        };
         assert_eq!(q.quantize(0, 160), 10);
         assert_eq!(q.quantize(0, -5), 0);
         assert_eq!(q.quantize(0, 1 << 20), 255);
-        let qb = Quantizer::Shift8 { shift: 0, bias: vec![100, -100] };
+        let qb = Quantizer::Shift8 {
+            shift: 0,
+            bias: vec![100, -100],
+        };
         assert_eq!(qb.quantize(0, 0), 100);
         assert_eq!(qb.quantize(1, 150), 50);
         assert_eq!(qb.quantize(2, 7), 7, "missing bias defaults to 0");
@@ -231,7 +259,10 @@ mod tests {
 
     #[test]
     fn quantizer_output_bits() {
-        let q8 = Quantizer::Shift8 { shift: 0, bias: vec![] };
+        let q8 = Quantizer::Shift8 {
+            shift: 0,
+            bias: vec![],
+        };
         assert_eq!(q8.output_bits(), BitWidth::W8);
         let q4 = Quantizer::Thresholds(ThresholdSet::uniform(BitWidth::W4, 1, -1, 1));
         assert_eq!(q4.output_bits(), BitWidth::W4);

@@ -9,26 +9,27 @@
 use crate::bits::BitWidth;
 use crate::quantizer::ThresholdSet;
 use crate::tensor::QuantTensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use xrand::Rng;
 
 /// A deterministic generator of quantized tensors and threshold sets.
 #[derive(Debug, Clone)]
 pub struct TensorRng {
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl TensorRng {
     /// Creates a generator from a seed; the same seed always produces the
     /// same tensors.
     pub fn new(seed: u64) -> TensorRng {
-        TensorRng { rng: StdRng::seed_from_u64(seed) }
+        TensorRng {
+            rng: Rng::new(seed),
+        }
     }
 
     /// Uniform unsigned activations over the full range of `bits`.
     pub fn activations(&mut self, bits: BitWidth, len: usize) -> QuantTensor {
         let values: Vec<i16> = (0..len)
-            .map(|_| self.rng.gen_range(0..=bits.unsigned_max()) as i16)
+            .map(|_| self.rng.range_i32(0, bits.unsigned_max()) as i16)
             .collect();
         QuantTensor::activations(bits, values).expect("generated in range")
     }
@@ -36,7 +37,7 @@ impl TensorRng {
     /// Uniform signed weights over the full range of `bits`.
     pub fn weights(&mut self, bits: BitWidth, len: usize) -> QuantTensor {
         let values: Vec<i16> = (0..len)
-            .map(|_| self.rng.gen_range(bits.signed_min()..=bits.signed_max()) as i16)
+            .map(|_| self.rng.range_i32(bits.signed_min(), bits.signed_max()) as i16)
             .collect();
         QuantTensor::weights(bits, values).expect("generated in range")
     }
@@ -57,7 +58,9 @@ impl TensorRng {
         let n = bits.threshold_count();
         let per_channel: Vec<Vec<i16>> = (0..channels)
             .map(|_| {
-                let mut t: Vec<i16> = (0..n).map(|_| self.rng.gen_range(lo..=hi)).collect();
+                let mut t: Vec<i16> = (0..n)
+                    .map(|_| self.rng.range_i32(lo as i32, hi as i32) as i16)
+                    .collect();
                 t.sort_unstable();
                 t
             })
@@ -68,7 +71,7 @@ impl TensorRng {
     /// A raw uniform value, exposed so callers can derive auxiliary
     /// parameters (e.g. biases) from the same seed stream.
     pub fn gen_i32(&mut self, lo: i32, hi: i32) -> i32 {
-        self.rng.gen_range(lo..=hi)
+        self.rng.range_i32(lo, hi)
     }
 }
 
@@ -80,7 +83,10 @@ mod tests {
     fn deterministic_per_seed() {
         let mut a = TensorRng::new(1);
         let mut b = TensorRng::new(1);
-        assert_eq!(a.activations(BitWidth::W4, 100), b.activations(BitWidth::W4, 100));
+        assert_eq!(
+            a.activations(BitWidth::W4, 100),
+            b.activations(BitWidth::W4, 100)
+        );
         let mut c = TensorRng::new(2);
         assert_ne!(a.weights(BitWidth::W8, 100), c.weights(BitWidth::W8, 100));
     }
@@ -90,7 +96,10 @@ mod tests {
         let mut rng = TensorRng::new(9);
         for bits in crate::bits::ALL_WIDTHS {
             let a = rng.activations(bits, 1000);
-            assert!(a.values().iter().all(|&v| v as i32 >= 0 && v as i32 <= bits.unsigned_max()));
+            assert!(a
+                .values()
+                .iter()
+                .all(|&v| v as i32 >= 0 && v as i32 <= bits.unsigned_max()));
             let w = rng.weights(bits, 1000);
             assert!(w
                 .values()
@@ -116,6 +125,10 @@ mod tests {
         for ch in 0..8 {
             assert!(t.channel(ch).windows(2).all(|w| w[0] <= w[1]));
         }
-        assert_ne!(t.channel(0), t.channel(1), "channels should differ with high probability");
+        assert_ne!(
+            t.channel(0),
+            t.channel(1),
+            "channels should differ with high probability"
+        );
     }
 }

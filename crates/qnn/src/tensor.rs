@@ -57,10 +57,19 @@ impl QuantTensor {
     pub fn activations(bits: BitWidth, values: Vec<i16>) -> Result<QuantTensor, RangeError> {
         for (index, &v) in values.iter().enumerate() {
             if (v as i32) < 0 || v as i32 > bits.unsigned_max() {
-                return Err(RangeError { index, value: v, bits, signed: false });
+                return Err(RangeError {
+                    index,
+                    value: v,
+                    bits,
+                    signed: false,
+                });
             }
         }
-        Ok(QuantTensor { bits, signed: false, values })
+        Ok(QuantTensor {
+            bits,
+            signed: false,
+            values,
+        })
     }
 
     /// Creates a signed (weight) tensor.
@@ -71,10 +80,19 @@ impl QuantTensor {
     pub fn weights(bits: BitWidth, values: Vec<i16>) -> Result<QuantTensor, RangeError> {
         for (index, &v) in values.iter().enumerate() {
             if (v as i32) < bits.signed_min() || v as i32 > bits.signed_max() {
-                return Err(RangeError { index, value: v, bits, signed: true });
+                return Err(RangeError {
+                    index,
+                    value: v,
+                    bits,
+                    signed: true,
+                });
             }
         }
-        Ok(QuantTensor { bits, signed: true, values })
+        Ok(QuantTensor {
+            bits,
+            signed: true,
+            values,
+        })
     }
 
     /// The element width.
@@ -117,14 +135,13 @@ impl QuantTensor {
     ///
     /// Unsigned tensors zero-extend each lane; signed tensors
     /// sign-extend.
-    pub fn unpack(
-        bits: BitWidth,
-        signed: bool,
-        bytes: &[u8],
-        count: usize,
-    ) -> QuantTensor {
+    pub fn unpack(bits: BitWidth, signed: bool, bytes: &[u8], count: usize) -> QuantTensor {
         let values = unpack(bits, signed, bytes, count);
-        QuantTensor { bits, signed, values }
+        QuantTensor {
+            bits,
+            signed,
+            values,
+        }
     }
 }
 
@@ -196,13 +213,16 @@ mod tests {
     fn unpack_round_trip_all_widths() {
         for bits in crate::bits::ALL_WIDTHS {
             // signed round trip
-            let vals: Vec<i16> =
-                (0..37).map(|i| ((i * 7) % bits.levels() as i32 + bits.signed_min()) as i16).collect();
+            let vals: Vec<i16> = (0..37)
+                .map(|i| ((i * 7) % bits.levels() as i32 + bits.signed_min()) as i16)
+                .collect();
             let t = QuantTensor::weights(bits, vals.clone()).unwrap();
             let back = QuantTensor::unpack(bits, true, &t.pack(), vals.len());
             assert_eq!(back.values(), &vals[..], "{bits} signed");
             // unsigned round trip
-            let vals: Vec<i16> = (0..37).map(|i| ((i * 5) % bits.levels() as i32) as i16).collect();
+            let vals: Vec<i16> = (0..37)
+                .map(|i| ((i * 5) % bits.levels() as i32) as i16)
+                .collect();
             let t = QuantTensor::activations(bits, vals.clone()).unwrap();
             let back = QuantTensor::unpack(bits, false, &t.pack(), vals.len());
             assert_eq!(back.values(), &vals[..], "{bits} unsigned");

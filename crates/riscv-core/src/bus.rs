@@ -16,7 +16,11 @@ pub struct BusError {
 impl fmt::Display for BusError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let dir = if self.write { "write" } else { "read" };
-        write!(f, "bus error: {}-byte {dir} at {:#010x}", self.size, self.addr)
+        write!(
+            f,
+            "bus error: {}-byte {dir} at {:#010x}",
+            self.size, self.addr
+        )
     }
 }
 
@@ -64,7 +68,10 @@ pub struct SliceMem {
 impl SliceMem {
     /// Creates a zero-initialized RAM of `len` bytes at `base`.
     pub fn new(base: u32, len: usize) -> SliceMem {
-        SliceMem { base, bytes: vec![0; len] }
+        SliceMem {
+            base,
+            bytes: vec![0; len],
+        }
     }
 
     /// Base address of the RAM.
@@ -110,7 +117,8 @@ impl SliceMem {
     pub fn load_program(&mut self, prog: &pulp_asm::Program) {
         for (i, w) in prog.words.iter().enumerate() {
             let addr = prog.base + (i as u32) * 4;
-            self.write(addr, 4, *w).expect("program code outside test RAM");
+            self.write(addr, 4, *w)
+                .expect("program code outside test RAM");
         }
         for (addr, bytes) in &prog.data {
             for (i, b) in bytes.iter().enumerate() {
@@ -123,9 +131,11 @@ impl SliceMem {
 
 impl Bus for SliceMem {
     fn read(&mut self, addr: u32, size: u32) -> Result<u32, BusError> {
-        let off = self
-            .offset(addr, size)
-            .ok_or(BusError { addr, size, write: false })?;
+        let off = self.offset(addr, size).ok_or(BusError {
+            addr,
+            size,
+            write: false,
+        })?;
         let mut v = 0u32;
         for i in (0..size as usize).rev() {
             v = (v << 8) | self.bytes[off + i] as u32;
@@ -134,9 +144,11 @@ impl Bus for SliceMem {
     }
 
     fn write(&mut self, addr: u32, size: u32, value: u32) -> Result<(), BusError> {
-        let off = self
-            .offset(addr, size)
-            .ok_or(BusError { addr, size, write: true })?;
+        let off = self.offset(addr, size).ok_or(BusError {
+            addr,
+            size,
+            write: true,
+        })?;
         for i in 0..size as usize {
             self.bytes[off + i] = (value >> (8 * i)) as u8;
         }
@@ -172,11 +184,19 @@ mod tests {
         let mut m = SliceMem::new(0x100, 4);
         assert_eq!(
             m.read(0xfc, 4),
-            Err(BusError { addr: 0xfc, size: 4, write: false })
+            Err(BusError {
+                addr: 0xfc,
+                size: 4,
+                write: false
+            })
         );
         assert_eq!(
             m.read(0x102, 4),
-            Err(BusError { addr: 0x102, size: 4, write: false })
+            Err(BusError {
+                addr: 0x102,
+                size: 4,
+                write: false
+            })
         );
         assert!(m.write(0x104, 1, 0).is_err());
     }

@@ -2,9 +2,10 @@
 //! the pipeline timing rules of [`crate::timing`].
 
 use crate::bus::{Bus, BusError};
-use crate::perf::{fmt_index, PerfCounters};
+use crate::perf::{fmt_index, CycleClass, PerfCounters};
 use crate::quant;
 use crate::timing;
+use crate::trace::ExecTracer;
 use pulp_isa::decode::decode;
 use pulp_isa::instr::{Instr, LoadKind, SimdOperand};
 use pulp_isa::simd::{self, SimdFmt};
@@ -30,17 +31,26 @@ pub struct IsaConfig {
 impl IsaConfig {
     /// Plain RV32IM, no PULP extensions.
     pub const fn rv32im() -> IsaConfig {
-        IsaConfig { xpulpv2: false, xpulpnn: false }
+        IsaConfig {
+            xpulpv2: false,
+            xpulpnn: false,
+        }
     }
 
     /// The baseline RI5CY of the paper: RV32IM + XpulpV2.
     pub const fn xpulpv2() -> IsaConfig {
-        IsaConfig { xpulpv2: true, xpulpnn: false }
+        IsaConfig {
+            xpulpv2: true,
+            xpulpnn: false,
+        }
     }
 
     /// The paper's extended core: RV32IM + XpulpV2 + XpulpNN.
     pub const fn xpulpnn() -> IsaConfig {
-        IsaConfig { xpulpv2: true, xpulpnn: true }
+        IsaConfig {
+            xpulpv2: true,
+            xpulpnn: true,
+        }
     }
 
     /// Human-readable ISA string.
@@ -98,7 +108,10 @@ impl fmt::Display for Trap {
                 write!(f, "illegal instruction {word:#010x} at pc {pc:#010x}")
             }
             Trap::ExtensionFault { pc, required } => {
-                write!(f, "instruction at pc {pc:#010x} requires the {required} extension")
+                write!(
+                    f,
+                    "instruction at pc {pc:#010x} requires the {required} extension"
+                )
             }
             Trap::Bus { pc, error } => write!(f, "{error} at pc {pc:#010x}"),
             Trap::Breakpoint { pc } => write!(f, "breakpoint at pc {pc:#010x}"),
@@ -140,6 +153,8 @@ pub struct Core {
     pub perf: PerfCounters,
     hwloops: [HwLoop; 2],
     csrs: BTreeMap<u16, u32>,
+    // Boxed so the untraced hot path carries one pointer, not the ring.
+    tracer: Option<Box<ExecTracer>>,
 }
 
 impl Core {
@@ -152,7 +167,26 @@ impl Core {
             perf: PerfCounters::new(),
             hwloops: [HwLoop::default(); 2],
             csrs: BTreeMap::new(),
+            tracer: None,
         }
+    }
+
+    /// Attaches an execution tracer keeping the last `capacity` retired
+    /// instructions (replacing any existing tracer). Tracing costs a hash
+    /// update per retired instruction, so attach it only for forensic
+    /// re-runs or profiling passes.
+    pub fn attach_tracer(&mut self, capacity: usize) {
+        self.tracer = Some(Box::new(ExecTracer::new(capacity)));
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&ExecTracer> {
+        self.tracer.as_deref()
+    }
+
+    /// Detaches and returns the tracer, leaving the core untraced.
+    pub fn take_tracer(&mut self) -> Option<Box<ExecTracer>> {
+        self.tracer.take()
     }
 
     /// Reads a register (x0 is always zero).
@@ -169,13 +203,17 @@ impl Core {
         }
     }
 
-    /// Resets architectural state (registers, PC, loops, counters).
+    /// Resets architectural state (registers, PC, loops, counters). An
+    /// attached tracer stays attached but starts over empty.
     pub fn reset(&mut self) {
         self.regs = [0; 32];
         self.pc = 0;
         self.perf = PerfCounters::new();
         self.hwloops = [HwLoop::default(); 2];
         self.csrs.clear();
+        if let Some(t) = &mut self.tracer {
+            **t = ExecTracer::new(t.capacity());
+        }
     }
 
     fn csr_read(&self, num: u16) -> u32 {
@@ -203,9 +241,13 @@ impl Core {
         if timing::crosses_word_boundary(addr, size) {
             self.perf.cycles += timing::MISALIGN_PENALTY;
             self.perf.stall_cycles += timing::MISALIGN_PENALTY;
+            self.perf
+                .ledger
+                .charge(CycleClass::MisalignStall, timing::MISALIGN_PENALTY);
         }
         self.perf.loads += 1;
-        bus.read(addr, size).map_err(|error| Trap::Bus { pc: self.pc, error })
+        bus.read(addr, size)
+            .map_err(|error| Trap::Bus { pc: self.pc, error })
     }
 
     fn mem_write<B: Bus>(
@@ -218,17 +260,16 @@ impl Core {
         if timing::crosses_word_boundary(addr, size) {
             self.perf.cycles += timing::MISALIGN_PENALTY;
             self.perf.stall_cycles += timing::MISALIGN_PENALTY;
+            self.perf
+                .ledger
+                .charge(CycleClass::MisalignStall, timing::MISALIGN_PENALTY);
         }
         self.perf.stores += 1;
-        bus.write(addr, size, value).map_err(|error| Trap::Bus { pc: self.pc, error })
+        bus.write(addr, size, value)
+            .map_err(|error| Trap::Bus { pc: self.pc, error })
     }
 
-    fn load_value<B: Bus>(
-        &mut self,
-        bus: &mut B,
-        kind: LoadKind,
-        addr: u32,
-    ) -> Result<u32, Trap> {
+    fn load_value<B: Bus>(&mut self, bus: &mut B, kind: LoadKind, addr: u32) -> Result<u32, Trap> {
         let raw = self.mem_read(bus, addr, kind.size())?;
         Ok(match kind {
             LoadKind::Byte => raw as u8 as i8 as i32 as u32,
@@ -250,10 +291,16 @@ impl Core {
 
     fn check_extension(&self, instr: &Instr) -> Result<(), Trap> {
         if instr.requires_xpulpnn() && !self.isa.xpulpnn {
-            return Err(Trap::ExtensionFault { pc: self.pc, required: "xpulpnn" });
+            return Err(Trap::ExtensionFault {
+                pc: self.pc,
+                required: "xpulpnn",
+            });
         }
         if instr.requires_xpulpv2() && !self.isa.xpulpv2 {
-            return Err(Trap::ExtensionFault { pc: self.pc, required: "xpulpv2" });
+            return Err(Trap::ExtensionFault {
+                pc: self.pc,
+                required: "xpulpv2",
+            });
         }
         Ok(())
     }
@@ -289,11 +336,17 @@ impl Core {
         // RV32C: a parcel whose low two bits are not 0b11 is a 16-bit
         // compressed instruction expanding to one base instruction.
         if pulp_isa::compressed::is_compressed(word) {
-            let (_, instr) = pulp_isa::compressed::decode16(word as u16)
-                .ok_or(Trap::IllegalInstruction { pc, word: word & 0xffff })?;
+            let (_, instr) =
+                pulp_isa::compressed::decode16(word as u16).ok_or(Trap::IllegalInstruction {
+                    pc,
+                    word: word & 0xffff,
+                })?;
             Ok((instr, 2))
         } else {
-            Ok((decode(word).map_err(|_| Trap::IllegalInstruction { pc, word })?, 4))
+            Ok((
+                decode(word).map_err(|_| Trap::IllegalInstruction { pc, word })?,
+                4,
+            ))
         }
     }
 
@@ -308,11 +361,18 @@ impl Core {
     /// `ebreak`.
     pub fn step<B: Bus>(&mut self, bus: &mut B) -> Result<bool, Trap> {
         let pc = self.pc;
+        let cycles_at_entry = self.perf.cycles;
         let (instr, ilen) = self.fetch_decode(bus)?;
         self.check_extension(&instr)?;
 
         self.perf.instret += 1;
         let mut cycles = timing::ALU_CYCLES;
+        // Where the ledger charges this instruction's `cycles`. Memory
+        // misalignment stalls are charged separately (to `MisalignStall`,
+        // at the point the access happens); `qnt_stall` carries the part
+        // of a `pv.qnt`'s latency that must be split off the same way.
+        let mut class = CycleClass::Alu;
+        let mut qnt_stall = 0u64;
         let mut next_pc = pc.wrapping_add(ilen);
         // Control-flow instructions bypass the hardware-loop end check
         // (RI5CY forbids branches as the last body instruction; a taken
@@ -326,6 +386,7 @@ impl Core {
                 self.set_reg(rd, pc.wrapping_add(ilen));
                 next_pc = pc.wrapping_add(offset as u32);
                 cycles = timing::JUMP_CYCLES;
+                class = CycleClass::Jump;
                 self.perf.jumps += 1;
                 explicit_jump = true;
             }
@@ -334,11 +395,18 @@ impl Core {
                 self.set_reg(rd, pc.wrapping_add(ilen));
                 next_pc = target;
                 cycles = timing::JUMP_CYCLES;
+                class = CycleClass::Jump;
                 self.perf.jumps += 1;
                 explicit_jump = true;
             }
-            Instr::Branch { cond, rs1, rs2, offset } => {
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 self.perf.branches += 1;
+                class = CycleClass::Branch;
                 if cond.eval(self.reg(rs1), self.reg(rs2)) {
                     next_pc = pc.wrapping_add(offset as u32);
                     cycles = timing::BRANCH_TAKEN_CYCLES;
@@ -349,17 +417,29 @@ impl Core {
                     cycles = timing::BRANCH_NOT_TAKEN_CYCLES;
                 }
             }
-            Instr::Load { kind, rd, rs1, offset } => {
+            Instr::Load {
+                kind,
+                rd,
+                rs1,
+                offset,
+            } => {
                 let addr = self.reg(rs1).wrapping_add(offset as u32);
                 let v = self.load_value(bus, kind, addr)?;
                 self.set_reg(rd, v);
                 cycles = timing::MEM_CYCLES;
+                class = CycleClass::Load;
             }
-            Instr::Store { kind, rs1, rs2, offset } => {
+            Instr::Store {
+                kind,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 let addr = self.reg(rs1).wrapping_add(offset as u32);
                 let v = self.reg(rs2);
                 self.mem_write(bus, addr, kind.size(), v)?;
                 cycles = timing::MEM_CYCLES;
+                class = CycleClass::Store;
             }
             Instr::Alu { op, rd, rs1, rs2 } => {
                 let v = op.eval(self.reg(rs1), self.reg(rs2));
@@ -372,11 +452,21 @@ impl Core {
             Instr::Fence | Instr::Nop => {}
             Instr::Ecall => {
                 self.perf.cycles += cycles;
+                self.perf.ledger.charge(CycleClass::Csr, cycles);
+                debug_assert_eq!(
+                    self.perf.cycles,
+                    self.perf.ledger.total(),
+                    "cycle ledger out of balance at retire of ecall @ {pc:#010x}"
+                );
+                if let Some(t) = &mut self.tracer {
+                    t.record(pc, instr, self.perf.cycles - cycles_at_entry);
+                }
                 self.pc = next_pc;
                 return Ok(true);
             }
             Instr::Ebreak => return Err(Trap::Breakpoint { pc }),
             Instr::Csr { op, rd, rs1, csr } => {
+                class = CycleClass::Csr;
                 let old = self.csr_read(csr);
                 let src = self.reg(rs1);
                 let new = match op {
@@ -395,9 +485,11 @@ impl Core {
                 self.set_reg(rd, op.eval(a, b));
                 if op.is_div_rem() {
                     cycles = timing::div_cycles(a);
+                    class = CycleClass::Div;
                     self.perf.divs += 1;
                     self.perf.stall_cycles += cycles - 1;
                 } else {
+                    class = CycleClass::Mul;
                     self.perf.muls += 1;
                     if op != pulp_isa::instr::MulDivOp::Mul {
                         cycles = timing::MULH_CYCLES;
@@ -420,7 +512,11 @@ impl Core {
             }
             Instr::PClipU { rd, rs1, bits } => {
                 let x = self.reg(rs1) as i32;
-                let hi = if bits == 0 { 0 } else { (1i32 << (bits - 1)) - 1 };
+                let hi = if bits == 0 {
+                    0
+                } else {
+                    (1i32 << (bits - 1)) - 1
+                };
                 self.set_reg(rd, x.clamp(0, hi) as u32);
             }
             Instr::PMac { rd, rs1, rs2 } => {
@@ -428,6 +524,7 @@ impl Core {
                     .reg(rd)
                     .wrapping_add(self.reg(rs1).wrapping_mul(self.reg(rs2)));
                 self.set_reg(rd, v);
+                class = CycleClass::Mul;
                 self.perf.muls += 1;
             }
             Instr::PMsu { rd, rs1, rs2 } => {
@@ -435,6 +532,7 @@ impl Core {
                     .reg(rd)
                     .wrapping_sub(self.reg(rs1).wrapping_mul(self.reg(rs2)));
                 self.set_reg(rd, v);
+                class = CycleClass::Mul;
                 self.perf.muls += 1;
             }
             Instr::PBit { op, rd, rs1 } => {
@@ -454,12 +552,18 @@ impl Core {
                 let v = (self.reg(rd) & !mask) | ((self.reg(rs1) << off) & mask);
                 self.set_reg(rd, v);
             }
-            Instr::LoadPostInc { kind, rd, rs1, offset } => {
+            Instr::LoadPostInc {
+                kind,
+                rd,
+                rs1,
+                offset,
+            } => {
                 let addr = self.reg(rs1);
                 let v = self.load_value(bus, kind, addr)?;
                 self.set_reg(rd, v);
                 self.set_reg(rs1, addr.wrapping_add(offset as u32));
                 cycles = timing::MEM_CYCLES;
+                class = CycleClass::Load;
             }
             Instr::LoadPostIncReg { kind, rd, rs1, rs2 } => {
                 let addr = self.reg(rs1);
@@ -468,42 +572,60 @@ impl Core {
                 self.set_reg(rd, v);
                 self.set_reg(rs1, addr.wrapping_add(inc));
                 cycles = timing::MEM_CYCLES;
+                class = CycleClass::Load;
             }
             Instr::LoadRegOff { kind, rd, rs1, rs2 } => {
                 let addr = self.reg(rs1).wrapping_add(self.reg(rs2));
                 let v = self.load_value(bus, kind, addr)?;
                 self.set_reg(rd, v);
                 cycles = timing::MEM_CYCLES;
+                class = CycleClass::Load;
             }
-            Instr::StorePostInc { kind, rs1, rs2, offset } => {
+            Instr::StorePostInc {
+                kind,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 let addr = self.reg(rs1);
                 let v = self.reg(rs2);
                 self.mem_write(bus, addr, kind.size(), v)?;
                 self.set_reg(rs1, addr.wrapping_add(offset as u32));
                 cycles = timing::MEM_CYCLES;
+                class = CycleClass::Store;
             }
-            Instr::StorePostIncReg { kind, rs1, rs2, rs3 } => {
+            Instr::StorePostIncReg {
+                kind,
+                rs1,
+                rs2,
+                rs3,
+            } => {
                 let addr = self.reg(rs1);
                 let v = self.reg(rs2);
                 let inc = self.reg(rs3);
                 self.mem_write(bus, addr, kind.size(), v)?;
                 self.set_reg(rs1, addr.wrapping_add(inc));
                 cycles = timing::MEM_CYCLES;
+                class = CycleClass::Store;
             }
             Instr::LpStarti { l, offset } => {
                 self.hwloops[l.index()].start = pc.wrapping_add(offset as u32);
+                class = CycleClass::HwLoop;
                 self.perf.hwloop_setups += 1;
             }
             Instr::LpEndi { l, offset } => {
                 self.hwloops[l.index()].end = pc.wrapping_add(offset as u32);
+                class = CycleClass::HwLoop;
                 self.perf.hwloop_setups += 1;
             }
             Instr::LpCount { l, rs1 } => {
                 self.hwloops[l.index()].count = self.reg(rs1);
+                class = CycleClass::HwLoop;
                 self.perf.hwloop_setups += 1;
             }
             Instr::LpCounti { l, imm } => {
                 self.hwloops[l.index()].count = imm;
+                class = CycleClass::HwLoop;
                 self.perf.hwloop_setups += 1;
             }
             Instr::LpSetup { l, rs1, offset } => {
@@ -512,6 +634,7 @@ impl Core {
                 lp.start = pc.wrapping_add(4);
                 lp.end = pc.wrapping_add(offset as u32);
                 lp.count = count;
+                class = CycleClass::HwLoop;
                 self.perf.hwloop_setups += 1;
             }
             Instr::LpSetupi { l, imm, offset } => {
@@ -519,48 +642,80 @@ impl Core {
                 lp.start = pc.wrapping_add(4);
                 lp.end = pc.wrapping_add(offset as u32);
                 lp.count = imm;
+                class = CycleClass::HwLoop;
                 self.perf.hwloop_setups += 1;
             }
-            Instr::PvAlu { op, fmt, rd, rs1, op2 } => {
+            Instr::PvAlu {
+                op,
+                fmt,
+                rd,
+                rs1,
+                op2,
+            } => {
                 let b = self.simd_op2(fmt, op2);
                 let v = op.eval(fmt, self.reg(rs1), b);
                 self.set_reg(rd, v);
+                class = CycleClass::SimdAlu(fmt);
                 self.perf.simd_alu[fmt_index(fmt)] += 1;
             }
             Instr::PvAbs { fmt, rd, rs1 } => {
                 let v = simd::abs(fmt, self.reg(rs1));
                 self.set_reg(rd, v);
+                class = CycleClass::SimdAlu(fmt);
                 self.perf.simd_alu[fmt_index(fmt)] += 1;
             }
-            Instr::PvExtract { fmt, rd, rs1, idx, signed } => {
+            Instr::PvExtract {
+                fmt,
+                rd,
+                rs1,
+                idx,
+                signed,
+            } => {
                 let v = if signed {
                     simd::lane_s(fmt, self.reg(rs1), idx as usize) as u32
                 } else {
                     simd::lane_u(fmt, self.reg(rs1), idx as usize)
                 };
                 self.set_reg(rd, v);
+                class = CycleClass::SimdAlu(fmt);
                 self.perf.simd_alu[fmt_index(fmt)] += 1;
             }
             Instr::PvInsert { fmt, rd, rs1, idx } => {
                 let v = simd::with_lane(fmt, self.reg(rd), idx as usize, self.reg(rs1));
                 self.set_reg(rd, v);
+                class = CycleClass::SimdAlu(fmt);
                 self.perf.simd_alu[fmt_index(fmt)] += 1;
             }
             Instr::PvShuffle2 { fmt, rd, rs1, rs2 } => {
                 let v = simd::shuffle2(fmt, self.reg(rd), self.reg(rs1), self.reg(rs2));
                 self.set_reg(rd, v);
+                class = CycleClass::SimdAlu(fmt);
                 self.perf.simd_alu[fmt_index(fmt)] += 1;
             }
-            Instr::PvDot { fmt, sign, rd, rs1, op2 } => {
+            Instr::PvDot {
+                fmt,
+                sign,
+                rd,
+                rs1,
+                op2,
+            } => {
                 let b = self.simd_op2(fmt, op2);
                 let v = simd::dotp(fmt, sign, self.reg(rs1), b);
                 self.set_reg(rd, v);
+                class = CycleClass::Dotp(fmt);
                 self.perf.dotp[fmt_index(fmt)] += 1;
             }
-            Instr::PvSdot { fmt, sign, rd, rs1, op2 } => {
+            Instr::PvSdot {
+                fmt,
+                sign,
+                rd,
+                rs1,
+                op2,
+            } => {
                 let b = self.simd_op2(fmt, op2);
                 let v = simd::sdotp(fmt, sign, self.reg(rd), self.reg(rs1), b);
                 self.set_reg(rd, v);
+                class = CycleClass::Dotp(fmt);
                 self.perf.dotp[fmt_index(fmt)] += 1;
             }
             Instr::PvQnt { fmt, rd, rs1, rs2 } => {
@@ -568,6 +723,8 @@ impl Core {
                     .map_err(|error| Trap::Bus { pc, error })?;
                 self.set_reg(rd, r.rd);
                 cycles = r.cycles;
+                class = CycleClass::Qnt;
+                qnt_stall = r.stall_cycles;
                 self.perf.qnt += 1;
                 self.perf.loads += r.fetches as u64;
                 self.perf.stall_cycles += cycles - 1;
@@ -578,6 +735,20 @@ impl Core {
             next_pc = self.hwloop_next_pc(pc, ilen, next_pc);
         }
         self.perf.cycles += cycles;
+        self.perf.ledger.charge(class, cycles - qnt_stall);
+        if qnt_stall > 0 {
+            self.perf
+                .ledger
+                .charge(CycleClass::MisalignStall, qnt_stall);
+        }
+        debug_assert_eq!(
+            self.perf.cycles,
+            self.perf.ledger.total(),
+            "cycle ledger out of balance at retire of {instr} @ {pc:#010x}"
+        );
+        if let Some(t) = &mut self.tracer {
+            t.record(pc, instr, self.perf.cycles - cycles_at_entry);
+        }
         self.pc = next_pc;
         Ok(false)
     }
@@ -607,7 +778,11 @@ impl Core {
                 });
             }
         }
-        Ok(ExitStatus { halted: false, exit_code: self.reg(Reg::A0), pc: self.pc })
+        Ok(ExitStatus {
+            halted: false,
+            exit_code: self.reg(Reg::A0),
+            pc: self.pc,
+        })
     }
 
     /// Runs until `ecall`, a trap, or the cycle budget is exhausted.
@@ -626,7 +801,11 @@ impl Core {
                 });
             }
         }
-        Ok(ExitStatus { halted: false, exit_code: self.reg(Reg::A0), pc: self.pc })
+        Ok(ExitStatus {
+            halted: false,
+            exit_code: self.reg(Reg::A0),
+            pc: self.pc,
+        })
     }
 }
 
@@ -705,7 +884,12 @@ mod tests {
             a.sw(Reg::A1, 0, Reg::A0);
             a.lbu(Reg::A2, 0, Reg::A0);
             a.lw(Reg::A3, 0, Reg::A0);
-            a.i(Instr::Load { kind: LoadKind::Half, rd: Reg::A4, rs1: Reg::A0, offset: 0 });
+            a.i(Instr::Load {
+                kind: LoadKind::Half,
+                rd: Reg::A4,
+                rs1: Reg::A0,
+                offset: 0,
+            });
             a.ecall();
         });
         assert_eq!(core.reg(Reg::A2), 0xfe);
@@ -824,7 +1008,13 @@ mod tests {
             a.li(Reg::A1, 0x0102_0304u32 as i32); // bytes 4,3,2,1
             a.li(Reg::A2, 0x0101_0101u32 as i32); // bytes 1,1,1,1
             a.li(Reg::A0, 100);
-            a.pv_sdot(SimdFmt::Byte, DotSign::SignedSigned, Reg::A0, Reg::A1, Reg::A2);
+            a.pv_sdot(
+                SimdFmt::Byte,
+                DotSign::SignedSigned,
+                Reg::A0,
+                Reg::A1,
+                Reg::A2,
+            );
             a.ecall();
         });
         assert_eq!(core.reg(Reg::A0), 110);
@@ -835,7 +1025,13 @@ mod tests {
     #[test]
     fn sub_byte_simd_traps_on_baseline_core() {
         let mut a = Asm::new(0);
-        a.pv_sdot(SimdFmt::Nibble, DotSign::SignedSigned, Reg::A0, Reg::A1, Reg::A2);
+        a.pv_sdot(
+            SimdFmt::Nibble,
+            DotSign::SignedSigned,
+            Reg::A0,
+            Reg::A1,
+            Reg::A2,
+        );
         a.ecall();
         let prog = a.assemble().unwrap();
         let mut mem = SliceMem::new(0, 4096);
@@ -843,7 +1039,13 @@ mod tests {
         let mut core = Core::new(IsaConfig::xpulpv2());
         core.pc = prog.base;
         let e = core.run(&mut mem, 100).unwrap_err();
-        assert_eq!(e, Trap::ExtensionFault { pc: 0, required: "xpulpnn" });
+        assert_eq!(
+            e,
+            Trap::ExtensionFault {
+                pc: 0,
+                required: "xpulpnn"
+            }
+        );
         // The same program runs on the extended core.
         let mut core = Core::new(IsaConfig::xpulpnn());
         core.pc = prog.base;
@@ -861,7 +1063,13 @@ mod tests {
         let mut core = Core::new(IsaConfig::rv32im());
         core.pc = prog.base;
         let e = core.run(&mut mem, 100).unwrap_err();
-        assert_eq!(e, Trap::ExtensionFault { pc: 0, required: "xpulpv2" });
+        assert_eq!(
+            e,
+            Trap::ExtensionFault {
+                pc: 0,
+                required: "xpulpv2"
+            }
+        );
     }
 
     #[test]
@@ -881,7 +1089,8 @@ mod tests {
             mem.load_program(&prog);
             let heap = eytzinger(&sorted);
             for (i, t) in heap.iter().enumerate() {
-                mem.write(0x4000 + (i as u32) * 2, 2, *t as u16 as u32).unwrap();
+                mem.write(0x4000 + (i as u32) * 2, 2, *t as u16 as u32)
+                    .unwrap();
                 mem.write(
                     0x4000 + tree_stride(SimdFmt::Nibble) + (i as u32) * 2,
                     2,
@@ -917,10 +1126,25 @@ mod tests {
     fn bit_field_ops() {
         let (core, _) = run_asm(|a| {
             a.li(Reg::A1, 0x0000_ff00u32 as i32);
-            a.i(Instr::PExtract { rd: Reg::A2, rs1: Reg::A1, len: 8, off: 8 });
-            a.i(Instr::PExtractU { rd: Reg::A3, rs1: Reg::A1, len: 8, off: 8 });
+            a.i(Instr::PExtract {
+                rd: Reg::A2,
+                rs1: Reg::A1,
+                len: 8,
+                off: 8,
+            });
+            a.i(Instr::PExtractU {
+                rd: Reg::A3,
+                rs1: Reg::A1,
+                len: 8,
+                off: 8,
+            });
             a.li(Reg::A4, 0x5);
-            a.i(Instr::PInsert { rd: Reg::A1, rs1: Reg::A4, len: 4, off: 0 });
+            a.i(Instr::PInsert {
+                rd: Reg::A1,
+                rs1: Reg::A4,
+                len: 4,
+                off: 0,
+            });
             a.ecall();
         });
         assert_eq!(core.reg(Reg::A2), 0xffff_ffff); // sign-extended 0xff
@@ -932,10 +1156,22 @@ mod tests {
     fn clip_matches_paper_semantics() {
         let (core, _) = run_asm(|a| {
             a.li(Reg::A1, 1000);
-            a.i(Instr::PClip { rd: Reg::A2, rs1: Reg::A1, bits: 8 });
+            a.i(Instr::PClip {
+                rd: Reg::A2,
+                rs1: Reg::A1,
+                bits: 8,
+            });
             a.li(Reg::A1, -1000);
-            a.i(Instr::PClip { rd: Reg::A3, rs1: Reg::A1, bits: 8 });
-            a.i(Instr::PClipU { rd: Reg::A4, rs1: Reg::A1, bits: 8 });
+            a.i(Instr::PClip {
+                rd: Reg::A3,
+                rs1: Reg::A1,
+                bits: 8,
+            });
+            a.i(Instr::PClipU {
+                rd: Reg::A4,
+                rs1: Reg::A1,
+                bits: 8,
+            });
             a.ecall();
         });
         assert_eq!(core.reg(Reg::A2) as i32, 127);
@@ -948,7 +1184,12 @@ mod tests {
         let (core, _) = run_asm(|a| {
             a.nop();
             a.nop();
-            a.i(Instr::Csr { op: 1, rd: Reg::A0, rs1: Reg::Zero, csr: pulp_isa::csr::MCYCLE });
+            a.i(Instr::Csr {
+                op: 1,
+                rd: Reg::A0,
+                rs1: Reg::Zero,
+                csr: pulp_isa::csr::MCYCLE,
+            });
             a.ecall();
         });
         assert_eq!(core.reg(Reg::A0), 2);
@@ -960,7 +1201,13 @@ mod tests {
         mem.write(0, 4, 0xffff_ffff).unwrap();
         let mut core = Core::new(IsaConfig::xpulpnn());
         let e = core.run(&mut mem, 10).unwrap_err();
-        assert_eq!(e, Trap::IllegalInstruction { pc: 0, word: 0xffff_ffff });
+        assert_eq!(
+            e,
+            Trap::IllegalInstruction {
+                pc: 0,
+                word: 0xffff_ffff
+            }
+        );
     }
 
     #[test]
@@ -994,7 +1241,12 @@ mod tests {
     #[test]
     fn x0_writes_discarded() {
         let (core, _) = run_asm(|a| {
-            a.i(Instr::AluImm { op: AluOp::Add, rd: Reg::Zero, rs1: Reg::Zero, imm: 5 });
+            a.i(Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg::Zero,
+                rs1: Reg::Zero,
+                imm: 5,
+            });
             a.ecall();
         });
         assert_eq!(core.reg(Reg::Zero), 0);
@@ -1059,7 +1311,10 @@ mod tests {
         assert!(trace[0].1.starts_with("addi a0"));
         assert!(trace.last().unwrap().1.contains("ecall"));
         // The loop body appears three times.
-        assert_eq!(trace.iter().filter(|(_, t)| t == "addi a0, a0, -1").count(), 3);
+        assert_eq!(
+            trace.iter().filter(|(_, t)| t == "addi a0, a0, -1").count(),
+            3
+        );
     }
 
     #[test]
@@ -1068,12 +1323,27 @@ mod tests {
         // Hand-place a mixed 16/32-bit stream:
         //   c.li a0, 5 ; c.addi a0, 3 ; c.mv a1, a0 ; ecall
         let parcels = [
-            compress(&Instr::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::Zero, imm: 5 })
-                .unwrap(),
-            compress(&Instr::AluImm { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A0, imm: 3 })
-                .unwrap(),
-            compress(&Instr::Alu { op: AluOp::Add, rd: Reg::A1, rs1: Reg::Zero, rs2: Reg::A0 })
-                .unwrap(),
+            compress(&Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::Zero,
+                imm: 5,
+            })
+            .unwrap(),
+            compress(&Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                imm: 3,
+            })
+            .unwrap(),
+            compress(&Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg::A1,
+                rs1: Reg::Zero,
+                rs2: Reg::A0,
+            })
+            .unwrap(),
         ];
         let mut mem = SliceMem::new(0, 64);
         let mut addr = 0;
@@ -1081,7 +1351,8 @@ mod tests {
             mem.write(addr, 2, p as u32).unwrap();
             addr += 2;
         }
-        mem.write(addr, 4, pulp_isa::encode::encode(&Instr::Ecall)).unwrap();
+        mem.write(addr, 4, pulp_isa::encode::encode(&Instr::Ecall))
+            .unwrap();
         let mut core = Core::new(IsaConfig::xpulpnn());
         let exit = core.run(&mut mem, 100).unwrap();
         assert!(exit.halted);
@@ -1098,11 +1369,21 @@ mod tests {
         let mut mem = SliceMem::new(0, 64);
         // 0x00: c.jal +6  (to 0x06)
         // 0x02: ecall (32-bit, at the return point... place return at 0x02)
-        let cjal = compress(&Instr::Jal { rd: Reg::Ra, offset: 6 }).unwrap();
+        let cjal = compress(&Instr::Jal {
+            rd: Reg::Ra,
+            offset: 6,
+        })
+        .unwrap();
         mem.write(0, 2, cjal as u32).unwrap();
-        mem.write(2, 4, pulp_isa::encode::encode(&Instr::Ecall)).unwrap();
+        mem.write(2, 4, pulp_isa::encode::encode(&Instr::Ecall))
+            .unwrap();
         // 0x06: c.jr ra (returns to 0x02)
-        let cjr = compress(&Instr::Jalr { rd: Reg::Zero, rs1: Reg::Ra, offset: 0 }).unwrap();
+        let cjr = compress(&Instr::Jalr {
+            rd: Reg::Zero,
+            rs1: Reg::Ra,
+            offset: 0,
+        })
+        .unwrap();
         mem.write(6, 2, cjr as u32).unwrap();
         let mut core = Core::new(IsaConfig::xpulpnn());
         let exit = core.run(&mut mem, 100).unwrap();
@@ -1125,5 +1406,122 @@ mod tests {
             a.ecall();
         });
         assert_eq!(core.reg(Reg::A0), 17);
+    }
+
+    #[test]
+    fn ledger_balances_and_attributes_a_mixed_program() {
+        use crate::perf::CycleClass as C;
+        let (core, _) = run_asm(|a| {
+            a.li(Reg::A0, 100); // alu
+            a.li(Reg::A1, 7); // alu
+            a.i(Instr::MulDiv {
+                op: pulp_isa::instr::MulDivOp::Div,
+                rd: Reg::A2,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+            });
+            a.li(Reg::A3, 0x2000);
+            a.sw(Reg::A0, 0, Reg::A3); // aligned store
+            a.lw(Reg::A4, 0, Reg::A3); // aligned load
+            a.li(Reg::A5, 0x1002);
+            a.sw(Reg::A0, 0, Reg::A5); // misaligned store: +1 stall
+            a.pv_sdot(
+                SimdFmt::Byte,
+                DotSign::SignedSigned,
+                Reg::A2,
+                Reg::A0,
+                Reg::A1,
+            );
+            a.beq(Reg::Zero, Reg::Zero, "out"); // taken branch
+            a.label("out");
+            a.ecall();
+        });
+        let l = &core.perf.ledger;
+        assert_eq!(core.perf.cycles, l.total(), "ledger must balance");
+        assert_eq!(l.get(C::Div), timing::div_cycles(100));
+        assert_eq!(l.get(C::Load), 1);
+        assert_eq!(l.get(C::Store), 2);
+        assert_eq!(l.get(C::MisalignStall), 1);
+        assert_eq!(l.get(C::Branch), timing::BRANCH_TAKEN_CYCLES);
+        assert_eq!(l.get(C::Dotp(SimdFmt::Byte)), 1);
+        assert_eq!(l.get(C::Csr), 1, "ecall is charged to csr");
+        assert_eq!(l.get(C::Qnt), 0);
+    }
+
+    #[test]
+    fn ledger_splits_qnt_misalign_stalls() {
+        use crate::perf::CycleClass as C;
+        use crate::quant::{eytzinger, tree_stride};
+        let sorted = [-50i16, 0, 50];
+        let mut a = Asm::new(0);
+        a.li(Reg::A2, 0x4001); // odd tree base: misaligned fetches
+        a.li(Reg::A1, 0);
+        a.pv_qnt(SimdFmt::Crumb, Reg::A0, Reg::A1, Reg::A2);
+        a.ecall();
+        let prog = a.assemble().unwrap();
+        let mut mem = SliceMem::new(0, 1 << 16);
+        mem.load_program(&prog);
+        for (i, t) in eytzinger(&sorted).iter().enumerate() {
+            mem.write(0x4001 + (i as u32) * 2, 2, *t as u16 as u32)
+                .unwrap();
+            mem.write(
+                0x4001 + tree_stride(SimdFmt::Crumb) + (i as u32) * 2,
+                2,
+                *t as u16 as u32,
+            )
+            .unwrap();
+        }
+        let mut core = Core::new(IsaConfig::xpulpnn());
+        core.pc = prog.base;
+        assert!(core.run(&mut mem, 1000).unwrap().halted);
+        let l = &core.perf.ledger;
+        assert_eq!(core.perf.cycles, l.total());
+        // The base pv.qnt latency lands in Qnt; the two misaligned
+        // threshold fetches (addr % 4 == 3) land in MisalignStall.
+        assert_eq!(l.get(C::Qnt), timing::qnt_cycles(SimdFmt::Crumb));
+        assert_eq!(l.get(C::MisalignStall), 2);
+    }
+
+    #[test]
+    fn tracer_records_tail_and_hotspots() {
+        let mut a = Asm::new(0);
+        a.li(Reg::A0, 3);
+        a.label("loop");
+        a.addi(Reg::A0, Reg::A0, -1);
+        a.bne(Reg::A0, Reg::Zero, "loop");
+        a.ecall();
+        let prog = a.assemble().unwrap();
+        let mut mem = SliceMem::new(0, 4096);
+        mem.load_program(&prog);
+        let mut core = Core::new(IsaConfig::xpulpnn());
+        core.pc = prog.base;
+        core.attach_tracer(4);
+        assert!(core.run(&mut mem, 1000).unwrap().halted);
+        let t = core.tracer().expect("tracer attached");
+        assert_eq!(t.retired(), core.perf.instret);
+        // Per-entry cycle costs sum to the core's cycle counter (ring is
+        // bigger than the program here, so nothing was evicted... except
+        // possibly; use hotspots which survive eviction).
+        let hot_total: u64 = t.hotspots(usize::MAX).iter().map(|h| h.cycles).sum();
+        assert_eq!(hot_total, core.perf.cycles);
+        let dump = core.tracer().unwrap().dump_tail();
+        assert!(dump.contains("ecall"));
+        let taken = core.take_tracer().expect("take");
+        assert!(core.tracer().is_none());
+        assert_eq!(taken.retired(), core.perf.instret);
+    }
+
+    #[test]
+    fn reset_clears_tracer_but_keeps_it_attached() {
+        let (mut core, mut mem) = run_asm(|a| {
+            a.li(Reg::A0, 1);
+            a.ecall();
+        });
+        core.attach_tracer(8);
+        core.reset();
+        // Re-run the same image with the tracer attached from pc 0.
+        assert!(core.run(&mut mem, 1000).unwrap().halted);
+        let t = core.tracer().expect("still attached");
+        assert_eq!(t.retired(), core.perf.instret);
     }
 }

@@ -51,7 +51,9 @@ pub mod core;
 pub mod perf;
 pub mod quant;
 pub mod timing;
+pub mod trace;
 
 pub use crate::core::{Core, ExitStatus, IsaConfig, Trap};
 pub use bus::{Bus, BusError, SliceMem};
-pub use perf::PerfCounters;
+pub use perf::{CycleClass, CycleLedger, PerfCounters};
+pub use trace::{ExecTracer, Hotspot, TraceEntry};

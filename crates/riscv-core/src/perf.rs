@@ -1,9 +1,192 @@
 //! Performance counters: the model's equivalent of RI5CY's performance
 //! counter unit, extended with the per-format event counts the power
-//! model (`pulp-power`) uses as activity factors.
+//! model (`pulp-power`) uses as activity factors and a cycle-attribution
+//! ledger that breaks total cycles down by instruction class.
 
 use pulp_isa::SimdFmt;
 use std::fmt;
+
+/// An instruction class the cycle ledger attributes cycles to.
+///
+/// Every cycle the core spends is charged to exactly one class at retire
+/// time, so `Σ ledger = cycles` is a hard invariant ([`CycleLedger::total`]
+/// vs [`PerfCounters::cycles`], `debug_assert`ed after every step).
+/// Misalignment stalls get their own class rather than being folded into
+/// the load/store/qnt classes: they are the one *data-dependent* cost in
+/// the model, and keeping them separate is what lets a cycle report say
+/// "this kernel pays N cycles to misaligned threshold trees".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CycleClass {
+    /// Single-cycle scalar integer ops (ALU, `p.*` scalar, bit fields,
+    /// clips, `lui`/`auipc`, fences, nops).
+    Alu,
+    /// Multiplies (`mul`, `mulh*`, `p.mac`/`p.msu`).
+    Mul,
+    /// Divisions and remainders.
+    Div,
+    /// Data loads (all addressing forms), excluding misalign stalls.
+    Load,
+    /// Data stores (all addressing forms), excluding misalign stalls.
+    Store,
+    /// Conditional branches (taken and not).
+    Branch,
+    /// Unconditional jumps (`jal`/`jalr`).
+    Jump,
+    /// Hardware-loop setup instructions (back-edges are free).
+    HwLoop,
+    /// CSR accesses and system instructions (`ecall`).
+    Csr,
+    /// `pv.qnt` base latency, excluding misalign stalls.
+    Qnt,
+    /// SIMD ALU ops (add/avg/shuffle/extract/…) by lane format.
+    SimdAlu(SimdFmt),
+    /// Dot products / sum-of-dot-products by lane format.
+    Dotp(SimdFmt),
+    /// Extra cycles from accesses crossing a word boundary.
+    MisalignStall,
+}
+
+/// Number of distinct [`CycleClass`] buckets.
+pub const CYCLE_CLASS_COUNT: usize = 19;
+
+/// Every cycle class, in ledger-bucket order.
+pub const ALL_CYCLE_CLASSES: [CycleClass; CYCLE_CLASS_COUNT] = [
+    CycleClass::Alu,
+    CycleClass::Mul,
+    CycleClass::Div,
+    CycleClass::Load,
+    CycleClass::Store,
+    CycleClass::Branch,
+    CycleClass::Jump,
+    CycleClass::HwLoop,
+    CycleClass::Csr,
+    CycleClass::Qnt,
+    CycleClass::SimdAlu(SimdFmt::Half),
+    CycleClass::SimdAlu(SimdFmt::Byte),
+    CycleClass::SimdAlu(SimdFmt::Nibble),
+    CycleClass::SimdAlu(SimdFmt::Crumb),
+    CycleClass::Dotp(SimdFmt::Half),
+    CycleClass::Dotp(SimdFmt::Byte),
+    CycleClass::Dotp(SimdFmt::Nibble),
+    CycleClass::Dotp(SimdFmt::Crumb),
+    CycleClass::MisalignStall,
+];
+
+impl CycleClass {
+    /// Position of this class in the ledger's bucket array.
+    pub fn index(self) -> usize {
+        match self {
+            CycleClass::Alu => 0,
+            CycleClass::Mul => 1,
+            CycleClass::Div => 2,
+            CycleClass::Load => 3,
+            CycleClass::Store => 4,
+            CycleClass::Branch => 5,
+            CycleClass::Jump => 6,
+            CycleClass::HwLoop => 7,
+            CycleClass::Csr => 8,
+            CycleClass::Qnt => 9,
+            CycleClass::SimdAlu(fmt) => 10 + fmt_index(fmt),
+            CycleClass::Dotp(fmt) => 14 + fmt_index(fmt),
+            CycleClass::MisalignStall => 18,
+        }
+    }
+
+    /// Stable snake-case name (used as JSON keys by the report layer).
+    pub fn name(self) -> &'static str {
+        match self {
+            CycleClass::Alu => "alu",
+            CycleClass::Mul => "mul",
+            CycleClass::Div => "div",
+            CycleClass::Load => "load",
+            CycleClass::Store => "store",
+            CycleClass::Branch => "branch",
+            CycleClass::Jump => "jump",
+            CycleClass::HwLoop => "hwloop",
+            CycleClass::Csr => "csr",
+            CycleClass::Qnt => "qnt",
+            CycleClass::SimdAlu(SimdFmt::Half) => "simd_alu.h",
+            CycleClass::SimdAlu(SimdFmt::Byte) => "simd_alu.b",
+            CycleClass::SimdAlu(SimdFmt::Nibble) => "simd_alu.n",
+            CycleClass::SimdAlu(SimdFmt::Crumb) => "simd_alu.c",
+            CycleClass::Dotp(SimdFmt::Half) => "dotp.h",
+            CycleClass::Dotp(SimdFmt::Byte) => "dotp.b",
+            CycleClass::Dotp(SimdFmt::Nibble) => "dotp.n",
+            CycleClass::Dotp(SimdFmt::Crumb) => "dotp.c",
+            CycleClass::MisalignStall => "misalign_stall",
+        }
+    }
+}
+
+/// Per-instruction-class cycle attribution, maintained by the core at
+/// retire time. The sum of all buckets always equals
+/// [`PerfCounters::cycles`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleLedger {
+    buckets: [u64; CYCLE_CLASS_COUNT],
+}
+
+impl CycleLedger {
+    /// A zeroed ledger.
+    pub fn new() -> CycleLedger {
+        CycleLedger::default()
+    }
+
+    /// Charges `cycles` to `class`.
+    #[inline]
+    pub fn charge(&mut self, class: CycleClass, cycles: u64) {
+        self.buckets[class.index()] += cycles;
+    }
+
+    /// Cycles attributed to one class.
+    pub fn get(&self, class: CycleClass) -> u64 {
+        self.buckets[class.index()]
+    }
+
+    /// Sum over all buckets — must equal the core's cycle counter.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// `(class, cycles)` for every bucket, in ledger order.
+    pub fn entries(&self) -> impl Iterator<Item = (CycleClass, u64)> + '_ {
+        ALL_CYCLE_CLASSES
+            .iter()
+            .map(move |c| (*c, self.buckets[c.index()]))
+    }
+
+    /// Bucket-wise `self − before` (for per-run deltas).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any bucket of `before` exceeds the
+    /// corresponding bucket of `self`.
+    pub fn since(&self, before: &CycleLedger) -> CycleLedger {
+        let mut out = CycleLedger::new();
+        for i in 0..CYCLE_CLASS_COUNT {
+            out.buckets[i] = self.buckets[i] - before.buckets[i];
+        }
+        out
+    }
+}
+
+impl fmt::Display for CycleLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total().max(1);
+        let mut classes: Vec<(CycleClass, u64)> = self.entries().filter(|(_, c)| *c > 0).collect();
+        classes.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
+        for (class, cycles) in classes {
+            writeln!(
+                f,
+                "  {:<16} {:>12}  ({:>5.1}%)",
+                class.name(),
+                cycles,
+                cycles as f64 / total as f64 * 100.0
+            )?;
+        }
+        write!(f, "  {:<16} {:>12}", "total", self.total())
+    }
+}
 
 /// Event counters accumulated by the core while executing.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -39,6 +222,9 @@ pub struct PerfCounters {
     /// Stall cycles from misaligned accesses and multi-cycle ops (cycles
     /// beyond the 1-per-instruction baseline).
     pub stall_cycles: u64,
+    /// Per-instruction-class cycle attribution; `ledger.total()` always
+    /// equals `cycles`.
+    pub ledger: CycleLedger,
 }
 
 /// Index of a lane format in the per-format counter arrays.
@@ -77,12 +263,42 @@ impl PerfCounters {
     pub fn dotp_for(&self, fmt: SimdFmt) -> u64 {
         self.dotp[fmt_index(fmt)]
     }
+
+    /// Field-wise `self − before`: the events that happened between two
+    /// snapshots of the same core's counters. Used by the SoC layer to
+    /// report per-run counters from a cumulative core.
+    pub fn delta_since(&self, before: &PerfCounters) -> PerfCounters {
+        let sub4 = |a: [u64; 4], b: [u64; 4]| [a[0] - b[0], a[1] - b[1], a[2] - b[2], a[3] - b[3]];
+        PerfCounters {
+            cycles: self.cycles - before.cycles,
+            instret: self.instret - before.instret,
+            loads: self.loads - before.loads,
+            stores: self.stores - before.stores,
+            branches: self.branches - before.branches,
+            branches_taken: self.branches_taken - before.branches_taken,
+            jumps: self.jumps - before.jumps,
+            muls: self.muls - before.muls,
+            divs: self.divs - before.divs,
+            simd_alu: sub4(self.simd_alu, before.simd_alu),
+            dotp: sub4(self.dotp, before.dotp),
+            qnt: self.qnt - before.qnt,
+            hwloop_setups: self.hwloop_setups - before.hwloop_setups,
+            hwloop_backs: self.hwloop_backs - before.hwloop_backs,
+            stall_cycles: self.stall_cycles - before.stall_cycles,
+            ledger: self.ledger.since(&before.ledger),
+        }
+    }
 }
 
 impl fmt::Display for PerfCounters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "cycles          {:>12}", self.cycles)?;
-        writeln!(f, "instret         {:>12}  (IPC {:.3})", self.instret, self.ipc())?;
+        writeln!(
+            f,
+            "instret         {:>12}  (IPC {:.3})",
+            self.instret,
+            self.ipc()
+        )?;
         writeln!(f, "loads/stores    {:>12} / {}", self.loads, self.stores)?;
         writeln!(
             f,
@@ -132,5 +348,71 @@ mod tests {
         let s = p.to_string();
         assert!(s.contains("cycles"));
         assert!(s.contains("dotp"));
+    }
+
+    #[test]
+    fn cycle_class_indices_are_a_bijection() {
+        let mut seen = [false; CYCLE_CLASS_COUNT];
+        for c in ALL_CYCLE_CLASSES {
+            assert!(!seen[c.index()], "{} reuses index {}", c.name(), c.index());
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+        // Names are unique too (they become JSON keys).
+        for (i, a) in ALL_CYCLE_CLASSES.iter().enumerate() {
+            for b in &ALL_CYCLE_CLASSES[i + 1..] {
+                assert_ne!(a.name(), b.name());
+            }
+        }
+    }
+
+    #[test]
+    fn ledger_charge_total_and_delta() {
+        let mut l = CycleLedger::new();
+        l.charge(CycleClass::Alu, 3);
+        l.charge(CycleClass::Dotp(SimdFmt::Nibble), 5);
+        l.charge(CycleClass::MisalignStall, 1);
+        assert_eq!(l.total(), 9);
+        assert_eq!(l.get(CycleClass::Dotp(SimdFmt::Nibble)), 5);
+        assert_eq!(l.get(CycleClass::Dotp(SimdFmt::Byte)), 0);
+
+        let before = l;
+        l.charge(CycleClass::Alu, 2);
+        let d = l.since(&before);
+        assert_eq!(d.total(), 2);
+        assert_eq!(d.get(CycleClass::Alu), 2);
+    }
+
+    #[test]
+    fn ledger_display_sorts_by_cycles_and_shows_total() {
+        let mut l = CycleLedger::new();
+        l.charge(CycleClass::Load, 10);
+        l.charge(CycleClass::Alu, 90);
+        let s = l.to_string();
+        assert!(s.find("alu").unwrap() < s.find("load").unwrap());
+        assert!(s.contains("total"));
+        assert!(s.contains("100"));
+    }
+
+    #[test]
+    fn perf_delta_subtracts_every_field() {
+        let mut p = PerfCounters::new();
+        p.cycles = 10;
+        p.instret = 5;
+        p.loads = 2;
+        p.dotp[2] = 3;
+        p.ledger.charge(CycleClass::Alu, 10);
+        let before = p;
+        p.cycles += 7;
+        p.instret += 4;
+        p.dotp[2] += 1;
+        p.ledger.charge(CycleClass::Load, 7);
+        let d = p.delta_since(&before);
+        assert_eq!(d.cycles, 7);
+        assert_eq!(d.instret, 4);
+        assert_eq!(d.loads, 0);
+        assert_eq!(d.dotp[2], 1);
+        assert_eq!(d.ledger.total(), 7);
+        assert_eq!(d.ledger.get(CycleClass::Load), 7);
     }
 }

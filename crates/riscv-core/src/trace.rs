@@ -1,0 +1,213 @@
+//! Bounded execution tracer: a ring buffer of the last N retired
+//! instructions plus a hot-PC cycle histogram.
+//!
+//! The tracer exists for two consumers:
+//!
+//! * **Failure forensics** — when a kernel traps or diverges from the
+//!   golden model, the testbench re-runs the (deterministic) simulation
+//!   with a tracer attached and dumps the tail of the instruction stream,
+//!   so the offending window is visible without single-stepping.
+//! * **Hotspot profiling** — the per-PC cycle histogram identifies which
+//!   static instructions the kernel spends its time on, complementing the
+//!   per-class [`crate::perf::CycleLedger`].
+//!
+//! Tracing is opt-in (`Core::tracer` is `None` by default) so the hot
+//! simulation path pays nothing for it.
+
+use pulp_isa::instr::Instr;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One retired instruction as recorded by the tracer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Zero-based retire index within the traced run.
+    pub seq: u64,
+    /// Program counter the instruction retired at.
+    pub pc: u32,
+    /// The decoded instruction (disassembles via `Display`).
+    pub instr: Instr,
+    /// Cycles charged for this instruction, stalls included.
+    pub cycles: u64,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>8}  {:08x}  {:<32} {:>2} cyc",
+            self.seq,
+            self.pc,
+            self.instr.to_string(),
+            self.cycles
+        )
+    }
+}
+
+/// One row of the hot-PC histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hotspot {
+    /// Static instruction address.
+    pub pc: u32,
+    /// Total cycles retired at this address.
+    pub cycles: u64,
+    /// Number of times an instruction retired at this address.
+    pub count: u64,
+    /// The instruction most recently seen at this address.
+    pub instr: Instr,
+}
+
+/// Ring-buffer execution tracer with a hot-PC cycle histogram.
+#[derive(Debug, Clone)]
+pub struct ExecTracer {
+    capacity: usize,
+    ring: VecDeque<TraceEntry>,
+    by_pc: HashMap<u32, (u64, u64, Instr)>, // pc -> (cycles, count, last instr)
+    retired: u64,
+}
+
+impl ExecTracer {
+    /// A tracer keeping the last `capacity` retired instructions
+    /// (`capacity` is clamped to at least 1).
+    pub fn new(capacity: usize) -> ExecTracer {
+        let capacity = capacity.max(1);
+        ExecTracer {
+            capacity,
+            ring: VecDeque::with_capacity(capacity),
+            by_pc: HashMap::new(),
+            retired: 0,
+        }
+    }
+
+    /// Records one retired instruction.
+    pub fn record(&mut self, pc: u32, instr: Instr, cycles: u64) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(TraceEntry {
+            seq: self.retired,
+            pc,
+            instr,
+            cycles,
+        });
+        self.retired += 1;
+        let slot = self.by_pc.entry(pc).or_insert((0, 0, instr));
+        slot.0 += cycles;
+        slot.1 += 1;
+        slot.2 = instr;
+    }
+
+    /// Total instructions retired while tracing (may exceed the ring's
+    /// capacity).
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// The ring's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The retained tail of the instruction stream, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.ring.iter()
+    }
+
+    /// The hottest static instructions by attributed cycles, descending;
+    /// ties break on ascending PC so the order is deterministic.
+    pub fn hotspots(&self, top: usize) -> Vec<Hotspot> {
+        let mut rows: Vec<Hotspot> = self
+            .by_pc
+            .iter()
+            .map(|(pc, (cycles, count, instr))| Hotspot {
+                pc: *pc,
+                cycles: *cycles,
+                count: *count,
+                instr: *instr,
+            })
+            .collect();
+        rows.sort_by(|a, b| b.cycles.cmp(&a.cycles).then(a.pc.cmp(&b.pc)));
+        rows.truncate(top);
+        rows
+    }
+
+    /// Renders the retained tail as a disassembly listing — the "last N
+    /// instructions before the trap" dump.
+    pub fn dump_tail(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "last {} of {} retired instructions (seq / pc / disasm / cycles):\n",
+            self.ring.len(),
+            self.retired
+        ));
+        for e in &self.ring {
+            out.push_str(&format!("{e}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulp_isa::instr::AluOp;
+    use pulp_isa::Reg;
+
+    fn nop() -> Instr {
+        Instr::AluImm {
+            op: AluOp::Add,
+            rd: Reg::Zero,
+            rs1: Reg::Zero,
+            imm: 0,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_only_the_tail() {
+        let mut t = ExecTracer::new(4);
+        for i in 0..10u32 {
+            t.record(0x100 + 4 * i, nop(), 1);
+        }
+        assert_eq!(t.retired(), 10);
+        let seqs: Vec<u64> = t.entries().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        let pcs: Vec<u32> = t.entries().map(|e| e.pc).collect();
+        assert_eq!(pcs, vec![0x118, 0x11c, 0x120, 0x124]);
+    }
+
+    #[test]
+    fn histogram_survives_ring_eviction() {
+        let mut t = ExecTracer::new(2);
+        for _ in 0..5 {
+            t.record(0x80, nop(), 3);
+        }
+        t.record(0x84, nop(), 1);
+        let hot = t.hotspots(10);
+        assert_eq!(hot.len(), 2);
+        assert_eq!(hot[0].pc, 0x80);
+        assert_eq!(hot[0].cycles, 15);
+        assert_eq!(hot[0].count, 5);
+        assert_eq!(hot[1].pc, 0x84);
+    }
+
+    #[test]
+    fn hotspots_tie_break_on_pc() {
+        let mut t = ExecTracer::new(8);
+        t.record(0x200, nop(), 2);
+        t.record(0x100, nop(), 2);
+        let hot = t.hotspots(10);
+        assert_eq!(hot[0].pc, 0x100);
+        assert_eq!(hot[1].pc, 0x200);
+    }
+
+    #[test]
+    fn dump_mentions_pc_and_disassembly() {
+        let mut t = ExecTracer::new(4);
+        t.record(0x1c008000, nop(), 1);
+        let dump = t.dump_tail();
+        assert!(dump.contains("1c008000"));
+        assert!(dump.contains("nop") || dump.contains("addi"));
+        assert!(dump.contains("last 1 of 1"));
+    }
+}

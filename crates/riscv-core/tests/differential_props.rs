@@ -6,50 +6,88 @@
 //!    (RVC trades size, not time, on RI5CY).
 //! 2. **ALU reference** — random ALU instruction sequences match an
 //!    independent host-side interpreter.
+//!
+//! Originally `proptest` properties; rewritten as seeded `xrand` loops so
+//! the tree resolves offline. Failure messages carry the case index,
+//! which together with the fixed seed reproduces the input exactly.
 
-use proptest::prelude::*;
 use pulp_isa::compressed::compress;
 use pulp_isa::encode::encode;
 use pulp_isa::instr::{AluOp, Instr};
 use pulp_isa::reg::ALL_REGS;
 use pulp_isa::Reg;
 use riscv_core::{Core, IsaConfig, SliceMem};
+use xrand::Rng;
 
-fn any_reg() -> impl Strategy<Value = Reg> {
-    (0usize..32).prop_map(|i| ALL_REGS[i])
+const CASES: usize = 128;
+
+fn any_reg(r: &mut Rng) -> Reg {
+    ALL_REGS[r.below(32) as usize]
 }
 
-fn any_alu_op() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Sll),
-        Just(AluOp::Slt),
-        Just(AluOp::Sltu),
-        Just(AluOp::Xor),
-        Just(AluOp::Srl),
-        Just(AluOp::Sra),
-        Just(AluOp::Or),
-        Just(AluOp::And),
-    ]
-}
+const ALU_OPS: [AluOp; 10] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Sll,
+    AluOp::Slt,
+    AluOp::Sltu,
+    AluOp::Xor,
+    AluOp::Srl,
+    AluOp::Sra,
+    AluOp::Or,
+    AluOp::And,
+];
 
 /// Straight-line ALU/immediate instructions (no control flow, no memory).
-fn any_straightline_instr() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        (any_alu_op(), any_reg(), any_reg(), any_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Instr::Alu { op, rd, rs1, rs2 }),
-        (any_reg(), any_reg(), -2048i32..2048)
-            .prop_filter("not canonical nop", |(rd, rs1, imm)| {
-                !(*rd == Reg::Zero && *rs1 == Reg::Zero && *imm == 0)
-            })
-            .prop_map(|(rd, rs1, imm)| Instr::AluImm { op: AluOp::Add, rd, rs1, imm }),
-        (any_reg(), any_reg(), 0i32..32)
-            .prop_map(|(rd, rs1, imm)| Instr::AluImm { op: AluOp::Sll, rd, rs1, imm }),
-        (any_reg(), any_reg(), 0i32..32)
-            .prop_map(|(rd, rs1, imm)| Instr::AluImm { op: AluOp::Sra, rd, rs1, imm }),
-        (any_reg(), any::<u32>()).prop_map(|(rd, v)| Instr::Lui { rd, imm: v & 0xffff_f000 }),
-    ]
+fn any_straightline_instr(r: &mut Rng) -> Instr {
+    match r.below(5) {
+        0 => Instr::Alu {
+            op: *r.choose(&ALU_OPS),
+            rd: any_reg(r),
+            rs1: any_reg(r),
+            rs2: any_reg(r),
+        },
+        1 => loop {
+            let (rd, rs1) = (any_reg(r), any_reg(r));
+            let imm = r.range_i32(-2048, 2047);
+            // Skip the canonical nop: it decodes specially.
+            if rd == Reg::Zero && rs1 == Reg::Zero && imm == 0 {
+                continue;
+            }
+            return Instr::AluImm {
+                op: AluOp::Add,
+                rd,
+                rs1,
+                imm,
+            };
+        },
+        2 => Instr::AluImm {
+            op: AluOp::Sll,
+            rd: any_reg(r),
+            rs1: any_reg(r),
+            imm: r.range_i32(0, 31),
+        },
+        3 => Instr::AluImm {
+            op: AluOp::Sra,
+            rd: any_reg(r),
+            rs1: any_reg(r),
+            imm: r.range_i32(0, 31),
+        },
+        _ => Instr::Lui {
+            rd: any_reg(r),
+            imm: r.next_u32() & 0xffff_f000,
+        },
+    }
+}
+
+fn any_program(r: &mut Rng, max_len: usize) -> (Vec<Instr>, [u32; 32]) {
+    let len = r.range_usize(1, max_len);
+    let instrs = (0..len).map(|_| any_straightline_instr(r)).collect();
+    let mut seed_regs = [0u32; 32];
+    for v in seed_regs.iter_mut() {
+        *v = r.next_u32();
+    }
+    (instrs, seed_regs)
 }
 
 fn run_stream(words: &[(u32, u32)], seed_regs: &[u32; 32]) -> (Vec<u32>, u64) {
@@ -75,17 +113,13 @@ fn run_stream(words: &[(u32, u32)], seed_regs: &[u32; 32]) -> (Vec<u32>, u64) {
     (core.regs.to_vec(), core.perf.cycles)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Compressed and uncompressed encodings of the same program are
-    /// architecturally and temporally identical.
-    #[test]
-    fn rvc_execution_equivalence(
-        instrs in proptest::collection::vec(any_straightline_instr(), 1..24),
-        seeds in proptest::collection::vec(any::<u32>(), 32),
-    ) {
-        let seed_regs: [u32; 32] = seeds.try_into().unwrap();
+/// Compressed and uncompressed encodings of the same program are
+/// architecturally and temporally identical.
+#[test]
+fn rvc_execution_equivalence() {
+    let mut r = Rng::new(0xd1ff_0001);
+    for case in 0..CASES {
+        let (instrs, seed_regs) = any_program(&mut r, 24);
         let wide: Vec<(u32, u32)> = instrs.iter().map(|i| (encode(i), 4)).collect();
         let narrow: Vec<(u32, u32)> = instrs
             .iter()
@@ -96,18 +130,24 @@ proptest! {
             .collect();
         let (regs_w, cyc_w) = run_stream(&wide, &seed_regs);
         let (regs_n, cyc_n) = run_stream(&narrow, &seed_regs);
-        prop_assert_eq!(regs_w, regs_n, "architectural divergence");
-        prop_assert_eq!(cyc_w, cyc_n, "RVC must not change cycle counts");
+        assert_eq!(
+            regs_w, regs_n,
+            "case {case}: architectural divergence in {instrs:?}"
+        );
+        assert_eq!(
+            cyc_w, cyc_n,
+            "case {case}: RVC must not change cycle counts"
+        );
     }
+}
 
-    /// The core's ALU results match an independent interpreter over the
-    /// same instruction list.
-    #[test]
-    fn alu_matches_reference_interpreter(
-        instrs in proptest::collection::vec(any_straightline_instr(), 1..32),
-        seeds in proptest::collection::vec(any::<u32>(), 32),
-    ) {
-        let seed_regs: [u32; 32] = seeds.clone().try_into().unwrap();
+/// The core's ALU results match an independent interpreter over the
+/// same instruction list.
+#[test]
+fn alu_matches_reference_interpreter() {
+    let mut r = Rng::new(0xd1ff_0002);
+    for case in 0..CASES {
+        let (instrs, seed_regs) = any_program(&mut r, 32);
         // Reference: direct evaluation over a register array.
         let mut regs = seed_regs;
         regs[0] = 0;
@@ -128,8 +168,8 @@ proptest! {
         }
         let wide: Vec<(u32, u32)> = instrs.iter().map(|i| (encode(i), 4)).collect();
         let (core_regs, cycles) = run_stream(&wide, &seed_regs);
-        prop_assert_eq!(&core_regs[..], &regs[..]);
+        assert_eq!(&core_regs[..], &regs[..], "case {case}: {instrs:?}");
         // Straight-line single-cycle ops: cycles = instrs + ecall.
-        prop_assert_eq!(cycles, instrs.len() as u64 + 1);
+        assert_eq!(cycles, instrs.len() as u64 + 1, "case {case}");
     }
 }

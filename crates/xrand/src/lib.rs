@@ -1,0 +1,204 @@
+#![warn(missing_docs)]
+
+//! A self-contained, seedable PRNG for synthetic tensors and randomized
+//! tests.
+//!
+//! The reproduction must build in offline environments with no registry
+//! access (DESIGN.md substitution table), so this crate replaces the
+//! external `rand`/`proptest` dependencies everywhere. Statistical
+//! quality only needs to be good enough for test-input generation;
+//! [SplitMix64](https://prng.di.unimi.it/splitmix64.c) (Steele, Lea &
+//! Flood, OOPSLA 2014) passes BigCrush and is trivially seedable, which
+//! is exactly that bar. Nothing here is cryptographic.
+//!
+//! Determinism is a hard API guarantee: the same seed must produce the
+//! same stream forever, because measured kernel inputs (and therefore
+//! EXPERIMENTS.md's verified numbers) are derived from it. The
+//! `stream_is_frozen` test pins the first outputs of seed 0.
+
+/// A deterministic SplitMix64 generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator; the same seed always yields the same stream.
+    pub fn new(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    /// Next raw 64-bit value (SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Next raw 32-bit value (upper half of the 64-bit output).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `[0, n)`.
+    ///
+    /// Uses 128-bit multiply-shift reduction; the modulo bias over a
+    /// 64-bit source is below 2⁻⁶⁴ per draw — irrelevant for test-input
+    /// generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is empty");
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform `i64` in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = (hi as i128 - lo as i128 + 1) as u128;
+        let off = (self.next_u64() as u128 * span) >> 64;
+        (lo as i128 + off as i128) as i64
+    }
+
+    /// Uniform `i32` in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_i32(&mut self, lo: i32, hi: i32) -> i32 {
+        self.range_i64(lo as i64, hi as i64) as i32
+    }
+
+    /// Uniform `usize` in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_i64(lo as i64, hi as i64) as usize
+    }
+
+    /// A fair coin.
+    pub fn flip(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// A uniformly chosen element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len() as u64) as usize]
+    }
+
+    /// Forks an independent child generator (for splitting one seed into
+    /// per-purpose streams without correlating them).
+    pub fn fork(&mut self) -> Rng {
+        Rng::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_frozen() {
+        // The seed-0 stream is part of the API contract: synthetic
+        // tensors (and the measured numbers derived from them) depend on
+        // it. If this test fails, the generator changed and every
+        // recorded measurement must be regenerated.
+        let mut r = Rng::new(0);
+        assert_eq!(r.next_u64(), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(r.next_u64(), 0x6e78_9e6a_a1b9_65f4);
+        assert_eq!(r.next_u64(), 0x06c4_5d18_8009_454f);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_are_inclusive_and_cover() {
+        let mut r = Rng::new(7);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let v = r.range_i32(-2, 2);
+            assert!((-2..=2).contains(&v));
+            seen[(v + 2) as usize] = true;
+        }
+        assert!(
+            seen.iter().all(|s| *s),
+            "all 5 values should appear in 500 draws"
+        );
+    }
+
+    #[test]
+    fn below_stays_below() {
+        let mut r = Rng::new(9);
+        for _ in 0..1000 {
+            assert!(r.below(3) < 3);
+        }
+        // Degenerate single-value ranges work.
+        assert_eq!(r.range_i32(5, 5), 5);
+        assert_eq!(r.below(1), 0);
+    }
+
+    #[test]
+    fn full_i64_range_does_not_overflow() {
+        let mut r = Rng::new(1);
+        for _ in 0..100 {
+            let v = r.range_i64(i64::MIN, i64::MAX);
+            // Any value is fine; the assertion is that we got here
+            // without panicking and values vary.
+            let w = r.range_i64(i64::MIN, i64::MAX);
+            if v != w {
+                return;
+            }
+        }
+        panic!("range_i64 over the full domain returned a constant");
+    }
+
+    #[test]
+    fn choose_and_flip_hit_all_outcomes() {
+        let mut r = Rng::new(3);
+        let items = [1, 2, 3];
+        let mut seen = [false; 3];
+        let mut heads = false;
+        let mut tails = false;
+        for _ in 0..200 {
+            seen[*r.choose(&items) as usize - 1] = true;
+            if r.flip() {
+                heads = true;
+            } else {
+                tails = true;
+            }
+        }
+        assert!(seen.iter().all(|s| *s));
+        assert!(heads && tails);
+    }
+
+    #[test]
+    fn forked_streams_differ() {
+        let mut parent = Rng::new(5);
+        let mut a = parent.fork();
+        let mut b = parent.fork();
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

@@ -20,17 +20,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // width is layer k+1's operand width.
     let layers = [
         (
-            ConvShape { in_h: 16, in_w: 16, in_c: 8, out_c: 16, k_h: 3, k_w: 3, stride: 1, pad: 1 },
+            ConvShape {
+                in_h: 16,
+                in_w: 16,
+                in_c: 8,
+                out_c: 16,
+                k_h: 3,
+                k_w: 3,
+                stride: 1,
+                pad: 1,
+            },
             BitWidth::W8,
             BitWidth::W4,
         ),
         (
-            ConvShape { in_h: 16, in_w: 16, in_c: 16, out_c: 16, k_h: 3, k_w: 3, stride: 1, pad: 1 },
+            ConvShape {
+                in_h: 16,
+                in_w: 16,
+                in_c: 16,
+                out_c: 16,
+                k_h: 3,
+                k_w: 3,
+                stride: 1,
+                pad: 1,
+            },
             BitWidth::W4,
             BitWidth::W4,
         ),
         (
-            ConvShape { in_h: 16, in_w: 16, in_c: 16, out_c: 32, k_h: 3, k_w: 3, stride: 2, pad: 1 },
+            ConvShape {
+                in_h: 16,
+                in_w: 16,
+                in_c: 16,
+                out_c: 32,
+                k_h: 3,
+                k_w: 3,
+                stride: 2,
+                pad: 1,
+            },
             BitWidth::W4,
             BitWidth::W2,
         ),

@@ -12,7 +12,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("collecting the paper-layer measurement matrix (7 verified runs)...\n");
     let m = experiments::collect(42)?;
 
-    println!("raw measurements (16x16x32 input, 64 filters 3x3x32, {} MACs):", m.w8.macs);
+    println!(
+        "raw measurements (16x16x32 input, 64 filters 3x3x32, {} MACs):",
+        m.w8.macs
+    );
     for (name, lm) in [
         ("8-bit  both cores     shift+clip", &m.w8),
         ("4-bit  RI5CY baseline sw-tree   ", &m.w4_v2),

@@ -1,0 +1,67 @@
+//! Cycle attribution: where do the cycles go, and what caps the speedup?
+//!
+//! Runs the paper's benchmark layer at 4 bits twice — baseline XpulpV2
+//! and extended XpulpNN + `pv.qnt` — with the cycle ledger attributing
+//! every cycle to an instruction class, then traces the extended run to
+//! list its hottest instructions. This is the workflow behind deviation
+//! D1 in EXPERIMENTS.md: the ledger shows which baseline costs the
+//! extension eliminates, and the non-dotp remainder bounds the
+//! achievable speedup (Amdahl).
+//!
+//! ```sh
+//! cargo run --release --example cycle_attribution
+//! ```
+
+use xpulpnn::measure::{measure_paper_layer, profile_paper_layer};
+use xpulpnn::{BitWidth, KernelIsa};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bits = BitWidth::W4;
+    let base = measure_paper_layer(bits, KernelIsa::XpulpV2, false, 42)?;
+    let ext = measure_paper_layer(bits, KernelIsa::XpulpNN, true, 42)?;
+
+    println!("paper benchmark layer, {bits}:");
+    println!("  baseline (xpulpv2):  {:>9} cycles", base.cycles);
+    println!("  extended (xpulpnn):  {:>9} cycles", ext.cycles);
+    println!(
+        "  speedup:             {:>9.2}x\n",
+        base.cycles as f64 / ext.cycles as f64
+    );
+
+    // The ledger's invariant: every cycle is attributed to exactly one
+    // class, so the buckets sum to the cycle counter.
+    for (name, m) in [("baseline", &base), ("extended", &ext)] {
+        assert_eq!(m.perf.cycles, m.perf.ledger.total());
+        println!("{name} cycle ledger:\n{}", m.perf.ledger);
+    }
+
+    // Amdahl: cycles the extended kernel spends outside the dotp unit
+    // cannot be removed by a faster dot product.
+    let dotp: u64 = ext
+        .perf
+        .ledger
+        .entries()
+        .filter(|(c, _)| c.name().starts_with("dotp"))
+        .map(|(_, n)| n)
+        .sum();
+    let serial = ext.cycles - dotp;
+    println!(
+        "extended kernel: {dotp} dotp cycles, {serial} other cycles -> \
+         even a free dot product caps the speedup at {:.2}x\n",
+        base.cycles as f64 / serial as f64
+    );
+
+    // The tracer names the hot instructions behind those buckets.
+    let profile = profile_paper_layer(bits, KernelIsa::XpulpNN, true, 42, 8)?;
+    println!("hottest static instructions (extended kernel):");
+    for h in &profile.hotspots {
+        println!(
+            "  {:#010x}  {:<32} {:>9} cycles ({:>7} executions)",
+            h.pc,
+            h.instr.to_string(),
+            h.cycles,
+            h.count
+        );
+    }
+    Ok(())
+}

@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 8 lanes of (1·1 + 2·1)·4 = 12 per instruction, 10 iterations.
     println!("a0 = {}", soc.core.reg(Reg::A0));
-    println!("cycles = {} (note: one per SIMD MAC bundle, zero loop overhead)", report.perf.cycles);
+    println!(
+        "cycles = {} (note: one per SIMD MAC bundle, zero loop overhead)",
+        report.perf.cycles
+    );
     println!("dotp unit ops [h b n c] = {:?}", report.perf.dotp);
     println!("hardware-loop back-edges = {}", report.perf.hwloop_backs);
     assert_eq!(soc.core.reg(Reg::A0), 120);

@@ -25,12 +25,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Stage 1: depthwise 3×3, 8-bit.
     let dw_cfg = DepthwiseKernelConfig {
-        shape: DepthwiseShape { in_h: h, in_w: w, c, k: 3, stride: 1, pad: 1 },
+        shape: DepthwiseShape {
+            in_h: h,
+            in_w: w,
+            c,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        },
         shift: 7,
     };
     let dw = DepthwiseTestbench::new(dw_cfg, 5)?;
     let dw_r = dw.run()?;
-    assert!(dw_r.matches(), "depthwise stage diverged from the golden model");
+    assert!(
+        dw_r.matches(),
+        "depthwise stage diverged from the golden model"
+    );
     println!(
         "depthwise 3x3   {:>4} ch  {:>8} cycles  {:>5.2} MAC/cycle  verified",
         c,
@@ -39,7 +49,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Stage 2: pointwise 1×1, 8-bit operands -> 4-bit outputs (pv.qnt).
-    let pw_shape = ConvShape { in_h: h, in_w: w, in_c: c, out_c: 2 * c, k_h: 1, k_w: 1, stride: 1, pad: 0 };
+    let pw_shape = ConvShape {
+        in_h: h,
+        in_w: w,
+        in_c: c,
+        out_c: 2 * c,
+        k_h: 1,
+        k_w: 1,
+        stride: 1,
+        pad: 0,
+    };
     let pw_cfg = ConvKernelConfig::mixed(pw_shape, BitWidth::W8, BitWidth::W4);
     let mut rng = TensorRng::new(6);
     let pw_input = QuantTensor::activations(BitWidth::W8, dw_r.output.clone())
@@ -48,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pw_thresholds = rng.thresholds(BitWidth::W4, pw_shape.out_c, -1500, 1500);
     let pw = ConvTestbench::from_parts(pw_cfg, pw_input, pw_weights, Some(pw_thresholds))?;
     let pw_r = pw.run()?;
-    assert!(pw_r.matches(), "pointwise stage diverged from the golden model");
+    assert!(
+        pw_r.matches(),
+        "pointwise stage diverged from the golden model"
+    );
     println!(
         "pointwise 1x1   {:>4} ch  {:>8} cycles  {:>5.2} MAC/cycle  verified (8-bit -> 4-bit)",
         pw_shape.out_c,

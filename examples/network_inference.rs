@@ -17,19 +17,61 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let net = Network::new(vec![
         // 16×16×8 input, 8-bit stem quantized down to 4 bits.
         Layer::conv(
-            ConvShape { in_h: 16, in_w: 16, in_c: 8, out_c: 16, k_h: 3, k_w: 3, stride: 1, pad: 1 },
+            ConvShape {
+                in_h: 16,
+                in_w: 16,
+                in_c: 8,
+                out_c: 16,
+                k_h: 3,
+                k_w: 3,
+                stride: 1,
+                pad: 1,
+            },
             BitWidth::W8,
             BitWidth::W4,
         ),
-        Layer::maxpool(PoolShape { in_h: 16, in_w: 16, c: 16, k: 2, stride: 2 }, BitWidth::W4),
+        Layer::maxpool(
+            PoolShape {
+                in_h: 16,
+                in_w: 16,
+                c: 16,
+                k: 2,
+                stride: 2,
+            },
+            BitWidth::W4,
+        ),
         Layer::conv(
-            ConvShape { in_h: 8, in_w: 8, in_c: 16, out_c: 32, k_h: 3, k_w: 3, stride: 1, pad: 1 },
+            ConvShape {
+                in_h: 8,
+                in_w: 8,
+                in_c: 16,
+                out_c: 32,
+                k_h: 3,
+                k_w: 3,
+                stride: 1,
+                pad: 1,
+            },
             BitWidth::W4,
             BitWidth::W4,
         ),
-        Layer::maxpool(PoolShape { in_h: 8, in_w: 8, c: 32, k: 2, stride: 2 }, BitWidth::W4),
+        Layer::maxpool(
+            PoolShape {
+                in_h: 8,
+                in_w: 8,
+                c: 32,
+                k: 2,
+                stride: 2,
+            },
+            BitWidth::W4,
+        ),
         // Classifier head over the 4×4×32 feature map.
-        Layer::linear(LinearShape { in_features: 4 * 4 * 32, out_features: 10 * 2 }, BitWidth::W4),
+        Layer::linear(
+            LinearShape {
+                in_features: 4 * 4 * 32,
+                out_features: 10 * 2,
+            },
+            BitWidth::W4,
+        ),
     ])?;
 
     let run = net.run(2026)?;

@@ -11,7 +11,16 @@ use xpulpnn::{BitWidth, ConvKernelConfig, ConvTestbench, KernelIsa, QuantMode};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A small 4-bit layer: 8×8×16 input, 16 filters of 3×3×16.
     let cfg = ConvKernelConfig {
-        shape: ConvShape { in_h: 8, in_w: 8, in_c: 16, out_c: 16, k_h: 3, k_w: 3, stride: 1, pad: 1 },
+        shape: ConvShape {
+            in_h: 8,
+            in_w: 8,
+            in_c: 16,
+            out_c: 16,
+            k_h: 3,
+            k_w: 3,
+            stride: 1,
+            pad: 1,
+        },
         bits: BitWidth::W4,
         out_bits: BitWidth::W4,
         isa: KernelIsa::XpulpNN,
@@ -25,7 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A taste of the generated code: the head of the MatMul inner loop.
     let listing = tb.program.listing();
-    for line in listing.lines().skip_while(|l| !l.starts_with("mm_block")).take(16) {
+    for line in listing
+        .lines()
+        .skip_while(|l| !l.starts_with("mm_block"))
+        .take(16)
+    {
         println!("{line}");
     }
 

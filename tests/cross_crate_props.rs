@@ -1,16 +1,24 @@
 //! Property tests spanning the whole stack: random layer geometries and
 //! seeds must keep every kernel variant bit-exact against the golden
-//! model, and the text assembler must invert the disassembler for full
-//! generated programs.
+//! model, the text assembler must invert the disassembler for full
+//! generated programs, and the core's hardware quantization unit must
+//! agree with the golden staircase quantizer on arbitrary trees.
+//!
+//! Originally `proptest` properties; rewritten as seeded `xrand` loops so
+//! the tree resolves offline (failures print the case index, which with
+//! the fixed seed reproduces the input exactly).
 
-use proptest::prelude::*;
 use xpulpnn::pulp_asm::text::parse;
+use xpulpnn::pulp_isa::SimdFmt;
 use xpulpnn::qnn::conv::ConvShape;
+use xpulpnn::qnn::quantizer::ThresholdSet;
+use xpulpnn::riscv_core::bus::Bus;
+use xpulpnn::riscv_core::{quant, SliceMem};
 use xpulpnn::{BitWidth, ConvKernelConfig, ConvTestbench, KernelIsa, QuantMode};
+use xrand::Rng;
 
-fn any_bits() -> impl Strategy<Value = BitWidth> {
-    prop_oneof![Just(BitWidth::W8), Just(BitWidth::W4), Just(BitWidth::W2)]
-}
+const WIDTHS: [BitWidth; 3] = [BitWidth::W8, BitWidth::W4, BitWidth::W2];
+const ISAS: [KernelIsa; 2] = [KernelIsa::XpulpV2, KernelIsa::XpulpNN];
 
 /// Builds a small-but-interesting conv shape that satisfies the kernel
 /// alignment rules at the given width.
@@ -45,56 +53,78 @@ fn quant_for(bits: BitWidth, isa: KernelIsa, hw: bool) -> QuantMode {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The central cross-stack property: any valid configuration's
-    /// simulated output equals the golden model's.
-    #[test]
-    fn kernels_match_golden_on_random_shapes(
-        bits in any_bits(),
-        isa in prop_oneof![Just(KernelIsa::XpulpV2), Just(KernelIsa::XpulpNN)],
-        hw in any::<bool>(),
-        seed in 0u64..1_000,
-        cmul in 1usize..=2,
-        h in 2usize..=6,
-        w in 2usize..=6,
-        oc_blocks in 1usize..=2,
-        stride in 1usize..=2,
-        pad in 0usize..=1,
-    ) {
-        let shape = shape_from(bits, cmul, h, w, oc_blocks, stride, pad);
-        prop_assume!(shape.in_h + 2 * shape.pad >= shape.k_h);
-        prop_assume!(shape.in_w + 2 * shape.pad >= shape.k_w);
-        prop_assume!(shape.pixels() % 2 == 0);
-        let cfg = ConvKernelConfig { shape, bits, out_bits: bits, isa, quant: quant_for(bits, isa, hw) };
-        prop_assume!(cfg.validate().is_ok());
-        let tb = ConvTestbench::new(cfg, seed).expect("build");
-        let r = tb.run().expect("run");
-        prop_assert!(r.report.exit.halted);
-        prop_assert_eq!(&r.output, &r.golden, "{} on {:?}", cfg.name(), shape);
-    }
-
-    /// Text-assembling the disassembly of a generated kernel reproduces
-    /// the exact instruction stream (parse ∘ listing = id over real
-    /// programs, not just single instructions).
-    #[test]
-    fn parse_inverts_listing_for_generated_kernels(
-        bits in any_bits(),
-        isa in prop_oneof![Just(KernelIsa::XpulpV2), Just(KernelIsa::XpulpNN)],
-    ) {
-        let cfg = ConvKernelConfig::paper(bits, isa, isa == KernelIsa::XpulpNN);
-        let tb = ConvTestbench::new(cfg, 0).expect("build");
-        // Reassemble each instruction's disassembly (offsets are numeric,
-        // so no label context is needed).
-        let mut text = String::from(".org 0x1c008000\n");
-        for i in &tb.program.instrs {
-            text.push_str(&i.to_string());
-            text.push('\n');
+/// The central cross-stack property: any valid configuration's
+/// simulated output equals the golden model's.
+#[test]
+fn kernels_match_golden_on_random_shapes() {
+    let mut r = Rng::new(0xc0c5_0001);
+    let mut accepted = 0;
+    while accepted < 24 {
+        let bits = *r.choose(&WIDTHS);
+        let isa = *r.choose(&ISAS);
+        let hw = r.flip();
+        let seed = r.below(1_000);
+        let shape = shape_from(
+            bits,
+            r.range_usize(1, 2),
+            r.range_usize(2, 6),
+            r.range_usize(2, 6),
+            r.range_usize(1, 2),
+            r.range_usize(1, 2),
+            r.range_usize(0, 1),
+        );
+        if shape.in_h + 2 * shape.pad < shape.k_h
+            || shape.in_w + 2 * shape.pad < shape.k_w
+            || !shape.pixels().is_multiple_of(2)
+        {
+            continue;
         }
-        let reparsed = parse(&text).expect("reparse");
-        prop_assert_eq!(&reparsed.instrs, &tb.program.instrs);
-        prop_assert_eq!(&reparsed.words, &tb.program.words);
+        let cfg = ConvKernelConfig {
+            shape,
+            bits,
+            out_bits: bits,
+            isa,
+            quant: quant_for(bits, isa, hw),
+        };
+        if cfg.validate().is_err() {
+            continue;
+        }
+        accepted += 1;
+        let tb = ConvTestbench::new(cfg, seed).expect("build");
+        let run = tb.run().expect("run");
+        assert!(run.report.exit.halted);
+        assert_eq!(
+            &run.output,
+            &run.golden,
+            "{} on {:?} seed {}",
+            cfg.name(),
+            shape,
+            seed
+        );
+    }
+}
+
+/// Text-assembling the disassembly of a generated kernel reproduces
+/// the exact instruction stream (parse ∘ listing = id over real
+/// programs, not just single instructions). Exhaustive over the
+/// width × ISA matrix — there are only six combinations.
+#[test]
+fn parse_inverts_listing_for_generated_kernels() {
+    for bits in WIDTHS {
+        for isa in ISAS {
+            let cfg = ConvKernelConfig::paper(bits, isa, isa == KernelIsa::XpulpNN);
+            let tb = ConvTestbench::new(cfg, 0).expect("build");
+            // Reassemble each instruction's disassembly (offsets are numeric,
+            // so no label context is needed).
+            let mut text = String::from(".org 0x1c008000\n");
+            for i in &tb.program.instrs {
+                text.push_str(&i.to_string());
+                text.push('\n');
+            }
+            let reparsed = parse(&text).expect("reparse");
+            assert_eq!(&reparsed.instrs, &tb.program.instrs, "{}", cfg.name());
+            assert_eq!(&reparsed.words, &tb.program.words, "{}", cfg.name());
+        }
     }
 }
 
@@ -117,13 +147,98 @@ fn fixed_shape_full_matrix() {
         };
         for isa in [KernelIsa::XpulpV2, KernelIsa::XpulpNN] {
             for hw in [false, true] {
-                let cfg = ConvKernelConfig { shape, bits, out_bits: bits, isa, quant: quant_for(bits, isa, hw) };
+                let cfg = ConvKernelConfig {
+                    shape,
+                    bits,
+                    out_bits: bits,
+                    isa,
+                    quant: quant_for(bits, isa, hw),
+                };
                 if cfg.validate().is_err() {
                     continue;
                 }
                 let tb = ConvTestbench::new(cfg, 77).expect("build");
                 let r = tb.run().expect("run");
                 assert!(r.matches(), "{} mismatched", cfg.name());
+            }
+        }
+    }
+}
+
+/// Cross-crate quantizer equivalence: the core's `pv.qnt` Eytzinger tree
+/// walk ([`quant::execute`]) must agree with the golden staircase
+/// quantizer ([`ThresholdSet::quantize`]) for random sorted per-channel
+/// thresholds — including accumulators exactly equal to a threshold
+/// (strict `<` keeps the lower bin) and i16-saturated accumulators.
+#[test]
+fn qnt_unit_matches_golden_quantizer() {
+    let mut r = Rng::new(0xc0c5_0002);
+    for case in 0..200 {
+        let (bits, fmt) = if r.flip() {
+            (BitWidth::W4, SimdFmt::Nibble)
+        } else {
+            (BitWidth::W2, SimdFmt::Crumb)
+        };
+        let n = bits.threshold_count();
+        let channels = 2 * r.range_usize(1, 4); // pv.qnt consumes channel pairs
+        let per_channel: Vec<Vec<i16>> = (0..channels)
+            .map(|_| {
+                let mut t: Vec<i16> = (0..n).map(|_| r.range_i32(-3000, 3000) as i16).collect();
+                t.sort_unstable();
+                t
+            })
+            .collect();
+        let golden = ThresholdSet::from_sorted(bits, per_channel.clone()).expect("sorted");
+
+        // Lay the trees out the way the kernel library does: Eytzinger
+        // order, one tree per channel at a fixed stride.
+        let stride = quant::tree_stride(fmt);
+        let base = 0x1000u32;
+        let mut mem = SliceMem::new(base, (channels as u32 * stride + 64) as usize);
+        for (ch, sorted) in per_channel.iter().enumerate() {
+            let tree = quant::eytzinger(sorted);
+            for (i, t) in tree.iter().enumerate() {
+                mem.write(
+                    base + ch as u32 * stride + (i as u32) * 2,
+                    2,
+                    *t as u16 as u32,
+                )
+                .unwrap();
+            }
+        }
+
+        for pair in 0..channels / 2 {
+            let (ch0, ch1) = (2 * pair, 2 * pair + 1);
+            // Mix of random, threshold-equal, and saturating accumulators.
+            let mut accs: Vec<(i32, i32)> = (0..8)
+                .map(|_| (r.range_i32(-40_000, 40_000), r.range_i32(-40_000, 40_000)))
+                .collect();
+            accs.push((
+                per_channel[ch0][r.below(n as u64) as usize] as i32,
+                per_channel[ch1][r.below(n as u64) as usize] as i32,
+            ));
+            accs.push((i32::MAX, i32::MIN));
+            accs.push((i16::MAX as i32, i16::MIN as i32));
+            for (a0, a1) in accs {
+                // The MatMul inner loop saturates accumulators to i16
+                // before handing them to the quantization unit.
+                let x0 = a0.clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+                let x1 = a1.clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+                let rs1 = (x0 as u16 as u32) | ((x1 as u16 as u32) << 16);
+                let rs2 = base + ch0 as u32 * stride;
+                let got = quant::execute(&mut mem, fmt, rs1, rs2).expect("qnt");
+                let q = fmt.bits();
+                let mask = (1u32 << q) - 1;
+                assert_eq!(
+                    got.rd & mask,
+                    golden.quantize(ch0, a0) as u32,
+                    "case {case} ch {ch0} acc {a0}"
+                );
+                assert_eq!(
+                    (got.rd >> q) & mask,
+                    golden.quantize(ch1, a1) as u32,
+                    "case {case} ch {ch1} acc {a1}"
+                );
             }
         }
     }

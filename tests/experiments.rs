@@ -46,7 +46,11 @@ fn figure7_shape() {
     let f = experiments::figure7(matrix());
     // 8-bit: "without reducing the efficiency for 8-bit QNN kernels" —
     // within a few percent of 1×.
-    assert!((0.9..1.1).contains(&f.rows[0].gain), "8-bit gain {:.3}", f.rows[0].gain);
+    assert!(
+        (0.9..1.1).contains(&f.rows[0].gain),
+        "8-bit gain {:.3}",
+        f.rows[0].gain
+    );
     // Sub-byte gains grow with quantization depth, 2-bit approaching the
     // paper's 9×.
     assert!(f.rows[1].gain > 3.0, "4-bit gain {:.2}", f.rows[1].gain);
@@ -88,7 +92,11 @@ fn figure9_shape() {
     // Efficiency ordering on every row: XpulpNN core ≥ RI5CY ≫ L4 > H7.
     for r in &f.rows {
         assert!(r.ri5cy > r.stm32l4, "{}", r.bits);
-        assert!(r.stm32l4 > r.stm32h7, "{}: the L4 out-efficiencies the H7", r.bits);
+        assert!(
+            r.stm32l4 > r.stm32h7,
+            "{}: the L4 out-efficiencies the H7",
+            r.bits
+        );
     }
     assert!(f.rows[2].xpulpnn > f.rows[1].xpulpnn);
     // "two orders of magnitude better than state-of-the-art MCUs" on the
@@ -109,7 +117,11 @@ fn table1_this_work_row_in_paper_band() {
     let this_work = t.rows.last().expect("this-work row");
     assert_eq!(this_work.name, "This Work");
     // Table I claims 1–5 Gop/s and 80–550 Gop/s/W.
-    assert!(this_work.gops.1 >= 1.0 && this_work.gops.1 <= 5.0, "{:?}", this_work.gops);
+    assert!(
+        this_work.gops.1 >= 1.0 && this_work.gops.1 <= 5.0,
+        "{:?}",
+        this_work.gops
+    );
     assert!(
         this_work.gops_w.1 >= 300.0 && this_work.gops_w.1 <= 550.0,
         "{:?}",
@@ -128,9 +140,21 @@ fn pooling_speedup_scales_with_lanes() {
     // grow with lane count and sit in the neighbourhood of the lane
     // factor (loop overheads keep them below it at 8-bit, the scalar
     // baseline's byte traffic pushes them above at 2-bit).
-    assert!((2.0..6.0).contains(&p.rows[0].speedup), "8-bit {:.2}", p.rows[0].speedup);
-    assert!((4.0..10.0).contains(&p.rows[1].speedup), "4-bit {:.2}", p.rows[1].speedup);
-    assert!((8.0..20.0).contains(&p.rows[2].speedup), "2-bit {:.2}", p.rows[2].speedup);
+    assert!(
+        (2.0..6.0).contains(&p.rows[0].speedup),
+        "8-bit {:.2}",
+        p.rows[0].speedup
+    );
+    assert!(
+        (4.0..10.0).contains(&p.rows[1].speedup),
+        "4-bit {:.2}",
+        p.rows[1].speedup
+    );
+    assert!(
+        (8.0..20.0).contains(&p.rows[2].speedup),
+        "2-bit {:.2}",
+        p.rows[2].speedup
+    );
     assert!(p.rows[0].speedup < p.rows[1].speedup);
     assert!(p.rows[1].speedup < p.rows[2].speedup);
 }

@@ -30,12 +30,18 @@ fn headline_speedups_in_band() {
     let w4_nn = measure_paper_layer(BitWidth::W4, KernelIsa::XpulpNN, true, 42).unwrap();
     let w4_v2 = measure_paper_layer(BitWidth::W4, KernelIsa::XpulpV2, false, 42).unwrap();
     let s4 = w4_v2.cycles as f64 / w4_nn.cycles as f64;
-    assert!((3.0..7.0).contains(&s4), "4-bit speedup {s4:.2} outside band (paper 5.3)");
+    assert!(
+        (3.0..7.0).contains(&s4),
+        "4-bit speedup {s4:.2} outside band (paper 5.3)"
+    );
 
     let w2_nn = measure_paper_layer(BitWidth::W2, KernelIsa::XpulpNN, true, 42).unwrap();
     let w2_v2 = measure_paper_layer(BitWidth::W2, KernelIsa::XpulpV2, false, 42).unwrap();
     let s2 = w2_v2.cycles as f64 / w2_nn.cycles as f64;
-    assert!((6.0..12.0).contains(&s2), "2-bit speedup {s2:.2} outside band (paper 8.9)");
+    assert!(
+        (6.0..12.0).contains(&s2),
+        "2-bit speedup {s2:.2} outside band (paper 8.9)"
+    );
 
     // And the 2-bit gap exceeds the 4-bit gap, as in the paper.
     assert!(s2 > s4);
@@ -50,8 +56,14 @@ fn sub_byte_scaling_near_linear() {
     let w2 = measure_paper_layer(BitWidth::W2, KernelIsa::XpulpNN, true, 42).unwrap();
     let s4 = w8.cycles as f64 / w4.cycles as f64;
     let s2 = w8.cycles as f64 / w2.cycles as f64;
-    assert!((1.5..=2.0).contains(&s4), "4-bit scaling {s4:.2} (ideal 2.0)");
-    assert!((2.6..=4.0).contains(&s2), "2-bit scaling {s2:.2} (ideal 4.0)");
+    assert!(
+        (1.5..=2.0).contains(&s4),
+        "4-bit scaling {s4:.2} (ideal 2.0)"
+    );
+    assert!(
+        (2.6..=4.0).contains(&s2),
+        "2-bit scaling {s2:.2} (ideal 4.0)"
+    );
 }
 
 /// Determinism: same seed, same cycles and same outputs.
@@ -77,7 +89,10 @@ fn dotp_unit_mac_accounting() {
     // datapath (after unpacking).
     let b = measure_paper_layer(BitWidth::W4, KernelIsa::XpulpV2, false, 42).unwrap();
     assert_eq!(b.perf.total_macs(), b.macs);
-    assert_eq!(b.perf.dotp[2], 0, "baseline must not touch the nibble datapath");
+    assert_eq!(
+        b.perf.dotp[2], 0,
+        "baseline must not touch the nibble datapath"
+    );
 }
 
 /// pv.qnt count matches the number of output-pixel×channel-pair
@@ -97,13 +112,28 @@ fn qnt_instruction_accounting() {
 fn pointwise_convolutions() {
     for bits in [BitWidth::W8, BitWidth::W4, BitWidth::W2] {
         let in_c = (32 / bits.bits() as usize) * 2;
-        let shape = ConvShape { in_h: 4, in_w: 4, in_c, out_c: 8, k_h: 1, k_w: 1, stride: 1, pad: 0 };
+        let shape = ConvShape {
+            in_h: 4,
+            in_w: 4,
+            in_c,
+            out_c: 8,
+            k_h: 1,
+            k_w: 1,
+            stride: 1,
+            pad: 0,
+        };
         for isa in [KernelIsa::XpulpV2, KernelIsa::XpulpNN] {
             let quant = match bits {
                 BitWidth::W8 => QuantMode::Shift8 { shift: 6 },
                 _ => QuantMode::SoftwareTree,
             };
-            let cfg = ConvKernelConfig { shape, bits, out_bits: bits, isa, quant };
+            let cfg = ConvKernelConfig {
+                shape,
+                bits,
+                out_bits: bits,
+                isa,
+                quant,
+            };
             let m = measure(cfg, 5).unwrap_or_else(|e| panic!("{}: {e}", cfg.name()));
             assert!(m.cycles > 0);
         }
@@ -117,15 +147,45 @@ fn two_layer_chain_verified() {
     use xpulpnn::qnn::tensor::QuantTensor;
     let bits = BitWidth::W4;
     let mut rng = TensorRng::new(3);
-    let l1 = ConvShape { in_h: 6, in_w: 6, in_c: 8, out_c: 16, k_h: 3, k_w: 3, stride: 1, pad: 1 };
-    let l2 = ConvShape { in_h: 6, in_w: 6, in_c: 16, out_c: 8, k_h: 3, k_w: 3, stride: 1, pad: 1 };
+    let l1 = ConvShape {
+        in_h: 6,
+        in_w: 6,
+        in_c: 8,
+        out_c: 16,
+        k_h: 3,
+        k_w: 3,
+        stride: 1,
+        pad: 1,
+    };
+    let l2 = ConvShape {
+        in_h: 6,
+        in_w: 6,
+        in_c: 16,
+        out_c: 8,
+        k_h: 3,
+        k_w: 3,
+        stride: 1,
+        pad: 1,
+    };
 
-    let cfg1 = ConvKernelConfig { shape: l1, bits, out_bits: bits, isa: KernelIsa::XpulpNN, quant: QuantMode::HardwareQnt };
+    let cfg1 = ConvKernelConfig {
+        shape: l1,
+        bits,
+        out_bits: bits,
+        isa: KernelIsa::XpulpNN,
+        quant: QuantMode::HardwareQnt,
+    };
     let tb1 = ConvTestbench::new(cfg1, 3).unwrap();
     let r1 = tb1.run().unwrap();
     assert!(r1.matches());
 
-    let cfg2 = ConvKernelConfig { shape: l2, bits, out_bits: bits, isa: KernelIsa::XpulpNN, quant: QuantMode::HardwareQnt };
+    let cfg2 = ConvKernelConfig {
+        shape: l2,
+        bits,
+        out_bits: bits,
+        isa: KernelIsa::XpulpNN,
+        quant: QuantMode::HardwareQnt,
+    };
     let input2 = QuantTensor::activations(bits, r1.output.clone()).unwrap();
     let weights2 = rng.weights(bits, l2.weight_len());
     let thr2 = rng.thresholds(bits, l2.out_c, -1000, 1000);
@@ -198,7 +258,11 @@ fn kernel_code_barely_compressible() {
     let cfg = ConvKernelConfig::paper(BitWidth::W4, KernelIsa::XpulpNN, true);
     let tb = ConvTestbench::new(cfg, 1).unwrap();
     let r = code_size_report(tb.program.instrs.iter());
-    assert!(r.instructions > 50, "kernel has {} instructions", r.instructions);
+    assert!(
+        r.instructions > 50,
+        "kernel has {} instructions",
+        r.instructions
+    );
     assert!(
         r.savings() < 0.25,
         "kernel code should compress poorly, got {:.0}% savings",
