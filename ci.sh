@@ -18,4 +18,7 @@ cargo build --release --locked
 echo "==> tier-1: cargo test -q"
 cargo test -q --locked
 
+echo "==> conformance smoke (1000 cases, seed 1)"
+cargo run --release -q --locked -p xpulpnn-cli -- conformance --cases 1000 --seed 1
+
 echo "==> ci: all green"

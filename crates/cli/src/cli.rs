@@ -25,7 +25,11 @@ usage:
                   [--seed N] [--top N]
       run one paper-layer kernel with the execution tracer attached and
       print a JSON cycle-attribution profile (per-class ledger + hottest
-      instructions); defaults to the 4-bit XpulpNN kernel with pv.qnt";
+      instructions); defaults to the 4-bit XpulpNN kernel with pv.qnt
+  xpulpnn conformance [--cases N] [--seed S]
+      differentially fuzz the cycle-approximate core against the
+      independent reference interpreter on N random programs; on
+      divergence, prints a shrunk repro and the exact replay command";
 
 /// A user-facing CLI error.
 #[derive(Debug, PartialEq, Eq)]
@@ -277,6 +281,53 @@ fn cmd_profile(args: &[String]) -> Result<String, CliError> {
     Ok(format!("{}\n", p.to_json()))
 }
 
+/// Parsed options for `conformance`.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ConformanceOpts {
+    /// Number of random programs to run in lock step.
+    pub cases: u64,
+    /// Master seed (case `i` runs at seed `S + i`).
+    pub seed: u64,
+}
+
+/// Parses the flags of the `conformance` subcommand.
+pub fn parse_conformance_opts(args: &[String]) -> Result<ConformanceOpts, CliError> {
+    let mut o = ConformanceOpts {
+        cases: 1000,
+        seed: 1,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--cases" => {
+                let v = it.next().ok_or_else(|| err("--cases needs a value"))?;
+                o.cases = v
+                    .parse()
+                    .map_err(|_| err(format!("bad case count `{v}`")))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or_else(|| err("--seed needs a value"))?;
+                o.seed = v.parse().map_err(|_| err(format!("bad seed `{v}`")))?;
+            }
+            other => return Err(err(format!("unknown argument `{other}`"))),
+        }
+    }
+    Ok(o)
+}
+
+fn cmd_conformance(args: &[String]) -> Result<String, CliError> {
+    let o = parse_conformance_opts(args)?;
+    let cfg = xpulpnn::conformance::DiffConfig::default();
+    let report = xpulpnn::conformance::run_suite(o.seed, o.cases, &cfg);
+    match report.failure {
+        None => Ok(format!(
+            "conformance: {} cases, 0 divergences (seed {})\n",
+            report.cases_run, o.seed
+        )),
+        Some(f) => Err(err(f.to_string())),
+    }
+}
+
 /// Dispatches a full argument vector.
 ///
 /// # Errors
@@ -293,6 +344,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "sweep" => cmd_sweep(rest),
         "report" => cmd_report(rest),
         "profile" => cmd_profile(rest),
+        "conformance" => cmd_conformance(rest),
         "--help" | "-h" | "help" => Ok(format!("{USAGE}\n")),
         other => Err(err(format!("unknown subcommand `{other}`"))),
     }
@@ -326,6 +378,31 @@ mod tests {
         assert!(parse_run_opts(&v(&["a.s", "--isa", "armv7"])).is_err());
         assert!(parse_run_opts(&v(&["a.s", "--max-cycles", "lots"])).is_err());
         assert!(parse_run_opts(&v(&["a.s", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn conformance_opts_defaults_and_flags() {
+        let o = parse_conformance_opts(&[]).unwrap();
+        assert_eq!(
+            o,
+            ConformanceOpts {
+                cases: 1000,
+                seed: 1
+            }
+        );
+
+        let o = parse_conformance_opts(&v(&["--cases", "25", "--seed", "7"])).unwrap();
+        assert_eq!(o, ConformanceOpts { cases: 25, seed: 7 });
+
+        assert!(parse_conformance_opts(&v(&["--cases"])).is_err());
+        assert!(parse_conformance_opts(&v(&["--cases", "many"])).is_err());
+        assert!(parse_conformance_opts(&v(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn conformance_smoke_reports_clean() {
+        let out = dispatch(&v(&["conformance", "--cases", "20", "--seed", "1"])).unwrap();
+        assert!(out.contains("20 cases, 0 divergences (seed 1)"), "{out}");
     }
 
     #[test]

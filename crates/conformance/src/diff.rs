@@ -1,0 +1,278 @@
+//! Lock-step differential execution of `riscv-core` against the
+//! reference interpreter.
+//!
+//! Architectural state (PC + all 32 registers) is compared *before
+//! every step*, so the first diverging instruction is pinned exactly;
+//! at the halt the full memory images are compared too. A trap on
+//! either side, a halt disagreement or an exhausted step budget all
+//! count as divergences — the generator only emits programs that halt
+//! cleanly, so anything else is a bug on one side.
+
+use std::fmt;
+
+use crate::gen::{self, GenConfig, ProgramSpec, CODE_BASE, DATA_BASE, MEM_LEN};
+use crate::refcore::{RefBug, RefCore};
+use crate::{case_seed, replay_command, shrink};
+use pulp_isa::reg::ALL_REGS;
+use riscv_core::{Core, IsaConfig, SliceMem};
+
+/// Configuration of a differential run.
+#[derive(Debug, Clone)]
+pub struct DiffConfig {
+    /// Program-generator knobs.
+    pub gen: GenConfig,
+    /// Bug injected into the reference side (testing only).
+    pub bug: RefBug,
+    /// Per-case step budget; exceeding it is reported as a divergence.
+    pub max_steps: u64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> DiffConfig {
+        DiffConfig {
+            gen: GenConfig::default(),
+            bug: RefBug::None,
+            max_steps: 100_000,
+        }
+    }
+}
+
+/// A detected disagreement between the two cores.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Steps retired before the disagreement was observed.
+    pub step: u64,
+    /// PC of the device-under-test at the observation point.
+    pub pc: u32,
+    /// What disagreed (register delta, trap, halt mismatch, ...).
+    pub detail: String,
+    /// Recent retired-instruction context from the DUT's tracer.
+    pub context: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "divergence at step {} (pc {:#010x}): {}",
+            self.step, self.pc, self.detail
+        )
+    }
+}
+
+/// Result of one differential case.
+#[derive(Debug, Clone)]
+pub enum CaseOutcome {
+    /// Both cores agreed at every step and at the final state.
+    Pass {
+        /// Instructions retired (including the `ecall`).
+        steps: u64,
+    },
+    /// The cores disagreed.
+    Diverged(Box<Divergence>),
+}
+
+/// A suite failure: the first diverging case, already shrunk.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Index of the failing case within the suite.
+    pub case_index: u64,
+    /// Derived seed of the failing case (what the replay command uses).
+    pub case_seed: u64,
+    /// The divergence of the *original* (unshrunk) program.
+    pub divergence: Divergence,
+    /// Disassembly of the shrunk reproducer.
+    pub shrunk_listing: String,
+    /// Instruction count of the shrunk reproducer (incl. `ecall`).
+    pub shrunk_instrs: usize,
+    /// Exact command that replays the failing case.
+    pub replay: String,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "case {} (seed {:#x}): {}",
+            self.case_index, self.case_seed, self.divergence
+        )?;
+        if !self.divergence.context.is_empty() {
+            writeln!(f, "{}", self.divergence.context.trim_end())?;
+        }
+        writeln!(f, "shrunk to {} instructions:", self.shrunk_instrs)?;
+        writeln!(f, "{}", self.shrunk_listing)?;
+        write!(f, "replay: {}", self.replay)
+    }
+}
+
+/// Outcome of a whole differential suite.
+#[derive(Debug, Clone)]
+pub struct SuiteReport {
+    /// Cases executed (stops at the first failure).
+    pub cases_run: u64,
+    /// The first failure, if any.
+    pub failure: Option<Failure>,
+}
+
+fn reg_delta(dut: &[u32; 32], refr: &[u32; 32]) -> String {
+    let mut parts = Vec::new();
+    for (i, r) in ALL_REGS.iter().enumerate() {
+        if dut[i] != refr[i] {
+            parts.push(format!("{r}: dut {:#010x} ref {:#010x}", dut[i], refr[i]));
+        }
+    }
+    parts.join(", ")
+}
+
+fn mem_delta(dut: &[u8], refr: &[u8]) -> String {
+    for (i, (a, b)) in dut.iter().zip(refr.iter()).enumerate() {
+        if a != b {
+            return format!(
+                "memory byte at {:#010x}: dut {a:#04x} ref {b:#04x}",
+                CODE_BASE + i as u32
+            );
+        }
+    }
+    "memory images differ in length".to_string()
+}
+
+/// Runs one already-generated program in lock-step on both cores.
+pub fn run_spec(spec: &ProgramSpec, bug: RefBug, max_steps: u64) -> CaseOutcome {
+    let lowered = gen::lower(spec);
+
+    let mut mem = SliceMem::new(CODE_BASE, MEM_LEN as usize);
+    {
+        let bytes = mem.as_bytes_mut();
+        bytes[..lowered.code.len()].copy_from_slice(&lowered.code);
+        let doff = (DATA_BASE - CODE_BASE) as usize;
+        bytes[doff..doff + spec.data.len()].copy_from_slice(&spec.data);
+    }
+    let image = mem.as_bytes().to_vec();
+
+    let mut core = Core::new(IsaConfig::xpulpnn());
+    core.attach_tracer(32);
+    core.pc = CODE_BASE;
+    let mut refc = RefCore::new(CODE_BASE, image, bug);
+
+    let diverge = |step: u64, pc: u32, detail: String, core: &Core| {
+        CaseOutcome::Diverged(Box::new(Divergence {
+            step,
+            pc,
+            detail,
+            context: core.tracer().map(|t| t.dump_tail()).unwrap_or_default(),
+        }))
+    };
+
+    for step in 0..max_steps {
+        if core.pc != refc.pc {
+            return diverge(
+                step,
+                core.pc,
+                format!("pc: dut {:#010x} ref {:#010x}", core.pc, refc.pc),
+                &core,
+            );
+        }
+        if core.regs != refc.regs {
+            return diverge(
+                step,
+                core.pc,
+                format!("registers: {}", reg_delta(&core.regs, &refc.regs)),
+                &core,
+            );
+        }
+        let pc = core.pc;
+        let dut = core.step(&mut mem);
+        let refr = refc.step();
+        match (dut, refr) {
+            (Err(t), _) => return diverge(step, pc, format!("dut trap: {t}"), &core),
+            (Ok(_), Err(t)) => return diverge(step, pc, format!("ref trap: {t:?}"), &core),
+            (Ok(dh), Ok(rh)) => {
+                if dh != rh {
+                    return diverge(
+                        step,
+                        pc,
+                        format!("halt: dut {dh} ref {rh} (ecall seen on one side only)"),
+                        &core,
+                    );
+                }
+                if dh {
+                    if core.pc != refc.pc {
+                        return diverge(
+                            step + 1,
+                            core.pc,
+                            format!("final pc: dut {:#010x} ref {:#010x}", core.pc, refc.pc),
+                            &core,
+                        );
+                    }
+                    if core.regs != refc.regs {
+                        return diverge(
+                            step + 1,
+                            core.pc,
+                            format!("final registers: {}", reg_delta(&core.regs, &refc.regs)),
+                            &core,
+                        );
+                    }
+                    if mem.as_bytes() != refc.mem() {
+                        return diverge(
+                            step + 1,
+                            core.pc,
+                            format!("final {}", mem_delta(mem.as_bytes(), refc.mem())),
+                            &core,
+                        );
+                    }
+                    return CaseOutcome::Pass { steps: step + 1 };
+                }
+            }
+        }
+    }
+    diverge(
+        max_steps,
+        core.pc,
+        format!("step budget ({max_steps}) exhausted: program did not halt"),
+        &core,
+    )
+}
+
+/// Generates the program for `seed` and runs it differentially.
+pub fn run_case(seed: u64, cfg: &DiffConfig) -> (ProgramSpec, CaseOutcome) {
+    let spec = gen::generate(seed, &cfg.gen);
+    let outcome = run_spec(&spec, cfg.bug, cfg.max_steps);
+    (spec, outcome)
+}
+
+/// Disassembly listing of a lowered spec, one `pc  instr` line each.
+pub fn listing(spec: &ProgramSpec) -> String {
+    gen::lower(spec)
+        .instrs
+        .iter()
+        .map(|(pc, i)| format!("{pc:#010x}  {i}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Runs `cases` differential cases seeded from `master`, stopping at
+/// (and shrinking) the first divergence.
+pub fn run_suite(master: u64, cases: u64, cfg: &DiffConfig) -> SuiteReport {
+    for index in 0..cases {
+        let seed = case_seed(master, index);
+        let (spec, outcome) = run_case(seed, cfg);
+        if let CaseOutcome::Diverged(d) = outcome {
+            let small = shrink(&spec, cfg.bug, cfg.max_steps);
+            return SuiteReport {
+                cases_run: index + 1,
+                failure: Some(Failure {
+                    case_index: index,
+                    case_seed: seed,
+                    divergence: *d,
+                    shrunk_listing: listing(&small),
+                    shrunk_instrs: gen::instr_count(&small),
+                    replay: replay_command(seed),
+                }),
+            };
+        }
+    }
+    SuiteReport {
+        cases_run: cases,
+        failure: None,
+    }
+}

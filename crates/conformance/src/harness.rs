@@ -1,0 +1,139 @@
+//! Shared seeded-case loops for property tests.
+//!
+//! Every randomized test in the workspace derives one `xrand` seed per
+//! case from a fixed master seed ([`crate::case_seed`]). When a case
+//! fails, these helpers print a one-line reproduction command naming
+//! the exact derived seed, so a failure seen in CI replays locally
+//! with:
+//!
+//! ```text
+//! XPULPNN_CASE_SEED=0x… cargo test <test_name> -- --exact
+//! ```
+//!
+//! Setting [`CASE_SEED_ENV`] runs *only* that case, skipping the rest
+//! of the sweep.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use xrand::Rng;
+
+/// Environment variable that replays a single derived case seed
+/// (decimal or `0x`-prefixed hex).
+pub const CASE_SEED_ENV: &str = "XPULPNN_CASE_SEED";
+
+fn env_case_seed() -> Option<u64> {
+    let v = std::env::var(CASE_SEED_ENV).ok()?;
+    let v = v.trim();
+    if let Some(hex) = v.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        v.parse().ok()
+    }
+}
+
+/// The one-line reproduction command printed on failure.
+pub fn repro_line(name: &str, master: u64, index: u64) -> String {
+    let cs = crate::case_seed(master, index);
+    format!(
+        "repro: {CASE_SEED_ENV}={cs:#x} cargo test {name} -- --exact  (master seed {master:#x}, case {index})"
+    )
+}
+
+/// Runs `cases` seeded cases of `f(rng, index)`, printing a repro line
+/// before re-raising the panic of a failing case.
+///
+/// With [`CASE_SEED_ENV`] set, runs only that case.
+pub fn run_cases(name: &str, master: u64, cases: u64, mut f: impl FnMut(&mut Rng, u64)) {
+    if let Some(cs) = env_case_seed() {
+        let mut r = Rng::new(cs);
+        f(&mut r, cs.wrapping_sub(master));
+        return;
+    }
+    for index in 0..cases {
+        let cs = crate::case_seed(master, index);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut r = Rng::new(cs);
+            f(&mut r, index);
+        }));
+        if let Err(payload) = result {
+            eprintln!("{}", repro_line(name, master, index));
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Accept-loop variant: keeps drawing seeded attempts until `target`
+/// cases return `true` (an attempt returning `false` is skipped, e.g.
+/// a sampled configuration outside the property's precondition).
+///
+/// # Panics
+///
+/// Panics if fewer than `target` attempts are accepted within
+/// `max_attempts`; a failing case re-raises its panic after printing
+/// the repro line. With [`CASE_SEED_ENV`] set, runs only that case.
+pub fn run_accepted(
+    name: &str,
+    master: u64,
+    target: u64,
+    max_attempts: u64,
+    mut f: impl FnMut(&mut Rng) -> bool,
+) {
+    if let Some(cs) = env_case_seed() {
+        let mut r = Rng::new(cs);
+        f(&mut r);
+        return;
+    }
+    let mut accepted = 0u64;
+    for attempt in 0..max_attempts {
+        if accepted >= target {
+            return;
+        }
+        let cs = crate::case_seed(master, attempt);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut r = Rng::new(cs);
+            f(&mut r)
+        }));
+        match result {
+            Ok(true) => accepted += 1,
+            Ok(false) => {}
+            Err(payload) => {
+                eprintln!("{}", repro_line(name, master, attempt));
+                resume_unwind(payload);
+            }
+        }
+    }
+    assert!(
+        accepted >= target,
+        "{name}: only {accepted}/{target} cases accepted after {max_attempts} attempts"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repro_line_names_the_derived_seed() {
+        let line = repro_line("my_test", 0x100, 7);
+        assert!(line.contains("XPULPNN_CASE_SEED=0x107"), "{line}");
+        assert!(line.contains("my_test"), "{line}");
+        assert!(line.contains("case 7"), "{line}");
+    }
+
+    #[test]
+    fn run_cases_executes_every_index() {
+        let mut seen = Vec::new();
+        run_cases("t", 42, 5, |_, idx| seen.push(idx));
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn run_accepted_counts_only_accepts() {
+        let mut attempts = 0u64;
+        run_accepted("t", 7, 3, 100, |_| {
+            attempts += 1;
+            attempts.is_multiple_of(2)
+        });
+        assert_eq!(attempts, 6);
+    }
+}

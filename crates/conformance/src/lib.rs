@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! Conformance and differential testing for the XpulpNN ISA stack.
+//!
+//! Every headline number of the reproduction rests on `riscv-core`
+//! executing RV32IMC + XpulpV2 + XpulpNN bit-exactly, so this crate
+//! fuzzes that claim instead of trusting it:
+//!
+//! * [`gen`] — a seeded generator of *legal, terminating* programs
+//!   covering the full executable ISA surface: 16-bit RVC parcels,
+//!   hardware loops (nested), post-increment memory ops, sub-byte SIMD
+//!   and `pv.qnt` against random threshold trees.
+//! * [`refcore`] — a second, independent interpreter written directly
+//!   against the ISA semantics. It shares only the instruction *decoder*
+//!   with `pulp-isa` (that layer is covered separately by the round-trip
+//!   properties); every execution semantic — ALU, mul/div corner cases,
+//!   SIMD lane math, dot products, the quantization tree walk, the
+//!   hardware-loop rule — is re-implemented from scratch, functional
+//!   only, with no timing model.
+//! * [`diff`] — lock-step execution of both cores with divergence
+//!   reporting: first diverging PC, register/memory delta and recent
+//!   disassembly context from the PR-1 execution tracer.
+//! * [`shrink`] — a deterministic minimizer that reduces any diverging
+//!   program to a short repro and prints the exact replay command.
+//! * [`harness`] — shared seeded-case loops for property tests, printing
+//!   a one-line reproduction command on failure.
+//! * [`roundtrip`] — an arbitrary-instruction sampler over the *full*
+//!   instruction enum for `encode→decode→encode` and
+//!   `text→parse→disasm→parse` properties.
+//!
+//! The `xpulpnn conformance --cases N --seed S` CLI subcommand and the
+//! `ci.sh` smoke stage drive [`diff::run_suite`] with a fixed seed, so
+//! every future kernel/ISA change inherits the differential check.
+
+pub mod diff;
+pub mod gen;
+pub mod harness;
+pub mod refcore;
+pub mod roundtrip;
+pub mod shrink;
+
+pub use diff::{run_case, run_spec, run_suite, CaseOutcome, DiffConfig, Divergence, SuiteReport};
+pub use gen::{generate, instr_count, lower, GenConfig, Item, Lowered, ProgramSpec};
+pub use refcore::{RefBug, RefCore, RefTrap};
+pub use shrink::shrink;
+
+/// Seed of case `index` in a suite started from `master`: replaying a
+/// single case only needs this derived value, never the whole suite.
+pub fn case_seed(master: u64, index: u64) -> u64 {
+    master.wrapping_add(index)
+}
+
+/// The exact command that replays one differential case.
+pub fn replay_command(case_seed: u64) -> String {
+    format!("xpulpnn conformance --cases 1 --seed {case_seed}")
+}

@@ -1,0 +1,708 @@
+//! An independent reference interpreter for RV32IMC + XpulpV2 + XpulpNN.
+//!
+//! This is the "second opinion" of the differential harness: a purely
+//! functional interpreter written directly against the ISA semantics
+//! (the RISC-V unprivileged spec plus the XpulpV2/XpulpNN instruction
+//! tables of the paper), deliberately **not** calling into any
+//! `riscv-core` or `pulp-isa` evaluation helper. Only the instruction
+//! decoder is shared — that layer is covered by the encode/decode
+//! round-trip properties in this crate, so a decoder bug cannot hide a
+//! matching executor bug.
+//!
+//! There is no timing model here: no cycle counters, no stalls, no
+//! performance ledger. State is the register file, the PC, the two
+//! hardware-loop register sets and a flat byte memory.
+
+use pulp_isa::instr::{
+    AluOp, BitOp, BranchCond, Instr, LoadKind, MulDivOp, PulpAluOp, SimdAluOp, SimdOperand,
+    StoreKind,
+};
+use pulp_isa::reg::Reg;
+use pulp_isa::simd::{DotSign, SimdFmt};
+
+/// A deliberately injected semantic bug, used to prove the differential
+/// harness and the shrinker actually catch and minimize divergences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefBug {
+    /// Faithful semantics.
+    #[default]
+    None,
+    /// Register-register `add` produces `a + b + 1` — the classic
+    /// off-by-one that a lock-step run must pin to its first retire.
+    AddOffByOne,
+}
+
+/// Why the reference interpreter stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefTrap {
+    /// Undecodable word or parcel.
+    Illegal {
+        /// PC of the fetch.
+        pc: u32,
+        /// Raw fetched bits.
+        word: u32,
+    },
+    /// An access left the memory image.
+    OutOfRange {
+        /// PC of the access.
+        pc: u32,
+        /// Faulting address.
+        addr: u32,
+    },
+    /// `ebreak` executed.
+    Breakpoint {
+        /// PC of the breakpoint.
+        pc: u32,
+    },
+    /// An instruction the generator never emits (CSR accesses); kept a
+    /// trap rather than silently approximated state.
+    Unsupported {
+        /// PC of the instruction.
+        pc: u32,
+    },
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct RefLoop {
+    start: u32,
+    end: u32,
+    count: u32,
+}
+
+/// The reference core: registers, PC, hardware loops, flat memory.
+#[derive(Debug, Clone)]
+pub struct RefCore {
+    /// Register file; x0 reads as zero.
+    pub regs: [u32; 32],
+    /// Program counter.
+    pub pc: u32,
+    base: u32,
+    mem: Vec<u8>,
+    loops: [RefLoop; 2],
+    bug: RefBug,
+    halted: bool,
+}
+
+impl RefCore {
+    /// Creates a reference core over `image` mapped at `base`, with the
+    /// PC at `base`.
+    pub fn new(base: u32, image: Vec<u8>, bug: RefBug) -> RefCore {
+        RefCore {
+            regs: [0; 32],
+            pc: base,
+            base,
+            mem: image,
+            loops: [RefLoop::default(); 2],
+            bug,
+            halted: false,
+        }
+    }
+
+    /// The memory image (for end-of-run comparison).
+    pub fn mem(&self) -> &[u8] {
+        &self.mem
+    }
+
+    /// Whether `ecall` has retired.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    fn set(&mut self, r: Reg, v: u32) {
+        if r != Reg::Zero {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    fn rd_mem(&self, pc: u32, addr: u32, size: u32) -> Result<u32, RefTrap> {
+        let oor = RefTrap::OutOfRange { pc, addr };
+        let off = addr.wrapping_sub(self.base) as usize;
+        if addr < self.base || off + size as usize > self.mem.len() {
+            return Err(oor);
+        }
+        let mut v = 0u32;
+        for i in 0..size as usize {
+            v |= (self.mem[off + i] as u32) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    fn wr_mem(&mut self, pc: u32, addr: u32, size: u32, value: u32) -> Result<(), RefTrap> {
+        let oor = RefTrap::OutOfRange { pc, addr };
+        let off = addr.wrapping_sub(self.base) as usize;
+        if addr < self.base || off + size as usize > self.mem.len() {
+            return Err(oor);
+        }
+        for i in 0..size as usize {
+            self.mem[off + i] = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+
+    fn load(&self, pc: u32, kind: LoadKind, addr: u32) -> Result<u32, RefTrap> {
+        let size = match kind {
+            LoadKind::Byte | LoadKind::ByteU => 1,
+            LoadKind::Half | LoadKind::HalfU => 2,
+            LoadKind::Word => 4,
+        };
+        let raw = self.rd_mem(pc, addr, size)?;
+        Ok(match kind {
+            LoadKind::Byte => raw as u8 as i8 as i32 as u32,
+            LoadKind::Half => raw as u16 as i16 as i32 as u32,
+            LoadKind::Word => raw,
+            LoadKind::ByteU => raw & 0xff,
+            LoadKind::HalfU => raw & 0xffff,
+        })
+    }
+
+    fn store_size(kind: StoreKind) -> u32 {
+        match kind {
+            StoreKind::Byte => 1,
+            StoreKind::Half => 2,
+            StoreKind::Word => 4,
+        }
+    }
+
+    fn op2(&self, fmt: SimdFmt, op2: SimdOperand) -> u32 {
+        match op2 {
+            SimdOperand::Vector(r) => self.reg(r),
+            SimdOperand::Scalar(r) => vsplat(fmt, self.reg(r)),
+            SimdOperand::Imm(i) => vsplat(fmt, i as i32 as u32),
+        }
+    }
+
+    /// Walks one Eytzinger threshold tree: one 16-bit compare per level,
+    /// descending left on `x <= t` and right on `x > t`; the path bits
+    /// are the quantized value (number of thresholds strictly below x).
+    fn qnt_walk(&self, pc: u32, tree: u32, q_bits: u32, x: i16) -> Result<u32, RefTrap> {
+        let mut k = 1u32;
+        let mut q = 0u32;
+        for _ in 0..q_bits {
+            let t = self.rd_mem(pc, tree + (k - 1) * 2, 2)? as u16 as i16;
+            let bit = u32::from(x > t);
+            k = 2 * k + bit;
+            q = (q << 1) | bit;
+        }
+        Ok(q)
+    }
+
+    /// The RI5CY zero-overhead loop rule, applied at every retire that
+    /// did not branch explicitly: if the retired instruction ends an
+    /// active loop body with iterations left, the next PC is the loop
+    /// start. Loop 0 (innermost by convention) wins over loop 1.
+    fn loop_back(&mut self, retired_pc: u32, ilen: u32, fallthrough: u32) -> u32 {
+        for i in 0..2 {
+            let lp = &mut self.loops[i];
+            if lp.count > 0 && retired_pc + ilen == lp.end {
+                if lp.count > 1 {
+                    lp.count -= 1;
+                    return lp.start;
+                }
+                lp.count = 0;
+            }
+        }
+        fallthrough
+    }
+
+    /// Executes one instruction. Returns `Ok(true)` when `ecall` retires
+    /// (the halt convention).
+    ///
+    /// # Errors
+    ///
+    /// Any [`RefTrap`]; the generator emits programs that never trap, so
+    /// a trap on either side is itself a divergence.
+    pub fn step(&mut self) -> Result<bool, RefTrap> {
+        let pc = self.pc;
+        // Fetch: a parcel whose low two bits are not 0b11 is a 16-bit
+        // compressed instruction.
+        let parcel = self.rd_mem(pc, pc, 2)?;
+        let (instr, ilen) = if parcel & 0b11 != 0b11 {
+            let (_, i) = pulp_isa::compressed::decode16(parcel as u16)
+                .ok_or(RefTrap::Illegal { pc, word: parcel })?;
+            (i, 2u32)
+        } else {
+            let word = self.rd_mem(pc, pc, 4)?;
+            (
+                pulp_isa::decode::decode(word).map_err(|_| RefTrap::Illegal { pc, word })?,
+                4u32,
+            )
+        };
+
+        let mut next = pc.wrapping_add(ilen);
+        let mut jumped = false;
+
+        match instr {
+            Instr::Lui { rd, imm } => self.set(rd, imm),
+            Instr::Auipc { rd, imm } => self.set(rd, pc.wrapping_add(imm)),
+            Instr::Jal { rd, offset } => {
+                self.set(rd, pc.wrapping_add(ilen));
+                next = pc.wrapping_add(offset as u32);
+                jumped = true;
+            }
+            Instr::Jalr { rd, rs1, offset } => {
+                let target = self.reg(rs1).wrapping_add(offset as u32) & !1;
+                self.set(rd, pc.wrapping_add(ilen));
+                next = target;
+                jumped = true;
+            }
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let a = self.reg(rs1);
+                let b = self.reg(rs2);
+                let taken = match cond {
+                    BranchCond::Eq => a == b,
+                    BranchCond::Ne => a != b,
+                    BranchCond::Lt => (a as i32) < (b as i32),
+                    BranchCond::Ge => (a as i32) >= (b as i32),
+                    BranchCond::Ltu => a < b,
+                    BranchCond::Geu => a >= b,
+                };
+                if taken {
+                    next = pc.wrapping_add(offset as u32);
+                    jumped = true;
+                }
+            }
+            Instr::Load {
+                kind,
+                rd,
+                rs1,
+                offset,
+            } => {
+                let v = self.load(pc, kind, self.reg(rs1).wrapping_add(offset as u32))?;
+                self.set(rd, v);
+            }
+            Instr::Store {
+                kind,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let addr = self.reg(rs1).wrapping_add(offset as u32);
+                self.wr_mem(pc, addr, Self::store_size(kind), self.reg(rs2))?;
+            }
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                let mut v = alu(op, self.reg(rs1), self.reg(rs2));
+                if self.bug == RefBug::AddOffByOne && op == AluOp::Add {
+                    v = v.wrapping_add(1);
+                }
+                self.set(rd, v);
+            }
+            Instr::AluImm { op, rd, rs1, imm } => {
+                self.set(rd, alu(op, self.reg(rs1), imm as u32));
+            }
+            Instr::Fence | Instr::Nop => {}
+            Instr::Ecall => {
+                // Halt: the PC advances past the ecall without the
+                // hardware-loop rule applying (nothing retires after it).
+                self.pc = next;
+                self.halted = true;
+                return Ok(true);
+            }
+            Instr::Ebreak => return Err(RefTrap::Breakpoint { pc }),
+            Instr::Csr { .. } => return Err(RefTrap::Unsupported { pc }),
+            Instr::MulDiv { op, rd, rs1, rs2 } => {
+                let a = self.reg(rs1);
+                let b = self.reg(rs2);
+                let v = match op {
+                    MulDivOp::Mul => a.wrapping_mul(b),
+                    MulDivOp::Mulh => {
+                        ((a as i32 as i64).wrapping_mul(b as i32 as i64) >> 32) as u32
+                    }
+                    // rs2 zero-extends for mulhsu.
+                    MulDivOp::Mulhsu => ((a as i32 as i64).wrapping_mul(b as i64) >> 32) as u32,
+                    MulDivOp::Mulhu => (((a as u64) * (b as u64)) >> 32) as u32,
+                    // RISC-V: x/0 = -1, x%0 = x, MIN/-1 = MIN with rem 0.
+                    MulDivOp::Div => {
+                        if b == 0 {
+                            u32::MAX
+                        } else {
+                            (a as i32).wrapping_div(b as i32) as u32
+                        }
+                    }
+                    MulDivOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
+                    MulDivOp::Rem => {
+                        if b == 0 {
+                            a
+                        } else {
+                            (a as i32).wrapping_rem(b as i32) as u32
+                        }
+                    }
+                    MulDivOp::Remu => a.checked_rem(b).unwrap_or(a),
+                };
+                self.set(rd, v);
+            }
+            Instr::PulpAlu { op, rd, rs1, rs2 } => {
+                let a = self.reg(rs1);
+                let b = self.reg(rs2);
+                let v = match op {
+                    PulpAluOp::Min => (a as i32).min(b as i32) as u32,
+                    PulpAluOp::Minu => a.min(b),
+                    PulpAluOp::Max => (a as i32).max(b as i32) as u32,
+                    PulpAluOp::Maxu => a.max(b),
+                    PulpAluOp::Abs => (a as i32).wrapping_abs() as u32,
+                    PulpAluOp::Exths => a as i16 as i32 as u32,
+                    PulpAluOp::Exthz => a & 0xffff,
+                    PulpAluOp::Extbs => a as i8 as i32 as u32,
+                    PulpAluOp::Extbz => a & 0xff,
+                };
+                self.set(rd, v);
+            }
+            Instr::PClip { rd, rs1, bits } => {
+                let x = self.reg(rs1) as i32;
+                let (lo, hi) = if bits == 0 {
+                    (-1, 0)
+                } else {
+                    (-(1i32 << (bits - 1)), (1i32 << (bits - 1)) - 1)
+                };
+                self.set(rd, x.clamp(lo, hi) as u32);
+            }
+            Instr::PClipU { rd, rs1, bits } => {
+                let x = self.reg(rs1) as i32;
+                let hi = if bits == 0 {
+                    0
+                } else {
+                    (1i32 << (bits - 1)) - 1
+                };
+                self.set(rd, x.clamp(0, hi) as u32);
+            }
+            Instr::PMac { rd, rs1, rs2 } => {
+                let v = self
+                    .reg(rd)
+                    .wrapping_add(self.reg(rs1).wrapping_mul(self.reg(rs2)));
+                self.set(rd, v);
+            }
+            Instr::PMsu { rd, rs1, rs2 } => {
+                let v = self
+                    .reg(rd)
+                    .wrapping_sub(self.reg(rs1).wrapping_mul(self.reg(rs2)));
+                self.set(rd, v);
+            }
+            Instr::PBit { op, rd, rs1 } => {
+                let a = self.reg(rs1);
+                let v = match op {
+                    BitOp::Ff1 => {
+                        if a == 0 {
+                            32
+                        } else {
+                            a.trailing_zeros()
+                        }
+                    }
+                    BitOp::Fl1 => {
+                        if a == 0 {
+                            32
+                        } else {
+                            31 - a.leading_zeros()
+                        }
+                    }
+                    BitOp::Cnt => a.count_ones(),
+                    BitOp::Clb => {
+                        if a == 0 {
+                            0
+                        } else {
+                            let x = if (a as i32) < 0 { !a } else { a };
+                            x.leading_zeros().saturating_sub(1)
+                        }
+                    }
+                };
+                self.set(rd, v);
+            }
+            Instr::PExtract { rd, rs1, len, off } => {
+                self.set(rd, bitfield(self.reg(rs1), len, off, true));
+            }
+            Instr::PExtractU { rd, rs1, len, off } => {
+                self.set(rd, bitfield(self.reg(rs1), len, off, false));
+            }
+            Instr::PInsert { rd, rs1, len, off } => {
+                let mask = len_mask(len) << off;
+                let v = (self.reg(rd) & !mask) | ((self.reg(rs1) << off) & mask);
+                self.set(rd, v);
+            }
+            Instr::LoadPostInc {
+                kind,
+                rd,
+                rs1,
+                offset,
+            } => {
+                let addr = self.reg(rs1);
+                let v = self.load(pc, kind, addr)?;
+                self.set(rd, v);
+                self.set(rs1, addr.wrapping_add(offset as u32));
+            }
+            Instr::LoadPostIncReg { kind, rd, rs1, rs2 } => {
+                let addr = self.reg(rs1);
+                let inc = self.reg(rs2);
+                let v = self.load(pc, kind, addr)?;
+                self.set(rd, v);
+                self.set(rs1, addr.wrapping_add(inc));
+            }
+            Instr::LoadRegOff { kind, rd, rs1, rs2 } => {
+                let v = self.load(pc, kind, self.reg(rs1).wrapping_add(self.reg(rs2)))?;
+                self.set(rd, v);
+            }
+            Instr::StorePostInc {
+                kind,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let addr = self.reg(rs1);
+                self.wr_mem(pc, addr, Self::store_size(kind), self.reg(rs2))?;
+                self.set(rs1, addr.wrapping_add(offset as u32));
+            }
+            Instr::StorePostIncReg {
+                kind,
+                rs1,
+                rs2,
+                rs3,
+            } => {
+                let addr = self.reg(rs1);
+                let inc = self.reg(rs3);
+                self.wr_mem(pc, addr, Self::store_size(kind), self.reg(rs2))?;
+                self.set(rs1, addr.wrapping_add(inc));
+            }
+            Instr::LpStarti { l, offset } => {
+                self.loops[l.index()].start = pc.wrapping_add(offset as u32);
+            }
+            Instr::LpEndi { l, offset } => {
+                self.loops[l.index()].end = pc.wrapping_add(offset as u32);
+            }
+            Instr::LpCount { l, rs1 } => {
+                self.loops[l.index()].count = self.reg(rs1);
+            }
+            Instr::LpCounti { l, imm } => {
+                self.loops[l.index()].count = imm;
+            }
+            Instr::LpSetup { l, rs1, offset } => {
+                let count = self.reg(rs1);
+                let lp = &mut self.loops[l.index()];
+                lp.start = pc.wrapping_add(4);
+                lp.end = pc.wrapping_add(offset as u32);
+                lp.count = count;
+            }
+            Instr::LpSetupi { l, imm, offset } => {
+                let lp = &mut self.loops[l.index()];
+                lp.start = pc.wrapping_add(4);
+                lp.end = pc.wrapping_add(offset as u32);
+                lp.count = imm;
+            }
+            Instr::PvAlu {
+                op,
+                fmt,
+                rd,
+                rs1,
+                op2,
+            } => {
+                let a = self.reg(rs1);
+                let b = self.op2(fmt, op2);
+                self.set(rd, simd_alu(op, fmt, a, b));
+            }
+            Instr::PvAbs { fmt, rd, rs1 } => {
+                let a = self.reg(rs1);
+                let mut out = 0u32;
+                for i in 0..vlanes(fmt) {
+                    out = vset(fmt, out, i, vget_s(fmt, a, i).wrapping_abs() as u32);
+                }
+                self.set(rd, out);
+            }
+            Instr::PvExtract {
+                fmt,
+                rd,
+                rs1,
+                idx,
+                signed,
+            } => {
+                let a = self.reg(rs1);
+                let v = if signed {
+                    vget_s(fmt, a, idx as usize) as u32
+                } else {
+                    vget_u(fmt, a, idx as usize)
+                };
+                self.set(rd, v);
+            }
+            Instr::PvInsert { fmt, rd, rs1, idx } => {
+                let v = vset(fmt, self.reg(rd), idx as usize, self.reg(rs1));
+                self.set(rd, v);
+            }
+            Instr::PvShuffle2 { fmt, rd, rs1, rs2 } => {
+                let old_d = self.reg(rd);
+                let a = self.reg(rs1);
+                let sel = self.reg(rs2);
+                let lanes = vlanes(fmt) as u32;
+                let mut out = 0u32;
+                for i in 0..vlanes(fmt) {
+                    let s = vget_u(fmt, sel, i);
+                    let src = if s & lanes == 0 { a } else { old_d };
+                    out = vset(fmt, out, i, vget_u(fmt, src, (s % lanes) as usize));
+                }
+                self.set(rd, out);
+            }
+            Instr::PvDot {
+                fmt,
+                sign,
+                rd,
+                rs1,
+                op2,
+            } => {
+                let b = self.op2(fmt, op2);
+                self.set(rd, dot(fmt, sign, self.reg(rs1), b));
+            }
+            Instr::PvSdot {
+                fmt,
+                sign,
+                rd,
+                rs1,
+                op2,
+            } => {
+                let b = self.op2(fmt, op2);
+                let v = self.reg(rd).wrapping_add(dot(fmt, sign, self.reg(rs1), b));
+                self.set(rd, v);
+            }
+            Instr::PvQnt { fmt, rd, rs1, rs2 } => {
+                let q_bits = vbits(fmt);
+                let stride = (1u32 << q_bits) * 2;
+                let packed = self.reg(rs1);
+                let tree = self.reg(rs2);
+                let q0 = self.qnt_walk(pc, tree, q_bits, packed as u16 as i16)?;
+                let q1 = self.qnt_walk(pc, tree + stride, q_bits, (packed >> 16) as u16 as i16)?;
+                self.set(rd, q0 | (q1 << q_bits));
+            }
+        }
+
+        if !jumped {
+            next = self.loop_back(pc, ilen, next);
+        }
+        self.pc = next;
+        Ok(false)
+    }
+}
+
+fn alu(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Sll => a << (b & 0x1f),
+        AluOp::Slt => u32::from((a as i32) < (b as i32)),
+        AluOp::Sltu => u32::from(a < b),
+        AluOp::Xor => a ^ b,
+        AluOp::Srl => a >> (b & 0x1f),
+        AluOp::Sra => ((a as i32) >> (b & 0x1f)) as u32,
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+    }
+}
+
+fn len_mask(len: u8) -> u32 {
+    if len >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << len) - 1
+    }
+}
+
+fn bitfield(value: u32, len: u8, off: u8, signed: bool) -> u32 {
+    let raw = (value >> off) & len_mask(len);
+    if signed && len < 32 && (raw >> (len - 1)) & 1 == 1 {
+        raw | !len_mask(len)
+    } else {
+        raw
+    }
+}
+
+fn vbits(fmt: SimdFmt) -> u32 {
+    match fmt {
+        SimdFmt::Half => 16,
+        SimdFmt::Byte => 8,
+        SimdFmt::Nibble => 4,
+        SimdFmt::Crumb => 2,
+    }
+}
+
+fn vlanes(fmt: SimdFmt) -> usize {
+    (32 / vbits(fmt)) as usize
+}
+
+fn vmask(fmt: SimdFmt) -> u32 {
+    (1u32 << vbits(fmt)) - 1
+}
+
+fn vget_u(fmt: SimdFmt, w: u32, i: usize) -> u32 {
+    (w >> (i as u32 * vbits(fmt))) & vmask(fmt)
+}
+
+fn vget_s(fmt: SimdFmt, w: u32, i: usize) -> i32 {
+    let sh = 32 - vbits(fmt);
+    ((vget_u(fmt, w, i) << sh) as i32) >> sh
+}
+
+fn vset(fmt: SimdFmt, w: u32, i: usize, v: u32) -> u32 {
+    let sh = i as u32 * vbits(fmt);
+    (w & !(vmask(fmt) << sh)) | ((v & vmask(fmt)) << sh)
+}
+
+fn vsplat(fmt: SimdFmt, x: u32) -> u32 {
+    let lane = x & vmask(fmt);
+    let mut w = 0u32;
+    for i in 0..vlanes(fmt) {
+        w |= lane << (i as u32 * vbits(fmt));
+    }
+    w
+}
+
+fn simd_alu(op: SimdAluOp, fmt: SimdFmt, a: u32, b: u32) -> u32 {
+    match op {
+        SimdAluOp::Or => return a | b,
+        SimdAluOp::And => return a & b,
+        SimdAluOp::Xor => return a ^ b,
+        _ => {}
+    }
+    let bits = vbits(fmt);
+    let mut out = 0u32;
+    for i in 0..vlanes(fmt) {
+        let xs = vget_s(fmt, a, i);
+        let ys = vget_s(fmt, b, i);
+        let xu = vget_u(fmt, a, i);
+        let yu = vget_u(fmt, b, i);
+        let r: u32 = match op {
+            SimdAluOp::Add => xs.wrapping_add(ys) as u32,
+            SimdAluOp::Sub => xs.wrapping_sub(ys) as u32,
+            SimdAluOp::Avg => (xs.wrapping_add(ys) >> 1) as u32,
+            // The unsigned average keeps the carry bit before shifting.
+            SimdAluOp::Avgu => (xu + yu) >> 1,
+            SimdAluOp::Min => xs.min(ys) as u32,
+            SimdAluOp::Minu => xu.min(yu),
+            SimdAluOp::Max => xs.max(ys) as u32,
+            SimdAluOp::Maxu => xu.max(yu),
+            // Per-lane shift amounts use only log2(lane width) bits.
+            SimdAluOp::Srl => xu >> (yu % bits),
+            SimdAluOp::Sra => (xs >> (yu % bits)) as u32,
+            SimdAluOp::Sll => xu << (yu % bits),
+            SimdAluOp::Or | SimdAluOp::And | SimdAluOp::Xor => unreachable!(),
+        };
+        out = vset(fmt, out, i, r);
+    }
+    out
+}
+
+fn dot(fmt: SimdFmt, sign: DotSign, a: u32, b: u32) -> u32 {
+    let mut acc = 0u32;
+    for i in 0..vlanes(fmt) {
+        let x: i64 = match sign {
+            DotSign::UnsignedUnsigned | DotSign::UnsignedSigned => vget_u(fmt, a, i) as i64,
+            DotSign::SignedSigned => vget_s(fmt, a, i) as i64,
+        };
+        let y: i64 = match sign {
+            DotSign::UnsignedUnsigned => vget_u(fmt, b, i) as i64,
+            DotSign::UnsignedSigned | DotSign::SignedSigned => vget_s(fmt, b, i) as i64,
+        };
+        acc = acc.wrapping_add((x * y) as u32);
+    }
+    acc
+}

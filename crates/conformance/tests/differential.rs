@@ -1,0 +1,87 @@
+//! Differential conformance: `riscv-core` vs the independent reference
+//! interpreter, on generated random programs.
+
+use conformance::{run_case, run_suite, CaseOutcome, DiffConfig, RefBug};
+
+/// The CI configuration (seed 1) must be divergence-free. The CLI runs
+/// 1000 cases in release mode; this debug-build test runs a prefix of
+/// the same sequence so a regression fails `cargo test` too.
+#[test]
+fn suite_is_clean_on_ci_seed() {
+    let report = run_suite(1, 150, &DiffConfig::default());
+    if let Some(f) = &report.failure {
+        panic!("differential suite failed:\n{f}");
+    }
+    assert_eq!(report.cases_run, 150);
+}
+
+/// Generated programs terminate by construction — no case may come
+/// anywhere near the step budget.
+#[test]
+fn programs_terminate_well_under_budget() {
+    let cfg = DiffConfig::default();
+    for seed in 1000..1040u64 {
+        let (_, outcome) = run_case(seed, &cfg);
+        match outcome {
+            CaseOutcome::Pass { steps } => {
+                assert!(steps < cfg.max_steps / 2, "seed {seed}: {steps} steps");
+            }
+            CaseOutcome::Diverged(d) => panic!("seed {seed}: {d}"),
+        }
+    }
+}
+
+/// Injecting a deliberate semantic bug into the reference side proves
+/// the harness catches real divergences and the shrinker minimizes
+/// them: the repro must be at most 8 instructions and the report must
+/// print the exact replay command.
+#[test]
+fn injected_bug_is_caught_and_shrunk_to_short_repro() {
+    let cfg = DiffConfig {
+        bug: RefBug::AddOffByOne,
+        ..DiffConfig::default()
+    };
+    let report = run_suite(1, 200, &cfg);
+    let f = report
+        .failure
+        .expect("an add-off-by-one bug must be caught within 200 cases");
+    assert!(
+        f.shrunk_instrs <= 8,
+        "shrunk repro has {} instructions (> 8):\n{}",
+        f.shrunk_instrs,
+        f.shrunk_listing
+    );
+    assert_eq!(
+        f.replay,
+        format!("xpulpnn conformance --cases 1 --seed {}", f.case_seed)
+    );
+    let rendered = f.to_string();
+    assert!(
+        rendered.contains("replay: xpulpnn conformance --cases 1 --seed"),
+        "failure report must print the replay command:\n{rendered}"
+    );
+    assert!(
+        rendered.contains("shrunk to"),
+        "failure report must include the shrunk listing:\n{rendered}"
+    );
+    // The divergence context carries the PR-1 tracer's disassembly tail.
+    assert!(
+        f.divergence.context.contains("retired instructions"),
+        "divergence context must carry tracer output:\n{}",
+        f.divergence.context
+    );
+    println!("{f}");
+}
+
+/// The shrinker is deterministic: same diverging case, same repro.
+#[test]
+fn shrinker_is_deterministic() {
+    let cfg = DiffConfig {
+        bug: RefBug::AddOffByOne,
+        ..DiffConfig::default()
+    };
+    let a = run_suite(1, 200, &cfg).failure.expect("bug found");
+    let b = run_suite(1, 200, &cfg).failure.expect("bug found");
+    assert_eq!(a.case_index, b.case_index);
+    assert_eq!(a.shrunk_listing, b.shrunk_listing);
+}

@@ -1,0 +1,55 @@
+//! Assembly-text round trips over the full instruction enum:
+//! `text → parse → disasm → parse` must reach a fixpoint, for single
+//! instructions and for whole programs.
+
+use conformance::harness::run_cases;
+use conformance::roundtrip::arbitrary_instr;
+use pulp_asm::text::parse;
+use pulp_isa::instr::Instr;
+
+fn render(instrs: &[Instr]) -> String {
+    let mut src = String::from(".org 0x10000\n");
+    for i in instrs {
+        src.push_str(&i.to_string());
+        src.push('\n');
+    }
+    src
+}
+
+#[test]
+fn single_instruction_text_round_trip() {
+    run_cases(
+        "single_instruction_text_round_trip",
+        0xc0f0_0004,
+        400,
+        |r, _| {
+            let i = arbitrary_instr(r);
+            let src = render(std::slice::from_ref(&i));
+            let p1 = parse(&src).unwrap_or_else(|e| panic!("`{i}` does not parse: {e}"));
+            assert_eq!(
+                p1.instrs.len(),
+                1,
+                "`{i}` parsed to {} instrs",
+                p1.instrs.len()
+            );
+            assert_eq!(p1.instrs[0], i, "text round trip of `{i}`");
+            // disasm → parse again: fixpoint.
+            let p2 = parse(&render(&p1.instrs)).unwrap_or_else(|e| {
+                panic!("disassembly `{}` does not re-parse: {e}", p1.instrs[0])
+            });
+            assert_eq!(p1.words, p2.words);
+        },
+    );
+}
+
+#[test]
+fn whole_program_text_round_trip() {
+    run_cases("whole_program_text_round_trip", 0xc0f0_0006, 40, |r, _| {
+        let instrs: Vec<Instr> = (0..40).map(|_| arbitrary_instr(r)).collect();
+        let p1 = parse(&render(&instrs)).unwrap_or_else(|e| panic!("program does not parse: {e}"));
+        assert_eq!(p1.instrs, instrs);
+        let p2 = parse(&render(&p1.instrs)).expect("disassembly must re-parse");
+        assert_eq!(p1.words, p2.words);
+        assert_eq!(p1.instrs, p2.instrs);
+    });
+}

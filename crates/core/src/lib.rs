@@ -18,6 +18,7 @@
 //! | generated PULP-NN-style kernels | [`pulp_kernels`] |
 //! | Cortex-M4/M7 CMSIS-NN cost models | [`cortexm_model`] |
 //! | Table III area/power models | [`pulp_power`] |
+//! | differential ISA conformance fuzzing | [`conformance`] |
 //!
 //! # Quickstart
 //!
@@ -51,6 +52,7 @@ pub use qnn::BitWidth;
 pub use report::HotspotProfile;
 
 // Re-export the stack for downstream users of the façade.
+pub use conformance;
 pub use cortexm_model;
 pub use pulp_asm;
 pub use pulp_isa;

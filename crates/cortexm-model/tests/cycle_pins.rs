@@ -1,0 +1,71 @@
+//! Pinned cycle counts for the CMSIS-NN cost models on the paper's
+//! benchmark layer (Fig. 8: 16×16×32 input, 64 3×3 filters).
+//!
+//! The M4/M7 numbers feed directly into the paper's cross-platform
+//! energy-efficiency comparison, so any cost-model change — intentional
+//! or not — must show up as an explicit diff here rather than silently
+//! shifting Fig. 8.
+
+use cortexm_model::{conv_cycles, ArmCore};
+use qnn::conv::ConvShape;
+use qnn::BitWidth;
+
+const WIDTHS: [BitWidth; 3] = [BitWidth::W8, BitWidth::W4, BitWidth::W2];
+
+#[test]
+fn m4_cycles_on_paper_layer_are_pinned() {
+    let s = ConvShape::paper_benchmark();
+    let pinned = [
+        (BitWidth::W8, 8_180_224u64),
+        (BitWidth::W4, 14_430_720),
+        (BitWidth::W2, 16_483_840),
+    ];
+    for (bits, want) in pinned {
+        let got = conv_cycles(ArmCore::M4, &s, bits).total();
+        assert_eq!(got, want, "M4 {bits} total cycles moved");
+    }
+}
+
+#[test]
+fn m7_cycles_on_paper_layer_are_pinned() {
+    let s = ConvShape::paper_benchmark();
+    let pinned = [
+        (BitWidth::W8, 3_956_660u64),
+        (BitWidth::W4, 8_057_423),
+        (BitWidth::W2, 9_464_167),
+    ];
+    for (bits, want) in pinned {
+        let got = conv_cycles(ArmCore::M7, &s, bits).total();
+        assert_eq!(got, want, "M7 {bits} total cycles moved");
+    }
+}
+
+/// Structural sanity on top of the exact pins: the dual-issue M7 beats
+/// the M4 at every width, sub-byte software unpacking costs both cores
+/// dearly (the effect XpulpNN removes), and the phase breakdown adds up.
+#[test]
+fn m7_outperforms_m4_and_sub_byte_regresses() {
+    let s = ConvShape::paper_benchmark();
+    for bits in WIDTHS {
+        let m4 = conv_cycles(ArmCore::M4, &s, bits);
+        let m7 = conv_cycles(ArmCore::M7, &s, bits);
+        assert!(
+            m7.total() < m4.total(),
+            "{bits}: M7 ({}) should be faster than M4 ({})",
+            m7.total(),
+            m4.total()
+        );
+        for c in [m4, m7] {
+            assert_eq!(c.total(), c.im2col + c.matmul + c.requant + c.outer);
+        }
+    }
+    for core in [ArmCore::M4, ArmCore::M7] {
+        let w8 = conv_cycles(core, &s, BitWidth::W8).total();
+        let w4 = conv_cycles(core, &s, BitWidth::W4).total();
+        let w2 = conv_cycles(core, &s, BitWidth::W2).total();
+        assert!(
+            w8 < w4 && w4 < w2,
+            "{core:?}: sub-byte must cost more on ARM (w8 {w8}, w4 {w4}, w2 {w2})"
+        );
+    }
+}

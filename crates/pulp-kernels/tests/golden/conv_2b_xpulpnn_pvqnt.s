@@ -1,0 +1,102 @@
+# 2-bit/xpulpnn/pv.qnt (89 instructions)
+  1c008000:  1c0587b7  lui a5, 0x1c058
+  1c008004:  1c0686b7  lui a3, 0x1c068
+  1c008008:  01068713  addi a4, a3, 16
+  1c00800c:  08000893  addi a7, zero, 128
+pixel_loop:
+  1c008010:  098000ef  jal ra, 152
+  1c008014:  1c030537  lui a0, 0x1c030
+  1c008018:  1c0505b7  lui a1, 0x1c050
+  1c00801c:  01000613  addi a2, zero, 16
+ch_loop:
+  1c008020:  0f0000ef  jal ra, 240
+  1c008024:  110a5a33  p.clip s4, s4, 16
+  1c008028:  110b5b33  p.clip s6, s6, 16
+  1c00802c:  881b0a57  pv.insert.h s4, s6, 1
+  1c008030:  c6ba0157  pv.qnt.c sp, s4, a1
+  1c008034:  110adab3  p.clip s5, s5, 16
+  1c008038:  110bdbb3  p.clip s7, s7, 16
+  1c00803c:  881b8ad7  pv.insert.h s5, s7, 1
+  1c008040:  c6ba81d7  pv.qnt.c gp, s5, a1
+  1c008044:  01058593  addi a1, a1, 16
+  1c008048:  0c8000ef  jal ra, 200
+  1c00804c:  110a5a33  p.clip s4, s4, 16
+  1c008050:  110b5b33  p.clip s6, s6, 16
+  1c008054:  881b0a57  pv.insert.h s4, s6, 1
+  1c008058:  c6ba02d7  pv.qnt.c t0, s4, a1
+  1c00805c:  00429293  slli t0, t0, 4
+  1c008060:  0022e2b3  or t0, t0, sp
+  1c008064:  005680ab  p.sb t0, 1(a3!)
+  1c008068:  110adab3  p.clip s5, s5, 16
+  1c00806c:  110bdbb3  p.clip s7, s7, 16
+  1c008070:  881b8ad7  pv.insert.h s5, s7, 1
+  1c008074:  c6ba8357  pv.qnt.c t1, s5, a1
+  1c008078:  00431313  slli t1, t1, 4
+  1c00807c:  00336333  or t1, t1, gp
+  1c008080:  006700ab  p.sb t1, 1(a4!)
+  1c008084:  01058593  addi a1, a1, 16
+  1c008088:  fff60613  addi a2, a2, -1
+  1c00808c:  f8061ae3  bne a2, zero, -108
+  1c008090:  01068693  addi a3, a3, 16
+  1c008094:  01070713  addi a4, a4, 16
+  1c008098:  fff88893  addi a7, a7, -1
+  1c00809c:  f6089ae3  bne a7, zero, -140
+  1c0080a0:  00000513  addi a0, zero, 0
+  1c0080a4:  00000073  ecall
+im2col_pair:
+  1c0080a8:  1c0602b7  lui t0, 0x1c060
+  1c0080ac:  00600f13  addi t5, zero, 6
+ic_desc:
+  1c0080b0:  0007a303  lw t1, 0(a5)
+  1c0080b4:  0047d383  lhu t2, 4(a5)
+  1c0080b8:  0067de03  lhu t3, 6(a5)
+  1c0080bc:  00c78793  addi a5, a5, 12
+  1c0080c0:  0023d393  srli t2, t2, 2
+  1c0080c4:  00038863  beq t2, zero, 16
+ic_z_pre:
+  1c0080c8:  0002a22b  p.sw zero, 4(t0!)
+  1c0080cc:  fff38393  addi t2, t2, -1
+  1c0080d0:  fe039ce3  bne t2, zero, -8
+ic_z_done_pre:
+  1c0080d4:  002e5e13  srli t3, t3, 2
+  1c0080d8:  000e0a63  beq t3, zero, 20
+ic_copy:
+  1c0080dc:  00432f8b  p.lw t6, 4(t1!)
+  1c0080e0:  01f2a22b  p.sw t6, 4(t0!)
+  1c0080e4:  fffe0e13  addi t3, t3, -1
+  1c0080e8:  fe0e1ae3  bne t3, zero, -12
+ic_copy_done:
+  1c0080ec:  ffc7de83  lhu t4, -4(a5)
+  1c0080f0:  002ede93  srli t4, t4, 2
+  1c0080f4:  000e8863  beq t4, zero, 16
+ic_z_post:
+  1c0080f8:  0002a22b  p.sw zero, 4(t0!)
+  1c0080fc:  fffe8e93  addi t4, t4, -1
+  1c008100:  fe0e9ce3  bne t4, zero, -8
+ic_z_done_post:
+  1c008104:  ffff0f13  addi t5, t5, -1
+  1c008108:  fa0f14e3  bne t5, zero, -88
+  1c00810c:  00008067  jalr zero, 0(ra)
+mm_block:
+  1c008110:  00050413  addi s0, a0, 0
+  1c008114:  04850493  addi s1, a0, 72
+  1c008118:  1c060937  lui s2, 0x1c060
+  1c00811c:  1c0609b7  lui s3, 0x1c060
+  1c008120:  04898993  addi s3, s3, 72
+  1c008124:  00000a13  addi s4, zero, 0
+  1c008128:  00000a93  addi s5, zero, 0
+  1c00812c:  00000b13  addi s6, zero, 0
+  1c008130:  00000b93  addi s7, zero, 0
+  1c008134:  01200f93  addi t6, zero, 18
+  1c008138:  012fc07b  lp.setup x0, t6, 36
+  1c00813c:  0044228b  p.lw t0, 4(s0!)
+  1c008140:  0044a30b  p.lw t1, 4(s1!)
+  1c008144:  0049238b  p.lw t2, 4(s2!)
+  1c008148:  0049ae0b  p.lw t3, 4(s3!)
+  1c00814c:  b6538a57  pv.sdotusp.c s4, t2, t0
+  1c008150:  b65e0ad7  pv.sdotusp.c s5, t3, t0
+  1c008154:  b6638b57  pv.sdotusp.c s6, t2, t1
+  1c008158:  b66e0bd7  pv.sdotusp.c s7, t3, t1
+mm_end:
+  1c00815c:  00048513  addi a0, s1, 0
+  1c008160:  00008067  jalr zero, 0(ra)

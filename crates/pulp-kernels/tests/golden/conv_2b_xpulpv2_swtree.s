@@ -1,0 +1,312 @@
+# 2-bit/xpulpv2/sw-tree (299 instructions)
+  1c008000:  1c0587b7  lui a5, 0x1c058
+  1c008004:  1c0686b7  lui a3, 0x1c068
+  1c008008:  01068713  addi a4, a3, 16
+  1c00800c:  08000893  addi a7, zero, 128
+  1c008010:  03030c37  lui s8, 0x3030
+  1c008014:  303c0c13  addi s8, s8, 771
+  1c008018:  05010cb7  lui s9, 0x5010
+  1c00801c:  400c8c93  addi s9, s9, 1024
+  1c008020:  07030d37  lui s10, 0x7030
+  1c008024:  602d0d13  addi s10, s10, 1538
+  1c008028:  05040db7  lui s11, 0x5040
+  1c00802c:  100d8d93  addi s11, s11, 256
+  1c008030:  07060837  lui a6, 0x7060
+  1c008034:  30280813  addi a6, a6, 770
+pixel_loop:
+  1c008038:  248000ef  jal ra, 584
+  1c00803c:  1c030537  lui a0, 0x1c030
+  1c008040:  1c0505b7  lui a1, 0x1c050
+  1c008044:  01000613  addi a2, zero, 16
+ch_loop:
+  1c008048:  2f8000ef  jal ra, 760
+  1c00804c:  ffe58f13  addi t5, a1, -2
+  1c008050:  110a52b3  p.clip t0, s4, 16
+  1c008054:  00100313  addi t1, zero, 1
+  1c008058:  00131393  slli t2, t1, 1
+  1c00805c:  127f7e0b  p.lh t3, t2(t5)
+  1c008060:  005e2eb3  slt t4, t3, t0
+  1c008064:  00630333  add t1, t1, t1
+  1c008068:  01d30333  add t1, t1, t4
+  1c00806c:  00131393  slli t2, t1, 1
+  1c008070:  127f7e0b  p.lh t3, t2(t5)
+  1c008074:  005e2eb3  slt t4, t3, t0
+  1c008078:  00630333  add t1, t1, t1
+  1c00807c:  01d30333  add t1, t1, t4
+  1c008080:  ffc30313  addi t1, t1, -4
+  1c008084:  00030f93  addi t6, t1, 0
+  1c008088:  00658f13  addi t5, a1, 6
+  1c00808c:  110b52b3  p.clip t0, s6, 16
+  1c008090:  00100313  addi t1, zero, 1
+  1c008094:  00131393  slli t2, t1, 1
+  1c008098:  127f7e0b  p.lh t3, t2(t5)
+  1c00809c:  005e2eb3  slt t4, t3, t0
+  1c0080a0:  00630333  add t1, t1, t1
+  1c0080a4:  01d30333  add t1, t1, t4
+  1c0080a8:  00131393  slli t2, t1, 1
+  1c0080ac:  127f7e0b  p.lh t3, t2(t5)
+  1c0080b0:  005e2eb3  slt t4, t3, t0
+  1c0080b4:  00630333  add t1, t1, t1
+  1c0080b8:  01d30333  add t1, t1, t4
+  1c0080bc:  ffc30313  addi t1, t1, -4
+  1c0080c0:  00231313  slli t1, t1, 2
+  1c0080c4:  01f36133  or sp, t1, t6
+  1c0080c8:  ffe58f13  addi t5, a1, -2
+  1c0080cc:  110ad2b3  p.clip t0, s5, 16
+  1c0080d0:  00100313  addi t1, zero, 1
+  1c0080d4:  00131393  slli t2, t1, 1
+  1c0080d8:  127f7e0b  p.lh t3, t2(t5)
+  1c0080dc:  005e2eb3  slt t4, t3, t0
+  1c0080e0:  00630333  add t1, t1, t1
+  1c0080e4:  01d30333  add t1, t1, t4
+  1c0080e8:  00131393  slli t2, t1, 1
+  1c0080ec:  127f7e0b  p.lh t3, t2(t5)
+  1c0080f0:  005e2eb3  slt t4, t3, t0
+  1c0080f4:  00630333  add t1, t1, t1
+  1c0080f8:  01d30333  add t1, t1, t4
+  1c0080fc:  ffc30313  addi t1, t1, -4
+  1c008100:  00030f93  addi t6, t1, 0
+  1c008104:  00658f13  addi t5, a1, 6
+  1c008108:  110bd2b3  p.clip t0, s7, 16
+  1c00810c:  00100313  addi t1, zero, 1
+  1c008110:  00131393  slli t2, t1, 1
+  1c008114:  127f7e0b  p.lh t3, t2(t5)
+  1c008118:  005e2eb3  slt t4, t3, t0
+  1c00811c:  00630333  add t1, t1, t1
+  1c008120:  01d30333  add t1, t1, t4
+  1c008124:  00131393  slli t2, t1, 1
+  1c008128:  127f7e0b  p.lh t3, t2(t5)
+  1c00812c:  005e2eb3  slt t4, t3, t0
+  1c008130:  00630333  add t1, t1, t1
+  1c008134:  01d30333  add t1, t1, t4
+  1c008138:  ffc30313  addi t1, t1, -4
+  1c00813c:  00231313  slli t1, t1, 2
+  1c008140:  01f361b3  or gp, t1, t6
+  1c008144:  01058593  addi a1, a1, 16
+  1c008148:  1f8000ef  jal ra, 504
+  1c00814c:  ffe58f13  addi t5, a1, -2
+  1c008150:  110a52b3  p.clip t0, s4, 16
+  1c008154:  00100313  addi t1, zero, 1
+  1c008158:  00131393  slli t2, t1, 1
+  1c00815c:  127f7e0b  p.lh t3, t2(t5)
+  1c008160:  005e2eb3  slt t4, t3, t0
+  1c008164:  00630333  add t1, t1, t1
+  1c008168:  01d30333  add t1, t1, t4
+  1c00816c:  00131393  slli t2, t1, 1
+  1c008170:  127f7e0b  p.lh t3, t2(t5)
+  1c008174:  005e2eb3  slt t4, t3, t0
+  1c008178:  00630333  add t1, t1, t1
+  1c00817c:  01d30333  add t1, t1, t4
+  1c008180:  ffc30313  addi t1, t1, -4
+  1c008184:  00030f93  addi t6, t1, 0
+  1c008188:  00658f13  addi t5, a1, 6
+  1c00818c:  110b52b3  p.clip t0, s6, 16
+  1c008190:  00100313  addi t1, zero, 1
+  1c008194:  00131393  slli t2, t1, 1
+  1c008198:  127f7e0b  p.lh t3, t2(t5)
+  1c00819c:  005e2eb3  slt t4, t3, t0
+  1c0081a0:  00630333  add t1, t1, t1
+  1c0081a4:  01d30333  add t1, t1, t4
+  1c0081a8:  00131393  slli t2, t1, 1
+  1c0081ac:  127f7e0b  p.lh t3, t2(t5)
+  1c0081b0:  005e2eb3  slt t4, t3, t0
+  1c0081b4:  00630333  add t1, t1, t1
+  1c0081b8:  01d30333  add t1, t1, t4
+  1c0081bc:  ffc30313  addi t1, t1, -4
+  1c0081c0:  00231313  slli t1, t1, 2
+  1c0081c4:  01f36333  or t1, t1, t6
+  1c0081c8:  00431313  slli t1, t1, 4
+  1c0081cc:  00236333  or t1, t1, sp
+  1c0081d0:  006680ab  p.sb t1, 1(a3!)
+  1c0081d4:  ffe58f13  addi t5, a1, -2
+  1c0081d8:  110ad2b3  p.clip t0, s5, 16
+  1c0081dc:  00100313  addi t1, zero, 1
+  1c0081e0:  00131393  slli t2, t1, 1
+  1c0081e4:  127f7e0b  p.lh t3, t2(t5)
+  1c0081e8:  005e2eb3  slt t4, t3, t0
+  1c0081ec:  00630333  add t1, t1, t1
+  1c0081f0:  01d30333  add t1, t1, t4
+  1c0081f4:  00131393  slli t2, t1, 1
+  1c0081f8:  127f7e0b  p.lh t3, t2(t5)
+  1c0081fc:  005e2eb3  slt t4, t3, t0
+  1c008200:  00630333  add t1, t1, t1
+  1c008204:  01d30333  add t1, t1, t4
+  1c008208:  ffc30313  addi t1, t1, -4
+  1c00820c:  00030f93  addi t6, t1, 0
+  1c008210:  00658f13  addi t5, a1, 6
+  1c008214:  110bd2b3  p.clip t0, s7, 16
+  1c008218:  00100313  addi t1, zero, 1
+  1c00821c:  00131393  slli t2, t1, 1
+  1c008220:  127f7e0b  p.lh t3, t2(t5)
+  1c008224:  005e2eb3  slt t4, t3, t0
+  1c008228:  00630333  add t1, t1, t1
+  1c00822c:  01d30333  add t1, t1, t4
+  1c008230:  00131393  slli t2, t1, 1
+  1c008234:  127f7e0b  p.lh t3, t2(t5)
+  1c008238:  005e2eb3  slt t4, t3, t0
+  1c00823c:  00630333  add t1, t1, t1
+  1c008240:  01d30333  add t1, t1, t4
+  1c008244:  ffc30313  addi t1, t1, -4
+  1c008248:  00231313  slli t1, t1, 2
+  1c00824c:  01f36333  or t1, t1, t6
+  1c008250:  00431313  slli t1, t1, 4
+  1c008254:  00336333  or t1, t1, gp
+  1c008258:  006700ab  p.sb t1, 1(a4!)
+  1c00825c:  01058593  addi a1, a1, 16
+  1c008260:  fff60613  addi a2, a2, -1
+  1c008264:  de0612e3  bne a2, zero, -540
+  1c008268:  01068693  addi a3, a3, 16
+  1c00826c:  01070713  addi a4, a4, 16
+  1c008270:  fff88893  addi a7, a7, -1
+  1c008274:  dc0892e3  bne a7, zero, -572
+  1c008278:  00000513  addi a0, zero, 0
+  1c00827c:  00000073  ecall
+im2col_pair:
+  1c008280:  1c0602b7  lui t0, 0x1c060
+  1c008284:  00600f13  addi t5, zero, 6
+ic_desc:
+  1c008288:  0007a303  lw t1, 0(a5)
+  1c00828c:  0047d383  lhu t2, 4(a5)
+  1c008290:  0067de03  lhu t3, 6(a5)
+  1c008294:  00c78793  addi a5, a5, 12
+  1c008298:  00038863  beq t2, zero, 16
+ic_z_pre:
+  1c00829c:  0002a22b  p.sw zero, 4(t0!)
+  1c0082a0:  fff38393  addi t2, t2, -1
+  1c0082a4:  fe039ce3  bne t2, zero, -8
+ic_z_done_pre:
+  1c0082a8:  002e5e13  srli t3, t3, 2
+  1c0082ac:  060e0a63  beq t3, zero, 116
+ic_copy:
+  1c0082b0:  00432f8b  p.lw t6, 4(t1!)
+  1c0082b4:  018ff3b3  and t2, t6, s8
+  1c0082b8:  002fd513  srli a0, t6, 2
+  1c0082bc:  01857533  and a0, a0, s8
+  1c0082c0:  004fd593  srli a1, t6, 4
+  1c0082c4:  0185f5b3  and a1, a1, s8
+  1c0082c8:  006fdf93  srli t6, t6, 6
+  1c0082cc:  018fffb3  and t6, t6, s8
+  1c0082d0:  00050613  addi a2, a0, 0
+  1c0082d4:  cb938657  pv.shuffle2.b a2, t2, s9
+  1c0082d8:  000f8113  addi sp, t6, 0
+  1c0082dc:  cb958157  pv.shuffle2.b sp, a1, s9
+  1c0082e0:  00010e93  addi t4, sp, 0
+  1c0082e4:  cbb60ed7  pv.shuffle2.b t4, a2, s11
+  1c0082e8:  01d2a22b  p.sw t4, 4(t0!)
+  1c0082ec:  cb060157  pv.shuffle2.b sp, a2, a6
+  1c0082f0:  0022a22b  p.sw sp, 4(t0!)
+  1c0082f4:  00050613  addi a2, a0, 0
+  1c0082f8:  cba38657  pv.shuffle2.b a2, t2, s10
+  1c0082fc:  000f8113  addi sp, t6, 0
+  1c008300:  cba58157  pv.shuffle2.b sp, a1, s10
+  1c008304:  00010e93  addi t4, sp, 0
+  1c008308:  cbb60ed7  pv.shuffle2.b t4, a2, s11
+  1c00830c:  01d2a22b  p.sw t4, 4(t0!)
+  1c008310:  cb060157  pv.shuffle2.b sp, a2, a6
+  1c008314:  0022a22b  p.sw sp, 4(t0!)
+  1c008318:  fffe0e13  addi t3, t3, -1
+  1c00831c:  f80e1ae3  bne t3, zero, -108
+ic_copy_done:
+  1c008320:  ffc7de83  lhu t4, -4(a5)
+  1c008324:  000e8863  beq t4, zero, 16
+ic_z_post:
+  1c008328:  0002a22b  p.sw zero, 4(t0!)
+  1c00832c:  fffe8e93  addi t4, t4, -1
+  1c008330:  fe0e9ce3  bne t4, zero, -8
+ic_z_done_post:
+  1c008334:  ffff0f13  addi t5, t5, -1
+  1c008338:  f40f18e3  bne t5, zero, -176
+  1c00833c:  00008067  jalr zero, 0(ra)
+mm_block:
+  1c008340:  00050413  addi s0, a0, 0
+  1c008344:  04850493  addi s1, a0, 72
+  1c008348:  1c060937  lui s2, 0x1c060
+  1c00834c:  1c0609b7  lui s3, 0x1c060
+  1c008350:  12098993  addi s3, s3, 288
+  1c008354:  00000a13  addi s4, zero, 0
+  1c008358:  00000a93  addi s5, zero, 0
+  1c00835c:  00000b13  addi s6, zero, 0
+  1c008360:  00000b93  addi s7, zero, 0
+  1c008364:  01200f93  addi t6, zero, 18
+  1c008368:  09efc07b  lp.setup x0, t6, 316
+  1c00836c:  0044228b  p.lw t0, 4(s0!)
+  1c008370:  5262e357  pv.sll.sci.b t1, t0, 6
+  1c008374:  4a636357  pv.sra.sci.b t1, t1, 6
+  1c008378:  5242e3d7  pv.sll.sci.b t2, t0, 4
+  1c00837c:  4a63e3d7  pv.sra.sci.b t2, t2, 6
+  1c008380:  5222ee57  pv.sll.sci.b t3, t0, 2
+  1c008384:  4a6e6e57  pv.sra.sci.b t3, t3, 6
+  1c008388:  4a62e2d7  pv.sra.sci.b t0, t0, 6
+  1c00838c:  00038e93  addi t4, t2, 0
+  1c008390:  cb930ed7  pv.shuffle2.b t4, t1, s9
+  1c008394:  00038f13  addi t5, t2, 0
+  1c008398:  cba30f57  pv.shuffle2.b t5, t1, s10
+  1c00839c:  00028313  addi t1, t0, 0
+  1c0083a0:  cb9e0357  pv.shuffle2.b t1, t3, s9
+  1c0083a4:  00028393  addi t2, t0, 0
+  1c0083a8:  cbae03d7  pv.shuffle2.b t2, t3, s10
+  1c0083ac:  00030e13  addi t3, t1, 0
+  1c0083b0:  cbbe8e57  pv.shuffle2.b t3, t4, s11
+  1c0083b4:  cb0e8357  pv.shuffle2.b t1, t4, a6
+  1c0083b8:  00038f93  addi t6, t2, 0
+  1c0083bc:  cbbf0fd7  pv.shuffle2.b t6, t5, s11
+  1c0083c0:  cb0f03d7  pv.shuffle2.b t2, t5, a6
+  1c0083c4:  0049228b  p.lw t0, 4(s2!)
+  1c0083c8:  b3c28a57  pv.sdotusp.b s4, t0, t3
+  1c0083cc:  0049a28b  p.lw t0, 4(s3!)
+  1c0083d0:  b3c28ad7  pv.sdotusp.b s5, t0, t3
+  1c0083d4:  0049228b  p.lw t0, 4(s2!)
+  1c0083d8:  b2628a57  pv.sdotusp.b s4, t0, t1
+  1c0083dc:  0049a28b  p.lw t0, 4(s3!)
+  1c0083e0:  b2628ad7  pv.sdotusp.b s5, t0, t1
+  1c0083e4:  0049228b  p.lw t0, 4(s2!)
+  1c0083e8:  b3f28a57  pv.sdotusp.b s4, t0, t6
+  1c0083ec:  0049a28b  p.lw t0, 4(s3!)
+  1c0083f0:  b3f28ad7  pv.sdotusp.b s5, t0, t6
+  1c0083f4:  0049228b  p.lw t0, 4(s2!)
+  1c0083f8:  b2728a57  pv.sdotusp.b s4, t0, t2
+  1c0083fc:  0049a28b  p.lw t0, 4(s3!)
+  1c008400:  b2728ad7  pv.sdotusp.b s5, t0, t2
+  1c008404:  ff090913  addi s2, s2, -16
+  1c008408:  ff098993  addi s3, s3, -16
+  1c00840c:  0044a28b  p.lw t0, 4(s1!)
+  1c008410:  5262e357  pv.sll.sci.b t1, t0, 6
+  1c008414:  4a636357  pv.sra.sci.b t1, t1, 6
+  1c008418:  5242e3d7  pv.sll.sci.b t2, t0, 4
+  1c00841c:  4a63e3d7  pv.sra.sci.b t2, t2, 6
+  1c008420:  5222ee57  pv.sll.sci.b t3, t0, 2
+  1c008424:  4a6e6e57  pv.sra.sci.b t3, t3, 6
+  1c008428:  4a62e2d7  pv.sra.sci.b t0, t0, 6
+  1c00842c:  00038e93  addi t4, t2, 0
+  1c008430:  cb930ed7  pv.shuffle2.b t4, t1, s9
+  1c008434:  00038f13  addi t5, t2, 0
+  1c008438:  cba30f57  pv.shuffle2.b t5, t1, s10
+  1c00843c:  00028313  addi t1, t0, 0
+  1c008440:  cb9e0357  pv.shuffle2.b t1, t3, s9
+  1c008444:  00028393  addi t2, t0, 0
+  1c008448:  cbae03d7  pv.shuffle2.b t2, t3, s10
+  1c00844c:  00030e13  addi t3, t1, 0
+  1c008450:  cbbe8e57  pv.shuffle2.b t3, t4, s11
+  1c008454:  cb0e8357  pv.shuffle2.b t1, t4, a6
+  1c008458:  00038f93  addi t6, t2, 0
+  1c00845c:  cbbf0fd7  pv.shuffle2.b t6, t5, s11
+  1c008460:  cb0f03d7  pv.shuffle2.b t2, t5, a6
+  1c008464:  0049228b  p.lw t0, 4(s2!)
+  1c008468:  b3c28b57  pv.sdotusp.b s6, t0, t3
+  1c00846c:  0049a28b  p.lw t0, 4(s3!)
+  1c008470:  b3c28bd7  pv.sdotusp.b s7, t0, t3
+  1c008474:  0049228b  p.lw t0, 4(s2!)
+  1c008478:  b2628b57  pv.sdotusp.b s6, t0, t1
+  1c00847c:  0049a28b  p.lw t0, 4(s3!)
+  1c008480:  b2628bd7  pv.sdotusp.b s7, t0, t1
+  1c008484:  0049228b  p.lw t0, 4(s2!)
+  1c008488:  b3f28b57  pv.sdotusp.b s6, t0, t6
+  1c00848c:  0049a28b  p.lw t0, 4(s3!)
+  1c008490:  b3f28bd7  pv.sdotusp.b s7, t0, t6
+  1c008494:  0049228b  p.lw t0, 4(s2!)
+  1c008498:  b2728b57  pv.sdotusp.b s6, t0, t2
+  1c00849c:  0049a28b  p.lw t0, 4(s3!)
+  1c0084a0:  b2728bd7  pv.sdotusp.b s7, t0, t2
+mm_end:
+  1c0084a4:  00048513  addi a0, s1, 0
+  1c0084a8:  00008067  jalr zero, 0(ra)

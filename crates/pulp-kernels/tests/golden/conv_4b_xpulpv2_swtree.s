@@ -1,0 +1,216 @@
+# 4-bit/xpulpv2/sw-tree (203 instructions)
+  1c008000:  1c0587b7  lui a5, 0x1c058
+  1c008004:  1c0686b7  lui a3, 0x1c068
+  1c008008:  02068713  addi a4, a3, 32
+  1c00800c:  08000893  addi a7, zero, 128
+  1c008010:  0f0f1c37  lui s8, 0xf0f1
+  1c008014:  f0fc0c13  addi s8, s8, -241
+  1c008018:  05010cb7  lui s9, 0x5010
+  1c00801c:  400c8c93  addi s9, s9, 1024
+  1c008020:  07030d37  lui s10, 0x7030
+  1c008024:  602d0d13  addi s10, s10, 1538
+pixel_loop:
+  1c008028:  1d8000ef  jal ra, 472
+  1c00802c:  1c030537  lui a0, 0x1c030
+  1c008030:  1c0505b7  lui a1, 0x1c050
+  1c008034:  02000613  addi a2, zero, 32
+ch_loop:
+  1c008038:  230000ef  jal ra, 560
+  1c00803c:  ffe58f13  addi t5, a1, -2
+  1c008040:  110a52b3  p.clip t0, s4, 16
+  1c008044:  00100313  addi t1, zero, 1
+  1c008048:  00131393  slli t2, t1, 1
+  1c00804c:  127f7e0b  p.lh t3, t2(t5)
+  1c008050:  005e2eb3  slt t4, t3, t0
+  1c008054:  00630333  add t1, t1, t1
+  1c008058:  01d30333  add t1, t1, t4
+  1c00805c:  00131393  slli t2, t1, 1
+  1c008060:  127f7e0b  p.lh t3, t2(t5)
+  1c008064:  005e2eb3  slt t4, t3, t0
+  1c008068:  00630333  add t1, t1, t1
+  1c00806c:  01d30333  add t1, t1, t4
+  1c008070:  00131393  slli t2, t1, 1
+  1c008074:  127f7e0b  p.lh t3, t2(t5)
+  1c008078:  005e2eb3  slt t4, t3, t0
+  1c00807c:  00630333  add t1, t1, t1
+  1c008080:  01d30333  add t1, t1, t4
+  1c008084:  00131393  slli t2, t1, 1
+  1c008088:  127f7e0b  p.lh t3, t2(t5)
+  1c00808c:  005e2eb3  slt t4, t3, t0
+  1c008090:  00630333  add t1, t1, t1
+  1c008094:  01d30333  add t1, t1, t4
+  1c008098:  ff030313  addi t1, t1, -16
+  1c00809c:  00030f93  addi t6, t1, 0
+  1c0080a0:  01e58f13  addi t5, a1, 30
+  1c0080a4:  110b52b3  p.clip t0, s6, 16
+  1c0080a8:  00100313  addi t1, zero, 1
+  1c0080ac:  00131393  slli t2, t1, 1
+  1c0080b0:  127f7e0b  p.lh t3, t2(t5)
+  1c0080b4:  005e2eb3  slt t4, t3, t0
+  1c0080b8:  00630333  add t1, t1, t1
+  1c0080bc:  01d30333  add t1, t1, t4
+  1c0080c0:  00131393  slli t2, t1, 1
+  1c0080c4:  127f7e0b  p.lh t3, t2(t5)
+  1c0080c8:  005e2eb3  slt t4, t3, t0
+  1c0080cc:  00630333  add t1, t1, t1
+  1c0080d0:  01d30333  add t1, t1, t4
+  1c0080d4:  00131393  slli t2, t1, 1
+  1c0080d8:  127f7e0b  p.lh t3, t2(t5)
+  1c0080dc:  005e2eb3  slt t4, t3, t0
+  1c0080e0:  00630333  add t1, t1, t1
+  1c0080e4:  01d30333  add t1, t1, t4
+  1c0080e8:  00131393  slli t2, t1, 1
+  1c0080ec:  127f7e0b  p.lh t3, t2(t5)
+  1c0080f0:  005e2eb3  slt t4, t3, t0
+  1c0080f4:  00630333  add t1, t1, t1
+  1c0080f8:  01d30333  add t1, t1, t4
+  1c0080fc:  ff030313  addi t1, t1, -16
+  1c008100:  00431313  slli t1, t1, 4
+  1c008104:  01f36333  or t1, t1, t6
+  1c008108:  006680ab  p.sb t1, 1(a3!)
+  1c00810c:  ffe58f13  addi t5, a1, -2
+  1c008110:  110ad2b3  p.clip t0, s5, 16
+  1c008114:  00100313  addi t1, zero, 1
+  1c008118:  00131393  slli t2, t1, 1
+  1c00811c:  127f7e0b  p.lh t3, t2(t5)
+  1c008120:  005e2eb3  slt t4, t3, t0
+  1c008124:  00630333  add t1, t1, t1
+  1c008128:  01d30333  add t1, t1, t4
+  1c00812c:  00131393  slli t2, t1, 1
+  1c008130:  127f7e0b  p.lh t3, t2(t5)
+  1c008134:  005e2eb3  slt t4, t3, t0
+  1c008138:  00630333  add t1, t1, t1
+  1c00813c:  01d30333  add t1, t1, t4
+  1c008140:  00131393  slli t2, t1, 1
+  1c008144:  127f7e0b  p.lh t3, t2(t5)
+  1c008148:  005e2eb3  slt t4, t3, t0
+  1c00814c:  00630333  add t1, t1, t1
+  1c008150:  01d30333  add t1, t1, t4
+  1c008154:  00131393  slli t2, t1, 1
+  1c008158:  127f7e0b  p.lh t3, t2(t5)
+  1c00815c:  005e2eb3  slt t4, t3, t0
+  1c008160:  00630333  add t1, t1, t1
+  1c008164:  01d30333  add t1, t1, t4
+  1c008168:  ff030313  addi t1, t1, -16
+  1c00816c:  00030f93  addi t6, t1, 0
+  1c008170:  01e58f13  addi t5, a1, 30
+  1c008174:  110bd2b3  p.clip t0, s7, 16
+  1c008178:  00100313  addi t1, zero, 1
+  1c00817c:  00131393  slli t2, t1, 1
+  1c008180:  127f7e0b  p.lh t3, t2(t5)
+  1c008184:  005e2eb3  slt t4, t3, t0
+  1c008188:  00630333  add t1, t1, t1
+  1c00818c:  01d30333  add t1, t1, t4
+  1c008190:  00131393  slli t2, t1, 1
+  1c008194:  127f7e0b  p.lh t3, t2(t5)
+  1c008198:  005e2eb3  slt t4, t3, t0
+  1c00819c:  00630333  add t1, t1, t1
+  1c0081a0:  01d30333  add t1, t1, t4
+  1c0081a4:  00131393  slli t2, t1, 1
+  1c0081a8:  127f7e0b  p.lh t3, t2(t5)
+  1c0081ac:  005e2eb3  slt t4, t3, t0
+  1c0081b0:  00630333  add t1, t1, t1
+  1c0081b4:  01d30333  add t1, t1, t4
+  1c0081b8:  00131393  slli t2, t1, 1
+  1c0081bc:  127f7e0b  p.lh t3, t2(t5)
+  1c0081c0:  005e2eb3  slt t4, t3, t0
+  1c0081c4:  00630333  add t1, t1, t1
+  1c0081c8:  01d30333  add t1, t1, t4
+  1c0081cc:  ff030313  addi t1, t1, -16
+  1c0081d0:  00431313  slli t1, t1, 4
+  1c0081d4:  01f36333  or t1, t1, t6
+  1c0081d8:  006700ab  p.sb t1, 1(a4!)
+  1c0081dc:  04058593  addi a1, a1, 64
+  1c0081e0:  fff60613  addi a2, a2, -1
+  1c0081e4:  e4061ae3  bne a2, zero, -428
+  1c0081e8:  02068693  addi a3, a3, 32
+  1c0081ec:  02070713  addi a4, a4, 32
+  1c0081f0:  fff88893  addi a7, a7, -1
+  1c0081f4:  e2089ae3  bne a7, zero, -460
+  1c0081f8:  00000513  addi a0, zero, 0
+  1c0081fc:  00000073  ecall
+im2col_pair:
+  1c008200:  1c0602b7  lui t0, 0x1c060
+  1c008204:  00600f13  addi t5, zero, 6
+ic_desc:
+  1c008208:  0007a303  lw t1, 0(a5)
+  1c00820c:  0047d383  lhu t2, 4(a5)
+  1c008210:  0067de03  lhu t3, 6(a5)
+  1c008214:  00c78793  addi a5, a5, 12
+  1c008218:  0023d393  srli t2, t2, 2
+  1c00821c:  00038863  beq t2, zero, 16
+ic_z_pre:
+  1c008220:  0002a22b  p.sw zero, 4(t0!)
+  1c008224:  fff38393  addi t2, t2, -1
+  1c008228:  fe039ce3  bne t2, zero, -8
+ic_z_done_pre:
+  1c00822c:  002e5e13  srli t3, t3, 2
+  1c008230:  000e0a63  beq t3, zero, 20
+ic_copy:
+  1c008234:  00432f8b  p.lw t6, 4(t1!)
+  1c008238:  01f2a22b  p.sw t6, 4(t0!)
+  1c00823c:  fffe0e13  addi t3, t3, -1
+  1c008240:  fe0e1ae3  bne t3, zero, -12
+ic_copy_done:
+  1c008244:  ffc7de83  lhu t4, -4(a5)
+  1c008248:  002ede93  srli t4, t4, 2
+  1c00824c:  000e8863  beq t4, zero, 16
+ic_z_post:
+  1c008250:  0002a22b  p.sw zero, 4(t0!)
+  1c008254:  fffe8e93  addi t4, t4, -1
+  1c008258:  fe0e9ce3  bne t4, zero, -8
+ic_z_done_post:
+  1c00825c:  ffff0f13  addi t5, t5, -1
+  1c008260:  fa0f14e3  bne t5, zero, -88
+  1c008264:  00008067  jalr zero, 0(ra)
+mm_block:
+  1c008268:  00050413  addi s0, a0, 0
+  1c00826c:  09050493  addi s1, a0, 144
+  1c008270:  1c060937  lui s2, 0x1c060
+  1c008274:  1c0609b7  lui s3, 0x1c060
+  1c008278:  09098993  addi s3, s3, 144
+  1c00827c:  00000a13  addi s4, zero, 0
+  1c008280:  00000a93  addi s5, zero, 0
+  1c008284:  00000b13  addi s6, zero, 0
+  1c008288:  00000b93  addi s7, zero, 0
+  1c00828c:  02400f93  addi t6, zero, 36
+  1c008290:  04afc07b  lp.setup x0, t6, 148
+  1c008294:  0044228b  p.lw t0, 4(s0!)
+  1c008298:  5242eed7  pv.sll.sci.b t4, t0, 4
+  1c00829c:  4a4eeed7  pv.sra.sci.b t4, t4, 4
+  1c0082a0:  4a42e2d7  pv.sra.sci.b t0, t0, 4
+  1c0082a4:  00028393  addi t2, t0, 0
+  1c0082a8:  cb9e83d7  pv.shuffle2.b t2, t4, s9
+  1c0082ac:  cbae82d7  pv.shuffle2.b t0, t4, s10
+  1c0082b0:  0044a30b  p.lw t1, 4(s1!)
+  1c0082b4:  52436ed7  pv.sll.sci.b t4, t1, 4
+  1c0082b8:  4a4eeed7  pv.sra.sci.b t4, t4, 4
+  1c0082bc:  4a436357  pv.sra.sci.b t1, t1, 4
+  1c0082c0:  00030e13  addi t3, t1, 0
+  1c0082c4:  cb9e8e57  pv.shuffle2.b t3, t4, s9
+  1c0082c8:  cbae8357  pv.shuffle2.b t1, t4, s10
+  1c0082cc:  00492e8b  p.lw t4, 4(s2!)
+  1c0082d0:  018eff33  and t5, t4, s8
+  1c0082d4:  004ede93  srli t4, t4, 4
+  1c0082d8:  018efeb3  and t4, t4, s8
+  1c0082dc:  000e8f93  addi t6, t4, 0
+  1c0082e0:  cb9f0fd7  pv.shuffle2.b t6, t5, s9
+  1c0082e4:  cbaf0ed7  pv.shuffle2.b t4, t5, s10
+  1c0082e8:  b27f8a57  pv.sdotusp.b s4, t6, t2
+  1c0082ec:  b25e8a57  pv.sdotusp.b s4, t4, t0
+  1c0082f0:  b3cf8b57  pv.sdotusp.b s6, t6, t3
+  1c0082f4:  b26e8b57  pv.sdotusp.b s6, t4, t1
+  1c0082f8:  0049ae8b  p.lw t4, 4(s3!)
+  1c0082fc:  018eff33  and t5, t4, s8
+  1c008300:  004ede93  srli t4, t4, 4
+  1c008304:  018efeb3  and t4, t4, s8
+  1c008308:  000e8f93  addi t6, t4, 0
+  1c00830c:  cb9f0fd7  pv.shuffle2.b t6, t5, s9
+  1c008310:  cbaf0ed7  pv.shuffle2.b t4, t5, s10
+  1c008314:  b27f8ad7  pv.sdotusp.b s5, t6, t2
+  1c008318:  b25e8ad7  pv.sdotusp.b s5, t4, t0
+  1c00831c:  b3cf8bd7  pv.sdotusp.b s7, t6, t3
+  1c008320:  b26e8bd7  pv.sdotusp.b s7, t4, t1
+mm_end:
+  1c008324:  00048513  addi a0, s1, 0
+  1c008328:  00008067  jalr zero, 0(ra)

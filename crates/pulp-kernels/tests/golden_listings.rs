@@ -1,0 +1,115 @@
+//! Golden disassembly snapshots of every emitted kernel variant.
+//!
+//! Each paper configuration's full program listing (labels, addresses,
+//! encodings, mnemonics) is pinned under `tests/golden/*.s`. Any change
+//! to the emitters (`emit/conv.rs`, `emit/im2col.rs`, `emit/matmul.rs`,
+//! `emit/quant.rs`) that alters generated code shows up as a readable
+//! diff against the snapshot instead of a silent cycle-count shift.
+//!
+//! To re-bless after an intentional emitter change:
+//!
+//! ```text
+//! XPULPNN_BLESS=1 cargo test -p pulp-kernels --test golden_listings
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use pulp_kernels::emit::build_conv_program;
+use pulp_kernels::{ConvKernelConfig, KernelIsa, LayerLayout, QuantMode};
+use qnn::BitWidth;
+
+const BLESS_ENV: &str = "XPULPNN_BLESS";
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Filesystem-safe snapshot name for a configuration.
+fn slug(cfg: &ConvKernelConfig) -> String {
+    let quant = match cfg.quant {
+        QuantMode::Shift8 { .. } => "shift8",
+        QuantMode::SoftwareTree => "swtree",
+        QuantMode::HardwareQnt => "pvqnt",
+    };
+    format!("conv_{}b_{}_{}", cfg.bits.bits(), cfg.isa, quant)
+}
+
+/// The paper's width × ISA × quantizer matrix, deduplicated (the
+/// constructor collapses `hw_quant` where `pv.qnt` does not exist).
+fn paper_variants() -> BTreeMap<String, ConvKernelConfig> {
+    let mut variants = BTreeMap::new();
+    for bits in [BitWidth::W8, BitWidth::W4, BitWidth::W2] {
+        for isa in [KernelIsa::XpulpV2, KernelIsa::XpulpNN] {
+            for hw in [false, true] {
+                let cfg = ConvKernelConfig::paper(bits, isa, hw);
+                variants.entry(slug(&cfg)).or_insert(cfg);
+            }
+        }
+    }
+    variants
+}
+
+#[test]
+fn emitted_kernels_match_golden_listings() {
+    let bless = std::env::var(BLESS_ENV).is_ok();
+    let dir = golden_dir();
+    let layout = LayerLayout::default_for_l2();
+    let mut mismatches = Vec::new();
+    for (name, cfg) in paper_variants() {
+        let prog = build_conv_program(&cfg, &layout).expect("emit");
+        let listing = format!(
+            "# {} ({} instructions)\n{}",
+            cfg.name(),
+            prog.instrs.len(),
+            prog.listing()
+        );
+        let path = dir.join(format!("{name}.s"));
+        if bless {
+            std::fs::create_dir_all(&dir).expect("create golden dir");
+            std::fs::write(&path, &listing).expect("write snapshot");
+            continue;
+        }
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing snapshot {}: {e}\nre-bless with {BLESS_ENV}=1 cargo test -p pulp-kernels --test golden_listings",
+                path.display()
+            )
+        });
+        if want != listing {
+            let diverges = want
+                .lines()
+                .zip(listing.lines())
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| want.lines().count().min(listing.lines().count()));
+            mismatches.push(format!(
+                "{name}: first differing line {}\n  golden : {}\n  emitted: {}",
+                diverges + 1,
+                want.lines().nth(diverges).unwrap_or("<eof>"),
+                listing.lines().nth(diverges).unwrap_or("<eof>"),
+            ));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "emitted kernels differ from golden snapshots \
+         (re-bless with {BLESS_ENV}=1 if intentional):\n{}",
+        mismatches.join("\n")
+    );
+}
+
+/// The snapshot set covers every distinct paper variant and nothing
+/// else is lying around stale in the golden directory.
+#[test]
+fn golden_directory_is_exactly_the_variant_set() {
+    if std::env::var(BLESS_ENV).is_ok() {
+        return; // directory may be mid-rewrite while blessing
+    }
+    let expected: Vec<String> = paper_variants().keys().map(|n| format!("{n}.s")).collect();
+    let mut found: Vec<String> = std::fs::read_dir(golden_dir())
+        .expect("golden dir")
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    found.sort();
+    assert_eq!(found, expected, "stale or missing golden snapshots");
+}

@@ -1,0 +1,127 @@
+//! Boundary coverage of the `pv.qnt` quantization unit: saturated
+//! threshold values, degenerate (constant) trees, and exact staircase
+//! edges — the inputs where an off-by-one in the strict `<` comparison
+//! or the Eytzinger walk would first show.
+
+use pulp_isa::SimdFmt;
+use qnn::quantizer::ThresholdSet;
+use qnn::BitWidth;
+use riscv_core::bus::Bus;
+use riscv_core::{quant, SliceMem};
+
+fn bits_of(fmt: SimdFmt) -> BitWidth {
+    match fmt {
+        SimdFmt::Nibble => BitWidth::W4,
+        SimdFmt::Crumb => BitWidth::W2,
+        _ => unreachable!("pv.qnt formats"),
+    }
+}
+
+/// Lays the same tree out for both channels of one `pv.qnt` pair and
+/// returns the packed result for `(x, x)`.
+fn qnt_both(fmt: SimdFmt, sorted: &[i16], x: i16) -> (u8, u8) {
+    let stride = quant::tree_stride(fmt);
+    let base = 0x100u32;
+    let mut mem = SliceMem::new(base, (2 * stride + 64) as usize);
+    for ch in 0..2u32 {
+        for (i, t) in quant::eytzinger(sorted).iter().enumerate() {
+            mem.write(base + ch * stride + (i as u32) * 2, 2, *t as u16 as u32)
+                .unwrap();
+        }
+    }
+    let rs1 = (x as u16 as u32) | ((x as u16 as u32) << 16);
+    let r = quant::execute(&mut mem, fmt, rs1, base).expect("qnt");
+    let q = fmt.bits();
+    let mask = (1u32 << q) - 1;
+    ((r.rd & mask) as u8, ((r.rd >> q) & mask) as u8)
+}
+
+/// Thresholds pinned at the i16 extremes: an input can never be
+/// strictly greater than `i16::MAX`, and every input except `i16::MIN`
+/// itself is strictly greater than `i16::MIN`.
+#[test]
+fn saturated_thresholds() {
+    for fmt in [SimdFmt::Nibble, SimdFmt::Crumb] {
+        let n = bits_of(fmt).threshold_count();
+        let top = (1usize << fmt.bits()) - 1;
+
+        let all_max = vec![i16::MAX; n];
+        for x in [i16::MIN, -1, 0, 1, i16::MAX] {
+            let (q0, q1) = qnt_both(fmt, &all_max, x);
+            assert_eq!((q0, q1), (0, 0), "{fmt:?} all-MAX tree, x = {x}");
+        }
+
+        let all_min = vec![i16::MIN; n];
+        let (q0, q1) = qnt_both(fmt, &all_min, i16::MIN);
+        assert_eq!((q0, q1), (0, 0), "{fmt:?} all-MIN tree at the floor");
+        for x in [i16::MIN + 1, 0, i16::MAX] {
+            let (q0, q1) = qnt_both(fmt, &all_min, x);
+            assert_eq!(
+                (q0 as usize, q1 as usize),
+                (top, top),
+                "{fmt:?} all-MIN tree, x = {x}"
+            );
+        }
+
+        // A span from MIN to MAX: only the extremes land in the end bins.
+        let mut span = vec![i16::MIN; n];
+        span[n - 1] = i16::MAX;
+        let (q0, _) = qnt_both(fmt, &span, i16::MAX);
+        assert_eq!(q0 as usize, top - 1, "{fmt:?}: MAX is not above MAX");
+    }
+}
+
+/// Degenerate single-level trees (all thresholds equal) collapse the
+/// staircase to a step function at that one value.
+#[test]
+fn degenerate_constant_trees() {
+    for fmt in [SimdFmt::Nibble, SimdFmt::Crumb] {
+        let n = bits_of(fmt).threshold_count();
+        let top = ((1usize << fmt.bits()) - 1) as u8;
+        for level in [-3000i16, 0, 42, 3000] {
+            let tree = vec![level; n];
+            // At or below the level: strict `<` keeps bin 0. Above: every
+            // threshold is below, so the walk must land in the top bin.
+            for (x, want) in [
+                (level.saturating_sub(1), 0),
+                (level, 0),
+                (level.saturating_add(1), top),
+            ] {
+                let (q0, q1) = qnt_both(fmt, &tree, x);
+                assert_eq!((q0, q1), (want, want), "{fmt:?} level {level}, x = {x}");
+            }
+        }
+    }
+}
+
+/// At every staircase edge — one below, exactly at, one above each
+/// distinct threshold — the tree walk agrees with [`quant::staircase`]
+/// and with the golden [`ThresholdSet`] quantizer.
+#[test]
+fn every_staircase_edge_matches_golden_quantizer() {
+    for fmt in [SimdFmt::Nibble, SimdFmt::Crumb] {
+        let bits = bits_of(fmt);
+        let n = bits.threshold_count();
+        // Irregular spacing, with a duplicated threshold in the middle to
+        // exercise equal-neighbour edges too.
+        let mut sorted: Vec<i16> = (0..n).map(|i| (i * i) as i16 * 7 - 300).collect();
+        sorted[n / 2] = sorted[n / 2 - 1];
+        sorted.sort_unstable();
+        let golden = ThresholdSet::from_sorted(bits, vec![sorted.clone(), sorted.clone()])
+            .expect("sorted thresholds");
+
+        for &t in &sorted {
+            for x in [t.saturating_sub(1), t, t.saturating_add(1)] {
+                let (q0, q1) = qnt_both(fmt, &sorted, x);
+                let want = quant::staircase(&sorted, x);
+                assert_eq!(q0, want, "{fmt:?} walk vs staircase at x = {x}");
+                assert_eq!(q1, want, "{fmt:?} second channel at x = {x}");
+                assert_eq!(
+                    want,
+                    golden.quantize(0, x as i32),
+                    "{fmt:?} staircase vs golden at x = {x}"
+                );
+            }
+        }
+    }
+}

@@ -5,9 +5,12 @@
 //! agree with the golden staircase quantizer on arbitrary trees.
 //!
 //! Originally `proptest` properties; rewritten as seeded `xrand` loops so
-//! the tree resolves offline (failures print the case index, which with
-//! the fixed seed reproduces the input exactly).
+//! the tree resolves offline. The loops run on the shared
+//! [`xpulpnn::conformance::harness`], which prints a one-line
+//! `XPULPNN_CASE_SEED=… cargo test …` repro command on failure and
+//! replays a single case when that variable is set.
 
+use xpulpnn::conformance::harness::{run_accepted, run_cases};
 use xpulpnn::pulp_asm::text::parse;
 use xpulpnn::pulp_isa::SimdFmt;
 use xpulpnn::qnn::conv::ConvShape;
@@ -15,7 +18,6 @@ use xpulpnn::qnn::quantizer::ThresholdSet;
 use xpulpnn::riscv_core::bus::Bus;
 use xpulpnn::riscv_core::{quant, SliceMem};
 use xpulpnn::{BitWidth, ConvKernelConfig, ConvTestbench, KernelIsa, QuantMode};
-use xrand::Rng;
 
 const WIDTHS: [BitWidth; 3] = [BitWidth::W8, BitWidth::W4, BitWidth::W2];
 const ISAS: [KernelIsa; 2] = [KernelIsa::XpulpV2, KernelIsa::XpulpNN];
@@ -57,51 +59,55 @@ fn quant_for(bits: BitWidth, isa: KernelIsa, hw: bool) -> QuantMode {
 /// simulated output equals the golden model's.
 #[test]
 fn kernels_match_golden_on_random_shapes() {
-    let mut r = Rng::new(0xc0c5_0001);
-    let mut accepted = 0;
-    while accepted < 24 {
-        let bits = *r.choose(&WIDTHS);
-        let isa = *r.choose(&ISAS);
-        let hw = r.flip();
-        let seed = r.below(1_000);
-        let shape = shape_from(
-            bits,
-            r.range_usize(1, 2),
-            r.range_usize(2, 6),
-            r.range_usize(2, 6),
-            r.range_usize(1, 2),
-            r.range_usize(1, 2),
-            r.range_usize(0, 1),
-        );
-        if shape.in_h + 2 * shape.pad < shape.k_h
-            || shape.in_w + 2 * shape.pad < shape.k_w
-            || !shape.pixels().is_multiple_of(2)
-        {
-            continue;
-        }
-        let cfg = ConvKernelConfig {
-            shape,
-            bits,
-            out_bits: bits,
-            isa,
-            quant: quant_for(bits, isa, hw),
-        };
-        if cfg.validate().is_err() {
-            continue;
-        }
-        accepted += 1;
-        let tb = ConvTestbench::new(cfg, seed).expect("build");
-        let run = tb.run().expect("run");
-        assert!(run.report.exit.halted);
-        assert_eq!(
-            &run.output,
-            &run.golden,
-            "{} on {:?} seed {}",
-            cfg.name(),
-            shape,
-            seed
-        );
-    }
+    run_accepted(
+        "kernels_match_golden_on_random_shapes",
+        0xc0c5_0001,
+        24,
+        400,
+        |r| {
+            let bits = *r.choose(&WIDTHS);
+            let isa = *r.choose(&ISAS);
+            let hw = r.flip();
+            let seed = r.below(1_000);
+            let shape = shape_from(
+                bits,
+                r.range_usize(1, 2),
+                r.range_usize(2, 6),
+                r.range_usize(2, 6),
+                r.range_usize(1, 2),
+                r.range_usize(1, 2),
+                r.range_usize(0, 1),
+            );
+            if shape.in_h + 2 * shape.pad < shape.k_h
+                || shape.in_w + 2 * shape.pad < shape.k_w
+                || !shape.pixels().is_multiple_of(2)
+            {
+                return false;
+            }
+            let cfg = ConvKernelConfig {
+                shape,
+                bits,
+                out_bits: bits,
+                isa,
+                quant: quant_for(bits, isa, hw),
+            };
+            if cfg.validate().is_err() {
+                return false;
+            }
+            let tb = ConvTestbench::new(cfg, seed).expect("build");
+            let run = tb.run().expect("run");
+            assert!(run.report.exit.halted);
+            assert_eq!(
+                &run.output,
+                &run.golden,
+                "{} on {:?} seed {}",
+                cfg.name(),
+                shape,
+                seed
+            );
+            true
+        },
+    );
 }
 
 /// Text-assembling the disassembly of a generated kernel reproduces
@@ -172,74 +178,78 @@ fn fixed_shape_full_matrix() {
 /// (strict `<` keeps the lower bin) and i16-saturated accumulators.
 #[test]
 fn qnt_unit_matches_golden_quantizer() {
-    let mut r = Rng::new(0xc0c5_0002);
-    for case in 0..200 {
-        let (bits, fmt) = if r.flip() {
-            (BitWidth::W4, SimdFmt::Nibble)
-        } else {
-            (BitWidth::W2, SimdFmt::Crumb)
-        };
-        let n = bits.threshold_count();
-        let channels = 2 * r.range_usize(1, 4); // pv.qnt consumes channel pairs
-        let per_channel: Vec<Vec<i16>> = (0..channels)
-            .map(|_| {
-                let mut t: Vec<i16> = (0..n).map(|_| r.range_i32(-3000, 3000) as i16).collect();
-                t.sort_unstable();
-                t
-            })
-            .collect();
-        let golden = ThresholdSet::from_sorted(bits, per_channel.clone()).expect("sorted");
-
-        // Lay the trees out the way the kernel library does: Eytzinger
-        // order, one tree per channel at a fixed stride.
-        let stride = quant::tree_stride(fmt);
-        let base = 0x1000u32;
-        let mut mem = SliceMem::new(base, (channels as u32 * stride + 64) as usize);
-        for (ch, sorted) in per_channel.iter().enumerate() {
-            let tree = quant::eytzinger(sorted);
-            for (i, t) in tree.iter().enumerate() {
-                mem.write(
-                    base + ch as u32 * stride + (i as u32) * 2,
-                    2,
-                    *t as u16 as u32,
-                )
-                .unwrap();
-            }
-        }
-
-        for pair in 0..channels / 2 {
-            let (ch0, ch1) = (2 * pair, 2 * pair + 1);
-            // Mix of random, threshold-equal, and saturating accumulators.
-            let mut accs: Vec<(i32, i32)> = (0..8)
-                .map(|_| (r.range_i32(-40_000, 40_000), r.range_i32(-40_000, 40_000)))
+    run_cases(
+        "qnt_unit_matches_golden_quantizer",
+        0xc0c5_0002,
+        200,
+        |r, case| {
+            let (bits, fmt) = if r.flip() {
+                (BitWidth::W4, SimdFmt::Nibble)
+            } else {
+                (BitWidth::W2, SimdFmt::Crumb)
+            };
+            let n = bits.threshold_count();
+            let channels = 2 * r.range_usize(1, 4); // pv.qnt consumes channel pairs
+            let per_channel: Vec<Vec<i16>> = (0..channels)
+                .map(|_| {
+                    let mut t: Vec<i16> = (0..n).map(|_| r.range_i32(-3000, 3000) as i16).collect();
+                    t.sort_unstable();
+                    t
+                })
                 .collect();
-            accs.push((
-                per_channel[ch0][r.below(n as u64) as usize] as i32,
-                per_channel[ch1][r.below(n as u64) as usize] as i32,
-            ));
-            accs.push((i32::MAX, i32::MIN));
-            accs.push((i16::MAX as i32, i16::MIN as i32));
-            for (a0, a1) in accs {
-                // The MatMul inner loop saturates accumulators to i16
-                // before handing them to the quantization unit.
-                let x0 = a0.clamp(i16::MIN as i32, i16::MAX as i32) as i16;
-                let x1 = a1.clamp(i16::MIN as i32, i16::MAX as i32) as i16;
-                let rs1 = (x0 as u16 as u32) | ((x1 as u16 as u32) << 16);
-                let rs2 = base + ch0 as u32 * stride;
-                let got = quant::execute(&mut mem, fmt, rs1, rs2).expect("qnt");
-                let q = fmt.bits();
-                let mask = (1u32 << q) - 1;
-                assert_eq!(
-                    got.rd & mask,
-                    golden.quantize(ch0, a0) as u32,
-                    "case {case} ch {ch0} acc {a0}"
-                );
-                assert_eq!(
-                    (got.rd >> q) & mask,
-                    golden.quantize(ch1, a1) as u32,
-                    "case {case} ch {ch1} acc {a1}"
-                );
+            let golden = ThresholdSet::from_sorted(bits, per_channel.clone()).expect("sorted");
+
+            // Lay the trees out the way the kernel library does: Eytzinger
+            // order, one tree per channel at a fixed stride.
+            let stride = quant::tree_stride(fmt);
+            let base = 0x1000u32;
+            let mut mem = SliceMem::new(base, (channels as u32 * stride + 64) as usize);
+            for (ch, sorted) in per_channel.iter().enumerate() {
+                let tree = quant::eytzinger(sorted);
+                for (i, t) in tree.iter().enumerate() {
+                    mem.write(
+                        base + ch as u32 * stride + (i as u32) * 2,
+                        2,
+                        *t as u16 as u32,
+                    )
+                    .unwrap();
+                }
             }
-        }
-    }
+
+            for pair in 0..channels / 2 {
+                let (ch0, ch1) = (2 * pair, 2 * pair + 1);
+                // Mix of random, threshold-equal, and saturating accumulators.
+                let mut accs: Vec<(i32, i32)> = (0..8)
+                    .map(|_| (r.range_i32(-40_000, 40_000), r.range_i32(-40_000, 40_000)))
+                    .collect();
+                accs.push((
+                    per_channel[ch0][r.below(n as u64) as usize] as i32,
+                    per_channel[ch1][r.below(n as u64) as usize] as i32,
+                ));
+                accs.push((i32::MAX, i32::MIN));
+                accs.push((i16::MAX as i32, i16::MIN as i32));
+                for (a0, a1) in accs {
+                    // The MatMul inner loop saturates accumulators to i16
+                    // before handing them to the quantization unit.
+                    let x0 = a0.clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+                    let x1 = a1.clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+                    let rs1 = (x0 as u16 as u32) | ((x1 as u16 as u32) << 16);
+                    let rs2 = base + ch0 as u32 * stride;
+                    let got = quant::execute(&mut mem, fmt, rs1, rs2).expect("qnt");
+                    let q = fmt.bits();
+                    let mask = (1u32 << q) - 1;
+                    assert_eq!(
+                        got.rd & mask,
+                        golden.quantize(ch0, a0) as u32,
+                        "case {case} ch {ch0} acc {a0}"
+                    );
+                    assert_eq!(
+                        (got.rd >> q) & mask,
+                        golden.quantize(ch1, a1) as u32,
+                        "case {case} ch {ch1} acc {a1}"
+                    );
+                }
+            }
+        },
+    );
 }
