@@ -21,4 +21,15 @@ cargo test -q --locked
 echo "==> conformance smoke (1000 cases, seed 1)"
 cargo run --release -q --locked -p xpulpnn-cli -- conformance --cases 1000 --seed 1
 
+# The campaign is a pure function of its seed; the exact totals line is
+# asserted so any drift in kernel schedules, core timing, or the RNG
+# shows up here instead of silently changing fault behaviour.
+echo "==> fault-campaign smoke (8 variants x 2 trials, seed 1)"
+faults_out=$(cargo run --release -q --locked -p xpulpnn-cli -- faults --seed 1 --trials 2)
+echo "$faults_out" | grep -F "totals: detected=0 masked=13 sdc=3" > /dev/null || {
+    echo "fault campaign totals drifted:"
+    echo "$faults_out"
+    exit 1
+}
+
 echo "==> ci: all green"

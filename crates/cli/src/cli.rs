@@ -5,7 +5,7 @@ use xpulpnn::pulp_asm::text::parse;
 use xpulpnn::pulp_isa::compressed::code_size_report;
 use xpulpnn::pulp_isa::reg::ALL_REGS;
 use xpulpnn::pulp_soc::Soc;
-use xpulpnn::riscv_core::IsaConfig;
+use xpulpnn::riscv_core::{IsaConfig, Trap};
 use xpulpnn::{BitWidth, KernelIsa};
 
 /// Usage text shown on errors.
@@ -29,7 +29,13 @@ usage:
   xpulpnn conformance [--cases N] [--seed S]
       differentially fuzz the cycle-approximate core against the
       independent reference interpreter on N random programs; on
-      divergence, prints a shrunk repro and the exact replay command";
+      divergence, prints a shrunk repro and the exact replay command
+  xpulpnn faults [--seed S] [--trials N] [--replay V:T]
+      run a seeded transient-fault campaign over the eight-kernel
+      convolution matrix and print per-variant detected/masked/SDC
+      rates (AVF); --replay re-runs one trial from its seed, restores
+      the pre-fault checkpoint, and lock-steps faulted-vs-clean
+      execution to pinpoint the first corrupted architectural state";
 
 /// A user-facing CLI error.
 #[derive(Debug, PartialEq, Eq)]
@@ -131,34 +137,38 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
     soc.load(&prog);
     let mut out = String::new();
     const TRACE_CAP: usize = 5000;
-    let report = if opts.trace {
+    let before = soc.core.perf;
+    let exit = if opts.trace {
         let mut lines = 0usize;
         let mut trace_buf = String::new();
-        let before = soc.core.perf;
-        let exit = soc
-            .core
-            .run_traced(&mut soc.mem, opts.max_cycles, |pc, i| {
-                if lines < TRACE_CAP {
-                    let _ = writeln!(trace_buf, "  {pc:08x}:  {i}");
-                }
-                lines += 1;
-            })
-            .map_err(|t| err(t.to_string()))?;
+        let exit = soc.core.run_traced(&mut soc.mem, opts.max_cycles, |pc, i| {
+            if lines < TRACE_CAP {
+                let _ = writeln!(trace_buf, "  {pc:08x}:  {i}");
+            }
+            lines += 1;
+        });
         out.push_str(&trace_buf);
         if lines > TRACE_CAP {
             let _ = writeln!(out, "  ... ({} more instructions)", lines - TRACE_CAP);
         }
-        let perf = soc.core.perf.delta_since(&before);
-        xpulpnn::pulp_soc::RunReport { exit, perf }
+        exit
     } else {
-        soc.run(opts.max_cycles).map_err(|t| err(t.to_string()))?
+        soc.run(opts.max_cycles).map(|r| r.exit)
     };
-    if !report.exit.halted {
-        let _ = writeln!(out, "cycle budget exhausted at pc {:#010x}", report.exit.pc);
+    let perf = soc.core.perf.delta_since(&before);
+    match exit {
+        Ok(exit) => {
+            let _ = writeln!(out, "exit code : {}", exit.exit_code);
+        }
+        // Budget exhaustion is a reportable outcome, not an error: show
+        // where the program was stuck along with the final state.
+        Err(Trap::Watchdog { pc, budget }) => {
+            let _ = writeln!(out, "cycle budget ({budget}) exhausted at pc {pc:#010x}");
+        }
+        Err(t) => return Err(err(t.to_string())),
     }
-    let _ = writeln!(out, "exit code : {}", report.exit.exit_code);
-    let _ = writeln!(out, "cycles    : {}", report.perf.cycles);
-    let _ = writeln!(out, "instret   : {}", report.perf.instret);
+    let _ = writeln!(out, "cycles    : {}", perf.cycles);
+    let _ = writeln!(out, "instret   : {}", perf.instret);
     let console = soc.console_text();
     if !console.is_empty() {
         let _ = writeln!(out, "console   : {console:?}");
@@ -328,6 +338,72 @@ fn cmd_conformance(args: &[String]) -> Result<String, CliError> {
     }
 }
 
+/// Parsed options for `faults`.
+#[derive(Debug, PartialEq, Eq)]
+pub struct FaultsOpts {
+    /// Master campaign seed.
+    pub seed: u64,
+    /// Trials per kernel variant.
+    pub trials: u64,
+    /// Replay one trial (`variant:trial`) instead of running a campaign.
+    pub replay: Option<(usize, u64)>,
+}
+
+/// Parses the flags of the `faults` subcommand.
+pub fn parse_faults_opts(args: &[String]) -> Result<FaultsOpts, CliError> {
+    let mut o = FaultsOpts {
+        seed: 42,
+        trials: 25,
+        replay: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                let v = it.next().ok_or_else(|| err("--seed needs a value"))?;
+                o.seed = v.parse().map_err(|_| err(format!("bad seed `{v}`")))?;
+            }
+            "--trials" => {
+                let v = it.next().ok_or_else(|| err("--trials needs a value"))?;
+                o.trials = v
+                    .parse()
+                    .map_err(|_| err(format!("bad trial count `{v}`")))?;
+            }
+            "--replay" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| err("--replay needs variant:trial"))?;
+                let (variant, trial) = v
+                    .split_once(':')
+                    .ok_or_else(|| err(format!("bad replay spec `{v}` (want variant:trial)")))?;
+                let variant = variant
+                    .parse()
+                    .map_err(|_| err(format!("bad variant `{variant}`")))?;
+                let trial = trial
+                    .parse()
+                    .map_err(|_| err(format!("bad trial `{trial}`")))?;
+                o.replay = Some((variant, trial));
+            }
+            other => return Err(err(format!("unknown argument `{other}`"))),
+        }
+    }
+    Ok(o)
+}
+
+fn cmd_faults(args: &[String]) -> Result<String, CliError> {
+    let o = parse_faults_opts(args)?;
+    match o.replay {
+        Some((variant, trial)) => {
+            let r = xpulpnn::faultsim::replay(o.seed, variant, trial).map_err(err)?;
+            Ok(format!("{r}"))
+        }
+        None => {
+            let r = xpulpnn::faultsim::run_campaign(o.seed, o.trials).map_err(err)?;
+            Ok(format!("{r}"))
+        }
+    }
+}
+
 /// Dispatches a full argument vector.
 ///
 /// # Errors
@@ -345,6 +421,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "report" => cmd_report(rest),
         "profile" => cmd_profile(rest),
         "conformance" => cmd_conformance(rest),
+        "faults" => cmd_faults(rest),
         "--help" | "-h" | "help" => Ok(format!("{USAGE}\n")),
         other => Err(err(format!("unknown subcommand `{other}`"))),
     }
@@ -502,6 +579,57 @@ mod tests {
         assert_eq!(grab("\"cycles\":"), grab("\"total\":"));
         // The 4-bit XpulpNN kernel's hottest class is the dotp unit.
         assert!(out.contains("\"dotp.n\""), "{out}");
+    }
+
+    #[test]
+    fn faults_opts_defaults_and_flags() {
+        let o = parse_faults_opts(&[]).unwrap();
+        assert_eq!(
+            o,
+            FaultsOpts {
+                seed: 42,
+                trials: 25,
+                replay: None
+            }
+        );
+
+        let o =
+            parse_faults_opts(&v(&["--seed", "7", "--trials", "3", "--replay", "4:12"])).unwrap();
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.trials, 3);
+        assert_eq!(o.replay, Some((4, 12)));
+
+        assert!(parse_faults_opts(&v(&["--replay"])).is_err());
+        assert!(parse_faults_opts(&v(&["--replay", "4"])).is_err());
+        assert!(parse_faults_opts(&v(&["--replay", "a:b"])).is_err());
+        assert!(parse_faults_opts(&v(&["--trials", "many"])).is_err());
+        assert!(parse_faults_opts(&v(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn faults_campaign_and_replay_smoke() {
+        let out = dispatch(&v(&["faults", "--seed", "1", "--trials", "2"])).unwrap();
+        assert!(out.contains("totals: detected="), "{out}");
+        assert!(out.contains("8-bit"), "{out}");
+        // Replay trial 0 of variant 0 under the same seed.
+        let out = dispatch(&v(&["faults", "--seed", "1", "--replay", "0:0"])).unwrap();
+        assert!(out.contains("class:"), "{out}");
+        assert!(out.contains("checkpoint: cycle"), "{out}");
+        // Unknown variants surface as CLI errors, not panics.
+        assert!(dispatch(&v(&["faults", "--replay", "99:0"])).is_err());
+    }
+
+    #[test]
+    fn run_reports_watchdog_exhaustion_gracefully() {
+        let dir = std::env::temp_dir().join(format!("xpulpnn-cli-wd-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("spin.s");
+        std::fs::write(&path, "spin:\nj spin\n").unwrap();
+        let p = path.to_str().unwrap().to_string();
+        let out = dispatch(&v(&["run", &p, "--max-cycles", "100"])).unwrap();
+        assert!(out.contains("cycle budget (100) exhausted at pc"), "{out}");
+        assert!(out.contains("registers:"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -114,7 +114,7 @@ pub struct SuiteReport {
     pub failure: Option<Failure>,
 }
 
-fn reg_delta(dut: &[u32; 32], refr: &[u32; 32]) -> String {
+pub(crate) fn reg_delta(dut: &[u32; 32], refr: &[u32; 32]) -> String {
     let mut parts = Vec::new();
     for (i, r) in ALL_REGS.iter().enumerate() {
         if dut[i] != refr[i] {

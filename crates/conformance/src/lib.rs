@@ -35,12 +35,14 @@
 pub mod diff;
 pub mod gen;
 pub mod harness;
+pub mod lockstep;
 pub mod refcore;
 pub mod roundtrip;
 pub mod shrink;
 
 pub use diff::{run_case, run_spec, run_suite, CaseOutcome, DiffConfig, Divergence, SuiteReport};
 pub use gen::{generate, instr_count, lower, GenConfig, Item, Lowered, ProgramSpec};
+pub use lockstep::{lockstep, lockstep_with, LockstepEnd};
 pub use refcore::{RefBug, RefCore, RefTrap};
 pub use shrink::shrink;
 

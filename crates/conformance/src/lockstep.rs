@@ -1,0 +1,218 @@
+//! Generic lock-step comparison of two `riscv-core` instances.
+//!
+//! [`diff`](crate::diff) pins the simulator against the independent
+//! reference interpreter; this module compares two instances of the
+//! *same* core over independent buses. That is what fault replay needs:
+//! restore a clean and a faulted copy from one checkpoint, step them
+//! together, and report the first architectural difference — which
+//! pinpoints where an injected bit flip became visible state.
+//!
+//! The per-step callback runs *before* each comparison and may mutate
+//! either core (fault injection applies its flips there), so the
+//! divergence reported is the first one observable after all scheduled
+//! mutations.
+
+use crate::diff::reg_delta;
+use crate::Divergence;
+use riscv_core::{Bus, Core};
+
+/// How a lock-step run of two same-ISA cores ended.
+#[derive(Debug, Clone)]
+pub enum LockstepEnd {
+    /// Both sides halted (`ecall`) in full architectural agreement.
+    Agreed {
+        /// Instructions retired on each side (including the `ecall`).
+        steps: u64,
+    },
+    /// The sides disagreed; the payload pins the first difference.
+    Diverged(Box<Divergence>),
+}
+
+impl LockstepEnd {
+    /// The divergence, if any.
+    pub fn divergence(&self) -> Option<&Divergence> {
+        match self {
+            LockstepEnd::Agreed { .. } => None,
+            LockstepEnd::Diverged(d) => Some(d),
+        }
+    }
+}
+
+/// Steps cores `a` and `b` together for up to `max_steps` instructions,
+/// comparing PC and the full register file before every step.
+///
+/// `labels` names the two sides in divergence reports (e.g.
+/// `("faulted", "clean")`). `before_step(step, a, abus, b, bbus)` is
+/// called ahead of each comparison and may mutate either side
+/// (registers *or* memory — fault injection needs both). Traps, halt
+/// disagreements and an exhausted step budget are all reported as
+/// divergences — a trap on side `a` with side `b` still running is
+/// exactly the "detected fault" signature replay wants to show.
+pub fn lockstep_with<BA: Bus, BB: Bus>(
+    a: &mut Core,
+    abus: &mut BA,
+    b: &mut Core,
+    bbus: &mut BB,
+    max_steps: u64,
+    labels: (&str, &str),
+    mut before_step: impl FnMut(u64, &mut Core, &mut BA, &mut Core, &mut BB),
+) -> LockstepEnd {
+    let (la, lb) = labels;
+    let diverge = |step: u64, pc: u32, detail: String, a: &Core| {
+        LockstepEnd::Diverged(Box::new(Divergence {
+            step,
+            pc,
+            detail,
+            context: a.tracer().map(|t| t.dump_tail()).unwrap_or_default(),
+        }))
+    };
+    for step in 0..max_steps {
+        before_step(step, a, abus, b, bbus);
+        if a.pc != b.pc {
+            return diverge(
+                step,
+                a.pc,
+                format!("pc: {la} {:#010x} {lb} {:#010x}", a.pc, b.pc),
+                a,
+            );
+        }
+        if a.regs != b.regs {
+            return diverge(
+                step,
+                a.pc,
+                format!(
+                    "registers: {}",
+                    reg_delta(&a.regs, &b.regs)
+                        .replace("dut", la)
+                        .replace("ref", lb)
+                ),
+                a,
+            );
+        }
+        let pc = a.pc;
+        let ra = a.step(abus);
+        let rb = b.step(bbus);
+        match (ra, rb) {
+            (Err(t), Ok(_)) => return diverge(step, pc, format!("{la} trap: {t}"), a),
+            (Ok(_), Err(t)) => return diverge(step, pc, format!("{lb} trap: {t}"), a),
+            (Err(ta), Err(tb)) => {
+                return diverge(step, pc, format!("both trap: {la} {ta}; {lb} {tb}"), a)
+            }
+            (Ok(ha), Ok(hb)) => {
+                if ha != hb {
+                    return diverge(
+                        step,
+                        pc,
+                        format!("halt: {la} {ha} {lb} {hb} (ecall seen on one side only)"),
+                        a,
+                    );
+                }
+                if ha {
+                    if a.pc != b.pc || a.regs != b.regs {
+                        return diverge(
+                            step + 1,
+                            a.pc,
+                            format!(
+                                "final state: {}",
+                                reg_delta(&a.regs, &b.regs)
+                                    .replace("dut", la)
+                                    .replace("ref", lb)
+                            ),
+                            a,
+                        );
+                    }
+                    return LockstepEnd::Agreed { steps: step + 1 };
+                }
+            }
+        }
+    }
+    diverge(
+        max_steps,
+        a.pc,
+        format!("step budget ({max_steps}) exhausted: programs did not halt"),
+        a,
+    )
+}
+
+/// [`lockstep_with`] without a per-step callback.
+pub fn lockstep<BA: Bus, BB: Bus>(
+    a: &mut Core,
+    abus: &mut BA,
+    b: &mut Core,
+    bbus: &mut BB,
+    max_steps: u64,
+    labels: (&str, &str),
+) -> LockstepEnd {
+    lockstep_with(a, abus, b, bbus, max_steps, labels, |_, _, _, _, _| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riscv_core::{IsaConfig, SliceMem};
+
+    const BASE: u32 = 0x1c00_8000;
+
+    /// addi a0, a0, 1 ; ecall
+    fn program() -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&0x0015_0513u32.to_le_bytes());
+        bytes.extend_from_slice(&0x0000_0073u32.to_le_bytes());
+        bytes
+    }
+
+    fn setup() -> (Core, SliceMem) {
+        let mut mem = SliceMem::new(BASE, 64);
+        mem.as_bytes_mut()[..8].copy_from_slice(&program());
+        let mut core = Core::new(IsaConfig::xpulpnn());
+        core.pc = BASE;
+        (core, mem)
+    }
+
+    #[test]
+    fn identical_cores_agree() {
+        let (mut a, mut am) = setup();
+        let (mut b, mut bm) = setup();
+        let end = lockstep(&mut a, &mut am, &mut b, &mut bm, 100, ("a", "b"));
+        assert!(matches!(end, LockstepEnd::Agreed { steps: 2 }));
+    }
+
+    #[test]
+    fn injected_register_flip_is_pinpointed() {
+        let (mut a, mut am) = setup();
+        let (mut b, mut bm) = setup();
+        let end = lockstep_with(
+            &mut a,
+            &mut am,
+            &mut b,
+            &mut bm,
+            100,
+            ("faulted", "clean"),
+            |step, a, _, _, _| {
+                if step == 1 {
+                    a.regs[10] ^= 1 << 3;
+                }
+            },
+        );
+        let d = end.divergence().expect("flip must diverge");
+        assert_eq!(d.step, 1);
+        assert!(d.detail.contains("a0"), "detail: {}", d.detail);
+        assert!(d.detail.contains("faulted"), "detail: {}", d.detail);
+    }
+
+    #[test]
+    fn step_budget_exhaustion_reports() {
+        // Infinite loop: jal x0, 0 (jump to self).
+        let mut mem = SliceMem::new(BASE, 64);
+        mem.as_bytes_mut()[..4].copy_from_slice(&0x0000_006fu32.to_le_bytes());
+        let mut a = Core::new(IsaConfig::xpulpnn());
+        a.pc = BASE;
+        let mut bm = SliceMem::new(BASE, 64);
+        bm.as_bytes_mut()[..4].copy_from_slice(&0x0000_006fu32.to_le_bytes());
+        let mut b = Core::new(IsaConfig::xpulpnn());
+        b.pc = BASE;
+        let end = lockstep(&mut a, &mut mem, &mut b, &mut bm, 10, ("a", "b"));
+        let d = end.divergence().expect("budget divergence");
+        assert!(d.detail.contains("step budget"), "detail: {}", d.detail);
+    }
+}

@@ -19,6 +19,7 @@
 //! | Cortex-M4/M7 CMSIS-NN cost models | [`cortexm_model`] |
 //! | Table III area/power models | [`pulp_power`] |
 //! | differential ISA conformance fuzzing | [`conformance`] |
+//! | transient-fault injection, AVF campaigns, replay | [`faultsim`] |
 //!
 //! # Quickstart
 //!
@@ -54,6 +55,7 @@ pub use report::HotspotProfile;
 // Re-export the stack for downstream users of the façade.
 pub use conformance;
 pub use cortexm_model;
+pub use faultsim;
 pub use pulp_asm;
 pub use pulp_isa;
 pub use pulp_kernels;

@@ -51,6 +51,23 @@ impl fmt::Display for QuantMode {
 /// An invalid kernel configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
+    /// A shape dimension is zero (degenerate layer).
+    ZeroDimension {
+        /// Which dimension was zero.
+        what: &'static str,
+    },
+    /// A dimension exceeds what the generator can address.
+    TooLarge {
+        /// Which dimension was too large.
+        what: &'static str,
+    },
+    /// Unsupported pooling window geometry.
+    Window {
+        /// Window size.
+        k: usize,
+        /// Stride.
+        stride: usize,
+    },
     /// `in_c · bits` must be a multiple of 32 so channel runs are whole
     /// words.
     ChannelAlignment {
@@ -86,6 +103,15 @@ pub enum ConfigError {
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            ConfigError::ZeroDimension { what } => {
+                write!(f, "shape dimension {what} must be non-zero")
+            }
+            ConfigError::TooLarge { what } => {
+                write!(f, "shape dimension {what} exceeds the generator limit")
+            }
+            ConfigError::Window { k, stride } => {
+                write!(f, "unsupported pooling window {k}x{k}/s{stride}")
+            }
             ConfigError::ChannelAlignment { in_c, bits } => write!(
                 f,
                 "in_c ({in_c}) × {bits} must pack into whole 32-bit words"
@@ -176,6 +202,19 @@ impl ConvKernelConfig {
     /// A [`ConfigError`] naming the violated rule.
     pub fn validate(&self) -> Result<(), ConfigError> {
         let s = &self.shape;
+        for (what, dim) in [
+            ("in_h", s.in_h),
+            ("in_w", s.in_w),
+            ("in_c", s.in_c),
+            ("out_c", s.out_c),
+            ("k_h", s.k_h),
+            ("k_w", s.k_w),
+            ("stride", s.stride),
+        ] {
+            if dim == 0 {
+                return Err(ConfigError::ZeroDimension { what });
+            }
+        }
         if !(s.in_c * self.bits.bits() as usize).is_multiple_of(32) {
             return Err(ConfigError::ChannelAlignment {
                 in_c: s.in_c,
@@ -240,6 +279,27 @@ mod tests {
                         .unwrap_or_else(|e| panic!("{}: {e}", cfg.name()));
                 }
             }
+        }
+    }
+
+    #[test]
+    fn zero_dimensions_rejected() {
+        for field in 0..7usize {
+            let mut cfg = ConvKernelConfig::paper(BitWidth::W4, KernelIsa::XpulpNN, true);
+            let s = &mut cfg.shape;
+            *[
+                &mut s.in_h,
+                &mut s.in_w,
+                &mut s.in_c,
+                &mut s.out_c,
+                &mut s.k_h,
+                &mut s.k_w,
+                &mut s.stride,
+            ][field] = 0;
+            assert!(
+                matches!(cfg.validate(), Err(ConfigError::ZeroDimension { .. })),
+                "field {field} = 0 must be rejected"
+            );
         }
     }
 

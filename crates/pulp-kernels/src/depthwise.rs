@@ -46,21 +46,34 @@ impl DepthwiseKernelConfig {
     ///
     /// # Errors
     ///
-    /// [`ConfigError::ChannelAlignment`] when the largest tap offset
-    /// exceeds the immediate range (reported through the nearest
-    /// existing error kind: the remedy is fewer channels).
+    /// [`ConfigError::ZeroDimension`] for degenerate shapes,
+    /// [`ConfigError::Window`] for unsupported window sizes (only 1×1
+    /// and 3×3), and [`ConfigError::TooLarge`] when the largest tap
+    /// offset exceeds the immediate range (the remedy is fewer
+    /// channels).
     pub fn validate(&self) -> Result<(), ConfigError> {
         let s = self.shape;
-        assert!(
-            matches!(s.k, 1 | 3),
-            "depthwise kernels support 1x1 and 3x3 windows"
-        );
+        for (what, dim) in [
+            ("in_h", s.in_h),
+            ("in_w", s.in_w),
+            ("c", s.c),
+            ("stride", s.stride),
+        ] {
+            if dim == 0 {
+                return Err(ConfigError::ZeroDimension { what });
+            }
+        }
+        if !matches!(s.k, 1 | 3) {
+            return Err(ConfigError::Window {
+                k: s.k,
+                stride: s.stride,
+            });
+        }
         let padded_w = s.in_w + 2 * s.pad;
         let max_off = ((s.k - 1) * padded_w + (s.k - 1)) * s.c;
         if max_off >= 2048 {
-            return Err(ConfigError::ChannelAlignment {
-                in_c: s.c,
-                bits: BitWidth::W8,
+            return Err(ConfigError::TooLarge {
+                what: "c (tap offset exceeds the load immediate range)",
             });
         }
         Ok(())
@@ -80,16 +93,13 @@ impl DepthwiseKernelConfig {
 ///
 /// # Errors
 ///
-/// Assembler failures (generator bugs).
-///
-/// # Panics
-///
-/// Panics on invalid configurations.
+/// [`BuildError::Config`] on invalid configurations;
+/// [`BuildError::Asm`] for assembler failures (generator bugs).
 pub fn build_depthwise_program(
     cfg: &DepthwiseKernelConfig,
     layout: &LayerLayout,
-) -> Result<Program, pulp_asm::AsmError> {
-    cfg.validate().expect("invalid depthwise configuration");
+) -> Result<Program, BuildError> {
+    cfg.validate().map_err(BuildError::Config)?;
     let s = cfg.shape;
     let padded_w = (s.in_w + 2 * s.pad) as i32;
     let c = s.c as i32;
@@ -153,7 +163,7 @@ pub fn build_depthwise_program(
     a.bne(A7, Zero, "oy_loop");
     a.li(A0, 0);
     a.ecall();
-    a.assemble()
+    a.assemble().map_err(BuildError::Asm)
 }
 
 /// Pads an HWC tensor with a zero halo of `pad` pixels on each side.
@@ -220,7 +230,7 @@ impl DepthwiseTestbench {
     pub fn new(cfg: DepthwiseKernelConfig, seed: u64) -> Result<DepthwiseTestbench, BuildError> {
         cfg.validate().map_err(BuildError::Config)?;
         let layout = LayerLayout::default_for_l2();
-        let program = build_depthwise_program(&cfg, &layout).map_err(BuildError::Asm)?;
+        let program = build_depthwise_program(&cfg, &layout)?;
         let mut rng = TensorRng::new(seed);
         let input = rng.activations(BitWidth::W8, cfg.shape.input_len());
         let weights = rng.weights(BitWidth::W8, cfg.shape.weight_len());
@@ -233,35 +243,43 @@ impl DepthwiseTestbench {
         })
     }
 
+    /// The watchdog budget [`DepthwiseTestbench::run`] applies.
+    pub fn cycle_budget(&self) -> u64 {
+        100_000_000
+    }
+
     /// Runs and verifies against [`qnn::depthwise::depthwise_quantized`].
     ///
     /// # Errors
     ///
     /// Propagates simulator traps.
     pub fn run(&self) -> Result<DepthwiseRunResult, Trap> {
-        self.run_with_input(self.input.values())
+        match self.run_with_input(self.input.values()) {
+            Ok(r) => Ok(r),
+            Err(BuildError::Trap(t)) => Err(t),
+            // The testbench's own tensors always fit the configuration.
+            Err(e) => unreachable!("self-generated tensors rejected: {e}"),
+        }
     }
 
-    /// Runs with caller-supplied activations (same weights), e.g. to
-    /// chain layers in a network.
+    /// Loads the program, the pre-padded caller-supplied activations and
+    /// the weights into a fresh SoC, ready to run.
     ///
     /// # Errors
     ///
-    /// Propagates simulator traps.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `input` has the wrong length or out-of-range values.
-    pub fn run_with_input(&self, input: &[i16]) -> Result<DepthwiseRunResult, Trap> {
-        assert_eq!(
-            input.len(),
-            self.cfg.shape.input_len(),
-            "input length mismatch"
-        );
-        assert!(
-            input.iter().all(|&v| (0..=255).contains(&v)),
-            "depthwise inputs are unsigned 8-bit"
-        );
+    /// [`BuildError::Tensor`] if `input` has the wrong length or
+    /// out-of-range values.
+    pub fn stage_with_input(&self, input: &[i16]) -> Result<Soc, BuildError> {
+        if input.len() != self.cfg.shape.input_len() {
+            return Err(BuildError::Tensor {
+                what: "input length mismatch",
+            });
+        }
+        if !input.iter().all(|&v| (0..=255).contains(&v)) {
+            return Err(BuildError::Tensor {
+                what: "depthwise inputs are unsigned 8-bit",
+            });
+        }
         let mut soc = Soc::new(IsaConfig::xpulpnn());
         soc.load(&self.program);
         let padded = pad_input(&self.cfg.shape, input);
@@ -269,7 +287,12 @@ impl DepthwiseTestbench {
         soc.mem.write_bytes(self.layout.input, &padded_bytes);
         soc.mem
             .write_bytes(self.layout.weights, &self.weights.pack());
-        let report = soc.run(100_000_000)?;
+        Ok(soc)
+    }
+
+    /// Unpacks the device output of a staged run and pairs it with the
+    /// golden model for `input`.
+    pub fn collect(&self, soc: &Soc, report: RunReport, input: &[i16]) -> DepthwiseRunResult {
         let out_len = self.cfg.shape.output_len();
         let output: Vec<i16> = soc
             .mem
@@ -277,21 +300,38 @@ impl DepthwiseTestbench {
             .iter()
             .map(|&b| b as i16)
             .collect();
+        DepthwiseRunResult {
+            report,
+            output,
+            golden: self.golden(input),
+        }
+    }
+
+    /// The golden software-model output for `input`.
+    pub fn golden(&self, input: &[i16]) -> Vec<i16> {
         let quantizer = Quantizer::Shift8 {
             shift: self.cfg.shift,
             bias: vec![],
         };
-        let golden = qnn::depthwise::depthwise_quantized(
+        qnn::depthwise::depthwise_quantized(
             &self.cfg.shape,
             input,
             self.weights.values(),
             &quantizer,
-        );
-        Ok(DepthwiseRunResult {
-            report,
-            output,
-            golden,
-        })
+        )
+    }
+
+    /// Runs with caller-supplied activations (same weights), e.g. to
+    /// chain layers in a network.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::Tensor`] for unusable inputs; [`BuildError::Trap`]
+    /// for simulator traps.
+    pub fn run_with_input(&self, input: &[i16]) -> Result<DepthwiseRunResult, BuildError> {
+        let mut soc = self.stage_with_input(input)?;
+        let report = soc.run(self.cycle_budget()).map_err(BuildError::Trap)?;
+        Ok(self.collect(&soc, report, input))
     }
 }
 

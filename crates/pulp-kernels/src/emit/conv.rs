@@ -9,7 +9,8 @@ use crate::emit::quant::{
     emit_quant_store_w4, emit_quant_store_w8, emit_quant_w2_first, emit_quant_w2_second,
 };
 use crate::layout::LayerLayout;
-use pulp_asm::{Asm, AsmError, Program};
+use crate::runner::BuildError;
+use pulp_asm::{Asm, Program};
 use pulp_isa::Reg::*;
 use qnn::BitWidth;
 
@@ -21,17 +22,15 @@ use qnn::BitWidth;
 ///
 /// # Errors
 ///
-/// Propagates assembler errors (which would indicate an emitter bug —
-/// the generator's own tests exercise every variant).
-///
-/// # Panics
-///
-/// Panics if `cfg` fails [`ConvKernelConfig::validate`].
+/// [`BuildError::Config`] if `cfg` fails
+/// [`ConvKernelConfig::validate`]; [`BuildError::Asm`] for assembler
+/// errors (which would indicate an emitter bug — the generator's own
+/// tests exercise every variant).
 pub fn build_conv_program(
     cfg: &ConvKernelConfig,
     layout: &LayerLayout,
-) -> Result<Program, AsmError> {
-    cfg.validate().expect("invalid kernel configuration");
+) -> Result<Program, BuildError> {
+    cfg.validate().map_err(BuildError::Config)?;
     let mut a = Asm::new(pulp_soc::CODE_BASE);
 
     let out_pixel_bytes = LayerLayout::out_pixel_bytes(cfg) as i32;
@@ -90,7 +89,7 @@ pub fn build_conv_program(
     emit_im2col_pair(&mut a, cfg, layout);
     emit_mm_block(&mut a, cfg, layout);
 
-    a.assemble()
+    a.assemble().map_err(BuildError::Asm)
 }
 
 /// Returns the im2col variant a configuration uses (re-exported for

@@ -50,6 +50,16 @@ impl LinearKernelConfig {
     ///
     /// [`ConfigError`] naming the violated rule.
     pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.shape.in_features == 0 {
+            return Err(ConfigError::ZeroDimension {
+                what: "in_features",
+            });
+        }
+        if self.shape.out_features == 0 {
+            return Err(ConfigError::ZeroDimension {
+                what: "out_features",
+            });
+        }
         if !(self.shape.in_features * self.bits.bits() as usize).is_multiple_of(32) {
             return Err(ConfigError::ChannelAlignment {
                 in_c: self.shape.in_features,
@@ -129,21 +139,25 @@ fn emit_quant_pair(a: &mut Asm, cfg: &LinearKernelConfig, dst: pulp_isa::Reg) {
 ///
 /// # Errors
 ///
-/// Assembler failures (generator bugs).
-///
-/// # Panics
-///
-/// Panics on invalid configurations.
+/// [`BuildError::Config`] on invalid configurations (including weight
+/// rows too large for the generator's `addi` addressing);
+/// [`BuildError::Asm`] for assembler failures (generator bugs).
 pub fn build_linear_program(
     cfg: &LinearKernelConfig,
     layout: &LayerLayout,
-) -> Result<Program, pulp_asm::AsmError> {
-    cfg.validate().expect("invalid linear kernel configuration");
+) -> Result<Program, BuildError> {
+    cfg.validate().map_err(BuildError::Config)?;
     let fmt = simd_fmt(cfg.bits);
     let row_bytes = (cfg.shape.in_features * cfg.bits.bits() as usize / 8) as i32;
     let words = row_bytes / 4;
     let blocks = (cfg.shape.out_features / cfg.channel_block()) as i32;
-    assert!(row_bytes < 2048, "weight row exceeds addi range");
+    if row_bytes >= 2048 {
+        // The generator addresses the second weight row with a 12-bit
+        // `addi`; larger rows need a different addressing scheme.
+        return Err(BuildError::Config(ConfigError::TooLarge {
+            what: "in_features (weight row exceeds addi range)",
+        }));
+    }
 
     let mut a = Asm::new(pulp_soc::CODE_BASE);
     a.li(A0, layout.weights as i32);
@@ -205,7 +219,7 @@ pub fn build_linear_program(
     a.mv(A0, S1);
     a.ret();
 
-    a.assemble()
+    a.assemble().map_err(BuildError::Asm)
 }
 
 /// Result of a verified linear run.
@@ -254,7 +268,7 @@ impl LinearTestbench {
     pub fn new(cfg: LinearKernelConfig, seed: u64) -> Result<LinearTestbench, BuildError> {
         cfg.validate().map_err(BuildError::Config)?;
         let layout = LayerLayout::default_for_l2();
-        let program = build_linear_program(&cfg, &layout).map_err(BuildError::Asm)?;
+        let program = build_linear_program(&cfg, &layout)?;
         let mut rng = TensorRng::new(seed);
         let input = rng.activations(cfg.bits, cfg.shape.in_features);
         let weights = rng.weights(cfg.bits, cfg.shape.weight_len());
@@ -282,32 +296,43 @@ impl LinearTestbench {
         })
     }
 
+    /// The watchdog budget [`LinearTestbench::run`] applies.
+    pub fn cycle_budget(&self) -> u64 {
+        50_000_000
+    }
+
     /// Runs and verifies against [`qnn::linear::linear_quantized`].
     ///
     /// # Errors
     ///
     /// Propagates simulator traps.
     pub fn run(&self) -> Result<LinearRunResult, Trap> {
-        self.run_with_input(self.input.values())
+        match self.run_with_input(self.input.values()) {
+            Ok(r) => Ok(r),
+            Err(BuildError::Trap(t)) => Err(t),
+            // The testbench's own tensors always fit the configuration.
+            Err(e) => unreachable!("self-generated tensors rejected: {e}"),
+        }
     }
 
-    /// Runs with caller-supplied activations, e.g. to chain layers.
+    /// Loads the program, caller-supplied activations, weights and
+    /// threshold trees into a fresh SoC, ready to run.
     ///
     /// # Errors
     ///
-    /// Propagates simulator traps.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `input` has the wrong length or out-of-range values.
-    pub fn run_with_input(&self, input: &[i16]) -> Result<LinearRunResult, Trap> {
-        assert_eq!(
-            input.len(),
-            self.cfg.shape.in_features,
-            "input length mismatch"
-        );
-        let tensor = QuantTensor::activations(self.cfg.bits, input.to_vec())
-            .expect("linear inputs must fit the activation range");
+    /// [`BuildError::Tensor`] if `input` has the wrong length or
+    /// out-of-range values.
+    pub fn stage_with_input(&self, input: &[i16]) -> Result<Soc, BuildError> {
+        if input.len() != self.cfg.shape.in_features {
+            return Err(BuildError::Tensor {
+                what: "input length mismatch",
+            });
+        }
+        let tensor = QuantTensor::activations(self.cfg.bits, input.to_vec()).map_err(|_| {
+            BuildError::Tensor {
+                what: "input outside the activation range",
+            }
+        })?;
         let mut soc = Soc::new(IsaConfig::xpulpnn());
         soc.load(&self.program);
         soc.mem.write_bytes(self.layout.input, &tensor.pack());
@@ -324,24 +349,46 @@ impl LinearTestbench {
                     .write_bytes(self.layout.thresholds + ch as u32 * stride, &bytes);
             }
         }
-        let report = soc.run(50_000_000)?;
+        Ok(soc)
+    }
+
+    /// Unpacks the device output of a staged run and pairs it with the
+    /// golden model for `input`.
+    pub fn collect(&self, soc: &Soc, report: RunReport, input: &[i16]) -> LinearRunResult {
         let out_len = self.cfg.shape.out_features;
         let packed = soc.mem.read_bytes(
             self.layout.output,
             qnn::tensor::packed_len(self.cfg.bits, out_len),
         );
         let output = qnn::tensor::unpack(self.cfg.bits, false, packed, out_len);
-        let golden = qnn::linear::linear_quantized(
+        let golden = self.golden(input);
+        LinearRunResult {
+            report,
+            output,
+            golden,
+        }
+    }
+
+    /// The golden software-model output for `input`.
+    pub fn golden(&self, input: &[i16]) -> Vec<i16> {
+        qnn::linear::linear_quantized(
             &self.cfg.shape,
             input,
             self.weights.values(),
             &self.quantizer,
-        );
-        Ok(LinearRunResult {
-            report,
-            output,
-            golden,
-        })
+        )
+    }
+
+    /// Runs with caller-supplied activations, e.g. to chain layers.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::Tensor`] for unusable inputs; [`BuildError::Trap`]
+    /// for simulator traps.
+    pub fn run_with_input(&self, input: &[i16]) -> Result<LinearRunResult, BuildError> {
+        let mut soc = self.stage_with_input(input)?;
+        let report = soc.run(self.cycle_budget()).map_err(BuildError::Trap)?;
+        Ok(self.collect(&soc, report, input))
     }
 }
 

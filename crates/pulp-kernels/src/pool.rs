@@ -64,18 +64,34 @@ impl PoolKernelConfig {
     ///
     /// # Errors
     ///
+    /// [`ConfigError::ZeroDimension`] for degenerate shapes,
+    /// [`ConfigError::Window`] for unsupported window geometry (only
+    /// 2×2 and 3×3 windows; the average kernel is 2×2/s2 only), and
     /// [`ConfigError::ChannelAlignment`] when packed channel groups are
     /// not whole words (SIMD kernels only).
     pub fn validate(&self) -> Result<(), ConfigError> {
-        assert!(
-            matches!(self.shape.k, 2 | 3),
-            "pooling kernels support 2x2 and 3x3 windows"
-        );
-        if self.op == PoolOp::Avg2x2 {
-            assert!(
-                self.shape.k == 2 && self.shape.stride == 2,
-                "avg kernel is 2x2/s2"
-            );
+        let s = &self.shape;
+        for (what, dim) in [
+            ("in_h", s.in_h),
+            ("in_w", s.in_w),
+            ("c", s.c),
+            ("stride", s.stride),
+        ] {
+            if dim == 0 {
+                return Err(ConfigError::ZeroDimension { what });
+            }
+        }
+        if !matches!(s.k, 2 | 3) {
+            return Err(ConfigError::Window {
+                k: s.k,
+                stride: s.stride,
+            });
+        }
+        if self.op == PoolOp::Avg2x2 && !(s.k == 2 && s.stride == 2) {
+            return Err(ConfigError::Window {
+                k: s.k,
+                stride: s.stride,
+            });
         }
         if self.simd && !(self.shape.c * self.bits.bits() as usize).is_multiple_of(32) {
             return Err(ConfigError::ChannelAlignment {
@@ -390,32 +406,43 @@ impl PoolTestbench {
         })
     }
 
+    /// The watchdog budget [`PoolTestbench::run`] applies.
+    pub fn cycle_budget(&self) -> u64 {
+        50_000_000
+    }
+
     /// Runs the kernel and verifies against the golden model.
     ///
     /// # Errors
     ///
     /// Propagates simulator traps.
     pub fn run(&self) -> Result<PoolRunResult, Trap> {
-        self.run_with_input(self.input.values())
+        match self.run_with_input(self.input.values()) {
+            Ok(r) => Ok(r),
+            Err(BuildError::Trap(t)) => Err(t),
+            // The testbench's own tensors always fit the configuration.
+            Err(e) => unreachable!("self-generated tensors rejected: {e}"),
+        }
     }
 
-    /// Runs with caller-supplied activations, e.g. to chain layers.
+    /// Loads the program and caller-supplied activations into a fresh
+    /// SoC, ready to run.
     ///
     /// # Errors
     ///
-    /// Propagates simulator traps.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `input` has the wrong length or out-of-range values.
-    pub fn run_with_input(&self, input: &[i16]) -> Result<PoolRunResult, Trap> {
-        assert_eq!(
-            input.len(),
-            self.cfg.shape.input_len(),
-            "input length mismatch"
-        );
-        let tensor = QuantTensor::activations(self.cfg.bits, input.to_vec())
-            .expect("pool inputs must fit the activation range");
+    /// [`BuildError::Tensor`] if `input` has the wrong length or
+    /// out-of-range values.
+    pub fn stage_with_input(&self, input: &[i16]) -> Result<Soc, BuildError> {
+        if input.len() != self.cfg.shape.input_len() {
+            return Err(BuildError::Tensor {
+                what: "input length mismatch",
+            });
+        }
+        let tensor = QuantTensor::activations(self.cfg.bits, input.to_vec()).map_err(|_| {
+            BuildError::Tensor {
+                what: "input outside the activation range",
+            }
+        })?;
         let mut soc = Soc::new(IsaConfig::xpulpnn());
         soc.load(&self.program);
         // SIMD kernels read the packed tensor; the scalar baseline reads
@@ -426,7 +453,12 @@ impl PoolTestbench {
             tensor.values().iter().map(|&v| v as u8).collect()
         };
         soc.mem.write_bytes(self.layout.input, &bytes);
-        let report = soc.run(50_000_000)?;
+        Ok(soc)
+    }
+
+    /// Unpacks the device output of a staged run and pairs it with the
+    /// golden model for `input`.
+    pub fn collect(&self, soc: &Soc, report: RunReport, input: &[i16]) -> PoolRunResult {
         let out_len = self.cfg.shape.output_len();
         let output = if self.cfg.simd {
             let packed = soc.mem.read_bytes(
@@ -441,18 +473,34 @@ impl PoolTestbench {
                 .map(|&b| b as i16)
                 .collect()
         };
-        let golden = match (self.cfg.op, self.cfg.simd) {
+        PoolRunResult {
+            report,
+            output,
+            golden: self.golden(input),
+        }
+    }
+
+    /// The golden software-model output for `input`.
+    pub fn golden(&self, input: &[i16]) -> Vec<i16> {
+        match (self.cfg.op, self.cfg.simd) {
             (PoolOp::Max, _) => qnn::pool::maxpool(&self.cfg.shape, input),
             // The SIMD kernel averages pairwise (pv.avgu cascade); the
             // scalar baseline accumulates and shifts (exact sum/4).
             (PoolOp::Avg2x2, true) => qnn::pool::avgpool_2x2_cascaded(&self.cfg.shape, input),
             (PoolOp::Avg2x2, false) => qnn::pool::avgpool(&self.cfg.shape, input),
-        };
-        Ok(PoolRunResult {
-            report,
-            output,
-            golden,
-        })
+        }
+    }
+
+    /// Runs with caller-supplied activations, e.g. to chain layers.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::Tensor`] for unusable inputs; [`BuildError::Trap`]
+    /// for simulator traps.
+    pub fn run_with_input(&self, input: &[i16]) -> Result<PoolRunResult, BuildError> {
+        let mut soc = self.stage_with_input(input)?;
+        let report = soc.run(self.cycle_budget()).map_err(BuildError::Trap)?;
+        Ok(self.collect(&soc, report, input))
     }
 }
 

@@ -24,6 +24,13 @@ pub enum BuildError {
     Asm(AsmError),
     /// The simulator trapped while running a one-shot helper.
     Trap(Trap),
+    /// A caller-supplied tensor does not fit the configuration (wrong
+    /// length, width, out-of-range values, or a missing/superfluous
+    /// threshold set).
+    Tensor {
+        /// What was wrong.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -32,6 +39,7 @@ impl fmt::Display for BuildError {
             BuildError::Config(e) => e.fmt(f),
             BuildError::Asm(e) => e.fmt(f),
             BuildError::Trap(t) => t.fmt(f),
+            BuildError::Tensor { what } => write!(f, "tensor mismatch: {what}"),
         }
     }
 }
@@ -100,7 +108,7 @@ impl ConvTestbench {
     pub fn new(cfg: ConvKernelConfig, seed: u64) -> Result<ConvTestbench, BuildError> {
         cfg.validate().map_err(BuildError::Config)?;
         let layout = LayerLayout::default_for_l2();
-        let program = build_conv_program(&cfg, &layout).map_err(BuildError::Asm)?;
+        let program = build_conv_program(&cfg, &layout)?;
         let mut rng = TensorRng::new(seed);
         let input = rng.activations(cfg.bits, cfg.shape.input_len());
         let weights = rng.weights(cfg.bits, cfg.shape.weight_len());
@@ -133,12 +141,10 @@ impl ConvTestbench {
     ///
     /// # Errors
     ///
-    /// [`BuildError`] for invalid configurations.
-    ///
-    /// # Panics
-    ///
-    /// Panics if tensor lengths or widths do not match the shape, or if
-    /// a threshold set is missing/superfluous for the quantization mode.
+    /// [`BuildError`] for invalid configurations, and
+    /// [`BuildError::Tensor`] if tensor lengths or widths do not match
+    /// the shape, or if a threshold set is missing/superfluous for the
+    /// quantization mode.
     pub fn from_parts(
         cfg: ConvKernelConfig,
         input: QuantTensor,
@@ -146,29 +152,38 @@ impl ConvTestbench {
         thresholds: Option<ThresholdSet>,
     ) -> Result<ConvTestbench, BuildError> {
         cfg.validate().map_err(BuildError::Config)?;
-        assert_eq!(input.len(), cfg.shape.input_len(), "input length mismatch");
-        assert_eq!(
-            weights.len(),
-            cfg.shape.weight_len(),
-            "weight length mismatch"
-        );
-        assert_eq!(input.bits(), cfg.bits, "input width mismatch");
-        assert_eq!(weights.bits(), cfg.bits, "weight width mismatch");
+        let tensor_err = |what| Err(BuildError::Tensor { what });
+        if input.len() != cfg.shape.input_len() {
+            return tensor_err("input length mismatch");
+        }
+        if weights.len() != cfg.shape.weight_len() {
+            return tensor_err("weight length mismatch");
+        }
+        if input.bits() != cfg.bits {
+            return tensor_err("input width mismatch");
+        }
+        if weights.bits() != cfg.bits {
+            return tensor_err("weight width mismatch");
+        }
         let layout = LayerLayout::default_for_l2();
-        let program = build_conv_program(&cfg, &layout).map_err(BuildError::Asm)?;
+        let program = build_conv_program(&cfg, &layout)?;
         let quantizer = match cfg.quant {
             QuantMode::Shift8 { shift } => {
-                assert!(thresholds.is_none(), "8-bit kernels take no thresholds");
+                if thresholds.is_some() {
+                    return tensor_err("8-bit kernels take no thresholds");
+                }
                 Quantizer::Shift8 {
                     shift,
                     bias: vec![],
                 }
             }
             QuantMode::SoftwareTree | QuantMode::HardwareQnt => {
-                let t = thresholds
-                    .clone()
-                    .expect("sub-byte kernels need thresholds");
-                assert_eq!(t.channels(), cfg.shape.out_c, "threshold channel mismatch");
+                let Some(t) = thresholds.clone() else {
+                    return tensor_err("sub-byte kernels need thresholds");
+                };
+                if t.channels() != cfg.shape.out_c {
+                    return tensor_err("threshold channel mismatch");
+                }
                 Quantizer::Thresholds(t)
             }
         };
@@ -218,8 +233,11 @@ impl ConvTestbench {
         soc
     }
 
-    fn cycle_budget(&self) -> u64 {
-        // Generous budget: every variant runs well under 40 cycles/MAC.
+    /// The watchdog budget [`ConvTestbench::run`] uses: generous (every
+    /// variant runs well under 40 cycles/MAC), so exhausting it means a
+    /// runaway kernel, not a slow one. Public so external drivers (fault
+    /// injection, network recovery) apply the same contract.
+    pub fn cycle_budget(&self) -> u64 {
         10_000_000 + self.cfg.shape.macs() * 40
     }
 
@@ -281,19 +299,27 @@ impl ConvTestbench {
         }
     }
 
-    /// Unpacks the device output, runs the golden model, and flags a
-    /// mismatch with a forensic re-run.
-    fn collect(&self, soc: &Soc, report: RunReport) -> ConvRunResult {
-        let out_len = self.cfg.shape.output_len();
-        let out_bytes = qnn::tensor::packed_len(self.cfg.out_bits, out_len);
-        let packed = soc.mem.read_bytes(self.layout.output, out_bytes);
-        let output = qnn::tensor::unpack(self.cfg.out_bits, false, packed, out_len);
-        let golden = qnn::conv::conv2d_quantized(
+    /// The layer's golden output from the software model — what the
+    /// device must produce, and what graceful degradation falls back to.
+    pub fn golden(&self) -> Vec<i16> {
+        qnn::conv::conv2d_quantized(
             &self.cfg.shape,
             self.input.values(),
             self.weights.values(),
             &self.quantizer,
-        );
+        )
+    }
+
+    /// Unpacks the device output, runs the golden model, and flags a
+    /// mismatch with a forensic re-run. Public so external drivers
+    /// (fault injection) can run a staged SoC themselves and still get
+    /// a verified result.
+    pub fn collect(&self, soc: &Soc, report: RunReport) -> ConvRunResult {
+        let out_len = self.cfg.shape.output_len();
+        let out_bytes = qnn::tensor::packed_len(self.cfg.out_bits, out_len);
+        let packed = soc.mem.read_bytes(self.layout.output, out_bytes);
+        let output = qnn::tensor::unpack(self.cfg.out_bits, false, packed, out_len);
+        let golden = self.golden();
         let mut result = ConvRunResult {
             report,
             output,

@@ -43,7 +43,7 @@
 //! ```
 
 use pulp_asm::Program;
-use riscv_core::{Bus, BusError, Core, ExitStatus, IsaConfig, PerfCounters, Trap};
+use riscv_core::{Bus, BusError, Core, ExitStatus, IsaConfig, PerfCounters, Snapshot, Trap};
 
 /// Base address of the 512 kB L2 SRAM.
 pub const L2_BASE: u32 = 0x1c00_0000;
@@ -174,6 +174,29 @@ pub struct RunReport {
     pub perf: PerfCounters,
 }
 
+/// A checkpoint of the whole SoC: the core's architectural
+/// [`Snapshot`] plus the L2 image and console buffer. Restoring it and
+/// re-running is deterministic, which is what rollback recovery and
+/// fault replay build on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SocSnapshot {
+    core: Snapshot,
+    l2: Vec<u8>,
+    console: Vec<u8>,
+}
+
+impl SocSnapshot {
+    /// Cycle count at the checkpoint.
+    pub fn cycles(&self) -> u64 {
+        self.core.cycles()
+    }
+
+    /// Program counter at the checkpoint.
+    pub fn pc(&self) -> u32 {
+        self.core.pc()
+    }
+}
+
 /// The microcontroller: one RI5CY-family core plus [`SocMem`].
 #[derive(Debug, Clone)]
 pub struct Soc {
@@ -220,6 +243,25 @@ impl Soc {
         let exit = self.core.run(&mut self.mem, max_cycles)?;
         let perf = self.core.perf.delta_since(&before);
         Ok(RunReport { exit, perf })
+    }
+
+    /// Captures a checkpoint of the core and the full memory image.
+    pub fn snapshot(&self) -> SocSnapshot {
+        SocSnapshot {
+            core: self.core.snapshot(),
+            l2: self.mem.l2.clone(),
+            console: self.mem.console.clone(),
+        }
+    }
+
+    /// Restores a checkpoint taken with [`Soc::snapshot`]. An attached
+    /// tracer on the core stays attached untouched.
+    pub fn restore(&mut self, snap: &SocSnapshot) {
+        self.core.restore(&snap.core);
+        self.mem.l2.clear();
+        self.mem.l2.extend_from_slice(&snap.l2);
+        self.mem.console.clear();
+        self.mem.console.extend_from_slice(&snap.console);
     }
 
     /// The console output interpreted as UTF-8 (lossy).
@@ -326,6 +368,49 @@ mod tests {
         assert_eq!(soc.core.perf.cycles, r1.perf.cycles * 2);
         assert_eq!(r1.perf.ledger.total(), r1.perf.cycles);
         assert_eq!(r2.perf.ledger.total(), r2.perf.cycles);
+    }
+
+    #[test]
+    fn soc_snapshot_round_trip_restores_memory_and_console() {
+        let mut a = Asm::new(CODE_BASE);
+        a.li(Reg::A1, CONSOLE_ADDR as i32);
+        a.li(Reg::A0, b'x' as i32);
+        a.sb(Reg::A0, 0, Reg::A1);
+        a.li(Reg::A2, (L2_BASE + 0x1_0000) as i32);
+        a.li(Reg::A0, 77);
+        a.sw(Reg::A0, 0, Reg::A2);
+        a.ecall();
+        let prog = a.assemble().unwrap();
+        let mut soc = Soc::new(IsaConfig::xpulpnn());
+        soc.load(&prog);
+        let snap = soc.snapshot();
+        let r1 = soc.run(1000).unwrap();
+        assert_eq!(soc.console_text(), "x");
+
+        // Roll back: memory write and console byte must both vanish,
+        // and a re-run must reproduce the original run exactly.
+        let mut replay = soc.clone();
+        replay.restore(&snap);
+        assert_eq!(replay.snapshot(), snap);
+        assert_eq!(replay.console_text(), "");
+        assert_eq!(replay.mem.read_u32(L2_BASE + 0x1_0000), 0);
+        let r2 = replay.run(1000).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(replay.core.perf, soc.core.perf);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_a_watchdog_trap() {
+        let mut a = Asm::new(CODE_BASE);
+        a.label("spin");
+        a.j("spin");
+        let prog = a.assemble().unwrap();
+        let mut soc = Soc::new(IsaConfig::xpulpnn());
+        soc.load(&prog);
+        assert!(matches!(
+            soc.run(100),
+            Err(Trap::Watchdog { budget: 100, .. })
+        ));
     }
 
     #[test]

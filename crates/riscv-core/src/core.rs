@@ -99,6 +99,14 @@ pub enum Trap {
         /// PC of the breakpoint.
         pc: u32,
     },
+    /// A [`Core::run`]-style loop exhausted its cycle budget before the
+    /// program halted.
+    Watchdog {
+        /// PC when the budget ran out.
+        pc: u32,
+        /// The exhausted budget, in cycles.
+        budget: u64,
+    },
 }
 
 impl fmt::Display for Trap {
@@ -115,6 +123,12 @@ impl fmt::Display for Trap {
             }
             Trap::Bus { pc, error } => write!(f, "{error} at pc {pc:#010x}"),
             Trap::Breakpoint { pc } => write!(f, "breakpoint at pc {pc:#010x}"),
+            Trap::Watchdog { pc, budget } => {
+                write!(
+                    f,
+                    "watchdog: cycle budget ({budget}) exhausted at pc {pc:#010x}"
+                )
+            }
         }
     }
 }
@@ -124,8 +138,10 @@ impl std::error::Error for Trap {}
 /// Why [`Core::run`] returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExitStatus {
-    /// True if the program executed `ecall` (normal halt); false if the
-    /// cycle budget ran out first.
+    /// True if the program executed `ecall` (normal halt). Budget
+    /// exhaustion is reported as [`Trap::Watchdog`], so a successful
+    /// return always has `halted == true`; the field is kept so callers
+    /// can assert the invariant they rely on.
     pub halted: bool,
     /// Value of `a0` at the halt (exit code convention).
     pub exit_code: u32,
@@ -138,6 +154,37 @@ struct HwLoop {
     start: u32,
     end: u32,
     count: u32,
+}
+
+/// A checkpoint of the full architectural state of a [`Core`]: pc,
+/// register file, CSRs, hardware-loop state, and every performance
+/// counter including the cycle ledger. Restoring it and re-executing
+/// on an identical bus image reproduces the original run cycle for
+/// cycle, which is what makes fault replay and rollback recovery
+/// deterministic.
+///
+/// The attached [`ExecTracer`] is deliberately *not* part of the
+/// snapshot: it is a forensic aid, not architectural state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    regs: [u32; 32],
+    pc: u32,
+    isa: IsaConfig,
+    perf: PerfCounters,
+    hwloops: [HwLoop; 2],
+    csrs: BTreeMap<u16, u32>,
+}
+
+impl Snapshot {
+    /// Program counter at the checkpoint.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Cycle count at the checkpoint.
+    pub fn cycles(&self) -> u64 {
+        self.perf.cycles
+    }
 }
 
 /// The core model. See the crate docs for an end-to-end example.
@@ -201,6 +248,30 @@ impl Core {
         if r != Reg::Zero {
             self.regs[r.index()] = v;
         }
+    }
+
+    /// Captures a checkpoint of the full architectural state.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            regs: self.regs,
+            pc: self.pc,
+            isa: self.isa,
+            perf: self.perf,
+            hwloops: self.hwloops,
+            csrs: self.csrs.clone(),
+        }
+    }
+
+    /// Restores a checkpoint taken with [`Core::snapshot`], rolling every
+    /// architectural register and performance counter back to the values
+    /// captured. An attached tracer stays attached untouched.
+    pub fn restore(&mut self, snap: &Snapshot) {
+        self.regs = snap.regs;
+        self.pc = snap.pc;
+        self.isa = snap.isa;
+        self.perf = snap.perf;
+        self.hwloops = snap.hwloops;
+        self.csrs = snap.csrs.clone();
     }
 
     /// Resets architectural state (registers, PC, loops, counters). An
@@ -759,7 +830,8 @@ impl Core {
     ///
     /// # Errors
     ///
-    /// Propagates the first [`Trap`] raised by [`Core::step`].
+    /// Propagates the first [`Trap`] raised by [`Core::step`];
+    /// [`Trap::Watchdog`] if the cycle budget runs out first.
     pub fn run_traced<B: Bus>(
         &mut self,
         bus: &mut B,
@@ -778,18 +850,19 @@ impl Core {
                 });
             }
         }
-        Ok(ExitStatus {
-            halted: false,
-            exit_code: self.reg(Reg::A0),
+        Err(Trap::Watchdog {
             pc: self.pc,
+            budget: max_cycles,
         })
     }
 
-    /// Runs until `ecall`, a trap, or the cycle budget is exhausted.
+    /// Runs until `ecall`, a trap, or the cycle budget is exhausted
+    /// (reported as [`Trap::Watchdog`]).
     ///
     /// # Errors
     ///
-    /// Propagates the first [`Trap`] raised by [`Core::step`].
+    /// Propagates the first [`Trap`] raised by [`Core::step`];
+    /// [`Trap::Watchdog`] if the cycle budget runs out first.
     pub fn run<B: Bus>(&mut self, bus: &mut B, max_cycles: u64) -> Result<ExitStatus, Trap> {
         let limit = self.perf.cycles.saturating_add(max_cycles);
         while self.perf.cycles < limit {
@@ -801,10 +874,9 @@ impl Core {
                 });
             }
         }
-        Ok(ExitStatus {
-            halted: false,
-            exit_code: self.reg(Reg::A0),
+        Err(Trap::Watchdog {
             pc: self.pc,
+            budget: max_cycles,
         })
     }
 }
@@ -1233,8 +1305,8 @@ mod tests {
         let mut mem = SliceMem::new(0, 64);
         mem.load_program(&prog);
         let mut core = Core::new(IsaConfig::xpulpnn());
-        let exit = core.run(&mut mem, 100).unwrap();
-        assert!(!exit.halted);
+        let e = core.run(&mut mem, 100).unwrap_err();
+        assert!(matches!(e, Trap::Watchdog { budget: 100, .. }), "{e}");
         assert!(core.perf.cycles >= 100);
     }
 
@@ -1278,9 +1350,13 @@ mod tests {
         mem2.load_program(&prog);
         let mut chunked = Core::new(IsaConfig::xpulpnn());
         let exit_chunked = loop {
-            let e = chunked.run(&mut mem2, 1).unwrap();
-            if e.halted {
-                break e;
+            match chunked.run(&mut mem2, 1) {
+                Ok(e) => {
+                    assert!(e.halted);
+                    break e;
+                }
+                Err(Trap::Watchdog { .. }) => continue,
+                Err(t) => panic!("unexpected trap: {t}"),
             }
         };
         assert_eq!(exit_once, exit_chunked);

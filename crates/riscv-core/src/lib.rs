@@ -53,7 +53,7 @@ pub mod quant;
 pub mod timing;
 pub mod trace;
 
-pub use crate::core::{Core, ExitStatus, IsaConfig, Trap};
+pub use crate::core::{Core, ExitStatus, IsaConfig, Snapshot, Trap};
 pub use bus::{Bus, BusError, SliceMem};
 pub use perf::{CycleClass, CycleLedger, PerfCounters};
 pub use trace::{ExecTracer, Hotspot, TraceEntry};

@@ -1,0 +1,285 @@
+//! Trap-path coverage: bus faults at every access size, misaligned
+//! accesses straddling the end of mapped memory, `Trap` display
+//! formatting, watchdog exhaustion, and snapshot→restore round trips.
+
+use pulp_asm::Asm;
+use pulp_isa::instr::{Instr, LoadKind, StoreKind};
+use pulp_isa::Reg;
+use riscv_core::{Bus, BusError, Core, IsaConfig, SliceMem, Trap};
+
+const BASE: u32 = 0;
+const LEN: usize = 4096;
+
+fn run_one(build: impl FnOnce(&mut Asm)) -> Result<(), Trap> {
+    let mut a = Asm::new(BASE);
+    build(&mut a);
+    let prog = a.assemble().expect("assembly failed");
+    let mut mem = SliceMem::new(BASE, LEN);
+    mem.load_program(&prog);
+    let mut core = Core::new(IsaConfig::xpulpnn());
+    core.pc = prog.base;
+    core.run(&mut mem, 100_000).map(|exit| {
+        assert!(exit.halted);
+    })
+}
+
+#[test]
+fn out_of_bounds_loads_trap_at_every_size() {
+    for kind in [
+        LoadKind::Byte,
+        LoadKind::ByteU,
+        LoadKind::Half,
+        LoadKind::HalfU,
+        LoadKind::Word,
+    ] {
+        let err = run_one(|a| {
+            a.li(Reg::A0, 0x4000_0000);
+            a.i(Instr::Load {
+                kind,
+                rd: Reg::A1,
+                rs1: Reg::A0,
+                offset: 0,
+            });
+            a.ecall();
+        })
+        .unwrap_err();
+        match err {
+            Trap::Bus { error, .. } => {
+                assert_eq!(
+                    error,
+                    BusError {
+                        addr: 0x4000_0000,
+                        size: kind.size(),
+                        write: false
+                    }
+                );
+            }
+            other => panic!("expected bus trap, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn out_of_bounds_stores_trap_at_every_size() {
+    for kind in [StoreKind::Byte, StoreKind::Half, StoreKind::Word] {
+        let err = run_one(|a| {
+            a.li(Reg::A0, 0x4000_0000);
+            a.i(Instr::Store {
+                kind,
+                rs1: Reg::A0,
+                rs2: Reg::Zero,
+                offset: 0,
+            });
+            a.ecall();
+        })
+        .unwrap_err();
+        match err {
+            Trap::Bus { error, .. } => {
+                assert_eq!(
+                    error,
+                    BusError {
+                        addr: 0x4000_0000,
+                        size: kind.size(),
+                        write: true
+                    }
+                );
+            }
+            other => panic!("expected bus trap, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn accesses_straddling_the_end_of_memory_trap() {
+    // A misaligned access whose first byte is mapped but whose last
+    // byte is not must still fault (the bus moves whole accesses).
+    for (kind, size) in [(LoadKind::Half, 2u32), (LoadKind::Word, 4u32)] {
+        let addr = BASE + LEN as u32 - size + 1;
+        let err = run_one(|a| {
+            a.li(Reg::A0, addr as i32);
+            a.i(Instr::Load {
+                kind,
+                rd: Reg::A1,
+                rs1: Reg::A0,
+                offset: 0,
+            });
+            a.ecall();
+        })
+        .unwrap_err();
+        assert!(
+            matches!(err, Trap::Bus { error, .. } if error.addr == addr && error.size == size),
+            "straddling {size}-byte load at {addr:#x}: {err}"
+        );
+    }
+}
+
+#[test]
+fn misaligned_in_bounds_access_succeeds_with_stall() {
+    // Fully mapped but crossing a word boundary: legal, one extra cycle.
+    let mut mem = SliceMem::new(BASE, LEN);
+    mem.write(0x102, 4, 0xdead_beef).unwrap();
+    let mut a = Asm::new(BASE);
+    a.li(Reg::A0, 0x102);
+    a.lw(Reg::A1, 0, Reg::A0);
+    a.ecall();
+    let prog = a.assemble().unwrap();
+    mem.load_program(&prog);
+    let mut core = Core::new(IsaConfig::xpulpnn());
+    core.pc = prog.base;
+    core.run(&mut mem, 1_000).unwrap();
+    assert_eq!(core.reg(Reg::A1), 0xdead_beef);
+    assert!(core.perf.stall_cycles >= 1, "misalignment must stall");
+}
+
+#[test]
+fn instruction_fetch_outside_memory_traps() {
+    let mut mem = SliceMem::new(BASE, LEN);
+    let mut core = Core::new(IsaConfig::xpulpnn());
+    core.pc = 0x7fff_0000;
+    let err = core.run(&mut mem, 1_000).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            Trap::Bus {
+                pc: 0x7fff_0000,
+                ..
+            }
+        ),
+        "{err}"
+    );
+}
+
+#[test]
+fn trap_display_formats() {
+    let cases: [(Trap, &str); 5] = [
+        (
+            Trap::IllegalInstruction {
+                pc: 0x1c008000,
+                word: 0xffff_ffff,
+            },
+            "illegal instruction 0xffffffff at pc 0x1c008000",
+        ),
+        (
+            Trap::ExtensionFault {
+                pc: 0x10,
+                required: "xpulpnn",
+            },
+            "instruction at pc 0x00000010 requires the xpulpnn extension",
+        ),
+        (
+            Trap::Bus {
+                pc: 0x20,
+                error: BusError {
+                    addr: 0x4000_0000,
+                    size: 4,
+                    write: true,
+                },
+            },
+            "bus error: 4-byte write at 0x40000000 at pc 0x00000020",
+        ),
+        (Trap::Breakpoint { pc: 0x30 }, "breakpoint at pc 0x00000030"),
+        (
+            Trap::Watchdog {
+                pc: 0x40,
+                budget: 1000,
+            },
+            "watchdog: cycle budget (1000) exhausted at pc 0x00000040",
+        ),
+    ];
+    for (trap, expect) in cases {
+        assert_eq!(trap.to_string(), expect);
+    }
+}
+
+#[test]
+fn watchdog_trap_from_run_and_run_traced() {
+    let mut a = Asm::new(BASE);
+    a.label("spin");
+    a.j("spin");
+    let prog = a.assemble().unwrap();
+
+    let mut mem = SliceMem::new(BASE, LEN);
+    mem.load_program(&prog);
+    let mut core = Core::new(IsaConfig::xpulpnn());
+    core.pc = prog.base;
+    let err = core.run(&mut mem, 50).unwrap_err();
+    assert!(matches!(err, Trap::Watchdog { budget: 50, .. }), "{err}");
+
+    let mut core = Core::new(IsaConfig::xpulpnn());
+    core.pc = prog.base;
+    let mut retired = 0u64;
+    let err = core
+        .run_traced(&mut mem, 50, |_, _| retired += 1)
+        .unwrap_err();
+    assert!(matches!(err, Trap::Watchdog { budget: 50, .. }), "{err}");
+    assert!(retired > 0);
+}
+
+/// A program with live values in registers, CSRs, both hardware loops
+/// and memory, interrupted mid-flight: restoring the snapshot and
+/// re-executing must reproduce the original final state exactly,
+/// including every perf counter and the cycle ledger.
+#[test]
+fn snapshot_restore_round_trip_reproduces_the_run() {
+    let build = |a: &mut Asm| {
+        a.li(Reg::A0, 0);
+        a.li(Reg::A2, 0x200);
+        a.i(Instr::Csr {
+            op: 0, // csrrw
+            rd: Reg::Zero,
+            rs1: Reg::A2,
+            csr: 0x340, // mscratch: exercises the generic CSR map
+        });
+        a.lp_setupi(pulp_isa::instr::LoopIdx::L0, 40, "outer_end");
+        a.addi(Reg::A0, Reg::A0, 3);
+        a.sw(Reg::A0, 0, Reg::A2);
+        a.lw(Reg::A1, 0, Reg::A2);
+        a.label("outer_end");
+        a.add(Reg::A1, Reg::A1, Reg::A0);
+        a.ecall();
+    };
+    let mut a = Asm::new(BASE);
+    build(&mut a);
+    let prog = a.assemble().unwrap();
+
+    // Reference: run to completion in one go.
+    let mut ref_mem = SliceMem::new(BASE, LEN);
+    ref_mem.load_program(&prog);
+    let mut ref_core = Core::new(IsaConfig::xpulpnn());
+    ref_core.pc = prog.base;
+    let ref_exit = ref_core.run(&mut ref_mem, 100_000).unwrap();
+
+    // Interrupted: stop mid-loop, checkpoint, keep going, then roll back
+    // to the checkpoint and re-execute the tail.
+    let mut mem = SliceMem::new(BASE, LEN);
+    mem.load_program(&prog);
+    let mut core = Core::new(IsaConfig::xpulpnn());
+    core.pc = prog.base;
+    let err = core.run(&mut mem, 60).unwrap_err();
+    assert!(matches!(err, Trap::Watchdog { .. }));
+
+    let snap = core.snapshot();
+    let mem_image = mem.clone();
+    assert_eq!(snap.pc(), core.pc);
+    assert_eq!(snap.cycles(), core.perf.cycles);
+
+    let exit_a = core.run(&mut mem, 100_000).unwrap();
+
+    let mut replay = Core::new(IsaConfig::xpulpnn());
+    replay.restore(&snap);
+    assert_eq!(replay.snapshot(), snap, "restore must round-trip exactly");
+    let mut replay_mem = mem_image;
+    let exit_b = replay.run(&mut replay_mem, 100_000).unwrap();
+
+    assert_eq!(exit_a, exit_b);
+    assert_eq!(exit_a, ref_exit);
+    assert_eq!(core.regs, replay.regs);
+    assert_eq!(core.perf, replay.perf);
+    assert_eq!(core.perf, ref_core.perf);
+    assert_eq!(mem.as_bytes(), replay_mem.as_bytes());
+    assert_eq!(
+        replay.perf.cycles,
+        replay.perf.ledger.total(),
+        "ledger invariant must survive restore"
+    );
+}
