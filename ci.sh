@@ -18,6 +18,23 @@ cargo build --release --locked
 echo "==> tier-1: cargo test -q"
 cargo test -q --locked
 
+# Static verification gate: every shipped kernel program (8 conv
+# variants + depthwise/pool/relu/linear testbench kernels) must lint
+# clean against the tensor regions its layout declares.
+echo "==> xpulpnn lint (all shipped kernels, zero diagnostics)"
+lint_out=$(cargo run --release -q --locked -p xpulpnn-cli -- lint)
+echo "$lint_out" | grep -F "15 kernels lint-clean" > /dev/null || {
+    echo "shipped kernels no longer lint clean:"
+    echo "$lint_out"
+    exit 1
+}
+
+# Lint-vs-execution cross-validation: lint-clean generated programs
+# must run trap-free, and dynamic uninit-read oracle hits must be
+# caught by the strict static profile.
+echo "==> conformance cross-validation smoke (200 cases, seed 1)"
+cargo run --release -q --locked -p xpulpnn-cli -- conformance --crossval --cases 200 --seed 1
+
 echo "==> conformance smoke (1000 cases, seed 1)"
 cargo run --release -q --locked -p xpulpnn-cli -- conformance --cases 1000 --seed 1
 

@@ -26,10 +26,22 @@ usage:
       run one paper-layer kernel with the execution tracer attached and
       print a JSON cycle-attribution profile (per-class ledger + hottest
       instructions); defaults to the 4-bit XpulpNN kernel with pv.qnt
-  xpulpnn conformance [--cases N] [--seed S]
+  xpulpnn lint [<file.s>]
+      statically verify a program: CFG + hardware-loop legality,
+      dataflow (uninitialized reads, dead stores, reserved-register
+      clobbers), abstract interpretation over address arithmetic
+      (region containment, SIMD alignment, pv.qnt threshold trees);
+      with no file, lints every shipped kernel against the tensor
+      regions its layout declares and fails on any diagnostic
+  xpulpnn conformance [--cases N] [--seed S] [--crossval]
       differentially fuzz the cycle-approximate core against the
       independent reference interpreter on N random programs; on
-      divergence, prints a shrunk repro and the exact replay command
+      divergence, prints a shrunk repro and the exact replay command;
+      --crossval instead cross-validates the static analyzer: every
+      generated program is linted and then executed with a dynamic
+      uninit/out-of-bounds oracle (lint-clean programs must run
+      trap-free, dynamic oracle hits must be caught statically or
+      land in the recorded imprecision counters)
   xpulpnn faults [--seed S] [--trials N] [--replay V:T]
       run a seeded transient-fault campaign over the eight-kernel
       convolution matrix and print per-variant detected/masked/SDC
@@ -291,6 +303,49 @@ fn cmd_profile(args: &[String]) -> Result<String, CliError> {
     Ok(format!("{}\n", p.to_json()))
 }
 
+fn cmd_lint(args: &[String]) -> Result<String, CliError> {
+    let mut path = None;
+    for a in args {
+        if a.starts_with("--") {
+            return Err(err(format!("unknown flag `{a}`")));
+        }
+        if path.replace(a.as_str()).is_some() {
+            return Err(err("multiple input files"));
+        }
+    }
+    if let Some(p) = path {
+        // Lint one assembly file. No tensor regions are declared, so
+        // memory checks report as unproven rather than diagnostics.
+        let prog = load_program(p)?;
+        let config = xpulpnn::xcheck::LintConfig::kernel(vec![]);
+        let report = xpulpnn::xcheck::analyze_program(&prog, &config);
+        return if report.clean() {
+            Ok(format!("{p}: {}\n", report.summary()))
+        } else {
+            Err(err(format!("{p}:\n{}", report.render())))
+        };
+    }
+    // No file: lint every shipped kernel against its declared regions.
+    let kernels = xpulpnn::lint::shipped_kernels().map_err(|e| err(e.to_string()))?;
+    let mut out = String::new();
+    let mut dirty = 0usize;
+    for k in &kernels {
+        let r = k.lint();
+        if r.clean() {
+            let _ = writeln!(out, "{:<28} {}", k.name, r.summary());
+        } else {
+            dirty += 1;
+            let _ = writeln!(out, "{:<28} FAIL\n{}", k.name, r.render());
+        }
+    }
+    if dirty > 0 {
+        Err(err(format!("{out}{dirty} kernel(s) failed lint")))
+    } else {
+        let _ = writeln!(out, "{} kernels lint-clean", kernels.len());
+        Ok(out)
+    }
+}
+
 /// Parsed options for `conformance`.
 #[derive(Debug, PartialEq, Eq)]
 pub struct ConformanceOpts {
@@ -298,6 +353,10 @@ pub struct ConformanceOpts {
     pub cases: u64,
     /// Master seed (case `i` runs at seed `S + i`).
     pub seed: u64,
+    /// Cross-validate the static analyzer instead of the reference
+    /// interpreter: lint each generated program and execute it with a
+    /// dynamic uninit/out-of-bounds oracle attached.
+    pub crossval: bool,
 }
 
 /// Parses the flags of the `conformance` subcommand.
@@ -305,10 +364,12 @@ pub fn parse_conformance_opts(args: &[String]) -> Result<ConformanceOpts, CliErr
     let mut o = ConformanceOpts {
         cases: 1000,
         seed: 1,
+        crossval: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--crossval" => o.crossval = true,
             "--cases" => {
                 let v = it.next().ok_or_else(|| err("--cases needs a value"))?;
                 o.cases = v
@@ -327,6 +388,15 @@ pub fn parse_conformance_opts(args: &[String]) -> Result<ConformanceOpts, CliErr
 
 fn cmd_conformance(args: &[String]) -> Result<String, CliError> {
     let o = parse_conformance_opts(args)?;
+    if o.crossval {
+        let gen = xpulpnn::conformance::GenConfig::default();
+        let r = xpulpnn::conformance::run_crossval(o.seed, o.cases, &gen);
+        return if r.ok() {
+            Ok(format!("{r}\n"))
+        } else {
+            Err(err(r.to_string()))
+        };
+    }
     let cfg = xpulpnn::conformance::DiffConfig::default();
     let report = xpulpnn::conformance::run_suite(o.seed, o.cases, &cfg);
     match report.failure {
@@ -420,6 +490,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "sweep" => cmd_sweep(rest),
         "report" => cmd_report(rest),
         "profile" => cmd_profile(rest),
+        "lint" => cmd_lint(rest),
         "conformance" => cmd_conformance(rest),
         "faults" => cmd_faults(rest),
         "--help" | "-h" | "help" => Ok(format!("{USAGE}\n")),
@@ -432,7 +503,7 @@ mod tests {
     use super::*;
 
     fn v(args: &[&str]) -> Vec<String> {
-        args.iter().map(|s| s.to_string()).collect()
+        args.iter().map(std::string::ToString::to_string).collect()
     }
 
     #[test]
@@ -464,12 +535,21 @@ mod tests {
             o,
             ConformanceOpts {
                 cases: 1000,
-                seed: 1
+                seed: 1,
+                crossval: false,
             }
         );
 
-        let o = parse_conformance_opts(&v(&["--cases", "25", "--seed", "7"])).unwrap();
-        assert_eq!(o, ConformanceOpts { cases: 25, seed: 7 });
+        let o =
+            parse_conformance_opts(&v(&["--cases", "25", "--seed", "7", "--crossval"])).unwrap();
+        assert_eq!(
+            o,
+            ConformanceOpts {
+                cases: 25,
+                seed: 7,
+                crossval: true,
+            }
+        );
 
         assert!(parse_conformance_opts(&v(&["--cases"])).is_err());
         assert!(parse_conformance_opts(&v(&["--cases", "many"])).is_err());
@@ -480,6 +560,22 @@ mod tests {
     fn conformance_smoke_reports_clean() {
         let out = dispatch(&v(&["conformance", "--cases", "20", "--seed", "1"])).unwrap();
         assert!(out.contains("20 cases, 0 divergences (seed 1)"), "{out}");
+    }
+
+    #[test]
+    fn conformance_crossval_smoke() {
+        let out = dispatch(&v(&[
+            "conformance",
+            "--crossval",
+            "--cases",
+            "15",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        assert!(out.contains("15 cases"), "{out}");
+        assert!(out.contains("0 clean-but-trapped"), "{out}");
+        assert!(out.contains("0 missed statically"), "{out}");
     }
 
     #[test]
@@ -617,6 +713,32 @@ mod tests {
         assert!(out.contains("checkpoint: cycle"), "{out}");
         // Unknown variants surface as CLI errors, not panics.
         assert!(dispatch(&v(&["faults", "--replay", "99:0"])).is_err());
+    }
+
+    #[test]
+    fn lint_all_shipped_kernels_is_clean() {
+        let out = dispatch(&v(&["lint"])).unwrap();
+        assert!(out.contains("15 kernels lint-clean"), "{out}");
+        assert!(out.contains("conv/4-bit/xpulpnn/pv.qnt"), "{out}");
+    }
+
+    #[test]
+    fn lint_flags_a_broken_file() {
+        let dir = std::env::temp_dir().join(format!("xpulpnn-cli-lint-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.s");
+        // `a0` and `t0` are both read before any definition.
+        std::fs::write(&bad, "sw t0, 0(a0)\necall\n").unwrap();
+        let e = dispatch(&v(&["lint", bad.to_str().unwrap()])).unwrap_err();
+        assert!(e.0.contains("DF-01"), "{e}");
+
+        let good = dir.join("good.s");
+        std::fs::write(&good, "li a0, 0\necall\n").unwrap();
+        let out = dispatch(&v(&["lint", good.to_str().unwrap()])).unwrap();
+        assert!(out.contains("0 diagnostics"), "{out}");
+
+        assert!(dispatch(&v(&["lint", "--bogus"])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

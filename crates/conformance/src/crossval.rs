@@ -1,0 +1,235 @@
+//! Cross-validation of the static analyzer against dynamic execution.
+//!
+//! The conformance generator already produces random-but-halting
+//! XpulpNN programs; here each one is both *linted* (under
+//! [`xcheck::LintConfig::generated`], which knows the core resets all
+//! registers to zero) and *executed* on the DUT core with a shadow
+//! oracle watching every retired instruction. That pins down two
+//! obligations of the analyzer:
+//!
+//! 1. **Soundness of the clean verdict.** A program the linter calls
+//!    clean must execute trap-free: any trap on a lint-clean program
+//!    is a hole in the rule set and is reported as a violation.
+//! 2. **Oracle coverage.** Every *dynamic* uninitialized-register
+//!    read (found with a strict lint profile that assumes nothing
+//!    initialized) must also be flagged statically at the same PC —
+//!    reaching definitions over-approximate the executed path, so a
+//!    miss would be a dataflow bug. Dynamic out-of-bounds accesses
+//!    must either carry a MEM-01 diagnostic or fall into the
+//!    analyzer's *recorded* imprecision (an access it reported as
+//!    unproven), never into silently-proved territory.
+
+use riscv_core::{Core, IsaConfig, SliceMem};
+use xcheck::{effects, LintConfig, Region};
+
+use crate::gen::{self, GenConfig, CODE_BASE, DATA_BASE, DATA_LEN, MEM_LEN};
+use crate::{case_seed, lower};
+use pulp_isa::{Instr, Reg};
+
+/// Aggregated result of a cross-validation sweep.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrossValReport {
+    /// Programs generated and checked.
+    pub cases: u64,
+    /// Programs with zero diagnostics under the `generated` profile.
+    pub lint_clean: u64,
+    /// Seeds of lint-clean programs that nevertheless trapped — the
+    /// soundness violation this mode exists to catch. Must be empty.
+    pub clean_but_trapped: Vec<u64>,
+    /// Dynamic reads of registers never written since reset.
+    pub oracle_uninit: u64,
+    /// Seeds where a dynamic uninit read had no DF-01 diagnostic at
+    /// its PC under the strict profile. Must be empty (reaching
+    /// definitions over-approximate every executed path).
+    pub uninit_missed: Vec<u64>,
+    /// Dynamic memory accesses outside the code+data image.
+    pub oracle_oob: u64,
+    /// Of those, accesses flagged MEM-01 at the same PC.
+    pub oob_caught: u64,
+    /// Memory accesses the analyzer recorded as unproven across all
+    /// cases — its documented imprecision budget.
+    pub unproven_accesses: u64,
+}
+
+impl CrossValReport {
+    /// True when no cross-validation obligation was violated.
+    pub fn ok(&self) -> bool {
+        self.clean_but_trapped.is_empty() && self.uninit_missed.is_empty()
+    }
+}
+
+impl std::fmt::Display for CrossValReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "crossval: {} cases, {} lint-clean, {} clean-but-trapped",
+            self.cases,
+            self.lint_clean,
+            self.clean_but_trapped.len()
+        )?;
+        writeln!(
+            f,
+            "  uninit oracle: {} dynamic hits, {} missed statically",
+            self.oracle_uninit,
+            self.uninit_missed.len()
+        )?;
+        write!(
+            f,
+            "  oob oracle: {} dynamic hits, {} caught (MEM-01); {} accesses unproven (recorded imprecision)",
+            self.oracle_oob, self.oob_caught, self.unproven_accesses
+        )
+    }
+}
+
+/// The decoded `(pc, len, instr)` stream of a lowered program
+/// (instruction lengths recovered from consecutive PCs; the final
+/// `ecall` is always a 4-byte parcel).
+fn stream_of(lowered: &gen::Lowered) -> Vec<(u32, u32, Instr)> {
+    let mut out = Vec::with_capacity(lowered.instrs.len());
+    for (i, &(pc, instr)) in lowered.instrs.iter().enumerate() {
+        let len = match lowered.instrs.get(i + 1) {
+            Some(&(next, _)) => next - pc,
+            None => 4,
+        };
+        out.push((pc, len, instr));
+    }
+    out
+}
+
+/// The memory regions a generated program may touch.
+fn gen_regions() -> Vec<Region> {
+    vec![
+        Region::new("code", CODE_BASE, DATA_BASE - CODE_BASE),
+        Region::new("data", DATA_BASE, DATA_LEN),
+    ]
+}
+
+/// Runs `cases` seeded generate → lint → execute-with-oracle rounds.
+pub fn run_crossval(master_seed: u64, cases: u64, cfg: &GenConfig) -> CrossValReport {
+    let mut report = CrossValReport {
+        cases,
+        ..CrossValReport::default()
+    };
+    for i in 0..cases {
+        let seed = case_seed(master_seed, i);
+        let spec = gen::generate(seed, cfg);
+        let lowered = lower(&spec);
+        let stream = stream_of(&lowered);
+
+        let gen_config = LintConfig::generated(gen_regions(), vec![(DATA_BASE, spec.data.clone())]);
+        let lint = xcheck::analyze_stream(CODE_BASE, &stream, &gen_config);
+        report.unproven_accesses += lint.mem.unproven as u64;
+        let clean = lint.clean();
+        if clean {
+            report.lint_clean += 1;
+        }
+
+        // Strict profile for the uninit oracle: nothing assumed
+        // initialized, so DF-01 marks every possibly-uninit read.
+        let strict = LintConfig {
+            regions: gen_regions(),
+            memory: vec![(DATA_BASE, spec.data.clone())],
+            ..LintConfig::default()
+        };
+        let strict_lint = xcheck::analyze_stream(CODE_BASE, &stream, &strict);
+
+        // Execute on the DUT core with the shadow oracle attached.
+        let mut mem = SliceMem::new(CODE_BASE, MEM_LEN as usize);
+        {
+            let bytes = mem.as_bytes_mut();
+            bytes[..lowered.code.len()].copy_from_slice(&lowered.code);
+            let doff = (DATA_BASE - CODE_BASE) as usize;
+            bytes[doff..doff + spec.data.len()].copy_from_slice(&spec.data);
+        }
+        let mut core = Core::new(IsaConfig::xpulpnn());
+        core.pc = CODE_BASE;
+        let mut written = [false; 32];
+        let mut uninit_pcs: Vec<u32> = Vec::new();
+        let mut oob_pcs: Vec<u32> = Vec::new();
+        let mut trapped = false;
+        for _ in 0..100_000u64 {
+            let Some(&(pc, _, instr)) = stream.iter().find(|&&(pc, _, _)| pc == core.pc) else {
+                break;
+            };
+            let e = effects(&instr);
+            for r in e.uses.iter() {
+                if r != Reg::Zero && !written[r.index()] {
+                    uninit_pcs.push(pc);
+                }
+            }
+            if let Some(m) = e.mem {
+                let mut addr = core.reg(m.base);
+                if let Some(idx) = m.index {
+                    addr = addr.wrapping_add(core.reg(idx));
+                }
+                let addr = addr.wrapping_add(m.offset as u32);
+                let end = u64::from(addr) + u64::from(m.size);
+                if addr < CODE_BASE || end > u64::from(CODE_BASE) + u64::from(MEM_LEN) {
+                    oob_pcs.push(pc);
+                }
+            }
+            for r in e.defs.iter() {
+                written[r.index()] = true;
+            }
+            match core.step(&mut mem) {
+                Ok(true) => break,
+                Ok(false) => {}
+                Err(_) => {
+                    trapped = true;
+                    break;
+                }
+            }
+        }
+
+        if clean && trapped {
+            report.clean_but_trapped.push(seed);
+        }
+        report.oracle_uninit += uninit_pcs.len() as u64;
+        for pc in uninit_pcs {
+            let caught = strict_lint
+                .diagnostics
+                .iter()
+                .any(|d| d.pc == pc && d.rule == xcheck::Rule::DfUninitRead);
+            if !caught && !report.uninit_missed.contains(&seed) {
+                report.uninit_missed.push(seed);
+            }
+        }
+        report.oracle_oob += oob_pcs.len() as u64;
+        for pc in oob_pcs {
+            if lint
+                .diagnostics
+                .iter()
+                .any(|d| d.pc == pc && d.rule == xcheck::Rule::MemOutOfRegion)
+            {
+                report.oob_caught += 1;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossval_smoke_holds_obligations() {
+        let r = run_crossval(7, 40, &GenConfig::default());
+        assert!(r.ok(), "{r}");
+        assert_eq!(r.cases, 40);
+        // The generator emits halting, in-image programs, so the
+        // clean-rate should be total and the OOB oracle silent.
+        assert_eq!(r.lint_clean, 40, "{r}");
+        assert_eq!(r.oracle_oob, 0, "{r}");
+    }
+
+    #[test]
+    fn stream_lengths_recover_compressed_parcels() {
+        let spec = gen::generate(3, &GenConfig::default());
+        let lowered = lower(&spec);
+        let s = stream_of(&lowered);
+        let total: u32 = s.iter().map(|&(_, len, _)| len).sum();
+        assert_eq!(total as usize, lowered.code.len());
+        assert!(s.iter().all(|&(_, len, _)| len == 2 || len == 4));
+    }
+}

@@ -159,7 +159,10 @@ pub fn run_spec(spec: &ProgramSpec, bug: RefBug, max_steps: u64) -> CaseOutcome 
             step,
             pc,
             detail,
-            context: core.tracer().map(|t| t.dump_tail()).unwrap_or_default(),
+            context: core
+                .tracer()
+                .map(riscv_core::ExecTracer::dump_tail)
+                .unwrap_or_default(),
         }))
     };
 

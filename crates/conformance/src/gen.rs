@@ -926,13 +926,11 @@ mod tests {
     fn li_materializes_exact_constants() {
         for v in [0u32, 1, 0x7ff, 0x800, 0xfff, 0x1000, 0xdead_beef, u32::MAX] {
             let [lui, addi] = li(Reg::A0, v);
-            let hi = match lui {
-                Instr::Lui { imm, .. } => imm,
-                _ => unreachable!(),
+            let Instr::Lui { imm: hi, .. } = lui else {
+                unreachable!()
             };
-            let lo = match addi {
-                Instr::AluImm { imm, .. } => imm,
-                _ => unreachable!(),
+            let Instr::AluImm { imm: lo, .. } = addi else {
+                unreachable!()
             };
             assert_eq!(hi & 0xfff, 0);
             assert!((-2048..=2047).contains(&lo));

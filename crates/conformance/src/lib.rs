@@ -32,6 +32,7 @@
 //! `ci.sh` smoke stage drive [`diff::run_suite`] with a fixed seed, so
 //! every future kernel/ISA change inherits the differential check.
 
+pub mod crossval;
 pub mod diff;
 pub mod gen;
 pub mod harness;
@@ -40,6 +41,7 @@ pub mod refcore;
 pub mod roundtrip;
 pub mod shrink;
 
+pub use crossval::{run_crossval, CrossValReport};
 pub use diff::{run_case, run_spec, run_suite, CaseOutcome, DiffConfig, Divergence, SuiteReport};
 pub use gen::{generate, instr_count, lower, GenConfig, Item, Lowered, ProgramSpec};
 pub use lockstep::{lockstep, lockstep_with, LockstepEnd};

@@ -63,7 +63,10 @@ pub fn lockstep_with<BA: Bus, BB: Bus>(
             step,
             pc,
             detail,
-            context: a.tracer().map(|t| t.dump_tail()).unwrap_or_default(),
+            context: a
+                .tracer()
+                .map(riscv_core::ExecTracer::dump_tail)
+                .unwrap_or_default(),
         }))
     };
     for step in 0..max_steps {

@@ -20,6 +20,7 @@
 //! | Table III area/power models | [`pulp_power`] |
 //! | differential ISA conformance fuzzing | [`conformance`] |
 //! | transient-fault injection, AVF campaigns, replay | [`faultsim`] |
+//! | static program verification (CFG, dataflow, abstract interp) | [`xcheck`] |
 //!
 //! # Quickstart
 //!
@@ -43,6 +44,7 @@
 //! network as layers, run verified inference end to end on the SoC).
 
 pub mod experiments;
+pub mod lint;
 pub mod measure;
 pub mod network;
 pub mod report;
@@ -63,3 +65,4 @@ pub use pulp_power;
 pub use pulp_soc;
 pub use qnn;
 pub use riscv_core;
+pub use xcheck;

@@ -1,0 +1,295 @@
+//! The shipped-kernel lint suite: every program the benchmarks emit,
+//! paired with the tensor regions its layout declares.
+//!
+//! This is the static half of the kernel-correctness argument (the
+//! dynamic half being the golden-model testbenches): each emitted
+//! program is analyzed by [`xcheck`] under [`xcheck::LintConfig::kernel`]
+//! with regions derived from the *same* [`LayerLayout`] and shape
+//! arithmetic the emitters use, so an emitter whose address computation
+//! escapes its tensors — or that reads a register it never set — fails
+//! `xpulpnn lint` without any input vector having to hit the bug.
+
+use pulp_asm::Program;
+use pulp_kernels::depthwise::{build_depthwise_program, DepthwiseKernelConfig};
+use pulp_kernels::descriptors::im2col_descriptors;
+use pulp_kernels::emit::{build_conv_program, simd_fmt};
+use pulp_kernels::linear::{build_linear_program, LinearKernelConfig};
+use pulp_kernels::pool::{build_relu_program, PoolKernelConfig, PoolOp, PoolTestbench};
+use pulp_kernels::runner::BuildError;
+use pulp_kernels::{ConvKernelConfig, KernelIsa, LayerLayout, QuantMode};
+use qnn::conv::ConvShape;
+use qnn::depthwise::DepthwiseShape;
+use qnn::linear::LinearShape;
+use qnn::pool::PoolShape;
+use qnn::BitWidth;
+use riscv_core::quant::tree_stride;
+use xcheck::{LintConfig, LintReport, Region};
+
+/// One shipped kernel program plus the lint contract it must satisfy.
+pub struct ShippedKernel {
+    /// Report name (`conv/4-bit/xpulpnn/pv.qnt`, `maxpool/4-bit/simd`, ...).
+    pub name: String,
+    /// The emitted program.
+    pub program: Program,
+    /// The kernel-profile lint configuration with its declared regions.
+    pub config: LintConfig,
+}
+
+impl ShippedKernel {
+    /// Runs the analyzer on this kernel.
+    pub fn lint(&self) -> LintReport {
+        xcheck::analyze_program(&self.program, &self.config)
+    }
+}
+
+/// The paper's convolution matrix, deduplicated exactly like the golden
+/// listing snapshots (`hw_quant` collapses where `pv.qnt` cannot exist).
+fn conv_variants() -> Vec<ConvKernelConfig> {
+    let mut variants: Vec<ConvKernelConfig> = Vec::new();
+    for bits in [BitWidth::W8, BitWidth::W4, BitWidth::W2] {
+        for isa in [KernelIsa::XpulpV2, KernelIsa::XpulpNN] {
+            for hw in [false, true] {
+                let cfg = ConvKernelConfig::paper(bits, isa, hw);
+                if !variants.contains(&cfg) {
+                    variants.push(cfg);
+                }
+            }
+        }
+    }
+    variants
+}
+
+/// The tensor regions a convolution kernel may touch, sized with the
+/// same arithmetic the emitter and testbench use.
+pub fn conv_regions(cfg: &ConvKernelConfig, layout: &LayerLayout) -> Vec<Region> {
+    let s: &ConvShape = &cfg.shape;
+    let in_bytes = (s.input_len() * cfg.bits.bits() as usize / 8) as u32;
+    let descs = im2col_descriptors(cfg, layout.input).len() as u32;
+    let mut regions = vec![
+        Region::new("input", layout.input, in_bytes),
+        Region::new(
+            "weights",
+            layout.weights,
+            s.out_c as u32 * LayerLayout::weight_row_bytes(cfg),
+        ),
+        Region::new("descriptors", layout.descriptors, descs * 12),
+        Region::new(
+            "im2col",
+            layout.im2col,
+            2 * LayerLayout::im2col_buffer_bytes(cfg),
+        ),
+        Region::new(
+            "output",
+            layout.output,
+            s.pixels() as u32 * LayerLayout::out_pixel_bytes(cfg),
+        ),
+    ];
+    if cfg.out_bits.is_sub_byte() {
+        regions.push(Region::new(
+            "thresholds",
+            layout.thresholds,
+            s.out_c as u32 * tree_stride(simd_fmt(cfg.out_bits)),
+        ));
+    }
+    regions
+}
+
+fn depthwise_kernel(layout: &LayerLayout) -> Result<ShippedKernel, BuildError> {
+    let cfg = DepthwiseKernelConfig {
+        shape: DepthwiseShape {
+            in_h: 8,
+            in_w: 8,
+            c: 16,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        },
+        shift: 7,
+    };
+    let s = cfg.shape;
+    let padded = ((s.in_h + 2 * s.pad) * (s.in_w + 2 * s.pad) * s.c) as u32;
+    let program = build_depthwise_program(&cfg, layout)?;
+    Ok(ShippedKernel {
+        name: cfg.name(),
+        program,
+        config: LintConfig::kernel(vec![
+            Region::new("input", layout.input, padded),
+            Region::new("weights", layout.weights, (s.c * s.k * s.k) as u32),
+            Region::new(
+                "output",
+                layout.output,
+                (s.out_h() * s.out_w() * s.c) as u32,
+            ),
+        ]),
+    })
+}
+
+fn pool_kernel(
+    layout: &LayerLayout,
+    bits: BitWidth,
+    op: PoolOp,
+) -> Result<ShippedKernel, BuildError> {
+    let cfg = PoolKernelConfig {
+        shape: PoolShape {
+            in_h: 8,
+            in_w: 8,
+            c: 8,
+            k: 2,
+            stride: 2,
+        },
+        bits,
+        op,
+        simd: true,
+    };
+    let s = cfg.shape;
+    let c_bytes = (s.c * bits.bits() as usize / 8) as u32;
+    let program = PoolTestbench::new(cfg, 0)?.program;
+    Ok(ShippedKernel {
+        name: cfg.name(),
+        program,
+        config: LintConfig::kernel(vec![
+            Region::new("input", layout.input, (s.in_h * s.in_w) as u32 * c_bytes),
+            Region::new(
+                "output",
+                layout.output,
+                (s.out_h() * s.out_w()) as u32 * c_bytes,
+            ),
+        ]),
+    })
+}
+
+fn relu_kernel(layout: &LayerLayout) -> Result<ShippedKernel, BuildError> {
+    let len = 64usize;
+    let program = build_relu_program(len, layout).map_err(BuildError::Asm)?;
+    Ok(ShippedKernel {
+        name: format!("relu/{len}"),
+        program,
+        config: LintConfig::kernel(vec![
+            Region::new("input", layout.input, len as u32),
+            Region::new("output", layout.output, len as u32),
+        ]),
+    })
+}
+
+fn linear_kernel(
+    layout: &LayerLayout,
+    bits: BitWidth,
+    quant: QuantMode,
+) -> Result<ShippedKernel, BuildError> {
+    let cfg = LinearKernelConfig {
+        shape: LinearShape {
+            in_features: 64,
+            out_features: 20,
+        },
+        bits,
+        quant,
+    };
+    let s = cfg.shape;
+    let row_bytes = (s.in_features * bits.bits() as usize / 8) as u32;
+    let program = build_linear_program(&cfg, layout)?;
+    let mut regions = vec![
+        Region::new("input", layout.input, row_bytes),
+        Region::new("weights", layout.weights, s.out_features as u32 * row_bytes),
+        Region::new(
+            "output",
+            layout.output,
+            (s.out_features * bits.bits() as usize / 8) as u32,
+        ),
+    ];
+    if bits.is_sub_byte() {
+        regions.push(Region::new(
+            "thresholds",
+            layout.thresholds,
+            s.out_features as u32 * tree_stride(simd_fmt(bits)),
+        ));
+    }
+    Ok(ShippedKernel {
+        name: cfg.name(),
+        program,
+        config: LintConfig::kernel(regions),
+    })
+}
+
+/// Builds every shipped kernel program with its lint contract: the
+/// eight paper convolution variants plus the depthwise, pooling, ReLU
+/// and linear testbench kernels.
+///
+/// # Errors
+///
+/// [`BuildError`] only for emitter bugs (the configurations are fixed).
+pub fn shipped_kernels() -> Result<Vec<ShippedKernel>, BuildError> {
+    let layout = LayerLayout::default_for_l2();
+    let mut kernels = Vec::new();
+    for cfg in conv_variants() {
+        let program = build_conv_program(&cfg, &layout)?;
+        kernels.push(ShippedKernel {
+            name: format!("conv/{}", cfg.name()),
+            program,
+            config: LintConfig::kernel(conv_regions(&cfg, &layout)),
+        });
+    }
+    kernels.push(depthwise_kernel(&layout)?);
+    kernels.push(pool_kernel(&layout, BitWidth::W4, PoolOp::Max)?);
+    kernels.push(pool_kernel(&layout, BitWidth::W8, PoolOp::Avg2x2)?);
+    kernels.push(relu_kernel(&layout)?);
+    kernels.push(linear_kernel(
+        &layout,
+        BitWidth::W8,
+        QuantMode::Shift8 { shift: 8 },
+    )?);
+    kernels.push(linear_kernel(
+        &layout,
+        BitWidth::W4,
+        QuantMode::HardwareQnt,
+    )?);
+    kernels.push(linear_kernel(
+        &layout,
+        BitWidth::W2,
+        QuantMode::HardwareQnt,
+    )?);
+    Ok(kernels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_covers_all_fifteen_kernels() {
+        let kernels = shipped_kernels().expect("emitters");
+        assert_eq!(kernels.len(), 15, "8 conv + dw + 2 pool + relu + 3 linear");
+        let conv = kernels.iter().filter(|k| k.name.contains("conv")).count();
+        assert_eq!(conv, 8);
+    }
+
+    #[test]
+    fn every_shipped_kernel_lints_clean() {
+        for k in shipped_kernels().expect("emitters") {
+            let r = k.lint();
+            assert!(r.clean(), "{} is not lint-clean:\n{}", k.name, r.render());
+        }
+    }
+
+    #[test]
+    fn analyzer_precision_floor_holds() {
+        // Pins the analyzer's precision on the shipped kernels: a
+        // regression in the interval/congruence domain or the
+        // hardware-loop summarization would silently shrink the
+        // "proved" counters without producing any diagnostic.
+        let mut accesses = 0;
+        let mut align_proved = 0;
+        for k in shipped_kernels().expect("emitters") {
+            let m = k.lint().mem;
+            accesses += m.accesses;
+            align_proved += m.align_proved;
+            if k.name.starts_with("relu") {
+                // The straight-line hardware loop must be fully proved.
+                assert_eq!(m.proved_in, m.accesses, "relu: {m:?}");
+            }
+        }
+        assert!(
+            align_proved * 10 >= accesses * 9,
+            "alignment proofs regressed: {align_proved}/{accesses}"
+        );
+    }
+}

@@ -927,8 +927,7 @@ pub fn parse(source: &str) -> Result<Program, TextAsmError> {
         if let Some(stripped) = rest.strip_prefix('.') {
             let dir_end = stripped
                 .find(char::is_whitespace)
-                .map(|i| i + 1)
-                .unwrap_or(rest.len());
+                .map_or(rest.len(), |i| i + 1);
             let (dir, args) = rest.split_at(dir_end);
             let mut dummy = None;
             parse_directive(

@@ -488,14 +488,14 @@ impl SimdAluOp {
     pub fn eval(self, fmt: SimdFmt, a: u32, b: u32) -> u32 {
         use crate::simd;
         match self {
-            SimdAluOp::Add => simd::zip_map_s(fmt, a, b, |x, y| x.wrapping_add(y)),
-            SimdAluOp::Sub => simd::zip_map_s(fmt, a, b, |x, y| x.wrapping_sub(y)),
+            SimdAluOp::Add => simd::zip_map_s(fmt, a, b, i32::wrapping_add),
+            SimdAluOp::Sub => simd::zip_map_s(fmt, a, b, i32::wrapping_sub),
             SimdAluOp::Avg => simd::avg(fmt, a, b),
             SimdAluOp::Avgu => simd::avgu(fmt, a, b),
-            SimdAluOp::Min => simd::zip_map_s(fmt, a, b, |x, y| x.min(y)),
-            SimdAluOp::Minu => simd::zip_map_u(fmt, a, b, |x, y| x.min(y)),
-            SimdAluOp::Max => simd::zip_map_s(fmt, a, b, |x, y| x.max(y)),
-            SimdAluOp::Maxu => simd::zip_map_u(fmt, a, b, |x, y| x.max(y)),
+            SimdAluOp::Min => simd::zip_map_s(fmt, a, b, std::cmp::Ord::min),
+            SimdAluOp::Minu => simd::zip_map_u(fmt, a, b, std::cmp::Ord::min),
+            SimdAluOp::Max => simd::zip_map_s(fmt, a, b, std::cmp::Ord::max),
+            SimdAluOp::Maxu => simd::zip_map_u(fmt, a, b, std::cmp::Ord::max),
             SimdAluOp::Srl => simd::srl(fmt, a, b),
             SimdAluOp::Sra => simd::sra(fmt, a, b),
             SimdAluOp::Sll => simd::sll(fmt, a, b),

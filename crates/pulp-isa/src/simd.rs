@@ -310,7 +310,7 @@ pub fn sll(fmt: SimdFmt, a: u32, b: u32) -> u32 {
 /// Lane-wise absolute value (wraps at the most negative lane value, as the
 /// hardware two's-complement negation does).
 pub fn abs(fmt: SimdFmt, a: u32) -> u32 {
-    map_s(fmt, a, |x| x.wrapping_abs())
+    map_s(fmt, a, i32::wrapping_abs)
 }
 
 /// Two-source lane shuffle (`pv.shuffle2`): for each lane `i` the

@@ -83,7 +83,7 @@ pub fn im2col_descriptors(cfg: &ConvKernelConfig, input_addr: u32) -> Vec<RunDes
 
 /// Serializes a descriptor stream.
 pub fn encode_descriptors(descs: &[RunDesc]) -> Vec<u8> {
-    descs.iter().flat_map(|d| d.encode()).collect()
+    descs.iter().flat_map(RunDesc::encode).collect()
 }
 
 /// Executes a descriptor stream on the host against the packed input

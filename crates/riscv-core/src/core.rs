@@ -1355,7 +1355,7 @@ mod tests {
                     assert!(e.halted);
                     break e;
                 }
-                Err(Trap::Watchdog { .. }) => continue,
+                Err(Trap::Watchdog { .. }) => {}
                 Err(t) => panic!("unexpected trap: {t}"),
             }
         };

@@ -158,9 +158,9 @@ fn alu_matches_reference_interpreter() {
                 Instr::Lui { imm, .. } => imm,
                 _ => unreachable!(),
             };
-            let rd = match *i {
-                Instr::Alu { rd, .. } | Instr::AluImm { rd, .. } | Instr::Lui { rd, .. } => rd,
-                _ => unreachable!(),
+            let (Instr::Alu { rd, .. } | Instr::AluImm { rd, .. } | Instr::Lui { rd, .. }) = *i
+            else {
+                unreachable!()
             };
             if rd != Reg::Zero {
                 regs[rd.index()] = v;

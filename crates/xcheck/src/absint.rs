@@ -1,0 +1,996 @@
+//! Abstract interpretation over address arithmetic.
+//!
+//! The domain is a product of a 32-bit unsigned interval and a
+//! power-of-two congruence (`value ≡ res (mod 2^k)`). The interval
+//! proves region containment; the congruence proves alignment and —
+//! crucially — survives widening: a pointer bumped by a stride-4
+//! post-increment inside a hardware loop widens its interval to ⊤ but
+//! keeps `≡ 0 (mod 4)`, so SIMD alignment stays provable across whole
+//! kernels.
+//!
+//! Every memory access gets a three-way verdict: *proved in bounds*
+//! (the whole abstract address range fits one declared region),
+//! *proved violation* (the range misses every region — only these
+//! become MEM-01 diagnostics), or *unproven* (counted and reported as
+//! documented imprecision, never a diagnostic). The same split applies
+//! to alignment (MEM-02). `pv.qnt` instructions whose tree base
+//! resolves to a constant additionally get their Eytzinger threshold
+//! trees checked against the known initial memory image (QNT-01).
+
+use pulp_isa::instr::AluOp;
+use pulp_isa::simd::SimdFmt;
+use pulp_isa::{Instr, Reg};
+
+use crate::cfg::Cfg;
+use crate::diag::{Diagnostic, Rule};
+use crate::effects::{effects, qnt_stride, qnt_thresholds};
+use crate::{LintConfig, Region};
+
+/// Abstract 32-bit value: `{ x | lo <= x <= hi, x ≡ res (mod align) }`
+/// with `align` a power of two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbsVal {
+    lo: u32,
+    hi: u32,
+    align: u32,
+    res: u32,
+}
+
+/// Congruence precision cap: alignment facts beyond 256-byte
+/// granularity buy nothing for 2/4-byte access checks.
+const ALIGN_CAP: u32 = 256;
+
+impl AbsVal {
+    /// The unconstrained value.
+    pub const TOP: AbsVal = AbsVal {
+        lo: 0,
+        hi: u32::MAX,
+        align: 1,
+        res: 0,
+    };
+
+    /// The exact constant `c`.
+    pub fn constant(c: u32) -> AbsVal {
+        AbsVal {
+            lo: c,
+            hi: c,
+            align: ALIGN_CAP,
+            res: c % ALIGN_CAP,
+        }
+    }
+
+    /// The constant this value is proven to be, if singleton.
+    pub fn as_const(self) -> Option<u32> {
+        (self.lo == self.hi).then_some(self.lo)
+    }
+
+    fn join(self, other: AbsVal) -> AbsVal {
+        let g = gcd(gcd(self.align, other.align), self.res.abs_diff(other.res));
+        let align = if g == 0 {
+            ALIGN_CAP
+        } else {
+            1 << g.trailing_zeros()
+        };
+        AbsVal {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+            align,
+            res: self.res % align,
+        }
+    }
+
+    /// Interval widening: any bound still moving goes straight to its
+    /// extreme. The congruence component needs no widening (its chains
+    /// are finite).
+    fn widen(self, next: AbsVal) -> AbsVal {
+        AbsVal {
+            lo: if next.lo < self.lo { 0 } else { self.lo },
+            hi: if next.hi > self.hi { u32::MAX } else { self.hi },
+            align: next.align,
+            res: next.res,
+        }
+    }
+
+    fn add(self, other: AbsVal) -> AbsVal {
+        if let (Some(a), Some(b)) = (self.as_const(), other.as_const()) {
+            return AbsVal::constant(a.wrapping_add(b));
+        }
+        let align = self.align.min(other.align);
+        let res = (self.res + other.res) % align.max(1);
+        let lo = u64::from(self.lo) + u64::from(other.lo);
+        let hi = u64::from(self.hi) + u64::from(other.hi);
+        if hi > u64::from(u32::MAX) {
+            // A possible wrap destroys the interval but not the
+            // congruence (all moduli divide 2^32).
+            AbsVal {
+                lo: 0,
+                hi: u32::MAX,
+                align,
+                res,
+            }
+        } else {
+            AbsVal {
+                lo: lo as u32,
+                hi: hi as u32,
+                align,
+                res,
+            }
+        }
+    }
+
+    fn sub(self, other: AbsVal) -> AbsVal {
+        if let (Some(a), Some(b)) = (self.as_const(), other.as_const()) {
+            return AbsVal::constant(a.wrapping_sub(b));
+        }
+        let align = self.align.min(other.align);
+        let res = (self.res.wrapping_sub(other.res)) % align.max(1);
+        let lo = i64::from(self.lo) - i64::from(other.hi);
+        let hi = i64::from(self.hi) - i64::from(other.lo);
+        if lo < 0 {
+            AbsVal {
+                lo: 0,
+                hi: u32::MAX,
+                align,
+                res,
+            }
+        } else {
+            AbsVal {
+                lo: lo as u32,
+                hi: hi as u32,
+                align,
+                res,
+            }
+        }
+    }
+
+    fn addi(self, imm: i32) -> AbsVal {
+        if imm >= 0 {
+            self.add(AbsVal::constant(imm as u32))
+        } else {
+            self.sub(AbsVal::constant(imm.unsigned_abs()))
+        }
+    }
+
+    fn shl(self, k: u32) -> AbsVal {
+        if let Some(c) = self.as_const() {
+            return AbsVal::constant(c.wrapping_shl(k));
+        }
+        let align = (self.align << k.min(8)).min(ALIGN_CAP);
+        let res = (self.res << k.min(8)) % align;
+        let hi = u64::from(self.hi) << k;
+        if hi > u64::from(u32::MAX) {
+            AbsVal {
+                lo: 0,
+                hi: u32::MAX,
+                align,
+                res,
+            }
+        } else {
+            AbsVal {
+                lo: self.lo << k,
+                hi: hi as u32,
+                align,
+                res,
+            }
+        }
+    }
+}
+
+fn gcd(a: u32, b: u32) -> u32 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+type State = [AbsVal; 32];
+
+fn get(state: &State, r: Reg) -> AbsVal {
+    if r == Reg::Zero {
+        AbsVal::constant(0)
+    } else {
+        state[r.index()]
+    }
+}
+
+fn set(state: &mut State, r: Reg, v: AbsVal) {
+    if r != Reg::Zero {
+        state[r.index()] = v;
+    }
+}
+
+/// Transfer function: the register effects of one instruction on the
+/// abstract state. Only the operations the emitters use for address
+/// arithmetic are modeled precisely; everything else degrades to ⊤.
+fn transfer(state: &State, pc: u32, len: u32, instr: &Instr) -> State {
+    let mut out = *state;
+    match *instr {
+        Instr::Lui { rd, imm } => set(&mut out, rd, AbsVal::constant(imm)),
+        Instr::Auipc { rd, imm } => set(&mut out, rd, AbsVal::constant(pc.wrapping_add(imm))),
+        Instr::Jal { rd, .. } | Instr::Jalr { rd, .. } => {
+            set(&mut out, rd, AbsVal::constant(pc.wrapping_add(len)));
+        }
+        Instr::AluImm { op, rd, rs1, imm } => {
+            let v = match op {
+                AluOp::Add => get(state, rs1).addi(imm),
+                AluOp::Sll => get(state, rs1).shl(imm as u32 & 31),
+                _ => match (get(state, rs1).as_const(), op) {
+                    (Some(a), AluOp::And) => AbsVal::constant(a & imm as u32),
+                    (Some(a), AluOp::Or) => AbsVal::constant(a | imm as u32),
+                    (Some(a), AluOp::Xor) => AbsVal::constant(a ^ imm as u32),
+                    (Some(a), AluOp::Srl) => AbsVal::constant(a >> (imm as u32 & 31)),
+                    _ => AbsVal::TOP,
+                },
+            };
+            set(&mut out, rd, v);
+        }
+        Instr::Alu { op, rd, rs1, rs2 } => {
+            let v = match op {
+                AluOp::Add => get(state, rs1).add(get(state, rs2)),
+                AluOp::Sub => get(state, rs1).sub(get(state, rs2)),
+                _ => AbsVal::TOP,
+            };
+            set(&mut out, rd, v);
+        }
+        Instr::LoadPostInc {
+            rd, rs1, offset, ..
+        } => {
+            set(&mut out, rd, AbsVal::TOP);
+            let bumped = get(state, rs1).addi(offset);
+            set(&mut out, rs1, bumped);
+        }
+        Instr::LoadPostIncReg { rd, rs1, rs2, .. } => {
+            set(&mut out, rd, AbsVal::TOP);
+            let bumped = get(state, rs1).add(get(state, rs2));
+            set(&mut out, rs1, bumped);
+        }
+        Instr::StorePostInc { rs1, offset, .. } => {
+            let bumped = get(state, rs1).addi(offset);
+            set(&mut out, rs1, bumped);
+        }
+        Instr::StorePostIncReg { rs1, rs3, .. } => {
+            let bumped = get(state, rs1).add(get(state, rs3));
+            set(&mut out, rs1, bumped);
+        }
+        _ => {
+            // Any other register write is unknown.
+            for r in effects(instr).defs.iter() {
+                set(&mut out, r, AbsVal::TOP);
+            }
+        }
+    }
+    out
+}
+
+/// Per-access verdict counters, reported as the analyzer's documented
+/// imprecision record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Memory-touching instructions reached by the analysis.
+    pub accesses: usize,
+    /// Accesses proved inside a declared region.
+    pub proved_in: usize,
+    /// Accesses neither proved in nor proved out.
+    pub unproven: usize,
+    /// Accesses with alignment proved correct.
+    pub align_proved: usize,
+    /// Accesses whose alignment could not be decided.
+    pub align_unproven: usize,
+    /// `pv.qnt` trees fully checked against the memory image.
+    pub qnt_checked: usize,
+    /// `pv.qnt` trees whose base or bytes were not statically known.
+    pub qnt_unresolved: usize,
+}
+
+/// Result of the abstract-interpretation pass.
+pub struct AbsResult {
+    /// MEM-01/MEM-02/QNT-01 findings.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Verdict counters.
+    pub stats: MemStats,
+}
+
+const WIDEN_AFTER: usize = 12;
+
+/// A hardware loop eligible for affine back-edge summarization: the
+/// body is one straight line entered only from its `lp.setup` and its
+/// own back-edge, and some registers advance by a fixed byte step per
+/// iteration (post-increment accesses, `addi r, r, imm`).
+///
+/// For such a loop the back-edge value of an affine register is
+/// `entry + k·step` with `k ∈ [1, count-1]`, so a known trip count
+/// bounds the pointer exactly instead of letting the interval widen to
+/// ⊤ — this is what lets strided kernel loops keep their in-region
+/// proofs.
+struct LoopSummary {
+    /// Index of the first body instruction (the back-edge target).
+    head: usize,
+    /// Index of the last body instruction (the back-edge source).
+    back_src: usize,
+    /// Index of the `lp.setup`/`lp.setupi` instruction.
+    setup: usize,
+    /// Count register for the `lp.setup rs1` form.
+    count_reg: Option<Reg>,
+    /// Upper bound on the trip count (immediate, or grown from the
+    /// abstract count-register value observed at the setup).
+    count_hi: u32,
+    /// Per-iteration byte step of each affine register.
+    steps: Vec<(Reg, i32)>,
+}
+
+fn loop_summaries(stream: &[(u32, u32, Instr)], cfg: &Cfg) -> Vec<LoopSummary> {
+    let mut out = Vec::new();
+    'next: for (ri, region) in cfg.loops.iter().enumerate() {
+        let Some(setup) = cfg.idx_of(region.setup_pc) else {
+            continue;
+        };
+        let (count_reg, count_hi) = match stream[setup].2 {
+            Instr::LpSetupi { imm, .. } => (None, imm),
+            Instr::LpSetup { rs1, .. } => (Some(rs1), 0),
+            // Manual lp.start/lp.end/lp.count setups are not summarized.
+            _ => continue,
+        };
+        // Overlapping regions (nested loops sharing instructions) would
+        // give the body a second back-edge.
+        for (rj, other) in cfg.loops.iter().enumerate() {
+            if rj != ri && other.start < region.end && region.start < other.end {
+                continue 'next;
+            }
+        }
+        // The body must be a straight line of plain instructions.
+        let mut body = Vec::new();
+        for (i, &(pc, _, instr)) in stream.iter().enumerate() {
+            if !region.contains(pc) {
+                continue;
+            }
+            let is_plain = !instr.is_control_flow()
+                && !matches!(
+                    instr,
+                    Instr::LpSetup { .. }
+                        | Instr::LpSetupi { .. }
+                        | Instr::LpStarti { .. }
+                        | Instr::LpEndi { .. }
+                        | Instr::LpCount { .. }
+                        | Instr::LpCounti { .. }
+                        | Instr::Ecall
+                        | Instr::Ebreak
+                );
+            if !is_plain {
+                continue 'next;
+            }
+            body.push(i);
+        }
+        let Some(&head) = body.first() else { continue };
+        let &back_src = body.last().expect("non-empty");
+        // The body must span the region exactly...
+        let (last_pc, last_len, _) = stream[back_src];
+        if stream[head].0 != region.start || last_pc + last_len != region.end {
+            continue;
+        }
+        // ...and be entered only via the setup or its own back-edge,
+        // with every interior instruction reached sequentially.
+        if cfg.preds[head].iter().any(|&p| p != setup && p != back_src) {
+            continue;
+        }
+        for w in body.windows(2) {
+            if cfg.preds[w[1]].iter().any(|&p| p != w[0]) {
+                continue 'next;
+            }
+        }
+        // Per-register affine step: post-increment offsets and
+        // `addi r, r, imm` accumulate; any other definition of the
+        // register disqualifies it.
+        let mut delta: [Option<i64>; 32] = [Some(0); 32];
+        let kill = |delta: &mut [Option<i64>; 32], r: Reg| {
+            delta[r.index()] = None;
+        };
+        let bump = |delta: &mut [Option<i64>; 32], r: Reg, by: i32| {
+            if let Some(d) = &mut delta[r.index()] {
+                *d += i64::from(by);
+            }
+        };
+        for &i in &body {
+            match stream[i].2 {
+                Instr::LoadPostInc {
+                    rd, rs1, offset, ..
+                } => {
+                    kill(&mut delta, rd);
+                    if rd != rs1 {
+                        bump(&mut delta, rs1, offset);
+                    }
+                }
+                Instr::StorePostInc { rs1, offset, .. } => bump(&mut delta, rs1, offset),
+                Instr::AluImm {
+                    op: AluOp::Add,
+                    rd,
+                    rs1,
+                    imm,
+                } if rd == rs1 => bump(&mut delta, rd, imm),
+                ref instr => {
+                    for r in effects(instr).defs.iter() {
+                        kill(&mut delta, r);
+                    }
+                }
+            }
+        }
+        let steps: Vec<(Reg, i32)> = pulp_isa::reg::ALL_REGS
+            .iter()
+            .filter(|&&r| r != Reg::Zero)
+            .filter_map(|&r| match delta[r.index()] {
+                Some(d) if d != 0 => i32::try_from(d).ok().map(|s| (r, s)),
+                _ => None,
+            })
+            .collect();
+        if steps.is_empty() {
+            continue;
+        }
+        out.push(LoopSummary {
+            head,
+            back_src,
+            setup,
+            count_reg,
+            count_hi,
+            steps,
+        });
+    }
+    out
+}
+
+/// The abstract value of an affine register on the hardware-loop
+/// back-edge: `entry + k·step` for `k ∈ [1, k_hi]`. `None` when the
+/// bound is unrepresentable (unknown count, possible u32 wrap) — the
+/// caller then falls back to the plain transfer result.
+fn affine_backedge(entry: AbsVal, step: i32, k_hi: u32) -> Option<AbsVal> {
+    let mag = u64::from(step.unsigned_abs());
+    let total = mag.checked_mul(u64::from(k_hi))?;
+    if total > u64::from(u32::MAX) {
+        return None;
+    }
+    // `step` contributes alignment 2^tz; the entry residue carries
+    // through modulo the weaker of the two (both are powers of two).
+    let tz = step.unsigned_abs().trailing_zeros().min(8);
+    let align = (1u32 << tz).min(entry.align);
+    let res = entry.res % align;
+    let (lo, hi) = if step >= 0 {
+        let lo = u64::from(entry.lo) + mag;
+        let hi = u64::from(entry.hi) + total;
+        if hi > u64::from(u32::MAX) {
+            return None;
+        }
+        (lo as u32, hi as u32)
+    } else {
+        let lo = i64::from(entry.lo) - total as i64;
+        let hi = i64::from(entry.hi) - mag as i64;
+        if lo < 0 {
+            return None;
+        }
+        (lo as u32, hi as u32)
+    };
+    Some(AbsVal { lo, hi, align, res })
+}
+
+/// Runs the interval/congruence analysis and checks every reachable
+/// memory access against `config.regions` and its alignment rule.
+pub fn check(stream: &[(u32, u32, Instr)], cfg: &Cfg, config: &LintConfig) -> AbsResult {
+    let n = stream.len();
+    let mut inb: Vec<Option<State>> = vec![None; n];
+    let mut visits = vec![0usize; n];
+    let mut summaries = loop_summaries(stream, cfg);
+    let mut head_entry: Vec<Option<State>> = vec![None; summaries.len()];
+    inb[cfg.entry] = Some([AbsVal::TOP; 32]);
+    let mut work = vec![cfg.entry];
+    while let Some(i) = work.pop() {
+        let state = inb[i].expect("queued with a state");
+        let (pc, len, instr) = stream[i];
+        let out = transfer(&state, pc, len, &instr);
+        // Grow the trip-count bound of `lp.setup rs1` loops from the
+        // count register's value here; the back-edge must re-fire so
+        // its clamp is recomputed from the wider bound.
+        for sm in &mut summaries {
+            if sm.setup != i {
+                continue;
+            }
+            if let Some(r) = sm.count_reg {
+                let hi = get(&state, r).hi;
+                if hi > sm.count_hi {
+                    sm.count_hi = hi;
+                    if inb[sm.back_src].is_some() && !work.contains(&sm.back_src) {
+                        work.push(sm.back_src);
+                    }
+                }
+            }
+        }
+        for &s in &cfg.succs[i] {
+            let mut edge_out = out;
+            if let Some(k) = summaries.iter().position(|sm| sm.head == s) {
+                if i == summaries[k].back_src {
+                    // Hardware-loop back-edge: an affine register is
+                    // `entry + k·step`, `k ∈ [1, count-1]`.
+                    if let Some(entry) = &head_entry[k] {
+                        let k_hi = summaries[k].count_hi.max(2) - 1;
+                        for &(r, step) in &summaries[k].steps {
+                            if let Some(v) = affine_backedge(get(entry, r), step, k_hi) {
+                                set(&mut edge_out, r, v);
+                            }
+                        }
+                    }
+                } else {
+                    // Entry edge: record (join) the loop-entry state.
+                    // If it grows after the back-edge already fired,
+                    // re-fire it — the clamp depends on this state.
+                    let changed = match &mut head_entry[k] {
+                        Some(e) => {
+                            let mut any = false;
+                            for r in 0..32 {
+                                let j = e[r].join(out[r]);
+                                if j != e[r] {
+                                    e[r] = j;
+                                    any = true;
+                                }
+                            }
+                            any
+                        }
+                        slot => {
+                            *slot = Some(out);
+                            true
+                        }
+                    };
+                    if changed
+                        && inb[summaries[k].back_src].is_some()
+                        && !work.contains(&summaries[k].back_src)
+                    {
+                        work.push(summaries[k].back_src);
+                    }
+                }
+            }
+            let merged = match &inb[s] {
+                Some(prev) => {
+                    let mut m = *prev;
+                    let mut changed = false;
+                    for r in 0..32 {
+                        let j = prev[r].join(edge_out[r]);
+                        let j = if visits[s] > WIDEN_AFTER {
+                            prev[r].widen(j)
+                        } else {
+                            j
+                        };
+                        if j != m[r] {
+                            m[r] = j;
+                            changed = true;
+                        }
+                    }
+                    if !changed {
+                        continue;
+                    }
+                    m
+                }
+                None => edge_out,
+            };
+            visits[s] += 1;
+            inb[s] = Some(merged);
+            work.push(s);
+        }
+    }
+
+    let mut diagnostics = Vec::new();
+    let mut stats = MemStats::default();
+    for (i, &(pc, _, instr)) in stream.iter().enumerate() {
+        let Some(state) = &inb[i] else { continue };
+        let Some(mem) = effects(&instr).mem else {
+            continue;
+        };
+        stats.accesses += 1;
+        let mut addr = get(state, mem.base);
+        if let Some(idx) = mem.index {
+            addr = addr.add(get(state, idx));
+        }
+        addr = addr.addi(mem.offset);
+
+        // Region containment.
+        match region_verdict(addr, mem.size, &config.regions) {
+            Verdict::In => stats.proved_in += 1,
+            Verdict::Unproven => stats.unproven += 1,
+            Verdict::Out => diagnostics.push(Diagnostic {
+                rule: Rule::MemOutOfRegion,
+                pc,
+                instr: instr.to_string(),
+                message: format!(
+                    "{} of {} bytes at {} is provably outside every declared region",
+                    if mem.is_store { "store" } else { "load" },
+                    mem.size,
+                    fmt_addr(addr),
+                ),
+            }),
+        }
+
+        // Alignment. Byte accesses are trivially aligned.
+        if mem.align <= 1 {
+            stats.align_proved += 1;
+        } else {
+            match align_verdict(addr, mem.align) {
+                Verdict::In => stats.align_proved += 1,
+                Verdict::Unproven => stats.align_unproven += 1,
+                Verdict::Out if !config.check_alignment => stats.align_unproven += 1,
+                Verdict::Out => diagnostics.push(Diagnostic {
+                    rule: Rule::MemMisaligned,
+                    pc,
+                    instr: instr.to_string(),
+                    message: format!(
+                        "address {} is provably misaligned for a {}-byte access",
+                        fmt_addr(addr),
+                        mem.align,
+                    ),
+                }),
+            }
+        }
+
+        // Threshold-tree well-formedness for resolvable `pv.qnt`.
+        if let Instr::PvQnt { fmt, .. } = instr {
+            match addr.as_const() {
+                Some(base) => {
+                    check_trees(pc, &instr, fmt, base, config, &mut diagnostics, &mut stats);
+                }
+                None => stats.qnt_unresolved += 1,
+            }
+        }
+    }
+
+    diagnostics.sort_by_key(|a| (a.pc, a.rule));
+    diagnostics.dedup();
+    AbsResult { diagnostics, stats }
+}
+
+enum Verdict {
+    In,
+    Out,
+    Unproven,
+}
+
+fn region_verdict(addr: AbsVal, size: u32, regions: &[Region]) -> Verdict {
+    if regions.is_empty() {
+        return Verdict::Unproven;
+    }
+    let last = u64::from(addr.hi) + u64::from(size) - 1;
+    for r in regions {
+        let r_end = u64::from(r.base) + u64::from(r.len);
+        if u64::from(addr.lo) >= u64::from(r.base) && last < r_end {
+            return Verdict::In;
+        }
+    }
+    // Proved out only when the whole possible range misses every
+    // region.
+    let any_overlap = regions.iter().any(|r| {
+        let r_end = u64::from(r.base) + u64::from(r.len);
+        u64::from(addr.lo) < r_end && last >= u64::from(r.base)
+    });
+    if any_overlap {
+        Verdict::Unproven
+    } else {
+        Verdict::Out
+    }
+}
+
+fn align_verdict(addr: AbsVal, align: u32) -> Verdict {
+    if let Some(c) = addr.as_const() {
+        return if c % align == 0 {
+            Verdict::In
+        } else {
+            Verdict::Out
+        };
+    }
+    if addr.align.is_multiple_of(align) {
+        if addr.res.is_multiple_of(align) {
+            Verdict::In
+        } else {
+            Verdict::Out
+        }
+    } else {
+        Verdict::Unproven
+    }
+}
+
+fn fmt_addr(addr: AbsVal) -> String {
+    match addr.as_const() {
+        Some(c) => format!("{c:#010x}"),
+        None => format!("[{:#010x}, {:#010x}]", addr.lo, addr.hi),
+    }
+}
+
+fn read_i16(memory: &[(u32, Vec<u8>)], addr: u32) -> Option<i16> {
+    for (base, bytes) in memory {
+        if addr >= *base && (addr + 1) < base + bytes.len() as u32 + 1 {
+            let off = (addr - base) as usize;
+            if off + 2 <= bytes.len() {
+                return Some(i16::from_le_bytes([bytes[off], bytes[off + 1]]));
+            }
+        }
+    }
+    None
+}
+
+/// Checks both threshold trees (low halfword at `base`, high halfword
+/// one stride further) for Eytzinger well-formedness: the in-order
+/// traversal of the implicit heap must be non-decreasing.
+fn check_trees(
+    pc: u32,
+    instr: &Instr,
+    fmt: SimdFmt,
+    base: u32,
+    config: &LintConfig,
+    diagnostics: &mut Vec<Diagnostic>,
+    stats: &mut MemStats,
+) {
+    let n = qnt_thresholds(fmt);
+    let stride = qnt_stride(fmt);
+    for t in 0..2u32 {
+        let tree_base = base + t * stride;
+        let mut entries = Vec::with_capacity(n as usize);
+        for k in 0..n {
+            match read_i16(&config.memory, tree_base + 2 * k) {
+                Some(v) => entries.push(v),
+                None => {
+                    stats.qnt_unresolved += 1;
+                    return;
+                }
+            }
+        }
+        let mut in_order = Vec::with_capacity(n as usize);
+        walk_in_order(&entries, 1, &mut in_order);
+        if let Some(w) = in_order.windows(2).find(|w| w[0] > w[1]) {
+            diagnostics.push(Diagnostic {
+                rule: Rule::QntMalformedTree,
+                pc,
+                instr: instr.to_string(),
+                message: format!(
+                    "threshold tree at {tree_base:#010x} is not heap-ordered: \
+                     in-order traversal yields {} before {}",
+                    w[0], w[1]
+                ),
+            });
+            return;
+        }
+    }
+    stats.qnt_checked += 1;
+}
+
+fn walk_in_order(entries: &[i16], k: usize, out: &mut Vec<i16>) {
+    if k <= entries.len() {
+        walk_in_order(entries, 2 * k, out);
+        out.push(entries[k - 1]);
+        walk_in_order(entries, 2 * k + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulp_isa::instr::{LoadKind, LoopIdx, StoreKind};
+
+    fn stream(instrs: &[Instr]) -> Vec<(u32, u32, Instr)> {
+        instrs
+            .iter()
+            .enumerate()
+            .map(|(i, &ins)| (0x1000 + 4 * i as u32, 4, ins))
+            .collect()
+    }
+
+    fn li(rd: Reg, value: u32) -> [Instr; 2] {
+        let lo = ((value as i32) << 20) >> 20;
+        let hi = value.wrapping_sub(lo as u32) & 0xffff_f000;
+        [
+            Instr::Lui { rd, imm: hi },
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd,
+                rs1: rd,
+                imm: lo,
+            },
+        ]
+    }
+
+    fn analyze(instrs: &[Instr], regions: Vec<Region>) -> AbsResult {
+        let s = stream(instrs);
+        let cfg = Cfg::build(&s, 0x1000);
+        let config = LintConfig {
+            regions,
+            ..LintConfig::default()
+        };
+        check(&s, &cfg, &config)
+    }
+
+    fn data_region() -> Region {
+        Region {
+            name: "data".to_string(),
+            base: 0x2000,
+            len: 0x100,
+        }
+    }
+
+    #[test]
+    fn in_bounds_constant_store_is_proved() {
+        let mut prog = li(Reg::A0, 0x2010).to_vec();
+        prog.push(Instr::Store {
+            kind: StoreKind::Word,
+            rs1: Reg::A0,
+            rs2: Reg::Zero,
+            offset: 4,
+        });
+        prog.push(Instr::Ecall);
+        let r = analyze(&prog, vec![data_region()]);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(r.stats.proved_in, 1);
+        assert_eq!(r.stats.align_proved, 1);
+    }
+
+    #[test]
+    fn out_of_region_store_is_a_violation() {
+        let mut prog = li(Reg::A0, 0x3000).to_vec();
+        prog.push(Instr::Store {
+            kind: StoreKind::Word,
+            rs1: Reg::A0,
+            rs2: Reg::Zero,
+            offset: 0,
+        });
+        prog.push(Instr::Ecall);
+        let r = analyze(&prog, vec![data_region()]);
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].rule, Rule::MemOutOfRegion);
+    }
+
+    #[test]
+    fn misaligned_word_load_is_a_violation() {
+        let mut prog = li(Reg::A0, 0x2002).to_vec();
+        prog.push(Instr::Load {
+            kind: LoadKind::Word,
+            rd: Reg::T0,
+            rs1: Reg::A0,
+            offset: 0,
+        });
+        prog.push(Instr::Ecall);
+        let r = analyze(&prog, vec![data_region()]);
+        assert!(r.diagnostics.iter().any(|d| d.rule == Rule::MemMisaligned));
+    }
+
+    #[test]
+    fn congruence_survives_loop_widening() {
+        // p = 0x2000; loop { lw t0, 0(p!); p += 4 } — the interval
+        // widens but alignment stays provably 4.
+        let mut prog = li(Reg::A0, 0x2000).to_vec();
+        prog.push(Instr::LpSetupi {
+            l: LoopIdx::L0,
+            imm: 8,
+            offset: 8,
+        });
+        prog.push(Instr::LoadPostInc {
+            kind: LoadKind::Word,
+            rd: Reg::T0,
+            rs1: Reg::A0,
+            offset: 4,
+        });
+        prog.push(Instr::Ecall);
+        let r = analyze(&prog, vec![data_region()]);
+        assert!(
+            !r.diagnostics.iter().any(|d| d.rule == Rule::MemMisaligned),
+            "{:?}",
+            r.diagnostics
+        );
+        assert_eq!(r.stats.align_proved, 1, "stats: {:?}", r.stats);
+    }
+
+    #[test]
+    fn constant_trip_count_bounds_loop_pointer() {
+        // lp.setupi count 8 over `lw t0, 0(a0!)` stride 4 touches
+        // exactly 0x2000..0x2020 — summarization keeps the proof.
+        let mut prog = li(Reg::A0, 0x2000).to_vec();
+        prog.push(Instr::LpSetupi {
+            l: LoopIdx::L0,
+            imm: 8,
+            offset: 8,
+        });
+        prog.push(Instr::LoadPostInc {
+            kind: LoadKind::Word,
+            rd: Reg::T0,
+            rs1: Reg::A0,
+            offset: 4,
+        });
+        prog.push(Instr::Ecall);
+        let r = analyze(&prog, vec![data_region()]);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(r.stats.proved_in, 1, "stats: {:?}", r.stats);
+        assert_eq!(r.stats.unproven, 0);
+    }
+
+    #[test]
+    fn register_trip_count_bounds_loop_pointer() {
+        // Same loop, count from a register (`lp.setup L0, t1, 8`).
+        let mut prog = li(Reg::A0, 0x2000).to_vec();
+        prog.extend(li(Reg::T1, 8));
+        prog.push(Instr::LpSetup {
+            l: LoopIdx::L0,
+            rs1: Reg::T1,
+            offset: 8,
+        });
+        prog.push(Instr::StorePostInc {
+            kind: StoreKind::Word,
+            rs1: Reg::A0,
+            rs2: Reg::Zero,
+            offset: 4,
+        });
+        prog.push(Instr::Ecall);
+        let r = analyze(&prog, vec![data_region()]);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(r.stats.proved_in, 1, "stats: {:?}", r.stats);
+    }
+
+    #[test]
+    fn trip_count_past_region_end_stays_unproven() {
+        // Count 100 walks 400 bytes through a 0x100-byte region: the
+        // pointer bound now overlaps the region end, so the access is
+        // neither proved in nor flagged (documented imprecision).
+        let mut prog = li(Reg::A0, 0x2000).to_vec();
+        prog.push(Instr::LpSetupi {
+            l: LoopIdx::L0,
+            imm: 100,
+            offset: 8,
+        });
+        prog.push(Instr::LoadPostInc {
+            kind: LoadKind::Word,
+            rd: Reg::T0,
+            rs1: Reg::A0,
+            offset: 4,
+        });
+        prog.push(Instr::Ecall);
+        let r = analyze(&prog, vec![data_region()]);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(r.stats.proved_in, 0, "stats: {:?}", r.stats);
+        assert_eq!(r.stats.unproven, 1);
+    }
+
+    #[test]
+    fn malformed_tree_is_flagged_and_sorted_tree_passes() {
+        // Sorted tree in Eytzinger order (1..=15 sorted -> heap).
+        let good: [i16; 15] = [8, 4, 12, 2, 6, 10, 14, 1, 3, 5, 7, 9, 11, 13, 15];
+        let mut bytes = Vec::new();
+        for tree in 0..2 {
+            for v in &good {
+                let v = if tree == 0 { *v } else { *v + 100 };
+                bytes.extend_from_slice(&v.to_le_bytes());
+            }
+            bytes.extend_from_slice(&[0, 0]); // pad to 32-byte stride
+        }
+        let mut prog = li(Reg::A1, 0x2000).to_vec();
+        prog.extend(li(Reg::T0, 0x1234_5678));
+        prog.push(Instr::PvQnt {
+            fmt: SimdFmt::Nibble,
+            rd: Reg::T1,
+            rs1: Reg::T0,
+            rs2: Reg::A1,
+        });
+        prog.push(Instr::Ecall);
+        let s = stream(&prog);
+        let cfg = Cfg::build(&s, 0x1000);
+        let config = LintConfig {
+            regions: vec![data_region()],
+            memory: vec![(0x2000, bytes.clone())],
+            ..LintConfig::default()
+        };
+        let r = check(&s, &cfg, &config);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(r.stats.qnt_checked, 1);
+
+        // Corrupt the root: in-order traversal now decreases.
+        bytes[0] = 0xff;
+        bytes[1] = 0x7f;
+        let config = LintConfig {
+            regions: vec![data_region()],
+            memory: vec![(0x2000, bytes)],
+            ..LintConfig::default()
+        };
+        let r = check(&s, &cfg, &config);
+        assert!(r
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == Rule::QntMalformedTree));
+    }
+}

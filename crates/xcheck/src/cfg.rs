@@ -1,0 +1,533 @@
+//! Control-flow graph over a decoded instruction stream.
+//!
+//! The stream is a list of `(pc, len, instr)` tuples in address order;
+//! `len` carries the encoded size so 16-bit compressed parcels and
+//! 32-bit instructions mix freely (the conformance generator emits
+//! both). On top of the ordinary branch/jump edges the graph models
+//! the RI5CY zero-overhead hardware loops: every `lp.setup`-family
+//! region contributes a back-edge from its last body instruction to
+//! the body start.
+//!
+//! Calls follow the emitters' leaf-call discipline: `jal ra, f` is a
+//! call, `jalr x0, ra, 0` is a return. Returns get edges to the
+//! continuation of every call site that targets their procedure, and
+//! the procedure partition (entry, members, calls) is exported for the
+//! interprocedural dataflow in [`crate::dataflow`]. Indirect jumps
+//! through a register are resolved when the preceding instruction is
+//! the `auipc`that materialized the target (the conformance
+//! generator's `jalr` idiom); anything else is recorded as an
+//! unresolved jump rather than guessed at.
+
+use std::collections::HashMap;
+
+use pulp_isa::instr::LoopIdx;
+use pulp_isa::{Instr, Reg};
+
+/// One hardware-loop body region `[start, end)` (the end address is
+/// exclusive, matching the core: the body's last instruction is the
+/// one whose `pc + len == end`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HwLoopRegion {
+    /// Which loop register set.
+    pub l: LoopIdx,
+    /// PC of the instruction that completed the loop setup.
+    pub setup_pc: u32,
+    /// First body address.
+    pub start: u32,
+    /// First address after the body.
+    pub end: u32,
+}
+
+impl HwLoopRegion {
+    /// True when `pc` is inside the body.
+    pub fn contains(&self, pc: u32) -> bool {
+        self.start <= pc && pc < self.end
+    }
+}
+
+/// A `jal ra, target` call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallSite {
+    /// Instruction index of the `jal`.
+    pub idx: usize,
+    /// Callee entry address.
+    pub target: u32,
+    /// Continuation address (`pc + len` of the `jal`).
+    pub ret: u32,
+}
+
+/// A procedure: an entry point and the instructions reachable from it
+/// without descending into callees (calls continue at their return
+/// address, returns stop the walk).
+#[derive(Debug, Clone)]
+pub struct Proc {
+    /// Entry address.
+    pub entry: u32,
+    /// Member instruction indices (sorted).
+    pub members: Vec<usize>,
+    /// Indices of call instructions inside this procedure.
+    pub calls: Vec<usize>,
+    /// Indices of return instructions inside this procedure.
+    pub rets: Vec<usize>,
+}
+
+/// The control-flow graph plus everything derived structurally from
+/// the stream: hardware-loop regions, the call/procedure partition,
+/// and the jumps that could not be resolved statically.
+pub struct Cfg {
+    /// Successor instruction indices (interprocedural: calls edge into
+    /// their callee, returns edge back to the matching call sites).
+    pub succs: Vec<Vec<usize>>,
+    /// Predecessors, inverted from `succs`.
+    pub preds: Vec<Vec<usize>>,
+    /// Index of the entry instruction.
+    pub entry: usize,
+    /// Hardware-loop body regions in setup order.
+    pub loops: Vec<HwLoopRegion>,
+    /// `jal ra` call sites.
+    pub calls: Vec<CallSite>,
+    /// Procedure partition (the procedure at index 0 is the program
+    /// entry's).
+    pub procs: Vec<Proc>,
+    /// PCs of indirect jumps whose target could not be resolved.
+    pub unresolved: Vec<u32>,
+    /// `(pc, target)` of control transfers to addresses that are not
+    /// instruction boundaries of the stream.
+    pub bad_targets: Vec<(u32, u32)>,
+    /// `(pc, loop)` of manual loop setups that never became complete.
+    pub incomplete_loops: Vec<(u32, LoopIdx)>,
+    /// Number of basic blocks (for reporting).
+    pub blocks: usize,
+    idx_of: HashMap<u32, usize>,
+}
+
+/// How one instruction transfers control, before loop back-edges.
+enum Flow {
+    Fall,
+    Jump(u32),
+    Branch(u32),
+    Call { target: u32 },
+    Ret,
+    Halt,
+    Unresolved,
+}
+
+fn flow(stream: &[(u32, u32, Instr)], i: usize) -> Flow {
+    let (pc, _, instr) = stream[i];
+    match instr {
+        Instr::Jal { rd, offset } => {
+            let target = pc.wrapping_add(offset as u32);
+            if rd == Reg::Ra {
+                Flow::Call { target }
+            } else {
+                Flow::Jump(target)
+            }
+        }
+        Instr::Branch { offset, .. } => Flow::Branch(pc.wrapping_add(offset as u32)),
+        Instr::Jalr { rd, rs1, offset } => {
+            if rd == Reg::Zero && rs1 == Reg::Ra && offset == 0 {
+                return Flow::Ret;
+            }
+            // The `auipc t, imm; jalr rd, t, off` pair has a static
+            // target; anything else stays unresolved.
+            if i > 0 {
+                let (ppc, plen, pinstr) = stream[i - 1];
+                if let Instr::Auipc { rd: prd, imm } = pinstr {
+                    if prd == rs1 && ppc + plen == pc {
+                        return Flow::Jump(ppc.wrapping_add(imm).wrapping_add(offset as u32));
+                    }
+                }
+            }
+            Flow::Unresolved
+        }
+        Instr::Ecall | Instr::Ebreak => Flow::Halt,
+        _ => Flow::Fall,
+    }
+}
+
+impl Cfg {
+    /// Builds the graph for `stream` (address-ordered `(pc, len,
+    /// instr)` tuples) starting execution at `entry`.
+    ///
+    /// # Panics
+    /// Panics when the stream is empty or `entry` is not an
+    /// instruction boundary.
+    pub fn build(stream: &[(u32, u32, Instr)], entry: u32) -> Cfg {
+        assert!(!stream.is_empty(), "cannot analyze an empty program");
+        let idx_of: HashMap<u32, usize> = stream
+            .iter()
+            .enumerate()
+            .map(|(i, &(pc, _, _))| (pc, i))
+            .collect();
+        let entry_idx = *idx_of.get(&entry).expect("entry not on an instruction");
+
+        let (loops, incomplete_loops) = scan_loops(stream);
+
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); stream.len()];
+        let mut calls = Vec::new();
+        let mut unresolved = Vec::new();
+        let mut bad_targets = Vec::new();
+        let mut rets = Vec::new();
+
+        for i in 0..stream.len() {
+            let (pc, len, _) = stream[i];
+            let fall = pc + len;
+            let mut push = |succs: &mut Vec<Vec<usize>>, target: u32, record_bad: bool| {
+                if let Some(&t) = idx_of.get(&target) {
+                    if !succs[i].contains(&t) {
+                        succs[i].push(t);
+                    }
+                } else if record_bad {
+                    bad_targets.push((pc, target));
+                }
+            };
+            match flow(stream, i) {
+                Flow::Fall => push(&mut succs, fall, false),
+                Flow::Jump(t) => push(&mut succs, t, true),
+                Flow::Branch(t) => {
+                    push(&mut succs, t, true);
+                    push(&mut succs, fall, false);
+                }
+                Flow::Call { target } => {
+                    calls.push(CallSite {
+                        idx: i,
+                        target,
+                        ret: fall,
+                    });
+                    push(&mut succs, target, true);
+                }
+                Flow::Ret => rets.push(i),
+                Flow::Halt => {}
+                Flow::Unresolved => unresolved.push(pc),
+            }
+            // Hardware-loop back edge: the body's last instruction also
+            // continues at the body start. Control-flow instructions
+            // bypass the end-of-body check in the core, so they get no
+            // back edge (the HWL-05 rule flags them instead).
+            if !stream[i].2.is_control_flow() {
+                for lp in &loops {
+                    if fall == lp.end {
+                        push(&mut succs, lp.start, false);
+                    }
+                }
+            }
+        }
+
+        // Procedure partition: walk from each entry, treating calls as
+        // straight-line (continue at the return address) and stopping
+        // at returns.
+        let mut entries = vec![entry];
+        for c in &calls {
+            if idx_of.contains_key(&c.target) && !entries.contains(&c.target) {
+                entries.push(c.target);
+            }
+        }
+        let procs: Vec<Proc> = entries
+            .iter()
+            .map(|&e| proc_members(stream, &idx_of, &succs, &calls, &rets, e))
+            .collect();
+
+        // Return edges: a `ret` in procedure P continues at every call
+        // site targeting P's entry.
+        for p in &procs {
+            for &r in &p.rets {
+                for c in &calls {
+                    if c.target == p.entry {
+                        if let Some(&t) = idx_of.get(&c.ret) {
+                            if !succs[r].contains(&t) {
+                                succs[r].push(t);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); stream.len()];
+        for (i, ss) in succs.iter().enumerate() {
+            for &s in ss {
+                preds[s].push(i);
+            }
+        }
+
+        let blocks = count_blocks(stream, &succs, entry_idx);
+
+        Cfg {
+            succs,
+            preds,
+            entry: entry_idx,
+            loops,
+            calls,
+            procs,
+            unresolved,
+            bad_targets,
+            incomplete_loops,
+            blocks,
+            idx_of,
+        }
+    }
+
+    /// Instruction index at `pc`, if `pc` is an instruction boundary.
+    pub fn idx_of(&self, pc: u32) -> Option<usize> {
+        self.idx_of.get(&pc).copied()
+    }
+
+    /// The static control-transfer targets of instruction `i` (taken
+    /// branch, jump or resolved indirect target — not fallthrough, not
+    /// loop back-edges), used by the hardware-loop boundary rules.
+    pub fn explicit_targets(&self, stream: &[(u32, u32, Instr)], i: usize) -> Vec<u32> {
+        match flow(stream, i) {
+            Flow::Jump(t) | Flow::Branch(t) => vec![t],
+            Flow::Call { target } => vec![target],
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Linear scan for loop regions. `lp.setup`/`lp.setupi` complete a
+/// region on their own; the manual `lp.starti`/`lp.endi`/`lp.count*`
+/// form completes one as soon as all three components have been
+/// written for a loop index.
+fn scan_loops(stream: &[(u32, u32, Instr)]) -> (Vec<HwLoopRegion>, Vec<(u32, LoopIdx)>) {
+    #[derive(Default, Clone, Copy)]
+    struct Partial {
+        start: Option<u32>,
+        end: Option<u32>,
+        count: bool,
+        last_pc: u32,
+        completed: bool,
+        touched: bool,
+    }
+    let mut state = [Partial::default(), Partial::default()];
+    let mut regions = Vec::new();
+    for &(pc, len, instr) in stream {
+        let l = match instr {
+            Instr::LpSetup { l, offset, .. } | Instr::LpSetupi { l, offset, .. } => {
+                regions.push(HwLoopRegion {
+                    l,
+                    setup_pc: pc,
+                    start: pc + len,
+                    end: pc.wrapping_add(offset as u32),
+                });
+                state[l.index()].completed = true;
+                continue;
+            }
+            Instr::LpStarti { l, offset } => {
+                state[l.index()].start = Some(pc.wrapping_add(offset as u32));
+                l
+            }
+            Instr::LpEndi { l, offset } => {
+                state[l.index()].end = Some(pc.wrapping_add(offset as u32));
+                l
+            }
+            Instr::LpCount { l, .. } | Instr::LpCounti { l, .. } => {
+                state[l.index()].count = true;
+                l
+            }
+            _ => continue,
+        };
+        let s = &mut state[l.index()];
+        s.touched = true;
+        s.last_pc = pc;
+        if let (Some(start), Some(end), true) = (s.start, s.end, s.count) {
+            regions.push(HwLoopRegion {
+                l,
+                setup_pc: pc,
+                start,
+                end,
+            });
+            s.completed = true;
+            s.start = None;
+            s.end = None;
+            s.count = false;
+            s.touched = false;
+        }
+    }
+    let mut incomplete = Vec::new();
+    for (i, s) in state.iter().enumerate() {
+        if s.touched && !s.completed {
+            let l = if i == 0 { LoopIdx::L0 } else { LoopIdx::L1 };
+            incomplete.push((s.last_pc, l));
+        }
+    }
+    (regions, incomplete)
+}
+
+fn proc_members(
+    stream: &[(u32, u32, Instr)],
+    idx_of: &HashMap<u32, usize>,
+    succs: &[Vec<usize>],
+    calls: &[CallSite],
+    rets: &[usize],
+    entry: u32,
+) -> Proc {
+    let mut members = Vec::new();
+    let mut seen = vec![false; stream.len()];
+    let mut work = vec![idx_of[&entry]];
+    let mut proc_calls = Vec::new();
+    let mut proc_rets = Vec::new();
+    while let Some(i) = work.pop() {
+        if seen[i] {
+            continue;
+        }
+        seen[i] = true;
+        members.push(i);
+        if let Some(c) = calls.iter().find(|c| c.idx == i) {
+            proc_calls.push(i);
+            // Do not descend into the callee: continue at the return.
+            if let Some(&t) = idx_of.get(&c.ret) {
+                work.push(t);
+            }
+            continue;
+        }
+        if rets.contains(&i) {
+            proc_rets.push(i);
+            continue;
+        }
+        for &s in &succs[i] {
+            work.push(s);
+        }
+    }
+    members.sort_unstable();
+    proc_calls.sort_unstable();
+    proc_rets.sort_unstable();
+    Proc {
+        entry,
+        members,
+        calls: proc_calls,
+        rets: proc_rets,
+    }
+}
+
+fn count_blocks(stream: &[(u32, u32, Instr)], succs: &[Vec<usize>], entry: usize) -> usize {
+    let mut leader = vec![false; stream.len()];
+    leader[entry] = true;
+    for (i, ss) in succs.iter().enumerate() {
+        // Any instruction with multiple successors or a non-fallthrough
+        // successor starts new blocks at each target and after itself.
+        let fall = stream[i].0 + stream[i].1;
+        let diverts = ss.len() != 1 || stream.get(i + 1).map(|n| n.0) != Some(fall);
+        if diverts || ss.iter().any(|&s| stream[s].0 != fall) {
+            for &s in ss {
+                leader[s] = true;
+            }
+            if i + 1 < stream.len() {
+                leader[i + 1] = true;
+            }
+        }
+    }
+    leader.iter().filter(|&&l| l).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulp_isa::instr::AluOp;
+
+    fn stream(instrs: &[Instr]) -> Vec<(u32, u32, Instr)> {
+        instrs
+            .iter()
+            .enumerate()
+            .map(|(i, &ins)| (0x1000 + 4 * i as u32, 4, ins))
+            .collect()
+    }
+
+    fn addi(rd: Reg, rs1: Reg, imm: i32) -> Instr {
+        Instr::AluImm {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm,
+        }
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let s = stream(&[addi(Reg::A0, Reg::Zero, 1), Instr::Ecall]);
+        let cfg = Cfg::build(&s, 0x1000);
+        assert_eq!(cfg.blocks, 1);
+        assert_eq!(cfg.succs[0], vec![1]);
+        assert!(cfg.succs[1].is_empty());
+    }
+
+    #[test]
+    fn hw_loop_gets_back_edge() {
+        let s = stream(&[
+            Instr::LpSetupi {
+                l: LoopIdx::L0,
+                imm: 4,
+                offset: 12,
+            },
+            addi(Reg::A0, Reg::A0, 1),
+            addi(Reg::A1, Reg::A1, 2),
+            Instr::Ecall,
+        ]);
+        let cfg = Cfg::build(&s, 0x1000);
+        assert_eq!(cfg.loops.len(), 1);
+        assert_eq!(cfg.loops[0].start, 0x1004);
+        assert_eq!(cfg.loops[0].end, 0x100c);
+        // Body tail (index 2) flows both to the loop start and onward.
+        assert!(cfg.succs[2].contains(&1));
+        assert!(cfg.succs[2].contains(&3));
+    }
+
+    #[test]
+    fn call_and_ret_are_matched() {
+        let s = stream(&[
+            Instr::Jal {
+                rd: Reg::Ra,
+                offset: 12,
+            }, // 0x1000: call 0x100c
+            addi(Reg::A0, Reg::A0, 1), // 0x1004: return site
+            Instr::Ecall,              // 0x1008
+            addi(Reg::A1, Reg::A1, 1), // 0x100c: callee
+            Instr::Jalr {
+                rd: Reg::Zero,
+                rs1: Reg::Ra,
+                offset: 0,
+            }, // 0x1010: ret
+        ]);
+        let cfg = Cfg::build(&s, 0x1000);
+        assert_eq!(cfg.calls.len(), 1);
+        assert_eq!(cfg.procs.len(), 2);
+        // ret edges back to the call continuation only.
+        assert_eq!(cfg.succs[4], vec![1]);
+        // The caller procedure treats the call as straight-line.
+        assert_eq!(cfg.procs[0].members, vec![0, 1, 2]);
+        assert_eq!(cfg.procs[1].members, vec![3, 4]);
+    }
+
+    #[test]
+    fn auipc_jalr_pair_is_resolved() {
+        let s = stream(&[
+            Instr::Auipc {
+                rd: Reg::T0,
+                imm: 0,
+            },
+            Instr::Jalr {
+                rd: Reg::T1,
+                rs1: Reg::T0,
+                offset: 12,
+            }, // target = 0x1000 + 12 = 0x100c
+            addi(Reg::A0, Reg::A0, 1),
+            Instr::Ecall,
+        ]);
+        let cfg = Cfg::build(&s, 0x1000);
+        assert!(cfg.unresolved.is_empty());
+        assert_eq!(cfg.succs[1], vec![3]);
+    }
+
+    #[test]
+    fn unknown_jalr_is_recorded() {
+        let s = stream(&[
+            Instr::Jalr {
+                rd: Reg::Zero,
+                rs1: Reg::T2,
+                offset: 0,
+            },
+            Instr::Ecall,
+        ]);
+        let cfg = Cfg::build(&s, 0x1000);
+        assert_eq!(cfg.unresolved, vec![0x1000]);
+    }
+}

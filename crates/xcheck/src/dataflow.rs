@@ -1,0 +1,533 @@
+//! Classic dataflow over the CFG: reaching definitions (must-init) for
+//! uninitialized-read detection, liveness for dead-store detection,
+//! and the reserved-register clobber scan.
+//!
+//! The emitters follow a strict leaf-call discipline (`jal ra, f` /
+//! `jalr x0, ra, 0`), so both analyses are interprocedural via
+//! procedure summaries instead of merging every return site into every
+//! call site (which would manufacture infeasible paths and false
+//! positives — e.g. the W2 conv kernel calls `mm_block` twice with
+//! partial-quantization state defined between the calls):
+//!
+//! * bottom-up over the call DAG: per-procedure `may_def`, `must_def`
+//!   (written on every path to a return) and `live_in` (possibly read
+//!   before written) summaries;
+//! * top-down: forward must-init with procedure entry states met over
+//!   the real call sites, and backward liveness with return live-out
+//!   joined over the real call continuations.
+//!
+//! A cyclic call graph (not produced by any in-tree emitter) degrades
+//! to sound worst-case summaries rather than diverging.
+
+use std::collections::HashMap;
+
+use pulp_isa::Instr;
+
+use crate::cfg::Cfg;
+use crate::diag::{Diagnostic, Rule};
+use crate::effects::{effects, Effects, RegSet};
+use crate::LintConfig;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Summary {
+    may_def: RegSet,
+    must_def: RegSet,
+    live_in: RegSet,
+}
+
+/// Per-procedure view used by both directions.
+struct ProcView<'a> {
+    cfg: &'a Cfg,
+    stream: &'a [(u32, u32, Instr)],
+    eff: &'a [Effects],
+    /// idx -> position of the callee procedure, for call instructions.
+    callee_of: HashMap<usize, usize>,
+}
+
+impl ProcView<'_> {
+    /// Intra-procedure successors: calls continue at their return
+    /// address, returns have none.
+    fn local_succs(&self, p: usize, i: usize) -> Vec<usize> {
+        let proc = &self.cfg.procs[p];
+        if proc.rets.contains(&i) {
+            return Vec::new();
+        }
+        if let Some(c) = self.cfg.calls.iter().find(|c| c.idx == i) {
+            return self.cfg.idx_of(c.ret).into_iter().collect();
+        }
+        self.cfg.succs[i]
+            .iter()
+            .copied()
+            .filter(|s| proc.members.binary_search(s).is_ok())
+            .collect()
+    }
+
+    /// `(gen, kill)` in the forward (must-init) sense: registers
+    /// certainly defined by executing instruction `i`, given callee
+    /// summaries.
+    fn fwd_defs(&self, i: usize, summaries: &[Summary]) -> RegSet {
+        match self.callee_of.get(&i) {
+            Some(&callee) => self.eff[i].defs.union(summaries[callee].must_def),
+            None => self.eff[i].defs,
+        }
+    }
+}
+
+/// Result of the dataflow passes.
+pub struct DataflowResult {
+    /// DF-01/DF-02/DF-03 findings.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Runs every register dataflow check enabled in `config`.
+pub fn check(stream: &[(u32, u32, Instr)], cfg: &Cfg, config: &LintConfig) -> DataflowResult {
+    let eff: Vec<Effects> = stream.iter().map(|(_, _, i)| effects(i)).collect();
+    let mut diagnostics = Vec::new();
+
+    // DF-03 is a plain scan: no flow needed to see a reserved write.
+    if !config.reserved.is_empty() {
+        for (i, e) in eff.iter().enumerate() {
+            let hit = e.defs.inter(config.reserved);
+            for r in hit.iter() {
+                diagnostics.push(diag(
+                    stream,
+                    i,
+                    Rule::DfReservedClobber,
+                    format!("writes {r}, which the lint profile reserves"),
+                ));
+            }
+        }
+    }
+
+    if !config.check_uninit && !config.check_dead_stores {
+        return DataflowResult { diagnostics };
+    }
+
+    let callee_of: HashMap<usize, usize> = cfg
+        .calls
+        .iter()
+        .filter_map(|c| {
+            cfg.procs
+                .iter()
+                .position(|p| p.entry == c.target)
+                .map(|p| (c.idx, p))
+        })
+        .collect();
+    let view = ProcView {
+        cfg,
+        stream,
+        eff: &eff,
+        callee_of,
+    };
+
+    // Recursion yields no order: fall back to worst-case summaries for
+    // every procedure and analyze only the entry procedure's own code.
+    let order = topo_order(cfg, &view).unwrap_or_default();
+    let mut summaries = vec![
+        Summary {
+            may_def: RegSet::EMPTY,
+            must_def: RegSet::EMPTY,
+            live_in: RegSet::EMPTY,
+        };
+        cfg.procs.len()
+    ];
+
+    // ---- bottom-up: summaries (callees before callers) ----
+    for &p in order.iter().rev() {
+        summaries[p] = summarize(&view, p, &summaries);
+    }
+
+    // ---- top-down: real entry states / return live-outs ----
+    // Procedure entry init-state = meet over call sites; the entry
+    // procedure starts from the profile's assumed-initialized set.
+    let mut entry_init: Vec<Option<RegSet>> = vec![None; cfg.procs.len()];
+    let mut ret_live: Vec<RegSet> = vec![RegSet::EMPTY; cfg.procs.len()];
+    if let Some(&first) = order.first() {
+        entry_init[first] = Some(config.assume_init);
+    }
+    for &p in &order {
+        let Some(init) = entry_init[p] else { continue };
+        let states = forward_init(&view, p, init, &summaries);
+        if config.check_uninit {
+            for &i in &cfg.procs[p].members {
+                let Some(inb) = states[i] else { continue };
+                // Reads feeding a call also include the callee's
+                // requirements, checked at the callee's own entry.
+                for r in eff[i].uses.minus(inb).iter() {
+                    diagnostics.push(diag(
+                        stream,
+                        i,
+                        Rule::DfUninitRead,
+                        format!("reads {r}, which may be uninitialized here"),
+                    ));
+                }
+            }
+        }
+        // Propagate to callees: meet of the state *after* the link
+        // register write but before the callee runs.
+        for &c in &cfg.procs[p].calls {
+            if let Some(&callee) = view.callee_of.get(&c) {
+                if let Some(at_call) = states[c] {
+                    let passed = at_call.union(eff[c].defs);
+                    entry_init[callee] = Some(match entry_init[callee] {
+                        Some(prev) => prev.inter(passed),
+                        None => passed,
+                    });
+                }
+            }
+        }
+    }
+
+    if config.check_dead_stores {
+        // Callers first so return live-outs are known before the
+        // callee's liveness runs.
+        for &p in &order {
+            let live = backward_live(&view, p, ret_live[p], &summaries);
+            for &i in &cfg.procs[p].members {
+                let e = &eff[i];
+                if !e.pure_def || e.defs.is_empty() {
+                    continue;
+                }
+                // A store is dead when its definitions are not in the
+                // live-OUT (an instruction kills its own defs out of
+                // its live-in, so live-in would flag everything).
+                let mut out = if cfg.procs[p].rets.contains(&i) {
+                    ret_live[p]
+                } else {
+                    RegSet::EMPTY
+                };
+                for s in view.local_succs(p, i) {
+                    out = out.union(live[s]);
+                }
+                if e.defs.inter(out).is_empty() {
+                    let regs: Vec<String> = e.defs.iter().map(|r| r.to_string()).collect();
+                    diagnostics.push(diag(
+                        stream,
+                        i,
+                        Rule::DfDeadStore,
+                        format!("defines {} but the value is never read", regs.join(", ")),
+                    ));
+                }
+            }
+            for &c in &cfg.procs[p].calls {
+                if let Some(&callee) = view.callee_of.get(&c) {
+                    // Live-out of the callee's returns = what is live
+                    // after this call site.
+                    let after: RegSet = view
+                        .local_succs(p, c)
+                        .iter()
+                        .map(|&s| live[s])
+                        .fold(RegSet::EMPTY, RegSet::union);
+                    ret_live[callee] = ret_live[callee].union(after);
+                }
+            }
+        }
+    }
+
+    dedup(&mut diagnostics);
+    DataflowResult { diagnostics }
+}
+
+fn diag(stream: &[(u32, u32, Instr)], i: usize, rule: Rule, message: String) -> Diagnostic {
+    Diagnostic {
+        rule,
+        pc: stream[i].0,
+        instr: stream[i].2.to_string(),
+        message,
+    }
+}
+
+fn dedup(diags: &mut Vec<Diagnostic>) {
+    diags.sort_by(|a, b| (a.pc, a.rule, &a.message).cmp(&(b.pc, b.rule, &b.message)));
+    diags.dedup();
+}
+
+/// Topological order of procedures, callers first. `None` on a cyclic
+/// call graph.
+fn topo_order(cfg: &Cfg, view: &ProcView<'_>) -> Option<Vec<usize>> {
+    let n = cfg.procs.len();
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (p, proc) in cfg.procs.iter().enumerate() {
+        for &c in &proc.calls {
+            if let Some(&callee) = view.callee_of.get(&c) {
+                if !edges[p].contains(&callee) {
+                    edges[p].push(callee);
+                }
+            }
+        }
+    }
+    let mut indeg = vec![0usize; n];
+    for es in &edges {
+        for &e in es {
+            indeg[e] += 1;
+        }
+    }
+    let mut work: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::new();
+    while let Some(p) = work.pop() {
+        order.push(p);
+        for &e in &edges[p] {
+            indeg[e] -= 1;
+            if indeg[e] == 0 {
+                work.push(e);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+fn summarize(view: &ProcView<'_>, p: usize, summaries: &[Summary]) -> Summary {
+    let proc = &view.cfg.procs[p];
+    let mut may_def = RegSet::EMPTY;
+    for &i in &proc.members {
+        may_def = may_def.union(view.eff[i].defs);
+        if let Some(&callee) = view.callee_of.get(&i) {
+            may_def = may_def.union(summaries[callee].may_def);
+        }
+    }
+
+    // must_def: forward must-analysis from an empty entry state; the
+    // summary is the meet over the out-states of every return.
+    let entry_idx = view.cfg.idx_of(proc.entry).expect("proc entry decoded");
+    let states = forward_init_from(view, p, entry_idx, RegSet::EMPTY, summaries);
+    let mut must_def = RegSet::ALL;
+    let mut saw_ret = false;
+    for &r in &proc.rets {
+        if let Some(inb) = states[r] {
+            saw_ret = true;
+            must_def = must_def.inter(inb.union(view.fwd_defs(r, summaries)));
+        }
+    }
+    if !saw_ret {
+        // No reachable return: callers never resume, the summary is
+        // vacuous.
+        must_def = RegSet::ALL;
+    }
+
+    let live = backward_live(view, p, RegSet::EMPTY, summaries);
+    let live_in = live[entry_idx];
+
+    Summary {
+        may_def,
+        must_def,
+        live_in,
+    }
+}
+
+/// Forward must-init states (None = unreachable) for procedure `p`
+/// starting from `init` at its entry.
+fn forward_init(
+    view: &ProcView<'_>,
+    p: usize,
+    init: RegSet,
+    summaries: &[Summary],
+) -> Vec<Option<RegSet>> {
+    let entry_idx = view.cfg.idx_of(view.cfg.procs[p].entry).expect("entry");
+    forward_init_from(view, p, entry_idx, init, summaries)
+}
+
+fn forward_init_from(
+    view: &ProcView<'_>,
+    p: usize,
+    entry_idx: usize,
+    init: RegSet,
+    summaries: &[Summary],
+) -> Vec<Option<RegSet>> {
+    let n = view.stream.len();
+    let mut state: Vec<Option<RegSet>> = vec![None; n];
+    state[entry_idx] = Some(init);
+    let mut work = vec![entry_idx];
+    while let Some(i) = work.pop() {
+        let inb = state[i].expect("queued with a state");
+        let out = inb.union(view.fwd_defs(i, summaries));
+        for s in view.local_succs(p, i) {
+            let next = match state[s] {
+                Some(prev) => prev.inter(out),
+                None => out,
+            };
+            if state[s] != Some(next) {
+                state[s] = Some(next);
+                work.push(s);
+            }
+        }
+    }
+    state
+}
+
+/// Backward liveness for procedure `p`, with `ret_out` live at every
+/// return.
+fn backward_live(
+    view: &ProcView<'_>,
+    p: usize,
+    ret_out: RegSet,
+    summaries: &[Summary],
+) -> Vec<RegSet> {
+    let proc = &view.cfg.procs[p];
+    let n = view.stream.len();
+    let mut live_in: Vec<RegSet> = vec![RegSet::EMPTY; n];
+    let mut work: Vec<usize> = proc.members.clone();
+    while let Some(i) = work.pop() {
+        let mut out = if proc.rets.contains(&i) {
+            ret_out
+        } else {
+            RegSet::EMPTY
+        };
+        for s in view.local_succs(p, i) {
+            out = out.union(live_in[s]);
+        }
+        let (gen, kill) = match view.callee_of.get(&i) {
+            Some(&callee) => (
+                // The link register is written by the `jal` before the
+                // callee reads anything.
+                summaries[callee].live_in.minus(view.eff[i].defs),
+                view.eff[i].defs.union(summaries[callee].must_def),
+            ),
+            None => (view.eff[i].uses, view.eff[i].defs),
+        };
+        let inb = gen.union(out.minus(kill));
+        if inb != live_in[i] {
+            live_in[i] = inb;
+            for &q in &view.cfg.preds[i] {
+                if proc.members.binary_search(&q).is_ok() {
+                    work.push(q);
+                }
+            }
+        }
+    }
+    live_in
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LintConfig;
+    use pulp_isa::instr::AluOp;
+    use pulp_isa::Reg;
+
+    fn stream(instrs: &[Instr]) -> Vec<(u32, u32, Instr)> {
+        instrs
+            .iter()
+            .enumerate()
+            .map(|(i, &ins)| (0x1000 + 4 * i as u32, 4, ins))
+            .collect()
+    }
+
+    fn addi(rd: Reg, rs1: Reg, imm: i32) -> Instr {
+        Instr::AluImm {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm,
+        }
+    }
+
+    fn run(instrs: &[Instr], config: &LintConfig) -> Vec<Diagnostic> {
+        let s = stream(instrs);
+        let cfg = Cfg::build(&s, 0x1000);
+        check(&s, &cfg, config).diagnostics
+    }
+
+    #[test]
+    fn uninit_read_is_flagged() {
+        let d = run(
+            &[
+                addi(Reg::A1, Reg::T3, 1), // t3 never written
+                addi(Reg::A0, Reg::Zero, 0),
+                Instr::Ecall,
+            ],
+            &LintConfig::default(),
+        );
+        assert!(d
+            .iter()
+            .any(|d| d.rule == Rule::DfUninitRead && d.message.contains("t3")));
+    }
+
+    #[test]
+    fn dead_store_is_flagged_and_live_value_is_not() {
+        let d = run(
+            &[
+                addi(Reg::T0, Reg::Zero, 7), // dead: overwritten below
+                addi(Reg::T0, Reg::Zero, 8),
+                addi(Reg::A0, Reg::T0, 0),
+                Instr::Ecall,
+            ],
+            &LintConfig::default(),
+        );
+        let dead: Vec<&Diagnostic> = d.iter().filter(|d| d.rule == Rule::DfDeadStore).collect();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].pc, 0x1000);
+    }
+
+    #[test]
+    fn value_defined_between_two_calls_is_not_a_false_positive() {
+        // caller: call f; addi t1 (between calls); call f; read t1.
+        // Merged-return CFGs report t1 as possibly uninit after the
+        // second call; the summary-based analysis must not.
+        let prog = [
+            Instr::Jal {
+                rd: Reg::Ra,
+                offset: 24,
+            }, // 0x1000 -> f at 0x1018
+            addi(Reg::T1, Reg::Zero, 5), // 0x1004
+            Instr::Jal {
+                rd: Reg::Ra,
+                offset: 16,
+            }, // 0x1008 -> f
+            addi(Reg::A0, Reg::T1, 0),   // 0x100c: t1 must be init
+            Instr::Ecall,                // 0x1010
+            Instr::Nop,                  // 0x1014
+            addi(Reg::T2, Reg::Zero, 1), // 0x1018: f
+            Instr::Jalr {
+                rd: Reg::Zero,
+                rs1: Reg::Ra,
+                offset: 0,
+            }, // 0x101c: ret
+        ];
+        let d = run(&prog, &LintConfig::default());
+        assert!(
+            !d.iter()
+                .any(|d| d.rule == Rule::DfUninitRead && d.message.contains("t1")),
+            "summary-based analysis must not merge returns: {d:?}"
+        );
+    }
+
+    #[test]
+    fn reserved_clobber_is_flagged() {
+        let config = LintConfig {
+            reserved: RegSet::of(&[Reg::Tp]),
+            ..LintConfig::default()
+        };
+        let d = run(
+            &[
+                addi(Reg::Tp, Reg::Zero, 1),
+                addi(Reg::A0, Reg::Zero, 0),
+                Instr::Ecall,
+            ],
+            &config,
+        );
+        assert!(d.iter().any(|d| d.rule == Rule::DfReservedClobber));
+    }
+
+    #[test]
+    fn loop_carried_accumulator_is_live() {
+        use pulp_isa::instr::LoopIdx;
+        let d = run(
+            &[
+                addi(Reg::S4, Reg::Zero, 0), // accumulator init
+                Instr::LpSetupi {
+                    l: LoopIdx::L0,
+                    imm: 4,
+                    offset: 8,
+                },
+                addi(Reg::S4, Reg::S4, 1), // body: s4 += 1
+                addi(Reg::A0, Reg::S4, 0),
+                Instr::Ecall,
+            ],
+            &LintConfig::default(),
+        );
+        assert!(
+            !d.iter().any(|d| d.rule == Rule::DfDeadStore),
+            "loop-carried values must be live: {d:?}"
+        );
+    }
+}

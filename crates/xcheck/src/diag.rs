@@ -1,0 +1,107 @@
+//! Diagnostic types: the rule catalog and the findings the analyzer
+//! reports.
+//!
+//! Every rule has a stable ID (`HWL-01`, `DF-02`, ...) so golden tests,
+//! CI greps and the DESIGN.md rule catalog can refer to findings
+//! without depending on message wording.
+
+use std::fmt;
+
+/// The rule catalog. IDs are stable; see DESIGN.md §9 for the full
+/// description of each rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Control flow enters a hardware-loop body from outside it.
+    HwlBranchIn,
+    /// Control flow leaves a hardware-loop body from inside it.
+    HwlBranchOut,
+    /// Hardware-loop regions overlap without proper nesting, or L1 is
+    /// nested inside L0 (L0 must be the innermost loop on RI5CY).
+    HwlBadNesting,
+    /// Degenerate loop body: end not after start, or a boundary that is
+    /// not an instruction boundary of the program.
+    HwlBadBody,
+    /// The last instruction of a loop body is a control-flow or
+    /// loop-setup instruction; the core's end-of-body check is bypassed
+    /// by taken jumps, so the loop silently stops iterating.
+    HwlLastInsnControlFlow,
+    /// A manual `lp.starti`/`lp.endi`/`lp.count` setup never became
+    /// complete (one of the three CSRs is never written).
+    HwlIncompleteSetup,
+    /// `pv.qnt` is used with more than one output format in the same
+    /// program (a kernel quantizes to exactly one width).
+    FmtQntMix,
+    /// An instruction fails [`pulp_isa::Instr::validate`] (illegal
+    /// field combination such as a sub-byte `.sci` operand).
+    FmtInvalidInstr,
+    /// A register may be read before any definition reaches it.
+    DfUninitRead,
+    /// A register definition with no side effects is never read.
+    DfDeadStore,
+    /// An instruction writes a register the profile reserves.
+    DfReservedClobber,
+    /// A memory access is provably outside every declared region.
+    MemOutOfRegion,
+    /// A memory access address is provably misaligned for its width.
+    MemMisaligned,
+    /// A `pv.qnt` threshold tree resolved to a constant base is not a
+    /// well-formed Eytzinger tree (in-order traversal must be
+    /// non-decreasing).
+    QntMalformedTree,
+    /// A branch or jump targets an address that is not an instruction
+    /// boundary of the program.
+    CfgBadTarget,
+}
+
+impl Rule {
+    /// Stable rule identifier.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::HwlBranchIn => "HWL-01",
+            Rule::HwlBranchOut => "HWL-02",
+            Rule::HwlBadNesting => "HWL-03",
+            Rule::HwlBadBody => "HWL-04",
+            Rule::HwlLastInsnControlFlow => "HWL-05",
+            Rule::HwlIncompleteSetup => "HWL-06",
+            Rule::FmtQntMix => "FMT-01",
+            Rule::FmtInvalidInstr => "FMT-02",
+            Rule::DfUninitRead => "DF-01",
+            Rule::DfDeadStore => "DF-02",
+            Rule::DfReservedClobber => "DF-03",
+            Rule::MemOutOfRegion => "MEM-01",
+            Rule::MemMisaligned => "MEM-02",
+            Rule::QntMalformedTree => "QNT-01",
+            Rule::CfgBadTarget => "CFG-01",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One finding: which rule fired, where, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// PC of the offending instruction (or of the loop setup for
+    /// region-level hardware-loop findings).
+    pub pc: u32,
+    /// Disassembly of the offending instruction.
+    pub instr: String,
+    /// Human-readable explanation with the concrete evidence.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} @{:#010x} `{}`: {}",
+            self.rule, self.pc, self.instr, self.message
+        )
+    }
+}

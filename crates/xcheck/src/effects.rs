@@ -1,0 +1,426 @@
+//! Per-instruction effect metadata: which registers an instruction
+//! reads and writes, and how it touches memory.
+//!
+//! This is the single source of truth shared by the dataflow passes,
+//! the abstract interpreter and the conformance dynamic oracles — the
+//! same `uses`/`defs` sets drive both the static reaching-definitions
+//! check and the shadow read-before-write tracking at runtime.
+
+use pulp_isa::instr::SimdOperand;
+use pulp_isa::simd::SimdFmt;
+use pulp_isa::{Instr, Reg};
+
+/// A small bitmask set of architectural registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct RegSet(pub u32);
+
+impl RegSet {
+    /// The empty set.
+    pub const EMPTY: RegSet = RegSet(0);
+    /// Every architectural register (including `x0`).
+    pub const ALL: RegSet = RegSet(u32::MAX);
+
+    /// Inserts `r` (inserting `x0` is a no-op: it never carries state).
+    pub fn insert(&mut self, r: Reg) {
+        if r != Reg::Zero {
+            self.0 |= 1 << r.index();
+        }
+    }
+
+    /// Membership test. `x0` is always considered present (it always
+    /// reads as a defined zero).
+    pub fn contains(self, r: Reg) -> bool {
+        r == Reg::Zero || self.0 & (1 << r.index()) != 0
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: RegSet) -> RegSet {
+        RegSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn inter(self, other: RegSet) -> RegSet {
+        RegSet(self.0 & other.0)
+    }
+
+    /// Set difference.
+    #[must_use]
+    pub fn minus(self, other: RegSet) -> RegSet {
+        RegSet(self.0 & !other.0)
+    }
+
+    /// True when no register is in the set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates the members in index order.
+    pub fn iter(self) -> impl Iterator<Item = Reg> {
+        pulp_isa::reg::ALL_REGS
+            .into_iter()
+            .filter(move |r| self.0 & (1 << r.index()) != 0)
+    }
+
+    /// Builds a set from a slice of registers.
+    pub fn of(regs: &[Reg]) -> RegSet {
+        let mut s = RegSet::EMPTY;
+        for &r in regs {
+            s.insert(r);
+        }
+        s
+    }
+}
+
+/// How an instruction addresses memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRef {
+    /// Base address register.
+    pub base: Reg,
+    /// Optional register offset (`p.lw rd, rs2(rs1)` forms).
+    pub index: Option<Reg>,
+    /// Immediate offset added to the base.
+    pub offset: i32,
+    /// Bytes touched starting at the effective address.
+    pub size: u32,
+    /// Required address alignment in bytes.
+    pub align: u32,
+    /// True for stores, false for loads (and for the `pv.qnt` tree
+    /// walk, which only reads).
+    pub is_store: bool,
+}
+
+/// The complete register/memory effect of one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Effects {
+    /// Registers read.
+    pub uses: RegSet,
+    /// Registers written (never contains `x0`).
+    pub defs: RegSet,
+    /// Memory behaviour, if the instruction touches memory.
+    pub mem: Option<MemRef>,
+    /// True when the only observable effect is the register write:
+    /// such a definition with no live reader is a dead store.
+    pub pure_def: bool,
+}
+
+fn op2_reg(op2: &SimdOperand) -> Option<Reg> {
+    match op2 {
+        SimdOperand::Vector(r) | SimdOperand::Scalar(r) => Some(*r),
+        SimdOperand::Imm(_) => None,
+    }
+}
+
+/// Span of the two threshold trees `pv.qnt` walks: the low-halfword
+/// tree at the base plus the paired high-halfword tree one stride
+/// further.
+pub fn qnt_span(fmt: SimdFmt) -> u32 {
+    2 * qnt_stride(fmt)
+}
+
+/// Byte stride between the per-halfword threshold trees.
+pub fn qnt_stride(fmt: SimdFmt) -> u32 {
+    match fmt {
+        SimdFmt::Crumb => 8,
+        // Nibble stride; other formats are rejected by `validate()`.
+        _ => 32,
+    }
+}
+
+/// Number of real thresholds in one `pv.qnt` tree.
+pub fn qnt_thresholds(fmt: SimdFmt) -> u32 {
+    match fmt {
+        SimdFmt::Crumb => 3,
+        _ => 15,
+    }
+}
+
+/// Computes the register/memory effects of `instr`.
+pub fn effects(instr: &Instr) -> Effects {
+    let mut e = Effects::default();
+    let mut uses = |rs: &[Reg]| {
+        for &r in rs {
+            e.uses.insert(r);
+        }
+    };
+    match *instr {
+        Instr::Lui { rd, .. } | Instr::Auipc { rd, .. } => {
+            e.defs.insert(rd);
+            e.pure_def = true;
+        }
+        Instr::Jal { rd, .. } => e.defs.insert(rd),
+        Instr::Jalr { rd, rs1, .. } => {
+            uses(&[rs1]);
+            e.defs.insert(rd);
+        }
+        Instr::Branch { rs1, rs2, .. } => uses(&[rs1, rs2]),
+        Instr::Load {
+            kind,
+            rd,
+            rs1,
+            offset,
+        } => {
+            uses(&[rs1]);
+            e.defs.insert(rd);
+            e.mem = Some(MemRef {
+                base: rs1,
+                index: None,
+                offset,
+                size: kind.size(),
+                align: kind.size(),
+                is_store: false,
+            });
+        }
+        Instr::Store {
+            kind,
+            rs1,
+            rs2,
+            offset,
+        } => {
+            uses(&[rs1, rs2]);
+            e.mem = Some(MemRef {
+                base: rs1,
+                index: None,
+                offset,
+                size: kind.size(),
+                align: kind.size(),
+                is_store: true,
+            });
+        }
+        Instr::Alu { rd, rs1, rs2, .. } | Instr::MulDiv { rd, rs1, rs2, .. } => {
+            uses(&[rs1, rs2]);
+            e.defs.insert(rd);
+            e.pure_def = true;
+        }
+        Instr::AluImm { rd, rs1, .. } => {
+            uses(&[rs1]);
+            e.defs.insert(rd);
+            e.pure_def = true;
+        }
+        Instr::Fence | Instr::Ebreak | Instr::Nop => {}
+        // The SoC halts on `ecall` with the exit code in `a0`.
+        Instr::Ecall => uses(&[Reg::A0]),
+        Instr::Csr { rd, rs1, .. } => {
+            uses(&[rs1]);
+            e.defs.insert(rd);
+        }
+        Instr::PulpAlu { rd, rs1, rs2, .. } => {
+            uses(&[rs1, rs2]);
+            e.defs.insert(rd);
+            e.pure_def = true;
+        }
+        Instr::PClip { rd, rs1, .. }
+        | Instr::PClipU { rd, rs1, .. }
+        | Instr::PBit { rd, rs1, .. }
+        | Instr::PExtract { rd, rs1, .. }
+        | Instr::PExtractU { rd, rs1, .. } => {
+            uses(&[rs1]);
+            e.defs.insert(rd);
+            e.pure_def = true;
+        }
+        // Read-modify-write scalar ops: the old `rd` is a source.
+        Instr::PMac { rd, rs1, rs2 } | Instr::PMsu { rd, rs1, rs2 } => {
+            uses(&[rd, rs1, rs2]);
+            e.defs.insert(rd);
+            e.pure_def = true;
+        }
+        Instr::PInsert { rd, rs1, .. } => {
+            uses(&[rd, rs1]);
+            e.defs.insert(rd);
+            e.pure_def = true;
+        }
+        Instr::LoadPostInc {
+            kind,
+            rd,
+            rs1,
+            offset,
+        } => {
+            uses(&[rs1]);
+            e.defs.insert(rd);
+            e.defs.insert(rs1);
+            e.mem = Some(MemRef {
+                base: rs1,
+                index: None,
+                offset: 0,
+                size: kind.size(),
+                align: kind.size(),
+                is_store: false,
+            });
+            let _ = offset;
+        }
+        Instr::LoadPostIncReg { kind, rd, rs1, rs2 } => {
+            uses(&[rs1, rs2]);
+            e.defs.insert(rd);
+            e.defs.insert(rs1);
+            e.mem = Some(MemRef {
+                base: rs1,
+                index: None,
+                offset: 0,
+                size: kind.size(),
+                align: kind.size(),
+                is_store: false,
+            });
+        }
+        Instr::LoadRegOff { kind, rd, rs1, rs2 } => {
+            uses(&[rs1, rs2]);
+            e.defs.insert(rd);
+            e.mem = Some(MemRef {
+                base: rs1,
+                index: Some(rs2),
+                offset: 0,
+                size: kind.size(),
+                align: kind.size(),
+                is_store: false,
+            });
+        }
+        Instr::StorePostInc {
+            kind,
+            rs1,
+            rs2,
+            offset,
+        } => {
+            uses(&[rs1, rs2]);
+            e.defs.insert(rs1);
+            e.mem = Some(MemRef {
+                base: rs1,
+                index: None,
+                offset: 0,
+                size: kind.size(),
+                align: kind.size(),
+                is_store: true,
+            });
+            let _ = offset;
+        }
+        Instr::StorePostIncReg {
+            kind,
+            rs1,
+            rs2,
+            rs3,
+        } => {
+            uses(&[rs1, rs2, rs3]);
+            e.defs.insert(rs1);
+            e.mem = Some(MemRef {
+                base: rs1,
+                index: None,
+                offset: 0,
+                size: kind.size(),
+                align: kind.size(),
+                is_store: true,
+            });
+        }
+        Instr::LpStarti { .. }
+        | Instr::LpEndi { .. }
+        | Instr::LpCounti { .. }
+        | Instr::LpSetupi { .. } => {}
+        Instr::LpCount { rs1, .. } | Instr::LpSetup { rs1, .. } => uses(&[rs1]),
+        Instr::PvAlu { rd, rs1, op2, .. } => {
+            uses(&[rs1]);
+            if let Some(r) = op2_reg(&op2) {
+                uses(&[r]);
+            }
+            e.defs.insert(rd);
+            e.pure_def = true;
+        }
+        Instr::PvAbs { rd, rs1, .. } | Instr::PvExtract { rd, rs1, .. } => {
+            uses(&[rs1]);
+            e.defs.insert(rd);
+            e.pure_def = true;
+        }
+        Instr::PvInsert { rd, rs1, .. } => {
+            uses(&[rd, rs1]);
+            e.defs.insert(rd);
+            e.pure_def = true;
+        }
+        // The old `rd` is the second shuffle source (CV32E40P semantics).
+        Instr::PvShuffle2 { rd, rs1, rs2, .. } => {
+            uses(&[rd, rs1, rs2]);
+            e.defs.insert(rd);
+            e.pure_def = true;
+        }
+        Instr::PvDot { rd, rs1, op2, .. } => {
+            uses(&[rs1]);
+            if let Some(r) = op2_reg(&op2) {
+                uses(&[r]);
+            }
+            e.defs.insert(rd);
+            e.pure_def = true;
+        }
+        // Sum-of-dot-products accumulates into `rd`.
+        Instr::PvSdot { rd, rs1, op2, .. } => {
+            uses(&[rd, rs1]);
+            if let Some(r) = op2_reg(&op2) {
+                uses(&[r]);
+            }
+            e.defs.insert(rd);
+            e.pure_def = true;
+        }
+        Instr::PvQnt { fmt, rd, rs1, rs2 } => {
+            uses(&[rs1, rs2]);
+            e.defs.insert(rd);
+            e.mem = Some(MemRef {
+                base: rs2,
+                index: None,
+                offset: 0,
+                size: qnt_span(fmt),
+                align: 2,
+                is_store: false,
+            });
+        }
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulp_isa::instr::LoadKind;
+
+    #[test]
+    fn regset_basics() {
+        let mut s = RegSet::EMPTY;
+        s.insert(Reg::A0);
+        s.insert(Reg::Zero);
+        assert!(s.contains(Reg::A0));
+        assert!(s.contains(Reg::Zero), "x0 is always defined");
+        assert!(!s.contains(Reg::A1));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![Reg::A0]);
+    }
+
+    #[test]
+    fn post_increment_defines_base() {
+        let e = effects(&Instr::LoadPostInc {
+            kind: LoadKind::Word,
+            rd: Reg::T0,
+            rs1: Reg::A1,
+            offset: 4,
+        });
+        assert!(e.defs.contains(Reg::T0));
+        assert!(e.defs.contains(Reg::A1));
+        assert!(e.uses.contains(Reg::A1));
+        assert!(!e.pure_def);
+        assert_eq!(e.mem.unwrap().size, 4);
+    }
+
+    #[test]
+    fn sdot_reads_its_accumulator() {
+        let e = effects(&Instr::PvSdot {
+            fmt: SimdFmt::Nibble,
+            sign: pulp_isa::simd::DotSign::UnsignedSigned,
+            rd: Reg::S4,
+            rs1: Reg::T0,
+            op2: SimdOperand::Vector(Reg::T1),
+        });
+        assert!(e.uses.contains(Reg::S4));
+        assert!(e.defs.contains(Reg::S4));
+    }
+
+    #[test]
+    fn writes_to_x0_are_not_defs() {
+        let e = effects(&Instr::Jal {
+            rd: Reg::Zero,
+            offset: 8,
+        });
+        assert!(e.defs.is_empty());
+    }
+}

@@ -1,0 +1,291 @@
+#![warn(missing_docs)]
+
+//! # xcheck — static verification of emitted XpulpNN programs
+//!
+//! Every cycle number the reproduction reports comes from programs
+//! *generated* by the `pulp-kernels` emitters and executed on
+//! `riscv-core`. The dynamic checks (golden outputs, conformance
+//! lockstep) only see the paths a given input exercises; this crate is
+//! the static side of the argument. It analyzes a [`pulp_asm::Program`]
+//! or any decoded `(pc, len, Instr)` stream (16-bit compressed parcels
+//! included) and proves structural well-formedness:
+//!
+//! 1. **CFG** ([`cfg`]) — branch/jump/call edges plus the RI5CY
+//!    hardware-loop back-edges derived from `lp.setup*` regions, with
+//!    the emitters' leaf-call discipline matched call/return.
+//! 2. **Dataflow** ([`dataflow`]) — interprocedural reaching
+//!    definitions and liveness: uninitialized register reads (DF-01),
+//!    dead stores (DF-02), reserved-register clobbers (DF-03).
+//! 3. **Abstract interpretation** ([`absint`]) — an interval ×
+//!    power-of-two congruence domain over address arithmetic: memory
+//!    accesses provably outside the declared tensor regions (MEM-01),
+//!    provable SIMD misalignment (MEM-02), and Eytzinger threshold-tree
+//!    well-formedness for constant-based `pv.qnt` (QNT-01).
+//! 4. **Legality rules** ([`rules`]) — hardware-loop boundary/nesting
+//!    constraints (HWL-01..06), quantization format consistency
+//!    (FMT-01), ISA field validity (FMT-02), control transfers onto
+//!    non-instruction addresses (CFG-01).
+//!
+//! Diagnostics fire only on *proved* violations; everything the
+//! abstract domains cannot decide is counted in [`MemStats`] and
+//! reported as documented imprecision. That is what lets every shipped
+//! kernel lint clean while hand-broken fixtures pin each rule ID.
+//!
+//! ```
+//! use pulp_asm::Asm;
+//! use pulp_isa::Reg;
+//! use xcheck::{analyze_program, LintConfig};
+//!
+//! let mut a = Asm::new(0x1c00_8000);
+//! a.li(Reg::A0, 0);
+//! a.ecall();
+//! let prog = a.assemble().unwrap();
+//! let report = analyze_program(&prog, &LintConfig::default());
+//! assert!(report.clean());
+//! ```
+
+pub mod absint;
+pub mod cfg;
+pub mod dataflow;
+pub mod diag;
+pub mod effects;
+pub mod rules;
+
+use pulp_asm::Program;
+use pulp_isa::{Instr, Reg};
+
+pub use absint::MemStats;
+pub use cfg::Cfg;
+pub use diag::{Diagnostic, Rule};
+pub use effects::{effects, Effects, RegSet};
+
+/// A named address region memory accesses are allowed to touch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Human-readable name (`"weights"`, `"im2col"`, ...).
+    pub name: String,
+    /// First byte of the region.
+    pub base: u32,
+    /// Length in bytes.
+    pub len: u32,
+}
+
+impl Region {
+    /// Convenience constructor.
+    pub fn new(name: &str, base: u32, len: u32) -> Region {
+        Region {
+            name: name.to_string(),
+            base,
+            len,
+        }
+    }
+}
+
+/// What to check and what to assume. Two profiles matter in practice:
+/// [`LintConfig::kernel`] for emitted kernel programs and
+/// [`LintConfig::generated`] for conformance-generator output.
+/// `Default` enables every check with nothing assumed and no regions
+/// declared.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Regions memory accesses must stay inside. Empty disables
+    /// MEM-01 (every access is "unproven" rather than flagged).
+    pub regions: Vec<Region>,
+    /// Registers assumed initialized at entry. Kernel programs are
+    /// self-contained (empty set); the conformance profile assumes the
+    /// core's reset-to-zero register file.
+    pub assume_init: RegSet,
+    /// Registers the program must never write (DF-03).
+    pub reserved: RegSet,
+    /// Enable the DF-01 uninitialized-read check.
+    pub check_uninit: bool,
+    /// Enable the DF-02 dead-store check.
+    pub check_dead_stores: bool,
+    /// Enable the FMT-01 single-quantization-format check.
+    pub check_qnt_fmt: bool,
+    /// Enable MEM-02 misalignment diagnostics. The extended core never
+    /// traps on misalignment (it charges a stall cycle), so this is a
+    /// performance contract for emitted kernels, not a soundness rule;
+    /// the `generated` profile turns it off.
+    pub check_alignment: bool,
+    /// Known initial memory contents (`(base, bytes)` chunks) for
+    /// threshold-tree checking. [`analyze_program`] adds the program's
+    /// own data segments automatically.
+    pub memory: Vec<(u32, Vec<u8>)>,
+}
+
+impl Default for LintConfig {
+    fn default() -> LintConfig {
+        LintConfig {
+            regions: Vec::new(),
+            assume_init: RegSet::EMPTY,
+            reserved: RegSet::EMPTY,
+            check_uninit: true,
+            check_dead_stores: true,
+            check_qnt_fmt: true,
+            check_alignment: true,
+            memory: Vec::new(),
+        }
+    }
+}
+
+impl LintConfig {
+    /// Profile for emitted kernel programs: everything on, nothing
+    /// assumed initialized, `tp` reserved (no emitter may touch it).
+    pub fn kernel(regions: Vec<Region>) -> LintConfig {
+        LintConfig {
+            regions,
+            assume_init: RegSet::EMPTY,
+            reserved: RegSet::of(&[Reg::Tp]),
+            check_uninit: true,
+            check_dead_stores: true,
+            check_qnt_fmt: true,
+            check_alignment: true,
+            memory: Vec::new(),
+        }
+    }
+
+    /// Profile for conformance-generated programs: the core resets
+    /// every register to zero (so nothing is "uninitialized"), random
+    /// programs legitimately produce dead values, mix SIMD formats and
+    /// make (stalling, but legal) misaligned scalar accesses, and the
+    /// memory image is the generated data segment.
+    pub fn generated(regions: Vec<Region>, memory: Vec<(u32, Vec<u8>)>) -> LintConfig {
+        LintConfig {
+            regions,
+            assume_init: RegSet::ALL,
+            reserved: RegSet::EMPTY,
+            check_uninit: true,
+            check_dead_stores: false,
+            check_qnt_fmt: false,
+            check_alignment: false,
+            memory,
+        }
+    }
+}
+
+/// Everything one analysis run found.
+#[derive(Debug)]
+pub struct LintReport {
+    /// All findings, sorted by PC then rule.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Instructions analyzed.
+    pub instrs: usize,
+    /// Basic blocks in the CFG.
+    pub blocks: usize,
+    /// Hardware-loop regions found.
+    pub hw_loops: usize,
+    /// Procedures in the call partition.
+    pub procs: usize,
+    /// Indirect jumps the CFG could not resolve (imprecision, not an
+    /// error).
+    pub unresolved_jumps: usize,
+    /// Memory/alignment/tree verdict counters.
+    pub mem: MemStats,
+}
+
+impl LintReport {
+    /// True when no rule fired.
+    pub fn clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Renders the report the way `xpulpnn lint` prints it: one line
+    /// per diagnostic, then the summary line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&self.summary());
+        out.push('\n');
+        out
+    }
+
+    /// The one-line machine-greppable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "summary: {} diagnostics; {} instrs, {} blocks, {} hw-loops, {} procs; \
+             mem {}/{} proved (rest unproven), align {}/{} proved; \
+             qnt trees {} checked, {} unresolved; {} unresolved jumps",
+            self.diagnostics.len(),
+            self.instrs,
+            self.blocks,
+            self.hw_loops,
+            self.procs,
+            self.mem.proved_in,
+            self.mem.accesses,
+            self.mem.align_proved,
+            self.mem.accesses,
+            self.mem.qnt_checked,
+            self.mem.qnt_unresolved,
+            self.unresolved_jumps,
+        )
+    }
+}
+
+/// Analyzes a decoded instruction stream. `stream` must be in address
+/// order; `entry` is the first executed instruction's address.
+pub fn analyze_stream(entry: u32, stream: &[(u32, u32, Instr)], config: &LintConfig) -> LintReport {
+    let cfg = Cfg::build(stream, entry);
+    let mut diagnostics = rules::check(stream, &cfg, config);
+    diagnostics.extend(dataflow::check(stream, &cfg, config).diagnostics);
+    let abs = absint::check(stream, &cfg, config);
+    diagnostics.extend(abs.diagnostics);
+    diagnostics.sort_by(|a, b| (a.pc, a.rule, &a.message).cmp(&(b.pc, b.rule, &b.message)));
+    diagnostics.dedup();
+    LintReport {
+        diagnostics,
+        instrs: stream.len(),
+        blocks: cfg.blocks,
+        hw_loops: cfg.loops.len(),
+        procs: cfg.procs.len(),
+        unresolved_jumps: cfg.unresolved.len(),
+        mem: abs.stats,
+    }
+}
+
+/// Analyzes an assembled [`Program`]: all instructions are 4-byte
+/// words starting at `prog.base`, and the program's own data segments
+/// join the known memory image (threshold trees shipped in `.data`
+/// become checkable).
+pub fn analyze_program(prog: &Program, config: &LintConfig) -> LintReport {
+    let stream: Vec<(u32, u32, Instr)> = prog
+        .instrs
+        .iter()
+        .enumerate()
+        .map(|(i, &instr)| (prog.base + 4 * i as u32, 4, instr))
+        .collect();
+    let mut config = config.clone();
+    for (addr, bytes) in &prog.data {
+        config.memory.push((*addr, bytes.clone()));
+    }
+    analyze_stream(prog.base, &stream, &config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulp_asm::Asm;
+
+    #[test]
+    fn trivial_program_is_clean() {
+        let mut a = Asm::new(0x1c00_8000);
+        a.li(Reg::A0, 0);
+        a.ecall();
+        let prog = a.assemble().unwrap();
+        let r = analyze_program(&prog, &LintConfig::kernel(Vec::new()));
+        assert!(r.clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn report_renders_summary() {
+        let mut a = Asm::new(0x1c00_8000);
+        a.li(Reg::A0, 0);
+        a.ecall();
+        let prog = a.assemble().unwrap();
+        let r = analyze_program(&prog, &LintConfig::default());
+        assert!(r.render().contains("summary: 0 diagnostics"));
+    }
+}

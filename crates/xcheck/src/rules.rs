@@ -1,0 +1,376 @@
+//! XpulpNN-specific legality rules: RI5CY hardware-loop constraints,
+//! SIMD format consistency, and instruction-level validity.
+//!
+//! These are structural checks over the stream and the CFG's loop
+//! regions — no fixpoint needed. The address-dependent rules (regions,
+//! alignment, threshold trees) live in [`crate::absint`].
+
+use pulp_isa::Instr;
+
+use crate::cfg::Cfg;
+use crate::diag::{Diagnostic, Rule};
+use crate::LintConfig;
+
+/// Runs the structural rule checks.
+pub fn check(stream: &[(u32, u32, Instr)], cfg: &Cfg, config: &LintConfig) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    // FMT-02: every instruction must satisfy the ISA's field rules.
+    for &(pc, _, instr) in stream {
+        if let Err(e) = instr.validate() {
+            diags.push(Diagnostic {
+                rule: Rule::FmtInvalidInstr,
+                pc,
+                instr: instr.to_string(),
+                message: format!("illegal field combination: {e:?}"),
+            });
+        }
+    }
+
+    // FMT-01: one quantization output format per program.
+    if config.check_qnt_fmt {
+        let mut first: Option<(u32, pulp_isa::simd::SimdFmt)> = None;
+        for &(pc, _, instr) in stream {
+            if let Instr::PvQnt { fmt, .. } = instr {
+                match first {
+                    None => first = Some((pc, fmt)),
+                    Some((fpc, ffmt)) if ffmt != fmt => {
+                        diags.push(Diagnostic {
+                            rule: Rule::FmtQntMix,
+                            pc,
+                            instr: instr.to_string(),
+                            message: format!(
+                                "quantizes to {fmt:?} but the program also quantizes \
+                                 to {ffmt:?} at {fpc:#010x}"
+                            ),
+                        });
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+
+    // CFG-01: control transfers must land on instruction boundaries.
+    for &(pc, target) in &cfg.bad_targets {
+        let instr = instr_at(stream, pc);
+        diags.push(Diagnostic {
+            rule: Rule::CfgBadTarget,
+            pc,
+            instr,
+            message: format!("target {target:#010x} is not an instruction of this program"),
+        });
+    }
+
+    // HWL-06: manual loop setups that never became complete.
+    for &(pc, l) in &cfg.incomplete_loops {
+        diags.push(Diagnostic {
+            rule: Rule::HwlIncompleteSetup,
+            pc,
+            instr: instr_at(stream, pc),
+            message: format!(
+                "hardware loop {} setup is incomplete: start, end and count \
+                 must all be programmed",
+                l.index()
+            ),
+        });
+    }
+
+    check_loop_regions(stream, cfg, &mut diags);
+
+    diags.sort_by_key(|a| (a.pc, a.rule));
+    diags.dedup();
+    diags
+}
+
+fn instr_at(stream: &[(u32, u32, Instr)], pc: u32) -> String {
+    stream
+        .iter()
+        .find(|&&(p, _, _)| p == pc)
+        .map_or_else(|| "<none>".to_string(), |&(_, _, i)| i.to_string())
+}
+
+fn check_loop_regions(stream: &[(u32, u32, Instr)], cfg: &Cfg, diags: &mut Vec<Diagnostic>) {
+    // HWL-04 first: degenerate regions are excluded from the boundary
+    // rules so one defect does not cascade.
+    let mut sound = Vec::new();
+    for lp in &cfg.loops {
+        let boundaries_ok = lp.end > lp.start
+            && cfg.idx_of(lp.start).is_some()
+            && stream
+                .iter()
+                .any(|&(pc, len, _)| pc + len == lp.end && pc >= lp.start);
+        if boundaries_ok {
+            sound.push(*lp);
+        } else {
+            diags.push(Diagnostic {
+                rule: Rule::HwlBadBody,
+                pc: lp.setup_pc,
+                instr: instr_at(stream, lp.setup_pc),
+                message: format!(
+                    "loop body [{:#010x}, {:#010x}) is empty or not delimited by \
+                     instruction boundaries",
+                    lp.start, lp.end
+                ),
+            });
+        }
+    }
+
+    // HWL-03: regions must nest properly and L0 must be innermost.
+    for (i, a) in sound.iter().enumerate() {
+        for b in sound.iter().skip(i + 1) {
+            let disjoint = a.end <= b.start || b.end <= a.start;
+            let a_in_b = a.start >= b.start && a.end <= b.end;
+            let b_in_a = b.start >= a.start && b.end <= a.end;
+            let (outer, inner) = if a_in_b { (b, a) } else { (a, b) };
+            if disjoint {
+                continue;
+            }
+            if !(a_in_b || b_in_a) {
+                diags.push(Diagnostic {
+                    rule: Rule::HwlBadNesting,
+                    pc: inner.setup_pc,
+                    instr: instr_at(stream, inner.setup_pc),
+                    message: format!(
+                        "loop bodies [{:#010x}, {:#010x}) and [{:#010x}, {:#010x}) \
+                         overlap without nesting",
+                        a.start, a.end, b.start, b.end
+                    ),
+                });
+            } else if inner.l.index() > outer.l.index()
+                || (inner.l == outer.l && inner.start != outer.start)
+            {
+                diags.push(Diagnostic {
+                    rule: Rule::HwlBadNesting,
+                    pc: inner.setup_pc,
+                    instr: instr_at(stream, inner.setup_pc),
+                    message: format!(
+                        "loop L{} nests inside loop L{}: L0 must be the innermost \
+                         hardware loop",
+                        outer.l.index(),
+                        inner.l.index()
+                    ),
+                });
+            }
+        }
+    }
+
+    // HWL-01/02: control flow across a body boundary; HWL-05: a
+    // control-flow or loop-setup instruction as the last body
+    // instruction (the core's end-of-body check is bypassed).
+    for lp in &sound {
+        for (i, &(pc, len, instr)) in stream.iter().enumerate() {
+            let inside = lp.contains(pc);
+            if pc + len == lp.end && pc >= lp.start {
+                let is_setup = matches!(
+                    instr,
+                    Instr::LpStarti { .. }
+                        | Instr::LpEndi { .. }
+                        | Instr::LpCount { .. }
+                        | Instr::LpCounti { .. }
+                        | Instr::LpSetup { .. }
+                        | Instr::LpSetupi { .. }
+                );
+                if instr.is_control_flow() || is_setup {
+                    diags.push(Diagnostic {
+                        rule: Rule::HwlLastInsnControlFlow,
+                        pc,
+                        instr: instr.to_string(),
+                        message: format!(
+                            "last instruction of loop body [{:#010x}, {:#010x}) is a \
+                             control-flow or loop-setup instruction; the end-of-body \
+                             check would be bypassed",
+                            lp.start, lp.end
+                        ),
+                    });
+                }
+            }
+            if !instr.is_control_flow() {
+                continue;
+            }
+            // `ret`/unresolved indirect jumps inside a body always
+            // leave it; resolved targets are checked individually.
+            let targets = cfg.explicit_targets(stream, i);
+            if inside && targets.is_empty() && matches!(instr, Instr::Jalr { .. }) {
+                diags.push(Diagnostic {
+                    rule: Rule::HwlBranchOut,
+                    pc,
+                    instr: instr.to_string(),
+                    message: format!(
+                        "indirect jump inside loop body [{:#010x}, {:#010x}) leaves it",
+                        lp.start, lp.end
+                    ),
+                });
+                continue;
+            }
+            for t in targets {
+                let t_inside = lp.contains(t);
+                if inside && !t_inside {
+                    diags.push(Diagnostic {
+                        rule: Rule::HwlBranchOut,
+                        pc,
+                        instr: instr.to_string(),
+                        message: format!(
+                            "branches out of loop body [{:#010x}, {:#010x}) to {t:#010x}",
+                            lp.start, lp.end
+                        ),
+                    });
+                } else if !inside && t_inside {
+                    diags.push(Diagnostic {
+                        rule: Rule::HwlBranchIn,
+                        pc,
+                        instr: instr.to_string(),
+                        message: format!(
+                            "branches into loop body [{:#010x}, {:#010x}) at {t:#010x} \
+                             without executing its setup",
+                            lp.start, lp.end
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulp_isa::instr::{AluOp, BranchCond, LoopIdx};
+    use pulp_isa::Reg;
+
+    fn stream(instrs: &[Instr]) -> Vec<(u32, u32, Instr)> {
+        instrs
+            .iter()
+            .enumerate()
+            .map(|(i, &ins)| (0x1000 + 4 * i as u32, 4, ins))
+            .collect()
+    }
+
+    fn addi(rd: Reg, rs1: Reg, imm: i32) -> Instr {
+        Instr::AluImm {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm,
+        }
+    }
+
+    fn run(instrs: &[Instr]) -> Vec<Diagnostic> {
+        let s = stream(instrs);
+        let cfg = Cfg::build(&s, 0x1000);
+        check(&s, &cfg, &LintConfig::default())
+    }
+
+    #[test]
+    fn branch_into_loop_body_is_flagged() {
+        let d = run(&[
+            Instr::Branch {
+                cond: BranchCond::Eq,
+                rs1: Reg::A0,
+                rs2: Reg::Zero,
+                offset: 12,
+            }, // 0x1000 -> 0x100c (inside body)
+            Instr::LpSetupi {
+                l: LoopIdx::L0,
+                imm: 4,
+                offset: 12,
+            }, // body [0x1008, 0x1010)
+            addi(Reg::A0, Reg::A0, 1), // 0x1008
+            addi(Reg::A1, Reg::A1, 1), // 0x100c
+            Instr::Ecall,
+        ]);
+        assert!(d.iter().any(|d| d.rule == Rule::HwlBranchIn));
+    }
+
+    #[test]
+    fn branch_out_of_loop_body_is_flagged() {
+        let d = run(&[
+            Instr::LpSetupi {
+                l: LoopIdx::L0,
+                imm: 4,
+                offset: 12,
+            }, // body [0x1004, 0x100c)
+            Instr::Branch {
+                cond: BranchCond::Ne,
+                rs1: Reg::A0,
+                rs2: Reg::Zero,
+                offset: 12,
+            }, // 0x1004 -> 0x1010, outside
+            addi(Reg::A0, Reg::A0, 1), // 0x1008
+            Instr::Ecall,              // 0x100c
+            Instr::Ecall,              // 0x1010
+        ]);
+        assert!(d.iter().any(|d| d.rule == Rule::HwlBranchOut));
+    }
+
+    #[test]
+    fn l1_inside_l0_is_flagged() {
+        let d = run(&[
+            Instr::LpSetupi {
+                l: LoopIdx::L0,
+                imm: 4,
+                offset: 16,
+            }, // body [0x1004, 0x1014)
+            Instr::LpSetupi {
+                l: LoopIdx::L1,
+                imm: 4,
+                offset: 8,
+            }, // body [0x1008, 0x100c) inside L0's
+            addi(Reg::A0, Reg::A0, 1),
+            addi(Reg::A1, Reg::A1, 1),
+            Instr::Ecall,
+        ]);
+        assert!(d.iter().any(|d| d.rule == Rule::HwlBadNesting));
+    }
+
+    #[test]
+    fn proper_l0_inside_l1_is_clean() {
+        let d = run(&[
+            Instr::LpSetupi {
+                l: LoopIdx::L1,
+                imm: 4,
+                offset: 16,
+            }, // body [0x1004, 0x1014)
+            Instr::LpSetupi {
+                l: LoopIdx::L0,
+                imm: 4,
+                offset: 8,
+            }, // body [0x1008, 0x100c)
+            addi(Reg::A0, Reg::A0, 1),
+            addi(Reg::A1, Reg::A1, 1),
+            Instr::Ecall,
+        ]);
+        assert!(!d.iter().any(|d| d.rule == Rule::HwlBadNesting), "{d:?}");
+    }
+
+    #[test]
+    fn incomplete_manual_setup_is_flagged() {
+        let d = run(&[
+            Instr::LpEndi {
+                l: LoopIdx::L0,
+                offset: 8,
+            },
+            addi(Reg::A0, Reg::A0, 1),
+            Instr::Ecall,
+        ]);
+        assert!(d.iter().any(|d| d.rule == Rule::HwlIncompleteSetup));
+    }
+
+    #[test]
+    fn control_flow_as_last_body_instruction_is_flagged() {
+        let d = run(&[
+            Instr::LpSetupi {
+                l: LoopIdx::L0,
+                imm: 4,
+                offset: 12,
+            }, // body [0x1004, 0x1010)
+            addi(Reg::A0, Reg::A0, 1),
+            Instr::Jal {
+                rd: Reg::Zero,
+                offset: -4,
+            }, // jump as last body instruction
+            Instr::Ecall,
+        ]);
+        assert!(d.iter().any(|d| d.rule == Rule::HwlLastInsnControlFlow));
+    }
+}

@@ -1,0 +1,120 @@
+//! Negative-diagnostic golden tests: each hand-broken program under
+//! `tests/fixtures/*.s` must produce exactly the diagnostics pinned in
+//! `tests/golden/<name>.txt` — the rule ID, PC, decoded instruction
+//! and message are all part of the contract, so a rule that silently
+//! stops firing (or starts over-firing) shows up as a readable diff.
+//!
+//! To re-bless after an intentional analyzer change:
+//!
+//! ```text
+//! XPULPNN_BLESS=1 cargo test -p xcheck --test broken_golden
+//! ```
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use xcheck::{LintConfig, Region};
+
+const BLESS_ENV: &str = "XPULPNN_BLESS";
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// The lint profile each fixture is checked under. Most run the
+/// default profile; region- and reservation-sensitive fixtures use the
+/// kernel profile with a deliberately tight contract.
+fn config_for(name: &str) -> LintConfig {
+    match name {
+        "out_of_region_store" => {
+            LintConfig::kernel(vec![Region::new("output", 0x1c06_8000, 0x100)])
+        }
+        "reserved_clobber" => LintConfig::kernel(Vec::new()),
+        _ => LintConfig::default(),
+    }
+}
+
+fn fixture_names() -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(fixtures_dir())
+        .expect("fixtures dir")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "s"))
+        .map(|p| p.file_stem().expect("stem").to_string_lossy().into_owned())
+        .collect();
+    names.sort();
+    names
+}
+
+#[test]
+fn broken_fixtures_match_golden_diagnostics() {
+    let bless = std::env::var(BLESS_ENV).is_ok();
+    let mut mismatches = Vec::new();
+    for name in fixture_names() {
+        let src_path = fixtures_dir().join(format!("{name}.s"));
+        let source = std::fs::read_to_string(&src_path).expect("read fixture");
+        let prog = pulp_asm::text::parse(&source)
+            .unwrap_or_else(|e| panic!("{}: {e}", src_path.display()));
+        let report = xcheck::analyze_program(&prog, &config_for(&name));
+        assert!(
+            !report.clean(),
+            "{name}: a broken fixture must produce diagnostics"
+        );
+        let got = report.render();
+        let path = golden_dir().join(format!("{name}.txt"));
+        if bless {
+            std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+            std::fs::write(&path, &got).expect("write snapshot");
+            continue;
+        }
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing snapshot {}: {e}\nre-bless with {BLESS_ENV}=1 cargo test -p xcheck --test broken_golden",
+                path.display()
+            )
+        });
+        if want != got {
+            mismatches.push(format!("{name}:\n--- want\n{want}--- got\n{got}"));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "golden diagnostics diverged (re-bless with {BLESS_ENV}=1 if intentional):\n{}",
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn golden_dir_matches_fixtures_exactly() {
+    let fixtures: BTreeSet<String> = fixture_names().into_iter().collect();
+    let snapshots: BTreeSet<String> = std::fs::read_dir(golden_dir())
+        .expect("golden dir")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "txt"))
+        .map(|p| p.file_stem().expect("stem").to_string_lossy().into_owned())
+        .collect();
+    assert_eq!(
+        fixtures, snapshots,
+        "every fixture needs a snapshot and vice versa"
+    );
+}
+
+#[test]
+fn fixtures_cover_every_rule_family() {
+    let mut ids = BTreeSet::new();
+    for name in fixture_names() {
+        let source = std::fs::read_to_string(fixtures_dir().join(format!("{name}.s"))).unwrap();
+        let prog = pulp_asm::text::parse(&source).unwrap();
+        for d in xcheck::analyze_program(&prog, &config_for(&name)).diagnostics {
+            ids.insert(d.rule.id().to_string());
+        }
+    }
+    for want in [
+        "HWL-01", "HWL-05", "DF-01", "DF-03", "MEM-01", "MEM-02", "QNT-01",
+    ] {
+        assert!(ids.contains(want), "no fixture fires {want}; got {ids:?}");
+    }
+}

@@ -1,0 +1,10 @@
+# HWL-05: the last instruction of a hardware-loop body is a branch,
+# which RI5CY forbids (the implicit back-edge and the branch collide).
+    li a0, 0
+    li t0, 4
+    lp.setup x0, t0, end
+body:
+    addi a0, a0, 1
+    bne a0, t0, body
+end:
+    ecall

@@ -1,0 +1,12 @@
+# HWL-01: a branch from outside a hardware loop targets the middle of
+# its body, bypassing the loop-setup (RI5CY forbids jumping into an
+# active loop body).
+    li a0, 0
+    li t0, 4
+    bne a0, zero, inside
+    lp.setup x0, t0, end
+    addi a0, a0, 1
+inside:
+    addi a0, a0, 2
+end:
+    ecall

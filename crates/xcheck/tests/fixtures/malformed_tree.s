@@ -1,0 +1,8 @@
+# QNT-01: the first threshold tree's root (0) is smaller than its
+# in-order predecessor (7), so the Eytzinger heap is not sorted.
+# Layout: two nibble trees of 15 halfwords each, 32-byte stride.
+    li t0, 0x01020304
+    la a1, trees
+    pv.qnt.n a0, t0, a1
+    ecall
+    .half trees, 0, 4, 12, 2, 6, 10, 14, 1, 3, 5, 7, 9, 11, 13, 15, 0, 108, 104, 112, 102, 106, 110, 114, 101, 103, 105, 107, 109, 111, 113, 115, 0

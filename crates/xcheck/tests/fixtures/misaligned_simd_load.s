@@ -1,0 +1,5 @@
+# MEM-02: a post-increment word load from a provably 2-mod-4 address.
+    li a2, 0x1c020002
+    p.lw a1, 4(a2!)
+    add a0, a1, a2
+    ecall

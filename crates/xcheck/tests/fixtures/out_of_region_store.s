@@ -1,0 +1,7 @@
+# MEM-01: the store lands at 0x1c070000, provably outside the single
+# declared output region (0x1c068000 + 0x100).
+    li a0, 0x1c070000
+    li a1, 7
+    sw a1, 0(a0)
+    li a0, 0
+    ecall

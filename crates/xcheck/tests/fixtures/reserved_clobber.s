@@ -1,0 +1,5 @@
+# DF-03: the kernel profile reserves tp; writing it is a clobber (and
+# the written value is dead on top of it).
+    li tp, 4
+    li a0, 0
+    ecall

@@ -1,0 +1,3 @@
+# DF-01: a2 and a3 are read without ever being written on any path.
+    add a0, a2, a3
+    ecall
