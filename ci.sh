@@ -19,11 +19,12 @@ echo "==> tier-1: cargo test -q"
 cargo test -q --locked
 
 # Static verification gate: every shipped kernel program (8 conv
-# variants + depthwise/pool/relu/linear testbench kernels) must lint
-# clean against the tensor regions its layout declares.
+# variants + depthwise/pool/relu/linear testbench kernels) plus the
+# eight 8-hart parallel cluster kernels must lint clean against the
+# tensor regions its layout declares.
 echo "==> xpulpnn lint (all shipped kernels, zero diagnostics)"
 lint_out=$(cargo run --release -q --locked -p xpulpnn-cli -- lint)
-echo "$lint_out" | grep -F "15 kernels lint-clean" > /dev/null || {
+echo "$lint_out" | grep -F "23 kernels lint-clean" > /dev/null || {
     echo "shipped kernels no longer lint clean:"
     echo "$lint_out"
     exit 1
@@ -48,5 +49,37 @@ echo "$faults_out" | grep -F "totals: detected=0 masked=13 sdc=3" > /dev/null ||
     echo "$faults_out"
     exit 1
 }
+
+# Cluster acceptance: the full kernel matrix stays bit-exact on every
+# cluster size, simulated cycles are invariant under host scheduling,
+# and the single-hart cluster stays pinned to the Fig. 8 measurement.
+# (These run in the tier-1 suite too; re-running the release binary
+# here keeps the gate meaningful if the default test profile changes.)
+echo "==> cluster equivalence + determinism (release)"
+cargo test --release -q --locked -p pulp-cluster --test cluster
+
+# 8-core AVF smoke: the cluster campaign is seed-deterministic like the
+# single-core one; assert the totals line exists and carries all three
+# outcome classes.
+echo "==> cluster fault-campaign smoke (8 harts, 8 variants x 1 trial, seed 1)"
+cfaults_out=$(cargo run --release -q --locked -p xpulpnn-cli -- faults --cluster --cores 8 --seed 1 --trials 1)
+echo "$cfaults_out" | grep -E "cluster totals: detected=[0-9]+ masked=[0-9]+ sdc=[0-9]+" > /dev/null || {
+    echo "cluster fault campaign produced no totals:"
+    echo "$cfaults_out"
+    exit 1
+}
+
+# Benchmark artifacts: one BENCH_<label>.json per configuration, with
+# the stall/conflict breakdown and per-core utilization inside.
+echo "==> bench artifacts (BENCH_single_core.json, BENCH_cluster8.json)"
+cargo run --release -q --locked -p xpulpnn-cli -- bench --json --out .
+for f in BENCH_single_core.json BENCH_cluster8.json; do
+    [ -s "$f" ] || { echo "missing bench artifact $f"; exit 1; }
+    grep -F '"macs_per_cycle"' "$f" > /dev/null || {
+        echo "bench artifact $f lacks macs_per_cycle:"
+        cat "$f"
+        exit 1
+    }
+done
 
 echo "==> ci: all green"

@@ -12,7 +12,10 @@ use xpulpnn::{BitWidth, KernelIsa};
 pub const USAGE: &str = "\
 usage:
   xpulpnn run <file.s> [--isa rv32im|xpulpv2|xpulpnn] [--max-cycles N] [--trace]
-      assemble and execute a program on the simulated SoC
+                [--cores N]
+      assemble and execute a program on the simulated SoC; with
+      --cores N (2..8) the program runs SPMD on an N-hart cluster
+      sharing the banked TCDM (each hart reads its id from mhartid)
   xpulpnn dis <file.s>
       assemble and print the listing with encodings
   xpulpnn codesize <file.s>
@@ -26,13 +29,27 @@ usage:
       run one paper-layer kernel with the execution tracer attached and
       print a JSON cycle-attribution profile (per-class ledger + hottest
       instructions); defaults to the 4-bit XpulpNN kernel with pv.qnt
+  xpulpnn cluster [--cores N] [--bits 8|4|2] [--isa xpulpv2|xpulpnn]
+                  [--sw-quant] [--seed N] [--threads N]
+      run the paper-layer convolution on an N-hart cluster (banked
+      TCDM, event-unit barriers, double-buffered DMA), verify the
+      output bit-exactly against the golden model and print cycles,
+      speedup over the single-core SoC, the conflict/DMA breakdown and
+      per-hart utilization; simulated cycles are independent of
+      --threads (host parallelism)
+  xpulpnn bench [--json] [--seed N] [--out DIR]
+      benchmark the Fig. 8 4-bit layer on the seed single core and the
+      8-core cluster; --json writes one BENCH_<label>.json artifact
+      per configuration (cycles, MACs/cycle, stall/conflict breakdown,
+      per-core utilization) instead of printing a table
   xpulpnn lint [<file.s>]
       statically verify a program: CFG + hardware-loop legality,
       dataflow (uninitialized reads, dead stores, reserved-register
       clobbers), abstract interpretation over address arithmetic
       (region containment, SIMD alignment, pv.qnt threshold trees);
-      with no file, lints every shipped kernel against the tensor
-      regions its layout declares and fails on any diagnostic
+      with no file, lints every shipped kernel and every 8-hart
+      parallel cluster kernel against the tensor regions its layout
+      declares and fails on any diagnostic
   xpulpnn conformance [--cases N] [--seed S] [--crossval]
       differentially fuzz the cycle-approximate core against the
       independent reference interpreter on N random programs; on
@@ -43,11 +60,14 @@ usage:
       trap-free, dynamic oracle hits must be caught statically or
       land in the recorded imprecision counters)
   xpulpnn faults [--seed S] [--trials N] [--replay V:T]
+                 [--cluster [--cores N]]
       run a seeded transient-fault campaign over the eight-kernel
       convolution matrix and print per-variant detected/masked/SDC
       rates (AVF); --replay re-runs one trial from its seed, restores
       the pre-fault checkpoint, and lock-steps faulted-vs-clean
-      execution to pinpoint the first corrupted architectural state";
+      execution to pinpoint the first corrupted architectural state;
+      --cluster runs the campaign on an N-hart cluster instead
+      (faults strike per-hart register files and the shared TCDM)";
 
 /// A user-facing CLI error.
 #[derive(Debug, PartialEq, Eq)]
@@ -76,6 +96,8 @@ pub struct RunOpts {
     pub max_cycles: u64,
     /// Print each retired instruction.
     pub trace: bool,
+    /// Harts to run the program on (1 = the plain single-core SoC).
+    pub cores: usize,
 }
 
 /// Parses the flags of the `run` subcommand.
@@ -84,10 +106,19 @@ pub fn parse_run_opts(args: &[String]) -> Result<RunOpts, CliError> {
     let mut isa = IsaConfig::xpulpnn();
     let mut max_cycles = 100_000_000u64;
     let mut trace = false;
+    let mut cores = 1usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--trace" => trace = true,
+            "--cores" => {
+                let v = it.next().ok_or_else(|| err("--cores needs a value"))?;
+                cores = v
+                    .parse()
+                    .ok()
+                    .filter(|n| (1..=8).contains(n))
+                    .ok_or_else(|| err(format!("bad core count `{v}` (want 1..8)")))?;
+            }
             "--isa" => {
                 let v = it.next().ok_or_else(|| err("--isa needs a value"))?;
                 isa = match v.as_str() {
@@ -113,11 +144,15 @@ pub fn parse_run_opts(args: &[String]) -> Result<RunOpts, CliError> {
             }
         }
     }
+    if trace && cores > 1 {
+        return Err(err("--trace is single-core only (use --cores 1)"));
+    }
     Ok(RunOpts {
         path: path.ok_or_else(|| err("run needs an input file"))?,
         isa,
         max_cycles,
         trace,
+        cores,
     })
 }
 
@@ -145,6 +180,9 @@ fn load_program(path: &str) -> Result<xpulpnn::pulp_asm::Program, CliError> {
 fn cmd_run(args: &[String]) -> Result<String, CliError> {
     let opts = parse_run_opts(args)?;
     let prog = load_program(&opts.path)?;
+    if opts.cores > 1 {
+        return run_spmd_report(&opts, &prog);
+    }
     let mut soc = Soc::new(opts.isa);
     soc.load(&prog);
     let mut out = String::new();
@@ -192,6 +230,227 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
             let _ = write!(line, "  {:>4} = {:#010x}", r.abi_name(), soc.core.reg(*r));
         }
         let _ = writeln!(out, "{line}");
+    }
+    Ok(out)
+}
+
+/// `run --cores N`: the program runs SPMD on an N-hart cluster.
+fn run_spmd_report(opts: &RunOpts, prog: &xpulpnn::pulp_asm::Program) -> Result<String, CliError> {
+    let r =
+        xpulpnn::pulp_cluster::run_spmd(opts.isa, opts.cores, prog, opts.max_cycles, opts.cores)
+            .map_err(|e| err(e.to_string()))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "exit codes: {:?}", r.exit_codes);
+    let _ = writeln!(out, "cycles    : {}", r.clock);
+    let _ = writeln!(
+        out,
+        "conflicts : {} ({} stall cycles)",
+        r.stats.conflicts, r.stats.conflict_stalls
+    );
+    for (h, p) in r.per_hart.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  hart {h} : instret {:<10} busy {:<10} barrier-wait {}",
+            p.instret, r.stats.busy[h], r.stats.barrier_wait[h]
+        );
+    }
+    if !r.console.is_empty() {
+        let _ = writeln!(out, "console   : {:?}", r.console);
+    }
+    Ok(out)
+}
+
+/// Parsed options for `cluster`.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ClusterOpts {
+    /// Harts in the cluster.
+    pub cores: usize,
+    /// Operand width of the paper-layer kernel.
+    pub bits: BitWidth,
+    /// Kernel ISA.
+    pub isa: KernelIsa,
+    /// Use `pv.qnt` (sub-byte XpulpNN kernels only).
+    pub hw_quant: bool,
+    /// Tensor seed.
+    pub seed: u64,
+    /// Host threads simulating the harts (never affects cycles).
+    pub threads: usize,
+}
+
+/// Parses the flags of the `cluster` subcommand.
+pub fn parse_cluster_opts(args: &[String]) -> Result<ClusterOpts, CliError> {
+    let mut o = ClusterOpts {
+        cores: 8,
+        bits: BitWidth::W4,
+        isa: KernelIsa::XpulpNN,
+        hw_quant: true,
+        seed: 42,
+        threads: 0, // 0 = match --cores
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--cores" => {
+                let v = it.next().ok_or_else(|| err("--cores needs a value"))?;
+                o.cores = v
+                    .parse()
+                    .ok()
+                    .filter(|n| (1..=8).contains(n))
+                    .ok_or_else(|| err(format!("bad core count `{v}` (want 1..8)")))?;
+            }
+            "--threads" => {
+                let v = it.next().ok_or_else(|| err("--threads needs a value"))?;
+                o.threads = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| err(format!("bad thread count `{v}`")))?;
+            }
+            "--bits" => {
+                let v = it.next().ok_or_else(|| err("--bits needs a value"))?;
+                o.bits = match v.as_str() {
+                    "8" => BitWidth::W8,
+                    "4" => BitWidth::W4,
+                    "2" => BitWidth::W2,
+                    other => return Err(err(format!("unknown width `{other}`"))),
+                };
+            }
+            "--isa" => {
+                let v = it.next().ok_or_else(|| err("--isa needs a value"))?;
+                o.isa = match v.as_str() {
+                    "xpulpv2" => KernelIsa::XpulpV2,
+                    "xpulpnn" => KernelIsa::XpulpNN,
+                    other => return Err(err(format!("unknown ISA `{other}`"))),
+                };
+            }
+            "--sw-quant" => o.hw_quant = false,
+            "--seed" => {
+                let v = it.next().ok_or_else(|| err("--seed needs a value"))?;
+                o.seed = v.parse().map_err(|_| err(format!("bad seed `{v}`")))?;
+            }
+            other => return Err(err(format!("unknown argument `{other}`"))),
+        }
+    }
+    if o.isa == KernelIsa::XpulpV2 || o.bits == BitWidth::W8 {
+        o.hw_quant = false; // pv.qnt exists only on sub-byte XpulpNN kernels
+    }
+    if o.threads == 0 {
+        o.threads = o.cores;
+    }
+    Ok(o)
+}
+
+fn cmd_cluster(args: &[String]) -> Result<String, CliError> {
+    let o = parse_cluster_opts(args)?;
+    let cfg = xpulpnn::ConvKernelConfig::paper(o.bits, o.isa, o.hw_quant);
+    let tb = xpulpnn::pulp_cluster::ClusterConvTestbench::new(cfg, o.cores, o.seed)
+        .map_err(|e| err(e.to_string()))?;
+    let r = tb.run(o.threads).map_err(|e| err(e.to_string()))?;
+    if !r.matches() {
+        return Err(err(format!(
+            "{}: cluster output diverged from the golden model",
+            cfg.name()
+        )));
+    }
+    let single = xpulpnn::measure::measure(cfg, o.seed).map_err(|e| err(e.to_string()))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "kernel      : {} on {} core(s)", cfg.name(), o.cores);
+    let _ = writeln!(out, "output      : matches golden model (bit-exact)");
+    let _ = writeln!(
+        out,
+        "cycles      : {} ({:.2} MACs/cycle)",
+        r.cycles,
+        r.macs_per_cycle(&cfg)
+    );
+    let _ = writeln!(
+        out,
+        "speedup     : {:.2}x over single-core ({} cycles)",
+        single.cycles as f64 / r.cycles as f64,
+        single.cycles
+    );
+    let _ = writeln!(
+        out,
+        "conflicts   : {} ({} stall cycles)",
+        r.stats.conflicts, r.stats.conflict_stalls
+    );
+    let _ = writeln!(
+        out,
+        "dma         : prologue {} + writeback {} blocking; {} hidden, {} exposed",
+        r.stats.dma_prologue, r.stats.dma_writeback, r.stats.dma_hidden, r.stats.dma_exposed
+    );
+    for h in 0..o.cores {
+        let _ = writeln!(
+            out,
+            "  hart {h}    : busy {:<10} barrier-wait {:<8} utilization {:.1}%",
+            r.stats.busy[h],
+            r.stats.barrier_wait[h],
+            r.utilization(h) * 100.0
+        );
+    }
+    Ok(out)
+}
+
+/// Parsed options for `bench`.
+#[derive(Debug, PartialEq, Eq)]
+pub struct BenchOpts {
+    /// Write `BENCH_<label>.json` artifacts instead of a table.
+    pub json: bool,
+    /// Tensor seed.
+    pub seed: u64,
+    /// Directory the JSON artifacts land in.
+    pub out_dir: String,
+}
+
+/// Parses the flags of the `bench` subcommand.
+pub fn parse_bench_opts(args: &[String]) -> Result<BenchOpts, CliError> {
+    let mut o = BenchOpts {
+        json: false,
+        seed: 42,
+        out_dir: ".".to_string(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => o.json = true,
+            "--seed" => {
+                let v = it.next().ok_or_else(|| err("--seed needs a value"))?;
+                o.seed = v.parse().map_err(|_| err(format!("bad seed `{v}`")))?;
+            }
+            "--out" => {
+                let v = it.next().ok_or_else(|| err("--out needs a directory"))?;
+                o.out_dir = v.clone();
+            }
+            other => return Err(err(format!("unknown argument `{other}`"))),
+        }
+    }
+    Ok(o)
+}
+
+fn cmd_bench(args: &[String]) -> Result<String, CliError> {
+    let o = parse_bench_opts(args)?;
+    let records = xpulpnn::bench::paper_bench_suite(o.seed).map_err(|e| err(e.to_string()))?;
+    let mut out = String::new();
+    if o.json {
+        for r in &records {
+            let path = std::path::Path::new(&o.out_dir).join(format!("BENCH_{}.json", r.label));
+            std::fs::write(&path, format!("{}\n", r.to_json()))
+                .map_err(|e| err(format!("cannot write `{}`: {e}", path.display())))?;
+            let _ = writeln!(out, "wrote {}", path.display());
+        }
+        return Ok(out);
+    }
+    for r in &records {
+        let _ = writeln!(
+            out,
+            "{:<12} {} core(s)  {:>9} cycles  {:.2} MACs/cycle",
+            r.label,
+            r.cores,
+            r.cycles,
+            r.macs_per_cycle()
+        );
+        for (name, cycles) in &r.breakdown {
+            let _ = writeln!(out, "    {name:<24} {cycles}");
+        }
     }
     Ok(out)
 }
@@ -325,8 +584,10 @@ fn cmd_lint(args: &[String]) -> Result<String, CliError> {
             Err(err(format!("{p}:\n{}", report.render())))
         };
     }
-    // No file: lint every shipped kernel against its declared regions.
-    let kernels = xpulpnn::lint::shipped_kernels().map_err(|e| err(e.to_string()))?;
+    // No file: lint every shipped kernel against its declared regions,
+    // plus the eight parallel cluster kernels (8-hart split).
+    let mut kernels = xpulpnn::lint::shipped_kernels().map_err(|e| err(e.to_string()))?;
+    kernels.extend(xpulpnn::lint::cluster_kernels(8).map_err(|e| err(e.to_string()))?);
     let mut out = String::new();
     let mut dirty = 0usize;
     for k in &kernels {
@@ -417,6 +678,11 @@ pub struct FaultsOpts {
     pub trials: u64,
     /// Replay one trial (`variant:trial`) instead of running a campaign.
     pub replay: Option<(usize, u64)>,
+    /// Run the campaign on a multi-core cluster instead of the
+    /// single-core SoC.
+    pub cluster: bool,
+    /// Harts in the cluster campaign (with `--cluster`).
+    pub cores: usize,
 }
 
 /// Parses the flags of the `faults` subcommand.
@@ -425,10 +691,21 @@ pub fn parse_faults_opts(args: &[String]) -> Result<FaultsOpts, CliError> {
         seed: 42,
         trials: 25,
         replay: None,
+        cluster: false,
+        cores: 8,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--cluster" => o.cluster = true,
+            "--cores" => {
+                let v = it.next().ok_or_else(|| err("--cores needs a value"))?;
+                o.cores = v
+                    .parse()
+                    .ok()
+                    .filter(|n| (1..=8).contains(n))
+                    .ok_or_else(|| err(format!("bad core count `{v}` (want 1..8)")))?;
+            }
             "--seed" => {
                 let v = it.next().ok_or_else(|| err("--seed needs a value"))?;
                 o.seed = v.parse().map_err(|_| err(format!("bad seed `{v}`")))?;
@@ -457,11 +734,18 @@ pub fn parse_faults_opts(args: &[String]) -> Result<FaultsOpts, CliError> {
             other => return Err(err(format!("unknown argument `{other}`"))),
         }
     }
+    if o.cluster && o.replay.is_some() {
+        return Err(err("--replay is single-core only (drop --cluster)"));
+    }
     Ok(o)
 }
 
 fn cmd_faults(args: &[String]) -> Result<String, CliError> {
     let o = parse_faults_opts(args)?;
+    if o.cluster {
+        let r = xpulpnn::faultsim::run_cluster_campaign(o.seed, o.trials, o.cores).map_err(err)?;
+        return Ok(format!("{r}"));
+    }
     match o.replay {
         Some((variant, trial)) => {
             let r = xpulpnn::faultsim::replay(o.seed, variant, trial).map_err(err)?;
@@ -485,6 +769,8 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         .ok_or_else(|| err("missing subcommand"))?;
     match cmd.as_str() {
         "run" => cmd_run(rest),
+        "cluster" => cmd_cluster(rest),
+        "bench" => cmd_bench(rest),
         "dis" => cmd_dis(rest),
         "codesize" => cmd_codesize(rest),
         "sweep" => cmd_sweep(rest),
@@ -517,6 +803,10 @@ mod tests {
         assert_eq!(o.isa, IsaConfig::xpulpv2());
         assert_eq!(o.max_cycles, 5);
         assert_eq!(o.path, "p.s");
+        assert_eq!(o.cores, 1);
+
+        let o = parse_run_opts(&v(&["p.s", "--cores", "4"])).unwrap();
+        assert_eq!(o.cores, 4);
     }
 
     #[test]
@@ -526,6 +816,10 @@ mod tests {
         assert!(parse_run_opts(&v(&["a.s", "--isa", "armv7"])).is_err());
         assert!(parse_run_opts(&v(&["a.s", "--max-cycles", "lots"])).is_err());
         assert!(parse_run_opts(&v(&["a.s", "--bogus"])).is_err());
+        assert!(parse_run_opts(&v(&["a.s", "--cores", "9"])).is_err());
+        assert!(parse_run_opts(&v(&["a.s", "--cores", "0"])).is_err());
+        // Tracing interleaves harts unreadably; reject the combination.
+        assert!(parse_run_opts(&v(&["a.s", "--cores", "2", "--trace"])).is_err());
     }
 
     #[test]
@@ -685,9 +979,17 @@ mod tests {
             FaultsOpts {
                 seed: 42,
                 trials: 25,
-                replay: None
+                replay: None,
+                cluster: false,
+                cores: 8,
             }
         );
+
+        let o = parse_faults_opts(&v(&["--cluster", "--cores", "2"])).unwrap();
+        assert!(o.cluster);
+        assert_eq!(o.cores, 2);
+        // Replay lock-steps a single core; it has no cluster form.
+        assert!(parse_faults_opts(&v(&["--cluster", "--replay", "0:0"])).is_err());
 
         let o =
             parse_faults_opts(&v(&["--seed", "7", "--trials", "3", "--replay", "4:12"])).unwrap();
@@ -718,8 +1020,101 @@ mod tests {
     #[test]
     fn lint_all_shipped_kernels_is_clean() {
         let out = dispatch(&v(&["lint"])).unwrap();
-        assert!(out.contains("15 kernels lint-clean"), "{out}");
+        // 15 single-core kernels + the 8 parallel cluster variants.
+        assert!(out.contains("23 kernels lint-clean"), "{out}");
         assert!(out.contains("conv/4-bit/xpulpnn/pv.qnt"), "{out}");
+        assert!(out.contains("cluster-conv/"), "{out}");
+    }
+
+    #[test]
+    fn cluster_opts_defaults_and_flags() {
+        let o = parse_cluster_opts(&[]).unwrap();
+        assert_eq!(o.cores, 8);
+        assert_eq!(o.bits, BitWidth::W4);
+        assert_eq!(o.isa, KernelIsa::XpulpNN);
+        assert!(o.hw_quant);
+        assert_eq!(o.threads, 8); // defaults to --cores
+
+        let o = parse_cluster_opts(&v(&["--cores", "2", "--bits", "8", "--threads", "1"])).unwrap();
+        assert_eq!(o.cores, 2);
+        assert_eq!(o.bits, BitWidth::W8);
+        assert_eq!(o.threads, 1);
+        assert!(!o.hw_quant); // pv.qnt drops at 8 bits
+
+        assert!(parse_cluster_opts(&v(&["--cores", "9"])).is_err());
+        assert!(parse_cluster_opts(&v(&["--threads", "0"])).is_err());
+        assert!(parse_cluster_opts(&v(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn bench_opts_defaults_and_flags() {
+        let o = parse_bench_opts(&[]).unwrap();
+        assert!(!o.json);
+        assert_eq!(o.seed, 42);
+        assert_eq!(o.out_dir, ".");
+
+        let o = parse_bench_opts(&v(&["--json", "--seed", "7", "--out", "/tmp/x"])).unwrap();
+        assert!(o.json);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.out_dir, "/tmp/x");
+
+        assert!(parse_bench_opts(&v(&["--out"])).is_err());
+        assert!(parse_bench_opts(&v(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn run_cores_executes_spmd_on_the_cluster() {
+        let dir = std::env::temp_dir().join(format!("xpulpnn-cli-spmd-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("spmd.s");
+        // Each hart exits with twice its id (mhartid = csr 0xf14).
+        std::fs::write(&path, "csrr t0, 0xf14\nslli a0, t0, 1\necall\n").unwrap();
+        let p = path.to_str().unwrap().to_string();
+        let out = dispatch(&v(&["run", &p, "--cores", "4"])).unwrap();
+        assert!(out.contains("exit codes: [0, 2, 4, 6]"), "{out}");
+        assert!(out.contains("hart 3"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cluster_smoke_verifies_and_reports_speedup() {
+        let out = dispatch(&v(&["cluster", "--cores", "8"])).unwrap();
+        assert!(out.contains("8 core(s)"), "{out}");
+        assert!(out.contains("matches golden model"), "{out}");
+        assert!(out.contains("speedup"), "{out}");
+        assert!(out.contains("hart 7"), "{out}");
+    }
+
+    #[test]
+    fn bench_json_writes_the_artifacts() {
+        let dir = std::env::temp_dir().join(format!("xpulpnn-cli-bench-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dispatch(&v(&["bench", "--json", "--out", dir.to_str().unwrap()])).unwrap();
+        assert!(out.contains("BENCH_single_core.json"), "{out}");
+        assert!(out.contains("BENCH_cluster8.json"), "{out}");
+        for (label, cores) in [("single_core", 1), ("cluster8", 8)] {
+            let j = std::fs::read_to_string(dir.join(format!("BENCH_{label}.json"))).unwrap();
+            assert!(j.contains(&format!("\"cores\": {cores}")), "{j}");
+            assert!(j.contains("\"macs_per_cycle\""), "{j}");
+            assert!(j.contains("\"per_core\""), "{j}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn faults_cluster_campaign_smoke() {
+        let out = dispatch(&v(&[
+            "faults",
+            "--cluster",
+            "--cores",
+            "2",
+            "--seed",
+            "1",
+            "--trials",
+            "1",
+        ]))
+        .unwrap();
+        assert!(out.contains("cluster totals: detected="), "{out}");
     }
 
     #[test]

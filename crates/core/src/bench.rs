@@ -1,0 +1,283 @@
+//! Benchmark artifacts for `xpulpnn bench`: one machine-readable record
+//! per configuration — simulated cycles, MACs/cycle, the stall/conflict
+//! breakdown and per-core utilization — for the paper's Fig. 8 4-bit
+//! layer on the seed single core and on the 8-core cluster.
+//!
+//! JSON is emitted by hand, same as [`crate::report`]: the offline
+//! build carries no serde, and the records are small flat structures.
+
+use crate::measure::{measure, Error};
+use pulp_cluster::{ClusterConvTestbench, ClusterError};
+use pulp_kernels::{ConvKernelConfig, KernelIsa};
+use qnn::BitWidth;
+
+/// One core's share of a benchmark run.
+#[derive(Debug, Clone)]
+pub struct CoreActivity {
+    /// Hart index.
+    pub hart: usize,
+    /// Instructions the hart retired.
+    pub instret: u64,
+    /// Cycles the hart was executing or stalled on a bank conflict.
+    pub busy: u64,
+    /// Cycles the hart idled at barriers waiting for slower harts.
+    pub barrier_wait: u64,
+    /// `busy / total cycles`.
+    pub utilization: f64,
+}
+
+/// A self-contained benchmark record, serializable with
+/// [`BenchRecord::to_json`].
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Artifact label (`"single_core"`, `"cluster8"`, ...); the CLI
+    /// writes the record to `BENCH_<label>.json`.
+    pub label: String,
+    /// Kernel configuration name.
+    pub kernel: String,
+    /// Cores the run used.
+    pub cores: usize,
+    /// Total simulated cycles (for the cluster: DMA prologue + compute
+    /// regions + write-back).
+    pub cycles: u64,
+    /// Multiply-accumulates in the layer.
+    pub macs: u64,
+    /// Named cycle/stall breakdown. Single-core records carry the
+    /// per-class cycle ledger; cluster records carry conflict and DMA
+    /// accounting.
+    pub breakdown: Vec<(String, u64)>,
+    /// Per-core activity, one entry per hart.
+    pub per_core: Vec<CoreActivity>,
+}
+
+impl BenchRecord {
+    /// Multiply-accumulates per cycle; 0 when no cycles were recorded.
+    pub fn macs_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.macs as f64 / self.cycles as f64
+        }
+    }
+
+    /// Benchmarks `cfg` on the seed single-core SoC (verified against
+    /// the golden model) and records its cycle-ledger breakdown.
+    pub fn single_core(
+        label: &str,
+        cfg: ConvKernelConfig,
+        seed: u64,
+    ) -> Result<BenchRecord, Error> {
+        let m = measure(cfg, seed)?;
+        let breakdown = m
+            .perf
+            .ledger
+            .entries()
+            .map(|(class, cycles)| (class.name().to_string(), cycles))
+            .collect();
+        Ok(BenchRecord {
+            label: label.to_string(),
+            kernel: m.cfg.name(),
+            cores: 1,
+            cycles: m.cycles,
+            macs: m.macs,
+            breakdown,
+            per_core: vec![CoreActivity {
+                hart: 0,
+                instret: m.perf.instret,
+                busy: m.cycles,
+                barrier_wait: 0,
+                utilization: 1.0,
+            }],
+        })
+    }
+
+    /// Benchmarks `cfg` on an `cores`-hart cluster (verified bit-exact
+    /// against the golden model) and records the conflict/DMA breakdown
+    /// plus per-hart utilization.
+    pub fn cluster(
+        label: &str,
+        cfg: ConvKernelConfig,
+        cores: usize,
+        seed: u64,
+    ) -> Result<BenchRecord, Error> {
+        let tb =
+            ClusterConvTestbench::new(cfg, cores, seed).map_err(|e| Error::Build(e.to_string()))?;
+        let r = tb.run(cores).map_err(|e| match e {
+            ClusterError::Trap { trap, .. } => Error::Trap(trap),
+        })?;
+        if !r.matches() {
+            return Err(Error::Mismatch { config: cfg.name() });
+        }
+        let breakdown = vec![
+            ("bank_conflicts".to_string(), r.stats.conflicts),
+            ("conflict_stall_cycles".to_string(), r.stats.conflict_stalls),
+            (
+                "barrier_wait_cycles".to_string(),
+                r.stats.barrier_wait.iter().sum(),
+            ),
+            ("dma_prologue_cycles".to_string(), r.stats.dma_prologue),
+            ("dma_hidden_cycles".to_string(), r.stats.dma_hidden),
+            ("dma_exposed_cycles".to_string(), r.stats.dma_exposed),
+            ("dma_writeback_cycles".to_string(), r.stats.dma_writeback),
+        ];
+        let cycles = r.cycles;
+        let per_core = (0..cores)
+            .map(|h| CoreActivity {
+                hart: h,
+                instret: r.per_hart[h].instret,
+                busy: r.stats.busy[h],
+                barrier_wait: r.stats.barrier_wait[h],
+                utilization: r.utilization(h),
+            })
+            .collect();
+        Ok(BenchRecord {
+            label: label.to_string(),
+            kernel: cfg.name(),
+            cores,
+            cycles,
+            macs: cfg.shape.macs(),
+            breakdown,
+            per_core,
+        })
+    }
+
+    /// Serializes the record as a self-contained JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"label\": \"{}\",\n", escape(&self.label)));
+        s.push_str(&format!("  \"kernel\": \"{}\",\n", escape(&self.kernel)));
+        s.push_str(&format!("  \"cores\": {},\n", self.cores));
+        s.push_str(&format!("  \"cycles\": {},\n", self.cycles));
+        s.push_str(&format!("  \"macs\": {},\n", self.macs));
+        s.push_str(&format!(
+            "  \"macs_per_cycle\": {:.4},\n",
+            self.macs_per_cycle()
+        ));
+        s.push_str("  \"breakdown\": {\n");
+        for (i, (name, cycles)) in self.breakdown.iter().enumerate() {
+            s.push_str(&format!(
+                "    \"{}\": {}{}\n",
+                escape(name),
+                cycles,
+                if i + 1 < self.breakdown.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  },\n");
+        s.push_str("  \"per_core\": [\n");
+        for (i, c) in self.per_core.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"hart\": {}, \"instret\": {}, \"busy\": {}, \"barrier_wait\": {}, \
+                 \"utilization\": {:.4}}}{}\n",
+                c.hart,
+                c.instret,
+                c.busy,
+                c.barrier_wait,
+                c.utilization,
+                if i + 1 < self.per_core.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}");
+        s
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// The benchmark suite `xpulpnn bench` runs: the paper's Fig. 8 4-bit
+/// hardware-quantized layer on the seed single core and on the 8-core
+/// cluster.
+pub fn paper_bench_suite(seed: u64) -> Result<Vec<BenchRecord>, Error> {
+    let cfg = ConvKernelConfig::paper(BitWidth::W4, KernelIsa::XpulpNN, true);
+    Ok(vec![
+        BenchRecord::single_core("single_core", cfg, seed)?,
+        BenchRecord::cluster("cluster8", cfg, 8, seed)?,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnn::conv::ConvShape;
+
+    fn small_cfg() -> ConvKernelConfig {
+        let mut cfg = ConvKernelConfig::paper(BitWidth::W4, KernelIsa::XpulpNN, true);
+        cfg.shape = ConvShape {
+            in_h: 4,
+            in_w: 4,
+            in_c: 16,
+            out_c: 8,
+            k_h: 3,
+            k_w: 3,
+            stride: 1,
+            pad: 1,
+        };
+        cfg
+    }
+
+    #[test]
+    fn single_core_record_carries_the_cycle_ledger() {
+        let r = BenchRecord::single_core("single_core", small_cfg(), 42).unwrap();
+        assert_eq!(r.cores, 1);
+        assert!(r.cycles > 0);
+        assert!(r.macs_per_cycle() > 0.0);
+        let ledger_total: u64 = r.breakdown.iter().map(|(_, c)| c).sum();
+        assert_eq!(ledger_total, r.cycles, "ledger must account every cycle");
+        assert_eq!(r.per_core.len(), 1);
+        assert!((r.per_core[0].utilization - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn cluster_record_accounts_conflicts_and_dma() {
+        let r = BenchRecord::cluster("cluster4", small_cfg(), 4, 42).unwrap();
+        assert_eq!(r.cores, 4);
+        assert_eq!(r.per_core.len(), 4);
+        let get = |name: &str| {
+            r.breakdown
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, c)| *c)
+                .unwrap()
+        };
+        assert!(get("dma_prologue_cycles") > 0);
+        assert!(get("dma_writeback_cycles") > 0);
+        for c in &r.per_core {
+            assert!(c.utilization > 0.0 && c.utilization <= 1.0);
+        }
+    }
+
+    #[test]
+    fn json_is_balanced_and_carries_the_fields() {
+        let r = BenchRecord::cluster("cluster2", small_cfg(), 2, 42).unwrap();
+        let j = r.to_json();
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced braces:\n{j}"
+        );
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        for key in [
+            "\"label\": \"cluster2\"",
+            "\"cores\": 2",
+            "\"macs_per_cycle\"",
+            "\"bank_conflicts\"",
+            "\"per_core\"",
+            "\"utilization\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in:\n{j}");
+        }
+    }
+}

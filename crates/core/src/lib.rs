@@ -16,6 +16,7 @@
 //! | PULPissimo SoC model (L2, console) | [`pulp_soc`] |
 //! | golden QNN math (conv, pooling, quantizers) | [`qnn`] |
 //! | generated PULP-NN-style kernels | [`pulp_kernels`] |
+//! | multi-core cluster (banked TCDM, DMA, parallel kernels) | [`pulp_cluster`] |
 //! | Cortex-M4/M7 CMSIS-NN cost models | [`cortexm_model`] |
 //! | Table III area/power models | [`pulp_power`] |
 //! | differential ISA conformance fuzzing | [`conformance`] |
@@ -43,6 +44,7 @@
 //! [`network`] for whole-network deployment (describe a quantized
 //! network as layers, run verified inference end to end on the SoC).
 
+pub mod bench;
 pub mod experiments;
 pub mod lint;
 pub mod measure;
@@ -59,6 +61,7 @@ pub use conformance;
 pub use cortexm_model;
 pub use faultsim;
 pub use pulp_asm;
+pub use pulp_cluster;
 pub use pulp_isa;
 pub use pulp_kernels;
 pub use pulp_power;

@@ -10,13 +10,15 @@
 //! `xpulpnn lint` without any input vector having to hit the bug.
 
 use pulp_asm::Program;
+use pulp_kernels::cluster::ClusterPlan;
 use pulp_kernels::depthwise::{build_depthwise_program, DepthwiseKernelConfig};
 use pulp_kernels::descriptors::im2col_descriptors;
-use pulp_kernels::emit::{build_conv_program, simd_fmt};
+use pulp_kernels::emit::{build_cluster_conv_program, build_conv_program, simd_fmt};
 use pulp_kernels::linear::{build_linear_program, LinearKernelConfig};
 use pulp_kernels::pool::{build_relu_program, PoolKernelConfig, PoolOp, PoolTestbench};
 use pulp_kernels::runner::BuildError;
 use pulp_kernels::{ConvKernelConfig, KernelIsa, LayerLayout, QuantMode};
+use pulp_soc::cluster::EU_BARRIER;
 use qnn::conv::ConvShape;
 use qnn::depthwise::DepthwiseShape;
 use qnn::linear::LinearShape;
@@ -250,6 +252,77 @@ pub fn shipped_kernels() -> Result<Vec<ShippedKernel>, BuildError> {
     Ok(kernels)
 }
 
+/// The TCDM regions a cluster convolution kernel may touch, derived
+/// from the same [`ClusterPlan`] allocation the DMA schedule stages —
+/// plus the event unit's barrier register.
+pub fn cluster_regions(plan: &ClusterPlan) -> Vec<Region> {
+    let cfg = &plan.cfg;
+    let t = &plan.tcdm;
+    let s = &cfg.shape;
+    let in_bytes = (s.input_len() * cfg.bits.bits() as usize / 8) as u32;
+    let mut regions = vec![
+        // Cursor words + parameter records: one contiguous dispatch
+        // table, read (and cursor-advanced) by every hart's prologue.
+        Region::new("dispatch", t.cursors, t.descriptors - t.cursors),
+        Region::new(
+            "descriptors",
+            t.descriptors,
+            plan.descriptors.len() as u32 * 12,
+        ),
+        Region::new("input", t.input, in_bytes),
+        Region::new(
+            "im2col",
+            t.im2col,
+            t.n_harts as u32 * pulp_kernels::cluster::TcdmLayout::im2col_stride(cfg),
+        ),
+        Region::new(
+            "output",
+            t.output,
+            s.pixels() as u32 * LayerLayout::out_pixel_bytes(cfg),
+        ),
+        Region::new(
+            "weights",
+            t.weights,
+            s.out_c as u32 * LayerLayout::weight_row_bytes(cfg),
+        ),
+        Region::new("event-unit", EU_BARRIER, 4),
+    ];
+    if cfg.out_bits.is_sub_byte() {
+        regions.push(Region::new(
+            "thresholds",
+            t.thresholds,
+            s.out_c as u32 * tree_stride(simd_fmt(cfg.out_bits)),
+        ));
+    }
+    regions
+}
+
+/// Builds the cluster kernel suite: the same eight convolution variants
+/// as [`shipped_kernels`], emitted by the parallel builder against an
+/// `n_harts` TCDM plan and linted under [`LintConfig::cluster`].
+///
+/// Kept separate from [`shipped_kernels`] so the single-core suite's
+/// precision-floor pin is unaffected: the cluster kernels address their
+/// im2col buffers through a runtime-loaded `tp`, which the abstract
+/// domains correctly count as unproven rather than proved-aligned.
+///
+/// # Errors
+///
+/// [`BuildError`] only for emitter bugs (the configurations are fixed).
+pub fn cluster_kernels(n_harts: usize) -> Result<Vec<ShippedKernel>, BuildError> {
+    let mut kernels = Vec::new();
+    for cfg in conv_variants() {
+        let plan = ClusterPlan::new(&cfg, n_harts)?;
+        let program = build_cluster_conv_program(&cfg, &plan.tcdm)?;
+        kernels.push(ShippedKernel {
+            name: format!("cluster-conv/{}", cfg.name()),
+            program,
+            config: LintConfig::cluster(cluster_regions(&plan)),
+        });
+    }
+    Ok(kernels)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +338,17 @@ mod tests {
     #[test]
     fn every_shipped_kernel_lints_clean() {
         for k in shipped_kernels().expect("emitters") {
+            let r = k.lint();
+            assert!(r.clean(), "{} is not lint-clean:\n{}", k.name, r.render());
+        }
+    }
+
+    #[test]
+    fn cluster_suite_covers_all_eight_variants_and_lints_clean() {
+        let kernels = cluster_kernels(8).expect("cluster emitters");
+        assert_eq!(kernels.len(), 8, "the eight conv variants");
+        for k in kernels {
+            assert!(k.name.starts_with("cluster-conv/"));
             let r = k.lint();
             assert!(r.clean(), "{} is not lint-clean:\n{}", k.name, r.render());
         }

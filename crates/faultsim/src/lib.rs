@@ -27,11 +27,16 @@
 //! prints a replay command for every SDC it finds.
 
 pub mod campaign;
+pub mod cluster;
 pub mod exec;
 pub mod plan;
 pub mod replay;
 
 pub use campaign::{run_campaign, run_trial, trial_seed, variants, CampaignReport, FaultClass};
+pub use cluster::{
+    resume_disarmed, run_armed_cluster, run_cluster_campaign, run_cluster_trial, ClusterArmedRun,
+    ClusterCampaignReport, ClusterInjection,
+};
 pub use exec::{run_armed, ArmConfig, ArmedRun, InjectionRecord};
 pub use plan::{FaultDomain, FaultEvent, FaultPlan, FaultTarget, MemRegion, TargetSpace};
 pub use replay::{replay, ReplayReport};

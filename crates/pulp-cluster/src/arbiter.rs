@@ -1,0 +1,146 @@
+//! Deterministic TCDM bank-conflict arbitration.
+//!
+//! The cluster interconnect is single-cycle and word-interleaved: two
+//! harts touching *different* banks in the same cycle both proceed;
+//! two requests to the *same* bank serialize, stalling the loser one
+//! cycle per queued requester (PULP's logarithmic interconnect with
+//! fixed lowest-index priority).
+//!
+//! Arbitration runs as a post-hoc replay over the per-region
+//! [`BankEvent`] traces: a k-way merge ordered by (adjusted issue
+//! time, hart id) walks all requests in global time order, tracking
+//! when each bank is next free. A stalled request pushes the hart's
+//! *later* events back by the accumulated delay — exactly what an
+//! in-flight pipeline stall would do — while other harts' timelines
+//! are unaffected. The result is a per-hart total delay that is a pure
+//! function of the traces, independent of host scheduling.
+
+use crate::hart::BankEvent;
+use pulp_soc::cluster::TCDM_BANKS;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The outcome of arbitrating one region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Arbitration {
+    /// Extra cycles each hart spent stalled on bank conflicts.
+    pub delay: Vec<u64>,
+    /// Number of conflicting requests (losers, not pairs).
+    pub conflicts: u64,
+    /// Total stall cycles across all harts (`== delay.iter().sum()`).
+    pub stall_cycles: u64,
+}
+
+/// Replays the harts' TCDM traces against the banked interconnect.
+/// `traces[h]` must be in issue order (guaranteed by construction:
+/// harts trace as they execute). Ties go to the lowest hart id.
+pub fn arbitrate(traces: &[&[BankEvent]]) -> Arbitration {
+    let mut delay = vec![0u64; traces.len()];
+    let mut bank_free = [0u64; TCDM_BANKS];
+    let mut conflicts = 0u64;
+    let mut stall_cycles = 0u64;
+
+    // Min-heap on (adjusted issue time, hart, index). Only each hart's
+    // *next* event is in flight, so a stall can push its successors
+    // before they are scheduled.
+    let mut heap: BinaryHeap<Reverse<(u64, usize, usize)>> = BinaryHeap::new();
+    for (h, t) in traces.iter().enumerate() {
+        if let Some(e) = t.first() {
+            heap.push(Reverse((u64::from(e.offset), h, 0)));
+        }
+    }
+    while let Some(Reverse((t, h, i))) = heap.pop() {
+        let bank = traces[h][i].bank as usize;
+        let stall = bank_free[bank].saturating_sub(t);
+        if stall > 0 {
+            conflicts += 1;
+            stall_cycles += stall;
+            delay[h] += stall;
+        }
+        bank_free[bank] = t + stall + 1;
+        if let Some(e) = traces[h].get(i + 1) {
+            heap.push(Reverse((u64::from(e.offset) + delay[h], h, i + 1)));
+        }
+    }
+    Arbitration {
+        delay,
+        conflicts,
+        stall_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(offset: u32, bank: u8) -> BankEvent {
+        BankEvent { offset, bank }
+    }
+
+    #[test]
+    fn disjoint_banks_never_conflict() {
+        let a = [ev(0, 0), ev(1, 2), ev(2, 4)];
+        let b = [ev(0, 1), ev(1, 3), ev(2, 5)];
+        let r = arbitrate(&[&a, &b]);
+        assert_eq!(r.delay, vec![0, 0]);
+        assert_eq!(r.conflicts, 0);
+        assert_eq!(r.stall_cycles, 0);
+    }
+
+    #[test]
+    fn same_bank_same_cycle_stalls_the_higher_hart() {
+        let a = [ev(5, 7)];
+        let b = [ev(5, 7)];
+        let r = arbitrate(&[&a, &b]);
+        assert_eq!(r.delay, vec![0, 1], "hart 0 wins the tie");
+        assert_eq!(r.conflicts, 1);
+        assert_eq!(r.stall_cycles, 1);
+    }
+
+    #[test]
+    fn three_way_pileup_serializes() {
+        let a = [ev(0, 3)];
+        let b = [ev(0, 3)];
+        let c = [ev(0, 3)];
+        let r = arbitrate(&[&a, &b, &c]);
+        assert_eq!(r.delay, vec![0, 1, 2]);
+        assert_eq!(r.conflicts, 2);
+        assert_eq!(r.stall_cycles, 3);
+    }
+
+    #[test]
+    fn stall_shifts_the_losers_later_events() {
+        // Hart 1 loses at t=0 on bank 0; its next event slides from t=1
+        // to t=2, where it now collides with hart 0's t=2 access of the
+        // same bank — a knock-on conflict the shift must expose.
+        let a = [ev(0, 0), ev(2, 1)];
+        let b = [ev(0, 0), ev(1, 1)];
+        let r = arbitrate(&[&a, &b]);
+        assert_eq!(r.delay[0], 0);
+        // Hart 1: +1 at t=0, then its bank-1 access lands at t=2
+        // together with hart 0's — hart 0 wins again: +1 more.
+        assert_eq!(r.delay[1], 2);
+        assert_eq!(r.conflicts, 2);
+    }
+
+    #[test]
+    fn back_to_back_same_bank_from_one_hart_is_free() {
+        // A single hart streaming through one bank has the bank to
+        // itself: consecutive cycles, no stalls.
+        let a = [ev(0, 2), ev(1, 2), ev(2, 2)];
+        let r = arbitrate(&[&a]);
+        assert_eq!(r.delay, vec![0]);
+        assert_eq!(r.conflicts, 0);
+    }
+
+    #[test]
+    fn result_is_independent_of_trace_slice_identity() {
+        // Determinism sanity: same logical traces, same result.
+        let a = [ev(0, 0), ev(3, 5), ev(9, 0)];
+        let b = [ev(0, 0), ev(3, 5), ev(9, 1)];
+        let (av, bv) = (a.to_vec(), b.to_vec());
+        let r1 = arbitrate(&[&a, &b]);
+        let r2 = arbitrate(&[av.as_slice(), bv.as_slice()]);
+        assert_eq!(r1, r2);
+    }
+}

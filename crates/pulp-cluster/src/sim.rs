@@ -1,0 +1,472 @@
+//! The cluster simulator: N harts, shared banked TCDM, event-unit
+//! barriers, cluster DMA — with deterministic simulated time.
+//!
+//! Execution advances in barrier-delimited *regions*. Within a region
+//! every live hart runs independently on a private memory clone (see
+//! [`crate::hart`]); the region then closes with:
+//!
+//! 1. **trap check** — the lowest-hart trap aborts the run;
+//! 2. **bank arbitration** — the recorded TCDM traces replay through
+//!    [`crate::arbiter::arbitrate`], yielding per-hart conflict delays;
+//! 3. **time merge** — the region lasts as long as its slowest hart
+//!    (execution + conflict delay), max-plus semantics;
+//! 4. **state merge** — write logs and console bytes apply to the
+//!    shared image in hart-id order;
+//! 5. **DMA overlap** — an optional background transfer (the next
+//!    input band) costs `max(region, dma)` instead of `region + dma`,
+//!    the double-buffering payoff; its bytes land at the merge.
+//!
+//! Every step is a pure function of architectural state, so cycle
+//! counts and memory images are bit-identical for any `host_threads`.
+
+use crate::hart::{apply_write, run_region, HartPort, RegionEnd};
+use crate::ClusterError;
+use pulp_soc::cluster::{ClusterMem, DmaModel, DmaTransfer};
+use pulp_soc::STACK_TOP;
+use riscv_core::{Core, IsaConfig, Snapshot};
+
+/// Cluster-level accounting, all in simulated cycles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Per-hart active cycles (execution + own conflict stalls).
+    pub busy: Vec<u64>,
+    /// Per-hart cycles parked at barriers waiting for stragglers.
+    pub barrier_wait: Vec<u64>,
+    /// TCDM requests that lost an arbitration round.
+    pub conflicts: u64,
+    /// Total cycles lost to bank conflicts (summed over harts).
+    pub conflict_stalls: u64,
+    /// Blocking DMA before the first region (tables + tensors + band 0).
+    pub dma_prologue: u64,
+    /// Background DMA cycles hidden under compute.
+    pub dma_hidden: u64,
+    /// Background DMA cycles that outlived their region (exposed).
+    pub dma_exposed: u64,
+    /// Blocking output write-back after the last region.
+    pub dma_writeback: u64,
+    /// Barrier-delimited regions executed.
+    pub regions: u64,
+}
+
+impl ClusterStats {
+    fn new(n_harts: usize) -> ClusterStats {
+        ClusterStats {
+            busy: vec![0; n_harts],
+            barrier_wait: vec![0; n_harts],
+            conflicts: 0,
+            conflict_stalls: 0,
+            dma_prologue: 0,
+            dma_hidden: 0,
+            dma_exposed: 0,
+            dma_writeback: 0,
+            regions: 0,
+        }
+    }
+
+    /// Total background DMA cycles (hidden + exposed).
+    pub fn dma_overlapped(&self) -> u64 {
+        self.dma_hidden + self.dma_exposed
+    }
+}
+
+/// A checkpoint of the complete cluster state: every hart's
+/// architectural snapshot, the shared memory image, console, clock,
+/// halt flags and statistics. Restoring and re-running is
+/// deterministic — the multi-core analogue of
+/// [`pulp_soc::SocSnapshot`], and what fault-injection rollback
+/// recovery builds on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterSnapshot {
+    harts: Vec<Snapshot>,
+    mem: ClusterMem,
+    console: Vec<u8>,
+    clock: u64,
+    halted: Vec<bool>,
+    exit_codes: Vec<u32>,
+    stats: ClusterStats,
+}
+
+impl ClusterSnapshot {
+    /// Cluster clock at the checkpoint.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+}
+
+/// The cluster: harts + shared memory + DMA engine + clock.
+#[derive(Debug, Clone)]
+pub struct ClusterSim {
+    /// The shared memory image (host-stageable).
+    pub mem: ClusterMem,
+    /// The DMA cost model.
+    pub dma: DmaModel,
+    /// Cluster-level accounting.
+    pub stats: ClusterStats,
+    /// Console bytes, merged in hart order at each region boundary.
+    pub console: Vec<u8>,
+    harts: Vec<Core>,
+    halted: Vec<bool>,
+    exit_codes: Vec<u32>,
+    clock: u64,
+    host_threads: usize,
+}
+
+impl ClusterSim {
+    /// Creates a cluster of `n_harts` harts (ids 0..n) over `mem`.
+    pub fn new(isa: IsaConfig, n_harts: usize, mem: ClusterMem) -> ClusterSim {
+        assert!((1..=8).contains(&n_harts), "1..=8 harts");
+        ClusterSim {
+            mem,
+            dma: DmaModel::default(),
+            stats: ClusterStats::new(n_harts),
+            console: Vec::new(),
+            harts: (0..n_harts)
+                .map(|h| Core::with_hartid(isa, h as u32))
+                .collect(),
+            halted: vec![false; n_harts],
+            exit_codes: vec![0; n_harts],
+            clock: 0,
+            host_threads: 1,
+        }
+    }
+
+    /// Number of harts.
+    pub fn n_harts(&self) -> usize {
+        self.harts.len()
+    }
+
+    /// A hart's core (counters, registers).
+    pub fn hart(&self, h: usize) -> &Core {
+        &self.harts[h]
+    }
+
+    /// Mutable hart access (fault injection flips registers here).
+    pub fn hart_mut(&mut self, h: usize) -> &mut Core {
+        &mut self.harts[h]
+    }
+
+    /// Host threads regions are spread over (1 = sequential). Purely a
+    /// host-side knob: simulated results are identical for any value.
+    pub fn set_host_threads(&mut self, n: usize) {
+        self.host_threads = n.max(1);
+    }
+
+    /// Points every hart at `entry` SPMD-style, with per-hart stacks
+    /// descending from the top of L2 (4 kB apart; the generated QNN
+    /// kernels are stackless, this is for raw SPMD programs).
+    pub fn start(&mut self, entry: u32) {
+        for (h, core) in self.harts.iter_mut().enumerate() {
+            core.pc = entry;
+            core.set_reg(pulp_isa::Reg::Sp, STACK_TOP - (h as u32) * 4096);
+        }
+    }
+
+    /// The cluster clock: simulated cycles including conflict stalls,
+    /// barrier waits and DMA time.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// True once every hart has executed `ecall`.
+    pub fn all_halted(&self) -> bool {
+        self.halted.iter().all(|&h| h)
+    }
+
+    /// Per-hart halt flags.
+    pub fn halted(&self) -> &[bool] {
+        &self.halted
+    }
+
+    /// Per-hart exit codes (valid once halted).
+    pub fn exit_codes(&self) -> &[u32] {
+        &self.exit_codes
+    }
+
+    /// Runs a *blocking* DMA transfer (prologue staging, write-back):
+    /// the transfer applies immediately and the clock advances by its
+    /// full cost. Returns the cycles charged, for the caller's stats
+    /// bucket.
+    pub fn dma_blocking(&mut self, t: &DmaTransfer) -> u64 {
+        t.apply(&mut self.mem);
+        let cycles = t.cycles(&self.dma);
+        self.clock += cycles;
+        cycles
+    }
+
+    /// Executes one region on every live hart, with an optional
+    /// background DMA transfer overlapped under it. Returns `true`
+    /// when all harts have halted.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Trap`] carrying the lowest-id trapping hart.
+    pub fn run_region(
+        &mut self,
+        budget: u64,
+        overlap: Option<&DmaTransfer>,
+    ) -> Result<bool, ClusterError> {
+        let n = self.harts.len();
+        let mem = &self.mem;
+        let halted = &self.halted;
+        let mut tasks: Vec<(usize, &mut Core, HartPort)> = Vec::new();
+        for (h, core) in self.harts.iter_mut().enumerate() {
+            if !halted[h] {
+                let port = HartPort::new(mem, core.perf.cycles);
+                tasks.push((h, core, port));
+            }
+        }
+
+        // Host-side parallelism only: each task is independent (private
+        // memory clone), bucketed round-robin and reassembled in hart
+        // order, so the merge below never observes scheduling.
+        let run_task = |(h, core, mut port): (usize, &mut Core, HartPort)| {
+            let before = core.perf.cycles;
+            let end = run_region(core, &mut port, budget);
+            let exec = core.perf.cycles - before;
+            (h, end, port, exec)
+        };
+        let threads = self.host_threads.min(tasks.len().max(1));
+        let mut results = if threads <= 1 {
+            tasks.into_iter().map(run_task).collect::<Vec<_>>()
+        } else {
+            let mut buckets: Vec<Vec<(usize, &mut Core, HartPort)>> =
+                (0..threads).map(|_| Vec::new()).collect();
+            for t in tasks {
+                buckets[t.0 % threads].push(t);
+            }
+            std::thread::scope(|s| {
+                let handles: Vec<_> = buckets
+                    .into_iter()
+                    .map(|b| s.spawn(move || b.into_iter().map(run_task).collect::<Vec<_>>()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("hart thread panicked"))
+                    .collect::<Vec<_>>()
+            })
+        };
+        results.sort_by_key(|r| r.0);
+
+        for (h, end, _, _) in &results {
+            if let Err(trap) = end {
+                return Err(ClusterError::Trap {
+                    hart: *h,
+                    trap: *trap,
+                });
+            }
+        }
+
+        let mut traces: Vec<&[crate::hart::BankEvent]> = vec![&[]; n];
+        for (h, _, port, _) in &results {
+            traces[*h] = &port.trace;
+        }
+        let arb = crate::arbiter::arbitrate(&traces);
+
+        let mut region_time = 0u64;
+        for (h, _, _, exec) in &results {
+            region_time = region_time.max(exec + arb.delay[*h]);
+        }
+        for (h, end, port, exec) in results {
+            let active = exec + arb.delay[h];
+            self.stats.busy[h] += active;
+            self.stats.barrier_wait[h] += region_time - active;
+            for w in &port.writes {
+                apply_write(&mut self.mem, w);
+            }
+            self.console.extend_from_slice(&port.console);
+            if let Ok(RegionEnd::Halted(code)) = end {
+                self.halted[h] = true;
+                self.exit_codes[h] = code;
+            }
+        }
+        self.stats.conflicts += arb.conflicts;
+        self.stats.conflict_stalls += arb.stall_cycles;
+        self.stats.regions += 1;
+
+        let dma_cycles = overlap.map_or(0, |t| t.cycles(&self.dma));
+        self.clock += region_time.max(dma_cycles);
+        self.stats.dma_hidden += dma_cycles.min(region_time);
+        self.stats.dma_exposed += dma_cycles.saturating_sub(region_time);
+        if let Some(t) = overlap {
+            t.apply(&mut self.mem);
+        }
+        Ok(self.all_halted())
+    }
+
+    /// Captures a checkpoint of the complete cluster state.
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        ClusterSnapshot {
+            harts: self.harts.iter().map(Core::snapshot).collect(),
+            mem: self.mem.clone(),
+            console: self.console.clone(),
+            clock: self.clock,
+            halted: self.halted.clone(),
+            exit_codes: self.exit_codes.clone(),
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Restores a checkpoint taken with [`ClusterSim::snapshot`].
+    pub fn restore(&mut self, snap: &ClusterSnapshot) {
+        assert_eq!(snap.harts.len(), self.harts.len(), "cluster size mismatch");
+        for (core, s) in self.harts.iter_mut().zip(&snap.harts) {
+            core.restore(s);
+        }
+        self.mem = snap.mem.clone();
+        self.console.clone_from(&snap.console);
+        self.clock = snap.clock;
+        self.halted.clone_from(&snap.halted);
+        self.exit_codes.clone_from(&snap.exit_codes);
+        self.stats = snap.stats.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulp_asm::Asm;
+    use pulp_isa::Reg;
+    use pulp_soc::cluster::{EU_BARRIER, TCDM_BASE};
+    use pulp_soc::L2_BASE;
+
+    /// Each hart stores its id into its own TCDM word, barriers, then
+    /// reads its right neighbour's word (wrapping) — classic cross-hart
+    /// communication that only works if the merge is real.
+    fn neighbour_prog(n: usize) -> pulp_asm::Program {
+        let mut a = Asm::new(pulp_soc::CODE_BASE);
+        a.i(pulp_isa::instr::Instr::Csr {
+            op: 1,
+            rd: Reg::T0,
+            rs1: Reg::Zero,
+            csr: pulp_isa::csr::MHARTID,
+        });
+        a.slli(Reg::T1, Reg::T0, 2);
+        a.li(Reg::T2, TCDM_BASE as i32);
+        a.add(Reg::T1, Reg::T1, Reg::T2);
+        a.sw(Reg::T0, 0, Reg::T1); // mine[id] = id
+        a.li(Reg::T3, EU_BARRIER as i32);
+        a.sw(Reg::Zero, 0, Reg::T3); // barrier
+        a.addi(Reg::T4, Reg::T0, 1); // neighbour = (id + 1) % n
+        a.li(Reg::T5, n as i32);
+        a.bne(Reg::T4, Reg::T5, "no_wrap");
+        a.li(Reg::T4, 0);
+        a.label("no_wrap");
+        a.slli(Reg::T4, Reg::T4, 2);
+        a.add(Reg::T4, Reg::T4, Reg::T2);
+        a.lw(Reg::A0, 0, Reg::T4); // a0 = neighbour's id
+        a.ecall();
+        a.assemble().unwrap()
+    }
+
+    fn run_neighbour(n: usize, host_threads: usize) -> ClusterSim {
+        let prog = neighbour_prog(n);
+        let mut mem = ClusterMem::new();
+        mem.load(&prog);
+        let mut sim = ClusterSim::new(IsaConfig::xpulpnn(), n, mem);
+        sim.set_host_threads(host_threads);
+        sim.start(prog.base);
+        while !sim.run_region(100_000, None).unwrap() {}
+        sim
+    }
+
+    #[test]
+    fn barrier_makes_neighbour_writes_visible() {
+        let sim = run_neighbour(4, 1);
+        assert_eq!(sim.exit_codes(), &[1, 2, 3, 0]);
+        assert_eq!(sim.stats.regions, 2);
+    }
+
+    #[test]
+    fn simulated_time_and_state_independent_of_host_threads() {
+        let a = run_neighbour(8, 1);
+        let b = run_neighbour(8, 2);
+        let c = run_neighbour(8, 8);
+        for other in [&b, &c] {
+            assert_eq!(a.clock(), other.clock());
+            assert_eq!(a.exit_codes(), other.exit_codes());
+            assert_eq!(a.mem, other.mem);
+            assert_eq!(a.stats, other.stats);
+            for h in 0..8 {
+                assert_eq!(a.hart(h).perf, other.hart(h).perf);
+            }
+        }
+    }
+
+    #[test]
+    fn same_word_stores_serialize_through_the_arbiter() {
+        // All harts hammer the same TCDM word: the kernel is identical
+        // on each, so every store issues in the same cycle and the
+        // bank must serialize n-1 losers.
+        let mut a = Asm::new(pulp_soc::CODE_BASE);
+        a.li(Reg::T1, TCDM_BASE as i32);
+        a.sw(Reg::T1, 0, Reg::T1);
+        a.li(Reg::A0, 0);
+        a.ecall();
+        let prog = a.assemble().unwrap();
+        let mut mem = ClusterMem::new();
+        mem.load(&prog);
+        let mut sim = ClusterSim::new(IsaConfig::xpulpnn(), 4, mem);
+        sim.start(prog.base);
+        sim.run_region(10_000, None).unwrap();
+        assert_eq!(sim.stats.conflicts, 3);
+        assert_eq!(sim.stats.conflict_stalls, 1 + 2 + 3);
+        // Lowest hart wins: zero delay for hart 0.
+        assert_eq!(sim.stats.busy[0] + 3, sim.stats.busy[3]);
+    }
+
+    #[test]
+    fn overlapped_dma_is_hidden_under_compute() {
+        let mut a = Asm::new(pulp_soc::CODE_BASE);
+        for _ in 0..100 {
+            a.nop();
+        }
+        a.li(Reg::T3, EU_BARRIER as i32);
+        a.sw(Reg::Zero, 0, Reg::T3);
+        a.li(Reg::A0, 0);
+        a.ecall();
+        let prog = a.assemble().unwrap();
+        let mut mem = ClusterMem::new();
+        mem.write_bytes(L2_BASE, &[7; 64]);
+        mem.load(&prog);
+        let mut sim = ClusterSim::new(IsaConfig::xpulpnn(), 2, mem);
+        sim.start(prog.base);
+        let t = DmaTransfer {
+            src: L2_BASE,
+            dst: TCDM_BASE + 0x400,
+            bytes: 64,
+        };
+        let clock_before = sim.clock();
+        sim.run_region(100_000, Some(&t)).unwrap();
+        // 16 setup + 16 streaming = 32 cycles, fully hidden under the
+        // ~100-cycle region.
+        assert_eq!(sim.stats.dma_hidden, 32);
+        assert_eq!(sim.stats.dma_exposed, 0);
+        assert!(sim.clock() - clock_before > 100);
+        assert_eq!(sim.mem.read_bytes(TCDM_BASE + 0x400, 64), &[7; 64]);
+        while !sim.run_region(100_000, None).unwrap() {}
+    }
+
+    #[test]
+    fn snapshot_round_trip_resumes_identically() {
+        let prog = neighbour_prog(4);
+        let mut mem = ClusterMem::new();
+        mem.load(&prog);
+        let mut sim = ClusterSim::new(IsaConfig::xpulpnn(), 4, mem);
+        sim.start(prog.base);
+        sim.run_region(100_000, None).unwrap(); // up to the barrier
+        let snap = sim.snapshot();
+
+        let mut straight = sim.clone();
+        while !straight.run_region(100_000, None).unwrap() {}
+
+        // Perturb, roll back, re-run: must match the straight run.
+        sim.hart_mut(2).regs[13] = 0xdead;
+        sim.mem.write_u32(TCDM_BASE + 0x40, 99);
+        sim.restore(&snap);
+        assert_eq!(sim.snapshot(), snap);
+        while !sim.run_region(100_000, None).unwrap() {}
+        assert_eq!(sim.clock(), straight.clock());
+        assert_eq!(sim.exit_codes(), straight.exit_codes());
+        assert_eq!(sim.mem, straight.mem);
+    }
+}

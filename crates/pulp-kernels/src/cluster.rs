@@ -1,0 +1,519 @@
+//! Host-side cluster execution plan: TCDM allocation, work splitting,
+//! and the DMA double-buffering schedule.
+//!
+//! The cluster runs the layer PULP-NN style: the output pixel pairs are
+//! split into `tiles` bands processed in order, each band's pairs
+//! divided contiguously across the harts. All operand tensors live in
+//! L1 TCDM; the input image is streamed in band-sized increments so the
+//! DMA transfer of band `t+1` overlaps the compute of band `t`
+//! (double-buffering in the *address* dimension: descriptors of band
+//! `t` only ever read input bytes below `input_prefix[t]`, so the next
+//! band's suffix can land while the current band computes).
+//!
+//! Per-tile dispatch is data-driven: each hart owns a cursor word in
+//! TCDM pointing at its next 16-byte [`ParamRecord`]; the kernel's
+//! dispatch prologue (see [`crate::emit::cluster`]) pops one record per
+//! tile and a sentinel record (`desc_ptr == 0`) terminates the run.
+
+use crate::config::ConvKernelConfig;
+use crate::descriptors::{im2col_descriptors, RunDesc, DESC_BYTES};
+use crate::layout::LayerLayout;
+use crate::runner::BuildError;
+use pulp_soc::cluster::{DmaTransfer, TCDM_BASE, TCDM_SIZE};
+
+/// Encoded size of one dispatch parameter record.
+pub const PARAM_BYTES: u32 = 16;
+
+/// Largest cluster the plan supports (the paper's cluster size).
+pub const MAX_HARTS: usize = 8;
+
+/// Maximum number of tiles (input bands) a layer is split into.
+pub const MAX_TILES: usize = 4;
+
+fn align(x: u32, a: u32) -> u32 {
+    debug_assert!(a.is_power_of_two());
+    (x + a - 1) & !(a - 1)
+}
+
+/// One per-hart, per-tile work assignment, read by the kernel's
+/// dispatch prologue. The all-zero record is the exit sentinel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamRecord {
+    /// First im2col descriptor of the chunk (TCDM address); `0`
+    /// terminates the hart.
+    pub desc_ptr: u32,
+    /// Output write pointer for the chunk's first pixel (TCDM address).
+    pub out_ptr: u32,
+    /// Pixel pairs in the chunk (`0` = idle this tile: straight to the
+    /// barrier).
+    pub pair_count: u32,
+    /// This hart's private im2col double buffer (TCDM address).
+    pub im2col_base: u32,
+}
+
+impl ParamRecord {
+    /// The exit sentinel.
+    pub const SENTINEL: ParamRecord = ParamRecord {
+        desc_ptr: 0,
+        out_ptr: 0,
+        pair_count: 0,
+        im2col_base: 0,
+    };
+
+    /// Serializes to the 16-byte on-device format (four LE words).
+    pub fn encode(&self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[0..4].copy_from_slice(&self.desc_ptr.to_le_bytes());
+        out[4..8].copy_from_slice(&self.out_ptr.to_le_bytes());
+        out[8..12].copy_from_slice(&self.pair_count.to_le_bytes());
+        out[12..16].copy_from_slice(&self.im2col_base.to_le_bytes());
+        out
+    }
+}
+
+/// TCDM addresses of every buffer a cluster layer run touches.
+///
+/// The weight and threshold bases are 4 KiB-aligned so the kernel loads
+/// them with a single `lui` — the same cost as the single-core kernel's
+/// `li` of the (also 4 KiB-aligned) L2 addresses, keeping the per-pair
+/// instruction streams cycle-identical between the two builders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcdmLayout {
+    /// Harts the layout was sized for.
+    pub n_harts: usize,
+    /// Input bands (see [`ClusterPlan`]).
+    pub tiles: usize,
+    /// Per-hart dispatch cursor words (`n_harts · 4` bytes, at
+    /// [`TCDM_BASE`] so the kernel materialises the base with one
+    /// `lui`). Consecutive cursors land in consecutive banks.
+    pub cursors: u32,
+    /// Parameter records, hart-major: record `(h, t)` at
+    /// `params + (h · (tiles + 1) + t) · PARAM_BYTES`. Contiguous with
+    /// `cursors` so one DMA transfer stages both.
+    pub params: u32,
+    /// im2col run descriptors (whole layer, encoded against
+    /// [`TcdmLayout::input`]).
+    pub descriptors: u32,
+    /// Packed input image (filled in band prefixes by the DMA).
+    pub input: u32,
+    /// Per-hart im2col double buffers,
+    /// [`TcdmLayout::im2col_stride`] apart.
+    pub im2col: u32,
+    /// Packed output image (written back to L2 after the last tile).
+    pub output: u32,
+    /// Per-channel threshold trees (sub-byte only; equals `weights`
+    /// when absent).
+    pub thresholds: u32,
+    /// Packed weights.
+    pub weights: u32,
+    /// First free byte after the allocation.
+    pub end: u32,
+}
+
+impl TcdmLayout {
+    /// Allocates the TCDM for `cfg` on `n_harts` harts with `tiles`
+    /// input bands.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::Tensor`] when the layer does not fit in the
+    /// 128 KiB TCDM.
+    pub fn new(cfg: &ConvKernelConfig, n_harts: usize, tiles: usize) -> Result<Self, BuildError> {
+        assert!((1..=MAX_HARTS).contains(&n_harts), "1..=8 harts");
+        assert!((1..=MAX_TILES).contains(&tiles), "1..=4 tiles");
+        let s = &cfg.shape;
+        let n = n_harts as u32;
+
+        let cursors = TCDM_BASE;
+        let params = cursors + n * 4;
+        let params_bytes = n * (tiles as u32 + 1) * PARAM_BYTES;
+        let descriptors = align(params + params_bytes, 16);
+        let desc_bytes = (s.pixels() * s.k_h) as u32 * DESC_BYTES;
+        let input = align(descriptors + desc_bytes, 16);
+        let input_bytes = s.input_len() as u32 * cfg.bits.bits() / 8;
+        let im2col = align(input + input_bytes, 16);
+        let im2col_bytes = n * Self::im2col_stride(cfg);
+        let output = align(im2col + im2col_bytes, 16);
+        let output_bytes = s.pixels() as u32 * LayerLayout::out_pixel_bytes(cfg);
+        let thresholds = align(output + output_bytes, 4096);
+        let threshold_bytes = if cfg.out_bits.is_sub_byte() {
+            s.out_c as u32 * riscv_core::quant::tree_stride(crate::emit::simd_fmt(cfg.out_bits))
+        } else {
+            0
+        };
+        let weights = align(thresholds + threshold_bytes, 4096);
+        let weight_bytes = s.out_c as u32 * LayerLayout::weight_row_bytes(cfg);
+        let end = weights + weight_bytes;
+
+        if end > TCDM_BASE + TCDM_SIZE {
+            return Err(BuildError::Tensor {
+                what: "layer does not fit in cluster TCDM",
+            });
+        }
+        Ok(TcdmLayout {
+            n_harts,
+            tiles,
+            cursors,
+            params,
+            descriptors,
+            input,
+            im2col,
+            output,
+            thresholds,
+            weights,
+            end,
+        })
+    }
+
+    /// Byte stride between consecutive harts' im2col double buffers:
+    /// the two buffers plus one word of padding, so equally-offset
+    /// accesses from different harts hit different TCDM banks.
+    pub fn im2col_stride(cfg: &ConvKernelConfig) -> u32 {
+        2 * LayerLayout::im2col_buffer_bytes(cfg) + 4
+    }
+
+    /// Hart `h`'s private im2col buffer base.
+    pub fn hart_im2col(&self, cfg: &ConvKernelConfig, h: usize) -> u32 {
+        debug_assert!(h < self.n_harts);
+        self.im2col + h as u32 * Self::im2col_stride(cfg)
+    }
+}
+
+/// Splits `total` items into `parts` contiguous chunks, sizes
+/// differing by at most one (larger chunks first).
+fn split(total: usize, parts: usize) -> Vec<(usize, usize)> {
+    let base = total / parts;
+    let extra = total % parts;
+    let mut start = 0;
+    (0..parts)
+        .map(|i| {
+            let len = base + usize::from(i < extra);
+            let r = (start, len);
+            start += len;
+            r
+        })
+        .collect()
+}
+
+/// The complete host-side plan for one cluster layer run.
+#[derive(Debug, Clone)]
+pub struct ClusterPlan {
+    /// The kernel configuration.
+    pub cfg: ConvKernelConfig,
+    /// The TCDM allocation.
+    pub tcdm: TcdmLayout,
+    /// Dispatch records, hart-major (`(tiles + 1)` per hart, the last
+    /// being the sentinel).
+    pub records: Vec<ParamRecord>,
+    /// The layer's im2col descriptors, encoded against
+    /// [`TcdmLayout::input`].
+    pub descriptors: Vec<RunDesc>,
+    /// `input_prefix[t]` = packed input bytes that must be resident
+    /// before band `t` runs (monotone; the DMA ships the deltas).
+    pub input_prefix: Vec<u32>,
+}
+
+impl ClusterPlan {
+    /// Number of input bands for a layer on `n_harts` harts: enough
+    /// that DMA double-buffering has something to overlap, few enough
+    /// that each hart still gets multi-pair chunks.
+    pub fn tiles_for(cfg: &ConvKernelConfig, n_harts: usize) -> usize {
+        let pairs = cfg.shape.pixels() / 2;
+        (pairs / (n_harts * 4)).clamp(1, MAX_TILES)
+    }
+
+    /// Builds the plan for `cfg` on `n_harts` harts.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::Config`] for invalid configurations,
+    /// [`BuildError::Tensor`] when the layer does not fit in TCDM.
+    pub fn new(cfg: &ConvKernelConfig, n_harts: usize) -> Result<ClusterPlan, BuildError> {
+        cfg.validate().map_err(BuildError::Config)?;
+        let tiles = Self::tiles_for(cfg, n_harts);
+        let tcdm = TcdmLayout::new(cfg, n_harts, tiles)?;
+        let s = &cfg.shape;
+        let pairs = s.pixels() / 2;
+        let descriptors = im2col_descriptors(cfg, tcdm.input);
+        let out_pair_bytes = 2 * LayerLayout::out_pixel_bytes(cfg);
+        let descs_per_pair = 2 * s.k_h as u32;
+
+        // Hart-major record table; hart h's records are contiguous so a
+        // single cursor walks them.
+        let mut records = vec![ParamRecord::SENTINEL; n_harts * (tiles + 1)];
+        let bands = split(pairs, tiles);
+        for (t, &(band_start, band_len)) in bands.iter().enumerate() {
+            for (h, &(off, len)) in split(band_len, n_harts).iter().enumerate() {
+                let first_pair = (band_start + off) as u32;
+                records[h * (tiles + 1) + t] = ParamRecord {
+                    // Idle harts still need a non-zero pointer (zero is
+                    // the exit sentinel); they skip straight to the
+                    // barrier on pair_count == 0.
+                    desc_ptr: tcdm.descriptors + first_pair * descs_per_pair * DESC_BYTES,
+                    out_ptr: tcdm.output + first_pair * out_pair_bytes,
+                    pair_count: len as u32,
+                    im2col_base: tcdm.hart_im2col(cfg, h),
+                };
+            }
+        }
+
+        // Input residency per band: the largest byte the band's
+        // descriptors read, accumulated monotonically.
+        let mut input_prefix = Vec::with_capacity(tiles);
+        let mut high = 0u32;
+        for &(band_start, band_len) in &bands {
+            let d0 = band_start * 2 * s.k_h;
+            let d1 = (band_start + band_len) * 2 * s.k_h;
+            for d in &descriptors[d0..d1] {
+                if d.copy > 0 {
+                    high = high.max(d.src + d.copy as u32 - tcdm.input);
+                }
+            }
+            input_prefix.push(high);
+        }
+
+        Ok(ClusterPlan {
+            cfg: *cfg,
+            tcdm,
+            records,
+            descriptors,
+            input_prefix,
+        })
+    }
+
+    /// Number of barrier-delimited execution regions: one per tile,
+    /// plus the final region that drains the sentinel and halts.
+    pub fn regions(&self) -> usize {
+        self.tcdm.tiles + 1
+    }
+
+    /// The cursor-table + record-table memory image, staged contiguous
+    /// in L2 and DMA'd to [`TcdmLayout::cursors`] in one transfer.
+    pub fn param_image(&self) -> Vec<u8> {
+        let tiles = self.tcdm.tiles;
+        let mut image = Vec::with_capacity(self.records.len() * 16 + self.tcdm.n_harts * 4);
+        for h in 0..self.tcdm.n_harts {
+            let cursor = self.tcdm.params + (h * (tiles + 1)) as u32 * PARAM_BYTES;
+            image.extend_from_slice(&cursor.to_le_bytes());
+        }
+        for r in &self.records {
+            image.extend_from_slice(&r.encode());
+        }
+        image
+    }
+
+    /// L2 staging address of the [`ClusterPlan::param_image`]: right
+    /// after the encoded descriptor stream in the descriptor region.
+    pub fn l2_param_addr(&self, l2: &LayerLayout) -> u32 {
+        let desc_bytes = self.descriptors.len() as u32 * DESC_BYTES;
+        align(l2.descriptors + desc_bytes, 16)
+    }
+
+    /// The DMA transfers issued before any hart starts: dispatch
+    /// tables, descriptors, weights, thresholds, and input band 0.
+    pub fn prologue_transfers(&self, l2: &LayerLayout) -> Vec<DmaTransfer> {
+        let s = &self.cfg.shape;
+        let mut v = vec![
+            DmaTransfer {
+                src: self.l2_param_addr(l2),
+                dst: self.tcdm.cursors,
+                bytes: self.param_image().len() as u32,
+            },
+            DmaTransfer {
+                src: l2.descriptors,
+                dst: self.tcdm.descriptors,
+                bytes: self.descriptors.len() as u32 * DESC_BYTES,
+            },
+            DmaTransfer {
+                src: l2.weights,
+                dst: self.tcdm.weights,
+                bytes: s.out_c as u32 * LayerLayout::weight_row_bytes(&self.cfg),
+            },
+        ];
+        if self.cfg.out_bits.is_sub_byte() {
+            v.push(DmaTransfer {
+                src: l2.thresholds,
+                dst: self.tcdm.thresholds,
+                bytes: s.out_c as u32
+                    * riscv_core::quant::tree_stride(crate::emit::simd_fmt(self.cfg.out_bits)),
+            });
+        }
+        v.push(DmaTransfer {
+            src: l2.input,
+            dst: self.tcdm.input,
+            bytes: self.input_prefix[0],
+        });
+        v
+    }
+
+    /// The input delta shipped *during* region `t` (0-based): the bytes
+    /// band `t + 1` needs beyond band `t`'s prefix. `None` when there
+    /// is no next band (or the delta is empty).
+    pub fn band_transfer(&self, l2: &LayerLayout, t: usize) -> Option<DmaTransfer> {
+        let next = *self.input_prefix.get(t + 1)?;
+        let have = self.input_prefix[t];
+        (next > have).then(|| DmaTransfer {
+            src: l2.input + have,
+            dst: self.tcdm.input + have,
+            bytes: next - have,
+        })
+    }
+
+    /// The final output write-back to L2.
+    pub fn writeback(&self, l2: &LayerLayout) -> DmaTransfer {
+        DmaTransfer {
+            src: self.tcdm.output,
+            dst: l2.output,
+            bytes: self.cfg.shape.pixels() as u32 * LayerLayout::out_pixel_bytes(&self.cfg),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{KernelIsa, QuantMode};
+    use qnn::conv::ConvShape;
+    use qnn::BitWidth;
+
+    fn paper(bits: BitWidth) -> ConvKernelConfig {
+        ConvKernelConfig::paper(bits, KernelIsa::XpulpNN, bits != BitWidth::W8)
+    }
+
+    #[test]
+    fn split_is_contiguous_and_balanced() {
+        for total in [0, 1, 7, 8, 128] {
+            for parts in [1, 2, 4, 8] {
+                let chunks = split(total, parts);
+                assert_eq!(chunks.len(), parts);
+                let mut next = 0;
+                for &(start, len) in &chunks {
+                    assert_eq!(start, next);
+                    next += len;
+                }
+                assert_eq!(next, total);
+                let lens: Vec<_> = chunks.iter().map(|c| c.1).collect();
+                let (lo, hi) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                assert!(hi - lo <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_layers_fit_tcdm_at_every_width_and_size() {
+        for bits in qnn::bits::ALL_WIDTHS {
+            for n in [1, 2, 4, 8] {
+                let cfg = paper(bits);
+                let plan = ClusterPlan::new(&cfg, n).unwrap();
+                assert!(plan.tcdm.end <= TCDM_BASE + TCDM_SIZE);
+                assert_eq!(plan.tcdm.weights % 4096, 0, "weights must be lui-only");
+                assert_eq!(plan.tcdm.thresholds % 4096, 0);
+            }
+        }
+        // The 2-bit baseline has the largest im2col buffers.
+        let cfg = ConvKernelConfig::paper(BitWidth::W2, KernelIsa::XpulpV2, false);
+        ClusterPlan::new(&cfg, 8).unwrap();
+    }
+
+    #[test]
+    fn records_cover_all_pairs_exactly_once() {
+        let cfg = paper(BitWidth::W4);
+        let plan = ClusterPlan::new(&cfg, 8).unwrap();
+        let tiles = plan.tcdm.tiles;
+        assert_eq!(tiles, 4);
+        let out_pair = 2 * LayerLayout::out_pixel_bytes(&cfg);
+        let mut covered = vec![false; cfg.shape.pixels() / 2];
+        for h in 0..8 {
+            // Every hart's table ends in the sentinel.
+            assert_eq!(plan.records[h * (tiles + 1) + tiles], ParamRecord::SENTINEL);
+            for t in 0..tiles {
+                let r = plan.records[h * (tiles + 1) + t];
+                assert_ne!(r.desc_ptr, 0, "live records never alias the sentinel");
+                assert_eq!(r.im2col_base, plan.tcdm.hart_im2col(&cfg, h));
+                let first = (r.out_ptr - plan.tcdm.output) / out_pair;
+                for p in first..first + r.pair_count {
+                    assert!(!covered[p as usize], "pair {p} assigned twice");
+                    covered[p as usize] = true;
+                }
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "all pairs assigned");
+    }
+
+    #[test]
+    fn input_prefixes_are_monotone_and_sufficient() {
+        for bits in qnn::bits::ALL_WIDTHS {
+            let cfg = paper(bits);
+            let plan = ClusterPlan::new(&cfg, 8).unwrap();
+            let mut prev = 0;
+            for &p in &plan.input_prefix {
+                assert!(p >= prev);
+                assert_eq!(p % 4, 0, "word-aligned DMA increments");
+                prev = p;
+            }
+            let input_bytes = cfg.shape.input_len() as u32 * cfg.bits.bits() / 8;
+            assert_eq!(
+                *plan.input_prefix.last().unwrap(),
+                input_bytes,
+                "last band reaches the end of the input"
+            );
+            // Band deltas reassemble the prologue + band transfers.
+            let l2 = LayerLayout::default_for_l2();
+            let mut shipped = plan.prologue_transfers(&l2).last().unwrap().bytes;
+            for t in 0..plan.tcdm.tiles {
+                if let Some(x) = plan.band_transfer(&l2, t) {
+                    assert_eq!(x.dst - plan.tcdm.input, shipped);
+                    shipped += x.bytes;
+                }
+            }
+            assert_eq!(shipped, input_bytes);
+        }
+    }
+
+    #[test]
+    fn small_layer_collapses_to_one_tile() {
+        let cfg = ConvKernelConfig {
+            shape: ConvShape {
+                in_h: 4,
+                in_w: 4,
+                in_c: 16,
+                out_c: 8,
+                k_h: 3,
+                k_w: 3,
+                stride: 1,
+                pad: 1,
+            },
+            bits: BitWidth::W4,
+            out_bits: BitWidth::W4,
+            isa: KernelIsa::XpulpNN,
+            quant: QuantMode::HardwareQnt,
+        };
+        let plan = ClusterPlan::new(&cfg, 8).unwrap();
+        assert_eq!(plan.tcdm.tiles, 1);
+        assert_eq!(plan.regions(), 2);
+        // 8 pairs over 8 harts: one pair each.
+        for h in 0..8 {
+            assert_eq!(plan.records[h * 2].pair_count, 1);
+        }
+        assert!(plan
+            .band_transfer(&LayerLayout::default_for_l2(), 0)
+            .is_none());
+    }
+
+    #[test]
+    fn param_image_round_trips_cursors() {
+        let cfg = paper(BitWidth::W2);
+        let plan = ClusterPlan::new(&cfg, 4).unwrap();
+        let image = plan.param_image();
+        assert_eq!(
+            image.len(),
+            4 * 4 + plan.records.len() * PARAM_BYTES as usize
+        );
+        // Cursor 0 points at hart 0's first record.
+        let c0 = u32::from_le_bytes(image[0..4].try_into().unwrap());
+        assert_eq!(c0, plan.tcdm.params);
+        // The param image stays inside the L2 descriptor region.
+        let l2 = LayerLayout::default_for_l2();
+        assert!(plan.l2_param_addr(&l2) + image.len() as u32 <= l2.im2col);
+    }
+}

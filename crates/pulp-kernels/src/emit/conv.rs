@@ -35,52 +35,23 @@ pub fn build_conv_program(
 
     let out_pixel_bytes = LayerLayout::out_pixel_bytes(cfg) as i32;
     let pixel_pairs = (cfg.shape.pixels() / 2) as i32;
-    let ch_blocks = (cfg.shape.out_c / cfg.channel_block()) as i32;
 
     // --- prologue: loop state and variant constants ---
     a.li(A5, layout.descriptors as i32);
     a.li(A3, layout.output as i32);
     a.addi(A4, A3, out_pixel_bytes);
     a.li(A7, pixel_pairs);
-    match (cfg.isa, cfg.bits) {
-        (KernelIsa::XpulpV2, BitWidth::W4) => emit_unpack4_constants(&mut a),
-        (KernelIsa::XpulpV2, BitWidth::W2) => emit_unpack2_constants(&mut a),
-        _ => {}
-    }
+    emit_variant_constants(&mut a, cfg);
 
     // --- pixel-pair loop ---
-    a.label("pixel_loop");
-    a.jal("im2col_pair");
-    a.li(A0, layout.weights as i32);
-    if cfg.out_bits.is_sub_byte() {
-        a.li(A1, layout.thresholds as i32);
-    }
-    a.li(A2, ch_blocks);
-
-    a.label("ch_loop");
-    a.jal("mm_block");
-    match cfg.out_bits {
-        BitWidth::W8 => {
-            let QuantMode::Shift8 { shift } = cfg.quant else {
-                unreachable!("validated: 8-bit uses shift8")
-            };
-            emit_quant_store_w8(&mut a, shift);
-        }
-        BitWidth::W4 => emit_quant_store_w4(&mut a, cfg),
-        BitWidth::W2 => {
-            emit_quant_w2_first(&mut a, cfg);
-            a.jal("mm_block");
-            emit_quant_w2_second(&mut a, cfg);
-        }
-    }
-    a.addi(A2, A2, -1);
-    a.bne(A2, Zero, "ch_loop");
-
-    // Skip the other pixel's output region.
-    a.addi(A3, A3, out_pixel_bytes);
-    a.addi(A4, A4, out_pixel_bytes);
-    a.addi(A7, A7, -1);
-    a.bne(A7, Zero, "pixel_loop");
+    emit_pixel_loop(
+        &mut a,
+        cfg,
+        layout.weights,
+        layout.thresholds,
+        "pixel_loop",
+        "ch_loop",
+    );
 
     a.li(A0, 0);
     a.ecall();
@@ -90,6 +61,67 @@ pub fn build_conv_program(
     emit_mm_block(&mut a, cfg, layout);
 
     a.assemble().map_err(BuildError::Asm)
+}
+
+/// Emits the per-variant unpack constants the XpulpV2 baselines need
+/// (a no-op for native kernels).
+pub(crate) fn emit_variant_constants(a: &mut Asm, cfg: &ConvKernelConfig) {
+    match (cfg.isa, cfg.bits) {
+        (KernelIsa::XpulpV2, BitWidth::W4) => emit_unpack4_constants(a),
+        (KernelIsa::XpulpV2, BitWidth::W2) => emit_unpack2_constants(a),
+        _ => {}
+    }
+}
+
+/// Emits the pixel-pair loop shared by the single-core and cluster
+/// builders. Entry: `a5` = descriptor cursor, `a3`/`a4` = output
+/// pointers, `a7` = pair count (> 0). `weights`/`thresholds` are the
+/// absolute tensor bases (L2 for the single-core kernel, TCDM for the
+/// cluster kernels). The emitted instruction sequence is exactly the
+/// pre-cluster single-core loop — the golden listing snapshots pin it.
+pub(crate) fn emit_pixel_loop(
+    a: &mut Asm,
+    cfg: &ConvKernelConfig,
+    weights: u32,
+    thresholds: u32,
+    loop_label: &str,
+    ch_label: &str,
+) {
+    let out_pixel_bytes = LayerLayout::out_pixel_bytes(cfg) as i32;
+    let ch_blocks = (cfg.shape.out_c / cfg.channel_block()) as i32;
+
+    a.label(loop_label);
+    a.jal("im2col_pair");
+    a.li(A0, weights as i32);
+    if cfg.out_bits.is_sub_byte() {
+        a.li(A1, thresholds as i32);
+    }
+    a.li(A2, ch_blocks);
+
+    a.label(ch_label);
+    a.jal("mm_block");
+    match cfg.out_bits {
+        BitWidth::W8 => {
+            let QuantMode::Shift8 { shift } = cfg.quant else {
+                unreachable!("validated: 8-bit uses shift8")
+            };
+            emit_quant_store_w8(a, shift);
+        }
+        BitWidth::W4 => emit_quant_store_w4(a, cfg),
+        BitWidth::W2 => {
+            emit_quant_w2_first(a, cfg);
+            a.jal("mm_block");
+            emit_quant_w2_second(a, cfg);
+        }
+    }
+    a.addi(A2, A2, -1);
+    a.bne(A2, Zero, ch_label);
+
+    // Skip the other pixel's output region.
+    a.addi(A3, A3, out_pixel_bytes);
+    a.addi(A4, A4, out_pixel_bytes);
+    a.addi(A7, A7, -1);
+    a.bne(A7, Zero, loop_label);
 }
 
 /// Returns the im2col variant a configuration uses (re-exported for

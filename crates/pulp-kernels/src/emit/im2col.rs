@@ -85,11 +85,19 @@ fn emit_zero_run(a: &mut Asm, count_reg: Reg, kind: Im2colKind, uniq: &str) {
 /// the 2-bit unpack variant additionally uses `a0`–`a2` and `sp` (free at
 /// im2col time) and the constants `s8`–`s11`/`a6`.
 pub fn emit_im2col_pair(a: &mut Asm, cfg: &ConvKernelConfig, layout: &LayerLayout) {
+    emit_im2col_pair_at(a, cfg, super::Im2colBase::Absolute(layout.im2col));
+}
+
+/// Emits the `im2col_pair` subroutine with an explicit buffer base —
+/// the cluster emitter passes the per-hart base register; the
+/// single-core wrapper above passes the absolute layout address
+/// (emitting byte-identical code to the pre-cluster builder).
+pub fn emit_im2col_pair_at(a: &mut Asm, cfg: &ConvKernelConfig, base: super::Im2colBase) {
     let kind = Im2colKind::for_config(cfg);
     let descs_per_pair = (2 * cfg.shape.k_h) as i32;
 
     a.label("im2col_pair");
-    a.li(T0, layout.im2col as i32);
+    base.emit(a, T0, 0);
     a.li(T5, descs_per_pair);
 
     a.label("ic_desc");

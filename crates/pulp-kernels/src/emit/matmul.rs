@@ -165,6 +165,13 @@ fn emit_body_v2_w2(a: &mut Asm) {
 
 /// Emits the `mm_block` subroutine.
 pub fn emit_mm_block(a: &mut Asm, cfg: &ConvKernelConfig, layout: &LayerLayout) {
+    emit_mm_block_at(a, cfg, super::Im2colBase::Absolute(layout.im2col));
+}
+
+/// Emits the `mm_block` subroutine with an explicit im2col base (see
+/// [`crate::emit::Im2colBase`]); the layout wrapper above is
+/// byte-identical to the pre-cluster builder.
+pub fn emit_mm_block_at(a: &mut Asm, cfg: &ConvKernelConfig, base: super::Im2colBase) {
     let row_bytes = LayerLayout::weight_row_bytes(cfg) as i32;
     let buf_bytes = LayerLayout::im2col_buffer_bytes(cfg) as i32;
     let iters = inner_iterations(cfg) as i32;
@@ -173,8 +180,8 @@ pub fn emit_mm_block(a: &mut Asm, cfg: &ConvKernelConfig, layout: &LayerLayout) 
     a.label("mm_block");
     a.mv(S0, A0);
     a.addi(S1, A0, row_bytes);
-    a.li(S2, layout.im2col as i32);
-    a.li(S3, layout.im2col as i32 + buf_bytes);
+    base.emit(a, S2, 0);
+    base.emit(a, S3, buf_bytes);
     a.li(S4, 0);
     a.li(S5, 0);
     a.li(S6, 0);

@@ -25,15 +25,53 @@
 //! the two values packed for `pv.qnt` are consecutive channels of the
 //! same pixel.
 
+pub mod cluster;
 pub mod conv;
 pub mod im2col;
 pub mod matmul;
 pub mod quant;
 
+pub use cluster::build_cluster_conv_program;
 pub use conv::build_conv_program;
 
+use pulp_asm::Asm;
 use pulp_isa::simd::SimdFmt;
+use pulp_isa::Reg;
 use qnn::BitWidth;
+
+/// Where the im2col double buffer lives: at a link-time constant (the
+/// single-core layout) or held in a register written by the cluster
+/// dispatch prologue (per-hart L1 buffers, bases only known at
+/// dispatch time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Im2colBase {
+    /// `li rd, addr` — the single-core path, byte-identical to the
+    /// pre-cluster emitters.
+    Absolute(u32),
+    /// `mv rd, reg` — the register the dispatcher loaded the per-hart
+    /// buffer base into (`tp` in the cluster convention).
+    InReg(Reg),
+}
+
+impl Im2colBase {
+    /// Emits `rd = base + offset` (`offset` must stay in `addi` range
+    /// for the register-relative form).
+    fn emit(&self, a: &mut Asm, rd: Reg, offset: i32) {
+        match *self {
+            Im2colBase::Absolute(addr) => {
+                a.li(rd, addr as i32 + offset);
+            }
+            Im2colBase::InReg(r) => {
+                assert!((-2048..2048).contains(&offset), "im2col offset range");
+                if offset == 0 {
+                    a.mv(rd, r);
+                } else {
+                    a.addi(rd, r, offset);
+                }
+            }
+        }
+    }
+}
 
 /// The SIMD lane format of a bit width.
 pub fn simd_fmt(bits: BitWidth) -> SimdFmt {

@@ -33,6 +33,7 @@
 //! tests in this crate verify every variant bit-exactly against the
 //! golden [`qnn::conv`] models.
 
+pub mod cluster;
 pub mod config;
 pub mod depthwise;
 pub mod descriptors;
@@ -44,4 +45,4 @@ pub mod runner;
 
 pub use config::{ConvKernelConfig, KernelIsa, QuantMode};
 pub use layout::LayerLayout;
-pub use runner::ConvTestbench;
+pub use runner::{BuildError, ConvRunResult, ConvTestbench};

@@ -203,6 +203,32 @@ impl ConvTestbench {
         &self.input
     }
 
+    /// The packed input image, exactly as staged at `layout.input`.
+    pub fn packed_input(&self) -> Vec<u8> {
+        self.input.pack()
+    }
+
+    /// The packed weight image, exactly as staged at `layout.weights`.
+    pub fn packed_weights(&self) -> Vec<u8> {
+        self.weights.pack()
+    }
+
+    /// The threshold-tree memory image: `channels · stride` bytes with
+    /// channel `ch`'s Eytzinger heap at offset `ch · stride` — the same
+    /// bytes [`ConvTestbench::stage`] writes at `layout.thresholds`.
+    /// `None` for shift-quantized (8-bit) kernels.
+    pub fn threshold_image(&self) -> Option<Vec<u8>> {
+        let t = self.thresholds.as_ref()?;
+        let stride = tree_stride(crate::emit::simd_fmt(self.cfg.out_bits)) as usize;
+        let mut image = vec![0u8; t.channels() * stride];
+        for ch in 0..t.channels() {
+            let heap = eytzinger(t.channel(ch));
+            let bytes: Vec<u8> = heap.iter().flat_map(|v| v.to_le_bytes()).collect();
+            image[ch * stride..ch * stride + bytes.len()].copy_from_slice(&bytes);
+        }
+        Some(image)
+    }
+
     /// The core configuration this kernel requires.
     pub fn isa_config(&self) -> IsaConfig {
         match self.cfg.isa {

@@ -42,6 +42,8 @@
 //! # }
 //! ```
 
+pub mod cluster;
+
 use pulp_asm::Program;
 use riscv_core::{Bus, BusError, Core, ExitStatus, IsaConfig, PerfCounters, Snapshot, Trap};
 

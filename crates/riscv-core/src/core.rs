@@ -173,6 +173,7 @@ pub struct Snapshot {
     perf: PerfCounters,
     hwloops: [HwLoop; 2],
     csrs: BTreeMap<u16, u32>,
+    hartid: u32,
 }
 
 impl Snapshot {
@@ -200,13 +201,20 @@ pub struct Core {
     pub perf: PerfCounters,
     hwloops: [HwLoop; 2],
     csrs: BTreeMap<u16, u32>,
+    hartid: u32,
     // Boxed so the untraced hot path carries one pointer, not the ring.
     tracer: Option<Box<ExecTracer>>,
 }
 
 impl Core {
-    /// Creates a core with zeroed state.
+    /// Creates a core with zeroed state (hart 0).
     pub fn new(isa: IsaConfig) -> Core {
+        Core::with_hartid(isa, 0)
+    }
+
+    /// Creates a core wired as hart `hartid` of a cluster: `csrr
+    /// mhartid` returns the given id, everything else starts zeroed.
+    pub fn with_hartid(isa: IsaConfig, hartid: u32) -> Core {
         Core {
             regs: [0; 32],
             pc: 0,
@@ -214,8 +222,14 @@ impl Core {
             perf: PerfCounters::new(),
             hwloops: [HwLoop::default(); 2],
             csrs: BTreeMap::new(),
+            hartid,
             tracer: None,
         }
+    }
+
+    /// The hart id `csrr mhartid` reports (0 for a standalone core).
+    pub fn hartid(&self) -> u32 {
+        self.hartid
     }
 
     /// Attaches an execution tracer keeping the last `capacity` retired
@@ -259,6 +273,7 @@ impl Core {
             perf: self.perf,
             hwloops: self.hwloops,
             csrs: self.csrs.clone(),
+            hartid: self.hartid,
         }
     }
 
@@ -272,6 +287,7 @@ impl Core {
         self.perf = snap.perf;
         self.hwloops = snap.hwloops;
         self.csrs = snap.csrs.clone();
+        self.hartid = snap.hartid;
     }
 
     /// Resets architectural state (registers, PC, loops, counters). An
@@ -293,7 +309,7 @@ impl Core {
             csr::MCYCLEH => (self.perf.cycles >> 32) as u32,
             csr::MINSTRET => self.perf.instret as u32,
             csr::MINSTRETH => (self.perf.instret >> 32) as u32,
-            csr::MHARTID => 0,
+            csr::MHARTID => self.hartid,
             csr::LPSTART0 => self.hwloops[0].start,
             csr::LPEND0 => self.hwloops[0].end,
             csr::LPCOUNT0 => self.hwloops[0].count,

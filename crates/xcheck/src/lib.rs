@@ -145,6 +145,18 @@ impl LintConfig {
         }
     }
 
+    /// Profile for emitted *cluster* kernel programs: identical to
+    /// [`LintConfig::kernel`] except that `tp` is not reserved — the
+    /// cluster dispatch prologue legitimately loads each tile's im2col
+    /// base into `tp` from its parameter record (the single-core
+    /// reservation exists precisely so the register is free for this).
+    pub fn cluster(regions: Vec<Region>) -> LintConfig {
+        LintConfig {
+            reserved: RegSet::EMPTY,
+            ..LintConfig::kernel(regions)
+        }
+    }
+
     /// Profile for conformance-generated programs: the core resets
     /// every register to zero (so nothing is "uninitialized"), random
     /// programs legitimately produce dead values, mix SIMD formats and
