@@ -39,6 +39,19 @@ cargo run --release -q --locked -p xpulpnn-cli -- conformance --crossval --cases
 echo "==> conformance smoke (1000 cases, seed 1)"
 cargo run --release -q --locked -p xpulpnn-cli -- conformance --cases 1000 --seed 1
 
+# Fast-path lockstep oracle: the decoded-block engine against the
+# interpreter over the fuzzer corpus, per-step state + perf compared,
+# plus a whole-program batched replay per case under an exact cycle
+# budget (any cycle drift trips the watchdog).
+echo "==> conformance fast-path lockstep (500 cases, seed 1)"
+cargo run --release -q --locked -p xpulpnn-cli -- conformance --fastpath --cases 500 --seed 1
+
+# Pinned simulated-cycle counts must hold with the fast path enabled:
+# the Fig. 8 layer (1,440,804 cycles / 1,337,750 instret) and the
+# 8-variant golden matrix, bit-exact interpreter-vs-fast-path.
+echo "==> fast-path pinned cycles + bit-exactness (release)"
+cargo test --release -q --locked -p pulp-kernels fastpath
+
 # The campaign is a pure function of its seed; the exact totals line is
 # asserted so any drift in kernel schedules, core timing, or the RNG
 # shows up here instead of silently changing fault behaviour.
@@ -81,5 +94,19 @@ for f in BENCH_single_core.json BENCH_cluster8.json; do
         exit 1
     }
 done
+
+# Host-throughput artifact: simulated cycles per wall-clock second,
+# interpreted vs. fast path, on the Fig. 8 4-bit layer. The floor is
+# deliberately modest (>= 2x) — CI machines are noisy and the point of
+# the gate is "the fast path is on and substantially faster", not a
+# micro-benchmark; EXPERIMENTS.md records the measured ratio.
+echo "==> bench artifact (BENCH_host_throughput.json)"
+cargo run --release -q --locked -p xpulpnn-cli -- bench --host --out .
+[ -s BENCH_host_throughput.json ] || { echo "missing BENCH_host_throughput.json"; exit 1; }
+awk -F'[:,]' '/"speedup"/ { if ($2 + 0 >= 2.0) exit 0; else exit 1 }' BENCH_host_throughput.json || {
+    echo "fast path speedup below 2x floor:"
+    cat BENCH_host_throughput.json
+    exit 1
+}
 
 echo "==> ci: all green"

@@ -37,11 +37,15 @@ usage:
       speedup over the single-core SoC, the conflict/DMA breakdown and
       per-hart utilization; simulated cycles are independent of
       --threads (host parallelism)
-  xpulpnn bench [--json] [--seed N] [--out DIR]
+  xpulpnn bench [--json] [--host] [--seed N] [--out DIR]
       benchmark the Fig. 8 4-bit layer on the seed single core and the
       8-core cluster; --json writes one BENCH_<label>.json artifact
       per configuration (cycles, MACs/cycle, stall/conflict breakdown,
-      per-core utilization) instead of printing a table
+      per-core utilization) instead of printing a table; --host instead
+      benchmarks the *simulator* on this machine — the layer runs
+      interpreted and again under the decoded-block fast path (verified
+      bit-exact), and BENCH_host_throughput.json records simulated
+      cycles/second for both, the speedup and the block-cache hit rate
   xpulpnn lint [<file.s>]
       statically verify a program: CFG + hardware-loop legality,
       dataflow (uninitialized reads, dead stores, reserved-register
@@ -50,10 +54,13 @@ usage:
       with no file, lints every shipped kernel and every 8-hart
       parallel cluster kernel against the tensor regions its layout
       declares and fails on any diagnostic
-  xpulpnn conformance [--cases N] [--seed S] [--crossval]
+  xpulpnn conformance [--cases N] [--seed S] [--crossval] [--fastpath]
       differentially fuzz the cycle-approximate core against the
       independent reference interpreter on N random programs; on
       divergence, prints a shrunk repro and the exact replay command;
+      --fastpath instead lock-steps the decoded-block fast path
+      against the interpreter (PC, registers and perf counters compared
+      every step) over the same corpus, shrinking any divergence;
       --crossval instead cross-validates the static analyzer: every
       generated program is linted and then executed with a dynamic
       uninit/out-of-bounds oracle (lint-clean programs must run
@@ -69,20 +76,52 @@ usage:
       --cluster runs the campaign on an N-hart cluster instead
       (faults strike per-hart register files and the shared TCDM)";
 
-/// A user-facing CLI error.
+/// A user-facing CLI error, classified so the process exit code tells
+/// scripts *what kind* of failure occurred.
 #[derive(Debug, PartialEq, Eq)]
-pub struct CliError(pub String);
+pub struct CliError {
+    /// Message shown to the user.
+    pub message: String,
+    /// True for usage errors — a malformed flag or argument. `main`
+    /// prints the USAGE text for these and exits with code 2; runtime
+    /// failures (traps, divergences, lint findings, I/O) exit with 1.
+    pub usage: bool,
+}
+
+impl CliError {
+    /// Process exit code for this error: 2 for usage, 1 for runtime.
+    pub fn exit_code(&self) -> u8 {
+        if self.usage {
+            2
+        } else {
+            1
+        }
+    }
+}
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(&self.message)
     }
 }
 
 impl std::error::Error for CliError {}
 
+/// A usage error: bad flags or arguments (exit code 2, USAGE shown).
 fn err(msg: impl Into<String>) -> CliError {
-    CliError(msg.into())
+    CliError {
+        message: msg.into(),
+        usage: true,
+    }
+}
+
+/// A runtime failure: the arguments were fine, the work failed
+/// (exit code 1, no USAGE dump burying the actual diagnostic).
+fn fail(msg: impl Into<String>) -> CliError {
+    CliError {
+        message: msg.into(),
+        usage: false,
+    }
 }
 
 /// Parsed options for `run`.
@@ -173,8 +212,8 @@ fn parse_seed(args: &[String]) -> Result<u64, CliError> {
 
 fn load_program(path: &str) -> Result<xpulpnn::pulp_asm::Program, CliError> {
     let source =
-        std::fs::read_to_string(path).map_err(|e| err(format!("cannot read `{path}`: {e}")))?;
-    parse(&source).map_err(|e| err(format!("{path}: {e}")))
+        std::fs::read_to_string(path).map_err(|e| fail(format!("cannot read `{path}`: {e}")))?;
+    parse(&source).map_err(|e| fail(format!("{path}: {e}")))
 }
 
 fn cmd_run(args: &[String]) -> Result<String, CliError> {
@@ -215,7 +254,7 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
         Err(Trap::Watchdog { pc, budget }) => {
             let _ = writeln!(out, "cycle budget ({budget}) exhausted at pc {pc:#010x}");
         }
-        Err(t) => return Err(err(t.to_string())),
+        Err(t) => return Err(fail(t.to_string())),
     }
     let _ = writeln!(out, "cycles    : {}", perf.cycles);
     let _ = writeln!(out, "instret   : {}", perf.instret);
@@ -238,7 +277,7 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
 fn run_spmd_report(opts: &RunOpts, prog: &xpulpnn::pulp_asm::Program) -> Result<String, CliError> {
     let r =
         xpulpnn::pulp_cluster::run_spmd(opts.isa, opts.cores, prog, opts.max_cycles, opts.cores)
-            .map_err(|e| err(e.to_string()))?;
+            .map_err(|e| fail(e.to_string()))?;
     let mut out = String::new();
     let _ = writeln!(out, "exit codes: {:?}", r.exit_codes);
     let _ = writeln!(out, "cycles    : {}", r.clock);
@@ -344,15 +383,15 @@ fn cmd_cluster(args: &[String]) -> Result<String, CliError> {
     let o = parse_cluster_opts(args)?;
     let cfg = xpulpnn::ConvKernelConfig::paper(o.bits, o.isa, o.hw_quant);
     let tb = xpulpnn::pulp_cluster::ClusterConvTestbench::new(cfg, o.cores, o.seed)
-        .map_err(|e| err(e.to_string()))?;
-    let r = tb.run(o.threads).map_err(|e| err(e.to_string()))?;
+        .map_err(|e| fail(e.to_string()))?;
+    let r = tb.run(o.threads).map_err(|e| fail(e.to_string()))?;
     if !r.matches() {
-        return Err(err(format!(
+        return Err(fail(format!(
             "{}: cluster output diverged from the golden model",
             cfg.name()
         )));
     }
-    let single = xpulpnn::measure::measure(cfg, o.seed).map_err(|e| err(e.to_string()))?;
+    let single = xpulpnn::measure::measure(cfg, o.seed).map_err(|e| fail(e.to_string()))?;
     let mut out = String::new();
     let _ = writeln!(out, "kernel      : {} on {} core(s)", cfg.name(), o.cores);
     let _ = writeln!(out, "output      : matches golden model (bit-exact)");
@@ -395,6 +434,9 @@ fn cmd_cluster(args: &[String]) -> Result<String, CliError> {
 pub struct BenchOpts {
     /// Write `BENCH_<label>.json` artifacts instead of a table.
     pub json: bool,
+    /// Benchmark the simulator itself (interpreter vs. fast path) and
+    /// write `BENCH_host_throughput.json`.
+    pub host: bool,
     /// Tensor seed.
     pub seed: u64,
     /// Directory the JSON artifacts land in.
@@ -405,6 +447,7 @@ pub struct BenchOpts {
 pub fn parse_bench_opts(args: &[String]) -> Result<BenchOpts, CliError> {
     let mut o = BenchOpts {
         json: false,
+        host: false,
         seed: 42,
         out_dir: ".".to_string(),
     };
@@ -412,6 +455,7 @@ pub fn parse_bench_opts(args: &[String]) -> Result<BenchOpts, CliError> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => o.json = true,
+            "--host" => o.host = true,
             "--seed" => {
                 let v = it.next().ok_or_else(|| err("--seed needs a value"))?;
                 o.seed = v.parse().map_err(|_| err(format!("bad seed `{v}`")))?;
@@ -428,13 +472,16 @@ pub fn parse_bench_opts(args: &[String]) -> Result<BenchOpts, CliError> {
 
 fn cmd_bench(args: &[String]) -> Result<String, CliError> {
     let o = parse_bench_opts(args)?;
-    let records = xpulpnn::bench::paper_bench_suite(o.seed).map_err(|e| err(e.to_string()))?;
+    if o.host {
+        return cmd_bench_host(&o);
+    }
+    let records = xpulpnn::bench::paper_bench_suite(o.seed).map_err(|e| fail(e.to_string()))?;
     let mut out = String::new();
     if o.json {
         for r in &records {
             let path = std::path::Path::new(&o.out_dir).join(format!("BENCH_{}.json", r.label));
             std::fs::write(&path, format!("{}\n", r.to_json()))
-                .map_err(|e| err(format!("cannot write `{}`: {e}", path.display())))?;
+                .map_err(|e| fail(format!("cannot write `{}`: {e}", path.display())))?;
             let _ = writeln!(out, "wrote {}", path.display());
         }
         return Ok(out);
@@ -452,6 +499,42 @@ fn cmd_bench(args: &[String]) -> Result<String, CliError> {
             let _ = writeln!(out, "    {name:<24} {cycles}");
         }
     }
+    Ok(out)
+}
+
+/// `bench --host`: time the simulator itself on the Fig. 8 layer,
+/// interpreted vs. fast path, and write `BENCH_host_throughput.json`.
+fn cmd_bench_host(o: &BenchOpts) -> Result<String, CliError> {
+    let r = xpulpnn::bench::host_throughput(o.seed).map_err(|e| fail(e.to_string()))?;
+    let path = std::path::Path::new(&o.out_dir).join("BENCH_host_throughput.json");
+    std::fs::write(&path, format!("{}\n", r.to_json()))
+        .map_err(|e| fail(format!("cannot write `{}`: {e}", path.display())))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "kernel          : {}", r.kernel);
+    let _ = writeln!(
+        out,
+        "simulated       : {} cycles / {} instructions (bit-exact on both paths)",
+        r.cycles, r.instret
+    );
+    let _ = writeln!(
+        out,
+        "interpreter     : {:.3}s  ({:.2} Mcycles/s)",
+        r.interp_secs,
+        r.interp_cps() / 1e6
+    );
+    let _ = writeln!(
+        out,
+        "fast path       : {:.3}s  ({:.2} Mcycles/s)",
+        r.fast_secs,
+        r.fast_cps() / 1e6
+    );
+    let _ = writeln!(out, "speedup         : {:.2}x", r.speedup());
+    let _ = writeln!(
+        out,
+        "block cache     : {:.4} hit rate, {} blocks translated, {} interp fallbacks, {} invalidations",
+        r.hit_rate, r.translations, r.interp_fallbacks, r.invalidations
+    );
+    let _ = writeln!(out, "wrote {}", path.display());
     Ok(out)
 }
 
@@ -479,7 +562,7 @@ fn cmd_codesize(args: &[String]) -> Result<String, CliError> {
 
 fn cmd_sweep(args: &[String]) -> Result<String, CliError> {
     let seed = parse_seed(args)?;
-    let m = xpulpnn::experiments::collect(seed).map_err(|e| err(e.to_string()))?;
+    let m = xpulpnn::experiments::collect(seed).map_err(|e| fail(e.to_string()))?;
     Ok(format!(
         "{}\n{}",
         xpulpnn::experiments::figure6(&m),
@@ -489,7 +572,7 @@ fn cmd_sweep(args: &[String]) -> Result<String, CliError> {
 
 fn cmd_report(args: &[String]) -> Result<String, CliError> {
     let seed = parse_seed(args)?;
-    let r = xpulpnn::experiments::run_all(seed).map_err(|e| err(e.to_string()))?;
+    let r = xpulpnn::experiments::run_all(seed).map_err(|e| fail(e.to_string()))?;
     Ok(format!("{r}\n"))
 }
 
@@ -558,7 +641,7 @@ pub fn parse_profile_opts(args: &[String]) -> Result<ProfileOpts, CliError> {
 fn cmd_profile(args: &[String]) -> Result<String, CliError> {
     let o = parse_profile_opts(args)?;
     let p = xpulpnn::measure::profile_paper_layer(o.bits, o.isa, o.hw_quant, o.seed, o.top)
-        .map_err(|e| err(e.to_string()))?;
+        .map_err(|e| fail(e.to_string()))?;
     Ok(format!("{}\n", p.to_json()))
 }
 
@@ -581,13 +664,13 @@ fn cmd_lint(args: &[String]) -> Result<String, CliError> {
         return if report.clean() {
             Ok(format!("{p}: {}\n", report.summary()))
         } else {
-            Err(err(format!("{p}:\n{}", report.render())))
+            Err(fail(format!("{p}:\n{}", report.render())))
         };
     }
     // No file: lint every shipped kernel against its declared regions,
     // plus the eight parallel cluster kernels (8-hart split).
-    let mut kernels = xpulpnn::lint::shipped_kernels().map_err(|e| err(e.to_string()))?;
-    kernels.extend(xpulpnn::lint::cluster_kernels(8).map_err(|e| err(e.to_string()))?);
+    let mut kernels = xpulpnn::lint::shipped_kernels().map_err(|e| fail(e.to_string()))?;
+    kernels.extend(xpulpnn::lint::cluster_kernels(8).map_err(|e| fail(e.to_string()))?);
     let mut out = String::new();
     let mut dirty = 0usize;
     for k in &kernels {
@@ -600,7 +683,7 @@ fn cmd_lint(args: &[String]) -> Result<String, CliError> {
         }
     }
     if dirty > 0 {
-        Err(err(format!("{out}{dirty} kernel(s) failed lint")))
+        Err(fail(format!("{out}{dirty} kernel(s) failed lint")))
     } else {
         let _ = writeln!(out, "{} kernels lint-clean", kernels.len());
         Ok(out)
@@ -618,6 +701,9 @@ pub struct ConformanceOpts {
     /// interpreter: lint each generated program and execute it with a
     /// dynamic uninit/out-of-bounds oracle attached.
     pub crossval: bool,
+    /// Lock-step the decoded-block fast path against the interpreter
+    /// instead of the reference interpreter.
+    pub fastpath: bool,
 }
 
 /// Parses the flags of the `conformance` subcommand.
@@ -626,11 +712,13 @@ pub fn parse_conformance_opts(args: &[String]) -> Result<ConformanceOpts, CliErr
         cases: 1000,
         seed: 1,
         crossval: false,
+        fastpath: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--crossval" => o.crossval = true,
+            "--fastpath" => o.fastpath = true,
             "--cases" => {
                 let v = it.next().ok_or_else(|| err("--cases needs a value"))?;
                 o.cases = v
@@ -644,18 +732,32 @@ pub fn parse_conformance_opts(args: &[String]) -> Result<ConformanceOpts, CliErr
             other => return Err(err(format!("unknown argument `{other}`"))),
         }
     }
+    if o.crossval && o.fastpath {
+        return Err(err("--crossval and --fastpath are mutually exclusive"));
+    }
     Ok(o)
 }
 
 fn cmd_conformance(args: &[String]) -> Result<String, CliError> {
     let o = parse_conformance_opts(args)?;
+    if o.fastpath {
+        let cfg = xpulpnn::conformance::FastDiffConfig::default();
+        let report = xpulpnn::conformance::run_fast_suite(o.seed, o.cases, &cfg);
+        return match report.failure {
+            None => Ok(format!(
+                "conformance --fastpath: {} cases, 0 divergences (seed {})\n",
+                report.cases_run, o.seed
+            )),
+            Some(f) => Err(fail(f.to_string())),
+        };
+    }
     if o.crossval {
         let gen = xpulpnn::conformance::GenConfig::default();
         let r = xpulpnn::conformance::run_crossval(o.seed, o.cases, &gen);
         return if r.ok() {
             Ok(format!("{r}\n"))
         } else {
-            Err(err(r.to_string()))
+            Err(fail(r.to_string()))
         };
     }
     let cfg = xpulpnn::conformance::DiffConfig::default();
@@ -665,7 +767,7 @@ fn cmd_conformance(args: &[String]) -> Result<String, CliError> {
             "conformance: {} cases, 0 divergences (seed {})\n",
             report.cases_run, o.seed
         )),
-        Some(f) => Err(err(f.to_string())),
+        Some(f) => Err(fail(f.to_string())),
     }
 }
 
@@ -743,16 +845,16 @@ pub fn parse_faults_opts(args: &[String]) -> Result<FaultsOpts, CliError> {
 fn cmd_faults(args: &[String]) -> Result<String, CliError> {
     let o = parse_faults_opts(args)?;
     if o.cluster {
-        let r = xpulpnn::faultsim::run_cluster_campaign(o.seed, o.trials, o.cores).map_err(err)?;
+        let r = xpulpnn::faultsim::run_cluster_campaign(o.seed, o.trials, o.cores).map_err(fail)?;
         return Ok(format!("{r}"));
     }
     match o.replay {
         Some((variant, trial)) => {
-            let r = xpulpnn::faultsim::replay(o.seed, variant, trial).map_err(err)?;
+            let r = xpulpnn::faultsim::replay(o.seed, variant, trial).map_err(fail)?;
             Ok(format!("{r}"))
         }
         None => {
-            let r = xpulpnn::faultsim::run_campaign(o.seed, o.trials).map_err(err)?;
+            let r = xpulpnn::faultsim::run_campaign(o.seed, o.trials).map_err(fail)?;
             Ok(format!("{r}"))
         }
     }
@@ -831,6 +933,7 @@ mod tests {
                 cases: 1000,
                 seed: 1,
                 crossval: false,
+                fastpath: false,
             }
         );
 
@@ -842,12 +945,35 @@ mod tests {
                 cases: 25,
                 seed: 7,
                 crossval: true,
+                fastpath: false,
             }
         );
+
+        let o = parse_conformance_opts(&v(&["--fastpath", "--cases", "5"])).unwrap();
+        assert!(o.fastpath);
+        assert_eq!(o.cases, 5);
 
         assert!(parse_conformance_opts(&v(&["--cases"])).is_err());
         assert!(parse_conformance_opts(&v(&["--cases", "many"])).is_err());
         assert!(parse_conformance_opts(&v(&["--bogus"])).is_err());
+        assert!(parse_conformance_opts(&v(&["--crossval", "--fastpath"])).is_err());
+    }
+
+    #[test]
+    fn conformance_fastpath_smoke_reports_clean() {
+        let out = dispatch(&v(&[
+            "conformance",
+            "--fastpath",
+            "--cases",
+            "20",
+            "--seed",
+            "1",
+        ]))
+        .unwrap();
+        assert!(
+            out.contains("--fastpath: 20 cases, 0 divergences (seed 1)"),
+            "{out}"
+        );
     }
 
     #[test]
@@ -877,6 +1003,65 @@ mod tests {
         assert!(dispatch(&v(&["frobnicate"])).is_err());
         assert!(dispatch(&[]).is_err());
         assert!(dispatch(&v(&["--help"])).unwrap().contains("usage"));
+    }
+
+    /// Satellite of the fast-path PR: a malformed numeric argument on
+    /// *any* subcommand is a typed usage error (exit code 2), never a
+    /// panic and never a runtime failure. Exercised through `dispatch`
+    /// so the per-subcommand wiring is covered, not just the parsers.
+    #[test]
+    fn malformed_numeric_args_are_usage_errors_on_every_subcommand() {
+        let cases: &[&[&str]] = &[
+            &["run", "a.s", "--max-cycles", "lots"],
+            &["run", "a.s", "--max-cycles", "-3"],
+            &["run", "a.s", "--cores", "nine"],
+            &["run", "a.s", "--cores", "9"],
+            &["run", "a.s", "--cores", "0"],
+            &["sweep", "--seed", "0x2a"],
+            &["report", "--seed", ""],
+            &["profile", "--seed", "4.2"],
+            &["profile", "--top", "ten"],
+            &["cluster", "--cores", "-1"],
+            &["cluster", "--threads", "0"],
+            &["cluster", "--seed", "seed"],
+            &["bench", "--seed", "1e6"],
+            &["conformance", "--cases", "many"],
+            &["conformance", "--cases", "-5"],
+            &["conformance", "--seed", "later"],
+            &["conformance", "--fastpath", "--cases", "many"],
+            &["faults", "--trials", "many"],
+            &["faults", "--seed", "√2"],
+            &["faults", "--cores", "8.0"],
+        ];
+        for args in cases {
+            let e = dispatch(&v(args)).expect_err(&format!("{args:?} must be rejected"));
+            assert!(e.usage, "{args:?} must be a usage error, got: {e}");
+            assert_eq!(e.exit_code(), 2, "{args:?}");
+        }
+        // Missing values behave the same as malformed ones.
+        for args in [
+            &["run", "a.s", "--max-cycles"][..],
+            &["conformance", "--cases"][..],
+            &["faults", "--trials"][..],
+            &["cluster", "--cores"][..],
+        ] {
+            let e = dispatch(&v(args)).unwrap_err();
+            assert!(e.usage, "{args:?}: {e}");
+        }
+    }
+
+    /// Runtime failures keep exit code 1 — scripts can tell "you called
+    /// it wrong" (2) from "it ran and found a problem" (1).
+    #[test]
+    fn runtime_failures_are_not_usage_errors() {
+        let e = dispatch(&v(&["run", "/nonexistent/prog.s"])).unwrap_err();
+        assert!(!e.usage, "{e}");
+        assert_eq!(e.exit_code(), 1);
+        let e = dispatch(&v(&["dis", "/nonexistent/prog.s"])).unwrap_err();
+        assert!(!e.usage, "{e}");
+        // But a missing *argument* is a usage error.
+        let e = dispatch(&v(&["dis"])).unwrap_err();
+        assert!(e.usage, "{e}");
     }
 
     #[test]
@@ -1050,8 +1235,12 @@ mod tests {
     fn bench_opts_defaults_and_flags() {
         let o = parse_bench_opts(&[]).unwrap();
         assert!(!o.json);
+        assert!(!o.host);
         assert_eq!(o.seed, 42);
         assert_eq!(o.out_dir, ".");
+
+        let o = parse_bench_opts(&v(&["--host"])).unwrap();
+        assert!(o.host);
 
         let o = parse_bench_opts(&v(&["--json", "--seed", "7", "--out", "/tmp/x"])).unwrap();
         assert!(o.json);
@@ -1125,7 +1314,7 @@ mod tests {
         // `a0` and `t0` are both read before any definition.
         std::fs::write(&bad, "sw t0, 0(a0)\necall\n").unwrap();
         let e = dispatch(&v(&["lint", bad.to_str().unwrap()])).unwrap_err();
-        assert!(e.0.contains("DF-01"), "{e}");
+        assert!(e.message.contains("DF-01"), "{e}");
 
         let good = dir.join("good.s");
         std::fs::write(&good, "li a0, 0\necall\n").unwrap();
@@ -1158,7 +1347,7 @@ mod tests {
         let p = path.to_str().unwrap().to_string();
         assert!(dispatch(&v(&["run", &p])).is_ok());
         let e = dispatch(&v(&["run", &p, "--isa", "xpulpv2"])).unwrap_err();
-        assert!(e.0.contains("xpulpnn extension"), "{e}");
+        assert!(e.message.contains("xpulpnn extension"), "{e}");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

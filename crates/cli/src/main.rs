@@ -22,9 +22,13 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!();
-            eprintln!("{}", cli::USAGE);
-            ExitCode::FAILURE
+            // Only usage errors (exit 2) get the USAGE dump; runtime
+            // failures (exit 1) keep their diagnostic unburied.
+            if e.usage {
+                eprintln!();
+                eprintln!("{}", cli::USAGE);
+            }
+            ExitCode::from(e.exit_code())
         }
     }
 }

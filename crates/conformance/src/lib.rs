@@ -34,6 +34,7 @@
 
 pub mod crossval;
 pub mod diff;
+pub mod fastpath;
 pub mod gen;
 pub mod harness;
 pub mod lockstep;
@@ -43,10 +44,13 @@ pub mod shrink;
 
 pub use crossval::{run_crossval, CrossValReport};
 pub use diff::{run_case, run_spec, run_suite, CaseOutcome, DiffConfig, Divergence, SuiteReport};
+pub use fastpath::{
+    fast_replay_command, run_fast_case, run_fast_spec, run_fast_suite, FastDiffConfig,
+};
 pub use gen::{generate, instr_count, lower, GenConfig, Item, Lowered, ProgramSpec};
 pub use lockstep::{lockstep, lockstep_with, LockstepEnd};
 pub use refcore::{RefBug, RefCore, RefTrap};
-pub use shrink::shrink;
+pub use shrink::{shrink, shrink_with};
 
 /// Seed of case `index` in a suite started from `master`: replaying a
 /// single case only needs this derived value, never the whole suite.

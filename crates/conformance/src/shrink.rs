@@ -25,7 +25,16 @@ fn diverges(spec: &ProgramSpec, bug: RefBug, max_steps: u64) -> bool {
 /// Minimizes `spec` while it keeps diverging under `bug`. Returns the
 /// input unchanged if it does not diverge in the first place.
 pub fn shrink(spec: &ProgramSpec, bug: RefBug, max_steps: u64) -> ProgramSpec {
-    if !diverges(spec, bug, max_steps) {
+    shrink_with(spec, |cand| diverges(cand, bug, max_steps))
+}
+
+/// [`shrink`] generalized over the divergence oracle: minimizes `spec`
+/// while `diverges` keeps returning true. Any lockstep comparison — the
+/// reference-interpreter diff, the fast-path-vs-interpreter check —
+/// plugs in as the predicate and inherits the full ddmin + loop
+/// simplification machinery.
+pub fn shrink_with(spec: &ProgramSpec, diverges: impl Fn(&ProgramSpec) -> bool) -> ProgramSpec {
+    if !diverges(spec) {
         return spec.clone();
     }
     let mut cur = spec.clone();
@@ -44,7 +53,7 @@ pub fn shrink(spec: &ProgramSpec, bug: RefBug, max_steps: u64) -> ProgramSpec {
                 let mut cand = cur.clone();
                 cand.items.drain(start..end);
                 gen::normalize(&mut cand.items);
-                if !cand.items.is_empty() && diverges(&cand, bug, max_steps) {
+                if !cand.items.is_empty() && diverges(&cand) {
                     cur = cand;
                     progressed = true;
                     // Retry the same window position on the smaller list.
@@ -70,7 +79,7 @@ pub fn shrink(spec: &ProgramSpec, bug: RefBug, max_steps: u64) -> ProgramSpec {
             let mut cand = cur.clone();
             cand.items.splice(idx..idx + 1, body.clone());
             gen::normalize(&mut cand.items);
-            if diverges(&cand, bug, max_steps) {
+            if diverges(&cand) {
                 cur = cand;
                 progressed = true;
                 continue; // revisit idx: it now holds a body item
@@ -82,7 +91,7 @@ pub fn shrink(spec: &ProgramSpec, bug: RefBug, max_steps: u64) -> ProgramSpec {
                 if let Item::Loop { count, .. } = &mut cand.items[idx] {
                     *count = 1;
                 }
-                if diverges(&cand, bug, max_steps) {
+                if diverges(&cand) {
                     cur = cand;
                     progressed = true;
                     continue;
@@ -97,7 +106,7 @@ pub fn shrink(spec: &ProgramSpec, bug: RefBug, max_steps: u64) -> ProgramSpec {
                     if let Item::Loop { body, .. } = &mut cand.items[idx] {
                         body.remove(j);
                     }
-                    if diverges(&cand, bug, max_steps) {
+                    if diverges(&cand) {
                         cur = cand;
                         progressed = true;
                         dropped = true;

@@ -8,8 +8,9 @@
 
 use crate::measure::{measure, Error};
 use pulp_cluster::{ClusterConvTestbench, ClusterError};
-use pulp_kernels::{ConvKernelConfig, KernelIsa};
+use pulp_kernels::{ConvKernelConfig, ConvTestbench, KernelIsa};
 use qnn::BitWidth;
+use std::time::Instant;
 
 /// One core's share of a benchmark run.
 #[derive(Debug, Clone)]
@@ -185,6 +186,138 @@ impl BenchRecord {
     }
 }
 
+/// Host-side throughput of the simulator itself: the Fig. 8 4-bit
+/// layer, interpreted vs. the decoded-block fast path, on this machine.
+///
+/// Simulated results are bit-exact between the two runs (that identity
+/// is asserted before the record is built); only host wall-clock
+/// differs, so the record is about the *simulator*, not the kernel.
+#[derive(Debug, Clone)]
+pub struct HostThroughputRecord {
+    /// Kernel configuration name.
+    pub kernel: String,
+    /// Simulated cycles of the layer (identical on both paths).
+    pub cycles: u64,
+    /// Instructions retired (identical on both paths).
+    pub instret: u64,
+    /// Wall-clock seconds of the interpreted run.
+    pub interp_secs: f64,
+    /// Wall-clock seconds of the fast-path run.
+    pub fast_secs: f64,
+    /// Block-cache hit rate of the fast-path run (hits / lookups).
+    pub hit_rate: f64,
+    /// Decoded-block cache lookups that missed and forced a translation
+    /// or an interpreter step.
+    pub misses: u64,
+    /// Blocks translated during the run.
+    pub translations: u64,
+    /// Ops the fast path punted to the interpreter (untranslatable).
+    pub interp_fallbacks: u64,
+    /// Whole-cache invalidations (restore, host writes, SMC).
+    pub invalidations: u64,
+}
+
+impl HostThroughputRecord {
+    /// Simulated cycles per wall-clock second, interpreted.
+    pub fn interp_cps(&self) -> f64 {
+        self.cycles as f64 / self.interp_secs.max(1e-9)
+    }
+
+    /// Simulated cycles per wall-clock second, fast path.
+    pub fn fast_cps(&self) -> f64 {
+        self.cycles as f64 / self.fast_secs.max(1e-9)
+    }
+
+    /// Wall-clock speedup of the fast path over the interpreter.
+    pub fn speedup(&self) -> f64 {
+        self.interp_secs / self.fast_secs.max(1e-9)
+    }
+
+    /// Serializes the record as a self-contained JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"kernel\": \"{}\",\n  \"cycles\": {},\n  \"instret\": {},\n  \
+             \"interp_secs\": {:.6},\n  \"fast_secs\": {:.6},\n  \
+             \"interp_cycles_per_sec\": {:.0},\n  \"fast_cycles_per_sec\": {:.0},\n  \
+             \"speedup\": {:.2},\n  \"block_cache_hit_rate\": {:.6},\n  \
+             \"block_cache_misses\": {},\n  \"blocks_translated\": {},\n  \
+             \"interp_fallbacks\": {},\n  \"invalidations\": {}\n}}",
+            escape(&self.kernel),
+            self.cycles,
+            self.instret,
+            self.interp_secs,
+            self.fast_secs,
+            self.interp_cps(),
+            self.fast_cps(),
+            self.speedup(),
+            self.hit_rate,
+            self.misses,
+            self.translations,
+            self.interp_fallbacks,
+            self.invalidations,
+        )
+    }
+}
+
+/// Measures host throughput on `cfg`: one interpreted run, one
+/// fast-path run, both verified against the golden model and against
+/// each other (every counter bit-exact) before timing is reported.
+pub fn host_throughput_for(
+    cfg: ConvKernelConfig,
+    seed: u64,
+) -> Result<HostThroughputRecord, Error> {
+    let tb = ConvTestbench::new(cfg, seed).map_err(|e| Error::Build(e.to_string()))?;
+
+    let t0 = Instant::now();
+    let interp = tb.run().map_err(Error::Trap)?;
+    let interp_secs = t0.elapsed().as_secs_f64();
+    if !interp.matches() {
+        return Err(Error::Mismatch { config: cfg.name() });
+    }
+
+    // Run the fast path by hand (rather than through `run_fastpath`) so
+    // the block-cache statistics survive into the record.
+    let mut soc = tb.stage();
+    soc.enable_fastpath();
+    let t0 = Instant::now();
+    let report = soc.run(tb.cycle_budget()).map_err(Error::Trap)?;
+    let fast_secs = t0.elapsed().as_secs_f64();
+    let stats = soc
+        .core
+        .fastpath_stats()
+        .expect("fast path was enabled for the timed run");
+    let fast = tb.collect(&soc, report);
+    if !fast.matches() {
+        return Err(Error::Mismatch { config: cfg.name() });
+    }
+    assert_eq!(
+        interp.report, fast.report,
+        "fast path must be bit-exact with the interpreter"
+    );
+
+    Ok(HostThroughputRecord {
+        kernel: cfg.name(),
+        cycles: interp.report.perf.cycles,
+        instret: interp.report.perf.instret,
+        interp_secs,
+        fast_secs,
+        hit_rate: stats.hit_rate(),
+        misses: stats.misses,
+        translations: stats.translations,
+        interp_fallbacks: stats.interp_fallbacks,
+        invalidations: stats.invalidations,
+    })
+}
+
+/// The `xpulpnn bench --host` measurement: the paper's Fig. 8 4-bit
+/// hardware-quantized layer.
+pub fn host_throughput(seed: u64) -> Result<HostThroughputRecord, Error> {
+    host_throughput_for(
+        ConvKernelConfig::paper(BitWidth::W4, KernelIsa::XpulpNN, true),
+        seed,
+    )
+}
+
 fn escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
@@ -256,6 +389,26 @@ mod tests {
         assert!(get("dma_writeback_cycles") > 0);
         for c in &r.per_core {
             assert!(c.utilization > 0.0 && c.utilization <= 1.0);
+        }
+    }
+
+    #[test]
+    fn host_throughput_record_is_verified_and_balanced() {
+        let r = host_throughput_for(small_cfg(), 42).unwrap();
+        assert!(r.cycles > 0 && r.instret > 0);
+        assert!(r.interp_secs > 0.0 && r.fast_secs > 0.0);
+        // The small layer still caches well; the hot loops dominate.
+        assert!(r.hit_rate > 0.9, "hit rate {:.3}", r.hit_rate);
+        assert_eq!(r.interp_fallbacks, 0);
+        let j = r.to_json();
+        assert_eq!(j.matches('{').count(), j.matches('}').count(), "{j}");
+        for key in [
+            "\"speedup\"",
+            "\"block_cache_hit_rate\"",
+            "\"fast_cycles_per_sec\"",
+            "\"interp_fallbacks\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in:\n{j}");
         }
     }
 

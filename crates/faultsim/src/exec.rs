@@ -136,6 +136,12 @@ fn apply(soc: &mut Soc, event: &FaultEvent) -> InjectionRecord {
 /// the cycle counter has reached its scheduled cycle.
 pub fn run_armed(soc: &mut Soc, plan: &FaultPlan, cfg: &ArmConfig) -> ArmedRun {
     let before = soc.core.perf;
+    // An armed driver mutates registers and memory behind the core's
+    // back between steps, so the decoded-block fast path must not be
+    // live: drop it for the whole armed run (fallback matrix in
+    // `riscv_core::fastpath`). Flips to code bytes then take effect at
+    // the very next fetch, exactly as the classifier assumes.
+    soc.core.disable_fastpath();
     if cfg.trace_depth > 0 {
         soc.core.attach_tracer(cfg.trace_depth);
     }
@@ -257,6 +263,21 @@ mod tests {
                 }
             )
             .matches());
+    }
+
+    #[test]
+    fn arming_disables_a_live_fastpath_and_stays_exact() {
+        // A caller may hand over an SoC with the decoded-block fast
+        // path already enabled; arming must drop it (flips bypass the
+        // bus, so cached blocks would go stale) and still reproduce the
+        // interpreter's counters exactly.
+        let tb = small_bench();
+        let clean = tb.run().expect("clean run");
+        let mut soc = tb.stage();
+        soc.enable_fastpath();
+        let armed = run_armed(&mut soc, &FaultPlan::none(), &ArmConfig::default());
+        assert!(!soc.core.fastpath_enabled());
+        assert_eq!(armed.perf, clean.report.perf);
     }
 
     #[test]

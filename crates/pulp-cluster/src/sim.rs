@@ -151,6 +151,18 @@ impl ClusterSim {
         self.host_threads = n.max(1);
     }
 
+    /// Enables the decoded-block fast path on every hart (see
+    /// [`riscv_core::fastpath`]). Purely a host-side knob, like
+    /// [`ClusterSim::set_host_threads`]: simulated results are
+    /// identical with it on or off. Enable *after* the program is
+    /// loaded; the per-core caches invalidate themselves on
+    /// [`ClusterSim::restore`] and on self-modifying stores.
+    pub fn enable_fastpath(&mut self) {
+        for core in &mut self.harts {
+            core.enable_fastpath();
+        }
+    }
+
     /// Points every hart at `entry` SPMD-style, with per-hart stacks
     /// descending from the top of L2 (4 kB apart; the generated QNN
     /// kernels are stackless, this is for raw SPMD programs).

@@ -67,6 +67,53 @@ fn equivalence_matrix_all_variants_all_cluster_sizes() {
     }
 }
 
+/// The decoded-block fast path is a pure host-side accelerator: for
+/// every kernel variant and every cluster size the fast-path run
+/// reports bit-identical cycles, stats, per-hart counters and output.
+#[test]
+fn equivalence_matrix_is_bit_exact_under_fastpath() {
+    for cfg in variants() {
+        for n in [1, 2, 4, 8] {
+            let tb = ClusterConvTestbench::new(cfg, n, 42)
+                .unwrap_or_else(|e| panic!("{} n={n}: {e}", cfg.name()));
+            let interp = tb
+                .run(2)
+                .unwrap_or_else(|e| panic!("{} n={n}: {e}", cfg.name()));
+            let fast = tb
+                .run_fastpath(2)
+                .unwrap_or_else(|e| panic!("{} n={n} fastpath: {e}", cfg.name()));
+            assert!(fast.matches(), "{} n={n}", cfg.name());
+            assert_eq!(interp.cycles, fast.cycles, "{} n={n}", cfg.name());
+            assert_eq!(interp.stats, fast.stats, "{} n={n}", cfg.name());
+            assert_eq!(interp.output, fast.output, "{} n={n}", cfg.name());
+            assert_eq!(interp.exit_codes, fast.exit_codes, "{} n={n}", cfg.name());
+            for h in 0..n {
+                assert_eq!(interp.per_hart[h], fast.per_hart[h], "{} n={n}", cfg.name());
+            }
+        }
+    }
+}
+
+/// The cluster pins under the fast path: the 1-hart paper layer at
+/// 1,444,386 cycles and the 8-hart paper layer at 190,138 cycles
+/// (EXPERIMENTS.md cluster-scaling table), bit-exact.
+#[test]
+fn cluster_pins_hold_under_fastpath() {
+    let cfg = ConvKernelConfig::paper(BitWidth::W4, KernelIsa::XpulpNN, true);
+    let one = ClusterConvTestbench::new(cfg, 1, 42)
+        .unwrap()
+        .run_fastpath(1)
+        .unwrap();
+    assert!(one.matches());
+    assert_eq!(one.cycles, 1_444_386);
+    let eight = ClusterConvTestbench::new(cfg, 8, 42)
+        .unwrap()
+        .run_fastpath(8)
+        .unwrap();
+    assert!(eight.matches());
+    assert_eq!(eight.cycles, 190_138);
+}
+
 /// Simulated time is a pure function of architectural state: the
 /// 8-hart paper layer reports bit-identical cycles, stats, counters and
 /// output whether the harts are simulated on 1, 2 or 8 host threads.

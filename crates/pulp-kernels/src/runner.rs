@@ -296,6 +296,32 @@ impl ConvTestbench {
         Ok(self.collect(&soc, report))
     }
 
+    /// Runs like [`ConvTestbench::run`] but with the core's
+    /// decoded-block fast path enabled (see [`riscv_core::fastpath`]).
+    /// Simulated results — output tensor, exit status, every cycle and
+    /// event counter — are bit-exact with [`ConvTestbench::run`]; only
+    /// host wall-clock differs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator traps, like [`ConvTestbench::run`].
+    pub fn run_fastpath(&self) -> Result<ConvRunResult, Trap> {
+        let mut soc = self.stage();
+        soc.enable_fastpath();
+        let report = match soc.run(self.cycle_budget()) {
+            Ok(r) => r,
+            Err(trap) => {
+                eprintln!(
+                    "kernel {} trapped: {trap}\n{}",
+                    self.cfg.name(),
+                    self.trace_tail()
+                );
+                return Err(trap);
+            }
+        };
+        Ok(self.collect(&soc, report))
+    }
+
     /// Runs like [`ConvTestbench::run`] but with an execution tracer
     /// attached for the whole run, returning the tracer alongside the
     /// verified result — the input to hotspot profiling.
@@ -443,6 +469,73 @@ mod tests {
         assert!(r.trace.is_none());
         // And the per-run ledger balances.
         assert_eq!(r.report.perf.ledger.total(), r.report.perf.cycles);
+    }
+
+    #[test]
+    fn fastpath_run_is_bit_exact_with_interpreter() {
+        for (bits, quant) in [
+            (BitWidth::W8, QuantMode::Shift8 { shift: 8 }),
+            (BitWidth::W4, QuantMode::HardwareQnt),
+            (BitWidth::W4, QuantMode::SoftwareTree),
+            (BitWidth::W2, QuantMode::HardwareQnt),
+        ] {
+            let cfg = ConvKernelConfig {
+                shape: small_shape(bits),
+                bits,
+                out_bits: bits,
+                isa: KernelIsa::XpulpNN,
+                quant,
+            };
+            let tb = ConvTestbench::new(cfg, 21).unwrap();
+            let interp = tb.run().unwrap();
+            let fast = tb.run_fastpath().unwrap();
+            assert!(fast.matches(), "{}", cfg.name());
+            assert_eq!(interp.report, fast.report, "{}", cfg.name());
+            assert_eq!(interp.output, fast.output, "{}", cfg.name());
+        }
+    }
+
+    /// The Fig. 8 pinned cycle count (4-bit hardware-quantized layer,
+    /// standard seed) must hold bit-exactly under the decoded-block
+    /// fast path; `faultsim`'s `disarmed_runs_cost_nothing` pins the
+    /// same constants for the interpreter.
+    #[test]
+    fn paper_layer_fastpath_pins_fig8_cycle_count() {
+        let cfg = ConvKernelConfig::paper(BitWidth::W4, KernelIsa::XpulpNN, true);
+        let tb = ConvTestbench::new(cfg, 42).unwrap();
+        let r = tb.run_fastpath().unwrap();
+        assert!(r.matches());
+        assert_eq!(r.report.perf.cycles, 1_440_804);
+        assert_eq!(r.report.perf.instret, 1_337_750);
+        assert_eq!(r.report.perf.ledger.total(), r.report.perf.cycles);
+    }
+
+    #[test]
+    fn trace_tail_rerun_never_perturbs_caller_observed_counters() {
+        // The auto-dump re-run (`trace_tail`) must stage a *fresh* SoC:
+        // the perf counters and cycle ledger a caller observes from
+        // `run()` have to be identical whether or not a forensic dump
+        // fired in between.
+        let cfg = ConvKernelConfig {
+            shape: small_shape(BitWidth::W4),
+            bits: BitWidth::W4,
+            out_bits: BitWidth::W4,
+            isa: KernelIsa::XpulpNN,
+            quant: QuantMode::HardwareQnt,
+        };
+        let tb = ConvTestbench::new(cfg, 12).unwrap();
+        let r1 = tb.run().unwrap();
+        let _ = tb.trace_tail(); // simulate a trap-triggered dump
+        let r2 = tb.run().unwrap();
+        assert_eq!(r1.report.perf, r2.report.perf);
+        assert_eq!(r1.report.perf.ledger, r2.report.perf.ledger);
+        assert_eq!(r1.report.perf.ledger.total(), r1.report.perf.cycles);
+        // Same invariant under the fast path.
+        let f1 = tb.run_fastpath().unwrap();
+        let _ = tb.trace_tail();
+        let f2 = tb.run_fastpath().unwrap();
+        assert_eq!(f1.report.perf, f2.report.perf);
+        assert_eq!(f1.report.perf, r1.report.perf);
     }
 
     #[test]

@@ -74,6 +74,7 @@ impl SocMem {
         }
     }
 
+    #[inline]
     fn l2_offset(&self, addr: u32, size: u32) -> Option<usize> {
         let off = addr.checked_sub(L2_BASE)? as usize;
         if off + size as usize <= self.l2.len() {
@@ -132,6 +133,7 @@ impl Default for SocMem {
 }
 
 impl Bus for SocMem {
+    #[inline]
     fn read(&mut self, addr: u32, size: u32) -> Result<u32, BusError> {
         if let Some(off) = self.l2_offset(addr, size) {
             let mut v = 0u32;
@@ -147,6 +149,7 @@ impl Bus for SocMem {
         })
     }
 
+    #[inline]
     fn write(&mut self, addr: u32, size: u32, value: u32) -> Result<(), BusError> {
         if addr == CONSOLE_ADDR {
             self.console.push(value as u8);
@@ -217,6 +220,20 @@ impl Soc {
         }
     }
 
+    /// Enables the core's decoded-block fast path (see
+    /// [`riscv_core::fastpath`]). Call [`Soc::invalidate_fastpath`]
+    /// after any later host-side write that may touch already-fetched
+    /// code; [`Soc::load`] and [`Soc::restore`] handle themselves.
+    pub fn enable_fastpath(&mut self) {
+        self.core.enable_fastpath();
+    }
+
+    /// Drops cached decoded blocks after host-side writes that bypass
+    /// the bus (no-op when the fast path is disabled).
+    pub fn invalidate_fastpath(&mut self) {
+        self.core.invalidate_fastpath();
+    }
+
     /// Loads a program's code and data into L2 and points the core at
     /// its entry, with the stack at the top of L2.
     ///
@@ -231,6 +248,9 @@ impl Soc {
         for (addr, bytes) in &prog.data {
             self.mem.write_bytes(*addr, bytes);
         }
+        // The load bypasses the bus, so any blocks decoded from a
+        // previously-loaded program are stale.
+        self.core.invalidate_fastpath();
         self.core.pc = prog.base;
         self.core.set_reg(pulp_isa::Reg::Sp, STACK_TOP);
     }

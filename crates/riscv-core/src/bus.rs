@@ -99,6 +99,7 @@ impl SliceMem {
         &mut self.bytes
     }
 
+    #[inline]
     fn offset(&self, addr: u32, size: u32) -> Option<usize> {
         let off = addr.checked_sub(self.base)? as usize;
         if off + size as usize <= self.bytes.len() {
@@ -130,6 +131,7 @@ impl SliceMem {
 }
 
 impl Bus for SliceMem {
+    #[inline]
     fn read(&mut self, addr: u32, size: u32) -> Result<u32, BusError> {
         let off = self.offset(addr, size).ok_or(BusError {
             addr,
@@ -143,6 +145,7 @@ impl Bus for SliceMem {
         Ok(v)
     }
 
+    #[inline]
     fn write(&mut self, addr: u32, size: u32, value: u32) -> Result<(), BusError> {
         let off = self.offset(addr, size).ok_or(BusError {
             addr,

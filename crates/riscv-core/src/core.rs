@@ -2,6 +2,7 @@
 //! the pipeline timing rules of [`crate::timing`].
 
 use crate::bus::{Bus, BusError};
+use crate::fastpath::{BlockCache, DotOp2, FastBug, FastPathStats, Op, USpec};
 use crate::perf::{fmt_index, CycleClass, PerfCounters};
 use crate::quant;
 use crate::timing;
@@ -156,6 +157,19 @@ struct HwLoop {
     count: u32,
 }
 
+/// Exit disposition of a [`Core::seg_burst`] run. On either variant
+/// the burst has flushed its batched counters and materialized
+/// `self.pc`, so architectural state is exact.
+enum SegExit {
+    /// Replay continues inside the same block at this op index (the op
+    /// there is not burst-eligible, or the burst budget ran out).
+    At(usize),
+    /// Control left the block (hardware-loop redirect elsewhere, fell
+    /// off the end, or a self-modifying store flushed the cache): the
+    /// caller must re-resolve at `self.pc`.
+    Out,
+}
+
 /// A checkpoint of the full architectural state of a [`Core`]: pc,
 /// register file, CSRs, hardware-loop state, and every performance
 /// counter including the cycle ledger. Restoring it and re-executing
@@ -204,6 +218,10 @@ pub struct Core {
     hartid: u32,
     // Boxed so the untraced hot path carries one pointer, not the ring.
     tracer: Option<Box<ExecTracer>>,
+    // Decoded-block cache; `None` means pure interpretation. Boxed for
+    // the same reason as the tracer. Not architectural state: it never
+    // appears in a `Snapshot` and is flushed on `restore`/`reset`.
+    fastpath: Option<Box<BlockCache>>,
 }
 
 impl Core {
@@ -224,6 +242,58 @@ impl Core {
             csrs: BTreeMap::new(),
             hartid,
             tracer: None,
+            fastpath: None,
+        }
+    }
+
+    /// Enables the decoded-block fast path: basic blocks are decoded
+    /// once, cached by PC, and replayed through the same execution
+    /// routine the interpreter uses, so architectural state and every
+    /// cycle counter stay bit-exact. The cache is invalidated on
+    /// [`Core::restore`], [`Core::reset`] and self-modifying stores;
+    /// execution falls back to pure interpretation whenever a tracer is
+    /// attached (see [`crate::fastpath`] for the fallback matrix).
+    pub fn enable_fastpath(&mut self) {
+        if self.fastpath.is_none() {
+            self.fastpath = Some(Box::new(BlockCache::new(self.isa)));
+        }
+    }
+
+    /// Disables the fast path and drops the block cache. Used by
+    /// drivers that need guaranteed step-by-step interpretation, e.g.
+    /// an armed fault-injection loop that mutates state behind the
+    /// core's back.
+    pub fn disable_fastpath(&mut self) {
+        self.fastpath = None;
+    }
+
+    /// True when the decoded-block fast path is enabled.
+    pub fn fastpath_enabled(&self) -> bool {
+        self.fastpath.is_some()
+    }
+
+    /// Drops every cached decoded block (the fast path stays enabled).
+    /// Call after host-side writes that bypass the bus and may touch
+    /// already-fetched code; stores executed *by the core* are detected
+    /// and invalidate automatically.
+    pub fn invalidate_fastpath(&mut self) {
+        if let Some(fp) = &mut self.fastpath {
+            fp.flush();
+        }
+    }
+
+    /// Block-cache statistics, if the fast path is enabled.
+    pub fn fastpath_stats(&self) -> Option<FastPathStats> {
+        self.fastpath.as_ref().map(|fp| fp.stats)
+    }
+
+    /// Arms a deliberate fast-path defect (test-only, mirrors
+    /// `conformance::RefBug`): the lockstep oracle and its shrinker are
+    /// validated by proving they catch and minimize a known bug. No
+    /// effect unless the fast path is enabled.
+    pub fn set_fastpath_bug(&mut self, bug: FastBug) {
+        if let Some(fp) = &mut self.fastpath {
+            fp.bug = bug;
         }
     }
 
@@ -288,6 +358,10 @@ impl Core {
         self.hwloops = snap.hwloops;
         self.csrs = snap.csrs.clone();
         self.hartid = snap.hartid;
+        // The checkpoint may predate stores into already-fetched code
+        // (and the restorer may roll the memory image back behind our
+        // back), so every cached decoded block is suspect: drop them.
+        self.invalidate_fastpath();
     }
 
     /// Resets architectural state (registers, PC, loops, counters). An
@@ -301,6 +375,7 @@ impl Core {
         if let Some(t) = &mut self.tracer {
             **t = ExecTracer::new(t.capacity());
         }
+        self.invalidate_fastpath();
     }
 
     fn csr_read(&self, num: u16) -> u32 {
@@ -358,13 +433,7 @@ impl Core {
 
     fn load_value<B: Bus>(&mut self, bus: &mut B, kind: LoadKind, addr: u32) -> Result<u32, Trap> {
         let raw = self.mem_read(bus, addr, kind.size())?;
-        Ok(match kind {
-            LoadKind::Byte => raw as u8 as i8 as i32 as u32,
-            LoadKind::Half => raw as u16 as i16 as i32 as u32,
-            LoadKind::Word => raw,
-            LoadKind::ByteU => raw & 0xff,
-            LoadKind::HalfU => raw & 0xffff,
-        })
+        Ok(extend_load(kind, raw))
     }
 
     /// Resolves the second operand of a SIMD instruction.
@@ -418,7 +487,16 @@ impl Core {
     ///
     /// Bus faults on the fetch and illegal-instruction traps.
     pub fn fetch_decode<B: Bus>(&self, bus: &mut B) -> Result<(Instr, u32), Trap> {
-        let pc = self.pc;
+        self.fetch_decode_at(bus, self.pc)
+    }
+
+    /// Fetches and decodes the instruction at an arbitrary PC without
+    /// executing it (the block translator walks code regions with this).
+    ///
+    /// # Errors
+    ///
+    /// Bus faults on the fetch and illegal-instruction traps.
+    pub fn fetch_decode_at<B: Bus>(&self, bus: &mut B, pc: u32) -> Result<(Instr, u32), Trap> {
         let word = bus.fetch(pc).map_err(|error| Trap::Bus { pc, error })?;
         // RV32C: a parcel whose low two bits are not 0b11 is a 16-bit
         // compressed instruction expanding to one base instruction.
@@ -442,16 +520,324 @@ impl Core {
     /// Returns `Ok(true)` if the instruction was `ecall` (the halt
     /// convention), `Ok(false)` otherwise.
     ///
+    /// When the fast path is enabled and no tracer is attached, the
+    /// instruction comes from the decoded-block cache instead of a
+    /// fetch+decode; architectural effects and cycle accounting are
+    /// identical either way because both paths share
+    /// [`Core::exec_decoded`].
+    ///
     /// # Errors
     ///
     /// Any [`Trap`]: illegal/unimplemented instructions, bus faults, or
     /// `ebreak`.
     pub fn step<B: Bus>(&mut self, bus: &mut B) -> Result<bool, Trap> {
-        let pc = self.pc;
-        let cycles_at_entry = self.perf.cycles;
+        if self.fastpath.is_some() && self.tracer.is_none() {
+            let mut fp = self.fastpath.take().expect("fastpath present");
+            let r = self.fast_step_with(bus, &mut fp);
+            self.fastpath = Some(fp);
+            return r;
+        }
+        self.step_interp(bus)
+    }
+
+    /// One pure-interpreter step: fetch, decode, check, execute.
+    fn step_interp<B: Bus>(&mut self, bus: &mut B) -> Result<bool, Trap> {
         let (instr, ilen) = self.fetch_decode(bus)?;
         self.check_extension(&instr)?;
+        self.exec_decoded(bus, instr, ilen)
+    }
 
+    /// One fast-path step against a (temporarily detached) block cache.
+    ///
+    /// Falls back to a single interpreted step when no block can be
+    /// formed at the current PC — that is how fetch/decode/extension
+    /// traps surface with exactly the interpreter's PC and state.
+    fn fast_step_with<B: Bus>(&mut self, bus: &mut B, fp: &mut BlockCache) -> Result<bool, Trap> {
+        if fp.isa() != self.isa {
+            fp.reconfigure(self.isa);
+        }
+        let Some(op) = fp.next_op(self, bus) else {
+            return self.step_interp(bus);
+        };
+        // Self-modifying-code detection and cache flushing live inside
+        // `exec_spec` (the store executes normally — its decoded form
+        // predates the overwrite — then every cached block is dropped
+        // so the next instruction is re-fetched).
+        let (halted, _flushed) = self.exec_spec(bus, fp, &op)?;
+        if fp.bug == FastBug::SquashRedirects {
+            let seq = op.pc.wrapping_add(op.ilen);
+            if !halted && self.pc != seq {
+                self.pc = seq;
+            }
+        }
+        Ok(halted)
+    }
+
+    /// The effective address and size of a store, or `None` for
+    /// non-store instructions (the fast path's self-modifying-code
+    /// check).
+    fn store_target(&self, instr: &Instr) -> Option<(u32, u32)> {
+        match *instr {
+            Instr::Store {
+                kind, rs1, offset, ..
+            } => Some((self.reg(rs1).wrapping_add(offset as u32), kind.size())),
+            Instr::StorePostInc { kind, rs1, .. } => Some((self.reg(rs1), kind.size())),
+            Instr::StorePostIncReg { kind, rs1, .. } => Some((self.reg(rs1), kind.size())),
+            _ => None,
+        }
+    }
+
+    /// Shared retire sequence of a specialized op that is *not* an
+    /// explicit jump: hardware-loop rule, cycle/ledger charge, PC
+    /// advance — the exact tail of [`Core::exec_decoded`]. (The fast
+    /// path never runs with a tracer attached, so no trace record.)
+    #[inline]
+    fn retire_fast(&mut self, pc: u32, ilen: u32, class: CycleClass, cycles: u64) {
+        let next_pc = self.hwloop_next_pc(pc, ilen, pc.wrapping_add(ilen));
+        self.perf.cycles += cycles;
+        self.perf.ledger.charge(class, cycles);
+        debug_assert_eq!(
+            self.perf.cycles,
+            self.perf.ledger.total(),
+            "cycle ledger out of balance at fast retire @ {pc:#010x}"
+        );
+        self.pc = next_pc;
+    }
+
+    /// Executes one pre-specialized op (see `fastpath::USpec`): the
+    /// translate-time-resolved twin of [`Core::exec_decoded`] for the
+    /// profiled hot instruction shapes. Every arm replicates the
+    /// interpreter's side-effect order exactly — `instret` before the
+    /// body, misalign charge before the load/store counter bump before
+    /// the bus access (so a trapping access leaves identical partial
+    /// state), hardware-loop check only on non-jump retires.
+    ///
+    /// Store arms additionally perform the self-modifying-code check
+    /// against `fp` and flush the cache after a store into fetched
+    /// code. Returns `(halted, flushed)`; a flush means any block the
+    /// caller is replaying is stale and must be re-resolved.
+    ///
+    /// # Errors
+    ///
+    /// Bus faults, with the interpreter's exact trap PC and state.
+    #[inline(always)]
+    fn exec_spec<B: Bus>(
+        &mut self,
+        bus: &mut B,
+        fp: &mut BlockCache,
+        op: &Op,
+    ) -> Result<(bool, bool), Trap> {
+        let pc = self.pc;
+        let ilen = op.ilen;
+        match op.spec {
+            USpec::Generic => {
+                let smc = match self.store_target(&op.instr) {
+                    Some((addr, size)) => fp.covers_code(addr, size),
+                    None => false,
+                };
+                let halted = self.exec_decoded(bus, op.instr, op.ilen)?;
+                if smc {
+                    fp.flush();
+                }
+                return Ok((halted, smc));
+            }
+            USpec::Lui { rd, imm } => {
+                self.perf.instret += 1;
+                self.set_reg(rd, imm);
+                self.retire_fast(pc, ilen, CycleClass::Alu, timing::ALU_CYCLES);
+            }
+            USpec::Auipc { rd, imm } => {
+                self.perf.instret += 1;
+                self.set_reg(rd, pc.wrapping_add(imm));
+                self.retire_fast(pc, ilen, CycleClass::Alu, timing::ALU_CYCLES);
+            }
+            USpec::Alu { op, rd, rs1, rs2 } => {
+                self.perf.instret += 1;
+                let v = op.eval(self.reg(rs1), self.reg(rs2));
+                self.set_reg(rd, v);
+                self.retire_fast(pc, ilen, CycleClass::Alu, timing::ALU_CYCLES);
+            }
+            USpec::AluImm { op, rd, rs1, imm } => {
+                self.perf.instret += 1;
+                let v = op.eval(self.reg(rs1), imm);
+                self.set_reg(rd, v);
+                self.retire_fast(pc, ilen, CycleClass::Alu, timing::ALU_CYCLES);
+            }
+            USpec::LoadW { rd, rs1, offset } => {
+                self.perf.instret += 1;
+                let addr = self.reg(rs1).wrapping_add(offset);
+                let v = self.mem_read(bus, addr, 4)?;
+                self.set_reg(rd, v);
+                self.retire_fast(pc, ilen, CycleClass::Load, timing::MEM_CYCLES);
+            }
+            USpec::LoadWPostInc { rd, rs1, offset } => {
+                self.perf.instret += 1;
+                let addr = self.reg(rs1);
+                let v = self.mem_read(bus, addr, 4)?;
+                self.set_reg(rd, v);
+                self.set_reg(rs1, addr.wrapping_add(offset));
+                self.retire_fast(pc, ilen, CycleClass::Load, timing::MEM_CYCLES);
+            }
+            USpec::Load {
+                kind,
+                rd,
+                rs1,
+                offset,
+            } => {
+                self.perf.instret += 1;
+                let addr = self.reg(rs1).wrapping_add(offset);
+                let v = self.load_value(bus, kind, addr)?;
+                self.set_reg(rd, v);
+                self.retire_fast(pc, ilen, CycleClass::Load, timing::MEM_CYCLES);
+            }
+            USpec::LoadPostInc {
+                kind,
+                rd,
+                rs1,
+                offset,
+            } => {
+                self.perf.instret += 1;
+                let addr = self.reg(rs1);
+                let v = self.load_value(bus, kind, addr)?;
+                self.set_reg(rd, v);
+                self.set_reg(rs1, addr.wrapping_add(offset));
+                self.retire_fast(pc, ilen, CycleClass::Load, timing::MEM_CYCLES);
+            }
+            USpec::StoreW { rs1, rs2, offset } => {
+                self.perf.instret += 1;
+                let addr = self.reg(rs1).wrapping_add(offset);
+                let smc = fp.covers_code(addr, 4);
+                let v = self.reg(rs2);
+                self.mem_write(bus, addr, 4, v)?;
+                self.retire_fast(pc, ilen, CycleClass::Store, timing::MEM_CYCLES);
+                if smc {
+                    fp.flush();
+                }
+                return Ok((false, smc));
+            }
+            USpec::StoreWPostInc { rs1, rs2, offset } => {
+                self.perf.instret += 1;
+                let addr = self.reg(rs1);
+                let smc = fp.covers_code(addr, 4);
+                let v = self.reg(rs2);
+                self.mem_write(bus, addr, 4, v)?;
+                self.set_reg(rs1, addr.wrapping_add(offset));
+                self.retire_fast(pc, ilen, CycleClass::Store, timing::MEM_CYCLES);
+                if smc {
+                    fp.flush();
+                }
+                return Ok((false, smc));
+            }
+            USpec::Store {
+                size,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                self.perf.instret += 1;
+                let addr = self.reg(rs1).wrapping_add(offset);
+                let smc = fp.covers_code(addr, size);
+                let v = self.reg(rs2);
+                self.mem_write(bus, addr, size, v)?;
+                self.retire_fast(pc, ilen, CycleClass::Store, timing::MEM_CYCLES);
+                if smc {
+                    fp.flush();
+                }
+                return Ok((false, smc));
+            }
+            USpec::StorePostInc {
+                size,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                self.perf.instret += 1;
+                let addr = self.reg(rs1);
+                let smc = fp.covers_code(addr, size);
+                let v = self.reg(rs2);
+                self.mem_write(bus, addr, size, v)?;
+                self.set_reg(rs1, addr.wrapping_add(offset));
+                self.retire_fast(pc, ilen, CycleClass::Store, timing::MEM_CYCLES);
+                if smc {
+                    fp.flush();
+                }
+                return Ok((false, smc));
+            }
+            USpec::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                self.perf.instret += 1;
+                self.perf.branches += 1;
+                if cond.eval(self.reg(rs1), self.reg(rs2)) {
+                    // A taken branch is an explicit jump: it bypasses
+                    // the hardware-loop end check, like exec_decoded.
+                    self.perf.branches_taken += 1;
+                    self.perf.stall_cycles += timing::BRANCH_TAKEN_CYCLES - 1;
+                    self.perf.cycles += timing::BRANCH_TAKEN_CYCLES;
+                    self.perf
+                        .ledger
+                        .charge(CycleClass::Branch, timing::BRANCH_TAKEN_CYCLES);
+                    self.pc = pc.wrapping_add(offset);
+                } else {
+                    self.retire_fast(
+                        pc,
+                        ilen,
+                        CycleClass::Branch,
+                        timing::BRANCH_NOT_TAKEN_CYCLES,
+                    );
+                }
+            }
+            USpec::Jal { rd, offset } => {
+                self.perf.instret += 1;
+                self.set_reg(rd, pc.wrapping_add(ilen));
+                self.perf.jumps += 1;
+                self.perf.cycles += timing::JUMP_CYCLES;
+                self.perf
+                    .ledger
+                    .charge(CycleClass::Jump, timing::JUMP_CYCLES);
+                self.pc = pc.wrapping_add(offset);
+            }
+            USpec::Dot {
+                acc,
+                fmt,
+                sign,
+                fi,
+                rd,
+                rs1,
+                op2,
+            } => {
+                self.perf.instret += 1;
+                let b = match op2 {
+                    DotOp2::Vector(r) => self.reg(r),
+                    DotOp2::Scalar(r) => simd::replicate(fmt, self.reg(r)),
+                    DotOp2::Replicated(v) => v,
+                };
+                let d = crate::fastpath::dot_eval(fmt, sign, self.reg(rs1), b);
+                let v = if acc { self.reg(rd).wrapping_add(d) } else { d };
+                self.set_reg(rd, v);
+                self.perf.dotp[fi as usize] += 1;
+                self.retire_fast(pc, ilen, CycleClass::Dotp(fmt), timing::ALU_CYCLES);
+            }
+        }
+        Ok((false, false))
+    }
+
+    /// Executes one already-decoded instruction at the current PC: the
+    /// single execution routine shared by the interpreter and the fast
+    /// path (which is what makes the two bit-exact by construction).
+    ///
+    /// Returns `Ok(true)` on `ecall`, like [`Core::step`].
+    ///
+    /// # Errors
+    ///
+    /// Bus faults and `ebreak`; the caller has already decoded and
+    /// extension-checked the instruction.
+    fn exec_decoded<B: Bus>(&mut self, bus: &mut B, instr: Instr, ilen: u32) -> Result<bool, Trap> {
+        let pc = self.pc;
+        let cycles_at_entry = self.perf.cycles;
         self.perf.instret += 1;
         let mut cycles = timing::ALU_CYCLES;
         // Where the ledger charges this instruction's `cycles`. Memory
@@ -880,6 +1266,9 @@ impl Core {
     /// Propagates the first [`Trap`] raised by [`Core::step`];
     /// [`Trap::Watchdog`] if the cycle budget runs out first.
     pub fn run<B: Bus>(&mut self, bus: &mut B, max_cycles: u64) -> Result<ExitStatus, Trap> {
+        if self.fastpath.is_some() && self.tracer.is_none() {
+            return self.run_fast(bus, max_cycles);
+        }
         let limit = self.perf.cycles.saturating_add(max_cycles);
         while self.perf.cycles < limit {
             if self.step(bus)? {
@@ -895,11 +1284,502 @@ impl Core {
             budget: max_cycles,
         })
     }
+
+    /// [`Core::run`] through the decoded-block cache. Identical
+    /// semantics — the per-op budget check and the shared execution
+    /// routines keep halt points, traps and counters bit-exact — but
+    /// the cache is detached once for the whole run and each resolved
+    /// block is replayed in a tight loop that touches the cache again
+    /// only at control-flow discontinuities.
+    fn run_fast<B: Bus>(&mut self, bus: &mut B, max_cycles: u64) -> Result<ExitStatus, Trap> {
+        let mut fp = self.fastpath.take().expect("fastpath enabled");
+        let limit = self.perf.cycles.saturating_add(max_cycles);
+        let result = self.run_fast_blocks(bus, &mut fp, max_cycles, limit);
+        self.fastpath = Some(fp);
+        result
+    }
+
+    /// Folds a finished burst's register-local counters into the
+    /// architectural performance counters. Every burst-eligible op is a
+    /// single-cycle retire of exactly one class, so `instret`, `cycles`
+    /// and the per-class ledger buckets are all derivable from the
+    /// per-class op counts (misalign stalls were charged directly when
+    /// they occurred).
+    #[inline]
+    fn seg_flush(&mut self, alu: u64, load: u64, store: u64, dot: [u64; 4]) {
+        let total = alu + load + store + dot[0] + dot[1] + dot[2] + dot[3];
+        self.perf.instret += total;
+        self.perf.cycles += total;
+        self.perf.loads += load;
+        self.perf.stores += store;
+        self.perf.ledger.charge(CycleClass::Alu, alu);
+        self.perf.ledger.charge(CycleClass::Load, load);
+        self.perf.ledger.charge(CycleClass::Store, store);
+        self.perf
+            .ledger
+            .charge(CycleClass::Dotp(SimdFmt::Half), dot[0]);
+        self.perf
+            .ledger
+            .charge(CycleClass::Dotp(SimdFmt::Byte), dot[1]);
+        self.perf
+            .ledger
+            .charge(CycleClass::Dotp(SimdFmt::Nibble), dot[2]);
+        self.perf
+            .ledger
+            .charge(CycleClass::Dotp(SimdFmt::Crumb), dot[3]);
+        self.perf.dotp[0] += dot[0];
+        self.perf.dotp[1] += dot[1];
+        self.perf.dotp[2] += dot[2];
+        self.perf.dotp[3] += dot[3];
+        debug_assert_eq!(
+            self.perf.cycles,
+            self.perf.ledger.total(),
+            "cycle ledger out of balance at burst flush"
+        );
+    }
+
+    /// The misaligned-access charge of `mem_read`/`mem_write`, applied
+    /// directly from the burst loop (misalignment is rare, so it does
+    /// not go through the batched counters).
+    #[inline]
+    fn seg_misalign(&mut self) {
+        self.perf.cycles += timing::MISALIGN_PENALTY;
+        self.perf.stall_cycles += timing::MISALIGN_PENALTY;
+        self.perf
+            .ledger
+            .charge(CycleClass::MisalignStall, timing::MISALIGN_PENALTY);
+    }
+
+    /// The armed hardware-loop end PCs as `u64`s (`u64::MAX` when the
+    /// loop is inactive, which no 32-bit retire PC can equal).
+    #[inline]
+    fn armed_loop_ends(&self) -> (u64, u64) {
+        let end = |lp: &HwLoop| {
+            if lp.count > 0 {
+                lp.end as u64
+            } else {
+                u64::MAX
+            }
+        };
+        (end(&self.hwloops[0]), end(&self.hwloops[1]))
+    }
+
+    /// Executes a burst of consecutive burst-eligible ops (plain ALU,
+    /// loads, stores, dot products — every single-cycle spec that never
+    /// redirects control except through the hardware-loop rule) from
+    /// `ops[idx..]`, keeping `instret`/`cycles`/ledger deltas in
+    /// register-local counters and *not* maintaining `self.pc` per op.
+    /// Control flow is tracked through the block's contiguity invariant
+    /// plus register-held armed-loop-end compares, so the per-op
+    /// store→load forwarding chains of the architectural counters and
+    /// PC disappear from the critical path.
+    ///
+    /// Exactness contract with the per-op path:
+    /// - counters are flushed (and `self.pc` materialized) on every
+    ///   exit, so architectural state is indistinguishable from per-op
+    ///   retires at every point the caller can observe;
+    /// - a trapping access replicates the interpreter's partial-op
+    ///   state (`instret`/`loads`/`stores` bumped, misalign charged, no
+    ///   retire) and reports the trapping op's index;
+    /// - the burst length is capped so `cycles` cannot reach `limit`
+    ///   mid-burst (each eligible op costs at most 2 cycles including a
+    ///   misalign stall), leaving watchdog placement to the caller;
+    /// - self-modifying stores flush the cache and exit, exactly like
+    ///   the per-op path.
+    ///
+    /// Returns `(exit, ops_served)`; errors carry `(trap, index of the
+    /// trapping op, ops_served)`.
+    ///
+    /// Preconditions: `self.pc == ops[idx].pc`, no fast-path bug
+    /// armed, and `ops[idx]` is burst-eligible.
+    #[allow(clippy::too_many_lines)]
+    fn seg_burst<B: Bus>(
+        &mut self,
+        bus: &mut B,
+        fp: &mut BlockCache,
+        ops: &[Op],
+        block_start: u32,
+        mut idx: usize,
+        limit: u64,
+    ) -> Result<(SegExit, u64), (Trap, usize, u64)> {
+        let mut remaining = limit.saturating_sub(self.perf.cycles) / 2;
+        let mut served: u64 = 0;
+        let (mut n_alu, mut n_load, mut n_store) = (0u64, 0u64, 0u64);
+        let (mut d0, mut d1, mut d2, mut d3) = (0u64, 0u64, 0u64, 0u64);
+        let (mut e0, mut e1) = self.armed_loop_ends();
+        macro_rules! flush {
+            () => {
+                self.seg_flush(n_alu, n_load, n_store, [d0, d1, d2, d3])
+            };
+        }
+        loop {
+            if remaining == 0 {
+                flush!();
+                self.pc = ops[idx].pc;
+                return Ok((SegExit::At(idx), served));
+            }
+            let op = &ops[idx];
+            let pend = op.pc.wrapping_add(op.ilen);
+            match op.spec {
+                USpec::Generic | USpec::Branch { .. } | USpec::Jal { .. } => {
+                    flush!();
+                    self.pc = op.pc;
+                    return Ok((SegExit::At(idx), served));
+                }
+                USpec::Lui { rd, imm } => {
+                    self.set_reg(rd, imm);
+                    n_alu += 1;
+                }
+                USpec::Auipc { rd, imm } => {
+                    self.set_reg(rd, op.pc.wrapping_add(imm));
+                    n_alu += 1;
+                }
+                USpec::Alu {
+                    op: alu,
+                    rd,
+                    rs1,
+                    rs2,
+                } => {
+                    let v = alu.eval(self.reg(rs1), self.reg(rs2));
+                    self.set_reg(rd, v);
+                    n_alu += 1;
+                }
+                USpec::AluImm {
+                    op: alu,
+                    rd,
+                    rs1,
+                    imm,
+                } => {
+                    let v = alu.eval(self.reg(rs1), imm);
+                    self.set_reg(rd, v);
+                    n_alu += 1;
+                }
+                USpec::LoadW { rd, rs1, offset } | USpec::LoadWPostInc { rd, rs1, offset } => {
+                    let base = self.reg(rs1);
+                    let addr = if matches!(op.spec, USpec::LoadW { .. }) {
+                        base.wrapping_add(offset)
+                    } else {
+                        base
+                    };
+                    if timing::crosses_word_boundary(addr, 4) {
+                        self.seg_misalign();
+                    }
+                    match bus.read(addr, 4) {
+                        Ok(v) => {
+                            self.set_reg(rd, v);
+                            if matches!(op.spec, USpec::LoadWPostInc { .. }) {
+                                self.set_reg(rs1, base.wrapping_add(offset));
+                            }
+                            n_load += 1;
+                        }
+                        Err(error) => {
+                            flush!();
+                            self.perf.instret += 1;
+                            self.perf.loads += 1;
+                            self.pc = op.pc;
+                            return Err((Trap::Bus { pc: op.pc, error }, idx, served));
+                        }
+                    }
+                }
+                USpec::Load {
+                    kind,
+                    rd,
+                    rs1,
+                    offset,
+                }
+                | USpec::LoadPostInc {
+                    kind,
+                    rd,
+                    rs1,
+                    offset,
+                } => {
+                    let base = self.reg(rs1);
+                    let addr = if matches!(op.spec, USpec::Load { .. }) {
+                        base.wrapping_add(offset)
+                    } else {
+                        base
+                    };
+                    if timing::crosses_word_boundary(addr, kind.size()) {
+                        self.seg_misalign();
+                    }
+                    match bus.read(addr, kind.size()) {
+                        Ok(raw) => {
+                            self.set_reg(rd, extend_load(kind, raw));
+                            if matches!(op.spec, USpec::LoadPostInc { .. }) {
+                                self.set_reg(rs1, base.wrapping_add(offset));
+                            }
+                            n_load += 1;
+                        }
+                        Err(error) => {
+                            flush!();
+                            self.perf.instret += 1;
+                            self.perf.loads += 1;
+                            self.pc = op.pc;
+                            return Err((Trap::Bus { pc: op.pc, error }, idx, served));
+                        }
+                    }
+                }
+                USpec::StoreW { rs1, rs2, offset }
+                | USpec::StoreWPostInc { rs1, rs2, offset }
+                | USpec::Store {
+                    size: _,
+                    rs1,
+                    rs2,
+                    offset,
+                }
+                | USpec::StorePostInc {
+                    size: _,
+                    rs1,
+                    rs2,
+                    offset,
+                } => {
+                    let post_inc = matches!(
+                        op.spec,
+                        USpec::StoreWPostInc { .. } | USpec::StorePostInc { .. }
+                    );
+                    let size = match op.spec {
+                        USpec::Store { size, .. } | USpec::StorePostInc { size, .. } => size,
+                        _ => 4,
+                    };
+                    let base = self.reg(rs1);
+                    let addr = if post_inc {
+                        base
+                    } else {
+                        base.wrapping_add(offset)
+                    };
+                    if timing::crosses_word_boundary(addr, size) {
+                        self.seg_misalign();
+                    }
+                    let smc = fp.covers_code(addr, size);
+                    if let Err(error) = bus.write(addr, size, self.reg(rs2)) {
+                        flush!();
+                        self.perf.instret += 1;
+                        self.perf.stores += 1;
+                        self.pc = op.pc;
+                        return Err((Trap::Bus { pc: op.pc, error }, idx, served));
+                    }
+                    if post_inc {
+                        self.set_reg(rs1, base.wrapping_add(offset));
+                    }
+                    n_store += 1;
+                    if smc {
+                        // The store overwrote fetched code: retire it
+                        // (hardware-loop rule included), flush every
+                        // cached block, and hand control back.
+                        served += 1;
+                        let next = self.hwloop_next_pc(op.pc, op.ilen, pend);
+                        flush!();
+                        fp.flush();
+                        self.pc = next;
+                        return Ok((SegExit::Out, served));
+                    }
+                }
+                USpec::Dot {
+                    acc,
+                    fmt,
+                    sign,
+                    fi,
+                    rd,
+                    rs1,
+                    op2,
+                } => {
+                    let b = match op2 {
+                        DotOp2::Vector(r) => self.reg(r),
+                        DotOp2::Scalar(r) => simd::replicate(fmt, self.reg(r)),
+                        DotOp2::Replicated(v) => v,
+                    };
+                    let d = crate::fastpath::dot_eval(fmt, sign, self.reg(rs1), b);
+                    let v = if acc { self.reg(rd).wrapping_add(d) } else { d };
+                    self.set_reg(rd, v);
+                    match fi {
+                        0 => d0 += 1,
+                        1 => d1 += 1,
+                        2 => d2 += 1,
+                        _ => d3 += 1,
+                    }
+                }
+            }
+            served += 1;
+            remaining -= 1;
+            if pend as u64 == e0 || pend as u64 == e1 {
+                // The exact hardware-loop dance (count decrements,
+                // nested-loop precedence, back-edge accounting) — then
+                // re-cache the armed ends, which it may have changed.
+                let next = self.hwloop_next_pc(op.pc, op.ilen, pend);
+                (e0, e1) = self.armed_loop_ends();
+                if next != pend {
+                    if next == block_start {
+                        idx = 0;
+                        continue;
+                    }
+                    flush!();
+                    self.pc = next;
+                    return Ok((SegExit::Out, served));
+                }
+            }
+            idx += 1;
+            if idx == ops.len() {
+                flush!();
+                self.pc = pend;
+                return Ok((SegExit::Out, served));
+            }
+            debug_assert_eq!(ops[idx].pc, pend, "non-contiguous block ops");
+        }
+    }
+
+    /// The bulk-replay loop behind [`Core::run_fast`]: resolve the
+    /// block at the current PC once, then retire its pre-decoded ops
+    /// back-to-back — including hardware-loop back-edges, which rewind
+    /// the index in place — re-entering the resolver only on real
+    /// discontinuities (jumps elsewhere, traps, self-modifying stores,
+    /// untranslatable PCs).
+    fn run_fast_blocks<B: Bus>(
+        &mut self,
+        bus: &mut B,
+        fp: &mut BlockCache,
+        max_cycles: u64,
+        limit: u64,
+    ) -> Result<ExitStatus, Trap> {
+        loop {
+            if self.perf.cycles >= limit {
+                return Err(Trap::Watchdog {
+                    pc: self.pc,
+                    budget: max_cycles,
+                });
+            }
+            if fp.isa() != self.isa {
+                fp.reconfigure(self.isa);
+            }
+            let Some((block, mut idx, fresh)) = fp.current_run(self, bus) else {
+                // Untranslatable PC: one interpreter step surfaces the
+                // fetch/decode/extension trap (or executes the oddball
+                // instruction) with the interpreter's exact state.
+                if self.step_interp(bus)? {
+                    return Ok(ExitStatus {
+                        halted: true,
+                        exit_code: self.reg(Reg::A0),
+                        pc: self.pc,
+                    });
+                }
+                continue;
+            };
+            let bug = fp.bug;
+            let mut served: u64 = 0;
+            // `Ok(Some(exit))` halt, `Ok(None)` resolve afresh,
+            // `Err(trap)` propagate with the cursor parked on the
+            // trapping op (a resumed run re-executes it, exactly like
+            // the interpreter).
+            let outcome: Result<Option<ExitStatus>, Trap> = 'replay: loop {
+                if self.perf.cycles >= limit {
+                    fp.resume_at(block, idx);
+                    fp.stats.hits += served.saturating_sub(fresh as u64);
+                    return Err(Trap::Watchdog {
+                        pc: self.pc,
+                        budget: max_cycles,
+                    });
+                }
+                let mut op = &block.ops[idx];
+                // Runs of simple ops execute as a counter-batched burst;
+                // it hands back on the first op that needs the general
+                // path (or on budget/discontinuity), which then executes
+                // one op below before the next burst attempt.
+                if bug == FastBug::None && op.spec.burst_eligible() {
+                    match self.seg_burst(bus, fp, &block.ops, block.start, idx, limit) {
+                        Ok((SegExit::At(i), s)) => {
+                            idx = i;
+                            if s > 0 {
+                                // The burst consumed cycles: re-check
+                                // the watchdog budget before the next
+                                // op, exactly like the per-op path.
+                                served += s;
+                                continue 'replay;
+                            }
+                            // Nothing served: the op needs the general
+                            // path (or the budget head-room is below one
+                            // burst op) — execute exactly one op below.
+                            op = &block.ops[idx];
+                        }
+                        Ok((SegExit::Out, s)) => {
+                            served += s;
+                            break 'replay Ok(None);
+                        }
+                        Err((t, i, s)) => {
+                            served += s;
+                            idx = i;
+                            break 'replay Err(t);
+                        }
+                    }
+                }
+                served += 1;
+                let (halted, flushed) = match self.exec_spec(bus, fp, op) {
+                    Ok(r) => r,
+                    Err(t) => break 'replay Err(t),
+                };
+                if halted {
+                    break 'replay Ok(Some(ExitStatus {
+                        halted: true,
+                        exit_code: self.reg(Reg::A0),
+                        pc: self.pc,
+                    }));
+                }
+                if bug == FastBug::SquashRedirects {
+                    let seq = op.pc.wrapping_add(op.ilen);
+                    if self.pc != seq {
+                        self.pc = seq;
+                    }
+                }
+                if flushed {
+                    // The store overwrote fetched code: the cache was
+                    // flushed and this block's remaining ops are
+                    // stale. Re-resolve at the new PC.
+                    break 'replay Ok(None);
+                }
+                idx += 1;
+                match block.ops.get(idx) {
+                    Some(next) if next.pc == self.pc => {}
+                    _ => {
+                        if self.pc == block.start {
+                            // Hardware-loop back-edge (or self-jump) to
+                            // the block head: rewind in place.
+                            idx = 0;
+                        } else {
+                            break 'replay Ok(None);
+                        }
+                    }
+                }
+            };
+            fp.stats.hits += served.saturating_sub(fresh as u64);
+            match outcome {
+                Ok(Some(exit)) => {
+                    fp.resume_at(block, idx + 1);
+                    return Ok(exit);
+                }
+                Ok(None) => {}
+                Err(t) => {
+                    fp.resume_at(block, idx);
+                    return Err(t);
+                }
+            }
+        }
+    }
 }
 
 impl Default for Core {
     fn default() -> Self {
         Core::new(IsaConfig::default())
+    }
+}
+
+/// Width-extends a raw little-endian load result per the load kind
+/// (shared by the interpreter's `load_value` and the burst executor).
+#[inline]
+fn extend_load(kind: LoadKind, raw: u32) -> u32 {
+    match kind {
+        LoadKind::Byte => raw as u8 as i8 as i32 as u32,
+        LoadKind::Half => raw as u16 as i16 as i32 as u32,
+        LoadKind::Word => raw,
+        LoadKind::ByteU => raw & 0xff,
+        LoadKind::HalfU => raw & 0xffff,
     }
 }
 

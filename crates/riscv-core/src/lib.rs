@@ -48,6 +48,7 @@
 
 pub mod bus;
 pub mod core;
+pub mod fastpath;
 pub mod perf;
 pub mod quant;
 pub mod timing;
@@ -55,5 +56,6 @@ pub mod trace;
 
 pub use crate::core::{Core, ExitStatus, IsaConfig, Snapshot, Trap};
 pub use bus::{Bus, BusError, SliceMem};
+pub use fastpath::{FastBug, FastPathStats};
 pub use perf::{CycleClass, CycleLedger, PerfCounters};
 pub use trace::{ExecTracer, Hotspot, TraceEntry};
