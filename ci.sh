@@ -109,4 +109,34 @@ awk -F'[:,]' '/"speedup"/ { if ($2 + 0 >= 2.0) exit 0; else exit 1 }' BENCH_host
     exit 1
 }
 
+# Serving-layer smoke: a seeded 200-request loadgen campaign through
+# the snapshot-forked worker pool. The response count is exact, the
+# scheduling-independent digest must match between a 4-worker and a
+# single-worker run of the same trace (the determinism contract), and
+# the BENCH_serving.json artifact must carry sane p50 <= p99 latency.
+echo "==> loadgen smoke (200 requests, seed 1, 4 workers vs 1 worker)"
+lg4_out=$(cargo run --release -q --locked -p xpulpnn-cli -- loadgen --seed 1 --requests 200 --workers 4 --out .)
+echo "$lg4_out" | grep -F "responses : 200 (200 ok, 0 masked, 0 recovered, 0 degraded)" > /dev/null || {
+    echo "loadgen lost or degraded requests:"
+    echo "$lg4_out"
+    exit 1
+}
+lg1_out=$(cargo run --release -q --locked -p xpulpnn-cli -- loadgen --seed 1 --requests 200 --workers 1 --out .)
+digest4=$(echo "$lg4_out" | awk '/^digest/ { print $3 }')
+digest1=$(echo "$lg1_out" | awk '/^digest/ { print $3 }')
+[ -n "$digest4" ] && [ "$digest4" = "$digest1" ] || {
+    echo "loadgen digest differs across worker counts: 4w=$digest4 1w=$digest1"
+    exit 1
+}
+[ -s BENCH_serving.json ] || { echo "missing BENCH_serving.json"; exit 1; }
+awk -F'[:,]' '
+    /"sim_cycles_p50"/ { p50 = $2 + 0 }
+    /"sim_cycles_p99"/ { p99 = $2 + 0 }
+    END { if (p50 > 0 && p99 >= p50) exit 0; else exit 1 }
+' BENCH_serving.json || {
+    echo "BENCH_serving.json latency percentiles are not sane (want 0 < p50 <= p99):"
+    cat BENCH_serving.json
+    exit 1
+}
+
 echo "==> ci: all green"

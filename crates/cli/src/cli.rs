@@ -74,7 +74,25 @@ usage:
       the pre-fault checkpoint, and lock-steps faulted-vs-clean
       execution to pinpoint the first corrupted architectural state;
       --cluster runs the campaign on an N-hart cluster instead
-      (faults strike per-hart register files and the shared TCDM)";
+      (faults strike per-hart register files and the shared TCDM)
+  xpulpnn serve [--workers N] [--seed S] [--weight-seed S]
+      bring up the inference-serving pool (N snapshot-forked SoC
+      workers behind a bounded queue), serve one smoke request per
+      kernel variant and print the per-variant template cost plus
+      each response's outcome and cycle ledger
+  xpulpnn loadgen [--seed S] [--requests N] [--workers N] [--batch N]
+                  [--queue N] [--weight-seed S] [--faults SEED]
+                  [--gap-us N] [--no-warm] [--out DIR]
+      run a seeded open-loop load test against the serving pool:
+      a deterministic request stream (mixed variants; --gap-us adds
+      Poisson-ish arrival pacing) is served to completion, printing
+      outcome counts, the scheduling-independent response digest,
+      p50/p99 latency (simulated cycles and host µs) and sustained
+      req/s, and writing the BENCH_serving.json artifact to --out;
+      --faults arms one seeded transient fault per request (chaos
+      mode), --no-warm disables warm same-variant reruns; the digest
+      is a pure function of (seed, config) — identical across any
+      worker count";
 
 /// A user-facing CLI error, classified so the process exit code tells
 /// scripts *what kind* of failure occurred.
@@ -860,6 +878,227 @@ fn cmd_faults(args: &[String]) -> Result<String, CliError> {
     }
 }
 
+/// Parsed options for `serve`.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ServeOpts {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Seed for the smoke-request inputs.
+    pub seed: u64,
+    /// Template weight seed.
+    pub weight_seed: u64,
+}
+
+/// Parses the flags of the `serve` subcommand.
+pub fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, CliError> {
+    let mut o = ServeOpts {
+        workers: 2,
+        seed: 1,
+        weight_seed: 42,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workers" => {
+                let v = it.next().ok_or_else(|| err("--workers needs a value"))?;
+                o.workers = v
+                    .parse()
+                    .map_err(|_| err(format!("bad worker count `{v}`")))?;
+                if !(1..=16).contains(&o.workers) {
+                    return Err(err("--workers must be 1..16"));
+                }
+            }
+            "--seed" => {
+                let v = it.next().ok_or_else(|| err("--seed needs a value"))?;
+                o.seed = v.parse().map_err(|_| err(format!("bad seed `{v}`")))?;
+            }
+            "--weight-seed" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| err("--weight-seed needs a value"))?;
+                o.weight_seed = v.parse().map_err(|_| err(format!("bad seed `{v}`")))?;
+            }
+            other => return Err(err(format!("unknown argument `{other}`"))),
+        }
+    }
+    Ok(o)
+}
+
+fn cmd_serve(args: &[String]) -> Result<String, CliError> {
+    use xpulpnn::serve::{PoolConfig, Request, ServePool, Variant};
+    let o = parse_serve_opts(args)?;
+    let pool = ServePool::start(PoolConfig {
+        workers: o.workers,
+        weight_seed: o.weight_seed,
+        ..PoolConfig::default()
+    })
+    .map_err(|e| fail(e.to_string()))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "pool   : {} worker(s), each forked from the 4 staged templates",
+        o.workers
+    );
+    for (id, &variant) in Variant::ALL.iter().enumerate() {
+        let t = pool.template(variant);
+        let _ = writeln!(
+            out,
+            "template {:<7} {:>5} -> {:>4} i16  {:>9} clean cycles",
+            variant.name(),
+            t.input_len(),
+            t.output_len(),
+            t.clean_cycles()
+        );
+        // A deterministic, range-valid smoke input per variant.
+        let span = u64::from(t.max_activation() as u16) + 1;
+        let input = (0..t.input_len() as u64)
+            .map(|i| ((o.seed.wrapping_add(i * 7)) % span) as i16)
+            .collect();
+        pool.submit_blocking(Request {
+            id: id as u64,
+            variant,
+            input,
+        })
+        .map_err(|e| fail(e.to_string()))?;
+    }
+    let report = pool.shutdown();
+    for r in &report.responses {
+        let _ = writeln!(
+            out,
+            "served   {:<7} {:>9} cycles  {} ({})",
+            r.variant.name(),
+            r.cycles,
+            r.outcome.label(),
+            if r.warm { "warm" } else { "cold fork" }
+        );
+    }
+    let _ = writeln!(
+        out,
+        "served {} request(s): {} ok, {} cold fork(s), {} warm run(s)",
+        report.stats.served, report.stats.ok, report.stats.cold_forks, report.stats.warm_runs
+    );
+    Ok(out)
+}
+
+/// Parsed options for `loadgen`.
+#[derive(Debug, PartialEq, Eq)]
+pub struct LoadgenOpts {
+    /// The serving-layer loadgen configuration.
+    pub cfg: xpulpnn::serve::LoadgenConfig,
+    /// Directory receiving `BENCH_serving.json`.
+    pub out_dir: String,
+}
+
+/// Parses the flags of the `loadgen` subcommand.
+pub fn parse_loadgen_opts(args: &[String]) -> Result<LoadgenOpts, CliError> {
+    use xpulpnn::serve::{LoadgenConfig, ServeFaults};
+    let mut cfg = LoadgenConfig::default();
+    let mut out_dir = ".".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                let v = it.next().ok_or_else(|| err("--seed needs a value"))?;
+                cfg.seed = v.parse().map_err(|_| err(format!("bad seed `{v}`")))?;
+            }
+            "--requests" => {
+                let v = it.next().ok_or_else(|| err("--requests needs a value"))?;
+                cfg.requests = v
+                    .parse()
+                    .map_err(|_| err(format!("bad request count `{v}`")))?;
+            }
+            "--workers" => {
+                let v = it.next().ok_or_else(|| err("--workers needs a value"))?;
+                cfg.workers = v
+                    .parse()
+                    .map_err(|_| err(format!("bad worker count `{v}`")))?;
+                if !(1..=16).contains(&cfg.workers) {
+                    return Err(err("--workers must be 1..16"));
+                }
+            }
+            "--batch" => {
+                let v = it.next().ok_or_else(|| err("--batch needs a value"))?;
+                cfg.batch_max = v
+                    .parse()
+                    .map_err(|_| err(format!("bad batch size `{v}`")))?;
+                if cfg.batch_max == 0 {
+                    return Err(err("--batch must be at least 1"));
+                }
+            }
+            "--queue" => {
+                let v = it.next().ok_or_else(|| err("--queue needs a value"))?;
+                cfg.queue_capacity = v
+                    .parse()
+                    .map_err(|_| err(format!("bad queue capacity `{v}`")))?;
+                if cfg.queue_capacity == 0 {
+                    return Err(err("--queue must be at least 1"));
+                }
+            }
+            "--weight-seed" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| err("--weight-seed needs a value"))?;
+                cfg.weight_seed = v.parse().map_err(|_| err(format!("bad seed `{v}`")))?;
+            }
+            "--faults" => {
+                let v = it.next().ok_or_else(|| err("--faults needs a seed"))?;
+                let seed = v
+                    .parse()
+                    .map_err(|_| err(format!("bad fault seed `{v}`")))?;
+                cfg.faults = Some(ServeFaults::always(seed));
+            }
+            "--gap-us" => {
+                let v = it.next().ok_or_else(|| err("--gap-us needs a value"))?;
+                cfg.mean_gap_us = v.parse().map_err(|_| err(format!("bad gap `{v}`")))?;
+            }
+            "--no-warm" => cfg.warm_reruns = false,
+            "--out" => {
+                let v = it.next().ok_or_else(|| err("--out needs a directory"))?;
+                out_dir = v.clone();
+            }
+            other => return Err(err(format!("unknown argument `{other}`"))),
+        }
+    }
+    Ok(LoadgenOpts { cfg, out_dir })
+}
+
+fn cmd_loadgen(args: &[String]) -> Result<String, CliError> {
+    let o = parse_loadgen_opts(args)?;
+    let rec = xpulpnn::bench::ServingRecord::run(o.cfg).map_err(|e| fail(e.to_string()))?;
+    let path = std::path::Path::new(&o.out_dir).join("BENCH_serving.json");
+    std::fs::write(&path, format!("{}\n", rec.to_json()))
+        .map_err(|e| fail(format!("cannot write `{}`: {e}", path.display())))?;
+    let r = &rec.report;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "responses : {} ({} ok, {} masked, {} recovered, {} degraded)",
+        r.responses.len(),
+        r.count("ok"),
+        r.count("masked"),
+        r.count("recovered"),
+        r.count("degraded")
+    );
+    let _ = writeln!(out, "digest    : {:016x}", r.digest);
+    let _ = writeln!(
+        out,
+        "sim cycles: p50 {}  p99 {}  max {}",
+        r.sim_cycles.p50, r.sim_cycles.p99, r.sim_cycles.max
+    );
+    let _ = writeln!(
+        out,
+        "host us   : p50 {}  p99 {}  max {}",
+        r.host_us.p50, r.host_us.p99, r.host_us.max
+    );
+    let _ = writeln!(
+        out,
+        "throughput: {:.1} req/s sustained over {:.3}s ({} cold forks, {} warm runs)",
+        r.req_per_sec, r.wall_secs, r.stats.cold_forks, r.stats.warm_runs
+    );
+    let _ = writeln!(out, "wrote {}", path.display());
+    Ok(out)
+}
+
 /// Dispatches a full argument vector.
 ///
 /// # Errors
@@ -881,6 +1120,8 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "lint" => cmd_lint(rest),
         "conformance" => cmd_conformance(rest),
         "faults" => cmd_faults(rest),
+        "serve" => cmd_serve(rest),
+        "loadgen" => cmd_loadgen(rest),
         "--help" | "-h" | "help" => Ok(format!("{USAGE}\n")),
         other => Err(err(format!("unknown subcommand `{other}`"))),
     }
@@ -999,6 +1240,88 @@ mod tests {
     }
 
     #[test]
+    fn serve_and_loadgen_opts_defaults_and_flags() {
+        let o = parse_serve_opts(&[]).unwrap();
+        assert_eq!(
+            o,
+            ServeOpts {
+                workers: 2,
+                seed: 1,
+                weight_seed: 42,
+            }
+        );
+        let o = parse_serve_opts(&v(&["--workers", "8", "--seed", "7"])).unwrap();
+        assert_eq!((o.workers, o.seed), (8, 7));
+
+        let o = parse_loadgen_opts(&[]).unwrap();
+        assert_eq!(o.cfg, xpulpnn::serve::LoadgenConfig::default());
+        assert_eq!(o.out_dir, ".");
+        let o = parse_loadgen_opts(&v(&[
+            "--seed",
+            "9",
+            "--requests",
+            "500",
+            "--workers",
+            "8",
+            "--batch",
+            "4",
+            "--queue",
+            "32",
+            "--faults",
+            "13",
+            "--gap-us",
+            "50",
+            "--no-warm",
+            "--out",
+            "/tmp",
+        ]))
+        .unwrap();
+        assert_eq!(o.cfg.seed, 9);
+        assert_eq!(o.cfg.requests, 500);
+        assert_eq!(o.cfg.workers, 8);
+        assert_eq!(o.cfg.batch_max, 4);
+        assert_eq!(o.cfg.queue_capacity, 32);
+        assert_eq!(o.cfg.faults, Some(xpulpnn::serve::ServeFaults::always(13)));
+        assert_eq!(o.cfg.mean_gap_us, 50);
+        assert!(!o.cfg.warm_reruns);
+        assert_eq!(o.out_dir, "/tmp");
+
+        assert!(parse_serve_opts(&v(&["--bogus"])).is_err());
+        assert!(parse_loadgen_opts(&v(&["--bogus"])).is_err());
+    }
+
+    /// End-to-end `loadgen` smoke: a tiny seeded run prints the exact
+    /// summary lines ci.sh greps for and writes BENCH_serving.json.
+    #[test]
+    fn loadgen_end_to_end_writes_artifact() {
+        let dir = std::env::temp_dir().join(format!("xpulpnn-loadgen-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dispatch(&v(&[
+            "loadgen",
+            "--seed",
+            "1",
+            "--requests",
+            "6",
+            "--workers",
+            "2",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(
+            out.contains("responses : 6 (6 ok, 0 masked, 0 recovered, 0 degraded)"),
+            "{out}"
+        );
+        assert!(out.contains("digest    : "), "{out}");
+        assert!(out.contains("sim cycles: p50 "), "{out}");
+        assert!(out.contains("wrote "), "{out}");
+        let json = std::fs::read_to_string(dir.join("BENCH_serving.json")).unwrap();
+        assert!(json.contains("\"label\": \"serving\""), "{json}");
+        assert!(json.contains("\"requests\": 6"), "{json}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn dispatch_rejects_unknown() {
         assert!(dispatch(&v(&["frobnicate"])).is_err());
         assert!(dispatch(&[]).is_err());
@@ -1032,6 +1355,16 @@ mod tests {
             &["faults", "--trials", "many"],
             &["faults", "--seed", "√2"],
             &["faults", "--cores", "8.0"],
+            &["serve", "--workers", "lots"],
+            &["serve", "--workers", "0"],
+            &["serve", "--seed", "-1"],
+            &["loadgen", "--requests", "many"],
+            &["loadgen", "--workers", "0"],
+            &["loadgen", "--workers", "17"],
+            &["loadgen", "--batch", "0"],
+            &["loadgen", "--queue", "0"],
+            &["loadgen", "--faults", "maybe"],
+            &["loadgen", "--gap-us", "1ms"],
         ];
         for args in cases {
             let e = dispatch(&v(args)).expect_err(&format!("{args:?} must be rejected"));
@@ -1044,6 +1377,8 @@ mod tests {
             &["conformance", "--cases"][..],
             &["faults", "--trials"][..],
             &["cluster", "--cores"][..],
+            &["loadgen", "--requests"][..],
+            &["serve", "--workers"][..],
         ] {
             let e = dispatch(&v(args)).unwrap_err();
             assert!(e.usage, "{args:?}: {e}");

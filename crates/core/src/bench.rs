@@ -318,6 +318,66 @@ pub fn host_throughput(seed: u64) -> Result<HostThroughputRecord, Error> {
     )
 }
 
+/// The serving benchmark artifact (`BENCH_serving.json`): one seeded
+/// loadgen run through the snapshot-forked worker pool, with p50/p99
+/// latency in simulated cycles (deterministic) and host microseconds
+/// (wall clock), sustained requests/sec, outcome counts and the
+/// scheduling-independent response digest.
+#[derive(Debug)]
+pub struct ServingRecord {
+    /// The loadgen report the record summarizes.
+    pub report: serve::LoadReport,
+}
+
+impl ServingRecord {
+    /// Runs one seeded loadgen campaign and wraps the report.
+    ///
+    /// # Errors
+    ///
+    /// [`serve::ServeError`] when the pool cannot start.
+    pub fn run(cfg: serve::LoadgenConfig) -> Result<ServingRecord, serve::ServeError> {
+        Ok(ServingRecord {
+            report: serve::run_loadgen(cfg)?,
+        })
+    }
+
+    /// Serializes the record as a self-contained JSON object.
+    pub fn to_json(&self) -> String {
+        let r = &self.report;
+        let mut s = String::from("{\n");
+        s.push_str("  \"label\": \"serving\",\n");
+        s.push_str(&format!("  \"seed\": {},\n", r.cfg.seed));
+        s.push_str(&format!("  \"workers\": {},\n", r.cfg.workers));
+        s.push_str(&format!("  \"requests\": {},\n", r.responses.len()));
+        s.push_str(&format!("  \"digest\": \"{:016x}\",\n", r.digest));
+        for label in ["ok", "masked", "recovered", "degraded"] {
+            s.push_str(&format!("  \"{label}\": {},\n", r.count(label)));
+        }
+        s.push_str(&format!(
+            "  \"sim_cycles_p50\": {},\n  \"sim_cycles_p99\": {},\n  \"sim_cycles_max\": {},\n",
+            r.sim_cycles.p50, r.sim_cycles.p99, r.sim_cycles.max
+        ));
+        s.push_str(&format!(
+            "  \"host_us_p50\": {},\n  \"host_us_p99\": {},\n  \"host_us_max\": {},\n",
+            r.host_us.p50, r.host_us.p99, r.host_us.max
+        ));
+        s.push_str(&format!(
+            "  \"total_sim_cycles\": {},\n",
+            r.total_sim_cycles
+        ));
+        s.push_str(&format!("  \"wall_secs\": {:.6},\n", r.wall_secs));
+        s.push_str(&format!(
+            "  \"sustained_req_per_sec\": {:.2},\n",
+            r.req_per_sec
+        ));
+        s.push_str(&format!(
+            "  \"cold_forks\": {},\n  \"warm_runs\": {}\n}}",
+            r.stats.cold_forks, r.stats.warm_runs
+        ));
+        s
+    }
+}
+
 fn escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
@@ -407,6 +467,34 @@ mod tests {
             "\"block_cache_hit_rate\"",
             "\"fast_cycles_per_sec\"",
             "\"interp_fallbacks\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in:\n{j}");
+        }
+    }
+
+    #[test]
+    fn serving_record_json_is_balanced_and_sane() {
+        let rec = ServingRecord::run(serve::LoadgenConfig {
+            requests: 8,
+            workers: 2,
+            ..serve::LoadgenConfig::default()
+        })
+        .unwrap();
+        let r = &rec.report;
+        assert_eq!(r.responses.len(), 8);
+        assert!(r.sim_cycles.p50 <= r.sim_cycles.p99);
+        assert!(r.sim_cycles.p99 <= r.sim_cycles.max);
+        let j = rec.to_json();
+        assert_eq!(j.matches('{').count(), j.matches('}').count(), "{j}");
+        for key in [
+            "\"label\": \"serving\"",
+            "\"requests\": 8",
+            "\"digest\"",
+            "\"sim_cycles_p50\"",
+            "\"sim_cycles_p99\"",
+            "\"host_us_p99\"",
+            "\"sustained_req_per_sec\"",
+            "\"degraded\"",
         ] {
             assert!(j.contains(key), "missing {key} in:\n{j}");
         }

@@ -68,4 +68,5 @@ pub use pulp_power;
 pub use pulp_soc;
 pub use qnn;
 pub use riscv_core;
+pub use serve;
 pub use xcheck;

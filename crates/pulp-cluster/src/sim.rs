@@ -458,6 +458,48 @@ mod tests {
         while !sim.run_region(100_000, None).unwrap() {}
     }
 
+    /// Serving-template audit pin: restoring a [`ClusterSnapshot`] of
+    /// a *different* program staged at the same base must never replay
+    /// decoded blocks of the previous one on any hart —
+    /// `ClusterSim::restore` goes through `Core::restore`, which
+    /// flushes each hart's block cache unconditionally.
+    #[test]
+    fn restore_of_another_template_cannot_replay_stale_blocks() {
+        let prog = |k: i32| {
+            let mut a = Asm::new(pulp_soc::CODE_BASE);
+            a.li(Reg::A0, k);
+            a.ecall();
+            a.assemble().unwrap()
+        };
+        let (prog_a, prog_b) = (prog(11), prog(22));
+        let template = |p: &pulp_asm::Program| {
+            let mut mem = ClusterMem::new();
+            mem.load(p);
+            let mut sim = ClusterSim::new(IsaConfig::xpulpnn(), 4, mem);
+            sim.start(p.base);
+            sim.snapshot()
+        };
+        let (template_a, template_b) = (template(&prog_a), template(&prog_b));
+
+        let mut mem = ClusterMem::new();
+        mem.load(&prog_a);
+        let mut sim = ClusterSim::new(IsaConfig::xpulpnn(), 4, mem);
+        sim.enable_fastpath();
+        sim.start(prog_a.base);
+        // Warm every hart's block cache on program A.
+        while !sim.run_region(100_000, None).unwrap() {}
+        assert_eq!(sim.exit_codes(), &[11; 4]);
+        // Re-fork the whole cluster onto template B at the same
+        // addresses: stale blocks from A must not survive on any hart.
+        sim.restore(&template_b);
+        while !sim.run_region(100_000, None).unwrap() {}
+        assert_eq!(sim.exit_codes(), &[22; 4]);
+        // And back to A, still exact.
+        sim.restore(&template_a);
+        while !sim.run_region(100_000, None).unwrap() {}
+        assert_eq!(sim.exit_codes(), &[11; 4]);
+    }
+
     #[test]
     fn snapshot_round_trip_resumes_identically() {
         let prog = neighbour_prog(4);

@@ -362,6 +362,20 @@ impl ConvTestbench {
         )
     }
 
+    /// The golden output for a *caller-supplied* input under this
+    /// testbench's weights and quantizer — what a serving worker must
+    /// produce for a request carrying that input. The values must
+    /// already be range-valid for `cfg.bits` (the serving layer
+    /// validates at submit time).
+    pub fn golden_for(&self, input: &[i16]) -> Vec<i16> {
+        qnn::conv::conv2d_quantized(
+            &self.cfg.shape,
+            input,
+            self.weights.values(),
+            &self.quantizer,
+        )
+    }
+
     /// Unpacks the device output, runs the golden model, and flags a
     /// mismatch with a forensic re-run. Public so external drivers
     /// (fault injection) can run a staged SoC themselves and still get

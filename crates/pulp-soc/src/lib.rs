@@ -435,6 +435,71 @@ mod tests {
         ));
     }
 
+    /// Serving-template audit pin (fast-path staleness): restoring a
+    /// snapshot of a *different* program staged at the same base must
+    /// never replay decoded blocks of the previous one. `Core::restore`
+    /// flushes the block cache unconditionally — this test holds that
+    /// contract for the snapshot-forked worker path.
+    #[test]
+    fn restore_of_another_template_cannot_replay_stale_blocks() {
+        let prog = |k: i32| {
+            let mut a = Asm::new(CODE_BASE);
+            a.li(Reg::A0, k);
+            a.ecall();
+            a.assemble().unwrap()
+        };
+        let (prog_a, prog_b) = (prog(11), prog(22));
+        let mut soc = Soc::new(IsaConfig::xpulpnn());
+        soc.load(&prog_a);
+        let template_a = soc.snapshot();
+        soc.load(&prog_b);
+        let template_b = soc.snapshot();
+
+        soc.enable_fastpath();
+        soc.restore(&template_a);
+        // Warm the block cache on program A's code.
+        assert_eq!(soc.run(1000).unwrap().exit.exit_code, 11);
+        // Re-fork onto template B at the same addresses: stale blocks
+        // from A must not survive the restore.
+        soc.restore(&template_b);
+        assert_eq!(soc.run(1000).unwrap().exit.exit_code, 22);
+        // And back again, still exact.
+        soc.restore(&template_a);
+        assert_eq!(soc.run(1000).unwrap().exit.exit_code, 11);
+    }
+
+    /// Serving-template audit pin (data divergence): two workers forked
+    /// from ONE post-staging snapshot, with host-diverged input words,
+    /// must each compute from their own data — decoded blocks may be
+    /// shared conceptually, data never.
+    #[test]
+    fn two_forks_from_one_template_diverge_on_inputs() {
+        let data = L2_BASE + 0x2_0000;
+        let mut a = Asm::new(CODE_BASE);
+        a.li(Reg::A1, data as i32);
+        a.lw(Reg::A0, 0, Reg::A1);
+        a.slli(Reg::A0, Reg::A0, 1);
+        a.ecall();
+        let prog = a.assemble().unwrap();
+        let mut staged = Soc::new(IsaConfig::xpulpnn());
+        staged.load(&prog);
+        let template = staged.snapshot();
+
+        let fork = |input: u32| {
+            let mut soc = Soc::new(IsaConfig::xpulpnn());
+            soc.enable_fastpath();
+            soc.restore(&template);
+            soc.mem.write_bytes(data, &input.to_le_bytes());
+            soc.run(1000).unwrap()
+        };
+        let r1 = fork(21);
+        let r2 = fork(100);
+        assert_eq!(r1.exit.exit_code, 42);
+        assert_eq!(r2.exit.exit_code, 200);
+        // Same code path, same cost — only the data diverged.
+        assert_eq!(r1.perf, r2.perf);
+    }
+
     #[test]
     fn stack_usable_at_top_of_l2() {
         let mut a = Asm::new(CODE_BASE);

@@ -1,0 +1,249 @@
+//! Deterministic load generator: a seeded open-loop request stream
+//! (mixed variants, Poisson-ish arrival gaps from `xrand`) driven
+//! through a [`ServePool`], folded into a scheduling-independent
+//! digest plus latency/throughput statistics.
+//!
+//! Everything in the digest — request stream, outputs, outcomes,
+//! simulated-cycle latencies — is a pure function of `(seed,
+//! configuration)`. A fixed seed therefore replays bit-identically
+//! across 1, 2 or 8 worker threads (pinned by property tests); only
+//! host wall-clock numbers differ, and they are excluded.
+
+use crate::pool::{PoolConfig, PoolReport, PoolStats, ServeFaults, ServePool};
+use crate::request::{Request, Response, Variant};
+use crate::template::{serving_config, ServeError};
+use std::time::{Duration, Instant};
+use xrand::Rng;
+
+/// Loadgen run configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadgenConfig {
+    /// Seed for the request stream (variant mix, inputs, arrivals).
+    pub seed: u64,
+    /// Number of requests to generate and submit.
+    pub requests: u64,
+    /// Worker threads.
+    pub workers: usize,
+    /// Bounded queue capacity (submits use backpressure, not shed).
+    pub queue_capacity: usize,
+    /// Max same-variant requests coalesced per queue pop.
+    pub batch_max: usize,
+    /// Template weight seed.
+    pub weight_seed: u64,
+    /// Warm reruns on consecutive same-variant requests.
+    pub warm_reruns: bool,
+    /// Chaos mode (per-request fault arming).
+    pub faults: Option<ServeFaults>,
+    /// Mean arrival gap in µs for Poisson-ish open-loop pacing;
+    /// 0 submits at full throttle. Pacing changes wall-clock numbers
+    /// only, never the digest.
+    pub mean_gap_us: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> LoadgenConfig {
+        LoadgenConfig {
+            seed: 1,
+            requests: 200,
+            workers: 2,
+            queue_capacity: 64,
+            batch_max: 8,
+            weight_seed: 42,
+            warm_reruns: true,
+            faults: None,
+            mean_gap_us: 0,
+        }
+    }
+}
+
+/// Percentiles over a latency population (nearest-rank).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Median.
+    pub p50: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Maximum.
+    pub max: u64,
+}
+
+impl LatencyStats {
+    /// Nearest-rank percentiles of `values` (unsorted in, untouched).
+    pub fn of(values: &[u64]) -> LatencyStats {
+        if values.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        let rank = |p: usize| sorted[(p * (sorted.len() - 1)).div_ceil(100).min(sorted.len() - 1)];
+        LatencyStats {
+            p50: rank(50),
+            p99: rank(99),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Everything one loadgen run produced.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// The configuration that ran.
+    pub cfg: LoadgenConfig,
+    /// All responses, sorted by request id.
+    pub responses: Vec<Response>,
+    /// Pool counters.
+    pub stats: PoolStats,
+    /// Scheduling-independent digest over the deterministic response
+    /// fields (see [`Response::fold_digest`]).
+    pub digest: u64,
+    /// Per-request simulated-cycle latency (deterministic).
+    pub sim_cycles: LatencyStats,
+    /// Per-request host submit→completion latency in µs (wall clock).
+    pub host_us: LatencyStats,
+    /// Total simulated cycles across all requests.
+    pub total_sim_cycles: u64,
+    /// Host wall-clock seconds from first submit to full drain.
+    pub wall_secs: f64,
+    /// Sustained host throughput in requests/second.
+    pub req_per_sec: f64,
+}
+
+impl LoadReport {
+    /// Responses with the given outcome label.
+    pub fn count(&self, label: &str) -> u64 {
+        self.responses
+            .iter()
+            .filter(|r| r.outcome.label() == label)
+            .count() as u64
+    }
+}
+
+/// The deterministic request stream for `(seed, n)`: per request an
+/// independent sub-generator picks a variant from the mix and fills a
+/// range-valid input tensor, so the stream is identical no matter how
+/// it is consumed.
+pub fn generate_requests(seed: u64, n: u64) -> Vec<Request> {
+    let lens: Vec<(usize, i16)> = Variant::ALL
+        .iter()
+        .map(|&v| {
+            let cfg = serving_config(v);
+            (cfg.shape.input_len(), (1i16 << cfg.bits.bits()) - 1)
+        })
+        .collect();
+    (0..n)
+        .map(|id| {
+            let mut rng = Rng::new(seed ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let variant = *rng.choose(&Variant::ALL);
+            let (len, max) = lens[variant.index()];
+            let input = (0..len)
+                .map(|_| rng.below(u64::from(max as u16) + 1) as i16)
+                .collect();
+            Request { id, variant, input }
+        })
+        .collect()
+}
+
+/// Folds a response set into the scheduling-independent digest.
+/// Responses are folded in id order regardless of input order.
+pub fn digest(responses: &[Response]) -> u64 {
+    let mut order: Vec<usize> = (0..responses.len()).collect();
+    order.sort_by_key(|&i| responses[i].id);
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for i in order {
+        responses[i].fold_digest(&mut h);
+    }
+    h
+}
+
+/// Runs one seeded open-loop load test: generates the stream, submits
+/// it with backpressure (blocking on a full queue, so no request is
+/// shed), shuts the pool down and folds the statistics.
+///
+/// # Errors
+///
+/// [`ServeError`] when the pool cannot start. Submits cannot fail:
+/// generated payloads are valid by construction and the blocking
+/// submit path never sheds.
+pub fn run_loadgen(cfg: LoadgenConfig) -> Result<LoadReport, ServeError> {
+    let pool = ServePool::start(PoolConfig {
+        workers: cfg.workers,
+        queue_capacity: cfg.queue_capacity,
+        batch_max: cfg.batch_max,
+        weight_seed: cfg.weight_seed,
+        warm_reruns: cfg.warm_reruns,
+        faults: cfg.faults,
+        ..PoolConfig::default()
+    })?;
+    let requests = generate_requests(cfg.seed, cfg.requests);
+    let mut arrivals = Rng::new(cfg.seed ^ 0xa11a_a11a);
+    let start = Instant::now();
+    for req in requests {
+        if cfg.mean_gap_us > 0 {
+            // Poisson-ish inter-arrival: exponential via inverse CDF.
+            let u = (arrivals.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            let gap = -(1.0 - u).ln() * cfg.mean_gap_us as f64;
+            std::thread::sleep(Duration::from_micros(gap as u64));
+        }
+        pool.submit_blocking(req)
+            .expect("generated requests are valid and the pool is live");
+    }
+    let PoolReport { responses, stats } = pool.shutdown();
+    let wall_secs = start.elapsed().as_secs_f64();
+    let sim: Vec<u64> = responses.iter().map(|r| r.cycles).collect();
+    let host: Vec<u64> = responses.iter().map(|r| r.host_us).collect();
+    let digest = digest(&responses);
+    Ok(LoadReport {
+        cfg,
+        digest,
+        sim_cycles: LatencyStats::of(&sim),
+        host_us: LatencyStats::of(&host),
+        total_sim_cycles: sim.iter().sum(),
+        wall_secs,
+        req_per_sec: if wall_secs > 0.0 {
+            responses.len() as f64 / wall_secs
+        } else {
+            0.0
+        },
+        responses,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_stream_is_deterministic_and_mixed() {
+        let a = generate_requests(9, 64);
+        let b = generate_requests(9, 64);
+        assert_eq!(a, b);
+        let c = generate_requests(10, 64);
+        assert_ne!(a, c);
+        // All four variants appear in a modest stream.
+        for v in Variant::ALL {
+            assert!(a.iter().any(|r| r.variant == v), "missing {v}");
+        }
+        // Every payload is shape- and range-valid by construction.
+        for r in &a {
+            let cfg = serving_config(r.variant);
+            assert_eq!(r.input.len(), cfg.shape.input_len());
+            let max = (1i16 << cfg.bits.bits()) - 1;
+            assert!(r.input.iter().all(|&v| (0..=max).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn latency_stats_nearest_rank() {
+        let s = LatencyStats::of(&[10, 20, 30, 40, 50]);
+        assert_eq!(s.p50, 30);
+        assert_eq!(s.p99, 50);
+        assert_eq!(s.max, 50);
+        assert_eq!(LatencyStats::of(&[]), LatencyStats::default());
+        let one = LatencyStats::of(&[7]);
+        assert_eq!((one.p50, one.p99, one.max), (7, 7, 7));
+        // p50 never exceeds p99 by construction (sorted ranks).
+        let s = LatencyStats::of(&[5, 1, 9, 3, 7, 2, 8]);
+        assert!(s.p50 <= s.p99 && s.p99 <= s.max);
+    }
+}

@@ -1,0 +1,675 @@
+//! The worker pool: N snapshot-forked SoC workers draining a bounded
+//! MPMC queue.
+//!
+//! Each worker owns one `Soc` machine forked from a per-variant
+//! [`WorkerTemplate`]. Batching coalesces adjacent same-variant
+//! requests so a staged machine serves them warm (entry re-arm, no L2
+//! restore); a variant switch or any unclean outcome cold re-forks
+//! from the template. Every request runs under the per-request
+//! watchdog budget and the `run_with_policy`-style ladder: verified ok
+//! → masked → cold-retry recovered → golden-software degraded. A
+//! poisoned request never kills its worker.
+//!
+//! Determinism: a request's deterministic fields (output, outcome,
+//! simulated cycles, ledger) are a pure function of the request and
+//! the pool's template/fault configuration. Chaos-armed requests
+//! always run on a fresh cold fork (cycle counter 0), so a fault
+//! plan's absolute-cycle schedule lands identically no matter which
+//! worker picks the request up; warm reruns are bit-exact with cold
+//! forks (pinned). Hence any (seed, request-trace) pair replays
+//! bit-identically across 1/2/8 workers.
+
+use crate::queue::{BoundedQueue, PushError};
+use crate::request::{Detection, Outcome, Request, Response, SubmitError, Variant};
+use crate::template::{ServeError, WorkerTemplate};
+use faultsim::{run_armed, ArmConfig, FaultPlan};
+use pulp_soc::Soc;
+use riscv_core::{PerfCounters, Trap};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+use xrand::Rng;
+
+/// Seeded chaos mode: per-request fault arming through `faultsim`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeFaults {
+    /// Campaign seed; a request's plan depends only on this and its id.
+    pub seed: u64,
+    /// Percentage of eligible requests that get one flip (0–100).
+    pub rate_percent: u8,
+    /// Only requests with `id < armed_below` are eligible — lets a
+    /// test run a chaos wave followed by a clean wave on one pool.
+    pub armed_below: u64,
+}
+
+impl ServeFaults {
+    /// Arms every request with one flip.
+    pub fn always(seed: u64) -> ServeFaults {
+        ServeFaults {
+            seed,
+            rate_percent: 100,
+            armed_below: u64::MAX,
+        }
+    }
+
+    /// The fault plan for request `id`, if it is armed.
+    fn plan_for(&self, template: &WorkerTemplate, id: u64) -> Option<FaultPlan> {
+        if id >= self.armed_below {
+            return None;
+        }
+        let mut rng = Rng::new(self.seed ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        if rng.below(100) >= u64::from(self.rate_percent) {
+            return None;
+        }
+        Some(template.fault_plan(rng.next_u64()))
+    }
+}
+
+/// Pool configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Worker threads (≥ 1).
+    pub workers: usize,
+    /// Bounded queue capacity; `try`-submits beyond it return
+    /// [`SubmitError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Max same-variant requests a worker coalesces per queue pop.
+    pub batch_max: usize,
+    /// Seed for the per-variant template weights/thresholds.
+    pub weight_seed: u64,
+    /// Cold-retry attempts before degrading to the golden fallback.
+    pub max_retries: u32,
+    /// Serve consecutive same-variant requests warm (entry re-arm
+    /// without an L2 restore). Off forces a cold fork per request;
+    /// results are bit-identical either way (pinned).
+    pub warm_reruns: bool,
+    /// Chaos mode; `None` serves cleanly.
+    pub faults: Option<ServeFaults>,
+    /// Start workers parked until [`ServePool::release`] — lets tests
+    /// fill the queue deterministically. `shutdown` releases
+    /// implicitly, so held work always drains.
+    pub hold_workers: bool,
+}
+
+impl Default for PoolConfig {
+    fn default() -> PoolConfig {
+        PoolConfig {
+            workers: 2,
+            queue_capacity: 64,
+            batch_max: 8,
+            weight_seed: 42,
+            max_retries: 1,
+            warm_reruns: true,
+            faults: None,
+            hold_workers: false,
+        }
+    }
+}
+
+/// Aggregate pool counters (observability; not part of any digest).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Requests served (one response each).
+    pub served: u64,
+    /// Cold forks/re-forks from a template.
+    pub cold_forks: u64,
+    /// Requests served on a warm machine.
+    pub warm_runs: u64,
+    /// Responses by outcome.
+    pub ok: u64,
+    /// Masked responses.
+    pub masked: u64,
+    /// Recovered responses.
+    pub recovered: u64,
+    /// Degraded responses.
+    pub degraded: u64,
+}
+
+/// Everything a finished pool hands back.
+#[derive(Debug)]
+pub struct PoolReport {
+    /// All responses, sorted by request id.
+    pub responses: Vec<Response>,
+    /// Aggregate counters.
+    pub stats: PoolStats,
+}
+
+struct Job {
+    req: Request,
+    enqueued: Instant,
+}
+
+struct Shared {
+    queue: BoundedQueue<Job>,
+    templates: Vec<WorkerTemplate>,
+    cfg: PoolConfig,
+    responses: Mutex<Vec<Response>>,
+    stats: Mutex<PoolStats>,
+    gate: Mutex<bool>,
+    gate_cv: Condvar,
+}
+
+impl Shared {
+    fn wait_released(&self) {
+        let mut released = self.gate.lock().expect("gate lock");
+        while !*released {
+            released = self.gate_cv.wait(released).expect("gate lock");
+        }
+    }
+}
+
+/// The serving pool. Dropping it without [`ServePool::shutdown`]
+/// closes the queue and joins workers (in-flight work still drains).
+pub struct ServePool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ServePool {
+    /// Builds all variant templates (health-checked) and spawns the
+    /// worker threads.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] when misconfigured or a template fails to build
+    /// or verify.
+    pub fn start(cfg: PoolConfig) -> Result<ServePool, ServeError> {
+        if cfg.workers == 0 {
+            return Err(ServeError::NoWorkers);
+        }
+        let templates = Variant::ALL
+            .into_iter()
+            .map(|v| WorkerTemplate::build(v, cfg.weight_seed))
+            .collect::<Result<Vec<_>, _>>()?;
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(cfg.queue_capacity),
+            templates,
+            cfg,
+            responses: Mutex::new(Vec::new()),
+            stats: Mutex::new(PoolStats::default()),
+            gate: Mutex::new(!cfg.hold_workers),
+            gate_cv: Condvar::new(),
+        });
+        let handles = (0..cfg.workers)
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || worker_loop(&shared, idx))
+            })
+            .collect();
+        Ok(ServePool { shared, handles })
+    }
+
+    /// Validates and enqueues without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Invalid`] on a bad payload,
+    /// [`SubmitError::Overloaded`] when the bounded queue is full,
+    /// [`SubmitError::ShuttingDown`] after shutdown began.
+    pub fn submit(&self, req: Request) -> Result<(), SubmitError> {
+        let job = self.validate(req)?;
+        match self.shared.queue.try_push(job) {
+            Ok(()) => Ok(()),
+            Err(PushError::Full(_)) => Err(SubmitError::Overloaded {
+                capacity: self.shared.queue.capacity(),
+            }),
+            Err(PushError::Closed(_)) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Validates and enqueues, waiting for queue space (the loadgen's
+    /// lossless submit discipline).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Invalid`] or [`SubmitError::ShuttingDown`].
+    pub fn submit_blocking(&self, req: Request) -> Result<(), SubmitError> {
+        let job = self.validate(req)?;
+        self.shared
+            .queue
+            .push_blocking(job)
+            .map_err(|_| SubmitError::ShuttingDown)
+    }
+
+    fn validate(&self, req: Request) -> Result<Job, SubmitError> {
+        let template = &self.shared.templates[req.variant.index()];
+        template
+            .validate(&req.input)
+            .map_err(|error| SubmitError::Invalid { id: req.id, error })?;
+        Ok(Job {
+            req,
+            enqueued: Instant::now(),
+        })
+    }
+
+    /// Unparks held workers (see [`PoolConfig::hold_workers`]).
+    pub fn release(&self) {
+        let mut released = self.shared.gate.lock().expect("gate lock");
+        *released = true;
+        drop(released);
+        self.shared.gate_cv.notify_all();
+    }
+
+    /// Requests currently queued (not yet picked up).
+    pub fn queued(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Responses completed so far.
+    pub fn completed(&self) -> usize {
+        self.shared.responses.lock().expect("responses lock").len()
+    }
+
+    /// The template serving `variant` (for request construction).
+    pub fn template(&self, variant: Variant) -> &WorkerTemplate {
+        &self.shared.templates[variant.index()]
+    }
+
+    /// Stops intake, drains in-flight requests, joins the workers and
+    /// returns every response (sorted by id) plus the counters.
+    pub fn shutdown(mut self) -> PoolReport {
+        self.shared.queue.close();
+        self.release();
+        for h in self.handles.drain(..) {
+            h.join().expect("worker thread panicked");
+        }
+        let mut responses =
+            std::mem::take(&mut *self.shared.responses.lock().expect("responses lock"));
+        responses.sort_by_key(|r| r.id);
+        let stats = *self.shared.stats.lock().expect("stats lock");
+        PoolReport { responses, stats }
+    }
+}
+
+impl Drop for ServePool {
+    fn drop(&mut self) {
+        self.shared.queue.close();
+        self.release();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One worker's staged machine.
+struct Machine {
+    soc: Soc,
+    variant: Variant,
+    /// True only after a clean, disarmed run — the precondition for a
+    /// warm rerun.
+    clean: bool,
+}
+
+fn worker_loop(shared: &Shared, worker: usize) {
+    shared.wait_released();
+    let mut machine: Option<Machine> = None;
+    while let Some(batch) = shared
+        .queue
+        .pop_batch(shared.cfg.batch_max, |a, b| a.req.variant == b.req.variant)
+    {
+        for job in batch {
+            let response = serve_one(shared, worker, &mut machine, job);
+            let mut stats = shared.stats.lock().expect("stats lock");
+            stats.served += 1;
+            if response.warm {
+                stats.warm_runs += 1;
+            }
+            match response.outcome {
+                Outcome::Ok => stats.ok += 1,
+                Outcome::Masked { .. } => stats.masked += 1,
+                Outcome::Recovered { .. } => stats.recovered += 1,
+                Outcome::Degraded { .. } => stats.degraded += 1,
+            }
+            drop(stats);
+            shared
+                .responses
+                .lock()
+                .expect("responses lock")
+                .push(response);
+        }
+    }
+}
+
+enum Attempt {
+    // Boxed: PerfCounters dwarfs the trap variant otherwise.
+    Halt {
+        output: Vec<i16>,
+        perf: Box<PerfCounters>,
+    },
+    Trapped(Trap),
+}
+
+fn serve_one(shared: &Shared, worker: usize, machine: &mut Option<Machine>, job: Job) -> Response {
+    let Job { req, enqueued } = job;
+    let template = &shared.templates[req.variant.index()];
+    let golden = template.golden(&req.input);
+    let plan = shared
+        .cfg
+        .faults
+        .as_ref()
+        .and_then(|f| f.plan_for(template, req.id));
+
+    // Stage the machine. Armed requests must start from the template's
+    // cycle counter (0): the fault plan schedules flips on absolute
+    // cycles. Warm reruns are only taken on a clean machine of the
+    // same variant, and only disarmed.
+    let warm = plan.is_none()
+        && shared.cfg.warm_reruns
+        && machine
+            .as_ref()
+            .is_some_and(|m| m.variant == req.variant && m.clean);
+    let mut m = match machine.take() {
+        Some(mut m) if warm => {
+            template.rearm_entry(&mut m.soc);
+            m
+        }
+        Some(mut m) => {
+            template.refork(&mut m.soc);
+            shared.stats.lock().expect("stats lock").cold_forks += 1;
+            m.variant = req.variant;
+            m
+        }
+        None => {
+            shared.stats.lock().expect("stats lock").cold_forks += 1;
+            Machine {
+                soc: template.fork(),
+                variant: req.variant,
+                clean: false,
+            }
+        }
+    };
+    template.stage_input(&mut m.soc, &req.input);
+
+    // First attempt: armed (interpreter, flips applied) or plain
+    // (fast path). Both run under the per-request watchdog budget.
+    let mut total_cycles;
+    let mut flips = 0usize;
+    let attempt = if let Some(plan) = &plan {
+        let armed = run_armed(
+            &mut m.soc,
+            plan,
+            &ArmConfig {
+                budget: template.budget(),
+                checkpoint_interval: 10_000,
+                trace_depth: 0,
+            },
+        );
+        flips = armed.injections.len();
+        total_cycles = armed.perf.cycles;
+        match armed.exit {
+            Ok(_) => Attempt::Halt {
+                output: template.collect_output(&m.soc),
+                perf: Box::new(armed.perf),
+            },
+            Err(trap) => Attempt::Trapped(trap),
+        }
+    } else {
+        let before = m.soc.core.perf;
+        match m.soc.run(template.budget()) {
+            Ok(report) => {
+                total_cycles = report.perf.cycles;
+                Attempt::Halt {
+                    output: template.collect_output(&m.soc),
+                    perf: Box::new(report.perf),
+                }
+            }
+            Err(trap) => {
+                // `Soc::run` returns no report on a trap; the delta
+                // against the pre-run counters is the attempt's cost.
+                let perf = m.soc.core.perf.delta_since(&before);
+                total_cycles = perf.cycles;
+                Attempt::Trapped(trap)
+            }
+        }
+    };
+
+    // Classification ladder.
+    let detection = match attempt {
+        Attempt::Halt { output, perf } if output == golden => {
+            let outcome = if flips > 0 {
+                // Flips landed but the verified output survived.
+                m.clean = false;
+                Outcome::Masked { flips }
+            } else {
+                m.clean = true;
+                Outcome::Ok
+            };
+            let response = Response {
+                id: req.id,
+                variant: req.variant,
+                outcome,
+                output,
+                perf: *perf,
+                cycles: total_cycles,
+                worker,
+                warm,
+                host_us: elapsed_us(enqueued),
+            };
+            *machine = Some(m);
+            return response;
+        }
+        Attempt::Halt { .. } => Detection::Sdc,
+        Attempt::Trapped(trap) => Detection::Trap(trap),
+    };
+
+    // Detected: bounded cold-retry from the template. Transient-fault
+    // model — a disarmed re-run from the pristine template is a full
+    // recovery; the loop exists for policy parity with the network
+    // layer (and guards against template-level SDC, which the
+    // health check already rules out).
+    for retry in 1..=shared.cfg.max_retries {
+        template.refork(&mut m.soc);
+        shared.stats.lock().expect("stats lock").cold_forks += 1;
+        template.stage_input(&mut m.soc, &req.input);
+        match m.soc.run(template.budget()) {
+            Ok(report) => {
+                total_cycles += report.perf.cycles;
+                let output = template.collect_output(&m.soc);
+                if output == golden {
+                    m.clean = true;
+                    let response = Response {
+                        id: req.id,
+                        variant: req.variant,
+                        outcome: Outcome::Recovered {
+                            detection,
+                            retries: retry,
+                        },
+                        output,
+                        perf: report.perf,
+                        cycles: total_cycles,
+                        worker,
+                        warm,
+                        host_us: elapsed_us(enqueued),
+                    };
+                    *machine = Some(m);
+                    return response;
+                }
+            }
+            Err(_) => {
+                m.clean = false;
+            }
+        }
+    }
+
+    // Retries exhausted: golden software fallback; the worker machine
+    // is marked unclean and will cold re-fork before its next request.
+    m.clean = false;
+    let response = Response {
+        id: req.id,
+        variant: req.variant,
+        outcome: Outcome::Degraded { detection },
+        output: golden,
+        perf: PerfCounters::new(),
+        cycles: total_cycles,
+        worker,
+        warm,
+        host_us: elapsed_us(enqueued),
+    };
+    *machine = Some(m);
+    response
+}
+
+fn elapsed_us(enqueued: Instant) -> u64 {
+    u64::try_from(enqueued.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestError;
+
+    fn valid_request(pool: &ServePool, id: u64, variant: Variant, fill: i16) -> Request {
+        Request {
+            id,
+            variant,
+            input: vec![fill; pool.template(variant).input_len()],
+        }
+    }
+
+    #[test]
+    fn zero_workers_is_a_typed_error() {
+        let cfg = PoolConfig {
+            workers: 0,
+            ..PoolConfig::default()
+        };
+        assert_eq!(ServePool::start(cfg).err(), Some(ServeError::NoWorkers));
+    }
+
+    #[test]
+    fn invalid_payloads_are_rejected_typed_at_submit() {
+        let pool = ServePool::start(PoolConfig {
+            workers: 1,
+            ..PoolConfig::default()
+        })
+        .unwrap();
+        // Zero-size payload.
+        let r = pool.submit(Request {
+            id: 1,
+            variant: Variant::W4,
+            input: vec![],
+        });
+        assert_eq!(
+            r,
+            Err(SubmitError::Invalid {
+                id: 1,
+                error: RequestError::Empty
+            })
+        );
+        // Oversized payload.
+        let want = pool.template(Variant::W4).input_len();
+        let r = pool.submit(Request {
+            id: 2,
+            variant: Variant::W4,
+            input: vec![0; want * 2],
+        });
+        assert_eq!(
+            r,
+            Err(SubmitError::Invalid {
+                id: 2,
+                error: RequestError::WrongLength {
+                    got: want * 2,
+                    want
+                }
+            })
+        );
+        // Out-of-range activation.
+        let mut input = vec![0i16; want];
+        input[0] = 99;
+        let r = pool.submit(Request {
+            id: 3,
+            variant: Variant::W4,
+            input,
+        });
+        assert!(matches!(
+            r,
+            Err(SubmitError::Invalid {
+                id: 3,
+                error: RequestError::OutOfRange { index: 0, .. }
+            })
+        ));
+        // Nothing reached the queue; shutdown returns no responses.
+        let report = pool.shutdown();
+        assert!(report.responses.is_empty());
+    }
+
+    #[test]
+    fn overload_is_typed_and_held_work_still_drains() {
+        // Held workers make the overload deterministic: the queue
+        // cannot drain until release.
+        let pool = ServePool::start(PoolConfig {
+            workers: 1,
+            queue_capacity: 2,
+            hold_workers: true,
+            ..PoolConfig::default()
+        })
+        .unwrap();
+        pool.submit(valid_request(&pool, 0, Variant::W4, 1))
+            .unwrap();
+        pool.submit(valid_request(&pool, 1, Variant::W4, 2))
+            .unwrap();
+        let r = pool.submit(valid_request(&pool, 2, Variant::W4, 3));
+        assert_eq!(r, Err(SubmitError::Overloaded { capacity: 2 }));
+        // Shutdown releases the held workers and drains in-flight
+        // requests: exactly the two accepted responses come back.
+        let report = pool.shutdown();
+        assert_eq!(report.responses.len(), 2);
+        assert_eq!(
+            report.responses.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        assert!(report.responses.iter().all(|r| r.outcome == Outcome::Ok));
+    }
+
+    #[test]
+    fn submit_after_shutdown_began_is_shutting_down() {
+        let pool = ServePool::start(PoolConfig {
+            workers: 1,
+            ..PoolConfig::default()
+        })
+        .unwrap();
+        let req = valid_request(&pool, 0, Variant::W8, 0);
+        pool.shared.queue.close();
+        assert_eq!(pool.submit(req), Err(SubmitError::ShuttingDown));
+        let report = pool.shutdown();
+        assert!(report.responses.is_empty());
+    }
+
+    #[test]
+    fn warm_rerun_is_bit_exact_with_cold_fork() {
+        // The same trace served twice — warm reruns allowed vs forced
+        // cold forks — must produce identical deterministic fields.
+        // This pins the warm-path contract (entry re-arm only, no L2
+        // restore) against the cold-path ground truth.
+        let serve = |warm_reruns: bool| {
+            let pool = ServePool::start(PoolConfig {
+                workers: 1,
+                warm_reruns,
+                ..PoolConfig::default()
+            })
+            .unwrap();
+            let mut rng = Rng::new(7);
+            for id in 0..12u64 {
+                // Same-variant stretches so warm reruns actually occur.
+                let variant = if id < 6 { Variant::W4 } else { Variant::W2 };
+                let max = u64::from(pool.template(variant).max_activation() as u16);
+                let input: Vec<i16> = (0..pool.template(variant).input_len())
+                    .map(|_| rng.below(max + 1) as i16)
+                    .collect();
+                pool.submit_blocking(Request { id, variant, input })
+                    .unwrap();
+            }
+            pool.shutdown()
+        };
+        let warm = serve(true);
+        let cold = serve(false);
+        assert!(warm.stats.warm_runs > 0, "warm path never exercised");
+        assert_eq!(cold.stats.warm_runs, 0);
+        for (w, c) in warm.responses.iter().zip(&cold.responses) {
+            assert_eq!(w.id, c.id);
+            assert_eq!(w.outcome, c.outcome, "request {}", w.id);
+            assert_eq!(w.output, c.output, "request {}", w.id);
+            assert_eq!(w.cycles, c.cycles, "request {}", w.id);
+            assert_eq!(w.perf, c.perf, "request {}", w.id);
+        }
+    }
+}

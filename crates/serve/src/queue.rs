@@ -1,0 +1,236 @@
+//! A bounded MPMC work queue on `Mutex` + `Condvar` (the workspace is
+//! dependency-free, so no crossbeam): typed rejection when full, typed
+//! close, and a batch pop that coalesces adjacent same-key items so a
+//! staged worker can serve several same-variant requests without
+//! re-forking.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push did not enqueue.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the item is handed back.
+    Full(T),
+    /// The queue was closed; the item is handed back.
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking push: returns immediately with a typed error when
+    /// the queue is full or closed. This is the backpressure edge —
+    /// it never blocks and never panics on a full queue.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`BoundedQueue::close`]; both hand the item back.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut s = self.state.lock().expect("queue lock");
+        if s.closed {
+            return Err(PushError::Closed(item));
+        }
+        if s.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking push: waits for space (the deterministic loadgen's
+    /// submit discipline — no request is ever shed).
+    ///
+    /// # Errors
+    ///
+    /// Hands the item back if the queue closes while waiting.
+    pub fn push_blocking(&self, item: T) -> Result<(), T> {
+        let mut s = self.state.lock().expect("queue lock");
+        loop {
+            if s.closed {
+                return Err(item);
+            }
+            if s.items.len() < self.capacity {
+                s.items.push_back(item);
+                drop(s);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            s = self.not_full.wait(s).expect("queue lock");
+        }
+    }
+
+    /// Blocking pop of a batch: waits for at least one item, then
+    /// greedily takes up to `max` *already-queued* items from the head
+    /// while `same(first, next)` holds (it never waits for more work
+    /// to batch). Returns `None` only when the queue is closed *and*
+    /// drained — in-flight items always reach a consumer.
+    pub fn pop_batch(&self, max: usize, same: impl Fn(&T, &T) -> bool) -> Option<Vec<T>> {
+        let mut s = self.state.lock().expect("queue lock");
+        let first = loop {
+            if let Some(item) = s.items.pop_front() {
+                break item;
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.not_empty.wait(s).expect("queue lock");
+        };
+        let mut batch = vec![first];
+        while batch.len() < max.max(1) {
+            match s.items.front() {
+                Some(next) if same(&batch[0], next) => {
+                    let next = s.items.pop_front().expect("front was Some");
+                    batch.push(next);
+                }
+                _ => break,
+            }
+        }
+        drop(s);
+        // Space was freed; wake one blocked producer per item taken
+        // (notify_all keeps it simple and correct).
+        self.not_full.notify_all();
+        Some(batch)
+    }
+
+    /// Closes the queue: no further pushes succeed; consumers drain
+    /// what is queued and then see `None`.
+    pub fn close(&self) {
+        let mut s = self.state.lock().expect("queue lock");
+        s.closed = true;
+        drop(s);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// True after [`BoundedQueue::close`].
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue lock").closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn try_push_full_is_typed_and_immediate() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(()));
+        assert_eq!(q.try_push(2), Ok(()));
+        // At capacity: typed rejection, item handed back, no blocking.
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.len(), 2);
+        // Popping frees a slot.
+        assert_eq!(q.pop_batch(1, |_, _| false), Some(vec![1]));
+        assert_eq!(q.try_push(3), Ok(()));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(8);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        // Push after close: typed, item handed back.
+        assert_eq!(q.try_push(3), Err(PushError::Closed(3)));
+        assert_eq!(q.push_blocking(4), Err(4));
+        // Queued items still drain, in order, before the end marker.
+        assert_eq!(q.pop_batch(8, |_, _| true), Some(vec![1, 2]));
+        assert_eq!(q.pop_batch(8, |_, _| true), None);
+        assert_eq!(q.pop_batch(1, |_, _| true), None);
+    }
+
+    #[test]
+    fn pop_batch_coalesces_same_key_head_run_only() {
+        let q = BoundedQueue::new(8);
+        for v in [1, 1, 1, 2, 1] {
+            q.try_push(v).unwrap();
+        }
+        // Takes the head run of equal items, stops at the first
+        // different one, and respects `max`.
+        assert_eq!(q.pop_batch(2, |a, b| a == b), Some(vec![1, 1]));
+        assert_eq!(q.pop_batch(8, |a, b| a == b), Some(vec![1]));
+        assert_eq!(q.pop_batch(8, |a, b| a == b), Some(vec![2]));
+        assert_eq!(q.pop_batch(8, |a, b| a == b), Some(vec![1]));
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert_eq!(q.try_push(1), Ok(()));
+        assert_eq!(q.try_push(2), Err(PushError::Full(2)));
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space_and_wakes() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = thread::spawn(move || q2.push_blocking(2));
+        // The consumer frees the slot; the blocked producer completes.
+        loop {
+            if let Some(batch) = q.pop_batch(1, |_, _| false) {
+                if batch == vec![1] {
+                    break;
+                }
+            }
+        }
+        producer.join().unwrap().unwrap();
+        assert_eq!(q.pop_batch(1, |_, _| false), Some(vec![2]));
+    }
+
+    #[test]
+    fn close_unblocks_a_waiting_consumer() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let q2 = Arc::clone(&q);
+        let consumer = thread::spawn(move || q2.pop_batch(4, |_, _| true));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+}

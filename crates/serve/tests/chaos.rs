@@ -1,0 +1,127 @@
+//! Chaos tests (satellite 2): loadgen under seeded per-worker fault
+//! arming. No request is lost, degraded responses are typed
+//! (masked/recovered/degraded), every output still verifies against
+//! the golden model, and the pool's throughput recovers after workers
+//! re-fork from their templates.
+
+use serve::{generate_requests, run_loadgen, LoadgenConfig, Outcome, ServeFaults, WorkerTemplate};
+
+const SEED: u64 = 1;
+
+#[test]
+fn chaos_loses_no_request_and_types_every_outcome() {
+    const REQUESTS: u64 = 32;
+    let report = run_loadgen(LoadgenConfig {
+        seed: SEED,
+        requests: REQUESTS,
+        workers: 4,
+        faults: Some(ServeFaults::always(99)),
+        ..LoadgenConfig::default()
+    })
+    .expect("pool starts");
+
+    // No request lost: exactly one response per id.
+    assert_eq!(report.responses.len(), REQUESTS as usize);
+    let ids: Vec<u64> = report.responses.iter().map(|r| r.id).collect();
+    assert_eq!(ids, (0..REQUESTS).collect::<Vec<_>>());
+
+    // Every response's output verifies against the golden model — the
+    // degradation ladder guarantees it no matter where the flip hit.
+    let requests = generate_requests(SEED, REQUESTS);
+    for (req, resp) in requests.iter().zip(&report.responses) {
+        let template = WorkerTemplate::build(req.variant, 42).expect("template");
+        assert_eq!(
+            resp.output,
+            template.golden(&req.input),
+            "request {} outcome {}",
+            req.id,
+            resp.outcome
+        );
+    }
+
+    // With one flip armed per request, non-Ok outcomes must appear,
+    // and every non-Ok outcome is typed masked/recovered/degraded.
+    let non_ok = report
+        .responses
+        .iter()
+        .filter(|r| r.outcome != Outcome::Ok)
+        .count();
+    assert!(non_ok > 0, "a 100% fault rate produced only clean runs");
+    for r in &report.responses {
+        match &r.outcome {
+            Outcome::Ok | Outcome::Masked { .. } | Outcome::Degraded { .. } => {}
+            Outcome::Recovered { retries, .. } => assert!(*retries >= 1),
+        }
+        assert_eq!(r.outcome.label() == "degraded", !r.outcome.device_served());
+    }
+    assert_eq!(
+        report.stats.ok + report.stats.masked + report.stats.recovered + report.stats.degraded,
+        REQUESTS
+    );
+}
+
+#[test]
+fn chaos_replays_bit_identically_across_worker_counts() {
+    // Fault arming is keyed by request id, and armed requests always
+    // run on a fresh cold fork — so even a chaos campaign replays
+    // bit-identically across 1/2/8 workers.
+    let run = |workers| {
+        run_loadgen(LoadgenConfig {
+            seed: SEED,
+            requests: 24,
+            workers,
+            faults: Some(ServeFaults::always(7)),
+            ..LoadgenConfig::default()
+        })
+        .expect("pool starts")
+    };
+    let one = run(1);
+    let two = run(2);
+    let eight = run(8);
+    assert_eq!(one.digest, two.digest);
+    assert_eq!(one.digest, eight.digest);
+}
+
+#[test]
+fn pool_throughput_recovers_after_worker_refork() {
+    // One pool, two waves: a chaos wave (ids < 24 armed) followed by a
+    // clean wave on the same workers. The clean wave must be all-Ok —
+    // poisoned machines re-forked from their templates instead of
+    // dying or serving corrupted state.
+    const WAVE: u64 = 24;
+    let report = run_loadgen(LoadgenConfig {
+        seed: SEED,
+        requests: WAVE * 2,
+        workers: 2,
+        faults: Some(ServeFaults {
+            seed: 13,
+            rate_percent: 100,
+            armed_below: WAVE,
+        }),
+        ..LoadgenConfig::default()
+    })
+    .expect("pool starts");
+    assert_eq!(report.responses.len(), (WAVE * 2) as usize);
+    let (chaos, clean): (Vec<_>, Vec<_>) = report.responses.iter().partition(|r| r.id < WAVE);
+    assert!(
+        chaos.iter().any(|r| r.outcome != Outcome::Ok),
+        "chaos wave produced only clean runs"
+    );
+    assert!(
+        clean.iter().all(|r| r.outcome == Outcome::Ok),
+        "post-chaos wave must be fully clean"
+    );
+    // Recovery happened by re-forking: at least one cold fork beyond
+    // the initial per-worker ones.
+    assert!(report.stats.cold_forks > 2, "no re-fork recorded");
+    // Deterministic throughput recovery: clean-wave simulated latency
+    // equals the fault-free per-request cost (no lingering slowdown),
+    // i.e. each clean response took exactly one clean attempt.
+    for r in &clean {
+        assert_eq!(
+            r.perf.cycles, r.cycles,
+            "request {} paid retry cycles",
+            r.id
+        );
+    }
+}
