@@ -139,4 +139,41 @@ awk -F'[:,]' '
     exit 1
 }
 
+# Resilience soak smoke: the seeded five-phase campaign (overload →
+# fault storm → hang injection → template corruption → recovery)
+# through the supervisor. The resilience counters are a pure function
+# of (seed, scale) — the exact summary lines are asserted so any drift
+# in shedding, breaker, reap or quarantine behaviour trips CI — and
+# the scheduling-independent digest must match between a 4-worker and
+# a single-worker run. The subcommand itself exits nonzero on a lost
+# request or a breaker left open.
+echo "==> soak smoke (seed 1, 4 workers vs 1 worker)"
+soak4_out=$(cargo run --release -q --locked -p xpulpnn-cli -- soak --seed 1 --workers 4 --out .)
+for line in \
+    "responses : 128 (128 requests, zero lost, every outcome typed)" \
+    "shed      : 8 queue-full, 13 deadline-pressure" \
+    "deadlines : 16 retried, 0 timed out" \
+    "breakers  : 2 trip(s), 2 re-close(s), 12 golden fallback(s)" \
+    "workers   : 1 reap(s), 2 template quarantine(s)"
+do
+    echo "$soak4_out" | grep -F "$line" > /dev/null || {
+        echo "soak counters drifted; wanted: $line"
+        echo "$soak4_out"
+        exit 1
+    }
+done
+soak1_out=$(cargo run --release -q --locked -p xpulpnn-cli -- soak --seed 1 --workers 1 --out .)
+sdigest4=$(echo "$soak4_out" | awk '/^digest/ { print $3 }')
+sdigest1=$(echo "$soak1_out" | awk '/^digest/ { print $3 }')
+[ -n "$sdigest4" ] && [ "$sdigest4" = "$sdigest1" ] || {
+    echo "soak digest differs across worker counts: 4w=$sdigest4 1w=$sdigest1"
+    exit 1
+}
+[ -s BENCH_soak.json ] || { echo "missing BENCH_soak.json"; exit 1; }
+grep -F '"breakers_closed": true' BENCH_soak.json > /dev/null || {
+    echo "BENCH_soak.json ended with an open breaker:"
+    cat BENCH_soak.json
+    exit 1
+}
+
 echo "==> ci: all green"

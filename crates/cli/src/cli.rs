@@ -92,7 +92,19 @@ usage:
       --faults arms one seeded transient fault per request (chaos
       mode), --no-warm disables warm same-variant reruns; the digest
       is a pure function of (seed, config) — identical across any
-      worker count";
+      worker count
+  xpulpnn soak [--seed S] [--workers N] [--scale N] [--weight-seed S]
+               [--out DIR]
+      run the seeded multi-phase resilience campaign through the
+      supervisor: overload burst (typed shedding at both watermarks),
+      fault storm (deadlines, retry-with-backoff, circuit-breaker
+      trips and golden fallback), hang injection (heartbeat reaps +
+      re-forks), template corruption (checksum quarantine + rebuild),
+      then recovery (half-open probes re-close every breaker);
+      asserts zero lost requests and prints the resilience counters
+      plus the scheduling-independent digest (identical across any
+      worker count), writing BENCH_soak.json to --out; --scale sets
+      the per-phase request count (8 phases of work, 8×scale requests)";
 
 /// A user-facing CLI error, classified so the process exit code tells
 /// scripts *what kind* of failure occurred.
@@ -1099,6 +1111,125 @@ fn cmd_loadgen(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Parsed options for `soak`.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SoakOpts {
+    /// The resilience-campaign configuration.
+    pub cfg: xpulpnn::serve::SoakConfig,
+    /// Directory receiving `BENCH_soak.json`.
+    pub out_dir: String,
+}
+
+/// Parses the flags of the `soak` subcommand.
+pub fn parse_soak_opts(args: &[String]) -> Result<SoakOpts, CliError> {
+    let mut cfg = xpulpnn::serve::SoakConfig::default();
+    let mut out_dir = ".".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                let v = it.next().ok_or_else(|| err("--seed needs a value"))?;
+                cfg.seed = v.parse().map_err(|_| err(format!("bad seed `{v}`")))?;
+            }
+            "--workers" => {
+                let v = it.next().ok_or_else(|| err("--workers needs a value"))?;
+                cfg.workers = v
+                    .parse()
+                    .map_err(|_| err(format!("bad worker count `{v}`")))?;
+                if !(1..=16).contains(&cfg.workers) {
+                    return Err(err("--workers must be 1..16"));
+                }
+            }
+            "--scale" => {
+                let v = it.next().ok_or_else(|| err("--scale needs a value"))?;
+                cfg.scale = v.parse().map_err(|_| err(format!("bad scale `{v}`")))?;
+                if cfg.scale == 0 {
+                    return Err(err("--scale must be at least 1"));
+                }
+            }
+            "--weight-seed" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| err("--weight-seed needs a value"))?;
+                cfg.weight_seed = v.parse().map_err(|_| err(format!("bad seed `{v}`")))?;
+            }
+            "--out" => {
+                let v = it.next().ok_or_else(|| err("--out needs a directory"))?;
+                out_dir = v.clone();
+            }
+            other => return Err(err(format!("unknown argument `{other}`"))),
+        }
+    }
+    Ok(SoakOpts { cfg, out_dir })
+}
+
+fn cmd_soak(args: &[String]) -> Result<String, CliError> {
+    let o = parse_soak_opts(args)?;
+    let rec = xpulpnn::bench::SoakRecord::run(o.cfg).map_err(|e| fail(e.to_string()))?;
+    let r = &rec.report;
+    // The campaign's own invariants gate the artifact: a lost request
+    // or a stuck breaker is a runtime failure, not a report detail.
+    let lost = r.lost_ids();
+    if !lost.is_empty() {
+        return Err(fail(format!(
+            "soak lost {} request(s): first missing id {}",
+            lost.len(),
+            lost[0]
+        )));
+    }
+    if !r.breakers_closed {
+        return Err(fail("soak ended with an open circuit breaker"));
+    }
+    let path = std::path::Path::new(&o.out_dir).join("BENCH_soak.json");
+    std::fs::write(&path, format!("{}\n", rec.to_json()))
+        .map_err(|e| fail(format!("cannot write `{}`: {e}", path.display())))?;
+    let c = &r.counters;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "responses : {} ({} requests, zero lost, every outcome typed)",
+        r.responses.len(),
+        c.requests
+    );
+    let _ = writeln!(
+        out,
+        "shed      : {} queue-full, {} deadline-pressure",
+        c.shed_queue_full, c.shed_pressure
+    );
+    let _ = writeln!(
+        out,
+        "deadlines : {} retried, {} timed out",
+        c.retried, c.timed_out
+    );
+    let _ = writeln!(
+        out,
+        "breakers  : {} trip(s), {} re-close(s), {} golden fallback(s)",
+        c.breaker_trips, c.breaker_closes, c.fallback_served
+    );
+    let _ = writeln!(
+        out,
+        "workers   : {} reap(s), {} template quarantine(s)",
+        r.pool_stats.reaps, r.pool_stats.quarantines
+    );
+    for p in &r.phases {
+        let _ = writeln!(
+            out,
+            "phase     : {:<19} {:>3} req  {} shed  {} retried  {} timed-out  {} trip(s)  {} fallback",
+            p.phase.name(),
+            p.requests,
+            p.shed,
+            p.retried,
+            p.timed_out,
+            p.breaker_trips,
+            p.fallback_served
+        );
+    }
+    let _ = writeln!(out, "digest    : {:016x}", r.digest);
+    let _ = writeln!(out, "wall      : {:.3}s", r.wall_secs);
+    let _ = writeln!(out, "wrote {}", path.display());
+    Ok(out)
+}
+
 /// Dispatches a full argument vector.
 ///
 /// # Errors
@@ -1122,6 +1253,7 @@ pub fn dispatch(args: &[String]) -> Result<String, CliError> {
         "faults" => cmd_faults(rest),
         "serve" => cmd_serve(rest),
         "loadgen" => cmd_loadgen(rest),
+        "soak" => cmd_soak(rest),
         "--help" | "-h" | "help" => Ok(format!("{USAGE}\n")),
         other => Err(err(format!("unknown subcommand `{other}`"))),
     }
@@ -1286,8 +1418,31 @@ mod tests {
         assert!(!o.cfg.warm_reruns);
         assert_eq!(o.out_dir, "/tmp");
 
+        let o = parse_soak_opts(&[]).unwrap();
+        assert_eq!(o.cfg, xpulpnn::serve::SoakConfig::default());
+        assert_eq!(o.out_dir, ".");
+        let o = parse_soak_opts(&v(&[
+            "--seed",
+            "3",
+            "--workers",
+            "4",
+            "--scale",
+            "8",
+            "--weight-seed",
+            "11",
+            "--out",
+            "/tmp",
+        ]))
+        .unwrap();
+        assert_eq!(o.cfg.seed, 3);
+        assert_eq!(o.cfg.workers, 4);
+        assert_eq!(o.cfg.scale, 8);
+        assert_eq!(o.cfg.weight_seed, 11);
+        assert_eq!(o.out_dir, "/tmp");
+
         assert!(parse_serve_opts(&v(&["--bogus"])).is_err());
         assert!(parse_loadgen_opts(&v(&["--bogus"])).is_err());
+        assert!(parse_soak_opts(&v(&["--bogus"])).is_err());
     }
 
     /// End-to-end `loadgen` smoke: a tiny seeded run prints the exact
@@ -1318,6 +1473,36 @@ mod tests {
         let json = std::fs::read_to_string(dir.join("BENCH_serving.json")).unwrap();
         assert!(json.contains("\"label\": \"serving\""), "{json}");
         assert!(json.contains("\"requests\": 6"), "{json}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// End-to-end `soak` smoke at the smallest scale: all five phases
+    /// run, the invariant gates pass, and BENCH_soak.json lands with
+    /// the resilience counters ci.sh pins.
+    #[test]
+    fn soak_end_to_end_writes_artifact() {
+        let dir = std::env::temp_dir().join(format!("xpulpnn-soak-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dispatch(&v(&[
+            "soak",
+            "--seed",
+            "1",
+            "--workers",
+            "2",
+            "--scale",
+            "4",
+            "--out",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("responses : 32 (32 requests"), "{out}");
+        assert!(out.contains("digest    : "), "{out}");
+        assert!(out.contains("phase     : overload"), "{out}");
+        assert!(out.contains("phase     : recovery"), "{out}");
+        assert!(out.contains("wrote "), "{out}");
+        let json = std::fs::read_to_string(dir.join("BENCH_soak.json")).unwrap();
+        assert!(json.contains("\"label\": \"soak\""), "{json}");
+        assert!(json.contains("\"breakers_closed\": true"), "{json}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -1365,6 +1550,12 @@ mod tests {
             &["loadgen", "--queue", "0"],
             &["loadgen", "--faults", "maybe"],
             &["loadgen", "--gap-us", "1ms"],
+            &["soak", "--seed", "one"],
+            &["soak", "--workers", "0"],
+            &["soak", "--workers", "17"],
+            &["soak", "--scale", "0"],
+            &["soak", "--scale", "lots"],
+            &["soak", "--weight-seed", "-1"],
         ];
         for args in cases {
             let e = dispatch(&v(args)).expect_err(&format!("{args:?} must be rejected"));
@@ -1379,6 +1570,7 @@ mod tests {
             &["cluster", "--cores"][..],
             &["loadgen", "--requests"][..],
             &["serve", "--workers"][..],
+            &["soak", "--scale"][..],
         ] {
             let e = dispatch(&v(args)).unwrap_err();
             assert!(e.usage, "{args:?}: {e}");

@@ -378,6 +378,73 @@ impl ServingRecord {
     }
 }
 
+/// The soak benchmark artifact (`BENCH_soak.json`): one seeded
+/// multi-phase resilience campaign through the supervisor (overload →
+/// fault storm → hang injection → template corruption → recovery),
+/// with the resilience counters and the scheduling-independent digest.
+#[derive(Debug)]
+pub struct SoakRecord {
+    /// The soak report the record summarizes.
+    pub report: serve::SoakReport,
+}
+
+impl SoakRecord {
+    /// Runs one seeded soak campaign and wraps the report.
+    ///
+    /// # Errors
+    ///
+    /// [`serve::ServeError`] when the pool cannot start.
+    pub fn run(cfg: serve::SoakConfig) -> Result<SoakRecord, serve::ServeError> {
+        Ok(SoakRecord {
+            report: serve::run_soak(cfg)?,
+        })
+    }
+
+    /// Serializes the record as a self-contained JSON object.
+    pub fn to_json(&self) -> String {
+        let r = &self.report;
+        let c = &r.counters;
+        let mut s = String::from("{\n");
+        s.push_str("  \"label\": \"soak\",\n");
+        s.push_str(&format!("  \"seed\": {},\n", r.cfg.seed));
+        s.push_str(&format!("  \"workers\": {},\n", r.cfg.workers));
+        s.push_str(&format!("  \"scale\": {},\n", r.cfg.scale));
+        s.push_str(&format!("  \"requests\": {},\n", r.responses.len()));
+        s.push_str(&format!("  \"digest\": \"{:016x}\",\n", r.digest));
+        s.push_str(&format!("  \"shed_queue_full\": {},\n", c.shed_queue_full));
+        s.push_str(&format!("  \"shed_pressure\": {},\n", c.shed_pressure));
+        s.push_str(&format!("  \"retried\": {},\n", c.retried));
+        s.push_str(&format!("  \"timed_out\": {},\n", c.timed_out));
+        s.push_str(&format!("  \"breaker_trips\": {},\n", c.breaker_trips));
+        s.push_str(&format!("  \"breaker_closes\": {},\n", c.breaker_closes));
+        s.push_str(&format!("  \"fallback_served\": {},\n", c.fallback_served));
+        s.push_str(&format!("  \"reaps\": {},\n", r.pool_stats.reaps));
+        s.push_str(&format!(
+            "  \"quarantines\": {},\n",
+            r.pool_stats.quarantines
+        ));
+        s.push_str(&format!("  \"breakers_closed\": {},\n", r.breakers_closed));
+        s.push_str("  \"phases\": [\n");
+        for (i, p) in r.phases.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"phase\": \"{}\", \"requests\": {}, \"shed\": {}, \"retried\": {}, \
+                 \"timed_out\": {}, \"breaker_trips\": {}, \"fallback_served\": {}}}{}\n",
+                p.phase.name(),
+                p.requests,
+                p.shed,
+                p.retried,
+                p.timed_out,
+                p.breaker_trips,
+                p.fallback_served,
+                if i + 1 < r.phases.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!("  \"wall_secs\": {:.6}\n}}", r.wall_secs));
+        s
+    }
+}
+
 fn escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
@@ -495,6 +562,40 @@ mod tests {
             "\"host_us_p99\"",
             "\"sustained_req_per_sec\"",
             "\"degraded\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in:\n{j}");
+        }
+    }
+
+    #[test]
+    fn soak_record_json_is_balanced_and_sane() {
+        let rec = SoakRecord::run(serve::SoakConfig {
+            seed: 1,
+            workers: 2,
+            scale: 4,
+            ..serve::SoakConfig::default()
+        })
+        .unwrap();
+        let r = &rec.report;
+        assert_eq!(r.responses.len(), 32);
+        assert!(r.lost_ids().is_empty());
+        assert_eq!(r.phases.len(), 5);
+        let j = rec.to_json();
+        assert_eq!(j.matches('{').count(), j.matches('}').count(), "{j}");
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        for key in [
+            "\"label\": \"soak\"",
+            "\"requests\": 32",
+            "\"digest\"",
+            "\"shed_queue_full\"",
+            "\"shed_pressure\"",
+            "\"retried\"",
+            "\"timed_out\"",
+            "\"breaker_trips\"",
+            "\"reaps\"",
+            "\"quarantines\"",
+            "\"phase\": \"overload\"",
+            "\"phase\": \"recovery\"",
         ] {
             assert!(j.contains(key), "missing {key} in:\n{j}");
         }

@@ -31,6 +31,7 @@ pub mod cluster;
 pub mod exec;
 pub mod plan;
 pub mod replay;
+pub mod template;
 
 pub use campaign::{run_campaign, run_trial, trial_seed, variants, CampaignReport, FaultClass};
 pub use cluster::{
@@ -40,6 +41,7 @@ pub use cluster::{
 pub use exec::{run_armed, ArmConfig, ArmedRun, InjectionRecord};
 pub use plan::{FaultDomain, FaultEvent, FaultPlan, FaultTarget, MemRegion, TargetSpace};
 pub use replay::{replay, ReplayReport};
+pub use template::TemplateStrike;
 
 #[cfg(test)]
 mod tests {

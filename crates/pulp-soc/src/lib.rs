@@ -200,6 +200,45 @@ impl SocSnapshot {
     pub fn pc(&self) -> u32 {
         self.core.pc()
     }
+
+    /// FNV-1a style checksum over the whole checkpoint: the core's
+    /// architectural state, the L2 image (folded 8 bytes at a time) and
+    /// the console buffer. Two snapshots compare equal iff their
+    /// checksums do for all practical purposes; the serving layer
+    /// verifies it on every template fork to catch corrupted state
+    /// before it reaches a worker.
+    pub fn checksum(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        self.core.fold_fnv(&mut h);
+        let mut fold = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        let mut chunks = self.l2.chunks_exact(8);
+        for c in &mut chunks {
+            fold(u64::from_le_bytes([
+                c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7],
+            ]));
+        }
+        for &b in chunks.remainder() {
+            fold(u64::from(b));
+        }
+        fold(self.console.len() as u64);
+        for &b in &self.console {
+            fold(u64::from(b));
+        }
+        h
+    }
+
+    /// Fault-injection hook: flips one bit of the L2 image inside the
+    /// checkpoint (offset is wrapped into range). Models a soft error
+    /// striking a stored template/checkpoint while it sits in host
+    /// memory — exactly what [`SocSnapshot::checksum`] verification is
+    /// there to catch. Never used on the clean serving path.
+    pub fn corrupt_l2_bit(&mut self, offset: usize, bit: u8) {
+        let off = offset % self.l2.len();
+        self.l2[off] ^= 1 << (bit % 8);
+    }
 }
 
 /// The microcontroller: one RI5CY-family core plus [`SocMem`].
@@ -498,6 +537,34 @@ mod tests {
         assert_eq!(r2.exit.exit_code, 200);
         // Same code path, same cost — only the data diverged.
         assert_eq!(r1.perf, r2.perf);
+    }
+
+    /// Snapshot-integrity pin: the checksum is stable across identical
+    /// snapshots, sensitive to a single flipped L2 bit, and restored
+    /// state round-trips back to the original checksum.
+    #[test]
+    fn snapshot_checksum_detects_single_bit_corruption() {
+        let mut a = Asm::new(CODE_BASE);
+        a.li(Reg::A0, 5);
+        a.ecall();
+        let prog = a.assemble().unwrap();
+        let mut soc = Soc::new(IsaConfig::xpulpnn());
+        soc.load(&prog);
+        let snap = soc.snapshot();
+        let sum = snap.checksum();
+        assert_eq!(soc.snapshot().checksum(), sum, "checksum must be stable");
+
+        let mut bad = snap.clone();
+        bad.corrupt_l2_bit(0x1234, 3);
+        assert_ne!(bad.checksum(), sum, "one flipped bit must change it");
+        // Flipping the same bit back restores the checksum exactly.
+        bad.corrupt_l2_bit(0x1234, 3);
+        assert_eq!(bad.checksum(), sum);
+
+        // Restore + re-snapshot reproduces the checksum.
+        let mut other = Soc::new(IsaConfig::xpulpnn());
+        other.restore(&snap);
+        assert_eq!(other.snapshot().checksum(), sum);
     }
 
     #[test]

@@ -200,6 +200,34 @@ impl Snapshot {
     pub fn cycles(&self) -> u64 {
         self.perf.cycles
     }
+
+    /// Folds the architectural state into an FNV-1a style accumulator:
+    /// register file, pc, hart id, hardware-loop state, CSRs, and the
+    /// headline counters. Integrity checks (e.g. serving-template
+    /// checksums) use this to detect a corrupted checkpoint before it
+    /// is restored into a live core.
+    pub fn fold_fnv(&self, h: &mut u64) {
+        let mut fold = |x: u64| {
+            *h ^= x;
+            *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for &r in &self.regs {
+            fold(u64::from(r));
+        }
+        fold(u64::from(self.pc));
+        fold(u64::from(self.hartid));
+        for l in &self.hwloops {
+            fold(u64::from(l.start));
+            fold(u64::from(l.end));
+            fold(u64::from(l.count));
+        }
+        for (&csr, &v) in &self.csrs {
+            fold(u64::from(csr));
+            fold(u64::from(v));
+        }
+        fold(self.perf.cycles);
+        fold(self.perf.instret);
+    }
 }
 
 /// The core model. See the crate docs for an end-to-end example.

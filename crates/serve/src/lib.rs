@@ -21,12 +21,19 @@ mod loadgen;
 mod pool;
 mod queue;
 mod request;
+mod supervisor;
+pub mod sync;
 mod template;
 
 pub use loadgen::{
     digest, generate_requests, run_loadgen, LatencyStats, LoadReport, LoadgenConfig,
 };
-pub use pool::{PoolConfig, PoolReport, PoolStats, ServeFaults, ServePool};
+pub use pool::{HangFaults, PoolConfig, PoolReport, PoolStats, ServeFaults, ServePool};
 pub use queue::{BoundedQueue, PushError};
 pub use request::{Detection, Outcome, Request, RequestError, Response, SubmitError, Variant};
+pub use supervisor::{
+    run_soak, soak_digest, BreakerState, PhaseSummary, RejectReason, ServedVia, SoakConfig,
+    SoakCounters, SoakPhase, SoakReport, Supervisor, SupervisorConfig, SupervisorOutcome,
+    SupervisorResponse,
+};
 pub use template::{serving_config, ServeError, WorkerTemplate};

@@ -155,15 +155,21 @@ pub fn digest(responses: &[Response]) -> u64 {
     h
 }
 
+/// Upper bound on one loadgen submit's wait for queue space. Far
+/// above any healthy drain time; it exists so a wedged pool fails the
+/// run with a typed error instead of hanging the generator forever.
+const SUBMIT_BOUND: Duration = Duration::from_secs(30);
+
 /// Runs one seeded open-loop load test: generates the stream, submits
-/// it with backpressure (blocking on a full queue, so no request is
-/// shed), shuts the pool down and folds the statistics.
+/// it with backpressure (a bounded wait on a full queue, so no request
+/// is shed), shuts the pool down and folds the statistics.
 ///
 /// # Errors
 ///
-/// [`ServeError`] when the pool cannot start. Submits cannot fail:
-/// generated payloads are valid by construction and the blocking
-/// submit path never sheds.
+/// [`ServeError`] when the pool cannot start. Submits cannot fail on a
+/// healthy pool: generated payloads are valid by construction and the
+/// bounded-wait submit only times out if the pool stops draining for
+/// [`SUBMIT_BOUND`].
 pub fn run_loadgen(cfg: LoadgenConfig) -> Result<LoadReport, ServeError> {
     let pool = ServePool::start(PoolConfig {
         workers: cfg.workers,
@@ -184,8 +190,8 @@ pub fn run_loadgen(cfg: LoadgenConfig) -> Result<LoadReport, ServeError> {
             let gap = -(1.0 - u).ln() * cfg.mean_gap_us as f64;
             std::thread::sleep(Duration::from_micros(gap as u64));
         }
-        pool.submit_blocking(req)
-            .expect("generated requests are valid and the pool is live");
+        pool.submit_timeout(req, SUBMIT_BOUND)
+            .expect("generated requests are valid and a live pool drains within the bound");
     }
     let PoolReport { responses, stats } = pool.shutdown();
     let wall_secs = start.elapsed().as_secs_f64();

@@ -1,5 +1,5 @@
 //! The worker pool: N snapshot-forked SoC workers draining a bounded
-//! MPMC queue.
+//! MPMC queue, watched over by a heartbeat monitor.
 //!
 //! Each worker owns one `Soc` machine forked from a per-variant
 //! [`WorkerTemplate`]. Batching coalesces adjacent same-variant
@@ -10,24 +10,44 @@
 //! → masked → cold-retry recovered → golden-software degraded. A
 //! poisoned request never kills its worker.
 //!
+//! Robustness machinery (PR 8):
+//!
+//! * **Template integrity** — every cold fork re-verifies the
+//!   template's FNV checksum ([`WorkerTemplate::verify`]); a corrupted
+//!   template is quarantined and rebuilt from scratch before any
+//!   worker forks from it (`quarantines` in [`PoolStats`]).
+//! * **Heartbeats** — a monitor thread watches per-worker busy
+//!   timestamps; a worker stuck past the watchdog horizon is *reaped*:
+//!   its wedged machine is torn down and re-forked from the template,
+//!   and the request it was holding is still served (`reaps` in
+//!   [`PoolStats`]). [`HangFaults`] injects deterministic wedges to
+//!   exercise exactly this path.
+//! * **Poison recovery** — all pool locks go through [`crate::sync`]:
+//!   one panicking worker can no longer cascade-poison the queue, the
+//!   response sink or the final report.
+//!
 //! Determinism: a request's deterministic fields (output, outcome,
 //! simulated cycles, ledger) are a pure function of the request and
 //! the pool's template/fault configuration. Chaos-armed requests
 //! always run on a fresh cold fork (cycle counter 0), so a fault
 //! plan's absolute-cycle schedule lands identically no matter which
 //! worker picks the request up; warm reruns are bit-exact with cold
-//! forks (pinned). Hence any (seed, request-trace) pair replays
-//! bit-identically across 1/2/8 workers.
+//! forks (pinned); a reaped worker re-forks cold, so a hang-armed
+//! request's response is bit-identical to a clean cold serve. Hence
+//! any (seed, request-trace) pair replays bit-identically across
+//! 1/2/8 workers.
 
 use crate::queue::{BoundedQueue, PushError};
 use crate::request::{Detection, Outcome, Request, Response, SubmitError, Variant};
+use crate::sync;
 use crate::template::{ServeError, WorkerTemplate};
-use faultsim::{run_armed, ArmConfig, FaultPlan};
+use faultsim::{run_armed, ArmConfig, FaultPlan, TemplateStrike};
 use pulp_soc::Soc;
 use riscv_core::{PerfCounters, Trap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use xrand::Rng;
 
 /// Seeded chaos mode: per-request fault arming through `faultsim`.
@@ -37,8 +57,11 @@ pub struct ServeFaults {
     pub seed: u64,
     /// Percentage of eligible requests that get one flip (0–100).
     pub rate_percent: u8,
-    /// Only requests with `id < armed_below` are eligible — lets a
-    /// test run a chaos wave followed by a clean wave on one pool.
+    /// Only requests with `armed_from <= id < armed_below` are
+    /// eligible — lets a test bracket a chaos wave between clean waves
+    /// on one pool (the soak's fault-storm phase).
+    pub armed_from: u64,
+    /// Exclusive upper bound of the armed id range.
     pub armed_below: u64,
 }
 
@@ -48,13 +71,14 @@ impl ServeFaults {
         ServeFaults {
             seed,
             rate_percent: 100,
+            armed_from: 0,
             armed_below: u64::MAX,
         }
     }
 
     /// The fault plan for request `id`, if it is armed.
     fn plan_for(&self, template: &WorkerTemplate, id: u64) -> Option<FaultPlan> {
-        if id >= self.armed_below {
+        if id < self.armed_from || id >= self.armed_below {
             return None;
         }
         let mut rng = Rng::new(self.seed ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15));
@@ -62,6 +86,45 @@ impl ServeFaults {
             return None;
         }
         Some(template.fault_plan(rng.next_u64()))
+    }
+}
+
+/// Seeded hang injection: requests whose id is armed wedge their
+/// worker mid-serve (the worker parks on its hang gate) until the
+/// heartbeat monitor reaps it. Which ids hang is a pure function of
+/// `(seed, id)`, so reap counts replay exactly; the reaped worker
+/// re-forks cold and still serves the request, so response content is
+/// bit-identical to a clean cold serve on any worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HangFaults {
+    /// Campaign seed.
+    pub seed: u64,
+    /// Percentage of eligible requests that wedge (0–100).
+    pub rate_percent: u8,
+    /// Only ids in `lo..hi` are eligible.
+    pub lo: u64,
+    /// Exclusive upper bound of the eligible id range.
+    pub hi: u64,
+}
+
+impl HangFaults {
+    /// Wedges every request in `lo..hi`.
+    pub fn range(seed: u64, lo: u64, hi: u64) -> HangFaults {
+        HangFaults {
+            seed,
+            rate_percent: 100,
+            lo,
+            hi,
+        }
+    }
+
+    /// True when request `id` is armed to hang.
+    pub fn armed(&self, id: u64) -> bool {
+        if id < self.lo || id >= self.hi {
+            return false;
+        }
+        let mut rng = Rng::new(self.seed ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        rng.below(100) < u64::from(self.rate_percent)
     }
 }
 
@@ -85,6 +148,21 @@ pub struct PoolConfig {
     pub warm_reruns: bool,
     /// Chaos mode; `None` serves cleanly.
     pub faults: Option<ServeFaults>,
+    /// Hang injection; `None` never wedges. Setting this implicitly
+    /// enables the heartbeat monitor (a 50 ms horizon is used when
+    /// [`PoolConfig::heartbeat_horizon_ms`] is 0).
+    pub hangs: Option<HangFaults>,
+    /// Watchdog horizon in host milliseconds: a worker busy on one
+    /// request for longer is reaped by the monitor thread. 0 disables
+    /// the monitor (unless hang injection forces it on). Pick a value
+    /// far above the per-request host cost; reaping is for wedged
+    /// workers, not slow ones.
+    pub heartbeat_horizon_ms: u64,
+    /// Re-verify the template checksum before every cold fork and
+    /// quarantine-and-rebuild corrupted templates. Verification never
+    /// changes response content, only whether corruption is caught at
+    /// fork time or by the (golden-checked) degradation ladder.
+    pub verify_forks: bool,
     /// Start workers parked until [`ServePool::release`] — lets tests
     /// fill the queue deterministically. `shutdown` releases
     /// implicitly, so held work always drains.
@@ -101,6 +179,9 @@ impl Default for PoolConfig {
             max_retries: 1,
             warm_reruns: true,
             faults: None,
+            hangs: None,
+            heartbeat_horizon_ms: 0,
+            verify_forks: true,
             hold_workers: false,
         }
     }
@@ -123,14 +204,22 @@ pub struct PoolStats {
     pub recovered: u64,
     /// Degraded responses.
     pub degraded: u64,
+    /// Workers reaped by the heartbeat monitor (wedged past the
+    /// horizon, torn down and re-forked from their template).
+    pub reaps: u64,
+    /// Corrupted templates quarantined and rebuilt from scratch.
+    pub quarantines: u64,
 }
 
-/// Everything a finished pool hands back.
+/// Everything a finished pool hands back. When
+/// [`ServePool::drain_responses`] was used mid-run (the supervisor's
+/// windowed mode), `responses` holds only what was recorded after the
+/// last drain — the drainer owns the rest.
 #[derive(Debug)]
 pub struct PoolReport {
-    /// All responses, sorted by request id.
+    /// Responses not yet drained, sorted by request id.
     pub responses: Vec<Response>,
-    /// Aggregate counters.
+    /// Aggregate counters over the pool's whole life.
     pub stats: PoolStats,
 }
 
@@ -139,22 +228,129 @@ struct Job {
     enqueued: Instant,
 }
 
+/// Per-worker health record for the heartbeat monitor.
+///
+/// Every SoC run is bounded by the per-request watchdog budget, so a
+/// busy-but-progressing worker is provably live; the only way a worker
+/// can stall forever is a wedge on its hang gate. The monitor
+/// therefore reaps exactly the workers that are *wedged* past the
+/// horizon (the horizon models detection latency) — a merely slow
+/// request is never reaped, which keeps reap counts a pure function of
+/// the hang configuration instead of host scheduling.
+struct Health {
+    /// `now_ms + 1` when the worker started its current request;
+    /// 0 = idle. The `+1` keeps 0 unambiguous.
+    busy_since_ms: AtomicU64,
+    /// True while the worker is parked on its hang gate.
+    wedged: AtomicBool,
+    /// Set by the monitor when it reaps the worker; cleared by the
+    /// worker after it re-forks.
+    reaped: AtomicBool,
+    /// Hang-injection gate: an armed request parks here until reaped.
+    gate: Mutex<()>,
+    gate_cv: Condvar,
+}
+
+impl Health {
+    fn new() -> Health {
+        Health {
+            busy_since_ms: AtomicU64::new(0),
+            wedged: AtomicBool::new(false),
+            reaped: AtomicBool::new(false),
+            gate: Mutex::new(()),
+            gate_cv: Condvar::new(),
+        }
+    }
+}
+
 struct Shared {
     queue: BoundedQueue<Job>,
-    templates: Vec<WorkerTemplate>,
+    /// One slot per variant; the `Arc` is swapped atomically under the
+    /// slot lock when a corrupted template is quarantined and rebuilt.
+    templates: Vec<Mutex<Arc<WorkerTemplate>>>,
     cfg: PoolConfig,
+    /// Effective heartbeat horizon (0 = monitor off).
+    horizon_ms: u64,
     responses: Mutex<Vec<Response>>,
     stats: Mutex<PoolStats>,
     gate: Mutex<bool>,
     gate_cv: Condvar,
+    /// Cumulative responses recorded over the pool's life (never reset
+    /// by drains) + its condvar, for [`ServePool::wait_completed`].
+    done: Mutex<u64>,
+    done_cv: Condvar,
+    health: Vec<Health>,
+    monitor_stop: AtomicBool,
+    t0: Instant,
 }
 
 impl Shared {
     fn wait_released(&self) {
-        let mut released = self.gate.lock().expect("gate lock");
+        let mut released = sync::lock(&self.gate);
         while !*released {
-            released = self.gate_cv.wait(released).expect("gate lock");
+            released = sync::wait(&self.gate_cv, released);
         }
+    }
+
+    fn now_ms(&self) -> u64 {
+        u64::try_from(self.t0.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// The current template for `variant` (cheap `Arc` clone).
+    fn template_arc(&self, variant: Variant) -> Arc<WorkerTemplate> {
+        Arc::clone(&sync::lock(&self.templates[variant.index()]))
+    }
+
+    /// The template for `variant`, integrity-checked when the pool is
+    /// configured to verify forks. A corrupted template is quarantined
+    /// and rebuilt under the slot lock; the first worker to notice
+    /// pays the rebuild, later workers see the fresh template.
+    fn checked_template(&self, variant: Variant) -> Arc<WorkerTemplate> {
+        let t = self.template_arc(variant);
+        if !self.cfg.verify_forks || t.verify().is_ok() {
+            return t;
+        }
+        let mut slot = sync::lock(&self.templates[variant.index()]);
+        // Re-check under the lock: another worker may have rebuilt
+        // the slot between our verify and our lock.
+        if slot.verify().is_ok() {
+            return Arc::clone(&slot);
+        }
+        match WorkerTemplate::build(variant, self.cfg.weight_seed) {
+            Ok(fresh) => {
+                // The rebuild is a pure function of (variant, seed):
+                // the fresh template is bit-identical to the one the
+                // pool started with, so responses are unaffected.
+                *slot = Arc::new(fresh);
+                sync::lock(&self.stats).quarantines += 1;
+                Arc::clone(&slot)
+            }
+            // A rebuild can only fail if startup would have failed;
+            // keep the quarantined template — the golden-checked
+            // degradation ladder still guarantees correct outputs.
+            Err(_) => Arc::clone(&slot),
+        }
+    }
+
+    /// Records a finished response and wakes completion waiters.
+    fn record(&self, response: Response) {
+        let mut stats = sync::lock(&self.stats);
+        stats.served += 1;
+        if response.warm {
+            stats.warm_runs += 1;
+        }
+        match response.outcome {
+            Outcome::Ok => stats.ok += 1,
+            Outcome::Masked { .. } => stats.masked += 1,
+            Outcome::Recovered { .. } => stats.recovered += 1,
+            Outcome::Degraded { .. } => stats.degraded += 1,
+        }
+        drop(stats);
+        sync::lock(&self.responses).push(response);
+        let mut done = sync::lock(&self.done);
+        *done += 1;
+        drop(done);
+        self.done_cv.notify_all();
     }
 }
 
@@ -163,11 +359,13 @@ impl Shared {
 pub struct ServePool {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
+    monitor: Option<JoinHandle<()>>,
 }
 
 impl ServePool {
-    /// Builds all variant templates (health-checked) and spawns the
-    /// worker threads.
+    /// Builds all variant templates (health-checked), spawns the
+    /// worker threads and — when a heartbeat horizon or hang injection
+    /// is configured — the monitor thread.
     ///
     /// # Errors
     ///
@@ -179,16 +377,34 @@ impl ServePool {
         }
         let templates = Variant::ALL
             .into_iter()
-            .map(|v| WorkerTemplate::build(v, cfg.weight_seed))
-            .collect::<Result<Vec<_>, _>>()?;
+            .map(|v| {
+                Ok(Mutex::new(Arc::new(WorkerTemplate::build(
+                    v,
+                    cfg.weight_seed,
+                )?)))
+            })
+            .collect::<Result<Vec<_>, ServeError>>()?;
+        // Hang injection needs the monitor to make progress; give it a
+        // default horizon when none was configured.
+        let horizon_ms = if cfg.heartbeat_horizon_ms == 0 && cfg.hangs.is_some() {
+            50
+        } else {
+            cfg.heartbeat_horizon_ms
+        };
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(cfg.queue_capacity),
             templates,
             cfg,
+            horizon_ms,
             responses: Mutex::new(Vec::new()),
             stats: Mutex::new(PoolStats::default()),
             gate: Mutex::new(!cfg.hold_workers),
             gate_cv: Condvar::new(),
+            done: Mutex::new(0),
+            done_cv: Condvar::new(),
+            health: (0..cfg.workers).map(|_| Health::new()).collect(),
+            monitor_stop: AtomicBool::new(false),
+            t0: Instant::now(),
         });
         let handles = (0..cfg.workers)
             .map(|idx| {
@@ -196,7 +412,15 @@ impl ServePool {
                 thread::spawn(move || worker_loop(&shared, idx))
             })
             .collect();
-        Ok(ServePool { shared, handles })
+        let monitor = (horizon_ms > 0).then(|| {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || monitor_loop(&shared))
+        });
+        Ok(ServePool {
+            shared,
+            handles,
+            monitor,
+        })
     }
 
     /// Validates and enqueues without blocking.
@@ -213,7 +437,7 @@ impl ServePool {
             Err(PushError::Full(_)) => Err(SubmitError::Overloaded {
                 capacity: self.shared.queue.capacity(),
             }),
-            Err(PushError::Closed(_)) => Err(SubmitError::ShuttingDown),
+            Err(PushError::Closed(_) | PushError::TimedOut(_)) => Err(SubmitError::ShuttingDown),
         }
     }
 
@@ -231,8 +455,27 @@ impl ServePool {
             .map_err(|_| SubmitError::ShuttingDown)
     }
 
+    /// Validates and enqueues with a bounded wait for queue space —
+    /// the liveness-safe submit discipline: a wedged or gone consumer
+    /// side costs the submitter at most `timeout`, never forever.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Invalid`], [`SubmitError::ShuttingDown`], or
+    /// [`SubmitError::Timeout`] when no slot freed up in time.
+    pub fn submit_timeout(&self, req: Request, timeout: Duration) -> Result<(), SubmitError> {
+        let job = self.validate(req)?;
+        match self.shared.queue.push_timeout(job, timeout) {
+            Ok(()) => Ok(()),
+            Err(PushError::Closed(_)) => Err(SubmitError::ShuttingDown),
+            Err(PushError::TimedOut(_) | PushError::Full(_)) => Err(SubmitError::Timeout {
+                waited_ms: u64::try_from(timeout.as_millis()).unwrap_or(u64::MAX),
+            }),
+        }
+    }
+
     fn validate(&self, req: Request) -> Result<Job, SubmitError> {
-        let template = &self.shared.templates[req.variant.index()];
+        let template = self.shared.template_arc(req.variant);
         template
             .validate(&req.input)
             .map_err(|error| SubmitError::Invalid { id: req.id, error })?;
@@ -244,7 +487,7 @@ impl ServePool {
 
     /// Unparks held workers (see [`PoolConfig::hold_workers`]).
     pub fn release(&self) {
-        let mut released = self.shared.gate.lock().expect("gate lock");
+        let mut released = sync::lock(&self.shared.gate);
         *released = true;
         drop(released);
         self.shared.gate_cv.notify_all();
@@ -255,28 +498,74 @@ impl ServePool {
         self.shared.queue.len()
     }
 
-    /// Responses completed so far.
+    /// Responses completed over the pool's life (cumulative; not reset
+    /// by [`ServePool::drain_responses`]).
     pub fn completed(&self) -> usize {
-        self.shared.responses.lock().expect("responses lock").len()
+        usize::try_from(*sync::lock(&self.shared.done)).unwrap_or(usize::MAX)
+    }
+
+    /// Blocks until at least `n` responses have been recorded over the
+    /// pool's life. The supervisor's window barrier.
+    pub fn wait_completed(&self, n: u64) {
+        let mut done = sync::lock(&self.shared.done);
+        while *done < n {
+            done = sync::wait(&self.shared.done_cv, done);
+        }
+    }
+
+    /// Takes every response recorded so far (sorted by request id),
+    /// leaving the sink empty for the next window. Used by the
+    /// supervisor; a pool driven only through [`ServePool::shutdown`]
+    /// never needs it.
+    pub fn drain_responses(&self) -> Vec<Response> {
+        let mut responses = std::mem::take(&mut *sync::lock(&self.shared.responses));
+        responses.sort_by_key(|r| r.id);
+        responses
+    }
+
+    /// Aggregate counters so far (a consistent snapshot).
+    pub fn stats(&self) -> PoolStats {
+        *sync::lock(&self.shared.stats)
     }
 
     /// The template serving `variant` (for request construction).
-    pub fn template(&self, variant: Variant) -> &WorkerTemplate {
-        &self.shared.templates[variant.index()]
+    pub fn template(&self, variant: Variant) -> Arc<WorkerTemplate> {
+        self.shared.template_arc(variant)
+    }
+
+    /// Fault-injection hook: applies a seeded [`TemplateStrike`] to
+    /// the stored template for `variant`, leaving its build-time
+    /// checksum untouched. The next verified cold fork must detect
+    /// the corruption and quarantine-and-rebuild the template.
+    pub fn corrupt_template(&self, variant: Variant, strike_seed: u64) {
+        let mut slot = sync::lock(&self.shared.templates[variant.index()]);
+        let mut t = (**slot).clone();
+        t.corrupt(TemplateStrike::generate(strike_seed));
+        *slot = Arc::new(t);
     }
 
     /// Stops intake, drains in-flight requests, joins the workers and
-    /// returns every response (sorted by id) plus the counters.
+    /// the monitor, and returns every undrained response (sorted by
+    /// id) plus the counters.
+    ///
+    /// The shutdown path is loss-free by construction: responses are
+    /// taken only after *every* worker thread has exited — including
+    /// workers that were reaped and re-forked mid-shutdown — and a
+    /// panicked worker costs its own in-flight request at most, never
+    /// the report (joins ignore panics; locks recover from poison).
     pub fn shutdown(mut self) -> PoolReport {
         self.shared.queue.close();
         self.release();
         for h in self.handles.drain(..) {
-            h.join().expect("worker thread panicked");
+            let _ = h.join();
         }
-        let mut responses =
-            std::mem::take(&mut *self.shared.responses.lock().expect("responses lock"));
+        self.shared.monitor_stop.store(true, Ordering::Release);
+        if let Some(m) = self.monitor.take() {
+            let _ = m.join();
+        }
+        let mut responses = std::mem::take(&mut *sync::lock(&self.shared.responses));
         responses.sort_by_key(|r| r.id);
-        let stats = *self.shared.stats.lock().expect("stats lock");
+        let stats = *sync::lock(&self.shared.stats);
         PoolReport { responses, stats }
     }
 }
@@ -288,7 +577,56 @@ impl Drop for ServePool {
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
+        self.shared.monitor_stop.store(true, Ordering::Release);
+        if let Some(m) = self.monitor.take() {
+            let _ = m.join();
+        }
     }
+}
+
+/// The heartbeat monitor: reaps workers wedged past the horizon (see
+/// [`Health`] for why only wedged — never slow — workers qualify). A
+/// reap is one atomic flag flip + wakeup; the wedged worker itself
+/// tears down its machine and re-forks from the template, so the
+/// monitor can never race a healthy worker's machine state.
+fn monitor_loop(shared: &Shared) {
+    let poll = Duration::from_millis((shared.horizon_ms / 4).clamp(1, 10));
+    while !shared.monitor_stop.load(Ordering::Acquire) {
+        let now = shared.now_ms();
+        for h in &shared.health {
+            let since = h.busy_since_ms.load(Ordering::Acquire);
+            if h.wedged.load(Ordering::Acquire)
+                && since != 0
+                && now.saturating_sub(since - 1) >= shared.horizon_ms
+                && !h.reaped.swap(true, Ordering::AcqRel)
+            {
+                sync::lock(&shared.stats).reaps += 1;
+                // Take the gate lock before notifying so a worker
+                // between its reaped-check and its wait cannot miss
+                // the wakeup.
+                drop(sync::lock(&h.gate));
+                h.gate_cv.notify_all();
+            }
+        }
+        thread::sleep(poll);
+    }
+}
+
+/// Parks a hang-armed worker on its gate until the monitor reaps it,
+/// then restarts its horizon clock and clears the reap flag so the
+/// recovery serve is not re-reaped.
+fn hang_until_reaped(shared: &Shared, worker: usize) {
+    let h = &shared.health[worker];
+    let mut g = sync::lock(&h.gate);
+    h.wedged.store(true, Ordering::Release);
+    while !h.reaped.load(Ordering::Acquire) {
+        g = sync::wait(&h.gate_cv, g);
+    }
+    drop(g);
+    h.wedged.store(false, Ordering::Release);
+    h.busy_since_ms
+        .store(shared.now_ms() + 1, Ordering::Release);
+    h.reaped.store(false, Ordering::Release);
 }
 
 /// One worker's staged machine.
@@ -308,26 +646,17 @@ fn worker_loop(shared: &Shared, worker: usize) {
         .pop_batch(shared.cfg.batch_max, |a, b| a.req.variant == b.req.variant)
     {
         for job in batch {
+            let h = &shared.health[worker];
+            h.busy_since_ms
+                .store(shared.now_ms() + 1, Ordering::Release);
             let response = serve_one(shared, worker, &mut machine, job);
-            let mut stats = shared.stats.lock().expect("stats lock");
-            stats.served += 1;
-            if response.warm {
-                stats.warm_runs += 1;
-            }
-            match response.outcome {
-                Outcome::Ok => stats.ok += 1,
-                Outcome::Masked { .. } => stats.masked += 1,
-                Outcome::Recovered { .. } => stats.recovered += 1,
-                Outcome::Degraded { .. } => stats.degraded += 1,
-            }
-            drop(stats);
-            shared
-                .responses
-                .lock()
-                .expect("responses lock")
-                .push(response);
+            h.busy_since_ms.store(0, Ordering::Release);
+            shared.record(response);
         }
     }
+    // A stale reap flag from the last served request must not leak
+    // into a future life of this worker slot.
+    shared.health[worker].reaped.store(false, Ordering::Release);
 }
 
 enum Attempt {
@@ -341,13 +670,23 @@ enum Attempt {
 
 fn serve_one(shared: &Shared, worker: usize, machine: &mut Option<Machine>, job: Job) -> Response {
     let Job { req, enqueued } = job;
-    let template = &shared.templates[req.variant.index()];
+
+    // Hang injection: an armed request wedges this worker until the
+    // monitor reaps it. The wedged machine is torn down; the request
+    // is then served on a fresh cold fork, so its response content is
+    // bit-identical to a clean cold serve.
+    if shared.cfg.hangs.is_some_and(|hf| hf.armed(req.id)) {
+        *machine = None;
+        hang_until_reaped(shared, worker);
+    }
+
+    let template = shared.checked_template(req.variant);
     let golden = template.golden(&req.input);
     let plan = shared
         .cfg
         .faults
         .as_ref()
-        .and_then(|f| f.plan_for(template, req.id));
+        .and_then(|f| f.plan_for(&template, req.id));
 
     // Stage the machine. Armed requests must start from the template's
     // cycle counter (0): the fault plan schedules flips on absolute
@@ -365,12 +704,12 @@ fn serve_one(shared: &Shared, worker: usize, machine: &mut Option<Machine>, job:
         }
         Some(mut m) => {
             template.refork(&mut m.soc);
-            shared.stats.lock().expect("stats lock").cold_forks += 1;
+            sync::lock(&shared.stats).cold_forks += 1;
             m.variant = req.variant;
             m
         }
         None => {
-            shared.stats.lock().expect("stats lock").cold_forks += 1;
+            sync::lock(&shared.stats).cold_forks += 1;
             Machine {
                 soc: template.fork(),
                 variant: req.variant,
@@ -459,7 +798,7 @@ fn serve_one(shared: &Shared, worker: usize, machine: &mut Option<Machine>, job:
     // health check already rules out).
     for retry in 1..=shared.cfg.max_retries {
         template.refork(&mut m.soc);
-        shared.stats.lock().expect("stats lock").cold_forks += 1;
+        sync::lock(&shared.stats).cold_forks += 1;
         template.stage_input(&mut m.soc, &req.input);
         match m.soc.run(template.budget()) {
             Ok(report) => {
@@ -609,6 +948,13 @@ mod tests {
             .unwrap();
         let r = pool.submit(valid_request(&pool, 2, Variant::W4, 3));
         assert_eq!(r, Err(SubmitError::Overloaded { capacity: 2 }));
+        // A bounded-wait submit times out typed instead of blocking
+        // forever on the held (wedged) pool.
+        let r = pool.submit_timeout(
+            valid_request(&pool, 3, Variant::W4, 3),
+            Duration::from_millis(15),
+        );
+        assert_eq!(r, Err(SubmitError::Timeout { waited_ms: 15 }));
         // Shutdown releases the held workers and drains in-flight
         // requests: exactly the two accepted responses come back.
         let report = pool.shutdown();
@@ -671,5 +1017,169 @@ mod tests {
             assert_eq!(w.cycles, c.cycles, "request {}", w.id);
             assert_eq!(w.perf, c.perf, "request {}", w.id);
         }
+    }
+
+    #[test]
+    fn hang_armed_request_is_reaped_and_still_served() {
+        let pool = ServePool::start(PoolConfig {
+            workers: 1,
+            hangs: Some(HangFaults::range(3, 1, 2)),
+            heartbeat_horizon_ms: 20,
+            ..PoolConfig::default()
+        })
+        .unwrap();
+        for id in 0..4u64 {
+            pool.submit_blocking(valid_request(&pool, id, Variant::W4, 2))
+                .unwrap();
+        }
+        let report = pool.shutdown();
+        // No request lost, the hang-armed one included; exactly one
+        // reap was recorded.
+        assert_eq!(report.responses.len(), 4);
+        assert!(report.responses.iter().all(|r| r.outcome == Outcome::Ok));
+        assert_eq!(report.stats.reaps, 1);
+    }
+
+    #[test]
+    fn hang_injection_does_not_change_response_content() {
+        // The same 6-request trace with and without a hang on id 2:
+        // every deterministic response field must be identical — a
+        // reaped worker re-forks cold, which is bit-exact with any
+        // other cold serve.
+        let serve = |hangs: Option<HangFaults>| {
+            let pool = ServePool::start(PoolConfig {
+                workers: 1,
+                hangs,
+                heartbeat_horizon_ms: if hangs.is_some() { 15 } else { 0 },
+                ..PoolConfig::default()
+            })
+            .unwrap();
+            for id in 0..6u64 {
+                pool.submit_blocking(valid_request(&pool, id, Variant::W2, 1))
+                    .unwrap();
+            }
+            pool.shutdown()
+        };
+        let wedged = serve(Some(HangFaults::range(9, 2, 3)));
+        let clean = serve(None);
+        assert_eq!(wedged.stats.reaps, 1);
+        assert_eq!(clean.stats.reaps, 0);
+        assert_eq!(wedged.responses.len(), clean.responses.len());
+        for (a, b) in wedged.responses.iter().zip(&clean.responses) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.outcome, b.outcome, "request {}", a.id);
+            assert_eq!(a.output, b.output, "request {}", a.id);
+            assert_eq!(a.cycles, b.cycles, "request {}", a.id);
+            assert_eq!(a.perf, b.perf, "request {}", a.id);
+        }
+    }
+
+    #[test]
+    fn corrupted_template_is_quarantined_rebuilt_and_serves_clean() {
+        let pool = ServePool::start(PoolConfig {
+            workers: 1,
+            ..PoolConfig::default()
+        })
+        .unwrap();
+        pool.corrupt_template(Variant::W4, 77);
+        // The first cold fork after the corruption must catch it,
+        // rebuild the template, and serve every request cleanly.
+        for id in 0..3u64 {
+            pool.submit_blocking(valid_request(&pool, id, Variant::W4, 3))
+                .unwrap();
+        }
+        let report = pool.shutdown();
+        assert_eq!(report.responses.len(), 3);
+        assert!(report.responses.iter().all(|r| r.outcome == Outcome::Ok));
+        assert_eq!(report.stats.quarantines, 1);
+    }
+
+    #[test]
+    fn unverified_forks_still_serve_golden_via_the_ladder() {
+        // With fork verification off, a corrupted template is NOT
+        // caught at fork time — the degradation ladder is the
+        // backstop: outputs still verify against the golden model
+        // (possibly as Recovered/Degraded), no worker dies, and no
+        // quarantine is recorded.
+        let pool = ServePool::start(PoolConfig {
+            workers: 1,
+            verify_forks: false,
+            ..PoolConfig::default()
+        })
+        .unwrap();
+        pool.corrupt_template(Variant::W4, 77);
+        let template = pool.template(Variant::W4);
+        let input = vec![3i16; template.input_len()];
+        let golden = template.golden(&input);
+        pool.submit_blocking(Request {
+            id: 0,
+            variant: Variant::W4,
+            input,
+        })
+        .unwrap();
+        let report = pool.shutdown();
+        assert_eq!(report.responses.len(), 1);
+        assert_eq!(report.responses[0].output, golden);
+        assert_eq!(report.stats.quarantines, 0);
+    }
+
+    /// Satellite pin: responses recorded between `close()` and the
+    /// final drain survive a worker re-fork mid-shutdown. The worker
+    /// is wedged on request 0 when shutdown begins; the monitor reaps
+    /// it *during* shutdown, the worker re-forks and serves 0..3, and
+    /// the report must carry all of them.
+    #[test]
+    fn mid_shutdown_refork_loses_no_response() {
+        let pool = ServePool::start(PoolConfig {
+            workers: 1,
+            hangs: Some(HangFaults::range(11, 0, 1)),
+            heartbeat_horizon_ms: 30,
+            ..PoolConfig::default()
+        })
+        .unwrap();
+        for id in 0..3u64 {
+            pool.submit_blocking(valid_request(&pool, id, Variant::W8, 1))
+                .unwrap();
+        }
+        // Shutdown begins while the worker is still wedged on id 0.
+        let report = pool.shutdown();
+        assert_eq!(
+            report.responses.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert!(report.responses.iter().all(|r| r.outcome == Outcome::Ok));
+        assert_eq!(report.stats.reaps, 1);
+    }
+
+    #[test]
+    fn drain_responses_and_wait_completed_window_the_stream() {
+        let pool = ServePool::start(PoolConfig {
+            workers: 2,
+            ..PoolConfig::default()
+        })
+        .unwrap();
+        for id in 0..4u64 {
+            pool.submit_blocking(valid_request(&pool, id, Variant::W8, 1))
+                .unwrap();
+        }
+        pool.wait_completed(4);
+        let first = pool.drain_responses();
+        assert_eq!(
+            first.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        // completed() is cumulative: the drain did not reset it.
+        assert_eq!(pool.completed(), 4);
+        for id in 4..6u64 {
+            pool.submit_blocking(valid_request(&pool, id, Variant::W8, 1))
+                .unwrap();
+        }
+        pool.wait_completed(6);
+        let second = pool.drain_responses();
+        assert_eq!(second.iter().map(|r| r.id).collect::<Vec<_>>(), vec![4, 5]);
+        // Shutdown returns only what was recorded after the last drain.
+        let report = pool.shutdown();
+        assert!(report.responses.is_empty());
+        assert_eq!(report.stats.served, 6);
     }
 }

@@ -4,8 +4,10 @@
 //! staged worker can serve several same-variant requests without
 //! re-forking.
 
+use crate::sync;
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Why a push did not enqueue.
 #[derive(Debug, PartialEq, Eq)]
@@ -14,6 +16,8 @@ pub enum PushError<T> {
     Full(T),
     /// The queue was closed; the item is handed back.
     Closed(T),
+    /// A bounded wait for space expired; the item is handed back.
+    TimedOut(T),
 }
 
 struct State<T> {
@@ -50,7 +54,7 @@ impl<T> BoundedQueue<T> {
 
     /// Items currently queued.
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue lock").items.len()
+        sync::lock(&self.state).items.len()
     }
 
     /// True when no items are queued.
@@ -67,7 +71,7 @@ impl<T> BoundedQueue<T> {
     /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
     /// [`BoundedQueue::close`]; both hand the item back.
     pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
-        let mut s = self.state.lock().expect("queue lock");
+        let mut s = sync::lock(&self.state);
         if s.closed {
             return Err(PushError::Closed(item));
         }
@@ -87,7 +91,7 @@ impl<T> BoundedQueue<T> {
     ///
     /// Hands the item back if the queue closes while waiting.
     pub fn push_blocking(&self, item: T) -> Result<(), T> {
-        let mut s = self.state.lock().expect("queue lock");
+        let mut s = sync::lock(&self.state);
         loop {
             if s.closed {
                 return Err(item);
@@ -98,7 +102,41 @@ impl<T> BoundedQueue<T> {
                 self.not_empty.notify_one();
                 return Ok(());
             }
-            s = self.not_full.wait(s).expect("queue lock");
+            s = sync::wait(&self.not_full, s);
+        }
+    }
+
+    /// Bounded-wait push: like [`BoundedQueue::push_blocking`] but
+    /// gives up after `timeout` instead of waiting forever — the
+    /// submit-side liveness guarantee when consumers are wedged or
+    /// gone.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Closed`] if the queue closes while waiting,
+    /// [`PushError::TimedOut`] when the wait expires; both hand the
+    /// item back.
+    pub fn push_timeout(&self, item: T, timeout: Duration) -> Result<(), PushError<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut s = sync::lock(&self.state);
+        loop {
+            if s.closed {
+                return Err(PushError::Closed(item));
+            }
+            if s.items.len() < self.capacity {
+                s.items.push_back(item);
+                drop(s);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                return Err(PushError::TimedOut(item));
+            };
+            let (guard, wait) = sync::wait_timeout(&self.not_full, s, left);
+            s = guard;
+            if wait.timed_out() && s.items.len() >= self.capacity && !s.closed {
+                return Err(PushError::TimedOut(item));
+            }
         }
     }
 
@@ -108,7 +146,7 @@ impl<T> BoundedQueue<T> {
     /// to batch). Returns `None` only when the queue is closed *and*
     /// drained — in-flight items always reach a consumer.
     pub fn pop_batch(&self, max: usize, same: impl Fn(&T, &T) -> bool) -> Option<Vec<T>> {
-        let mut s = self.state.lock().expect("queue lock");
+        let mut s = sync::lock(&self.state);
         let first = loop {
             if let Some(item) = s.items.pop_front() {
                 break item;
@@ -116,7 +154,7 @@ impl<T> BoundedQueue<T> {
             if s.closed {
                 return None;
             }
-            s = self.not_empty.wait(s).expect("queue lock");
+            s = sync::wait(&self.not_empty, s);
         };
         let mut batch = vec![first];
         while batch.len() < max.max(1) {
@@ -138,7 +176,7 @@ impl<T> BoundedQueue<T> {
     /// Closes the queue: no further pushes succeed; consumers drain
     /// what is queued and then see `None`.
     pub fn close(&self) {
-        let mut s = self.state.lock().expect("queue lock");
+        let mut s = sync::lock(&self.state);
         s.closed = true;
         drop(s);
         self.not_empty.notify_all();
@@ -147,7 +185,7 @@ impl<T> BoundedQueue<T> {
 
     /// True after [`BoundedQueue::close`].
     pub fn is_closed(&self) -> bool {
-        self.state.lock().expect("queue lock").closed
+        sync::lock(&self.state).closed
     }
 }
 
@@ -214,6 +252,45 @@ mod tests {
         let q2 = Arc::clone(&q);
         let producer = thread::spawn(move || q2.push_blocking(2));
         // The consumer frees the slot; the blocked producer completes.
+        loop {
+            if let Some(batch) = q.pop_batch(1, |_, _| false) {
+                if batch == vec![1] {
+                    break;
+                }
+            }
+        }
+        producer.join().unwrap().unwrap();
+        assert_eq!(q.pop_batch(1, |_, _| false), Some(vec![2]));
+    }
+
+    #[test]
+    fn push_timeout_is_typed_and_bounded() {
+        let q = BoundedQueue::new(1);
+        q.try_push(1).unwrap();
+        // Full queue, no consumer: the wait expires with a typed error
+        // and the item handed back, instead of blocking forever.
+        let r = q.push_timeout(2, std::time::Duration::from_millis(10));
+        assert_eq!(r, Err(PushError::TimedOut(2)));
+        assert_eq!(q.len(), 1);
+        // With space, it enqueues immediately.
+        assert_eq!(q.pop_batch(1, |_, _| false), Some(vec![1]));
+        assert_eq!(
+            q.push_timeout(2, std::time::Duration::from_millis(10)),
+            Ok(())
+        );
+        // Closed beats timed-out.
+        q.close();
+        let r = q.push_timeout(3, std::time::Duration::from_millis(10));
+        assert_eq!(r, Err(PushError::Closed(3)));
+    }
+
+    #[test]
+    fn push_timeout_succeeds_when_a_consumer_frees_space() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer =
+            thread::spawn(move || q2.push_timeout(2, std::time::Duration::from_secs(30)));
         loop {
             if let Some(batch) = q.pop_batch(1, |_, _| false) {
                 if batch == vec![1] {

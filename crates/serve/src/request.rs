@@ -138,6 +138,13 @@ pub enum SubmitError {
         /// The queue's capacity, for caller-side shed policies.
         capacity: usize,
     },
+    /// A bounded wait for queue space expired before a slot freed up
+    /// (see [`crate::ServePool::submit_timeout`]) — the liveness-safe
+    /// alternative to blocking forever on a wedged pool.
+    Timeout {
+        /// How long the submitter waited, in milliseconds.
+        waited_ms: u64,
+    },
     /// The pool is shutting down and no longer accepts work.
     ShuttingDown,
 }
@@ -148,6 +155,9 @@ impl fmt::Display for SubmitError {
             SubmitError::Invalid { id, error } => write!(f, "request {id} rejected: {error}"),
             SubmitError::Overloaded { capacity } => {
                 write!(f, "queue at capacity ({capacity}); shed or retry")
+            }
+            SubmitError::Timeout { waited_ms } => {
+                write!(f, "no queue space freed within {waited_ms} ms")
             }
             SubmitError::ShuttingDown => write!(f, "pool is shutting down"),
         }

@@ -1,0 +1,1076 @@
+//! The resilience supervisor: deadlines, retries, admission control
+//! and per-variant circuit breakers layered over a [`ServePool`],
+//! plus the multi-phase `soak` campaign that exercises all of it.
+//!
+//! The supervisor drives the pool **window by window**: it fixes all
+//! routing decisions (shed, breaker fallback, half-open probe) at the
+//! window boundary in request-id order, submits the admitted window,
+//! waits for a full drain, resolves deadlines with bounded
+//! retry-with-backoff, and only then folds outcomes back into the
+//! breaker state machines — again in id order. Nothing on this path
+//! consults the wall clock or live queue occupancy:
+//!
+//! * **Admission** sheds against the supervisor's own deterministic
+//!   outstanding count and estimated-cycle pressure (an upper bound on
+//!   real queue depth), never the racy live queue length.
+//! * **Deadlines** are measured in *simulated* cycles against a
+//!   per-request deadline seeded from the request id; retry backoff
+//!   charges a deterministic simulated-cycle penalty, also seeded from
+//!   the id and attempt.
+//! * **Breakers** see outcomes at the drain barrier in id order, so
+//!   trip/close points are identical no matter how many workers served
+//!   the window.
+//!
+//! Every request therefore gets exactly one **typed**
+//! [`SupervisorResponse`] — served, timed out, shed, or
+//! breaker-fallback — and the digest over those responses replays
+//! bit-identically across 1/2/8 workers.
+
+use crate::loadgen::generate_requests;
+use crate::pool::{HangFaults, PoolConfig, PoolStats, ServeFaults, ServePool};
+use crate::request::{Outcome, Request, Response, Variant};
+use crate::template::ServeError;
+use std::collections::BTreeMap;
+use std::time::Instant;
+use xrand::Rng;
+
+/// Why the admission controller shed a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The window's admitted count reached the queue-depth watermark.
+    QueueFull,
+    /// Admitting the request would push the window's estimated
+    /// simulated-cycle backlog over the deadline-pressure watermark.
+    DeadlinePressure,
+}
+
+impl RejectReason {
+    /// Stable label used by reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectReason::QueueFull => "queue-full",
+            RejectReason::DeadlinePressure => "deadline-pressure",
+        }
+    }
+}
+
+/// How a request was ultimately resolved — every request gets exactly
+/// one of these; nothing is ever silently dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SupervisorOutcome {
+    /// The pool served it within its (possibly retried) deadline.
+    Served(Outcome),
+    /// The pool served it, but past its deadline even after every
+    /// retry; the response still carries the (verified) late output.
+    TimedOut {
+        /// The base deadline that was missed, in simulated cycles.
+        deadline_cycles: u64,
+    },
+    /// Shed at admission; the response carries the golden fallback.
+    Rejected(RejectReason),
+    /// The variant's circuit breaker was open (or half-open and this
+    /// was not the probe); served by the golden software fallback.
+    Fallback,
+}
+
+/// Whether the device pool or the golden software model produced the
+/// response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedVia {
+    /// The request went through the worker pool.
+    Pool,
+    /// The supervisor answered from the golden software model.
+    GoldenFallback,
+}
+
+/// One request's typed resolution.
+#[derive(Debug, Clone)]
+pub struct SupervisorResponse {
+    /// Echo of [`Request::id`].
+    pub id: u64,
+    /// Echo of [`Request::variant`].
+    pub variant: Variant,
+    /// How the request was resolved.
+    pub outcome: SupervisorOutcome,
+    /// Output tensor: the pool's verified output, or the golden model
+    /// for shed/fallback resolutions.
+    pub output: Vec<i16>,
+    /// Total simulated cycles charged: every pool attempt plus the
+    /// deterministic backoff penalties. 0 for shed/fallback.
+    pub cycles: u64,
+    /// Deadline retries consumed.
+    pub retries: u32,
+}
+
+impl SupervisorResponse {
+    /// Who produced the output.
+    pub fn via(&self) -> ServedVia {
+        match self.outcome {
+            SupervisorOutcome::Served(_) | SupervisorOutcome::TimedOut { .. } => ServedVia::Pool,
+            SupervisorOutcome::Rejected(_) | SupervisorOutcome::Fallback => {
+                ServedVia::GoldenFallback
+            }
+        }
+    }
+
+    /// Stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match &self.outcome {
+            SupervisorOutcome::Served(o) => o.label(),
+            SupervisorOutcome::TimedOut { .. } => "timed-out",
+            SupervisorOutcome::Rejected(r) => r.label(),
+            SupervisorOutcome::Fallback => "fallback",
+        }
+    }
+
+    /// Folds the deterministic fields into an FNV-1a accumulator.
+    /// Everything folded is a pure function of (seed, configuration):
+    /// id, variant, typed resolution, output, simulated cycles and
+    /// retry count — never worker identity or wall clock.
+    pub fn fold_digest(&self, h: &mut u64) {
+        let mut fold = |x: u64| {
+            *h ^= x;
+            *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        fold(self.id);
+        fold(self.variant.index() as u64);
+        match &self.outcome {
+            SupervisorOutcome::Served(o) => {
+                fold(1);
+                match o {
+                    Outcome::Ok => fold(1),
+                    Outcome::Masked { flips } => {
+                        fold(2);
+                        fold(*flips as u64);
+                    }
+                    Outcome::Recovered { retries, .. } => {
+                        fold(3);
+                        fold(u64::from(*retries));
+                    }
+                    Outcome::Degraded { .. } => fold(4),
+                }
+            }
+            SupervisorOutcome::TimedOut { deadline_cycles } => {
+                fold(2);
+                fold(*deadline_cycles);
+            }
+            SupervisorOutcome::Rejected(RejectReason::QueueFull) => fold(3),
+            SupervisorOutcome::Rejected(RejectReason::DeadlinePressure) => fold(4),
+            SupervisorOutcome::Fallback => fold(5),
+        }
+        fold(u64::from(self.retries));
+        fold(self.output.len() as u64);
+        for &v in &self.output {
+            fold(v as u16 as u64);
+        }
+        fold(self.cycles);
+    }
+}
+
+/// Folds a supervisor response set into a scheduling-independent
+/// digest (id order, regardless of input order).
+pub fn soak_digest(responses: &[SupervisorResponse]) -> u64 {
+    let mut order: Vec<usize> = (0..responses.len()).collect();
+    order.sort_by_key(|&i| responses[i].id);
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for i in order {
+        responses[i].fold_digest(&mut h);
+    }
+    h
+}
+
+/// Per-window supervisor policy. Watermarks/deadlines default to off;
+/// each soak phase overrides what it exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Seed for deadline jitter and backoff jitter.
+    pub seed: u64,
+    /// Max requests admitted to the pool per window before shedding
+    /// with [`RejectReason::QueueFull`]. `usize::MAX` = off.
+    pub shed_watermark: usize,
+    /// Max estimated simulated-cycle backlog admitted per window
+    /// before shedding with [`RejectReason::DeadlinePressure`]
+    /// (estimates use the variant templates' fault-free runtimes).
+    /// `u64::MAX` = off.
+    pub pressure_watermark_cycles: u64,
+    /// Base per-request deadline in simulated cycles; 0 = deadlines
+    /// off. The effective deadline for attempt `a` is
+    /// `deadline × (a + 1)` — backoff buys headroom.
+    pub deadline_base_cycles: u64,
+    /// Seeded per-request deadline jitter added to the base.
+    pub deadline_jitter_cycles: u64,
+    /// Deadline retries before a request is typed
+    /// [`SupervisorOutcome::TimedOut`].
+    pub max_retries: u32,
+    /// Base backoff penalty charged per retry, in simulated cycles
+    /// (doubles per attempt).
+    pub backoff_base_cycles: u64,
+    /// Seeded per-(id, attempt) backoff jitter.
+    pub backoff_jitter_cycles: u64,
+    /// Consecutive bad outcomes (Recovered/Degraded/timed-out) that
+    /// trip a variant's breaker; 0 = breakers off.
+    pub breaker_threshold: u32,
+    /// Windows an open breaker waits before going half-open.
+    pub breaker_cooldown_windows: u32,
+    /// Release a held pool after this window's submits — the overload
+    /// phase's discipline: submitting to a held pool makes the shed
+    /// set a pure function of configuration.
+    pub release_after_submit: bool,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            seed: 1,
+            shed_watermark: usize::MAX,
+            pressure_watermark_cycles: u64::MAX,
+            deadline_base_cycles: 0,
+            deadline_jitter_cycles: 0,
+            max_retries: 1,
+            backoff_base_cycles: 10_000,
+            backoff_jitter_cycles: 2_000,
+            breaker_threshold: 0,
+            breaker_cooldown_windows: 1,
+            release_after_submit: false,
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// Request `id`'s base deadline: the configured base plus seeded
+    /// jitter (pure function of `(seed, id)`).
+    pub fn deadline_for(&self, id: u64) -> u64 {
+        let mut rng = Rng::new(self.seed ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x00de_ad11);
+        self.deadline_base_cycles + rng.below(self.deadline_jitter_cycles + 1)
+    }
+
+    /// The simulated-cycle penalty retry `attempt` (≥ 1) charges:
+    /// exponential base plus seeded jitter.
+    pub fn backoff_penalty(&self, id: u64, attempt: u32) -> u64 {
+        let base = self.backoff_base_cycles << (attempt - 1).min(16);
+        let mut rng = Rng::new(
+            self.seed
+                ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                ^ u64::from(attempt).wrapping_mul(0x0b0f_0b0f_0b0f_0b0f),
+        );
+        base + rng.below(self.backoff_jitter_cycles + 1)
+    }
+
+    fn effective_deadline(&self, id: u64, attempt: u32) -> u64 {
+        self.deadline_for(id).saturating_mul(u64::from(attempt) + 1)
+    }
+}
+
+/// A variant circuit breaker's externally visible state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow to the pool; consecutive bad outcomes counted.
+    Closed,
+    /// All requests for the variant go to the golden fallback for
+    /// `remaining` more windows.
+    Open {
+        /// Windows left before the breaker goes half-open.
+        remaining: u32,
+    },
+    /// One probe request per window goes to the pool; everything else
+    /// stays on the fallback. A clean probe re-closes the breaker, a
+    /// bad one re-opens it.
+    HalfOpen,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Breaker {
+    state: BreakerState,
+    consecutive_bad: u32,
+}
+
+impl Breaker {
+    fn new() -> Breaker {
+        Breaker {
+            state: BreakerState::Closed,
+            consecutive_bad: 0,
+        }
+    }
+
+    /// Window-boundary tick: open breakers count down their cooldown
+    /// and go half-open at zero.
+    fn tick_window(&mut self) {
+        if let BreakerState::Open { remaining } = self.state {
+            self.state = if remaining <= 1 {
+                BreakerState::HalfOpen
+            } else {
+                BreakerState::Open {
+                    remaining: remaining - 1,
+                }
+            };
+        }
+    }
+
+    /// Feeds one pool outcome (id order). Returns true when this
+    /// outcome tripped the breaker.
+    fn on_outcome(&mut self, bad: bool, threshold: u32, cooldown: u32) -> bool {
+        if threshold == 0 || self.state != BreakerState::Closed {
+            // Breakers off, or stragglers already in flight when the
+            // breaker opened mid-window: no state change.
+            return false;
+        }
+        if bad {
+            self.consecutive_bad += 1;
+            if self.consecutive_bad >= threshold {
+                self.state = BreakerState::Open {
+                    remaining: cooldown.max(1),
+                };
+                self.consecutive_bad = 0;
+                return true;
+            }
+        } else {
+            self.consecutive_bad = 0;
+        }
+        false
+    }
+
+    /// Feeds the half-open probe's outcome. Returns true when the
+    /// probe re-tripped the breaker.
+    fn on_probe(&mut self, bad: bool, cooldown: u32) -> bool {
+        if bad {
+            self.state = BreakerState::Open {
+                remaining: cooldown.max(1),
+            };
+            self.consecutive_bad = 0;
+            true
+        } else {
+            self.state = BreakerState::Closed;
+            self.consecutive_bad = 0;
+            false
+        }
+    }
+}
+
+/// Resilience counters accumulated across windows (observability and
+/// soak assertions; not part of the digest, but every one of them is
+/// deterministic for a fixed seed and configuration).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SoakCounters {
+    /// Requests routed through the supervisor.
+    pub requests: u64,
+    /// Requests the pool served (first attempts).
+    pub pool_served: u64,
+    /// Requests shed with [`RejectReason::QueueFull`].
+    pub shed_queue_full: u64,
+    /// Requests shed with [`RejectReason::DeadlinePressure`].
+    pub shed_pressure: u64,
+    /// Retry resubmissions after a missed deadline.
+    pub retried: u64,
+    /// Requests typed [`SupervisorOutcome::TimedOut`].
+    pub timed_out: u64,
+    /// Breaker trips (closed→open and half-open→open).
+    pub breaker_trips: u64,
+    /// Half-open probes that re-closed a breaker.
+    pub breaker_closes: u64,
+    /// Requests served by the golden fallback because a breaker was
+    /// open or half-open.
+    pub fallback_served: u64,
+}
+
+impl SoakCounters {
+    /// Total shed requests, both reasons.
+    pub fn shed(&self) -> u64 {
+        self.shed_queue_full + self.shed_pressure
+    }
+}
+
+/// The resilience supervisor: owns a [`ServePool`] and drives it in
+/// drain-bounded windows (see the module docs for the determinism
+/// argument).
+pub struct Supervisor {
+    pool: ServePool,
+    breakers: [Breaker; Variant::ALL.len()],
+    counters: SoakCounters,
+    /// Cumulative pool submissions, the drain-barrier target.
+    submitted: u64,
+}
+
+impl Supervisor {
+    /// Wraps a started pool.
+    pub fn new(pool: ServePool) -> Supervisor {
+        Supervisor {
+            pool,
+            breakers: [Breaker::new(); Variant::ALL.len()],
+            counters: SoakCounters::default(),
+            submitted: 0,
+        }
+    }
+
+    /// The wrapped pool (template access, chaos hooks).
+    pub fn pool(&self) -> &ServePool {
+        &self.pool
+    }
+
+    /// Counters so far.
+    pub fn counters(&self) -> SoakCounters {
+        self.counters
+    }
+
+    /// The breaker state for `variant`.
+    pub fn breaker(&self, variant: Variant) -> BreakerState {
+        self.breakers[variant.index()].state
+    }
+
+    /// True when every variant's breaker is closed.
+    pub fn all_breakers_closed(&self) -> bool {
+        self.breakers
+            .iter()
+            .all(|b| b.state == BreakerState::Closed)
+    }
+
+    /// Runs one window: fixes routing at the boundary (id order),
+    /// submits the admitted set, drains fully, resolves deadlines with
+    /// bounded retries, and folds outcomes into the breakers. Returns
+    /// exactly one typed response per request.
+    ///
+    /// Payloads must be valid for their variant (the soak generates
+    /// them via [`generate_requests`]); an invalid payload is a caller
+    /// bug and panics rather than being silently dropped.
+    pub fn run_window(
+        &mut self,
+        requests: &[Request],
+        cfg: &SupervisorConfig,
+    ) -> Vec<SupervisorResponse> {
+        let mut ordered: Vec<&Request> = requests.iter().collect();
+        ordered.sort_by_key(|r| r.id);
+        self.counters.requests += ordered.len() as u64;
+        for b in &mut self.breakers {
+            b.tick_window();
+        }
+
+        // Half-open probes: the lowest-id request of each half-open
+        // variant in this window.
+        let mut probe: [Option<u64>; Variant::ALL.len()] = [None; Variant::ALL.len()];
+        for r in &ordered {
+            let i = r.variant.index();
+            if self.breakers[i].state == BreakerState::HalfOpen && probe[i].is_none() {
+                probe[i] = Some(r.id);
+            }
+        }
+
+        // Routing + admission, in id order.
+        let mut responses: Vec<SupervisorResponse> = Vec::with_capacity(ordered.len());
+        let mut admitted: Vec<Request> = Vec::new();
+        let mut backlog_cycles = 0u64;
+        for r in ordered {
+            let i = r.variant.index();
+            match self.breakers[i].state {
+                BreakerState::Open { .. } => {
+                    self.counters.fallback_served += 1;
+                    responses.push(self.golden_response(r, SupervisorOutcome::Fallback));
+                }
+                BreakerState::HalfOpen if probe[i] == Some(r.id) => {
+                    admitted.push(r.clone());
+                }
+                BreakerState::HalfOpen => {
+                    self.counters.fallback_served += 1;
+                    responses.push(self.golden_response(r, SupervisorOutcome::Fallback));
+                }
+                BreakerState::Closed => {
+                    if admitted.len() >= cfg.shed_watermark {
+                        self.counters.shed_queue_full += 1;
+                        responses.push(self.golden_response(
+                            r,
+                            SupervisorOutcome::Rejected(RejectReason::QueueFull),
+                        ));
+                        continue;
+                    }
+                    let est = self.pool.template(r.variant).clean_cycles();
+                    if backlog_cycles.saturating_add(est) > cfg.pressure_watermark_cycles {
+                        self.counters.shed_pressure += 1;
+                        responses.push(self.golden_response(
+                            r,
+                            SupervisorOutcome::Rejected(RejectReason::DeadlinePressure),
+                        ));
+                        continue;
+                    }
+                    backlog_cycles += est;
+                    admitted.push(r.clone());
+                }
+            }
+        }
+
+        // Submit the admitted set, then barrier on a full drain.
+        self.counters.pool_served += admitted.len() as u64;
+        for r in &admitted {
+            self.pool
+                .submit_blocking(r.clone())
+                .expect("window payloads are valid and the pool is live");
+        }
+        self.submitted += admitted.len() as u64;
+        if cfg.release_after_submit {
+            self.pool.release();
+        }
+        self.pool.wait_completed(self.submitted);
+        // (response, retries consumed, cycles charged by prior
+        // attempts + backoff penalties)
+        let mut served: BTreeMap<u64, (Response, u32, u64)> = self
+            .pool
+            .drain_responses()
+            .into_iter()
+            .map(|r| (r.id, (r, 0, 0)))
+            .collect();
+
+        // Deadline resolution: drain-bounded retry rounds. Each round
+        // resubmits every request whose latest attempt missed its
+        // effective deadline; backoff relaxes the deadline and charges
+        // a deterministic simulated-cycle penalty.
+        if cfg.deadline_base_cycles > 0 {
+            for attempt in 1..=cfg.max_retries {
+                let missed: Vec<Request> = admitted
+                    .iter()
+                    .filter(|r| {
+                        served.get(&r.id).is_some_and(|(resp, a, _)| {
+                            *a == attempt - 1
+                                && resp.cycles > cfg.effective_deadline(r.id, attempt - 1)
+                        })
+                    })
+                    .cloned()
+                    .collect();
+                if missed.is_empty() {
+                    break;
+                }
+                for r in &missed {
+                    self.pool
+                        .submit_blocking(r.clone())
+                        .expect("window payloads are valid and the pool is live");
+                }
+                self.submitted += missed.len() as u64;
+                self.counters.retried += missed.len() as u64;
+                self.pool.wait_completed(self.submitted);
+                for resp in self.pool.drain_responses() {
+                    let slot = served
+                        .get_mut(&resp.id)
+                        .expect("a drained response matches a submitted retry");
+                    slot.2 += slot.0.cycles + cfg.backoff_penalty(resp.id, attempt);
+                    slot.0 = resp;
+                    slot.1 = attempt;
+                }
+            }
+        }
+
+        // Final resolution + breaker folding, in id order.
+        for r in &admitted {
+            let (resp, retries, extra) = served
+                .remove(&r.id)
+                .expect("every admitted request drains exactly one response");
+            let total_cycles = extra + resp.cycles;
+            let deadline_ok = cfg.deadline_base_cycles == 0
+                || resp.cycles <= cfg.effective_deadline(r.id, retries);
+            let bad = !deadline_ok || !matches!(resp.outcome, Outcome::Ok | Outcome::Masked { .. });
+            let i = r.variant.index();
+            if probe[i] == Some(r.id) {
+                if self.breakers[i].on_probe(bad, cfg.breaker_cooldown_windows) {
+                    self.counters.breaker_trips += 1;
+                } else {
+                    self.counters.breaker_closes += 1;
+                }
+            } else if self.breakers[i].on_outcome(
+                bad,
+                cfg.breaker_threshold,
+                cfg.breaker_cooldown_windows,
+            ) {
+                self.counters.breaker_trips += 1;
+            }
+            let outcome = if deadline_ok {
+                SupervisorOutcome::Served(resp.outcome)
+            } else {
+                self.counters.timed_out += 1;
+                SupervisorOutcome::TimedOut {
+                    deadline_cycles: cfg.deadline_for(r.id),
+                }
+            };
+            responses.push(SupervisorResponse {
+                id: r.id,
+                variant: r.variant,
+                outcome,
+                output: resp.output,
+                cycles: total_cycles,
+                retries,
+            });
+        }
+        responses.sort_by_key(|r| r.id);
+        responses
+    }
+
+    fn golden_response(&self, r: &Request, outcome: SupervisorOutcome) -> SupervisorResponse {
+        SupervisorResponse {
+            id: r.id,
+            variant: r.variant,
+            outcome,
+            output: self.pool.template(r.variant).golden(&r.input),
+            cycles: 0,
+            retries: 0,
+        }
+    }
+
+    /// Shuts the pool down and returns its lifetime counters.
+    pub fn finish(self) -> (SoakCounters, PoolStats) {
+        let counters = self.counters;
+        let report = self.pool.shutdown();
+        (counters, report.stats)
+    }
+}
+
+/// One soak phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SoakPhase {
+    /// Held-pool burst past both watermarks: shedding, typed.
+    Overload,
+    /// Chaos-armed window with tight deadlines: retries, timeouts,
+    /// breaker trips, fallback routing.
+    FaultStorm,
+    /// Hang-armed requests wedge workers; the monitor reaps and
+    /// re-forks them.
+    HangInjection,
+    /// Templates struck in host memory; verified forks quarantine and
+    /// rebuild them.
+    TemplateCorruption,
+    /// Clean windows: half-open probes re-close every breaker.
+    Recovery,
+}
+
+impl SoakPhase {
+    /// All phases, in campaign order.
+    pub const ALL: [SoakPhase; 5] = [
+        SoakPhase::Overload,
+        SoakPhase::FaultStorm,
+        SoakPhase::HangInjection,
+        SoakPhase::TemplateCorruption,
+        SoakPhase::Recovery,
+    ];
+
+    /// Stable name used by reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SoakPhase::Overload => "overload",
+            SoakPhase::FaultStorm => "fault-storm",
+            SoakPhase::HangInjection => "hang-injection",
+            SoakPhase::TemplateCorruption => "template-corruption",
+            SoakPhase::Recovery => "recovery",
+        }
+    }
+}
+
+/// Soak campaign configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoakConfig {
+    /// Campaign seed: request stream, fault plans, hang arming,
+    /// template strikes, deadline/backoff jitter.
+    pub seed: u64,
+    /// Worker threads.
+    pub workers: usize,
+    /// Per-phase request scale `n` (min 4). The campaign serves `8n`
+    /// requests: one overload window of `n` per watermark kind, two
+    /// fault-storm windows, one hang window, one corruption window and
+    /// two recovery windows.
+    pub scale: u64,
+    /// Template weight seed.
+    pub weight_seed: u64,
+}
+
+impl Default for SoakConfig {
+    fn default() -> SoakConfig {
+        SoakConfig {
+            seed: 1,
+            workers: 2,
+            scale: 16,
+            weight_seed: 42,
+        }
+    }
+}
+
+/// Per-phase counter deltas for the soak report.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseSummary {
+    /// Which phase.
+    pub phase: SoakPhase,
+    /// Requests routed in the phase.
+    pub requests: u64,
+    /// Requests shed (both reasons).
+    pub shed: u64,
+    /// Retry resubmissions.
+    pub retried: u64,
+    /// Timed-out resolutions.
+    pub timed_out: u64,
+    /// Breaker trips.
+    pub breaker_trips: u64,
+    /// Golden-fallback serves (open/half-open breakers).
+    pub fallback_served: u64,
+}
+
+/// Everything one soak campaign produced.
+#[derive(Debug)]
+pub struct SoakReport {
+    /// The configuration that ran.
+    pub cfg: SoakConfig,
+    /// One typed response per generated request, sorted by id.
+    pub responses: Vec<SupervisorResponse>,
+    /// Final resilience counters.
+    pub counters: SoakCounters,
+    /// Pool lifetime counters (cold forks, reaps, quarantines, …).
+    pub pool_stats: PoolStats,
+    /// Per-phase counter deltas, in campaign order.
+    pub phases: Vec<PhaseSummary>,
+    /// Scheduling-independent digest over the typed responses.
+    pub digest: u64,
+    /// True when every breaker re-closed by the end of recovery.
+    pub breakers_closed: bool,
+    /// Host wall-clock seconds (excluded from the digest).
+    pub wall_secs: f64,
+}
+
+impl SoakReport {
+    /// Ids the campaign generated but never resolved — must be empty
+    /// (the zero-lost-requests invariant).
+    pub fn lost_ids(&self) -> Vec<u64> {
+        let n = self.cfg.scale.max(4) * 8;
+        let mut have = vec![false; usize::try_from(n).unwrap_or(usize::MAX)];
+        for r in &self.responses {
+            if let Ok(i) = usize::try_from(r.id) {
+                if i < have.len() {
+                    have[i] = true;
+                }
+            }
+        }
+        (0..n).filter(|&i| !have[i as usize]).collect()
+    }
+
+    /// Responses with the given [`SupervisorResponse::label`].
+    pub fn count(&self, label: &str) -> u64 {
+        self.responses.iter().filter(|r| r.label() == label).count() as u64
+    }
+}
+
+/// Runs the seeded multi-phase soak campaign: overload burst → fault
+/// storm → hang injection → template corruption → recovery. Every
+/// phase is drain-bounded, every request resolves typed, and the
+/// digest replays bit-identically across worker counts.
+///
+/// # Errors
+///
+/// [`ServeError`] when the pool cannot start.
+pub fn run_soak(cfg: SoakConfig) -> Result<SoakReport, ServeError> {
+    let n = cfg.scale.max(4);
+    let total = n * 8;
+    // Id layout: [0,n) overload-A, [n,2n) overload-B, [2n,4n) fault
+    // storm, [4n,5n) hangs, [5n,6n) corruption, [6n,8n) recovery.
+    let storm = (2 * n, 4 * n);
+    let hang = (4 * n, 4 * n + 4);
+    let pool = ServePool::start(PoolConfig {
+        workers: cfg.workers,
+        queue_capacity: usize::try_from(n).unwrap_or(usize::MAX).max(2),
+        weight_seed: cfg.weight_seed,
+        faults: Some(ServeFaults {
+            seed: cfg.seed ^ 0x00fa_0fa0,
+            rate_percent: 100,
+            armed_from: storm.0,
+            armed_below: storm.1,
+        }),
+        hangs: Some(HangFaults {
+            seed: cfg.seed ^ 0x0a4a_0a4a,
+            rate_percent: 100,
+            lo: hang.0,
+            hi: hang.1,
+        }),
+        heartbeat_horizon_ms: 25,
+        hold_workers: true,
+        ..PoolConfig::default()
+    })?;
+    // Deadline scale: the slowest variant's fault-free runtime. Fast
+    // variants always make `deadline_base`; the slowest variant's
+    // clean serves need one backoff-relaxed retry; its recovered
+    // serves (≈ 2× clean, a failed attempt plus a verified re-run)
+    // exceed even the relaxed deadline and resolve TimedOut.
+    let max_clean = Variant::ALL
+        .into_iter()
+        .map(|v| pool.template(v).clean_cycles())
+        .max()
+        .unwrap_or(0);
+    let mut sup = Supervisor::new(pool);
+    let requests = generate_requests(cfg.seed, total);
+    let slice =
+        |lo: u64, hi: u64| &requests[usize::try_from(lo).unwrap()..usize::try_from(hi).unwrap()];
+    let base = SupervisorConfig {
+        seed: cfg.seed,
+        ..SupervisorConfig::default()
+    };
+    let storm_cfg = SupervisorConfig {
+        deadline_base_cycles: max_clean - max_clean / 8,
+        deadline_jitter_cycles: max_clean / 16,
+        max_retries: 1,
+        backoff_base_cycles: max_clean / 2,
+        backoff_jitter_cycles: max_clean / 16,
+        breaker_threshold: 2,
+        breaker_cooldown_windows: 2,
+        ..base
+    };
+    let started = Instant::now();
+    let mut responses: Vec<SupervisorResponse> = Vec::with_capacity(requests.len());
+    let mut phases = Vec::new();
+    let mut last = sup.counters();
+    let mut summarize = |sup: &Supervisor, phase: SoakPhase, last: &mut SoakCounters| {
+        let now = sup.counters();
+        phases.push(PhaseSummary {
+            phase,
+            requests: now.requests - last.requests,
+            shed: now.shed() - last.shed(),
+            retried: now.retried - last.retried,
+            timed_out: now.timed_out - last.timed_out,
+            breaker_trips: now.breaker_trips - last.breaker_trips,
+            fallback_served: now.fallback_served - last.fallback_served,
+        });
+        *last = now;
+    };
+
+    // Phase 1 — overload. Window A floods a *held* pool past the
+    // queue-depth watermark (the shed set is a pure function of
+    // configuration); window B floods the estimated-cycle pressure
+    // watermark.
+    responses.extend(sup.run_window(
+        slice(0, n),
+        &SupervisorConfig {
+            shed_watermark: usize::try_from(n / 2).unwrap_or(usize::MAX),
+            release_after_submit: true,
+            ..base
+        },
+    ));
+    let min_clean = Variant::ALL
+        .into_iter()
+        .map(|v| sup.pool().template(v).clean_cycles())
+        .min()
+        .unwrap_or(0);
+    responses.extend(sup.run_window(
+        slice(n, 2 * n),
+        &SupervisorConfig {
+            pressure_watermark_cycles: min_clean * (n / 4),
+            ..base
+        },
+    ));
+    summarize(&sup, SoakPhase::Overload, &mut last);
+
+    // Phase 2 — fault storm: every request chaos-armed, tight
+    // deadlines, breakers live. Two windows so a trip in the first
+    // routes fallback in the second.
+    responses.extend(sup.run_window(slice(storm.0, 3 * n), &storm_cfg));
+    responses.extend(sup.run_window(slice(3 * n, storm.1), &storm_cfg));
+    summarize(&sup, SoakPhase::FaultStorm, &mut last);
+
+    // Phase 3 — hang injection: the first four ids wedge their worker;
+    // the monitor reaps and re-forks them. Breakers stay live so
+    // storm-opened breakers keep routing fallback.
+    responses.extend(sup.run_window(
+        slice(4 * n, 5 * n),
+        &SupervisorConfig {
+            breaker_threshold: 2,
+            breaker_cooldown_windows: 2,
+            ..base
+        },
+    ));
+    summarize(&sup, SoakPhase::HangInjection, &mut last);
+
+    // Phase 4 — template corruption: strike two templates in host
+    // memory; the next verified forks must quarantine and rebuild.
+    sup.pool().corrupt_template(Variant::W4, cfg.seed ^ 0xc0de);
+    sup.pool().corrupt_template(Variant::W2, cfg.seed ^ 0xc0df);
+    responses.extend(sup.run_window(
+        slice(5 * n, 6 * n),
+        &SupervisorConfig {
+            breaker_threshold: 2,
+            breaker_cooldown_windows: 2,
+            ..base
+        },
+    ));
+    summarize(&sup, SoakPhase::TemplateCorruption, &mut last);
+
+    // Phase 5 — recovery: clean windows; half-open probes re-close
+    // every breaker.
+    let recover_cfg = SupervisorConfig {
+        breaker_threshold: 2,
+        breaker_cooldown_windows: 1,
+        ..base
+    };
+    responses.extend(sup.run_window(slice(6 * n, 7 * n), &recover_cfg));
+    responses.extend(sup.run_window(slice(7 * n, total), &recover_cfg));
+    summarize(&sup, SoakPhase::Recovery, &mut last);
+
+    let breakers_closed = sup.all_breakers_closed();
+    let (counters, pool_stats) = sup.finish();
+    responses.sort_by_key(|r| r.id);
+    let digest = soak_digest(&responses);
+    Ok(SoakReport {
+        cfg,
+        responses,
+        counters,
+        pool_stats,
+        phases,
+        digest,
+        breakers_closed,
+        wall_secs: started.elapsed().as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::PoolConfig;
+
+    fn small_pool(workers: usize) -> ServePool {
+        ServePool::start(PoolConfig {
+            workers,
+            ..PoolConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn breaker_trips_cools_down_probes_and_recloses() {
+        let mut b = Breaker::new();
+        // Two consecutive bad outcomes trip at threshold 2.
+        assert!(!b.on_outcome(true, 2, 2));
+        assert!(b.on_outcome(true, 2, 2));
+        assert_eq!(b.state, BreakerState::Open { remaining: 2 });
+        // In-flight stragglers don't disturb an open breaker.
+        assert!(!b.on_outcome(true, 2, 2));
+        // Cooldown: two window ticks to half-open.
+        b.tick_window();
+        assert_eq!(b.state, BreakerState::Open { remaining: 1 });
+        b.tick_window();
+        assert_eq!(b.state, BreakerState::HalfOpen);
+        // A bad probe re-opens; a clean probe re-closes.
+        assert!(b.on_probe(true, 2));
+        assert_eq!(b.state, BreakerState::Open { remaining: 2 });
+        b.tick_window();
+        b.tick_window();
+        assert!(!b.on_probe(false, 2));
+        assert_eq!(b.state, BreakerState::Closed);
+        // A good outcome resets the consecutive counter.
+        assert!(!b.on_outcome(true, 2, 2));
+        assert!(!b.on_outcome(false, 2, 2));
+        assert!(!b.on_outcome(true, 2, 2));
+        assert_eq!(b.state, BreakerState::Closed);
+    }
+
+    #[test]
+    fn admission_sheds_typed_beyond_the_count_watermark() {
+        let mut sup = Supervisor::new(small_pool(1));
+        let requests = generate_requests(5, 6);
+        let cfg = SupervisorConfig {
+            shed_watermark: 2,
+            ..SupervisorConfig::default()
+        };
+        let rs = sup.run_window(&requests, &cfg);
+        assert_eq!(rs.len(), 6);
+        // Admission is id-ordered: the first two are served, the rest
+        // shed typed with the golden output.
+        for r in &rs[..2] {
+            assert!(matches!(r.outcome, SupervisorOutcome::Served(_)), "{r:?}");
+        }
+        for (r, req) in rs[2..].iter().zip(&requests[2..]) {
+            assert_eq!(
+                r.outcome,
+                SupervisorOutcome::Rejected(RejectReason::QueueFull)
+            );
+            assert_eq!(
+                r.output,
+                sup.pool().template(req.variant).golden(&req.input)
+            );
+            assert_eq!(r.cycles, 0);
+        }
+        let c = sup.counters();
+        assert_eq!((c.shed_queue_full, c.pool_served), (4, 2));
+        sup.finish();
+    }
+
+    #[test]
+    fn admission_sheds_typed_on_deadline_pressure() {
+        let mut sup = Supervisor::new(small_pool(1));
+        let requests = generate_requests(5, 4);
+        // A pressure watermark below one request's estimate sheds
+        // everything with the pressure reason.
+        let cfg = SupervisorConfig {
+            pressure_watermark_cycles: 1,
+            ..SupervisorConfig::default()
+        };
+        let rs = sup.run_window(&requests, &cfg);
+        assert!(rs
+            .iter()
+            .all(|r| r.outcome == SupervisorOutcome::Rejected(RejectReason::DeadlinePressure)));
+        assert_eq!(sup.counters().shed_pressure, 4);
+        sup.finish();
+    }
+
+    #[test]
+    fn impossible_deadlines_retry_then_time_out_typed() {
+        let mut sup = Supervisor::new(small_pool(2));
+        let requests = generate_requests(6, 5);
+        let cfg = SupervisorConfig {
+            // 1-cycle deadline: unmeetable even relaxed — every request
+            // burns its retries and resolves TimedOut.
+            deadline_base_cycles: 1,
+            max_retries: 2,
+            backoff_base_cycles: 100,
+            ..SupervisorConfig::default()
+        };
+        let rs = sup.run_window(&requests, &cfg);
+        assert_eq!(rs.len(), 5);
+        for r in &rs {
+            assert!(
+                matches!(r.outcome, SupervisorOutcome::TimedOut { .. }),
+                "{r:?}"
+            );
+            assert_eq!(r.retries, 2);
+            // The late output is still the verified device output.
+            assert!(!r.output.is_empty());
+            assert!(r.cycles > 0);
+        }
+        let c = sup.counters();
+        assert_eq!(c.retried, 10);
+        assert_eq!(c.timed_out, 5);
+        sup.finish();
+    }
+
+    #[test]
+    fn generous_deadlines_never_retry() {
+        let mut sup = Supervisor::new(small_pool(1));
+        let requests = generate_requests(6, 5);
+        let cfg = SupervisorConfig {
+            deadline_base_cycles: u64::MAX / 4,
+            ..SupervisorConfig::default()
+        };
+        let rs = sup.run_window(&requests, &cfg);
+        assert!(rs
+            .iter()
+            .all(|r| matches!(r.outcome, SupervisorOutcome::Served(Outcome::Ok))));
+        let c = sup.counters();
+        assert_eq!((c.retried, c.timed_out), (0, 0));
+        sup.finish();
+    }
+
+    #[test]
+    fn window_digest_is_identical_across_worker_counts() {
+        let digest_for = |workers: usize| {
+            let mut sup = Supervisor::new(small_pool(workers));
+            let requests = generate_requests(7, 24);
+            let cfg = SupervisorConfig {
+                shed_watermark: 20,
+                deadline_base_cycles: 1,
+                max_retries: 1,
+                ..SupervisorConfig::default()
+            };
+            let rs = sup.run_window(&requests, &cfg);
+            let c = sup.counters();
+            sup.finish();
+            (soak_digest(&rs), c)
+        };
+        let (d1, c1) = digest_for(1);
+        let (d2, c2) = digest_for(2);
+        assert_eq!(d1, d2);
+        assert_eq!(c1, c2);
+    }
+}

@@ -1,0 +1,57 @@
+//! Poison-recovering lock helpers.
+//!
+//! `std` mutexes poison when a thread panics while holding them, and
+//! every subsequent `.lock().expect(..)` then panics too — one crashed
+//! worker would cascade into losing the whole pool, its queued work
+//! and its final report. None of the state guarded in this crate can
+//! be left logically torn by a panic (counters, response vectors and
+//! queue items are each updated by single push/increment operations),
+//! so the right policy is to *recover* the guard and keep serving:
+//! a panicking worker costs its own thread, never the pool.
+
+use std::sync::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+use std::time::Duration;
+
+/// Locks `m`, recovering the guard if a previous holder panicked.
+pub fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] that recovers a poisoned guard the same way.
+pub fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard)
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// [`Condvar::wait_timeout`] with the same poison-recovery policy.
+pub fn wait_timeout<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    dur: Duration,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    cv.wait_timeout(guard, dur)
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn poisoned_mutex_still_yields_its_state() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        // Poison the mutex: panic while holding the guard.
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        // The helper recovers the guard and the data is intact.
+        assert_eq!(*lock(&m), 7);
+        *lock(&m) += 1;
+        assert_eq!(*lock(&m), 8);
+    }
+}

@@ -11,7 +11,7 @@
 //! another program or a poisoned predecessor.
 
 use crate::request::{RequestError, Variant};
-use faultsim::{FaultPlan, TargetSpace};
+use faultsim::{FaultPlan, TargetSpace, TemplateStrike};
 use pulp_kernels::{BuildError, ConvKernelConfig, ConvTestbench, KernelIsa, QuantMode};
 use pulp_soc::{Soc, SocSnapshot, STACK_TOP};
 use qnn::conv::ConvShape;
@@ -34,6 +34,13 @@ pub enum ServeError {
         /// The failing variant.
         variant: Variant,
     },
+    /// A template's stored snapshot no longer matches the checksum
+    /// recorded at build time — the template is corrupted and must be
+    /// quarantined and rebuilt before any further fork.
+    TemplateCorrupted {
+        /// The corrupted variant.
+        variant: Variant,
+    },
     /// A pool was configured with zero workers.
     NoWorkers,
 }
@@ -46,6 +53,9 @@ impl fmt::Display for ServeError {
             }
             ServeError::TemplateUnhealthy { variant } => {
                 write!(f, "template {variant} failed its health-check run")
+            }
+            ServeError::TemplateCorrupted { variant } => {
+                write!(f, "template {variant} failed its integrity checksum")
             }
             ServeError::NoWorkers => write!(f, "pool needs at least one worker"),
         }
@@ -93,6 +103,10 @@ pub struct WorkerTemplate {
     /// Snapshot taken after `stage()`: program + weights + descriptors
     /// + threshold trees in L2, pc at the entry, cycle counter 0.
     snapshot: SocSnapshot,
+    /// FNV checksum of `snapshot` recorded at build time; re-verified
+    /// before every fork so a corrupted template is caught before it
+    /// poisons a worker (see [`WorkerTemplate::verify`]).
+    checksum: u64,
     /// Fault-free runtime of the health-check run; bounds chaos-mode
     /// injection windows.
     clean_cycles: u64,
@@ -123,10 +137,12 @@ impl WorkerTemplate {
         if !result.matches() || !result.report.exit.halted {
             return Err(ServeError::TemplateUnhealthy { variant });
         }
+        let checksum = snapshot.checksum();
         Ok(WorkerTemplate {
             variant,
             tb,
             snapshot,
+            checksum,
             clean_cycles: result.report.perf.cycles,
         })
     }
@@ -203,6 +219,39 @@ impl WorkerTemplate {
     pub fn refork(&self, soc: &mut Soc) {
         soc.enable_fastpath();
         soc.restore(&self.snapshot);
+    }
+
+    /// The integrity checksum recorded when the template was built.
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Re-verifies the stored snapshot against the build-time checksum.
+    /// Called before every fork when the pool runs with fork
+    /// verification on: a template whose host-memory image was struck
+    /// (bit rot, a stray write, [`WorkerTemplate::corrupt`]) must be
+    /// quarantined and rebuilt, never forked.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::TemplateCorrupted`] on a checksum mismatch.
+    pub fn verify(&self) -> Result<(), ServeError> {
+        if self.snapshot.checksum() == self.checksum {
+            Ok(())
+        } else {
+            Err(ServeError::TemplateCorrupted {
+                variant: self.variant,
+            })
+        }
+    }
+
+    /// Fault-injection hook: applies a seeded [`TemplateStrike`] to the
+    /// stored snapshot, leaving the build-time checksum untouched — the
+    /// next [`WorkerTemplate::verify`] must fail. Exercises the
+    /// quarantine-and-rebuild path; never used on the clean serving
+    /// path.
+    pub fn corrupt(&mut self, strike: TemplateStrike) {
+        strike.apply(&mut self.snapshot);
     }
 
     /// Writes a request's packed input over the template's input
@@ -306,6 +355,24 @@ mod tests {
             })
         );
         assert_eq!(t.validate(&vec![15; want]), Ok(()));
+    }
+
+    #[test]
+    fn corrupted_template_fails_verify_and_rebuild_restores_it() {
+        let mut t = WorkerTemplate::build(Variant::W4, 42).unwrap();
+        assert_eq!(t.verify(), Ok(()));
+        t.corrupt(TemplateStrike::generate(5));
+        assert_eq!(
+            t.verify(),
+            Err(ServeError::TemplateCorrupted {
+                variant: Variant::W4
+            })
+        );
+        // Rebuild is a pure function of (variant, seed): the fresh
+        // template carries the identical checksum and verifies again.
+        let rebuilt = WorkerTemplate::build(Variant::W4, 42).unwrap();
+        assert_eq!(rebuilt.checksum(), t.checksum());
+        assert_eq!(rebuilt.verify(), Ok(()));
     }
 
     #[test]

@@ -96,6 +96,7 @@ fn pool_throughput_recovers_after_worker_refork() {
         faults: Some(ServeFaults {
             seed: 13,
             rate_percent: 100,
+            armed_from: 0,
             armed_below: WAVE,
         }),
         ..LoadgenConfig::default()

@@ -1,0 +1,174 @@
+//! Shutdown-race properties of the bounded MPMC queue, std-only: no
+//! request may be lost or double-delivered across `close()`, however
+//! producers, consumers and the closer interleave. Seeded schedules
+//! vary the interleavings deterministically (thread start order,
+//! producer batching, close timing) so the suite probes many distinct
+//! races without any wall-clock flakiness in its *assertions* — every
+//! invariant checked holds for every possible interleaving.
+
+use serve::{BoundedQueue, PushError};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Duration;
+use xrand::Rng;
+
+/// Accepted-exactly-once accounting for one race run: every item a
+/// producer saw accepted must be popped exactly once; every rejected
+/// item must never be popped.
+fn run_race(seed: u64, capacity: usize, producers: usize, consumers: usize) {
+    let q = Arc::new(BoundedQueue::<u64>::new(capacity));
+    let start = Arc::new(Barrier::new(producers + consumers + 1));
+    let accepted = Arc::new(std::sync::Mutex::new(BTreeSet::new()));
+    let rejected = Arc::new(std::sync::Mutex::new(BTreeSet::new()));
+    let popped = Arc::new(std::sync::Mutex::new(Vec::new()));
+
+    let mut handles = Vec::new();
+    for p in 0..producers {
+        let q = Arc::clone(&q);
+        let start = Arc::clone(&start);
+        let accepted = Arc::clone(&accepted);
+        let rejected = Arc::clone(&rejected);
+        handles.push(thread::spawn(move || {
+            let mut rng = Rng::new(seed ^ (p as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            start.wait();
+            for i in 0..64u64 {
+                let item = (p as u64) << 32 | i;
+                // Seeded mix of submit disciplines, including bounded
+                // waits racing the close.
+                let result = match rng.below(3) {
+                    0 => q.try_push(item),
+                    1 => q.push_timeout(item, Duration::from_millis(rng.below(3))),
+                    _ => q.push_blocking(item).map_err(PushError::Closed),
+                };
+                match result {
+                    Ok(()) => {
+                        accepted.lock().unwrap().insert(item);
+                    }
+                    Err(PushError::Full(x) | PushError::Closed(x) | PushError::TimedOut(x)) => {
+                        // The item is always handed back, never eaten.
+                        assert_eq!(x, item);
+                        rejected.lock().unwrap().insert(item);
+                    }
+                }
+            }
+        }));
+    }
+    for c in 0..consumers {
+        let q = Arc::clone(&q);
+        let start = Arc::clone(&start);
+        let popped = Arc::clone(&popped);
+        handles.push(thread::spawn(move || {
+            let mut rng = Rng::new(seed ^ (c as u64 + 101).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            start.wait();
+            // Drain until close: pop_batch returning None is the only
+            // exit, so everything accepted before/through the close is
+            // delivered.
+            while let Some(batch) =
+                q.pop_batch(1 + rng.below(4) as usize, |a, b| a >> 32 == b >> 32)
+            {
+                popped.lock().unwrap().extend(batch);
+            }
+        }));
+    }
+
+    start.wait();
+    // Seeded close timing: from "immediately" to "after most pushes".
+    let mut rng = Rng::new(seed ^ 0xc105e);
+    thread::sleep(Duration::from_micros(rng.below(2_000)));
+    q.close();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Drain exactness: accepted == popped as multisets (both are sets
+    // of unique ids here), rejected ∩ popped == ∅.
+    let accepted = accepted.lock().unwrap();
+    let rejected = rejected.lock().unwrap();
+    let popped_items: BTreeSet<u64> = popped.lock().unwrap().iter().copied().collect();
+    assert_eq!(popped.lock().unwrap().len(), popped_items.len(), "dup pop");
+    assert_eq!(*accepted, popped_items, "accepted != delivered");
+    assert!(rejected.is_disjoint(&popped_items), "rejected item popped");
+    // Post-close: the queue is terminal for producers and consumers.
+    assert_eq!(q.try_push(u64::MAX), Err(PushError::Closed(u64::MAX)));
+    assert_eq!(q.pop_batch(8, |_, _| true), None);
+}
+
+#[test]
+fn seeded_schedules_never_lose_or_duplicate_across_close() {
+    for seed in 1..=6u64 {
+        run_race(seed, 4, 3, 2);
+    }
+}
+
+#[test]
+fn close_with_single_producer_consumer_tiny_capacity() {
+    for seed in [7u64, 8, 9] {
+        run_race(seed, 1, 1, 1);
+    }
+}
+
+#[test]
+fn pop_batch_racing_close_delivers_the_full_backlog() {
+    // Fill, then race close against a consumer that starts afterwards:
+    // everything queued before the close must still drain, in order.
+    let q = Arc::new(BoundedQueue::<u64>::new(16));
+    for i in 0..16u64 {
+        q.try_push(i).unwrap();
+    }
+    let q2 = Arc::clone(&q);
+    let closer = thread::spawn(move || q2.close());
+    let mut drained = Vec::new();
+    while let Some(batch) = q.pop_batch(4, |_, _| true) {
+        drained.extend(batch);
+    }
+    closer.join().unwrap();
+    assert_eq!(drained, (0..16).collect::<Vec<u64>>());
+}
+
+#[test]
+fn submit_after_close_is_typed_for_every_discipline() {
+    let q = BoundedQueue::<u64>::new(4);
+    q.close();
+    assert_eq!(q.try_push(1), Err(PushError::Closed(1)));
+    assert_eq!(q.push_blocking(2), Err(2));
+    assert_eq!(
+        q.push_timeout(3, Duration::from_secs(60)),
+        Err(PushError::Closed(3))
+    );
+    // Closing twice is idempotent.
+    q.close();
+    assert!(q.is_closed());
+}
+
+#[test]
+fn close_wakes_every_blocked_party() {
+    // Producers blocked on a full queue and consumers blocked on an
+    // empty one must all observe the close and exit — no one is left
+    // waiting forever.
+    let q = Arc::new(BoundedQueue::<u64>::new(1));
+    q.try_push(0).unwrap();
+    let woken = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for i in 0..3u64 {
+        let q = Arc::clone(&q);
+        let woken = Arc::clone(&woken);
+        handles.push(thread::spawn(move || {
+            // Blocks: the queue is full and nothing consumes.
+            let r = q.push_blocking(i + 1);
+            assert_eq!(r, Err(i + 1));
+            woken.fetch_add(1, Ordering::SeqCst);
+        }));
+    }
+    // Give the producers time to block, then close.
+    thread::sleep(Duration::from_millis(20));
+    q.close();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(woken.load(Ordering::SeqCst), 3);
+    // The item queued before the close still drains.
+    assert_eq!(q.pop_batch(8, |_, _| true), Some(vec![0]));
+    assert_eq!(q.pop_batch(8, |_, _| true), None);
+}

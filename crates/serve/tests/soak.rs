@@ -1,0 +1,80 @@
+//! Soak-campaign invariants: zero lost requests, every response
+//! typed, every resilience mechanism exercised, and a bit-identical
+//! digest across worker counts.
+
+use serve::{run_soak, ServedVia, SoakConfig, SoakPhase, SupervisorOutcome};
+
+const SCALE: u64 = 8;
+
+#[test]
+fn soak_loses_nothing_exercises_every_phase_and_replays_across_workers() {
+    let run = |workers: usize| {
+        run_soak(SoakConfig {
+            seed: 1,
+            workers,
+            scale: SCALE,
+            ..SoakConfig::default()
+        })
+        .expect("pool starts")
+    };
+    let base = run(2);
+
+    // Zero lost requests: every generated id resolved exactly once.
+    assert_eq!(base.lost_ids(), Vec::<u64>::new());
+    assert_eq!(base.responses.len(), (SCALE * 8) as usize);
+    let mut ids: Vec<u64> = base.responses.iter().map(|r| r.id).collect();
+    ids.dedup();
+    assert_eq!(ids.len(), base.responses.len(), "duplicate response ids");
+
+    // Every phase reported, in campaign order.
+    let phases: Vec<SoakPhase> = base.phases.iter().map(|p| p.phase).collect();
+    assert_eq!(phases, SoakPhase::ALL.to_vec());
+
+    // Every resilience mechanism actually fired.
+    let c = &base.counters;
+    assert!(c.shed() > 0, "no shedding: {c:?}");
+    assert!(c.retried > 0, "no deadline retries: {c:?}");
+    assert!(c.timed_out > 0, "no timeouts: {c:?}");
+    assert!(c.breaker_trips > 0, "no breaker trips: {c:?}");
+    assert!(c.fallback_served > 0, "no breaker fallback: {c:?}");
+    assert!(base.pool_stats.reaps > 0, "no reaps: {:?}", base.pool_stats);
+    assert!(
+        base.pool_stats.quarantines > 0,
+        "no quarantines: {:?}",
+        base.pool_stats
+    );
+    // Recovery re-closed every breaker.
+    assert!(base.breakers_closed, "breakers still open after recovery");
+
+    // Typed outputs: fallback/shed resolutions carry the golden model
+    // output and zero cycles; pool resolutions carry real cycles.
+    for r in &base.responses {
+        match r.via() {
+            ServedVia::GoldenFallback => assert_eq!(r.cycles, 0, "{r:?}"),
+            ServedVia::Pool => assert!(r.cycles > 0, "{r:?}"),
+        }
+        assert!(!r.output.is_empty(), "{r:?}");
+        if let SupervisorOutcome::TimedOut { deadline_cycles } = &r.outcome {
+            assert!(*deadline_cycles > 0);
+        }
+    }
+
+    // The whole campaign replays bit-identically across 1/2/8
+    // workers: digest AND every resilience counter.
+    for workers in [1usize, 8] {
+        let other = run(workers);
+        assert_eq!(base.digest, other.digest, "digest differs at {workers}w");
+        assert_eq!(
+            base.counters, other.counters,
+            "counters differ at {workers}w"
+        );
+        assert_eq!(
+            base.pool_stats.reaps, other.pool_stats.reaps,
+            "reaps differ at {workers}w"
+        );
+        assert_eq!(
+            base.pool_stats.quarantines, other.pool_stats.quarantines,
+            "quarantines differ at {workers}w"
+        );
+    }
+}
