@@ -30,6 +30,37 @@ echo "$lint_out" | grep -F "23 kernels lint-clean" > /dev/null || {
     exit 1
 }
 
+# SPMD race verification gate: the same 23 kernels must be *proved*
+# data-race-free on 8 harts — per-hart abstract execution shows every
+# barrier region write-disjoint, reads unsynced with no peer write,
+# DMA bands clear of compute footprints, and the dispatch slab
+# respected (DRF-01..05).
+echo "==> xpulpnn lint --races (all shipped kernels, 8 harts, race-free proof)"
+races_out=$(cargo run --release -q --locked -p xpulpnn-cli -- lint --races --cores 8)
+echo "$races_out" | grep -F "23 kernels race-clean" > /dev/null || {
+    echo "shipped kernels are no longer provably race-free:"
+    echo "$races_out"
+    exit 1
+}
+
+# Static/dynamic race-detector cross-validation: every cluster variant
+# on 1/2/4/8 harts must be clean under both the static verifier and
+# the merge's dynamic conflict detector, and injected races (tampered
+# dispatch table, missing barrier, overlapping DMA band) must be
+# caught by both at overlapping address ranges.
+echo "==> conformance races cross-validation (8 variants x 1/2/4/8 harts + 3 injected)"
+races_xv=$(cargo run --release -q --locked -p xpulpnn-cli -- conformance --races --seed 42)
+echo "$races_xv" | grep -F "32/32 clean configs agree" > /dev/null || {
+    echo "race-detector cross-validation disagreed:"
+    echo "$races_xv"
+    exit 1
+}
+echo "$races_xv" | grep -F "3/3 injected races caught by both detectors" > /dev/null || {
+    echo "an injected race escaped a detector:"
+    echo "$races_xv"
+    exit 1
+}
+
 # Lint-vs-execution cross-validation: lint-clean generated programs
 # must run trap-free, and dynamic uninit-read oracle hits must be
 # caught by the strict static profile.
@@ -65,7 +96,9 @@ echo "$faults_out" | grep -F "totals: detected=0 masked=13 sdc=3" > /dev/null ||
 
 # Cluster acceptance: the full kernel matrix stays bit-exact on every
 # cluster size, simulated cycles are invariant under host scheduling,
-# and the single-hart cluster stays pinned to the Fig. 8 measurement.
+# the merge's dynamic conflict counters stay pinned at zero on every
+# variant and cluster size, and the single-hart cluster stays pinned
+# to the Fig. 8 measurement.
 # (These run in the tier-1 suite too; re-running the release binary
 # here keeps the gate meaningful if the default test profile changes.)
 echo "==> cluster equivalence + determinism (release)"

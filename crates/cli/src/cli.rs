@@ -46,15 +46,21 @@ usage:
       interpreted and again under the decoded-block fast path (verified
       bit-exact), and BENCH_host_throughput.json records simulated
       cycles/second for both, the speedup and the block-cache hit rate
-  xpulpnn lint [<file.s>]
+  xpulpnn lint [<file.s>] [--races [--cores N]]
       statically verify a program: CFG + hardware-loop legality,
       dataflow (uninitialized reads, dead stores, reserved-register
       clobbers), abstract interpretation over address arithmetic
       (region containment, SIMD alignment, pv.qnt threshold trees);
       with no file, lints every shipped kernel and every 8-hart
       parallel cluster kernel against the tensor regions its layout
-      declares and fails on any diagnostic
+      declares and fails on any diagnostic; --races instead runs the
+      SPMD race verifier over the same kernels — per-hart abstract
+      execution proves all N harts (default 8) write-disjoint within
+      every barrier region (DRF-01..05: write/write overlap, unsynced
+      read of a peer write, DMA band overlap, barrier protocol,
+      dispatch-slab ownership) and fails on any finding
   xpulpnn conformance [--cases N] [--seed S] [--crossval] [--fastpath]
+                      [--races]
       differentially fuzz the cycle-approximate core against the
       independent reference interpreter on N random programs; on
       divergence, prints a shrunk repro and the exact replay command;
@@ -65,7 +71,13 @@ usage:
       generated program is linted and then executed with a dynamic
       uninit/out-of-bounds oracle (lint-clean programs must run
       trap-free, dynamic oracle hits must be caught statically or
-      land in the recorded imprecision counters)
+      land in the recorded imprecision counters);
+      --races instead cross-validates the static SPMD race verifier
+      against the cluster merge's dynamic conflict detector: every
+      shipped cluster variant on 1/2/4/8 harts must be clean on both
+      sides, and injected races (tampered dispatch table, missing
+      barrier, overlapping DMA band) must be caught by both at
+      overlapping address ranges
   xpulpnn faults [--seed S] [--trials N] [--replay V:T]
                  [--cluster [--cores N]]
       run a seeded transient-fault campaign over the eight-kernel
@@ -677,13 +689,37 @@ fn cmd_profile(args: &[String]) -> Result<String, CliError> {
 
 fn cmd_lint(args: &[String]) -> Result<String, CliError> {
     let mut path = None;
-    for a in args {
-        if a.starts_with("--") {
-            return Err(err(format!("unknown flag `{a}`")));
+    let mut races = false;
+    let mut cores = 8usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--races" => races = true,
+            "--cores" => {
+                let v = it.next().ok_or_else(|| err("--cores needs a value"))?;
+                cores = v
+                    .parse()
+                    .map_err(|_| err(format!("bad core count `{v}`")))?;
+                if !(1..=xpulpnn::pulp_kernels::cluster::MAX_HARTS).contains(&cores) {
+                    return Err(err(format!(
+                        "core count must be 1..={}",
+                        xpulpnn::pulp_kernels::cluster::MAX_HARTS
+                    )));
+                }
+            }
+            _ if a.starts_with("--") => return Err(err(format!("unknown flag `{a}`"))),
+            _ => {
+                if path.replace(a.as_str()).is_some() {
+                    return Err(err("multiple input files"));
+                }
+            }
         }
-        if path.replace(a.as_str()).is_some() {
-            return Err(err("multiple input files"));
+    }
+    if races {
+        if path.is_some() {
+            return Err(err("--races lints the shipped kernels, not a file"));
         }
+        return cmd_lint_races(cores);
     }
     if let Some(p) = path {
         // Lint one assembly file. No tensor regions are declared, so
@@ -720,6 +756,32 @@ fn cmd_lint(args: &[String]) -> Result<String, CliError> {
     }
 }
 
+/// `lint --races`: prove every shipped kernel data-race-free under the
+/// SPMD analyzer — single-core kernels trivially, cluster kernels by
+/// per-hart abstract execution over their dispatch/DMA contracts.
+fn cmd_lint_races(cores: usize) -> Result<String, CliError> {
+    let kernels = xpulpnn::lint::race_kernels(cores).map_err(|e| fail(e.to_string()))?;
+    let mut out = String::new();
+    let mut dirty = 0usize;
+    for k in &kernels {
+        let r = k.verify();
+        if r.race_clean() {
+            let _ = writeln!(out, "{:<28} {}", k.name, r.summary());
+        } else {
+            dirty += 1;
+            let _ = writeln!(out, "{:<28} RACY\n{}", k.name, r.render());
+        }
+    }
+    if dirty > 0 {
+        Err(fail(format!(
+            "{out}{dirty} kernel(s) failed race verification"
+        )))
+    } else {
+        let _ = writeln!(out, "{} kernels race-clean", kernels.len());
+        Ok(out)
+    }
+}
+
 /// Parsed options for `conformance`.
 #[derive(Debug, PartialEq, Eq)]
 pub struct ConformanceOpts {
@@ -734,6 +796,9 @@ pub struct ConformanceOpts {
     /// Lock-step the decoded-block fast path against the interpreter
     /// instead of the reference interpreter.
     pub fastpath: bool,
+    /// Cross-validate the static SPMD race verifier against the
+    /// cluster merge's dynamic conflict detector instead.
+    pub races: bool,
 }
 
 /// Parses the flags of the `conformance` subcommand.
@@ -743,12 +808,14 @@ pub fn parse_conformance_opts(args: &[String]) -> Result<ConformanceOpts, CliErr
         seed: 1,
         crossval: false,
         fastpath: false,
+        races: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--crossval" => o.crossval = true,
             "--fastpath" => o.fastpath = true,
+            "--races" => o.races = true,
             "--cases" => {
                 let v = it.next().ok_or_else(|| err("--cases needs a value"))?;
                 o.cases = v
@@ -762,14 +829,24 @@ pub fn parse_conformance_opts(args: &[String]) -> Result<ConformanceOpts, CliErr
             other => return Err(err(format!("unknown argument `{other}`"))),
         }
     }
-    if o.crossval && o.fastpath {
-        return Err(err("--crossval and --fastpath are mutually exclusive"));
+    if (o.crossval as u8) + (o.fastpath as u8) + (o.races as u8) > 1 {
+        return Err(err(
+            "--crossval, --fastpath and --races are mutually exclusive",
+        ));
     }
     Ok(o)
 }
 
 fn cmd_conformance(args: &[String]) -> Result<String, CliError> {
     let o = parse_conformance_opts(args)?;
+    if o.races {
+        let r = xpulpnn::races::run_races(o.seed).map_err(|e| fail(e.to_string()))?;
+        return if r.passed() {
+            Ok(r.render())
+        } else {
+            Err(fail(r.render()))
+        };
+    }
     if o.fastpath {
         let cfg = xpulpnn::conformance::FastDiffConfig::default();
         let report = xpulpnn::conformance::run_fast_suite(o.seed, o.cases, &cfg);
@@ -1307,6 +1384,7 @@ mod tests {
                 seed: 1,
                 crossval: false,
                 fastpath: false,
+                races: false,
             }
         );
 
@@ -1319,6 +1397,7 @@ mod tests {
                 seed: 7,
                 crossval: true,
                 fastpath: false,
+                races: false,
             }
         );
 
@@ -1326,10 +1405,16 @@ mod tests {
         assert!(o.fastpath);
         assert_eq!(o.cases, 5);
 
+        let o = parse_conformance_opts(&v(&["--races", "--seed", "9"])).unwrap();
+        assert!(o.races);
+        assert_eq!(o.seed, 9);
+
         assert!(parse_conformance_opts(&v(&["--cases"])).is_err());
         assert!(parse_conformance_opts(&v(&["--cases", "many"])).is_err());
         assert!(parse_conformance_opts(&v(&["--bogus"])).is_err());
         assert!(parse_conformance_opts(&v(&["--crossval", "--fastpath"])).is_err());
+        assert!(parse_conformance_opts(&v(&["--crossval", "--races"])).is_err());
+        assert!(parse_conformance_opts(&v(&["--fastpath", "--races"])).is_err());
     }
 
     #[test]
@@ -1369,6 +1454,16 @@ mod tests {
         assert!(out.contains("15 cases"), "{out}");
         assert!(out.contains("0 clean-but-trapped"), "{out}");
         assert!(out.contains("0 missed statically"), "{out}");
+    }
+
+    #[test]
+    fn conformance_races_smoke() {
+        let out = dispatch(&v(&["conformance", "--races", "--seed", "42"])).unwrap();
+        assert!(out.contains("32/32 clean configs agree"), "{out}");
+        assert!(
+            out.contains("3/3 injected races caught by both detectors"),
+            "{out}"
+        );
     }
 
     #[test]
@@ -1736,6 +1831,20 @@ mod tests {
         assert!(out.contains("23 kernels lint-clean"), "{out}");
         assert!(out.contains("conv/4-bit/xpulpnn/pv.qnt"), "{out}");
         assert!(out.contains("cluster-conv/"), "{out}");
+    }
+
+    #[test]
+    fn lint_races_proves_kernels_race_clean() {
+        // Small core count keeps the abstract execution fast in tests;
+        // ci.sh runs the full default 8-hart proof.
+        let out = dispatch(&v(&["lint", "--races", "--cores", "2"])).unwrap();
+        assert!(out.contains("23 kernels race-clean"), "{out}");
+        assert!(out.contains("cluster-conv/"), "{out}");
+
+        assert!(dispatch(&v(&["lint", "--races", "--cores", "0"])).is_err());
+        assert!(dispatch(&v(&["lint", "--races", "--cores", "9"])).is_err());
+        let e = dispatch(&v(&["lint", "--races", "some.s"])).unwrap_err();
+        assert!(e.usage, "{}", e.message);
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod experiments;
 pub mod lint;
 pub mod measure;
 pub mod network;
+pub mod races;
 pub mod report;
 
 pub use measure::{measure_paper_layer, profile_paper_layer, Error, LayerMeasurement};

@@ -10,9 +10,9 @@
 //! `xpulpnn lint` without any input vector having to hit the bug.
 
 use pulp_asm::Program;
-use pulp_kernels::cluster::ClusterPlan;
+use pulp_kernels::cluster::{ClusterPlan, PARAM_BYTES};
 use pulp_kernels::depthwise::{build_depthwise_program, DepthwiseKernelConfig};
-use pulp_kernels::descriptors::im2col_descriptors;
+use pulp_kernels::descriptors::{encode_descriptors, im2col_descriptors};
 use pulp_kernels::emit::{build_cluster_conv_program, build_conv_program, simd_fmt};
 use pulp_kernels::linear::{build_linear_program, LinearKernelConfig};
 use pulp_kernels::pool::{build_relu_program, PoolKernelConfig, PoolOp, PoolTestbench};
@@ -25,7 +25,9 @@ use qnn::linear::LinearShape;
 use qnn::pool::PoolShape;
 use qnn::BitWidth;
 use riscv_core::quant::tree_stride;
-use xcheck::{LintConfig, LintReport, Region};
+use xcheck::{
+    analyze_spmd, DispatchSlab, DmaBand, LintConfig, LintReport, Region, SpmdConfig, SpmdReport,
+};
 
 /// One shipped kernel program plus the lint contract it must satisfy.
 pub struct ShippedKernel {
@@ -323,6 +325,101 @@ pub fn cluster_kernels(n_harts: usize) -> Result<Vec<ShippedKernel>, BuildError>
     Ok(kernels)
 }
 
+/// The SPMD race-verification contract for one cluster plan, built from
+/// the *same* plan the DMA schedule stages:
+///
+/// - known memory = exactly what the prologue DMA ships and kernel
+///   control flow depends on — the cursor/record image and the encoded
+///   im2col descriptors. Tensor data (input, weights, thresholds) stays
+///   ⊤: the verifier proves control flow never depends on it;
+/// - DRF-05 ownership: hart `h` owns its cursor word and its own
+///   hart-major parameter-record row inside the dispatch slab;
+/// - DRF-03 schedule: the input-band delta for band `t + 1` lands while
+///   barrier region `t` computes ([`ClusterPlan::band_transfer`]).
+pub fn spmd_config(plan: &ClusterPlan) -> SpmdConfig {
+    let t = &plan.tcdm;
+    let tiles = t.tiles;
+    let mut c = SpmdConfig::new(t.n_harts, EU_BARRIER);
+    c.regions = cluster_regions(plan);
+    c.memory.push((t.cursors, plan.param_image()));
+    c.memory
+        .push((t.descriptors, encode_descriptors(&plan.descriptors)));
+    c.slabs.push(DispatchSlab {
+        name: "dispatch".to_string(),
+        base: t.cursors,
+        len: t.descriptors - t.cursors,
+        allowed: (0..t.n_harts)
+            .map(|h| {
+                vec![
+                    (t.cursors + 4 * h as u32, 4),
+                    (
+                        t.params + (h * (tiles + 1)) as u32 * PARAM_BYTES,
+                        (tiles as u32 + 1) * PARAM_BYTES,
+                    ),
+                ]
+            })
+            .collect(),
+    });
+    let l2 = LayerLayout::default_for_l2();
+    for r in 0..tiles {
+        if let Some(x) = plan.band_transfer(&l2, r) {
+            c.dma.push(DmaBand {
+                name: format!("band {}", r + 1),
+                region: r,
+                base: x.dst,
+                len: x.bytes,
+            });
+        }
+    }
+    c
+}
+
+/// One shipped kernel with its SPMD race-verification contract.
+pub struct RaceKernel {
+    /// Report name, matching the lint suite's naming.
+    pub name: String,
+    /// The emitted program.
+    pub program: Program,
+    /// The verification contract.
+    pub config: SpmdConfig,
+}
+
+impl RaceKernel {
+    /// Runs the SPMD race verifier on this kernel.
+    pub fn verify(&self) -> SpmdReport {
+        analyze_spmd(&self.program, &self.config)
+    }
+}
+
+/// The full race-verification suite: the 15 single-core kernels (one
+/// hart cannot race — the verifier short-circuits them clean, keeping
+/// the suite's count honest about what was checked) plus the 8 cluster
+/// convolution variants on `n_harts` harts with their full contracts.
+///
+/// # Errors
+///
+/// [`BuildError`] only for emitter bugs (the configurations are fixed).
+pub fn race_kernels(n_harts: usize) -> Result<Vec<RaceKernel>, BuildError> {
+    let mut kernels: Vec<RaceKernel> = shipped_kernels()?
+        .into_iter()
+        .map(|k| RaceKernel {
+            name: k.name,
+            program: k.program,
+            config: SpmdConfig::new(1, EU_BARRIER),
+        })
+        .collect();
+    for cfg in conv_variants() {
+        let plan = ClusterPlan::new(&cfg, n_harts)?;
+        let program = build_cluster_conv_program(&cfg, &plan.tcdm)?;
+        kernels.push(RaceKernel {
+            name: format!("cluster-conv/{}", cfg.name()),
+            program,
+            config: spmd_config(&plan),
+        });
+    }
+    Ok(kernels)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,6 +449,47 @@ mod tests {
             let r = k.lint();
             assert!(r.clean(), "{} is not lint-clean:\n{}", k.name, r.render());
         }
+    }
+
+    #[test]
+    fn race_suite_covers_all_twenty_three_kernels() {
+        let kernels = race_kernels(8).expect("emitters");
+        assert_eq!(kernels.len(), 23, "15 single-core + 8 cluster");
+        let cluster = kernels
+            .iter()
+            .filter(|k| k.name.starts_with("cluster-conv/"))
+            .count();
+        assert_eq!(cluster, 8);
+    }
+
+    #[test]
+    fn every_kernel_is_race_clean() {
+        for k in race_kernels(8).expect("emitters") {
+            let r = k.verify();
+            assert!(
+                r.race_clean(),
+                "{} is not race-clean:\n{}",
+                k.name,
+                r.render()
+            );
+        }
+    }
+
+    #[test]
+    fn tampered_plan_with_overlapping_outputs_is_caught() {
+        // Overlap two harts' output chunks in the *plan* (the program
+        // is untouched): the verifier reads the staged parameter image
+        // and must fire DRF-01 on the overlapping output range.
+        let cfg = ConvKernelConfig::paper(qnn::BitWidth::W4, KernelIsa::XpulpNN, true);
+        let mut plan = ClusterPlan::new(&cfg, 8).expect("plan");
+        let tiles = plan.tcdm.tiles;
+        plan.records[tiles + 1].out_ptr = plan.records[0].out_ptr; // hart 1 tile 0 → hart 0's chunk
+        let program = build_cluster_conv_program(&cfg, &plan.tcdm).expect("emit");
+        let r = analyze_spmd(&program, &spmd_config(&plan));
+        assert!(!r.race_clean());
+        assert!(r.findings.iter().any(
+            |f| f.rule == xcheck::Rule::DrfWriteOverlap && f.contains(plan.records[0].out_ptr)
+        ));
     }
 
     #[test]

@@ -1,0 +1,390 @@
+//! Static/dynamic race-detector cross-validation.
+//!
+//! The SPMD race verifier ([`xcheck::analyze_spmd`]) and the cluster
+//! merge's conflict detector ([`pulp_cluster::ClusterStats`]) are two
+//! independent implementations of the same data-race-freedom judgment:
+//! one proves it over abstract per-hart footprints before anything
+//! runs, the other observes it on concrete byte ranges while the
+//! kernels execute. This module asserts they agree in both directions:
+//!
+//! * **Clean side** — every shipped cluster convolution variant, on
+//!   every supported cluster size, is proved race-free statically *and*
+//!   runs with zero dynamic conflict bytes (and still matches the
+//!   golden model).
+//! * **Racy side** — hand-broken kernels (a tampered dispatch table
+//!   whose output rows overlap, a reduction missing its barrier, a DMA
+//!   band scheduled over live compute addresses) are caught by *both*
+//!   detectors, and the static finding's address range overlaps the
+//!   dynamic conflict record's range.
+//!
+//! Driven by `xpulpnn conformance --races` and the corresponding
+//! `ci.sh` stage.
+
+use std::fmt;
+
+use pulp_asm::Asm;
+use pulp_cluster::{ClusterConvTestbench, ClusterSim, ConflictKind, ConflictRec};
+use pulp_isa::{Instr, Reg};
+use pulp_kernels::{ConvKernelConfig, KernelIsa};
+use pulp_soc::cluster::{ClusterMem, DmaTransfer, EU_BARRIER, TCDM_BASE};
+use pulp_soc::{CODE_BASE, L2_BASE};
+use qnn::conv::ConvShape;
+use qnn::BitWidth;
+use riscv_core::IsaConfig;
+use xcheck::{analyze_spmd, DmaBand, RaceFinding, Region, Rule, SpmdConfig};
+
+use crate::lint::spmd_config;
+
+/// Harness failure (not a detector disagreement — those are recorded
+/// in the report and fail [`RacesReport::passed`]).
+#[derive(Debug)]
+pub enum RacesError {
+    /// A kernel or plan could not be built.
+    Build(String),
+    /// A cluster run trapped.
+    Run(String),
+}
+
+impl fmt::Display for RacesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RacesError::Build(e) => write!(f, "build failed: {e}"),
+            RacesError::Run(e) => write!(f, "cluster run failed: {e}"),
+        }
+    }
+}
+
+/// One clean-matrix cell: a shipped variant on one cluster size,
+/// judged by both detectors.
+#[derive(Debug, Clone)]
+pub struct CleanOutcome {
+    /// Kernel variant name.
+    pub name: String,
+    /// Cluster size.
+    pub n_harts: usize,
+    /// The static verifier proved the kernel race-free.
+    pub static_clean: bool,
+    /// The run finished with zero dynamic conflict bytes.
+    pub dynamic_clean: bool,
+    /// The run's output matched the golden model.
+    pub matches: bool,
+}
+
+impl CleanOutcome {
+    /// Both detectors agree the kernel is race-free and the output is
+    /// correct.
+    pub fn ok(&self) -> bool {
+        self.static_clean && self.dynamic_clean && self.matches
+    }
+}
+
+/// One injected-race case: both detectors must fire, on overlapping
+/// address ranges.
+#[derive(Debug, Clone)]
+pub struct InjectedOutcome {
+    /// Case name.
+    pub name: String,
+    /// The DRF rule the static verifier is expected to fire.
+    pub rule: Rule,
+    /// Static finding range `[lo, hi)`, when the expected rule fired.
+    pub static_range: Option<(u32, u32)>,
+    /// Dynamic conflict-record range `[lo, hi)`, when the matching
+    /// conflict kind was observed.
+    pub dynamic_range: Option<(u32, u32)>,
+}
+
+impl InjectedOutcome {
+    /// Both detectors fired and their reported ranges overlap.
+    pub fn agree(&self) -> bool {
+        match (self.static_range, self.dynamic_range) {
+            (Some((sl, sh)), Some((dl, dh))) => sl < dh && dl < sh,
+            _ => false,
+        }
+    }
+}
+
+/// Result of the full cross-validation run.
+#[derive(Debug)]
+pub struct RacesReport {
+    /// Clean-matrix outcomes (variant × cluster size).
+    pub clean: Vec<CleanOutcome>,
+    /// Injected-race outcomes.
+    pub injected: Vec<InjectedOutcome>,
+}
+
+impl RacesReport {
+    /// True when every clean cell is race-free on both sides and every
+    /// injected race was caught by both, at overlapping addresses.
+    pub fn passed(&self) -> bool {
+        self.clean.iter().all(CleanOutcome::ok) && self.injected.iter().all(InjectedOutcome::agree)
+    }
+
+    /// Human-readable summary table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for c in &self.clean {
+            out.push_str(&format!(
+                "{:<28} n={} static={} dynamic={} golden={}\n",
+                c.name,
+                c.n_harts,
+                if c.static_clean { "clean" } else { "RACY" },
+                if c.dynamic_clean { "clean" } else { "RACY" },
+                if c.matches { "ok" } else { "MISMATCH" },
+            ));
+        }
+        for i in &self.injected {
+            let fmt_range = |r: Option<(u32, u32)>| match r {
+                Some((lo, hi)) => format!("[{lo:#010x},{hi:#010x})"),
+                None => "MISSED".to_string(),
+            };
+            out.push_str(&format!(
+                "inject {:<24} {} static={} dynamic={} {}\n",
+                i.name,
+                i.rule.id(),
+                fmt_range(i.static_range),
+                fmt_range(i.dynamic_range),
+                if i.agree() { "agree" } else { "DISAGREE" },
+            ));
+        }
+        let clean_ok = self.clean.iter().filter(|c| c.ok()).count();
+        let inj_ok = self.injected.iter().filter(|i| i.agree()).count();
+        out.push_str(&format!(
+            "races crossval: {clean_ok}/{} clean configs agree, {inj_ok}/{} injected races caught by both detectors\n",
+            self.clean.len(),
+            self.injected.len(),
+        ));
+        out
+    }
+}
+
+/// The small fault-campaign layer: padded, several channel blocks,
+/// word-aligned at every width — big enough to exercise the full
+/// dispatch/DMA schedule, small enough to run the whole matrix fast.
+fn small_variants() -> Vec<ConvKernelConfig> {
+    let mk = |bits: BitWidth, isa, hw| {
+        let mut cfg = ConvKernelConfig::paper(bits, isa, hw);
+        cfg.shape = ConvShape {
+            in_h: 4,
+            in_w: 4,
+            in_c: (32 / bits.bits() as usize) * 2,
+            out_c: 8,
+            k_h: 3,
+            k_w: 3,
+            stride: 1,
+            pad: 1,
+        };
+        cfg
+    };
+    vec![
+        mk(BitWidth::W8, KernelIsa::XpulpV2, false),
+        mk(BitWidth::W8, KernelIsa::XpulpNN, false),
+        mk(BitWidth::W4, KernelIsa::XpulpV2, false),
+        mk(BitWidth::W4, KernelIsa::XpulpNN, false),
+        mk(BitWidth::W4, KernelIsa::XpulpNN, true),
+        mk(BitWidth::W2, KernelIsa::XpulpV2, false),
+        mk(BitWidth::W2, KernelIsa::XpulpNN, false),
+        mk(BitWidth::W2, KernelIsa::XpulpNN, true),
+    ]
+}
+
+/// First static finding of `rule` as an address range.
+fn finding_range(findings: &[RaceFinding], rule: Rule) -> Option<(u32, u32)> {
+    findings
+        .iter()
+        .find(|f| f.rule == rule)
+        .map(|f| (f.lo, f.hi))
+}
+
+/// First dynamic conflict record of `kind` as an address range.
+fn conflict_range(log: &[ConflictRec], kind: ConflictKind) -> Option<(u32, u32)> {
+    log.iter().find(|r| r.kind == kind).map(|r| (r.lo, r.hi))
+}
+
+fn csrr_mhartid(a: &mut Asm, rd: Reg) {
+    a.i(Instr::Csr {
+        op: 1,
+        rd,
+        rs1: Reg::Zero,
+        csr: pulp_isa::csr::MHARTID,
+    });
+}
+
+/// A 2-hart config over the TCDM for the hand-built injected kernels.
+fn tcdm_cfg() -> SpmdConfig {
+    let mut c = SpmdConfig::new(2, EU_BARRIER);
+    c.regions = vec![Region::new("tcdm", TCDM_BASE, 0x1_0000)];
+    c
+}
+
+/// Runs a hand-built program on a 2-hart cluster, one region at a
+/// time, returning the finished sim.
+fn run_raw(
+    prog: &pulp_asm::Program,
+    replay_reads: bool,
+    overlap: Option<&DmaTransfer>,
+    stage: impl FnOnce(&mut ClusterMem),
+) -> Result<ClusterSim, RacesError> {
+    let mut mem = ClusterMem::new();
+    mem.load(prog);
+    stage(&mut mem);
+    let mut sim = ClusterSim::new(IsaConfig::xpulpnn(), 2, mem);
+    sim.set_read_replay(replay_reads);
+    sim.start(prog.base);
+    while !sim
+        .run_region(100_000, overlap)
+        .map_err(|e| RacesError::Run(e.to_string()))?
+    {}
+    Ok(sim)
+}
+
+/// Injected race 1 — DRF-01 / write-write: tamper the dispatch table
+/// so hart 1's first output row aliases hart 0's tile-0 output.
+fn inject_tampered_out_ptr(seed: u64) -> Result<InjectedOutcome, RacesError> {
+    let cfg = small_variants()[4]; // W4 / XpulpNN / pv.qnt
+    let mut tb =
+        ClusterConvTestbench::new(cfg, 2, seed).map_err(|e| RacesError::Build(e.to_string()))?;
+    let tiles = tb.plan.tcdm.tiles;
+    tb.plan.records[tiles + 1].out_ptr = tb.plan.records[0].out_ptr;
+
+    let report = analyze_spmd(&tb.program, &spmd_config(&tb.plan));
+    let mut sim = tb.stage();
+    tb.drive(&mut sim)
+        .map_err(|e| RacesError::Run(e.to_string()))?;
+    Ok(InjectedOutcome {
+        name: "tampered-out-ptr".to_string(),
+        rule: Rule::DrfWriteOverlap,
+        static_range: finding_range(&report.findings, Rule::DrfWriteOverlap),
+        dynamic_range: conflict_range(&sim.conflict_log, ConflictKind::WriteWrite),
+    })
+}
+
+/// Injected race 2 — DRF-02 / read-write: each hart publishes a word
+/// then reads its neighbour's slot with no barrier in between.
+fn inject_missing_barrier() -> Result<InjectedOutcome, RacesError> {
+    let mut a = Asm::new(CODE_BASE);
+    csrr_mhartid(&mut a, Reg::T0);
+    a.slli(Reg::T1, Reg::T0, 2);
+    a.li(Reg::T2, TCDM_BASE as i32);
+    a.add(Reg::T1, Reg::T1, Reg::T2);
+    a.sw(Reg::T0, 0, Reg::T1); // mine[id] = id — no barrier!
+    a.addi(Reg::T4, Reg::T0, 1);
+    a.li(Reg::T5, 2);
+    a.bne(Reg::T4, Reg::T5, "no_wrap");
+    a.li(Reg::T4, 0);
+    a.label("no_wrap");
+    a.slli(Reg::T4, Reg::T4, 2);
+    a.add(Reg::T4, Reg::T4, Reg::T2);
+    a.lw(Reg::A0, 0, Reg::T4); // neighbour's slot, same region
+    a.ecall();
+    let prog = a.assemble().map_err(|e| RacesError::Build(e.to_string()))?;
+
+    let report = analyze_spmd(&prog, &tcdm_cfg());
+    let sim = run_raw(&prog, true, None, |_| {})?;
+    Ok(InjectedOutcome {
+        name: "missing-barrier-read".to_string(),
+        rule: Rule::DrfReadOfPeerWrite,
+        static_range: finding_range(&report.findings, Rule::DrfReadOfPeerWrite),
+        dynamic_range: conflict_range(&sim.conflict_log, ConflictKind::ReadWrite),
+    })
+}
+
+/// Injected race 3 — DRF-03 / DMA overlap: an input band lands on the
+/// words the harts are writing in the same region.
+fn inject_dma_band_overlap() -> Result<InjectedOutcome, RacesError> {
+    const SCRATCH: u32 = TCDM_BASE + 0x400;
+    let mut a = Asm::new(CODE_BASE);
+    csrr_mhartid(&mut a, Reg::T0);
+    a.slli(Reg::T1, Reg::T0, 2);
+    a.li(Reg::T2, SCRATCH as i32);
+    a.add(Reg::T1, Reg::T1, Reg::T2);
+    a.sw(Reg::T0, 0, Reg::T1);
+    a.li(Reg::A0, 0);
+    a.ecall();
+    let prog = a.assemble().map_err(|e| RacesError::Build(e.to_string()))?;
+
+    let mut cfg = tcdm_cfg();
+    cfg.dma.push(DmaBand {
+        name: "band 1".to_string(),
+        region: 0,
+        base: SCRATCH,
+        len: 64,
+    });
+    let report = analyze_spmd(&prog, &cfg);
+
+    let band = DmaTransfer {
+        src: L2_BASE + 0x4000,
+        dst: SCRATCH,
+        bytes: 64,
+    };
+    let sim = run_raw(&prog, false, Some(&band), |mem| {
+        mem.write_bytes(band.src, &[0xa5; 64]);
+    })?;
+    Ok(InjectedOutcome {
+        name: "dma-band-overlap".to_string(),
+        rule: Rule::DrfDmaOverlap,
+        static_range: finding_range(&report.findings, Rule::DrfDmaOverlap),
+        dynamic_range: conflict_range(&sim.conflict_log, ConflictKind::DmaOverlap),
+    })
+}
+
+/// Runs the full cross-validation: the clean variant × cluster-size
+/// matrix, then the injected races.
+///
+/// # Errors
+///
+/// [`RacesError`] only for harness failures (a kernel that fails to
+/// build or a run that traps). Detector disagreements are *results*,
+/// reported via [`RacesReport::passed`].
+pub fn run_races(seed: u64) -> Result<RacesReport, RacesError> {
+    let mut clean = Vec::new();
+    for cfg in small_variants() {
+        for n in [1, 2, 4, 8] {
+            let tb = ClusterConvTestbench::new(cfg, n, seed)
+                .map_err(|e| RacesError::Build(e.to_string()))?;
+            let report = analyze_spmd(&tb.program, &spmd_config(&tb.plan));
+            let r = tb.run(2).map_err(|e| RacesError::Run(e.to_string()))?;
+            clean.push(CleanOutcome {
+                name: format!("cluster-conv/{}", cfg.name()),
+                n_harts: n,
+                static_clean: report.race_clean(),
+                dynamic_clean: r.stats.conflict_bytes() == 0,
+                matches: r.matches(),
+            });
+        }
+    }
+    let injected = vec![
+        inject_tampered_out_ptr(seed)?,
+        inject_missing_barrier()?,
+        inject_dma_band_overlap()?,
+    ];
+    Ok(RacesReport { clean, injected })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossval_agrees_on_clean_and_injected_kernels() {
+        let report = run_races(42).unwrap();
+        assert_eq!(report.clean.len(), 8 * 4);
+        assert_eq!(report.injected.len(), 3);
+        assert!(report.passed(), "{}", report.render());
+        assert!(report.render().contains("32/32 clean configs agree"));
+        assert!(report.render().contains("3/3 injected races"));
+    }
+
+    #[test]
+    fn injected_ranges_overlap_exactly_where_expected() {
+        let report = run_races(42).unwrap();
+        for i in &report.injected {
+            let (sl, sh) = i
+                .static_range
+                .unwrap_or_else(|| panic!("{}: static missed", i.name));
+            let (dl, dh) = i
+                .dynamic_range
+                .unwrap_or_else(|| panic!("{}: dynamic missed", i.name));
+            assert!(sl < dh && dl < sh, "{}: ranges disjoint", i.name);
+        }
+    }
+}

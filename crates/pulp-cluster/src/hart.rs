@@ -75,6 +75,14 @@ pub struct HartPort {
     pub console: Vec<u8>,
     /// Ordered write log.
     pub writes: Vec<WriteRec>,
+    /// Ordered read log (`(addr, size)`), populated only when
+    /// [`HartPort::log_reads`] is set — the debug-replay input for the
+    /// merge's cross-hart read-after-unmerged-write detector.
+    pub reads: Vec<(u32, u32)>,
+    /// Enables the read log. Off by default: the conflict detector
+    /// only needs it for read/write replay, and the log is hot-path
+    /// overhead otherwise.
+    pub log_reads: bool,
     /// TCDM access trace for the bank arbiter.
     pub trace: Vec<BankEvent>,
     region_start: u64,
@@ -92,6 +100,8 @@ impl HartPort {
             tcdm: mem.tcdm.clone(),
             console: Vec::new(),
             writes: Vec::new(),
+            reads: Vec::new(),
+            log_reads: false,
             trace: Vec::new(),
             region_start,
             now: region_start,
@@ -138,9 +148,15 @@ impl Bus for HartPort {
     fn read(&mut self, addr: u32, size: u32) -> Result<u32, BusError> {
         if let Some(off) = self.tcdm_off(addr, size) {
             self.note_tcdm(addr);
+            if self.log_reads {
+                self.reads.push((addr, size));
+            }
             return Ok(le_read(&self.tcdm, off, size));
         }
         if let Some(off) = self.l2_off(addr, size) {
+            if self.log_reads {
+                self.reads.push((addr, size));
+            }
             return Ok(le_read(&self.l2, off, size));
         }
         Err(BusError {

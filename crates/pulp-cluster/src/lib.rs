@@ -36,7 +36,7 @@ pub mod testbench;
 pub use arbiter::{arbitrate, Arbitration};
 pub use hart::{BankEvent, HartPort, RegionEnd, WriteRec};
 pub use raw::{run_spmd, RawRunReport};
-pub use sim::{ClusterSim, ClusterSnapshot, ClusterStats};
+pub use sim::{ClusterSim, ClusterSnapshot, ClusterStats, ConflictKind, ConflictRec};
 pub use testbench::{ClusterConvTestbench, ClusterRunResult};
 
 use riscv_core::Trap;

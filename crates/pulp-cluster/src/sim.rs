@@ -11,7 +11,15 @@
 //! 3. **time merge** — the region lasts as long as its slowest hart
 //!    (execution + conflict delay), max-plus semantics;
 //! 4. **state merge** — write logs and console bytes apply to the
-//!    shared image in hart-id order;
+//!    shared image in hart-id order. Before the logs apply, the merge
+//!    cross-checks them: bytes written by more than one hart in the
+//!    same region (and, under [`ClusterSim::set_read_replay`], bytes
+//!    one hart read while another hart's unmerged write to them was
+//!    pending) are *races* the hart-order replay would silently
+//!    resolve lowest-hart-last — they are counted in
+//!    [`ClusterStats::write_conflicts`] / `read_conflicts` /
+//!    `dma_conflicts` and recorded as typed [`ConflictRec`]s instead
+//!    of being masked;
 //! 5. **DMA overlap** — an optional background transfer (the next
 //!    input band) costs `max(region, dma)` instead of `region + dma`,
 //!    the double-buffering payoff; its bytes land at the merge.
@@ -46,6 +54,23 @@ pub struct ClusterStats {
     pub dma_writeback: u64,
     /// Barrier-delimited regions executed.
     pub regions: u64,
+    /// Cross-hart same-region write/write collision bytes: for every
+    /// unordered hart pair, the bytes both harts wrote between the
+    /// same two barriers. Zero for every race-free kernel; nonzero
+    /// means the hart-order merge silently picked the higher hart's
+    /// value (the dynamic counterpart of static rule DRF-01).
+    pub write_conflicts: u64,
+    /// Cross-hart same-region read-of-unmerged-write bytes, counted
+    /// only when read replay is enabled via
+    /// [`ClusterSim::set_read_replay`] (the dynamic counterpart of
+    /// DRF-02): the reader observed its private pre-merge clone, not
+    /// the peer's write.
+    pub read_conflicts: u64,
+    /// Bytes an overlapped background DMA transfer landed on that some
+    /// hart read or wrote within the overlapped region (the dynamic
+    /// counterpart of DRF-03): the transfer applies after the merge,
+    /// so the hart raced the engine.
+    pub dma_conflicts: u64,
 }
 
 impl ClusterStats {
@@ -60,13 +85,122 @@ impl ClusterStats {
             dma_exposed: 0,
             dma_writeback: 0,
             regions: 0,
+            write_conflicts: 0,
+            read_conflicts: 0,
+            dma_conflicts: 0,
         }
+    }
+
+    /// Total conflict bytes across all three detectors.
+    pub fn conflict_bytes(&self) -> u64 {
+        self.write_conflicts + self.read_conflicts + self.dma_conflicts
     }
 
     /// Total background DMA cycles (hidden + exposed).
     pub fn dma_overlapped(&self) -> u64 {
         self.dma_hidden + self.dma_exposed
     }
+}
+
+/// What kind of same-region collision the merge detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConflictKind {
+    /// Two harts wrote the same bytes (DRF-01's dynamic counterpart).
+    WriteWrite,
+    /// `hart_a` read bytes `hart_b` wrote in the same region, so it
+    /// saw its pre-merge private clone (DRF-02's counterpart; only
+    /// detected under [`ClusterSim::set_read_replay`]).
+    ReadWrite,
+    /// An overlapped DMA transfer landed on bytes `hart_a` touched in
+    /// the overlapped region (DRF-03's counterpart).
+    DmaOverlap,
+}
+
+/// One detected same-region collision, `[lo, hi)` bytes wide. The
+/// merge records at most [`CONFLICT_LOG_CAP`] of these (the counters
+/// in [`ClusterStats`] keep exact totals); records are deterministic —
+/// harts ascending, then address ascending — for any `host_threads`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConflictRec {
+    /// Zero-based region index ([`ClusterStats::regions`] at detection
+    /// time).
+    pub region: u64,
+    /// Which detector fired.
+    pub kind: ConflictKind,
+    /// First colliding byte.
+    pub lo: u32,
+    /// One past the last colliding byte.
+    pub hi: u32,
+    /// The first party (the reader for [`ConflictKind::ReadWrite`]).
+    pub hart_a: usize,
+    /// The second party; `None` is the DMA engine.
+    pub hart_b: Option<usize>,
+}
+
+impl ConflictRec {
+    /// True when `addr` falls inside the colliding byte range — how
+    /// the conformance cross-validation matches a dynamic report
+    /// against a static DRF finding's address range.
+    pub fn contains(&self, addr: u32) -> bool {
+        self.lo <= addr && addr < self.hi
+    }
+}
+
+impl std::fmt::Display for ConflictRec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self.kind {
+            ConflictKind::WriteWrite => "write/write",
+            ConflictKind::ReadWrite => "read/write",
+            ConflictKind::DmaOverlap => "dma-overlap",
+        };
+        let peer = match self.hart_b {
+            Some(h) => format!("hart {h}"),
+            None => "dma".to_string(),
+        };
+        write!(
+            f,
+            "region {}: {} conflict [{:#010x},{:#010x}) hart {} vs {}",
+            self.region, kind, self.lo, self.hi, self.hart_a, peer
+        )
+    }
+}
+
+/// Upper bound on retained [`ConflictRec`]s; see
+/// [`ClusterSim::conflict_log`].
+pub const CONFLICT_LOG_CAP: usize = 64;
+
+/// Coalesces `(lo, hi)` byte intervals into sorted disjoint form.
+fn coalesce(mut spans: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+    spans.sort_unstable();
+    let mut out: Vec<(u32, u32)> = Vec::new();
+    for (lo, hi) in spans {
+        match out.last_mut() {
+            Some(last) if lo <= last.1 => last.1 = last.1.max(hi),
+            _ => out.push((lo, hi)),
+        }
+    }
+    out
+}
+
+/// Sweeps two sorted disjoint interval lists, invoking `on_hit` per
+/// overlapping sub-range and returning the total overlapping bytes.
+fn overlap_bytes(a: &[(u32, u32)], b: &[(u32, u32)], mut on_hit: impl FnMut(u32, u32)) -> u64 {
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut bytes = 0u64;
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if lo < hi {
+            bytes += u64::from(hi - lo);
+            on_hit(lo, hi);
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    bytes
 }
 
 /// A checkpoint of the complete cluster state: every hart's
@@ -84,6 +218,7 @@ pub struct ClusterSnapshot {
     halted: Vec<bool>,
     exit_codes: Vec<u32>,
     stats: ClusterStats,
+    conflicts: Vec<ConflictRec>,
 }
 
 impl ClusterSnapshot {
@@ -104,11 +239,16 @@ pub struct ClusterSim {
     pub stats: ClusterStats,
     /// Console bytes, merged in hart order at each region boundary.
     pub console: Vec<u8>,
+    /// Typed records of detected same-region collisions, capped at
+    /// [`CONFLICT_LOG_CAP`] (the [`ClusterStats`] counters stay exact
+    /// past the cap).
+    pub conflict_log: Vec<ConflictRec>,
     harts: Vec<Core>,
     halted: Vec<bool>,
     exit_codes: Vec<u32>,
     clock: u64,
     host_threads: usize,
+    replay_reads: bool,
 }
 
 impl ClusterSim {
@@ -120,6 +260,7 @@ impl ClusterSim {
             dma: DmaModel::default(),
             stats: ClusterStats::new(n_harts),
             console: Vec::new(),
+            conflict_log: Vec::new(),
             harts: (0..n_harts)
                 .map(|h| Core::with_hartid(isa, h as u32))
                 .collect(),
@@ -127,6 +268,7 @@ impl ClusterSim {
             exit_codes: vec![0; n_harts],
             clock: 0,
             host_threads: 1,
+            replay_reads: false,
         }
     }
 
@@ -149,6 +291,16 @@ impl ClusterSim {
     /// host-side knob: simulated results are identical for any value.
     pub fn set_host_threads(&mut self, n: usize) {
         self.host_threads = n.max(1);
+    }
+
+    /// Enables debug read replay: harts log their reads and the merge
+    /// additionally detects cross-hart read-after-unmerged-write
+    /// ([`ClusterStats::read_conflicts`], [`ConflictKind::ReadWrite`]).
+    /// Off by default — read logging is hot-path overhead and the
+    /// write/write and DMA detectors do not need it. The knob never
+    /// changes simulated time or memory contents.
+    pub fn set_read_replay(&mut self, on: bool) {
+        self.replay_reads = on;
     }
 
     /// Enables the decoded-block fast path on every hart (see
@@ -220,10 +372,12 @@ impl ClusterSim {
         let n = self.harts.len();
         let mem = &self.mem;
         let halted = &self.halted;
+        let replay_reads = self.replay_reads;
         let mut tasks: Vec<(usize, &mut Core, HartPort)> = Vec::new();
         for (h, core) in self.harts.iter_mut().enumerate() {
             if !halted[h] {
-                let port = HartPort::new(mem, core.perf.cycles);
+                let mut port = HartPort::new(mem, core.perf.cycles);
+                port.log_reads = replay_reads;
                 tasks.push((h, core, port));
             }
         }
@@ -278,6 +432,85 @@ impl ClusterSim {
         for (h, _, _, exec) in &results {
             region_time = region_time.max(exec + arb.delay[*h]);
         }
+
+        // Conflict detection: pure observation over the write (and,
+        // under read replay, read) logs *before* they merge — the
+        // merge below is byte-identical with or without it. Results
+        // are already in hart-id order, so counters and records are
+        // deterministic for any host_threads.
+        let region_idx = self.stats.regions;
+        // (hart, write spans, read spans) per port, hart-id ordered.
+        type HartFoot = (usize, Vec<(u32, u32)>, Vec<(u32, u32)>);
+        let foot: Vec<HartFoot> = results
+            .iter()
+            .map(|(h, _, port, _)| {
+                let w = coalesce(
+                    port.writes
+                        .iter()
+                        .map(|w| (w.addr, w.addr + w.size))
+                        .collect(),
+                );
+                let r = coalesce(port.reads.iter().map(|&(a, s)| (a, a + s)).collect());
+                (*h, w, r)
+            })
+            .collect();
+        let mut recs: Vec<ConflictRec> = Vec::new();
+        for x in 0..foot.len() {
+            for y in x + 1..foot.len() {
+                let (ha, wa, ra) = &foot[x];
+                let (hb, wb, rb) = &foot[y];
+                self.stats.write_conflicts += overlap_bytes(wa, wb, |lo, hi| {
+                    recs.push(ConflictRec {
+                        region: region_idx,
+                        kind: ConflictKind::WriteWrite,
+                        lo,
+                        hi,
+                        hart_a: *ha,
+                        hart_b: Some(*hb),
+                    });
+                });
+                self.stats.read_conflicts += overlap_bytes(ra, wb, |lo, hi| {
+                    recs.push(ConflictRec {
+                        region: region_idx,
+                        kind: ConflictKind::ReadWrite,
+                        lo,
+                        hi,
+                        hart_a: *ha,
+                        hart_b: Some(*hb),
+                    });
+                });
+                self.stats.read_conflicts += overlap_bytes(rb, wa, |lo, hi| {
+                    recs.push(ConflictRec {
+                        region: region_idx,
+                        kind: ConflictKind::ReadWrite,
+                        lo,
+                        hi,
+                        hart_a: *hb,
+                        hart_b: Some(*ha),
+                    });
+                });
+            }
+        }
+        if let Some(t) = overlap {
+            let band = [(t.dst, t.dst + t.bytes)];
+            for (h, w, r) in &foot {
+                for spans in [w, r] {
+                    self.stats.dma_conflicts += overlap_bytes(spans, &band, |lo, hi| {
+                        recs.push(ConflictRec {
+                            region: region_idx,
+                            kind: ConflictKind::DmaOverlap,
+                            lo,
+                            hi,
+                            hart_a: *h,
+                            hart_b: None,
+                        });
+                    });
+                }
+            }
+        }
+        let room = CONFLICT_LOG_CAP.saturating_sub(self.conflict_log.len());
+        self.conflict_log.extend(recs.into_iter().take(room));
+
         for (h, end, port, exec) in results {
             let active = exec + arb.delay[h];
             self.stats.busy[h] += active;
@@ -315,6 +548,7 @@ impl ClusterSim {
             halted: self.halted.clone(),
             exit_codes: self.exit_codes.clone(),
             stats: self.stats.clone(),
+            conflicts: self.conflict_log.clone(),
         }
     }
 
@@ -330,6 +564,7 @@ impl ClusterSim {
         self.halted.clone_from(&snap.halted);
         self.exit_codes.clone_from(&snap.exit_codes);
         self.stats = snap.stats.clone();
+        self.conflict_log.clone_from(&snap.conflicts);
     }
 }
 
@@ -386,6 +621,73 @@ mod tests {
         let sim = run_neighbour(4, 1);
         assert_eq!(sim.exit_codes(), &[1, 2, 3, 0]);
         assert_eq!(sim.stats.regions, 2);
+        // Properly barrier-separated communication is conflict-free.
+        assert_eq!(sim.stats.conflict_bytes(), 0);
+        assert!(sim.conflict_log.is_empty());
+    }
+
+    /// `neighbour_prog` with the barrier removed: each hart reads its
+    /// neighbour's slot in the *same* region the neighbour writes it,
+    /// so it sees its private pre-merge clone (a zero). The write/write
+    /// detector stays silent (slots are disjoint); only read replay
+    /// catches the missing barrier.
+    #[test]
+    fn read_replay_flags_read_of_unmerged_neighbour_write() {
+        let n = 2usize;
+        let mut a = Asm::new(pulp_soc::CODE_BASE);
+        a.i(pulp_isa::instr::Instr::Csr {
+            op: 1,
+            rd: Reg::T0,
+            rs1: Reg::Zero,
+            csr: pulp_isa::csr::MHARTID,
+        });
+        a.slli(Reg::T1, Reg::T0, 2);
+        a.li(Reg::T2, TCDM_BASE as i32);
+        a.add(Reg::T1, Reg::T1, Reg::T2);
+        a.sw(Reg::T0, 0, Reg::T1); // mine[id] = id — no barrier!
+        a.addi(Reg::T4, Reg::T0, 1);
+        a.li(Reg::T5, n as i32);
+        a.bne(Reg::T4, Reg::T5, "no_wrap");
+        a.li(Reg::T4, 0);
+        a.label("no_wrap");
+        a.slli(Reg::T4, Reg::T4, 2);
+        a.add(Reg::T4, Reg::T4, Reg::T2);
+        a.lw(Reg::A0, 0, Reg::T4);
+        a.ecall();
+        let prog = a.assemble().unwrap();
+        let mut mem = ClusterMem::new();
+        mem.load(&prog);
+        let mut sim = ClusterSim::new(IsaConfig::xpulpnn(), n, mem);
+        sim.set_read_replay(true);
+        sim.start(prog.base);
+        while !sim.run_region(100_000, None).unwrap() {}
+        // The race is real: both harts read stale zeros.
+        assert_eq!(sim.exit_codes(), &[0, 0]);
+        // Writes are disjoint; the reads race. Hart 0 reads slot 1
+        // (written by hart 1) and vice versa: 2 × 4 bytes.
+        assert_eq!(sim.stats.write_conflicts, 0);
+        assert_eq!(sim.stats.read_conflicts, 8);
+        let rw: Vec<&ConflictRec> = sim
+            .conflict_log
+            .iter()
+            .filter(|r| r.kind == ConflictKind::ReadWrite)
+            .collect();
+        assert_eq!(rw.len(), 2);
+        assert!(rw
+            .iter()
+            .any(|r| r.hart_a == 0 && r.contains(TCDM_BASE + 4)));
+        assert!(rw.iter().any(|r| r.hart_a == 1 && r.contains(TCDM_BASE)));
+        // Replay is observation only: a replica without it computes
+        // the identical clock and memory image.
+        let prog2 = prog.clone();
+        let mut mem2 = ClusterMem::new();
+        mem2.load(&prog2);
+        let mut plain = ClusterSim::new(IsaConfig::xpulpnn(), n, mem2);
+        plain.start(prog2.base);
+        while !plain.run_region(100_000, None).unwrap() {}
+        assert_eq!(plain.clock(), sim.clock());
+        assert_eq!(plain.mem, sim.mem);
+        assert_eq!(plain.stats.read_conflicts, 0);
     }
 
     #[test]
@@ -424,6 +726,60 @@ mod tests {
         assert_eq!(sim.stats.conflict_stalls, 1 + 2 + 3);
         // Lowest hart wins: zero delay for hart 0.
         assert_eq!(sim.stats.busy[0] + 3, sim.stats.busy[3]);
+        // The arbiter serializes the *timing*, but the stores still
+        // collide in the merge: every unordered pair of the 4 harts
+        // overlaps on the same 4-byte word — C(4,2) × 4 = 24 bytes.
+        assert_eq!(sim.stats.write_conflicts, 24);
+        assert_eq!(
+            sim.conflict_log[0],
+            ConflictRec {
+                region: 0,
+                kind: ConflictKind::WriteWrite,
+                lo: TCDM_BASE,
+                hi: TCDM_BASE + 4,
+                hart_a: 0,
+                hart_b: Some(1),
+            }
+        );
+        assert_eq!(sim.conflict_log.len(), 6);
+    }
+
+    /// An overlapped band transfer that lands on bytes a hart writes in
+    /// the overlapped region races the DMA engine (the transfer applies
+    /// after the merge, clobbering the hart's value).
+    #[test]
+    fn overlap_dma_into_written_range_is_flagged() {
+        let mut a = Asm::new(pulp_soc::CODE_BASE);
+        a.li(Reg::T1, (TCDM_BASE + 0x400) as i32);
+        a.sw(Reg::T1, 0, Reg::T1);
+        a.li(Reg::A0, 0);
+        a.ecall();
+        let prog = a.assemble().unwrap();
+        let mut mem = ClusterMem::new();
+        mem.write_bytes(L2_BASE, &[7; 64]);
+        mem.load(&prog);
+        let mut sim = ClusterSim::new(IsaConfig::xpulpnn(), 1, mem);
+        sim.start(prog.base);
+        let t = DmaTransfer {
+            src: L2_BASE,
+            dst: TCDM_BASE + 0x400,
+            bytes: 64,
+        };
+        sim.run_region(100_000, Some(&t)).unwrap();
+        assert_eq!(sim.stats.dma_conflicts, 4);
+        assert_eq!(
+            sim.conflict_log[0],
+            ConflictRec {
+                region: 0,
+                kind: ConflictKind::DmaOverlap,
+                lo: TCDM_BASE + 0x400,
+                hi: TCDM_BASE + 0x404,
+                hart_a: 0,
+                hart_b: None,
+            }
+        );
+        // And the race is real: the DMA engine overwrote the store.
+        assert_eq!(sim.mem.read_bytes(TCDM_BASE + 0x400, 4), &[7; 4]);
     }
 
     #[test]
@@ -453,6 +809,9 @@ mod tests {
         // ~100-cycle region.
         assert_eq!(sim.stats.dma_hidden, 32);
         assert_eq!(sim.stats.dma_exposed, 0);
+        // Double-buffered correctly: the band lands outside anything
+        // the compute region touched.
+        assert_eq!(sim.stats.dma_conflicts, 0);
         assert!(sim.clock() - clock_before > 100);
         assert_eq!(sim.mem.read_bytes(TCDM_BASE + 0x400, 64), &[7; 64]);
         while !sim.run_region(100_000, None).unwrap() {}

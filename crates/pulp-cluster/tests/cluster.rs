@@ -63,6 +63,16 @@ fn equivalence_matrix_all_variants_all_cluster_sizes() {
                 "{} n={n}: cluster output diverged from golden",
                 cfg.name()
             );
+            // The dynamic race detector agrees with the static SPMD
+            // verifier: every shipped cluster kernel is write-disjoint
+            // within each barrier region and never overlaps a band
+            // transfer with bytes its region touches.
+            assert_eq!(
+                r.stats.conflict_bytes(),
+                0,
+                "{} n={n}: merge detected a cross-hart conflict",
+                cfg.name()
+            );
         }
     }
 }
@@ -106,12 +116,16 @@ fn cluster_pins_hold_under_fastpath() {
         .unwrap();
     assert!(one.matches());
     assert_eq!(one.cycles, 1_444_386);
+    assert_eq!(one.stats.conflict_bytes(), 0);
     let eight = ClusterConvTestbench::new(cfg, 8, 42)
         .unwrap()
         .run_fastpath(8)
         .unwrap();
     assert!(eight.matches());
     assert_eq!(eight.cycles, 190_138);
+    // Conflict detection is always on: the pins hold with it enabled
+    // and the paper layer is race-clean on both cluster sizes.
+    assert_eq!(eight.stats.conflict_bytes(), 0);
 }
 
 /// Simulated time is a pure function of architectural state: the
@@ -163,8 +177,10 @@ fn single_hart_cluster_matches_the_fig8_pin() {
     assert_eq!(r.stats.dma_writeback, 2_064);
     let compute = r.cycles - r.stats.dma_prologue - r.stats.dma_writeback;
     assert_eq!(compute, 1_440_804 - 4_023);
-    // One hart never conflicts with itself.
+    // One hart never conflicts with itself — neither in the bank
+    // arbiter nor in the merge's race detector.
     assert_eq!(r.stats.conflicts, 0);
+    assert_eq!(r.stats.conflict_bytes(), 0);
     // Single-hart cluster output equals the single-core device output.
     let single = ConvTestbench::new(cfg, 42).unwrap().run().unwrap();
     assert_eq!(r.output, single.output);

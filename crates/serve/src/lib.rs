@@ -32,8 +32,8 @@ pub use pool::{HangFaults, PoolConfig, PoolReport, PoolStats, ServeFaults, Serve
 pub use queue::{BoundedQueue, PushError};
 pub use request::{Detection, Outcome, Request, RequestError, Response, SubmitError, Variant};
 pub use supervisor::{
-    run_soak, soak_digest, BreakerState, PhaseSummary, RejectReason, ServedVia, SoakConfig,
-    SoakCounters, SoakPhase, SoakReport, Supervisor, SupervisorConfig, SupervisorOutcome,
-    SupervisorResponse,
+    run_soak, soak_digest, Breaker, BreakerState, PhaseSummary, RejectReason, ServedVia,
+    SoakConfig, SoakCounters, SoakPhase, SoakReport, Supervisor, SupervisorConfig,
+    SupervisorOutcome, SupervisorResponse,
 };
 pub use template::{serving_config, ServeError, WorkerTemplate};

@@ -278,23 +278,40 @@ pub enum BreakerState {
     HalfOpen,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Breaker {
+/// One variant's circuit breaker: a pure, single-threaded state
+/// machine (closed → open → half-open) fed outcomes in id order at the
+/// drain barrier. Public so model-checking harnesses can drive it
+/// through every interleaving of a scenario directly; the supervisor
+/// owns one per [`Variant`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Breaker {
     state: BreakerState,
     consecutive_bad: u32,
 }
 
+impl Default for Breaker {
+    fn default() -> Breaker {
+        Breaker::new()
+    }
+}
+
 impl Breaker {
-    fn new() -> Breaker {
+    /// A closed breaker with no bad streak.
+    pub fn new() -> Breaker {
         Breaker {
             state: BreakerState::Closed,
             consecutive_bad: 0,
         }
     }
 
+    /// The externally visible state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
     /// Window-boundary tick: open breakers count down their cooldown
     /// and go half-open at zero.
-    fn tick_window(&mut self) {
+    pub fn tick_window(&mut self) {
         if let BreakerState::Open { remaining } = self.state {
             self.state = if remaining <= 1 {
                 BreakerState::HalfOpen
@@ -308,7 +325,7 @@ impl Breaker {
 
     /// Feeds one pool outcome (id order). Returns true when this
     /// outcome tripped the breaker.
-    fn on_outcome(&mut self, bad: bool, threshold: u32, cooldown: u32) -> bool {
+    pub fn on_outcome(&mut self, bad: bool, threshold: u32, cooldown: u32) -> bool {
         if threshold == 0 || self.state != BreakerState::Closed {
             // Breakers off, or stragglers already in flight when the
             // breaker opened mid-window: no state change.
@@ -331,7 +348,7 @@ impl Breaker {
 
     /// Feeds the half-open probe's outcome. Returns true when the
     /// probe re-tripped the breaker.
-    fn on_probe(&mut self, bad: bool, cooldown: u32) -> bool {
+    pub fn on_probe(&mut self, bad: bool, cooldown: u32) -> bool {
         if bad {
             self.state = BreakerState::Open {
                 remaining: cooldown.max(1),

@@ -1,0 +1,493 @@
+//! Brute-force schedule exploration for the serving layer's two core
+//! concurrency state machines: the bounded MPMC queue and the variant
+//! circuit breaker.
+//!
+//! Real threads only ever witness *one* interleaving per run; these
+//! tests enumerate **every** sequential schedule of a small scenario
+//! (all interleavings that respect each actor's program order) and
+//! replay it against the real implementation, asserting the protocol
+//! invariants after every step. Ops that would block are replaced by
+//! their non-blocking observations (`try_push`, poll-only-when-ready),
+//! so each schedule is a finite, deterministic word over atomic steps
+//! — the same step granularity the `Mutex` in [`BoundedQueue`]
+//! serializes real threads to.
+//!
+//! A seeded sampler extends the same invariants to a scenario too
+//! large to enumerate, with no new dependencies (hand-rolled LCG).
+
+use serve::{BoundedQueue, Breaker, BreakerState, PushError};
+
+/// All interleavings of `counts[i]` steps per actor, as sequences of
+/// actor indices. The count is the multinomial coefficient — asserted
+/// by callers to prove the enumeration is complete.
+fn schedules(counts: &[usize]) -> Vec<Vec<usize>> {
+    fn rec(left: &mut [usize], cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if left.iter().all(|&c| c == 0) {
+            out.push(cur.clone());
+            return;
+        }
+        for i in 0..left.len() {
+            if left[i] > 0 {
+                left[i] -= 1;
+                cur.push(i);
+                rec(left, cur, out);
+                cur.pop();
+                left[i] += 1;
+            }
+        }
+    }
+    let mut left = counts.to_vec();
+    let mut out = Vec::new();
+    rec(&mut left, &mut Vec::new(), &mut out);
+    out
+}
+
+/// Multinomial coefficient `(Σcounts)! / Π counts[i]!`, the exact
+/// number of distinct schedules.
+fn multinomial(counts: &[usize]) -> usize {
+    let mut n = 0usize;
+    let mut acc = 1usize;
+    for &c in counts {
+        for k in 1..=c {
+            n += 1;
+            acc = acc * n / k; // always divides: running binomial
+        }
+    }
+    acc
+}
+
+/// Splitmix-style seeded generator for the sampling tests.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// One uniformly random schedule of `counts` (weighted by steps
+    /// remaining, the uniform-over-interleavings distribution).
+    fn schedule(&mut self, counts: &[usize]) -> Vec<usize> {
+        let mut left = counts.to_vec();
+        let mut total: usize = left.iter().sum();
+        let mut out = Vec::with_capacity(total);
+        while total > 0 {
+            let mut pick = (self.next() as usize) % total;
+            for (i, &c) in left.iter().enumerate() {
+                if pick < c {
+                    left[i] -= 1;
+                    total -= 1;
+                    out.push(i);
+                    break;
+                }
+                pick -= c;
+            }
+        }
+        out
+    }
+}
+
+/// One atomic step of a queue-scenario actor.
+#[derive(Clone, Copy, Debug)]
+enum QOp {
+    /// `try_push(value)` — full/closed are observations, not blocks.
+    Push(u32),
+    /// `close()`.
+    Close,
+    /// Pop up to `max` coalesced items, only when it cannot block.
+    Poll(usize),
+}
+
+/// Everything a replay observed, in order.
+#[derive(Default, Debug, PartialEq, Eq)]
+struct Trace {
+    /// Values accepted by the queue, in push order.
+    accepted: Vec<u32>,
+    /// Values handed back as `Full`.
+    shed: Vec<u32>,
+    /// Values handed back as `Closed`.
+    rejected_closed: Vec<u32>,
+    /// Batches delivered to consumers, in pop order.
+    batches: Vec<Vec<u32>>,
+    /// Polls that found the queue open and empty.
+    empty_polls: usize,
+    /// Polls that saw the closed-and-drained end marker.
+    end_polls: usize,
+}
+
+impl Trace {
+    fn delivered(&self) -> Vec<u32> {
+        self.batches.iter().flatten().copied().collect()
+    }
+}
+
+/// Replays one schedule against a real queue, then drains it. `same`
+/// is the batch-coalescing predicate.
+fn replay(
+    capacity: usize,
+    actors: &[Vec<QOp>],
+    schedule: &[usize],
+    same: impl Fn(&u32, &u32) -> bool + Copy,
+) -> Trace {
+    let q = BoundedQueue::new(capacity);
+    let mut pc = vec![0usize; actors.len()];
+    let mut t = Trace::default();
+    for &a in schedule {
+        let op = actors[a][pc[a]];
+        pc[a] += 1;
+        match op {
+            QOp::Push(v) => match q.try_push(v) {
+                Ok(()) => t.accepted.push(v),
+                Err(PushError::Full(v)) => t.shed.push(v),
+                Err(PushError::Closed(v)) => t.rejected_closed.push(v),
+                Err(PushError::TimedOut(_)) => unreachable!("try_push never times out"),
+            },
+            QOp::Close => q.close(),
+            QOp::Poll(max) => {
+                if q.is_empty() && !q.is_closed() {
+                    t.empty_polls += 1; // a real pop would block here
+                } else {
+                    match q.pop_batch(max, same) {
+                        Some(batch) => t.batches.push(batch),
+                        None => t.end_polls += 1,
+                    }
+                }
+            }
+        }
+    }
+    for (a, actor) in actors.iter().enumerate() {
+        assert_eq!(pc[a], actor.len(), "schedule must run every actor dry");
+    }
+    // Drain: whatever the schedule left in flight must still reach a
+    // consumer after close.
+    q.close();
+    while let Some(batch) = q.pop_batch(usize::MAX, same) {
+        t.batches.push(batch);
+    }
+    t
+}
+
+/// The queue's core contracts, checked for one replayed schedule:
+/// exactly-once delivery, per-producer FIFO, and close-as-end-marker.
+fn check_queue_invariants(actors: &[Vec<QOp>], t: &Trace) {
+    let delivered = t.delivered();
+    // Exactly-once: every accepted value is delivered exactly once;
+    // shed/rejected values were handed back and never appear.
+    let mut want = t.accepted.clone();
+    let mut got = delivered.clone();
+    want.sort_unstable();
+    got.sort_unstable();
+    assert_eq!(got, want, "delivered ≠ accepted: {t:?}");
+    for v in t.shed.iter().chain(&t.rejected_closed) {
+        assert!(
+            !delivered.contains(v),
+            "handed-back value {v} delivered: {t:?}"
+        );
+    }
+    // Per-producer FIFO: each producer's accepted values appear in
+    // delivery order (the queue is a single FIFO under one lock).
+    for actor in actors {
+        let mine: Vec<u32> = actor
+            .iter()
+            .filter_map(|op| match op {
+                QOp::Push(v) => Some(*v),
+                _ => None,
+            })
+            .collect();
+        let accepted: Vec<u32> = t
+            .accepted
+            .iter()
+            .filter(|v| mine.contains(v))
+            .copied()
+            .collect();
+        let order: Vec<u32> = delivered
+            .iter()
+            .filter(|v| mine.contains(v))
+            .copied()
+            .collect();
+        assert_eq!(order, accepted, "producer order violated: {t:?}");
+    }
+}
+
+#[test]
+fn queue_exactly_once_under_every_interleaving() {
+    // Two producers racing a consumer through a capacity-2 queue:
+    // shedding, delivery and drain orders all vary by schedule; the
+    // invariants may not.
+    let actors: Vec<Vec<QOp>> = vec![
+        vec![QOp::Push(1), QOp::Push(2), QOp::Push(3)],
+        vec![QOp::Push(11), QOp::Push(12), QOp::Push(13)],
+        vec![QOp::Poll(1), QOp::Poll(1), QOp::Poll(1), QOp::Poll(1)],
+    ];
+    let counts = [3, 3, 4];
+    let all = schedules(&counts);
+    assert_eq!(all.len(), multinomial(&counts)); // 4200: enumeration is complete
+    for s in &all {
+        let t = replay(2, &actors, s, |_, _| false);
+        check_queue_invariants(&actors, &t);
+        // Singleton polls never coalesce.
+        assert!(t.batches.iter().all(|b| b.len() == 1), "{t:?}");
+    }
+}
+
+#[test]
+fn queue_close_races_drain_without_loss() {
+    // A producer closes mid-stream while the consumer races the
+    // shutdown: pushes that won the race are delivered, pushes that
+    // lost are handed back typed, and `None` only appears after the
+    // queue is both closed and drained.
+    let actors: Vec<Vec<QOp>> = vec![
+        vec![QOp::Push(1), QOp::Push(2), QOp::Close, QOp::Push(3)],
+        vec![QOp::Poll(4), QOp::Poll(4), QOp::Poll(4)],
+    ];
+    let counts = [4, 3];
+    let all = schedules(&counts);
+    assert_eq!(all.len(), multinomial(&counts)); // 35
+    let mut saw_rejected = false;
+    for s in &all {
+        let t = replay(4, &actors, s, |_, _| true);
+        check_queue_invariants(&actors, &t);
+        // Push 3 always follows close in program order: always typed
+        // back as Closed, never shed as Full (capacity 4 is enough).
+        assert_eq!(t.rejected_closed, vec![3], "{t:?}");
+        assert!(t.shed.is_empty(), "{t:?}");
+        saw_rejected = true;
+    }
+    assert!(saw_rejected);
+}
+
+#[test]
+fn queue_replay_is_deterministic_per_schedule() {
+    let actors: Vec<Vec<QOp>> = vec![
+        vec![QOp::Push(1), QOp::Push(2), QOp::Close],
+        vec![QOp::Poll(2), QOp::Poll(2)],
+    ];
+    for s in &schedules(&[3, 2]) {
+        let a = replay(2, &actors, s, |x, y| x / 10 == y / 10);
+        let b = replay(2, &actors, s, |x, y| x / 10 == y / 10);
+        assert_eq!(a, b, "same schedule must observe the same trace");
+    }
+}
+
+#[test]
+fn queue_sampled_large_scenario_holds_invariants() {
+    // 3 producers × 4 pushes + 2 polling consumers: ~10^7 schedules,
+    // far past enumeration — a seeded sampler spot-checks the same
+    // invariants, including batch homogeneity under coalescing.
+    let actors: Vec<Vec<QOp>> = vec![
+        (0..4).map(|i| QOp::Push(10 + i)).collect(),
+        (0..4).map(|i| QOp::Push(20 + i)).collect(),
+        (0..4).map(|i| QOp::Push(30 + i)).collect(),
+        vec![QOp::Poll(3); 5],
+        vec![QOp::Poll(3); 5],
+    ];
+    let counts = [4, 4, 4, 5, 5];
+    let same = |a: &u32, b: &u32| a / 10 == b / 10;
+    let run = |seed: u64| {
+        let mut rng = Rng(seed);
+        let mut total_batches = 0usize;
+        for _ in 0..1500 {
+            let s = rng.schedule(&counts);
+            let t = replay(3, &actors, &s, same);
+            check_queue_invariants(&actors, &t);
+            // Coalesced batches only ever group same-decade values
+            // (same producer here), in order.
+            for b in &t.batches {
+                assert!(
+                    b.windows(2).all(|w| same(&w[0], &w[1]) && w[0] < w[1]),
+                    "{t:?}"
+                );
+                assert!(b.len() <= 3, "{t:?}");
+            }
+            total_batches += t.batches.len();
+        }
+        total_batches
+    };
+    // The sampler itself is deterministic: same seed, same traces.
+    assert_eq!(run(42), run(42));
+}
+
+/// One atomic step of a breaker-scenario actor.
+#[derive(Clone, Copy, Debug)]
+enum BOp {
+    /// A pool outcome reaching the drain barrier (`bad` or clean).
+    Outcome(bool),
+    /// A window-boundary tick.
+    Tick,
+    /// A half-open probe result — only delivered when the breaker is
+    /// actually half-open (otherwise there is no probe in flight).
+    Probe(bool),
+}
+
+/// Replays one schedule against a real [`Breaker`], asserting the
+/// legal-transition relation after every step. Returns the visited
+/// states.
+fn replay_breaker(
+    actors: &[Vec<BOp>],
+    schedule: &[usize],
+    threshold: u32,
+    cooldown: u32,
+) -> Vec<BreakerState> {
+    let mut b = Breaker::new();
+    let mut pc = vec![0usize; actors.len()];
+    let mut states = vec![b.state()];
+    for &a in schedule {
+        let op = actors[a][pc[a]];
+        pc[a] += 1;
+        let before = b.state();
+        match op {
+            BOp::Outcome(bad) => {
+                let tripped = b.on_outcome(bad, threshold, cooldown);
+                match before {
+                    BreakerState::Closed => {
+                        if tripped {
+                            assert_eq!(
+                                b.state(),
+                                BreakerState::Open {
+                                    remaining: cooldown
+                                }
+                            );
+                        } else {
+                            assert_eq!(b.state(), BreakerState::Closed);
+                        }
+                    }
+                    // Stragglers draining while open/half-open never
+                    // move the state machine.
+                    s => {
+                        assert!(!tripped);
+                        assert_eq!(b.state(), s);
+                    }
+                }
+            }
+            BOp::Tick => {
+                b.tick_window();
+                match before {
+                    BreakerState::Open { remaining: 1 } => {
+                        assert_eq!(b.state(), BreakerState::HalfOpen);
+                    }
+                    BreakerState::Open { remaining } => {
+                        assert_eq!(
+                            b.state(),
+                            BreakerState::Open {
+                                remaining: remaining - 1
+                            }
+                        );
+                    }
+                    s => assert_eq!(b.state(), s),
+                }
+            }
+            BOp::Probe(bad) => {
+                if before != BreakerState::HalfOpen {
+                    continue; // no probe outstanding
+                }
+                let retripped = b.on_probe(bad, cooldown);
+                assert_eq!(retripped, bad);
+                assert_eq!(
+                    b.state(),
+                    if bad {
+                        BreakerState::Open {
+                            remaining: cooldown,
+                        }
+                    } else {
+                        BreakerState::Closed
+                    }
+                );
+            }
+        }
+        states.push(b.state());
+    }
+    states
+}
+
+#[test]
+fn breaker_protocol_holds_under_every_interleaving() {
+    // Two outcome streams (one failing variant-worth of results, one
+    // mixed) race the window ticker + its probes through one breaker,
+    // threshold 2, cooldown 1. Every schedule must respect the
+    // closed → open → half-open → {closed, open} protocol; which path
+    // is taken legitimately varies by schedule.
+    let actors: Vec<Vec<BOp>> = vec![
+        vec![BOp::Outcome(true), BOp::Outcome(true)],
+        vec![BOp::Outcome(true), BOp::Outcome(false)],
+        vec![BOp::Tick, BOp::Probe(false), BOp::Tick, BOp::Probe(true)],
+    ];
+    let counts = [2, 2, 4];
+    let all = schedules(&counts);
+    assert_eq!(all.len(), multinomial(&counts)); // 420
+    let mut finals = std::collections::BTreeSet::new();
+    for s in &all {
+        let states = replay_breaker(&actors, s, 2, 1);
+        // Half-open is only ever entered from Open{1} by a tick.
+        for w in states.windows(2) {
+            if w[1] == BreakerState::HalfOpen && w[0] != BreakerState::HalfOpen {
+                assert_eq!(w[0], BreakerState::Open { remaining: 1 });
+            }
+        }
+        finals.insert(format!("{:?}", states.last().unwrap()));
+        // Determinism: the same schedule visits the same states.
+        assert_eq!(states, replay_breaker(&actors, s, 2, 1));
+    }
+    // The exploration actually exercises divergent outcomes: some
+    // schedules trip the breaker, some never accumulate the streak.
+    assert!(finals.len() > 1, "all schedules converged: {finals:?}");
+    assert!(finals.contains("Closed"), "{finals:?}");
+}
+
+#[test]
+fn breaker_sampled_long_storm_never_wedges() {
+    // A long mixed storm against ticks and probes, sampled: whatever
+    // the order, the breaker must stay within its three states and a
+    // good probe must always be able to re-close it eventually.
+    let actors: Vec<Vec<BOp>> = vec![
+        (0..10).map(|i| BOp::Outcome(i % 3 != 2)).collect(),
+        (0..10)
+            .flat_map(|_| [BOp::Tick, BOp::Probe(false)])
+            .collect(),
+    ];
+    let counts = [10, 20];
+    let mut rng = Rng(7);
+    for _ in 0..2000 {
+        let s = rng.schedule(&counts);
+        let states = replay_breaker(&actors, &s, 3, 2);
+        // After the storm: one final tick + good probe (twice for the
+        // full cooldown) always restores service.
+        let mut b = Breaker::new();
+        if let Some(&last) = states.last() {
+            b = restore(last);
+        }
+        for _ in 0..3 {
+            b.tick_window();
+            if b.state() == BreakerState::HalfOpen {
+                b.on_probe(false, 2);
+            }
+        }
+        assert_eq!(
+            b.state(),
+            BreakerState::Closed,
+            "breaker wedged: {states:?}"
+        );
+    }
+}
+
+/// Rebuilds a breaker in a given externally visible state (the streak
+/// counter resets on every transition, so state alone is sufficient
+/// for the wedge check).
+fn restore(state: BreakerState) -> Breaker {
+    let mut b = Breaker::new();
+    match state {
+        BreakerState::Closed => {}
+        BreakerState::Open { remaining } => {
+            // Trip it, then tick down to the wanted cooldown.
+            b.on_outcome(true, 1, remaining);
+        }
+        BreakerState::HalfOpen => {
+            b.on_outcome(true, 1, 1);
+            b.tick_window();
+        }
+    }
+    assert_eq!(b.state(), state);
+    b
+}

@@ -40,6 +40,10 @@ pub struct AbsVal {
 /// granularity buy nothing for 2/4-byte access checks.
 const ALIGN_CAP: u32 = 256;
 
+// `add`/`sub`/`shl` mirror the instruction semantics they model;
+// implementing the std operator traits would hide that these are
+// abstract (interval × congruence) transfers, not exact arithmetic.
+#[allow(clippy::should_implement_trait)]
 impl AbsVal {
     /// The unconstrained value.
     pub const TOP: AbsVal = AbsVal {
@@ -64,7 +68,14 @@ impl AbsVal {
         (self.lo == self.hi).then_some(self.lo)
     }
 
-    fn join(self, other: AbsVal) -> AbsVal {
+    /// The inclusive interval bounds `[lo, hi]` (`[0, u32::MAX]` for ⊤).
+    pub fn range(self) -> (u32, u32) {
+        (self.lo, self.hi)
+    }
+
+    /// Least upper bound of two values (interval hull, congruence
+    /// weakened to the common power-of-two modulus).
+    pub fn join(self, other: AbsVal) -> AbsVal {
         let g = gcd(gcd(self.align, other.align), self.res.abs_diff(other.res));
         let align = if g == 0 {
             ALIGN_CAP
@@ -91,7 +102,8 @@ impl AbsVal {
         }
     }
 
-    fn add(self, other: AbsVal) -> AbsVal {
+    /// Abstract wrapping addition.
+    pub fn add(self, other: AbsVal) -> AbsVal {
         if let (Some(a), Some(b)) = (self.as_const(), other.as_const()) {
             return AbsVal::constant(a.wrapping_add(b));
         }
@@ -118,7 +130,8 @@ impl AbsVal {
         }
     }
 
-    fn sub(self, other: AbsVal) -> AbsVal {
+    /// Abstract wrapping subtraction.
+    pub fn sub(self, other: AbsVal) -> AbsVal {
         if let (Some(a), Some(b)) = (self.as_const(), other.as_const()) {
             return AbsVal::constant(a.wrapping_sub(b));
         }
@@ -143,7 +156,8 @@ impl AbsVal {
         }
     }
 
-    fn addi(self, imm: i32) -> AbsVal {
+    /// Abstract addition of a (sign-extended) immediate.
+    pub fn addi(self, imm: i32) -> AbsVal {
         if imm >= 0 {
             self.add(AbsVal::constant(imm as u32))
         } else {
@@ -151,7 +165,8 @@ impl AbsVal {
         }
     }
 
-    fn shl(self, k: u32) -> AbsVal {
+    /// Abstract left shift by a constant amount.
+    pub fn shl(self, k: u32) -> AbsVal {
         if let Some(c) = self.as_const() {
             return AbsVal::constant(c.wrapping_shl(k));
         }

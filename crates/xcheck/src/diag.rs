@@ -51,9 +51,50 @@ pub enum Rule {
     /// A branch or jump targets an address that is not an instruction
     /// boundary of the program.
     CfgBadTarget,
+    /// Two harts write overlapping bytes within the same barrier
+    /// region (cross-hart write/write race).
+    DrfWriteOverlap,
+    /// A hart reads bytes another hart writes in the same barrier
+    /// region (the read must be separated from the write by a
+    /// barrier to observe the merged value).
+    DrfReadOfPeerWrite,
+    /// A DMA band scheduled to overlap a compute region touches bytes
+    /// some hart reads or writes in that region.
+    DrfDmaOverlap,
+    /// Barrier-protocol violation: harts reach different barrier
+    /// sequences, or a barrier store sits inside a hardware-loop body.
+    DrfBarrierProtocol,
+    /// A hart's access inside the dispatch slab leaves the per-hart
+    /// cursor word / parameter-record rows declared for it.
+    DrfDispatchSlab,
 }
 
 impl Rule {
+    /// Every rule in the catalog, in stable-ID order. Coverage tests
+    /// iterate this to prove each rule family has a firing fixture.
+    pub const ALL: [Rule; 20] = [
+        Rule::HwlBranchIn,
+        Rule::HwlBranchOut,
+        Rule::HwlBadNesting,
+        Rule::HwlBadBody,
+        Rule::HwlLastInsnControlFlow,
+        Rule::HwlIncompleteSetup,
+        Rule::FmtQntMix,
+        Rule::FmtInvalidInstr,
+        Rule::DfUninitRead,
+        Rule::DfDeadStore,
+        Rule::DfReservedClobber,
+        Rule::MemOutOfRegion,
+        Rule::MemMisaligned,
+        Rule::QntMalformedTree,
+        Rule::CfgBadTarget,
+        Rule::DrfWriteOverlap,
+        Rule::DrfReadOfPeerWrite,
+        Rule::DrfDmaOverlap,
+        Rule::DrfBarrierProtocol,
+        Rule::DrfDispatchSlab,
+    ];
+
     /// Stable rule identifier.
     pub fn id(self) -> &'static str {
         match self {
@@ -72,7 +113,33 @@ impl Rule {
             Rule::MemMisaligned => "MEM-02",
             Rule::QntMalformedTree => "QNT-01",
             Rule::CfgBadTarget => "CFG-01",
+            Rule::DrfWriteOverlap => "DRF-01",
+            Rule::DrfReadOfPeerWrite => "DRF-02",
+            Rule::DrfDmaOverlap => "DRF-03",
+            Rule::DrfBarrierProtocol => "DRF-04",
+            Rule::DrfDispatchSlab => "DRF-05",
         }
+    }
+
+    /// The rule family: the ID prefix before the dash (`"HWL"`,
+    /// `"DRF"`, ...). Families group rules that share a fixture
+    /// harness; coverage tests enumerate them via [`Rule::ALL`].
+    pub fn family(self) -> &'static str {
+        let id = self.id();
+        let dash = id.find('-').expect("rule IDs are FAMILY-NN");
+        &id[..dash]
+    }
+
+    /// Every distinct rule family, in first-appearance order over
+    /// [`Rule::ALL`].
+    pub fn families() -> Vec<&'static str> {
+        let mut out: Vec<&'static str> = Vec::new();
+        for r in Rule::ALL {
+            if !out.contains(&r.family()) {
+                out.push(r.family());
+            }
+        }
+        out
     }
 }
 

@@ -50,6 +50,7 @@ pub mod dataflow;
 pub mod diag;
 pub mod effects;
 pub mod rules;
+pub mod spmd;
 
 use pulp_asm::Program;
 use pulp_isa::{Instr, Reg};
@@ -58,6 +59,9 @@ pub use absint::MemStats;
 pub use cfg::Cfg;
 pub use diag::{Diagnostic, Rule};
 pub use effects::{effects, Effects, RegSet};
+pub use spmd::{
+    analyze_spmd, analyze_spmd_stream, DispatchSlab, DmaBand, RaceFinding, SpmdConfig, SpmdReport,
+};
 
 /// A named address region memory accesses are allowed to touch.
 #[derive(Debug, Clone, PartialEq, Eq)]

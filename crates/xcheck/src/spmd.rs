@@ -1,0 +1,1283 @@
+//! SPMD race/disjointness verification for cluster kernels (DRF-01..05).
+//!
+//! Cluster kernels are SPMD: every hart runs the same program and
+//! diverges only on `csrr mhartid`, with work assignment driven by
+//! per-hart dispatch records in TCDM. The cluster simulator executes
+//! each barrier region on private memory clones and merges per-hart
+//! write logs in hart-id order — deterministic, but a real data race
+//! would be silently resolved by merge order instead of detected. This
+//! module makes write-disjointness a *proved theorem* over the emitted
+//! program, the way `absint` proves memory safety.
+//!
+//! ## The symbolic-`mhartid` domain
+//!
+//! The analysis runs the interval × congruence abstract interpreter
+//! ([`crate::absint::AbsVal`]) once **per hart**, pinning `mhartid` to
+//! the constant `h` for each `h ∈ [0, ncores)`. This is the
+//! hart-indexed instantiation of the affine `base + h·stride` domain:
+//! rather than carrying a symbolic `h` through the arithmetic (which
+//! cannot represent the ±1 remainder chunks the work splitter
+//! produces), each instance evaluates the affine expressions at its
+//! own `h` and the cross-hart rules compare the resulting footprints
+//! pairwise. Dispatch-table loads resolve against the staged parameter
+//! image declared in [`SpmdConfig::memory`] (plus a per-hart store
+//! overlay, so cursor bumps persist across regions); tensor-data loads
+//! return ⊤ — kernel control flow never depends on them, which the
+//! analysis enforces by failing with a typed [`Unproven`] record on
+//! any branch or address it cannot resolve to a constant.
+//!
+//! ## Rules
+//!
+//! Execution is partitioned into **barrier regions** (a store to the
+//! event-unit barrier address ends a region). Per region, per hart,
+//! the analysis collects byte-granular read/write footprints and
+//! checks:
+//!
+//! - **DRF-01** — two harts write overlapping bytes in one region.
+//! - **DRF-02** — a hart reads bytes another hart writes in the same
+//!   region (the read must be barrier-separated to see the merge).
+//! - **DRF-03** — a DMA band declared to overlap a compute region
+//!   touches bytes some hart reads or writes in that region.
+//! - **DRF-04** — barrier-protocol violations: harts reach different
+//!   barrier sequences, a barrier store inside a hardware-loop body,
+//!   or a hart that never halts.
+//! - **DRF-05** — an access inside the dispatch slab leaves the
+//!   per-hart cursor word / parameter-record rows declared for it.
+//!
+//! Verdicts are cross-validated dynamically: `pulp-cluster`'s merge
+//! carries a conflict detector, and the conformance `races` stage
+//! asserts both sides agree on shipped kernels (clean/clean) and on
+//! hand-broken racy kernels (same address range reported).
+
+use std::collections::HashMap;
+
+use pulp_isa::csr::MHARTID;
+use pulp_isa::instr::{AluOp, LoadKind, LoopIdx, MulDivOp};
+use pulp_isa::{Instr, Reg};
+
+use crate::absint::AbsVal;
+use crate::cfg::Cfg;
+use crate::diag::{Diagnostic, Rule};
+use crate::effects::effects;
+use crate::Region;
+
+/// A DMA transfer band scheduled to overlap one compute region: while
+/// the harts execute barrier region `region`, the DMA engine writes
+/// `[base, base + len)`.
+#[derive(Debug, Clone)]
+pub struct DmaBand {
+    /// Human-readable band name (`"band 2"`, ...).
+    pub name: String,
+    /// Index of the barrier region the transfer overlaps.
+    pub region: usize,
+    /// First byte the DMA writes.
+    pub base: u32,
+    /// Bytes written.
+    pub len: u32,
+}
+
+/// A shared slab with declared per-hart ownership: any access that
+/// lands inside `[base, base + len)` must stay within one of the
+/// accessing hart's `allowed` ranges. Used for the dispatch table
+/// (per-hart cursor words + parameter-record rows).
+#[derive(Debug, Clone)]
+pub struct DispatchSlab {
+    /// Human-readable slab name (`"dispatch"`).
+    pub name: String,
+    /// First byte of the slab.
+    pub base: u32,
+    /// Slab length in bytes.
+    pub len: u32,
+    /// `allowed[h]` = the `(base, len)` ranges hart `h` may touch
+    /// inside the slab.
+    pub allowed: Vec<Vec<(u32, u32)>>,
+}
+
+/// What to verify and what to assume about the SPMD execution
+/// environment.
+#[derive(Debug, Clone)]
+pub struct SpmdConfig {
+    /// Number of harts executing the program (`mhartid ∈ [0, ncores)`).
+    pub ncores: usize,
+    /// Address of the event-unit barrier: a store here ends the
+    /// current barrier region.
+    pub barrier_addr: u32,
+    /// Console address, if stores there should be ignored (not part
+    /// of any footprint).
+    pub console_addr: Option<u32>,
+    /// Named address regions used to label findings.
+    pub regions: Vec<Region>,
+    /// Known initial memory (`(base, bytes)` chunks): the staged
+    /// dispatch image (cursors, parameter records, descriptors).
+    /// Loads outside these chunks return ⊤.
+    pub memory: Vec<(u32, Vec<u8>)>,
+    /// DMA bands overlapping compute regions (DRF-03).
+    pub dma: Vec<DmaBand>,
+    /// Shared slabs with per-hart ownership (DRF-05).
+    pub slabs: Vec<DispatchSlab>,
+    /// Per-hart step budget; exceeding it yields a typed
+    /// [`Unproven`] record instead of a verdict.
+    pub max_steps: u64,
+}
+
+impl SpmdConfig {
+    /// A config with no knowledge beyond the hart count and barrier
+    /// address.
+    pub fn new(ncores: usize, barrier_addr: u32) -> SpmdConfig {
+        SpmdConfig {
+            ncores,
+            barrier_addr,
+            console_addr: None,
+            regions: Vec::new(),
+            memory: Vec::new(),
+            dma: Vec::new(),
+            slabs: Vec::new(),
+            max_steps: 50_000_000,
+        }
+    }
+}
+
+/// A byte-granular footprint: sorted, disjoint `[start, end)` ranges,
+/// each remembering the PC of the first access that contributed to it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Footprint {
+    ranges: Vec<(u32, u32, u32)>, // (start, end, first pc)
+}
+
+impl Footprint {
+    /// Records an access of `size` bytes at `addr` issued at `pc`.
+    /// Overlapping and byte-adjacent ranges coalesce; a merged range
+    /// keeps the PC of its lowest-address contributor.
+    pub fn insert(&mut self, addr: u32, size: u32, pc: u32) {
+        if size == 0 {
+            return;
+        }
+        let end = addr.saturating_add(size);
+        let i = self.ranges.partition_point(|&(s, _, _)| s <= addr);
+        let first = if i > 0 && self.ranges[i - 1].1 >= addr {
+            i - 1
+        } else {
+            i
+        };
+        let (mut lo, mut hi, mut kept_pc) = (addr, end, pc);
+        let mut j = first;
+        while j < self.ranges.len() && self.ranges[j].0 <= hi {
+            if self.ranges[j].0 < lo {
+                lo = self.ranges[j].0;
+                kept_pc = self.ranges[j].2;
+            }
+            hi = hi.max(self.ranges[j].1);
+            j += 1;
+        }
+        if first == j {
+            self.ranges.insert(first, (lo, hi, kept_pc));
+        } else {
+            self.ranges[first] = (lo, hi, kept_pc);
+            self.ranges.drain(first + 1..j);
+        }
+    }
+
+    /// The sorted, disjoint `[start, end)` ranges.
+    pub fn ranges(&self) -> &[(u32, u32, u32)] {
+        &self.ranges
+    }
+
+    /// Total bytes covered.
+    pub fn bytes(&self) -> u64 {
+        self.ranges.iter().map(|&(s, e, _)| u64::from(e - s)).sum()
+    }
+
+    /// True when no access was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Overlapping sub-ranges between `self` and `other`, each with
+    /// the contributing PCs `(lo, hi, pc_self, pc_other)`.
+    pub fn intersect(&self, other: &Footprint) -> Vec<(u32, u32, u32, u32)> {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.ranges.len() && j < other.ranges.len() {
+            let (a0, a1, pa) = self.ranges[i];
+            let (b0, b1, pb) = other.ranges[j];
+            let lo = a0.max(b0);
+            let hi = a1.min(b1);
+            if lo < hi {
+                out.push((lo, hi, pa, pb));
+            }
+            if a1 <= b1 {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        out
+    }
+
+    /// Overlap with a single `[base, base + len)` range.
+    fn intersect_range(&self, base: u32, len: u32) -> Vec<(u32, u32, u32)> {
+        let end = u64::from(base) + u64::from(len);
+        let end = u32::try_from(end.min(u64::from(u32::MAX))).expect("clamped");
+        self.ranges
+            .iter()
+            .filter_map(|&(s, e, pc)| {
+                let lo = s.max(base);
+                let hi = e.min(end);
+                (lo < hi).then_some((lo, hi, pc))
+            })
+            .collect()
+    }
+
+    /// Portions of `self` inside `[base, base+len)` not covered by any
+    /// of `allowed` (each `(base, len)`).
+    fn escapes(&self, base: u32, len: u32, allowed: &[(u32, u32)]) -> Vec<(u32, u32, u32)> {
+        let mut out = Vec::new();
+        for (mut lo, hi, pc) in self.intersect_range(base, len) {
+            // Walk the allowed ranges in address order, emitting gaps.
+            let mut spans: Vec<(u32, u32)> = allowed
+                .iter()
+                .map(|&(b, l)| (b, b.saturating_add(l)))
+                .collect();
+            spans.sort_unstable();
+            for (s, e) in spans {
+                if lo >= hi {
+                    break;
+                }
+                if s > lo {
+                    out.push((lo, s.min(hi), pc));
+                }
+                lo = lo.max(e);
+            }
+            if lo < hi {
+                out.push((lo, hi, pc));
+            }
+        }
+        out
+    }
+}
+
+/// Read/write footprints of one hart in one barrier region.
+#[derive(Debug, Clone, Default)]
+pub struct HartRegion {
+    /// Bytes read.
+    pub reads: Footprint,
+    /// Bytes written.
+    pub writes: Footprint,
+}
+
+/// A structured race finding: the machine-checkable core of a DRF
+/// diagnostic, used by the static-vs-dynamic crossval to match
+/// address ranges.
+#[derive(Debug, Clone)]
+pub struct RaceFinding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Barrier region index.
+    pub region: usize,
+    /// First involved hart.
+    pub hart_a: usize,
+    /// Second involved hart (equal to `hart_a` for single-hart
+    /// findings such as DRF-03/05).
+    pub hart_b: usize,
+    /// First overlapping byte.
+    pub lo: u32,
+    /// One past the last overlapping byte.
+    pub hi: u32,
+}
+
+impl RaceFinding {
+    /// True when `addr` falls inside the finding's byte range.
+    pub fn contains(&self, addr: u32) -> bool {
+        (self.lo..self.hi).contains(&addr)
+    }
+}
+
+/// A typed "could not prove" record: the analysis aborted a hart
+/// because a branch, address or loop count did not resolve to a
+/// constant (or the step budget ran out). A program with unproven
+/// records is *not* race-clean — the verifier refuses to guess.
+#[derive(Debug, Clone)]
+pub struct Unproven {
+    /// The hart whose analysis aborted.
+    pub hart: usize,
+    /// PC of the unresolvable instruction.
+    pub pc: u32,
+    /// Disassembly of that instruction.
+    pub instr: String,
+    /// Why the analysis could not continue.
+    pub reason: String,
+}
+
+/// Everything one SPMD analysis run produced.
+#[derive(Debug)]
+pub struct SpmdReport {
+    /// DRF findings rendered as diagnostics (stable rule IDs).
+    pub diagnostics: Vec<Diagnostic>,
+    /// The structured findings behind the diagnostics.
+    pub findings: Vec<RaceFinding>,
+    /// Typed can't-prove records (non-empty ⇒ not race-clean).
+    pub unproven: Vec<Unproven>,
+    /// Harts analyzed.
+    pub harts: usize,
+    /// Barrier regions compared (max over harts).
+    pub regions_run: usize,
+    /// Abstract steps executed across all harts.
+    pub steps: u64,
+    /// Total bytes written (union per hart region, summed).
+    pub write_bytes: u64,
+    /// Total bytes read (union per hart region, summed).
+    pub read_bytes: u64,
+}
+
+impl SpmdReport {
+    /// True when the program is *proved* race-free: no DRF finding
+    /// and nothing left unproven.
+    pub fn race_clean(&self) -> bool {
+        self.diagnostics.is_empty() && self.unproven.is_empty()
+    }
+
+    /// Renders the report the way `xpulpnn lint --races` prints it.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        for u in &self.unproven {
+            out.push_str(&format!(
+                "unproven @{:#010x} `{}`: hart {}: {}\n",
+                u.pc, u.instr, u.hart, u.reason
+            ));
+        }
+        out.push_str(&self.summary());
+        out.push('\n');
+        out
+    }
+
+    /// The one-line machine-greppable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "spmd: {} diagnostics, {} unproven; {} harts, {} barrier regions, {} steps; \
+             footprints {} bytes written, {} bytes read",
+            self.diagnostics.len(),
+            self.unproven.len(),
+            self.harts,
+            self.regions_run,
+            self.steps,
+            self.write_bytes,
+            self.read_bytes,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The per-hart abstract executor.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, Default)]
+struct HwLoop {
+    start: u32,
+    end: u32,
+    count: u32,
+}
+
+/// Per-hart execution result.
+struct HartRun {
+    regions: Vec<HartRegion>,
+    /// PCs of the barrier stores, in execution order.
+    barriers: Vec<u32>,
+    halted: bool,
+    steps: u64,
+    unproven: Option<Unproven>,
+    /// PCs of barrier stores that executed inside a hardware-loop
+    /// body (DRF-04 structural violation).
+    barrier_in_loop: Vec<u32>,
+}
+
+struct Exec<'a> {
+    stream: &'a [(u32, u32, Instr)],
+    index: &'a HashMap<u32, usize>,
+    cfg: &'a Cfg,
+    config: &'a SpmdConfig,
+    entry: u32,
+    hart: usize,
+    regs: [AbsVal; 32],
+    hwloops: [HwLoop; 2],
+    /// Bytes this hart has stored: `Some(b)` known, `None` unknown.
+    overlay: HashMap<u32, Option<u8>>,
+}
+
+impl Exec<'_> {
+    fn get(&self, r: Reg) -> AbsVal {
+        if r == Reg::Zero {
+            AbsVal::constant(0)
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    fn set(&mut self, r: Reg, v: AbsVal) {
+        if r != Reg::Zero {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    fn known_byte(&self, addr: u32) -> Option<u8> {
+        if let Some(&b) = self.overlay.get(&addr) {
+            return b;
+        }
+        for (base, bytes) in &self.config.memory {
+            if addr >= *base {
+                if let Some(&b) = bytes.get((addr - base) as usize) {
+                    return Some(b);
+                }
+            }
+        }
+        None
+    }
+
+    /// Loads `size` known bytes at `addr`, little-endian; `None` when
+    /// any byte is unknown (⊤ data).
+    fn load(&self, addr: u32, size: u32) -> Option<u32> {
+        let mut v = 0u32;
+        for i in 0..size {
+            v |= u32::from(self.known_byte(addr.wrapping_add(i))?) << (8 * i);
+        }
+        Some(v)
+    }
+
+    fn store(&mut self, addr: u32, size: u32, value: Option<u32>) {
+        for i in 0..size {
+            let b = value.map(|v| (v >> (8 * i)) as u8);
+            self.overlay.insert(addr.wrapping_add(i), b);
+        }
+    }
+
+    /// Mirrors `riscv-core`'s end-of-body check: loop 0 is checked
+    /// first; a loop fires when its count is live and the retired
+    /// instruction is the last of the body.
+    fn hwloop_next_pc(&mut self, retired_pc: u32, len: u32) -> Option<u32> {
+        for i in 0..2 {
+            let lp = &mut self.hwloops[i];
+            if lp.count > 0 && retired_pc.wrapping_add(len) == lp.end {
+                if lp.count > 1 {
+                    lp.count -= 1;
+                    return Some(lp.start);
+                }
+                lp.count = 0;
+            }
+        }
+        None
+    }
+
+    fn disasm(&self, pc: u32) -> String {
+        match self.index.get(&pc) {
+            Some(&i) => self.stream[i].2.to_string(),
+            None => "-".to_string(),
+        }
+    }
+
+    fn run(&mut self) -> HartRun {
+        let mut run = HartRun {
+            regions: vec![HartRegion::default()],
+            barriers: Vec::new(),
+            halted: false,
+            steps: 0,
+            unproven: None,
+            barrier_in_loop: Vec::new(),
+        };
+        let mut pc = self.entry;
+        macro_rules! give_up {
+            ($pc:expr, $($why:tt)*) => {{
+                run.unproven = Some(Unproven {
+                    hart: self.hart,
+                    pc: $pc,
+                    instr: self.disasm($pc),
+                    reason: format!($($why)*),
+                });
+                return run;
+            }};
+        }
+        loop {
+            if run.steps >= self.config.max_steps {
+                give_up!(pc, "step budget of {} exhausted", self.config.max_steps);
+            }
+            let Some(&i) = self.index.get(&pc) else {
+                give_up!(pc, "control flow left the program");
+            };
+            let (_, len, instr) = self.stream[i];
+            run.steps += 1;
+            let mut next = pc.wrapping_add(len);
+            let mut jumped = false;
+            match instr {
+                Instr::Lui { rd, imm } => self.set(rd, AbsVal::constant(imm)),
+                Instr::Auipc { rd, imm } => {
+                    self.set(rd, AbsVal::constant(pc.wrapping_add(imm)));
+                }
+                Instr::Jal { rd, offset } => {
+                    self.set(rd, AbsVal::constant(pc.wrapping_add(len)));
+                    next = pc.wrapping_add(offset as u32);
+                    jumped = true;
+                }
+                Instr::Jalr { rd, rs1, offset } => {
+                    let Some(base) = self.get(rs1).as_const() else {
+                        give_up!(pc, "indirect jump through unknown {rs1}");
+                    };
+                    self.set(rd, AbsVal::constant(pc.wrapping_add(len)));
+                    next = base.wrapping_add(offset as u32) & !1;
+                    jumped = true;
+                }
+                Instr::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    offset,
+                } => {
+                    let (a, b) = (self.get(rs1).as_const(), self.get(rs2).as_const());
+                    let (Some(a), Some(b)) = (a, b) else {
+                        give_up!(pc, "branch on unknown operands ({rs1}, {rs2})");
+                    };
+                    if cond.eval(a, b) {
+                        next = pc.wrapping_add(offset as u32);
+                        jumped = true;
+                    }
+                }
+                Instr::AluImm { op, rd, rs1, imm } => {
+                    let a = self.get(rs1);
+                    let v = match (op, a.as_const()) {
+                        (AluOp::Add, _) => a.addi(imm),
+                        (AluOp::Sll, _) => a.shl(imm as u32 & 31),
+                        (op, Some(a)) => AbsVal::constant(alu_eval(op, a, imm as u32)),
+                        _ => AbsVal::TOP,
+                    };
+                    self.set(rd, v);
+                }
+                Instr::Alu { op, rd, rs1, rs2 } => {
+                    let (a, b) = (self.get(rs1), self.get(rs2));
+                    let v = match (op, a.as_const(), b.as_const()) {
+                        (AluOp::Add, _, _) => a.add(b),
+                        (AluOp::Sub, _, _) => a.sub(b),
+                        (op, Some(a), Some(b)) => AbsVal::constant(alu_eval(op, a, b)),
+                        // A comparison on unknown data is still bounded
+                        // — the bit that keeps the branchless
+                        // threshold-tree walk's index interval finite.
+                        (AluOp::Slt | AluOp::Sltu, _, _) => {
+                            AbsVal::constant(0).join(AbsVal::constant(1))
+                        }
+                        _ => AbsVal::TOP,
+                    };
+                    self.set(rd, v);
+                }
+                Instr::MulDiv { op, rd, rs1, rs2 } => {
+                    let v = match (op, self.get(rs1).as_const(), self.get(rs2).as_const()) {
+                        (MulDivOp::Mul, Some(a), Some(b)) => AbsVal::constant(a.wrapping_mul(b)),
+                        _ => AbsVal::TOP,
+                    };
+                    self.set(rd, v);
+                }
+                Instr::Csr { rd, csr, .. } => {
+                    if csr == MHARTID {
+                        self.set(rd, AbsVal::constant(self.hart as u32));
+                    } else {
+                        self.set(rd, AbsVal::TOP);
+                    }
+                }
+                Instr::LpSetup { l, rs1, offset } => {
+                    let Some(count) = self.get(rs1).as_const() else {
+                        give_up!(pc, "hardware-loop count in {rs1} is unknown");
+                    };
+                    self.hwloops[lp_index(l)] = HwLoop {
+                        start: pc.wrapping_add(4),
+                        end: pc.wrapping_add(offset as u32),
+                        count,
+                    };
+                }
+                Instr::LpSetupi { l, imm, offset } => {
+                    self.hwloops[lp_index(l)] = HwLoop {
+                        start: pc.wrapping_add(4),
+                        end: pc.wrapping_add(offset as u32),
+                        count: imm,
+                    };
+                }
+                Instr::LpStarti { l, offset } => {
+                    self.hwloops[lp_index(l)].start = pc.wrapping_add(offset as u32);
+                }
+                Instr::LpEndi { l, offset } => {
+                    self.hwloops[lp_index(l)].end = pc.wrapping_add(offset as u32);
+                }
+                Instr::LpCount { l, rs1 } => {
+                    let Some(count) = self.get(rs1).as_const() else {
+                        give_up!(pc, "hardware-loop count in {rs1} is unknown");
+                    };
+                    self.hwloops[lp_index(l)].count = count;
+                }
+                Instr::LpCounti { l, imm } => {
+                    self.hwloops[lp_index(l)].count = imm;
+                }
+                Instr::Ecall | Instr::Ebreak => {
+                    run.halted = true;
+                    return run;
+                }
+                _ => {
+                    // Memory ops are handled below (via effects());
+                    // any other register write degrades to ⊤.
+                    if effects(&instr).mem.is_none() {
+                        for r in effects(&instr).defs.iter() {
+                            self.set(r, AbsVal::TOP);
+                        }
+                    }
+                }
+            }
+
+            // Memory access, uniformly through the effects table.
+            if let Some(mem) = effects(&instr).mem {
+                let mut aval = self.get(mem.base);
+                if let Some(idx) = mem.index {
+                    aval = aval.add(self.get(idx));
+                }
+                let aval = aval.addi(mem.offset);
+                match aval.as_const() {
+                    Some(addr) => {
+                        let is_barrier = mem.is_store && addr == self.config.barrier_addr;
+                        let is_console = mem.is_store && Some(addr) == self.config.console_addr;
+                        if is_barrier {
+                            run.barriers.push(pc);
+                            run.regions.push(HartRegion::default());
+                            if self.cfg.loops.iter().any(|l| l.contains(pc))
+                                || self
+                                    .hwloops
+                                    .iter()
+                                    .any(|lp| lp.count > 0 && (lp.start..lp.end).contains(&pc))
+                            {
+                                run.barrier_in_loop.push(pc);
+                            }
+                        } else if !is_console {
+                            let region = run.regions.last_mut().expect("one region always open");
+                            if mem.is_store {
+                                region.writes.insert(addr, mem.size, pc);
+                            } else {
+                                region.reads.insert(addr, mem.size, pc);
+                            }
+                        }
+                        // Value semantics of the access.
+                        match instr {
+                            Instr::Load { kind, rd, .. }
+                            | Instr::LoadPostInc { kind, rd, .. }
+                            | Instr::LoadPostIncReg { kind, rd, .. }
+                            | Instr::LoadRegOff { kind, rd, .. } => {
+                                let v = self
+                                    .load(addr, mem.size)
+                                    .map(|raw| sign_extend(kind, raw))
+                                    .map_or(AbsVal::TOP, AbsVal::constant);
+                                self.set(rd, v);
+                            }
+                            Instr::Store { rs2, .. }
+                            | Instr::StorePostInc { rs2, .. }
+                            | Instr::StorePostIncReg { rs2, .. } => {
+                                if !is_barrier && !is_console {
+                                    let v = self.get(rs2).as_const();
+                                    self.store(addr, mem.size, v);
+                                }
+                            }
+                            _ => {
+                                // pv.qnt-style read: result already ⊤ via defs.
+                                for r in effects(&instr).defs.iter() {
+                                    self.set(r, AbsVal::TOP);
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        // Data-dependent address. A *load* whose interval
+                        // is provably bounded (the branchless
+                        // threshold-tree walk: index built from `slt`
+                        // bits) is footprinted over the whole interval —
+                        // a sound over-approximation of the bytes it may
+                        // read. Stores and unbounded addresses abort.
+                        let (lo, hi) = aval.range();
+                        let spread = hi.wrapping_sub(lo);
+                        if mem.is_store || spread >= INTERVAL_LOAD_SPREAD {
+                            give_up!(pc, "memory access through unknown address");
+                        }
+                        let region = run.regions.last_mut().expect("one region always open");
+                        region.reads.insert(lo, spread.saturating_add(mem.size), pc);
+                        for r in effects(&instr).defs.iter() {
+                            self.set(r, AbsVal::TOP);
+                        }
+                    }
+                }
+                // Post-increment base bump (the address register stays
+                // abstract even when the access itself did not resolve
+                // to a constant).
+                match instr {
+                    Instr::LoadPostInc { rs1, offset, .. }
+                    | Instr::StorePostInc { rs1, offset, .. } => {
+                        let bumped = self.get(rs1).addi(offset);
+                        self.set(rs1, bumped);
+                    }
+                    Instr::LoadPostIncReg { rs1, rs2, .. } => {
+                        let bumped = self.get(rs1).add(self.get(rs2));
+                        self.set(rs1, bumped);
+                    }
+                    Instr::StorePostIncReg { rs1, rs3, .. } => {
+                        let bumped = self.get(rs1).add(self.get(rs3));
+                        self.set(rs1, bumped);
+                    }
+                    _ => {}
+                }
+            }
+
+            if !jumped {
+                if let Some(start) = self.hwloop_next_pc(pc, len) {
+                    next = start;
+                }
+            }
+            pc = next;
+        }
+    }
+}
+
+/// Largest interval spread (in bytes) a data-dependent *load* may have
+/// and still be footprinted conservatively instead of aborting the
+/// hart. Generous relative to a threshold tree (≤ 2^(Q+1) halfwords)
+/// while still rejecting wild pointers.
+const INTERVAL_LOAD_SPREAD: u32 = 4096;
+
+fn lp_index(l: LoopIdx) -> usize {
+    match l {
+        LoopIdx::L0 => 0,
+        LoopIdx::L1 => 1,
+    }
+}
+
+fn sign_extend(kind: LoadKind, raw: u32) -> u32 {
+    match kind {
+        LoadKind::Byte => raw as u8 as i8 as i32 as u32,
+        LoadKind::Half => raw as u16 as i16 as i32 as u32,
+        LoadKind::ByteU | LoadKind::HalfU | LoadKind::Word => raw,
+    }
+}
+
+fn alu_eval(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Sll => a.wrapping_shl(b & 31),
+        AluOp::Srl => a.wrapping_shr(b & 31),
+        AluOp::Sra => (a as i32).wrapping_shr(b & 31) as u32,
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Slt => u32::from((a as i32) < (b as i32)),
+        AluOp::Sltu => u32::from(a < b),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The cross-hart checks.
+// ---------------------------------------------------------------------------
+
+fn region_name(regions: &[Region], addr: u32) -> &str {
+    regions
+        .iter()
+        .find(|r| addr >= r.base && u64::from(addr) < u64::from(r.base) + u64::from(r.len))
+        .map_or("unmapped", |r| r.name.as_str())
+}
+
+/// Analyzes a decoded instruction stream as an SPMD program executed
+/// by `config.ncores` harts. `stream` must be in address order;
+/// `entry` is the first executed instruction's address.
+pub fn analyze_spmd_stream(
+    entry: u32,
+    stream: &[(u32, u32, Instr)],
+    config: &SpmdConfig,
+) -> SpmdReport {
+    // A single hart cannot race with itself, and with no DMA bands or
+    // ownership slabs declared there is nothing else to check: the
+    // cross-hart rules are all trivially satisfied.
+    if config.ncores <= 1 && config.dma.is_empty() && config.slabs.is_empty() {
+        return SpmdReport {
+            diagnostics: Vec::new(),
+            findings: Vec::new(),
+            unproven: Vec::new(),
+            harts: config.ncores,
+            regions_run: 0,
+            steps: 0,
+            write_bytes: 0,
+            read_bytes: 0,
+        };
+    }
+
+    let cfg = Cfg::build(stream, entry);
+    let index: HashMap<u32, usize> = stream
+        .iter()
+        .enumerate()
+        .map(|(i, &(pc, _, _))| (pc, i))
+        .collect();
+
+    let mut runs = Vec::with_capacity(config.ncores);
+    let mut steps = 0u64;
+    for hart in 0..config.ncores {
+        let mut exec = Exec {
+            stream,
+            index: &index,
+            cfg: &cfg,
+            config,
+            entry,
+            hart,
+            regs: [AbsVal::TOP; 32],
+            hwloops: [HwLoop::default(); 2],
+            overlay: HashMap::new(),
+        };
+        let run = exec.run();
+        steps += run.steps;
+        runs.push(run);
+    }
+
+    let disasm = |pc: u32| -> String {
+        index
+            .get(&pc)
+            .map_or_else(|| "-".to_string(), |&i| stream[i].2.to_string())
+    };
+
+    let mut findings: Vec<RaceFinding> = Vec::new();
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    let mut unproven: Vec<Unproven> = Vec::new();
+    for run in &runs {
+        unproven.extend(run.unproven.clone());
+    }
+
+    // DRF-04: structural (barrier inside a hardware loop), liveness
+    // (every hart halts), and protocol (identical barrier sequences).
+    let mut in_loop_pcs: Vec<u32> = runs
+        .iter()
+        .flat_map(|r| r.barrier_in_loop.clone())
+        .collect();
+    in_loop_pcs.sort_unstable();
+    in_loop_pcs.dedup();
+    for pc in in_loop_pcs {
+        diagnostics.push(Diagnostic {
+            rule: Rule::DrfBarrierProtocol,
+            pc,
+            instr: disasm(pc),
+            message: "barrier store inside a hardware-loop body".to_string(),
+        });
+    }
+    for (h, run) in runs.iter().enumerate() {
+        if !run.halted && run.unproven.is_none() {
+            diagnostics.push(Diagnostic {
+                rule: Rule::DrfBarrierProtocol,
+                pc: entry,
+                instr: disasm(entry),
+                message: format!("hart {h} never halts"),
+            });
+        }
+    }
+    /// Render a barrier-store PC sequence as `[0x1c008010, ...]`.
+    fn fmt_pcs(pcs: &[u32]) -> String {
+        let hex: Vec<String> = pcs.iter().map(|pc| format!("{pc:#010x}")).collect();
+        format!("[{}]", hex.join(", "))
+    }
+    for (h, run) in runs.iter().enumerate().skip(1) {
+        if run.unproven.is_some() || runs[0].unproven.is_some() {
+            continue;
+        }
+        if run.barriers != runs[0].barriers {
+            let k = run
+                .barriers
+                .iter()
+                .zip(&runs[0].barriers)
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| run.barriers.len().min(runs[0].barriers.len()));
+            let pc = *run
+                .barriers
+                .get(k)
+                .or_else(|| runs[0].barriers.get(k))
+                .unwrap_or(&entry);
+            diagnostics.push(Diagnostic {
+                rule: Rule::DrfBarrierProtocol,
+                pc,
+                instr: disasm(pc),
+                message: format!(
+                    "hart {h} reaches barrier sequence {} where hart 0 reaches {}",
+                    fmt_pcs(&run.barriers),
+                    fmt_pcs(&runs[0].barriers)
+                ),
+            });
+        }
+    }
+
+    let nregions = runs.iter().map(|r| r.regions.len()).max().unwrap_or(0);
+    let common = runs.iter().map(|r| r.regions.len()).min().unwrap_or(0);
+    let empty = HartRegion::default();
+    let at = |h: usize, r: usize| runs[h].regions.get(r).unwrap_or(&empty);
+
+    // DRF-01 / DRF-02: pairwise footprint overlap within each region.
+    for r in 0..common {
+        for i in 0..runs.len() {
+            for j in 0..runs.len() {
+                if i == j {
+                    continue;
+                }
+                if i < j {
+                    for (lo, hi, pa, _) in at(i, r).writes.intersect(&at(j, r).writes) {
+                        findings.push(RaceFinding {
+                            rule: Rule::DrfWriteOverlap,
+                            region: r,
+                            hart_a: i,
+                            hart_b: j,
+                            lo,
+                            hi,
+                        });
+                        diagnostics.push(Diagnostic {
+                            rule: Rule::DrfWriteOverlap,
+                            pc: pa,
+                            instr: disasm(pa),
+                            message: format!(
+                                "harts {i} and {j} both write [{lo:#010x}, {hi:#010x}) \
+                                 ({}) in barrier region {r}",
+                                region_name(&config.regions, lo)
+                            ),
+                        });
+                    }
+                }
+                for (lo, hi, pa, _) in at(i, r).reads.intersect(&at(j, r).writes) {
+                    findings.push(RaceFinding {
+                        rule: Rule::DrfReadOfPeerWrite,
+                        region: r,
+                        hart_a: i,
+                        hart_b: j,
+                        lo,
+                        hi,
+                    });
+                    diagnostics.push(Diagnostic {
+                        rule: Rule::DrfReadOfPeerWrite,
+                        pc: pa,
+                        instr: disasm(pa),
+                        message: format!(
+                            "hart {i} reads [{lo:#010x}, {hi:#010x}) ({}) which hart {j} \
+                             writes in the same barrier region {r}",
+                            region_name(&config.regions, lo)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // DRF-03: DMA bands vs the compute footprints they overlap.
+    for band in &config.dma {
+        for (h, run) in runs.iter().enumerate() {
+            let Some(region) = run.regions.get(band.region) else {
+                continue;
+            };
+            for (kind, fp) in [("writes", &region.writes), ("reads", &region.reads)] {
+                for (lo, hi, pc) in fp.intersect_range(band.base, band.len) {
+                    findings.push(RaceFinding {
+                        rule: Rule::DrfDmaOverlap,
+                        region: band.region,
+                        hart_a: h,
+                        hart_b: h,
+                        lo,
+                        hi,
+                    });
+                    diagnostics.push(Diagnostic {
+                        rule: Rule::DrfDmaOverlap,
+                        pc,
+                        instr: disasm(pc),
+                        message: format!(
+                            "dma {} [{:#010x}, {:#010x}) overlaps hart {h}'s {kind} \
+                             [{lo:#010x}, {hi:#010x}) ({}) in overlapped region {}",
+                            band.name,
+                            band.base,
+                            u64::from(band.base) + u64::from(band.len),
+                            region_name(&config.regions, lo),
+                            band.region
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // DRF-05: accesses inside a declared slab must stay in the
+    // accessing hart's ranges.
+    for slab in &config.slabs {
+        for (h, run) in runs.iter().enumerate() {
+            let allowed: &[(u32, u32)] = slab.allowed.get(h).map_or(&[], |v| v.as_slice());
+            for (r, region) in run.regions.iter().enumerate() {
+                for (kind, fp) in [("writes", &region.writes), ("reads", &region.reads)] {
+                    for (lo, hi, pc) in fp.escapes(slab.base, slab.len, allowed) {
+                        findings.push(RaceFinding {
+                            rule: Rule::DrfDispatchSlab,
+                            region: r,
+                            hart_a: h,
+                            hart_b: h,
+                            lo,
+                            hi,
+                        });
+                        diagnostics.push(Diagnostic {
+                            rule: Rule::DrfDispatchSlab,
+                            pc,
+                            instr: disasm(pc),
+                            message: format!(
+                                "hart {h} {kind} [{lo:#010x}, {hi:#010x}) in slab {} \
+                                 outside its declared per-hart ranges (region {r})",
+                                slab.name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    diagnostics.sort_by(|a, b| (a.pc, a.rule, &a.message).cmp(&(b.pc, b.rule, &b.message)));
+    diagnostics.dedup();
+
+    let write_bytes = runs
+        .iter()
+        .flat_map(|r| r.regions.iter())
+        .map(|r| r.writes.bytes())
+        .sum();
+    let read_bytes = runs
+        .iter()
+        .flat_map(|r| r.regions.iter())
+        .map(|r| r.reads.bytes())
+        .sum();
+    SpmdReport {
+        diagnostics,
+        findings,
+        unproven,
+        harts: config.ncores,
+        regions_run: nregions,
+        steps,
+        write_bytes,
+        read_bytes,
+    }
+}
+
+/// Analyzes an assembled [`pulp_asm::Program`] as an SPMD program; the
+/// program's own data segments join the known memory image.
+pub fn analyze_spmd(prog: &pulp_asm::Program, config: &SpmdConfig) -> SpmdReport {
+    let stream: Vec<(u32, u32, Instr)> = prog
+        .instrs
+        .iter()
+        .enumerate()
+        .map(|(i, &instr)| (prog.base + 4 * i as u32, 4, instr))
+        .collect();
+    let mut config = config.clone();
+    for (addr, bytes) in &prog.data {
+        config.memory.push((*addr, bytes.clone()));
+    }
+    analyze_spmd_stream(prog.base, &stream, &config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulp_asm::Asm;
+
+    const BARRIER: u32 = 0x1b20_0000;
+    const BASE: u32 = 0x1000_0000;
+
+    fn cfg(ncores: usize) -> SpmdConfig {
+        let mut c = SpmdConfig::new(ncores, BARRIER);
+        c.regions = vec![Region::new("tcdm", BASE, 0x1_0000)];
+        c
+    }
+
+    fn csrr_mhartid(a: &mut Asm, rd: Reg) {
+        a.i(Instr::Csr {
+            op: 1,
+            rd,
+            rs1: Reg::Zero,
+            csr: MHARTID,
+        });
+    }
+
+    /// Each hart stores one word at `BASE + stride*mhartid`, then
+    /// exits; `stride == 0` makes every hart hit the same word.
+    fn per_hart_store(stride: i32) -> pulp_asm::Program {
+        let mut a = Asm::new(0x1c00_8000);
+        csrr_mhartid(&mut a, Reg::T0);
+        a.li(Reg::T1, stride);
+        a.i(Instr::MulDiv {
+            op: MulDivOp::Mul,
+            rd: Reg::T0,
+            rs1: Reg::T0,
+            rs2: Reg::T1,
+        });
+        a.li(Reg::T2, BASE as i32);
+        a.add(Reg::T0, Reg::T0, Reg::T2);
+        a.sw(Reg::T3, 0, Reg::T0);
+        a.li(Reg::A0, 0);
+        a.ecall();
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn disjoint_per_hart_stores_are_race_clean() {
+        let r = analyze_spmd(&per_hart_store(4), &cfg(4));
+        assert!(r.race_clean(), "{}", r.render());
+        assert_eq!(r.regions_run, 1);
+        assert_eq!(r.write_bytes, 16);
+    }
+
+    #[test]
+    fn overlapping_stores_fire_drf01() {
+        let r = analyze_spmd(&per_hart_store(0), &cfg(4));
+        assert!(!r.race_clean());
+        assert!(r
+            .diagnostics
+            .iter()
+            .all(|d| d.rule == Rule::DrfWriteOverlap));
+        let f = &r.findings[0];
+        assert_eq!((f.lo, f.hi), (BASE, BASE + 4));
+    }
+
+    #[test]
+    fn single_hart_short_circuits_clean() {
+        let r = analyze_spmd(&per_hart_store(0), &cfg(1));
+        assert!(r.race_clean());
+        assert_eq!(r.steps, 0);
+    }
+
+    #[test]
+    fn barrier_separates_write_from_read() {
+        // Hart h writes slot h, barrier, reads slot (h+1)%n — clean.
+        // Without the barrier the read races (DRF-02).
+        for (with_barrier, want_clean) in [(true, true), (false, false)] {
+            let mut a = Asm::new(0x1c00_8000);
+            csrr_mhartid(&mut a, Reg::T0);
+            a.slli(Reg::T0, Reg::T0, 2);
+            a.li(Reg::T2, BASE as i32);
+            a.add(Reg::T0, Reg::T0, Reg::T2);
+            a.sw(Reg::T3, 0, Reg::T0);
+            if with_barrier {
+                a.li(Reg::T4, BARRIER as i32);
+                a.sw(Reg::Zero, 0, Reg::T4);
+            }
+            // Read the next hart's slot (wrapping via modulo mask is
+            // overkill for the test: hart n-1 reads hart 0's slot by
+            // subtracting (n-1)*4).
+            a.lw(Reg::T5, 4, Reg::T0);
+            a.li(Reg::A0, 0);
+            a.ecall();
+            let prog = a.assemble().unwrap();
+            let r = analyze_spmd(&prog, &cfg(2));
+            assert_eq!(r.race_clean(), want_clean, "{}", r.render());
+            if !want_clean {
+                assert!(r
+                    .diagnostics
+                    .iter()
+                    .any(|d| d.rule == Rule::DrfReadOfPeerWrite));
+            }
+        }
+    }
+
+    #[test]
+    fn dma_band_overlap_fires_drf03() {
+        let mut c = cfg(2);
+        c.dma.push(DmaBand {
+            name: "band 0".to_string(),
+            region: 0,
+            base: BASE,
+            len: 64,
+        });
+        let r = analyze_spmd(&per_hart_store(4), &c);
+        assert!(r.diagnostics.iter().any(|d| d.rule == Rule::DrfDmaOverlap));
+    }
+
+    #[test]
+    fn slab_escape_fires_drf05() {
+        let mut c = cfg(2);
+        c.slabs.push(DispatchSlab {
+            name: "dispatch".to_string(),
+            base: BASE,
+            len: 64,
+            // Hart h owns only its own word.
+            allowed: (0..2).map(|h| vec![(BASE + 4 * h, 4)]).collect(),
+        });
+        // stride 8: hart 1 writes BASE+8, outside its slot BASE+4..8.
+        let r = analyze_spmd(&per_hart_store(8), &c);
+        assert!(r
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == Rule::DrfDispatchSlab));
+    }
+
+    #[test]
+    fn dispatch_cursor_walk_resolves_through_known_memory() {
+        // Hart h loads a pointer from its cursor word, bumps it by 4,
+        // stores it back, and writes through the loaded pointer —
+        // the canonical dispatch pattern. Clean for distinct targets.
+        let cursors = BASE;
+        let mut mem = Vec::new();
+        for h in 0..2u32 {
+            mem.extend_from_slice(&(BASE + 0x100 + 16 * h).to_le_bytes());
+        }
+        let mut c = cfg(2);
+        c.memory.push((cursors, mem));
+        let mut a = Asm::new(0x1c00_8000);
+        csrr_mhartid(&mut a, Reg::T0);
+        a.slli(Reg::T0, Reg::T0, 2);
+        a.li(Reg::T1, cursors as i32);
+        a.add(Reg::T0, Reg::T0, Reg::T1);
+        a.lw(Reg::T2, 0, Reg::T0); // pointer from cursor
+        a.addi(Reg::T3, Reg::T2, 4);
+        a.sw(Reg::T3, 0, Reg::T0); // bump cursor
+        a.sw(Reg::Zero, 0, Reg::T2); // write through pointer
+        a.lw(Reg::T4, 0, Reg::T0); // re-load: sees own bump
+        a.sw(Reg::Zero, 0, Reg::T4); // second write, +4
+        a.li(Reg::A0, 0);
+        a.ecall();
+        let prog = a.assemble().unwrap();
+        let r = analyze_spmd(&prog, &c);
+        assert!(r.race_clean(), "{}", r.render());
+        // Each hart wrote its cursor word + two 4-byte targets.
+        assert_eq!(r.write_bytes, 2 * 12);
+    }
+
+    #[test]
+    fn unknown_branch_is_typed_unproven() {
+        let mut a = Asm::new(0x1c00_8000);
+        a.li(Reg::T1, BASE as i32);
+        a.lw(Reg::T0, 0, Reg::T1); // ⊤: no known memory declared
+        a.beq(Reg::T0, Reg::Zero, "out");
+        a.label("out");
+        a.li(Reg::A0, 0);
+        a.ecall();
+        let prog = a.assemble().unwrap();
+        let r = analyze_spmd(&prog, &cfg(2));
+        assert!(!r.race_clean());
+        assert_eq!(r.unproven.len(), 2);
+        assert!(r.unproven[0].reason.contains("branch"));
+    }
+
+    #[test]
+    fn hardware_loop_stores_stay_disjoint() {
+        // Hart h fills 8 words at BASE + 32h via lp.setupi — the loop
+        // must iterate exactly 8 times per hart.
+        let mut a = Asm::new(0x1c00_8000);
+        csrr_mhartid(&mut a, Reg::T0);
+        a.slli(Reg::T0, Reg::T0, 5);
+        a.li(Reg::T1, BASE as i32);
+        a.add(Reg::T0, Reg::T0, Reg::T1);
+        a.lp_setupi(LoopIdx::L0, 8, "loop_end");
+        a.p_sw_postinc(Reg::Zero, 4, Reg::T0);
+        a.label("loop_end");
+        a.li(Reg::A0, 0);
+        a.ecall();
+        let prog = a.assemble().unwrap();
+        let r = analyze_spmd(&prog, &cfg(4));
+        assert!(r.race_clean(), "{}", r.render());
+        assert_eq!(r.write_bytes, 4 * 32);
+    }
+
+    #[test]
+    fn report_renders_summary_line() {
+        let r = analyze_spmd(&per_hart_store(4), &cfg(2));
+        assert!(r.render().contains("spmd: 0 diagnostics"));
+    }
+}

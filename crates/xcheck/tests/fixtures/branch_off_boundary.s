@@ -1,0 +1,7 @@
+# CFG-01: a branch whose target is not an instruction boundary of the
+# program — the offset lands mid-instruction, so the "target" would be
+# decoded garbage.
+    li t0, 1
+    beq t0, x0, 6
+    li a0, 0
+    ecall

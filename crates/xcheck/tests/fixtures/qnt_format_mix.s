@@ -1,0 +1,10 @@
+# FMT-01: one program quantizes to two different output widths —
+# a kernel quantizes to exactly one format, so mixing pv.qnt.n
+# (nibble) and pv.qnt.c (crumb) is an emitter bug.
+    li a1, 0x1c010000
+    li a0, 7
+    li a2, 9
+    pv.qnt.n t0, a0, a1
+    pv.qnt.c t1, a2, a1
+    li a0, 0
+    ecall

@@ -1,0 +1,240 @@
+//! SPMD race-diagnostic golden tests: each hand-broken racy kernel
+//! below must produce exactly the DRF diagnostics pinned in
+//! `tests/spmd_golden/<name>.txt`. Unlike the single-hart fixtures in
+//! `broken_golden.rs`, SPMD fixtures need a multi-hart [`SpmdConfig`]
+//! (barrier address, DMA bands, dispatch-slab ownership) next to the
+//! program, so they are built in Rust rather than parsed from `.s`.
+//!
+//! To re-bless after an intentional analyzer change:
+//!
+//! ```text
+//! XPULPNN_BLESS=1 cargo test -p xcheck --test spmd_golden
+//! ```
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use pulp_asm::Asm;
+use pulp_isa::csr::MHARTID;
+use pulp_isa::instr::{LoopIdx, MulDivOp};
+use pulp_isa::{Instr, Reg};
+use xcheck::{analyze_spmd, DispatchSlab, DmaBand, Region, Rule, SpmdConfig, SpmdReport};
+
+const BLESS_ENV: &str = "XPULPNN_BLESS";
+
+/// Event-unit barrier address used by every fixture.
+const BARRIER: u32 = 0x1b20_0000;
+/// TCDM window the fixtures compute in.
+const BASE: u32 = 0x1000_0000;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/spmd_golden")
+}
+
+fn cfg(ncores: usize) -> SpmdConfig {
+    let mut c = SpmdConfig::new(ncores, BARRIER);
+    c.regions = vec![Region::new("tcdm", BASE, 0x1_0000)];
+    c
+}
+
+fn csrr_mhartid(a: &mut Asm, rd: Reg) {
+    a.i(Instr::Csr {
+        op: 1,
+        rd,
+        rs1: Reg::Zero,
+        csr: MHARTID,
+    });
+}
+
+/// Each hart stores one word at `BASE + stride * mhartid`.
+fn per_hart_store(stride: i32) -> pulp_asm::Program {
+    let mut a = Asm::new(0x1c00_8000);
+    csrr_mhartid(&mut a, Reg::T0);
+    a.li(Reg::T1, stride);
+    a.i(Instr::MulDiv {
+        op: MulDivOp::Mul,
+        rd: Reg::T0,
+        rs1: Reg::T0,
+        rs2: Reg::T1,
+    });
+    a.li(Reg::T2, BASE as i32);
+    a.add(Reg::T0, Reg::T0, Reg::T2);
+    a.sw(Reg::T3, 0, Reg::T0);
+    a.li(Reg::A0, 0);
+    a.ecall();
+    a.assemble().unwrap()
+}
+
+/// DRF-01: every hart stores the same output word — the classic
+/// "forgot to offset by mhartid" channel-split bug.
+fn same_word_stores() -> (pulp_asm::Program, SpmdConfig) {
+    (per_hart_store(0), cfg(4))
+}
+
+/// DRF-02: hart h publishes its partial sum in slot h then reads its
+/// neighbour's slot with no barrier in between — the read races with
+/// the peer's unmerged write.
+fn missing_barrier_reduction() -> (pulp_asm::Program, SpmdConfig) {
+    let mut a = Asm::new(0x1c00_8000);
+    csrr_mhartid(&mut a, Reg::T0);
+    a.slli(Reg::T0, Reg::T0, 2);
+    a.li(Reg::T2, BASE as i32);
+    a.add(Reg::T0, Reg::T0, Reg::T2);
+    a.sw(Reg::T3, 0, Reg::T0);
+    a.lw(Reg::T5, 4, Reg::T0);
+    a.li(Reg::A0, 0);
+    a.ecall();
+    (a.assemble().unwrap(), cfg(2))
+}
+
+/// DRF-03: a double-buffering DMA band is scheduled over the same
+/// region the harts are still computing into.
+fn dma_band_under_compute() -> (pulp_asm::Program, SpmdConfig) {
+    let mut c = cfg(2);
+    c.dma.push(DmaBand {
+        name: "band 1".to_string(),
+        region: 0,
+        base: BASE,
+        len: 64,
+    });
+    (per_hart_store(4), c)
+}
+
+/// DRF-04 (structural): a barrier store inside a hardware-loop body.
+fn barrier_inside_hwloop() -> (pulp_asm::Program, SpmdConfig) {
+    let mut a = Asm::new(0x1c00_8000);
+    a.li(Reg::T4, BARRIER as i32);
+    a.lp_setupi(LoopIdx::L0, 2, "loop_end");
+    a.sw(Reg::Zero, 0, Reg::T4);
+    a.label("loop_end");
+    a.li(Reg::A0, 0);
+    a.ecall();
+    (a.assemble().unwrap(), cfg(2))
+}
+
+/// DRF-04 (protocol): hart 0 takes a barrier the other hart skips, so
+/// the harts reach different barrier sequences.
+fn divergent_barrier_paths() -> (pulp_asm::Program, SpmdConfig) {
+    let mut a = Asm::new(0x1c00_8000);
+    csrr_mhartid(&mut a, Reg::T0);
+    a.bne(Reg::T0, Reg::Zero, "skip");
+    a.li(Reg::T4, BARRIER as i32);
+    a.sw(Reg::Zero, 0, Reg::T4);
+    a.label("skip");
+    a.li(Reg::A0, 0);
+    a.ecall();
+    (a.assemble().unwrap(), cfg(2))
+}
+
+/// DRF-05: hart 1's store lands inside the dispatch slab but outside
+/// the cursor word it owns.
+fn cursor_slab_escape() -> (pulp_asm::Program, SpmdConfig) {
+    let mut c = cfg(2);
+    c.slabs.push(DispatchSlab {
+        name: "dispatch".to_string(),
+        base: BASE,
+        len: 64,
+        allowed: (0..2u32).map(|h| vec![(BASE + 4 * h, 4)]).collect(),
+    });
+    (per_hart_store(8), c)
+}
+
+/// Name → fixture, sorted by name so renders are order-stable.
+fn fixtures() -> Vec<(&'static str, pulp_asm::Program, SpmdConfig)> {
+    let mut out = vec![
+        ("same_word_stores", same_word_stores()),
+        ("missing_barrier_reduction", missing_barrier_reduction()),
+        ("dma_band_under_compute", dma_band_under_compute()),
+        ("barrier_inside_hwloop", barrier_inside_hwloop()),
+        ("divergent_barrier_paths", divergent_barrier_paths()),
+        ("cursor_slab_escape", cursor_slab_escape()),
+    ]
+    .into_iter()
+    .map(|(name, (prog, cfg))| (name, prog, cfg))
+    .collect::<Vec<_>>();
+    out.sort_by_key(|(name, _, _)| *name);
+    out
+}
+
+fn reports() -> Vec<(&'static str, SpmdReport)> {
+    fixtures()
+        .into_iter()
+        .map(|(name, prog, cfg)| (name, analyze_spmd(&prog, &cfg)))
+        .collect()
+}
+
+#[test]
+fn racy_fixtures_match_golden_diagnostics() {
+    let bless = std::env::var(BLESS_ENV).is_ok();
+    let mut mismatches = Vec::new();
+    for (name, report) in reports() {
+        assert!(
+            !report.race_clean(),
+            "{name}: a racy fixture must produce DRF diagnostics"
+        );
+        assert!(
+            report.unproven.is_empty(),
+            "{name}: fixtures must be decidable, not unproven: {}",
+            report.render()
+        );
+        let got = report.render();
+        let path = golden_dir().join(format!("{name}.txt"));
+        if bless {
+            std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+            std::fs::write(&path, &got).expect("write snapshot");
+            continue;
+        }
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing snapshot {}: {e}\nre-bless with {BLESS_ENV}=1 cargo test -p xcheck --test spmd_golden",
+                path.display()
+            )
+        });
+        if want != got {
+            mismatches.push(format!("{name}:\n--- want\n{want}--- got\n{got}"));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "golden SPMD diagnostics diverged (re-bless with {BLESS_ENV}=1 if intentional):\n{}",
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn golden_dir_matches_fixtures_exactly() {
+    let names: BTreeSet<String> = fixtures()
+        .into_iter()
+        .map(|(name, _, _)| name.to_string())
+        .collect();
+    let snapshots: BTreeSet<String> = std::fs::read_dir(golden_dir())
+        .expect("golden dir")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "txt"))
+        .map(|p| p.file_stem().expect("stem").to_string_lossy().into_owned())
+        .collect();
+    assert_eq!(
+        names, snapshots,
+        "every SPMD fixture needs a snapshot and vice versa"
+    );
+}
+
+#[test]
+fn fixtures_cover_every_drf_rule() {
+    let mut fired = BTreeSet::new();
+    for (_, report) in reports() {
+        for d in &report.diagnostics {
+            fired.insert(d.rule.id());
+        }
+    }
+    for rule in Rule::ALL {
+        if rule.family() != "DRF" {
+            continue;
+        }
+        assert!(
+            fired.contains(rule.id()),
+            "no SPMD fixture fires {}; got {fired:?}",
+            rule.id()
+        );
+    }
+}
