@@ -19,25 +19,26 @@ echo "==> tier-1: cargo test -q"
 cargo test -q --locked
 
 # Static verification gate: every shipped kernel program (8 conv
-# variants + depthwise/pool/relu/linear testbench kernels) plus the
+# variants + the 5 vector-backend conv variants +
+# depthwise/pool/relu/linear testbench kernels) plus the
 # eight 8-hart parallel cluster kernels must lint clean against the
 # tensor regions its layout declares.
 echo "==> xpulpnn lint (all shipped kernels, zero diagnostics)"
 lint_out=$(cargo run --release -q --locked -p xpulpnn-cli -- lint)
-echo "$lint_out" | grep -F "23 kernels lint-clean" > /dev/null || {
+echo "$lint_out" | grep -F "28 kernels lint-clean" > /dev/null || {
     echo "shipped kernels no longer lint clean:"
     echo "$lint_out"
     exit 1
 }
 
-# SPMD race verification gate: the same 23 kernels must be *proved*
+# SPMD race verification gate: the same 28 kernels must be *proved*
 # data-race-free on 8 harts — per-hart abstract execution shows every
 # barrier region write-disjoint, reads unsynced with no peer write,
 # DMA bands clear of compute footprints, and the dispatch slab
 # respected (DRF-01..05).
 echo "==> xpulpnn lint --races (all shipped kernels, 8 harts, race-free proof)"
 races_out=$(cargo run --release -q --locked -p xpulpnn-cli -- lint --races --cores 8)
-echo "$races_out" | grep -F "23 kernels race-clean" > /dev/null || {
+echo "$races_out" | grep -F "28 kernels race-clean" > /dev/null || {
     echo "shipped kernels are no longer provably race-free:"
     echo "$races_out"
     exit 1
@@ -69,6 +70,13 @@ cargo run --release -q --locked -p xpulpnn-cli -- conformance --crossval --cases
 
 echo "==> conformance smoke (1000 cases, seed 1)"
 cargo run --release -q --locked -p xpulpnn-cli -- conformance --cases 1000 --seed 1
+
+# Vector-mode conformance: generated programs mixing Xrvv vector
+# instructions into the scalar/SIMD stream, the DUT's vector unit
+# lock-stepped against the reference interpreter's independent vector
+# semantics (vl, SEW and all 32 vector registers compared per step).
+echo "==> conformance vector lockstep (300 cases, seed 1)"
+cargo run --release -q --locked -p xpulpnn-cli -- conformance --vector --cases 300 --seed 1
 
 # Fast-path lockstep oracle: the decoded-block engine against the
 # interpreter over the fuzzer corpus, per-step state + perf compared,
@@ -116,10 +124,12 @@ echo "$cfaults_out" | grep -E "cluster totals: detected=[0-9]+ masked=[0-9]+ sdc
 }
 
 # Benchmark artifacts: one BENCH_<label>.json per configuration, with
-# the stall/conflict breakdown and per-core utilization inside.
-echo "==> bench artifacts (BENCH_single_core.json, BENCH_cluster8.json)"
+# the stall/conflict breakdown and per-core utilization inside. The
+# vector record is the three-way comparison's data point
+# (EXPERIMENTS.md): the Fig. 8 4-bit layer on the Xrvv backend.
+echo "==> bench artifacts (BENCH_single_core.json, BENCH_cluster8.json, BENCH_vector.json)"
 cargo run --release -q --locked -p xpulpnn-cli -- bench --json --out .
-for f in BENCH_single_core.json BENCH_cluster8.json; do
+for f in BENCH_single_core.json BENCH_cluster8.json BENCH_vector.json; do
     [ -s "$f" ] || { echo "missing bench artifact $f"; exit 1; }
     grep -F '"macs_per_cycle"' "$f" > /dev/null || {
         echo "bench artifact $f lacks macs_per_cycle:"

@@ -11,9 +11,13 @@ use xpulpnn::{BitWidth, KernelIsa};
 /// Usage text shown on errors.
 pub const USAGE: &str = "\
 usage:
-  xpulpnn run <file.s> [--isa rv32im|xpulpv2|xpulpnn] [--max-cycles N] [--trace]
-                [--cores N]
-      assemble and execute a program on the simulated SoC; with
+  xpulpnn run <file.s> [--isa rv32im|xpulpv2|xpulpnn] [--backend simd|vector]
+                [--vlen N] [--max-cycles N] [--trace] [--cores N]
+      assemble and execute a program on the simulated SoC; --backend
+      selects the compute core: simd is the paper's XpulpNN
+      packed-SIMD machine (the default ISA), vector swaps in the Xrvv
+      sub-byte vector unit (XpulpV2 scalar + vector, no pv.*), --vlen
+      bits wide (a power of two in 32..256, default 128); with
       --cores N (2..8) the program runs SPMD on an N-hart cluster
       sharing the banked TCDM (each hart reads its id from mhartid)
   xpulpnn dis <file.s>
@@ -38,8 +42,9 @@ usage:
       per-hart utilization; simulated cycles are independent of
       --threads (host parallelism)
   xpulpnn bench [--json] [--host] [--seed N] [--out DIR]
-      benchmark the Fig. 8 4-bit layer on the seed single core and the
-      8-core cluster; --json writes one BENCH_<label>.json artifact
+      benchmark the Fig. 8 4-bit layer on the seed single core, the
+      8-core cluster and the Xrvv vector backend (VLEN 128); --json
+      writes one BENCH_<label>.json artifact
       per configuration (cycles, MACs/cycle, stall/conflict breakdown,
       per-core utilization) instead of printing a table; --host instead
       benchmarks the *simulator* on this machine — the layer runs
@@ -59,11 +64,14 @@ usage:
       every barrier region (DRF-01..05: write/write overlap, unsynced
       read of a peer write, DMA band overlap, barrier protocol,
       dispatch-slab ownership) and fails on any finding
-  xpulpnn conformance [--cases N] [--seed S] [--crossval] [--fastpath]
-                      [--races]
+  xpulpnn conformance [--cases N] [--seed S] [--vector] [--crossval]
+                      [--fastpath] [--races]
       differentially fuzz the cycle-approximate core against the
       independent reference interpreter on N random programs; on
       divergence, prints a shrunk repro and the exact replay command;
+      --vector mixes the Xrvv vector instructions into the generated
+      stream and lock-steps the vector unit too (registers, vl and
+      SEW compared before every step, both cores at VLEN 128);
       --fastpath instead lock-steps the decoded-block fast path
       against the interpreter (PC, registers and perf counters compared
       every step) over the same corpus, shrinking any divergence;
@@ -179,6 +187,9 @@ pub struct RunOpts {
     pub trace: bool,
     /// Harts to run the program on (1 = the plain single-core SoC).
     pub cores: usize,
+    /// Explicit vector-unit width (`--backend vector` only); `None`
+    /// leaves the core at its default VLEN.
+    pub vlen: Option<u32>,
 }
 
 /// Parses the flags of the `run` subcommand.
@@ -188,6 +199,9 @@ pub fn parse_run_opts(args: &[String]) -> Result<RunOpts, CliError> {
     let mut max_cycles = 100_000_000u64;
     let mut trace = false;
     let mut cores = 1usize;
+    let mut vlen = None;
+    let mut isa_set = false;
+    let mut backend_set = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -208,6 +222,29 @@ pub fn parse_run_opts(args: &[String]) -> Result<RunOpts, CliError> {
                     "xpulpnn" => IsaConfig::xpulpnn(),
                     other => return Err(err(format!("unknown ISA `{other}`"))),
                 };
+                isa_set = true;
+            }
+            "--backend" => {
+                let v = it.next().ok_or_else(|| err("--backend needs a value"))?;
+                isa = match v.as_str() {
+                    "simd" => IsaConfig::xpulpnn(),
+                    "vector" => IsaConfig::vector(),
+                    other => {
+                        return Err(err(format!("unknown backend `{other}` (want simd|vector)")))
+                    }
+                };
+                backend_set = true;
+            }
+            "--vlen" => {
+                let v = it.next().ok_or_else(|| err("--vlen needs a value"))?;
+                vlen = Some(
+                    v.parse::<u32>()
+                        .ok()
+                        .filter(|n| n.is_power_of_two() && (32..=256).contains(n))
+                        .ok_or_else(|| {
+                            err(format!("bad VLEN `{v}` (want a power of two in 32..=256)"))
+                        })?,
+                );
             }
             "--max-cycles" => {
                 let v = it.next().ok_or_else(|| err("--max-cycles needs a value"))?;
@@ -228,12 +265,22 @@ pub fn parse_run_opts(args: &[String]) -> Result<RunOpts, CliError> {
     if trace && cores > 1 {
         return Err(err("--trace is single-core only (use --cores 1)"));
     }
+    if isa_set && backend_set {
+        return Err(err("--isa and --backend are mutually exclusive"));
+    }
+    if vlen.is_some() && !isa.rvv {
+        return Err(err("--vlen requires --backend vector"));
+    }
+    if vlen.is_some() && cores > 1 {
+        return Err(err("--vlen is single-core only (use --cores 1)"));
+    }
     Ok(RunOpts {
         path: path.ok_or_else(|| err("run needs an input file"))?,
         isa,
         max_cycles,
         trace,
         cores,
+        vlen,
     })
 }
 
@@ -264,7 +311,10 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
     if opts.cores > 1 {
         return run_spmd_report(&opts, &prog);
     }
-    let mut soc = Soc::new(opts.isa);
+    let mut soc = match opts.vlen {
+        Some(v) => Soc::with_vlen(opts.isa, v),
+        None => Soc::new(opts.isa),
+    };
     soc.load(&prog);
     let mut out = String::new();
     const TRACE_CAP: usize = 5000;
@@ -799,6 +849,9 @@ pub struct ConformanceOpts {
     /// Cross-validate the static SPMD race verifier against the
     /// cluster merge's dynamic conflict detector instead.
     pub races: bool,
+    /// Mix Xrvv vector instructions into the generated stream and
+    /// lock-step the vector unit state too.
+    pub vector: bool,
 }
 
 /// Parses the flags of the `conformance` subcommand.
@@ -809,6 +862,7 @@ pub fn parse_conformance_opts(args: &[String]) -> Result<ConformanceOpts, CliErr
         crossval: false,
         fastpath: false,
         races: false,
+        vector: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -816,6 +870,7 @@ pub fn parse_conformance_opts(args: &[String]) -> Result<ConformanceOpts, CliErr
             "--crossval" => o.crossval = true,
             "--fastpath" => o.fastpath = true,
             "--races" => o.races = true,
+            "--vector" => o.vector = true,
             "--cases" => {
                 let v = it.next().ok_or_else(|| err("--cases needs a value"))?;
                 o.cases = v
@@ -829,9 +884,9 @@ pub fn parse_conformance_opts(args: &[String]) -> Result<ConformanceOpts, CliErr
             other => return Err(err(format!("unknown argument `{other}`"))),
         }
     }
-    if (o.crossval as u8) + (o.fastpath as u8) + (o.races as u8) > 1 {
+    if (o.crossval as u8) + (o.fastpath as u8) + (o.races as u8) + (o.vector as u8) > 1 {
         return Err(err(
-            "--crossval, --fastpath and --races are mutually exclusive",
+            "--vector, --crossval, --fastpath and --races are mutually exclusive",
         ));
     }
     Ok(o)
@@ -867,11 +922,19 @@ fn cmd_conformance(args: &[String]) -> Result<String, CliError> {
             Err(fail(r.to_string()))
         };
     }
-    let cfg = xpulpnn::conformance::DiffConfig::default();
+    let cfg = xpulpnn::conformance::DiffConfig {
+        gen: if o.vector {
+            xpulpnn::conformance::GenConfig::vector()
+        } else {
+            xpulpnn::conformance::GenConfig::default()
+        },
+        ..xpulpnn::conformance::DiffConfig::default()
+    };
     let report = xpulpnn::conformance::run_suite(o.seed, o.cases, &cfg);
+    let mode = if o.vector { " --vector" } else { "" };
     match report.failure {
         None => Ok(format!(
-            "conformance: {} cases, 0 divergences (seed {})\n",
+            "conformance{mode}: {} cases, 0 divergences (seed {})\n",
             report.cases_run, o.seed
         )),
         Some(f) => Err(fail(f.to_string())),
@@ -1385,6 +1448,7 @@ mod tests {
                 crossval: false,
                 fastpath: false,
                 races: false,
+                vector: false,
             }
         );
 
@@ -1398,8 +1462,13 @@ mod tests {
                 crossval: true,
                 fastpath: false,
                 races: false,
+                vector: false,
             }
         );
+
+        let o = parse_conformance_opts(&v(&["--vector", "--cases", "12"])).unwrap();
+        assert!(o.vector);
+        assert_eq!(o.cases, 12);
 
         let o = parse_conformance_opts(&v(&["--fastpath", "--cases", "5"])).unwrap();
         assert!(o.fastpath);
@@ -1620,6 +1689,22 @@ mod tests {
             &["run", "a.s", "--cores", "nine"],
             &["run", "a.s", "--cores", "9"],
             &["run", "a.s", "--cores", "0"],
+            &["run", "a.s", "--backend", "avx"],
+            &["run", "a.s", "--backend", "vector", "--isa", "xpulpnn"],
+            &["run", "a.s", "--vlen", "96"],
+            &["run", "a.s", "--vlen", "512"],
+            &["run", "a.s", "--vlen", "lots"],
+            &["run", "a.s", "--vlen", "128"], // --vlen without --backend vector
+            &[
+                "run",
+                "a.s",
+                "--backend",
+                "vector",
+                "--vlen",
+                "128",
+                "--cores",
+                "2",
+            ],
             &["sweep", "--seed", "0x2a"],
             &["report", "--seed", ""],
             &["profile", "--seed", "4.2"],
@@ -1632,6 +1717,8 @@ mod tests {
             &["conformance", "--cases", "-5"],
             &["conformance", "--seed", "later"],
             &["conformance", "--fastpath", "--cases", "many"],
+            &["conformance", "--vector", "--crossval"],
+            &["conformance", "--vector", "--races"],
             &["faults", "--trials", "many"],
             &["faults", "--seed", "√2"],
             &["faults", "--cores", "8.0"],
@@ -1660,6 +1747,8 @@ mod tests {
         // Missing values behave the same as malformed ones.
         for args in [
             &["run", "a.s", "--max-cycles"][..],
+            &["run", "a.s", "--backend"][..],
+            &["run", "a.s", "--vlen"][..],
             &["conformance", "--cases"][..],
             &["faults", "--trials"][..],
             &["cluster", "--cores"][..],
@@ -1827,9 +1916,11 @@ mod tests {
     #[test]
     fn lint_all_shipped_kernels_is_clean() {
         let out = dispatch(&v(&["lint"])).unwrap();
-        // 15 single-core kernels + the 8 parallel cluster variants.
-        assert!(out.contains("23 kernels lint-clean"), "{out}");
+        // 20 single-core kernels (including the five vector-backend
+        // conv variants) + the 8 parallel cluster variants.
+        assert!(out.contains("28 kernels lint-clean"), "{out}");
         assert!(out.contains("conv/4-bit/xpulpnn/pv.qnt"), "{out}");
+        assert!(out.contains("conv/4-bit/vector128/pv.qnt"), "{out}");
         assert!(out.contains("cluster-conv/"), "{out}");
     }
 
@@ -1838,7 +1929,7 @@ mod tests {
         // Small core count keeps the abstract execution fast in tests;
         // ci.sh runs the full default 8-hart proof.
         let out = dispatch(&v(&["lint", "--races", "--cores", "2"])).unwrap();
-        assert!(out.contains("23 kernels race-clean"), "{out}");
+        assert!(out.contains("28 kernels race-clean"), "{out}");
         assert!(out.contains("cluster-conv/"), "{out}");
 
         assert!(dispatch(&v(&["lint", "--races", "--cores", "0"])).is_err());
@@ -1917,7 +2008,8 @@ mod tests {
         let out = dispatch(&v(&["bench", "--json", "--out", dir.to_str().unwrap()])).unwrap();
         assert!(out.contains("BENCH_single_core.json"), "{out}");
         assert!(out.contains("BENCH_cluster8.json"), "{out}");
-        for (label, cores) in [("single_core", 1), ("cluster8", 8)] {
+        assert!(out.contains("BENCH_vector.json"), "{out}");
+        for (label, cores) in [("single_core", 1), ("cluster8", 8), ("vector", 1)] {
             let j = std::fs::read_to_string(dir.join(format!("BENCH_{label}.json"))).unwrap();
             assert!(j.contains(&format!("\"cores\": {cores}")), "{j}");
             assert!(j.contains("\"macs_per_cycle\""), "{j}");
@@ -1985,5 +2077,45 @@ mod tests {
         let e = dispatch(&v(&["run", &p, "--isa", "xpulpv2"])).unwrap_err();
         assert!(e.message.contains("xpulpnn extension"), "{e}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `--backend vector` turns on the Xrvv unit and `--vlen` scales it:
+    /// `vsetvli` grants min(avl, vlmax), so asking for 9 e16 elements
+    /// yields 8 at the default VLEN 128 and the full 9 at VLEN 256.
+    /// Without the backend flag the same program is an extension fault.
+    #[test]
+    fn run_backend_vector_enables_the_vector_unit() {
+        let dir = std::env::temp_dir().join(format!("xpulpnn-cli-vec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v.s");
+        std::fs::write(&path, "li t0, 9\nvsetvli a0, t0, e16\necall\n").unwrap();
+        let p = path.to_str().unwrap().to_string();
+
+        let out = dispatch(&v(&["run", &p, "--backend", "vector"])).unwrap();
+        assert!(out.contains("exit code : 8"), "{out}");
+        let out = dispatch(&v(&["run", &p, "--backend", "vector", "--vlen", "256"])).unwrap();
+        assert!(out.contains("exit code : 9"), "{out}");
+        let e = dispatch(&v(&["run", &p])).unwrap_err();
+        assert!(e.message.contains("xrvv extension"), "{e}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The vector differential suite is reachable from the CLI and clean
+    /// on a small case count (ci.sh runs the full suite in release mode).
+    #[test]
+    fn conformance_vector_smoke() {
+        let out = dispatch(&v(&[
+            "conformance",
+            "--vector",
+            "--cases",
+            "25",
+            "--seed",
+            "1",
+        ]))
+        .unwrap();
+        assert!(
+            out.contains("conformance --vector: 25 cases, 0 divergences"),
+            "{out}"
+        );
     }
 }

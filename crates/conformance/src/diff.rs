@@ -11,8 +11,8 @@
 use std::fmt;
 
 use crate::gen::{self, GenConfig, ProgramSpec, CODE_BASE, DATA_BASE, MEM_LEN};
-use crate::refcore::{RefBug, RefCore};
-use crate::{case_seed, replay_command, shrink};
+use crate::refcore::{RefBug, RefCore, REF_VLEN_BITS};
+use crate::{case_seed, replay_command, shrink, vector_replay_command};
 use pulp_isa::reg::ALL_REGS;
 use riscv_core::{Core, IsaConfig, SliceMem};
 
@@ -124,6 +124,28 @@ pub(crate) fn reg_delta(dut: &[u32; 32], refr: &[u32; 32]) -> String {
     parts.join(", ")
 }
 
+/// First difference between the DUT's vector unit and the reference's
+/// vector state (`vl`, SEW, then the registers), or `None` when they
+/// agree — trivially so on cores without a vector unit.
+fn vec_delta(core: &Core, refc: &RefCore) -> Option<String> {
+    let vu = core.vector_unit()?;
+    if vu.vl() != refc.vl {
+        return Some(format!("vl: dut {} ref {}", vu.vl(), refc.vl));
+    }
+    if vu.sew() != refc.vsew {
+        return Some(format!("sew: dut {} ref {}", vu.sew(), refc.vsew));
+    }
+    let bytes = (REF_VLEN_BITS / 8) as usize;
+    for i in 0..32 {
+        let dut = &vu.vreg_bytes(i)[..bytes];
+        let refr = refc.vregs[i].to_le_bytes();
+        if dut != refr {
+            return Some(format!("v{i}: dut {dut:02x?} ref {refr:02x?}"));
+        }
+    }
+    None
+}
+
 fn mem_delta(dut: &[u8], refr: &[u8]) -> String {
     for (i, (a, b)) in dut.iter().zip(refr.iter()).enumerate() {
         if a != b {
@@ -149,7 +171,15 @@ pub fn run_spec(spec: &ProgramSpec, bug: RefBug, max_steps: u64) -> CaseOutcome 
     }
     let image = mem.as_bytes().to_vec();
 
-    let mut core = Core::new(IsaConfig::xpulpnn());
+    // Vector programs run with the vector unit enabled, locked to the
+    // reference VLEN; everything else keeps the paper's exact ISA.
+    let mut core = Core::new(IsaConfig {
+        rvv: spec.vector,
+        ..IsaConfig::xpulpnn()
+    });
+    if spec.vector {
+        core.set_vlen(REF_VLEN_BITS);
+    }
     core.attach_tracer(32);
     core.pc = CODE_BASE;
     let mut refc = RefCore::new(CODE_BASE, image, bug);
@@ -183,6 +213,9 @@ pub fn run_spec(spec: &ProgramSpec, bug: RefBug, max_steps: u64) -> CaseOutcome 
                 &core,
             );
         }
+        if let Some(d) = vec_delta(&core, &refc) {
+            return diverge(step, core.pc, format!("vector state: {d}"), &core);
+        }
         let pc = core.pc;
         let dut = core.step(&mut mem);
         let refr = refc.step();
@@ -212,6 +245,14 @@ pub fn run_spec(spec: &ProgramSpec, bug: RefBug, max_steps: u64) -> CaseOutcome 
                             step + 1,
                             core.pc,
                             format!("final registers: {}", reg_delta(&core.regs, &refc.regs)),
+                            &core,
+                        );
+                    }
+                    if let Some(d) = vec_delta(&core, &refc) {
+                        return diverge(
+                            step + 1,
+                            core.pc,
+                            format!("final vector state: {d}"),
                             &core,
                         );
                     }
@@ -269,7 +310,11 @@ pub fn run_suite(master: u64, cases: u64, cfg: &DiffConfig) -> SuiteReport {
                     divergence: *d,
                     shrunk_listing: listing(&small),
                     shrunk_instrs: gen::instr_count(&small),
-                    replay: replay_command(seed),
+                    replay: if cfg.gen.vector {
+                        vector_replay_command(seed)
+                    } else {
+                        replay_command(seed)
+                    },
                 }),
             };
         }

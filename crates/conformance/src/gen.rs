@@ -31,6 +31,7 @@ use pulp_isa::instr::{
 };
 use pulp_isa::reg::{Reg, ALL_REGS};
 use pulp_isa::simd::{DotSign, SimdFmt};
+use pulp_isa::vec::{VReg, VecSew, ALL_SEWS};
 use xrand::Rng;
 
 /// Base address of the code segment (also the PC reset value).
@@ -48,11 +49,30 @@ pub struct GenConfig {
     /// Maximum number of top-level items per program (minimum 3 are
     /// always generated).
     pub max_items: usize,
+    /// Mix Xrvv vector instructions into the stream (`vsetvli`, the
+    /// unit/strided loads and stores, `vdot*`, `vqnt.*.v`,
+    /// `vslide1down`, `vmv.x.s`). The differential harness locks both
+    /// cores to the reference VLEN when this is set.
+    pub vector: bool,
 }
 
 impl Default for GenConfig {
     fn default() -> GenConfig {
-        GenConfig { max_items: 28 }
+        GenConfig {
+            max_items: 28,
+            vector: false,
+        }
+    }
+}
+
+impl GenConfig {
+    /// The vector-mode generator: everything the default mode emits
+    /// plus the Xrvv vector-unit instructions.
+    pub fn vector() -> GenConfig {
+        GenConfig {
+            vector: true,
+            ..GenConfig::default()
+        }
     }
 }
 
@@ -65,6 +85,10 @@ pub struct ProgramSpec {
     pub items: Vec<Item>,
     /// Data-segment image mapped at [`DATA_BASE`], [`DATA_LEN`] bytes.
     pub data: Vec<u8>,
+    /// True when the program may contain Xrvv vector instructions; the
+    /// differential harness enables the DUT's vector unit (at the
+    /// reference VLEN) for such programs. The shrinker preserves it.
+    pub vector: bool,
 }
 
 /// One unit of generated program structure.
@@ -609,13 +633,191 @@ fn gen_qnt(r: &mut Rng) -> Item {
     }
 }
 
-fn gen_loop(r: &mut Rng, depth: usize) -> Item {
+// ---------------------------------------------------------------------
+// Vector items (Xrvv)
+// ---------------------------------------------------------------------
+
+/// The VLEN the vector-mode harness locks both cores to; spans below
+/// are bounded against it.
+const VEC_VLEN_BITS: u32 = 128;
+
+fn any_vreg(r: &mut Rng) -> VReg {
+    // A small window of the register file so generated programs reuse
+    // (and therefore actually compare) the same vector registers.
+    VReg::new(r.below(8) as usize).expect("index < 32")
+}
+
+/// One vector-unit computational instruction: register-file only,
+/// never touches memory, never traps.
+fn vec_computational(r: &mut Rng) -> Instr {
+    match r.below(4) {
+        0 => Instr::VSetvli {
+            rd: any_reg(r),
+            rs1: any_reg(r),
+            sew: *r.choose(&ALL_SEWS),
+        },
+        1 => Instr::VDot {
+            sign: *r.choose(&DOT_SIGNS),
+            rd: any_reg(r),
+            vs1: any_vreg(r),
+            vs2: any_vreg(r),
+        },
+        2 => Instr::VSlide1 {
+            vd: any_vreg(r),
+            vs2: any_vreg(r),
+            rs1: any_reg(r),
+        },
+        _ => Instr::VMvXS {
+            rd: any_reg(r),
+            vs2: any_vreg(r),
+        },
+    }
+}
+
+/// A vector memory item. The setup materializes the base inside the
+/// scratch region and, for the strided forms, pins `vl`/SEW with its
+/// own `vsetvli` (strides only address whole-byte elements), so the
+/// worst-case span provably stays inside the data segment: unit-stride
+/// touches at most `VLEN/8` bytes whatever the current configuration,
+/// strided at most `stride*(vl-1) + sew/8` with every factor bounded
+/// here (`8*15 + 2 < 128` spare bytes left after the base).
+fn gen_vec_mem(r: &mut Rng) -> Item {
+    let base = nonzero_reg(r);
+    let v = any_vreg(r);
+    let base_off = SCRATCH_OFF + r.below(u64::from(DATA_LEN - SCRATCH_OFF - 128) + 1) as u32;
+    let mut setup: Vec<Instr> = Vec::new();
+    let access = if r.flip() {
+        let sew = if r.flip() { VecSew::E8 } else { VecSew::E16 };
+        let cnt = nonzero_reg(r);
+        setup.push(Instr::AluImm {
+            op: AluOp::Add,
+            rd: cnt,
+            rs1: Reg::Zero,
+            imm: r.range_i32(0, 16),
+        });
+        setup.push(Instr::VSetvli {
+            rd: Reg::Zero,
+            rs1: cnt,
+            sew,
+        });
+        setup.extend_from_slice(&li(base, DATA_BASE + base_off));
+        let mut stride = nonzero_reg(r);
+        while stride == base {
+            stride = nonzero_reg(r);
+        }
+        setup.push(Instr::AluImm {
+            op: AluOp::Add,
+            rd: stride,
+            rs1: Reg::Zero,
+            imm: r.range_i32(0, 8),
+        });
+        if r.flip() {
+            Instr::VLoadStrided {
+                vd: v,
+                rs1: base,
+                rs2: stride,
+            }
+        } else {
+            Instr::VStoreStrided {
+                vs: v,
+                rs1: base,
+                rs2: stride,
+            }
+        }
+    } else {
+        if r.flip() {
+            // Optionally reconfigure (any SEW, including sub-byte) so
+            // unit-stride accesses cover packed-element transfers.
+            let cnt = nonzero_reg(r);
+            setup.push(Instr::AluImm {
+                op: AluOp::Add,
+                rd: cnt,
+                rs1: Reg::Zero,
+                imm: r.range_i32(0, 32),
+            });
+            setup.push(Instr::VSetvli {
+                rd: Reg::Zero,
+                rs1: cnt,
+                sew: *r.choose(&ALL_SEWS),
+            });
+        }
+        setup.extend_from_slice(&li(base, DATA_BASE + base_off));
+        if r.flip() {
+            Instr::VLoad { vd: v, rs1: base }
+        } else {
+            Instr::VStore { vs: v, rs1: base }
+        }
+    };
+    Item::Mem { setup, access }
+}
+
+/// A `vqnt.{n,c}.v` item: pins `vl`/SEW to `e16`, loads real packed
+/// activations from scratch into the source register, and points the
+/// tree base at `vl` *consecutive* pre-built Eytzinger trees, so every
+/// per-element walk (`base + i*stride`) stays inside the tree region.
+fn gen_vec_qnt(r: &mut Rng) -> Item {
+    let fmt = if r.flip() {
+        SimdFmt::Nibble
+    } else {
+        SimdFmt::Crumb
+    };
+    let vl = 1 + r.below(u64::from(VEC_VLEN_BITS / 16)) as u32;
+    let tree = r.below(u64::from(NIBBLE_TREES - vl) + 1) as u32;
+    let tree_off = match fmt {
+        SimdFmt::Nibble => tree * 32,
+        _ => CRUMB_TREES_OFF + tree * 8,
+    };
+    let src = any_vreg(r);
+    let cnt = nonzero_reg(r);
+    let abase = nonzero_reg(r);
+    let breg = nonzero_reg(r);
+    let scratch = SCRATCH_OFF + r.below(u64::from(DATA_LEN - SCRATCH_OFF - 16) + 1) as u32;
+    let mut setup: Vec<Instr> = vec![
+        Instr::AluImm {
+            op: AluOp::Add,
+            rd: cnt,
+            rs1: Reg::Zero,
+            imm: vl as i32,
+        },
+        Instr::VSetvli {
+            rd: Reg::Zero,
+            rs1: cnt,
+            sew: VecSew::E16,
+        },
+    ];
+    setup.extend_from_slice(&li(abase, DATA_BASE + scratch));
+    setup.push(Instr::VLoad {
+        vd: src,
+        rs1: abase,
+    });
+    setup.extend_from_slice(&li(breg, DATA_BASE + tree_off));
+    Item::Mem {
+        setup,
+        access: Instr::VQnt {
+            fmt,
+            vd: any_vreg(r),
+            rs1: breg,
+            vs2: src,
+        },
+    }
+}
+
+/// One vector item: compute, memory, or quantization.
+fn gen_vec_item(r: &mut Rng) -> Item {
+    match r.below(10) {
+        0..=4 => Item::Straight(vec_computational(r)),
+        5..=7 => gen_vec_mem(r),
+        _ => gen_vec_qnt(r),
+    }
+}
+
+fn gen_loop(r: &mut Rng, depth: usize, vec: bool) -> Item {
     let l = if depth == 0 { LoopIdx::L1 } else { LoopIdx::L0 };
     let count = r.below(5) as u32;
     let count_reg = nonzero_reg(r);
     let prefer_imm = r.flip();
     let n = r.range_usize(1, 3);
-    let body = (0..n).map(|_| gen_body_item(r, depth + 1)).collect();
+    let body = (0..n).map(|_| gen_body_item(r, depth + 1, vec)).collect();
     Item::Loop {
         l,
         count,
@@ -627,14 +829,18 @@ fn gen_loop(r: &mut Rng, depth: usize) -> Item {
 
 /// Items legal inside a hardware-loop body: no control flow, at most
 /// one further nesting level.
-fn gen_body_item(r: &mut Rng, depth: usize) -> Item {
+fn gen_body_item(r: &mut Rng, depth: usize, vec: bool) -> Item {
+    // `&&` keeps the RNG stream of the default mode untouched.
+    if vec && r.below(10) < 3 {
+        return gen_vec_item(r);
+    }
     match r.below(100) {
         0..=54 => Item::Straight(computational(r)),
         55..=74 => gen_mem(r),
         75..=87 => gen_qnt(r),
         _ => {
             if depth == 1 {
-                gen_loop(r, depth)
+                gen_loop(r, depth, vec)
             } else {
                 Item::Straight(computational(r))
             }
@@ -642,7 +848,10 @@ fn gen_body_item(r: &mut Rng, depth: usize) -> Item {
     }
 }
 
-fn gen_top_item(r: &mut Rng) -> Item {
+fn gen_top_item(r: &mut Rng, vec: bool) -> Item {
+    if vec && r.below(10) < 3 {
+        return gen_vec_item(r);
+    }
     match r.below(100) {
         0..=54 => Item::Straight(computational(r)),
         55..=69 => gen_mem(r),
@@ -662,7 +871,7 @@ fn gen_top_item(r: &mut Rng) -> Item {
             tmp: nonzero_reg(r),
             skip: r.below(3) as usize,
         },
-        _ => gen_loop(r, 0),
+        _ => gen_loop(r, 0, vec),
     }
 }
 
@@ -686,9 +895,14 @@ pub fn generate(seed: u64, cfg: &GenConfig) -> ProgramSpec {
     let mut r = Rng::new(seed);
     let data = gen_data(&mut r);
     let n = r.range_usize(3, cfg.max_items.max(3));
-    let mut items: Vec<Item> = (0..n).map(|_| gen_top_item(&mut r)).collect();
+    let mut items: Vec<Item> = (0..n).map(|_| gen_top_item(&mut r, cfg.vector)).collect();
     normalize(&mut items);
-    ProgramSpec { seed, items, data }
+    ProgramSpec {
+        seed,
+        items,
+        data,
+        vector: cfg.vector,
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -918,6 +1132,40 @@ mod tests {
                 instr.validate().unwrap_or_else(|e| {
                     panic!("seed {seed}: {instr} at {pc:#x} fails validate: {e:?}")
                 });
+            }
+        }
+    }
+
+    #[test]
+    fn vector_mode_programs_validate_and_cover_the_vector_surface() {
+        let cfg = GenConfig::vector();
+        let mut vector_instrs = 0usize;
+        for seed in 0..50u64 {
+            let spec = generate(seed, &cfg);
+            assert!(spec.vector, "vector mode must be recorded on the spec");
+            for (pc, instr) in &lower(&spec).instrs {
+                assert!(*pc >= CODE_BASE && *pc < DATA_BASE);
+                instr.validate().unwrap_or_else(|e| {
+                    panic!("seed {seed}: {instr} at {pc:#x} fails validate: {e:?}")
+                });
+                if instr.requires_rvv() {
+                    vector_instrs += 1;
+                }
+            }
+        }
+        assert!(
+            vector_instrs > 100,
+            "vector mode generated only {vector_instrs} vector instructions over 50 programs"
+        );
+    }
+
+    #[test]
+    fn default_mode_emits_no_vector_instructions() {
+        for seed in 0..50u64 {
+            let spec = generate(seed, &GenConfig::default());
+            assert!(!spec.vector);
+            for (_, instr) in &lower(&spec).instrs {
+                assert!(!instr.requires_rvv(), "default stream leaked {instr}");
             }
         }
     }

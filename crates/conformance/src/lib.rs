@@ -9,7 +9,9 @@
 //! * [`gen`] — a seeded generator of *legal, terminating* programs
 //!   covering the full executable ISA surface: 16-bit RVC parcels,
 //!   hardware loops (nested), post-increment memory ops, sub-byte SIMD
-//!   and `pv.qnt` against random threshold trees.
+//!   and `pv.qnt` against random threshold trees; an opt-in vector mode
+//!   ([`gen::GenConfig::vector`]) mixes in the Xrvv vector-unit
+//!   instructions with in-bounds spans by construction.
 //! * [`refcore`] — a second, independent interpreter written directly
 //!   against the ISA semantics. It shares only the instruction *decoder*
 //!   with `pulp-isa` (that layer is covered separately by the round-trip
@@ -61,4 +63,9 @@ pub fn case_seed(master: u64, index: u64) -> u64 {
 /// The exact command that replays one differential case.
 pub fn replay_command(case_seed: u64) -> String {
     format!("xpulpnn conformance --cases 1 --seed {case_seed}")
+}
+
+/// The exact command that replays one vector-mode differential case.
+pub fn vector_replay_command(case_seed: u64) -> String {
+    format!("xpulpnn conformance --vector --cases 1 --seed {case_seed}")
 }

@@ -19,6 +19,10 @@ use pulp_isa::instr::{
 };
 use pulp_isa::reg::Reg;
 use pulp_isa::simd::{DotSign, SimdFmt};
+use pulp_isa::vec::VecSew;
+
+/// The vector length the differential harness locks both sides to.
+pub const REF_VLEN_BITS: u32 = 128;
 
 /// A deliberately injected semantic bug, used to prove the differential
 /// harness and the shrinker actually catch and minimize divergences.
@@ -70,12 +74,24 @@ struct RefLoop {
 }
 
 /// The reference core: registers, PC, hardware loops, flat memory.
+///
+/// Vector state models the Xrvv subset at a fixed
+/// [`REF_VLEN_BITS`]-bit VLEN. Each vector register is held as one
+/// little-endian `u128` — a deliberately different representation from
+/// the byte-array unit under test, so a packing bug in one side cannot
+/// reproduce in the other.
 #[derive(Debug, Clone)]
 pub struct RefCore {
     /// Register file; x0 reads as zero.
     pub regs: [u32; 32],
     /// Program counter.
     pub pc: u32,
+    /// Vector register file (little-endian bit packing from bit 0).
+    pub vregs: [u128; 32],
+    /// Current vector length in elements.
+    pub vl: u32,
+    /// Current selected element width.
+    pub vsew: VecSew,
     base: u32,
     mem: Vec<u8>,
     loops: [RefLoop; 2],
@@ -90,6 +106,9 @@ impl RefCore {
         RefCore {
             regs: [0; 32],
             pc: base,
+            vregs: [0; 32],
+            vl: 0,
+            vsew: VecSew::E8,
             base,
             mem: image,
             loops: [RefLoop::default(); 2],
@@ -188,6 +207,27 @@ impl RefCore {
             q = (q << 1) | bit;
         }
         Ok(q)
+    }
+
+    /// Element `i` of vector register `v` at the current SEW,
+    /// zero-extended.
+    fn velem(&self, v: usize, i: u32) -> u32 {
+        let bits = self.vsew.bits();
+        let mask = (1u128 << bits) - 1;
+        ((self.vregs[v] >> (i * bits)) & mask) as u32
+    }
+
+    /// Element `i` of vector register `v`, sign-extended to 32 bits.
+    fn velem_s(&self, v: usize, i: u32) -> i32 {
+        let bits = self.vsew.bits();
+        let u = self.velem(v, i);
+        ((u << (32 - bits)) as i32) >> (32 - bits)
+    }
+
+    fn vset_elem(&mut self, v: usize, i: u32, value: u32) {
+        let bits = self.vsew.bits();
+        let mask = ((1u128 << bits) - 1) << (i * bits);
+        self.vregs[v] = (self.vregs[v] & !mask) | ((u128::from(value) << (i * bits)) & mask);
     }
 
     /// The RI5CY zero-overhead loop rule, applied at every retire that
@@ -573,6 +613,113 @@ impl RefCore {
                 let q0 = self.qnt_walk(pc, tree, q_bits, packed as u16 as i16)?;
                 let q1 = self.qnt_walk(pc, tree + stride, q_bits, (packed >> 16) as u16 as i16)?;
                 self.set(rd, q0 | (q1 << q_bits));
+            }
+            Instr::VSetvli { rd, rs1, sew } => {
+                let vlmax = REF_VLEN_BITS / sew.bits();
+                self.vsew = sew;
+                self.vl = if rs1 == Reg::Zero {
+                    vlmax
+                } else {
+                    self.reg(rs1).min(vlmax)
+                };
+                self.set(rd, self.vl);
+            }
+            Instr::VLoad { vd, rs1 } => {
+                let base = self.reg(rs1);
+                let nbytes = (self.vl * self.vsew.bits()).div_ceil(8);
+                let mut out = 0u128;
+                for i in 0..nbytes {
+                    let b = self.rd_mem(pc, base.wrapping_add(i), 1)?;
+                    out |= u128::from(b) << (8 * i);
+                }
+                self.vregs[vd.index()] = out;
+            }
+            Instr::VStore { vs, rs1 } => {
+                let base = self.reg(rs1);
+                let nbytes = (self.vl * self.vsew.bits()).div_ceil(8);
+                let w = self.vregs[vs.index()];
+                for i in 0..nbytes {
+                    self.wr_mem(pc, base.wrapping_add(i), 1, (w >> (8 * i)) as u32 & 0xff)?;
+                }
+            }
+            Instr::VLoadStrided { vd, rs1, rs2 } => {
+                // Sub-byte SEWs are architecturally illegal for strided
+                // forms; the generator never emits them.
+                if !self.vsew.is_byte_multiple() {
+                    return Err(RefTrap::Unsupported { pc });
+                }
+                let eb = self.vsew.bits() / 8;
+                let (base, stride) = (self.reg(rs1), self.reg(rs2));
+                self.vregs[vd.index()] = 0;
+                for i in 0..self.vl {
+                    let v = self.rd_mem(pc, base.wrapping_add(stride.wrapping_mul(i)), eb)?;
+                    self.vset_elem(vd.index(), i, v);
+                }
+            }
+            Instr::VStoreStrided { vs, rs1, rs2 } => {
+                if !self.vsew.is_byte_multiple() {
+                    return Err(RefTrap::Unsupported { pc });
+                }
+                let eb = self.vsew.bits() / 8;
+                let (base, stride) = (self.reg(rs1), self.reg(rs2));
+                for i in 0..self.vl {
+                    let v = self.velem(vs.index(), i);
+                    self.wr_mem(pc, base.wrapping_add(stride.wrapping_mul(i)), eb, v)?;
+                }
+            }
+            Instr::VDot { sign, rd, vs1, vs2 } => {
+                let mut acc = 0u32;
+                for i in 0..self.vl {
+                    let a = match sign {
+                        DotSign::UnsignedUnsigned | DotSign::UnsignedSigned => {
+                            self.velem(vs1.index(), i)
+                        }
+                        DotSign::SignedSigned => self.velem_s(vs1.index(), i) as u32,
+                    };
+                    let b = match sign {
+                        DotSign::UnsignedUnsigned => self.velem(vs2.index(), i),
+                        DotSign::UnsignedSigned | DotSign::SignedSigned => {
+                            self.velem_s(vs2.index(), i) as u32
+                        }
+                    };
+                    acc = acc.wrapping_add(a.wrapping_mul(b));
+                }
+                self.set(rd, self.reg(rd).wrapping_add(acc));
+            }
+            Instr::VQnt { fmt, vd, rs1, vs2 } => {
+                if self.vsew != VecSew::E16 {
+                    return Err(RefTrap::Unsupported { pc });
+                }
+                let q_bits = vbits(fmt);
+                // Trees are one `2^Q`-halfword stride apart, the same
+                // per-channel layout as the paired scalar `pv.qnt` trees.
+                let stride = (1u32 << q_bits) * 2;
+                let trees = self.reg(rs1);
+                let mut out = 0u128;
+                for i in 0..self.vl {
+                    let x = self.velem_s(vs2.index(), i) as i16;
+                    let tree = trees.wrapping_add(stride.wrapping_mul(i));
+                    let q = self.qnt_walk(pc, tree, q_bits, x)?;
+                    out |= u128::from(q) << (i * q_bits);
+                }
+                self.vregs[vd.index()] = out;
+            }
+            Instr::VSlide1 { vd, vs2, rs1 } => {
+                let x = self.reg(rs1);
+                let bits = self.vsew.bits();
+                let mut out = 0u128;
+                for i in 0..self.vl {
+                    let v = if i + 1 < self.vl {
+                        self.velem(vs2.index(), i + 1)
+                    } else {
+                        x & ((1u64 << bits) - 1) as u32
+                    };
+                    out |= u128::from(v) << (i * bits);
+                }
+                self.vregs[vd.index()] = out;
+            }
+            Instr::VMvXS { rd, vs2 } => {
+                self.set(rd, self.velem_s(vs2.index(), 0) as u32);
             }
         }
 

@@ -1,7 +1,7 @@
 //! Differential conformance: `riscv-core` vs the independent reference
 //! interpreter, on generated random programs.
 
-use conformance::{run_case, run_suite, CaseOutcome, DiffConfig, RefBug};
+use conformance::{run_case, run_suite, CaseOutcome, DiffConfig, GenConfig, RefBug};
 
 /// The CI configuration (seed 1) must be divergence-free. The CLI runs
 /// 1000 cases in release mode; this debug-build test runs a prefix of
@@ -13,6 +13,45 @@ fn suite_is_clean_on_ci_seed() {
         panic!("differential suite failed:\n{f}");
     }
     assert_eq!(report.cases_run, 150);
+}
+
+/// The vector-mode CI configuration (seed 1, `--vector`) must be
+/// divergence-free too: the DUT's vector unit against the reference
+/// interpreter's independent vector semantics, with the full vector
+/// register file, `vl` and SEW compared before every step.
+#[test]
+fn vector_suite_is_clean_on_ci_seed() {
+    let cfg = DiffConfig {
+        gen: GenConfig::vector(),
+        ..DiffConfig::default()
+    };
+    let report = run_suite(1, 150, &cfg);
+    if let Some(f) = &report.failure {
+        panic!("vector differential suite failed:\n{f}");
+    }
+    assert_eq!(report.cases_run, 150);
+}
+
+/// A scalar bug injected under the vector generator still shrinks and
+/// reports, and the replay command carries the `--vector` flag (the
+/// spec is not reproducible without it).
+#[test]
+fn vector_mode_failures_replay_with_the_vector_flag() {
+    let cfg = DiffConfig {
+        gen: GenConfig::vector(),
+        bug: RefBug::AddOffByOne,
+        ..DiffConfig::default()
+    };
+    let f = run_suite(1, 200, &cfg)
+        .failure
+        .expect("an add-off-by-one bug must be caught within 200 vector cases");
+    assert_eq!(
+        f.replay,
+        format!(
+            "xpulpnn conformance --vector --cases 1 --seed {}",
+            f.case_seed
+        )
+    );
 }
 
 /// Generated programs terminate by construction — no case may come

@@ -458,13 +458,16 @@ fn escape(s: &str) -> String {
 }
 
 /// The benchmark suite `xpulpnn bench` runs: the paper's Fig. 8 4-bit
-/// hardware-quantized layer on the seed single core and on the 8-core
-/// cluster.
+/// hardware-quantized layer on the seed single core, on the 8-core
+/// cluster, and on the single-core Xrvv vector backend (VLEN 128) —
+/// the third point of the XpulpV2 / XpulpNN-SIMD / vector comparison.
 pub fn paper_bench_suite(seed: u64) -> Result<Vec<BenchRecord>, Error> {
     let cfg = ConvKernelConfig::paper(BitWidth::W4, KernelIsa::XpulpNN, true);
+    let vec_cfg = ConvKernelConfig::paper(BitWidth::W4, KernelIsa::vector(128), true);
     Ok(vec![
         BenchRecord::single_core("single_core", cfg, seed)?,
         BenchRecord::cluster("cluster8", cfg, 8, seed)?,
+        BenchRecord::single_core("vector", vec_cfg, seed)?,
     ])
 }
 

@@ -63,6 +63,24 @@ fn conv_variants() -> Vec<ConvKernelConfig> {
     variants
 }
 
+/// The vector-backend convolution matrix (the same width × quantizer
+/// grid on the Xrvv core), deduplicated like [`conv_variants`]. The
+/// emitted program is VLEN-independent — the strip loop sizes itself
+/// with `vsetvli` — so one VLEN's worth of programs covers the backend;
+/// the lint profile still pins the modeled VLEN for the VEC-03 spans.
+fn vector_conv_variants() -> Vec<ConvKernelConfig> {
+    let mut variants: Vec<ConvKernelConfig> = Vec::new();
+    for bits in [BitWidth::W8, BitWidth::W4, BitWidth::W2] {
+        for hw in [false, true] {
+            let cfg = ConvKernelConfig::paper(bits, KernelIsa::vector(128), hw);
+            if !variants.contains(&cfg) {
+                variants.push(cfg);
+            }
+        }
+    }
+    variants
+}
+
 /// The tensor regions a convolution kernel may touch, sized with the
 /// same arithmetic the emitter and testbench use.
 pub fn conv_regions(cfg: &ConvKernelConfig, layout: &LayerLayout) -> Vec<Region> {
@@ -215,8 +233,10 @@ fn linear_kernel(
 }
 
 /// Builds every shipped kernel program with its lint contract: the
-/// eight paper convolution variants plus the depthwise, pooling, ReLU
-/// and linear testbench kernels.
+/// eight paper convolution variants, the five vector-backend variants
+/// (linted under [`LintConfig::vector`] so the VEC rules run with the
+/// modeled VLEN), plus the depthwise, pooling, ReLU and linear
+/// testbench kernels.
 ///
 /// # Errors
 ///
@@ -230,6 +250,15 @@ pub fn shipped_kernels() -> Result<Vec<ShippedKernel>, BuildError> {
             name: format!("conv/{}", cfg.name()),
             program,
             config: LintConfig::kernel(conv_regions(&cfg, &layout)),
+        });
+    }
+    for cfg in vector_conv_variants() {
+        let vlen = cfg.isa.vlen_bits().expect("vector variant");
+        let program = build_conv_program(&cfg, &layout)?;
+        kernels.push(ShippedKernel {
+            name: format!("conv/{}", cfg.name()),
+            program,
+            config: LintConfig::vector(conv_regions(&cfg, &layout), vlen),
         });
     }
     kernels.push(depthwise_kernel(&layout)?);
@@ -391,7 +420,7 @@ impl RaceKernel {
     }
 }
 
-/// The full race-verification suite: the 15 single-core kernels (one
+/// The full race-verification suite: the 20 single-core kernels (one
 /// hart cannot race — the verifier short-circuits them clean, keeping
 /// the suite's count honest about what was checked) plus the 8 cluster
 /// convolution variants on `n_harts` harts with their full contracts.
@@ -425,11 +454,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn suite_covers_all_fifteen_kernels() {
+    fn suite_covers_all_twenty_kernels() {
         let kernels = shipped_kernels().expect("emitters");
-        assert_eq!(kernels.len(), 15, "8 conv + dw + 2 pool + relu + 3 linear");
+        assert_eq!(
+            kernels.len(),
+            20,
+            "8 conv + 5 vector conv + dw + 2 pool + relu + 3 linear"
+        );
         let conv = kernels.iter().filter(|k| k.name.contains("conv")).count();
-        assert_eq!(conv, 8);
+        assert_eq!(conv, 13);
+        let vector = kernels.iter().filter(|k| k.name.contains("vector")).count();
+        assert_eq!(vector, 5);
     }
 
     #[test]
@@ -452,9 +487,9 @@ mod tests {
     }
 
     #[test]
-    fn race_suite_covers_all_twenty_three_kernels() {
+    fn race_suite_covers_all_twenty_eight_kernels() {
         let kernels = race_kernels(8).expect("emitters");
-        assert_eq!(kernels.len(), 23, "15 single-core + 8 cluster");
+        assert_eq!(kernels.len(), 28, "20 single-core + 8 cluster");
         let cluster = kernels
             .iter()
             .filter(|k| k.name.starts_with("cluster-conv/"))

@@ -7,6 +7,7 @@ use pulp_isa::instr::{
     AluOp, BranchCond, Instr, LoadKind, LoopIdx, SimdOperand, StoreKind, ValidateError,
 };
 use pulp_isa::simd::{DotSign, SimdFmt};
+use pulp_isa::vec::{VReg, VecSew};
 use pulp_isa::Reg;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -439,6 +440,55 @@ impl Asm {
     /// `pv.qnt.<fmt> rd, rs1, rs2`: hardware quantization (XpulpNN).
     pub fn pv_qnt(&mut self, fmt: SimdFmt, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
         self.i(Instr::PvQnt { fmt, rd, rs1, rs2 })
+    }
+
+    // ----- vector (Xrvv) -----
+
+    /// `vsetvli rd, rs1, <sew>`: configure the vector unit.
+    pub fn vsetvli(&mut self, rd: Reg, rs1: Reg, sew: VecSew) -> &mut Self {
+        self.i(Instr::VSetvli { rd, rs1, sew })
+    }
+
+    /// `vle.v vd, (rs1)`: unit-stride vector load.
+    pub fn vle(&mut self, vd: VReg, rs1: Reg) -> &mut Self {
+        self.i(Instr::VLoad { vd, rs1 })
+    }
+
+    /// `vse.v vs, (rs1)`: unit-stride vector store.
+    pub fn vse(&mut self, vs: VReg, rs1: Reg) -> &mut Self {
+        self.i(Instr::VStore { vs, rs1 })
+    }
+
+    /// `vlse.v vd, (rs1), rs2`: strided vector load.
+    pub fn vlse(&mut self, vd: VReg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.i(Instr::VLoadStrided { vd, rs1, rs2 })
+    }
+
+    /// `vsse.v vs, (rs1), rs2`: strided vector store.
+    pub fn vsse(&mut self, vs: VReg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.i(Instr::VStoreStrided { vs, rs1, rs2 })
+    }
+
+    /// `vdot<sign>.vv rd, vs1, vs2`: dot-product reduction into a
+    /// scalar accumulator.
+    pub fn vdot(&mut self, sign: DotSign, rd: Reg, vs1: VReg, vs2: VReg) -> &mut Self {
+        self.i(Instr::VDot { sign, rd, vs1, vs2 })
+    }
+
+    /// `vqnt.<fmt>.v vd, rs1, vs2`: vectorized staircase quantization.
+    pub fn vqnt(&mut self, fmt: SimdFmt, vd: VReg, rs1: Reg, vs2: VReg) -> &mut Self {
+        self.i(Instr::VQnt { fmt, vd, rs1, vs2 })
+    }
+
+    /// `vslide1down.vx vd, vs2, rs1`: slide elements down one slot,
+    /// filling the top from a scalar register.
+    pub fn vslide1down(&mut self, vd: VReg, vs2: VReg, rs1: Reg) -> &mut Self {
+        self.i(Instr::VSlide1 { vd, vs2, rs1 })
+    }
+
+    /// `vmv.x.s rd, vs2`: move element 0 to a scalar register.
+    pub fn vmv_x_s(&mut self, rd: Reg, vs2: VReg) -> &mut Self {
+        self.i(Instr::VMvXS { rd, vs2 })
     }
 
     // ----- control flow -----

@@ -20,6 +20,7 @@ use pulp_isa::instr::{
     SimdOperand, StoreKind,
 };
 use pulp_isa::simd::{DotSign, SimdFmt};
+use pulp_isa::vec::{VReg, VecSew};
 use pulp_isa::Reg;
 use std::fmt;
 
@@ -374,6 +375,113 @@ fn parse_pv(mnemonic: &str, ops: &[String], ctx: &mut LineCtx<'_>) -> Result<(),
     Err(err(line, format!("unknown SIMD operation `{stem}`")))
 }
 
+/// Parses the `(base)` memory operand of a vector load/store: no
+/// offset, no post-increment — addressing state lives in the stride
+/// register and `vl`.
+fn parse_vmem_base(s: &str, line: usize) -> Result<Reg, TextAsmError> {
+    let (outer, base, post) = parse_mem_operand(s, line)?;
+    if !outer.is_empty() || post {
+        return Err(err(
+            line,
+            format!("vector memory operand must be plain `(base)`, got `{s}`"),
+        ));
+    }
+    parse_reg(&base, line)
+}
+
+fn parse_vreg(s: &str, line: usize) -> Result<VReg, TextAsmError> {
+    VReg::parse(s.trim()).ok_or_else(|| err(line, format!("unknown vector register `{s}`")))
+}
+
+/// Parses a vector (Xrvv) mnemonic.
+fn parse_v(mnemonic: &str, ops: &[String], ctx: &mut LineCtx<'_>) -> Result<(), TextAsmError> {
+    let line = ctx.line;
+    match mnemonic {
+        "vsetvli" => {
+            ctx.need(ops, 3)?;
+            let (rd, rs1) = (ctx.reg(&ops[0])?, ctx.reg(&ops[1])?);
+            let sew = VecSew::parse(ops[2].trim())
+                .ok_or_else(|| err(line, format!("unknown element width `{}`", ops[2])))?;
+            ctx.asm.i(Instr::VSetvli { rd, rs1, sew });
+            return Ok(());
+        }
+        "vle.v" | "vse.v" => {
+            ctx.need(ops, 2)?;
+            let v = parse_vreg(&ops[0], line)?;
+            let rs1 = parse_vmem_base(&ops[1], line)?;
+            let instr = if mnemonic == "vle.v" {
+                Instr::VLoad { vd: v, rs1 }
+            } else {
+                Instr::VStore { vs: v, rs1 }
+            };
+            ctx.asm.i(instr);
+            return Ok(());
+        }
+        "vlse.v" | "vsse.v" => {
+            ctx.need(ops, 3)?;
+            let v = parse_vreg(&ops[0], line)?;
+            let rs1 = parse_vmem_base(&ops[1], line)?;
+            let rs2 = ctx.reg(&ops[2])?;
+            let instr = if mnemonic == "vlse.v" {
+                Instr::VLoadStrided { vd: v, rs1, rs2 }
+            } else {
+                Instr::VStoreStrided { vs: v, rs1, rs2 }
+            };
+            ctx.asm.i(instr);
+            return Ok(());
+        }
+        "vslide1down.vx" => {
+            ctx.need(ops, 3)?;
+            let vd = parse_vreg(&ops[0], line)?;
+            let vs2 = parse_vreg(&ops[1], line)?;
+            let rs1 = ctx.reg(&ops[2])?;
+            ctx.asm.i(Instr::VSlide1 { vd, vs2, rs1 });
+            return Ok(());
+        }
+        "vmv.x.s" => {
+            ctx.need(ops, 2)?;
+            let rd = ctx.reg(&ops[0])?;
+            let vs2 = parse_vreg(&ops[1], line)?;
+            ctx.asm.i(Instr::VMvXS { rd, vs2 });
+            return Ok(());
+        }
+        _ => {}
+    }
+    // `vdot<sign>.vv rd, vs1, vs2`
+    if let Some(infix) = mnemonic
+        .strip_prefix("vdot")
+        .and_then(|s| s.strip_suffix(".vv"))
+    {
+        let sign = match infix {
+            "up" => DotSign::UnsignedUnsigned,
+            "usp" => DotSign::UnsignedSigned,
+            "sp" => DotSign::SignedSigned,
+            other => return Err(err(line, format!("unknown dot signedness `{other}`"))),
+        };
+        ctx.need(ops, 3)?;
+        let rd = ctx.reg(&ops[0])?;
+        let vs1 = parse_vreg(&ops[1], line)?;
+        let vs2 = parse_vreg(&ops[2], line)?;
+        ctx.asm.i(Instr::VDot { sign, rd, vs1, vs2 });
+        return Ok(());
+    }
+    // `vqnt.<fmt>.v vd, rs1, vs2`
+    if let Some(fmt_s) = mnemonic
+        .strip_prefix("vqnt.")
+        .and_then(|s| s.strip_suffix(".v"))
+    {
+        let fmt = SimdFmt::parse_suffix(fmt_s)
+            .ok_or_else(|| err(line, format!("unknown quantization format `.{fmt_s}`")))?;
+        ctx.need(ops, 3)?;
+        let vd = parse_vreg(&ops[0], line)?;
+        let rs1 = ctx.reg(&ops[1])?;
+        let vs2 = parse_vreg(&ops[2], line)?;
+        ctx.asm.i(Instr::VQnt { fmt, vd, rs1, vs2 });
+        return Ok(());
+    }
+    Err(err(line, format!("unknown vector mnemonic `{mnemonic}`")))
+}
+
 /// Parses a `p.` scalar / memory mnemonic.
 fn parse_p(mnemonic: &str, ops: &[String], ctx: &mut LineCtx<'_>) -> Result<(), TextAsmError> {
     let line = ctx.line;
@@ -610,6 +718,10 @@ fn parse_instruction(
     }
     if mnemonic.starts_with("lp.") {
         return parse_lp(mnemonic, &ops, ctx);
+    }
+    // No scalar mnemonic starts with `v`; everything there is Xrvv.
+    if mnemonic.starts_with('v') {
+        return parse_v(mnemonic, &ops, ctx);
     }
     if let Some(cond) = branch_cond_of(mnemonic) {
         ctx.need(&ops, 3)?;
@@ -1014,6 +1126,50 @@ mod tests {
     }
 
     #[test]
+    fn parse_vector_forms() {
+        let p = parse(
+            r"
+            vsetvli t1, t2, e8
+            vle.v v0, (a1)
+            vlse.v v4, (a1), a3
+            vdotusp.vv s4, v0, v4
+            vsetvli zero, t0, e16
+            vqnt.n.v v2, a1, v0
+            vmv.x.s a0, v2
+            vse.v v2, (a2)
+        ",
+        )
+        .unwrap();
+        assert_eq!(p.instrs.len(), 8);
+        assert!(matches!(
+            p.instrs[3],
+            Instr::VDot {
+                sign: DotSign::UnsignedSigned,
+                ..
+            }
+        ));
+        assert!(matches!(
+            p.instrs[5],
+            Instr::VQnt {
+                fmt: SimdFmt::Nibble,
+                ..
+            }
+        ));
+        assert!(matches!(p.instrs[6], Instr::VMvXS { .. }));
+    }
+
+    #[test]
+    fn parse_rejects_bad_vector_operands() {
+        // Leading-zero vector register names are not canonical.
+        assert!(parse("vle.v v04, (a1)").is_err());
+        // Offsets and post-increment are scalar-only addressing.
+        assert!(parse("vle.v v0, 4(a1)").is_err());
+        assert!(parse("vse.v v0, (a1!)").is_err());
+        // e3 is not a supported element width.
+        assert!(parse("vsetvli t0, t1, e3").is_err());
+    }
+
+    #[test]
     fn parse_reports_line_numbers() {
         let e = parse("nop\nbogus a0, a1\n").unwrap_err();
         match e {
@@ -1200,6 +1356,50 @@ mod tests {
                 rd: Reg::A0,
                 rs1: Reg::A1,
                 csr: 0xb00,
+            },
+            Instr::VSetvli {
+                rd: Reg::T1,
+                rs1: Reg::T2,
+                sew: VecSew::E4,
+            },
+            Instr::VLoad {
+                vd: VReg::V0,
+                rs1: Reg::A1,
+            },
+            Instr::VStore {
+                vs: VReg::new(2).unwrap(),
+                rs1: Reg::A2,
+            },
+            Instr::VLoadStrided {
+                vd: VReg::new(4).unwrap(),
+                rs1: Reg::A1,
+                rs2: Reg::A3,
+            },
+            Instr::VStoreStrided {
+                vs: VReg::new(4).unwrap(),
+                rs1: Reg::A1,
+                rs2: Reg::A3,
+            },
+            Instr::VDot {
+                sign: DotSign::UnsignedSigned,
+                rd: Reg::S4,
+                vs1: VReg::V0,
+                vs2: VReg::new(4).unwrap(),
+            },
+            Instr::VQnt {
+                fmt: SimdFmt::Nibble,
+                vd: VReg::new(2).unwrap(),
+                rs1: Reg::A1,
+                vs2: VReg::V0,
+            },
+            Instr::VSlide1 {
+                vd: VReg::V0,
+                vs2: VReg::V0,
+                rs1: Reg::S4,
+            },
+            Instr::VMvXS {
+                rd: Reg::A0,
+                vs2: VReg::new(2).unwrap(),
             },
             Instr::Fence,
             Instr::Ebreak,

@@ -7,6 +7,7 @@ use crate::instr::{
 };
 use crate::reg::Reg;
 use crate::simd::{DotSign, SimdFmt};
+use crate::vec::{VReg, VecSew};
 use std::fmt;
 
 /// An undecodable instruction word.
@@ -131,8 +132,87 @@ fn simd_fmt(bits: u32) -> SimdFmt {
     }
 }
 
+/// Decodes the Xrvv vector ops sharing [`opcode::PULP_SIMD`] at
+/// `op5 >= 26` (the packed-SIMD `mode3` grammar does not apply there).
+fn decode_vector_op(w: u32) -> Result<Instr, DecodeError> {
+    let op5 = w >> 27;
+    let mode3 = funct3(w);
+    let vs2 = VReg::from_bits(w >> 20);
+    match op5 {
+        simd_op5::VSETVLI if mode3 == 0 && (w >> 20) & 0x1f == 0 => Ok(Instr::VSetvli {
+            rd: rd(w),
+            rs1: rs1(w),
+            sew: VecSew::from_code(w >> 25),
+        }),
+        simd_op5::VDOT if (w >> 25) & 0b11 == 0 => {
+            let sign = match mode3 {
+                0 => DotSign::UnsignedUnsigned,
+                1 => DotSign::UnsignedSigned,
+                2 => DotSign::SignedSigned,
+                _ => return Err(DecodeError { word: w }),
+            };
+            Ok(Instr::VDot {
+                sign,
+                rd: rd(w),
+                vs1: VReg::from_bits(w >> 15),
+                vs2,
+            })
+        }
+        simd_op5::VQNT if mode3 == 0 => {
+            let fmt = simd_fmt(w >> 25);
+            if !fmt.is_sub_byte() {
+                return Err(DecodeError { word: w });
+            }
+            Ok(Instr::VQnt {
+                fmt,
+                vd: VReg::from_bits(w >> 7),
+                rs1: rs1(w),
+                vs2,
+            })
+        }
+        simd_op5::VSLIDE1 if mode3 == 0 && (w >> 25) & 0b11 == 0 => Ok(Instr::VSlide1 {
+            vd: VReg::from_bits(w >> 7),
+            vs2,
+            rs1: rs1(w),
+        }),
+        simd_op5::VMVXS if mode3 == 0 && (w >> 25) & 0b11 == 0 && (w >> 15) & 0x1f == 0 => {
+            Ok(Instr::VMvXS { rd: rd(w), vs2 })
+        }
+        _ => Err(DecodeError { word: w }),
+    }
+}
+
+/// Decodes the Xrvv vector loads/stores at [`opcode::VEC_LOAD`] /
+/// [`opcode::VEC_STORE`].
+fn decode_vector_mem(w: u32, is_store: bool) -> Result<Instr, DecodeError> {
+    if funct7(w) != 0 {
+        return Err(DecodeError { word: w });
+    }
+    let v = VReg::from_bits(w >> 7);
+    let a = rs1(w);
+    let b = rs2(w);
+    match (funct3(w), is_store) {
+        (0b000, false) if (w >> 20) & 0x1f == 0 => Ok(Instr::VLoad { vd: v, rs1: a }),
+        (0b010, false) => Ok(Instr::VLoadStrided {
+            vd: v,
+            rs1: a,
+            rs2: b,
+        }),
+        (0b000, true) if (w >> 20) & 0x1f == 0 => Ok(Instr::VStore { vs: v, rs1: a }),
+        (0b010, true) => Ok(Instr::VStoreStrided {
+            vs: v,
+            rs1: a,
+            rs2: b,
+        }),
+        _ => Err(DecodeError { word: w }),
+    }
+}
+
 fn decode_simd(w: u32) -> Result<Instr, DecodeError> {
     let op5 = w >> 27;
+    if op5 >= simd_op5::VSETVLI {
+        return decode_vector_op(w);
+    }
     let fmt = simd_fmt(w >> 25);
     let r = rd(w);
     let a = rs1(w);
@@ -618,6 +698,8 @@ pub fn decode(w: u32) -> Result<Instr, DecodeError> {
         }
         opcode::PULP_HWLOOP => decode_hwloop(w),
         opcode::PULP_SIMD => decode_simd(w),
+        opcode::VEC_LOAD => decode_vector_mem(w, false),
+        opcode::VEC_STORE => decode_vector_mem(w, true),
         _ => Err(DecodeError { word: w }),
     }
 }
@@ -930,6 +1012,86 @@ mod tests {
             rs1: Reg::S2,
             rs2: Reg::S3,
         });
+    }
+
+    #[test]
+    fn round_trip_vector_ops() {
+        use crate::simd::ALL_DOT_SIGNS;
+        use crate::vec::{VReg, ALL_SEWS};
+        let v = |i: usize| VReg::new(i).unwrap();
+        for sew in ALL_SEWS {
+            round_trip(Instr::VSetvli {
+                rd: Reg::T5,
+                rs1: Reg::T6,
+                sew,
+            });
+        }
+        for i in [0, 4, 17, 31] {
+            round_trip(Instr::VLoad {
+                vd: v(i),
+                rs1: Reg::S0,
+            });
+            round_trip(Instr::VStore {
+                vs: v(i),
+                rs1: Reg::S1,
+            });
+            round_trip(Instr::VLoadStrided {
+                vd: v(i),
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+            });
+            round_trip(Instr::VStoreStrided {
+                vs: v(i),
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+            });
+        }
+        for sign in ALL_DOT_SIGNS {
+            round_trip(Instr::VDot {
+                sign,
+                rd: Reg::S4,
+                vs1: v(0),
+                vs2: v(4),
+            });
+        }
+        for fmt in [SimdFmt::Nibble, SimdFmt::Crumb] {
+            round_trip(Instr::VQnt {
+                fmt,
+                vd: v(2),
+                rs1: Reg::A1,
+                vs2: v(0),
+            });
+        }
+        round_trip(Instr::VSlide1 {
+            vd: v(0),
+            vs2: v(1),
+            rs1: Reg::S4,
+        });
+        round_trip(Instr::VMvXS {
+            rd: Reg::A0,
+            vs2: v(2),
+        });
+    }
+
+    #[test]
+    fn illegal_vector_words_rejected() {
+        use crate::encode::encode;
+        use crate::vec::VReg;
+        // vqnt with a byte format is not decodable.
+        let w = (simd_op5::VQNT << 27) | (0b01 << 25) | (1 << 15) | (2 << 7) | opcode::PULP_SIMD;
+        assert!(decode(w).is_err());
+        // vdot with an undefined sign code.
+        let w = (simd_op5::VDOT << 27) | (0b011 << 12) | opcode::PULP_SIMD;
+        assert!(decode(w).is_err());
+        // op5 31 is unassigned.
+        assert!(decode((31 << 27) | opcode::PULP_SIMD).is_err());
+        // vector loads/stores with junk funct3 or funct7 are illegal.
+        let good = encode(&Instr::VLoad {
+            vd: VReg::new(3).unwrap(),
+            rs1: Reg::A0,
+        });
+        assert!(decode(good | (0b001 << 12)).is_err());
+        assert!(decode(good | (1 << 25)).is_err());
     }
 
     #[test]

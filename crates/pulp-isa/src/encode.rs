@@ -70,8 +70,16 @@ pub mod opcode {
     pub const PULP_BITFIELD: u32 = 0x5b;
     /// XpulpV2 hardware loops (custom-3).
     pub const PULP_HWLOOP: u32 = 0x7b;
-    /// XpulpV2/XpulpNN packed SIMD.
+    /// XpulpV2/XpulpNN packed SIMD, plus the Xrvv vector ops at
+    /// `op5 >= 26` (the packed-SIMD ops end at `SHUFFLE2 = 25`). This is
+    /// the standard RVV OP-V major opcode, so the co-location is also
+    /// faithful to real encodings.
     pub const PULP_SIMD: u32 = 0x57;
+    /// Xrvv vector loads (the otherwise-unused LOAD-FP major opcode,
+    /// where RVV puts its loads).
+    pub const VEC_LOAD: u32 = 0x07;
+    /// Xrvv vector stores (STORE-FP, likewise).
+    pub const VEC_STORE: u32 = 0x27;
 }
 
 /// funct7 blocks used for scalar `p.*` operations under [`opcode::OP`].
@@ -113,6 +121,13 @@ pub mod simd_op5 {
     pub const SDOTSP: u32 = 23;
     pub const QNT: u32 = 24;
     pub const SHUFFLE2: u32 = 25;
+    // Xrvv vector ops share the opcode; `op5 >= VSETVLI` selects the
+    // vector decode path.
+    pub const VSETVLI: u32 = 26;
+    pub const VDOT: u32 = 27;
+    pub const VQNT: u32 = 28;
+    pub const VSLIDE1: u32 = 29;
+    pub const VMVXS: u32 = 30;
 }
 
 #[inline]
@@ -597,6 +612,58 @@ pub fn encode(instr: &Instr) -> u32 {
             rs1: a,
             rs2: b,
         } => simd(simd_op5::SHUFFLE2, fmt, r, a, 0, b as u32),
+        Instr::VSetvli { rd: r, rs1: a, sew } => {
+            (simd_op5::VSETVLI << 27) | (sew.code() << 25) | rs1(a) | rd(r) | PULP_SIMD
+        }
+        Instr::VDot {
+            sign,
+            rd: r,
+            vs1,
+            vs2,
+        } => {
+            let f3 = match sign {
+                DotSign::UnsignedUnsigned => 0,
+                DotSign::UnsignedSigned => 1,
+                DotSign::SignedSigned => 2,
+            };
+            (simd_op5::VDOT << 27)
+                | (u32::from(vs2) << 20)
+                | (u32::from(vs1) << 15)
+                | funct3(f3)
+                | rd(r)
+                | PULP_SIMD
+        }
+        Instr::VQnt {
+            fmt,
+            vd,
+            rs1: a,
+            vs2,
+        } => {
+            (simd_op5::VQNT << 27)
+                | (fmt2(fmt) << 25)
+                | (u32::from(vs2) << 20)
+                | rs1(a)
+                | (u32::from(vd) << 7)
+                | PULP_SIMD
+        }
+        Instr::VSlide1 { vd, vs2, rs1: a } => {
+            (simd_op5::VSLIDE1 << 27)
+                | (u32::from(vs2) << 20)
+                | rs1(a)
+                | (u32::from(vd) << 7)
+                | PULP_SIMD
+        }
+        Instr::VMvXS { rd: r, vs2 } => {
+            (simd_op5::VMVXS << 27) | (u32::from(vs2) << 20) | rd(r) | PULP_SIMD
+        }
+        Instr::VLoad { vd, rs1: a } => rs1(a) | funct3(0b000) | (u32::from(vd) << 7) | VEC_LOAD,
+        Instr::VLoadStrided { vd, rs1: a, rs2: b } => {
+            rs2(b) | rs1(a) | funct3(0b010) | (u32::from(vd) << 7) | VEC_LOAD
+        }
+        Instr::VStore { vs, rs1: a } => rs1(a) | funct3(0b000) | (u32::from(vs) << 7) | VEC_STORE,
+        Instr::VStoreStrided { vs, rs1: a, rs2: b } => {
+            rs2(b) | rs1(a) | funct3(0b010) | (u32::from(vs) << 7) | VEC_STORE
+        }
         Instr::Nop => {
             // Canonical nop: addi x0, x0, 0.
             OP_IMM

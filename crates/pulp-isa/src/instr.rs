@@ -18,6 +18,7 @@
 
 use crate::reg::Reg;
 use crate::simd::{DotSign, SimdFmt};
+use crate::vec::{VReg, VecSew};
 use std::fmt;
 
 /// Condition of a conditional branch.
@@ -765,6 +766,58 @@ pub enum Instr {
         rs2: Reg,
     },
 
+    // ----- Xrvv: RVV-style vector unit (second backend) -----
+    /// `vsetvli rd, rs1, <sew>`: configure the vector unit.
+    ///
+    /// Sets SEW from the immediate field and
+    /// `vl = min(rs1, VLMAX)`, where `VLMAX = VLEN / SEW`; `rs1 = x0`
+    /// requests `vl = VLMAX` (the strip-mining idiom). `rd` receives the
+    /// granted `vl`. LMUL is fixed at `m1` in this model.
+    VSetvli { rd: Reg, rs1: Reg, sew: VecSew },
+    /// `vle.v vd, (rs1)`: unit-stride vector load of `vl` elements at
+    /// the current SEW; sub-byte elements are packed contiguously.
+    /// The tail of the register is zeroed.
+    VLoad { vd: VReg, rs1: Reg },
+    /// `vse.v vs, (rs1)`: unit-stride vector store of `vl` elements
+    /// (`ceil(vl*SEW/8)` bytes).
+    VStore { vs: VReg, rs1: Reg },
+    /// `vlse.v vd, (rs1), rs2`: strided load; element `i` comes from
+    /// `rs1 + i*rs2`. Requires a whole-byte SEW (`e8`/`e16`); sub-byte
+    /// elements are not byte-addressable.
+    VLoadStrided { vd: VReg, rs1: Reg, rs2: Reg },
+    /// `vsse.v vs, (rs1), rs2`: strided store (same SEW restriction as
+    /// [`Instr::VLoadStrided`]).
+    VStoreStrided { vs: VReg, rs1: Reg, rs2: Reg },
+    /// `vdot{up,usp,sp}.vv rd, vs1, vs2`: vector dot-product reduction
+    /// into a *scalar* register: `rd += sum_i vs1[i]*vs2[i]` over `vl`
+    /// elements, extended per `sign`, accumulating modulo 2³² exactly
+    /// like `pv.sdot*` (which keeps the two backends bit-identical).
+    VDot {
+        sign: DotSign,
+        rd: Reg,
+        vs1: VReg,
+        vs2: VReg,
+    },
+    /// `vqnt.<n|c>.v vd, rs1, vs2`: Quark-style staircase quantization.
+    ///
+    /// Element `i` of `vs2` (16-bit, so SEW must be `e16`) walks the
+    /// Eytzinger threshold tree at `rs1 + i*stride` (the same per-tree
+    /// stride as `pv.qnt`) and the `fmt.bits()`-wide result is packed
+    /// into `vd` at bit `i*fmt.bits()`; the tail is zeroed. Only the
+    /// sub-byte formats are valid.
+    VQnt {
+        fmt: SimdFmt,
+        vd: VReg,
+        rs1: Reg,
+        vs2: VReg,
+    },
+    /// `vslide1down.vx vd, vs2, rs1`: `vd[i] = vs2[i+1]` for
+    /// `i < vl-1`, `vd[vl-1] = rs1` (truncated to SEW); tail zeroed.
+    VSlide1 { vd: VReg, vs2: VReg, rs1: Reg },
+    /// `vmv.x.s rd, vs2`: move element 0 of `vs2` to a scalar register,
+    /// sign-extended from the current SEW.
+    VMvXS { rd: Reg, vs2: VReg },
+
     /// `nop` (canonically `addi x0, x0, 0`, kept distinct for readability
     /// of disassembly; encodes identically).
     Nop,
@@ -841,7 +894,9 @@ impl Instr {
                 op2: SimdOperand::Imm(_),
                 ..
             } if fmt.is_sub_byte() => Err(ValidateError::SciWithSubByte(fmt)),
-            Instr::PvQnt { fmt, .. } if !fmt.is_sub_byte() => Err(ValidateError::QntFormat(fmt)),
+            Instr::PvQnt { fmt, .. } | Instr::VQnt { fmt, .. } if !fmt.is_sub_byte() => {
+                Err(ValidateError::QntFormat(fmt))
+            }
             // Sub-byte selectors cannot index all lanes, so shuffle2 (like
             // CV32E40P's) exists only for the b/h formats.
             Instr::PvShuffle2 { fmt, .. } if fmt.is_sub_byte() => {
@@ -933,6 +988,28 @@ impl Instr {
                 | Instr::StorePostInc { .. }
                 | Instr::StorePostIncReg { .. }
                 | Instr::PvQnt { .. }
+                | Instr::VLoad { .. }
+                | Instr::VStore { .. }
+                | Instr::VLoadStrided { .. }
+                | Instr::VStoreStrided { .. }
+                | Instr::VQnt { .. }
+        )
+    }
+
+    /// True for the Xrvv vector-unit instructions (second backend); only
+    /// available when the core is configured with the vector extension.
+    pub fn requires_rvv(&self) -> bool {
+        matches!(
+            self,
+            Instr::VSetvli { .. }
+                | Instr::VLoad { .. }
+                | Instr::VStore { .. }
+                | Instr::VLoadStrided { .. }
+                | Instr::VStoreStrided { .. }
+                | Instr::VDot { .. }
+                | Instr::VQnt { .. }
+                | Instr::VSlide1 { .. }
+                | Instr::VMvXS { .. }
         )
     }
 
@@ -1166,6 +1243,25 @@ impl fmt::Display for Instr {
             Instr::PvQnt { fmt, rd, rs1, rs2 } => {
                 write!(f, "pv.qnt.{fmt} {rd}, {rs1}, {rs2}")
             }
+            Instr::VSetvli { rd, rs1, sew } => write!(f, "vsetvli {rd}, {rs1}, {sew}"),
+            Instr::VLoad { vd, rs1 } => write!(f, "vle.v {vd}, ({rs1})"),
+            Instr::VStore { vs, rs1 } => write!(f, "vse.v {vs}, ({rs1})"),
+            Instr::VLoadStrided { vd, rs1, rs2 } => {
+                write!(f, "vlse.v {vd}, ({rs1}), {rs2}")
+            }
+            Instr::VStoreStrided { vs, rs1, rs2 } => {
+                write!(f, "vsse.v {vs}, ({rs1}), {rs2}")
+            }
+            Instr::VDot { sign, rd, vs1, vs2 } => {
+                write!(f, "vdot{}.vv {rd}, {vs1}, {vs2}", sign.infix())
+            }
+            Instr::VQnt { fmt, vd, rs1, vs2 } => {
+                write!(f, "vqnt.{fmt}.v {vd}, {rs1}, {vs2}")
+            }
+            Instr::VSlide1 { vd, vs2, rs1 } => {
+                write!(f, "vslide1down.vx {vd}, {vs2}, {rs1}")
+            }
+            Instr::VMvXS { rd, vs2 } => write!(f, "vmv.x.s {rd}, {vs2}"),
             Instr::Nop => f.write_str("nop"),
         }
     }
@@ -1339,6 +1435,110 @@ mod tests {
             op2: SimdOperand::Imm(7),
         };
         assert_eq!(sci.to_string(), "pv.sra.sci.h a0, a0, 7");
+    }
+
+    #[test]
+    fn vector_disassembly_samples() {
+        use crate::vec::{VReg, VecSew};
+        let v = |i: usize| VReg::new(i).unwrap();
+        assert_eq!(
+            Instr::VSetvli {
+                rd: Reg::T5,
+                rs1: Reg::T6,
+                sew: VecSew::E4
+            }
+            .to_string(),
+            "vsetvli t5, t6, e4"
+        );
+        assert_eq!(
+            Instr::VLoad {
+                vd: v(0),
+                rs1: Reg::S0
+            }
+            .to_string(),
+            "vle.v v0, (s0)"
+        );
+        assert_eq!(
+            Instr::VStoreStrided {
+                vs: v(2),
+                rs1: Reg::A0,
+                rs2: Reg::A1
+            }
+            .to_string(),
+            "vsse.v v2, (a0), a1"
+        );
+        assert_eq!(
+            Instr::VDot {
+                sign: DotSign::UnsignedSigned,
+                rd: Reg::S4,
+                vs1: v(0),
+                vs2: v(4)
+            }
+            .to_string(),
+            "vdotusp.vv s4, v0, v4"
+        );
+        assert_eq!(
+            Instr::VQnt {
+                fmt: SimdFmt::Nibble,
+                vd: v(2),
+                rs1: Reg::A1,
+                vs2: v(0)
+            }
+            .to_string(),
+            "vqnt.n.v v2, a1, v0"
+        );
+        assert_eq!(
+            Instr::VSlide1 {
+                vd: v(0),
+                vs2: v(0),
+                rs1: Reg::S4
+            }
+            .to_string(),
+            "vslide1down.vx v0, v0, s4"
+        );
+        assert_eq!(
+            Instr::VMvXS {
+                rd: Reg::A0,
+                vs2: v(2)
+            }
+            .to_string(),
+            "vmv.x.s a0, v2"
+        );
+    }
+
+    #[test]
+    fn vector_classification_and_validation() {
+        use crate::vec::{VReg, VecSew};
+        let v = |i: usize| VReg::new(i).unwrap();
+        let s = Instr::VSetvli {
+            rd: Reg::T5,
+            rs1: Reg::T6,
+            sew: VecSew::E8,
+        };
+        assert!(s.requires_rvv());
+        assert!(!s.requires_xpulpnn());
+        assert!(!s.requires_xpulpv2());
+        assert!(!s.is_mem_access());
+        let ld = Instr::VLoad {
+            vd: v(0),
+            rs1: Reg::S0,
+        };
+        assert!(ld.is_mem_access() && ld.requires_rvv());
+        let q = Instr::VQnt {
+            fmt: SimdFmt::Byte,
+            vd: v(2),
+            rs1: Reg::A1,
+            vs2: v(0),
+        };
+        assert!(matches!(q.validate(), Err(ValidateError::QntFormat(_))));
+        assert!(Instr::VQnt {
+            fmt: SimdFmt::Crumb,
+            vd: v(2),
+            rs1: Reg::A1,
+            vs2: v(0)
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]

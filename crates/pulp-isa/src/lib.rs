@@ -15,6 +15,10 @@
 //!   (`n`) and 2-bit *crumb* (`c`) lanes, including dot products and
 //!   sum-of-dot-products, plus the multi-cycle `pv.qnt.{n,c}` quantization
 //!   instruction.
+//! * **Xrvv** — the comparison backend: an RVV-style vector subset with
+//!   sub-byte effective element widths (`vsetvli`, unit-stride and strided
+//!   `vle.v`/`vse.v`, `vdot*.vv`, `vqnt.{n,c}.v`, `vslide1down.vx`,
+//!   `vmv.x.s`), see [`vec`] and DESIGN.md §15.
 //!
 //! The crate provides:
 //!
@@ -54,8 +58,10 @@ pub mod encode;
 pub mod instr;
 pub mod reg;
 pub mod simd;
+pub mod vec;
 
 pub use decode::DecodeError;
 pub use instr::{BranchCond, Instr, LoadKind, StoreKind};
 pub use reg::Reg;
 pub use simd::SimdFmt;
+pub use vec::{VReg, VecSew};

@@ -12,6 +12,34 @@ pub enum KernelIsa {
     XpulpV2,
     /// The extended core: native nibble/crumb SIMD and `pv.qnt`.
     XpulpNN,
+    /// The RVV-style vector backend: XpulpV2 scalar code plus the Xrvv
+    /// sub-byte vector unit (`rvv-vec`) at the given `VLEN` — no
+    /// packed-SIMD (`pv.*`) instructions.
+    Vector {
+        /// Vector register length in bits (a power of two in 32..=256).
+        vlen_bits: u32,
+    },
+}
+
+impl KernelIsa {
+    /// The vector backend at `vlen_bits` (shorthand for the struct
+    /// variant).
+    pub const fn vector(vlen_bits: u32) -> KernelIsa {
+        KernelIsa::Vector { vlen_bits }
+    }
+
+    /// True for the vector backend.
+    pub const fn is_vector(self) -> bool {
+        matches!(self, KernelIsa::Vector { .. })
+    }
+
+    /// The backend's VLEN in bits; `None` for the scalar/SIMD ISAs.
+    pub const fn vlen_bits(self) -> Option<u32> {
+        match self {
+            KernelIsa::Vector { vlen_bits } => Some(vlen_bits),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for KernelIsa {
@@ -19,6 +47,7 @@ impl fmt::Display for KernelIsa {
         match self {
             KernelIsa::XpulpV2 => f.write_str("xpulpv2"),
             KernelIsa::XpulpNN => f.write_str("xpulpnn"),
+            KernelIsa::Vector { vlen_bits } => write!(f, "vector{vlen_bits}"),
         }
     }
 }
@@ -89,6 +118,12 @@ pub enum ConfigError {
         /// Output pixels.
         pixels: usize,
     },
+    /// The vector backend's VLEN is not a power of two in 32..=256
+    /// (the range the `rvv-vec` unit supports).
+    VectorLength {
+        /// Requested VLEN in bits.
+        vlen_bits: u32,
+    },
     /// The quantization mode does not match the operand width / ISA.
     QuantMismatch {
         /// Operand width.
@@ -121,6 +156,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::OddPixels { pixels } => {
                 write!(f, "output pixel count ({pixels}) must be even")
+            }
+            ConfigError::VectorLength { vlen_bits } => {
+                write!(f, "VLEN {vlen_bits} must be a power of two in 32..=256")
             }
             ConfigError::QuantMismatch { bits, isa, quant } => {
                 write!(f, "quantization {quant} is invalid for {bits} on {isa}")
@@ -156,7 +194,7 @@ impl ConvKernelConfig {
     pub fn paper(bits: BitWidth, isa: KernelIsa, hw_quant: bool) -> ConvKernelConfig {
         let quant = match (bits, isa, hw_quant) {
             (BitWidth::W8, _, _) => QuantMode::Shift8 { shift: 8 },
-            (_, KernelIsa::XpulpNN, true) => QuantMode::HardwareQnt,
+            (_, KernelIsa::XpulpNN | KernelIsa::Vector { .. }, true) => QuantMode::HardwareQnt,
             _ => QuantMode::SoftwareTree,
         };
         ConvKernelConfig {
@@ -231,13 +269,18 @@ impl ConvKernelConfig {
         if !s.pixels().is_multiple_of(2) {
             return Err(ConfigError::OddPixels { pixels: s.pixels() });
         }
+        if let KernelIsa::Vector { vlen_bits } = self.isa {
+            if !vlen_bits.is_power_of_two() || !(32..=256).contains(&vlen_bits) {
+                return Err(ConfigError::VectorLength { vlen_bits });
+            }
+        }
         let ok = matches!(
             (self.out_bits, self.isa, self.quant),
             (BitWidth::W8, _, QuantMode::Shift8 { .. })
                 | (BitWidth::W4 | BitWidth::W2, _, QuantMode::SoftwareTree)
                 | (
                     BitWidth::W4 | BitWidth::W2,
-                    KernelIsa::XpulpNN,
+                    KernelIsa::XpulpNN | KernelIsa::Vector { .. },
                     QuantMode::HardwareQnt
                 )
         );
@@ -272,7 +315,12 @@ mod tests {
     #[test]
     fn paper_configs_validate() {
         for bits in qnn::bits::ALL_WIDTHS {
-            for isa in [KernelIsa::XpulpV2, KernelIsa::XpulpNN] {
+            for isa in [
+                KernelIsa::XpulpV2,
+                KernelIsa::XpulpNN,
+                KernelIsa::vector(128),
+                KernelIsa::vector(256),
+            ] {
                 for hw in [false, true] {
                     let cfg = ConvKernelConfig::paper(bits, isa, hw);
                     cfg.validate()
@@ -280,6 +328,19 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn bad_vlen_rejected() {
+        for vlen in [0, 24, 96, 512] {
+            let cfg = ConvKernelConfig::paper(BitWidth::W4, KernelIsa::vector(vlen), true);
+            assert!(
+                matches!(cfg.validate(), Err(ConfigError::VectorLength { vlen_bits }) if vlen_bits == vlen),
+                "VLEN {vlen} must be rejected"
+            );
+        }
+        let cfg = ConvKernelConfig::paper(BitWidth::W4, KernelIsa::vector(64), true);
+        cfg.validate().unwrap();
     }
 
     #[test]
@@ -363,5 +424,7 @@ mod tests {
         assert_eq!(cfg.name(), "2-bit/xpulpnn/pv.qnt");
         let cfg = ConvKernelConfig::paper(BitWidth::W8, KernelIsa::XpulpV2, false);
         assert_eq!(cfg.name(), "8-bit/xpulpv2/shift8(8)");
+        let cfg = ConvKernelConfig::paper(BitWidth::W4, KernelIsa::vector(256), true);
+        assert_eq!(cfg.name(), "4-bit/vector256/pv.qnt");
     }
 }

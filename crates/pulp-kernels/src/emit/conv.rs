@@ -138,7 +138,12 @@ mod tests {
     #[test]
     fn every_paper_variant_assembles() {
         for bits in qnn::bits::ALL_WIDTHS {
-            for isa in [KernelIsa::XpulpV2, KernelIsa::XpulpNN] {
+            for isa in [
+                KernelIsa::XpulpV2,
+                KernelIsa::XpulpNN,
+                KernelIsa::vector(128),
+                KernelIsa::vector(256),
+            ] {
                 for hw in [false, true] {
                     let cfg = ConvKernelConfig::paper(bits, isa, hw);
                     let prog = build_conv_program(&cfg, &LayerLayout::default_for_l2())
@@ -179,6 +184,28 @@ mod tests {
             text.contains("pv.shuffle2.b"),
             "baseline unpacks with shuffles"
         );
+    }
+
+    #[test]
+    fn vector_listing_uses_xrvv_and_no_packed_simd() {
+        let cfg = ConvKernelConfig::paper(BitWidth::W4, KernelIsa::vector(128), true);
+        let prog = build_conv_program(&cfg, &LayerLayout::default_for_l2()).unwrap();
+        let text = prog.listing();
+        assert!(text.contains("vsetvli"), "strip-mined loop config");
+        assert!(text.contains("vdotusp.vv"), "vector dot product");
+        assert!(text.contains("vqnt.n.v"), "vector quantizer");
+        assert!(text.contains("vslide1down.vx"), "accumulator-pair assembly");
+        assert!(!text.contains("pv."), "no packed-SIMD on the vector core");
+        assert!(!text.contains("lp.setup"), "the strip loop uses bne");
+        for i in &prog.instrs {
+            assert!(!i.requires_xpulpnn(), "vector kernel must avoid pv.*: {i}");
+        }
+        // Software-tree vector kernels need no vqnt at all.
+        let cfg = ConvKernelConfig::paper(BitWidth::W2, KernelIsa::vector(256), false);
+        let prog = build_conv_program(&cfg, &LayerLayout::default_for_l2()).unwrap();
+        let text = prog.listing();
+        assert!(text.contains("vdotusp.vv"));
+        assert!(!text.contains("vqnt"), "sw-tree quantizes in scalar code");
     }
 
     #[test]

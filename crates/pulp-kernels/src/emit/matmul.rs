@@ -20,11 +20,12 @@
 
 use crate::config::{ConvKernelConfig, KernelIsa};
 use crate::emit::im2col::{emit_unpack4_signed, emit_unpack4_unsigned};
-use crate::emit::simd_fmt;
+use crate::emit::{simd_fmt, vec_sew};
 use crate::layout::LayerLayout;
 use pulp_asm::Asm;
 use pulp_isa::instr::{Instr, LoopIdx, SimdAluOp, SimdOperand};
 use pulp_isa::simd::{DotSign, SimdFmt};
+use pulp_isa::vec::VReg;
 use pulp_isa::Reg::{self, *};
 use qnn::BitWidth;
 
@@ -163,6 +164,42 @@ fn emit_body_v2_w2(a: &mut Asm) {
     emit_v2_w2_row(a, S6, S7);
 }
 
+/// Emits the vector (Xrvv) `mm_block` body: a strip-mined loop over the
+/// whole column. Each strip loads both packed weight rows and both
+/// im2col pixel buffers into vector registers and folds all four
+/// accumulator combinations with `vdotusp.vv` — no unpacking at any
+/// width, because the vector unit addresses sub-byte elements natively.
+/// `vsetvli` grants `t5` elements per strip; pointers advance by the
+/// packed byte count (`t5 >> log2(8/bits)`).
+fn emit_body_vector(a: &mut Asm, cfg: &ConvKernelConfig) {
+    let sew = vec_sew(cfg.bits);
+    let shift = (8 / cfg.bits.bits()).trailing_zeros() as i32;
+    let (v0, v1, v2, v3) = (
+        VReg::new(0).unwrap(),
+        VReg::new(1).unwrap(),
+        VReg::new(2).unwrap(),
+        VReg::new(3).unwrap(),
+    );
+    a.li(T6, cfg.shape.col_len() as i32);
+    a.label("mm_vloop");
+    a.vsetvli(T5, T6, sew);
+    a.vle(v0, S0); // w row ch
+    a.vle(v1, S1); // w row ch+1
+    a.vle(v2, S2); // im2col px0
+    a.vle(v3, S3); // im2col px1
+    a.vdot(DotSign::UnsignedSigned, S4, v2, v0);
+    a.vdot(DotSign::UnsignedSigned, S5, v3, v0);
+    a.vdot(DotSign::UnsignedSigned, S6, v2, v1);
+    a.vdot(DotSign::UnsignedSigned, S7, v3, v1);
+    a.srli(T4, T5, shift);
+    a.add(S0, S0, T4);
+    a.add(S1, S1, T4);
+    a.add(S2, S2, T4);
+    a.add(S3, S3, T4);
+    a.sub(T6, T6, T5);
+    a.bne(T6, Zero, "mm_vloop");
+}
+
 /// Emits the `mm_block` subroutine.
 pub fn emit_mm_block(a: &mut Asm, cfg: &ConvKernelConfig, layout: &LayerLayout) {
     emit_mm_block_at(a, cfg, super::Im2colBase::Absolute(layout.im2col));
@@ -186,15 +223,20 @@ pub fn emit_mm_block_at(a: &mut Asm, cfg: &ConvKernelConfig, base: super::Im2col
     a.li(S5, 0);
     a.li(S6, 0);
     a.li(S7, 0);
-    a.li(T6, iters);
-    a.lp_setup(LoopIdx::L0, T6, "mm_end");
-    match (cfg.isa, cfg.bits) {
-        (KernelIsa::XpulpV2, BitWidth::W4) => emit_body_v2_w4(a),
-        (KernelIsa::XpulpV2, BitWidth::W2) => emit_body_v2_w2(a),
-        _ => emit_body_native(a, simd_fmt(cfg.bits)),
+    if cfg.isa.is_vector() {
+        emit_body_vector(a, cfg);
+    } else {
+        a.li(T6, iters);
+        a.lp_setup(LoopIdx::L0, T6, "mm_end");
+        match (cfg.isa, cfg.bits) {
+            (KernelIsa::XpulpV2, BitWidth::W4) => emit_body_v2_w4(a),
+            (KernelIsa::XpulpV2, BitWidth::W2) => emit_body_v2_w2(a),
+            _ => emit_body_native(a, simd_fmt(cfg.bits)),
+        }
+        a.label("mm_end");
     }
-    a.label("mm_end");
-    // s1 ended just past row ch+1: the next block's row base.
+    // s1 ended just past row ch+1 (the vector strips advance it by the
+    // whole row): the next block's row base.
     a.mv(A0, S1);
     a.ret();
 }

@@ -82,6 +82,17 @@ pub fn simd_fmt(bits: BitWidth) -> SimdFmt {
     }
 }
 
+/// The vector element width of a bit width (the vector backend computes
+/// directly on packed sub-byte elements).
+pub fn vec_sew(bits: BitWidth) -> pulp_isa::vec::VecSew {
+    use pulp_isa::vec::VecSew;
+    match bits {
+        BitWidth::W8 => VecSew::E8,
+        BitWidth::W4 => VecSew::E4,
+        BitWidth::W2 => VecSew::E2,
+    }
+}
+
 /// Packs four byte-lane selector values into the constant loaded into a
 /// shuffle-selector register.
 pub fn sel_bytes(l0: u8, l1: u8, l2: u8, l3: u8) -> i32 {
@@ -97,6 +108,14 @@ mod tests {
         assert_eq!(simd_fmt(BitWidth::W8), SimdFmt::Byte);
         assert_eq!(simd_fmt(BitWidth::W4), SimdFmt::Nibble);
         assert_eq!(simd_fmt(BitWidth::W2), SimdFmt::Crumb);
+    }
+
+    #[test]
+    fn sew_mapping() {
+        use pulp_isa::vec::VecSew;
+        assert_eq!(vec_sew(BitWidth::W8), VecSew::E8);
+        assert_eq!(vec_sew(BitWidth::W4), VecSew::E4);
+        assert_eq!(vec_sew(BitWidth::W2), VecSew::E2);
     }
 
     #[test]

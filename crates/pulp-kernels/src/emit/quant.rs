@@ -15,6 +15,7 @@ use crate::emit::simd_fmt;
 use pulp_asm::Asm;
 use pulp_isa::instr::{AluOp, Instr, LoadKind};
 use pulp_isa::simd::SimdFmt;
+use pulp_isa::vec::{VReg, VecSew};
 use pulp_isa::Reg::{self, *};
 use riscv_core::quant::tree_stride;
 
@@ -74,6 +75,49 @@ fn emit_hw_qnt_pixel(a: &mut Asm, fmt: SimdFmt, acc_ch: Reg, acc_ch1: Reg, dst: 
     a.pv_qnt(fmt, dst, acc_ch, A1);
 }
 
+/// Emits the vector-backend pair quantization for one pixel: clips the
+/// two channel accumulators, assembles them into elements 0/1 of `v0`
+/// with two `vslide1down.vx` (at `vl = 2` each slide drops one element
+/// and appends the scalar, so the pair lands in order), and lets `vqnt`
+/// walk both channels' threshold trees — the Eytzinger image and the
+/// packed result are identical to the `pv.qnt` path. Clobbers `t2` and
+/// the unit's `vl`/`sew` (the MatMul strip loop re-runs `vsetvli`).
+fn emit_vec_qnt_pixel(a: &mut Asm, fmt: SimdFmt, acc_ch: Reg, acc_ch1: Reg, dst: Reg) {
+    let (v0, v1) = (VReg::new(0).unwrap(), VReg::new(1).unwrap());
+    a.i(Instr::PClip {
+        rd: acc_ch,
+        rs1: acc_ch,
+        bits: 16,
+    });
+    a.i(Instr::PClip {
+        rd: acc_ch1,
+        rs1: acc_ch1,
+        bits: 16,
+    });
+    a.li(T2, 2);
+    a.vsetvli(Zero, T2, VecSew::E16);
+    a.vslide1down(v0, v0, acc_ch);
+    a.vslide1down(v0, v0, acc_ch1);
+    a.vqnt(fmt, v1, A1, v0);
+    a.vmv_x_s(dst, v1);
+}
+
+/// Hardware pair quantization on whichever backend the config selects.
+fn emit_hw_or_vec_qnt_pixel(
+    a: &mut Asm,
+    cfg: &ConvKernelConfig,
+    fmt: SimdFmt,
+    acc_ch: Reg,
+    acc_ch1: Reg,
+    dst: Reg,
+) {
+    if cfg.isa.is_vector() {
+        emit_vec_qnt_pixel(a, fmt, acc_ch, acc_ch1, dst);
+    } else {
+        emit_hw_qnt_pixel(a, fmt, acc_ch, acc_ch1, dst);
+    }
+}
+
 /// Emits the software pair quantization for one pixel: walks both
 /// channel trees, packs the two `Q`-bit results into the low bits of
 /// `dst`. Clobbers `t0`–`t6`.
@@ -95,9 +139,9 @@ pub fn emit_quant_store_w4(a: &mut Asm, cfg: &ConvKernelConfig) {
     let stride = tree_stride(fmt) as i32;
     match cfg.quant {
         QuantMode::HardwareQnt => {
-            emit_hw_qnt_pixel(a, fmt, S4, S6, T0);
+            emit_hw_or_vec_qnt_pixel(a, cfg, fmt, S4, S6, T0);
             a.p_sb_postinc(T0, 1, A3);
-            emit_hw_qnt_pixel(a, fmt, S5, S7, T1);
+            emit_hw_or_vec_qnt_pixel(a, cfg, fmt, S5, S7, T1);
             a.p_sb_postinc(T1, 1, A4);
         }
         QuantMode::SoftwareTree => {
@@ -119,8 +163,8 @@ pub fn emit_quant_w2_first(a: &mut Asm, cfg: &ConvKernelConfig) {
     let stride = tree_stride(fmt) as i32;
     match cfg.quant {
         QuantMode::HardwareQnt => {
-            emit_hw_qnt_pixel(a, fmt, S4, S6, Sp);
-            emit_hw_qnt_pixel(a, fmt, S5, S7, Gp);
+            emit_hw_or_vec_qnt_pixel(a, cfg, fmt, S4, S6, Sp);
+            emit_hw_or_vec_qnt_pixel(a, cfg, fmt, S5, S7, Gp);
         }
         QuantMode::SoftwareTree => {
             emit_sw_qnt_pixel(a, 2, S4, S6, Sp, stride);
@@ -140,11 +184,11 @@ pub fn emit_quant_w2_second(a: &mut Asm, cfg: &ConvKernelConfig) {
     let stride = tree_stride(fmt) as i32;
     match cfg.quant {
         QuantMode::HardwareQnt => {
-            emit_hw_qnt_pixel(a, fmt, S4, S6, T0);
+            emit_hw_or_vec_qnt_pixel(a, cfg, fmt, S4, S6, T0);
             a.slli(T0, T0, 4);
             a.or(T0, T0, Sp);
             a.p_sb_postinc(T0, 1, A3);
-            emit_hw_qnt_pixel(a, fmt, S5, S7, T1);
+            emit_hw_or_vec_qnt_pixel(a, cfg, fmt, S5, S7, T1);
             a.slli(T1, T1, 4);
             a.or(T1, T1, Gp);
             a.p_sb_postinc(T1, 1, A4);

@@ -234,12 +234,17 @@ impl ConvTestbench {
         match self.cfg.isa {
             KernelIsa::XpulpV2 => IsaConfig::xpulpv2(),
             KernelIsa::XpulpNN => IsaConfig::xpulpnn(),
+            KernelIsa::Vector { .. } => IsaConfig::vector(),
         }
     }
 
-    /// Loads program and data into a fresh SoC.
+    /// Loads program and data into a fresh SoC (carrying a vector unit
+    /// of the configured VLEN for the vector backend).
     pub fn stage(&self) -> Soc {
-        let mut soc = Soc::new(self.isa_config());
+        let mut soc = match self.cfg.isa.vlen_bits() {
+            Some(vlen) => Soc::with_vlen(self.isa_config(), vlen),
+            None => Soc::new(self.isa_config()),
+        };
         soc.load(&self.program);
         soc.mem.write_bytes(self.layout.input, &self.input.pack());
         soc.mem
@@ -598,6 +603,95 @@ mod tests {
             quant: QuantMode::HardwareQnt,
         };
         check(cfg, 14);
+    }
+
+    /// Every vector-backend variant, at both comparison VLENs, must be
+    /// bit-identical to the golden `qnn` reference — the same contract
+    /// the SIMD kernels hold.
+    #[test]
+    fn vector_small_layers_match_golden_at_both_vlens() {
+        for vlen in [128u32, 256] {
+            for (bits, quant) in [
+                (BitWidth::W8, QuantMode::Shift8 { shift: 8 }),
+                (BitWidth::W4, QuantMode::HardwareQnt),
+                (BitWidth::W4, QuantMode::SoftwareTree),
+                (BitWidth::W2, QuantMode::HardwareQnt),
+                (BitWidth::W2, QuantMode::SoftwareTree),
+            ] {
+                let cfg = ConvKernelConfig {
+                    shape: small_shape(bits),
+                    bits,
+                    out_bits: bits,
+                    isa: KernelIsa::vector(vlen),
+                    quant,
+                };
+                check(cfg, 31);
+            }
+        }
+    }
+
+    #[test]
+    fn vector_and_simd_backends_agree_bit_exactly() {
+        // Same data, same quantizer semantics: the two backends differ
+        // only in cycles.
+        for bits in [BitWidth::W4, BitWidth::W2] {
+            let mk = |isa| ConvKernelConfig {
+                shape: small_shape(bits),
+                bits,
+                out_bits: bits,
+                isa,
+                quant: QuantMode::HardwareQnt,
+            };
+            let r_nn = check(mk(KernelIsa::XpulpNN), 33);
+            let r_vec = check(mk(KernelIsa::vector(128)), 33);
+            assert_eq!(r_nn.output, r_vec.output, "{bits}");
+        }
+    }
+
+    #[test]
+    fn wider_vlen_never_costs_more_cycles() {
+        let mk = |vlen| ConvKernelConfig {
+            shape: small_shape(BitWidth::W4),
+            bits: BitWidth::W4,
+            out_bits: BitWidth::W4,
+            isa: KernelIsa::vector(vlen),
+            quant: QuantMode::HardwareQnt,
+        };
+        let r128 = check(mk(128), 35);
+        let r256 = check(mk(256), 35);
+        assert_eq!(r128.output, r256.output);
+        assert!(
+            r256.cycles() < r128.cycles(),
+            "doubling VLEN must shorten the strip loop: {} vs {}",
+            r256.cycles(),
+            r128.cycles()
+        );
+    }
+
+    #[test]
+    fn vector_run_charges_the_vector_ledger_buckets() {
+        let cfg = ConvKernelConfig {
+            shape: small_shape(BitWidth::W4),
+            bits: BitWidth::W4,
+            out_bits: BitWidth::W4,
+            isa: KernelIsa::vector(128),
+            quant: QuantMode::HardwareQnt,
+        };
+        let tb = ConvTestbench::new(cfg, 36).unwrap();
+        let r = tb.run().unwrap();
+        assert!(r.matches());
+        use riscv_core::perf::CycleClass;
+        let ledger = r.report.perf.ledger;
+        assert!(ledger.get(CycleClass::VecDot) > 0, "vdot cycles");
+        assert!(ledger.get(CycleClass::VecQnt) > 0, "vqnt cycles");
+        assert!(ledger.get(CycleClass::VecLoad) > 0, "vle cycles");
+        assert!(ledger.get(CycleClass::VecCfg) > 0, "vsetvli cycles");
+        assert!(r.report.perf.vec_macs > 0, "vector MACs counted");
+        assert_eq!(ledger.total(), r.report.perf.cycles);
+        // And the fast path reproduces the run bit-exactly.
+        let fast = tb.run_fastpath().unwrap();
+        assert_eq!(fast.report, r.report);
+        assert_eq!(fast.output, r.output);
     }
 
     #[test]

@@ -1,0 +1,125 @@
+# 2-bit/vector128/pv.qnt (112 instructions)
+  1c008000:  1c0587b7  lui a5, 0x1c058
+  1c008004:  1c0686b7  lui a3, 0x1c068
+  1c008008:  01068713  addi a4, a3, 16
+  1c00800c:  08000893  addi a7, zero, 128
+pixel_loop:
+  1c008010:  0d8000ef  jal ra, 216
+  1c008014:  1c030537  lui a0, 0x1c030
+  1c008018:  1c0505b7  lui a1, 0x1c050
+  1c00801c:  01000613  addi a2, zero, 16
+ch_loop:
+  1c008020:  130000ef  jal ra, 304
+  1c008024:  110a5a33  p.clip s4, s4, 16
+  1c008028:  110b5b33  p.clip s6, s6, 16
+  1c00802c:  00200393  addi t2, zero, 2
+  1c008030:  d6038057  vsetvli zero, t2, e16
+  1c008034:  e80a0057  vslide1down.vx v0, v0, s4
+  1c008038:  e80b0057  vslide1down.vx v0, v0, s6
+  1c00803c:  e60580d7  vqnt.c.v v1, a1, v0
+  1c008040:  f0100157  vmv.x.s sp, v1
+  1c008044:  110adab3  p.clip s5, s5, 16
+  1c008048:  110bdbb3  p.clip s7, s7, 16
+  1c00804c:  00200393  addi t2, zero, 2
+  1c008050:  d6038057  vsetvli zero, t2, e16
+  1c008054:  e80a8057  vslide1down.vx v0, v0, s5
+  1c008058:  e80b8057  vslide1down.vx v0, v0, s7
+  1c00805c:  e60580d7  vqnt.c.v v1, a1, v0
+  1c008060:  f01001d7  vmv.x.s gp, v1
+  1c008064:  01058593  addi a1, a1, 16
+  1c008068:  0e8000ef  jal ra, 232
+  1c00806c:  110a5a33  p.clip s4, s4, 16
+  1c008070:  110b5b33  p.clip s6, s6, 16
+  1c008074:  00200393  addi t2, zero, 2
+  1c008078:  d6038057  vsetvli zero, t2, e16
+  1c00807c:  e80a0057  vslide1down.vx v0, v0, s4
+  1c008080:  e80b0057  vslide1down.vx v0, v0, s6
+  1c008084:  e60580d7  vqnt.c.v v1, a1, v0
+  1c008088:  f01002d7  vmv.x.s t0, v1
+  1c00808c:  00429293  slli t0, t0, 4
+  1c008090:  0022e2b3  or t0, t0, sp
+  1c008094:  005680ab  p.sb t0, 1(a3!)
+  1c008098:  110adab3  p.clip s5, s5, 16
+  1c00809c:  110bdbb3  p.clip s7, s7, 16
+  1c0080a0:  00200393  addi t2, zero, 2
+  1c0080a4:  d6038057  vsetvli zero, t2, e16
+  1c0080a8:  e80a8057  vslide1down.vx v0, v0, s5
+  1c0080ac:  e80b8057  vslide1down.vx v0, v0, s7
+  1c0080b0:  e60580d7  vqnt.c.v v1, a1, v0
+  1c0080b4:  f0100357  vmv.x.s t1, v1
+  1c0080b8:  00431313  slli t1, t1, 4
+  1c0080bc:  00336333  or t1, t1, gp
+  1c0080c0:  006700ab  p.sb t1, 1(a4!)
+  1c0080c4:  01058593  addi a1, a1, 16
+  1c0080c8:  fff60613  addi a2, a2, -1
+  1c0080cc:  f4061ae3  bne a2, zero, -172
+  1c0080d0:  01068693  addi a3, a3, 16
+  1c0080d4:  01070713  addi a4, a4, 16
+  1c0080d8:  fff88893  addi a7, a7, -1
+  1c0080dc:  f2089ae3  bne a7, zero, -204
+  1c0080e0:  00000513  addi a0, zero, 0
+  1c0080e4:  00000073  ecall
+im2col_pair:
+  1c0080e8:  1c0602b7  lui t0, 0x1c060
+  1c0080ec:  00600f13  addi t5, zero, 6
+ic_desc:
+  1c0080f0:  0007a303  lw t1, 0(a5)
+  1c0080f4:  0047d383  lhu t2, 4(a5)
+  1c0080f8:  0067de03  lhu t3, 6(a5)
+  1c0080fc:  00c78793  addi a5, a5, 12
+  1c008100:  0023d393  srli t2, t2, 2
+  1c008104:  00038863  beq t2, zero, 16
+ic_z_pre:
+  1c008108:  0002a22b  p.sw zero, 4(t0!)
+  1c00810c:  fff38393  addi t2, t2, -1
+  1c008110:  fe039ce3  bne t2, zero, -8
+ic_z_done_pre:
+  1c008114:  002e5e13  srli t3, t3, 2
+  1c008118:  000e0a63  beq t3, zero, 20
+ic_copy:
+  1c00811c:  00432f8b  p.lw t6, 4(t1!)
+  1c008120:  01f2a22b  p.sw t6, 4(t0!)
+  1c008124:  fffe0e13  addi t3, t3, -1
+  1c008128:  fe0e1ae3  bne t3, zero, -12
+ic_copy_done:
+  1c00812c:  ffc7de83  lhu t4, -4(a5)
+  1c008130:  002ede93  srli t4, t4, 2
+  1c008134:  000e8863  beq t4, zero, 16
+ic_z_post:
+  1c008138:  0002a22b  p.sw zero, 4(t0!)
+  1c00813c:  fffe8e93  addi t4, t4, -1
+  1c008140:  fe0e9ce3  bne t4, zero, -8
+ic_z_done_post:
+  1c008144:  ffff0f13  addi t5, t5, -1
+  1c008148:  fa0f14e3  bne t5, zero, -88
+  1c00814c:  00008067  jalr zero, 0(ra)
+mm_block:
+  1c008150:  00050413  addi s0, a0, 0
+  1c008154:  04850493  addi s1, a0, 72
+  1c008158:  1c060937  lui s2, 0x1c060
+  1c00815c:  1c0609b7  lui s3, 0x1c060
+  1c008160:  04898993  addi s3, s3, 72
+  1c008164:  00000a13  addi s4, zero, 0
+  1c008168:  00000a93  addi s5, zero, 0
+  1c00816c:  00000b13  addi s6, zero, 0
+  1c008170:  00000b93  addi s7, zero, 0
+  1c008174:  12000f93  addi t6, zero, 288
+mm_vloop:
+  1c008178:  d00f8f57  vsetvli t5, t6, e2
+  1c00817c:  00040007  vle.v v0, (s0)
+  1c008180:  00048087  vle.v v1, (s1)
+  1c008184:  00090107  vle.v v2, (s2)
+  1c008188:  00098187  vle.v v3, (s3)
+  1c00818c:  d8011a57  vdotusp.vv s4, v2, v0
+  1c008190:  d8019ad7  vdotusp.vv s5, v3, v0
+  1c008194:  d8111b57  vdotusp.vv s6, v2, v1
+  1c008198:  d8119bd7  vdotusp.vv s7, v3, v1
+  1c00819c:  002f5e93  srli t4, t5, 2
+  1c0081a0:  01d40433  add s0, s0, t4
+  1c0081a4:  01d484b3  add s1, s1, t4
+  1c0081a8:  01d90933  add s2, s2, t4
+  1c0081ac:  01d989b3  add s3, s3, t4
+  1c0081b0:  41ef8fb3  sub t6, t6, t5
+  1c0081b4:  fc0f92e3  bne t6, zero, -60
+  1c0081b8:  00048513  addi a0, s1, 0
+  1c0081bc:  00008067  jalr zero, 0(ra)

@@ -1,0 +1,217 @@
+# 2-bit/vector128/sw-tree (204 instructions)
+  1c008000:  1c0587b7  lui a5, 0x1c058
+  1c008004:  1c0686b7  lui a3, 0x1c068
+  1c008008:  01068713  addi a4, a3, 16
+  1c00800c:  08000893  addi a7, zero, 128
+pixel_loop:
+  1c008010:  248000ef  jal ra, 584
+  1c008014:  1c030537  lui a0, 0x1c030
+  1c008018:  1c0505b7  lui a1, 0x1c050
+  1c00801c:  01000613  addi a2, zero, 16
+ch_loop:
+  1c008020:  2a0000ef  jal ra, 672
+  1c008024:  ffe58f13  addi t5, a1, -2
+  1c008028:  110a52b3  p.clip t0, s4, 16
+  1c00802c:  00100313  addi t1, zero, 1
+  1c008030:  00131393  slli t2, t1, 1
+  1c008034:  127f7e0b  p.lh t3, t2(t5)
+  1c008038:  005e2eb3  slt t4, t3, t0
+  1c00803c:  00630333  add t1, t1, t1
+  1c008040:  01d30333  add t1, t1, t4
+  1c008044:  00131393  slli t2, t1, 1
+  1c008048:  127f7e0b  p.lh t3, t2(t5)
+  1c00804c:  005e2eb3  slt t4, t3, t0
+  1c008050:  00630333  add t1, t1, t1
+  1c008054:  01d30333  add t1, t1, t4
+  1c008058:  ffc30313  addi t1, t1, -4
+  1c00805c:  00030f93  addi t6, t1, 0
+  1c008060:  00658f13  addi t5, a1, 6
+  1c008064:  110b52b3  p.clip t0, s6, 16
+  1c008068:  00100313  addi t1, zero, 1
+  1c00806c:  00131393  slli t2, t1, 1
+  1c008070:  127f7e0b  p.lh t3, t2(t5)
+  1c008074:  005e2eb3  slt t4, t3, t0
+  1c008078:  00630333  add t1, t1, t1
+  1c00807c:  01d30333  add t1, t1, t4
+  1c008080:  00131393  slli t2, t1, 1
+  1c008084:  127f7e0b  p.lh t3, t2(t5)
+  1c008088:  005e2eb3  slt t4, t3, t0
+  1c00808c:  00630333  add t1, t1, t1
+  1c008090:  01d30333  add t1, t1, t4
+  1c008094:  ffc30313  addi t1, t1, -4
+  1c008098:  00231313  slli t1, t1, 2
+  1c00809c:  01f36133  or sp, t1, t6
+  1c0080a0:  ffe58f13  addi t5, a1, -2
+  1c0080a4:  110ad2b3  p.clip t0, s5, 16
+  1c0080a8:  00100313  addi t1, zero, 1
+  1c0080ac:  00131393  slli t2, t1, 1
+  1c0080b0:  127f7e0b  p.lh t3, t2(t5)
+  1c0080b4:  005e2eb3  slt t4, t3, t0
+  1c0080b8:  00630333  add t1, t1, t1
+  1c0080bc:  01d30333  add t1, t1, t4
+  1c0080c0:  00131393  slli t2, t1, 1
+  1c0080c4:  127f7e0b  p.lh t3, t2(t5)
+  1c0080c8:  005e2eb3  slt t4, t3, t0
+  1c0080cc:  00630333  add t1, t1, t1
+  1c0080d0:  01d30333  add t1, t1, t4
+  1c0080d4:  ffc30313  addi t1, t1, -4
+  1c0080d8:  00030f93  addi t6, t1, 0
+  1c0080dc:  00658f13  addi t5, a1, 6
+  1c0080e0:  110bd2b3  p.clip t0, s7, 16
+  1c0080e4:  00100313  addi t1, zero, 1
+  1c0080e8:  00131393  slli t2, t1, 1
+  1c0080ec:  127f7e0b  p.lh t3, t2(t5)
+  1c0080f0:  005e2eb3  slt t4, t3, t0
+  1c0080f4:  00630333  add t1, t1, t1
+  1c0080f8:  01d30333  add t1, t1, t4
+  1c0080fc:  00131393  slli t2, t1, 1
+  1c008100:  127f7e0b  p.lh t3, t2(t5)
+  1c008104:  005e2eb3  slt t4, t3, t0
+  1c008108:  00630333  add t1, t1, t1
+  1c00810c:  01d30333  add t1, t1, t4
+  1c008110:  ffc30313  addi t1, t1, -4
+  1c008114:  00231313  slli t1, t1, 2
+  1c008118:  01f361b3  or gp, t1, t6
+  1c00811c:  01058593  addi a1, a1, 16
+  1c008120:  1a0000ef  jal ra, 416
+  1c008124:  ffe58f13  addi t5, a1, -2
+  1c008128:  110a52b3  p.clip t0, s4, 16
+  1c00812c:  00100313  addi t1, zero, 1
+  1c008130:  00131393  slli t2, t1, 1
+  1c008134:  127f7e0b  p.lh t3, t2(t5)
+  1c008138:  005e2eb3  slt t4, t3, t0
+  1c00813c:  00630333  add t1, t1, t1
+  1c008140:  01d30333  add t1, t1, t4
+  1c008144:  00131393  slli t2, t1, 1
+  1c008148:  127f7e0b  p.lh t3, t2(t5)
+  1c00814c:  005e2eb3  slt t4, t3, t0
+  1c008150:  00630333  add t1, t1, t1
+  1c008154:  01d30333  add t1, t1, t4
+  1c008158:  ffc30313  addi t1, t1, -4
+  1c00815c:  00030f93  addi t6, t1, 0
+  1c008160:  00658f13  addi t5, a1, 6
+  1c008164:  110b52b3  p.clip t0, s6, 16
+  1c008168:  00100313  addi t1, zero, 1
+  1c00816c:  00131393  slli t2, t1, 1
+  1c008170:  127f7e0b  p.lh t3, t2(t5)
+  1c008174:  005e2eb3  slt t4, t3, t0
+  1c008178:  00630333  add t1, t1, t1
+  1c00817c:  01d30333  add t1, t1, t4
+  1c008180:  00131393  slli t2, t1, 1
+  1c008184:  127f7e0b  p.lh t3, t2(t5)
+  1c008188:  005e2eb3  slt t4, t3, t0
+  1c00818c:  00630333  add t1, t1, t1
+  1c008190:  01d30333  add t1, t1, t4
+  1c008194:  ffc30313  addi t1, t1, -4
+  1c008198:  00231313  slli t1, t1, 2
+  1c00819c:  01f36333  or t1, t1, t6
+  1c0081a0:  00431313  slli t1, t1, 4
+  1c0081a4:  00236333  or t1, t1, sp
+  1c0081a8:  006680ab  p.sb t1, 1(a3!)
+  1c0081ac:  ffe58f13  addi t5, a1, -2
+  1c0081b0:  110ad2b3  p.clip t0, s5, 16
+  1c0081b4:  00100313  addi t1, zero, 1
+  1c0081b8:  00131393  slli t2, t1, 1
+  1c0081bc:  127f7e0b  p.lh t3, t2(t5)
+  1c0081c0:  005e2eb3  slt t4, t3, t0
+  1c0081c4:  00630333  add t1, t1, t1
+  1c0081c8:  01d30333  add t1, t1, t4
+  1c0081cc:  00131393  slli t2, t1, 1
+  1c0081d0:  127f7e0b  p.lh t3, t2(t5)
+  1c0081d4:  005e2eb3  slt t4, t3, t0
+  1c0081d8:  00630333  add t1, t1, t1
+  1c0081dc:  01d30333  add t1, t1, t4
+  1c0081e0:  ffc30313  addi t1, t1, -4
+  1c0081e4:  00030f93  addi t6, t1, 0
+  1c0081e8:  00658f13  addi t5, a1, 6
+  1c0081ec:  110bd2b3  p.clip t0, s7, 16
+  1c0081f0:  00100313  addi t1, zero, 1
+  1c0081f4:  00131393  slli t2, t1, 1
+  1c0081f8:  127f7e0b  p.lh t3, t2(t5)
+  1c0081fc:  005e2eb3  slt t4, t3, t0
+  1c008200:  00630333  add t1, t1, t1
+  1c008204:  01d30333  add t1, t1, t4
+  1c008208:  00131393  slli t2, t1, 1
+  1c00820c:  127f7e0b  p.lh t3, t2(t5)
+  1c008210:  005e2eb3  slt t4, t3, t0
+  1c008214:  00630333  add t1, t1, t1
+  1c008218:  01d30333  add t1, t1, t4
+  1c00821c:  ffc30313  addi t1, t1, -4
+  1c008220:  00231313  slli t1, t1, 2
+  1c008224:  01f36333  or t1, t1, t6
+  1c008228:  00431313  slli t1, t1, 4
+  1c00822c:  00336333  or t1, t1, gp
+  1c008230:  006700ab  p.sb t1, 1(a4!)
+  1c008234:  01058593  addi a1, a1, 16
+  1c008238:  fff60613  addi a2, a2, -1
+  1c00823c:  de0612e3  bne a2, zero, -540
+  1c008240:  01068693  addi a3, a3, 16
+  1c008244:  01070713  addi a4, a4, 16
+  1c008248:  fff88893  addi a7, a7, -1
+  1c00824c:  dc0892e3  bne a7, zero, -572
+  1c008250:  00000513  addi a0, zero, 0
+  1c008254:  00000073  ecall
+im2col_pair:
+  1c008258:  1c0602b7  lui t0, 0x1c060
+  1c00825c:  00600f13  addi t5, zero, 6
+ic_desc:
+  1c008260:  0007a303  lw t1, 0(a5)
+  1c008264:  0047d383  lhu t2, 4(a5)
+  1c008268:  0067de03  lhu t3, 6(a5)
+  1c00826c:  00c78793  addi a5, a5, 12
+  1c008270:  0023d393  srli t2, t2, 2
+  1c008274:  00038863  beq t2, zero, 16
+ic_z_pre:
+  1c008278:  0002a22b  p.sw zero, 4(t0!)
+  1c00827c:  fff38393  addi t2, t2, -1
+  1c008280:  fe039ce3  bne t2, zero, -8
+ic_z_done_pre:
+  1c008284:  002e5e13  srli t3, t3, 2
+  1c008288:  000e0a63  beq t3, zero, 20
+ic_copy:
+  1c00828c:  00432f8b  p.lw t6, 4(t1!)
+  1c008290:  01f2a22b  p.sw t6, 4(t0!)
+  1c008294:  fffe0e13  addi t3, t3, -1
+  1c008298:  fe0e1ae3  bne t3, zero, -12
+ic_copy_done:
+  1c00829c:  ffc7de83  lhu t4, -4(a5)
+  1c0082a0:  002ede93  srli t4, t4, 2
+  1c0082a4:  000e8863  beq t4, zero, 16
+ic_z_post:
+  1c0082a8:  0002a22b  p.sw zero, 4(t0!)
+  1c0082ac:  fffe8e93  addi t4, t4, -1
+  1c0082b0:  fe0e9ce3  bne t4, zero, -8
+ic_z_done_post:
+  1c0082b4:  ffff0f13  addi t5, t5, -1
+  1c0082b8:  fa0f14e3  bne t5, zero, -88
+  1c0082bc:  00008067  jalr zero, 0(ra)
+mm_block:
+  1c0082c0:  00050413  addi s0, a0, 0
+  1c0082c4:  04850493  addi s1, a0, 72
+  1c0082c8:  1c060937  lui s2, 0x1c060
+  1c0082cc:  1c0609b7  lui s3, 0x1c060
+  1c0082d0:  04898993  addi s3, s3, 72
+  1c0082d4:  00000a13  addi s4, zero, 0
+  1c0082d8:  00000a93  addi s5, zero, 0
+  1c0082dc:  00000b13  addi s6, zero, 0
+  1c0082e0:  00000b93  addi s7, zero, 0
+  1c0082e4:  12000f93  addi t6, zero, 288
+mm_vloop:
+  1c0082e8:  d00f8f57  vsetvli t5, t6, e2
+  1c0082ec:  00040007  vle.v v0, (s0)
+  1c0082f0:  00048087  vle.v v1, (s1)
+  1c0082f4:  00090107  vle.v v2, (s2)
+  1c0082f8:  00098187  vle.v v3, (s3)
+  1c0082fc:  d8011a57  vdotusp.vv s4, v2, v0
+  1c008300:  d8019ad7  vdotusp.vv s5, v3, v0
+  1c008304:  d8111b57  vdotusp.vv s6, v2, v1
+  1c008308:  d8119bd7  vdotusp.vv s7, v3, v1
+  1c00830c:  002f5e93  srli t4, t5, 2
+  1c008310:  01d40433  add s0, s0, t4
+  1c008314:  01d484b3  add s1, s1, t4
+  1c008318:  01d90933  add s2, s2, t4
+  1c00831c:  01d989b3  add s3, s3, t4
+  1c008320:  41ef8fb3  sub t6, t6, t5
+  1c008324:  fc0f92e3  bne t6, zero, -60
+  1c008328:  00048513  addi a0, s1, 0
+  1c00832c:  00008067  jalr zero, 0(ra)

@@ -1,0 +1,103 @@
+# 4-bit/vector128/pv.qnt (90 instructions)
+  1c008000:  1c0587b7  lui a5, 0x1c058
+  1c008004:  1c0686b7  lui a3, 0x1c068
+  1c008008:  02068713  addi a4, a3, 32
+  1c00800c:  08000893  addi a7, zero, 128
+pixel_loop:
+  1c008010:  080000ef  jal ra, 128
+  1c008014:  1c030537  lui a0, 0x1c030
+  1c008018:  1c0505b7  lui a1, 0x1c050
+  1c00801c:  02000613  addi a2, zero, 32
+ch_loop:
+  1c008020:  0d8000ef  jal ra, 216
+  1c008024:  110a5a33  p.clip s4, s4, 16
+  1c008028:  110b5b33  p.clip s6, s6, 16
+  1c00802c:  00200393  addi t2, zero, 2
+  1c008030:  d6038057  vsetvli zero, t2, e16
+  1c008034:  e80a0057  vslide1down.vx v0, v0, s4
+  1c008038:  e80b0057  vslide1down.vx v0, v0, s6
+  1c00803c:  e40580d7  vqnt.n.v v1, a1, v0
+  1c008040:  f01002d7  vmv.x.s t0, v1
+  1c008044:  005680ab  p.sb t0, 1(a3!)
+  1c008048:  110adab3  p.clip s5, s5, 16
+  1c00804c:  110bdbb3  p.clip s7, s7, 16
+  1c008050:  00200393  addi t2, zero, 2
+  1c008054:  d6038057  vsetvli zero, t2, e16
+  1c008058:  e80a8057  vslide1down.vx v0, v0, s5
+  1c00805c:  e80b8057  vslide1down.vx v0, v0, s7
+  1c008060:  e40580d7  vqnt.n.v v1, a1, v0
+  1c008064:  f0100357  vmv.x.s t1, v1
+  1c008068:  006700ab  p.sb t1, 1(a4!)
+  1c00806c:  04058593  addi a1, a1, 64
+  1c008070:  fff60613  addi a2, a2, -1
+  1c008074:  fa0616e3  bne a2, zero, -84
+  1c008078:  02068693  addi a3, a3, 32
+  1c00807c:  02070713  addi a4, a4, 32
+  1c008080:  fff88893  addi a7, a7, -1
+  1c008084:  f80896e3  bne a7, zero, -116
+  1c008088:  00000513  addi a0, zero, 0
+  1c00808c:  00000073  ecall
+im2col_pair:
+  1c008090:  1c0602b7  lui t0, 0x1c060
+  1c008094:  00600f13  addi t5, zero, 6
+ic_desc:
+  1c008098:  0007a303  lw t1, 0(a5)
+  1c00809c:  0047d383  lhu t2, 4(a5)
+  1c0080a0:  0067de03  lhu t3, 6(a5)
+  1c0080a4:  00c78793  addi a5, a5, 12
+  1c0080a8:  0023d393  srli t2, t2, 2
+  1c0080ac:  00038863  beq t2, zero, 16
+ic_z_pre:
+  1c0080b0:  0002a22b  p.sw zero, 4(t0!)
+  1c0080b4:  fff38393  addi t2, t2, -1
+  1c0080b8:  fe039ce3  bne t2, zero, -8
+ic_z_done_pre:
+  1c0080bc:  002e5e13  srli t3, t3, 2
+  1c0080c0:  000e0a63  beq t3, zero, 20
+ic_copy:
+  1c0080c4:  00432f8b  p.lw t6, 4(t1!)
+  1c0080c8:  01f2a22b  p.sw t6, 4(t0!)
+  1c0080cc:  fffe0e13  addi t3, t3, -1
+  1c0080d0:  fe0e1ae3  bne t3, zero, -12
+ic_copy_done:
+  1c0080d4:  ffc7de83  lhu t4, -4(a5)
+  1c0080d8:  002ede93  srli t4, t4, 2
+  1c0080dc:  000e8863  beq t4, zero, 16
+ic_z_post:
+  1c0080e0:  0002a22b  p.sw zero, 4(t0!)
+  1c0080e4:  fffe8e93  addi t4, t4, -1
+  1c0080e8:  fe0e9ce3  bne t4, zero, -8
+ic_z_done_post:
+  1c0080ec:  ffff0f13  addi t5, t5, -1
+  1c0080f0:  fa0f14e3  bne t5, zero, -88
+  1c0080f4:  00008067  jalr zero, 0(ra)
+mm_block:
+  1c0080f8:  00050413  addi s0, a0, 0
+  1c0080fc:  09050493  addi s1, a0, 144
+  1c008100:  1c060937  lui s2, 0x1c060
+  1c008104:  1c0609b7  lui s3, 0x1c060
+  1c008108:  09098993  addi s3, s3, 144
+  1c00810c:  00000a13  addi s4, zero, 0
+  1c008110:  00000a93  addi s5, zero, 0
+  1c008114:  00000b13  addi s6, zero, 0
+  1c008118:  00000b93  addi s7, zero, 0
+  1c00811c:  12000f93  addi t6, zero, 288
+mm_vloop:
+  1c008120:  d20f8f57  vsetvli t5, t6, e4
+  1c008124:  00040007  vle.v v0, (s0)
+  1c008128:  00048087  vle.v v1, (s1)
+  1c00812c:  00090107  vle.v v2, (s2)
+  1c008130:  00098187  vle.v v3, (s3)
+  1c008134:  d8011a57  vdotusp.vv s4, v2, v0
+  1c008138:  d8019ad7  vdotusp.vv s5, v3, v0
+  1c00813c:  d8111b57  vdotusp.vv s6, v2, v1
+  1c008140:  d8119bd7  vdotusp.vv s7, v3, v1
+  1c008144:  001f5e93  srli t4, t5, 1
+  1c008148:  01d40433  add s0, s0, t4
+  1c00814c:  01d484b3  add s1, s1, t4
+  1c008150:  01d90933  add s2, s2, t4
+  1c008154:  01d989b3  add s3, s3, t4
+  1c008158:  41ef8fb3  sub t6, t6, t5
+  1c00815c:  fc0f92e3  bne t6, zero, -60
+  1c008160:  00048513  addi a0, s1, 0
+  1c008164:  00008067  jalr zero, 0(ra)

@@ -1,0 +1,189 @@
+# 4-bit/vector128/sw-tree (176 instructions)
+  1c008000:  1c0587b7  lui a5, 0x1c058
+  1c008004:  1c0686b7  lui a3, 0x1c068
+  1c008008:  02068713  addi a4, a3, 32
+  1c00800c:  08000893  addi a7, zero, 128
+pixel_loop:
+  1c008010:  1d8000ef  jal ra, 472
+  1c008014:  1c030537  lui a0, 0x1c030
+  1c008018:  1c0505b7  lui a1, 0x1c050
+  1c00801c:  02000613  addi a2, zero, 32
+ch_loop:
+  1c008020:  230000ef  jal ra, 560
+  1c008024:  ffe58f13  addi t5, a1, -2
+  1c008028:  110a52b3  p.clip t0, s4, 16
+  1c00802c:  00100313  addi t1, zero, 1
+  1c008030:  00131393  slli t2, t1, 1
+  1c008034:  127f7e0b  p.lh t3, t2(t5)
+  1c008038:  005e2eb3  slt t4, t3, t0
+  1c00803c:  00630333  add t1, t1, t1
+  1c008040:  01d30333  add t1, t1, t4
+  1c008044:  00131393  slli t2, t1, 1
+  1c008048:  127f7e0b  p.lh t3, t2(t5)
+  1c00804c:  005e2eb3  slt t4, t3, t0
+  1c008050:  00630333  add t1, t1, t1
+  1c008054:  01d30333  add t1, t1, t4
+  1c008058:  00131393  slli t2, t1, 1
+  1c00805c:  127f7e0b  p.lh t3, t2(t5)
+  1c008060:  005e2eb3  slt t4, t3, t0
+  1c008064:  00630333  add t1, t1, t1
+  1c008068:  01d30333  add t1, t1, t4
+  1c00806c:  00131393  slli t2, t1, 1
+  1c008070:  127f7e0b  p.lh t3, t2(t5)
+  1c008074:  005e2eb3  slt t4, t3, t0
+  1c008078:  00630333  add t1, t1, t1
+  1c00807c:  01d30333  add t1, t1, t4
+  1c008080:  ff030313  addi t1, t1, -16
+  1c008084:  00030f93  addi t6, t1, 0
+  1c008088:  01e58f13  addi t5, a1, 30
+  1c00808c:  110b52b3  p.clip t0, s6, 16
+  1c008090:  00100313  addi t1, zero, 1
+  1c008094:  00131393  slli t2, t1, 1
+  1c008098:  127f7e0b  p.lh t3, t2(t5)
+  1c00809c:  005e2eb3  slt t4, t3, t0
+  1c0080a0:  00630333  add t1, t1, t1
+  1c0080a4:  01d30333  add t1, t1, t4
+  1c0080a8:  00131393  slli t2, t1, 1
+  1c0080ac:  127f7e0b  p.lh t3, t2(t5)
+  1c0080b0:  005e2eb3  slt t4, t3, t0
+  1c0080b4:  00630333  add t1, t1, t1
+  1c0080b8:  01d30333  add t1, t1, t4
+  1c0080bc:  00131393  slli t2, t1, 1
+  1c0080c0:  127f7e0b  p.lh t3, t2(t5)
+  1c0080c4:  005e2eb3  slt t4, t3, t0
+  1c0080c8:  00630333  add t1, t1, t1
+  1c0080cc:  01d30333  add t1, t1, t4
+  1c0080d0:  00131393  slli t2, t1, 1
+  1c0080d4:  127f7e0b  p.lh t3, t2(t5)
+  1c0080d8:  005e2eb3  slt t4, t3, t0
+  1c0080dc:  00630333  add t1, t1, t1
+  1c0080e0:  01d30333  add t1, t1, t4
+  1c0080e4:  ff030313  addi t1, t1, -16
+  1c0080e8:  00431313  slli t1, t1, 4
+  1c0080ec:  01f36333  or t1, t1, t6
+  1c0080f0:  006680ab  p.sb t1, 1(a3!)
+  1c0080f4:  ffe58f13  addi t5, a1, -2
+  1c0080f8:  110ad2b3  p.clip t0, s5, 16
+  1c0080fc:  00100313  addi t1, zero, 1
+  1c008100:  00131393  slli t2, t1, 1
+  1c008104:  127f7e0b  p.lh t3, t2(t5)
+  1c008108:  005e2eb3  slt t4, t3, t0
+  1c00810c:  00630333  add t1, t1, t1
+  1c008110:  01d30333  add t1, t1, t4
+  1c008114:  00131393  slli t2, t1, 1
+  1c008118:  127f7e0b  p.lh t3, t2(t5)
+  1c00811c:  005e2eb3  slt t4, t3, t0
+  1c008120:  00630333  add t1, t1, t1
+  1c008124:  01d30333  add t1, t1, t4
+  1c008128:  00131393  slli t2, t1, 1
+  1c00812c:  127f7e0b  p.lh t3, t2(t5)
+  1c008130:  005e2eb3  slt t4, t3, t0
+  1c008134:  00630333  add t1, t1, t1
+  1c008138:  01d30333  add t1, t1, t4
+  1c00813c:  00131393  slli t2, t1, 1
+  1c008140:  127f7e0b  p.lh t3, t2(t5)
+  1c008144:  005e2eb3  slt t4, t3, t0
+  1c008148:  00630333  add t1, t1, t1
+  1c00814c:  01d30333  add t1, t1, t4
+  1c008150:  ff030313  addi t1, t1, -16
+  1c008154:  00030f93  addi t6, t1, 0
+  1c008158:  01e58f13  addi t5, a1, 30
+  1c00815c:  110bd2b3  p.clip t0, s7, 16
+  1c008160:  00100313  addi t1, zero, 1
+  1c008164:  00131393  slli t2, t1, 1
+  1c008168:  127f7e0b  p.lh t3, t2(t5)
+  1c00816c:  005e2eb3  slt t4, t3, t0
+  1c008170:  00630333  add t1, t1, t1
+  1c008174:  01d30333  add t1, t1, t4
+  1c008178:  00131393  slli t2, t1, 1
+  1c00817c:  127f7e0b  p.lh t3, t2(t5)
+  1c008180:  005e2eb3  slt t4, t3, t0
+  1c008184:  00630333  add t1, t1, t1
+  1c008188:  01d30333  add t1, t1, t4
+  1c00818c:  00131393  slli t2, t1, 1
+  1c008190:  127f7e0b  p.lh t3, t2(t5)
+  1c008194:  005e2eb3  slt t4, t3, t0
+  1c008198:  00630333  add t1, t1, t1
+  1c00819c:  01d30333  add t1, t1, t4
+  1c0081a0:  00131393  slli t2, t1, 1
+  1c0081a4:  127f7e0b  p.lh t3, t2(t5)
+  1c0081a8:  005e2eb3  slt t4, t3, t0
+  1c0081ac:  00630333  add t1, t1, t1
+  1c0081b0:  01d30333  add t1, t1, t4
+  1c0081b4:  ff030313  addi t1, t1, -16
+  1c0081b8:  00431313  slli t1, t1, 4
+  1c0081bc:  01f36333  or t1, t1, t6
+  1c0081c0:  006700ab  p.sb t1, 1(a4!)
+  1c0081c4:  04058593  addi a1, a1, 64
+  1c0081c8:  fff60613  addi a2, a2, -1
+  1c0081cc:  e4061ae3  bne a2, zero, -428
+  1c0081d0:  02068693  addi a3, a3, 32
+  1c0081d4:  02070713  addi a4, a4, 32
+  1c0081d8:  fff88893  addi a7, a7, -1
+  1c0081dc:  e2089ae3  bne a7, zero, -460
+  1c0081e0:  00000513  addi a0, zero, 0
+  1c0081e4:  00000073  ecall
+im2col_pair:
+  1c0081e8:  1c0602b7  lui t0, 0x1c060
+  1c0081ec:  00600f13  addi t5, zero, 6
+ic_desc:
+  1c0081f0:  0007a303  lw t1, 0(a5)
+  1c0081f4:  0047d383  lhu t2, 4(a5)
+  1c0081f8:  0067de03  lhu t3, 6(a5)
+  1c0081fc:  00c78793  addi a5, a5, 12
+  1c008200:  0023d393  srli t2, t2, 2
+  1c008204:  00038863  beq t2, zero, 16
+ic_z_pre:
+  1c008208:  0002a22b  p.sw zero, 4(t0!)
+  1c00820c:  fff38393  addi t2, t2, -1
+  1c008210:  fe039ce3  bne t2, zero, -8
+ic_z_done_pre:
+  1c008214:  002e5e13  srli t3, t3, 2
+  1c008218:  000e0a63  beq t3, zero, 20
+ic_copy:
+  1c00821c:  00432f8b  p.lw t6, 4(t1!)
+  1c008220:  01f2a22b  p.sw t6, 4(t0!)
+  1c008224:  fffe0e13  addi t3, t3, -1
+  1c008228:  fe0e1ae3  bne t3, zero, -12
+ic_copy_done:
+  1c00822c:  ffc7de83  lhu t4, -4(a5)
+  1c008230:  002ede93  srli t4, t4, 2
+  1c008234:  000e8863  beq t4, zero, 16
+ic_z_post:
+  1c008238:  0002a22b  p.sw zero, 4(t0!)
+  1c00823c:  fffe8e93  addi t4, t4, -1
+  1c008240:  fe0e9ce3  bne t4, zero, -8
+ic_z_done_post:
+  1c008244:  ffff0f13  addi t5, t5, -1
+  1c008248:  fa0f14e3  bne t5, zero, -88
+  1c00824c:  00008067  jalr zero, 0(ra)
+mm_block:
+  1c008250:  00050413  addi s0, a0, 0
+  1c008254:  09050493  addi s1, a0, 144
+  1c008258:  1c060937  lui s2, 0x1c060
+  1c00825c:  1c0609b7  lui s3, 0x1c060
+  1c008260:  09098993  addi s3, s3, 144
+  1c008264:  00000a13  addi s4, zero, 0
+  1c008268:  00000a93  addi s5, zero, 0
+  1c00826c:  00000b13  addi s6, zero, 0
+  1c008270:  00000b93  addi s7, zero, 0
+  1c008274:  12000f93  addi t6, zero, 288
+mm_vloop:
+  1c008278:  d20f8f57  vsetvli t5, t6, e4
+  1c00827c:  00040007  vle.v v0, (s0)
+  1c008280:  00048087  vle.v v1, (s1)
+  1c008284:  00090107  vle.v v2, (s2)
+  1c008288:  00098187  vle.v v3, (s3)
+  1c00828c:  d8011a57  vdotusp.vv s4, v2, v0
+  1c008290:  d8019ad7  vdotusp.vv s5, v3, v0
+  1c008294:  d8111b57  vdotusp.vv s6, v2, v1
+  1c008298:  d8119bd7  vdotusp.vv s7, v3, v1
+  1c00829c:  001f5e93  srli t4, t5, 1
+  1c0082a0:  01d40433  add s0, s0, t4
+  1c0082a4:  01d484b3  add s1, s1, t4
+  1c0082a8:  01d90933  add s2, s2, t4
+  1c0082ac:  01d989b3  add s3, s3, t4
+  1c0082b0:  41ef8fb3  sub t6, t6, t5
+  1c0082b4:  fc0f92e3  bne t6, zero, -60
+  1c0082b8:  00048513  addi a0, s1, 0
+  1c0082bc:  00008067  jalr zero, 0(ra)

@@ -1,0 +1,95 @@
+# 8-bit/vector128/shift8(8) (82 instructions)
+  1c008000:  1c0587b7  lui a5, 0x1c058
+  1c008004:  1c0686b7  lui a3, 0x1c068
+  1c008008:  04068713  addi a4, a3, 64
+  1c00800c:  08000893  addi a7, zero, 128
+pixel_loop:
+  1c008010:  060000ef  jal ra, 96
+  1c008014:  1c030537  lui a0, 0x1c030
+  1c008018:  02000613  addi a2, zero, 32
+ch_loop:
+  1c00801c:  0bc000ef  jal ra, 188
+  1c008020:  408a5293  srai t0, s4, 8
+  1c008024:  1092e2b3  p.clipu t0, t0, 9
+  1c008028:  005680ab  p.sb t0, 1(a3!)
+  1c00802c:  408b5293  srai t0, s6, 8
+  1c008030:  1092e2b3  p.clipu t0, t0, 9
+  1c008034:  005680ab  p.sb t0, 1(a3!)
+  1c008038:  408ad293  srai t0, s5, 8
+  1c00803c:  1092e2b3  p.clipu t0, t0, 9
+  1c008040:  005700ab  p.sb t0, 1(a4!)
+  1c008044:  408bd293  srai t0, s7, 8
+  1c008048:  1092e2b3  p.clipu t0, t0, 9
+  1c00804c:  005700ab  p.sb t0, 1(a4!)
+  1c008050:  fff60613  addi a2, a2, -1
+  1c008054:  fc0614e3  bne a2, zero, -56
+  1c008058:  04068693  addi a3, a3, 64
+  1c00805c:  04070713  addi a4, a4, 64
+  1c008060:  fff88893  addi a7, a7, -1
+  1c008064:  fa0896e3  bne a7, zero, -84
+  1c008068:  00000513  addi a0, zero, 0
+  1c00806c:  00000073  ecall
+im2col_pair:
+  1c008070:  1c0602b7  lui t0, 0x1c060
+  1c008074:  00600f13  addi t5, zero, 6
+ic_desc:
+  1c008078:  0007a303  lw t1, 0(a5)
+  1c00807c:  0047d383  lhu t2, 4(a5)
+  1c008080:  0067de03  lhu t3, 6(a5)
+  1c008084:  00c78793  addi a5, a5, 12
+  1c008088:  0023d393  srli t2, t2, 2
+  1c00808c:  00038863  beq t2, zero, 16
+ic_z_pre:
+  1c008090:  0002a22b  p.sw zero, 4(t0!)
+  1c008094:  fff38393  addi t2, t2, -1
+  1c008098:  fe039ce3  bne t2, zero, -8
+ic_z_done_pre:
+  1c00809c:  002e5e13  srli t3, t3, 2
+  1c0080a0:  000e0a63  beq t3, zero, 20
+ic_copy:
+  1c0080a4:  00432f8b  p.lw t6, 4(t1!)
+  1c0080a8:  01f2a22b  p.sw t6, 4(t0!)
+  1c0080ac:  fffe0e13  addi t3, t3, -1
+  1c0080b0:  fe0e1ae3  bne t3, zero, -12
+ic_copy_done:
+  1c0080b4:  ffc7de83  lhu t4, -4(a5)
+  1c0080b8:  002ede93  srli t4, t4, 2
+  1c0080bc:  000e8863  beq t4, zero, 16
+ic_z_post:
+  1c0080c0:  0002a22b  p.sw zero, 4(t0!)
+  1c0080c4:  fffe8e93  addi t4, t4, -1
+  1c0080c8:  fe0e9ce3  bne t4, zero, -8
+ic_z_done_post:
+  1c0080cc:  ffff0f13  addi t5, t5, -1
+  1c0080d0:  fa0f14e3  bne t5, zero, -88
+  1c0080d4:  00008067  jalr zero, 0(ra)
+mm_block:
+  1c0080d8:  00050413  addi s0, a0, 0
+  1c0080dc:  12050493  addi s1, a0, 288
+  1c0080e0:  1c060937  lui s2, 0x1c060
+  1c0080e4:  1c0609b7  lui s3, 0x1c060
+  1c0080e8:  12098993  addi s3, s3, 288
+  1c0080ec:  00000a13  addi s4, zero, 0
+  1c0080f0:  00000a93  addi s5, zero, 0
+  1c0080f4:  00000b13  addi s6, zero, 0
+  1c0080f8:  00000b93  addi s7, zero, 0
+  1c0080fc:  12000f93  addi t6, zero, 288
+mm_vloop:
+  1c008100:  d40f8f57  vsetvli t5, t6, e8
+  1c008104:  00040007  vle.v v0, (s0)
+  1c008108:  00048087  vle.v v1, (s1)
+  1c00810c:  00090107  vle.v v2, (s2)
+  1c008110:  00098187  vle.v v3, (s3)
+  1c008114:  d8011a57  vdotusp.vv s4, v2, v0
+  1c008118:  d8019ad7  vdotusp.vv s5, v3, v0
+  1c00811c:  d8111b57  vdotusp.vv s6, v2, v1
+  1c008120:  d8119bd7  vdotusp.vv s7, v3, v1
+  1c008124:  000f5e93  srli t4, t5, 0
+  1c008128:  01d40433  add s0, s0, t4
+  1c00812c:  01d484b3  add s1, s1, t4
+  1c008130:  01d90933  add s2, s2, t4
+  1c008134:  01d989b3  add s3, s3, t4
+  1c008138:  41ef8fb3  sub t6, t6, t5
+  1c00813c:  fc0f92e3  bne t6, zero, -60
+  1c008140:  00048513  addi a0, s1, 0
+  1c008144:  00008067  jalr zero, 0(ra)

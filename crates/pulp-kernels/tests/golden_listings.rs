@@ -40,7 +40,11 @@ fn slug(cfg: &ConvKernelConfig) -> String {
 fn paper_variants() -> BTreeMap<String, ConvKernelConfig> {
     let mut variants = BTreeMap::new();
     for bits in [BitWidth::W8, BitWidth::W4, BitWidth::W2] {
-        for isa in [KernelIsa::XpulpV2, KernelIsa::XpulpNN] {
+        for isa in [
+            KernelIsa::XpulpV2,
+            KernelIsa::XpulpNN,
+            KernelIsa::vector(128),
+        ] {
             for hw in [false, true] {
                 let cfg = ConvKernelConfig::paper(bits, isa, hw);
                 variants.entry(slug(&cfg)).or_insert(cfg);

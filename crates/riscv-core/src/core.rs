@@ -11,6 +11,7 @@ use pulp_isa::decode::decode;
 use pulp_isa::instr::{Instr, LoadKind, SimdOperand};
 use pulp_isa::simd::{self, SimdFmt};
 use pulp_isa::{csr, Reg};
+use rvv_vec::{VecError, VecMem, VecMemFault, VecUnit};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -27,6 +28,9 @@ pub struct IsaConfig {
     pub xpulpv2: bool,
     /// XpulpNN: 4/2-bit SIMD and `pv.qnt`.
     pub xpulpnn: bool,
+    /// Xrvv: the RVV-style sub-byte vector unit (the comparison
+    /// backend, see the `rvv-vec` crate and DESIGN.md §15).
+    pub rvv: bool,
 }
 
 impl IsaConfig {
@@ -35,6 +39,7 @@ impl IsaConfig {
         IsaConfig {
             xpulpv2: false,
             xpulpnn: false,
+            rvv: false,
         }
     }
 
@@ -43,6 +48,7 @@ impl IsaConfig {
         IsaConfig {
             xpulpv2: true,
             xpulpnn: false,
+            rvv: false,
         }
     }
 
@@ -51,15 +57,31 @@ impl IsaConfig {
         IsaConfig {
             xpulpv2: true,
             xpulpnn: true,
+            rvv: false,
+        }
+    }
+
+    /// The vector comparison backend: RV32IM + XpulpV2 + the Xrvv
+    /// vector unit (no XpulpNN packed SIMD — the two sub-byte
+    /// datapaths are alternatives, which is the point of the
+    /// comparison).
+    pub const fn vector() -> IsaConfig {
+        IsaConfig {
+            xpulpv2: true,
+            xpulpnn: false,
+            rvv: true,
         }
     }
 
     /// Human-readable ISA string.
     pub fn name(&self) -> &'static str {
-        match (self.xpulpv2, self.xpulpnn) {
-            (false, _) => "rv32im",
-            (true, false) => "rv32im+xpulpv2",
-            (true, true) => "rv32im+xpulpv2+xpulpnn",
+        match (self.xpulpv2, self.xpulpnn, self.rvv) {
+            (false, _, false) => "rv32im",
+            (false, _, true) => "rv32im+xrvv",
+            (true, false, false) => "rv32im+xpulpv2",
+            (true, true, false) => "rv32im+xpulpv2+xpulpnn",
+            (true, false, true) => "rv32im+xpulpv2+xrvv",
+            (true, true, true) => "rv32im+xpulpv2+xpulpnn+xrvv",
         }
     }
 }
@@ -85,7 +107,7 @@ pub enum Trap {
     ExtensionFault {
         /// PC of the faulting instruction.
         pc: u32,
-        /// `"xpulpv2"` or `"xpulpnn"`.
+        /// `"xpulpv2"`, `"xpulpnn"` or `"xrvv"`.
         required: &'static str,
     },
     /// A data access or fetch left mapped memory.
@@ -188,6 +210,9 @@ pub struct Snapshot {
     hwloops: [HwLoop; 2],
     csrs: BTreeMap<u16, u32>,
     hartid: u32,
+    // Vector-unit state (registers, vl, SEW) when the core has one;
+    // tail-zero semantics make the whole register file well-defined.
+    vec: Option<Box<VecUnit>>,
 }
 
 impl Snapshot {
@@ -227,6 +252,9 @@ impl Snapshot {
         }
         fold(self.perf.cycles);
         fold(self.perf.instret);
+        if let Some(vec) = &self.vec {
+            vec.fold_fnv(h);
+        }
     }
 }
 
@@ -244,6 +272,11 @@ pub struct Core {
     hwloops: [HwLoop; 2],
     csrs: BTreeMap<u16, u32>,
     hartid: u32,
+    // The Xrvv vector unit; created at construction when the ISA has
+    // `rvv`, or lazily on first vector-instruction retire if `isa` is
+    // flipped afterwards. Boxed: 1 KiB of vector registers should not
+    // burden every scalar-only core clone.
+    vec: Option<Box<VecUnit>>,
     // Boxed so the untraced hot path carries one pointer, not the ring.
     tracer: Option<Box<ExecTracer>>,
     // Decoded-block cache; `None` means pure interpretation. Boxed for
@@ -269,9 +302,31 @@ impl Core {
             hwloops: [HwLoop::default(); 2],
             csrs: BTreeMap::new(),
             hartid,
+            vec: if isa.rvv {
+                Some(Box::new(VecUnit::new(rvv_vec::DEFAULT_VLEN_BITS)))
+            } else {
+                None
+            },
             tracer: None,
             fastpath: None,
         }
+    }
+
+    /// (Re)configures the vector unit's `VLEN`, zeroing its state. The
+    /// unit exists afterwards even if `isa.rvv` is false (execution
+    /// still traps until the extension is enabled).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `vlen_bits` is a power of two in `32..=256`
+    /// ([`VecUnit::new`]).
+    pub fn set_vlen(&mut self, vlen_bits: u32) {
+        self.vec = Some(Box::new(VecUnit::new(vlen_bits)));
+    }
+
+    /// The vector unit, if this core has one.
+    pub fn vector_unit(&self) -> Option<&VecUnit> {
+        self.vec.as_deref()
     }
 
     /// Enables the decoded-block fast path: basic blocks are decoded
@@ -372,6 +427,7 @@ impl Core {
             hwloops: self.hwloops,
             csrs: self.csrs.clone(),
             hartid: self.hartid,
+            vec: self.vec.clone(),
         }
     }
 
@@ -386,6 +442,7 @@ impl Core {
         self.hwloops = snap.hwloops;
         self.csrs = snap.csrs.clone();
         self.hartid = snap.hartid;
+        self.vec = snap.vec.clone();
         // The checkpoint may predate stores into already-fetched code
         // (and the restorer may roll the memory image back behind our
         // back), so every cached decoded block is suspect: drop them.
@@ -400,6 +457,9 @@ impl Core {
         self.perf = PerfCounters::new();
         self.hwloops = [HwLoop::default(); 2];
         self.csrs.clear();
+        if let Some(vec) = &mut self.vec {
+            **vec = VecUnit::new(vec.vlen_bits());
+        }
         if let Some(t) = &mut self.tracer {
             **t = ExecTracer::new(t.capacity());
         }
@@ -474,6 +534,12 @@ impl Core {
     }
 
     fn check_extension(&self, instr: &Instr) -> Result<(), Trap> {
+        if instr.requires_rvv() && !self.isa.rvv {
+            return Err(Trap::ExtensionFault {
+                pc: self.pc,
+                required: "xrvv",
+            });
+        }
         if instr.requires_xpulpnn() && !self.isa.xpulpnn {
             return Err(Trap::ExtensionFault {
                 pc: self.pc,
@@ -611,6 +677,18 @@ impl Core {
             } => Some((self.reg(rs1).wrapping_add(offset as u32), kind.size())),
             Instr::StorePostInc { kind, rs1, .. } => Some((self.reg(rs1), kind.size())),
             Instr::StorePostIncReg { kind, rs1, .. } => Some((self.reg(rs1), kind.size())),
+            // Vector stores report a conservative superset of the bytes
+            // touched (SMC flushing must never under-approximate): the
+            // whole register span for unit stride, everything for
+            // strided (arbitrary stride, rare op).
+            Instr::VStore { rs1, .. } => {
+                let span = self
+                    .vec
+                    .as_ref()
+                    .map_or(rvv_vec::MAX_VLEN_BYTES as u32, |v| v.vlen_bits() / 8);
+                Some((self.reg(rs1), span))
+            }
+            Instr::VStoreStrided { .. } => Some((0, u32::MAX)),
             _ => None,
         }
     }
@@ -1230,6 +1308,113 @@ impl Core {
                 self.perf.loads += r.fetches as u64;
                 self.perf.stall_cycles += cycles - 1;
             }
+            Instr::VSetvli { rd, rs1, sew } => {
+                // `rs1 = x0` requests VLMAX (the strip-mined-loop
+                // prologue); otherwise vl = min(avl, VLMAX).
+                let avl = if rs1 == Reg::Zero {
+                    None
+                } else {
+                    Some(self.reg(rs1))
+                };
+                let vl = vec_unit(&mut self.vec).vsetvli(avl, sew);
+                self.set_reg(rd, vl);
+                class = CycleClass::VecCfg;
+            }
+            Instr::VLoad { vd, rs1 } => {
+                let base = self.reg(rs1);
+                let r = vec_unit(&mut self.vec).load_unit(&mut VecBus(bus), vd.index(), base);
+                let cost = r.map_err(|e| vec_trap(pc, &instr, e))?;
+                cycles = cost.cycles;
+                class = CycleClass::VecLoad;
+                qnt_stall = cost.stall_cycles;
+                self.perf.vec_loads += 1;
+                self.perf.stall_cycles += cycles - 1;
+            }
+            Instr::VStore { vs, rs1 } => {
+                let base = self.reg(rs1);
+                let r = vec_unit(&mut self.vec).store_unit(&mut VecBus(bus), vs.index(), base);
+                let cost = r.map_err(|e| vec_trap(pc, &instr, e))?;
+                cycles = cost.cycles;
+                class = CycleClass::VecStore;
+                qnt_stall = cost.stall_cycles;
+                self.perf.vec_stores += 1;
+                self.perf.stall_cycles += cycles - 1;
+            }
+            Instr::VLoadStrided { vd, rs1, rs2 } => {
+                let base = self.reg(rs1);
+                let stride = self.reg(rs2);
+                let r = vec_unit(&mut self.vec).load_strided(
+                    &mut VecBus(bus),
+                    vd.index(),
+                    base,
+                    stride,
+                );
+                let cost = r.map_err(|e| vec_trap(pc, &instr, e))?;
+                cycles = cost.cycles;
+                class = CycleClass::VecLoad;
+                qnt_stall = cost.stall_cycles;
+                self.perf.vec_loads += 1;
+                self.perf.stall_cycles += cycles - 1;
+            }
+            Instr::VStoreStrided { vs, rs1, rs2 } => {
+                let base = self.reg(rs1);
+                let stride = self.reg(rs2);
+                let r = vec_unit(&mut self.vec).store_strided(
+                    &mut VecBus(bus),
+                    vs.index(),
+                    base,
+                    stride,
+                );
+                let cost = r.map_err(|e| vec_trap(pc, &instr, e))?;
+                cycles = cost.cycles;
+                class = CycleClass::VecStore;
+                qnt_stall = cost.stall_cycles;
+                self.perf.vec_stores += 1;
+                self.perf.stall_cycles += cycles - 1;
+            }
+            Instr::VDot { sign, rd, vs1, vs2 } => {
+                let (sum, cost, vl) = {
+                    let vec = vec_unit(&mut self.vec);
+                    let (s, c) = vec.dot(sign, vs1.index(), vs2.index());
+                    (s, c, vec.vl())
+                };
+                // Accumulating reduction into the scalar register,
+                // wrapping mod 2^32 exactly like `pv.sdot*`.
+                let v = self.reg(rd).wrapping_add(sum);
+                self.set_reg(rd, v);
+                cycles = cost.cycles;
+                class = CycleClass::VecDot;
+                self.perf.vec_dots += 1;
+                self.perf.vec_macs += u64::from(vl);
+                self.perf.stall_cycles += cycles - 1;
+            }
+            Instr::VQnt { fmt, vd, rs1, vs2 } => {
+                let trees = self.reg(rs1);
+                let r = vec_unit(&mut self.vec).qnt(
+                    &mut VecBus(bus),
+                    fmt,
+                    vd.index(),
+                    trees,
+                    vs2.index(),
+                );
+                let cost = r.map_err(|e| vec_trap(pc, &instr, e))?;
+                cycles = cost.cycles;
+                class = CycleClass::VecQnt;
+                qnt_stall = cost.stall_cycles;
+                self.perf.vec_qnt += 1;
+                self.perf.loads += u64::from(cost.fetches);
+                self.perf.stall_cycles += cycles - 1;
+            }
+            Instr::VSlide1 { vd, vs2, rs1 } => {
+                let x = self.reg(rs1);
+                vec_unit(&mut self.vec).slide1down(vd.index(), vs2.index(), x);
+                class = CycleClass::VecAlu;
+            }
+            Instr::VMvXS { rd, vs2 } => {
+                let (v, _) = vec_unit(&mut self.vec).mv_x_s(vs2.index());
+                self.set_reg(rd, v);
+                class = CycleClass::VecAlu;
+            }
         }
 
         if !explicit_jump {
@@ -1795,6 +1980,60 @@ impl Core {
 impl Default for Core {
     fn default() -> Self {
         Core::new(IsaConfig::default())
+    }
+}
+
+/// Adapts the core's [`Bus`] to the vector unit's [`VecMem`] interface
+/// (identical address/endianness semantics; faults converted
+/// field-for-field so the trap carries the exact failing beat).
+struct VecBus<'a, B: Bus>(&'a mut B);
+
+impl<B: Bus> VecMem for VecBus<'_, B> {
+    fn read(&mut self, addr: u32, size: u32) -> Result<u32, VecMemFault> {
+        self.0.read(addr, size).map_err(|e| VecMemFault {
+            addr: e.addr,
+            size: e.size,
+            write: e.write,
+        })
+    }
+
+    fn write(&mut self, addr: u32, size: u32, value: u32) -> Result<(), VecMemFault> {
+        self.0.write(addr, size, value).map_err(|e| VecMemFault {
+            addr: e.addr,
+            size: e.size,
+            write: e.write,
+        })
+    }
+}
+
+/// The core's vector unit, created on demand with the default `VLEN`
+/// so a core whose `isa.rvv` was flipped on after construction still
+/// executes (the extension check has already passed by the time an
+/// exec arm calls this).
+#[inline]
+fn vec_unit(slot: &mut Option<Box<VecUnit>>) -> &mut VecUnit {
+    slot.get_or_insert_with(|| Box::new(VecUnit::new(rvv_vec::DEFAULT_VLEN_BITS)))
+}
+
+/// Maps a vector-operation failure to its architectural trap: memory
+/// faults surface as bus traps with the failing beat's address;
+/// configuration-illegal operations (strided access at a sub-byte SEW,
+/// `vqnt` away from e16) trap as illegal instructions, like RVV's
+/// reserved-encoding rule for unsupported `vtype` combinations.
+fn vec_trap(pc: u32, instr: &Instr, e: VecError) -> Trap {
+    match e {
+        VecError::Mem(f) => Trap::Bus {
+            pc,
+            error: BusError {
+                addr: f.addr,
+                size: f.size,
+                write: f.write,
+            },
+        },
+        VecError::IllegalStride(_) | VecError::QntSew(_) => Trap::IllegalInstruction {
+            pc,
+            word: pulp_isa::encode::encode(instr),
+        },
     }
 }
 
@@ -2523,5 +2762,240 @@ mod tests {
         assert!(core.run(&mut mem, 1000).unwrap().halted);
         let t = core.tracer().expect("still attached");
         assert_eq!(t.retired(), core.perf.instret);
+    }
+
+    use pulp_isa::vec::{VReg, VecSew};
+
+    /// A 16-byte dot product through the vector unit: load two vectors,
+    /// `vdotup.vv`, check value, counters and the ledger invariant.
+    #[test]
+    fn vector_load_dot_store_round_trip() {
+        let (core, mem) = run_asm_isa(IsaConfig::vector(), |a| {
+            a.li(Reg::A1, 0x2000);
+            a.li(Reg::A2, 0x2100);
+            // Stage 16 bytes of 1,2,...,16 at 0x2000 and all-ones at 0x2100.
+            for i in 0..16u32 {
+                a.li(Reg::T0, (i + 1) as i32);
+                a.i(Instr::Store {
+                    kind: pulp_isa::StoreKind::Byte,
+                    rs1: Reg::A1,
+                    rs2: Reg::T0,
+                    offset: i as i32,
+                });
+                a.li(Reg::T0, 1);
+                a.i(Instr::Store {
+                    kind: pulp_isa::StoreKind::Byte,
+                    rs1: Reg::A2,
+                    rs2: Reg::T0,
+                    offset: i as i32,
+                });
+            }
+            a.i(Instr::VSetvli {
+                rd: Reg::T1,
+                rs1: Reg::Zero,
+                sew: VecSew::E8,
+            });
+            a.i(Instr::VLoad {
+                vd: VReg::V0,
+                rs1: Reg::A1,
+            });
+            a.i(Instr::VLoad {
+                vd: VReg::new(1).unwrap(),
+                rs1: Reg::A2,
+            });
+            a.i(Instr::VDot {
+                sign: DotSign::UnsignedUnsigned,
+                rd: Reg::A0,
+                vs1: VReg::V0,
+                vs2: VReg::new(1).unwrap(),
+            });
+            a.i(Instr::VStore {
+                vs: VReg::V0,
+                rs1: Reg::A2,
+            });
+            a.ecall();
+        });
+        assert_eq!(core.reg(Reg::T1), 16, "VLMAX at VLEN=128 e8");
+        assert_eq!(core.reg(Reg::A0), (1..=16).sum::<u32>());
+        assert_eq!(core.perf.vec_loads, 2);
+        assert_eq!(core.perf.vec_stores, 1);
+        assert_eq!(core.perf.vec_dots, 1);
+        assert_eq!(core.perf.vec_macs, 16);
+        assert_eq!(core.perf.total_macs(), 16);
+        assert_eq!(&mem.as_bytes()[0x2100..0x2104], &[1, 2, 3, 4]);
+        // Timing: vsetvli 1; each 16-byte unit-stride access 1 + 2 beats;
+        // dot 1 + ceil(128/128).
+        assert_eq!(core.perf.ledger.get(CycleClass::VecCfg), 1);
+        assert_eq!(core.perf.ledger.get(CycleClass::VecLoad), 6);
+        assert_eq!(core.perf.ledger.get(CycleClass::VecStore), 3);
+        assert_eq!(core.perf.ledger.get(CycleClass::VecDot), 2);
+        assert_eq!(core.perf.cycles, core.perf.ledger.total());
+    }
+
+    #[test]
+    fn vector_traps_without_the_extension() {
+        let mut a = Asm::new(0);
+        a.i(Instr::VSetvli {
+            rd: Reg::T0,
+            rs1: Reg::Zero,
+            sew: VecSew::E4,
+        });
+        a.ecall();
+        let prog = a.assemble().unwrap();
+        let mut mem = SliceMem::new(0, 4096);
+        mem.load_program(&prog);
+        for isa in [
+            IsaConfig::rv32im(),
+            IsaConfig::xpulpv2(),
+            IsaConfig::xpulpnn(),
+        ] {
+            let mut core = Core::new(isa);
+            core.pc = prog.base;
+            assert_eq!(
+                core.run(&mut mem, 100).unwrap_err(),
+                Trap::ExtensionFault {
+                    pc: 0,
+                    required: "xrvv"
+                },
+                "{}",
+                isa.name()
+            );
+        }
+        let mut core = Core::new(IsaConfig::vector());
+        core.pc = prog.base;
+        assert!(core.run(&mut mem, 100).unwrap().halted);
+        assert_eq!(core.reg(Reg::T0), 32);
+    }
+
+    #[test]
+    fn strided_access_at_sub_byte_sew_is_illegal() {
+        let mut a = Asm::new(0);
+        a.li(Reg::A1, 0x1000);
+        a.li(Reg::A2, 4);
+        a.i(Instr::VSetvli {
+            rd: Reg::T0,
+            rs1: Reg::Zero,
+            sew: VecSew::E4,
+        });
+        a.i(Instr::VLoadStrided {
+            vd: VReg::V0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        });
+        a.ecall();
+        let prog = a.assemble().unwrap();
+        let mut mem = SliceMem::new(0, 1 << 16);
+        mem.load_program(&prog);
+        let mut core = Core::new(IsaConfig::vector());
+        core.pc = prog.base;
+        let e = core.run(&mut mem, 100).unwrap_err();
+        assert!(matches!(e, Trap::IllegalInstruction { .. }), "got {e:?}");
+    }
+
+    #[test]
+    fn vector_state_snapshots_and_restores() {
+        let (mut core, _mem) = run_asm_isa(IsaConfig::vector(), |a| {
+            a.li(Reg::A1, 0x3000);
+            a.li(Reg::T0, 0x7f);
+            a.sw(Reg::T0, 0, Reg::A1);
+            a.i(Instr::VSetvli {
+                rd: Reg::T1,
+                rs1: Reg::Zero,
+                sew: VecSew::E8,
+            });
+            a.i(Instr::VLoad {
+                vd: VReg::V0,
+                rs1: Reg::A1,
+            });
+            a.ecall();
+        });
+        let snap = core.snapshot();
+        let vec_before = core.vector_unit().expect("unit").clone();
+        assert_eq!(vec_before.vl(), 16);
+        let mut h1 = 0xcbf2_9ce4_8422_2325u64;
+        snap.fold_fnv(&mut h1);
+
+        // Mutate vector state: reconfiguring VLEN zeroes the unit.
+        core.set_vlen(64);
+        assert_ne!(*core.vector_unit().expect("unit"), vec_before);
+
+        core.restore(&snap);
+        assert_eq!(*core.vector_unit().expect("unit"), vec_before);
+        let mut h2 = 0xcbf2_9ce4_8422_2325u64;
+        core.snapshot().fold_fnv(&mut h2);
+        assert_eq!(h1, h2, "snapshot hash covers vector state");
+    }
+
+    #[test]
+    fn set_vlen_reconfigures_vlmax() {
+        let mut a = Asm::new(0);
+        a.i(Instr::VSetvli {
+            rd: Reg::A0,
+            rs1: Reg::Zero,
+            sew: VecSew::E2,
+        });
+        a.ecall();
+        let prog = a.assemble().unwrap();
+        let mut mem = SliceMem::new(0, 4096);
+        mem.load_program(&prog);
+        let mut core = Core::new(IsaConfig::vector());
+        core.set_vlen(256);
+        core.pc = prog.base;
+        assert!(core.run(&mut mem, 100).unwrap().halted);
+        assert_eq!(core.reg(Reg::A0), 128, "VLEN=256 at e2");
+    }
+
+    /// The fast path executes vector ops through `USpec::Generic`; the
+    /// counters and results must match pure interpretation bit-exactly.
+    #[test]
+    fn fastpath_matches_interpreter_on_vector_program() {
+        let mut a = Asm::new(0);
+        a.li(Reg::A1, 0x2000);
+        a.li(Reg::T2, 8);
+        a.lp_setup(pulp_isa::instr::LoopIdx::L0, Reg::T2, "end");
+        a.i(Instr::VSetvli {
+            rd: Reg::T1,
+            rs1: Reg::Zero,
+            sew: VecSew::E4,
+        });
+        a.i(Instr::VLoad {
+            vd: VReg::V0,
+            rs1: Reg::A1,
+        });
+        a.i(Instr::VDot {
+            sign: DotSign::UnsignedSigned,
+            rd: Reg::A0,
+            vs1: VReg::V0,
+            vs2: VReg::V0,
+        });
+        a.label("end");
+        a.ecall();
+        let prog = a.assemble().unwrap();
+
+        let run = |fast: bool| {
+            let mut mem = SliceMem::new(0, 1 << 16);
+            mem.load_program(&prog);
+            for i in 0..16u32 {
+                mem.write(0x2000 + i, 1, 0xa5u32.wrapping_mul(i + 1) & 0xff)
+                    .unwrap();
+            }
+            let mut core = Core::new(IsaConfig::vector());
+            if fast {
+                core.enable_fastpath();
+            }
+            core.pc = prog.base;
+            assert!(core.run(&mut mem, 100_000).unwrap().halted);
+            (
+                core.reg(Reg::A0),
+                core.perf,
+                core.vector_unit().expect("unit").clone(),
+            )
+        };
+        let (interp_a0, interp_perf, interp_vec) = run(false);
+        let (fast_a0, fast_perf, fast_vec) = run(true);
+        assert_eq!(interp_a0, fast_a0);
+        assert_eq!(interp_perf, fast_perf);
+        assert_eq!(interp_vec, fast_vec);
+        assert_eq!(interp_perf.vec_dots, 8);
     }
 }

@@ -42,12 +42,24 @@ pub enum CycleClass {
     SimdAlu(SimdFmt),
     /// Dot products / sum-of-dot-products by lane format.
     Dotp(SimdFmt),
+    /// Vector-unit configuration (`vsetvli`).
+    VecCfg,
+    /// Vector loads (unit-stride and strided), excluding stalls.
+    VecLoad,
+    /// Vector stores (unit-stride and strided), excluding stalls.
+    VecStore,
+    /// Single-cycle vector register ops (`vslide1down.vx`, `vmv.x.s`).
+    VecAlu,
+    /// Vector dot-product reductions (`vdot*.vv`).
+    VecDot,
+    /// Vector staircase quantization (`vqnt.{n,c}.v`), excluding stalls.
+    VecQnt,
     /// Extra cycles from accesses crossing a word boundary.
     MisalignStall,
 }
 
 /// Number of distinct [`CycleClass`] buckets.
-pub const CYCLE_CLASS_COUNT: usize = 19;
+pub const CYCLE_CLASS_COUNT: usize = 25;
 
 /// Every cycle class, in ledger-bucket order.
 pub const ALL_CYCLE_CLASSES: [CycleClass; CYCLE_CLASS_COUNT] = [
@@ -69,6 +81,12 @@ pub const ALL_CYCLE_CLASSES: [CycleClass; CYCLE_CLASS_COUNT] = [
     CycleClass::Dotp(SimdFmt::Byte),
     CycleClass::Dotp(SimdFmt::Nibble),
     CycleClass::Dotp(SimdFmt::Crumb),
+    CycleClass::VecCfg,
+    CycleClass::VecLoad,
+    CycleClass::VecStore,
+    CycleClass::VecAlu,
+    CycleClass::VecDot,
+    CycleClass::VecQnt,
     CycleClass::MisalignStall,
 ];
 
@@ -88,7 +106,13 @@ impl CycleClass {
             CycleClass::Qnt => 9,
             CycleClass::SimdAlu(fmt) => 10 + fmt_index(fmt),
             CycleClass::Dotp(fmt) => 14 + fmt_index(fmt),
-            CycleClass::MisalignStall => 18,
+            CycleClass::VecCfg => 18,
+            CycleClass::VecLoad => 19,
+            CycleClass::VecStore => 20,
+            CycleClass::VecAlu => 21,
+            CycleClass::VecDot => 22,
+            CycleClass::VecQnt => 23,
+            CycleClass::MisalignStall => 24,
         }
     }
 
@@ -113,6 +137,12 @@ impl CycleClass {
             CycleClass::Dotp(SimdFmt::Byte) => "dotp.b",
             CycleClass::Dotp(SimdFmt::Nibble) => "dotp.n",
             CycleClass::Dotp(SimdFmt::Crumb) => "dotp.c",
+            CycleClass::VecCfg => "vec_cfg",
+            CycleClass::VecLoad => "vec_load",
+            CycleClass::VecStore => "vec_store",
+            CycleClass::VecAlu => "vec_alu",
+            CycleClass::VecDot => "vec_dot",
+            CycleClass::VecQnt => "vec_qnt",
             CycleClass::MisalignStall => "misalign_stall",
         }
     }
@@ -215,6 +245,19 @@ pub struct PerfCounters {
     pub dotp: [u64; 4],
     /// `pv.qnt` executions (each quantizes two activations).
     pub qnt: u64,
+    /// Vector load instructions (unit-stride and strided).
+    pub vec_loads: u64,
+    /// Vector store instructions (unit-stride and strided).
+    pub vec_stores: u64,
+    /// Vector dot-product reductions (`vdot*.vv`).
+    pub vec_dots: u64,
+    /// Lane MACs performed by the vector dot unit (Σ of `vl` at each
+    /// `vdot*.vv` retire — the vector twin of the per-format SIMD MAC
+    /// weighting in [`PerfCounters::total_macs`]).
+    pub vec_macs: u64,
+    /// Vector quantization instructions (`vqnt.{n,c}.v`, each
+    /// quantizes `vl` activations).
+    pub vec_qnt: u64,
     /// Hardware-loop setup instructions.
     pub hwloop_setups: u64,
     /// Zero-overhead loop back-edges taken.
@@ -256,7 +299,8 @@ impl PerfCounters {
     /// unit, counting each lane product (a `pv.sdotsp.c` contributes 16).
     pub fn total_macs(&self) -> u64 {
         let lanes = [2u64, 4, 8, 16];
-        self.dotp.iter().zip(lanes).map(|(n, l)| n * l).sum()
+        let simd: u64 = self.dotp.iter().zip(lanes).map(|(n, l)| n * l).sum();
+        simd + self.vec_macs
     }
 
     /// Dot-product unit operations for one format.
@@ -282,6 +326,11 @@ impl PerfCounters {
             simd_alu: sub4(self.simd_alu, before.simd_alu),
             dotp: sub4(self.dotp, before.dotp),
             qnt: self.qnt - before.qnt,
+            vec_loads: self.vec_loads - before.vec_loads,
+            vec_stores: self.vec_stores - before.vec_stores,
+            vec_dots: self.vec_dots - before.vec_dots,
+            vec_macs: self.vec_macs - before.vec_macs,
+            vec_qnt: self.vec_qnt - before.vec_qnt,
             hwloop_setups: self.hwloop_setups - before.hwloop_setups,
             hwloop_backs: self.hwloop_backs - before.hwloop_backs,
             stall_cycles: self.stall_cycles - before.stall_cycles,
@@ -313,6 +362,13 @@ impl fmt::Display for PerfCounters {
         )?;
         writeln!(f, "simd alu        {:>12?}", self.simd_alu)?;
         writeln!(f, "qnt             {:>12}", self.qnt)?;
+        if self.vec_loads + self.vec_stores + self.vec_dots + self.vec_qnt > 0 {
+            writeln!(
+                f,
+                "vector          {:>12} ld / {} st, {} dots ({} MACs), {} qnt",
+                self.vec_loads, self.vec_stores, self.vec_dots, self.vec_macs, self.vec_qnt
+            )?;
+        }
         writeln!(
             f,
             "hw loops        {:>12} setups, {} back-edges",
@@ -334,6 +390,19 @@ mod tests {
         assert_eq!(p.total_macs(), 10 * 4 + 3 * 16);
         assert_eq!(p.dotp_for(SimdFmt::Byte), 10);
         assert_eq!(p.dotp_for(SimdFmt::Half), 0);
+    }
+
+    #[test]
+    fn vector_macs_add_into_total() {
+        let mut p = PerfCounters::new();
+        p.dotp[fmt_index(SimdFmt::Byte)] = 2; // 8 lane MACs
+        p.vec_macs = 100;
+        assert_eq!(p.total_macs(), 108);
+        let before = p;
+        p.vec_macs += 32;
+        p.vec_dots += 1;
+        assert_eq!(p.delta_since(&before).vec_macs, 32);
+        assert_eq!(p.delta_since(&before).vec_dots, 1);
     }
 
     #[test]

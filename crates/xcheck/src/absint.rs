@@ -590,8 +590,24 @@ pub fn check(stream: &[(u32, u32, Instr)], cfg: &Cfg, config: &LintConfig) -> Ab
 
     let mut diagnostics = Vec::new();
     let mut stats = MemStats::default();
+    let mut last_sew: Option<pulp_isa::vec::VecSew> = None;
     for (i, &(pc, _, instr)) in stream.iter().enumerate() {
         let Some(state) = &inb[i] else { continue };
+        if let Instr::VSetvli { sew, .. } = instr {
+            last_sew = Some(sew);
+        }
+        if instr.requires_rvv() {
+            check_vec_mem(
+                pc,
+                &instr,
+                state,
+                last_sew,
+                config,
+                &mut diagnostics,
+                &mut stats,
+            );
+            continue;
+        }
         let Some(mem) = effects(&instr).mem else {
             continue;
         };
@@ -654,6 +670,84 @@ pub fn check(stream: &[(u32, u32, Instr)], cfg: &Cfg, config: &LintConfig) -> Ab
     diagnostics.sort_by_key(|a| (a.pc, a.rule));
     diagnostics.dedup();
     AbsResult { diagnostics, stats }
+}
+
+/// VEC-03: vector memory accesses (including the `vqnt` tree walk).
+/// The unit-stride footprint comes from the modeled VLEN
+/// (`config.vlen_bits`); strided spans additionally need a constant
+/// stride and the SEW of the nearest preceding `vsetvli`. Proved-only:
+/// everything undecidable is counted as documented imprecision.
+fn check_vec_mem(
+    pc: u32,
+    instr: &Instr,
+    state: &State,
+    last_sew: Option<pulp_isa::vec::VecSew>,
+    config: &LintConfig,
+    diagnostics: &mut Vec<Diagnostic>,
+    stats: &mut MemStats,
+) {
+    let vlen_bytes = config.vlen_bits / 8;
+    // Worst-case byte span of a strided access: `stride·(VLMAX-1)` plus
+    // one element. `None` when the stride or element width is unknown
+    // or the walk could wrap the address space.
+    let strided_span = |stride_reg: Reg| -> Option<u32> {
+        let stride = get(state, stride_reg).as_const()?;
+        let sew = last_sew?;
+        if !sew.is_byte_multiple() {
+            return None; // traps at runtime (IllegalInstruction)
+        }
+        let elems = config.vlen_bits / sew.bits();
+        let span = u64::from(stride) * u64::from(elems - 1) + u64::from(sew.bits() / 8);
+        u32::try_from(span).ok()
+    };
+    let (base_reg, span, align, what) = match *instr {
+        Instr::VLoad { rs1, .. } => (rs1, Some(vlen_bytes), 4, "unit-stride load"),
+        Instr::VStore { rs1, .. } => (rs1, Some(vlen_bytes), 4, "unit-stride store"),
+        Instr::VLoadStrided { rs1, rs2, .. } => (rs1, strided_span(rs2), 1, "strided load"),
+        Instr::VStoreStrided { rs1, rs2, .. } => (rs1, strided_span(rs2), 1, "strided store"),
+        Instr::VQnt { fmt, rs1, .. } => {
+            // One tree of `qnt_thresholds` halfwords per element, one
+            // stride apart, for at most VLMAX e16 elements.
+            let elems = config.vlen_bits / 16;
+            let span = (elems - 1) * qnt_stride(fmt) + 2 * qnt_thresholds(fmt);
+            (rs1, Some(span), 2, "threshold-tree walk")
+        }
+        _ => return,
+    };
+    stats.accesses += 1;
+    let addr = get(state, base_reg);
+    match span.map(|s| region_verdict(addr, s, &config.regions)) {
+        Some(Verdict::In) => stats.proved_in += 1,
+        Some(Verdict::Out) => diagnostics.push(Diagnostic {
+            rule: Rule::VecMemUnsafe,
+            pc,
+            instr: instr.to_string(),
+            message: format!(
+                "vector {} of {} bytes at {} is provably outside every declared region",
+                what,
+                span.expect("Out implies known span"),
+                fmt_addr(addr),
+            ),
+        }),
+        Some(Verdict::Unproven) | None => stats.unproven += 1,
+    }
+    match align_verdict(addr, align) {
+        Verdict::In => stats.align_proved += 1,
+        Verdict::Unproven => stats.align_unproven += 1,
+        Verdict::Out if !config.check_alignment => stats.align_unproven += 1,
+        Verdict::Out => diagnostics.push(Diagnostic {
+            rule: Rule::VecMemUnsafe,
+            pc,
+            instr: instr.to_string(),
+            message: format!(
+                "vector {} base {} is provably not {}-byte aligned; every beat \
+                 pays a misalignment stall",
+                what,
+                fmt_addr(addr),
+                align,
+            ),
+        }),
+    }
 }
 
 enum Verdict {

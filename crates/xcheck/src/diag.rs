@@ -67,12 +67,23 @@ pub enum Rule {
     /// A hart's access inside the dispatch slab leaves the per-hart
     /// cursor word / parameter-record rows declared for it.
     DrfDispatchSlab,
+    /// A vector instruction executes but no `vsetvli` appears earlier
+    /// in the program: `vl`/`sew` would still be the reset state.
+    VecNoVsetvli,
+    /// A `vqnt.*.v` whose nearest preceding `vsetvli` selects an
+    /// element width other than e16 (the quantizer consumes halfword
+    /// accumulators and traps on any other SEW).
+    VecQntSew,
+    /// A vector memory access (including the `vqnt` tree walk) is
+    /// provably outside every declared region, or its base address is
+    /// provably not word-aligned (each misaligned beat costs a stall).
+    VecMemUnsafe,
 }
 
 impl Rule {
     /// Every rule in the catalog, in stable-ID order. Coverage tests
     /// iterate this to prove each rule family has a firing fixture.
-    pub const ALL: [Rule; 20] = [
+    pub const ALL: [Rule; 23] = [
         Rule::HwlBranchIn,
         Rule::HwlBranchOut,
         Rule::HwlBadNesting,
@@ -93,6 +104,9 @@ impl Rule {
         Rule::DrfDmaOverlap,
         Rule::DrfBarrierProtocol,
         Rule::DrfDispatchSlab,
+        Rule::VecNoVsetvli,
+        Rule::VecQntSew,
+        Rule::VecMemUnsafe,
     ];
 
     /// Stable rule identifier.
@@ -118,6 +132,9 @@ impl Rule {
             Rule::DrfDmaOverlap => "DRF-03",
             Rule::DrfBarrierProtocol => "DRF-04",
             Rule::DrfDispatchSlab => "DRF-05",
+            Rule::VecNoVsetvli => "VEC-01",
+            Rule::VecQntSew => "VEC-02",
+            Rule::VecMemUnsafe => "VEC-03",
         }
     }
 

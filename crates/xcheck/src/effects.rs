@@ -367,6 +367,34 @@ pub fn effects(instr: &Instr) -> Effects {
                 is_store: false,
             });
         }
+        // Vector (Xrvv) instructions. Vector registers live outside the
+        // scalar `RegSet`; only the scalar operands participate in the
+        // dataflow passes. The spans of vector memory accesses depend on
+        // the configured VLEN, so they carry no static `MemRef` — the
+        // abstract interpreter checks them directly (VEC-03).
+        Instr::VSetvli { rd, rs1, .. } => {
+            uses(&[rs1]);
+            e.defs.insert(rd);
+            // Not a pure def: `vl`/`sew` change even if `rd` is dead.
+        }
+        Instr::VLoad { rs1, .. } | Instr::VStore { rs1, .. } => uses(&[rs1]),
+        Instr::VLoadStrided { rs1, rs2, .. } | Instr::VStoreStrided { rs1, rs2, .. } => {
+            uses(&[rs1, rs2]);
+        }
+        // Scalar accumulator: `rd += dot(vs1, vs2)`.
+        Instr::VDot { rd, .. } => {
+            uses(&[rd]);
+            e.defs.insert(rd);
+            e.pure_def = true;
+        }
+        // Walks `vl` threshold trees starting at `rs1`; tree spans are
+        // VL-dependent, so like the loads above it has no static MemRef.
+        Instr::VQnt { rs1, .. } => uses(&[rs1]),
+        Instr::VSlide1 { rs1, .. } => uses(&[rs1]),
+        Instr::VMvXS { rd, .. } => {
+            e.defs.insert(rd);
+            e.pure_def = true;
+        }
     }
     e
 }

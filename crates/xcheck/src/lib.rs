@@ -116,6 +116,10 @@ pub struct LintConfig {
     /// threshold-tree checking. [`analyze_program`] adds the program's
     /// own data segments automatically.
     pub memory: Vec<(u32, Vec<u8>)>,
+    /// Modeled vector length in bits for the VEC-03 span checks: a
+    /// unit-stride vector access touches at most `vlen_bits / 8` bytes.
+    /// Matches the core's default vector unit when not overridden.
+    pub vlen_bits: u32,
 }
 
 impl Default for LintConfig {
@@ -129,6 +133,7 @@ impl Default for LintConfig {
             check_qnt_fmt: true,
             check_alignment: true,
             memory: Vec::new(),
+            vlen_bits: 128,
         }
     }
 }
@@ -146,6 +151,18 @@ impl LintConfig {
             check_qnt_fmt: true,
             check_alignment: true,
             memory: Vec::new(),
+            vlen_bits: 128,
+        }
+    }
+
+    /// Profile for emitted *vector* kernel programs: identical to
+    /// [`LintConfig::kernel`] but with the modeled vector length pinned
+    /// to the VLEN the kernel was emitted for, so the VEC-03 span
+    /// checks use the exact unit-stride footprint.
+    pub fn vector(regions: Vec<Region>, vlen_bits: u32) -> LintConfig {
+        LintConfig {
+            vlen_bits,
+            ..LintConfig::kernel(regions)
         }
     }
 
@@ -176,6 +193,7 @@ impl LintConfig {
             check_qnt_fmt: false,
             check_alignment: false,
             memory,
+            vlen_bits: 128,
         }
     }
 }

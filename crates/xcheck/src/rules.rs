@@ -51,6 +51,40 @@ pub fn check(stream: &[(u32, u32, Instr)], cfg: &Cfg, config: &LintConfig) -> Ve
         }
     }
 
+    // VEC-01/VEC-02: vector configuration discipline. Kernels set
+    // `vl`/`sew` with `vsetvli` before every vector strip, so the
+    // address-ordered scan tracks the nearest preceding configuration.
+    let mut last_sew: Option<pulp_isa::vec::VecSew> = None;
+    for &(pc, _, instr) in stream {
+        if let Instr::VSetvli { sew, .. } = instr {
+            last_sew = Some(sew);
+        } else if instr.requires_rvv() {
+            match last_sew {
+                None => diags.push(Diagnostic {
+                    rule: Rule::VecNoVsetvli,
+                    pc,
+                    instr: instr.to_string(),
+                    message: "vector instruction with no preceding vsetvli: vl and sew \
+                              are still the reset state (vl = 0)"
+                        .to_string(),
+                }),
+                Some(sew) => {
+                    if matches!(instr, Instr::VQnt { .. }) && sew != pulp_isa::vec::VecSew::E16 {
+                        diags.push(Diagnostic {
+                            rule: Rule::VecQntSew,
+                            pc,
+                            instr: instr.to_string(),
+                            message: format!(
+                                "vqnt requires SEW = e16 but the nearest preceding \
+                                 vsetvli selects {sew}; this traps at runtime"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
     // CFG-01: control transfers must land on instruction boundaries.
     for &(pc, target) in &cfg.bad_targets {
         let instr = instr_at(stream, pc);

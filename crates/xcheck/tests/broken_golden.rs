@@ -34,6 +34,9 @@ fn config_for(name: &str) -> LintConfig {
             LintConfig::kernel(vec![Region::new("output", 0x1c06_8000, 0x100)])
         }
         "reserved_clobber" => LintConfig::kernel(Vec::new()),
+        "vector_out_of_region" => {
+            LintConfig::vector(vec![Region::new("input", 0x1c01_0000, 0x40)], 128)
+        }
         _ => LintConfig::default(),
     }
 }

@@ -1,0 +1,6 @@
+# VEC-01: the vector load executes with vl/sew still at the reset
+# state (vl = 0) because no vsetvli appears anywhere before it.
+    li a1, 0x1c010000
+    vle.v v0, (a1)
+    li a0, 0
+    ecall

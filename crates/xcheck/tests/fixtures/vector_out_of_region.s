@@ -1,0 +1,12 @@
+# VEC-03 twice: the first unit-stride load spans 16 bytes (VLEN = 128)
+# starting exactly one-past-the-end of the declared input region; the
+# second load stays inside the region but its base is provably
+# 2 mod 4, so every beat pays a misalignment stall.
+    li t0, 16
+    vsetvli zero, t0, e8
+    li a1, 0x1c010040
+    vle.v v0, (a1)
+    li a2, 0x1c010002
+    vle.v v1, (a2)
+    li a0, 0
+    ecall

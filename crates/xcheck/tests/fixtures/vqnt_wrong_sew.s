@@ -1,0 +1,8 @@
+# VEC-02: the quantizer consumes halfword accumulators (SEW = e16),
+# but the nearest preceding vsetvli selects e8 — this traps at runtime.
+    li t0, 2
+    li a1, 0x1c010000
+    vsetvli zero, t0, e8
+    vqnt.n.v v2, a1, v0
+    li a0, 0
+    ecall
